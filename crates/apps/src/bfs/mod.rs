@@ -1,0 +1,358 @@
+//! BFS (Rodinia): level-synchronous breadth-first search computing the
+//! depth of every node from a source. Highly irregular memory access —
+//! the workload where cacheless accelerators (C1060) lose to the CPU,
+//! flipping the Fig. 6 ranking between platforms.
+
+use peppher_containers::Vector;
+use peppher_core::{Component, VariantBuilder};
+use peppher_descriptor::{AccessType, ContextParam, InterfaceDescriptor, ParamDecl};
+use peppher_runtime::{AccessMode, Arch, Codelet, Runtime, TaskBuilder};
+use peppher_sim::{KernelCost, VTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A directed graph in CSR adjacency form.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    /// Node count.
+    pub nodes: usize,
+    /// Edge start offsets per node (`nodes + 1` entries).
+    pub edge_ptr: Vec<u32>,
+    /// Destination node ids (`edges` entries).
+    pub edge_dst: Vec<u32>,
+}
+
+impl Graph {
+    /// Number of edges.
+    pub fn edges(&self) -> usize {
+        self.edge_dst.len()
+    }
+}
+
+/// Random graph with the given average out-degree (Rodinia's generator
+/// uses a similar uniform-random shape).
+pub fn generate(nodes: usize, avg_degree: usize, seed: u64) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edge_ptr = Vec::with_capacity(nodes + 1);
+    let mut edge_dst = Vec::new();
+    edge_ptr.push(0u32);
+    for v in 0..nodes {
+        let deg = rng.gen_range(1..=avg_degree * 2);
+        for _ in 0..deg {
+            edge_dst.push(rng.gen_range(0..nodes as u32));
+        }
+        // Chain edge keeps the graph connected so BFS reaches every node.
+        edge_dst.push(((v + 1) % nodes) as u32);
+        edge_ptr.push(edge_dst.len() as u32);
+    }
+    Graph {
+        nodes,
+        edge_ptr,
+        edge_dst,
+    }
+}
+
+/// Scalar arguments of the bfs call.
+#[derive(Debug, Clone, Copy)]
+pub struct BfsArgs {
+    /// Node count.
+    pub nodes: usize,
+    /// BFS source node.
+    pub source: u32,
+}
+
+/// Level-synchronous serial BFS; `depth[v] = -1` for unreachable nodes.
+pub fn bfs_kernel(edge_ptr: &[u32], edge_dst: &[u32], depth: &mut [i32], args: BfsArgs) {
+    depth[..args.nodes].fill(-1);
+    depth[args.source as usize] = 0;
+    let mut frontier = vec![args.source];
+    let mut level = 0i32;
+    while !frontier.is_empty() {
+        level += 1;
+        let mut next = Vec::new();
+        for &v in &frontier {
+            let (lo, hi) = (edge_ptr[v as usize] as usize, edge_ptr[v as usize + 1] as usize);
+            for &w in &edge_dst[lo..hi] {
+                if depth[w as usize] < 0 {
+                    depth[w as usize] = level;
+                    next.push(w);
+                }
+            }
+        }
+        frontier = next;
+    }
+}
+
+/// Level-synchronous parallel BFS: each level's frontier is expanded by a
+/// thread team; duplicates in the next frontier are deduplicated by a
+/// second ownership pass (deterministic, lock-free).
+pub fn bfs_kernel_parallel(
+    edge_ptr: &[u32],
+    edge_dst: &[u32],
+    depth: &mut [i32],
+    args: BfsArgs,
+    threads: usize,
+) {
+    depth[..args.nodes].fill(-1);
+    depth[args.source as usize] = 0;
+    let mut frontier = vec![args.source];
+    let mut level = 0i32;
+    let threads = threads.max(1);
+    while !frontier.is_empty() {
+        level += 1;
+        // Parallel expansion: each thread collects candidate next nodes.
+        let chunk = frontier.len().div_ceil(threads);
+        let candidate_lists: Vec<Vec<u32>> = std::thread::scope(|scope| {
+            let depth_ro: &[i32] = depth;
+            let handles: Vec<_> = frontier
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        let mut local = Vec::new();
+                        for &v in part {
+                            let (lo, hi) =
+                                (edge_ptr[v as usize] as usize, edge_ptr[v as usize + 1] as usize);
+                            for &w in &edge_dst[lo..hi] {
+                                if depth_ro[w as usize] < 0 {
+                                    local.push(w);
+                                }
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Sequential commit pass deduplicates and assigns depths.
+        let mut next = Vec::new();
+        for list in candidate_lists {
+            for w in list {
+                if depth[w as usize] < 0 {
+                    depth[w as usize] = level;
+                    next.push(w);
+                }
+            }
+        }
+        frontier = next;
+    }
+}
+
+/// Sequential reference.
+pub fn reference(g: &Graph, source: u32) -> Vec<i32> {
+    let mut depth = vec![0i32; g.nodes];
+    bfs_kernel(&g.edge_ptr, &g.edge_dst, &mut depth, BfsArgs { nodes: g.nodes, source });
+    depth
+}
+
+/// The bfs interface descriptor.
+pub fn interface() -> InterfaceDescriptor {
+    let mut i = InterfaceDescriptor::new("bfs");
+    let p = |name: &str, ctype: &str, access| ParamDecl {
+        name: name.into(),
+        ctype: ctype.into(),
+        access,
+    };
+    i.params = vec![
+        p("edgePtr", "size_t*", AccessType::Read),
+        p("edgeDst", "size_t*", AccessType::Read),
+        p("depth", "int*", AccessType::Write),
+        p("nodes", "int", AccessType::Read),
+        p("source", "int", AccessType::Read),
+    ];
+    i.context_params = vec![ContextParam {
+        name: "edges".into(),
+        min: Some(0.0),
+        max: None,
+    }];
+    i
+}
+
+/// Irregular graph-traversal cost model: nearly pure pointer chasing.
+pub fn cost_model(nodes: f64, edges: f64) -> KernelCost {
+    KernelCost::new(2.0 * edges, edges * 8.0 + nodes * 8.0, nodes * 4.0)
+        .with_regularity(0.08)
+        .with_parallel_fraction(0.85)
+        .with_arithmetic_efficiency(0.05)
+}
+
+/// The PEPPHER bfs component.
+pub fn build_component() -> Arc<Component> {
+    let serial = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        let args = *ctx.arg::<BfsArgs>();
+        let edge_ptr = ctx.r::<Vec<u32>>(0).clone();
+        let edge_dst = ctx.r::<Vec<u32>>(1).clone();
+        let depth = ctx.w::<Vec<i32>>(2);
+        bfs_kernel(&edge_ptr, &edge_dst, depth, args);
+    };
+    let team = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        let args = *ctx.arg::<BfsArgs>();
+        let threads = ctx.team_size;
+        let edge_ptr = ctx.r::<Vec<u32>>(0).clone();
+        let edge_dst = ctx.r::<Vec<u32>>(1).clone();
+        let depth = ctx.w::<Vec<i32>>(2);
+        bfs_kernel_parallel(&edge_ptr, &edge_dst, depth, args, threads);
+    };
+    Component::builder(interface())
+        .variant(VariantBuilder::new("bfs_cpu", "cpp").kernel(serial).build())
+        .variant(VariantBuilder::new("bfs_omp", "openmp").kernel(team).build())
+        .variant(VariantBuilder::new("bfs_cuda", "cuda").kernel(serial).build())
+        .cost(|ctx| cost_model(ctx.get("nodes").unwrap_or(0.0), ctx.get("edges").unwrap_or(0.0)))
+        .build()
+}
+
+// LOC:TOOL:BEGIN
+/// BFS with the composition tool.
+pub fn run_peppherized(rt: &Runtime, g: &Graph, iters: usize, force: Option<&str>) -> Vec<i32> {
+    let comp = build_component();
+    let edge_ptr = Vector::register(rt, g.edge_ptr.clone());
+    let edge_dst = Vector::register(rt, g.edge_dst.clone());
+    let depth = Vector::register(rt, vec![0i32; g.nodes]);
+    for i in 0..iters {
+        let mut call = comp
+            .call()
+            .operand(edge_ptr.handle())
+            .operand(edge_dst.handle())
+            .operand(depth.handle())
+            .arg(BfsArgs { nodes: g.nodes, source: (i % g.nodes) as u32 })
+            .context("nodes", g.nodes as f64)
+            .context("edges", g.edges() as f64);
+        if let Some(v) = force {
+            call = call.force_variant(v);
+        }
+        call.submit(rt);
+    }
+    depth.into_vec()
+}
+// LOC:TOOL:END
+
+// LOC:DIRECT:BEGIN
+/// BFS hand-written against the raw runtime.
+pub fn run_direct(rt: &Runtime, g: &Graph, iters: usize) -> Vec<i32> {
+    let mut codelet = Codelet::new("bfs_direct");
+    codelet = codelet.with_impl(Arch::Cpu, |ctx| {
+        let args = *ctx.arg::<BfsArgs>();
+        let edge_ptr = ctx.r::<Vec<u32>>(0).clone();
+        let edge_dst = ctx.r::<Vec<u32>>(1).clone();
+        let depth = ctx.w::<Vec<i32>>(2);
+        bfs_kernel(&edge_ptr, &edge_dst, depth, args);
+    });
+    codelet = codelet.with_impl(Arch::CpuTeam, |ctx| {
+        let args = *ctx.arg::<BfsArgs>();
+        let threads = ctx.team_size;
+        let edge_ptr = ctx.r::<Vec<u32>>(0).clone();
+        let edge_dst = ctx.r::<Vec<u32>>(1).clone();
+        let depth = ctx.w::<Vec<i32>>(2);
+        bfs_kernel_parallel(&edge_ptr, &edge_dst, depth, args, threads);
+    });
+    codelet = codelet.with_impl(Arch::Gpu, |ctx| {
+        let args = *ctx.arg::<BfsArgs>();
+        let edge_ptr = ctx.r::<Vec<u32>>(0).clone();
+        let edge_dst = ctx.r::<Vec<u32>>(1).clone();
+        let depth = ctx.w::<Vec<i32>>(2);
+        bfs_kernel(&edge_ptr, &edge_dst, depth, args);
+    });
+    let codelet = Arc::new(codelet);
+    let edge_ptr = rt.register_vec(g.edge_ptr.clone());
+    let edge_dst = rt.register_vec(g.edge_dst.clone());
+    let depth = rt.register_vec(vec![0i32; g.nodes]);
+    let cost = cost_model(g.nodes as f64, g.edges() as f64);
+    for i in 0..iters {
+        TaskBuilder::new(&codelet)
+            .access(&edge_ptr, AccessMode::Read)
+            .access(&edge_dst, AccessMode::Read)
+            .access(&depth, AccessMode::Write)
+            .arg(BfsArgs { nodes: g.nodes, source: (i % g.nodes) as u32 })
+            .cost(cost)
+            .submit(rt);
+    }
+    rt.wait_all();
+    let out = rt.unregister_vec::<i32>(depth);
+    let _ = rt.unregister_vec::<u32>(edge_dst);
+    let _ = rt.unregister_vec::<u32>(edge_ptr);
+    out
+}
+// LOC:DIRECT:END
+
+/// Fig. 6 entry point.
+pub fn run_for_fig6(rt: &Runtime, size: usize, backend: Option<&str>) -> VTime {
+    let g = generate(size, 6, 0xBF5);
+    let force = backend.map(|b| format!("bfs_{b}"));
+    run_peppherized(rt, &g, 6, force.as_deref());
+    rt.stats().makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppher_runtime::SchedulerKind;
+    use peppher_sim::MachineConfig;
+
+    fn line_graph(n: usize) -> Graph {
+        // 0 -> 1 -> 2 -> ... (plus the generator's wraparound style).
+        let mut edge_ptr = vec![0u32];
+        let mut edge_dst = Vec::new();
+        for v in 0..n {
+            if v + 1 < n {
+                edge_dst.push((v + 1) as u32);
+            }
+            edge_ptr.push(edge_dst.len() as u32);
+        }
+        Graph { nodes: n, edge_ptr, edge_dst }
+    }
+
+    #[test]
+    fn bfs_depths_on_line_graph() {
+        let g = line_graph(5);
+        let depth = reference(&g, 0);
+        assert_eq!(depth, vec![0, 1, 2, 3, 4]);
+        let from_middle = reference(&g, 2);
+        assert_eq!(from_middle, vec![-1, -1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn generated_graph_fully_reachable() {
+        let g = generate(500, 4, 11);
+        let depth = reference(&g, 0);
+        assert!(depth.iter().all(|&d| d >= 0), "chain edges guarantee reachability");
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let g = generate(800, 5, 3);
+        let want = reference(&g, 17);
+        let mut got = vec![0i32; g.nodes];
+        bfs_kernel_parallel(
+            &g.edge_ptr,
+            &g.edge_dst,
+            &mut got,
+            BfsArgs { nodes: g.nodes, source: 17 },
+            4,
+        );
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn peppherized_and_direct_agree() {
+        let g = generate(300, 4, 21);
+        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let tool = run_peppherized(&rt, &g, 1, None);
+        let rt2 = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let direct = run_direct(&rt2, &g, 1);
+        assert_eq!(tool, direct);
+        assert_eq!(tool, reference(&g, 0));
+    }
+
+    #[test]
+    fn irregular_cost_model_penalizes_cacheless_gpu() {
+        use peppher_sim::DeviceProfile;
+        let cost = cost_model(50_000.0, 300_000.0);
+        let c2050 = DeviceProfile::tesla_c2050().exec_time(&cost);
+        let c1060 = DeviceProfile::tesla_c1060().exec_time(&cost);
+        assert!(
+            c1060.as_secs_f64() > c2050.as_secs_f64() * 2.0,
+            "c1060 {c1060} should be far slower than c2050 {c2050} on bfs"
+        );
+    }
+}

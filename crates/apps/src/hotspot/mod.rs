@@ -1,0 +1,276 @@
+//! HotSpot (Rodinia): iterative 2D thermal simulation. A regular
+//! five-point stencil over the chip grid plus a per-cell power term —
+//! regular access, moderate compute; the GPU wins at larger grids.
+
+use peppher_containers::Matrix;
+use peppher_core::{Component, VariantBuilder};
+use peppher_descriptor::{AccessType, ContextParam, InterfaceDescriptor, ParamDecl};
+use peppher_runtime::{AccessMode, Arch, Codelet, Runtime, TaskBuilder};
+use peppher_sim::{KernelCost, VTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Scalar arguments of the hotspot call.
+#[derive(Debug, Clone, Copy)]
+pub struct HotspotArgs {
+    /// Grid edge length (grid is `n x n`).
+    pub n: usize,
+    /// Stencil iterations per component call.
+    pub steps: usize,
+    /// Thermal diffusion coefficient.
+    pub cap: f32,
+}
+
+/// One stencil sweep: `next = temp + cap * (N + S + E + W - 4*temp + power)`
+/// with clamped (insulated) borders.
+fn sweep(temp: &[f32], power: &[f32], next: &mut [f32], n: usize, cap: f32) {
+    for i in 0..n {
+        for j in 0..n {
+            let idx = i * n + j;
+            let c = temp[idx];
+            let north = if i > 0 { temp[idx - n] } else { c };
+            let south = if i + 1 < n { temp[idx + n] } else { c };
+            let west = if j > 0 { temp[idx - 1] } else { c };
+            let east = if j + 1 < n { temp[idx + 1] } else { c };
+            next[idx] = c + cap * (north + south + east + west - 4.0 * c + power[idx]);
+        }
+    }
+}
+
+/// Serial kernel: `steps` ping-pong sweeps, result back in `temp`.
+pub fn hotspot_kernel(temp: &mut [f32], power: &[f32], args: HotspotArgs) {
+    let n = args.n;
+    let mut scratch = vec![0.0f32; n * n];
+    for _ in 0..args.steps {
+        sweep(temp, power, &mut scratch, n, args.cap);
+        temp[..n * n].copy_from_slice(&scratch);
+    }
+}
+
+/// Team kernel: rows are swept in parallel per step.
+pub fn hotspot_kernel_parallel(temp: &mut [f32], power: &[f32], args: HotspotArgs, threads: usize) {
+    let n = args.n;
+    let threads = threads.max(1).min(n.max(1));
+    let rows_per = n.div_ceil(threads);
+    let mut scratch = vec![0.0f32; n * n];
+    for _ in 0..args.steps {
+        std::thread::scope(|scope| {
+            let temp_ro: &[f32] = temp;
+            for (t, out_chunk) in scratch.chunks_mut(rows_per * n).enumerate() {
+                let i0 = t * rows_per;
+                scope.spawn(move || {
+                    let rows = out_chunk.len() / n;
+                    for di in 0..rows {
+                        let i = i0 + di;
+                        for j in 0..n {
+                            let idx = i * n + j;
+                            let c = temp_ro[idx];
+                            let north = if i > 0 { temp_ro[idx - n] } else { c };
+                            let south = if i + 1 < n { temp_ro[idx + n] } else { c };
+                            let west = if j > 0 { temp_ro[idx - 1] } else { c };
+                            let east = if j + 1 < n { temp_ro[idx + 1] } else { c };
+                            out_chunk[di * n + j] =
+                                c + args.cap * (north + south + east + west - 4.0 * c + power[idx]);
+                        }
+                    }
+                });
+            }
+        });
+        temp[..n * n].copy_from_slice(&scratch);
+    }
+}
+
+/// Seeded initial temperature and power maps.
+pub fn generate(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let temp = (0..n * n).map(|_| rng.gen_range(320.0f32..340.0)).collect();
+    let power = (0..n * n).map(|_| rng.gen_range(0.0f32..0.5)).collect();
+    (temp, power)
+}
+
+/// Sequential reference.
+pub fn reference(temp: &[f32], power: &[f32], args: HotspotArgs) -> Vec<f32> {
+    let mut t = temp.to_vec();
+    hotspot_kernel(&mut t, power, args);
+    t
+}
+
+/// The hotspot interface descriptor.
+pub fn interface() -> InterfaceDescriptor {
+    let mut i = InterfaceDescriptor::new("hotspot");
+    let p = |name: &str, ctype: &str, access| ParamDecl {
+        name: name.into(),
+        ctype: ctype.into(),
+        access,
+    };
+    i.params = vec![
+        p("temp", "float*", AccessType::ReadWrite),
+        p("power", "const float*", AccessType::Read),
+        p("n", "int", AccessType::Read),
+        p("steps", "int", AccessType::Read),
+    ];
+    i.context_params = vec![ContextParam {
+        name: "n".into(),
+        min: Some(8.0),
+        max: None,
+    }];
+    i
+}
+
+/// Regular stencil cost model.
+pub fn cost_model(n: f64, steps: f64) -> KernelCost {
+    let cells = n * n;
+    KernelCost::new(steps * cells * 8.0, steps * cells * 24.0, steps * cells * 4.0)
+        .with_regularity(0.9)
+        .with_arithmetic_efficiency(0.3)
+}
+
+/// The PEPPHER hotspot component.
+pub fn build_component() -> Arc<Component> {
+    let serial = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        let args = *ctx.arg::<HotspotArgs>();
+        let power = ctx.r::<Vec<f32>>(1).clone();
+        let temp = ctx.w::<Vec<f32>>(0);
+        hotspot_kernel(temp, &power, args);
+    };
+    let team = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        let args = *ctx.arg::<HotspotArgs>();
+        let threads = ctx.team_size;
+        let power = ctx.r::<Vec<f32>>(1).clone();
+        let temp = ctx.w::<Vec<f32>>(0);
+        hotspot_kernel_parallel(temp, &power, args, threads);
+    };
+    Component::builder(interface())
+        .variant(VariantBuilder::new("hotspot_cpu", "cpp").kernel(serial).build())
+        .variant(VariantBuilder::new("hotspot_omp", "openmp").kernel(team).build())
+        .variant(VariantBuilder::new("hotspot_cuda", "cuda").kernel(serial).build())
+        .cost(|ctx| cost_model(ctx.get("n").unwrap_or(0.0), ctx.get("steps").unwrap_or(1.0)))
+        .build()
+}
+
+// LOC:TOOL:BEGIN
+/// HotSpot with the composition tool.
+pub fn run_peppherized(rt: &Runtime, n: usize, calls: usize, force: Option<&str>) -> Vec<f32> {
+    let (temp, power) = generate(n, 0x407);
+    let comp = build_component();
+    let tm = Matrix::register(rt, n, n, temp);
+    let pm = Matrix::register(rt, n, n, power);
+    let args = HotspotArgs { n, steps: 4, cap: 0.05 };
+    for _ in 0..calls {
+        let mut call = comp
+            .call()
+            .operand(tm.handle())
+            .operand(pm.handle())
+            .arg(args)
+            .context("n", n as f64)
+            .context("steps", args.steps as f64);
+        if let Some(v) = force {
+            call = call.force_variant(v);
+        }
+        call.submit(rt);
+    }
+    tm.into_vec()
+}
+// LOC:TOOL:END
+
+// LOC:DIRECT:BEGIN
+/// HotSpot hand-written against the raw runtime.
+pub fn run_direct(rt: &Runtime, n: usize, calls: usize) -> Vec<f32> {
+    let (temp, power) = generate(n, 0x407);
+    let mut codelet = Codelet::new("hotspot_direct");
+    codelet = codelet.with_impl(Arch::Cpu, |ctx| {
+        let args = *ctx.arg::<HotspotArgs>();
+        let power = ctx.r::<Vec<f32>>(1).clone();
+        let temp = ctx.w::<Vec<f32>>(0);
+        hotspot_kernel(temp, &power, args);
+    });
+    codelet = codelet.with_impl(Arch::CpuTeam, |ctx| {
+        let args = *ctx.arg::<HotspotArgs>();
+        let threads = ctx.team_size;
+        let power = ctx.r::<Vec<f32>>(1).clone();
+        let temp = ctx.w::<Vec<f32>>(0);
+        hotspot_kernel_parallel(temp, &power, args, threads);
+    });
+    codelet = codelet.with_impl(Arch::Gpu, |ctx| {
+        let args = *ctx.arg::<HotspotArgs>();
+        let power = ctx.r::<Vec<f32>>(1).clone();
+        let temp = ctx.w::<Vec<f32>>(0);
+        hotspot_kernel(temp, &power, args);
+    });
+    let codelet = Arc::new(codelet);
+    let tm = rt.register_vec(temp);
+    let pm = rt.register_vec(power);
+    let args = HotspotArgs { n, steps: 4, cap: 0.05 };
+    let cost = cost_model(n as f64, args.steps as f64);
+    for _ in 0..calls {
+        TaskBuilder::new(&codelet)
+            .access(&tm, AccessMode::ReadWrite)
+            .access(&pm, AccessMode::Read)
+            .arg(args)
+            .cost(cost)
+            .submit(rt);
+    }
+    rt.wait_all();
+    let out = rt.unregister_vec::<f32>(tm);
+    let _ = rt.unregister_vec::<f32>(pm);
+    out
+}
+// LOC:DIRECT:END
+
+/// Fig. 6 entry point.
+pub fn run_for_fig6(rt: &Runtime, size: usize, backend: Option<&str>) -> VTime {
+    let force = backend.map(|b| format!("hotspot_{b}"));
+    run_peppherized(rt, size, 5, force.as_deref());
+    rt.stats().makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppher_runtime::SchedulerKind;
+    use peppher_sim::MachineConfig;
+
+    #[test]
+    fn uniform_grid_without_power_stays_uniform() {
+        let n = 8;
+        let temp = vec![330.0f32; n * n];
+        let power = vec![0.0f32; n * n];
+        let out = reference(&temp, &power, HotspotArgs { n, steps: 5, cap: 0.05 });
+        assert!(out.iter().all(|&t| (t - 330.0).abs() < 1e-4));
+    }
+
+    #[test]
+    fn power_heats_the_hot_cell() {
+        let n = 8;
+        let temp = vec![300.0f32; n * n];
+        let mut power = vec![0.0f32; n * n];
+        power[3 * n + 3] = 10.0;
+        let out = reference(&temp, &power, HotspotArgs { n, steps: 3, cap: 0.05 });
+        assert!(out[3 * n + 3] > 300.5, "powered cell heated: {}", out[3 * n + 3]);
+        assert!(out[3 * n + 4] > 300.0, "heat diffuses to neighbours");
+        assert!((out[0] - 300.0).abs() < 1e-3, "far corner unaffected after 3 steps");
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let n = 33;
+        let (temp, power) = generate(n, 9);
+        let args = HotspotArgs { n, steps: 3, cap: 0.04 };
+        let want = reference(&temp, &power, args);
+        let mut got = temp.clone();
+        hotspot_kernel_parallel(&mut got, &power, args, 4);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn peppherized_and_direct_agree() {
+        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let tool = run_peppherized(&rt, 16, 2, None);
+        let rt2 = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let direct = run_direct(&rt2, 16, 2);
+        assert_eq!(tool, direct);
+    }
+}

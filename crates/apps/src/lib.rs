@@ -1,0 +1,115 @@
+//! The paper's evaluation applications, PEPPHERized.
+//!
+//! §V: "we implemented (PEPPHERized) several applications from the RODINIA
+//! benchmark suite, two scientific kernels (dense matrix-matrix and sparse
+//! matrix-vector multiplication) and a Runge-Kutta ODE Solver from the
+//! LibSolve library, using the composition tool."
+//!
+//! Every application module follows the same shape:
+//!
+//! - a *workload* type plus a seeded generator (synthetic stand-ins for the
+//!   paper's inputs — e.g. UF-collection-like sparse matrices for SpMV);
+//! - a sequential *reference* implementation used by the tests as ground
+//!   truth;
+//! - [`build_component`](spmv::build_component): the PEPPHER component with
+//!   CPU (`cpp`), OpenMP (`openmp`) and CUDA-style (`cuda`) implementation
+//!   variants and a context → [`KernelCost`](peppher_sim::KernelCost) model;
+//! - `run_peppherized`: the application written against the high-level
+//!   composition API (what a user writes *with* the tool) — these are the
+//!   "Tool" rows of Table I;
+//! - `run_direct`: the same application hand-written against the raw
+//!   runtime API (codelets, task builders, explicit data management) — the
+//!   "Direct" rows of Table I.
+//!
+//! | module | paper workload | dominant pattern |
+//! |---|---|---|
+//! | [`spmv`] | UF sparse matrices | irregular gather (CSR) |
+//! | [`sgemm`] | dense GEMM | regular compute-bound |
+//! | [`bfs`] | Rodinia bfs | very irregular graph traversal |
+//! | [`cfd`] | Rodinia cfd (Euler solver) | unstructured-mesh flux |
+//! | [`hotspot`] | Rodinia hotspot | 2D stencil iteration |
+//! | [`lud`] | Rodinia lud | blocked LU decomposition |
+//! | [`nw`] | Rodinia nw | wavefront dynamic programming |
+//! | [`particlefilter`] | Rodinia particlefilter | propagate/weight/resample |
+//! | [`pathfinder`] | Rodinia pathfinder | row-by-row DP |
+//! | [`odesolver`] | libsolve Runge–Kutta | tightly-dependent stage chain |
+
+pub mod bfs;
+pub mod cfd;
+pub mod hotspot;
+pub mod lud;
+pub mod nw;
+pub mod odesolver;
+pub mod particlefilter;
+pub mod pathfinder;
+pub mod sgemm;
+pub mod spmv;
+
+/// Metadata used by the Fig. 6 harness: every application exposes a
+/// uniform "run with one forced backend vs. dynamic" entry point.
+pub struct AppEntry {
+    /// Application name as it appears in the paper's figures.
+    pub name: &'static str,
+    /// Runs the app for a given size, returning the virtual makespan.
+    /// `backend`: `None` = dynamic (TGPA), `Some(variant_suffix)` forces
+    /// `"omp"` or `"cuda"`.
+    pub run: fn(&peppher_runtime::Runtime, usize, Option<&str>) -> peppher_sim::VTime,
+    /// Problem sizes averaged over in Fig. 6.
+    pub sizes: &'static [usize],
+}
+
+/// The Fig. 6 application set (all ten, in the paper's x-axis order).
+pub fn fig6_apps() -> Vec<AppEntry> {
+    vec![
+        AppEntry {
+            name: "bfs",
+            run: bfs::run_for_fig6,
+            sizes: &[20_000, 60_000, 140_000],
+        },
+        AppEntry {
+            name: "cfd",
+            run: cfd::run_for_fig6,
+            sizes: &[20_000, 50_000, 100_000],
+        },
+        AppEntry {
+            name: "hotspot",
+            run: hotspot::run_for_fig6,
+            sizes: &[128, 256, 512],
+        },
+        AppEntry {
+            name: "libsolve",
+            run: odesolver::run_for_fig6,
+            sizes: &[250, 500, 1000],
+        },
+        AppEntry {
+            name: "lud",
+            run: lud::run_for_fig6,
+            sizes: &[128, 256, 512],
+        },
+        AppEntry {
+            name: "nw",
+            run: nw::run_for_fig6,
+            sizes: &[256, 512, 1024],
+        },
+        AppEntry {
+            name: "particlefilter",
+            run: particlefilter::run_for_fig6,
+            sizes: &[2_000, 10_000, 40_000],
+        },
+        AppEntry {
+            name: "pathfinder",
+            run: pathfinder::run_for_fig6,
+            sizes: &[50_000, 100_000, 200_000],
+        },
+        AppEntry {
+            name: "sgemm",
+            run: sgemm::run_for_fig6,
+            sizes: &[128, 256, 512],
+        },
+        AppEntry {
+            name: "spmv",
+            run: spmv::run_for_fig6,
+            sizes: &[100_000, 400_000, 1_600_000],
+        },
+    ]
+}

@@ -1,0 +1,291 @@
+//! Needleman-Wunsch (Rodinia): global sequence alignment by dynamic
+//! programming. The score matrix fills along anti-diagonal wavefronts —
+//! moderate regularity, data-dependent parallelism.
+
+use peppher_containers::Vector;
+use peppher_core::{Component, VariantBuilder};
+use peppher_descriptor::{AccessType, ContextParam, InterfaceDescriptor, ParamDecl};
+use peppher_runtime::{AccessMode, Arch, Codelet, Runtime, TaskBuilder};
+use peppher_sim::{KernelCost, VTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Scalar arguments of the nw call.
+#[derive(Debug, Clone, Copy)]
+pub struct NwArgs {
+    /// Length of both sequences (square DP matrix of `(n+1)^2` scores).
+    pub n: usize,
+    /// Gap penalty (positive).
+    pub penalty: i32,
+}
+
+/// BLOSUM-like match score: equal residues +4, mismatch -2.
+fn similarity(a: u8, b: u8) -> i32 {
+    if a == b {
+        4
+    } else {
+        -2
+    }
+}
+
+/// Serial DP fill. `score` has `(n+1)*(n+1)` entries, row-major.
+pub fn nw_kernel(seq1: &[u8], seq2: &[u8], score: &mut [i32], args: NwArgs) {
+    let n = args.n;
+    let w = n + 1;
+    for j in 0..=n {
+        score[j] = -(j as i32) * args.penalty;
+    }
+    for i in 1..=n {
+        score[i * w] = -(i as i32) * args.penalty;
+        for j in 1..=n {
+            let diag = score[(i - 1) * w + (j - 1)] + similarity(seq1[i - 1], seq2[j - 1]);
+            let up = score[(i - 1) * w + j] - args.penalty;
+            let left = score[i * w + (j - 1)] - args.penalty;
+            score[i * w + j] = diag.max(up).max(left);
+        }
+    }
+}
+
+/// Wavefront-parallel DP fill: cells on one anti-diagonal are independent.
+pub fn nw_kernel_parallel(seq1: &[u8], seq2: &[u8], score: &mut [i32], args: NwArgs, threads: usize) {
+    let n = args.n;
+    let w = n + 1;
+    let threads = threads.max(1);
+    for j in 0..=n {
+        score[j] = -(j as i32) * args.penalty;
+    }
+    for i in 1..=n {
+        score[i * w] = -(i as i32) * args.penalty;
+    }
+    // Anti-diagonals d = i + j, for i,j in 1..=n.
+    for d in 2..=(2 * n) {
+        let i_min = 1.max(d.saturating_sub(n));
+        let i_max = n.min(d - 1);
+        if i_min > i_max {
+            continue;
+        }
+        let cells: Vec<usize> = (i_min..=i_max).collect();
+        let chunk = cells.len().div_ceil(threads);
+        // Each wavefront cell writes a distinct index; collect then commit.
+        let results: Vec<(usize, i32)> = std::thread::scope(|scope| {
+            let score_ro: &[i32] = score;
+            let handles: Vec<_> = cells
+                .chunks(chunk)
+                .map(|part| {
+                    scope.spawn(move || {
+                        part.iter()
+                            .map(|&i| {
+                                let j = d - i;
+                                let diag = score_ro[(i - 1) * w + (j - 1)]
+                                    + similarity(seq1[i - 1], seq2[j - 1]);
+                                let up = score_ro[(i - 1) * w + j] - args.penalty;
+                                let left = score_ro[i * w + (j - 1)] - args.penalty;
+                                (i * w + j, diag.max(up).max(left))
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+        });
+        for (idx, v) in results {
+            score[idx] = v;
+        }
+    }
+}
+
+/// Seeded random DNA-like sequences.
+pub fn generate(n: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mk = || (0..n).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect::<Vec<u8>>();
+    (mk(), mk())
+}
+
+/// Sequential reference: the full score matrix.
+pub fn reference(seq1: &[u8], seq2: &[u8], args: NwArgs) -> Vec<i32> {
+    let w = args.n + 1;
+    let mut score = vec![0i32; w * w];
+    nw_kernel(seq1, seq2, &mut score, args);
+    score
+}
+
+/// The nw interface descriptor.
+pub fn interface() -> InterfaceDescriptor {
+    let mut i = InterfaceDescriptor::new("nw");
+    let p = |name: &str, ctype: &str, access| ParamDecl {
+        name: name.into(),
+        ctype: ctype.into(),
+        access,
+    };
+    i.params = vec![
+        p("seq1", "const char*", AccessType::Read),
+        p("seq2", "const char*", AccessType::Read),
+        p("score", "int*", AccessType::Write),
+        p("n", "int", AccessType::Read),
+        p("penalty", "int", AccessType::Read),
+    ];
+    i.context_params = vec![ContextParam {
+        name: "n".into(),
+        min: Some(1.0),
+        max: None,
+    }];
+    i
+}
+
+/// Wavefront DP cost model: limited parallel fraction (short diagonals at
+/// the corners), moderate regularity.
+pub fn cost_model(n: f64) -> KernelCost {
+    let cells = (n + 1.0) * (n + 1.0);
+    KernelCost::new(cells * 6.0, cells * 16.0, cells * 4.0)
+        .with_regularity(0.55)
+        .with_parallel_fraction(0.9)
+        .with_arithmetic_efficiency(0.12)
+}
+
+/// The PEPPHER nw component.
+pub fn build_component() -> Arc<Component> {
+    let serial = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        let args = *ctx.arg::<NwArgs>();
+        let s1 = ctx.r::<Vec<u8>>(0).clone();
+        let s2 = ctx.r::<Vec<u8>>(1).clone();
+        let score = ctx.w::<Vec<i32>>(2);
+        nw_kernel(&s1, &s2, score, args);
+    };
+    let team = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        let args = *ctx.arg::<NwArgs>();
+        let threads = ctx.team_size;
+        let s1 = ctx.r::<Vec<u8>>(0).clone();
+        let s2 = ctx.r::<Vec<u8>>(1).clone();
+        let score = ctx.w::<Vec<i32>>(2);
+        nw_kernel_parallel(&s1, &s2, score, args, threads);
+    };
+    Component::builder(interface())
+        .variant(VariantBuilder::new("nw_cpu", "cpp").kernel(serial).build())
+        .variant(VariantBuilder::new("nw_omp", "openmp").kernel(team).build())
+        .variant(VariantBuilder::new("nw_cuda", "cuda").kernel(serial).build())
+        .cost(|ctx| cost_model(ctx.get("n").unwrap_or(0.0)))
+        .build()
+}
+
+// LOC:TOOL:BEGIN
+/// NW with the composition tool.
+pub fn run_peppherized(rt: &Runtime, n: usize, force: Option<&str>) -> Vec<i32> {
+    let (s1, s2) = generate(n, 0x2A);
+    let comp = build_component();
+    let v1 = Vector::register(rt, s1);
+    let v2 = Vector::register(rt, s2);
+    let score = Vector::register(rt, vec![0i32; (n + 1) * (n + 1)]);
+    let mut call = comp
+        .call()
+        .operand(v1.handle())
+        .operand(v2.handle())
+        .operand(score.handle())
+        .arg(NwArgs { n, penalty: 10 })
+        .context("n", n as f64);
+    if let Some(v) = force {
+        call = call.force_variant(v);
+    }
+    call.submit(rt);
+    score.into_vec()
+}
+// LOC:TOOL:END
+
+// LOC:DIRECT:BEGIN
+/// NW hand-written against the raw runtime.
+pub fn run_direct(rt: &Runtime, n: usize) -> Vec<i32> {
+    let (s1, s2) = generate(n, 0x2A);
+    let mut codelet = Codelet::new("nw_direct");
+    codelet = codelet.with_impl(Arch::Cpu, |ctx| {
+        let args = *ctx.arg::<NwArgs>();
+        let s1 = ctx.r::<Vec<u8>>(0).clone();
+        let s2 = ctx.r::<Vec<u8>>(1).clone();
+        let score = ctx.w::<Vec<i32>>(2);
+        nw_kernel(&s1, &s2, score, args);
+    });
+    codelet = codelet.with_impl(Arch::CpuTeam, |ctx| {
+        let args = *ctx.arg::<NwArgs>();
+        let threads = ctx.team_size;
+        let s1 = ctx.r::<Vec<u8>>(0).clone();
+        let s2 = ctx.r::<Vec<u8>>(1).clone();
+        let score = ctx.w::<Vec<i32>>(2);
+        nw_kernel_parallel(&s1, &s2, score, args, threads);
+    });
+    codelet = codelet.with_impl(Arch::Gpu, |ctx| {
+        let args = *ctx.arg::<NwArgs>();
+        let s1 = ctx.r::<Vec<u8>>(0).clone();
+        let s2 = ctx.r::<Vec<u8>>(1).clone();
+        let score = ctx.w::<Vec<i32>>(2);
+        nw_kernel(&s1, &s2, score, args);
+    });
+    let codelet = Arc::new(codelet);
+    let v1 = rt.register_vec(s1);
+    let v2 = rt.register_vec(s2);
+    let score = rt.register_vec(vec![0i32; (n + 1) * (n + 1)]);
+    TaskBuilder::new(&codelet)
+        .access(&v1, AccessMode::Read)
+        .access(&v2, AccessMode::Read)
+        .access(&score, AccessMode::Write)
+        .arg(NwArgs { n, penalty: 10 })
+        .cost(cost_model(n as f64))
+        .submit(rt);
+    rt.wait_all();
+    let out = rt.unregister_vec::<i32>(score);
+    let _ = rt.unregister_vec::<u8>(v2);
+    let _ = rt.unregister_vec::<u8>(v1);
+    out
+}
+// LOC:DIRECT:END
+
+/// Fig. 6 entry point.
+pub fn run_for_fig6(rt: &Runtime, size: usize, backend: Option<&str>) -> VTime {
+    let force = backend.map(|b| format!("nw_{b}"));
+    run_peppherized(rt, size, force.as_deref());
+    rt.stats().makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppher_runtime::SchedulerKind;
+    use peppher_sim::MachineConfig;
+
+    #[test]
+    fn identical_sequences_score_perfect_match() {
+        let s = b"ACGTACGT".to_vec();
+        let args = NwArgs { n: 8, penalty: 10 };
+        let score = reference(&s, &s, args);
+        // Perfect alignment: 8 matches x +4.
+        assert_eq!(score[(8 + 1) * (8 + 1) - 1], 32);
+    }
+
+    #[test]
+    fn gap_penalties_on_borders() {
+        let args = NwArgs { n: 3, penalty: 5 };
+        let score = reference(b"AAA", b"AAA", args);
+        let w = 4;
+        assert_eq!(score[0], 0);
+        assert_eq!(score[3], -15, "top row accumulates gap penalties");
+        assert_eq!(score[3 * w], -15, "left column accumulates gap penalties");
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (s1, s2) = generate(77, 4);
+        let args = NwArgs { n: 77, penalty: 10 };
+        let want = reference(&s1, &s2, args);
+        let w = 78;
+        let mut got = vec![0i32; w * w];
+        nw_kernel_parallel(&s1, &s2, &mut got, args, 4);
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn peppherized_and_direct_agree() {
+        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let tool = run_peppherized(&rt, 32, None);
+        let rt2 = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let direct = run_direct(&rt2, 32);
+        assert_eq!(tool, direct);
+    }
+}

@@ -1,0 +1,320 @@
+//! ParticleFilter (Rodinia): sequential Monte-Carlo tracking of an object
+//! moving through a noisy 2D scene — propagate particles, weight them
+//! against the observation, normalize, and systematically resample each
+//! frame. Mixed regular/irregular access (resampling gathers).
+
+use peppher_containers::Vector;
+use peppher_core::{Component, VariantBuilder};
+use peppher_descriptor::{AccessType, ContextParam, InterfaceDescriptor, ParamDecl};
+use peppher_runtime::{AccessMode, Arch, Codelet, Runtime, TaskBuilder};
+use peppher_sim::{KernelCost, VTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Scalar arguments of the particlefilter call.
+#[derive(Debug, Clone, Copy)]
+pub struct PfArgs {
+    /// Particle count.
+    pub particles: usize,
+    /// Frames to process in this call.
+    pub frames: usize,
+    /// RNG seed (the kernel is deterministic for a given seed, so every
+    /// variant computes bit-identical estimates).
+    pub seed: u64,
+}
+
+/// Ground-truth trajectory + noisy observations per frame (x, y pairs).
+pub fn generate(frames: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut obs = Vec::with_capacity(frames * 2);
+    let (mut x, mut y) = (0.0f32, 0.0f32);
+    for _ in 0..frames {
+        x += 1.0 + rng.gen_range(-0.1f32..0.1);
+        y += 0.5 + rng.gen_range(-0.1f32..0.1);
+        obs.push(x + rng.gen_range(-0.5f32..0.5));
+        obs.push(y + rng.gen_range(-0.5f32..0.5));
+    }
+    obs
+}
+
+fn weight(px: f32, py: f32, ox: f32, oy: f32) -> f32 {
+    let d2 = (px - ox) * (px - ox) + (py - oy) * (py - oy);
+    (-d2 / 2.0).exp() + 1e-12
+}
+
+fn systematic_resample(xs: &mut [f32], ys: &mut [f32], ws: &[f32], u0: f32) {
+    let n = ws.len();
+    let total: f32 = ws.iter().sum();
+    let step = total / n as f32;
+    let mut cumulative = ws[0];
+    let mut i = 0usize;
+    let old_x = xs.to_vec();
+    let old_y = ys.to_vec();
+    for k in 0..n {
+        let u = u0 * step + k as f32 * step;
+        while cumulative < u && i + 1 < n {
+            i += 1;
+            cumulative += ws[i];
+        }
+        xs[k] = old_x[i];
+        ys[k] = old_y[i];
+    }
+}
+
+/// Serial kernel: runs the filter over `frames` observations; writes the
+/// per-frame position estimate (x, y) into `estimates`.
+pub fn pf_kernel(observations: &[f32], estimates: &mut [f32], args: PfArgs) {
+    pf_kernel_parallel(observations, estimates, args, 1);
+}
+
+/// Team kernel: propagation and weighting are particle-parallel; the
+/// resampling pass is sequential (it is a prefix-sum gather).
+pub fn pf_kernel_parallel(
+    observations: &[f32],
+    estimates: &mut [f32],
+    args: PfArgs,
+    threads: usize,
+) {
+    let n = args.particles;
+    let threads = threads.max(1).min(n.max(1));
+    // Deterministic per-particle noise: hash of (seed, frame, particle).
+    let noise = |frame: usize, p: usize, axis: u64| -> f32 {
+        let mut h = args.seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add((frame as u64) << 32)
+            .wrapping_add((p as u64) << 1)
+            .wrapping_add(axis);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xFF51AFD7ED558CCD);
+        h ^= h >> 33;
+        (h as f64 / u64::MAX as f64) as f32 - 0.5
+    };
+
+    let mut xs = vec![0.0f32; n];
+    let mut ys = vec![0.0f32; n];
+    let mut ws = vec![1.0f32 / n as f32; n];
+    let frames = args.frames.min(observations.len() / 2);
+    let chunk = n.div_ceil(threads);
+
+    for f in 0..frames {
+        let (ox, oy) = (observations[f * 2], observations[f * 2 + 1]);
+        // Propagate + weight, particle-parallel.
+        std::thread::scope(|scope| {
+            let noise = &noise;
+            for (t, ((x_chunk, y_chunk), w_chunk)) in xs
+                .chunks_mut(chunk)
+                .zip(ys.chunks_mut(chunk))
+                .zip(ws.chunks_mut(chunk))
+                .enumerate()
+            {
+                let p0 = t * chunk; // global particle index base
+                scope.spawn(move || {
+                    for i in 0..x_chunk.len() {
+                        x_chunk[i] += 1.0 + noise(f, p0 + i, 0);
+                        y_chunk[i] += 0.5 + noise(f, p0 + i, 1);
+                        w_chunk[i] = weight(x_chunk[i], y_chunk[i], ox, oy);
+                    }
+                });
+            }
+        });
+        // Estimate = weighted mean.
+        let total: f32 = ws.iter().sum();
+        let ex: f32 = xs.iter().zip(&ws).map(|(x, w)| x * w).sum::<f32>() / total;
+        let ey: f32 = ys.iter().zip(&ws).map(|(y, w)| y * w).sum::<f32>() / total;
+        estimates[f * 2] = ex;
+        estimates[f * 2 + 1] = ey;
+        // Systematic resampling (sequential, deterministic).
+        let u0 = 0.5 + noise(f, 0, 2) * 0.99;
+        systematic_resample(&mut xs, &mut ys, &ws, u0.clamp(0.0, 1.0));
+        ws.fill(1.0 / n as f32);
+    }
+}
+
+/// Sequential reference.
+pub fn reference(observations: &[f32], args: PfArgs) -> Vec<f32> {
+    let mut est = vec![0.0f32; args.frames * 2];
+    pf_kernel(observations, &mut est, args);
+    est
+}
+
+/// The particlefilter interface descriptor.
+pub fn interface() -> InterfaceDescriptor {
+    let mut i = InterfaceDescriptor::new("particlefilter");
+    let p = |name: &str, ctype: &str, access| ParamDecl {
+        name: name.into(),
+        ctype: ctype.into(),
+        access,
+    };
+    i.params = vec![
+        p("observations", "const float*", AccessType::Read),
+        p("estimates", "float*", AccessType::Write),
+        p("particles", "int", AccessType::Read),
+        p("frames", "int", AccessType::Read),
+    ];
+    i.context_params = vec![ContextParam {
+        name: "particles".into(),
+        min: Some(1.0),
+        max: None,
+    }];
+    i
+}
+
+/// Cost model: per frame, O(particles) propagate/weight (regular) plus a
+/// gather-heavy resample.
+pub fn cost_model(particles: f64, frames: f64) -> KernelCost {
+    KernelCost::new(
+        frames * particles * 40.0,
+        frames * particles * 24.0,
+        frames * particles * 12.0,
+    )
+    .with_regularity(0.5)
+    .with_parallel_fraction(0.88)
+    .with_arithmetic_efficiency(0.2)
+}
+
+/// The PEPPHER particlefilter component.
+pub fn build_component() -> Arc<Component> {
+    let serial = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        let args = *ctx.arg::<PfArgs>();
+        let obs = ctx.r::<Vec<f32>>(0).clone();
+        let est = ctx.w::<Vec<f32>>(1);
+        pf_kernel(&obs, est, args);
+    };
+    let team = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        let args = *ctx.arg::<PfArgs>();
+        let threads = ctx.team_size;
+        let obs = ctx.r::<Vec<f32>>(0).clone();
+        let est = ctx.w::<Vec<f32>>(1);
+        pf_kernel_parallel(&obs, est, args, threads);
+    };
+    Component::builder(interface())
+        .variant(VariantBuilder::new("particlefilter_cpu", "cpp").kernel(serial).build())
+        .variant(VariantBuilder::new("particlefilter_omp", "openmp").kernel(team).build())
+        .variant(VariantBuilder::new("particlefilter_cuda", "cuda").kernel(serial).build())
+        .cost(|ctx| {
+            cost_model(
+                ctx.get("particles").unwrap_or(0.0),
+                ctx.get("frames").unwrap_or(1.0),
+            )
+        })
+        .build()
+}
+
+// LOC:TOOL:BEGIN
+/// ParticleFilter with the composition tool.
+pub fn run_peppherized(rt: &Runtime, particles: usize, frames: usize, force: Option<&str>) -> Vec<f32> {
+    let obs = generate(frames, 0x9F);
+    let comp = build_component();
+    let ov = Vector::register(rt, obs);
+    let ev = Vector::register(rt, vec![0.0f32; frames * 2]);
+    let mut call = comp
+        .call()
+        .operand(ov.handle())
+        .operand(ev.handle())
+        .arg(PfArgs { particles, frames, seed: 0x9F2 })
+        .context("particles", particles as f64)
+        .context("frames", frames as f64);
+    if let Some(v) = force {
+        call = call.force_variant(v);
+    }
+    call.submit(rt);
+    ev.into_vec()
+}
+// LOC:TOOL:END
+
+// LOC:DIRECT:BEGIN
+/// ParticleFilter hand-written against the raw runtime.
+pub fn run_direct(rt: &Runtime, particles: usize, frames: usize) -> Vec<f32> {
+    let obs = generate(frames, 0x9F);
+    let mut codelet = Codelet::new("particlefilter_direct");
+    codelet = codelet.with_impl(Arch::Cpu, |ctx| {
+        let args = *ctx.arg::<PfArgs>();
+        let obs = ctx.r::<Vec<f32>>(0).clone();
+        let est = ctx.w::<Vec<f32>>(1);
+        pf_kernel(&obs, est, args);
+    });
+    codelet = codelet.with_impl(Arch::CpuTeam, |ctx| {
+        let args = *ctx.arg::<PfArgs>();
+        let threads = ctx.team_size;
+        let obs = ctx.r::<Vec<f32>>(0).clone();
+        let est = ctx.w::<Vec<f32>>(1);
+        pf_kernel_parallel(&obs, est, args, threads);
+    });
+    codelet = codelet.with_impl(Arch::Gpu, |ctx| {
+        let args = *ctx.arg::<PfArgs>();
+        let obs = ctx.r::<Vec<f32>>(0).clone();
+        let est = ctx.w::<Vec<f32>>(1);
+        pf_kernel(&obs, est, args);
+    });
+    let codelet = Arc::new(codelet);
+    let ov = rt.register_vec(obs);
+    let ev = rt.register_vec(vec![0.0f32; frames * 2]);
+    TaskBuilder::new(&codelet)
+        .access(&ov, AccessMode::Read)
+        .access(&ev, AccessMode::Write)
+        .arg(PfArgs { particles, frames, seed: 0x9F2 })
+        .cost(cost_model(particles as f64, frames as f64))
+        .submit(rt);
+    rt.wait_all();
+    let out = rt.unregister_vec::<f32>(ev);
+    let _ = rt.unregister_vec::<f32>(ov);
+    out
+}
+// LOC:DIRECT:END
+
+/// Fig. 6 entry point (`size` = particles; 16 frames).
+pub fn run_for_fig6(rt: &Runtime, size: usize, backend: Option<&str>) -> VTime {
+    let force = backend.map(|b| format!("particlefilter_{b}"));
+    run_peppherized(rt, size, 16, force.as_deref());
+    rt.stats().makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppher_runtime::SchedulerKind;
+    use peppher_sim::MachineConfig;
+
+    #[test]
+    fn filter_tracks_the_trajectory() {
+        let frames = 20;
+        let obs = generate(frames, 1);
+        let est = reference(&obs, PfArgs { particles: 2_000, frames, seed: 2 });
+        // After burn-in the estimate should stay near the observations.
+        for f in 5..frames {
+            let dx = est[f * 2] - obs[f * 2];
+            let dy = est[f * 2 + 1] - obs[f * 2 + 1];
+            let err = (dx * dx + dy * dy).sqrt();
+            assert!(err < 2.0, "frame {f}: estimate off by {err}");
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let obs = generate(8, 3);
+        let args = PfArgs { particles: 500, frames: 8, seed: 42 };
+        assert_eq!(reference(&obs, args), reference(&obs, args));
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let obs = generate(10, 5);
+        let args = PfArgs { particles: 777, frames: 10, seed: 9 };
+        let want = reference(&obs, args);
+        let mut got = vec![0.0f32; 20];
+        pf_kernel_parallel(&obs, &mut got, args, 4);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 2e-2, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn peppherized_and_direct_agree() {
+        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let tool = run_peppherized(&rt, 300, 6, None);
+        let rt2 = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let direct = run_direct(&rt2, 300, 6);
+        assert_eq!(tool, direct);
+    }
+}

@@ -1,0 +1,269 @@
+//! PathFinder (Rodinia): dynamic programming over a 2D grid — each row's
+//! minimal path cost is computed from the previous row (`min` of the three
+//! upper neighbours). Regular streaming access, row-level parallelism.
+
+use peppher_containers::Vector;
+use peppher_core::{Component, VariantBuilder};
+use peppher_descriptor::{AccessType, ContextParam, InterfaceDescriptor, ParamDecl};
+use peppher_runtime::{AccessMode, Arch, Codelet, Runtime, TaskBuilder};
+use peppher_sim::{KernelCost, VTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Scalar arguments of the pathfinder call.
+#[derive(Debug, Clone, Copy)]
+pub struct PathfinderArgs {
+    /// Grid rows.
+    pub rows: usize,
+    /// Grid columns.
+    pub cols: usize,
+}
+
+fn step_row(prev: &[i32], wall_row: &[i32], out: &mut [i32], cols: usize) {
+    for j in 0..cols {
+        let mut best = prev[j];
+        if j > 0 {
+            best = best.min(prev[j - 1]);
+        }
+        if j + 1 < cols {
+            best = best.min(prev[j + 1]);
+        }
+        out[j] = wall_row[j] + best;
+    }
+}
+
+/// Serial kernel: returns the final DP row in `result`.
+pub fn pathfinder_kernel(wall: &[i32], result: &mut [i32], args: PathfinderArgs) {
+    let PathfinderArgs { rows, cols } = args;
+    let mut prev = wall[..cols].to_vec();
+    let mut cur = vec![0i32; cols];
+    for r in 1..rows {
+        step_row(&prev, &wall[r * cols..(r + 1) * cols], &mut cur, cols);
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    result[..cols].copy_from_slice(&prev);
+}
+
+/// Team kernel: each row step is column-parallel.
+pub fn pathfinder_kernel_parallel(
+    wall: &[i32],
+    result: &mut [i32],
+    args: PathfinderArgs,
+    threads: usize,
+) {
+    let PathfinderArgs { rows, cols } = args;
+    let threads = threads.max(1).min(cols.max(1));
+    let chunk = cols.div_ceil(threads);
+    let mut prev = wall[..cols].to_vec();
+    let mut cur = vec![0i32; cols];
+    for r in 1..rows {
+        let wall_row = &wall[r * cols..(r + 1) * cols];
+        std::thread::scope(|scope| {
+            let prev_ro: &[i32] = &prev;
+            for (t, out_chunk) in cur.chunks_mut(chunk).enumerate() {
+                let j0 = t * chunk;
+                scope.spawn(move || {
+                    for (dj, out) in out_chunk.iter_mut().enumerate() {
+                        let j = j0 + dj;
+                        let mut best = prev_ro[j];
+                        if j > 0 {
+                            best = best.min(prev_ro[j - 1]);
+                        }
+                        if j + 1 < cols {
+                            best = best.min(prev_ro[j + 1]);
+                        }
+                        *out = wall_row[j] + best;
+                    }
+                });
+            }
+        });
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    result[..cols].copy_from_slice(&prev);
+}
+
+/// Seeded random wall grid.
+pub fn generate(rows: usize, cols: usize, seed: u64) -> Vec<i32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..rows * cols).map(|_| rng.gen_range(0..10)).collect()
+}
+
+/// Sequential reference.
+pub fn reference(wall: &[i32], args: PathfinderArgs) -> Vec<i32> {
+    let mut out = vec![0i32; args.cols];
+    pathfinder_kernel(wall, &mut out, args);
+    out
+}
+
+/// The pathfinder interface descriptor.
+pub fn interface() -> InterfaceDescriptor {
+    let mut i = InterfaceDescriptor::new("pathfinder");
+    let p = |name: &str, ctype: &str, access| ParamDecl {
+        name: name.into(),
+        ctype: ctype.into(),
+        access,
+    };
+    i.params = vec![
+        p("wall", "const int*", AccessType::Read),
+        p("result", "int*", AccessType::Write),
+        p("rows", "int", AccessType::Read),
+        p("cols", "int", AccessType::Read),
+    ];
+    i.context_params = vec![ContextParam {
+        name: "cols".into(),
+        min: Some(1.0),
+        max: None,
+    }];
+    i
+}
+
+/// Streaming DP cost model.
+pub fn cost_model(rows: f64, cols: f64) -> KernelCost {
+    let cells = rows * cols;
+    KernelCost::new(cells * 3.0, cells * 8.0, cols * 4.0)
+        .with_regularity(0.95)
+        .with_parallel_fraction(0.97)
+        .with_arithmetic_efficiency(0.2)
+}
+
+/// The PEPPHER pathfinder component.
+pub fn build_component() -> Arc<Component> {
+    let serial = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        let args = *ctx.arg::<PathfinderArgs>();
+        let wall = ctx.r::<Vec<i32>>(0).clone();
+        let result = ctx.w::<Vec<i32>>(1);
+        pathfinder_kernel(&wall, result, args);
+    };
+    let team = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        let args = *ctx.arg::<PathfinderArgs>();
+        let threads = ctx.team_size;
+        let wall = ctx.r::<Vec<i32>>(0).clone();
+        let result = ctx.w::<Vec<i32>>(1);
+        pathfinder_kernel_parallel(&wall, result, args, threads);
+    };
+    Component::builder(interface())
+        .variant(VariantBuilder::new("pathfinder_cpu", "cpp").kernel(serial).build())
+        .variant(VariantBuilder::new("pathfinder_omp", "openmp").kernel(team).build())
+        .variant(VariantBuilder::new("pathfinder_cuda", "cuda").kernel(serial).build())
+        .cost(|ctx| cost_model(ctx.get("rows").unwrap_or(0.0), ctx.get("cols").unwrap_or(0.0)))
+        .build()
+}
+
+// LOC:TOOL:BEGIN
+/// PathFinder with the composition tool.
+pub fn run_peppherized(rt: &Runtime, rows: usize, cols: usize, force: Option<&str>) -> Vec<i32> {
+    let wall = generate(rows, cols, 0xF1D);
+    let comp = build_component();
+    let wv = Vector::register(rt, wall);
+    let rv = Vector::register(rt, vec![0i32; cols]);
+    let mut call = comp
+        .call()
+        .operand(wv.handle())
+        .operand(rv.handle())
+        .arg(PathfinderArgs { rows, cols })
+        .context("rows", rows as f64)
+        .context("cols", cols as f64);
+    if let Some(v) = force {
+        call = call.force_variant(v);
+    }
+    call.submit(rt);
+    rv.into_vec()
+}
+// LOC:TOOL:END
+
+// LOC:DIRECT:BEGIN
+/// PathFinder hand-written against the raw runtime.
+pub fn run_direct(rt: &Runtime, rows: usize, cols: usize) -> Vec<i32> {
+    let wall = generate(rows, cols, 0xF1D);
+    let mut codelet = Codelet::new("pathfinder_direct");
+    codelet = codelet.with_impl(Arch::Cpu, |ctx| {
+        let args = *ctx.arg::<PathfinderArgs>();
+        let wall = ctx.r::<Vec<i32>>(0).clone();
+        let result = ctx.w::<Vec<i32>>(1);
+        pathfinder_kernel(&wall, result, args);
+    });
+    codelet = codelet.with_impl(Arch::CpuTeam, |ctx| {
+        let args = *ctx.arg::<PathfinderArgs>();
+        let threads = ctx.team_size;
+        let wall = ctx.r::<Vec<i32>>(0).clone();
+        let result = ctx.w::<Vec<i32>>(1);
+        pathfinder_kernel_parallel(&wall, result, args, threads);
+    });
+    codelet = codelet.with_impl(Arch::Gpu, |ctx| {
+        let args = *ctx.arg::<PathfinderArgs>();
+        let wall = ctx.r::<Vec<i32>>(0).clone();
+        let result = ctx.w::<Vec<i32>>(1);
+        pathfinder_kernel(&wall, result, args);
+    });
+    let codelet = Arc::new(codelet);
+    let wv = rt.register_vec(wall);
+    let rv = rt.register_vec(vec![0i32; cols]);
+    TaskBuilder::new(&codelet)
+        .access(&wv, AccessMode::Read)
+        .access(&rv, AccessMode::Write)
+        .arg(PathfinderArgs { rows, cols })
+        .cost(cost_model(rows as f64, cols as f64))
+        .submit(rt);
+    rt.wait_all();
+    let out = rt.unregister_vec::<i32>(rv);
+    let _ = rt.unregister_vec::<i32>(wv);
+    out
+}
+// LOC:DIRECT:END
+
+/// Fig. 6 entry point (`size` = columns; 100 rows).
+pub fn run_for_fig6(rt: &Runtime, size: usize, backend: Option<&str>) -> VTime {
+    let force = backend.map(|b| format!("pathfinder_{b}"));
+    run_peppherized(rt, 100, size, force.as_deref());
+    rt.stats().makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppher_runtime::SchedulerKind;
+    use peppher_sim::MachineConfig;
+
+    #[test]
+    fn dp_picks_min_of_three_parents() {
+        // 3x3 grid, hand-checkable.
+        let wall = vec![
+            1, 9, 1, //
+            1, 1, 9, //
+            9, 1, 1,
+        ];
+        let args = PathfinderArgs { rows: 3, cols: 3 };
+        let out = reference(&wall, args);
+        // col0: 1 + min(1,9)=2; col1: 1 + min(1,9,1)=2; col2: 9+min(9,1)... row-wise:
+        // row1 = [1+min(1,9), 1+min(1,9,1), 9+min(9,1)] = [2, 2, 10]
+        // row2 = [9+min(2,2), 1+min(2,2,10), 1+min(2,10)] = [11, 3, 3]
+        assert_eq!(out, vec![11, 3, 3]);
+    }
+
+    #[test]
+    fn single_row_grid_is_identity() {
+        let wall = vec![4, 2, 7];
+        let out = reference(&wall, PathfinderArgs { rows: 1, cols: 3 });
+        assert_eq!(out, vec![4, 2, 7]);
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let args = PathfinderArgs { rows: 60, cols: 97 };
+        let wall = generate(args.rows, args.cols, 3);
+        let want = reference(&wall, args);
+        let mut got = vec![0i32; args.cols];
+        pathfinder_kernel_parallel(&wall, &mut got, args, 4);
+        assert_eq!(want, got);
+    }
+
+    #[test]
+    fn peppherized_and_direct_agree() {
+        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let tool = run_peppherized(&rt, 20, 50, None);
+        let rt2 = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let direct = run_direct(&rt2, 20, 50);
+        assert_eq!(tool, direct);
+    }
+}

@@ -1,0 +1,345 @@
+//! SGEMM: dense single-precision matrix-matrix multiplication
+//! (`C = alpha * A * B + beta * C`), the paper's second scientific kernel.
+//! Regular, compute-bound — the workload where the GPU shines and where
+//! Table I reports the largest relative LOC saving (63%).
+
+use peppher_containers::Matrix;
+use peppher_core::{Component, VariantBuilder};
+use peppher_descriptor::{AccessType, ContextParam, InterfaceDescriptor, ParamDecl};
+use peppher_runtime::{AccessMode, Arch, Codelet, Runtime, TaskBuilder};
+use peppher_sim::{KernelCost, VTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// Scalar arguments of the sgemm call.
+#[derive(Debug, Clone, Copy)]
+pub struct SgemmArgs {
+    /// Rows of A and C.
+    pub m: usize,
+    /// Columns of A, rows of B.
+    pub k: usize,
+    /// Columns of B and C.
+    pub n: usize,
+    /// Scale on `A*B`.
+    pub alpha: f32,
+    /// Scale on the existing `C`.
+    pub beta: f32,
+}
+
+/// Row-major serial kernel (ikj order for cache friendliness).
+pub fn sgemm_kernel(a: &[f32], b: &[f32], c: &mut [f32], args: SgemmArgs) {
+    let SgemmArgs { m, k, n, alpha, beta } = args;
+    for ci in c.iter_mut().take(m * n) {
+        *ci *= beta;
+    }
+    for i in 0..m {
+        for p in 0..k {
+            let av = alpha * a[i * k + p];
+            let brow = &b[p * n..(p + 1) * n];
+            let crow = &mut c[i * n..(i + 1) * n];
+            for (cv, bv) in crow.iter_mut().zip(brow) {
+                *cv += av * bv;
+            }
+        }
+    }
+}
+
+/// Row-parallel kernel for the OpenMP-style team variant.
+pub fn sgemm_kernel_parallel(a: &[f32], b: &[f32], c: &mut [f32], args: SgemmArgs, threads: usize) {
+    let SgemmArgs { m, k, n, alpha, beta } = args;
+    let threads = threads.max(1).min(m.max(1));
+    let chunk = m.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, c_chunk) in c[..m * n].chunks_mut(chunk * n).enumerate() {
+            let i0 = t * chunk;
+            scope.spawn(move || {
+                let rows = c_chunk.len() / n;
+                for ci in c_chunk.iter_mut() {
+                    *ci *= beta;
+                }
+                for i in 0..rows {
+                    for p in 0..k {
+                        let av = alpha * a[(i0 + i) * k + p];
+                        let brow = &b[p * n..(p + 1) * n];
+                        let crow = &mut c_chunk[i * n..(i + 1) * n];
+                        for (cv, bv) in crow.iter_mut().zip(brow) {
+                            *cv += av * bv;
+                        }
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Seeded random square workload.
+pub fn generate(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut mk = |len: usize| (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect::<Vec<_>>();
+    (mk(n * n), mk(n * n), mk(n * n))
+}
+
+/// Sequential reference.
+pub fn reference(a: &[f32], b: &[f32], c: &[f32], args: SgemmArgs) -> Vec<f32> {
+    let mut out = c.to_vec();
+    sgemm_kernel(a, b, &mut out, args);
+    out
+}
+
+/// The sgemm interface descriptor.
+pub fn interface() -> InterfaceDescriptor {
+    let mut i = InterfaceDescriptor::new("sgemm");
+    let p = |name: &str, ctype: &str, access| ParamDecl {
+        name: name.into(),
+        ctype: ctype.into(),
+        access,
+    };
+    i.params = vec![
+        p("A", "const float*", AccessType::Read),
+        p("B", "const float*", AccessType::Read),
+        p("C", "float*", AccessType::ReadWrite),
+        p("m", "int", AccessType::Read),
+        p("k", "int", AccessType::Read),
+        p("n", "int", AccessType::Read),
+    ];
+    i.context_params = vec![ContextParam {
+        name: "n".into(),
+        min: Some(1.0),
+        max: None,
+    }];
+    i
+}
+
+/// Compute-bound cost model.
+pub fn cost_model(m: f64, k: f64, n: f64) -> KernelCost {
+    KernelCost::new(2.0 * m * k * n, (m * k + k * n + m * n) * 4.0, m * n * 4.0)
+        .with_regularity(1.0)
+        .with_arithmetic_efficiency(0.35)
+}
+
+/// The PEPPHER sgemm component (CUBLAS plays the CUDA variant's role in
+/// the paper).
+pub fn build_component() -> Arc<Component> {
+    let serial = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        let args = *ctx.arg::<SgemmArgs>();
+        let a = ctx.r::<Vec<f32>>(0).clone();
+        let b = ctx.r::<Vec<f32>>(1).clone();
+        let c = ctx.w::<Vec<f32>>(2);
+        sgemm_kernel(&a, &b, c, args);
+    };
+    let team = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        let args = *ctx.arg::<SgemmArgs>();
+        let threads = ctx.team_size;
+        let a = ctx.r::<Vec<f32>>(0).clone();
+        let b = ctx.r::<Vec<f32>>(1).clone();
+        let c = ctx.w::<Vec<f32>>(2);
+        sgemm_kernel_parallel(&a, &b, c, args, threads);
+    };
+    Component::builder(interface())
+        .variant(VariantBuilder::new("sgemm_cpu", "cpp").kernel(serial).build())
+        .variant(VariantBuilder::new("sgemm_omp", "openmp").kernel(team).build())
+        .variant(VariantBuilder::new("sgemm_cuda", "cuda").kernel(serial).build())
+        .cost(|ctx| {
+            let n = ctx.get("n").unwrap_or(0.0);
+            let m = ctx.get("m").unwrap_or(n);
+            let k = ctx.get("k").unwrap_or(n);
+            cost_model(m, k, n)
+        })
+        .build()
+}
+
+// LOC:TOOL:BEGIN
+/// SGEMM with the composition tool: containers + one component call per
+/// iteration; everything else is framework-generated.
+pub fn run_peppherized(rt: &Runtime, n: usize, iters: usize, force: Option<&str>) -> Vec<f32> {
+    let (a, b, c) = generate(n, 0xA11CE);
+    let comp = build_component();
+    let am = Matrix::register(rt, n, n, a);
+    let bm = Matrix::register(rt, n, n, b);
+    let cm = Matrix::register(rt, n, n, c);
+    let args = SgemmArgs { m: n, k: n, n, alpha: 1.0, beta: 0.5 };
+    for _ in 0..iters {
+        let mut call = comp
+            .call()
+            .operand(am.handle())
+            .operand(bm.handle())
+            .operand(cm.handle())
+            .arg(args)
+            .context("n", n as f64)
+            .context("m", n as f64)
+            .context("k", n as f64);
+        if let Some(v) = force {
+            call = call.force_variant(v);
+        }
+        call.submit(rt);
+    }
+    cm.into_vec()
+}
+// LOC:TOOL:END
+
+// LOC:DIRECT:BEGIN
+/// SGEMM hand-written against the raw runtime: manual codelet assembly,
+/// buffer registration, argument packing, cost metadata, synchronization
+/// and copy-back.
+pub fn run_direct(rt: &Runtime, n: usize, iters: usize) -> Vec<f32> {
+    let (a, b, c) = generate(n, 0xA11CE);
+    let mut codelet = Codelet::new("sgemm_direct");
+    codelet = codelet.with_impl(Arch::Cpu, |ctx| {
+        let args = *ctx.arg::<SgemmArgs>();
+        let a = ctx.r::<Vec<f32>>(0).clone();
+        let b = ctx.r::<Vec<f32>>(1).clone();
+        let c = ctx.w::<Vec<f32>>(2);
+        sgemm_kernel(&a, &b, c, args);
+    });
+    codelet = codelet.with_impl(Arch::CpuTeam, |ctx| {
+        let args = *ctx.arg::<SgemmArgs>();
+        let threads = ctx.team_size;
+        let a = ctx.r::<Vec<f32>>(0).clone();
+        let b = ctx.r::<Vec<f32>>(1).clone();
+        let c = ctx.w::<Vec<f32>>(2);
+        sgemm_kernel_parallel(&a, &b, c, args, threads);
+    });
+    codelet = codelet.with_impl(Arch::Gpu, |ctx| {
+        let args = *ctx.arg::<SgemmArgs>();
+        let a = ctx.r::<Vec<f32>>(0).clone();
+        let b = ctx.r::<Vec<f32>>(1).clone();
+        let c = ctx.w::<Vec<f32>>(2);
+        sgemm_kernel(&a, &b, c, args);
+    });
+    let codelet = Arc::new(codelet);
+    let ah = rt.register_vec(a);
+    let bh = rt.register_vec(b);
+    let ch = rt.register_vec(c);
+    let args = SgemmArgs { m: n, k: n, n, alpha: 1.0, beta: 0.5 };
+    let cost = cost_model(n as f64, n as f64, n as f64);
+    for _ in 0..iters {
+        TaskBuilder::new(&codelet)
+            .access(&ah, AccessMode::Read)
+            .access(&bh, AccessMode::Read)
+            .access(&ch, AccessMode::ReadWrite)
+            .arg(args)
+            .cost(cost)
+            .submit(rt);
+    }
+    rt.wait_all();
+    let out = rt.unregister_vec::<f32>(ch);
+    let _ = rt.unregister_vec::<f32>(bh);
+    let _ = rt.unregister_vec::<f32>(ah);
+    out
+}
+// LOC:DIRECT:END
+
+/// Blocked hybrid GEMM — the paper's own example of intra-component
+/// parallelism (§IV-F: "e.g. blocked matrix multiplication"): C's row
+/// bands become independent sub-tasks (each reading its band of A and the
+/// whole of B), spread across CPU workers and the GPU by the scheduler,
+/// then concatenated.
+pub fn run_hybrid(rt: &Runtime, n: usize, nblocks: usize) -> Vec<f32> {
+    let (a, b, c) = generate(n, 0xA11CE);
+    let comp = build_component();
+    let nblocks = nblocks.max(1).min(n.max(1));
+    let am = Matrix::register(rt, n, n, a);
+    let bm = Matrix::register(rt, n, n, b);
+    let cm = Matrix::register(rt, n, n, c);
+
+    let a_bands = am.partition_rows(nblocks);
+    let c_bands = cm.partition_rows(nblocks);
+    for (ab, cb) in a_bands.iter().zip(&c_bands) {
+        let rows = ab.rows();
+        comp.call()
+            .operand(ab.handle())
+            .operand(bm.handle())
+            .operand(cb.handle())
+            .arg(SgemmArgs { m: rows, k: n, n, alpha: 1.0, beta: 0.5 })
+            .context("m", rows as f64)
+            .context("k", n as f64)
+            .context("n", n as f64)
+            .submit(rt);
+    }
+    // "The final result can be produced by just simple concatenation."
+    cm.gather_rows(&c_bands);
+    cm.into_vec()
+}
+
+/// Fig. 6 entry point.
+pub fn run_for_fig6(rt: &Runtime, size: usize, backend: Option<&str>) -> VTime {
+    let force = backend.map(|b| format!("sgemm_{b}"));
+    run_peppherized(rt, size, 4, force.as_deref());
+    rt.stats().makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppher_runtime::SchedulerKind;
+    use peppher_sim::MachineConfig;
+
+    #[test]
+    fn serial_kernel_small_case() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = vec![1.0, 2.0, 3.0, 4.0];
+        let b = vec![5.0, 6.0, 7.0, 8.0];
+        let mut c = vec![0.0; 4];
+        sgemm_kernel(&a, &b, &mut c, SgemmArgs { m: 2, k: 2, n: 2, alpha: 1.0, beta: 0.0 });
+        assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn beta_scales_existing_c() {
+        let a = vec![1.0];
+        let b = vec![1.0];
+        let mut c = vec![10.0];
+        sgemm_kernel(&a, &b, &mut c, SgemmArgs { m: 1, k: 1, n: 1, alpha: 2.0, beta: 0.5 });
+        assert_eq!(c, vec![7.0]); // 0.5*10 + 2*1*1
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let (a, b, c) = generate(33, 5);
+        let args = SgemmArgs { m: 33, k: 33, n: 33, alpha: 1.5, beta: 0.25 };
+        let want = reference(&a, &b, &c, args);
+        let mut got = c.clone();
+        sgemm_kernel_parallel(&a, &b, &mut got, args, 4);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-3, "{g} vs {w}");
+        }
+    }
+
+    #[test]
+    fn peppherized_and_direct_agree() {
+        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let tool = run_peppherized(&rt, 24, 2, None);
+        let rt2 = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let direct = run_direct(&rt2, 24, 2);
+        assert_eq!(tool.len(), direct.len());
+        for (t, d) in tool.iter().zip(&direct) {
+            assert!((t - d).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn hybrid_blocked_gemm_matches_whole_gemm() {
+        let n = 32;
+        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Dmda);
+        let whole = run_peppherized(&rt, n, 1, None);
+        let rt2 = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Dmda);
+        let blocked = run_hybrid(&rt2, n, 5);
+        assert_eq!(whole.len(), blocked.len());
+        for (w, b) in whole.iter().zip(&blocked) {
+            assert!((w - b).abs() < 1e-3, "{w} vs {b}");
+        }
+        // Blocks really spread across multiple workers.
+        let stats = rt2.stats();
+        let busy = stats.tasks_per_worker.iter().filter(|&&t| t > 0).count();
+        assert!(busy >= 2, "{:?}", stats.tasks_per_worker);
+    }
+
+    #[test]
+    fn forced_cuda_runs_on_gpu() {
+        let rt = Runtime::new(MachineConfig::c2050_platform(1).without_noise(), SchedulerKind::Dmda);
+        run_peppherized(&rt, 16, 3, Some("sgemm_cuda"));
+        let stats = rt.stats();
+        assert_eq!(stats.tasks_per_worker[1], 3, "{stats:?}");
+    }
+}

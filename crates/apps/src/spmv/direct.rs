@@ -1,0 +1,100 @@
+//! SpMV written *directly* against the runtime system (the "Direct"
+//! version of Table I): the programmer builds the codelet by hand, chooses
+//! which backend functions to register, packs and unpacks every argument,
+//! registers and unregisters each operand buffer explicitly, manages the
+//! cost metadata, and handles synchronization — all of which the
+//! composition tool otherwise generates.
+
+use super::{cost_model, spmv_kernel, spmv_kernel_parallel, SpmvArgs};
+use peppher_runtime::{AccessMode, Arch, Codelet, DataHandle, Runtime, TaskBuilder};
+use std::sync::Arc;
+
+// LOC:DIRECT:BEGIN
+/// Hand-written codelet construction: one backend function per
+/// architecture, each manually unpacking the raw buffer array (this is
+/// the code the tool's backend wrappers would have generated).
+fn build_codelet() -> Arc<Codelet> {
+    let mut codelet = Codelet::new("spmv_direct");
+    codelet = codelet.with_impl(Arch::Cpu, |ctx| {
+        // Manual unpacking of the task buffer array.
+        let args = *ctx.arg::<SpmvArgs>();
+        let row_ptr = ctx.r::<Vec<u32>>(0).clone();
+        let col_idx = ctx.r::<Vec<u32>>(1).clone();
+        let values = ctx.r::<Vec<f32>>(2).clone();
+        let x = ctx.r::<Vec<f32>>(3).clone();
+        let y = ctx.w::<Vec<f32>>(4);
+        spmv_kernel(&row_ptr, &col_idx, &values, &x, y, args.rows);
+    });
+    codelet = codelet.with_impl(Arch::CpuTeam, |ctx| {
+        let args = *ctx.arg::<SpmvArgs>();
+        let team = ctx.team_size;
+        let row_ptr = ctx.r::<Vec<u32>>(0).clone();
+        let col_idx = ctx.r::<Vec<u32>>(1).clone();
+        let values = ctx.r::<Vec<f32>>(2).clone();
+        let x = ctx.r::<Vec<f32>>(3).clone();
+        let y = ctx.w::<Vec<f32>>(4);
+        spmv_kernel_parallel(&row_ptr, &col_idx, &values, &x, y, args.rows, team);
+    });
+    codelet = codelet.with_impl(Arch::Gpu, |ctx| {
+        let args = *ctx.arg::<SpmvArgs>();
+        let row_ptr = ctx.r::<Vec<u32>>(0).clone();
+        let col_idx = ctx.r::<Vec<u32>>(1).clone();
+        let values = ctx.r::<Vec<f32>>(2).clone();
+        let x = ctx.r::<Vec<f32>>(3).clone();
+        let y = ctx.w::<Vec<f32>>(4);
+        spmv_kernel(&row_ptr, &col_idx, &values, &x, y, args.rows);
+    });
+    Arc::new(codelet)
+}
+
+/// Manual registration of every operand with the data-management layer.
+struct Registered {
+    row_ptr: DataHandle,
+    col_idx: DataHandle,
+    values: DataHandle,
+    x: DataHandle,
+    y: DataHandle,
+}
+
+fn register_all(rt: &Runtime, m: &super::CsrMatrix, x: &[f32]) -> Registered {
+    Registered {
+        row_ptr: rt.register_vec(m.row_ptr.clone()),
+        col_idx: rt.register_vec(m.col_idx.clone()),
+        values: rt.register_vec(m.values.clone()),
+        x: rt.register_vec(x.to_vec()),
+        y: rt.register_vec(vec![0.0f32; m.rows]),
+    }
+}
+
+/// Runs `iters` products `y = A x` directly on the runtime and returns
+/// `y`, handling task construction, cost metadata, dependency-relevant
+/// access modes, and final unregistration by hand.
+pub fn run_direct(rt: &Runtime, m: &super::CsrMatrix, x: &[f32], iters: usize) -> Vec<f32> {
+    let codelet = build_codelet();
+    let reg = register_all(rt, m, x);
+    let cost = cost_model(m.nnz() as f64, m.rows as f64, m.regularity);
+    for _ in 0..iters {
+        // Manual task assembly: operands in buffer order with explicit
+        // access modes, packed argument struct, cost metadata.
+        let task = TaskBuilder::new(&codelet)
+            .access(&reg.row_ptr, AccessMode::Read)
+            .access(&reg.col_idx, AccessMode::Read)
+            .access(&reg.values, AccessMode::Read)
+            .access(&reg.x, AccessMode::Read)
+            .access(&reg.y, AccessMode::Write)
+            .arg(SpmvArgs { rows: m.rows })
+            .cost(cost)
+            .submit(rt);
+        // Hand-written synchronization (no smart containers to do it).
+        let _ = task;
+    }
+    rt.wait_all();
+    // Explicit unregistration and copy-back of every buffer.
+    let y = rt.unregister_vec::<f32>(reg.y);
+    let _ = rt.unregister_vec::<f32>(reg.x);
+    let _ = rt.unregister_vec::<f32>(reg.values);
+    let _ = rt.unregister_vec::<u32>(reg.col_idx);
+    let _ = rt.unregister_vec::<u32>(reg.row_ptr);
+    y
+}
+// LOC:DIRECT:END

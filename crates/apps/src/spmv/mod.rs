@@ -1,0 +1,406 @@
+//! Sparse matrix-vector multiplication (CSR), the paper's walkthrough
+//! application (§V-A) and the Fig. 5 hybrid-execution workload.
+
+mod direct;
+mod peppherized;
+
+pub use direct::run_direct;
+pub use peppherized::{run_hybrid, run_peppherized, run_peppherized_ex, run_peppherized_forced};
+
+use peppher_core::{Component, VariantBuilder};
+use peppher_descriptor::{AccessType, ContextParam, InterfaceDescriptor, ParamDecl};
+use peppher_runtime::Runtime;
+use peppher_sim::{KernelCost, VTime};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+
+/// A CSR sparse matrix with 32-bit indices and single-precision values
+/// (matching CUSP's default storage).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    /// Row count.
+    pub rows: usize,
+    /// Column count.
+    pub cols: usize,
+    /// Row start offsets, `rows + 1` entries.
+    pub row_ptr: Vec<u32>,
+    /// Column indices, `nnz` entries.
+    pub col_idx: Vec<u32>,
+    /// Non-zero values, `nnz` entries.
+    pub values: Vec<f32>,
+    /// Memory-access regularity of the gather pattern in `[0, 1]` —
+    /// banded matrices are regular, scattered ones are not. Feeds the
+    /// device cost model (cacheless GPUs suffer on irregular gathers).
+    pub regularity: f64,
+}
+
+impl CsrMatrix {
+    /// Number of stored non-zeros.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Total payload bytes (values + indices + row pointers).
+    pub fn bytes(&self) -> usize {
+        self.values.len() * 4 + self.col_idx.len() * 4 + self.row_ptr.len() * 4
+    }
+
+    /// Extracts the row range `[r0, r1)` as an independent CSR block with
+    /// rebased row pointers (the data side of hybrid row-partitioning).
+    pub fn row_block(&self, r0: usize, r1: usize) -> CsrMatrix {
+        assert!(r0 <= r1 && r1 <= self.rows, "bad row range {r0}..{r1}");
+        let start = self.row_ptr[r0] as usize;
+        let end = self.row_ptr[r1] as usize;
+        CsrMatrix {
+            rows: r1 - r0,
+            cols: self.cols,
+            row_ptr: self.row_ptr[r0..=r1]
+                .iter()
+                .map(|&p| p - self.row_ptr[r0])
+                .collect(),
+            col_idx: self.col_idx[start..end].to_vec(),
+            values: self.values[start..end].to_vec(),
+            regularity: self.regularity,
+        }
+    }
+}
+
+/// Generates a banded matrix: `band` non-zeros clustered around the
+/// diagonal of each row (structural/FEM-like problems).
+pub fn banded_matrix(rows: usize, band: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    row_ptr.push(0u32);
+    for r in 0..rows {
+        let lo = r.saturating_sub(band / 2);
+        let hi = (r + band / 2 + 1).min(rows);
+        for c in lo..hi {
+            col_idx.push(c as u32);
+            values.push(rng.gen_range(-1.0f32..1.0));
+        }
+        row_ptr.push(col_idx.len() as u32);
+    }
+    CsrMatrix {
+        rows,
+        cols: rows,
+        row_ptr,
+        col_idx,
+        values,
+        regularity: 0.6,
+    }
+}
+
+/// Generates a scattered matrix: `avg_nnz_per_row` random columns per row
+/// with a mild power-law hub structure (circuit/network-like problems).
+pub fn scattered_matrix(rows: usize, avg_nnz_per_row: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    let mut col_idx = Vec::new();
+    let mut values = Vec::new();
+    row_ptr.push(0u32);
+    for _ in 0..rows {
+        // 1 .. 2*avg non-zeros, skewed low.
+        let n = 1 + (rng.gen::<f64>().powi(2) * (2 * avg_nnz_per_row) as f64) as usize;
+        let mut cols: Vec<u32> = (0..n).map(|_| rng.gen_range(0..rows as u32)).collect();
+        cols.sort_unstable();
+        cols.dedup();
+        for c in cols {
+            col_idx.push(c);
+            values.push(rng.gen_range(-1.0f32..1.0));
+        }
+        row_ptr.push(col_idx.len() as u32);
+    }
+    CsrMatrix {
+        rows,
+        cols: rows,
+        row_ptr,
+        col_idx,
+        values,
+        regularity: 0.2,
+    }
+}
+
+/// One Fig. 5 matrix spec (modelled on the UF-collection entries the paper
+/// lists, matching kind and non-zero count).
+#[derive(Debug, Clone)]
+pub struct Fig5Spec {
+    /// Short name as in the paper's table ("Structural", "HB", ...).
+    pub name: &'static str,
+    /// The UF problem kind the paper lists.
+    pub kind: &'static str,
+    /// Target non-zeros.
+    pub target_nnz: usize,
+    /// Builds the synthetic matrix.
+    pub build: fn() -> CsrMatrix,
+}
+
+/// The six Fig. 5 matrices.
+pub fn fig5_matrices() -> Vec<Fig5Spec> {
+    vec![
+        Fig5Spec {
+            name: "Chemistry",
+            kind: "Quantum Chemistry",
+            target_nnz: 758_000,
+            build: || banded_matrix(10_000, 76, 0xC8E),
+        },
+        Fig5Spec {
+            name: "Convex",
+            kind: "Convex QP",
+            target_nnz: 900_000,
+            build: || scattered_matrix(30_000, 30, 0xC0F),
+        },
+        Fig5Spec {
+            name: "HB",
+            kind: "HB",
+            target_nnz: 219_800,
+            build: || banded_matrix(7_327, 30, 0x4B),
+        },
+        Fig5Spec {
+            name: "Network",
+            kind: "Power Network",
+            target_nnz: 565_000,
+            build: || scattered_matrix(150_000, 4, 0xE7),
+        },
+        Fig5Spec {
+            name: "Simulation",
+            kind: "Circuit Simulation",
+            target_nnz: 4_600_000,
+            build: || scattered_matrix(400_000, 11, 0x51),
+        },
+        Fig5Spec {
+            name: "Structural",
+            kind: "Structural",
+            target_nnz: 2_700_000,
+            build: || banded_matrix(45_000, 60, 0x57),
+        },
+    ]
+}
+
+/// Scalar arguments of the spmv component call.
+#[derive(Debug, Clone, Copy)]
+pub struct SpmvArgs {
+    /// Number of rows in this (block of the) matrix.
+    pub rows: usize,
+}
+
+/// The CSR kernel shared by every variant: `y = A x`.
+pub fn spmv_kernel(
+    row_ptr: &[u32],
+    col_idx: &[u32],
+    values: &[f32],
+    x: &[f32],
+    y: &mut [f32],
+    rows: usize,
+) {
+    for r in 0..rows {
+        let (lo, hi) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
+        let mut acc = 0.0f32;
+        for k in lo..hi {
+            acc += values[k] * x[col_idx[k] as usize];
+        }
+        y[r] = acc;
+    }
+}
+
+/// Row-parallel kernel used by the OpenMP-style team variant.
+pub fn spmv_kernel_parallel(
+    row_ptr: &[u32],
+    col_idx: &[u32],
+    values: &[f32],
+    x: &[f32],
+    y: &mut [f32],
+    rows: usize,
+    threads: usize,
+) {
+    let threads = threads.max(1).min(rows.max(1));
+    let chunk = rows.div_ceil(threads);
+    std::thread::scope(|scope| {
+        for (t, y_chunk) in y[..rows].chunks_mut(chunk).enumerate() {
+            let r0 = t * chunk;
+            scope.spawn(move || {
+                for (i, yr) in y_chunk.iter_mut().enumerate() {
+                    let r = r0 + i;
+                    let (lo, hi) = (row_ptr[r] as usize, row_ptr[r + 1] as usize);
+                    let mut acc = 0.0f32;
+                    for k in lo..hi {
+                        acc += values[k] * x[col_idx[k] as usize];
+                    }
+                    *yr = acc;
+                }
+            });
+        }
+    });
+}
+
+/// Sequential reference for correctness checks.
+pub fn reference(m: &CsrMatrix, x: &[f32]) -> Vec<f32> {
+    let mut y = vec![0.0f32; m.rows];
+    spmv_kernel(&m.row_ptr, &m.col_idx, &m.values, x, &mut y, m.rows);
+    y
+}
+
+/// The spmv interface descriptor (what utility mode would pre-fill from
+/// the paper's `spmv.h` signature).
+pub fn interface() -> InterfaceDescriptor {
+    let mut i = InterfaceDescriptor::new("spmv");
+    let p = |name: &str, ctype: &str, access| ParamDecl {
+        name: name.into(),
+        ctype: ctype.into(),
+        access,
+    };
+    i.params = vec![
+        p("rowPtr", "size_t*", AccessType::Read),
+        p("colIdxs", "size_t*", AccessType::Read),
+        p("values", "float*", AccessType::Read),
+        p("x", "const float*", AccessType::Read),
+        p("y", "float*", AccessType::Write),
+        p("rows", "int", AccessType::Read),
+    ];
+    i.context_params = vec![
+        ContextParam {
+            name: "nnz".into(),
+            min: Some(0.0),
+            max: Some(1e9),
+        },
+        ContextParam {
+            name: "rows".into(),
+            min: Some(0.0),
+            max: None,
+        },
+    ];
+    i.perf_metrics.push("avg_exec_time".into());
+    i
+}
+
+/// The spmv cost model: memory-bound indexed gather.
+pub fn cost_model(nnz: f64, rows: f64, regularity: f64) -> KernelCost {
+    KernelCost::new(
+        2.0 * nnz,
+        nnz * 12.0 + rows * 4.0, // values + col_idx + gathered x + row_ptr
+        rows * 4.0,
+    )
+    .with_regularity(regularity)
+    .with_arithmetic_efficiency(0.15)
+}
+
+/// Builds the PEPPHER spmv component with CPU, OpenMP and CUDA-style
+/// variants (the CUDA variant plays the CUSP kernel's role).
+pub fn build_component() -> Arc<Component> {
+    let kernel = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        let rows = ctx.arg::<SpmvArgs>().rows;
+        let row_ptr = ctx.r::<Vec<u32>>(0).clone();
+        let col_idx = ctx.r::<Vec<u32>>(1).clone();
+        let values = ctx.r::<Vec<f32>>(2).clone();
+        let x = ctx.r::<Vec<f32>>(3).clone();
+        let y = ctx.w::<Vec<f32>>(4);
+        spmv_kernel(&row_ptr, &col_idx, &values, &x, y, rows);
+    };
+    let omp_kernel = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        let rows = ctx.arg::<SpmvArgs>().rows;
+        let team = ctx.team_size;
+        let row_ptr = ctx.r::<Vec<u32>>(0).clone();
+        let col_idx = ctx.r::<Vec<u32>>(1).clone();
+        let values = ctx.r::<Vec<f32>>(2).clone();
+        let x = ctx.r::<Vec<f32>>(3).clone();
+        let y = ctx.w::<Vec<f32>>(4);
+        spmv_kernel_parallel(&row_ptr, &col_idx, &values, &x, y, rows, team);
+    };
+    Component::builder(interface())
+        .variant(VariantBuilder::new("spmv_cpu", "cpp").kernel(kernel).build())
+        .variant(VariantBuilder::new("spmv_omp", "openmp").kernel(omp_kernel).build())
+        .variant(VariantBuilder::new("spmv_cuda", "cuda").kernel(kernel).build())
+        .cost(|ctx| {
+            cost_model(
+                ctx.get("nnz").unwrap_or(0.0),
+                ctx.get("rows").unwrap_or(0.0),
+                ctx.get("regularity").unwrap_or(0.4),
+            )
+        })
+        .build()
+}
+
+/// Fig. 6 entry point: one spmv application run (several repeated products
+/// over a scattered matrix with ~`size` non-zeros), returning the virtual
+/// makespan. `backend` forces `omp`/`cuda`; `None` = dynamic composition.
+pub fn run_for_fig6(rt: &Runtime, size: usize, backend: Option<&str>) -> VTime {
+    let rows = (size / 8).max(64);
+    let m = scattered_matrix(rows, 8, 42);
+    let x = vec![1.0f32; m.cols];
+    let force = backend.map(|b| format!("spmv_{b}"));
+    peppherized::run_peppherized_ex(rt, &m, &x, 10, force.as_deref());
+    rt.stats().makespan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn banded_matrix_structure() {
+        let m = banded_matrix(100, 10, 1);
+        assert_eq!(m.rows, 100);
+        assert_eq!(m.row_ptr.len(), 101);
+        assert_eq!(m.nnz(), m.col_idx.len());
+        // Interior rows hold the full band.
+        assert_eq!(m.row_ptr[51] - m.row_ptr[50], 11);
+        // Column indices in range and sorted per row.
+        for r in 0..m.rows {
+            let (lo, hi) = (m.row_ptr[r] as usize, m.row_ptr[r + 1] as usize);
+            assert!(m.col_idx[lo..hi].windows(2).all(|w| w[0] < w[1]));
+            assert!(m.col_idx[lo..hi].iter().all(|&c| (c as usize) < m.cols));
+        }
+    }
+
+    #[test]
+    fn scattered_matrix_hits_target_density() {
+        let m = scattered_matrix(10_000, 8, 7);
+        let avg = m.nnz() as f64 / m.rows as f64;
+        assert!((3.0..9.0).contains(&avg), "avg nnz/row {avg}");
+    }
+
+    #[test]
+    fn fig5_specs_match_paper_nnz() {
+        for spec in fig5_matrices() {
+            let m = (spec.build)();
+            let ratio = m.nnz() as f64 / spec.target_nnz as f64;
+            assert!(
+                (0.5..1.5).contains(&ratio),
+                "{}: nnz {} vs target {}",
+                spec.name,
+                m.nnz(),
+                spec.target_nnz
+            );
+        }
+    }
+
+    #[test]
+    fn row_block_preserves_products() {
+        let m = banded_matrix(50, 6, 3);
+        let x: Vec<f32> = (0..50).map(|i| i as f32 * 0.1).collect();
+        let full = reference(&m, &x);
+        let b = m.row_block(10, 30);
+        let block = reference(&b, &x);
+        assert_eq!(&full[10..30], &block[..]);
+    }
+
+    #[test]
+    fn parallel_kernel_matches_serial() {
+        let m = scattered_matrix(500, 6, 9);
+        let x: Vec<f32> = (0..m.cols).map(|i| (i % 7) as f32).collect();
+        let serial = reference(&m, &x);
+        let mut y = vec![0.0f32; m.rows];
+        spmv_kernel_parallel(&m.row_ptr, &m.col_idx, &m.values, &x, &mut y, m.rows, 4);
+        assert_eq!(serial, y);
+    }
+
+    #[test]
+    fn interface_has_five_pointer_operands() {
+        let i = interface();
+        let ptrs = i.params.iter().filter(|p| p.ctype.contains('*')).count();
+        assert_eq!(ptrs, 5);
+        assert_eq!(i.context_params.len(), 2);
+    }
+}

@@ -1,0 +1,102 @@
+//! Ablation: smart containers vs naive per-call consistency (§IV-D).
+//!
+//! "For parameters passed using normal C/C++ datatypes [...] the
+//! composition tool [...] ensures data consistency by always copying data
+//! back to the main memory before returning control back from the
+//! component call. Although ensuring consistency, it may prove sub-optimal
+//! as data locality cannot be exploited for such parameters across
+//! multiple component calls."
+//!
+//! Reports the *virtual makespan* of a repeated GPU component call when
+//! data stays registered (smart containers, §IV-H) versus when every call
+//! registers/unregisters its operands (per-call copy-back, as Kicherer et
+//! al. do).
+//!
+//! Run: `cargo bench -p peppher-bench --bench container_ablation`
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use peppher_runtime::{AccessMode, Arch, Codelet, Runtime, SchedulerKind, TaskBuilder};
+use peppher_sim::{KernelCost, MachineConfig};
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 1 << 20; // 4 MiB of f32
+const CALLS: usize = 10;
+
+fn gpu_runtime() -> Runtime {
+    let mut machine = MachineConfig::c2050_platform(1).without_noise();
+    machine.cpu_workers = 1;
+    Runtime::new(machine, SchedulerKind::Eager)
+}
+
+fn scale_codelet() -> Arc<Codelet> {
+    Arc::new(Codelet::new("scale").with_impl(Arch::Gpu, |ctx| {
+        for v in ctx.w::<Vec<f32>>(0).iter_mut() {
+            *v *= 1.001;
+        }
+    }))
+}
+
+fn cost() -> KernelCost {
+    KernelCost::new(N as f64, 4.0 * N as f64, 4.0 * N as f64)
+}
+
+/// Smart-container style: data registered once, stays resident on the GPU
+/// across all calls (one upload, one final download).
+fn resident() -> Duration {
+    let rt = gpu_runtime();
+    let codelet = scale_codelet();
+    let h = rt.register_vec(vec![1.0f32; N]);
+    for _ in 0..CALLS {
+        TaskBuilder::new(&codelet)
+            .access(&h, AccessMode::ReadWrite)
+            .cost(cost())
+            .submit(&rt);
+    }
+    let _ = rt.unregister_vec::<f32>(h);
+    let makespan = rt.stats().makespan;
+    assert_eq!(rt.stats().h2d_transfers, 1);
+    rt.shutdown();
+    Duration::from_nanos(makespan.as_nanos())
+}
+
+/// Raw-parameter style: register/unregister per call — "copying data each
+/// time back and forth to/from GPU device memory".
+fn copy_back_always() -> Duration {
+    let rt = gpu_runtime();
+    let codelet = scale_codelet();
+    let mut data = vec![1.0f32; N];
+    for _ in 0..CALLS {
+        let h = rt.register_vec(std::mem::take(&mut data));
+        TaskBuilder::new(&codelet)
+            .access(&h, AccessMode::ReadWrite)
+            .cost(cost())
+            .submit(&rt);
+        data = rt.unregister_vec::<f32>(h);
+    }
+    let makespan = rt.stats().makespan;
+    assert_eq!(rt.stats().h2d_transfers as usize, CALLS);
+    rt.shutdown();
+    Duration::from_nanos(makespan.as_nanos())
+}
+
+fn bench_containers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("container_ablation_virtual_makespan");
+    group.sample_size(10);
+    // These groups measure *virtual* makespans (returned via iter_custom),
+    // which are far shorter than the wall time each iteration costs; keep
+    // criterion's time targets small so it doesn't request huge iteration
+    // counts.
+    group.warm_up_time(std::time::Duration::from_millis(2));
+    group.measurement_time(std::time::Duration::from_millis(40));
+    group.bench_function("smart_containers_resident", |b| {
+        b.iter_custom(|iters| (0..iters).map(|_| resident()).sum())
+    });
+    group.bench_function("raw_params_copy_back_always", |b| {
+        b.iter_custom(|iters| (0..iters).map(|_| copy_back_always()).sum())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_containers);
+criterion_main!(benches);

@@ -1,0 +1,107 @@
+//! Ablation: the paper's `useHistoryModels` switch (§IV-G).
+//!
+//! "The actual implementation of performance-aware selection is made
+//! transparent in the prototype by providing a simple boolean flag
+//! (useHistoryModels)." With the flag off, the `dmda` scheduler trusts the
+//! programmer-provided prediction function; with it on, learned execution
+//! histories take precedence once calibrated.
+//!
+//! The workload here has a deliberately *wrong* prediction function (it
+//! claims the CPU takes a full millisecond per call, when it really takes
+//! a few microseconds — the classic mistake of benchmarking a cold cache
+//! and hard-coding the number). With histories enabled, the runtime
+//! measures reality, recovers, and runs the small dependent chain on the
+//! CPU; with them disabled, it trusts the prediction and ships every tiny
+//! task to the GPU, paying launch latency forever.
+//!
+//! Run: `cargo bench -p peppher-bench --bench history_ablation`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peppher_core::{Component, VariantBuilder};
+use peppher_descriptor::{AccessType, InterfaceDescriptor, ParamDecl};
+use peppher_runtime::{ArchClass, Runtime, RuntimeConfig, SchedulerKind};
+use peppher_sim::{KernelCost, MachineConfig, VTime};
+use std::sync::Arc;
+use std::time::Duration;
+
+const N: usize = 2_000; // small: CPU actually wins (GPU launch dominates)
+const CALLS: usize = 60;
+
+fn small_op_component() -> Arc<Component> {
+    let mut iface = InterfaceDescriptor::new("small_axpy");
+    iface.params = vec![ParamDecl {
+        name: "y".into(),
+        ctype: "float*".into(),
+        access: AccessType::ReadWrite,
+    }];
+    let body = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        for v in ctx.w::<Vec<f32>>(0).iter_mut() {
+            *v += 1.0;
+        }
+    };
+    Component::builder(iface)
+        .variant(VariantBuilder::new("small_axpy_cpu", "cpp").kernel(body).build())
+        .variant(VariantBuilder::new("small_axpy_cuda", "cuda").kernel(body).build())
+        .cost(|_| KernelCost::new(2.0 * N as f64, 8.0 * N as f64, 4.0 * N as f64))
+        // The wrong prediction: "a CPU call takes 1 ms" (it really takes
+        // a few microseconds; the GPU gets no prediction and falls back to
+        // the accurate static model).
+        .prediction(|class, _cost| match class {
+            ArchClass::Cpu | ArchClass::CpuTeam(_) => Some(VTime::from_millis(1)),
+            ArchClass::Gpu(_) => None,
+        })
+        .build()
+}
+
+fn run(use_history: bool) -> Duration {
+    let rt = Runtime::with_config(
+        MachineConfig::c2050_platform(4).without_noise(),
+        RuntimeConfig {
+            scheduler: SchedulerKind::Dmda,
+            use_history,
+            calibration_min: 1,
+            ..RuntimeConfig::default()
+        },
+    );
+    let comp = small_op_component();
+    let run_once = |rt: &Runtime| {
+        let y = rt.register_vec(vec![0.0f32; N]);
+        for _ in 0..CALLS {
+            comp.call().operand(&y).context("n", N as f64).submit(rt);
+        }
+        rt.wait_all();
+        let _ = rt.unregister_vec::<f32>(y);
+    };
+    // Warm-up run (calibrates histories when enabled).
+    run_once(&rt);
+    let before = rt.sync_virtual_clocks();
+    run_once(&rt);
+    let delta = rt.stats().makespan - before;
+    rt.shutdown();
+    Duration::from_nanos(delta.as_nanos())
+}
+
+fn bench_history_flag(c: &mut Criterion) {
+    let mut group = c.benchmark_group("useHistoryModels_virtual_makespan");
+    group.sample_size(10);
+    // These groups measure *virtual* makespans (returned via iter_custom),
+    // which are far shorter than the wall time each iteration costs; keep
+    // criterion's time targets small so it doesn't request huge iteration
+    // counts.
+    group.warm_up_time(std::time::Duration::from_millis(2));
+    group.measurement_time(std::time::Duration::from_millis(40));
+    for flag in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new(
+                "small_tasks_with_wrong_cpu_prediction",
+                if flag { "history_on" } else { "history_off" },
+            ),
+            &flag,
+            |b, &flag| b.iter_custom(|iters| (0..iters).map(|_| run(flag)).sum()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_history_flag);
+criterion_main!(benches);

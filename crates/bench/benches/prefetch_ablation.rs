@@ -1,0 +1,51 @@
+//! Ablation: operand prefetching.
+//!
+//! StarPU's `dmda` starts moving a queued task's input data to its placed
+//! worker before the worker picks the task up, overlapping PCIe transfers
+//! with whatever is still executing. This bench measures the virtual
+//! makespan of the hybrid SpMV pipeline with prefetching on and off.
+//!
+//! Run: `cargo bench -p peppher-bench --bench prefetch_ablation`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peppher_apps::spmv;
+use peppher_runtime::{Runtime, RuntimeConfig, SchedulerKind};
+use peppher_sim::MachineConfig;
+use std::time::Duration;
+
+fn run(prefetch: bool) -> Duration {
+    let rt = Runtime::with_config(
+        MachineConfig::c2050_platform(4).without_noise(),
+        RuntimeConfig {
+            scheduler: SchedulerKind::Dmda,
+            enable_prefetch: prefetch,
+            ..RuntimeConfig::default()
+        },
+    );
+    let m = spmv::scattered_matrix(60_000, 10, 9);
+    let x = vec![1.0f32; m.cols];
+    spmv::run_hybrid(&rt, &m, &x, 16);
+    let makespan = rt.stats().makespan;
+    rt.shutdown();
+    Duration::from_nanos(makespan.as_nanos())
+}
+
+fn bench_prefetch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefetch_ablation_virtual_makespan");
+    group.sample_size(10);
+    // Virtual-makespan group: keep criterion's time targets small (see the
+    // sibling benches for the rationale).
+    group.warm_up_time(std::time::Duration::from_millis(2));
+    group.measurement_time(std::time::Duration::from_millis(40));
+    for flag in [true, false] {
+        group.bench_with_input(
+            BenchmarkId::new("hybrid_spmv", if flag { "prefetch_on" } else { "prefetch_off" }),
+            &flag,
+            |b, &flag| b.iter_custom(|iters| (0..iters).map(|_| run(flag)).sum()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prefetch);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! SGEMM size sweep: per-variant virtual makespan across matrix sizes —
+//! locates the CPU/GPU crossover the dispatch tables learn in training.
+//!
+//! Run: `cargo bench -p peppher-bench --bench sgemm`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peppher_apps::sgemm;
+use peppher_runtime::{Runtime, SchedulerKind};
+use peppher_sim::MachineConfig;
+use std::time::Duration;
+
+fn forced(variant: &str, n: usize) -> Duration {
+    let rt = Runtime::new(MachineConfig::c2050_platform(4).without_noise(), SchedulerKind::Dmda);
+    sgemm::run_peppherized(&rt, n, 1, Some(variant));
+    let makespan = rt.stats().makespan;
+    rt.shutdown();
+    Duration::from_nanos(makespan.as_nanos())
+}
+
+fn bench_sgemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sgemm_virtual_makespan");
+    group.sample_size(10);
+    // These groups measure *virtual* makespans (returned via iter_custom),
+    // which are far shorter than the wall time each iteration costs; keep
+    // criterion's time targets small so it doesn't request huge iteration
+    // counts.
+    group.warm_up_time(std::time::Duration::from_millis(2));
+    group.measurement_time(std::time::Duration::from_millis(40));
+    for n in [32usize, 128, 512] {
+        for variant in ["sgemm_cpu", "sgemm_omp", "sgemm_cuda"] {
+            group.bench_with_input(
+                BenchmarkId::new(variant, n),
+                &(variant, n),
+                |b, &(v, n)| b.iter_custom(|iters| (0..iters).map(|_| forced(v, n)).sum()),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sgemm);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! SpMV micro-benchmarks: forced variants vs hybrid, by virtual makespan.
+//!
+//! Complements Fig. 5 with a per-variant breakdown on one matrix —
+//! CPU-serial vs OpenMP team vs CUDA vs hybrid row-blocking.
+//!
+//! Run: `cargo bench -p peppher-bench --bench spmv`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peppher_apps::spmv;
+use peppher_runtime::{Runtime, SchedulerKind};
+use peppher_sim::MachineConfig;
+use std::time::Duration;
+
+fn forced(variant: &str, nnz_rows: usize) -> Duration {
+    let rt = Runtime::new(MachineConfig::c2050_platform(4).without_noise(), SchedulerKind::Dmda);
+    let m = spmv::scattered_matrix(nnz_rows, 8, 11);
+    let x = vec![1.0f32; m.cols];
+    spmv::run_peppherized_ex(&rt, &m, &x, 1, Some(variant));
+    let makespan = rt.stats().makespan;
+    rt.shutdown();
+    Duration::from_nanos(makespan.as_nanos())
+}
+
+fn hybrid(nnz_rows: usize) -> Duration {
+    let rt = Runtime::new(MachineConfig::c2050_platform(4).without_noise(), SchedulerKind::Dmda);
+    let m = spmv::scattered_matrix(nnz_rows, 8, 11);
+    let x = vec![1.0f32; m.cols];
+    spmv::run_hybrid(&rt, &m, &x, 16);
+    let makespan = rt.stats().makespan;
+    rt.shutdown();
+    Duration::from_nanos(makespan.as_nanos())
+}
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv_virtual_makespan");
+    group.sample_size(10);
+    // These groups measure *virtual* makespans (returned via iter_custom),
+    // which are far shorter than the wall time each iteration costs; keep
+    // criterion's time targets small so it doesn't request huge iteration
+    // counts.
+    group.warm_up_time(std::time::Duration::from_millis(2));
+    group.measurement_time(std::time::Duration::from_millis(40));
+    let rows = 50_000;
+    for variant in ["spmv_cpu", "spmv_omp", "spmv_cuda"] {
+        group.bench_with_input(BenchmarkId::new("forced", variant), &variant, |b, v| {
+            b.iter_custom(|iters| (0..iters).map(|_| forced(v, rows)).sum())
+        });
+    }
+    group.bench_function("hybrid_16_blocks", |b| {
+        b.iter_custom(|iters| (0..iters).map(|_| hybrid(rows)).sum())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spmv);
+criterion_main!(benches);

@@ -1,0 +1,101 @@
+//! §V-E — runtime task overhead.
+//!
+//! "Micro-benchmarking results reported in [16] show that the task
+//! overhead of the runtime system is less than two microseconds."
+//!
+//! Measures the real (wall-clock) cost of submitting and executing tasks
+//! through the runtime in `Measured` timing mode on a CPU-only machine:
+//! empty codelets isolate the pure task-path overhead (submission,
+//! dependency bookkeeping, scheduling, dispatch, completion).
+//!
+//! Run: `cargo bench -p peppher-bench --bench task_overhead`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use peppher_runtime::{AccessMode, Arch, Codelet, Runtime, RuntimeConfig, SchedulerKind, TaskBuilder, TimingMode};
+use peppher_sim::MachineConfig;
+use std::sync::Arc;
+
+fn measured_runtime(workers: usize, scheduler: SchedulerKind) -> Runtime {
+    Runtime::with_config(
+        MachineConfig::cpu_only(workers),
+        RuntimeConfig {
+            scheduler,
+            timing: TimingMode::Measured,
+            ..RuntimeConfig::default()
+        },
+    )
+}
+
+fn empty_codelet() -> Arc<Codelet> {
+    Arc::new(Codelet::new("noop").with_impl(Arch::Cpu, |_| {}))
+}
+
+/// Submit + wait for a batch of independent empty tasks; per-task time is
+/// the reported value divided by the batch size (1000).
+fn bench_empty_task_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("task_overhead");
+    for &scheduler in &[SchedulerKind::Eager, SchedulerKind::Dmda] {
+        group.bench_with_input(
+            BenchmarkId::new("1000_independent_empty_tasks", format!("{scheduler:?}")),
+            &scheduler,
+            |b, &scheduler| {
+                let rt = measured_runtime(2, scheduler);
+                let codelet = empty_codelet();
+                b.iter(|| {
+                    for _ in 0..1000 {
+                        TaskBuilder::new(&codelet).submit(&rt);
+                    }
+                    rt.wait_all();
+                });
+                rt.shutdown();
+            },
+        );
+    }
+    group.finish();
+}
+
+/// A dependent chain through one handle exercises the sequential-
+/// consistency bookkeeping on top of the bare task path.
+fn bench_dependent_chain(c: &mut Criterion) {
+    let mut group = c.benchmark_group("task_overhead");
+    group.bench_function("1000_task_raw_chain", |b| {
+        let rt = measured_runtime(2, SchedulerKind::Eager);
+        let codelet = Arc::new(Codelet::new("bump").with_impl(Arch::Cpu, |ctx| {
+            *ctx.w::<u64>(0) += 1;
+        }));
+        b.iter(|| {
+            let h = rt.register_value(0u64, 8);
+            for _ in 0..1000 {
+                TaskBuilder::new(&codelet)
+                    .access(&h, AccessMode::ReadWrite)
+                    .submit(&rt);
+            }
+            assert_eq!(rt.unregister_value::<u64>(h), 1000);
+        });
+        rt.shutdown();
+    });
+    group.finish();
+}
+
+/// Synchronous single-task round trip (submit + block until completion):
+/// the latency a synchronous component call observes.
+fn bench_sync_roundtrip(c: &mut Criterion) {
+    let mut group = c.benchmark_group("task_overhead");
+    group.bench_function("sync_roundtrip", |b| {
+        let rt = measured_runtime(1, SchedulerKind::Eager);
+        let codelet = empty_codelet();
+        b.iter(|| {
+            TaskBuilder::new(&codelet).submit_sync(&rt);
+        });
+        rt.shutdown();
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_empty_task_batch,
+    bench_dependent_chain,
+    bench_sync_roundtrip
+);
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! **Figure 6 (a/b)**: "Execution times for applications from Rodinia
+//! benchmark suite, an ODE solver and sgemm with CUDA, OpenMP and our
+//! tool-generated performance-aware code (TGPA) on two platforms."
+//!
+//! For every application, three executions per problem size:
+//! OpenMP-only (forced team variant), CUDA-only (forced GPU variant), and
+//! TGPA (dynamic composition with `dmda` + history models). Times are
+//! normalized to the best of the three and averaged over the sizes, as in
+//! the paper. Platform (a) is the C2050 box, platform (b) the C1060 box —
+//! the ranking flips for irregular applications because the C1060 lacks
+//! caches.
+//!
+//! Run: `cargo run --release -p peppher-bench --bin fig6_dynamic_scheduling -- --platform c2050`
+//!      `cargo run --release -p peppher-bench --bin fig6_dynamic_scheduling -- --platform c1060`
+//! (no flag: both platforms)
+
+use peppher_apps::{fig6_apps, AppEntry};
+use peppher_bench::{bar, TextTable};
+use peppher_runtime::{Runtime, RuntimeConfig, SchedulerKind};
+use peppher_sim::MachineConfig;
+
+/// Steady-state measurement, as on a calibrated StarPU installation: warm
+/// the execution-history models on the same runtime (performance models
+/// persist across runs in StarPU), then measure the virtual makespan of
+/// one more application run.
+fn measure(machine: &MachineConfig, entry: &AppEntry, size: usize, backend: Option<&str>) -> f64 {
+    let config = RuntimeConfig {
+        scheduler: SchedulerKind::Dmda,
+        calibration_min: 1,
+        ..RuntimeConfig::default()
+    };
+    let rt = Runtime::with_config(machine.clone(), config);
+    // Dynamic composition needs a few runs to sample every architecture
+    // class; forced variants are deterministic after one warm-up.
+    let warmups = if backend.is_none() { 4 } else { 1 };
+    for _ in 0..warmups {
+        (entry.run)(&rt, size, backend);
+    }
+    let before = rt.sync_virtual_clocks();
+    let after = (entry.run)(&rt, size, backend);
+    let delta = after - before;
+    rt.shutdown();
+    delta.as_secs_f64()
+}
+
+fn run_platform(label: &str, machine: &MachineConfig) {
+    println!("\nFigure 6{label}: normalized execution time (lower is better, best = 1.00)\n");
+    let mut table = TextTable::new(&["Application", "OpenMP", "CUDA", "TGPA", "TGPA bar"]);
+    let mut tgpa_wins = 0usize;
+    let mut apps_total = 0usize;
+
+    for entry in fig6_apps() {
+        let mut sums = [0.0f64; 3]; // omp, cuda, tgpa
+        for &size in entry.sizes {
+            let mut times = [0.0f64; 3];
+            for (slot, backend) in [(0, Some("omp")), (1, Some("cuda")), (2, None)] {
+                times[slot] = measure(machine, &entry, size, backend);
+            }
+            let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+            for (sum, t) in sums.iter_mut().zip(times) {
+                *sum += t / best;
+            }
+        }
+        let n = entry.sizes.len() as f64;
+        let (omp, cuda, tgpa) = (sums[0] / n, sums[1] / n, sums[2] / n);
+        apps_total += 1;
+        // TGPA should track (or beat) the better static choice; allow a
+        // small calibration margin.
+        if tgpa <= omp.min(cuda) * 1.35 {
+            tgpa_wins += 1;
+        }
+        table.row(&[
+            entry.name.to_string(),
+            format!("{omp:.2}"),
+            format!("{cuda:.2}"),
+            format!("{tgpa:.2}"),
+            bar(1.0 / tgpa, 1.0, 16),
+        ]);
+    }
+    print!("{}", table.render());
+    println!(
+        "\nTGPA tracks the best static choice (within 35%) for {tgpa_wins}/{apps_total} applications."
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let which = args
+        .iter()
+        .position(|a| a == "--platform")
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .or_else(|| {
+            args.iter()
+                .find_map(|a| a.strip_prefix("--platform=").map(str::to_string))
+        });
+
+    match which.as_deref() {
+        Some("c2050") => run_platform("a (Xeon E5520 + Tesla C2050)", &MachineConfig::c2050_platform(4)),
+        Some("c1060") => run_platform("b (Xeon E5520 + Tesla C1060)", &MachineConfig::c1060_platform(4)),
+        Some(other) => {
+            eprintln!("unknown platform `{other}` (use c2050 or c1060)");
+            std::process::exit(2);
+        }
+        None => {
+            run_platform("a (Xeon E5520 + Tesla C2050)", &MachineConfig::c2050_platform(4));
+            run_platform("b (Xeon E5520 + Tesla C1060)", &MachineConfig::c1060_platform(4));
+        }
+    }
+}

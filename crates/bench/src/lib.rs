@@ -1,0 +1,145 @@
+//! Shared helpers for the figure/table harnesses.
+//!
+//! Every binary in this crate regenerates one table or figure of the
+//! paper (see DESIGN.md's per-experiment index):
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1_loc` | Table I (LOC written with the tool vs direct runtime code) |
+//! | `fig3_container_trace` | the Fig. 3 smart-container walkthrough |
+//! | `fig5_spmv_hybrid` | Fig. 5 (hybrid SpMV speedups over direct CUDA) |
+//! | `fig6_dynamic_scheduling` | Fig. 6a/6b (OpenMP vs CUDA vs TGPA, two platforms) |
+//! | `fig7_ode_overhead` | Fig. 7 (ODE solver runtimes; composition overhead) |
+//!
+//! The criterion benches cover §V-E (task overhead) plus scheduler and
+//! container ablations.
+
+use std::path::{Path, PathBuf};
+
+/// Counts logical source lines: non-blank lines that are not pure
+/// comments (Park's SEI counting conventions, as Table I cites).
+pub fn logical_loc(source: &str) -> usize {
+    source
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty())
+        .filter(|l| !l.starts_with("//") && !l.starts_with("/*") && !l.starts_with('*'))
+        .count()
+}
+
+/// Extracts the region between `// LOC:{tag}:BEGIN` and `// LOC:{tag}:END`.
+pub fn marked_region(source: &str, tag: &str) -> Option<String> {
+    let begin = format!("// LOC:{tag}:BEGIN");
+    let end = format!("// LOC:{tag}:END");
+    let start = source.find(&begin)? + begin.len();
+    let stop = source.find(&end)?;
+    Some(source[start..stop].to_string())
+}
+
+/// Root of the `peppher-apps` crate sources (resolved relative to this
+/// crate so the harness works from any working directory).
+pub fn apps_src_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../apps/src")
+}
+
+/// An aligned plain-text table printer.
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: &[&str]) -> Self {
+        TextTable {
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders with padded columns.
+    pub fn render(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = h.chars().count();
+        }
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.chars().count());
+            }
+        }
+        let fmt_row = |cells: &[String]| {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<w$}", c, w = widths[i]))
+                .collect::<Vec<_>>()
+                .join("  ")
+                .trim_end()
+                .to_string()
+        };
+        let mut out = fmt_row(&self.header);
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A unicode bar for quick visual comparison in terminal output.
+pub fn bar(value: f64, max: f64, width: usize) -> String {
+    if max <= 0.0 {
+        return String::new();
+    }
+    let n = ((value / max) * width as f64).round() as usize;
+    "█".repeat(n.min(width))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logical_loc_skips_blanks_and_comments() {
+        let src = "\n// comment\nlet x = 1;\n\n/* block */\nlet y = 2; // trailing\n";
+        assert_eq!(logical_loc(src), 2);
+    }
+
+    #[test]
+    fn marked_region_extracts() {
+        let src = "a\n// LOC:TOOL:BEGIN\nx\ny\n// LOC:TOOL:END\nb";
+        assert_eq!(marked_region(src, "TOOL").unwrap().trim(), "x\ny");
+        assert!(marked_region(src, "DIRECT").is_none());
+    }
+
+    #[test]
+    fn apps_sources_are_reachable() {
+        assert!(apps_src_dir().join("spmv/mod.rs").exists());
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = TextTable::new(&["App", "LOC"]);
+        t.row(&["spmv".into(), "293".into()]);
+        let s = t.render();
+        assert!(s.contains("App"));
+        assert!(s.contains("spmv"));
+    }
+
+    #[test]
+    fn bar_scales() {
+        assert_eq!(bar(5.0, 10.0, 10), "█████");
+        assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10);
+    }
+}

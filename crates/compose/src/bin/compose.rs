@@ -1,0 +1,25 @@
+//! The `compose` executable — the PEPPHER composition tool CLI.
+
+use peppher_compose::{run_cli, CliOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match CliOptions::parse(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            std::process::exit(2);
+        }
+    };
+    match run_cli(&opts) {
+        Ok(report) => {
+            for line in report {
+                println!("{line}");
+            }
+        }
+        Err(msg) => {
+            eprintln!("compose: {msg}");
+            std::process::exit(1);
+        }
+    }
+}

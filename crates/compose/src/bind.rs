@@ -1,0 +1,189 @@
+//! Binding a composed IR to executable kernels.
+//!
+//! The paper's tool emits source stubs that the native compilers turn into
+//! an executable. In-process, the equivalent final step is to *instantiate*
+//! the component tree: each IR variant descriptor is bound to the actual
+//! kernel function the wrapper would have delegated to, producing a
+//! [`ComponentRegistry`] the application can call — descriptors on disk to
+//! running heterogeneous tasks, no hand-written glue.
+
+use crate::ir::Ir;
+use peppher_core::{CallContext, Component, ComponentRegistry, VariantBuilder};
+use peppher_core::variant::{arch_for_platform, VariantFn};
+use peppher_runtime::KernelCtx;
+use peppher_sim::KernelCost;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Maps variant descriptor names to kernel bodies (and interfaces to cost
+/// models) — what the linker step supplies in the paper's flow.
+#[derive(Default)]
+pub struct KernelBindings {
+    kernels: HashMap<String, VariantFn>,
+    costs: HashMap<String, Arc<dyn Fn(&CallContext) -> KernelCost + Send + Sync>>,
+}
+
+impl KernelBindings {
+    /// An empty binding set.
+    pub fn new() -> Self {
+        KernelBindings::default()
+    }
+
+    /// Binds the kernel body for variant `name` (the component descriptor
+    /// name, e.g. `spmv_cuda`).
+    pub fn kernel(
+        mut self,
+        name: impl Into<String>,
+        f: impl Fn(&mut KernelCtx<'_>) + Send + Sync + 'static,
+    ) -> Self {
+        self.kernels.insert(name.into(), Arc::new(f));
+        self
+    }
+
+    /// Binds the cost model for interface `name`.
+    pub fn cost(
+        mut self,
+        interface: impl Into<String>,
+        f: impl Fn(&CallContext) -> KernelCost + Send + Sync + 'static,
+    ) -> Self {
+        self.costs.insert(interface.into(), Arc::new(f));
+        self
+    }
+}
+
+/// Instantiates a registry from the composed IR: every *selectable* IR
+/// variant becomes a live [`peppher_core::Variant`] with its descriptor's
+/// platform architecture and selectability constraints; disabled or
+/// platform-incompatible variants are dropped (they would not have been
+/// compiled into the paper's executable either).
+///
+/// Fails if a selectable variant has no kernel bound, or an interface ends
+/// up with no variants.
+pub fn instantiate_registry(
+    ir: &Ir,
+    bindings: &KernelBindings,
+) -> Result<ComponentRegistry, String> {
+    let registry = ComponentRegistry::new();
+    for node in &ir.nodes {
+        let mut builder = Component::builder(node.interface.clone());
+        let mut any = false;
+        for v in node.selectable_variants() {
+            let name = &v.descriptor.name;
+            let kernel = bindings
+                .kernels
+                .get(name)
+                .ok_or_else(|| format!("no kernel bound for variant `{name}`"))?;
+            arch_for_platform(&v.descriptor.platform.model).ok_or_else(|| {
+                format!(
+                    "variant `{name}`: unknown platform model `{}`",
+                    v.descriptor.platform.model
+                )
+            })?;
+            let kernel = Arc::clone(kernel);
+            let mut variant = VariantBuilder::new(name, &v.descriptor.platform.model)
+                .kernel(move |ctx| kernel(ctx));
+            for c in &v.descriptor.constraints {
+                variant = variant.constrain(&c.param, c.min, c.max);
+            }
+            builder = builder.variant(variant.build());
+            any = true;
+        }
+        if !any {
+            return Err(format!(
+                "interface `{}` has no selectable variants to instantiate",
+                node.interface.name
+            ));
+        }
+        if let Some(cost) = bindings.costs.get(&node.interface.name) {
+            let cost = Arc::clone(cost);
+            builder = builder.cost(move |ctx| cost(ctx));
+        }
+        registry.register(builder.build());
+    }
+    Ok(registry)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{IrNode, IrVariant, Recipe};
+    use peppher_descriptor::{
+        AccessType, ComponentDescriptor, InterfaceDescriptor, MainDescriptor, ParamDecl,
+    };
+
+    fn toy_ir() -> Ir {
+        let mut iface = InterfaceDescriptor::new("scale");
+        iface.params = vec![ParamDecl {
+            name: "x".into(),
+            ctype: "float*".into(),
+            access: AccessType::ReadWrite,
+        }];
+        let variant = |name: &str, model: &str, enabled: bool| IrVariant {
+            descriptor: ComponentDescriptor::new(name, "scale", model),
+            enabled,
+            platform_ok: true,
+        };
+        Ir {
+            main: MainDescriptor::new("app", "xeon_c2050"),
+            recipe: Recipe::default(),
+            nodes: vec![IrNode {
+                interface: iface,
+                variants: vec![
+                    variant("scale_cpu", "cpp", true),
+                    variant("scale_cuda", "cuda", true),
+                    variant("scale_opencl", "opencl", false), // disabled
+                ],
+            }],
+            use_history_models: true,
+        }
+    }
+
+    #[test]
+    fn instantiates_selectable_variants_only() {
+        let bindings = KernelBindings::new()
+            .kernel("scale_cpu", |_| {})
+            .kernel("scale_cuda", |_| {});
+        let registry = instantiate_registry(&toy_ir(), &bindings).unwrap();
+        let comp = registry.get("scale").unwrap();
+        assert_eq!(comp.variant_names(), vec!["scale_cpu", "scale_cuda"]);
+    }
+
+    #[test]
+    fn missing_kernel_binding_is_an_error() {
+        let bindings = KernelBindings::new().kernel("scale_cpu", |_| {});
+        let err = instantiate_registry(&toy_ir(), &bindings).unwrap_err();
+        assert!(err.contains("scale_cuda"), "{err}");
+    }
+
+    #[test]
+    fn all_variants_disabled_is_an_error() {
+        let mut ir = toy_ir();
+        for v in &mut ir.nodes[0].variants {
+            v.enabled = false;
+        }
+        let bindings = KernelBindings::new();
+        assert!(instantiate_registry(&ir, &bindings).is_err());
+    }
+
+    #[test]
+    fn descriptor_constraints_flow_into_variants() {
+        let mut ir = toy_ir();
+        ir.nodes[0].variants[1]
+            .descriptor
+            .constraints
+            .push(peppher_descriptor::Constraint {
+                param: "n".into(),
+                min: Some(1000.0),
+                max: None,
+            });
+        let bindings = KernelBindings::new()
+            .kernel("scale_cpu", |_| {})
+            .kernel("scale_cuda", |_| {});
+        let registry = instantiate_registry(&ir, &bindings).unwrap();
+        let comp = registry.get("scale").unwrap();
+        let small = comp.candidates(&CallContext::new().with("n", 10.0));
+        assert_eq!(small, vec!["scale_cpu"]);
+        let large = comp.candidates(&CallContext::new().with("n", 10_000.0));
+        assert_eq!(large.len(), 2);
+    }
+}

@@ -1,0 +1,216 @@
+//! The `compose` command line.
+//!
+//! Two modes, exactly as in the paper's §V-A walkthrough:
+//!
+//! ```text
+//! compose -generateCompFiles="spmv.h"    # utility mode: XML + source skeletons
+//! compose main.xml                       # build mode: wrappers, peppher.rs, Makefile
+//! ```
+
+use crate::codegen::generate_all;
+use crate::expand::{expand_generics, expand_tunables};
+use crate::explore::build_ir;
+use crate::ir::Recipe;
+use peppher_descriptor::{generate_skeleton, MainDescriptor, Repository};
+use peppher_xml::parse;
+use std::path::{Path, PathBuf};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CliOptions {
+    /// Path to the application's `main.xml` (build mode).
+    pub main_xml: Option<PathBuf>,
+    /// Path to a C/C++ header declaration (utility mode,
+    /// `-generateCompFiles=`).
+    pub generate_comp_files: Option<PathBuf>,
+    /// Output directory (default `generated`).
+    pub out_dir: PathBuf,
+    /// Repository root to scan (default: the main.xml's directory).
+    pub repo_dir: Option<PathBuf>,
+    /// The composition recipe assembled from switches.
+    pub recipe: Recipe,
+}
+
+impl CliOptions {
+    /// Parses `argv[1..]`.
+    pub fn parse(args: &[String]) -> Result<CliOptions, String> {
+        let mut opts = CliOptions {
+            out_dir: PathBuf::from("generated"),
+            ..CliOptions::default()
+        };
+        for arg in args {
+            // Accept both single- and double-dash spellings (the paper
+            // writes `compose -generateCompFiles="spmv.h"`).
+            let flag = arg.trim_start_matches('-');
+            if let Some(v) = flag.strip_prefix("generateCompFiles=") {
+                opts.generate_comp_files = Some(PathBuf::from(v.trim_matches('"')));
+            } else if let Some(v) = flag.strip_prefix("out=") {
+                opts.out_dir = PathBuf::from(v);
+            } else if let Some(v) = flag.strip_prefix("repo=") {
+                opts.repo_dir = Some(PathBuf::from(v));
+            } else if let Some(v) = flag.strip_prefix("disableImpls=") {
+                opts.recipe
+                    .disable_impls
+                    .extend(v.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()));
+            } else if let Some(v) = flag.strip_prefix("forceImpl=") {
+                opts.recipe.force_impl = Some(v.to_string());
+            } else if let Some(v) = flag.strip_prefix("useHistoryModels=") {
+                opts.recipe.use_history_models = Some(match v {
+                    "true" | "1" => true,
+                    "false" | "0" => false,
+                    other => return Err(format!("bad useHistoryModels value `{other}`")),
+                });
+            } else if let Some(v) = flag.strip_prefix("platform=") {
+                opts.recipe.target_platform = Some(v.to_string());
+            } else if let Some(v) = flag.strip_prefix("instantiate=") {
+                let (g, t) = v
+                    .split_once(':')
+                    .ok_or_else(|| format!("bad --instantiate `{v}`, expected generic:type"))?;
+                opts.recipe
+                    .instantiations
+                    .push((g.to_string(), t.to_string()));
+            } else if !arg.starts_with('-') {
+                if opts.main_xml.is_some() {
+                    return Err(format!("unexpected extra argument `{arg}`"));
+                }
+                opts.main_xml = Some(PathBuf::from(arg));
+            } else {
+                return Err(format!("unknown option `{arg}`"));
+            }
+        }
+        if opts.main_xml.is_none() && opts.generate_comp_files.is_none() {
+            return Err(
+                "usage: compose <main.xml> [--out=DIR] [--repo=DIR] [--disableImpls=a,b] \
+                 [--forceImpl=x] [--useHistoryModels=bool] [--platform=NAME] \
+                 [--instantiate=generic:type]\n\
+                 \x20      compose --generateCompFiles=<decl.h> [--out=DIR]"
+                    .to_string(),
+            );
+        }
+        Ok(opts)
+    }
+}
+
+/// Runs the tool; returns the report lines it would print.
+pub fn run_cli(opts: &CliOptions) -> Result<Vec<String>, String> {
+    if let Some(header) = &opts.generate_comp_files {
+        return run_utility_mode(header, &opts.out_dir);
+    }
+    let main_xml = opts.main_xml.as_ref().expect("parse() guarantees a mode");
+    run_build_mode(main_xml, opts)
+}
+
+fn run_utility_mode(header: &Path, out_dir: &Path) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(header)
+        .map_err(|e| format!("cannot read `{}`: {e}", header.display()))?;
+    let mut report = Vec::new();
+    let mut generated_any = false;
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with("//") || line.starts_with('#') || !line.contains('(')
+        {
+            continue;
+        }
+        let skeleton = generate_skeleton(line).map_err(|e| e.to_string())?;
+        skeleton.write_to(out_dir).map_err(|e| e.to_string())?;
+        for f in &skeleton.files {
+            report.push(format!("generated {}", f.path));
+        }
+        generated_any = true;
+    }
+    if !generated_any {
+        return Err(format!(
+            "no function declarations found in `{}`",
+            header.display()
+        ));
+    }
+    Ok(report)
+}
+
+fn run_build_mode(main_xml: &Path, opts: &CliOptions) -> Result<Vec<String>, String> {
+    let text = std::fs::read_to_string(main_xml)
+        .map_err(|e| format!("cannot read `{}`: {e}", main_xml.display()))?;
+    let doc = parse(&text).map_err(|e| e.to_string())?;
+    let main = MainDescriptor::from_xml(&doc.root).map_err(|e| e.to_string())?;
+
+    let repo_dir = opts
+        .repo_dir
+        .clone()
+        .or_else(|| main_xml.parent().map(Path::to_path_buf))
+        .unwrap_or_else(|| PathBuf::from("."));
+    let repo = Repository::scan(&repo_dir).map_err(|e| e.to_string())?;
+
+    let mut ir = build_ir(&repo, &main.name, opts.recipe.clone()).map_err(|e| e.to_string())?;
+    expand_generics(&mut ir).map_err(|e| e.to_string())?;
+    expand_tunables(&mut ir);
+    ir.check_composable()?;
+
+    let files = generate_all(&ir);
+    let mut report = vec![format!(
+        "composed application `{}` for platform `{}` ({} interfaces, useHistoryModels={})",
+        ir.main.name,
+        opts.recipe
+            .target_platform
+            .as_deref()
+            .unwrap_or(&ir.main.target_platform),
+        ir.nodes.len(),
+        ir.use_history_models
+    )];
+    std::fs::create_dir_all(&opts.out_dir).map_err(|e| e.to_string())?;
+    for f in &files {
+        let path = opts.out_dir.join(&f.path);
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent).map_err(|e| e.to_string())?;
+        }
+        std::fs::write(&path, &f.content).map_err(|e| e.to_string())?;
+        report.push(format!("generated {}", path.display()));
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: &str) -> String {
+        v.to_string()
+    }
+
+    #[test]
+    fn parses_build_mode_flags() {
+        let opts = CliOptions::parse(&[
+            s("main.xml"),
+            s("--out=build"),
+            s("--disableImpls=a,b"),
+            s("--forceImpl=x"),
+            s("--useHistoryModels=false"),
+            s("--platform=xeon_c1060"),
+            s("--instantiate=sort:float"),
+        ])
+        .unwrap();
+        assert_eq!(opts.main_xml.as_deref(), Some(Path::new("main.xml")));
+        assert_eq!(opts.out_dir, Path::new("build"));
+        assert_eq!(opts.recipe.disable_impls, vec!["a", "b"]);
+        assert_eq!(opts.recipe.force_impl.as_deref(), Some("x"));
+        assert_eq!(opts.recipe.use_history_models, Some(false));
+        assert_eq!(opts.recipe.target_platform.as_deref(), Some("xeon_c1060"));
+        assert_eq!(opts.recipe.instantiations, vec![(s("sort"), s("float"))]);
+    }
+
+    #[test]
+    fn parses_utility_mode_with_single_dash() {
+        let opts = CliOptions::parse(&[s("-generateCompFiles=\"spmv.h\"")]).unwrap();
+        assert_eq!(
+            opts.generate_comp_files.as_deref(),
+            Some(Path::new("spmv.h"))
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_and_missing() {
+        assert!(CliOptions::parse(&[s("--bogus")]).is_err());
+        assert!(CliOptions::parse(&[]).is_err());
+        assert!(CliOptions::parse(&[s("a.xml"), s("b.xml")]).is_err());
+        assert!(CliOptions::parse(&[s("--instantiate=broken")]).is_err());
+    }
+}

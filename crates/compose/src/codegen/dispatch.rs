@@ -1,0 +1,129 @@
+//! Dispatch-function code generation.
+//!
+//! "Static composition constructs off-line a dispatch function that is
+//! evaluated at runtime for a context instance to return a function
+//! pointer to the expected best implementation variant." This module emits
+//! that dispatch function as Rust source from the training artifacts: an
+//! interval chain for a 1D [`DispatchTable`], nested conditionals for a
+//! compacted [`DecisionTree`].
+
+use peppher_core::{DecisionTree, DispatchTable};
+
+use super::sanitize;
+
+/// Generates `pub fn <iface>_dispatch(<param>: f64) -> &'static str` from
+/// an interval table.
+pub fn generate_table_dispatch(iface: &str, table: &DispatchTable) -> String {
+    let fn_name = format!("{}_dispatch", sanitize(iface));
+    let param = sanitize(&table.param);
+    let mut out = format!(
+        "/// Generated static dispatch for `{iface}` keyed on `{}`:\n\
+         /// returns the expected best implementation variant.\n\
+         pub fn {fn_name}({param}: f64) -> &'static str {{\n",
+        table.param
+    );
+    for (i, (bound, variant)) in table.entries.iter().enumerate() {
+        let last = i + 1 == table.entries.len();
+        if last {
+            out.push_str(&format!("    \"{variant}\"\n"));
+        } else {
+            out.push_str(&format!(
+                "    if {param} <= {bound:?} {{\n        return \"{variant}\";\n    }}\n"
+            ));
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+/// Generates `pub fn <iface>_dispatch(ctx: &[f64]) -> &'static str` from a
+/// compacted decision tree over the named context parameters.
+pub fn generate_tree_dispatch(iface: &str, params: &[String], tree: &DecisionTree) -> String {
+    let fn_name = format!("{}_dispatch", sanitize(iface));
+    let mut out = format!(
+        "/// Generated static dispatch for `{iface}` over context\n\
+         /// parameters [{}] (feature order).\n\
+         pub fn {fn_name}(ctx: &[f64]) -> &'static str {{\n",
+        params.join(", ")
+    );
+    emit_node(tree, params, 1, &mut out);
+    out.push_str("}\n");
+    out
+}
+
+fn emit_node(node: &DecisionTree, params: &[String], depth: usize, out: &mut String) {
+    let pad = "    ".repeat(depth);
+    match node {
+        DecisionTree::Leaf(v) => {
+            out.push_str(&format!("{pad}\"{v}\"\n"));
+        }
+        DecisionTree::Split {
+            axis,
+            threshold,
+            left,
+            right,
+        } => {
+            let name = params.get(*axis).map(String::as_str).unwrap_or("?");
+            out.push_str(&format!(
+                "{pad}if ctx[{axis}] <= {threshold:?} {{ // {name}\n"
+            ));
+            emit_node(left, params, depth + 1, out);
+            out.push_str(&format!("{pad}}} else {{\n"));
+            emit_node(right, params, depth + 1, out);
+            out.push_str(&format!("{pad}}}\n"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppher_core::TrainingSample;
+
+    #[test]
+    fn table_dispatch_compiles_shape() {
+        let table = DispatchTable::from_samples(
+            "nnz",
+            &[
+                (100.0, "spmv_cpu".into()),
+                (1e6, "spmv_cuda".into()),
+            ],
+        );
+        let code = generate_table_dispatch("spmv", &table);
+        assert!(code.contains("pub fn spmv_dispatch(nnz: f64) -> &'static str {"));
+        assert!(code.contains("return \"spmv_cpu\";"));
+        assert!(code.contains("    \"spmv_cuda\"\n"));
+        // Exactly one unconditional tail (the catch-all interval).
+        assert_eq!(code.matches("        return \"").count(), table.len() - 1);
+    }
+
+    #[test]
+    fn tree_dispatch_nests_conditionals() {
+        let samples: Vec<TrainingSample> = (0..10)
+            .flat_map(|n| {
+                [(n, 0.1, "cpu"), (n, 0.9, if n < 5 { "cpu" } else { "gpu" })]
+                    .into_iter()
+                    .map(|(n, r, b)| TrainingSample {
+                        features: vec![n as f64, r],
+                        best: b.to_string(),
+                    })
+            })
+            .collect();
+        let tree = DecisionTree::fit(&samples, 4);
+        let code =
+            generate_tree_dispatch("spmv", &["nnz".to_string(), "regularity".to_string()], &tree);
+        assert!(code.contains("pub fn spmv_dispatch(ctx: &[f64]) -> &'static str {"));
+        assert!(code.contains("if ctx["));
+        assert!(code.contains("\"gpu\""));
+        assert!(code.contains("// nnz") || code.contains("// regularity"));
+    }
+
+    #[test]
+    fn single_interval_table_is_constant_function() {
+        let table = DispatchTable::from_samples("n", &[(1.0, "only".into())]);
+        let code = generate_table_dispatch("sort<float>", &table);
+        assert!(code.contains("pub fn sort_float_dispatch"));
+        assert!(!code.contains("if "));
+        assert!(code.contains("\"only\""));
+    }
+}

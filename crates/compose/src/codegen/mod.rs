@@ -1,0 +1,124 @@
+//! Code generation: wrapper stubs, the `peppher.rs` single linking point,
+//! and the Makefile (the right-hand column of the paper's Fig. 2).
+
+pub mod dispatch;
+pub mod header;
+pub mod makefile;
+pub mod stubs;
+
+use crate::ir::Ir;
+use peppher_descriptor::GeneratedFile;
+
+/// Generates every artifact for an application: one wrapper file per
+/// component, `peppher.rs`, and `Makefile`.
+pub fn generate_all(ir: &Ir) -> Vec<GeneratedFile> {
+    let mut files = Vec::new();
+    for node in &ir.nodes {
+        files.push(GeneratedFile {
+            path: format!("{}_wrapper.rs", sanitize(&node.interface.name)),
+            content: stubs::generate_wrapper(node),
+        });
+    }
+    files.push(GeneratedFile {
+        path: "peppher.rs".to_string(),
+        content: header::generate_header(ir),
+    });
+    files.push(GeneratedFile {
+        path: "Makefile".to_string(),
+        content: makefile::generate_makefile(ir),
+    });
+    files
+}
+
+/// As [`generate_all`], plus one `<iface>_dispatch.rs` file per interface
+/// for which static composition trained an artifact (table preferred,
+/// tree as the compacted fallback).
+pub fn generate_all_with_static(
+    ir: &Ir,
+    static_comp: &crate::static_comp::StaticComposition,
+) -> Vec<GeneratedFile> {
+    let mut files = generate_all(ir);
+    for node in &ir.nodes {
+        let name = &node.interface.name;
+        let content = if let Some(table) = static_comp.tables.get(name) {
+            Some(dispatch::generate_table_dispatch(name, table))
+        } else {
+            static_comp.trees.get(name).map(|tree| {
+                let params: Vec<String> = node
+                    .interface
+                    .context_params
+                    .iter()
+                    .map(|c| c.name.clone())
+                    .collect();
+                dispatch::generate_tree_dispatch(name, &params, tree)
+            })
+        };
+        if let Some(content) = content {
+            files.push(GeneratedFile {
+                path: format!("{}_dispatch.rs", sanitize(name)),
+                content,
+            });
+        }
+    }
+    files
+}
+
+/// Makes an interface name usable as a file/module/function identifier
+/// (generic instantiations like `sort<float>` become `sort_float`).
+pub fn sanitize(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for c in name.chars() {
+        if c.is_alphanumeric() || c == '_' {
+            out.push(c);
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    out.trim_end_matches('_').to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::{IrNode, Recipe};
+    use crate::static_comp::StaticComposition;
+    use peppher_core::DispatchTable;
+    use peppher_descriptor::{InterfaceDescriptor, MainDescriptor};
+
+    #[test]
+    fn sanitize_identifiers() {
+        assert_eq!(sanitize("spmv"), "spmv");
+        assert_eq!(sanitize("sort<float>"), "sort_float");
+        assert_eq!(sanitize("a::b<c*>"), "a_b_c");
+    }
+
+    #[test]
+    fn static_artifacts_add_dispatch_files() {
+        let ir = Ir {
+            main: MainDescriptor::new("app", "p"),
+            recipe: Recipe::default(),
+            nodes: vec![IrNode {
+                interface: InterfaceDescriptor::new("spmv"),
+                variants: vec![],
+            }],
+            use_history_models: true,
+        };
+        let mut sc = StaticComposition::default();
+        sc.tables.insert(
+            "spmv".into(),
+            DispatchTable::from_samples(
+                "nnz",
+                &[(10.0, "spmv_cpu".into()), (1e7, "spmv_cuda".into())],
+            ),
+        );
+        let files = generate_all_with_static(&ir, &sc);
+        let dispatch = files
+            .iter()
+            .find(|f| f.path == "spmv_dispatch.rs")
+            .expect("dispatch file generated");
+        assert!(dispatch.content.contains("pub fn spmv_dispatch(nnz: f64)"));
+        // Base artifacts still present.
+        assert!(files.iter().any(|f| f.path == "peppher.rs"));
+        assert!(files.iter().any(|f| f.path == "Makefile"));
+    }
+}

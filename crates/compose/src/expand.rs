@@ -1,0 +1,319 @@
+//! Static expansion of generic interfaces (§IV-B).
+//!
+//! "Interfaces can be generic in static entities such as element types or
+//! code; genericity is resolved statically by expansion, as with C++
+//! templates."
+
+use crate::ir::{Ir, IrNode, IrVariant};
+use peppher_descriptor::DescriptorError;
+
+/// Substitutes template parameter names inside a C type spelling, matching
+/// whole identifiers only (`T*` → `float*`, but `Tuple` stays untouched).
+fn substitute_type(ctype: &str, template: &str, concrete: &str) -> String {
+    let mut out = String::new();
+    let mut ident = String::new();
+    for c in ctype.chars().chain(std::iter::once('\0')) {
+        if c.is_alphanumeric() || c == '_' {
+            ident.push(c);
+        } else {
+            if !ident.is_empty() {
+                out.push_str(if ident == template { concrete } else { &ident });
+                ident.clear();
+            }
+            if c != '\0' {
+                out.push(c);
+            }
+        }
+    }
+    out
+}
+
+/// Expands every generic interface in the IR for the instantiations listed
+/// in the recipe, appending concrete `name<type>` nodes. Generic nodes that
+/// received no instantiation are removed (nothing concrete can call them).
+pub fn expand_generics(ir: &mut Ir) -> Result<(), DescriptorError> {
+    let instantiations = ir.recipe.instantiations.clone();
+    let mut expanded_nodes = Vec::new();
+
+    for node in &ir.nodes {
+        if !node.interface.is_generic() {
+            expanded_nodes.push(node.clone());
+            continue;
+        }
+        let requested: Vec<&(String, String)> = instantiations
+            .iter()
+            .filter(|(g, _)| *g == node.interface.name)
+            .collect();
+        if requested.is_empty() {
+            continue; // generic never instantiated: drop
+        }
+        if node.interface.template_params.len() != 1 {
+            return Err(DescriptorError::schema(
+                "expand",
+                format!(
+                    "interface `{}`: only single-template-parameter expansion is supported \
+                     ({} declared)",
+                    node.interface.name,
+                    node.interface.template_params.len()
+                ),
+            ));
+        }
+        let tparam = &node.interface.template_params[0];
+        for (_, concrete) in requested {
+            let mut iface = node.interface.clone();
+            iface.name = format!("{}<{}>", node.interface.name, concrete);
+            iface.template_params.clear();
+            for p in &mut iface.params {
+                p.ctype = substitute_type(&p.ctype, tparam, concrete);
+            }
+            let variants: Vec<IrVariant> = node
+                .variants
+                .iter()
+                .map(|v| {
+                    let mut d = v.descriptor.clone();
+                    d.name = format!("{}<{}>", d.name, concrete);
+                    d.provides = iface.name.clone();
+                    IrVariant {
+                        descriptor: d,
+                        enabled: v.enabled,
+                        platform_ok: v.platform_ok,
+                    }
+                })
+                .collect();
+            expanded_nodes.push(IrNode {
+                interface: iface,
+                variants,
+            });
+        }
+    }
+    ir.nodes = expanded_nodes;
+    Ok(())
+}
+
+/// Expands variants that declare tunable parameters with candidate value
+/// lists into one concrete variant per value (per tunable, independently —
+/// combinatorial products across several tunables are built by expanding
+/// repeatedly). The instantiated name is `base@param=value`, matching
+/// `peppher_core::tunable_variant_name`; the instantiated descriptor keeps
+/// a single-valued tunable so downstream tooling can read the binding.
+pub fn expand_tunables(ir: &mut Ir) {
+    for node in &mut ir.nodes {
+        let mut out: Vec<IrVariant> = Vec::new();
+        for v in node.variants.drain(..) {
+            let expandable: Vec<_> = v
+                .descriptor
+                .tunables
+                .iter()
+                .filter(|t| t.values.len() > 1)
+                .cloned()
+                .collect();
+            if expandable.is_empty() {
+                out.push(v);
+                continue;
+            }
+            // One expansion pass per declared tunable, applied in sequence.
+            let mut current = vec![v];
+            for tunable in &expandable {
+                let mut next = Vec::new();
+                for base in &current {
+                    for value in &tunable.values {
+                        let mut d = base.descriptor.clone();
+                        d.name = format!("{}@{}={}", d.name, tunable.name, value);
+                        for t in &mut d.tunables {
+                            if t.name == tunable.name {
+                                t.values = vec![value.clone()];
+                                t.default = Some(value.clone());
+                            }
+                        }
+                        next.push(IrVariant {
+                            descriptor: d,
+                            enabled: base.enabled,
+                            platform_ok: base.platform_ok,
+                        });
+                    }
+                }
+                current = next;
+            }
+            out.extend(current);
+        }
+        node.variants = out;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::Recipe;
+    use peppher_descriptor::{
+        AccessType, ComponentDescriptor, InterfaceDescriptor, MainDescriptor, ParamDecl,
+        TunableParam,
+    };
+
+    fn generic_ir(instantiations: Vec<(String, String)>) -> Ir {
+        let mut iface = InterfaceDescriptor::new("sort");
+        iface.template_params.push("T".into());
+        iface.params = vec![
+            ParamDecl {
+                name: "data".into(),
+                ctype: "T*".into(),
+                access: AccessType::ReadWrite,
+            },
+            ParamDecl {
+                name: "n".into(),
+                ctype: "int".into(),
+                access: AccessType::Read,
+            },
+        ];
+        Ir {
+            main: MainDescriptor::new("app", "p"),
+            recipe: Recipe {
+                instantiations,
+                ..Recipe::default()
+            },
+            nodes: vec![IrNode {
+                interface: iface,
+                variants: vec![IrVariant {
+                    descriptor: ComponentDescriptor::new("sort_cpu", "sort", "cpp"),
+                    enabled: true,
+                    platform_ok: true,
+                }],
+            }],
+            use_history_models: true,
+        }
+    }
+
+    #[test]
+    fn substitution_matches_whole_identifiers() {
+        assert_eq!(substitute_type("T*", "T", "float"), "float*");
+        assert_eq!(substitute_type("const T&", "T", "double"), "const double&");
+        assert_eq!(substitute_type("Tuple*", "T", "float"), "Tuple*");
+        assert_eq!(substitute_type("T", "T", "int"), "int");
+        assert_eq!(substitute_type("std::vector<T>", "T", "int"), "std::vector<int>");
+    }
+
+    #[test]
+    fn expands_requested_instantiations() {
+        let mut ir = generic_ir(vec![
+            ("sort".into(), "float".into()),
+            ("sort".into(), "int".into()),
+        ]);
+        expand_generics(&mut ir).unwrap();
+        let names: Vec<&str> = ir.nodes.iter().map(|n| n.interface.name.as_str()).collect();
+        assert_eq!(names, vec!["sort<float>", "sort<int>"]);
+        let f = ir.node("sort<float>").unwrap();
+        assert_eq!(f.interface.params[0].ctype, "float*");
+        assert_eq!(f.interface.params[1].ctype, "int");
+        assert!(!f.interface.is_generic());
+        assert_eq!(f.variants[0].descriptor.name, "sort_cpu<float>");
+        assert_eq!(f.variants[0].descriptor.provides, "sort<float>");
+    }
+
+    #[test]
+    fn uninstantiated_generics_are_dropped() {
+        let mut ir = generic_ir(vec![]);
+        expand_generics(&mut ir).unwrap();
+        assert!(ir.nodes.is_empty());
+    }
+
+    #[test]
+    fn multi_template_params_rejected() {
+        let mut ir = generic_ir(vec![("sort".into(), "float".into())]);
+        ir.nodes[0].interface.template_params.push("U".into());
+        assert!(expand_generics(&mut ir).is_err());
+    }
+
+    #[test]
+    fn tunable_expansion_multiplies_variants() {
+        let mut ir = generic_ir(vec![]);
+        let mut cuda = ComponentDescriptor::new("spmv_cuda", "spmv", "cuda");
+        cuda.tunables.push(TunableParam {
+            name: "block_size".into(),
+            values: vec!["64".into(), "128".into(), "256".into()],
+            default: Some("128".into()),
+        });
+        ir.nodes = vec![IrNode {
+            interface: InterfaceDescriptor::new("spmv"),
+            variants: vec![IrVariant {
+                descriptor: cuda,
+                enabled: true,
+                platform_ok: true,
+            }],
+        }];
+        expand_tunables(&mut ir);
+        let names: Vec<&str> = ir.nodes[0]
+            .variants
+            .iter()
+            .map(|v| v.descriptor.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                "spmv_cuda@block_size=64",
+                "spmv_cuda@block_size=128",
+                "spmv_cuda@block_size=256"
+            ]
+        );
+        // Each instantiation pins its tunable to one value.
+        assert_eq!(ir.nodes[0].variants[0].descriptor.tunables[0].values, vec!["64"]);
+    }
+
+    #[test]
+    fn tunable_expansion_is_combinatorial_across_tunables() {
+        let mut ir = generic_ir(vec![]);
+        let mut c = ComponentDescriptor::new("k", "i", "cuda");
+        for (name, values) in [("block", vec!["32", "64"]), ("unroll", vec!["2", "4"])] {
+            c.tunables.push(TunableParam {
+                name: name.into(),
+                values: values.into_iter().map(String::from).collect(),
+                default: None,
+            });
+        }
+        ir.nodes = vec![IrNode {
+            interface: InterfaceDescriptor::new("i"),
+            variants: vec![IrVariant {
+                descriptor: c,
+                enabled: true,
+                platform_ok: true,
+            }],
+        }];
+        expand_tunables(&mut ir);
+        assert_eq!(ir.nodes[0].variants.len(), 4);
+        assert!(ir.nodes[0]
+            .variants
+            .iter()
+            .any(|v| v.descriptor.name == "k@block=32@unroll=4"));
+    }
+
+    #[test]
+    fn single_valued_tunables_not_expanded() {
+        let mut ir = generic_ir(vec![]);
+        let mut c = ComponentDescriptor::new("k", "i", "cpp");
+        c.tunables.push(TunableParam {
+            name: "buf".into(),
+            values: vec!["1024".into()],
+            default: None,
+        });
+        ir.nodes = vec![IrNode {
+            interface: InterfaceDescriptor::new("i"),
+            variants: vec![IrVariant {
+                descriptor: c,
+                enabled: true,
+                platform_ok: true,
+            }],
+        }];
+        expand_tunables(&mut ir);
+        assert_eq!(ir.nodes[0].variants.len(), 1);
+        assert_eq!(ir.nodes[0].variants[0].descriptor.name, "k");
+    }
+
+    #[test]
+    fn non_generic_nodes_pass_through() {
+        let mut ir = generic_ir(vec![("sort".into(), "f32".into())]);
+        ir.nodes.push(IrNode {
+            interface: InterfaceDescriptor::new("plain"),
+            variants: vec![],
+        });
+        expand_generics(&mut ir).unwrap();
+        assert!(ir.node("plain").is_some());
+    }
+}

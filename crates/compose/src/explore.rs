@@ -1,0 +1,206 @@
+//! Repository exploration: descriptors → IR.
+
+use crate::ir::{Ir, IrNode, IrVariant, Recipe};
+use peppher_descriptor::{DescriptorError, Repository};
+use std::collections::BTreeSet;
+
+/// Platforms whose variants can execute on a target. The target platform
+/// name is matched against substrings: a target containing `c2050`/`c1060`
+/// /`gpu` accepts accelerator models; every target accepts CPU models.
+fn platform_available(target: &str, model: &str) -> bool {
+    let has_gpu = ["gpu", "cuda", "c2050", "c1060", "opencl"]
+        .iter()
+        .any(|tag| target.to_ascii_lowercase().contains(tag));
+    match model.to_ascii_lowercase().as_str() {
+        "cuda" | "opencl" | "gpu" => has_gpu,
+        _ => true,
+    }
+}
+
+/// Builds the IR for the application described by `main_name`, exploring
+/// the repository from the main module's used components, recursively
+/// following required interfaces, and processing interfaces bottom-up.
+pub fn build_ir(
+    repo: &Repository,
+    main_name: &str,
+    recipe: Recipe,
+) -> Result<Ir, DescriptorError> {
+    let main = repo
+        .mains
+        .get(main_name)
+        .ok_or_else(|| DescriptorError::Unresolved(format!("main module `{main_name}`")))?
+        .clone();
+    repo.validate()?;
+
+    // Reachable interfaces: main's uses, closed under variants' requires.
+    let mut reachable: BTreeSet<String> = BTreeSet::new();
+    let mut work: Vec<String> = main.components.clone();
+    while let Some(name) = work.pop() {
+        if !reachable.insert(name.clone()) {
+            continue;
+        }
+        if !repo.interfaces.contains_key(&name) {
+            return Err(DescriptorError::Unresolved(format!(
+                "interface `{name}` referenced but not in repository"
+            )));
+        }
+        for v in repo.variants_of(&name) {
+            for r in &v.requires {
+                work.push(r.clone());
+            }
+        }
+    }
+
+    // Effective switches: descriptor + recipe.
+    let mut disable: Vec<String> = main.disable_impls.clone();
+    disable.extend(recipe.disable_impls.iter().cloned());
+    let force = recipe.force_impl.clone().or_else(|| main.force_impl.clone());
+    let target = recipe
+        .target_platform
+        .clone()
+        .unwrap_or_else(|| main.target_platform.clone());
+    let use_history = recipe
+        .use_history_models
+        .unwrap_or(main.use_history_models);
+
+    // Bottom-up order restricted to reachable interfaces.
+    let ordered = repo.interfaces_bottom_up()?;
+    let mut nodes = Vec::new();
+    for iface in ordered {
+        if !reachable.contains(&iface.name) {
+            continue;
+        }
+        let variants: Vec<IrVariant> = repo
+            .variants_of(&iface.name)
+            .into_iter()
+            .map(|c| {
+                let mut enabled = !disable.contains(&c.name);
+                if let Some(f) = &force {
+                    // Forcing applies within the interface that owns the
+                    // forced variant; other interfaces keep their sets.
+                    let owns = repo.variants_of(&iface.name).iter().any(|v| &v.name == f);
+                    if owns {
+                        enabled = enabled && c.name == *f;
+                    }
+                }
+                IrVariant {
+                    platform_ok: platform_available(&target, &c.platform.model),
+                    descriptor: c.clone(),
+                    enabled,
+                }
+            })
+            .collect();
+        nodes.push(IrNode {
+            interface: iface.clone(),
+            variants,
+        });
+    }
+
+    let ir = Ir {
+        main,
+        recipe,
+        nodes,
+        use_history_models: use_history,
+    };
+    ir.check_composable()
+        .map_err(DescriptorError::Unresolved)?;
+    Ok(ir)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppher_descriptor::{ComponentDescriptor, InterfaceDescriptor, MainDescriptor};
+
+    fn fixture() -> Repository {
+        let mut repo = Repository::new();
+        for name in ["spmv", "reduce", "unused"] {
+            repo.add_interface(InterfaceDescriptor::new(name));
+        }
+        let mut spmv_cuda = ComponentDescriptor::new("spmv_cuda", "spmv", "cuda");
+        spmv_cuda.requires.push("reduce".into());
+        repo.add_component(spmv_cuda);
+        repo.add_component(ComponentDescriptor::new("spmv_cpu", "spmv", "cpp"));
+        repo.add_component(ComponentDescriptor::new("reduce_cpu", "reduce", "cpp"));
+        repo.add_component(ComponentDescriptor::new("unused_cpu", "unused", "cpp"));
+        let mut main = MainDescriptor::new("app", "xeon_c2050");
+        main.components.push("spmv".into());
+        repo.add_main(main);
+        repo
+    }
+
+    #[test]
+    fn explores_reachable_interfaces_bottom_up() {
+        let ir = build_ir(&fixture(), "app", Recipe::default()).unwrap();
+        let names: Vec<&str> = ir.nodes.iter().map(|n| n.interface.name.as_str()).collect();
+        assert_eq!(names, vec!["reduce", "spmv"], "required-first order, unused dropped");
+        assert!(ir.use_history_models);
+    }
+
+    #[test]
+    fn platform_matching_disables_cuda_on_cpu_target() {
+        let mut recipe = Recipe::default();
+        recipe.target_platform = Some("xeon_only".into());
+        let ir = build_ir(&fixture(), "app", recipe).unwrap();
+        let spmv = ir.node("spmv").unwrap();
+        let selectable: Vec<&str> = spmv
+            .selectable_variants()
+            .iter()
+            .map(|v| v.descriptor.name.as_str())
+            .collect();
+        assert_eq!(selectable, vec!["spmv_cpu"]);
+    }
+
+    #[test]
+    fn recipe_disable_impls_merges_with_descriptor() {
+        let recipe = Recipe {
+            disable_impls: vec!["spmv_cuda".into()],
+            ..Recipe::default()
+        };
+        let ir = build_ir(&fixture(), "app", recipe).unwrap();
+        let spmv = ir.node("spmv").unwrap();
+        assert_eq!(spmv.selectable_variants().len(), 1);
+    }
+
+    #[test]
+    fn force_impl_narrows_to_one() {
+        let recipe = Recipe {
+            force_impl: Some("spmv_cuda".into()),
+            ..Recipe::default()
+        };
+        let ir = build_ir(&fixture(), "app", recipe).unwrap();
+        let spmv = ir.node("spmv").unwrap();
+        let selectable: Vec<&str> = spmv
+            .selectable_variants()
+            .iter()
+            .map(|v| v.descriptor.name.as_str())
+            .collect();
+        assert_eq!(selectable, vec!["spmv_cuda"]);
+        // Other interfaces unaffected by the force.
+        assert_eq!(ir.node("reduce").unwrap().selectable_variants().len(), 1);
+    }
+
+    #[test]
+    fn disabling_everything_is_an_error() {
+        let recipe = Recipe {
+            disable_impls: vec!["spmv_cuda".into(), "spmv_cpu".into()],
+            ..Recipe::default()
+        };
+        assert!(build_ir(&fixture(), "app", recipe).is_err());
+    }
+
+    #[test]
+    fn unknown_main_is_an_error() {
+        assert!(build_ir(&fixture(), "ghost", Recipe::default()).is_err());
+    }
+
+    #[test]
+    fn recipe_history_override() {
+        let recipe = Recipe {
+            use_history_models: Some(false),
+            ..Recipe::default()
+        };
+        let ir = build_ir(&fixture(), "app", recipe).unwrap();
+        assert!(!ir.use_history_models);
+    }
+}

@@ -1,0 +1,131 @@
+//! The intermediate component-tree representation.
+//!
+//! "We decouple composition processing (e.g., static composition
+//! decisions) from the XML schema by introducing an intermediate
+//! component-tree representation (IR) of the metadata information for the
+//! processed component interfaces and implementations. The IR incorporates
+//! information not only from the XML descriptors but also information
+//! given at composition time (i.e., composition recipe)."
+
+use peppher_descriptor::{ComponentDescriptor, InterfaceDescriptor, MainDescriptor};
+
+/// Composition-time options that are not part of any descriptor — the
+/// *composition recipe*.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Recipe {
+    /// Variants to disable (merged with the main descriptor's list).
+    pub disable_impls: Vec<String>,
+    /// Force a single variant (extreme user-guided static composition).
+    pub force_impl: Option<String>,
+    /// Override the global `useHistoryModels` flag.
+    pub use_history_models: Option<bool>,
+    /// Override the target platform.
+    pub target_platform: Option<String>,
+    /// Generic instantiations to expand: `(generic interface, type arg)`.
+    pub instantiations: Vec<(String, String)>,
+}
+
+/// One implementation variant in the IR, annotated with composition state.
+#[derive(Debug, Clone)]
+pub struct IrVariant {
+    /// The descriptor metadata.
+    pub descriptor: ComponentDescriptor,
+    /// False when disabled by `disableImpls`/`forceImpl` narrowing.
+    pub enabled: bool,
+    /// Whether the variant's platform is available on the target platform
+    /// (a CUDA variant cannot run on a CPU-only target).
+    pub platform_ok: bool,
+}
+
+impl IrVariant {
+    /// Whether the variant survives narrowing and platform matching.
+    pub fn selectable(&self) -> bool {
+        self.enabled && self.platform_ok
+    }
+}
+
+/// One interface with its implementation variants.
+#[derive(Debug, Clone)]
+pub struct IrNode {
+    /// The interface descriptor (post-expansion for generics).
+    pub interface: InterfaceDescriptor,
+    /// Its variants.
+    pub variants: Vec<IrVariant>,
+}
+
+impl IrNode {
+    /// The selectable variants.
+    pub fn selectable_variants(&self) -> Vec<&IrVariant> {
+        self.variants.iter().filter(|v| v.selectable()).collect()
+    }
+}
+
+/// The component tree for one application.
+#[derive(Debug, Clone)]
+pub struct Ir {
+    /// The application's main-module descriptor.
+    pub main: MainDescriptor,
+    /// The effective recipe (descriptor switches merged with CLI switches).
+    pub recipe: Recipe,
+    /// Interfaces in bottom-up (required-before-requiring) order.
+    pub nodes: Vec<IrNode>,
+    /// The effective `useHistoryModels` setting.
+    pub use_history_models: bool,
+}
+
+impl Ir {
+    /// Finds a node by interface name.
+    pub fn node(&self, interface: &str) -> Option<&IrNode> {
+        self.nodes.iter().find(|n| n.interface.name == interface)
+    }
+
+    /// Validation: every interface reachable from the main module must
+    /// retain at least one selectable variant after narrowing.
+    pub fn check_composable(&self) -> Result<(), String> {
+        for n in &self.nodes {
+            if n.selectable_variants().is_empty() {
+                return Err(format!(
+                    "interface `{}` has no selectable variant after narrowing \
+                     (all disabled or platform-incompatible)",
+                    n.interface.name
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppher_descriptor::ComponentDescriptor;
+
+    fn variant(name: &str, enabled: bool, platform_ok: bool) -> IrVariant {
+        IrVariant {
+            descriptor: ComponentDescriptor::new(name, "i", "cpp"),
+            enabled,
+            platform_ok,
+        }
+    }
+
+    #[test]
+    fn selectable_requires_both_flags() {
+        assert!(variant("a", true, true).selectable());
+        assert!(!variant("a", false, true).selectable());
+        assert!(!variant("a", true, false).selectable());
+    }
+
+    #[test]
+    fn check_composable_flags_empty_nodes() {
+        let ir = Ir {
+            main: MainDescriptor::new("app", "p"),
+            recipe: Recipe::default(),
+            nodes: vec![IrNode {
+                interface: InterfaceDescriptor::new("i"),
+                variants: vec![variant("a", false, true)],
+            }],
+            use_history_models: true,
+        };
+        assert!(ir.check_composable().is_err());
+    }
+}

@@ -1,0 +1,45 @@
+//! The PEPPHER composition tool.
+//!
+//! "The PEPPHER composition tool deploys the components and builds an
+//! executable application. It recursively explores all interfaces and
+//! components that (may) occur in the given PEPPHER application by
+//! browsing the interfaces and components repository."
+//!
+//! The pipeline mirrors the paper's Fig. 2 exactly:
+//!
+//! ```text
+//! Descriptor Information Extraction      Composition Processing        Code Generation
+//! parse XML descriptors            →     static composition       →    stub (wrapper) generation
+//! create internal representation         component expansion           header generation (peppher.rs)
+//! (IR: component tree)                   other composition decisions   makefile generation
+//! ```
+//!
+//! - [`ir`] / [`explore`] — the intermediate component-tree representation,
+//!   built from a [`Repository`](peppher_descriptor::Repository) by
+//!   bottom-up exploration from the main-module descriptor, incorporating
+//!   the composition *recipe* (user-guided switches given at composition
+//!   time rather than in the descriptors).
+//! - [`expand`] — static expansion of generic (template) interfaces into
+//!   concrete instantiations.
+//! - [`static_comp`] — training-run driven construction of dispatch tables
+//!   (and decision-tree compaction) for static composition.
+//! - [`codegen`] — generation of wrapper stubs (one entry-wrapper and one
+//!   backend-wrapper per platform, per component), the `peppher.rs` single
+//!   linking point, and a Makefile.
+//! - [`cli`] — the `compose` command line: `compose main.xml` builds an
+//!   application; `compose --generateCompFiles=decl.h` is utility mode.
+
+pub mod bind;
+pub mod cli;
+pub mod codegen;
+pub mod expand;
+pub mod explore;
+pub mod ir;
+pub mod static_comp;
+
+pub use bind::{instantiate_registry, KernelBindings};
+pub use cli::{run_cli, CliOptions};
+pub use expand::{expand_generics, expand_tunables};
+pub use explore::build_ir;
+pub use ir::{Ir, IrNode, IrVariant, Recipe};
+pub use static_comp::{train_dispatch_table, MeasureFn, StaticComposition};

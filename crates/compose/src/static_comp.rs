@@ -1,0 +1,178 @@
+//! Training-run-based static composition.
+//!
+//! "In general, static composition is supported by performance models and
+//! dispatch tables derived off-line from training runs." The composition
+//! tool sweeps *context scenarios* (values of the interface's primary
+//! context parameter), measures (or predicts) each selectable variant, and
+//! records the winner per scenario. The resulting [`DispatchTable`] —
+//! optionally compacted into a [`DecisionTree`] — is attached to the
+//! component so the generated dispatch code can pick the expected best
+//! variant without consulting the runtime.
+
+use crate::ir::IrNode;
+use peppher_core::{DecisionTree, DispatchTable, TrainingSample};
+use peppher_sim::VTime;
+use std::collections::BTreeMap;
+
+/// A measurement oracle: returns the execution time of `variant` at the
+/// given context-parameter value — from a training execution, a prediction
+/// function, or a micro-benchmark table.
+pub type MeasureFn<'a> = dyn Fn(&str, f64) -> VTime + 'a;
+
+/// The artifacts static composition produced for an application.
+#[derive(Debug, Clone, Default)]
+pub struct StaticComposition {
+    /// Dispatch tables by interface name.
+    pub tables: BTreeMap<String, DispatchTable>,
+    /// Compacted trees by interface name (features = `[param]`).
+    pub trees: BTreeMap<String, DecisionTree>,
+}
+
+/// Log-spaced context scenarios in `[lo, hi]` (both included).
+pub fn log_scenarios(lo: f64, hi: f64, count: usize) -> Vec<f64> {
+    assert!(lo > 0.0 && hi >= lo && count >= 2, "bad scenario range");
+    let (llo, lhi) = (lo.ln(), hi.ln());
+    (0..count)
+        .map(|i| (llo + (lhi - llo) * i as f64 / (count - 1) as f64).exp())
+        .collect()
+}
+
+/// Trains a dispatch table for one IR node: for each scenario value of
+/// `param`, measures every selectable variant and records the fastest.
+/// Also returns the compacted decision tree.
+///
+/// # Panics
+/// Panics when the node has no selectable variants or no scenarios given.
+pub fn train_dispatch_table(
+    node: &IrNode,
+    param: &str,
+    scenarios: &[f64],
+    measure: &MeasureFn<'_>,
+) -> (DispatchTable, DecisionTree) {
+    let variants = node.selectable_variants();
+    assert!(
+        !variants.is_empty(),
+        "interface `{}` has no selectable variants to train",
+        node.interface.name
+    );
+    assert!(!scenarios.is_empty(), "no training scenarios");
+
+    let mut samples: Vec<(f64, String)> = Vec::with_capacity(scenarios.len());
+    for &value in scenarios {
+        let winner = variants
+            .iter()
+            .filter(|v| {
+                v.descriptor
+                    .admits_context(&[(param.to_string(), value)])
+            })
+            .min_by_key(|v| measure(&v.descriptor.name, value))
+            .unwrap_or_else(|| {
+                panic!(
+                    "interface `{}`: no variant admits {param}={value}",
+                    node.interface.name
+                )
+            });
+        samples.push((value, winner.descriptor.name.clone()));
+    }
+
+    let table = DispatchTable::from_samples(param, &samples);
+    let tree_samples: Vec<TrainingSample> = samples
+        .iter()
+        .map(|(v, w)| TrainingSample {
+            features: vec![*v],
+            best: w.clone(),
+        })
+        .collect();
+    let tree = DecisionTree::fit(&tree_samples, 8);
+    (table, tree)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::IrVariant;
+    use peppher_descriptor::{ComponentDescriptor, Constraint, InterfaceDescriptor};
+
+    fn node() -> IrNode {
+        let mk = |name: &str, model: &str| IrVariant {
+            descriptor: ComponentDescriptor::new(name, "spmv", model),
+            enabled: true,
+            platform_ok: true,
+        };
+        IrNode {
+            interface: InterfaceDescriptor::new("spmv"),
+            variants: vec![mk("spmv_cpu", "cpp"), mk("spmv_cuda", "cuda")],
+        }
+    }
+
+    /// CPU: linear; GPU: launch overhead + shallow slope → GPU wins large.
+    fn toy_measure(variant: &str, n: f64) -> VTime {
+        match variant {
+            "spmv_cpu" => VTime::from_nanos((n * 10.0) as u64),
+            "spmv_cuda" => VTime::from_nanos((50_000.0 + n) as u64),
+            other => panic!("unknown {other}"),
+        }
+    }
+
+    #[test]
+    fn log_scenarios_span_range() {
+        let s = log_scenarios(10.0, 1000.0, 5);
+        assert_eq!(s.len(), 5);
+        assert!((s[0] - 10.0).abs() < 1e-9);
+        assert!((s[4] - 1000.0).abs() < 1e-6);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn trains_crossover_table() {
+        let node = node();
+        let scenarios = log_scenarios(100.0, 1e7, 25);
+        let (table, tree) = train_dispatch_table(&node, "nnz", &scenarios, &toy_measure);
+        // Crossover at 10n = 50000 + n → n ≈ 5556.
+        assert_eq!(table.lookup(1000.0), "spmv_cpu");
+        assert_eq!(table.lookup(1e6), "spmv_cuda");
+        // Tree agrees with the table on the training scenarios.
+        for &v in &scenarios {
+            assert_eq!(tree.predict(&[v]), table.lookup(v), "at {v}");
+        }
+        assert!(table.len() <= 3);
+    }
+
+    #[test]
+    fn constraints_exclude_variants_from_training() {
+        let mut n = node();
+        // GPU only selectable above 1e6: below that CPU wins by default.
+        n.variants[1].descriptor.constraints.push(Constraint {
+            param: "nnz".into(),
+            min: Some(1e6),
+            max: None,
+        });
+        let (table, _) = train_dispatch_table(
+            &n,
+            "nnz",
+            &log_scenarios(100.0, 1e8, 20),
+            // GPU "faster" everywhere — but constrained away below 1e6.
+            &|v, _| {
+                if v == "spmv_cuda" {
+                    VTime::from_nanos(1)
+                } else {
+                    VTime::from_nanos(100)
+                }
+            },
+        );
+        assert_eq!(table.lookup(1_000.0), "spmv_cpu");
+        assert_eq!(table.lookup(1e7), "spmv_cuda");
+    }
+
+    #[test]
+    #[should_panic(expected = "no training scenarios")]
+    fn empty_scenarios_panic() {
+        let _ = train_dispatch_table(&node(), "nnz", &[], &toy_measure);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad scenario range")]
+    fn bad_range_panics() {
+        let _ = log_scenarios(0.0, 10.0, 3);
+    }
+}

@@ -1,0 +1,248 @@
+//! End-to-end composition: descriptors on disk → compose → generated files.
+
+use peppher_compose::{run_cli, CliOptions};
+use std::path::PathBuf;
+
+fn setup_repo(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("peppher-e2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("spmv/cuda")).unwrap();
+    std::fs::create_dir_all(dir.join("spmv/cpu")).unwrap();
+    std::fs::write(
+        dir.join("spmv/spmv.xml"),
+        r#"<interface name="spmv">
+             <param name="values" type="float*" access="read"/>
+             <param name="nnz" type="int" access="read"/>
+             <param name="x" type="const float*" access="read"/>
+             <param name="y" type="float*" access="write"/>
+             <contextParam name="nnz" min="0" max="100000000"/>
+           </interface>"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("spmv/cpu/spmv_cpu.xml"),
+        r#"<component name="spmv_cpu">
+             <provides interface="spmv"/>
+             <source>cpu/spmv_cpu.cpp</source>
+             <platform model="cpp"/>
+           </component>"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("spmv/cuda/spmv_cuda.xml"),
+        r#"<component name="spmv_cuda">
+             <provides interface="spmv"/>
+             <source>cuda/spmv_cuda.cu</source>
+             <deployment><compile>nvcc -O3 -c cuda/spmv_cuda.cu</compile></deployment>
+             <platform model="cuda"/>
+             <constraint param="nnz" min="10000"/>
+           </component>"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("main.xml"),
+        r#"<main name="spmv_app" targetPlatform="xeon_c2050">
+             <uses component="spmv"/>
+           </main>"#,
+    )
+    .unwrap();
+    dir
+}
+
+#[test]
+fn build_mode_generates_wrappers_header_and_makefile() {
+    let dir = setup_repo("build");
+    let out = dir.join("generated");
+    let opts = CliOptions::parse(&[
+        dir.join("main.xml").display().to_string(),
+        format!("--out={}", out.display()),
+    ])
+    .unwrap();
+    let report = run_cli(&opts).unwrap();
+    assert!(report[0].contains("composed application `spmv_app`"));
+
+    let wrapper = std::fs::read_to_string(out.join("spmv_wrapper.rs")).unwrap();
+    assert!(wrapper.contains("pub fn spmv("));
+    assert!(wrapper.contains("spmv_cpu_backend"));
+    assert!(wrapper.contains("spmv_cuda_backend"));
+
+    let header = std::fs::read_to_string(out.join("peppher.rs")).unwrap();
+    assert!(header.contains("pub mod spmv_wrapper;"));
+    assert!(header.contains("c2050_platform"));
+
+    let makefile = std::fs::read_to_string(out.join("Makefile")).unwrap();
+    assert!(makefile.contains("nvcc -O3 -c cuda/spmv_cuda.cu"));
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn disable_impls_flag_removes_backend() {
+    let dir = setup_repo("disable");
+    let out = dir.join("gen2");
+    let opts = CliOptions::parse(&[
+        dir.join("main.xml").display().to_string(),
+        format!("--out={}", out.display()),
+        "--disableImpls=spmv_cuda".to_string(),
+    ])
+    .unwrap();
+    run_cli(&opts).unwrap();
+    let wrapper = std::fs::read_to_string(out.join("spmv_wrapper.rs")).unwrap();
+    assert!(!wrapper.contains("spmv_cuda_backend"));
+    let makefile = std::fs::read_to_string(out.join("Makefile")).unwrap();
+    assert!(!makefile.contains("spmv_cuda.o:"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cpu_platform_drops_cuda_variant() {
+    let dir = setup_repo("plat");
+    let out = dir.join("gen3");
+    let opts = CliOptions::parse(&[
+        dir.join("main.xml").display().to_string(),
+        format!("--out={}", out.display()),
+        "--platform=xeon_only".to_string(),
+    ])
+    .unwrap();
+    run_cli(&opts).unwrap();
+    let wrapper = std::fs::read_to_string(out.join("spmv_wrapper.rs")).unwrap();
+    assert!(wrapper.contains("spmv_cpu_backend"));
+    assert!(!wrapper.contains("spmv_cuda_backend"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn utility_mode_matches_paper_walkthrough() {
+    let dir = std::env::temp_dir().join(format!("peppher-e2e-util-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    std::fs::write(
+        dir.join("spmv.h"),
+        "// sparse matrix-vector product\n\
+         void spmv(float* values, int nnz, int nrows, int ncols, int first, \
+         size_t* colIdxs, size_t* rowPtr, float* x, float* y);\n",
+    )
+    .unwrap();
+    let opts = CliOptions::parse(&[
+        format!("-generateCompFiles={}", dir.join("spmv.h").display()),
+        format!("--out={}", dir.display()),
+    ])
+    .unwrap();
+    let report = run_cli(&opts).unwrap();
+    assert_eq!(report.len(), 7, "interface + 3x(xml+src): {report:?}");
+    assert!(dir.join("spmv/spmv.xml").exists());
+    assert!(dir.join("spmv/cpu/spmv_cpu.cpp").exists());
+    assert!(dir.join("spmv/openmp/spmv_openmp.xml").exists());
+    assert!(dir.join("spmv/cuda/spmv_cuda.cu").exists());
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn generic_interface_instantiated_via_cli() {
+    let dir = std::env::temp_dir().join(format!("peppher-e2e-gen-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("sort/cpu")).unwrap();
+    std::fs::write(
+        dir.join("sort/sort.xml"),
+        r#"<interface name="sort">
+             <templateParam name="T"/>
+             <param name="data" type="T*" access="readwrite"/>
+             <param name="n" type="int" access="read"/>
+           </interface>"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("sort/cpu/sort_cpu.xml"),
+        r#"<component name="sort_cpu">
+             <provides interface="sort"/>
+             <platform model="cpp"/>
+           </component>"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("main.xml"),
+        r#"<main name="sort_app" targetPlatform="xeon_c2050">
+             <uses component="sort"/>
+           </main>"#,
+    )
+    .unwrap();
+
+    let out = dir.join("gen");
+    let opts = CliOptions::parse(&[
+        dir.join("main.xml").display().to_string(),
+        format!("--out={}", out.display()),
+        "--instantiate=sort:float".to_string(),
+        "--instantiate=sort:int".to_string(),
+    ])
+    .unwrap();
+    run_cli(&opts).unwrap();
+
+    for ty in ["float", "int"] {
+        let wrapper = std::fs::read_to_string(out.join(format!("sort_{ty}_wrapper.rs"))).unwrap();
+        assert!(wrapper.contains(&format!("pub fn sort_{ty}(")));
+        assert!(wrapper.contains(&format!("registry.call(\"sort<{ty}>\")")));
+        assert!(wrapper.contains(&format!("data: &DataHandle, // `{ty}*` access: readwrite")));
+    }
+    let header = std::fs::read_to_string(out.join("peppher.rs")).unwrap();
+    assert!(header.contains("pub mod sort_float_wrapper;"));
+    assert!(header.contains("pub mod sort_int_wrapper;"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn tunable_variants_expanded_via_cli() {
+    let dir = std::env::temp_dir().join(format!("peppher-e2e-tun-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("scan/cuda")).unwrap();
+    std::fs::write(
+        dir.join("scan/scan.xml"),
+        r#"<interface name="scan">
+             <param name="x" type="float*" access="readwrite"/>
+           </interface>"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("scan/cuda/scan_cuda.xml"),
+        r#"<component name="scan_cuda">
+             <provides interface="scan"/>
+             <platform model="cuda"/>
+             <tunableParam name="block" values="64,256"/>
+           </component>"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("main.xml"),
+        r#"<main name="scan_app" targetPlatform="xeon_c2050">
+             <uses component="scan"/>
+           </main>"#,
+    )
+    .unwrap();
+    let out = dir.join("gen");
+    let opts = CliOptions::parse(&[
+        dir.join("main.xml").display().to_string(),
+        format!("--out={}", out.display()),
+    ])
+    .unwrap();
+    run_cli(&opts).unwrap();
+    let wrapper = std::fs::read_to_string(out.join("scan_wrapper.rs")).unwrap();
+    assert!(wrapper.contains("scan_cuda_block_64_backend"));
+    assert!(wrapper.contains("scan_cuda_block_256_backend"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn force_impl_yields_single_backend() {
+    let dir = setup_repo("force");
+    let out = dir.join("gen4");
+    let opts = CliOptions::parse(&[
+        dir.join("main.xml").display().to_string(),
+        format!("--out={}", out.display()),
+        "--forceImpl=spmv_cuda".to_string(),
+    ])
+    .unwrap();
+    run_cli(&opts).unwrap();
+    let wrapper = std::fs::read_to_string(out.join("spmv_wrapper.rs")).unwrap();
+    assert!(wrapper.contains("spmv_cuda_backend"));
+    assert!(!wrapper.contains("spmv_cpu_backend"));
+    std::fs::remove_dir_all(&dir).unwrap();
+}

@@ -1,0 +1,32 @@
+//! PEPPHER smart containers.
+//!
+//! The paper (§IV-D): "A smart container can wrap operand data passed in
+//! and out of PEPPHER components while providing a high-level interface to
+//! access that data. [...] these containers allow multiple copies of the
+//! same data on different memory units (CPU, GPU memory) at a certain time
+//! while ensuring consistency."
+//!
+//! Three containers are provided, generic in the element type, exactly as
+//! in the paper: [`Scalar`], [`Vector`] (1D) and [`Matrix`] (2D). Each
+//! wraps a runtime [`DataHandle`](peppher_runtime::DataHandle) plus a
+//! cloned [`Runtime`](peppher_runtime::Runtime) reference, so host accesses
+//! can transparently enforce coherence:
+//!
+//! - reading (`read()`, `get()`) waits for pending component calls writing
+//!   the data and lazily copies it back from device memory — the paper's
+//!   "detected using the `[]` operator" behaviour, expressed through scoped
+//!   guards as is idiomatic in Rust;
+//! - writing (`write()`, `set()`) additionally invalidates device replicas.
+//!
+//! Used as *task operands* (via [`Vector::handle`] etc.), containers keep
+//! data resident on devices across calls, which is what makes the paper's
+//! "efficient repetitive execution" (§IV-H) and inter-component
+//! parallelism (§IV-E) work.
+
+pub mod matrix;
+pub mod scalar;
+pub mod vector;
+
+pub use matrix::Matrix;
+pub use scalar::Scalar;
+pub use vector::Vector;

@@ -1,0 +1,205 @@
+//! The 2D smart container.
+
+use peppher_runtime::runtime::{HostReadGuard, HostWriteGuard};
+use peppher_runtime::{DataHandle, Runtime};
+use std::fmt;
+
+/// A dense row-major 2D array managed by the runtime. The payload is a
+/// `Vec<T>` of `rows * cols` elements; kernels receive it as `Vec<T>` plus
+/// the dimensions they need via the task argument pack.
+pub struct Matrix<T> {
+    rt: Runtime,
+    handle: DataHandle,
+    rows: usize,
+    cols: usize,
+    _t: std::marker::PhantomData<T>,
+}
+
+impl<T: Clone + Send + Sync + 'static> Matrix<T> {
+    /// Registers a `rows × cols` matrix from row-major data.
+    ///
+    /// # Panics
+    /// Panics when `data.len() != rows * cols`.
+    pub fn register(rt: &Runtime, rows: usize, cols: usize, data: Vec<T>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix payload is {} elements, expected {rows}x{cols}",
+            data.len()
+        );
+        let handle = rt.register_vec(data);
+        Matrix {
+            rt: rt.clone(),
+            handle,
+            rows,
+            cols,
+            _t: std::marker::PhantomData,
+        }
+    }
+
+    /// Registers a matrix filled with clones of `value`.
+    pub fn filled(rt: &Runtime, rows: usize, cols: usize, value: T) -> Self {
+        Matrix::register(rt, rows, cols, vec![value; rows * cols])
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Total element count.
+    pub fn len(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether the matrix has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The underlying data handle for task operands.
+    pub fn handle(&self) -> &DataHandle {
+        &self.handle
+    }
+
+    /// The runtime this container is bound to.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// Scoped read access to the row-major payload.
+    pub fn read(&self) -> HostReadGuard<Vec<T>> {
+        self.rt.acquire_read::<Vec<T>>(&self.handle)
+    }
+
+    /// Scoped write access to the row-major payload.
+    pub fn write(&self) -> HostWriteGuard<Vec<T>> {
+        self.rt.acquire_write::<Vec<T>>(&self.handle)
+    }
+
+    /// Reads element `(r, c)`.
+    pub fn get(&self, r: usize, c: usize) -> T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.read()[r * self.cols + c].clone()
+    }
+
+    /// Writes element `(r, c)`.
+    pub fn set(&self, r: usize, c: usize, value: T) {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        self.write()[r * self.cols + c] = value;
+    }
+
+    /// Copies the payload out without unregistering.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.read().clone()
+    }
+
+    /// Consumes the container, returning the row-major payload.
+    pub fn into_vec(self) -> Vec<T> {
+        self.rt.clone().unregister_vec::<T>(self.handle.clone())
+    }
+
+    /// Splits into `nblocks` row-band matrices (for blocked kernels such as
+    /// the paper's "blocked matrix multiplication" example of
+    /// intra-component parallelism).
+    pub fn partition_rows(&self, nblocks: usize) -> Vec<Matrix<T>> {
+        let nblocks = nblocks.max(1).min(self.rows.max(1));
+        let data = self.read();
+        let base = self.rows / nblocks;
+        let extra = self.rows % nblocks;
+        let mut out = Vec::with_capacity(nblocks);
+        let mut row = 0;
+        for b in 0..nblocks {
+            let nrows = base + usize::from(b < extra);
+            let slice = data[row * self.cols..(row + nrows) * self.cols].to_vec();
+            out.push(Matrix::register(&self.rt, nrows, self.cols, slice));
+            row += nrows;
+        }
+        out
+    }
+
+    /// Reassembles row bands produced by [`Matrix::partition_rows`].
+    pub fn gather_rows(&self, blocks: &[Matrix<T>]) {
+        let total: usize = blocks.iter().map(|b| b.rows).sum();
+        assert_eq!(total, self.rows, "gather_rows: row count mismatch");
+        for b in blocks {
+            assert_eq!(b.cols, self.cols, "gather_rows: column count mismatch");
+        }
+        let mut dst = self.write();
+        let mut row = 0;
+        for b in blocks {
+            let src = b.read();
+            dst[row * self.cols..(row + b.rows) * self.cols].clone_from_slice(&src);
+            row += b.rows;
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + 'static> fmt::Debug for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Matrix({}x{}, handle={})",
+            self.rows,
+            self.cols,
+            self.handle.id()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppher_runtime::SchedulerKind;
+    use peppher_sim::MachineConfig;
+
+    fn rt() -> Runtime {
+        Runtime::new(MachineConfig::cpu_only(2), SchedulerKind::Eager)
+    }
+
+    #[test]
+    fn indexing_row_major() {
+        let rt = rt();
+        let m = Matrix::register(&rt, 2, 3, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(m.get(0, 0), 1);
+        assert_eq!(m.get(0, 2), 3);
+        assert_eq!(m.get(1, 0), 4);
+        m.set(1, 2, 9);
+        assert_eq!(m.into_vec(), vec![1, 2, 3, 4, 5, 9]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_bounds_checked() {
+        let rt = rt();
+        let m = Matrix::filled(&rt, 2, 2, 0);
+        m.get(2, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2x3")]
+    fn register_validates_shape() {
+        let rt = rt();
+        let _ = Matrix::register(&rt, 2, 3, vec![0; 5]);
+    }
+
+    #[test]
+    fn partition_and_gather_rows() {
+        let rt = rt();
+        let m = Matrix::register(&rt, 5, 2, (0..10).collect());
+        let bands = m.partition_rows(2);
+        assert_eq!(bands[0].rows(), 3);
+        assert_eq!(bands[1].rows(), 2);
+        assert_eq!(bands[1].to_vec(), vec![6, 7, 8, 9]);
+
+        // Modify a band, gather, observe in parent.
+        bands[1].set(0, 0, 60);
+        m.gather_rows(&bands);
+        assert_eq!(m.get(3, 0), 60);
+    }
+}

@@ -1,0 +1,102 @@
+//! The 0D smart container.
+
+use peppher_runtime::runtime::{HostReadGuard, HostWriteGuard};
+use peppher_runtime::{DataHandle, Runtime};
+use std::fmt;
+
+/// A single managed value (e.g. a reduction result or a convergence flag)
+/// whose replicas follow the same coherence protocol as [`crate::Vector`].
+pub struct Scalar<T> {
+    rt: Runtime,
+    handle: DataHandle,
+    _t: std::marker::PhantomData<T>,
+}
+
+impl<T: Clone + Send + Sync + 'static> Scalar<T> {
+    /// Registers the value with the runtime.
+    pub fn register(rt: &Runtime, value: T) -> Self {
+        let handle = rt.register_value(value, std::mem::size_of::<T>());
+        Scalar {
+            rt: rt.clone(),
+            handle,
+            _t: std::marker::PhantomData,
+        }
+    }
+
+    /// The underlying data handle for task operands.
+    pub fn handle(&self) -> &DataHandle {
+        &self.handle
+    }
+
+    /// The runtime this container is bound to.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// Scoped read access (waits for the pending writer, fetches lazily).
+    pub fn read(&self) -> HostReadGuard<T> {
+        self.rt.acquire_read::<T>(&self.handle)
+    }
+
+    /// Scoped write access (waits for all users, invalidates devices).
+    pub fn write(&self) -> HostWriteGuard<T> {
+        self.rt.acquire_write::<T>(&self.handle)
+    }
+
+    /// Reads the value.
+    pub fn get(&self) -> T {
+        self.read().clone()
+    }
+
+    /// Replaces the value.
+    pub fn set(&self, value: T) {
+        *self.write() = value;
+    }
+
+    /// Consumes the container, returning the final value.
+    pub fn into_inner(self) -> T {
+        self.rt.clone().unregister_value::<T>(self.handle.clone())
+    }
+}
+
+impl<T: Clone + Send + Sync + fmt::Debug + 'static> fmt::Debug for Scalar<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Scalar({:?}, handle={})", self.get(), self.handle.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppher_runtime::{AccessMode, Arch, Codelet, SchedulerKind, TaskBuilder};
+    use peppher_sim::MachineConfig;
+    use std::sync::Arc;
+
+    #[test]
+    fn get_set_roundtrip() {
+        let rt = Runtime::new(MachineConfig::cpu_only(1), SchedulerKind::Eager);
+        let s = Scalar::register(&rt, 41.0f64);
+        assert_eq!(s.get(), 41.0);
+        s.set(42.0);
+        assert_eq!(s.into_inner(), 42.0);
+    }
+
+    #[test]
+    fn scalar_as_reduction_target() {
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(1).without_noise(),
+            SchedulerKind::Eager,
+        );
+        let v = crate::Vector::register(&rt, vec![2.0f64; 100]);
+        let acc = Scalar::register(&rt, 0.0f64);
+        let dot = Arc::new(Codelet::new("sum").with_impl(Arch::Gpu, |ctx| {
+            let x = ctx.r::<Vec<f64>>(0).clone();
+            *ctx.w::<f64>(1) = x.iter().sum();
+        }));
+        TaskBuilder::new(&dot)
+            .access(v.handle(), AccessMode::Read)
+            .access(acc.handle(), AccessMode::Write)
+            .submit(&rt);
+        assert_eq!(acc.get(), 200.0, "host read waits for the GPU reduction");
+    }
+}

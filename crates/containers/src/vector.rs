@@ -1,0 +1,227 @@
+//! The 1D smart container.
+
+use peppher_runtime::{DataHandle, Runtime};
+use peppher_runtime::runtime::{HostReadGuard, HostWriteGuard};
+use std::fmt;
+
+/// A 1D array whose payload is managed by the PEPPHER runtime: replicas may
+/// live on several memory units; host accesses transparently wait for
+/// pending tasks and re-establish coherence.
+///
+/// # Example
+///
+/// ```
+/// use peppher_containers::Vector;
+/// use peppher_runtime::{Runtime, SchedulerKind};
+/// use peppher_sim::MachineConfig;
+///
+/// let rt = Runtime::new(MachineConfig::c2050_platform(2), SchedulerKind::Dmda);
+/// let v = Vector::register(&rt, vec![1.0f32; 100]);
+/// assert_eq!(v.len(), 100);
+/// assert_eq!(v.get(0), 1.0);
+/// v.set(0, 5.0);
+/// assert_eq!(v.into_vec()[0], 5.0);
+/// ```
+pub struct Vector<T> {
+    rt: Runtime,
+    handle: DataHandle,
+    len: usize,
+    _t: std::marker::PhantomData<T>,
+}
+
+impl<T: Clone + Send + Sync + 'static> Vector<T> {
+    /// Registers `data` with the runtime; the master copy is placed in main
+    /// memory, exactly as the paper's Fig. 3 step "vector container v0 is
+    /// created".
+    pub fn register(rt: &Runtime, data: Vec<T>) -> Self {
+        let len = data.len();
+        let handle = rt.register_vec(data);
+        Vector {
+            rt: rt.clone(),
+            handle,
+            len,
+            _t: std::marker::PhantomData,
+        }
+    }
+
+    /// Registers a vector of `len` clones of `value` (convenience for
+    /// output operands).
+    pub fn zeros_like(rt: &Runtime, value: T, len: usize) -> Self {
+        Vector::register(rt, vec![value; len])
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The underlying data handle — pass this to
+    /// [`TaskBuilder::access`](peppher_runtime::TaskBuilder::access) when
+    /// invoking components on the container.
+    pub fn handle(&self) -> &DataHandle {
+        &self.handle
+    }
+
+    /// The runtime this container is bound to.
+    pub fn runtime(&self) -> &Runtime {
+        &self.rt
+    }
+
+    /// Scoped read access to the whole payload: waits for the pending
+    /// writer task, then lazily copies data back to main memory if the
+    /// latest copy is on a device.
+    pub fn read(&self) -> HostReadGuard<Vec<T>> {
+        self.rt.acquire_read::<Vec<T>>(&self.handle)
+    }
+
+    /// Scoped write access: waits for *all* tasks using the data and
+    /// invalidates device replicas (paper Fig. 3 line 14).
+    pub fn write(&self) -> HostWriteGuard<Vec<T>> {
+        self.rt.acquire_write::<Vec<T>>(&self.handle)
+    }
+
+    /// Reads one element (the paper's `v[i]` read proxy).
+    pub fn get(&self, i: usize) -> T {
+        self.read()[i].clone()
+    }
+
+    /// Writes one element (the paper's `v[i] = x` write proxy).
+    pub fn set(&self, i: usize, value: T) {
+        self.write()[i] = value;
+    }
+
+    /// Copies the current contents out without unregistering.
+    pub fn to_vec(&self) -> Vec<T> {
+        self.read().clone()
+    }
+
+    /// Waits for all uses, enforces coherence, and returns the payload,
+    /// unregistering the container.
+    pub fn into_vec(self) -> Vec<T> {
+        self.rt.clone().unregister_vec::<T>(self.handle.clone())
+    }
+
+    /// Splits the host contents into `nblocks` contiguous block containers
+    /// (sizes differing by at most one element). This is the data side of
+    /// intra-component parallelism (§IV-F): each block can become its own
+    /// sub-task, and blocks scheduled on the CPU never cross the PCIe link.
+    pub fn partition(&self, nblocks: usize) -> Vec<Vector<T>> {
+        let nblocks = nblocks.max(1).min(self.len.max(1));
+        let data = self.read();
+        let base = self.len / nblocks;
+        let extra = self.len % nblocks;
+        let mut out = Vec::with_capacity(nblocks);
+        let mut offset = 0;
+        for b in 0..nblocks {
+            let size = base + usize::from(b < extra);
+            out.push(Vector::register(&self.rt, data[offset..offset + size].to_vec()));
+            offset += size;
+        }
+        out
+    }
+
+    /// Concatenates block containers back into the parent ("the final
+    /// result can be produced by just simple concatenation of intermediate
+    /// output results", §IV-F). Blocks' total length must equal `self.len`.
+    pub fn gather(&self, blocks: &[Vector<T>]) {
+        let total: usize = blocks.iter().map(|b| b.len()).sum();
+        assert_eq!(
+            total, self.len,
+            "gather: blocks hold {total} elements but parent holds {}",
+            self.len
+        );
+        let mut dst = self.write();
+        let mut offset = 0;
+        for b in blocks {
+            let src = b.read();
+            dst[offset..offset + b.len()].clone_from_slice(&src);
+            offset += b.len();
+        }
+    }
+}
+
+impl<T: Clone + Send + Sync + fmt::Debug + 'static> fmt::Debug for Vector<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Vector(len={}, handle={})", self.len, self.handle.id())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppher_runtime::{AccessMode, Arch, Codelet, SchedulerKind, TaskBuilder};
+    use peppher_sim::MachineConfig;
+    use std::sync::Arc;
+
+    fn rt() -> Runtime {
+        Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager)
+    }
+
+    #[test]
+    fn register_read_write_roundtrip() {
+        let rt = rt();
+        let v = Vector::register(&rt, vec![1, 2, 3]);
+        assert_eq!(v.len(), 3);
+        assert_eq!(v.get(1), 2);
+        v.set(1, 9);
+        assert_eq!(v.to_vec(), vec![1, 9, 3]);
+        assert_eq!(v.into_vec(), vec![1, 9, 3]);
+    }
+
+    #[test]
+    fn read_waits_for_pending_gpu_task() {
+        let rt = rt();
+        let v = Vector::register(&rt, vec![0.0f32; 512]);
+        let c = Arc::new(Codelet::new("fill").with_impl(Arch::Gpu, |ctx| {
+            ctx.w::<Vec<f32>>(0).fill(4.0);
+        }));
+        TaskBuilder::new(&c).access(v.handle(), AccessMode::Write).submit(&rt);
+        // No explicit wait: the container access must block and fetch.
+        assert_eq!(v.get(7), 4.0);
+    }
+
+    #[test]
+    fn partition_sizes_balanced() {
+        let rt = rt();
+        let v = Vector::register(&rt, (0..10).collect::<Vec<i32>>());
+        let parts = v.partition(3);
+        assert_eq!(parts.iter().map(|p| p.len()).collect::<Vec<_>>(), vec![4, 3, 3]);
+        assert_eq!(parts[0].to_vec(), vec![0, 1, 2, 3]);
+        assert_eq!(parts[2].to_vec(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn gather_reassembles() {
+        let rt = rt();
+        let v = Vector::register(&rt, vec![0i32; 7]);
+        let parts = vec![
+            Vector::register(&rt, vec![1, 2, 3]),
+            Vector::register(&rt, vec![4, 5]),
+            Vector::register(&rt, vec![6, 7]),
+        ];
+        v.gather(&parts);
+        assert_eq!(v.into_vec(), vec![1, 2, 3, 4, 5, 6, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gather")]
+    fn gather_rejects_size_mismatch() {
+        let rt = rt();
+        let v = Vector::register(&rt, vec![0i32; 5]);
+        let parts = vec![Vector::register(&rt, vec![1, 2])];
+        v.gather(&parts);
+    }
+
+    #[test]
+    fn partition_clamps_block_count() {
+        let rt = rt();
+        let v = Vector::register(&rt, vec![1i32, 2]);
+        assert_eq!(v.partition(10).len(), 2);
+        assert_eq!(v.partition(0).len(), 1);
+    }
+}

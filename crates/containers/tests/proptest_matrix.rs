@@ -1,0 +1,77 @@
+//! Property tests for the 2D smart container: row-band partition/gather
+//! round-trips, and bands written by real tasks recombining exactly.
+
+use peppher_containers::Matrix;
+use peppher_runtime::{AccessMode, Arch, Codelet, Runtime, SchedulerKind, TaskBuilder};
+use peppher_sim::MachineConfig;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn partition_rows_gather_rows_roundtrip(
+        rows in 1usize..40,
+        cols in 1usize..20,
+        nblocks in 1usize..8
+    ) {
+        let rt = Runtime::new(MachineConfig::cpu_only(2), SchedulerKind::Eager);
+        let data: Vec<i64> = (0..rows * cols).map(|i| i as i64 * 3 - 7).collect();
+        let m = Matrix::register(&rt, rows, cols, data.clone());
+        let bands = m.partition_rows(nblocks);
+        prop_assert_eq!(bands.iter().map(|b| b.rows()).sum::<usize>(), rows);
+        // Band sizes differ by at most one row.
+        let sizes: Vec<usize> = bands.iter().map(|b| b.rows()).collect();
+        prop_assert!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap() <= 1);
+
+        let out = Matrix::filled(&rt, rows, cols, 0i64);
+        out.gather_rows(&bands);
+        prop_assert_eq!(out.into_vec(), data);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn bands_written_by_gpu_tasks_recombine(
+        rows in 2usize..24,
+        cols in 1usize..12,
+        nblocks in 1usize..6
+    ) {
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Dmda,
+        );
+        let fill = Arc::new(
+            Codelet::new("fill_band")
+                .with_impl(Arch::Cpu, band_kernel)
+                .with_impl(Arch::Gpu, band_kernel),
+        );
+        fn band_kernel(ctx: &mut peppher_runtime::KernelCtx<'_>) {
+            let tag = *ctx.arg::<i64>();
+            for v in ctx.w::<Vec<i64>>(0).iter_mut() {
+                *v = tag;
+            }
+        }
+        let m = Matrix::filled(&rt, rows, cols, -1i64);
+        let bands = m.partition_rows(nblocks);
+        for (i, band) in bands.iter().enumerate() {
+            TaskBuilder::new(&fill)
+                .access(band.handle(), AccessMode::Write)
+                .arg(i as i64 + 10)
+                .submit(&rt);
+        }
+        m.gather_rows(&bands);
+        // Every row carries its band's tag, in band order.
+        let got = m.into_vec();
+        let mut row = 0usize;
+        for (i, band) in bands.iter().enumerate() {
+            for _ in 0..band.rows() {
+                for c in 0..cols {
+                    prop_assert_eq!(got[row * cols + c], i as i64 + 10);
+                }
+                row += 1;
+            }
+        }
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,600 @@
+//! Components and the entry-wrapper invocation logic.
+
+use crate::context::{CallContext, ExecutionMode};
+use crate::dispatch::{DecisionTree, DispatchTable};
+use crate::variant::Variant;
+use parking_lot::{Mutex, RwLock};
+use peppher_descriptor::{AccessType, InterfaceDescriptor};
+use peppher_runtime::{AccessMode, Codelet, DataHandle, Runtime, TaskBuilder, TaskHandle};
+use peppher_sim::KernelCost;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Maps a descriptor access type to the runtime access mode.
+pub fn access_mode(a: AccessType) -> AccessMode {
+    match a {
+        AccessType::Read => AccessMode::Read,
+        AccessType::Write => AccessMode::Write,
+        AccessType::ReadWrite => AccessMode::ReadWrite,
+    }
+}
+
+/// A static-composition artifact attached to a component.
+#[derive(Debug, Clone)]
+pub enum DispatchArtifact {
+    /// One-parameter interval table.
+    Table(DispatchTable),
+    /// Multi-parameter compacted tree with its feature-name order.
+    Tree {
+        /// Context parameters, in feature order.
+        params: Vec<String>,
+        /// The fitted tree.
+        tree: DecisionTree,
+    },
+}
+
+/// The cost model: derives an architecture-neutral work descriptor from the
+/// call context (the role of the component's performance metadata).
+pub type CostFn = Arc<dyn Fn(&CallContext) -> KernelCost + Send + Sync>;
+
+/// A programmer-provided performance prediction function (§II: "a
+/// reference to a (usually, programmer provided) performance prediction
+/// function that is called with a given context descriptor data
+/// structure"). Consulted by the scheduler for architectures whose history
+/// models are not calibrated yet.
+pub type ComponentPrediction = Arc<
+    dyn Fn(&peppher_runtime::ArchClass, &KernelCost) -> Option<peppher_sim::VTime>
+        + Send
+        + Sync,
+>;
+
+/// A component: one interface with its registered implementation variants
+/// and composition state.
+pub struct Component {
+    /// The provided interface.
+    pub interface: InterfaceDescriptor,
+    variants: RwLock<Vec<Variant>>,
+    cost_fn: CostFn,
+    prediction: Option<ComponentPrediction>,
+    dispatch: RwLock<Option<DispatchArtifact>>,
+    /// Codelets built per narrowed variant set (keyed by variant names).
+    codelet_cache: Mutex<HashMap<Vec<String>, Arc<Codelet>>>,
+}
+
+impl Component {
+    /// Starts building a component for `interface`.
+    pub fn builder(interface: InterfaceDescriptor) -> ComponentBuilder {
+        ComponentBuilder {
+            interface,
+            variants: Vec::new(),
+            cost_fn: None,
+            prediction: None,
+        }
+    }
+
+    /// The interface (and component) name.
+    pub fn name(&self) -> &str {
+        &self.interface.name
+    }
+
+    /// Names of all registered variants (enabled or not).
+    pub fn variant_names(&self) -> Vec<String> {
+        self.variants.read().iter().map(|v| v.name.clone()).collect()
+    }
+
+    /// User-guided static composition: disables a variant by name without
+    /// touching user source code (the paper's `disableImpls` switch).
+    /// Returns whether the variant existed.
+    pub fn disable_variant(&self, name: &str) -> bool {
+        self.set_enabled(name, false)
+    }
+
+    /// Re-enables a variant.
+    pub fn enable_variant(&self, name: &str) -> bool {
+        self.set_enabled(name, true)
+    }
+
+    fn set_enabled(&self, name: &str, enabled: bool) -> bool {
+        let mut vs = self.variants.write();
+        match vs.iter_mut().find(|v| v.name == name) {
+            Some(v) => {
+                v.enabled = enabled;
+                // Narrowing changed: cached codelets may now be stale.
+                self.codelet_cache.lock().clear();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Attaches a dispatch table (static composition narrowing).
+    pub fn set_dispatch_table(&self, table: DispatchTable) {
+        *self.dispatch.write() = Some(DispatchArtifact::Table(table));
+    }
+
+    /// Attaches a compacted decision tree.
+    pub fn set_decision_tree(&self, params: Vec<String>, tree: DecisionTree) {
+        *self.dispatch.write() = Some(DispatchArtifact::Tree { params, tree });
+    }
+
+    /// Removes any static-composition artifact (back to fully dynamic).
+    pub fn clear_dispatch(&self) {
+        *self.dispatch.write() = None;
+    }
+
+    /// The candidate variant names for a context, after narrowing:
+    /// disabled variants and variants whose constraints reject the context
+    /// are dropped; a dispatch artifact narrows to its single choice when
+    /// that choice is among the admissible candidates.
+    pub fn candidates(&self, ctx: &CallContext) -> Vec<String> {
+        let vs = self.variants.read();
+        let admitted: Vec<&Variant> = vs.iter().filter(|v| v.admits(ctx)).collect();
+        if let Some(artifact) = self.dispatch.read().as_ref() {
+            let pick = match artifact {
+                DispatchArtifact::Table(t) => {
+                    ctx.get(&t.param).map(|v| t.lookup(v).to_string())
+                }
+                DispatchArtifact::Tree { params, tree } => {
+                    Some(tree.predict(&ctx.feature_vector(params)).to_string())
+                }
+            };
+            if let Some(pick) = pick {
+                if admitted.iter().any(|v| v.name == pick) {
+                    return vec![pick];
+                }
+            }
+        }
+        admitted.iter().map(|v| v.name.clone()).collect()
+    }
+
+    /// The codelet for a narrowed candidate set: one implementation per
+    /// architecture (first candidate of each architecture wins; residual
+    /// choice among architectures is the runtime scheduler's).
+    fn codelet_for(&self, candidates: &[String]) -> Arc<Codelet> {
+        let key: Vec<String> = candidates.to_vec();
+        if let Some(c) = self.codelet_cache.lock().get(&key) {
+            return Arc::clone(c);
+        }
+        let vs = self.variants.read();
+        let mut codelet = Codelet::new(format!("{}[{}]", self.name(), candidates.join("+")));
+        if let Some(pred) = &self.prediction {
+            let pred = Arc::clone(pred);
+            codelet = codelet.with_prediction(move |class, cost| pred(class, cost));
+        }
+        for name in candidates {
+            let v = vs
+                .iter()
+                .find(|v| &v.name == name)
+                .unwrap_or_else(|| panic!("unknown variant `{name}`"));
+            if codelet.has_arch(v.arch) {
+                continue; // first candidate per architecture wins
+            }
+            let kernel = Arc::clone(&v.kernel);
+            codelet = codelet.with_impl(v.arch, move |ctx| kernel(ctx));
+        }
+        let codelet = Arc::new(codelet);
+        self.codelet_cache
+            .lock()
+            .insert(key, Arc::clone(&codelet));
+        codelet
+    }
+
+    /// Starts an invocation — the generated entry-wrapper: "intercepts the
+    /// component invocation call and implements logic to translate that
+    /// component call to one or more tasks in the runtime system".
+    pub fn call(self: &Arc<Self>) -> InvokeBuilder {
+        InvokeBuilder {
+            component: Arc::clone(self),
+            operands: Vec::new(),
+            arg: None,
+            context: CallContext::new(),
+            mode: ExecutionMode::Async,
+            force_variant: None,
+            cost_override: None,
+            worker_pin: None,
+        }
+    }
+}
+
+impl std::fmt::Debug for Component {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Component")
+            .field("name", &self.name())
+            .field("variants", &self.variant_names())
+            .finish()
+    }
+}
+
+/// Builder for [`Component`].
+pub struct ComponentBuilder {
+    interface: InterfaceDescriptor,
+    variants: Vec<Variant>,
+    cost_fn: Option<CostFn>,
+    prediction: Option<ComponentPrediction>,
+}
+
+impl ComponentBuilder {
+    /// Registers an implementation variant.
+    pub fn variant(mut self, v: Variant) -> Self {
+        assert!(
+            !self.variants.iter().any(|e| e.name == v.name),
+            "duplicate variant name `{}`",
+            v.name
+        );
+        self.variants.push(v);
+        self
+    }
+
+    /// Sets the cost model (context → work descriptor).
+    pub fn cost(mut self, f: impl Fn(&CallContext) -> KernelCost + Send + Sync + 'static) -> Self {
+        self.cost_fn = Some(Arc::new(f));
+        self
+    }
+
+    /// Attaches a programmer-provided prediction function: expected
+    /// execution time per architecture class, used by the scheduler when
+    /// (or instead of, with `useHistoryModels=false`) history models.
+    pub fn prediction(
+        mut self,
+        f: impl Fn(&peppher_runtime::ArchClass, &KernelCost) -> Option<peppher_sim::VTime>
+            + Send
+            + Sync
+            + 'static,
+    ) -> Self {
+        self.prediction = Some(Arc::new(f));
+        self
+    }
+
+    /// Finalizes the component.
+    ///
+    /// # Panics
+    /// Panics when no variants were registered.
+    pub fn build(self) -> Arc<Component> {
+        assert!(
+            !self.variants.is_empty(),
+            "component `{}` has no implementation variants",
+            self.interface.name
+        );
+        Arc::new(Component {
+            interface: self.interface,
+            variants: RwLock::new(self.variants),
+            cost_fn: self
+                .cost_fn
+                .unwrap_or_else(|| Arc::new(|_| KernelCost::new(0.0, 0.0, 0.0))),
+            prediction: self.prediction,
+            dispatch: RwLock::new(None),
+            codelet_cache: Mutex::new(HashMap::new()),
+        })
+    }
+}
+
+/// The result of an invocation: the runtime task(s) it mapped onto.
+#[derive(Clone)]
+pub struct InvokeResult {
+    /// Task handles (one unless the call was partitioned into sub-tasks).
+    pub tasks: Vec<TaskHandle>,
+}
+
+impl InvokeResult {
+    /// Blocks until all tasks of the invocation complete.
+    pub fn wait(&self) {
+        for t in &self.tasks {
+            t.wait();
+        }
+    }
+}
+
+/// Fluent invocation of a component.
+pub struct InvokeBuilder {
+    component: Arc<Component>,
+    operands: Vec<(DataHandle, AccessMode)>,
+    arg: Option<Box<dyn std::any::Any + Send + Sync>>,
+    context: CallContext,
+    mode: ExecutionMode,
+    force_variant: Option<String>,
+    cost_override: Option<KernelCost>,
+    worker_pin: Option<usize>,
+}
+
+impl InvokeBuilder {
+    /// Appends an operand; its access mode comes from the interface
+    /// descriptor's parameter declaration at the same position (pointer
+    /// parameters only — by-value parameters travel in the argument pack).
+    pub fn operand(mut self, handle: &DataHandle) -> Self {
+        let idx = self.operands.len();
+        let pointer_params: Vec<&peppher_descriptor::ParamDecl> = self
+            .component
+            .interface
+            .params
+            .iter()
+            .filter(|p| p.ctype.contains('*') || p.ctype.contains('&'))
+            .collect();
+        let access = pointer_params
+            .get(idx)
+            .map(|p| access_mode(p.access))
+            .unwrap_or_else(|| {
+                panic!(
+                    "component `{}`: operand {idx} has no matching pointer parameter",
+                    self.component.name()
+                )
+            });
+        self.operands.push((handle.clone(), access));
+        self
+    }
+
+    /// Appends an operand with an explicit access mode (overriding the
+    /// descriptor declaration).
+    pub fn operand_with_mode(mut self, handle: &DataHandle, mode: AccessMode) -> Self {
+        self.operands.push((handle.clone(), mode));
+        self
+    }
+
+    /// Sets the scalar argument pack passed to the kernel.
+    pub fn arg<T: std::any::Any + Send + Sync>(mut self, arg: T) -> Self {
+        self.arg = Some(Box::new(arg));
+        self
+    }
+
+    /// Sets a context property (e.g. `nnz`).
+    pub fn context(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.context.set(name, value);
+        self
+    }
+
+    /// Synchronous execution (blocks in `submit`).
+    pub fn sync(mut self) -> Self {
+        self.mode = ExecutionMode::Sync;
+        self
+    }
+
+    /// Asynchronous execution (the default).
+    pub fn async_(mut self) -> Self {
+        self.mode = ExecutionMode::Async;
+        self
+    }
+
+    /// User-guided static composition in the extreme: force one variant.
+    pub fn force_variant(mut self, name: impl Into<String>) -> Self {
+        self.force_variant = Some(name.into());
+        self
+    }
+
+    /// Overrides the component cost model for this call.
+    pub fn cost(mut self, c: KernelCost) -> Self {
+        self.cost_override = Some(c);
+        self
+    }
+
+    /// Pins the resulting task to one worker (tests/ablations).
+    pub fn on_worker(mut self, worker: usize) -> Self {
+        self.worker_pin = Some(worker);
+        self
+    }
+
+    /// Performs composition and submits the task.
+    ///
+    /// # Panics
+    /// Panics when narrowing leaves no admissible variant.
+    pub fn submit(self, rt: &Runtime) -> InvokeResult {
+        let mut candidates = self.component.candidates(&self.context);
+        if let Some(forced) = &self.force_variant {
+            candidates = self
+                .component
+                .variant_names()
+                .into_iter()
+                .filter(|n| n == forced)
+                .collect();
+        }
+        assert!(
+            !candidates.is_empty(),
+            "component `{}`: no admissible variant for context {:?}",
+            self.component.name(),
+            self.context
+        );
+        let codelet = self.component.codelet_for(&candidates);
+        let cost = self
+            .cost_override
+            .unwrap_or_else(|| (self.component.cost_fn)(&self.context));
+
+        let mut tb = TaskBuilder::new(&codelet).cost(cost);
+        // §IV-G: the useHistoryModels flag "can be enabled/disabled ... for
+        // an individual component by specifying the boolean flag in the XML
+        // descriptor of that component interface".
+        if let Some(flag) = self.component.interface.use_history_models {
+            tb = tb.use_history(flag);
+        }
+        for (h, m) in &self.operands {
+            tb = tb.access(h, *m);
+        }
+        if let Some(a) = self.arg {
+            // Re-box through Any to preserve the payload.
+            tb = tb.arg_boxed(a);
+        }
+        if let Some(w) = self.worker_pin {
+            tb = tb.on_worker(w);
+        }
+        let handle = tb.submit(rt);
+        if self.mode == ExecutionMode::Sync {
+            handle.wait();
+        }
+        InvokeResult {
+            tasks: vec![handle],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::VariantBuilder;
+    use peppher_descriptor::ParamDecl;
+    use peppher_runtime::SchedulerKind;
+    use peppher_sim::MachineConfig;
+
+    fn axpy_interface() -> InterfaceDescriptor {
+        let mut i = InterfaceDescriptor::new("axpy");
+        i.params = vec![
+            ParamDecl {
+                name: "x".into(),
+                ctype: "const float*".into(),
+                access: AccessType::Read,
+            },
+            ParamDecl {
+                name: "y".into(),
+                ctype: "float*".into(),
+                access: AccessType::ReadWrite,
+            },
+            ParamDecl {
+                name: "n".into(),
+                ctype: "int".into(),
+                access: AccessType::Read,
+            },
+        ];
+        i
+    }
+
+    fn axpy_component() -> Arc<Component> {
+        Component::builder(axpy_interface())
+            .variant(
+                VariantBuilder::new("axpy_cpu", "cpp")
+                    .kernel(|ctx| {
+                        let a: f32 = *ctx.arg::<f32>();
+                        let x = ctx.r::<Vec<f32>>(0).clone();
+                        let y = ctx.w::<Vec<f32>>(1);
+                        for (yi, xi) in y.iter_mut().zip(&x) {
+                            *yi += a * xi;
+                        }
+                    })
+                    .build(),
+            )
+            .variant(
+                VariantBuilder::new("axpy_cuda", "cuda")
+                    .kernel(|ctx| {
+                        let a: f32 = *ctx.arg::<f32>();
+                        let x = ctx.r::<Vec<f32>>(0).clone();
+                        let y = ctx.w::<Vec<f32>>(1);
+                        for (yi, xi) in y.iter_mut().zip(&x) {
+                            *yi += a * xi;
+                        }
+                    })
+                    .constrain("n", Some(1000.0), None)
+                    .build(),
+            )
+            .cost(|ctx| {
+                let n = ctx.get("n").unwrap_or(0.0);
+                KernelCost::new(2.0 * n, 8.0 * n, 4.0 * n)
+            })
+            .build()
+    }
+
+    #[test]
+    fn invocation_runs_and_uses_descriptor_access_modes() {
+        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let comp = axpy_component();
+        let x = rt.register_vec(vec![1.0f32; 64]);
+        let y = rt.register_vec(vec![10.0f32; 64]);
+        comp.call()
+            .operand(&x)
+            .operand(&y)
+            .arg(2.0f32)
+            .context("n", 64.0)
+            .sync()
+            .submit(&rt);
+        assert_eq!(rt.unregister_vec::<f32>(y)[0], 12.0);
+    }
+
+    #[test]
+    fn constraints_narrow_candidates() {
+        let comp = axpy_component();
+        let small = comp.candidates(&CallContext::new().with("n", 10.0));
+        assert_eq!(small, vec!["axpy_cpu"], "CUDA variant needs n >= 1000");
+        let large = comp.candidates(&CallContext::new().with("n", 10_000.0));
+        assert_eq!(large, vec!["axpy_cpu", "axpy_cuda"]);
+    }
+
+    #[test]
+    fn disable_impls_removes_candidate() {
+        let comp = axpy_component();
+        assert!(comp.disable_variant("axpy_cuda"));
+        let c = comp.candidates(&CallContext::new().with("n", 10_000.0));
+        assert_eq!(c, vec!["axpy_cpu"]);
+        assert!(comp.enable_variant("axpy_cuda"));
+        assert_eq!(comp.candidates(&CallContext::new().with("n", 10_000.0)).len(), 2);
+        assert!(!comp.disable_variant("nope"));
+    }
+
+    #[test]
+    fn dispatch_table_narrows_to_single_choice() {
+        let comp = axpy_component();
+        comp.set_dispatch_table(DispatchTable::from_samples(
+            "n",
+            &[(100.0, "axpy_cpu".into()), (1_000_000.0, "axpy_cuda".into())],
+        ));
+        assert_eq!(
+            comp.candidates(&CallContext::new().with("n", 2_000_000.0)),
+            vec!["axpy_cuda"]
+        );
+        // Table pick rejected by constraints: falls back to admitted set.
+        comp.set_dispatch_table(DispatchTable::from_samples(
+            "n",
+            &[(1.0, "axpy_cuda".into())],
+        ));
+        assert_eq!(
+            comp.candidates(&CallContext::new().with("n", 10.0)),
+            vec!["axpy_cpu"]
+        );
+        comp.clear_dispatch();
+        assert_eq!(comp.candidates(&CallContext::new().with("n", 10_000.0)).len(), 2);
+    }
+
+    #[test]
+    fn force_variant_overrides_everything() {
+        let rt = Runtime::new(MachineConfig::c2050_platform(1).without_noise(), SchedulerKind::Eager);
+        let comp = axpy_component();
+        let x = rt.register_vec(vec![1.0f32; 8]);
+        let y = rt.register_vec(vec![0.0f32; 8]);
+        // Forced CUDA even though n < 1000 would normally exclude it.
+        let res = comp
+            .call()
+            .operand(&x)
+            .operand(&y)
+            .arg(1.0f32)
+            .context("n", 8.0)
+            .force_variant("axpy_cuda")
+            .submit(&rt);
+        res.wait();
+        let stats = rt.stats();
+        assert!(stats.tasks_per_worker[1] == 1, "ran on the GPU worker: {stats:?}");
+        rt.unregister_vec::<f32>(y);
+        rt.unregister_vec::<f32>(x);
+    }
+
+    #[test]
+    #[should_panic(expected = "no admissible variant")]
+    fn empty_candidate_set_panics() {
+        let rt = Runtime::new(MachineConfig::cpu_only(1), SchedulerKind::Eager);
+        let comp = axpy_component();
+        comp.disable_variant("axpy_cpu");
+        comp.disable_variant("axpy_cuda");
+        let x = rt.register_vec(vec![0.0f32; 4]);
+        let y = rt.register_vec(vec![0.0f32; 4]);
+        comp.call().operand(&x).operand(&y).arg(0.0f32).submit(&rt);
+    }
+
+    #[test]
+    fn async_is_default_and_waitable() {
+        let rt = Runtime::new(MachineConfig::cpu_only(2), SchedulerKind::Eager);
+        let comp = axpy_component();
+        let x = rt.register_vec(vec![1.0f32; 16]);
+        let y = rt.register_vec(vec![0.0f32; 16]);
+        let res = comp
+            .call()
+            .operand(&x)
+            .operand(&y)
+            .arg(3.0f32)
+            .context("n", 16.0)
+            .submit(&rt);
+        res.wait();
+        assert_eq!(rt.unregister_vec::<f32>(y)[5], 3.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Call contexts: the information composition decisions depend on.
+
+/// Whether a component call blocks until task completion.
+///
+/// "A task execution can either be synchronous where the calling thread
+/// blocks until the task completion or asynchronous where the control
+/// resumes on the calling thread without waiting" (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// Block until the task completes.
+    Sync,
+    /// Return immediately; smart containers enforce consistency on access.
+    /// The PEPPHER default — it enables inter-component parallelism.
+    #[default]
+    Async,
+}
+
+/// A *context instance*: "a tuple of concrete values for context properties
+/// that might influence callee selection" — typically operand sizes, plus
+/// anything the interface descriptor declares as a context parameter.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CallContext {
+    values: Vec<(String, f64)>,
+}
+
+impl CallContext {
+    /// An empty context.
+    pub fn new() -> Self {
+        CallContext::default()
+    }
+
+    /// Builder-style property setter.
+    pub fn with(mut self, name: impl Into<String>, value: f64) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Sets (or replaces) a context property.
+    pub fn set(&mut self, name: impl Into<String>, value: f64) {
+        let name = name.into();
+        if let Some(slot) = self.values.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.values.push((name, value));
+        }
+    }
+
+    /// Reads a context property.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.values.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// All properties, in insertion order.
+    pub fn values(&self) -> &[(String, f64)] {
+        &self.values
+    }
+
+    /// The property vector for the declared parameter names, in order
+    /// (missing properties become 0.0) — the feature vector used by
+    /// dispatch tables and decision trees.
+    pub fn feature_vector(&self, names: &[String]) -> Vec<f64> {
+        names.iter().map(|n| self.get(n).unwrap_or(0.0)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_replace() {
+        let mut ctx = CallContext::new().with("nnz", 100.0);
+        assert_eq!(ctx.get("nnz"), Some(100.0));
+        ctx.set("nnz", 200.0);
+        assert_eq!(ctx.get("nnz"), Some(200.0));
+        assert_eq!(ctx.values().len(), 1);
+        assert_eq!(ctx.get("missing"), None);
+    }
+
+    #[test]
+    fn feature_vector_ordered_with_defaults() {
+        let ctx = CallContext::new().with("b", 2.0).with("a", 1.0);
+        let v = ctx.feature_vector(&["a".into(), "b".into(), "c".into()]);
+        assert_eq!(v, vec![1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn default_mode_is_async() {
+        assert_eq!(ExecutionMode::default(), ExecutionMode::Async);
+    }
+}

@@ -1,0 +1,328 @@
+//! Static composition artifacts: dispatch tables and their compaction.
+//!
+//! "Static composition constructs off-line a dispatch function that is
+//! evaluated at runtime for a context instance to return a function pointer
+//! to the expected best implementation variant. [...] performance data and
+//! dispatch tables for static composition [are constructed] by evaluating
+//! the performance prediction functions for selected context scenarios
+//! which could be compacted by machine learning techniques."
+//!
+//! [`DispatchTable`] is the one-dimensional table keyed on a single context
+//! parameter (the common case: problem size); [`DecisionTree`] is the
+//! "machine learning" compaction, handling multi-parameter contexts with
+//! axis-aligned splits.
+
+/// One training observation: a context feature vector and the variant that
+/// won it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainingSample {
+    /// Context parameter values, in the declared order.
+    pub features: Vec<f64>,
+    /// Name of the best-performing variant.
+    pub best: String,
+}
+
+/// A sorted interval table over one context parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchTable {
+    /// The context parameter the table keys on.
+    pub param: String,
+    /// `(upper_bound, variant)` entries sorted by bound; a lookup returns
+    /// the first entry whose bound is ≥ the queried value. The last entry
+    /// has bound `f64::INFINITY` (catch-all).
+    pub entries: Vec<(f64, String)>,
+}
+
+impl DispatchTable {
+    /// Builds a table from `(value, winner)` observations: samples are
+    /// sorted, adjacent same-winner runs are merged, and interval
+    /// boundaries are placed midway between runs with different winners.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set.
+    pub fn from_samples(param: impl Into<String>, samples: &[(f64, String)]) -> Self {
+        assert!(!samples.is_empty(), "cannot build a dispatch table from no samples");
+        let mut sorted: Vec<(f64, &str)> =
+            samples.iter().map(|(v, w)| (*v, w.as_str())).collect();
+        sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
+
+        let mut entries: Vec<(f64, String)> = Vec::new();
+        let mut run_winner = sorted[0].1;
+        for window in sorted.windows(2) {
+            let (prev, next) = (window[0], window[1]);
+            if next.1 != run_winner {
+                let boundary = (prev.0 + next.0) / 2.0;
+                entries.push((boundary, run_winner.to_string()));
+                run_winner = next.1;
+            }
+        }
+        entries.push((f64::INFINITY, run_winner.to_string()));
+        DispatchTable {
+            param: param.into(),
+            entries,
+        }
+    }
+
+    /// The variant for a context value.
+    pub fn lookup(&self, value: f64) -> &str {
+        for (bound, variant) in &self.entries {
+            if value <= *bound {
+                return variant;
+            }
+        }
+        // Unreachable: the last bound is +inf.
+        &self.entries.last().expect("table has entries").1
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the table has no intervals (never true for built tables).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// An axis-aligned decision tree over multi-parameter contexts — the
+/// compacted form of a dense dispatch table.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DecisionTree {
+    /// All contexts reaching this node dispatch to one variant.
+    Leaf(String),
+    /// Binary split: `features[axis] <= threshold` goes left.
+    Split {
+        /// Feature index.
+        axis: usize,
+        /// Split threshold.
+        threshold: f64,
+        /// Subtree for `<= threshold`.
+        left: Box<DecisionTree>,
+        /// Subtree for `> threshold`.
+        right: Box<DecisionTree>,
+    },
+}
+
+impl DecisionTree {
+    /// Learns a tree from training samples with at most `max_depth` split
+    /// levels. Leaves predict the majority winner of their region.
+    ///
+    /// # Panics
+    /// Panics on an empty sample set or inconsistent feature arity.
+    pub fn fit(samples: &[TrainingSample], max_depth: usize) -> Self {
+        assert!(!samples.is_empty(), "cannot fit a decision tree to no samples");
+        let arity = samples[0].features.len();
+        assert!(
+            samples.iter().all(|s| s.features.len() == arity),
+            "inconsistent feature arity"
+        );
+        Self::fit_node(samples, max_depth)
+    }
+
+    fn majority(samples: &[TrainingSample]) -> String {
+        let mut counts: Vec<(&str, usize)> = Vec::new();
+        for s in samples {
+            match counts.iter_mut().find(|(n, _)| *n == s.best) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((&s.best, 1)),
+            }
+        }
+        counts
+            .into_iter()
+            .max_by_key(|&(_, c)| c)
+            .map(|(n, _)| n.to_string())
+            .expect("non-empty samples")
+    }
+
+    fn misclassified(samples: &[TrainingSample]) -> usize {
+        let maj = Self::majority(samples);
+        samples.iter().filter(|s| s.best != maj).count()
+    }
+
+    fn fit_node(samples: &[TrainingSample], depth: usize) -> DecisionTree {
+        let pure = samples.iter().all(|s| s.best == samples[0].best);
+        if pure || depth == 0 {
+            return DecisionTree::Leaf(Self::majority(samples));
+        }
+
+        // Best axis/threshold by total misclassification after the split.
+        let arity = samples[0].features.len();
+        let mut best: Option<(usize, f64, usize)> = None;
+        for axis in 0..arity {
+            let mut values: Vec<f64> = samples.iter().map(|s| s.features[axis]).collect();
+            values.sort_by(f64::total_cmp);
+            values.dedup();
+            for pair in values.windows(2) {
+                let threshold = (pair[0] + pair[1]) / 2.0;
+                let (l, r): (Vec<_>, Vec<_>) = samples
+                    .iter()
+                    .cloned()
+                    .partition(|s| s.features[axis] <= threshold);
+                if l.is_empty() || r.is_empty() {
+                    continue;
+                }
+                let err = Self::misclassified(&l) + Self::misclassified(&r);
+                if best.is_none_or(|(_, _, e)| err < e) {
+                    best = Some((axis, threshold, err));
+                }
+            }
+        }
+
+        match best {
+            None => DecisionTree::Leaf(Self::majority(samples)),
+            Some((axis, threshold, _)) => {
+                let (l, r): (Vec<_>, Vec<_>) = samples
+                    .iter()
+                    .cloned()
+                    .partition(|s| s.features[axis] <= threshold);
+                DecisionTree::Split {
+                    axis,
+                    threshold,
+                    left: Box::new(Self::fit_node(&l, depth - 1)),
+                    right: Box::new(Self::fit_node(&r, depth - 1)),
+                }
+            }
+        }
+    }
+
+    /// Dispatches a feature vector to a variant name.
+    pub fn predict(&self, features: &[f64]) -> &str {
+        match self {
+            DecisionTree::Leaf(v) => v,
+            DecisionTree::Split {
+                axis,
+                threshold,
+                left,
+                right,
+            } => {
+                if features[*axis] <= *threshold {
+                    left.predict(features)
+                } else {
+                    right.predict(features)
+                }
+            }
+        }
+    }
+
+    /// Number of nodes (compaction metric).
+    pub fn node_count(&self) -> usize {
+        match self {
+            DecisionTree::Leaf(_) => 1,
+            DecisionTree::Split { left, right, .. } => 1 + left.node_count() + right.node_count(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(v: f64, w: &str) -> (f64, String) {
+        (v, w.to_string())
+    }
+
+    #[test]
+    fn table_merges_runs_and_places_midpoints() {
+        let samples = vec![
+            s(10.0, "cpu"),
+            s(100.0, "cpu"),
+            s(1000.0, "cpu"),
+            s(10_000.0, "gpu"),
+            s(100_000.0, "gpu"),
+        ];
+        let t = DispatchTable::from_samples("n", &samples);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.lookup(500.0), "cpu");
+        assert_eq!(t.lookup(5_500.0), "cpu"); // midpoint boundary = 5500
+        assert_eq!(t.lookup(5_501.0), "gpu");
+        assert_eq!(t.lookup(1e9), "gpu");
+        assert_eq!(t.lookup(-5.0), "cpu");
+    }
+
+    #[test]
+    fn table_single_winner_is_one_interval() {
+        let t = DispatchTable::from_samples("n", &[s(1.0, "x"), s(2.0, "x")]);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(999.0), "x");
+    }
+
+    #[test]
+    fn table_alternating_winners() {
+        // cpu gpu cpu: three intervals.
+        let t = DispatchTable::from_samples(
+            "n",
+            &[s(1.0, "cpu"), s(10.0, "gpu"), s(100.0, "cpu")],
+        );
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.lookup(2.0), "cpu");
+        assert_eq!(t.lookup(20.0), "gpu");
+        assert_eq!(t.lookup(200.0), "cpu");
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn table_requires_samples() {
+        let _ = DispatchTable::from_samples("n", &[]);
+    }
+
+    fn ts(features: &[f64], best: &str) -> TrainingSample {
+        TrainingSample {
+            features: features.to_vec(),
+            best: best.to_string(),
+        }
+    }
+
+    #[test]
+    fn tree_fits_separable_1d() {
+        let samples: Vec<_> = (0..20)
+            .map(|i| ts(&[i as f64], if i < 10 { "cpu" } else { "gpu" }))
+            .collect();
+        let tree = DecisionTree::fit(&samples, 4);
+        for s in &samples {
+            assert_eq!(tree.predict(&s.features), s.best);
+        }
+        assert!(tree.node_count() <= 3, "one split suffices");
+    }
+
+    #[test]
+    fn tree_fits_2d_quadrants() {
+        // Variant depends on both size and sparsity.
+        let mut samples = Vec::new();
+        for size in [1.0, 2.0, 3.0, 10.0, 20.0, 30.0] {
+            for density in [0.1, 0.2, 0.8, 0.9] {
+                let best = if size < 5.0 {
+                    "cpu"
+                } else if density < 0.5 {
+                    "gpu_sparse"
+                } else {
+                    "gpu_dense"
+                };
+                samples.push(ts(&[size, density], best));
+            }
+        }
+        let tree = DecisionTree::fit(&samples, 4);
+        for s in &samples {
+            assert_eq!(tree.predict(&s.features), s.best, "at {:?}", s.features);
+        }
+    }
+
+    #[test]
+    fn tree_depth_zero_is_majority_leaf() {
+        let samples = vec![ts(&[0.0], "a"), ts(&[1.0], "b"), ts(&[2.0], "b")];
+        let tree = DecisionTree::fit(&samples, 0);
+        assert_eq!(tree, DecisionTree::Leaf("b".into()));
+    }
+
+    #[test]
+    fn tree_is_more_compact_than_dense_table() {
+        // 1000 dense samples, single crossover: the tree stores 3 nodes.
+        let samples: Vec<_> = (0..1000)
+            .map(|i| ts(&[i as f64], if i < 400 { "cpu" } else { "gpu" }))
+            .collect();
+        let tree = DecisionTree::fit(&samples, 6);
+        assert!(tree.node_count() <= 3);
+        assert_eq!(tree.predict(&[399.0]), "cpu");
+        assert_eq!(tree.predict(&[400.0]), "gpu");
+    }
+}

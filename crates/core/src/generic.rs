@@ -1,0 +1,125 @@
+//! Generic-component expansion (§IV-B).
+//!
+//! "Component expansion supports genericity on the component parameter
+//! types using C++ templates. This enables writing generic components such
+//! as sorting that can be used to sort different types of data. The
+//! expansion takes place statically."
+//!
+//! In this Rust reproduction a generic component is a factory closure: the
+//! registry invokes it once per concrete type argument (the static
+//! expansion step) and registers the resulting concrete component under
+//! the instantiated name `name<type>`.
+
+use crate::component::Component;
+use std::sync::Arc;
+
+/// A generic component awaiting expansion.
+#[derive(Clone)]
+pub struct GenericComponent {
+    /// The generic interface name (e.g. `sort`).
+    pub name: String,
+    expand_fn: Arc<dyn Fn(&str) -> Arc<Component> + Send + Sync>,
+}
+
+impl GenericComponent {
+    /// Defines a generic component. The closure receives the concrete type
+    /// argument's name and must return the fully built concrete component
+    /// (usually by dispatching over supported element types).
+    pub fn new(
+        name: impl Into<String>,
+        expand: impl Fn(&str) -> Arc<Component> + Send + Sync + 'static,
+    ) -> Self {
+        GenericComponent {
+            name: name.into(),
+            expand_fn: Arc::new(expand),
+        }
+    }
+
+    /// Expands for one concrete type argument, producing a component whose
+    /// interface name is `name<type_arg>`.
+    ///
+    /// # Panics
+    /// Panics if the factory's component name does not match the
+    /// instantiated name (the factory must use [`instantiated_name`]).
+    pub fn expand(&self, type_arg: &str) -> Arc<Component> {
+        let comp = (self.expand_fn)(type_arg);
+        let expected = instantiated_name(&self.name, type_arg);
+        assert_eq!(
+            comp.name(),
+            expected,
+            "generic expansion of `{}` for `{type_arg}` produced component `{}`, expected `{expected}`",
+            self.name,
+            comp.name()
+        );
+        comp
+    }
+}
+
+impl std::fmt::Debug for GenericComponent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GenericComponent({}<…>)", self.name)
+    }
+}
+
+/// The concrete name of a generic component instantiated at `type_arg`,
+/// mirroring C++ template spelling: `sort<float>`.
+pub fn instantiated_name(generic: &str, type_arg: &str) -> String {
+    format!("{generic}<{type_arg}>")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::VariantBuilder;
+    use peppher_descriptor::InterfaceDescriptor;
+
+    fn sort_factory(type_arg: &str) -> Arc<Component> {
+        let iface = InterfaceDescriptor::new(instantiated_name("sort", type_arg));
+        let builder = Component::builder(iface);
+        let comp = match type_arg {
+            "f32" => builder.variant(
+                VariantBuilder::new("sort_cpu", "cpp")
+                    .kernel(|ctx| {
+                        ctx.w::<Vec<f32>>(0).sort_by(f32::total_cmp);
+                    })
+                    .build(),
+            ),
+            "i64" => builder.variant(
+                VariantBuilder::new("sort_cpu", "cpp")
+                    .kernel(|ctx| {
+                        ctx.w::<Vec<i64>>(0).sort_unstable();
+                    })
+                    .build(),
+            ),
+            other => panic!("sort: unsupported element type `{other}`"),
+        };
+        comp.build()
+    }
+
+    #[test]
+    fn expansion_names_follow_template_spelling() {
+        let g = GenericComponent::new("sort", sort_factory);
+        assert_eq!(g.expand("f32").name(), "sort<f32>");
+        assert_eq!(g.expand("i64").name(), "sort<i64>");
+    }
+
+    #[test]
+    fn expanded_components_are_independent() {
+        let g = GenericComponent::new("sort", sort_factory);
+        let a = g.expand("f32");
+        let b = g.expand("i64");
+        a.disable_variant("sort_cpu");
+        // Disabling in one instantiation must not leak into another.
+        assert_eq!(
+            b.candidates(&crate::CallContext::new()),
+            vec!["sort_cpu".to_string()]
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported element type")]
+    fn unsupported_type_rejected_by_factory() {
+        let g = GenericComponent::new("sort", sort_factory);
+        let _ = g.expand("String");
+    }
+}

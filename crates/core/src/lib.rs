@@ -1,0 +1,51 @@
+//! The PEPPHER component model and composition layer.
+//!
+//! "Composition is the selection of a specific implementation variant
+//! (i.e., callee) for a call to component-provided functionality and the
+//! allocation of resources for its execution. Composition is made
+//! context-aware for performance optimization if it depends on the current
+//! call context."
+//!
+//! This crate is the in-process equivalent of the code the paper's
+//! composition tool *generates*: the entry-wrapper logic that intercepts a
+//! component call, narrows the candidate variant set, and translates the
+//! call into one or more runtime tasks. The pieces:
+//!
+//! - [`Component`]: an interface descriptor plus its registered
+//!   implementation [`Variant`]s (CPU, OpenMP-team, CUDA-style), each with
+//!   selectability constraints, and a cost model mapping a call context to
+//!   a [`KernelCost`](peppher_sim::KernelCost).
+//! - [`CallContext`]: the "context instance" — a tuple of concrete values
+//!   for context properties (sizes etc.) that might influence callee
+//!   selection.
+//! - [`ComponentRegistry`]: the in-process repository; supports
+//!   user-guided static composition (`disableImpls` / `forceImpl`),
+//!   dispatch tables from training runs, and generic-component expansion.
+//! - [`invoke`](Component::call): builds the task(s) — synchronous or
+//!   asynchronous — and delegates residual variant choice to the runtime's
+//!   performance-aware scheduler (dynamic composition, the PEPPHER
+//!   default).
+//! - [`DispatchTable`] / [`DecisionTree`]: static composition artifacts
+//!   ("dispatch tables for static composition by evaluating the
+//!   performance prediction functions for selected context scenarios which
+//!   could be compacted by machine learning techniques").
+
+pub mod component;
+pub mod context;
+pub mod dispatch;
+pub mod generic;
+pub mod registry;
+pub mod tunable;
+pub mod variant;
+
+pub use component::{Component, ComponentBuilder, InvokeBuilder};
+pub use context::{CallContext, ExecutionMode};
+pub use dispatch::{DecisionTree, DispatchTable, TrainingSample};
+pub use generic::GenericComponent;
+pub use registry::ComponentRegistry;
+pub use tunable::{expand_tunable, tunable_variant_name};
+pub use variant::{Variant, VariantBuilder};
+
+/// Alias matching the paper's vocabulary: an interface declaration is the
+/// descriptor of the provided functionality.
+pub type InterfaceDecl = peppher_descriptor::InterfaceDescriptor;

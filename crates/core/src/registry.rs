@@ -1,0 +1,197 @@
+//! The in-process component registry.
+
+use crate::component::{Component, InvokeBuilder};
+use crate::generic::{instantiated_name, GenericComponent};
+use parking_lot::RwLock;
+use peppher_descriptor::MainDescriptor;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Tracks all components (and generic components awaiting expansion) of an
+/// application — the in-memory mirror of the paper's descriptor
+/// repositories, produced by the composition tool's exploration step.
+#[derive(Default)]
+pub struct ComponentRegistry {
+    components: RwLock<HashMap<String, Arc<Component>>>,
+    generics: RwLock<HashMap<String, GenericComponent>>,
+}
+
+impl ComponentRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        ComponentRegistry::default()
+    }
+
+    /// Registers a concrete component.
+    ///
+    /// # Panics
+    /// Panics on a duplicate component name.
+    pub fn register(&self, c: Arc<Component>) {
+        let name = c.name().to_string();
+        let prev = self.components.write().insert(name.clone(), c);
+        assert!(prev.is_none(), "component `{name}` registered twice");
+    }
+
+    /// Registers a generic component for later expansion.
+    pub fn register_generic(&self, g: GenericComponent) {
+        let name = g.name.clone();
+        let prev = self.generics.write().insert(name.clone(), g);
+        assert!(prev.is_none(), "generic component `{name}` registered twice");
+    }
+
+    /// Expands a generic component at a concrete type and registers the
+    /// instantiation (idempotent per `(name, type_arg)` pair).
+    ///
+    /// # Panics
+    /// Panics when no generic component with that name exists.
+    pub fn instantiate(&self, generic: &str, type_arg: &str) -> Arc<Component> {
+        let inst_name = instantiated_name(generic, type_arg);
+        if let Some(c) = self.get(&inst_name) {
+            return c;
+        }
+        let g = self
+            .generics
+            .read()
+            .get(generic)
+            .cloned()
+            .unwrap_or_else(|| panic!("no generic component `{generic}`"));
+        let comp = g.expand(type_arg);
+        self.register(Arc::clone(&comp));
+        comp
+    }
+
+    /// Looks up a component.
+    pub fn get(&self, name: &str) -> Option<Arc<Component>> {
+        self.components.read().get(name).cloned()
+    }
+
+    /// Starts an invocation of a registered component.
+    ///
+    /// # Panics
+    /// Panics when the component is unknown.
+    pub fn call(&self, name: &str) -> InvokeBuilder {
+        self.get(name)
+            .unwrap_or_else(|| panic!("no component `{name}` registered"))
+            .call()
+    }
+
+    /// All registered component names, sorted.
+    pub fn component_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.components.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Disables implementation variants by name across all components —
+    /// the composition tool's `disableImpls` switch.
+    /// Returns how many variants were found and disabled.
+    pub fn disable_impls(&self, names: &[String]) -> usize {
+        let comps = self.components.read();
+        let mut hits = 0;
+        for c in comps.values() {
+            for n in names {
+                if c.disable_variant(n) {
+                    hits += 1;
+                }
+            }
+        }
+        hits
+    }
+
+    /// Applies the composition switches of a main-module descriptor
+    /// (currently `disableImpls`).
+    pub fn apply_main(&self, main: &MainDescriptor) {
+        self.disable_impls(&main.disable_impls);
+    }
+}
+
+impl std::fmt::Debug for ComponentRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ComponentRegistry")
+            .field("components", &self.component_names())
+            .field(
+                "generics",
+                &self.generics.read().keys().cloned().collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::variant::VariantBuilder;
+    use crate::CallContext;
+    use peppher_descriptor::InterfaceDescriptor;
+
+    fn simple_component(name: &str) -> Arc<Component> {
+        Component::builder(InterfaceDescriptor::new(name))
+            .variant(VariantBuilder::new(format!("{name}_cpu"), "cpp").kernel(|_| {}).build())
+            .variant(VariantBuilder::new(format!("{name}_cuda"), "cuda").kernel(|_| {}).build())
+            .build()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let reg = ComponentRegistry::new();
+        reg.register(simple_component("spmv"));
+        assert!(reg.get("spmv").is_some());
+        assert!(reg.get("nope").is_none());
+        assert_eq!(reg.component_names(), vec!["spmv"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_rejected() {
+        let reg = ComponentRegistry::new();
+        reg.register(simple_component("x"));
+        reg.register(simple_component("x"));
+    }
+
+    #[test]
+    fn disable_impls_across_components() {
+        let reg = ComponentRegistry::new();
+        reg.register(simple_component("a"));
+        reg.register(simple_component("b"));
+        let hits = reg.disable_impls(&["a_cuda".into(), "b_cuda".into(), "ghost".into()]);
+        assert_eq!(hits, 2);
+        assert_eq!(
+            reg.get("a").unwrap().candidates(&CallContext::new()),
+            vec!["a_cpu"]
+        );
+    }
+
+    #[test]
+    fn apply_main_descriptor_switches() {
+        let reg = ComponentRegistry::new();
+        reg.register(simple_component("spmv"));
+        let mut main = MainDescriptor::new("app", "p");
+        main.disable_impls.push("spmv_cuda".into());
+        reg.apply_main(&main);
+        assert_eq!(
+            reg.get("spmv").unwrap().candidates(&CallContext::new()),
+            vec!["spmv_cpu"]
+        );
+    }
+
+    #[test]
+    fn instantiate_generic_is_idempotent() {
+        let reg = ComponentRegistry::new();
+        reg.register_generic(GenericComponent::new("sort", |t| {
+            Component::builder(InterfaceDescriptor::new(instantiated_name("sort", t)))
+                .variant(VariantBuilder::new("sort_cpu", "cpp").kernel(|_| {}).build())
+                .build()
+        }));
+        let a = reg.instantiate("sort", "f32");
+        let b = reg.instantiate("sort", "f32");
+        assert!(Arc::ptr_eq(&a, &b), "second instantiation reuses the first");
+        assert_eq!(reg.component_names(), vec!["sort<f32>"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "no generic component")]
+    fn instantiate_unknown_generic_panics() {
+        let reg = ComponentRegistry::new();
+        let _ = reg.instantiate("ghost", "f32");
+    }
+}

@@ -1,0 +1,177 @@
+//! Tunable-parameter expansion.
+//!
+//! The paper lists "tunable parameters of the component implementation,
+//! such as buffer sizes" among the component metadata and defers their
+//! expansion to future work (§IV-B: "Component expansion for multiple
+//! values of tunable parameters to generate multiple implementation
+//! variants from a single source is not supported yet"). This module
+//! implements that extension: one source kernel parameterized by a tunable
+//! is expanded statically into one [`Variant`] per candidate value, making
+//! the values *alternative choices for composition* — trainable by the
+//! same dispatch-table machinery as any other variant set.
+
+use crate::variant::{Variant, VariantBuilder};
+use peppher_runtime::KernelCtx;
+use std::sync::Arc;
+
+/// The spelled name of a tunable instantiation: `base@param=value`.
+pub fn tunable_variant_name(base: &str, param: &str, value: f64) -> String {
+    format!("{base}@{param}={value}")
+}
+
+/// Expands one kernel source over the candidate values of a tunable
+/// parameter, producing one variant per value. The factory receives the
+/// concrete value (e.g. a block size) and returns the specialized kernel —
+/// the "multiple implementation variants from a single source".
+pub fn expand_tunable<F, K>(
+    base_name: &str,
+    platform: &str,
+    param: &str,
+    values: &[f64],
+    factory: F,
+) -> Vec<Variant>
+where
+    F: Fn(f64) -> K,
+    K: Fn(&mut KernelCtx<'_>) + Send + Sync + 'static,
+{
+    assert!(!values.is_empty(), "tunable `{param}` has no candidate values");
+    values
+        .iter()
+        .map(|&v| {
+            let kernel = factory(v);
+            VariantBuilder::new(tunable_variant_name(base_name, param, v), platform)
+                .kernel(kernel)
+                .build()
+        })
+        .collect()
+}
+
+/// As [`expand_tunable`] but for kernels that are cheaper to share: the
+/// factory returns one `Arc`'d kernel per value.
+pub fn expand_tunable_arc(
+    base_name: &str,
+    platform: &str,
+    param: &str,
+    values: &[f64],
+    factory: impl Fn(f64) -> Arc<dyn Fn(&mut KernelCtx<'_>) + Send + Sync>,
+) -> Vec<Variant> {
+    assert!(!values.is_empty(), "tunable `{param}` has no candidate values");
+    values
+        .iter()
+        .map(|&v| {
+            let kernel = factory(v);
+            let mut variant =
+                VariantBuilder::new(tunable_variant_name(base_name, param, v), platform)
+                    .kernel(move |ctx| kernel(ctx))
+                    .build();
+            variant.enabled = true;
+            variant
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::Component;
+    use crate::dispatch::DispatchTable;
+    use crate::CallContext;
+    use peppher_descriptor::{AccessType, InterfaceDescriptor, ParamDecl};
+    use peppher_runtime::{Runtime, SchedulerKind};
+    use peppher_sim::MachineConfig;
+
+    fn blocked_sum_interface() -> InterfaceDescriptor {
+        let mut i = InterfaceDescriptor::new("blocked_sum");
+        i.params = vec![
+            ParamDecl {
+                name: "x".into(),
+                ctype: "const float*".into(),
+                access: AccessType::Read,
+            },
+            ParamDecl {
+                name: "out".into(),
+                ctype: "float*".into(),
+                access: AccessType::Write,
+            },
+        ];
+        i
+    }
+
+    /// A kernel whose tunable block size changes summation order (and thus
+    /// lets tests observe which instantiation ran).
+    fn make_component() -> Arc<Component> {
+        let variants = expand_tunable(
+            "blocked_sum_cpu",
+            "cpp",
+            "block",
+            &[8.0, 64.0, 512.0],
+            |block| {
+                move |ctx: &mut KernelCtx<'_>| {
+                    let x = ctx.r::<Vec<f32>>(0).clone();
+                    let out = ctx.w::<Vec<f32>>(1);
+                    let mut total = 0.0f32;
+                    for chunk in x.chunks(block as usize) {
+                        total += chunk.iter().sum::<f32>();
+                    }
+                    out[0] = total;
+                    out[1] = block as f32; // reveal which variant ran
+                }
+            },
+        );
+        let mut builder = Component::builder(blocked_sum_interface());
+        for v in variants {
+            builder = builder.variant(v);
+        }
+        builder.build()
+    }
+
+    #[test]
+    fn expansion_creates_one_variant_per_value() {
+        let comp = make_component();
+        assert_eq!(
+            comp.variant_names(),
+            vec![
+                "blocked_sum_cpu@block=8",
+                "blocked_sum_cpu@block=64",
+                "blocked_sum_cpu@block=512"
+            ]
+        );
+    }
+
+    #[test]
+    fn dispatch_table_selects_tunable_instantiation_by_context() {
+        let comp = make_component();
+        // Trained table: small inputs → small blocks, large → large blocks.
+        comp.set_dispatch_table(DispatchTable::from_samples(
+            "n",
+            &[
+                (100.0, tunable_variant_name("blocked_sum_cpu", "block", 8.0)),
+                (100_000.0, tunable_variant_name("blocked_sum_cpu", "block", 512.0)),
+            ],
+        ));
+        assert_eq!(
+            comp.candidates(&CallContext::new().with("n", 10.0)),
+            vec!["blocked_sum_cpu@block=8"]
+        );
+
+        let rt = Runtime::new(MachineConfig::cpu_only(2), SchedulerKind::Eager);
+        let x = rt.register_vec(vec![1.0f32; 1000]);
+        let out = rt.register_vec(vec![0.0f32; 2]);
+        comp.call()
+            .operand(&x)
+            .operand(&out)
+            .context("n", 1_000_000.0)
+            .sync()
+            .submit(&rt);
+        let result = rt.unregister_vec::<f32>(out);
+        assert_eq!(result[0], 1000.0);
+        assert_eq!(result[1], 512.0, "the 512-block instantiation must run");
+        rt.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "no candidate values")]
+    fn empty_values_rejected() {
+        let _ = expand_tunable("k", "cpp", "b", &[], |_| |_: &mut KernelCtx<'_>| {});
+    }
+}

@@ -1,0 +1,154 @@
+//! Implementation variants of a component.
+
+use crate::context::CallContext;
+use peppher_descriptor::Constraint;
+use peppher_runtime::{Arch, KernelCtx};
+use std::fmt;
+use std::sync::Arc;
+
+/// The kernel body of a variant (same shape as a runtime codelet
+/// implementation — this *is* what the generated backend-wrapper wraps).
+pub type VariantFn = Arc<dyn Fn(&mut KernelCtx<'_>) + Send + Sync>;
+
+/// One implementation variant: "several implementation variants may
+/// implement the same functionality [...], e.g. by different algorithms or
+/// for different execution platforms."
+#[derive(Clone)]
+pub struct Variant {
+    /// Variant name, e.g. `spmv_cuda`.
+    pub name: String,
+    /// Platform model string from the descriptor (`cpp`, `openmp`, `cuda`).
+    pub platform: String,
+    /// The runtime architecture this platform maps onto.
+    pub arch: Arch,
+    /// The kernel body.
+    pub kernel: VariantFn,
+    /// Selectability constraints (e.g. parameter ranges, §II).
+    pub constraints: Vec<Constraint>,
+    /// Cleared by `disableImpls`-style user-guided static composition.
+    pub enabled: bool,
+}
+
+impl Variant {
+    /// Whether this variant may serve a call with the given context.
+    pub fn admits(&self, ctx: &CallContext) -> bool {
+        self.enabled
+            && self.constraints.iter().all(|c| {
+                ctx.get(&c.param).is_none_or(|v| c.admits(v))
+            })
+    }
+}
+
+impl fmt::Debug for Variant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Variant")
+            .field("name", &self.name)
+            .field("platform", &self.platform)
+            .field("arch", &self.arch)
+            .field("enabled", &self.enabled)
+            .field("constraints", &self.constraints.len())
+            .finish()
+    }
+}
+
+/// Maps a descriptor platform-model string to the runtime architecture.
+///
+/// Component implementations "are organized by platform type (e.g.
+/// CPU/OpenMP, CUDA, OpenCL) in different subdirectories"; the runtime
+/// correspondingly distinguishes single-core CPU, CPU team, and
+/// accelerator backends.
+pub fn arch_for_platform(model: &str) -> Option<Arch> {
+    match model.to_ascii_lowercase().as_str() {
+        "cpp" | "cpu" | "c" | "serial" => Some(Arch::Cpu),
+        "openmp" | "omp" | "pthreads" | "tbb" => Some(Arch::CpuTeam),
+        "cuda" | "opencl" | "gpu" => Some(Arch::Gpu),
+        _ => None,
+    }
+}
+
+/// Fluent construction of a [`Variant`].
+pub struct VariantBuilder {
+    name: String,
+    platform: String,
+    kernel: Option<VariantFn>,
+    constraints: Vec<Constraint>,
+}
+
+impl VariantBuilder {
+    /// Starts a variant named `name` for the given platform model.
+    pub fn new(name: impl Into<String>, platform: impl Into<String>) -> Self {
+        VariantBuilder {
+            name: name.into(),
+            platform: platform.into(),
+            kernel: None,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Sets the kernel body.
+    pub fn kernel(mut self, f: impl Fn(&mut KernelCtx<'_>) + Send + Sync + 'static) -> Self {
+        self.kernel = Some(Arc::new(f));
+        self
+    }
+
+    /// Adds a selectability range constraint on a context parameter.
+    pub fn constrain(mut self, param: impl Into<String>, min: Option<f64>, max: Option<f64>) -> Self {
+        self.constraints.push(Constraint {
+            param: param.into(),
+            min,
+            max,
+        });
+        self
+    }
+
+    /// Finalizes the variant.
+    ///
+    /// # Panics
+    /// Panics when the platform model is unknown or no kernel was set.
+    pub fn build(self) -> Variant {
+        let arch = arch_for_platform(&self.platform)
+            .unwrap_or_else(|| panic!("unknown platform model `{}`", self.platform));
+        Variant {
+            arch,
+            kernel: self.kernel.expect("variant has no kernel"),
+            name: self.name,
+            platform: self.platform,
+            constraints: self.constraints,
+            enabled: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn platform_arch_mapping() {
+        assert_eq!(arch_for_platform("cpp"), Some(Arch::Cpu));
+        assert_eq!(arch_for_platform("OpenMP"), Some(Arch::CpuTeam));
+        assert_eq!(arch_for_platform("CUDA"), Some(Arch::Gpu));
+        assert_eq!(arch_for_platform("opencl"), Some(Arch::Gpu));
+        assert_eq!(arch_for_platform("fpga"), None);
+    }
+
+    #[test]
+    fn admits_respects_constraints_and_enabled() {
+        let mut v = VariantBuilder::new("spmv_cuda", "cuda")
+            .kernel(|_| {})
+            .constrain("nnz", Some(1000.0), None)
+            .build();
+        assert!(v.admits(&CallContext::new().with("nnz", 5000.0)));
+        assert!(!v.admits(&CallContext::new().with("nnz", 10.0)));
+        // Properties absent from the context do not restrict.
+        assert!(v.admits(&CallContext::new()));
+        v.enabled = false;
+        assert!(!v.admits(&CallContext::new().with("nnz", 5000.0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown platform model")]
+    fn unknown_platform_panics() {
+        let _ = VariantBuilder::new("x", "fpga").kernel(|_| {}).build();
+    }
+}

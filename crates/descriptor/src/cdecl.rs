@@ -1,0 +1,300 @@
+//! Parser for plain C/C++ function declarations (the utility-mode input).
+//!
+//! The paper (§IV-I): the tool "can generate a basic skeleton of these XML
+//! and C/C++ source files required for writing PEPPHER components from a
+//! simple C/C++ method declaration [...] the tool can successfully detect
+//! template parameters as well as suggest values for the data access
+//! pattern field of the descriptors by analyzing 'const' and 'pass by
+//! reference' semantics of the function arguments."
+
+use crate::error::DescriptorError;
+use crate::interface::AccessType;
+
+/// One parsed parameter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CParam {
+    /// Parameter name.
+    pub name: String,
+    /// Normalized type spelling (e.g. `const float*`, `size_t`, `T&`).
+    pub ctype: String,
+    /// Access type suggested from const/pointer/reference analysis:
+    /// `const T*`/`const T&` → read; `T*`/`T&` → readwrite; by-value → read.
+    pub suggested_access: AccessType,
+    /// Whether the parameter is a pointer (array-like operand).
+    pub is_pointer: bool,
+}
+
+/// A parsed function declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CDeclaration {
+    /// Function name — becomes the interface name.
+    pub name: String,
+    /// Return type spelling.
+    pub return_type: String,
+    /// Parameters in declaration order.
+    pub params: Vec<CParam>,
+    /// Template parameters (from a `template<...>` prefix).
+    pub template_params: Vec<String>,
+}
+
+impl CDeclaration {
+    /// Parses a single declaration such as
+    /// `void spmv(float* values, int nnz, const float* x, float* y);`
+    /// or `template <typename T> void sort(T* data, int n);`.
+    pub fn parse(input: &str) -> Result<Self, DescriptorError> {
+        let mut toks = tokenize(input);
+
+        let mut template_params = Vec::new();
+        if toks.first().map(String::as_str) == Some("template") {
+            toks.remove(0);
+            if toks.first().map(String::as_str) != Some("<") {
+                return Err(err("expected `<` after `template`"));
+            }
+            toks.remove(0);
+            // typename T, class U, ...
+            while let Some(t) = toks.first() {
+                if t == ">" {
+                    toks.remove(0);
+                    break;
+                }
+                if t == "," {
+                    toks.remove(0);
+                    continue;
+                }
+                if t == "typename" || t == "class" {
+                    toks.remove(0);
+                    let name = toks
+                        .first()
+                        .cloned()
+                        .ok_or_else(|| err("template parameter name missing"))?;
+                    if !is_ident(&name) {
+                        return Err(err(format!("bad template parameter `{name}`")));
+                    }
+                    template_params.push(name);
+                    toks.remove(0);
+                } else {
+                    return Err(err(format!("unexpected token `{t}` in template list")));
+                }
+            }
+            if template_params.is_empty() {
+                return Err(err("empty template parameter list"));
+            }
+        }
+
+        // Return type: everything before the identifier that precedes `(`.
+        let open = toks
+            .iter()
+            .position(|t| t == "(")
+            .ok_or_else(|| err("missing `(`"))?;
+        if open < 2 {
+            return Err(err("expected `<return type> <name>(`"));
+        }
+        let name = toks[open - 1].clone();
+        if !is_ident(&name) {
+            return Err(err(format!("bad function name `{name}`")));
+        }
+        let return_type = toks[..open - 1].join(" ").replace(" *", "*").replace(" &", "&");
+
+        let close = toks
+            .iter()
+            .rposition(|t| t == ")")
+            .ok_or_else(|| err("missing `)`"))?;
+        if close < open {
+            return Err(err("`)` before `(`"));
+        }
+        let body = &toks[open + 1..close];
+
+        let mut params = Vec::new();
+        if !(body.is_empty() || body == ["void"]) {
+            for chunk in body.split(|t| t == ",") {
+                params.push(parse_param(chunk, &template_params)?);
+            }
+        }
+        Ok(CDeclaration {
+            name,
+            return_type,
+            params,
+            template_params,
+        })
+    }
+}
+
+fn err(m: impl Into<String>) -> DescriptorError {
+    DescriptorError::schema("cdecl", m)
+}
+
+fn is_ident(s: &str) -> bool {
+    let mut chars = s.chars();
+    matches!(chars.next(), Some(c) if c.is_alphabetic() || c == '_')
+        && chars.all(|c| c.is_alphanumeric() || c == '_')
+}
+
+fn tokenize(input: &str) -> Vec<String> {
+    let mut toks = Vec::new();
+    let mut cur = String::new();
+    for c in input.chars() {
+        match c {
+            c if c.is_alphanumeric() || c == '_' => cur.push(c),
+            _ => {
+                if !cur.is_empty() {
+                    toks.push(std::mem::take(&mut cur));
+                }
+                match c {
+                    '(' | ')' | ',' | '*' | '&' | '<' | '>' => toks.push(c.to_string()),
+                    ';' => {}
+                    c if c.is_whitespace() => {}
+                    _ => toks.push(c.to_string()),
+                }
+            }
+        }
+    }
+    if !cur.is_empty() {
+        toks.push(cur);
+    }
+    toks
+}
+
+fn parse_param(toks: &[String], template_params: &[String]) -> Result<CParam, DescriptorError> {
+    if toks.is_empty() {
+        return Err(err("empty parameter"));
+    }
+    let is_const = toks.iter().any(|t| t == "const");
+    let pointers = toks.iter().filter(|t| *t == "*").count();
+    let is_ref = toks.iter().any(|t| t == "&");
+
+    // The parameter name is the last identifier token.
+    let name_pos = toks
+        .iter()
+        .rposition(|t| is_ident(t) && t != "const")
+        .ok_or_else(|| err(format!("parameter `{}` has no name", toks.join(" "))))?;
+    let name = toks[name_pos].clone();
+
+    // Base type: identifier tokens before the name, excluding `const`.
+    let base: Vec<&str> = toks[..name_pos]
+        .iter()
+        .filter(|t| is_ident(t) && *t != "const")
+        .map(String::as_str)
+        .collect();
+    if base.is_empty() {
+        return Err(err(format!("parameter `{name}` has no type")));
+    }
+    let mut ctype = String::new();
+    if is_const {
+        ctype.push_str("const ");
+    }
+    ctype.push_str(&base.join(" "));
+    ctype.push_str(&"*".repeat(pointers));
+    if is_ref {
+        ctype.push('&');
+    }
+
+    let suggested_access = if pointers > 0 || is_ref {
+        if is_const {
+            AccessType::Read
+        } else {
+            AccessType::ReadWrite
+        }
+    } else {
+        AccessType::Read
+    };
+
+    // Template usage check (validates detection; the names themselves come
+    // from the template<> prefix).
+    let _uses_template = base.iter().any(|b| template_params.contains(&b.to_string()));
+
+    Ok(CParam {
+        name,
+        ctype,
+        suggested_access,
+        is_pointer: pointers > 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_papers_spmv_signature() {
+        let d = CDeclaration::parse(
+            "void spmv(float* values, int nnz, int nrows, int ncols, int first, \
+             size_t* colIdxs, size_t* rowPtr, float* x, float* y);",
+        )
+        .unwrap();
+        assert_eq!(d.name, "spmv");
+        assert_eq!(d.return_type, "void");
+        assert_eq!(d.params.len(), 9);
+        assert_eq!(d.params[0].ctype, "float*");
+        assert_eq!(d.params[0].suggested_access, AccessType::ReadWrite);
+        assert_eq!(d.params[1].ctype, "int");
+        assert_eq!(d.params[1].suggested_access, AccessType::Read);
+        assert!(d.params[5].is_pointer);
+    }
+
+    #[test]
+    fn const_pointer_suggests_read() {
+        let d = CDeclaration::parse("void f(const float* x, float* y)").unwrap();
+        assert_eq!(d.params[0].suggested_access, AccessType::Read);
+        assert_eq!(d.params[0].ctype, "const float*");
+        assert_eq!(d.params[1].suggested_access, AccessType::ReadWrite);
+    }
+
+    #[test]
+    fn references_analyzed() {
+        let d = CDeclaration::parse("void f(const Vec& a, Vec& b, int n)").unwrap();
+        assert_eq!(d.params[0].suggested_access, AccessType::Read);
+        assert_eq!(d.params[0].ctype, "const Vec&");
+        assert_eq!(d.params[1].suggested_access, AccessType::ReadWrite);
+        assert_eq!(d.params[2].suggested_access, AccessType::Read);
+        assert!(!d.params[2].is_pointer);
+    }
+
+    #[test]
+    fn template_prefix_detected() {
+        let d = CDeclaration::parse("template <typename T> void sort(T* data, int n);").unwrap();
+        assert_eq!(d.template_params, vec!["T"]);
+        assert_eq!(d.params[0].ctype, "T*");
+    }
+
+    #[test]
+    fn multiple_template_params() {
+        let d =
+            CDeclaration::parse("template <typename K, class V> void join(K* keys, V* vals, int n)")
+                .unwrap();
+        assert_eq!(d.template_params, vec!["K", "V"]);
+    }
+
+    #[test]
+    fn multiword_types() {
+        let d = CDeclaration::parse("void f(unsigned int n, long long* acc)").unwrap();
+        assert_eq!(d.params[0].ctype, "unsigned int");
+        assert_eq!(d.params[1].ctype, "long long*");
+    }
+
+    #[test]
+    fn empty_and_void_param_lists() {
+        assert!(CDeclaration::parse("void f()").unwrap().params.is_empty());
+        assert!(CDeclaration::parse("void f(void)").unwrap().params.is_empty());
+    }
+
+    #[test]
+    fn double_pointer() {
+        let d = CDeclaration::parse("void f(float** rows, int n)").unwrap();
+        assert_eq!(d.params[0].ctype, "float**");
+        assert!(d.params[0].is_pointer);
+    }
+
+    #[test]
+    fn errors_on_garbage() {
+        assert!(CDeclaration::parse("not a declaration").is_err());
+        assert!(CDeclaration::parse("void f(int)").is_err()); // unnamed param
+        assert!(CDeclaration::parse("f()").is_err()); // no return type
+        assert!(CDeclaration::parse("template <> void f(int n)").is_err());
+    }
+
+    #[test]
+    fn non_void_return_type_kept() {
+        let d = CDeclaration::parse("double norm(const double* x, int n)").unwrap();
+        assert_eq!(d.return_type, "double");
+    }
+}

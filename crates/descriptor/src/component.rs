@@ -1,0 +1,381 @@
+//! The component (implementation-variant) descriptor.
+
+use crate::error::DescriptorError;
+use peppher_xml::Element;
+
+/// Reference to the platform an implementation targets: "the programming
+/// model/language used for the component implementation and the target
+/// architecture".
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlatformRef {
+    /// Programming model, e.g. `cpp`, `openmp`, `cuda`, `opencl`.
+    pub model: String,
+    /// Target architecture name within the platform descriptor's namespace
+    /// (e.g. `x86_64`, `fermi`), if constrained.
+    pub arch: Option<String>,
+}
+
+/// Type and amount of resources required for execution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceReq {
+    /// Resource name in the platform description's namespace (e.g.
+    /// `cpu_cores`, `gpu_memory_mb`).
+    pub name: String,
+    /// Minimum amount required.
+    pub min: f64,
+    /// Maximum amount usable.
+    pub max: Option<f64>,
+}
+
+/// An explicitly exposed tunable parameter (e.g. a buffer or block size).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TunableParam {
+    /// Parameter name.
+    pub name: String,
+    /// Candidate values to expand over.
+    pub values: Vec<String>,
+    /// Default value used when expansion is not requested.
+    pub default: Option<String>,
+}
+
+/// A selectability constraint: the variant may only be chosen when the
+/// named context parameter lies within the range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Constraint {
+    /// Context-parameter name (must appear in the interface descriptor).
+    pub param: String,
+    /// Inclusive minimum.
+    pub min: Option<f64>,
+    /// Inclusive maximum.
+    pub max: Option<f64>,
+}
+
+impl Constraint {
+    /// Whether `value` satisfies the constraint.
+    pub fn admits(&self, value: f64) -> bool {
+        self.min.is_none_or(|m| value >= m) && self.max.is_none_or(|m| value <= m)
+    }
+}
+
+/// A parsed `<component>` descriptor: the metadata of one implementation
+/// variant (§II's bullet list).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComponentDescriptor {
+    /// Variant name, e.g. `spmv_cuda`.
+    pub name: String,
+    /// The provided PEPPHER interface.
+    pub provides: String,
+    /// Required interfaces: component-provided functionality called from
+    /// this implementation.
+    pub requires: Vec<String>,
+    /// Source file(s) of the implementation.
+    pub sources: Vec<String>,
+    /// Deployment information: compile command/options.
+    pub compile_cmd: Option<String>,
+    /// Platform reference.
+    pub platform: PlatformRef,
+    /// Resource requirements.
+    pub resources: Vec<ResourceReq>,
+    /// Reference to a performance prediction function (symbol name).
+    pub prediction: Option<String>,
+    /// Tunable parameters.
+    pub tunables: Vec<TunableParam>,
+    /// Selectability constraints, e.g. parameter ranges.
+    pub constraints: Vec<Constraint>,
+}
+
+impl ComponentDescriptor {
+    /// Creates a minimal descriptor.
+    pub fn new(
+        name: impl Into<String>,
+        provides: impl Into<String>,
+        model: impl Into<String>,
+    ) -> Self {
+        ComponentDescriptor {
+            name: name.into(),
+            provides: provides.into(),
+            requires: Vec::new(),
+            sources: Vec::new(),
+            compile_cmd: None,
+            platform: PlatformRef {
+                model: model.into(),
+                arch: None,
+            },
+            resources: Vec::new(),
+            prediction: None,
+            tunables: Vec::new(),
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Whether the variant is selectable for the given context values
+    /// (name → value), per its constraints. Unknown names are ignored —
+    /// only declared constraints restrict selectability.
+    pub fn admits_context(&self, values: &[(String, f64)]) -> bool {
+        self.constraints.iter().all(|c| {
+            values
+                .iter()
+                .find(|(n, _)| *n == c.param)
+                .is_none_or(|(_, v)| c.admits(*v))
+        })
+    }
+
+    /// Parses a `<component>` element.
+    pub fn from_xml(root: &Element) -> Result<Self, DescriptorError> {
+        if root.name != "component" {
+            return Err(DescriptorError::schema(
+                "component",
+                format!("expected <component>, found <{}>", root.name),
+            ));
+        }
+        let name = root
+            .attr("name")
+            .ok_or_else(|| DescriptorError::schema("component", "missing `name` attribute"))?
+            .to_string();
+        let provides = root
+            .child("provides")
+            .and_then(|e| e.attr("interface").map(str::to_string))
+            .ok_or_else(|| {
+                DescriptorError::schema("component", "missing <provides interface=...>")
+            })?;
+        let requires = root
+            .children_named("requires")
+            .filter_map(|e| e.attr("interface").map(str::to_string))
+            .collect();
+        let sources = root
+            .children_named("source")
+            .map(|e| e.text())
+            .filter(|t| !t.is_empty())
+            .collect();
+        let compile_cmd = root.child("deployment").and_then(|d| d.child_text("compile"));
+
+        let platform_el = root
+            .child("platform")
+            .ok_or_else(|| DescriptorError::schema("component", "missing <platform>"))?;
+        let platform = PlatformRef {
+            model: platform_el
+                .attr("model")
+                .ok_or_else(|| DescriptorError::schema("component", "platform needs `model`"))?
+                .to_string(),
+            arch: platform_el.attr("arch").map(str::to_string),
+        };
+
+        let mut resources = Vec::new();
+        for r in root.children_named("resource") {
+            let rname = r
+                .attr("name")
+                .ok_or_else(|| DescriptorError::schema("component", "resource needs `name`"))?;
+            let min = r
+                .attr("min")
+                .unwrap_or("0")
+                .parse::<f64>()
+                .map_err(|_| DescriptorError::schema("component", "resource min not numeric"))?;
+            let max = r
+                .attr("max")
+                .map(|v| {
+                    v.parse::<f64>().map_err(|_| {
+                        DescriptorError::schema("component", "resource max not numeric")
+                    })
+                })
+                .transpose()?;
+            resources.push(ResourceReq {
+                name: rname.to_string(),
+                min,
+                max,
+            });
+        }
+
+        let prediction = root
+            .child("prediction")
+            .and_then(|e| e.attr("function").map(str::to_string));
+
+        let mut tunables = Vec::new();
+        for t in root.children_named("tunableParam") {
+            let tname = t
+                .attr("name")
+                .ok_or_else(|| DescriptorError::schema("component", "tunableParam needs `name`"))?;
+            let values = t
+                .attr("values")
+                .map(|v| v.split(',').map(|s| s.trim().to_string()).collect())
+                .unwrap_or_default();
+            tunables.push(TunableParam {
+                name: tname.to_string(),
+                values,
+                default: t.attr("default").map(str::to_string),
+            });
+        }
+
+        let mut constraints = Vec::new();
+        for c in root.children_named("constraint") {
+            let param = c
+                .attr("param")
+                .ok_or_else(|| DescriptorError::schema("component", "constraint needs `param`"))?;
+            let bound = |key: &str| -> Result<Option<f64>, DescriptorError> {
+                c.attr(key)
+                    .map(|v| {
+                        v.parse::<f64>().map_err(|_| {
+                            DescriptorError::schema(
+                                "component",
+                                format!("constraint {key} not numeric"),
+                            )
+                        })
+                    })
+                    .transpose()
+            };
+            constraints.push(Constraint {
+                param: param.to_string(),
+                min: bound("min")?,
+                max: bound("max")?,
+            });
+        }
+
+        Ok(ComponentDescriptor {
+            name,
+            provides,
+            requires,
+            sources,
+            compile_cmd,
+            platform,
+            resources,
+            prediction,
+            tunables,
+            constraints,
+        })
+    }
+
+    /// Serializes to a `<component>` element.
+    pub fn to_xml(&self) -> Element {
+        let mut root = Element::new("component").with_attr("name", &self.name);
+        root = root.with_child(Element::new("provides").with_attr("interface", &self.provides));
+        for r in &self.requires {
+            root = root.with_child(Element::new("requires").with_attr("interface", r));
+        }
+        for s in &self.sources {
+            root = root.with_child(Element::new("source").with_text(s));
+        }
+        if let Some(cmd) = &self.compile_cmd {
+            root = root.with_child(
+                Element::new("deployment").with_child(Element::new("compile").with_text(cmd)),
+            );
+        }
+        let mut p = Element::new("platform").with_attr("model", &self.platform.model);
+        if let Some(a) = &self.platform.arch {
+            p.set_attr("arch", a);
+        }
+        root = root.with_child(p);
+        for r in &self.resources {
+            let mut e = Element::new("resource")
+                .with_attr("name", &r.name)
+                .with_attr("min", r.min.to_string());
+            if let Some(mx) = r.max {
+                e.set_attr("max", mx.to_string());
+            }
+            root = root.with_child(e);
+        }
+        if let Some(pred) = &self.prediction {
+            root = root.with_child(Element::new("prediction").with_attr("function", pred));
+        }
+        for t in &self.tunables {
+            let mut e = Element::new("tunableParam").with_attr("name", &t.name);
+            if !t.values.is_empty() {
+                e.set_attr("values", t.values.join(","));
+            }
+            if let Some(d) = &t.default {
+                e.set_attr("default", d);
+            }
+            root = root.with_child(e);
+        }
+        for c in &self.constraints {
+            let mut e = Element::new("constraint").with_attr("param", &c.param);
+            if let Some(mn) = c.min {
+                e.set_attr("min", mn.to_string());
+            }
+            if let Some(mx) = c.max {
+                e.set_attr("max", mx.to_string());
+            }
+            root = root.with_child(e);
+        }
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppher_xml::parse;
+
+    const CUDA_SPMV: &str = r#"
+      <component name="spmv_cuda">
+        <provides interface="spmv"/>
+        <requires interface="reduce"/>
+        <source>cuda/spmv.cu</source>
+        <deployment><compile>nvcc -O3 -arch=sm_20</compile></deployment>
+        <platform model="cuda" arch="fermi"/>
+        <resource name="gpu_memory_mb" min="64" max="3072"/>
+        <prediction function="spmv_cuda_predict"/>
+        <tunableParam name="block_size" values="64,128,256" default="128"/>
+        <constraint param="nnz" min="10000"/>
+      </component>"#;
+
+    #[test]
+    fn parses_full_component() {
+        let doc = parse(CUDA_SPMV).unwrap();
+        let c = ComponentDescriptor::from_xml(&doc.root).unwrap();
+        assert_eq!(c.name, "spmv_cuda");
+        assert_eq!(c.provides, "spmv");
+        assert_eq!(c.requires, vec!["reduce"]);
+        assert_eq!(c.sources, vec!["cuda/spmv.cu"]);
+        assert_eq!(c.compile_cmd.as_deref(), Some("nvcc -O3 -arch=sm_20"));
+        assert_eq!(c.platform.model, "cuda");
+        assert_eq!(c.platform.arch.as_deref(), Some("fermi"));
+        assert_eq!(c.resources[0].max, Some(3072.0));
+        assert_eq!(c.prediction.as_deref(), Some("spmv_cuda_predict"));
+        assert_eq!(c.tunables[0].values, vec!["64", "128", "256"]);
+        assert_eq!(c.constraints[0].min, Some(10_000.0));
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let doc = parse(CUDA_SPMV).unwrap();
+        let c = ComponentDescriptor::from_xml(&doc.root).unwrap();
+        let again = ComponentDescriptor::from_xml(&c.to_xml()).unwrap();
+        assert_eq!(c, again);
+    }
+
+    #[test]
+    fn constraint_admits_ranges() {
+        let c = Constraint {
+            param: "n".into(),
+            min: Some(10.0),
+            max: Some(100.0),
+        };
+        assert!(!c.admits(5.0));
+        assert!(c.admits(10.0));
+        assert!(c.admits(100.0));
+        assert!(!c.admits(101.0));
+    }
+
+    #[test]
+    fn admits_context_checks_declared_constraints_only() {
+        let doc = parse(CUDA_SPMV).unwrap();
+        let c = ComponentDescriptor::from_xml(&doc.root).unwrap();
+        assert!(c.admits_context(&[("nnz".into(), 50_000.0)]));
+        assert!(!c.admits_context(&[("nnz".into(), 100.0)]));
+        // Unrelated context properties don't restrict selectability.
+        assert!(c.admits_context(&[("rows".into(), 1.0)]));
+        assert!(c.admits_context(&[]));
+    }
+
+    #[test]
+    fn missing_provides_is_error() {
+        let doc = parse(r#"<component name="x"><platform model="cpp"/></component>"#).unwrap();
+        assert!(ComponentDescriptor::from_xml(&doc.root).is_err());
+    }
+
+    #[test]
+    fn missing_platform_is_error() {
+        let doc =
+            parse(r#"<component name="x"><provides interface="i"/></component>"#).unwrap();
+        assert!(ComponentDescriptor::from_xml(&doc.root).is_err());
+    }
+}

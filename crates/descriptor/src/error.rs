@@ -1,0 +1,73 @@
+//! Descriptor-layer errors.
+
+use std::fmt;
+
+/// A failure parsing, validating or locating a descriptor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DescriptorError {
+    /// The underlying XML was malformed.
+    Xml(String),
+    /// The XML parsed but does not match the descriptor schema.
+    Schema {
+        /// Which descriptor kind was being read.
+        kind: &'static str,
+        /// What went wrong.
+        message: String,
+    },
+    /// An I/O problem while scanning a repository.
+    Io(String),
+    /// A referenced entity (interface, component, platform) is unknown.
+    Unresolved(String),
+}
+
+impl DescriptorError {
+    /// Convenience constructor for schema violations.
+    pub fn schema(kind: &'static str, message: impl Into<String>) -> Self {
+        DescriptorError::Schema {
+            kind,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for DescriptorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DescriptorError::Xml(m) => write!(f, "XML error: {m}"),
+            DescriptorError::Schema { kind, message } => {
+                write!(f, "{kind} descriptor: {message}")
+            }
+            DescriptorError::Io(m) => write!(f, "I/O error: {m}"),
+            DescriptorError::Unresolved(m) => write!(f, "unresolved reference: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for DescriptorError {}
+
+impl From<peppher_xml::ParseError> for DescriptorError {
+    fn from(e: peppher_xml::ParseError) -> Self {
+        DescriptorError::Xml(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for DescriptorError {
+    fn from(e: std::io::Error) -> Self {
+        DescriptorError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DescriptorError::schema("interface", "missing name")
+            .to_string()
+            .contains("interface descriptor: missing name"));
+        assert!(DescriptorError::Unresolved("spmv".into())
+            .to_string()
+            .contains("unresolved"));
+    }
+}

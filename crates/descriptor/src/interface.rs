@@ -1,0 +1,302 @@
+//! The PEPPHER interface descriptor.
+
+use crate::error::DescriptorError;
+use peppher_xml::Element;
+
+/// Parameter access type as declared in the interface descriptor (the
+/// paper: "parameter types and access types (read, write or both)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AccessType {
+    /// Input-only.
+    Read,
+    /// Output-only.
+    Write,
+    /// In/out.
+    ReadWrite,
+}
+
+impl AccessType {
+    /// Parses the descriptor spelling.
+    pub fn parse(s: &str) -> Result<Self, DescriptorError> {
+        match s {
+            "read" => Ok(AccessType::Read),
+            "write" => Ok(AccessType::Write),
+            "readwrite" | "read-write" | "rw" => Ok(AccessType::ReadWrite),
+            other => Err(DescriptorError::schema(
+                "interface",
+                format!("unknown access type `{other}`"),
+            )),
+        }
+    }
+
+    /// The canonical descriptor spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AccessType::Read => "read",
+            AccessType::Write => "write",
+            AccessType::ReadWrite => "readwrite",
+        }
+    }
+}
+
+/// One declared parameter of the interface function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParamDecl {
+    /// Parameter name.
+    pub name: String,
+    /// C-level type spelling, e.g. `float*`, `size_t`, `T*`.
+    pub ctype: String,
+    /// Declared access type.
+    pub access: AccessType,
+}
+
+/// A call-context property considered during composition, optionally with
+/// the declared range ("the context parameters to be considered and
+/// optionally their ranges (e.g., minimum and maximum value) are declared
+/// in the PEPPHER interface descriptor").
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContextParam {
+    /// Property name (usually a size-like parameter).
+    pub name: String,
+    /// Inclusive minimum, if declared.
+    pub min: Option<f64>,
+    /// Inclusive maximum, if declared.
+    pub max: Option<f64>,
+}
+
+/// A parsed `<interface>` descriptor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InterfaceDescriptor {
+    /// Functionality name (also the generated wrapper's name).
+    pub name: String,
+    /// Generic (template) parameters, resolved statically by expansion.
+    pub template_params: Vec<String>,
+    /// The function's parameters.
+    pub params: Vec<ParamDecl>,
+    /// Context parameters relevant for variant selection.
+    pub context_params: Vec<ContextParam>,
+    /// Performance metrics prediction functions must provide (e.g.
+    /// `avg_exec_time`).
+    pub perf_metrics: Vec<String>,
+    /// Per-interface `useHistoryModels` override (§IV-G: the flag can be
+    /// set "for an individual component by specifying the boolean flag in
+    /// the XML descriptor of that component interface").
+    pub use_history_models: Option<bool>,
+}
+
+impl InterfaceDescriptor {
+    /// Creates a minimal descriptor with just a name.
+    pub fn new(name: impl Into<String>) -> Self {
+        InterfaceDescriptor {
+            name: name.into(),
+            template_params: Vec::new(),
+            params: Vec::new(),
+            context_params: Vec::new(),
+            perf_metrics: Vec::new(),
+            use_history_models: None,
+        }
+    }
+
+    /// Whether the interface is generic (has template parameters).
+    pub fn is_generic(&self) -> bool {
+        !self.template_params.is_empty()
+    }
+
+    /// Parses an `<interface>` element.
+    pub fn from_xml(root: &Element) -> Result<Self, DescriptorError> {
+        if root.name != "interface" {
+            return Err(DescriptorError::schema(
+                "interface",
+                format!("expected <interface>, found <{}>", root.name),
+            ));
+        }
+        let name = root
+            .attr("name")
+            .ok_or_else(|| DescriptorError::schema("interface", "missing `name` attribute"))?
+            .to_string();
+
+        let template_params = root
+            .children_named("templateParam")
+            .map(|e| {
+                e.attr("name")
+                    .map(str::to_string)
+                    .ok_or_else(|| DescriptorError::schema("interface", "templateParam needs `name`"))
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+
+        let mut params = Vec::new();
+        for p in root.children_named("param") {
+            let pname = p
+                .attr("name")
+                .ok_or_else(|| DescriptorError::schema("interface", "param needs `name`"))?;
+            let ctype = p
+                .attr("type")
+                .ok_or_else(|| DescriptorError::schema("interface", "param needs `type`"))?;
+            let access = AccessType::parse(p.attr("access").unwrap_or("read"))?;
+            params.push(ParamDecl {
+                name: pname.to_string(),
+                ctype: ctype.to_string(),
+                access,
+            });
+        }
+
+        let mut context_params = Vec::new();
+        for c in root.children_named("contextParam") {
+            let cname = c
+                .attr("name")
+                .ok_or_else(|| DescriptorError::schema("interface", "contextParam needs `name`"))?;
+            let parse_bound = |key: &str| -> Result<Option<f64>, DescriptorError> {
+                c.attr(key)
+                    .map(|v| {
+                        v.parse::<f64>().map_err(|_| {
+                            DescriptorError::schema(
+                                "interface",
+                                format!("contextParam `{cname}`: bad {key} `{v}`"),
+                            )
+                        })
+                    })
+                    .transpose()
+            };
+            context_params.push(ContextParam {
+                name: cname.to_string(),
+                min: parse_bound("min")?,
+                max: parse_bound("max")?,
+            });
+        }
+
+        let perf_metrics = root
+            .children_named("performanceMetric")
+            .filter_map(|e| e.attr("name").map(str::to_string))
+            .collect();
+
+        let use_history_models = root
+            .attr("useHistoryModels")
+            .map(|v| match v {
+                "true" | "1" => Ok(true),
+                "false" | "0" => Ok(false),
+                other => Err(DescriptorError::schema(
+                    "interface",
+                    format!("bad useHistoryModels value `{other}`"),
+                )),
+            })
+            .transpose()?;
+
+        Ok(InterfaceDescriptor {
+            name,
+            template_params,
+            params,
+            context_params,
+            perf_metrics,
+            use_history_models,
+        })
+    }
+
+    /// Serializes to an `<interface>` element.
+    pub fn to_xml(&self) -> Element {
+        let mut root = Element::new("interface").with_attr("name", &self.name);
+        if let Some(uh) = self.use_history_models {
+            root.set_attr("useHistoryModels", if uh { "true" } else { "false" });
+        }
+        for t in &self.template_params {
+            root = root.with_child(Element::new("templateParam").with_attr("name", t));
+        }
+        for p in &self.params {
+            root = root.with_child(
+                Element::new("param")
+                    .with_attr("name", &p.name)
+                    .with_attr("type", &p.ctype)
+                    .with_attr("access", p.access.as_str()),
+            );
+        }
+        for c in &self.context_params {
+            let mut e = Element::new("contextParam").with_attr("name", &c.name);
+            if let Some(mn) = c.min {
+                e.set_attr("min", mn.to_string());
+            }
+            if let Some(mx) = c.max {
+                e.set_attr("max", mx.to_string());
+            }
+            root = root.with_child(e);
+        }
+        for m in &self.perf_metrics {
+            root = root.with_child(Element::new("performanceMetric").with_attr("name", m));
+        }
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppher_xml::parse;
+
+    const SPMV: &str = r#"
+      <interface name="spmv" useHistoryModels="true">
+        <param name="values" type="float*" access="read"/>
+        <param name="nnz" type="int" access="read"/>
+        <param name="y" type="float*" access="write"/>
+        <contextParam name="nnz" min="0" max="10000000"/>
+        <performanceMetric name="avg_exec_time"/>
+      </interface>"#;
+
+    #[test]
+    fn parses_full_interface() {
+        let doc = parse(SPMV).unwrap();
+        let i = InterfaceDescriptor::from_xml(&doc.root).unwrap();
+        assert_eq!(i.name, "spmv");
+        assert_eq!(i.params.len(), 3);
+        assert_eq!(i.params[0].access, AccessType::Read);
+        assert_eq!(i.params[2].access, AccessType::Write);
+        assert_eq!(i.context_params[0].max, Some(1e7));
+        assert_eq!(i.perf_metrics, vec!["avg_exec_time"]);
+        assert_eq!(i.use_history_models, Some(true));
+        assert!(!i.is_generic());
+    }
+
+    #[test]
+    fn template_params_make_generic() {
+        let doc = parse(
+            r#"<interface name="sort"><templateParam name="T"/>
+               <param name="data" type="T*" access="readwrite"/></interface>"#,
+        )
+        .unwrap();
+        let i = InterfaceDescriptor::from_xml(&doc.root).unwrap();
+        assert!(i.is_generic());
+        assert_eq!(i.template_params, vec!["T"]);
+    }
+
+    #[test]
+    fn xml_roundtrip() {
+        let doc = parse(SPMV).unwrap();
+        let i = InterfaceDescriptor::from_xml(&doc.root).unwrap();
+        let again = InterfaceDescriptor::from_xml(&i.to_xml()).unwrap();
+        assert_eq!(i, again);
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        let doc = parse("<component name=\"x\"/>").unwrap();
+        assert!(InterfaceDescriptor::from_xml(&doc.root).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_access() {
+        let doc = parse(r#"<interface name="x"><param name="p" type="int" access="rwx"/></interface>"#)
+            .unwrap();
+        assert!(InterfaceDescriptor::from_xml(&doc.root).is_err());
+    }
+
+    #[test]
+    fn access_defaults_to_read() {
+        let doc = parse(r#"<interface name="x"><param name="p" type="int"/></interface>"#).unwrap();
+        let i = InterfaceDescriptor::from_xml(&doc.root).unwrap();
+        assert_eq!(i.params[0].access, AccessType::Read);
+    }
+
+    #[test]
+    fn rejects_bad_context_bound() {
+        let doc =
+            parse(r#"<interface name="x"><contextParam name="n" min="abc"/></interface>"#).unwrap();
+        assert!(InterfaceDescriptor::from_xml(&doc.root).is_err());
+    }
+}

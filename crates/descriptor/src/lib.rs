@@ -1,0 +1,44 @@
+//! PEPPHER XML descriptors.
+//!
+//! The paper's component model is *non-intrusive*: "all metadata for
+//! components and the main program is specified externally in XML based
+//! descriptors". This crate defines the four descriptor kinds and the
+//! tooling around them:
+//!
+//! - [`InterfaceDescriptor`] — name, parameter types and access types of the
+//!   declared functionality, performance metrics required of prediction
+//!   functions, context parameters (with optional ranges) considered for
+//!   composition, and generic (template) parameters.
+//! - [`ComponentDescriptor`] — one implementation variant: provided and
+//!   required interfaces, source files, deployment (compile) commands, a
+//!   platform reference, resource requirements, an optional prediction
+//!   function reference, tunable parameters, and selectability constraints.
+//! - [`PlatformDescriptor`] — properties of a programming model / target
+//!   architecture pair (separate document, as in Sandrieser et al.).
+//! - [`MainDescriptor`] — the application's main module: target platform,
+//!   optimization goal, the components it calls, and composition switches
+//!   (`disableImpls`, `useHistoryModels`).
+//!
+//! [`Repository`] scans a directory tree for descriptors — "the
+//! repositories enable organization of source-code and XML annotation
+//! files in a structured manner". [`skeleton`] implements the paper's
+//! *utility mode* (§IV-I): generating pre-filled descriptor and source
+//! skeletons from a plain C/C++ function declaration parsed by [`cdecl`].
+
+pub mod cdecl;
+pub mod component;
+pub mod error;
+pub mod interface;
+pub mod main_module;
+pub mod platform;
+pub mod repository;
+pub mod skeleton;
+
+pub use cdecl::{CDeclaration, CParam};
+pub use component::{ComponentDescriptor, Constraint, PlatformRef, ResourceReq, TunableParam};
+pub use error::DescriptorError;
+pub use interface::{AccessType, ContextParam, InterfaceDescriptor, ParamDecl};
+pub use main_module::MainDescriptor;
+pub use platform::PlatformDescriptor;
+pub use repository::Repository;
+pub use skeleton::{generate_skeleton, GeneratedFile, Skeleton};

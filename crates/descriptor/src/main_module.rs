@@ -1,0 +1,184 @@
+//! The application main-module descriptor.
+
+use crate::error::DescriptorError;
+use peppher_xml::Element;
+
+/// A parsed `<main>` descriptor: "the main module of a PEPPHER application
+/// is also annotated by its own XML descriptor, which states e.g. the
+/// target execution platform and the overall optimization goal." It also
+/// carries the composition-time switches of §IV-A/§IV-G.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MainDescriptor {
+    /// Application name.
+    pub name: String,
+    /// Target execution platform name.
+    pub target_platform: String,
+    /// Overall optimization goal (e.g. `exec_time`, `energy`).
+    pub optimization_goal: String,
+    /// Top-level components the main program invokes.
+    pub components: Vec<String>,
+    /// Implementation variants disabled at composition time (the
+    /// `disableImpls` switch for user-guided static composition).
+    pub disable_impls: Vec<String>,
+    /// A variant to force (extreme static composition: one candidate).
+    pub force_impl: Option<String>,
+    /// Global `useHistoryModels` toggle.
+    pub use_history_models: bool,
+    /// Linker command for the final executable ("the necessary command can
+    /// be found in the application's main module descriptor").
+    pub link_cmd: Option<String>,
+}
+
+impl MainDescriptor {
+    /// Creates a minimal descriptor targeting `platform`.
+    pub fn new(name: impl Into<String>, platform: impl Into<String>) -> Self {
+        MainDescriptor {
+            name: name.into(),
+            target_platform: platform.into(),
+            optimization_goal: "exec_time".to_string(),
+            components: Vec::new(),
+            disable_impls: Vec::new(),
+            force_impl: None,
+            use_history_models: true,
+            link_cmd: None,
+        }
+    }
+
+    /// Parses a `<main>` element.
+    pub fn from_xml(root: &Element) -> Result<Self, DescriptorError> {
+        if root.name != "main" {
+            return Err(DescriptorError::schema(
+                "main",
+                format!("expected <main>, found <{}>", root.name),
+            ));
+        }
+        let name = root
+            .attr("name")
+            .ok_or_else(|| DescriptorError::schema("main", "missing `name` attribute"))?
+            .to_string();
+        let target_platform = root
+            .attr("targetPlatform")
+            .unwrap_or("default")
+            .to_string();
+        let optimization_goal = root
+            .attr("optimizationGoal")
+            .unwrap_or("exec_time")
+            .to_string();
+        let components = root
+            .children_named("uses")
+            .filter_map(|e| e.attr("component").map(str::to_string))
+            .collect();
+        let disable_impls = root
+            .children_named("disableImpls")
+            .flat_map(|e| {
+                e.attr("names")
+                    .map(|v| v.split(',').map(|s| s.trim().to_string()).collect::<Vec<_>>())
+                    .unwrap_or_default()
+            })
+            .collect();
+        let force_impl = root
+            .child("forceImpl")
+            .and_then(|e| e.attr("name").map(str::to_string));
+        let use_history_models = match root.attr("useHistoryModels") {
+            None => true,
+            Some("true" | "1") => true,
+            Some("false" | "0") => false,
+            Some(other) => {
+                return Err(DescriptorError::schema(
+                    "main",
+                    format!("bad useHistoryModels value `{other}`"),
+                ))
+            }
+        };
+        let link_cmd = root.child_text("link").filter(|s| !s.is_empty());
+        Ok(MainDescriptor {
+            name,
+            target_platform,
+            optimization_goal,
+            components,
+            disable_impls,
+            force_impl,
+            use_history_models,
+            link_cmd,
+        })
+    }
+
+    /// Serializes to a `<main>` element.
+    pub fn to_xml(&self) -> Element {
+        let mut root = Element::new("main")
+            .with_attr("name", &self.name)
+            .with_attr("targetPlatform", &self.target_platform)
+            .with_attr("optimizationGoal", &self.optimization_goal)
+            .with_attr(
+                "useHistoryModels",
+                if self.use_history_models { "true" } else { "false" },
+            );
+        for c in &self.components {
+            root = root.with_child(Element::new("uses").with_attr("component", c));
+        }
+        if !self.disable_impls.is_empty() {
+            root = root.with_child(
+                Element::new("disableImpls").with_attr("names", self.disable_impls.join(",")),
+            );
+        }
+        if let Some(f) = &self.force_impl {
+            root = root.with_child(Element::new("forceImpl").with_attr("name", f));
+        }
+        if let Some(l) = &self.link_cmd {
+            root = root.with_child(Element::new("link").with_text(l));
+        }
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppher_xml::parse;
+
+    const MAIN: &str = r#"
+      <main name="spmv_app" targetPlatform="xeon_c2050" optimizationGoal="exec_time"
+            useHistoryModels="true">
+        <uses component="spmv"/>
+        <uses component="reduce"/>
+        <disableImpls names="spmv_opencl, spmv_serial"/>
+        <link>g++ -o app main.o -lstarpu</link>
+      </main>"#;
+
+    #[test]
+    fn parses_main() {
+        let doc = parse(MAIN).unwrap();
+        let m = MainDescriptor::from_xml(&doc.root).unwrap();
+        assert_eq!(m.name, "spmv_app");
+        assert_eq!(m.target_platform, "xeon_c2050");
+        assert_eq!(m.components, vec!["spmv", "reduce"]);
+        assert_eq!(m.disable_impls, vec!["spmv_opencl", "spmv_serial"]);
+        assert!(m.use_history_models);
+        assert_eq!(m.link_cmd.as_deref(), Some("g++ -o app main.o -lstarpu"));
+        assert!(m.force_impl.is_none());
+    }
+
+    #[test]
+    fn roundtrip() {
+        let doc = parse(MAIN).unwrap();
+        let m = MainDescriptor::from_xml(&doc.root).unwrap();
+        let again = MainDescriptor::from_xml(&m.to_xml()).unwrap();
+        assert_eq!(m, again);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let doc = parse(r#"<main name="x"/>"#).unwrap();
+        let m = MainDescriptor::from_xml(&doc.root).unwrap();
+        assert_eq!(m.target_platform, "default");
+        assert_eq!(m.optimization_goal, "exec_time");
+        assert!(m.use_history_models);
+    }
+
+    #[test]
+    fn force_impl_parsed() {
+        let doc = parse(r#"<main name="x"><forceImpl name="spmv_cuda"/></main>"#).unwrap();
+        let m = MainDescriptor::from_xml(&doc.root).unwrap();
+        assert_eq!(m.force_impl.as_deref(), Some("spmv_cuda"));
+    }
+}

@@ -1,0 +1,99 @@
+//! Platform descriptors (Sandrieser-style explicit platform descriptions).
+
+use crate::error::DescriptorError;
+use peppher_xml::Element;
+
+/// A parsed `<platform>` descriptor: "the actual platform properties are
+/// defined separately in another XML document. Such platform meta-data can
+/// be used at multiple levels of the PEPPHER framework."
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlatformDescriptor {
+    /// Platform name, e.g. `cuda`, `openmp`, `cpp`.
+    pub name: String,
+    /// Free-form properties (name → value): core counts, memory sizes,
+    /// compiler paths, …
+    pub properties: Vec<(String, String)>,
+}
+
+impl PlatformDescriptor {
+    /// Creates an empty platform description.
+    pub fn new(name: impl Into<String>) -> Self {
+        PlatformDescriptor {
+            name: name.into(),
+            properties: Vec::new(),
+        }
+    }
+
+    /// Looks up a property value.
+    pub fn property(&self, name: &str) -> Option<&str> {
+        self.properties
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Parses a `<platform>` element.
+    pub fn from_xml(root: &Element) -> Result<Self, DescriptorError> {
+        if root.name != "platform" {
+            return Err(DescriptorError::schema(
+                "platform",
+                format!("expected <platform>, found <{}>", root.name),
+            ));
+        }
+        let name = root
+            .attr("name")
+            .ok_or_else(|| DescriptorError::schema("platform", "missing `name` attribute"))?
+            .to_string();
+        let mut properties = Vec::new();
+        for p in root.children_named("property") {
+            let pname = p
+                .attr("name")
+                .ok_or_else(|| DescriptorError::schema("platform", "property needs `name`"))?;
+            let value = p.attr("value").map(str::to_string).unwrap_or_else(|| p.text());
+            properties.push((pname.to_string(), value));
+        }
+        Ok(PlatformDescriptor { name, properties })
+    }
+
+    /// Serializes to a `<platform>` element.
+    pub fn to_xml(&self) -> Element {
+        let mut root = Element::new("platform").with_attr("name", &self.name);
+        for (n, v) in &self.properties {
+            root = root.with_child(
+                Element::new("property").with_attr("name", n).with_attr("value", v),
+            );
+        }
+        root
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppher_xml::parse;
+
+    #[test]
+    fn parses_and_roundtrips() {
+        let doc = parse(
+            r#"<platform name="cuda">
+                 <property name="compiler" value="nvcc"/>
+                 <property name="device_memory_mb" value="3072"/>
+               </platform>"#,
+        )
+        .unwrap();
+        let p = PlatformDescriptor::from_xml(&doc.root).unwrap();
+        assert_eq!(p.name, "cuda");
+        assert_eq!(p.property("compiler"), Some("nvcc"));
+        assert_eq!(p.property("missing"), None);
+        let again = PlatformDescriptor::from_xml(&p.to_xml()).unwrap();
+        assert_eq!(p, again);
+    }
+
+    #[test]
+    fn property_text_fallback() {
+        let doc = parse(r#"<platform name="x"><property name="k">val</property></platform>"#)
+            .unwrap();
+        let p = PlatformDescriptor::from_xml(&doc.root).unwrap();
+        assert_eq!(p.property("k"), Some("val"));
+    }
+}

@@ -1,0 +1,394 @@
+//! Descriptor repositories.
+//!
+//! "The PEPPHER framework automatically keeps track of the different
+//! implementation variants for the identified components, technically by
+//! storing their descriptors in repositories that can be explored by the
+//! composition tool."
+
+use crate::component::ComponentDescriptor;
+use crate::error::DescriptorError;
+use crate::interface::InterfaceDescriptor;
+use crate::main_module::MainDescriptor;
+use crate::platform::PlatformDescriptor;
+use peppher_xml::parse;
+use std::collections::BTreeMap;
+use std::path::Path;
+
+/// A global registry of interfaces, implementations and platforms that
+/// "helps the composition tool to navigate this structure and locate the
+/// necessary files automatically".
+#[derive(Debug, Clone, Default)]
+pub struct Repository {
+    /// Interfaces by name.
+    pub interfaces: BTreeMap<String, InterfaceDescriptor>,
+    /// Implementation variants by variant name.
+    pub components: BTreeMap<String, ComponentDescriptor>,
+    /// Platform descriptions by name.
+    pub platforms: BTreeMap<String, PlatformDescriptor>,
+    /// Main-module descriptors by application name.
+    pub mains: BTreeMap<String, MainDescriptor>,
+}
+
+impl Repository {
+    /// An empty repository (for programmatic construction in tests and the
+    /// in-process composition path).
+    pub fn new() -> Self {
+        Repository::default()
+    }
+
+    /// Adds an interface descriptor.
+    pub fn add_interface(&mut self, i: InterfaceDescriptor) {
+        self.interfaces.insert(i.name.clone(), i);
+    }
+
+    /// Adds a component descriptor.
+    pub fn add_component(&mut self, c: ComponentDescriptor) {
+        self.components.insert(c.name.clone(), c);
+    }
+
+    /// Adds a platform descriptor.
+    pub fn add_platform(&mut self, p: PlatformDescriptor) {
+        self.platforms.insert(p.name.clone(), p);
+    }
+
+    /// Adds a main-module descriptor.
+    pub fn add_main(&mut self, m: MainDescriptor) {
+        self.mains.insert(m.name.clone(), m);
+    }
+
+    /// Recursively scans `root` for `*.xml` descriptor files, classifying
+    /// each by its root element (`interface`, `component`, `platform`,
+    /// `main`). Non-XML files are ignored; malformed XML is an error.
+    pub fn scan(root: &Path) -> Result<Self, DescriptorError> {
+        let mut repo = Repository::new();
+        repo.scan_into(root)?;
+        Ok(repo)
+    }
+
+    fn scan_into(&mut self, dir: &Path) -> Result<(), DescriptorError> {
+        let mut entries: Vec<_> = std::fs::read_dir(dir)?
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .map(|e| e.path())
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                self.scan_into(&path)?;
+            } else if path.extension().is_some_and(|e| e == "xml") {
+                let text = std::fs::read_to_string(&path)?;
+                self.ingest(&text)
+                    .map_err(|e| DescriptorError::Io(format!("{}: {e}", path.display())))?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Parses one descriptor document and files it in the right map.
+    pub fn ingest(&mut self, xml: &str) -> Result<(), DescriptorError> {
+        let doc = parse(xml)?;
+        match doc.root.name.as_str() {
+            "interface" => self.add_interface(InterfaceDescriptor::from_xml(&doc.root)?),
+            "component" => self.add_component(ComponentDescriptor::from_xml(&doc.root)?),
+            "platform" => self.add_platform(PlatformDescriptor::from_xml(&doc.root)?),
+            "main" => self.add_main(MainDescriptor::from_xml(&doc.root)?),
+            other => {
+                return Err(DescriptorError::schema(
+                    "repository",
+                    format!("unknown descriptor root element <{other}>"),
+                ))
+            }
+        }
+        Ok(())
+    }
+
+    /// All implementation variants providing `interface`.
+    pub fn variants_of(&self, interface: &str) -> Vec<&ComponentDescriptor> {
+        self.components
+            .values()
+            .filter(|c| c.provides == interface)
+            .collect()
+    }
+
+    /// Cross-checks referential integrity: every component's provided and
+    /// required interfaces must exist; every main's used components must
+    /// resolve to an interface with at least one variant.
+    pub fn validate(&self) -> Result<(), DescriptorError> {
+        for c in self.components.values() {
+            if !self.interfaces.contains_key(&c.provides) {
+                return Err(DescriptorError::Unresolved(format!(
+                    "component `{}` provides unknown interface `{}`",
+                    c.name, c.provides
+                )));
+            }
+            for r in &c.requires {
+                if !self.interfaces.contains_key(r) {
+                    return Err(DescriptorError::Unresolved(format!(
+                        "component `{}` requires unknown interface `{r}`",
+                        c.name
+                    )));
+                }
+            }
+            for constraint in &c.constraints {
+                let iface = &self.interfaces[&c.provides];
+                let known = iface.context_params.iter().any(|p| p.name == constraint.param)
+                    || iface.params.iter().any(|p| p.name == constraint.param);
+                if !known {
+                    return Err(DescriptorError::Unresolved(format!(
+                        "component `{}` constrains unknown parameter `{}`",
+                        c.name, constraint.param
+                    )));
+                }
+            }
+        }
+        for m in self.mains.values() {
+            for used in &m.components {
+                if !self.interfaces.contains_key(used) {
+                    return Err(DescriptorError::Unresolved(format!(
+                        "main `{}` uses unknown interface `{used}`",
+                        m.name
+                    )));
+                }
+                if self.variants_of(used).is_empty() {
+                    return Err(DescriptorError::Unresolved(format!(
+                        "interface `{used}` used by main `{}` has no implementation variants",
+                        m.name
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Writes every descriptor back to disk in the Fig. 4 layout: one
+    /// directory per interface holding its descriptor and, per platform
+    /// model, a subdirectory with the variant descriptors; platforms and
+    /// mains at the root. Inverse of [`Repository::scan`] up to formatting.
+    pub fn save(&self, root: &Path) -> Result<(), DescriptorError> {
+        use peppher_xml::{write_document, Document};
+        let write = |path: &Path, el: peppher_xml::Element| -> Result<(), DescriptorError> {
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(path, write_document(&Document::new(el)))?;
+            Ok(())
+        };
+        for (name, iface) in &self.interfaces {
+            write(&root.join(name).join(format!("{name}.xml")), iface.to_xml())?;
+        }
+        for (name, comp) in &self.components {
+            let dir = root.join(&comp.provides).join(&comp.platform.model);
+            write(&dir.join(format!("{name}.xml")), comp.to_xml())?;
+        }
+        for (name, platform) in &self.platforms {
+            write(&root.join(format!("platform_{name}.xml")), platform.to_xml())?;
+        }
+        for (name, main) in &self.mains {
+            write(&root.join(format!("{name}_main.xml")), main.to_xml())?;
+        }
+        Ok(())
+    }
+
+    /// Interfaces in dependency order: an interface appears after every
+    /// interface its variants require ("processes the set of interfaces
+    /// bottom-up in reverse order of their components' required interfaces
+    /// relation"). Cycles are reported as an error.
+    pub fn interfaces_bottom_up(&self) -> Result<Vec<&InterfaceDescriptor>, DescriptorError> {
+        let mut order = Vec::new();
+        let mut state: BTreeMap<&str, u8> = BTreeMap::new(); // 0=unseen,1=visiting,2=done
+        fn visit<'a>(
+            repo: &'a Repository,
+            name: &'a str,
+            state: &mut BTreeMap<&'a str, u8>,
+            order: &mut Vec<&'a InterfaceDescriptor>,
+        ) -> Result<(), DescriptorError> {
+            match state.get(name) {
+                Some(2) => return Ok(()),
+                Some(1) => {
+                    return Err(DescriptorError::schema(
+                        "repository",
+                        format!("cyclic required-interfaces relation through `{name}`"),
+                    ))
+                }
+                _ => {}
+            }
+            state.insert(name, 1);
+            for c in repo.variants_of(name) {
+                for r in &c.requires {
+                    if repo.interfaces.contains_key(r.as_str()) {
+                        visit(repo, r, state, order)?;
+                    }
+                }
+            }
+            state.insert(name, 2);
+            if let Some(i) = repo.interfaces.get(name) {
+                order.push(i);
+            }
+            Ok(())
+        }
+        for name in self.interfaces.keys() {
+            visit(self, name, &mut state, &mut order)?;
+        }
+        Ok(order)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::component::ComponentDescriptor;
+
+    fn iface(name: &str) -> InterfaceDescriptor {
+        InterfaceDescriptor::new(name)
+    }
+
+    fn comp(name: &str, provides: &str, requires: &[&str]) -> ComponentDescriptor {
+        let mut c = ComponentDescriptor::new(name, provides, "cpp");
+        c.requires = requires.iter().map(|s| s.to_string()).collect();
+        c
+    }
+
+    #[test]
+    fn ingest_classifies_by_root() {
+        let mut repo = Repository::new();
+        repo.ingest(r#"<interface name="spmv"/>"#).unwrap();
+        repo.ingest(
+            r#"<component name="spmv_cpu"><provides interface="spmv"/><platform model="cpp"/></component>"#,
+        )
+        .unwrap();
+        repo.ingest(r#"<platform name="cuda"/>"#).unwrap();
+        repo.ingest(r#"<main name="app"><uses component="spmv"/></main>"#).unwrap();
+        assert_eq!(repo.interfaces.len(), 1);
+        assert_eq!(repo.components.len(), 1);
+        assert_eq!(repo.platforms.len(), 1);
+        assert_eq!(repo.mains.len(), 1);
+        assert!(repo.ingest(r#"<bogus/>"#).is_err());
+    }
+
+    #[test]
+    fn variants_of_filters_by_interface() {
+        let mut repo = Repository::new();
+        repo.add_interface(iface("a"));
+        repo.add_component(comp("a_cpu", "a", &[]));
+        repo.add_component(comp("a_cuda", "a", &[]));
+        repo.add_component(comp("b_cpu", "b", &[]));
+        let names: Vec<&str> = repo.variants_of("a").iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(names, vec!["a_cpu", "a_cuda"]);
+    }
+
+    #[test]
+    fn validate_detects_dangling_references() {
+        let mut repo = Repository::new();
+        repo.add_component(comp("x_cpu", "x", &[]));
+        assert!(repo.validate().is_err());
+
+        let mut repo = Repository::new();
+        repo.add_interface(iface("x"));
+        repo.add_component(comp("x_cpu", "x", &["missing"]));
+        assert!(repo.validate().is_err());
+
+        let mut repo = Repository::new();
+        repo.add_interface(iface("x"));
+        repo.add_component(comp("x_cpu", "x", &[]));
+        let mut m = MainDescriptor::new("app", "p");
+        m.components.push("x".into());
+        repo.add_main(m);
+        assert!(repo.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_unknown_constraint_param() {
+        let mut repo = Repository::new();
+        repo.add_interface(iface("x"));
+        let mut c = comp("x_cpu", "x", &[]);
+        c.constraints.push(crate::component::Constraint {
+            param: "nonexistent".into(),
+            min: Some(0.0),
+            max: None,
+        });
+        repo.add_component(c);
+        assert!(repo.validate().is_err());
+    }
+
+    #[test]
+    fn bottom_up_order_respects_requires() {
+        let mut repo = Repository::new();
+        repo.add_interface(iface("top"));
+        repo.add_interface(iface("mid"));
+        repo.add_interface(iface("leaf"));
+        repo.add_component(comp("top_c", "top", &["mid"]));
+        repo.add_component(comp("mid_c", "mid", &["leaf"]));
+        repo.add_component(comp("leaf_c", "leaf", &[]));
+        let order: Vec<&str> = repo
+            .interfaces_bottom_up()
+            .unwrap()
+            .iter()
+            .map(|i| i.name.as_str())
+            .collect();
+        let pos = |n: &str| order.iter().position(|&x| x == n).unwrap();
+        assert!(pos("leaf") < pos("mid"));
+        assert!(pos("mid") < pos("top"));
+    }
+
+    #[test]
+    fn bottom_up_detects_cycles() {
+        let mut repo = Repository::new();
+        repo.add_interface(iface("a"));
+        repo.add_interface(iface("b"));
+        repo.add_component(comp("a_c", "a", &["b"]));
+        repo.add_component(comp("b_c", "b", &["a"]));
+        assert!(repo.interfaces_bottom_up().is_err());
+    }
+
+    #[test]
+    fn save_scan_roundtrip() {
+        let mut repo = Repository::new();
+        repo.add_interface(iface("spmv"));
+        repo.add_interface(iface("reduce"));
+        repo.add_component(comp("spmv_cpu", "spmv", &["reduce"]));
+        let mut cuda = comp("spmv_cuda", "spmv", &[]);
+        cuda.platform.model = "cuda".into();
+        repo.add_component(cuda);
+        repo.add_component(comp("reduce_cpu", "reduce", &[]));
+        repo.add_platform(crate::platform::PlatformDescriptor::new("cuda"));
+        let mut main = MainDescriptor::new("app", "xeon_c2050");
+        main.components.push("spmv".into());
+        repo.add_main(main);
+
+        let dir = std::env::temp_dir().join(format!("peppher-save-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        repo.save(&dir).unwrap();
+        assert!(dir.join("spmv/spmv.xml").exists());
+        assert!(dir.join("spmv/cuda/spmv_cuda.xml").exists());
+        assert!(dir.join("spmv/cpp/spmv_cpu.xml").exists());
+        assert!(dir.join("platform_cuda.xml").exists());
+        assert!(dir.join("app_main.xml").exists());
+
+        let back = Repository::scan(&dir).unwrap();
+        assert_eq!(back.interfaces, repo.interfaces);
+        assert_eq!(back.components, repo.components);
+        assert_eq!(back.platforms, repo.platforms);
+        assert_eq!(back.mains, repo.mains);
+        back.validate().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn scan_reads_directory_tree() {
+        let dir = std::env::temp_dir().join(format!("peppher-repo-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("spmv/cuda")).unwrap();
+        std::fs::write(dir.join("spmv/spmv.xml"), r#"<interface name="spmv"/>"#).unwrap();
+        std::fs::write(
+            dir.join("spmv/cuda/spmv_cuda.xml"),
+            r#"<component name="spmv_cuda"><provides interface="spmv"/><platform model="cuda"/></component>"#,
+        )
+        .unwrap();
+        std::fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let repo = Repository::scan(&dir).unwrap();
+        assert!(repo.interfaces.contains_key("spmv"));
+        assert!(repo.components.contains_key("spmv_cuda"));
+        repo.validate().unwrap();
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

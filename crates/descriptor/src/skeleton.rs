@@ -1,0 +1,246 @@
+//! Utility mode: skeleton generation from a C/C++ declaration (§IV-I).
+//!
+//! Reproduces the paper's `compose -generateCompFiles="spmv.h"` feature and
+//! the Fig. 4 directory layout: one directory per component, one
+//! subdirectory per platform (cpu, openmp, cuda), each holding a pre-filled
+//! XML descriptor and an implementation source skeleton.
+
+use crate::cdecl::CDeclaration;
+use crate::component::ComponentDescriptor;
+use crate::error::DescriptorError;
+use crate::interface::{ContextParam, InterfaceDescriptor, ParamDecl};
+use peppher_xml::{write_document, Document};
+use std::path::Path;
+
+/// One file of a generated skeleton.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratedFile {
+    /// Path relative to the component root directory (Fig. 4 layout).
+    pub path: String,
+    /// File contents.
+    pub content: String,
+}
+
+/// The result of utility-mode generation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Skeleton {
+    /// The interface descriptor derived from the declaration.
+    pub interface: InterfaceDescriptor,
+    /// One component descriptor per platform skeleton.
+    pub components: Vec<ComponentDescriptor>,
+    /// All files, ready to be written to disk.
+    pub files: Vec<GeneratedFile>,
+}
+
+impl Skeleton {
+    /// Writes all generated files under `root` (creating directories).
+    pub fn write_to(&self, root: &Path) -> Result<(), DescriptorError> {
+        for f in &self.files {
+            let path = root.join(&f.path);
+            if let Some(parent) = path.parent() {
+                std::fs::create_dir_all(parent)?;
+            }
+            std::fs::write(&path, &f.content)?;
+        }
+        Ok(())
+    }
+}
+
+/// The platforms skeletons are generated for, with their source-file
+/// extensions (mirroring the paper's CPU / OpenMP / CUDA backends).
+const PLATFORMS: &[(&str, &str)] = &[("cpu", "cpp"), ("openmp", "cpp"), ("cuda", "cu")];
+
+/// Generates descriptor and source skeletons from a C/C++ declaration
+/// (string form of the header file's method signature).
+///
+/// "The main work left for the programmer is now to fill in the
+/// implementation details in the XML descriptor fields and provide the
+/// implementation variants' code."
+pub fn generate_skeleton(declaration: &str) -> Result<Skeleton, DescriptorError> {
+    let decl = CDeclaration::parse(declaration)?;
+    let name = decl.name.clone();
+
+    // Interface descriptor: params with suggested access types; integer
+    // by-value parameters become candidate context parameters.
+    let mut interface = InterfaceDescriptor::new(&name);
+    interface.template_params = decl.template_params.clone();
+    for p in &decl.params {
+        interface.params.push(ParamDecl {
+            name: p.name.clone(),
+            ctype: p.ctype.clone(),
+            access: p.suggested_access,
+        });
+        if !p.is_pointer && looks_like_size(&p.ctype) {
+            interface.context_params.push(ContextParam {
+                name: p.name.clone(),
+                min: None,
+                max: None,
+            });
+        }
+    }
+    interface.perf_metrics.push("avg_exec_time".to_string());
+
+    let mut files = Vec::new();
+    files.push(GeneratedFile {
+        path: format!("{name}/{name}.xml"),
+        content: write_document(&Document::new(interface.to_xml())),
+    });
+
+    let mut components = Vec::new();
+    for (platform, ext) in PLATFORMS {
+        let comp_name = format!("{name}_{platform}");
+        let mut comp = ComponentDescriptor::new(&comp_name, &name, *platform);
+        comp.sources.push(format!("{platform}/{comp_name}.{ext}"));
+        comp.compile_cmd = Some(default_compile_cmd(platform, &comp_name, ext));
+        components.push(comp.clone());
+        files.push(GeneratedFile {
+            path: format!("{name}/{platform}/{comp_name}.xml"),
+            content: write_document(&Document::new(comp.to_xml())),
+        });
+        files.push(GeneratedFile {
+            path: format!("{name}/{platform}/{comp_name}.{ext}"),
+            content: impl_skeleton(&decl, platform),
+        });
+    }
+
+    Ok(Skeleton {
+        interface,
+        components,
+        files,
+    })
+}
+
+fn looks_like_size(ctype: &str) -> bool {
+    matches!(
+        ctype,
+        "int" | "unsigned int" | "long" | "unsigned long" | "size_t" | "unsigned"
+    )
+}
+
+fn default_compile_cmd(platform: &str, comp_name: &str, ext: &str) -> String {
+    match platform {
+        "cuda" => format!("nvcc -O3 -c {comp_name}.{ext}"),
+        "openmp" => format!("g++ -O3 -fopenmp -c {comp_name}.{ext}"),
+        _ => format!("g++ -O3 -c {comp_name}.{ext}"),
+    }
+}
+
+fn impl_skeleton(decl: &CDeclaration, platform: &str) -> String {
+    let params = decl
+        .params
+        .iter()
+        .map(|p| format!("{} {}", p.ctype, p.name))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let template_prefix = if decl.template_params.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "template <{}>\n",
+            decl.template_params
+                .iter()
+                .map(|t| format!("typename {t}"))
+                .collect::<Vec<_>>()
+                .join(", ")
+        )
+    };
+    let hint = match platform {
+        "cuda" => "    /* TODO: launch the CUDA kernel and synchronize. */",
+        "openmp" => "    /* TODO: parallelize with #pragma omp parallel for. */",
+        _ => "    /* TODO: provide the sequential implementation. */",
+    };
+    format!(
+        "/* {name}_{platform}: generated by the PEPPHER composition tool (utility mode).\n\
+         \x20* Fill in the implementation; the descriptor next to this file declares\n\
+         \x20* the platform and deployment metadata. */\n\
+         {template_prefix}{ret} {name}({params})\n{{\n{hint}\n}}\n",
+        name = decl.name,
+        ret = decl.return_type,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::interface::AccessType;
+
+    const SPMV_DECL: &str = "void spmv(float* values, int nnz, int nrows, int ncols, int first, \
+                             size_t* colIdxs, size_t* rowPtr, float* x, float* y);";
+
+    #[test]
+    fn generates_fig4_layout() {
+        let sk = generate_skeleton(SPMV_DECL).unwrap();
+        let paths: Vec<&str> = sk.files.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(
+            paths,
+            vec![
+                "spmv/spmv.xml",
+                "spmv/cpu/spmv_cpu.xml",
+                "spmv/cpu/spmv_cpu.cpp",
+                "spmv/openmp/spmv_openmp.xml",
+                "spmv/openmp/spmv_openmp.cpp",
+                "spmv/cuda/spmv_cuda.xml",
+                "spmv/cuda/spmv_cuda.cu",
+            ]
+        );
+    }
+
+    #[test]
+    fn interface_prefilled_with_access_and_context() {
+        let sk = generate_skeleton(SPMV_DECL).unwrap();
+        assert_eq!(sk.interface.name, "spmv");
+        assert_eq!(sk.interface.params.len(), 9);
+        // Pointers suggest readwrite, scalars read.
+        assert_eq!(sk.interface.params[0].access, AccessType::ReadWrite);
+        assert_eq!(sk.interface.params[1].access, AccessType::Read);
+        // Integer scalars become candidate context parameters.
+        let ctx: Vec<&str> = sk.interface.context_params.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(ctx, vec!["nnz", "nrows", "ncols", "first"]);
+    }
+
+    #[test]
+    fn component_descriptors_reference_sources_and_compilers() {
+        let sk = generate_skeleton(SPMV_DECL).unwrap();
+        assert_eq!(sk.components.len(), 3);
+        let cuda = sk.components.iter().find(|c| c.platform.model == "cuda").unwrap();
+        assert_eq!(cuda.name, "spmv_cuda");
+        assert_eq!(cuda.provides, "spmv");
+        assert_eq!(cuda.sources, vec!["cuda/spmv_cuda.cu"]);
+        assert!(cuda.compile_cmd.as_deref().unwrap().starts_with("nvcc"));
+    }
+
+    #[test]
+    fn generated_xml_reparses() {
+        let sk = generate_skeleton(SPMV_DECL).unwrap();
+        for f in sk.files.iter().filter(|f| f.path.ends_with(".xml")) {
+            let doc = peppher_xml::parse(&f.content)
+                .unwrap_or_else(|e| panic!("{}: {e}", f.path));
+            assert!(doc.root.name == "interface" || doc.root.name == "component");
+        }
+    }
+
+    #[test]
+    fn template_declaration_skeletons_keep_genericity() {
+        let sk = generate_skeleton("template <typename T> void sort(T* data, int n);").unwrap();
+        assert_eq!(sk.interface.template_params, vec!["T"]);
+        let cpu_src = &sk
+            .files
+            .iter()
+            .find(|f| f.path == "sort/cpu/sort_cpu.cpp")
+            .unwrap()
+            .content;
+        assert!(cpu_src.contains("template <typename T>"));
+        assert!(cpu_src.contains("void sort(T* data, int n)"));
+    }
+
+    #[test]
+    fn write_to_disk() {
+        let dir = std::env::temp_dir().join(format!("peppher-skel-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let sk = generate_skeleton("void f(const float* x, float* y, int n)").unwrap();
+        sk.write_to(&dir).unwrap();
+        assert!(dir.join("f/f.xml").exists());
+        assert!(dir.join("f/cuda/f_cuda.cu").exists());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

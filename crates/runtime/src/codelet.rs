@@ -1,0 +1,273 @@
+//! Codelets: multi-architecture computations the runtime schedules.
+
+use crate::handle::PayloadBox;
+use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, RawRwLock};
+use peppher_sim::KernelCost;
+use std::any::Any;
+use std::fmt;
+use std::sync::Arc;
+
+/// The architecture an implementation targets.
+///
+/// This mirrors the paper's backend wrappers: "One backend-wrapper for a
+/// component is generated for each backend (i.e. CPU/OpenMP, CUDA, OpenCL)".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Arch {
+    /// A sequential implementation running on one CPU worker.
+    Cpu,
+    /// An OpenMP-style parallel implementation occupying the whole CPU
+    /// worker team (scheduled as one StarPU-style *parallel task*).
+    CpuTeam,
+    /// An accelerator implementation; runs on a GPU worker and operates on
+    /// replicas in that device's memory node.
+    Gpu,
+}
+
+/// Architecture *class* used as a performance-model key: CPU times differ
+/// from team times differ from each distinct GPU model's times.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum ArchClass {
+    /// Single CPU core.
+    Cpu,
+    /// Whole CPU team of the given size.
+    CpuTeam(usize),
+    /// A GPU identified by its profile name (C2050 vs C1060 learn
+    /// separate histories).
+    Gpu(String),
+}
+
+impl fmt::Display for ArchClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchClass::Cpu => write!(f, "cpu"),
+            ArchClass::CpuTeam(n) => write!(f, "cpu-team{n}"),
+            ArchClass::Gpu(name) => write!(f, "gpu:{name}"),
+        }
+    }
+}
+
+impl std::str::FromStr for ArchClass {
+    type Err = String;
+
+    /// Inverse of `Display` (used by the performance-model persistence).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s == "cpu" {
+            Ok(ArchClass::Cpu)
+        } else if let Some(n) = s.strip_prefix("cpu-team") {
+            n.parse::<usize>()
+                .map(ArchClass::CpuTeam)
+                .map_err(|_| format!("bad team size in `{s}`"))
+        } else if let Some(name) = s.strip_prefix("gpu:") {
+            Ok(ArchClass::Gpu(name.to_string()))
+        } else {
+            Err(format!("unknown arch class `{s}`"))
+        }
+    }
+}
+
+/// The kernel function type: receives a [`KernelCtx`] exposing the task's
+/// data buffers (already made coherent on the executing node) and scalar
+/// arguments. Plays the role of the paper's backend-wrapper signature
+/// `void <name>(void* buffers[], void* arg)`.
+pub type KernelFn = Arc<dyn Fn(&mut KernelCtx<'_>) + Send + Sync>;
+
+/// One implementation variant of a codelet.
+#[derive(Clone)]
+pub struct Implementation {
+    /// Target architecture.
+    pub arch: Arch,
+    /// The kernel body.
+    pub func: KernelFn,
+}
+
+/// A prediction function, as in the paper's component metadata: maps a
+/// task's [`KernelCost`] (derived from the call context) to an expected
+/// execution time on the given architecture class. When absent, the
+/// runtime's history models are the only information source.
+pub type PredictionFn =
+    Arc<dyn Fn(&ArchClass, &KernelCost) -> Option<peppher_sim::VTime> + Send + Sync>;
+
+/// A named multi-architecture computation.
+pub struct Codelet {
+    /// Name; also the performance-model key prefix.
+    pub name: String,
+    /// Available implementations, at most one per [`Arch`].
+    pub impls: Vec<Implementation>,
+    /// Optional programmer-provided prediction function.
+    pub prediction: Option<PredictionFn>,
+}
+
+impl Codelet {
+    /// Creates a codelet with no implementations yet.
+    pub fn new(name: impl Into<String>) -> Self {
+        Codelet {
+            name: name.into(),
+            impls: Vec::new(),
+            prediction: None,
+        }
+    }
+
+    /// Adds (or replaces) the implementation for `arch`.
+    pub fn with_impl(
+        mut self,
+        arch: Arch,
+        func: impl Fn(&mut KernelCtx<'_>) + Send + Sync + 'static,
+    ) -> Self {
+        self.impls.retain(|i| i.arch != arch);
+        self.impls.push(Implementation {
+            arch,
+            func: Arc::new(func),
+        });
+        self
+    }
+
+    /// Attaches a programmer-provided prediction function.
+    pub fn with_prediction(
+        mut self,
+        f: impl Fn(&ArchClass, &KernelCost) -> Option<peppher_sim::VTime> + Send + Sync + 'static,
+    ) -> Self {
+        self.prediction = Some(Arc::new(f));
+        self
+    }
+
+    /// The implementation for `arch`, if one exists.
+    pub fn impl_for(&self, arch: Arch) -> Option<&Implementation> {
+        self.impls.iter().find(|i| i.arch == arch)
+    }
+
+    /// Whether any implementation targets `arch`.
+    pub fn has_arch(&self, arch: Arch) -> bool {
+        self.impl_for(arch).is_some()
+    }
+}
+
+impl fmt::Debug for Codelet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Codelet")
+            .field("name", &self.name)
+            .field("archs", &self.impls.iter().map(|i| i.arch).collect::<Vec<_>>())
+            .field("has_prediction", &self.prediction.is_some())
+            .finish()
+    }
+}
+
+/// A buffer guard held for the duration of a kernel: shared for reads,
+/// exclusive for writes. Dependencies already serialize conflicting
+/// accesses, so these locks are uncontended except for legitimate
+/// concurrent readers.
+pub enum BufferGuard {
+    /// Shared read access.
+    Read(ArcRwLockReadGuard<RawRwLock, PayloadBox>),
+    /// Exclusive write access.
+    Write(ArcRwLockWriteGuard<RawRwLock, PayloadBox>),
+}
+
+/// Execution context handed to kernel functions: typed access to the task's
+/// data buffers plus the scalar argument pack.
+pub struct KernelCtx<'a> {
+    pub(crate) buffers: &'a mut [BufferGuard],
+    pub(crate) arg: Option<&'a (dyn Any + Send)>,
+    /// Index of the executing worker.
+    pub worker: usize,
+    /// Architecture of the implementation being run.
+    pub arch: Arch,
+    /// For [`Arch::CpuTeam`] implementations: the number of CPU workers in
+    /// the team (kernels may use it to size their internal parallelism).
+    pub team_size: usize,
+}
+
+impl KernelCtx<'_> {
+    /// Immutable view of buffer `i`, downcast to `T`.
+    ///
+    /// # Panics
+    /// Panics if the buffer was not registered as a `T`, if index is out of
+    /// range, or if the access mode at `i` is write-only (write-only
+    /// buffers may hold uninitialized/stale data by design).
+    pub fn r<T: 'static>(&self, i: usize) -> &T {
+        match &self.buffers[i] {
+            BufferGuard::Read(g) => g.downcast_ref::<T>(),
+            BufferGuard::Write(g) => g.downcast_ref::<T>(),
+        }
+        .unwrap_or_else(|| panic!("buffer {i}: type mismatch in kernel read"))
+    }
+
+    /// Mutable view of buffer `i`, downcast to `T`.
+    ///
+    /// # Panics
+    /// Panics on type mismatch or if the buffer was acquired read-only.
+    pub fn w<T: 'static>(&mut self, i: usize) -> &mut T {
+        match &mut self.buffers[i] {
+            BufferGuard::Write(g) => g
+                .downcast_mut::<T>()
+                .unwrap_or_else(|| panic!("buffer {i}: type mismatch in kernel write")),
+            BufferGuard::Read(_) => {
+                panic!("buffer {i}: kernel requested mutable access to a read-only operand")
+            }
+        }
+    }
+
+    /// Two mutable buffers at once (e.g. LU factorization updating two
+    /// blocks). Indices must differ.
+    pub fn w2<T: 'static, U: 'static>(&mut self, i: usize, j: usize) -> (&mut T, &mut U) {
+        assert_ne!(i, j, "w2 requires distinct buffer indices");
+        let (lo, hi, swap) = if i < j { (i, j, false) } else { (j, i, true) };
+        let (a, b) = self.buffers.split_at_mut(hi);
+        let first = &mut a[lo];
+        let second = &mut b[0];
+        fn as_mut<'g, V: 'static>(g: &'g mut BufferGuard, idx: usize) -> &'g mut V {
+            match g {
+                BufferGuard::Write(g) => g
+                    .downcast_mut::<V>()
+                    .unwrap_or_else(|| panic!("buffer {idx}: type mismatch")),
+                BufferGuard::Read(_) => panic!("buffer {idx}: not writable"),
+            }
+        }
+        if swap {
+            let u = as_mut::<U>(first, j);
+            let t = as_mut::<T>(second, i);
+            (t, u)
+        } else {
+            let t = as_mut::<T>(first, i);
+            let u = as_mut::<U>(second, j);
+            (t, u)
+        }
+    }
+
+    /// The scalar argument pack, downcast to `T`.
+    ///
+    /// # Panics
+    /// Panics if no argument was attached or the type does not match.
+    pub fn arg<T: 'static>(&self) -> &T {
+        self.arg
+            .expect("task has no scalar argument")
+            .downcast_ref::<T>()
+            .expect("scalar argument type mismatch")
+    }
+
+    /// Number of data buffers attached to the task.
+    pub fn buffer_count(&self) -> usize {
+        self.buffers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn with_impl_replaces_same_arch() {
+        let c = Codelet::new("k")
+            .with_impl(Arch::Cpu, |_| {})
+            .with_impl(Arch::Cpu, |_| {});
+        assert_eq!(c.impls.len(), 1);
+        assert!(c.has_arch(Arch::Cpu));
+        assert!(!c.has_arch(Arch::Gpu));
+    }
+
+    #[test]
+    fn arch_class_display() {
+        assert_eq!(ArchClass::Cpu.to_string(), "cpu");
+        assert_eq!(ArchClass::CpuTeam(4).to_string(), "cpu-team4");
+        assert_eq!(ArchClass::Gpu("Tesla C2050".into()).to_string(), "gpu:Tesla C2050");
+    }
+}

@@ -1,0 +1,330 @@
+//! MSI coherence across memory nodes, with virtually-timed transfers.
+//!
+//! Implements the protocol the paper walks through in Fig. 3: replicas of a
+//! handle may exist on several memory units; writes invalidate remote
+//! copies ("the master copy in the main memory is marked outdated"); reads
+//! fetch lazily ("a copy from device memory to main memory is implicitly
+//! invoked before the actual data access takes place"); write-only accesses
+//! allocate without copying.
+
+use crate::handle::{AccessMode, DataHandle, ReplicaStatus};
+use crate::stats::{StatsCollector, TraceEvent};
+use parking_lot::Mutex;
+use peppher_sim::{LinkProfile, MachineConfig, VTime};
+
+/// Mutable occupancy timeline of one host⇄device link.
+#[derive(Debug, Default)]
+pub struct LinkState {
+    /// Virtual time until which the link is busy.
+    pub vnow: VTime,
+}
+
+/// The machine's transfer fabric: one link per accelerator, connecting its
+/// memory node (`i + 1`) to main memory (node 0).
+pub struct Topology {
+    profiles: Vec<LinkProfile>,
+    links: Vec<Mutex<LinkState>>,
+}
+
+impl Topology {
+    /// Builds the fabric described by a machine config.
+    pub fn new(machine: &MachineConfig) -> Self {
+        let profiles: Vec<LinkProfile> =
+            machine.accelerators.iter().map(|a| a.link.clone()).collect();
+        let links = profiles.iter().map(|_| Mutex::new(LinkState::default())).collect();
+        Topology { profiles, links }
+    }
+
+    /// The link profile used when moving data to/from device node `node`.
+    pub fn link_profile(&self, node: usize) -> &LinkProfile {
+        &self.profiles[node - 1]
+    }
+
+    /// Advances every link clock to at least `to` (used by the runtime's
+    /// virtual synchronization barrier).
+    pub(crate) fn advance_links(&self, to: VTime) {
+        for link in &self.links {
+            let mut l = link.lock();
+            l.vnow = l.vnow.max(to);
+        }
+    }
+
+    /// Estimated cost of moving `bytes` to/from device node `node`
+    /// (ignores current occupancy — used by the `dmda` scheduler).
+    pub fn estimate_transfer(&self, node: usize, bytes: u64) -> VTime {
+        if node == 0 {
+            VTime::ZERO
+        } else {
+            self.link_profile(node).transfer_time(bytes)
+        }
+    }
+
+    /// Performs one hop `from → to` (exactly one side is node 0): charges
+    /// the link, really copies the payload, and returns the arrival time.
+    fn hop(
+        &self,
+        handle: &DataHandle,
+        from: usize,
+        to: usize,
+        data_ready: VTime,
+        stats: &StatsCollector,
+    ) -> VTime {
+        debug_assert!(from != to && (from == 0 || to == 0));
+        let device_node = if from == 0 { to } else { from };
+        let profile = self.link_profile(device_node);
+        let ttime = profile.transfer_time(handle.bytes() as u64);
+
+        let arrive = {
+            let mut link = self.links[device_node - 1].lock();
+            let start = link.vnow.max(data_ready);
+            let arrive = start + ttime;
+            link.vnow = arrive;
+            arrive
+        };
+
+        stats.record_transfer(from, to, handle.bytes());
+        stats.record_event(TraceEvent::Transfer {
+            handle: handle.id(),
+            from,
+            to,
+            bytes: handle.bytes(),
+        });
+        arrive
+    }
+}
+
+/// Makes `node`'s replica of `handle` usable for an access of mode `mode`,
+/// triggering lazy transfers as needed. Returns the virtual time at which
+/// the data is available at `node` (i.e. the earliest the access may begin
+/// consuming it). Coherence-status effects of *writes* are applied later by
+/// [`mark_written`], once the writing task's finish time is known.
+pub(crate) fn make_valid(
+    handle: &DataHandle,
+    node: usize,
+    mode: AccessMode,
+    topo: &Topology,
+    stats: &StatsCollector,
+) -> VTime {
+    let inner = &handle.inner;
+    let mut st = inner.state.lock();
+    debug_assert!(node < st.replicas.len(), "node {node} out of range");
+
+    if !mode.reads() {
+        // Write-only: ensure a buffer exists (clone any valid payload purely
+        // for allocation/type purposes) but charge no transfer.
+        if st.replicas[node].cell.is_none() {
+            let src_cell = st
+                .replicas
+                .iter()
+                .find(|r| r.is_valid())
+                .and_then(|r| r.cell.clone())
+                .expect("handle has no valid replica anywhere");
+            let payload = (inner.clone_fn)(&src_cell.read());
+            st.replicas[node].cell =
+                Some(std::sync::Arc::new(parking_lot::RwLock::new(payload)));
+            stats.record_event(TraceEvent::Allocate {
+                handle: handle.id(),
+                node,
+            });
+        }
+        return VTime::ZERO;
+    }
+
+    if st.replicas[node].is_valid() {
+        return st.replicas[node].vready;
+    }
+
+    // Choose a source: prefer the Modified copy, else main memory, else any.
+    let src = st
+        .replicas
+        .iter()
+        .position(|r| r.status == ReplicaStatus::Modified)
+        .or_else(|| st.replicas[0].is_valid().then_some(0))
+        .or_else(|| st.replicas.iter().position(|r| r.is_valid()))
+        .expect("handle has no valid replica anywhere");
+
+    // Route: device-to-device goes through main memory (two hops).
+    let mut arrive = st.replicas[src].vready;
+    let route: Vec<(usize, usize)> = if src == 0 || node == 0 {
+        vec![(src, node)]
+    } else {
+        vec![(src, 0), (0, node)]
+    };
+
+    for (from, to) in route {
+        arrive = topo.hop(handle, from, to, arrive, stats);
+        // Really copy the payload.
+        let src_cell = st.replicas[from].cell.clone().expect("source replica has no buffer");
+        let payload = (inner.clone_fn)(&src_cell.read());
+        match st.replicas[to].cell.clone() {
+            Some(cell) => *cell.write() = payload,
+            None => {
+                st.replicas[to].cell =
+                    Some(std::sync::Arc::new(parking_lot::RwLock::new(payload)));
+            }
+        }
+        // Both endpoints now share valid data.
+        if st.replicas[from].status == ReplicaStatus::Modified {
+            st.replicas[from].status = ReplicaStatus::Shared;
+        }
+        st.replicas[to].status = ReplicaStatus::Shared;
+        st.replicas[to].vready = arrive;
+    }
+    arrive
+}
+
+/// Applies the coherence effect of a completed write at `node`: that
+/// replica becomes the unique Modified copy available at `vfinish`; every
+/// other valid replica is invalidated (the paper's "marked outdated").
+pub(crate) fn mark_written(
+    handle: &DataHandle,
+    node: usize,
+    vfinish: VTime,
+    stats: &StatsCollector,
+) {
+    let mut st = handle.inner.state.lock();
+    let nreplicas = st.replicas.len();
+    for i in 0..nreplicas {
+        if i != node && st.replicas[i].is_valid() {
+            st.replicas[i].status = ReplicaStatus::Invalid;
+            stats.record_event(TraceEvent::Invalidate {
+                handle: handle.id(),
+                node: i,
+            });
+        }
+    }
+    st.replicas[node].status = ReplicaStatus::Modified;
+    st.replicas[node].vready = vfinish;
+}
+
+/// The buffer cell for `node`, which must have been prepared by a prior
+/// [`make_valid`] call.
+pub(crate) fn cell_for(handle: &DataHandle, node: usize) -> crate::handle::PayloadCell {
+    handle.inner.state.lock().replicas[node]
+        .cell
+        .clone()
+        .expect("replica buffer missing; call make_valid first")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::DataHandle;
+    use peppher_sim::MachineConfig;
+
+    fn setup() -> (Topology, StatsCollector, DataHandle) {
+        let machine = MachineConfig::c2050_platform(2);
+        let topo = Topology::new(&machine);
+        let stats = StatsCollector::new(machine.total_workers(), true);
+        // 1 MiB payload.
+        let h = DataHandle::new(7, vec![1.0f32; 262_144], 1 << 20, machine.memory_nodes());
+        (topo, stats, h)
+    }
+
+    #[test]
+    fn read_triggers_single_transfer_then_cached() {
+        let (topo, stats, h) = setup();
+        let t1 = make_valid(&h, 1, AccessMode::Read, &topo, &stats);
+        assert!(t1 > VTime::ZERO, "first device read must pay a transfer");
+        assert_eq!(stats.snapshot().h2d_transfers, 1);
+        assert_eq!(h.valid_nodes(), vec![0, 1]);
+
+        // Second read: already Shared on device, no new transfer.
+        let t2 = make_valid(&h, 1, AccessMode::Read, &topo, &stats);
+        assert_eq!(t2, t1);
+        assert_eq!(stats.snapshot().h2d_transfers, 1);
+    }
+
+    #[test]
+    fn write_only_allocates_without_transfer() {
+        let (topo, stats, h) = setup();
+        let ready = make_valid(&h, 1, AccessMode::Write, &topo, &stats);
+        assert_eq!(ready, VTime::ZERO);
+        let snap = stats.snapshot();
+        assert_eq!(snap.total_transfers(), 0, "write-only must not copy");
+        assert!(stats
+            .trace
+            .lock()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Allocate { node: 1, .. })));
+        // The device replica exists but is NOT valid until mark_written.
+        assert_eq!(h.valid_nodes(), vec![0]);
+    }
+
+    #[test]
+    fn mark_written_invalidates_others() {
+        let (topo, stats, h) = setup();
+        make_valid(&h, 1, AccessMode::Write, &topo, &stats);
+        mark_written(&h, 1, VTime::from_micros(100), &stats);
+        assert_eq!(h.valid_nodes(), vec![1]);
+        assert!(stats
+            .trace
+            .lock()
+            .iter()
+            .any(|e| matches!(e, TraceEvent::Invalidate { node: 0, .. })));
+
+        // Host read now requires a d2h transfer (paper Fig. 3 line 6).
+        let ready = make_valid(&h, 0, AccessMode::Read, &topo, &stats);
+        assert!(ready >= VTime::from_micros(100), "transfer starts after data is produced");
+        assert_eq!(stats.snapshot().d2h_transfers, 1);
+        // Device copy stays valid: "the copy in the device memory remains
+        // valid as the master copy is only read".
+        assert_eq!(h.valid_nodes(), vec![0, 1]);
+    }
+
+    #[test]
+    fn transfer_waits_for_source_availability() {
+        let (topo, stats, h) = setup();
+        make_valid(&h, 1, AccessMode::Write, &topo, &stats);
+        let produce_time = VTime::from_millis(50);
+        mark_written(&h, 1, produce_time, &stats);
+        let ready = make_valid(&h, 0, AccessMode::Read, &topo, &stats);
+        assert!(ready > produce_time);
+    }
+
+    #[test]
+    fn readwrite_fetches_existing_data() {
+        let (topo, stats, h) = setup();
+        let ready = make_valid(&h, 1, AccessMode::ReadWrite, &topo, &stats);
+        assert!(ready > VTime::ZERO);
+        assert_eq!(stats.snapshot().h2d_transfers, 1);
+    }
+
+    #[test]
+    fn kernel_sees_transferred_contents() {
+        let (topo, stats, h) = setup();
+        make_valid(&h, 1, AccessMode::Read, &topo, &stats);
+        let cell = cell_for(&h, 1);
+        let guard = cell.read();
+        let v = guard.downcast_ref::<Vec<f32>>().unwrap();
+        assert_eq!(v.len(), 262_144);
+        assert_eq!(v[0], 1.0);
+    }
+
+    #[test]
+    fn two_device_topology_routes_via_host() {
+        let mut machine = MachineConfig::c2050_platform(1);
+        // Add a second accelerator.
+        machine.accelerators.push(machine.accelerators[0].clone());
+        let topo = Topology::new(&machine);
+        let stats = StatsCollector::new(machine.total_workers(), true);
+        let h = DataHandle::new(9, vec![0u8; 4096], 4096, machine.memory_nodes());
+
+        // Write on device 1, then read on device 2: d2h + h2d.
+        make_valid(&h, 1, AccessMode::Write, &topo, &stats);
+        mark_written(&h, 1, VTime::from_micros(5), &stats);
+        make_valid(&h, 2, AccessMode::Read, &topo, &stats);
+        let snap = stats.snapshot();
+        assert_eq!(snap.d2h_transfers, 1);
+        assert_eq!(snap.h2d_transfers, 1);
+        // Host copy became valid on the way through.
+        assert_eq!(h.valid_nodes(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn estimate_transfer_zero_for_host() {
+        let (topo, _, _) = setup();
+        assert_eq!(topo.estimate_transfer(0, 1 << 20), VTime::ZERO);
+        assert!(topo.estimate_transfer(1, 1 << 20) > VTime::ZERO);
+    }
+}

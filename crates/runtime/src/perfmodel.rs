@@ -1,0 +1,337 @@
+//! History-based performance models (StarPU-style).
+//!
+//! The runtime records, per *(codelet, architecture class, footprint
+//! bucket)*, the execution times it has observed, and answers expected-time
+//! queries for the `dmda` scheduler. A key is **calibrated** once it has at
+//! least [`PerfRegistry::calibration_min`] samples; until then the scheduler
+//! deliberately spreads executions across architectures to gather data —
+//! this is the paper's "performance history" that "guide\[s\] variant
+//! selection".
+
+use crate::codelet::ArchClass;
+use parking_lot::Mutex;
+use peppher_sim::VTime;
+use std::collections::HashMap;
+
+/// Identifies one performance history.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PerfKey {
+    /// Codelet name.
+    pub codelet: String,
+    /// Architecture class (CPU core, CPU team, specific GPU model).
+    pub arch: ArchClass,
+    /// Data-size bucket (log₂ of the footprint in bytes).
+    pub bucket: u32,
+}
+
+impl PerfKey {
+    /// Builds a key for a codelet execution over `footprint` bytes.
+    pub fn new(codelet: &str, arch: ArchClass, footprint: u64) -> Self {
+        PerfKey {
+            codelet: codelet.to_string(),
+            arch,
+            bucket: footprint_bucket(footprint),
+        }
+    }
+}
+
+/// Buckets a byte footprint by log₂ so histories generalize across nearby
+/// sizes (StarPU's history models hash on data size similarly).
+pub fn footprint_bucket(footprint: u64) -> u32 {
+    64 - footprint.max(1).leading_zeros()
+}
+
+/// Welford-style running statistics for one key.
+#[derive(Debug, Clone, Default)]
+pub struct History {
+    /// Number of samples.
+    pub n: u64,
+    /// Running mean (ns).
+    pub mean_ns: f64,
+    /// Sum of squared deviations (for variance).
+    pub m2: f64,
+}
+
+impl History {
+    fn record(&mut self, sample_ns: f64) {
+        self.n += 1;
+        let delta = sample_ns - self.mean_ns;
+        self.mean_ns += delta / self.n as f64;
+        self.m2 += delta * (sample_ns - self.mean_ns);
+    }
+
+    /// Sample standard deviation in nanoseconds (0 with <2 samples).
+    pub fn stddev_ns(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            (self.m2 / (self.n - 1) as f64).sqrt()
+        }
+    }
+}
+
+/// Shared registry of execution histories.
+///
+/// A registry can outlive a [`crate::Runtime`] and be handed to the next
+/// one (`Runtime::with_shared_perf`), modelling StarPU's on-disk
+/// performance-model persistence across runs.
+#[derive(Debug)]
+pub struct PerfRegistry {
+    histories: Mutex<HashMap<PerfKey, History>>,
+    /// Samples required before a key counts as calibrated.
+    pub calibration_min: u64,
+}
+
+impl Default for PerfRegistry {
+    fn default() -> Self {
+        PerfRegistry::new(3)
+    }
+}
+
+impl PerfRegistry {
+    /// Creates a registry requiring `calibration_min` samples per key.
+    pub fn new(calibration_min: u64) -> Self {
+        PerfRegistry {
+            histories: Mutex::new(HashMap::new()),
+            calibration_min: calibration_min.max(1),
+        }
+    }
+
+    /// Records an observed execution time.
+    pub fn record(&self, key: PerfKey, t: VTime) {
+        self.histories
+            .lock()
+            .entry(key)
+            .or_default()
+            .record(t.as_nanos() as f64);
+    }
+
+    /// Expected execution time, or `None` when the key is not calibrated.
+    pub fn expected(&self, key: &PerfKey) -> Option<VTime> {
+        let map = self.histories.lock();
+        let h = map.get(key)?;
+        (h.n >= self.calibration_min).then(|| VTime::from_nanos(h.mean_ns.max(0.0) as u64))
+    }
+
+    /// Number of samples recorded for `key`.
+    pub fn samples(&self, key: &PerfKey) -> u64 {
+        self.histories.lock().get(key).map_or(0, |h| h.n)
+    }
+
+    /// Whether `key` has reached calibration.
+    pub fn calibrated(&self, key: &PerfKey) -> bool {
+        self.samples(key) >= self.calibration_min
+    }
+
+    /// Mean/stddev snapshot for diagnostics.
+    pub fn history(&self, key: &PerfKey) -> Option<History> {
+        self.histories.lock().get(key).cloned()
+    }
+
+    /// Number of distinct keys with at least one sample.
+    pub fn key_count(&self) -> usize {
+        self.histories.lock().len()
+    }
+
+    /// Clears all recorded histories.
+    pub fn clear(&self) {
+        self.histories.lock().clear();
+    }
+
+    /// Serializes every history to a line-oriented text format (StarPU
+    /// persists its calibrated models under `~/.starpu/sampling`; this is
+    /// the equivalent "performance data repository" format).
+    pub fn serialize(&self) -> String {
+        let map = self.histories.lock();
+        let mut lines: Vec<String> = map
+            .iter()
+            .map(|(k, h)| {
+                format!(
+                    "{}\t{}\t{}\t{}\t{}\t{}",
+                    k.codelet, k.arch, k.bucket, h.n, h.mean_ns, h.m2
+                )
+            })
+            .collect();
+        lines.sort();
+        let mut out = String::from("# peppher perfmodel v1: codelet\tarch\tbucket\tn\tmean_ns\tm2\n");
+        out.push_str(&lines.join("\n"));
+        out.push('\n');
+        out
+    }
+
+    /// Restores histories from [`PerfRegistry::serialize`] output, merging
+    /// into the current state (existing keys are replaced).
+    pub fn deserialize(&self, text: &str) -> Result<usize, String> {
+        let mut map = self.histories.lock();
+        let mut loaded = 0usize;
+        for (lineno, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('\t').collect();
+            if fields.len() != 6 {
+                return Err(format!("line {}: expected 6 fields", lineno + 1));
+            }
+            let err = |what: &str| format!("line {}: bad {what}", lineno + 1);
+            let key = PerfKey {
+                codelet: fields[0].to_string(),
+                arch: fields[1].parse().map_err(|_| err("arch class"))?,
+                bucket: fields[2].parse().map_err(|_| err("bucket"))?,
+            };
+            let history = History {
+                n: fields[3].parse().map_err(|_| err("sample count"))?,
+                mean_ns: fields[4].parse().map_err(|_| err("mean"))?,
+                m2: fields[5].parse().map_err(|_| err("m2"))?,
+            };
+            map.insert(key, history);
+            loaded += 1;
+        }
+        Ok(loaded)
+    }
+
+    /// Writes the registry to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.serialize())
+    }
+
+    /// Loads (merges) a registry file previously written by
+    /// [`PerfRegistry::save`].
+    pub fn load(&self, path: &std::path::Path) -> std::io::Result<usize> {
+        let text = std::fs::read_to_string(path)?;
+        self.deserialize(&text)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(bucket_bytes: u64) -> PerfKey {
+        PerfKey::new("k", ArchClass::Cpu, bucket_bytes)
+    }
+
+    #[test]
+    fn buckets_are_log2() {
+        assert_eq!(footprint_bucket(0), 1);
+        assert_eq!(footprint_bucket(1), 1);
+        assert_eq!(footprint_bucket(2), 2);
+        assert_eq!(footprint_bucket(1023), 10);
+        assert_eq!(footprint_bucket(1024), 11);
+        // Nearby sizes share a bucket; far sizes don't.
+        assert_eq!(footprint_bucket(1 << 20), footprint_bucket((1 << 20) + 100));
+        assert_ne!(footprint_bucket(1 << 10), footprint_bucket(1 << 20));
+    }
+
+    #[test]
+    fn uncalibrated_returns_none() {
+        let reg = PerfRegistry::new(3);
+        reg.record(key(100), VTime::from_micros(10));
+        reg.record(key(100), VTime::from_micros(10));
+        assert_eq!(reg.expected(&key(100)), None);
+        assert!(!reg.calibrated(&key(100)));
+        reg.record(key(100), VTime::from_micros(10));
+        assert_eq!(reg.expected(&key(100)), Some(VTime::from_micros(10)));
+        assert!(reg.calibrated(&key(100)));
+    }
+
+    #[test]
+    fn mean_converges() {
+        let reg = PerfRegistry::new(1);
+        for us in [8, 10, 12] {
+            reg.record(key(64), VTime::from_micros(us));
+        }
+        let expected = reg.expected(&key(64)).unwrap();
+        assert_eq!(expected, VTime::from_micros(10));
+        let h = reg.history(&key(64)).unwrap();
+        assert_eq!(h.n, 3);
+        assert!(h.stddev_ns() > 0.0);
+    }
+
+    #[test]
+    fn distinct_arches_are_distinct_keys() {
+        let reg = PerfRegistry::new(1);
+        let cpu = PerfKey::new("k", ArchClass::Cpu, 1000);
+        let gpu = PerfKey::new("k", ArchClass::Gpu("g".into()), 1000);
+        reg.record(cpu.clone(), VTime::from_micros(100));
+        reg.record(gpu.clone(), VTime::from_micros(5));
+        assert_eq!(reg.expected(&cpu), Some(VTime::from_micros(100)));
+        assert_eq!(reg.expected(&gpu), Some(VTime::from_micros(5)));
+        assert_eq!(reg.key_count(), 2);
+    }
+
+    #[test]
+    fn serialize_roundtrip() {
+        let reg = PerfRegistry::new(2);
+        reg.record(PerfKey::new("spmv", ArchClass::Cpu, 4096), VTime::from_micros(100));
+        reg.record(PerfKey::new("spmv", ArchClass::Cpu, 4096), VTime::from_micros(120));
+        reg.record(
+            PerfKey::new("spmv", ArchClass::Gpu("Tesla C2050".into()), 4096),
+            VTime::from_micros(9),
+        );
+        reg.record(
+            PerfKey::new("sgemm", ArchClass::CpuTeam(4), 1 << 20),
+            VTime::from_millis(3),
+        );
+        let text = reg.serialize();
+
+        let restored = PerfRegistry::new(2);
+        let loaded = restored.deserialize(&text).unwrap();
+        assert_eq!(loaded, 3);
+        let k = PerfKey::new("spmv", ArchClass::Cpu, 4096);
+        assert_eq!(restored.samples(&k), 2);
+        assert_eq!(restored.expected(&k), Some(VTime::from_micros(110)));
+        let h_orig = reg.history(&k).unwrap();
+        let h_back = restored.history(&k).unwrap();
+        assert!((h_orig.stddev_ns() - h_back.stddev_ns()).abs() < 1.0);
+    }
+
+    #[test]
+    fn deserialize_rejects_garbage() {
+        let reg = PerfRegistry::new(1);
+        assert!(reg.deserialize("a\tb\tc").is_err());
+        assert!(reg.deserialize("c\tnot-an-arch\t1\t1\t1\t1").is_err());
+        assert!(reg.deserialize("c\tcpu\t1\tx\t1\t1").is_err());
+        // Comments and blank lines are fine.
+        assert_eq!(reg.deserialize("# header\n\n").unwrap(), 0);
+    }
+
+    #[test]
+    fn save_load_file() {
+        let path = std::env::temp_dir().join(format!("peppher-perf-{}.tsv", std::process::id()));
+        let reg = PerfRegistry::new(1);
+        reg.record(PerfKey::new("k", ArchClass::Cpu, 100), VTime::from_micros(5));
+        reg.save(&path).unwrap();
+        let other = PerfRegistry::new(1);
+        assert_eq!(other.load(&path).unwrap(), 1);
+        assert_eq!(
+            other.expected(&PerfKey::new("k", ArchClass::Cpu, 100)),
+            Some(VTime::from_micros(5))
+        );
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn arch_class_parse_roundtrip() {
+        for class in [
+            ArchClass::Cpu,
+            ArchClass::CpuTeam(4),
+            ArchClass::Gpu("Tesla C1060".into()),
+        ] {
+            let s = class.to_string();
+            assert_eq!(s.parse::<ArchClass>().unwrap(), class);
+        }
+        assert!("bogus".parse::<ArchClass>().is_err());
+        assert!("cpu-teamX".parse::<ArchClass>().is_err());
+    }
+
+    #[test]
+    fn clear_resets() {
+        let reg = PerfRegistry::new(1);
+        reg.record(key(10), VTime::from_micros(1));
+        reg.clear();
+        assert_eq!(reg.key_count(), 0);
+        assert_eq!(reg.samples(&key(10)), 0);
+    }
+}

@@ -1,0 +1,470 @@
+//! The runtime facade: submission, data registration, host access, lifecycle.
+
+use crate::coherence::{self, Topology};
+use crate::handle::{vec_bytes, AccessMode, DataHandle, PayloadBox};
+use crate::perfmodel::PerfRegistry;
+use crate::sched::{make_scheduler, SchedCtx, Scheduler, SchedulerKind};
+use crate::stats::{RuntimeStats, StatsCollector, TraceEvent};
+use crate::task::{Task, TaskBuilder, TaskHandle};
+use crate::worker;
+use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Condvar, Mutex, RawRwLock};
+use peppher_sim::{MachineConfig, NoiseModel, VTime};
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// The overall optimization goal, from the application's main-module
+/// descriptor ("states e.g. the target execution platform and the overall
+/// optimization goal").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// Minimize predicted completion time (the default).
+    #[default]
+    ExecTime,
+    /// Minimize predicted energy: execution time × device power (+ link
+    /// power during transfers). Heterogeneity makes this a different
+    /// trade-off — a GPU that is 2× faster but draws 10× the power loses.
+    Energy,
+}
+
+/// How execution times are obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimingMode {
+    /// From the device cost models (+noise): reproducible heterogeneous
+    /// timing without the hardware. The default.
+    Virtual,
+    /// From the wall clock: used by the §V-E task-overhead benchmark on
+    /// CPU-only machines.
+    Measured,
+}
+
+/// Runtime construction options.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Scheduling policy.
+    pub scheduler: SchedulerKind,
+    /// Timing source.
+    pub timing: TimingMode,
+    /// The paper's `useHistoryModels` flag: when true (default) the `dmda`
+    /// scheduler learns execution-history models online; when false it
+    /// falls back to prediction functions / static models.
+    pub use_history: bool,
+    /// Record a [`TraceEvent`] log (costs memory; used by tests and the
+    /// Fig. 3 harness).
+    pub enable_trace: bool,
+    /// Samples required to consider a history calibrated.
+    pub calibration_min: u64,
+    /// Prefetch read operands to the chosen worker's memory node as soon
+    /// as the scheduler places a ready task (StarPU's dmda does the same):
+    /// the transfer overlaps whatever the worker is still executing.
+    /// Only effective with placement-at-push policies (dmda, random).
+    pub enable_prefetch: bool,
+    /// The overall optimization goal `dmda` scores options by.
+    pub objective: Objective,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            scheduler: SchedulerKind::Dmda,
+            timing: TimingMode::Virtual,
+            use_history: true,
+            enable_trace: false,
+            calibration_min: 3,
+            enable_prefetch: true,
+            objective: Objective::ExecTime,
+        }
+    }
+}
+
+pub(crate) struct RuntimeInner {
+    pub machine: MachineConfig,
+    pub config: RuntimeConfig,
+    pub topo: Topology,
+    pub sched: Box<dyn Scheduler>,
+    pub perf: Arc<PerfRegistry>,
+    pub stats: StatsCollector,
+    /// Actual virtual clock per worker.
+    pub timelines: Mutex<Vec<VTime>>,
+    pub noise: Mutex<NoiseModel>,
+    pub pending: Mutex<u64>,
+    pub all_done: Condvar,
+    pub shutdown: AtomicBool,
+    pub work_mx: Mutex<()>,
+    pub work_cv: Condvar,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    /// Number of live user-facing `Runtime` clones (workers excluded).
+    user_handles: AtomicU64,
+    next_task: AtomicU64,
+    next_handle: AtomicU64,
+}
+
+impl RuntimeInner {
+    pub(crate) fn sched_ctx(&self) -> SchedCtx<'_> {
+        SchedCtx {
+            machine: &self.machine,
+            perf: &self.perf,
+            timelines: &self.timelines,
+            topo: &self.topo,
+            config: &self.config,
+        }
+    }
+
+    pub(crate) fn push_ready(&self, task: Arc<Task>) {
+        self.sched.push(Arc::clone(&task), &self.sched_ctx());
+        // Prefetch: every dependency has completed (that is what made the
+        // task ready), so its input data is final and can start moving to
+        // the placed worker's memory node right away.
+        if self.config.enable_prefetch {
+            let choice = *task.chosen.lock();
+            if let Some(choice) = choice {
+                let node = self.machine.worker_memory_node(choice.worker);
+                if node != 0 {
+                    for (h, mode) in &task.accesses {
+                        if mode.reads() && !h.valid_on(node) {
+                            coherence::make_valid(h, node, AccessMode::Read, &self.topo, &self.stats);
+                        }
+                    }
+                }
+            }
+        }
+        self.work_cv.notify_all();
+    }
+
+    pub(crate) fn task_finished(&self) {
+        let mut p = self.pending.lock();
+        *p -= 1;
+        if *p == 0 {
+            self.all_done.notify_all();
+        }
+    }
+}
+
+/// A running PEPPHER runtime instance: worker threads for every CPU core
+/// and accelerator of the configured [`MachineConfig`].
+///
+/// `Runtime` is a cheap handle (`Clone` shares the same instance) so smart
+/// containers and the component layer can keep a reference. The worker
+/// threads stop when the last clone is dropped or [`Runtime::shutdown`] is
+/// called explicitly.
+///
+/// See the crate-level docs for an end-to-end example.
+pub struct Runtime {
+    pub(crate) inner: Arc<RuntimeInner>,
+}
+
+impl Clone for Runtime {
+    fn clone(&self) -> Self {
+        self.inner.user_handles.fetch_add(1, Ordering::SeqCst);
+        Runtime {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl Runtime {
+    /// Starts a runtime with default config and the given scheduler.
+    pub fn new(machine: MachineConfig, scheduler: SchedulerKind) -> Self {
+        Runtime::with_config(
+            machine,
+            RuntimeConfig {
+                scheduler,
+                ..RuntimeConfig::default()
+            },
+        )
+    }
+
+    /// Starts a runtime with explicit configuration.
+    pub fn with_config(machine: MachineConfig, config: RuntimeConfig) -> Self {
+        Runtime::with_shared_perf(
+            machine,
+            config.clone(),
+            Arc::new(PerfRegistry::new(config.calibration_min)),
+        )
+    }
+
+    /// Starts a runtime reusing an existing performance-model registry —
+    /// StarPU persists calibrated models across application runs; passing
+    /// the registry from a previous [`Runtime`] models exactly that.
+    pub fn with_shared_perf(
+        machine: MachineConfig,
+        config: RuntimeConfig,
+        perf: Arc<PerfRegistry>,
+    ) -> Self {
+        let workers = machine.total_workers();
+        let sched = make_scheduler(config.scheduler, &machine);
+        let inner = Arc::new(RuntimeInner {
+            topo: Topology::new(&machine),
+            sched,
+            perf,
+            stats: StatsCollector::new(workers, config.enable_trace),
+            timelines: Mutex::new(vec![VTime::ZERO; workers]),
+            noise: Mutex::new(NoiseModel::new(machine.noise_seed, machine.noise_rel_stddev)),
+            pending: Mutex::new(0),
+            all_done: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+            work_mx: Mutex::new(()),
+            work_cv: Condvar::new(),
+            threads: Mutex::new(Vec::new()),
+            user_handles: AtomicU64::new(1),
+            next_task: AtomicU64::new(1),
+            next_handle: AtomicU64::new(1),
+            machine,
+            config,
+        });
+        let threads: Vec<JoinHandle<()>> = (0..workers)
+            .map(|w| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("peppher-worker-{w}"))
+                    .spawn(move || worker::worker_loop(inner, w))
+                    .expect("failed to spawn worker thread")
+            })
+            .collect();
+        *inner.threads.lock() = threads;
+        Runtime { inner }
+    }
+
+    /// The machine this runtime drives.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.inner.machine
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.inner.config
+    }
+
+    /// The shared performance-model registry.
+    pub fn perf(&self) -> &Arc<PerfRegistry> {
+        &self.inner.perf
+    }
+
+    /// Submits a task (used by [`TaskBuilder::submit`]).
+    pub fn submit(&self, builder: TaskBuilder) -> TaskHandle {
+        let id = self.inner.next_task.fetch_add(1, Ordering::Relaxed);
+        let task = Arc::new(builder.into_task(id));
+
+        // Reject aliased writable operands: two write accesses to one handle
+        // in a single task would require two exclusive guards on one buffer.
+        for (i, (h, m)) in task.accesses.iter().enumerate() {
+            if m.writes() {
+                for (h2, _) in task.accesses.iter().skip(i + 1) {
+                    assert!(
+                        h2.id() != h.id(),
+                        "task `{}` passes handle {} twice with a writable access",
+                        task.codelet.name,
+                        h.id()
+                    );
+                }
+            }
+        }
+
+        *self.inner.pending.lock() += 1;
+
+        // Sequential data consistency: collect implicit dependencies.
+        // `link` counts each created edge on the successor *before*
+        // publishing it, so a predecessor completing mid-loop cannot make
+        // the task ready early (the submission guard also protects us
+        // until the end of this function).
+        let deps: Vec<Arc<Task>> = task
+            .accesses
+            .iter()
+            .flat_map(|(h, mode)| h.record_access(&task, *mode))
+            .collect();
+        for dep in deps {
+            Task::link(&dep, &task);
+        }
+        // Drop the submission guard; push if no outstanding deps.
+        if task.dep_satisfied() {
+            self.inner.push_ready(Arc::clone(&task));
+        }
+        TaskHandle(task)
+    }
+
+    /// Blocks until every submitted task has executed.
+    pub fn wait_all(&self) {
+        let mut p = self.inner.pending.lock();
+        while *p > 0 {
+            self.inner.all_done.wait(&mut p);
+        }
+    }
+
+    /// Registers a vector; its master copy lives in main memory.
+    pub fn register_vec<T: Clone + Send + Sync + 'static>(&self, v: Vec<T>) -> DataHandle {
+        let bytes = vec_bytes(&v);
+        self.register_value(v, bytes)
+    }
+
+    /// Registers an arbitrary payload with an explicit byte size (used for
+    /// transfer modelling).
+    pub fn register_value<T: Clone + Send + Sync + 'static>(
+        &self,
+        v: T,
+        bytes: usize,
+    ) -> DataHandle {
+        let id = self.inner.next_handle.fetch_add(1, Ordering::Relaxed);
+        DataHandle::new(id, v, bytes, self.inner.machine.memory_nodes())
+    }
+
+    /// Waits for all tasks using the handle, ensures main memory holds the
+    /// latest copy, and returns the payload.
+    pub fn unregister_vec<T: Clone + Send + Sync + 'static>(&self, h: DataHandle) -> Vec<T> {
+        self.unregister_value::<Vec<T>>(h)
+    }
+
+    /// Generic form of [`Runtime::unregister_vec`].
+    pub fn unregister_value<T: Clone + Send + Sync + 'static>(&self, h: DataHandle) -> T {
+        for t in h.tasks_to_wait_for(AccessMode::ReadWrite) {
+            t.wait();
+        }
+        coherence::make_valid(&h, 0, AccessMode::Read, &self.inner.topo, &self.inner.stats);
+        let cell = {
+            let mut st = h.inner.state.lock();
+            st.replicas[0].cell.take().expect("main-memory replica missing")
+        };
+        match Arc::try_unwrap(cell) {
+            Ok(lock) => *lock
+                .into_inner()
+                .downcast::<T>()
+                .unwrap_or_else(|_| panic!("unregister: payload type mismatch")),
+            // A host guard or late kernel still holds the cell: fall back to
+            // cloning the contents.
+            Err(cell) => cell
+                .read()
+                .downcast_ref::<T>()
+                .expect("unregister: payload type mismatch")
+                .clone(),
+        }
+    }
+
+    /// Waits for the handle's pending writer and returns a read guard over
+    /// the (made-coherent) main-memory copy — the paper's implicit
+    /// device-to-host copy on host access (Fig. 3, line 6).
+    pub fn acquire_read<T: 'static>(&self, h: &DataHandle) -> HostReadGuard<T> {
+        for t in h.tasks_to_wait_for(AccessMode::Read) {
+            t.wait();
+        }
+        coherence::make_valid(&h.clone(), 0, AccessMode::Read, &self.inner.topo, &self.inner.stats);
+        let cell = coherence::cell_for(h, 0);
+        HostReadGuard {
+            guard: cell.read_arc(),
+            _t: PhantomData,
+        }
+    }
+
+    /// Waits for all tasks using the handle and returns a write guard over
+    /// the main-memory copy; device replicas are invalidated (Fig. 3,
+    /// line 14: "the copy in the device memory is marked outdated").
+    pub fn acquire_write<T: 'static>(&self, h: &DataHandle) -> HostWriteGuard<T> {
+        for t in h.tasks_to_wait_for(AccessMode::ReadWrite) {
+            t.wait();
+        }
+        let vready =
+            coherence::make_valid(h, 0, AccessMode::ReadWrite, &self.inner.topo, &self.inner.stats);
+        coherence::mark_written(h, 0, vready, &self.inner.stats);
+        {
+            // Every prior task has completed and the host now owns the data.
+            let mut st = h.inner.state.lock();
+            st.last_writer = None;
+            st.readers.clear();
+        }
+        let cell = coherence::cell_for(h, 0);
+        HostWriteGuard {
+            guard: cell.write_arc(),
+            _t: PhantomData,
+        }
+    }
+
+    /// Statistics snapshot.
+    pub fn stats(&self) -> RuntimeStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Copy of the event trace (empty unless `enable_trace`).
+    pub fn trace(&self) -> Vec<TraceEvent> {
+        self.inner.stats.trace.lock().clone()
+    }
+
+    /// The virtual makespan so far: the latest task completion time.
+    pub fn makespan(&self) -> VTime {
+        self.stats().makespan
+    }
+
+    /// Virtual synchronization barrier: waits for all tasks, then advances
+    /// every worker and link clock to the current makespan. After this,
+    /// the makespan increase caused by subsequently submitted work equals
+    /// that work's true duration — benchmark harnesses use it to measure
+    /// per-phase times on a long-lived runtime.
+    pub fn sync_virtual_clocks(&self) -> VTime {
+        self.wait_all();
+        let m = self.stats().makespan;
+        let mut tl = self.inner.timelines.lock();
+        for t in tl.iter_mut() {
+            *t = (*t).max(m);
+        }
+        drop(tl);
+        self.inner.topo.advance_links(m);
+        m
+    }
+
+    /// Stops all workers (idempotent). Outstanding submitted tasks are
+    /// still executed before workers exit.
+    pub fn shutdown(&self) {
+        self.wait_all();
+        self.inner.shutdown.store(true, Ordering::SeqCst);
+        self.inner.work_cv.notify_all();
+        let mut threads = self.inner.threads.lock();
+        for t in threads.drain(..) {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Runtime {
+    fn drop(&mut self) {
+        if self.inner.user_handles.fetch_sub(1, Ordering::SeqCst) == 1 {
+            self.shutdown();
+        }
+    }
+}
+
+/// Read access to a handle's main-memory payload.
+pub struct HostReadGuard<T> {
+    guard: ArcRwLockReadGuard<RawRwLock, PayloadBox>,
+    _t: PhantomData<T>,
+}
+
+impl<T: 'static> Deref for HostReadGuard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard
+            .downcast_ref::<T>()
+            .expect("host read guard: payload type mismatch")
+    }
+}
+
+/// Write access to a handle's main-memory payload.
+pub struct HostWriteGuard<T> {
+    guard: ArcRwLockWriteGuard<RawRwLock, PayloadBox>,
+    _t: PhantomData<T>,
+}
+
+impl<T: 'static> Deref for HostWriteGuard<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.guard
+            .downcast_ref::<T>()
+            .expect("host write guard: payload type mismatch")
+    }
+}
+
+impl<T: 'static> DerefMut for HostWriteGuard<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.guard
+            .downcast_mut::<T>()
+            .expect("host write guard: payload type mismatch")
+    }
+}

@@ -1,0 +1,438 @@
+//! `dmda` — performance-model-aware earliest-finish-time scheduling.
+//!
+//! The policy StarPU calls *deque model data aware*, which the paper's
+//! "tool-generated performance-aware" (TGPA) executions rely on. For each
+//! ready task it evaluates every (worker, implementation) option and picks
+//! the one minimizing
+//!
+//! ```text
+//! predicted_finish = worker_available + transfer_cost + expected_exec
+//! ```
+//!
+//! where `expected_exec` comes from the execution-history models (after
+//! calibration), from a programmer-provided prediction function, or — if
+//! history models are disabled and no prediction exists — from the static
+//! device cost model. While any option is still uncalibrated, the scheduler
+//! deliberately round-robins across uncalibrated architectures to gather
+//! samples, as StarPU's calibration mode does.
+
+use super::{arch_class, options_for, SchedCtx, Scheduler};
+use crate::codelet::Arch;
+use crate::perfmodel::PerfKey;
+use crate::task::{ExecChoice, Task};
+use parking_lot::Mutex;
+use peppher_sim::VTime;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Performance-aware scheduler (see module docs).
+pub struct DmdaScheduler {
+    queues: Vec<Mutex<VecDeque<Arc<Task>>>>,
+    /// Predicted residual occupancy of each worker's queue.
+    queued_pred: Mutex<Vec<VTime>>,
+    /// Round-robin counters for calibration, per codelet name.
+    calib_rr: Mutex<HashMap<String, usize>>,
+}
+
+impl DmdaScheduler {
+    /// Creates the per-worker structures.
+    pub fn new(workers: usize) -> Self {
+        DmdaScheduler {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queued_pred: Mutex::new(vec![VTime::ZERO; workers]),
+            calib_rr: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Expected execution time for an option, with its information source.
+    fn expected_exec(
+        &self,
+        task: &Task,
+        worker: usize,
+        arch: Arch,
+        ctx: &SchedCtx<'_>,
+    ) -> (Option<VTime>, bool) {
+        let class = arch_class(arch, ctx.machine, worker);
+        let key = PerfKey::new(&task.codelet.name, class.clone(), task.footprint());
+
+        if task.use_history.unwrap_or(ctx.config.use_history) {
+            if let Some(t) = ctx.perf.expected(&key) {
+                return (Some(t), false);
+            }
+            // Uncalibrated: needs exploration. A prediction function does
+            // not preempt calibration — history models are built from real
+            // executions precisely because predictions can be wrong.
+            return (None, true);
+        }
+
+        // History disabled (`useHistoryModels=false`): prediction function,
+        // else the static device model.
+        if let Some(pred) = &task.codelet.prediction {
+            if let Some(t) = pred(&class, &task.cost) {
+                return (Some(t), false);
+            }
+        }
+        let profile = ctx.machine.worker_profile(worker);
+        let team = if arch == Arch::CpuTeam {
+            ctx.machine.cpu_workers
+        } else {
+            1
+        };
+        (Some(profile.exec_time_team(&task.cost, team)), false)
+    }
+
+    /// Estimated transfer delay to bring the task's read operands to the
+    /// worker's memory node, plus a locality term for written operands:
+    /// producing data away from where its current copy lives means a
+    /// likely fetch-back later (tightly-dependent chains like the ODE
+    /// solver thrash between devices without this).
+    fn transfer_estimate(&self, task: &Task, worker: usize, ctx: &SchedCtx<'_>) -> VTime {
+        let node = ctx.machine.worker_memory_node(worker);
+        let mut total = VTime::ZERO;
+        for (h, mode) in &task.accesses {
+            if h.valid_on(node) {
+                continue;
+            }
+            let t = if node != 0 {
+                ctx.topo.estimate_transfer(node, h.bytes() as u64)
+            } else {
+                // Data currently on some device: a host placement pays the
+                // device-to-host fetch on the device's link.
+                h.valid_nodes()
+                    .first()
+                    .map(|&src| ctx.topo.estimate_transfer(src, h.bytes() as u64))
+                    .unwrap_or(VTime::ZERO)
+            };
+            if mode.reads() {
+                total += t;
+            } else {
+                // Write-only: no fetch now, but the produced copy strands
+                // away from its consumers' likely location.
+                total += t.scale(0.5);
+            }
+        }
+        total
+    }
+
+    /// Worker availability: actual clock + predicted queued work. For a
+    /// team option this is the latest availability across the whole team.
+    fn availability(&self, worker: usize, arch: Arch, ctx: &SchedCtx<'_>) -> VTime {
+        let timelines = ctx.timelines.lock();
+        let queued = self.queued_pred.lock();
+        if arch == Arch::CpuTeam {
+            (0..ctx.machine.cpu_workers)
+                .map(|w| timelines[w] + queued[w])
+                .fold(VTime::ZERO, VTime::max)
+        } else {
+            timelines[worker] + queued[worker]
+        }
+    }
+
+    fn enqueue(&self, task: Arc<Task>, worker: usize, arch: Arch, pred_delta: VTime) {
+        *task.chosen.lock() = Some(ExecChoice { worker, arch, pred_delta });
+        self.queued_pred.lock()[worker] += pred_delta;
+        self.queues[worker].lock().push_back(task);
+    }
+}
+
+impl Scheduler for DmdaScheduler {
+    fn push(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) {
+        let opts = options_for(&task, ctx.machine);
+        assert!(
+            !opts.is_empty(),
+            "task for codelet `{}` has no eligible worker",
+            task.codelet.name
+        );
+
+        // Evaluate every option.
+        let mut evaluated: Vec<(usize, Arch, Option<VTime>, bool)> = opts
+            .iter()
+            .map(|&(w, a)| {
+                let (exec, uncal) = self.expected_exec(&task, w, a, ctx);
+                (w, a, exec, uncal)
+            })
+            .collect();
+
+        // Calibration: spread executions across uncalibrated architecture
+        // classes (round-robin over classes; least-loaded worker within).
+        let mut uncal_classes: Vec<Arch> = Vec::new();
+        for (_, a, _, u) in &evaluated {
+            if *u && !uncal_classes.contains(a) {
+                uncal_classes.push(*a);
+            }
+        }
+        if !uncal_classes.is_empty() {
+            let class = {
+                let mut rr = self.calib_rr.lock();
+                let counter = rr.entry(task.codelet.name.clone()).or_insert(0);
+                let class = uncal_classes[*counter % uncal_classes.len()];
+                *counter += 1;
+                class
+            };
+            let (w, a) = {
+                let timelines = ctx.timelines.lock();
+                let queued = self.queued_pred.lock();
+                evaluated
+                    .iter()
+                    .filter(|(_, a, _, u)| *u && *a == class)
+                    .map(|&(w, a, _, _)| (w, a))
+                    .min_by_key(|&(w, _)| timelines[w] + queued[w])
+                    .expect("class came from evaluated options")
+            };
+            // Charge a nominal occupancy so calibration tasks still spread.
+            self.enqueue(task, w, a, VTime::from_micros(1));
+            return;
+        }
+
+        // All options predictable: score each by the configured objective.
+        // A task cannot start before its dependencies' virtual finish time,
+        // so an idle worker is no earlier than `vdeps` (without this,
+        // dependent chains look artificially cheap on idle devices).
+        let vdeps = task.state.lock().vdeps;
+        let mut best: Option<(usize, Arch, f64, VTime)> = None;
+        for (w, a, exec, _) in evaluated.drain(..) {
+            let exec = exec.expect("calibrated option must predict");
+            let transfer = self.transfer_estimate(&task, w, ctx);
+            let avail = self.availability(w, a, ctx).max(vdeps);
+            let finish = avail + transfer + exec;
+            let score = match ctx.config.objective {
+                crate::runtime::Objective::ExecTime => finish.as_secs_f64(),
+                crate::runtime::Objective::Energy => {
+                    // Device energy for the execution plus PCIe energy for
+                    // the transfer (~10 W of link/controller power).
+                    let team = if a == Arch::CpuTeam {
+                        ctx.machine.cpu_workers
+                    } else {
+                        1
+                    };
+                    ctx.machine.worker_profile(w).energy_joules(exec, team)
+                        + transfer.as_secs_f64() * 10.0
+                }
+            };
+            let delta = transfer + exec;
+            match &best {
+                Some((_, _, sc, _)) if *sc <= score => {}
+                _ => best = Some((w, a, score, delta)),
+            }
+        }
+        let (w, a, _, delta) = best.expect("at least one option");
+        self.enqueue(task, w, a, delta);
+    }
+
+    fn pop(&self, worker: usize, _ctx: &SchedCtx<'_>) -> Option<Arc<Task>> {
+        self.queues[worker].lock().pop_front()
+    }
+
+    fn task_timed(&self, worker: usize, task: &Task) {
+        // The task's duration is now part of the worker's actual timeline;
+        // release the prediction charged at push time.
+        let delta = task
+            .chosen
+            .lock()
+            .map(|c| c.pred_delta)
+            .unwrap_or(VTime::ZERO);
+        let mut queued = self.queued_pred.lock();
+        queued[worker] = queued[worker].saturating_sub(delta);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codelet::{ArchClass, Codelet};
+    use crate::coherence::Topology;
+    use crate::perfmodel::{PerfKey, PerfRegistry};
+    use crate::runtime::RuntimeConfig;
+    use crate::task::TaskBuilder;
+    use peppher_sim::{KernelCost, MachineConfig};
+
+    struct Fixture {
+        machine: MachineConfig,
+        perf: PerfRegistry,
+        timelines: Mutex<Vec<VTime>>,
+        topo: Topology,
+        config: RuntimeConfig,
+    }
+
+    impl Fixture {
+        fn new(machine: MachineConfig, config: RuntimeConfig) -> Self {
+            let timelines = Mutex::new(vec![VTime::ZERO; machine.total_workers()]);
+            let topo = Topology::new(&machine);
+            Fixture {
+                perf: PerfRegistry::default(),
+                timelines,
+                topo,
+                config,
+                machine,
+            }
+        }
+        fn ctx(&self) -> SchedCtx<'_> {
+            SchedCtx {
+                machine: &self.machine,
+                perf: &self.perf,
+                timelines: &self.timelines,
+                topo: &self.topo,
+                config: &self.config,
+            }
+        }
+    }
+
+    fn dual_codelet() -> Arc<Codelet> {
+        Arc::new(
+            Codelet::new("k")
+                .with_impl(Arch::Cpu, |_| {})
+                .with_impl(Arch::Gpu, |_| {}),
+        )
+    }
+
+    fn task_of(codelet: &Arc<Codelet>, id: u64) -> Arc<Task> {
+        Arc::new(
+            TaskBuilder::new(codelet)
+                .cost(KernelCost::new(1e6, 1e5, 1e5))
+                .into_task(id),
+        )
+    }
+
+    #[test]
+    fn calibration_round_robins_architecture_classes() {
+        let f = Fixture::new(MachineConfig::c2050_platform(2), RuntimeConfig::default());
+        let s = DmdaScheduler::new(f.machine.total_workers());
+        let c = dual_codelet();
+        for i in 0..6 {
+            s.push(task_of(&c, i), &f.ctx());
+        }
+        // Classes alternate Cpu/Gpu: 3 CPU tasks (spread over cpu0/cpu1 by
+        // load) and 3 GPU tasks.
+        let counts: Vec<usize> = (0..3).map(|w| s.queues[w].lock().len()).collect();
+        assert_eq!(counts[0] + counts[1], 3, "CPU class got half: {counts:?}");
+        assert_eq!(counts[2], 3, "GPU class got half: {counts:?}");
+        assert!(counts[0] >= 1 && counts[1] >= 1, "both CPU workers sampled: {counts:?}");
+    }
+
+    #[test]
+    fn calibrated_histories_drive_placement_to_faster_arch() {
+        let f = Fixture::new(MachineConfig::c2050_platform(2), RuntimeConfig::default());
+        let c = dual_codelet();
+        let probe = task_of(&c, 0);
+        let fp = probe.footprint();
+        // GPU is 10x faster in recorded history.
+        for _ in 0..3 {
+            f.perf
+                .record(PerfKey::new("k", ArchClass::Cpu, fp), VTime::from_micros(100));
+            f.perf.record(
+                PerfKey::new("k", ArchClass::Gpu("Tesla C2050".into()), fp),
+                VTime::from_micros(10),
+            );
+        }
+        let s = DmdaScheduler::new(f.machine.total_workers());
+        s.push(probe, &f.ctx());
+        assert_eq!(s.queues[2].lock().len(), 1, "task should land on the GPU worker");
+    }
+
+    #[test]
+    fn load_balances_across_cpu_workers_when_equal() {
+        let f = Fixture::new(MachineConfig::cpu_only(2), RuntimeConfig::default());
+        let c = Arc::new(Codelet::new("k").with_impl(Arch::Cpu, |_| {}));
+        let probe = Arc::new(TaskBuilder::new(&c).into_task(99));
+        let fp = probe.footprint();
+        for _ in 0..3 {
+            f.perf
+                .record(PerfKey::new("k", ArchClass::Cpu, fp), VTime::from_micros(50));
+        }
+        let s = DmdaScheduler::new(2);
+        for i in 0..4 {
+            s.push(task_of_no_cost(&c, i), &f.ctx());
+        }
+        assert_eq!(s.queues[0].lock().len(), 2);
+        assert_eq!(s.queues[1].lock().len(), 2);
+    }
+
+    fn task_of_no_cost(codelet: &Arc<Codelet>, id: u64) -> Arc<Task> {
+        Arc::new(TaskBuilder::new(codelet).into_task(id))
+    }
+
+    #[test]
+    fn prediction_does_not_preempt_calibration() {
+        // With history models enabled, an (arbitrarily wrong) prediction
+        // function must not stop the scheduler from sampling each class.
+        let f = Fixture::new(MachineConfig::c2050_platform(1), RuntimeConfig::default());
+        let c = Arc::new(
+            Codelet::new("k")
+                .with_impl(Arch::Cpu, |_| {})
+                .with_impl(Arch::Gpu, |_| {})
+                .with_prediction(|class, _| match class {
+                    ArchClass::Cpu => Some(VTime::from_millis(1)),
+                    _ => None,
+                }),
+        );
+        let s = DmdaScheduler::new(f.machine.total_workers());
+        for i in 0..4 {
+            s.push(task_of(&c, i), &f.ctx());
+        }
+        // Both classes received calibration tasks despite the prediction.
+        assert!(s.queues[0].lock().len() >= 1, "CPU sampled");
+        assert!(s.queues[1].lock().len() >= 1, "GPU sampled");
+    }
+
+    #[test]
+    fn prediction_trusted_when_history_disabled() {
+        let config = RuntimeConfig {
+            use_history: false,
+            ..RuntimeConfig::default()
+        };
+        let f = Fixture::new(MachineConfig::c2050_platform(1), config);
+        // Prediction says the CPU takes forever; the GPU has no prediction
+        // and falls back to the static model.
+        let c = Arc::new(
+            Codelet::new("k")
+                .with_impl(Arch::Cpu, |_| {})
+                .with_impl(Arch::Gpu, |_| {})
+                .with_prediction(|class, _| match class {
+                    ArchClass::Cpu => Some(VTime::from_millis(100)),
+                    _ => None,
+                }),
+        );
+        let s = DmdaScheduler::new(f.machine.total_workers());
+        s.push(task_of(&c, 0), &f.ctx());
+        assert_eq!(s.queues[1].lock().len(), 1, "wrong prediction steers to GPU");
+    }
+
+    #[test]
+    fn static_model_used_when_history_disabled() {
+        let config = RuntimeConfig {
+            use_history: false,
+            ..RuntimeConfig::default()
+        };
+        let f = Fixture::new(MachineConfig::c2050_platform(1), config);
+        let s = DmdaScheduler::new(f.machine.total_workers());
+        let c = dual_codelet();
+        // Large, regular, parallel work: static model must prefer the GPU.
+        let t = Arc::new(
+            TaskBuilder::new(&c)
+                .cost(KernelCost::new(5e9, 1e6, 1e6))
+                .into_task(0),
+        );
+        s.push(t, &f.ctx());
+        assert_eq!(s.queues[1].lock().len(), 1);
+    }
+
+    #[test]
+    fn queued_prediction_released_when_timed() {
+        let f = Fixture::new(MachineConfig::cpu_only(1), RuntimeConfig::default());
+        let c = Arc::new(Codelet::new("k").with_impl(Arch::Cpu, |_| {}));
+        let probe = Arc::new(TaskBuilder::new(&c).into_task(9));
+        for _ in 0..3 {
+            f.perf.record(
+                PerfKey::new("k", ArchClass::Cpu, probe.footprint()),
+                VTime::from_micros(50),
+            );
+        }
+        let s = DmdaScheduler::new(1);
+        s.push(task_of_no_cost(&c, 0), &f.ctx());
+        assert!(s.queued_pred.lock()[0] > VTime::ZERO);
+        let t = s.pop(0, &f.ctx()).unwrap();
+        assert!(s.queued_pred.lock()[0] > VTime::ZERO, "still charged until timed");
+        s.task_timed(0, &t);
+        assert_eq!(s.queued_pred.lock()[0], VTime::ZERO);
+    }
+}

@@ -1,0 +1,124 @@
+//! Central-queue greedy scheduler.
+
+use super::{SchedCtx, Scheduler};
+use crate::task::Task;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One global FIFO; an idle worker takes the highest-priority task it is
+/// able to execute (StarPU's `eager` policy).
+pub struct EagerScheduler {
+    queue: Mutex<VecDeque<Arc<Task>>>,
+}
+
+impl EagerScheduler {
+    /// Creates an empty scheduler.
+    pub fn new() -> Self {
+        EagerScheduler {
+            queue: Mutex::new(VecDeque::new()),
+        }
+    }
+}
+
+impl Default for EagerScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Scheduler for EagerScheduler {
+    fn push(&self, task: Arc<Task>, _ctx: &SchedCtx<'_>) {
+        self.queue.lock().push_back(task);
+    }
+
+    fn pop(&self, worker: usize, ctx: &SchedCtx<'_>) -> Option<Arc<Task>> {
+        let is_gpu = ctx.machine.worker_is_gpu(worker);
+        let mut q = self.queue.lock();
+        // Highest priority first; FIFO among equals.
+        let mut best: Option<(usize, i32)> = None;
+        for (i, t) in q.iter().enumerate() {
+            if t.runnable_on(worker, is_gpu) {
+                match best {
+                    Some((_, p)) if p >= t.priority => {}
+                    _ => best = Some((i, t.priority)),
+                }
+            }
+        }
+        best.and_then(|(i, _)| q.remove(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codelet::{Arch, Codelet};
+    use crate::coherence::Topology;
+    use crate::perfmodel::PerfRegistry;
+    use crate::runtime::RuntimeConfig;
+    use crate::task::TaskBuilder;
+    use peppher_sim::MachineConfig;
+
+    fn ctx_fixture(
+        machine: &MachineConfig,
+    ) -> (PerfRegistry, parking_lot::Mutex<Vec<peppher_sim::VTime>>, Topology, RuntimeConfig) {
+        (
+            PerfRegistry::default(),
+            parking_lot::Mutex::new(vec![peppher_sim::VTime::ZERO; machine.total_workers()]),
+            Topology::new(machine),
+            RuntimeConfig::default(),
+        )
+    }
+
+    fn task(archs: &[Arch], priority: i32) -> Arc<Task> {
+        let mut c = Codelet::new("t");
+        for &a in archs {
+            c = c.with_impl(a, |_| {});
+        }
+        Arc::new(TaskBuilder::new(&Arc::new(c)).priority(priority).into_task(0))
+    }
+
+    #[test]
+    fn pop_skips_incompatible_tasks() {
+        let machine = MachineConfig::c2050_platform(1);
+        let (perf, timelines, topo, config) = ctx_fixture(&machine);
+        let ctx = SchedCtx {
+            machine: &machine,
+            perf: &perf,
+            timelines: &timelines,
+            topo: &topo,
+            config: &config,
+        };
+        let s = EagerScheduler::new();
+        s.push(task(&[Arch::Gpu], 0), &ctx);
+        s.push(task(&[Arch::Cpu], 0), &ctx);
+
+        // CPU worker 0 must skip the GPU-only task and take the CPU one.
+        let got = s.pop(0, &ctx).expect("cpu task available");
+        assert!(got.codelet.has_arch(Arch::Cpu));
+        // GPU worker 1 gets the GPU task.
+        let got = s.pop(1, &ctx).expect("gpu task available");
+        assert!(got.codelet.has_arch(Arch::Gpu));
+        assert!(s.pop(0, &ctx).is_none());
+    }
+
+    #[test]
+    fn pop_prefers_higher_priority() {
+        let machine = MachineConfig::cpu_only(1);
+        let (perf, timelines, topo, config) = ctx_fixture(&machine);
+        let ctx = SchedCtx {
+            machine: &machine,
+            perf: &perf,
+            timelines: &timelines,
+            topo: &topo,
+            config: &config,
+        };
+        let s = EagerScheduler::new();
+        let low = task(&[Arch::Cpu], 0);
+        let high = task(&[Arch::Cpu], 5);
+        s.push(Arc::clone(&low), &ctx);
+        s.push(Arc::clone(&high), &ctx);
+        assert_eq!(s.pop(0, &ctx).unwrap().priority, 5);
+        assert_eq!(s.pop(0, &ctx).unwrap().priority, 0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Pluggable task schedulers.
+//!
+//! The paper's evaluation rests on the runtime's "performance-aware dynamic
+//! scheduling" — reproduced here by [`dmda`] (deque model data aware, the
+//! StarPU policy PEPPHER used): it places each ready task where its
+//! *predicted completion time* — queue availability + data-transfer cost +
+//! expected execution time from history models — is smallest. Three greedy
+//! baselines ([`eager`], [`random`], [`ws`]) are provided for the scheduler
+//! ablation benchmarks.
+
+pub mod dmda;
+pub mod eager;
+pub mod random;
+pub mod ws;
+
+use crate::codelet::{Arch, ArchClass};
+use crate::coherence::Topology;
+use crate::perfmodel::PerfRegistry;
+use crate::runtime::RuntimeConfig;
+use crate::task::Task;
+use parking_lot::Mutex;
+use peppher_sim::{MachineConfig, VTime};
+use std::sync::Arc;
+
+/// Which scheduling policy a runtime uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SchedulerKind {
+    /// Central queue; workers grab the first task they can run.
+    Eager,
+    /// Uniformly random placement among eligible workers.
+    Random,
+    /// Per-worker deques with work stealing.
+    Ws,
+    /// Performance-model-aware earliest-finish-time placement (the paper's
+    /// default dynamic-composition mechanism).
+    Dmda,
+}
+
+impl std::str::FromStr for SchedulerKind {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "eager" => Ok(SchedulerKind::Eager),
+            "random" => Ok(SchedulerKind::Random),
+            "ws" => Ok(SchedulerKind::Ws),
+            "dmda" => Ok(SchedulerKind::Dmda),
+            other => Err(format!("unknown scheduler `{other}` (try eager|random|ws|dmda)")),
+        }
+    }
+}
+
+/// Read-only runtime context the scheduler consults.
+pub struct SchedCtx<'a> {
+    /// Platform description.
+    pub machine: &'a MachineConfig,
+    /// Execution-history models.
+    pub perf: &'a PerfRegistry,
+    /// Actual per-worker virtual clocks.
+    pub timelines: &'a Mutex<Vec<VTime>>,
+    /// Transfer fabric (for cost estimates).
+    pub topo: &'a Topology,
+    /// Runtime configuration (history-model toggle etc.).
+    pub config: &'a RuntimeConfig,
+}
+
+/// A scheduling policy. `push` is called when a task's dependencies are all
+/// satisfied; `pop` is polled by idle workers.
+pub trait Scheduler: Send + Sync {
+    /// Accepts a ready task.
+    fn push(&self, task: Arc<Task>, ctx: &SchedCtx<'_>);
+    /// Hands worker `worker` its next task, if any.
+    fn pop(&self, worker: usize, ctx: &SchedCtx<'_>) -> Option<Arc<Task>>;
+    /// Notifies the policy that `task`'s contribution is now reflected in
+    /// worker `worker`'s virtual timeline (so load predictions charged at
+    /// push time can be released without double counting).
+    fn task_timed(&self, _worker: usize, _task: &Task) {}
+}
+
+/// Instantiates the policy for a machine.
+pub fn make_scheduler(kind: SchedulerKind, machine: &MachineConfig) -> Box<dyn Scheduler> {
+    let workers = machine.total_workers();
+    match kind {
+        SchedulerKind::Eager => Box::new(eager::EagerScheduler::new()),
+        SchedulerKind::Random => Box::new(random::RandomScheduler::new(workers, 0x5EED)),
+        SchedulerKind::Ws => Box::new(ws::WsScheduler::new(workers)),
+        SchedulerKind::Dmda => Box::new(dmda::DmdaScheduler::new(workers)),
+    }
+}
+
+/// The (worker, architecture) pairs that could execute `task` on `machine`.
+/// A `CpuTeam` implementation is represented by its leader, CPU worker 0.
+pub fn options_for(task: &Task, machine: &MachineConfig) -> Vec<(usize, Arch)> {
+    let mut opts = Vec::new();
+    let ncpu = machine.cpu_workers;
+    if task.codelet.has_arch(Arch::Cpu) {
+        for w in 0..ncpu {
+            opts.push((w, Arch::Cpu));
+        }
+    }
+    if task.codelet.has_arch(Arch::CpuTeam) {
+        opts.push((0, Arch::CpuTeam));
+    }
+    if task.codelet.has_arch(Arch::Gpu) {
+        for w in ncpu..machine.total_workers() {
+            opts.push((w, Arch::Gpu));
+        }
+    }
+    if let Some(fw) = task.force_worker {
+        opts.retain(|&(w, _)| w == fw);
+    }
+    opts
+}
+
+/// The performance-model architecture class of an option.
+pub fn arch_class(arch: Arch, machine: &MachineConfig, worker: usize) -> ArchClass {
+    match arch {
+        Arch::Cpu => ArchClass::Cpu,
+        Arch::CpuTeam => ArchClass::CpuTeam(machine.cpu_workers),
+        Arch::Gpu => ArchClass::Gpu(machine.worker_profile(worker).name.clone()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codelet::Codelet;
+    use crate::task::TaskBuilder;
+
+    fn task_with(archs: &[Arch]) -> Task {
+        let mut c = Codelet::new("t");
+        for &a in archs {
+            c = c.with_impl(a, |_| {});
+        }
+        TaskBuilder::new(&Arc::new(c)).into_task(0)
+    }
+
+    #[test]
+    fn options_enumerate_workers_per_arch() {
+        let m = MachineConfig::c2050_platform(4);
+        let t = task_with(&[Arch::Cpu, Arch::Gpu]);
+        let opts = options_for(&t, &m);
+        assert_eq!(opts.len(), 5); // 4 CPU + 1 GPU
+        assert!(opts.contains(&(4, Arch::Gpu)));
+    }
+
+    #[test]
+    fn team_option_is_leader_only() {
+        let m = MachineConfig::c2050_platform(4);
+        let t = task_with(&[Arch::CpuTeam]);
+        assert_eq!(options_for(&t, &m), vec![(0, Arch::CpuTeam)]);
+    }
+
+    #[test]
+    fn forced_worker_filters_options() {
+        let m = MachineConfig::c2050_platform(4);
+        let mut c = Codelet::new("t");
+        c = c.with_impl(Arch::Cpu, |_| {});
+        c = c.with_impl(Arch::Gpu, |_| {});
+        let t = TaskBuilder::new(&Arc::new(c)).on_worker(4).into_task(0);
+        assert_eq!(options_for(&t, &m), vec![(4, Arch::Gpu)]);
+    }
+
+    #[test]
+    fn scheduler_kind_parses() {
+        assert_eq!("dmda".parse::<SchedulerKind>().unwrap(), SchedulerKind::Dmda);
+        assert!("bogus".parse::<SchedulerKind>().is_err());
+    }
+
+    #[test]
+    fn arch_class_names_gpu_model() {
+        let m = MachineConfig::c1060_platform(2);
+        assert_eq!(
+            arch_class(Arch::Gpu, &m, 2),
+            ArchClass::Gpu("Tesla C1060".into())
+        );
+        assert_eq!(arch_class(Arch::CpuTeam, &m, 0), ArchClass::CpuTeam(2));
+    }
+}

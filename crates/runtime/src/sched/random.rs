@@ -1,0 +1,132 @@
+//! Uniformly random placement (a weak baseline for ablations).
+
+use super::{options_for, SchedCtx, Scheduler};
+use crate::task::{ExecChoice, Task};
+use parking_lot::Mutex;
+use peppher_sim::VTime;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Assigns each ready task to a uniformly random eligible worker.
+pub struct RandomScheduler {
+    queues: Vec<Mutex<VecDeque<Arc<Task>>>>,
+    rng: Mutex<StdRng>,
+}
+
+impl RandomScheduler {
+    /// Creates queues for `workers` workers with a deterministic seed.
+    pub fn new(workers: usize, seed: u64) -> Self {
+        RandomScheduler {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn push(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) {
+        let opts = options_for(&task, ctx.machine);
+        assert!(
+            !opts.is_empty(),
+            "task for codelet `{}` has no eligible worker",
+            task.codelet.name
+        );
+        let pick = self.rng.lock().gen_range(0..opts.len());
+        let (worker, arch) = opts[pick];
+        *task.chosen.lock() = Some(ExecChoice {
+            worker,
+            arch,
+            pred_delta: VTime::ZERO,
+        });
+        self.queues[worker].lock().push_back(task);
+    }
+
+    fn pop(&self, worker: usize, _ctx: &SchedCtx<'_>) -> Option<Arc<Task>> {
+        self.queues[worker].lock().pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codelet::{Arch, Codelet};
+    use crate::coherence::Topology;
+    use crate::perfmodel::PerfRegistry;
+    use crate::runtime::RuntimeConfig;
+    use crate::task::TaskBuilder;
+    use peppher_sim::MachineConfig;
+
+    #[test]
+    fn spreads_across_eligible_workers() {
+        let machine = MachineConfig::c2050_platform(2);
+        let perf = PerfRegistry::default();
+        let timelines = Mutex::new(vec![VTime::ZERO; machine.total_workers()]);
+        let topo = Topology::new(&machine);
+        let config = RuntimeConfig::default();
+        let ctx = SchedCtx {
+            machine: &machine,
+            perf: &perf,
+            timelines: &timelines,
+            topo: &topo,
+            config: &config,
+        };
+
+        let codelet = Arc::new(
+            Codelet::new("t")
+                .with_impl(Arch::Cpu, |_| {})
+                .with_impl(Arch::Gpu, |_| {}),
+        );
+        let s = RandomScheduler::new(machine.total_workers(), 1);
+        for i in 0..300 {
+            s.push(Arc::new(TaskBuilder::new(&codelet).into_task(i)), &ctx);
+        }
+        let mut counts = vec![0usize; machine.total_workers()];
+        for (w, count) in counts.iter_mut().enumerate() {
+            while s.pop(w, &ctx).is_some() {
+                *count += 1;
+            }
+        }
+        assert_eq!(counts.iter().sum::<usize>(), 300);
+        // All three workers (2 CPU + 1 GPU) should receive a decent share.
+        for (w, &c) in counts.iter().enumerate() {
+            assert!(c > 50, "worker {w} got only {c} of 300 tasks");
+        }
+    }
+
+    #[test]
+    fn chosen_arch_matches_worker_kind() {
+        let machine = MachineConfig::c2050_platform(1);
+        let perf = PerfRegistry::default();
+        let timelines = Mutex::new(vec![VTime::ZERO; machine.total_workers()]);
+        let topo = Topology::new(&machine);
+        let config = RuntimeConfig::default();
+        let ctx = SchedCtx {
+            machine: &machine,
+            perf: &perf,
+            timelines: &timelines,
+            topo: &topo,
+            config: &config,
+        };
+        let codelet = Arc::new(
+            Codelet::new("t")
+                .with_impl(Arch::Cpu, |_| {})
+                .with_impl(Arch::Gpu, |_| {}),
+        );
+        let s = RandomScheduler::new(machine.total_workers(), 7);
+        for i in 0..50 {
+            s.push(Arc::new(TaskBuilder::new(&codelet).into_task(i)), &ctx);
+        }
+        for w in 0..machine.total_workers() {
+            while let Some(t) = s.pop(w, &ctx) {
+                let arch = t.chosen.lock().unwrap().arch;
+                if machine.worker_is_gpu(w) {
+                    assert_eq!(arch, Arch::Gpu);
+                } else {
+                    assert_eq!(arch, Arch::Cpu);
+                }
+            }
+        }
+    }
+}

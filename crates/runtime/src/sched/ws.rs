@@ -1,0 +1,139 @@
+//! Work-stealing scheduler.
+
+use super::{options_for, SchedCtx, Scheduler};
+use crate::task::Task;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Per-worker deques: pushes go to the shortest eligible queue, pops come
+/// from the front of the worker's own queue, and idle workers steal from
+/// the back of victims' queues (classic Cilk/StarPU `ws` shape).
+pub struct WsScheduler {
+    queues: Vec<Mutex<VecDeque<Arc<Task>>>>,
+}
+
+impl WsScheduler {
+    /// Creates deques for `workers` workers.
+    pub fn new(workers: usize) -> Self {
+        WsScheduler {
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        }
+    }
+}
+
+impl Scheduler for WsScheduler {
+    fn push(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) {
+        let opts = options_for(&task, ctx.machine);
+        assert!(
+            !opts.is_empty(),
+            "task for codelet `{}` has no eligible worker",
+            task.codelet.name
+        );
+        // Shortest queue among eligible workers; ties favour earlier workers.
+        let (worker, _) = opts
+            .iter()
+            .copied()
+            .min_by_key(|&(w, _)| self.queues[w].lock().len())
+            .expect("non-empty options");
+        self.queues[worker].lock().push_back(task);
+    }
+
+    fn pop(&self, worker: usize, ctx: &SchedCtx<'_>) -> Option<Arc<Task>> {
+        if let Some(t) = self.queues[worker].lock().pop_front() {
+            return Some(t);
+        }
+        // Steal: scan victims, take the most recently pushed runnable task.
+        let is_gpu = ctx.machine.worker_is_gpu(worker);
+        for v in 0..self.queues.len() {
+            if v == worker {
+                continue;
+            }
+            let mut q = self.queues[v].lock();
+            if let Some(pos) = q.iter().rposition(|t| t.runnable_on(worker, is_gpu)) {
+                return q.remove(pos);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codelet::{Arch, Codelet};
+    use crate::coherence::Topology;
+    use crate::perfmodel::PerfRegistry;
+    use crate::runtime::RuntimeConfig;
+    use crate::task::TaskBuilder;
+    use peppher_sim::MachineConfig;
+
+    struct Fixture {
+        machine: MachineConfig,
+        perf: PerfRegistry,
+        timelines: Mutex<Vec<peppher_sim::VTime>>,
+        topo: Topology,
+        config: RuntimeConfig,
+    }
+
+    impl Fixture {
+        fn new(machine: MachineConfig) -> Self {
+            let timelines = Mutex::new(vec![peppher_sim::VTime::ZERO; machine.total_workers()]);
+            let topo = Topology::new(&machine);
+            Fixture {
+                perf: PerfRegistry::default(),
+                timelines,
+                topo,
+                config: RuntimeConfig::default(),
+                machine,
+            }
+        }
+        fn ctx(&self) -> SchedCtx<'_> {
+            SchedCtx {
+                machine: &self.machine,
+                perf: &self.perf,
+                timelines: &self.timelines,
+                topo: &self.topo,
+                config: &self.config,
+            }
+        }
+    }
+
+    fn cpu_task(i: u64) -> Arc<Task> {
+        let c = Arc::new(Codelet::new("t").with_impl(Arch::Cpu, |_| {}));
+        Arc::new(TaskBuilder::new(&c).into_task(i))
+    }
+
+    #[test]
+    fn push_balances_queues() {
+        let f = Fixture::new(MachineConfig::cpu_only(4));
+        let s = WsScheduler::new(4);
+        for i in 0..8 {
+            s.push(cpu_task(i), &f.ctx());
+        }
+        for w in 0..4 {
+            assert_eq!(s.queues[w].lock().len(), 2, "queue {w} unbalanced");
+        }
+    }
+
+    #[test]
+    fn idle_worker_steals() {
+        let f = Fixture::new(MachineConfig::cpu_only(2));
+        let s = WsScheduler::new(2);
+        // Load everything onto worker 0 artificially.
+        for i in 0..4 {
+            s.queues[0].lock().push_back(cpu_task(i));
+        }
+        let stolen = s.pop(1, &f.ctx()).expect("steal succeeds");
+        assert_eq!(stolen.id, 3, "steals from the back");
+        assert_eq!(s.pop(0, &f.ctx()).unwrap().id, 0, "owner pops from front");
+    }
+
+    #[test]
+    fn gpu_worker_does_not_steal_cpu_only_tasks() {
+        let f = Fixture::new(MachineConfig::c2050_platform(1));
+        let s = WsScheduler::new(2);
+        s.queues[0].lock().push_back(cpu_task(0));
+        assert!(s.pop(1, &f.ctx()).is_none());
+    }
+}

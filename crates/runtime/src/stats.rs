@@ -1,0 +1,312 @@
+//! Execution statistics and the optional event trace.
+
+use parking_lot::Mutex;
+use peppher_sim::VTime;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// One recorded event (enabled with [`crate::RuntimeConfig::enable_trace`]).
+/// The Fig. 3 harness and several tests assert on transfer events.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A task began executing.
+    TaskStart {
+        /// Task id.
+        task: u64,
+        /// Codelet name.
+        codelet: String,
+        /// Executing worker.
+        worker: usize,
+    },
+    /// A task finished.
+    TaskEnd {
+        /// Task id.
+        task: u64,
+        /// Executing worker.
+        worker: usize,
+        /// Codelet name.
+        codelet: String,
+        /// Virtual start time.
+        vstart: VTime,
+        /// Virtual completion time.
+        vfinish: VTime,
+    },
+    /// Data moved between memory nodes.
+    Transfer {
+        /// Data handle id.
+        handle: u64,
+        /// Source memory node.
+        from: usize,
+        /// Destination memory node.
+        to: usize,
+        /// Payload size.
+        bytes: usize,
+    },
+    /// A device replica was allocated without a copy (write-only access —
+    /// the paper: "just a memory allocation is made in the device memory").
+    Allocate {
+        /// Data handle id.
+        handle: u64,
+        /// Memory node.
+        node: usize,
+    },
+    /// A replica was invalidated ("master copy ... marked outdated").
+    Invalidate {
+        /// Data handle id.
+        handle: u64,
+        /// Memory node.
+        node: usize,
+    },
+}
+
+/// Internal mutable collector shared by workers.
+#[derive(Debug, Default)]
+pub(crate) struct StatsCollector {
+    pub tasks_executed: AtomicU64,
+    pub h2d_transfers: AtomicU64,
+    pub d2h_transfers: AtomicU64,
+    pub h2d_bytes: AtomicU64,
+    pub d2h_bytes: AtomicU64,
+    /// Maximum virtual finish time observed (the makespan), in ns.
+    pub makespan_ns: AtomicU64,
+    /// Busy virtual time per worker, in ns.
+    pub busy_ns: Mutex<Vec<u64>>,
+    /// Tasks executed per worker.
+    pub tasks_per_worker: Mutex<Vec<u64>>,
+    pub trace: Mutex<Vec<TraceEvent>>,
+    pub trace_enabled: bool,
+    /// Kernels that panicked (contained by the worker).
+    pub kernel_failures: AtomicU64,
+    /// Modelled energy per worker, in millijoules (integer for atomicity).
+    pub energy_mj: Mutex<Vec<f64>>,
+}
+
+impl StatsCollector {
+    pub(crate) fn new(workers: usize, trace_enabled: bool) -> Self {
+        StatsCollector {
+            busy_ns: Mutex::new(vec![0; workers]),
+            tasks_per_worker: Mutex::new(vec![0; workers]),
+            energy_mj: Mutex::new(vec![0.0; workers]),
+            trace_enabled,
+            ..Default::default()
+        }
+    }
+
+    pub(crate) fn record_event(&self, ev: TraceEvent) {
+        if self.trace_enabled {
+            self.trace.lock().push(ev);
+        }
+    }
+
+    pub(crate) fn record_transfer(&self, from: usize, _to: usize, bytes: usize) {
+        if from == 0 {
+            self.h2d_transfers.fetch_add(1, Ordering::Relaxed);
+            self.h2d_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        } else {
+            self.d2h_transfers.fetch_add(1, Ordering::Relaxed);
+            self.d2h_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        }
+    }
+
+    pub(crate) fn record_kernel_failure(&self) {
+        self.kernel_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_task(&self, worker: usize, busy: VTime, vfinish: VTime) {
+        self.tasks_executed.fetch_add(1, Ordering::Relaxed);
+        self.makespan_ns.fetch_max(vfinish.as_nanos(), Ordering::Relaxed);
+        self.busy_ns.lock()[worker] += busy.as_nanos();
+        self.tasks_per_worker.lock()[worker] += 1;
+    }
+
+    pub(crate) fn record_energy(&self, worker: usize, joules: f64) {
+        self.energy_mj.lock()[worker] += joules * 1e3;
+    }
+
+    pub(crate) fn snapshot(&self) -> RuntimeStats {
+        RuntimeStats {
+            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            h2d_transfers: self.h2d_transfers.load(Ordering::Relaxed),
+            d2h_transfers: self.d2h_transfers.load(Ordering::Relaxed),
+            h2d_bytes: self.h2d_bytes.load(Ordering::Relaxed),
+            d2h_bytes: self.d2h_bytes.load(Ordering::Relaxed),
+            makespan: VTime::from_nanos(self.makespan_ns.load(Ordering::Relaxed)),
+            busy: self
+                .busy_ns
+                .lock()
+                .iter()
+                .map(|&ns| VTime::from_nanos(ns))
+                .collect(),
+            tasks_per_worker: self.tasks_per_worker.lock().clone(),
+            kernel_failures: self.kernel_failures.load(Ordering::Relaxed),
+            energy_joules: self.energy_mj.lock().iter().map(|mj| mj / 1e3).collect(),
+        }
+    }
+}
+
+/// A point-in-time snapshot of runtime statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeStats {
+    /// Total tasks executed.
+    pub tasks_executed: u64,
+    /// Host→device transfer count.
+    pub h2d_transfers: u64,
+    /// Device→host transfer count.
+    pub d2h_transfers: u64,
+    /// Host→device bytes moved.
+    pub h2d_bytes: u64,
+    /// Device→host bytes moved.
+    pub d2h_bytes: u64,
+    /// Virtual makespan: latest task completion observed.
+    pub makespan: VTime,
+    /// Busy virtual time per worker.
+    pub busy: Vec<VTime>,
+    /// Tasks executed per worker.
+    pub tasks_per_worker: Vec<u64>,
+    /// Kernel bodies that panicked (contained; their tasks still
+    /// completed, possibly with garbage outputs).
+    pub kernel_failures: u64,
+    /// Modelled energy drawn per worker, in joules.
+    pub energy_joules: Vec<f64>,
+}
+
+impl RuntimeStats {
+    /// Total transfers in both directions.
+    pub fn total_transfers(&self) -> u64 {
+        self.h2d_transfers + self.d2h_transfers
+    }
+
+    /// Total bytes moved in both directions.
+    pub fn total_transfer_bytes(&self) -> u64 {
+        self.h2d_bytes + self.d2h_bytes
+    }
+
+    /// Total modelled energy across all workers, in joules.
+    pub fn total_energy_joules(&self) -> f64 {
+        self.energy_joules.iter().sum()
+    }
+}
+
+/// Renders an ASCII Gantt chart of the virtual schedule from a trace
+/// (requires [`crate::RuntimeConfig::enable_trace`]): one row per worker,
+/// time flowing left to right across `width` columns, each task drawn with
+/// the first letter of its codelet name. Useful for eyeballing placement
+/// decisions and pipeline shapes in examples and debugging sessions.
+pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
+    let width = width.max(10);
+    let spans: Vec<(usize, VTime, VTime, char)> = trace
+        .iter()
+        .filter_map(|e| match e {
+            TraceEvent::TaskEnd {
+                worker,
+                codelet,
+                vstart,
+                vfinish,
+                ..
+            } => {
+                let tag = codelet.chars().next().unwrap_or('#');
+                Some((*worker, *vstart, *vfinish, tag))
+            }
+            _ => None,
+        })
+        .collect();
+    let horizon = spans
+        .iter()
+        .map(|(_, _, f, _)| *f)
+        .fold(VTime::ZERO, VTime::max);
+    if horizon == VTime::ZERO {
+        return String::from("(no timed tasks in trace)\n");
+    }
+    let scale = horizon.as_nanos() as f64 / width as f64;
+    let mut rows = vec![vec!['.'; width]; workers];
+    for (w, s, f, tag) in spans {
+        if w >= workers {
+            continue;
+        }
+        let c0 = (s.as_nanos() as f64 / scale) as usize;
+        let c1 = ((f.as_nanos() as f64 / scale) as usize).max(c0 + 1).min(width);
+        for cell in &mut rows[w][c0.min(width - 1)..c1] {
+            // Overlapping marks (from rounding) keep the first writer.
+            if *cell == '.' {
+                *cell = tag;
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("virtual schedule (horizon {horizon}):\n"));
+    for (w, row) in rows.iter().enumerate() {
+        out.push_str(&format!("  w{w:<2} |{}|\n", row.iter().collect::<String>()));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_direction_counting() {
+        let s = StatsCollector::new(2, false);
+        s.record_transfer(0, 1, 100);
+        s.record_transfer(1, 0, 40);
+        s.record_transfer(0, 1, 60);
+        let snap = s.snapshot();
+        assert_eq!(snap.h2d_transfers, 2);
+        assert_eq!(snap.d2h_transfers, 1);
+        assert_eq!(snap.h2d_bytes, 160);
+        assert_eq!(snap.d2h_bytes, 40);
+        assert_eq!(snap.total_transfers(), 3);
+        assert_eq!(snap.total_transfer_bytes(), 200);
+    }
+
+    #[test]
+    fn makespan_is_max_of_finishes() {
+        let s = StatsCollector::new(2, false);
+        s.record_task(0, VTime::from_micros(5), VTime::from_micros(10));
+        s.record_task(1, VTime::from_micros(2), VTime::from_micros(7));
+        let snap = s.snapshot();
+        assert_eq!(snap.makespan, VTime::from_micros(10));
+        assert_eq!(snap.busy[0], VTime::from_micros(5));
+        assert_eq!(snap.tasks_per_worker, vec![1, 1]);
+    }
+
+    #[test]
+    fn gantt_renders_worker_rows() {
+        let trace = vec![
+            TraceEvent::TaskEnd {
+                task: 1,
+                worker: 0,
+                codelet: "alpha".into(),
+                vstart: VTime::ZERO,
+                vfinish: VTime::from_micros(50),
+            },
+            TraceEvent::TaskEnd {
+                task: 2,
+                worker: 1,
+                codelet: "beta".into(),
+                vstart: VTime::from_micros(50),
+                vfinish: VTime::from_micros(100),
+            },
+        ];
+        let chart = gantt(&trace, 2, 20);
+        assert!(chart.contains("w0"));
+        assert!(chart.contains("w1"));
+        // First half of row 0 is 'a', second half of row 1 is 'b'.
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[1].contains("aaaa"));
+        assert!(lines[2].contains("bbbb"));
+        assert!(!lines[1].contains('b'));
+        // Empty trace handled gracefully.
+        assert!(gantt(&[], 2, 20).contains("no timed tasks"));
+    }
+
+    #[test]
+    fn trace_respects_enable_flag() {
+        let off = StatsCollector::new(1, false);
+        off.record_event(TraceEvent::Allocate { handle: 1, node: 1 });
+        assert!(off.trace.lock().is_empty());
+
+        let on = StatsCollector::new(1, true);
+        on.record_event(TraceEvent::Allocate { handle: 1, node: 1 });
+        assert_eq!(on.trace.lock().len(), 1);
+    }
+}

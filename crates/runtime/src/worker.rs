@@ -1,0 +1,206 @@
+//! Worker threads: task execution with virtual-time accounting.
+
+use crate::codelet::{Arch, BufferGuard, KernelCtx};
+use crate::coherence;
+use crate::perfmodel::PerfKey;
+use crate::runtime::{RuntimeInner, TimingMode};
+use crate::sched::arch_class;
+use crate::stats::TraceEvent;
+use crate::task::Task;
+use peppher_sim::VTime;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Main loop of worker `worker`: pop tasks until shutdown.
+pub(crate) fn worker_loop(inner: Arc<RuntimeInner>, worker: usize) {
+    loop {
+        let task = inner.sched.pop(worker, &inner.sched_ctx());
+        match task {
+            Some(t) => execute_task(&inner, worker, t),
+            None => {
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                let mut guard = inner.work_mx.lock();
+                // Bounded wait: a push may have raced with our empty pop.
+                inner
+                    .work_cv
+                    .wait_for(&mut guard, Duration::from_millis(1));
+            }
+        }
+    }
+}
+
+/// The implementation architecture worker `worker` runs `task` with.
+fn pick_arch(inner: &RuntimeInner, worker: usize, task: &Task) -> Arch {
+    if let Some(choice) = *task.chosen.lock() {
+        return choice.arch;
+    }
+    if inner.machine.worker_is_gpu(worker) {
+        Arch::Gpu
+    } else if task.codelet.has_arch(Arch::Cpu) {
+        Arch::Cpu
+    } else {
+        Arch::CpuTeam
+    }
+}
+
+fn execute_task(inner: &RuntimeInner, worker: usize, task: Arc<Task>) {
+    let arch = pick_arch(inner, worker, &task);
+    let implementation = task
+        .codelet
+        .impl_for(arch)
+        .unwrap_or_else(|| {
+            panic!(
+                "codelet `{}` scheduled on {arch:?} without an implementation",
+                task.codelet.name
+            )
+        })
+        .clone();
+    let team = if arch == Arch::CpuTeam {
+        inner.machine.cpu_workers
+    } else {
+        1
+    };
+    let node = inner.machine.worker_memory_node(worker);
+    let vdeps = task.state.lock().vdeps;
+
+    inner.stats.record_event(TraceEvent::TaskStart {
+        task: task.id,
+        codelet: task.codelet.name.clone(),
+        worker,
+    });
+
+    // Bring operands to this worker's memory node (lazy coherence),
+    // collecting the virtual time at which the data is available.
+    let mut data_ready = VTime::ZERO;
+    for (h, mode) in &task.accesses {
+        let r = coherence::make_valid(h, node, *mode, &inner.topo, &inner.stats);
+        data_ready = data_ready.max(r);
+    }
+
+    // Acquire buffer guards (shared for reads, exclusive for writes).
+    let mut guards: Vec<BufferGuard> = task
+        .accesses
+        .iter()
+        .map(|(h, mode)| {
+            let cell = coherence::cell_for(h, node);
+            if mode.writes() {
+                BufferGuard::Write(cell.write_arc())
+            } else {
+                BufferGuard::Read(cell.read_arc())
+            }
+        })
+        .collect();
+
+    let run_kernel = |guards: &mut Vec<BufferGuard>| {
+        let mut ctx = KernelCtx {
+            buffers: guards.as_mut_slice(),
+            arg: task.arg.as_deref().map(|a| a as &(dyn std::any::Any + Send)),
+            worker,
+            arch,
+            team_size: team,
+        };
+        // Contain kernel panics: a crashing component implementation must
+        // not take the worker thread (and with it the whole runtime) down.
+        // The task still completes (its outputs may be garbage — recorded
+        // in the failure counter), successors run, waiters wake.
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            (implementation.func)(&mut ctx);
+        }));
+        if let Err(payload) = result {
+            let msg = payload
+                .downcast_ref::<&str>()
+                .map(|s| s.to_string())
+                .or_else(|| payload.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "<non-string panic>".to_string());
+            eprintln!(
+                "peppher-runtime: kernel `{}` panicked on worker {worker}: {msg}",
+                task.codelet.name
+            );
+            inner.stats.record_kernel_failure();
+        }
+    };
+
+    let (vexec, vfinish) = match inner.config.timing {
+        TimingMode::Virtual => {
+            // Timing is decided by the model before the real execution.
+            let profile = inner.machine.worker_profile(worker);
+            let factor = inner.noise.lock().next_factor();
+            let vexec = profile.exec_time_team(&task.cost, team).scale(factor);
+            let vfinish = {
+                let mut tl = inner.timelines.lock();
+                let avail = if team > 1 {
+                    (0..inner.machine.cpu_workers)
+                        .map(|w| tl[w])
+                        .fold(VTime::ZERO, VTime::max)
+                } else {
+                    tl[worker]
+                };
+                let vstart = avail.max(vdeps).max(data_ready);
+                let vfinish = vstart + vexec;
+                if team > 1 {
+                    for w in 0..inner.machine.cpu_workers {
+                        tl[w] = vfinish;
+                    }
+                } else {
+                    tl[worker] = vfinish;
+                }
+                vfinish
+            };
+            run_kernel(&mut guards);
+            (vexec, vfinish)
+        }
+        TimingMode::Measured => {
+            let t0 = Instant::now();
+            run_kernel(&mut guards);
+            let wall = t0.elapsed();
+            let vexec = VTime::from_nanos(wall.as_nanos() as u64);
+            let mut tl = inner.timelines.lock();
+            let vstart = tl[worker].max(vdeps).max(data_ready);
+            let vfinish = vstart + vexec;
+            tl[worker] = vfinish;
+            (vexec, vfinish)
+        }
+    };
+    drop(guards);
+
+    // The worker's virtual timeline now includes this task.
+    inner.sched.task_timed(worker, &task);
+
+    // Coherence effects of writes become visible before successors run.
+    for (h, mode) in &task.accesses {
+        if mode.writes() {
+            coherence::mark_written(h, node, vfinish, &inner.stats);
+        }
+    }
+
+    // Feed the execution-history models.
+    let class = arch_class(arch, &inner.machine, worker);
+    inner.perf.record(
+        PerfKey::new(&task.codelet.name, class, task.footprint()),
+        vexec,
+    );
+
+    inner.stats.record_task(worker, vexec, vfinish);
+    inner.stats.record_energy(
+        worker,
+        inner
+            .machine
+            .worker_profile(worker)
+            .energy_joules(vexec, team),
+    );
+    inner.stats.record_event(TraceEvent::TaskEnd {
+        task: task.id,
+        worker,
+        codelet: task.codelet.name.clone(),
+        vstart: vfinish.saturating_sub(vexec),
+        vfinish,
+    });
+
+    for succ in task.complete(vfinish) {
+        inner.push_ready(succ);
+    }
+    inner.task_finished();
+}

@@ -1,0 +1,109 @@
+//! Architecture-neutral kernel work descriptors.
+
+/// Describes the work one kernel invocation performs, independent of the
+/// device it runs on. Device profiles turn a `KernelCost` into an execution
+/// time (see [`crate::DeviceProfile::exec_time`]).
+///
+/// This plays the role of the paper's *performance prediction function*
+/// parameterized by the call context: component metadata supplies a
+/// `KernelCost` builder evaluated on the actual operand sizes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KernelCost {
+    /// Floating-point (or equivalent) operations performed.
+    pub flops: f64,
+    /// Bytes read from device memory.
+    pub bytes_read: f64,
+    /// Bytes written to device memory.
+    pub bytes_written: f64,
+    /// Memory-access regularity in `[0, 1]`: `1.0` = perfectly coalesced /
+    /// streaming, `0.0` = fully irregular (pointer chasing, indexed gather).
+    /// Cacheless devices (C1060) are hurt badly by low regularity; cached
+    /// devices (C2050) much less — this is what makes the paper's two
+    /// platforms rank variants differently (Fig. 6a vs 6b).
+    pub regularity: f64,
+    /// Fraction of the work that is parallelizable (Amdahl). Affects
+    /// multi-core CPU teams and GPU utilization for small problem sizes.
+    pub parallel_fraction: f64,
+    /// Fraction of the device's peak arithmetic throughput this kernel
+    /// reaches when compute-bound (real kernels rarely exceed 10–40%).
+    pub arithmetic_efficiency: f64,
+}
+
+impl KernelCost {
+    /// A balanced default: regular access, fully parallel, 25% of peak.
+    pub fn new(flops: f64, bytes_read: f64, bytes_written: f64) -> Self {
+        KernelCost {
+            flops,
+            bytes_read,
+            bytes_written,
+            regularity: 1.0,
+            parallel_fraction: 1.0,
+            arithmetic_efficiency: 0.25,
+        }
+    }
+
+    /// Sets the access-regularity factor.
+    pub fn with_regularity(mut self, r: f64) -> Self {
+        self.regularity = r.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the parallelizable fraction.
+    pub fn with_parallel_fraction(mut self, f: f64) -> Self {
+        self.parallel_fraction = f.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets the arithmetic efficiency (fraction of device peak reached).
+    pub fn with_arithmetic_efficiency(mut self, e: f64) -> Self {
+        self.arithmetic_efficiency = e.clamp(0.01, 1.0);
+        self
+    }
+
+    /// Total bytes moved through device memory.
+    pub fn total_bytes(&self) -> f64 {
+        self.bytes_read + self.bytes_written
+    }
+
+    /// Scales every extensive quantity (flops, bytes) by `factor` — used by
+    /// the partitioner when splitting one component call into sub-tasks.
+    pub fn scaled(&self, factor: f64) -> Self {
+        KernelCost {
+            flops: self.flops * factor,
+            bytes_read: self.bytes_read * factor,
+            bytes_written: self.bytes_written * factor,
+            ..*self
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_clamps() {
+        let c = KernelCost::new(1e9, 1e6, 1e6)
+            .with_regularity(2.0)
+            .with_parallel_fraction(-0.5)
+            .with_arithmetic_efficiency(0.0);
+        assert_eq!(c.regularity, 1.0);
+        assert_eq!(c.parallel_fraction, 0.0);
+        assert_eq!(c.arithmetic_efficiency, 0.01);
+    }
+
+    #[test]
+    fn scaled_scales_extensive_only() {
+        let c = KernelCost::new(100.0, 10.0, 20.0).with_regularity(0.5);
+        let half = c.scaled(0.5);
+        assert_eq!(half.flops, 50.0);
+        assert_eq!(half.bytes_read, 5.0);
+        assert_eq!(half.bytes_written, 10.0);
+        assert_eq!(half.regularity, 0.5);
+    }
+
+    #[test]
+    fn total_bytes() {
+        assert_eq!(KernelCost::new(0.0, 3.0, 4.0).total_bytes(), 7.0);
+    }
+}

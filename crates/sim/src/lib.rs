@@ -1,0 +1,41 @@
+//! Virtual-time heterogeneous machine model.
+//!
+//! The paper evaluates PEPPHER on real Xeon E5520 + NVIDIA C2050/C1060
+//! machines. This environment has no GPU, so the runtime executes kernels
+//! *really* (for correctness) while charging *virtual time* from calibrated
+//! analytic device models (for performance shape). This crate supplies those
+//! models:
+//!
+//! - [`DeviceProfile`] — compute throughput, memory bandwidth, kernel-launch
+//!   overhead and cache behaviour of a device. Presets mirror the paper's
+//!   hardware: [`DeviceProfile::xeon_e5520_core`], [`DeviceProfile::tesla_c2050`],
+//!   [`DeviceProfile::tesla_c1060`].
+//! - [`LinkProfile`] — a PCIe-like transfer link (latency + bandwidth).
+//! - [`KernelCost`] — an architecture-neutral work descriptor (flops, bytes
+//!   moved, access regularity, parallel fraction) from which each device
+//!   derives an execution time.
+//! - [`MachineConfig`] — a whole platform: N CPU workers + M accelerator
+//!   devices, each with its own memory node, connected by a link.
+//! - [`VTime`] — nanosecond-precision virtual time.
+//! - [`NoiseModel`] — deterministic, seedable multiplicative noise so that
+//!   simulated timings have realistic run-to-run variance.
+//!
+//! The substitution argument (see DESIGN.md): scheduling decisions, hybrid
+//! CPU+GPU splits and history-model learning depend only on the *cost
+//! structure* of the platform — GPU = high throughput + launch latency +
+//! transfer cost; CPU = lower throughput, zero transfer — which these models
+//! reproduce.
+
+pub mod cost;
+pub mod link;
+pub mod machine;
+pub mod noise;
+pub mod profile;
+pub mod vclock;
+
+pub use cost::KernelCost;
+pub use link::LinkProfile;
+pub use machine::{DeviceSlot, MachineConfig};
+pub use noise::NoiseModel;
+pub use profile::{DeviceKind, DeviceProfile};
+pub use vclock::VTime;

@@ -1,0 +1,68 @@
+//! Host ⇄ device transfer-link model (PCIe).
+
+use crate::vclock::VTime;
+
+/// A bidirectional transfer link between main memory and a device memory.
+///
+/// The paper repeatedly identifies PCIe traffic as "a major bottleneck with
+/// GPU-only execution" (Fig. 5 discussion); this model makes that cost
+/// explicit so hybrid execution's reduced transfer volume shows up in the
+/// virtual timings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkProfile {
+    /// Fixed per-transfer latency (driver + DMA setup).
+    pub latency: VTime,
+    /// Sustained bandwidth in GB/s.
+    pub bandwidth_gbs: f64,
+}
+
+impl LinkProfile {
+    /// PCIe 2.0 x16 as on the paper's evaluation machines: ~6 GB/s
+    /// sustained, ~15 µs per-transfer latency.
+    pub fn pcie2_x16() -> Self {
+        LinkProfile {
+            latency: VTime::from_micros(15),
+            bandwidth_gbs: 6.0,
+        }
+    }
+
+    /// Time to move `bytes` across the link.
+    pub fn transfer_time(&self, bytes: u64) -> VTime {
+        if bytes == 0 {
+            return VTime::ZERO;
+        }
+        self.latency + VTime::from_secs_f64(bytes as f64 / (self.bandwidth_gbs * 1e9))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_bytes_is_free() {
+        assert_eq!(LinkProfile::pcie2_x16().transfer_time(0), VTime::ZERO);
+    }
+
+    #[test]
+    fn latency_dominates_small_transfers() {
+        let link = LinkProfile::pcie2_x16();
+        let t = link.transfer_time(64);
+        let ratio = t.as_secs_f64() / link.latency.as_secs_f64();
+        assert!(ratio < 1.01, "64B transfer should be ~pure latency");
+    }
+
+    #[test]
+    fn bandwidth_dominates_large_transfers() {
+        let link = LinkProfile::pcie2_x16();
+        // 600 MB at 6 GB/s = 100 ms >> 15 us latency.
+        let t = link.transfer_time(600_000_000);
+        assert!((t.as_millis_f64() - 100.0).abs() < 1.0, "{t}");
+    }
+
+    #[test]
+    fn transfer_time_monotone() {
+        let link = LinkProfile::pcie2_x16();
+        assert!(link.transfer_time(1_000) < link.transfer_time(1_000_000));
+    }
+}

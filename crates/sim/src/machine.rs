@@ -1,0 +1,177 @@
+//! Whole-platform configuration: CPU workers + accelerator devices.
+
+use crate::link::LinkProfile;
+use crate::profile::{DeviceKind, DeviceProfile};
+
+/// One accelerator slot in a machine: its profile plus the link connecting
+/// its memory to main memory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSlot {
+    /// Performance profile of the accelerator.
+    pub profile: DeviceProfile,
+    /// Transfer link to/from main memory.
+    pub link: LinkProfile,
+}
+
+/// Describes a heterogeneous platform the runtime will instantiate:
+/// `cpu_workers` CPU worker threads (sharing main memory) and one worker per
+/// accelerator (each with its own memory node).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachineConfig {
+    /// Number of CPU worker threads.
+    pub cpu_workers: usize,
+    /// Profile of each CPU core.
+    pub cpu_profile: DeviceProfile,
+    /// Accelerators, in memory-node order (node 0 is always main memory;
+    /// accelerator `i` owns node `i + 1`).
+    pub accelerators: Vec<DeviceSlot>,
+    /// Relative timing jitter applied to modelled execution times
+    /// (`0.0` = deterministic).
+    pub noise_rel_stddev: f64,
+    /// Seed for the deterministic noise source.
+    pub noise_seed: u64,
+}
+
+impl MachineConfig {
+    /// A CPU-only machine with `n` workers (useful for measured-time
+    /// overhead benchmarks and tests).
+    pub fn cpu_only(n: usize) -> Self {
+        MachineConfig {
+            cpu_workers: n.max(1),
+            cpu_profile: DeviceProfile::xeon_e5520_core(),
+            accelerators: Vec::new(),
+            noise_rel_stddev: 0.0,
+            noise_seed: 0,
+        }
+    }
+
+    /// The paper's main platform: Xeon E5520 (`n` CPU workers) + one
+    /// Tesla C2050 behind PCIe 2.0 x16.
+    pub fn c2050_platform(n: usize) -> Self {
+        MachineConfig {
+            cpu_workers: n.max(1),
+            cpu_profile: DeviceProfile::xeon_e5520_core(),
+            accelerators: vec![DeviceSlot {
+                profile: DeviceProfile::tesla_c2050(),
+                link: LinkProfile::pcie2_x16(),
+            }],
+            noise_rel_stddev: 0.03,
+            noise_seed: 0xC2050,
+        }
+    }
+
+    /// The paper's second platform: same CPUs, lower-end Tesla C1060.
+    pub fn c1060_platform(n: usize) -> Self {
+        MachineConfig {
+            cpu_workers: n.max(1),
+            cpu_profile: DeviceProfile::xeon_e5520_core(),
+            accelerators: vec![DeviceSlot {
+                profile: DeviceProfile::tesla_c1060(),
+                link: LinkProfile::pcie2_x16(),
+            }],
+            noise_rel_stddev: 0.03,
+            noise_seed: 0xC1060,
+        }
+    }
+
+    /// A multi-GPU platform: `cpus` CPU workers plus `gpus` Tesla C2050s,
+    /// each behind its own PCIe link (the component model explicitly
+    /// targets "GPU and multi-GPU based systems").
+    pub fn multi_gpu(cpus: usize, gpus: usize) -> Self {
+        MachineConfig {
+            cpu_workers: cpus.max(1),
+            cpu_profile: DeviceProfile::xeon_e5520_core(),
+            accelerators: (0..gpus.max(1))
+                .map(|_| DeviceSlot {
+                    profile: DeviceProfile::tesla_c2050(),
+                    link: LinkProfile::pcie2_x16(),
+                })
+                .collect(),
+            noise_rel_stddev: 0.0,
+            noise_seed: 0x6E0,
+        }
+    }
+
+    /// Disables timing noise (builder style) for deterministic tests.
+    pub fn without_noise(mut self) -> Self {
+        self.noise_rel_stddev = 0.0;
+        self
+    }
+
+    /// Total number of memory nodes: main memory + one per accelerator.
+    pub fn memory_nodes(&self) -> usize {
+        1 + self.accelerators.len()
+    }
+
+    /// Total number of workers the runtime will spawn.
+    pub fn total_workers(&self) -> usize {
+        self.cpu_workers + self.accelerators.len()
+    }
+
+    /// The profile of the worker with the given index (CPU workers first,
+    /// then one worker per accelerator).
+    pub fn worker_profile(&self, worker: usize) -> &DeviceProfile {
+        if worker < self.cpu_workers {
+            &self.cpu_profile
+        } else {
+            &self.accelerators[worker - self.cpu_workers].profile
+        }
+    }
+
+    /// The memory node a worker executes out of.
+    pub fn worker_memory_node(&self, worker: usize) -> usize {
+        if worker < self.cpu_workers {
+            0
+        } else {
+            worker - self.cpu_workers + 1
+        }
+    }
+
+    /// Whether the given worker drives an accelerator.
+    pub fn worker_is_gpu(&self, worker: usize) -> bool {
+        self.worker_profile(worker).kind == DeviceKind::Gpu
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c2050_platform_layout() {
+        let m = MachineConfig::c2050_platform(4);
+        assert_eq!(m.total_workers(), 5);
+        assert_eq!(m.memory_nodes(), 2);
+        assert_eq!(m.worker_memory_node(0), 0);
+        assert_eq!(m.worker_memory_node(3), 0);
+        assert_eq!(m.worker_memory_node(4), 1);
+        assert!(!m.worker_is_gpu(0));
+        assert!(m.worker_is_gpu(4));
+        assert_eq!(m.worker_profile(4).name, "Tesla C2050");
+    }
+
+    #[test]
+    fn cpu_only_has_single_node() {
+        let m = MachineConfig::cpu_only(8);
+        assert_eq!(m.memory_nodes(), 1);
+        assert_eq!(m.total_workers(), 8);
+        assert!(!m.worker_is_gpu(7));
+    }
+
+    #[test]
+    fn zero_workers_clamped() {
+        assert_eq!(MachineConfig::cpu_only(0).cpu_workers, 1);
+    }
+
+    #[test]
+    fn platforms_differ_in_gpu() {
+        let a = MachineConfig::c2050_platform(4);
+        let b = MachineConfig::c1060_platform(4);
+        assert_ne!(
+            a.accelerators[0].profile.name,
+            b.accelerators[0].profile.name
+        );
+        assert!(a.accelerators[0].profile.cache_effectiveness
+            > b.accelerators[0].profile.cache_effectiveness);
+    }
+}

@@ -1,0 +1,77 @@
+//! Deterministic timing noise.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Multiplicative noise applied to modelled execution times so that the
+/// runtime's history-based performance models see realistic variance (and so
+/// the calibration logic is actually exercised). Seeded, hence reproducible.
+#[derive(Debug)]
+pub struct NoiseModel {
+    rng: StdRng,
+    /// Relative standard deviation of the multiplicative factor, e.g. `0.05`
+    /// for ±5% jitter. Zero disables noise entirely.
+    pub rel_stddev: f64,
+}
+
+impl NoiseModel {
+    /// Creates a noise source with the given seed and relative jitter.
+    pub fn new(seed: u64, rel_stddev: f64) -> Self {
+        NoiseModel {
+            rng: StdRng::seed_from_u64(seed),
+            rel_stddev: rel_stddev.max(0.0),
+        }
+    }
+
+    /// A silent noise model (factor always exactly 1.0).
+    pub fn disabled() -> Self {
+        NoiseModel::new(0, 0.0)
+    }
+
+    /// Draws the next multiplicative factor, always positive and clamped to
+    /// `[0.5, 2.0]` so a single outlier cannot wreck a history model.
+    pub fn next_factor(&mut self) -> f64 {
+        if self.rel_stddev == 0.0 {
+            return 1.0;
+        }
+        // Sum of uniforms ≈ normal (Irwin–Hall with n=4, stddev = 1/sqrt(3)).
+        let z: f64 = (0..4).map(|_| self.rng.gen::<f64>()).sum::<f64>() - 2.0;
+        let normal = z / (4.0f64 / 12.0).sqrt().recip() * 1.0; // z has stddev sqrt(4/12)
+        let factor = 1.0 + normal * self.rel_stddev / (4.0f64 / 12.0).sqrt();
+        factor.clamp(0.5, 2.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_is_exactly_one() {
+        let mut n = NoiseModel::disabled();
+        for _ in 0..10 {
+            assert_eq!(n.next_factor(), 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let mut a = NoiseModel::new(42, 0.05);
+        let mut b = NoiseModel::new(42, 0.05);
+        for _ in 0..100 {
+            assert_eq!(a.next_factor(), b.next_factor());
+        }
+    }
+
+    #[test]
+    fn mean_near_one_and_clamped() {
+        let mut n = NoiseModel::new(7, 0.05);
+        let samples: Vec<f64> = (0..10_000).map(|_| n.next_factor()).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 1.0).abs() < 0.01, "mean {mean}");
+        assert!(samples.iter().all(|&f| (0.5..=2.0).contains(&f)));
+        // With 5% jitter we expect visible variance.
+        let var = samples.iter().map(|f| (f - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!(var.sqrt() > 0.02, "stddev {}", var.sqrt());
+    }
+}

@@ -1,0 +1,214 @@
+//! Device profiles: how fast a CPU core or accelerator executes a kernel.
+
+use crate::cost::KernelCost;
+use crate::vclock::VTime;
+
+/// The class of execution unit a profile describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DeviceKind {
+    /// A general-purpose CPU core (shares main memory with the host).
+    Cpu,
+    /// An accelerator with its own device memory behind a transfer link.
+    Gpu,
+}
+
+/// Performance characteristics of one execution unit.
+///
+/// Execution-time estimation follows a roofline-style model: a kernel is
+/// either compute-bound (`flops / effective_gflops`) or memory-bound
+/// (`bytes / effective_bandwidth`), plus a fixed per-invocation overhead
+/// (kernel launch for GPUs, essentially zero for CPUs).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceProfile {
+    /// Human-readable name, e.g. `"Tesla C2050"`.
+    pub name: String,
+    /// CPU core or GPU accelerator.
+    pub kind: DeviceKind,
+    /// Peak single-precision throughput in GFLOP/s (per core for CPUs,
+    /// whole device for GPUs).
+    pub peak_gflops: f64,
+    /// Peak memory bandwidth in GB/s available to this unit.
+    pub mem_bandwidth_gbs: f64,
+    /// Fixed per-invocation overhead (kernel launch, driver call).
+    pub invoke_overhead: VTime,
+    /// How well the memory hierarchy hides irregular accesses, in `[0, 1]`:
+    /// the effective bandwidth for a kernel with regularity `r` is
+    /// `bw * (r + (1 - r) * cache_effectiveness)`. The C2050 has L1/L2
+    /// caches (high value); the C1060 has none (low value) — the paper calls
+    /// this out explicitly ("NVIDIA C2050 GPU with L1/L2 cache support").
+    pub cache_effectiveness: f64,
+    /// Number of hardware lanes that must be saturated before the device
+    /// reaches peak throughput; small problems achieve only a fraction.
+    /// (GPUs need tens of thousands of threads; a CPU core needs ~1.)
+    pub saturation_parallelism: f64,
+    /// Board/core power draw under load, in watts (per core for CPUs,
+    /// whole board for GPUs) — drives the energy optimization goal.
+    pub tdp_watts: f64,
+}
+
+impl DeviceProfile {
+    /// One core of the paper's Intel Xeon E5520 (2.27 GHz, SSE).
+    pub fn xeon_e5520_core() -> Self {
+        DeviceProfile {
+            name: "Xeon E5520 core".to_string(),
+            kind: DeviceKind::Cpu,
+            peak_gflops: 9.0,
+            mem_bandwidth_gbs: 6.4,
+            invoke_overhead: VTime::from_nanos(100),
+            cache_effectiveness: 0.85,
+            saturation_parallelism: 4.0,
+            tdp_watts: 20.0, // ~80 W socket / 4 cores
+        }
+    }
+
+    /// The paper's main accelerator: NVIDIA Tesla C2050 (Fermi, with
+    /// L1/L2 caches).
+    pub fn tesla_c2050() -> Self {
+        DeviceProfile {
+            name: "Tesla C2050".to_string(),
+            kind: DeviceKind::Gpu,
+            peak_gflops: 1030.0,
+            mem_bandwidth_gbs: 144.0,
+            invoke_overhead: VTime::from_micros(8),
+            cache_effectiveness: 0.70,
+            saturation_parallelism: 14_336.0,
+            tdp_watts: 238.0,
+        }
+    }
+
+    /// The paper's second platform accelerator: NVIDIA Tesla C1060
+    /// (GT200, no general-purpose cache).
+    pub fn tesla_c1060() -> Self {
+        DeviceProfile {
+            name: "Tesla C1060".to_string(),
+            kind: DeviceKind::Gpu,
+            peak_gflops: 622.0,
+            mem_bandwidth_gbs: 102.0,
+            invoke_overhead: VTime::from_micros(12),
+            cache_effectiveness: 0.12,
+            saturation_parallelism: 23_040.0,
+            tdp_watts: 188.0,
+        }
+    }
+
+    /// Effective memory bandwidth (GB/s) for a kernel with the given access
+    /// regularity.
+    pub fn effective_bandwidth(&self, regularity: f64) -> f64 {
+        let r = regularity.clamp(0.0, 1.0);
+        self.mem_bandwidth_gbs * (r + (1.0 - r) * self.cache_effectiveness)
+    }
+
+    /// Virtual execution time of `cost` on this unit when `team` identical
+    /// units cooperate (1 for a single CPU core or a GPU; N for an OpenMP
+    /// team). Amdahl's law applies to the parallel fraction across the team.
+    pub fn exec_time_team(&self, cost: &KernelCost, team: usize) -> VTime {
+        let team = team.max(1) as f64;
+
+        // Utilization ramp: devices with massive internal parallelism only
+        // reach peak when the problem offers enough independent work. Use
+        // flops as a proxy for available parallelism.
+        let avail = (cost.flops.max(1.0) / 64.0).max(1.0);
+        let utilization = (avail / self.saturation_parallelism).min(1.0);
+        // Blend: even tiny kernels get a floor of 2% of peak.
+        let utilization = utilization.max(0.02);
+
+        let gflops_eff = self.peak_gflops * cost.arithmetic_efficiency * utilization;
+        let bw_eff = self.effective_bandwidth(cost.regularity);
+
+        let compute_s = cost.flops / (gflops_eff * 1e9);
+        let memory_s = cost.total_bytes() / (bw_eff * 1e9);
+        let serial_s = compute_s.max(memory_s);
+
+        // Amdahl across an explicit team of units (OpenMP-style CPU teams).
+        let f = cost.parallel_fraction;
+        let team_s = serial_s * ((1.0 - f) + f / team);
+
+        self.invoke_overhead + VTime::from_secs_f64(team_s)
+    }
+
+    /// Virtual execution time on a single unit.
+    pub fn exec_time(&self, cost: &KernelCost) -> VTime {
+        self.exec_time_team(cost, 1)
+    }
+
+    /// Energy (joules) a `team`-wide execution of duration `t` draws on
+    /// this unit type.
+    pub fn energy_joules(&self, t: VTime, team: usize) -> f64 {
+        t.as_secs_f64() * self.tdp_watts * team.max(1) as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big_streaming_kernel() -> KernelCost {
+        // 2 GFLOP, 800 MB moved: typical large BLAS-1-ish workload.
+        KernelCost::new(2e9, 4e8, 4e8)
+    }
+
+    #[test]
+    fn gpu_beats_cpu_core_on_large_regular_kernels() {
+        let cpu = DeviceProfile::xeon_e5520_core();
+        let gpu = DeviceProfile::tesla_c2050();
+        let cost = big_streaming_kernel();
+        assert!(gpu.exec_time(&cost) < cpu.exec_time(&cost));
+    }
+
+    #[test]
+    fn cpu_beats_gpu_on_tiny_kernels() {
+        // 200 flops, 800 bytes: launch overhead dominates on the GPU.
+        let cpu = DeviceProfile::xeon_e5520_core();
+        let gpu = DeviceProfile::tesla_c2050();
+        let cost = KernelCost::new(200.0, 400.0, 400.0);
+        assert!(cpu.exec_time(&cost) < gpu.exec_time(&cost));
+    }
+
+    #[test]
+    fn irregular_access_hurts_cacheless_gpu_more() {
+        let c2050 = DeviceProfile::tesla_c2050();
+        let c1060 = DeviceProfile::tesla_c1060();
+        let irregular = big_streaming_kernel().with_regularity(0.1);
+        let regular = big_streaming_kernel();
+
+        let slowdown_c2050 =
+            c2050.exec_time(&irregular).as_secs_f64() / c2050.exec_time(&regular).as_secs_f64();
+        let slowdown_c1060 =
+            c1060.exec_time(&irregular).as_secs_f64() / c1060.exec_time(&regular).as_secs_f64();
+        assert!(
+            slowdown_c1060 > slowdown_c2050 * 1.5,
+            "c1060 slowdown {slowdown_c1060:.2} should far exceed c2050 {slowdown_c2050:.2}"
+        );
+    }
+
+    #[test]
+    fn team_scaling_follows_amdahl() {
+        let cpu = DeviceProfile::xeon_e5520_core();
+        let cost = big_streaming_kernel().with_parallel_fraction(1.0);
+        let t1 = cpu.exec_time_team(&cost, 1).as_secs_f64();
+        let t4 = cpu.exec_time_team(&cost, 4).as_secs_f64();
+        let speedup = t1 / t4;
+        assert!(speedup > 3.5 && speedup <= 4.05, "speedup {speedup:.2}");
+
+        let half = big_streaming_kernel().with_parallel_fraction(0.5);
+        let s_half = cpu.exec_time_team(&half, 1).as_secs_f64()
+            / cpu.exec_time_team(&half, 4).as_secs_f64();
+        assert!(s_half < 1.7, "Amdahl caps 50%-parallel speedup, got {s_half:.2}");
+    }
+
+    #[test]
+    fn exec_time_monotone_in_work() {
+        let gpu = DeviceProfile::tesla_c2050();
+        let small = KernelCost::new(1e6, 1e5, 1e5);
+        let large = small.scaled(10.0);
+        assert!(gpu.exec_time(&small) < gpu.exec_time(&large));
+    }
+
+    #[test]
+    fn effective_bandwidth_bounds() {
+        let gpu = DeviceProfile::tesla_c1060();
+        assert_eq!(gpu.effective_bandwidth(1.0), gpu.mem_bandwidth_gbs);
+        let worst = gpu.effective_bandwidth(0.0);
+        assert!((worst - gpu.mem_bandwidth_gbs * gpu.cache_effectiveness).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,172 @@
+//! Nanosecond-precision virtual time.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or span of) virtual time, in nanoseconds.
+///
+/// The runtime keeps one virtual timeline per worker, per transfer link and
+/// per data replica; task placement arithmetic is all done in `VTime`.
+/// Using integer nanoseconds keeps the timeline arithmetic exact and the
+/// simulation deterministic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VTime(pub u64);
+
+impl VTime {
+    /// Zero — the start of every timeline.
+    pub const ZERO: VTime = VTime(0);
+
+    /// Constructs from whole nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        VTime(ns)
+    }
+
+    /// Constructs from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        VTime(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        VTime(ms * 1_000_000)
+    }
+
+    /// Constructs from (possibly fractional) seconds; saturates at zero for
+    /// negative inputs and rounds to the nearest nanosecond.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        if secs <= 0.0 || !secs.is_finite() {
+            return VTime::ZERO;
+        }
+        VTime((secs * 1e9).round() as u64)
+    }
+
+    /// Nanoseconds as an integer.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Microseconds as a float.
+    pub fn as_micros_f64(self) -> f64 {
+        self.0 as f64 / 1e3
+    }
+
+    /// Milliseconds as a float.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Seconds as a float.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e9
+    }
+
+    /// The later of two time points.
+    pub fn max(self, other: VTime) -> VTime {
+        VTime(self.0.max(other.0))
+    }
+
+    /// The earlier of two time points.
+    pub fn min(self, other: VTime) -> VTime {
+        VTime(self.0.min(other.0))
+    }
+
+    /// Saturating difference (spans never go negative).
+    pub fn saturating_sub(self, other: VTime) -> VTime {
+        VTime(self.0.saturating_sub(other.0))
+    }
+
+    /// Multiplies a span by a scalar factor (used for noise application).
+    pub fn scale(self, factor: f64) -> VTime {
+        VTime::from_secs_f64(self.as_secs_f64() * factor)
+    }
+}
+
+impl Add for VTime {
+    type Output = VTime;
+    fn add(self, rhs: VTime) -> VTime {
+        VTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for VTime {
+    fn add_assign(&mut self, rhs: VTime) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for VTime {
+    type Output = VTime;
+    fn sub(self, rhs: VTime) -> VTime {
+        VTime(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Sum for VTime {
+    fn sum<I: Iterator<Item = VTime>>(iter: I) -> VTime {
+        iter.fold(VTime::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for VTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let ns = self.0;
+        if ns >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if ns >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if ns >= 1_000 {
+            write!(f, "{:.3}us", self.as_micros_f64())
+        } else {
+            write!(f, "{ns}ns")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions() {
+        assert_eq!(VTime::from_micros(5).as_nanos(), 5_000);
+        assert_eq!(VTime::from_millis(2).as_micros_f64(), 2_000.0);
+        assert_eq!(VTime::from_secs_f64(1.5).as_millis_f64(), 1_500.0);
+    }
+
+    #[test]
+    fn negative_and_nan_seconds_clamp_to_zero() {
+        assert_eq!(VTime::from_secs_f64(-1.0), VTime::ZERO);
+        assert_eq!(VTime::from_secs_f64(f64::NAN), VTime::ZERO);
+        assert_eq!(VTime::from_secs_f64(f64::INFINITY), VTime::ZERO);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = VTime::from_micros(10);
+        let b = VTime::from_micros(3);
+        assert_eq!((a + b).as_nanos(), 13_000);
+        assert_eq!((b - a), VTime::ZERO); // saturating
+        assert_eq!(a.max(b), a);
+        assert_eq!(a.min(b), b);
+    }
+
+    #[test]
+    fn scaling() {
+        assert_eq!(VTime::from_micros(10).scale(1.5).as_nanos(), 15_000);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", VTime::from_nanos(12)), "12ns");
+        assert_eq!(format!("{}", VTime::from_micros(12)), "12.000us");
+        assert_eq!(format!("{}", VTime::from_millis(12)), "12.000ms");
+        assert_eq!(format!("{}", VTime::from_secs_f64(1.25)), "1.250s");
+    }
+
+    #[test]
+    fn sum_of_spans() {
+        let total: VTime = (1..=4).map(VTime::from_micros).sum();
+        assert_eq!(total, VTime::from_micros(10));
+    }
+}

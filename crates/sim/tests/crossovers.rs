@@ -1,0 +1,116 @@
+//! Pins the qualitative behaviour of the device cost models — the facts
+//! every figure in the reproduction depends on. If a profile constant
+//! changes and breaks one of these shapes, the corresponding figure will
+//! silently stop matching the paper; these tests catch that early.
+
+use peppher_sim::{DeviceProfile, KernelCost, LinkProfile};
+
+fn cpu() -> DeviceProfile {
+    DeviceProfile::xeon_e5520_core()
+}
+fn c2050() -> DeviceProfile {
+    DeviceProfile::tesla_c2050()
+}
+fn c1060() -> DeviceProfile {
+    DeviceProfile::tesla_c1060()
+}
+
+/// Streaming kernel at scale factor `s` (regular, memory-bound-ish).
+fn streaming(s: f64) -> KernelCost {
+    KernelCost::new(2.0 * s, 12.0 * s, 4.0 * s)
+}
+
+#[test]
+fn cpu_gpu_crossover_exists_and_is_monotone() {
+    // Small → CPU wins; large → GPU wins; exactly one crossover.
+    let sizes: Vec<f64> = (6..26).map(|e| 2f64.powi(e)).collect();
+    let mut winners: Vec<bool> = Vec::new(); // true = gpu faster
+    for &s in &sizes {
+        let c = streaming(s);
+        winners.push(c2050().exec_time(&c) < cpu().exec_time(&c));
+    }
+    assert!(!winners[0], "CPU must win tiny kernels (GPU launch overhead)");
+    assert!(*winners.last().unwrap(), "GPU must win huge kernels");
+    let flips = winners.windows(2).filter(|w| w[0] != w[1]).count();
+    assert_eq!(flips, 1, "exactly one crossover: {winners:?}");
+}
+
+#[test]
+fn c2050_dominates_c1060_on_regular_kernels() {
+    for e in [10, 16, 22, 26] {
+        let c = streaming(2f64.powi(e));
+        assert!(
+            c2050().exec_time(&c) <= c1060().exec_time(&c),
+            "at 2^{e}: the newer GPU must not lose on regular work"
+        );
+    }
+}
+
+#[test]
+fn irregularity_can_flip_the_gpu_cpu_ranking_only_on_the_cacheless_gpu() {
+    // A mid-size, highly irregular kernel (bfs-like): the cached C2050
+    // stays competitive; the cacheless C1060 falls behind the CPU team's
+    // aggregate much more.
+    let c = KernelCost::new(2e6, 2.4e7, 4e6)
+        .with_regularity(0.08)
+        .with_arithmetic_efficiency(0.05);
+    let t_c2050 = c2050().exec_time(&c).as_secs_f64();
+    let t_c1060 = c1060().exec_time(&c).as_secs_f64();
+    let t_team = cpu().exec_time_team(&c, 4).as_secs_f64();
+    assert!(t_c1060 > t_c2050 * 2.0, "cache gap: {t_c1060} vs {t_c2050}");
+    let gap_c2050 = t_c2050 / t_team;
+    let gap_c1060 = t_c1060 / t_team;
+    assert!(
+        gap_c1060 > gap_c2050 * 1.5,
+        "irregular work must shift the ranking toward the CPU on the C1060 \
+         (c2050 ratio {gap_c2050:.2}, c1060 ratio {gap_c1060:.2})"
+    );
+}
+
+#[test]
+fn transfer_inclusive_gpu_time_has_a_later_crossover() {
+    // Including the PCIe upload moves the CPU/GPU crossover to larger
+    // sizes — the effect the spmv dispatch tables learn.
+    let link = LinkProfile::pcie2_x16();
+    let cross = |with_transfer: bool| -> f64 {
+        for e in 6..30 {
+            let s = 2f64.powi(e);
+            let c = streaming(s);
+            let mut gpu_t = c2050().exec_time(&c).as_secs_f64();
+            if with_transfer {
+                gpu_t += link.transfer_time((12.0 * s) as u64).as_secs_f64();
+            }
+            if gpu_t < cpu().exec_time(&c).as_secs_f64() {
+                return s;
+            }
+        }
+        f64::INFINITY
+    };
+    let without = cross(false);
+    let with = cross(true);
+    assert!(
+        with > without,
+        "transfer cost must delay the crossover: {without} -> {with}"
+    );
+    assert!(with.is_finite(), "GPU still wins eventually");
+}
+
+#[test]
+fn team_beats_single_core_but_not_peak_gpu_on_parallel_work() {
+    let c = streaming(2f64.powi(24));
+    let single = cpu().exec_time(&c).as_secs_f64();
+    let team = cpu().exec_time_team(&c, 4).as_secs_f64();
+    let gpu = c2050().exec_time(&c).as_secs_f64();
+    assert!(team < single, "4 cores beat 1");
+    assert!(gpu < team, "at this size the GPU beats the whole CPU team");
+}
+
+#[test]
+fn amdahl_limits_serial_fraction_workloads() {
+    let half_serial = streaming(2f64.powi(24)).with_parallel_fraction(0.5);
+    let single = cpu().exec_time(&half_serial).as_secs_f64();
+    let team = cpu().exec_time_team(&half_serial, 4).as_secs_f64();
+    let speedup = single / team;
+    assert!(speedup < 1.7, "Amdahl cap for f=0.5: got {speedup:.2}");
+    assert!(speedup > 1.3, "but the parallel half still helps: {speedup:.2}");
+}

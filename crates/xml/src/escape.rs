@@ -1,0 +1,119 @@
+//! Entity escaping and unescaping for XML text and attribute values.
+
+/// Escapes character data for use as element text content.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes a string for use inside a double-quoted attribute value.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Resolves predefined (`&amp;` etc.) and character (`&#10;`, `&#x41;`)
+/// entity references. Unknown entities are returned as an error string.
+pub fn unescape(s: &str) -> Result<String, String> {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.char_indices();
+    while let Some((i, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let rest = &s[i + 1..];
+        let semi = rest
+            .find(';')
+            .ok_or_else(|| format!("unterminated entity reference at byte {i}"))?;
+        let name = &rest[..semi];
+        match name {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            _ if name.starts_with("#x") || name.starts_with("#X") => {
+                let code = u32::from_str_radix(&name[2..], 16)
+                    .map_err(|_| format!("bad hex character reference &{name};"))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("invalid character code &{name};"))?,
+                );
+            }
+            _ if name.starts_with('#') => {
+                let code: u32 = name[1..]
+                    .parse()
+                    .map_err(|_| format!("bad character reference &{name};"))?;
+                out.push(
+                    char::from_u32(code)
+                        .ok_or_else(|| format!("invalid character code &{name};"))?,
+                );
+            }
+            _ => return Err(format!("unknown entity &{name};")),
+        }
+        // Skip over the entity body and the semicolon.
+        for _ in 0..semi + 1 {
+            chars.next();
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_text_basic() {
+        assert_eq!(escape_text("a < b & c > d"), "a &lt; b &amp; c &gt; d");
+    }
+
+    #[test]
+    fn escape_attr_quotes() {
+        assert_eq!(escape_attr(r#"say "hi" & 'bye'"#), "say &quot;hi&quot; &amp; &apos;bye&apos;");
+    }
+
+    #[test]
+    fn unescape_predefined() {
+        assert_eq!(unescape("&lt;x&gt;&amp;&quot;&apos;").unwrap(), "<x>&\"'");
+    }
+
+    #[test]
+    fn unescape_character_refs() {
+        assert_eq!(unescape("&#65;&#x42;&#x63;").unwrap(), "ABc");
+    }
+
+    #[test]
+    fn unescape_errors() {
+        assert!(unescape("&bogus;").is_err());
+        assert!(unescape("&amp").is_err());
+        assert!(unescape("&#xZZ;").is_err());
+        assert!(unescape("&#1114112;").is_err()); // above char::MAX
+    }
+
+    #[test]
+    fn roundtrip() {
+        let original = "tricky <text> with & \"entities\" and 'quotes'";
+        assert_eq!(unescape(&escape_attr(original)).unwrap(), original);
+        assert_eq!(unescape(&escape_text(original)).unwrap(), original);
+    }
+}

@@ -1,0 +1,36 @@
+//! Minimal XML 1.0 parser and writer.
+//!
+//! PEPPHER annotates components with XML descriptors (interface descriptors,
+//! component descriptors, platform descriptors and the application's main
+//! module descriptor). This crate provides the small, dependency-free XML
+//! substrate that the descriptor layer is built on: a recursive-descent
+//! parser producing an [`Element`] tree, a pretty-printing [`writer`], and
+//! entity escaping/unescaping.
+//!
+//! The subset implemented covers everything descriptors need:
+//! declarations (`<?xml ...?>`), comments, CDATA sections, character and
+//! predefined entity references, attributes, and nested elements. DTDs and
+//! namespaces-aware processing are intentionally out of scope.
+//!
+//! # Example
+//!
+//! ```
+//! use peppher_xml::{parse, Element};
+//!
+//! let doc = parse(r#"<interface name="spmv"><param name="y" access="write"/></interface>"#)
+//!     .unwrap();
+//! assert_eq!(doc.root.name, "interface");
+//! assert_eq!(doc.root.attr("name"), Some("spmv"));
+//! let param = doc.root.child("param").unwrap();
+//! assert_eq!(param.attr("access"), Some("write"));
+//! ```
+
+pub mod escape;
+pub mod parser;
+pub mod tree;
+pub mod writer;
+
+pub use escape::{escape_attr, escape_text, unescape};
+pub use parser::{parse, parse_document, ParseError};
+pub use tree::{Document, Element, Node};
+pub use writer::{write_document, write_element};

@@ -1,0 +1,435 @@
+//! Recursive-descent XML parser.
+
+use crate::escape::unescape;
+use crate::tree::{Document, Element, Node};
+use std::fmt;
+
+/// A parse failure with the 1-based line and column where it occurred.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// 1-based column number.
+    pub col: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete XML document (optional declaration, optional comments,
+/// one root element).
+pub fn parse_document(input: &str) -> Result<Document, ParseError> {
+    let mut p = Parser::new(input);
+    p.skip_ws();
+    let declaration = if p.peek_str("<?xml") {
+        p.parse_declaration()?
+    } else {
+        Vec::new()
+    };
+    // Prolog may contain comments, a DOCTYPE, processing instructions and
+    // whitespace before the root element.
+    loop {
+        p.skip_ws();
+        if p.peek_str("<!--") {
+            p.parse_comment()?;
+        } else if p.peek_str("<!DOCTYPE") {
+            p.skip_doctype()?;
+        } else if p.peek_str("<?") {
+            p.skip_pi()?;
+        } else {
+            break;
+        }
+    }
+    if !p.peek_str("<") {
+        return Err(p.error("expected root element"));
+    }
+    let root = p.parse_element()?;
+    loop {
+        p.skip_ws();
+        if p.peek_str("<!--") {
+            p.parse_comment()?;
+        } else {
+            break;
+        }
+    }
+    if !p.at_end() {
+        return Err(p.error("trailing content after root element"));
+    }
+    Ok(Document { declaration, root })
+}
+
+/// Convenience alias for [`parse_document`].
+pub fn parse(input: &str) -> Result<Document, ParseError> {
+    parse_document(input)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(input: &'a str) -> Self {
+        Parser { input, pos: 0 }
+    }
+
+    fn rest(&self) -> &'a str {
+        &self.input[self.pos..]
+    }
+
+    fn at_end(&self) -> bool {
+        self.pos >= self.input.len()
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.rest().chars().next()
+    }
+
+    fn peek_str(&self, s: &str) -> bool {
+        self.rest().starts_with(s)
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += c.len_utf8();
+        Some(c)
+    }
+
+    fn expect_str(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.peek_str(s) {
+            self.pos += s.len();
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{s}`")))
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(c) = self.peek() {
+            if c.is_whitespace() {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn line_col(&self) -> (usize, usize) {
+        let upto = &self.input[..self.pos];
+        let line = upto.matches('\n').count() + 1;
+        let col = upto.rsplit('\n').next().map_or(0, |l| l.chars().count()) + 1;
+        (line, col)
+    }
+
+    fn error(&self, message: impl Into<String>) -> ParseError {
+        let (line, col) = self.line_col();
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
+    }
+
+    fn parse_declaration(&mut self) -> Result<Vec<(String, String)>, ParseError> {
+        self.expect_str("<?xml")?;
+        let mut attrs = Vec::new();
+        loop {
+            self.skip_ws();
+            if self.peek_str("?>") {
+                self.pos += 2;
+                return Ok(attrs);
+            }
+            if self.at_end() {
+                return Err(self.error("unterminated XML declaration"));
+            }
+            attrs.push(self.parse_attribute()?);
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_alphanumeric() || matches!(c, '_' | '-' | '.' | ':') {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        let name = &self.input[start..self.pos];
+        if name.starts_with(|c: char| c.is_ascii_digit() || c == '-' || c == '.') {
+            return Err(self.error(format!("invalid name `{name}`")));
+        }
+        Ok(name.to_string())
+    }
+
+    fn parse_attribute(&mut self) -> Result<(String, String), ParseError> {
+        let key = self.parse_name()?;
+        self.skip_ws();
+        self.expect_str("=")?;
+        self.skip_ws();
+        let quote = match self.peek() {
+            Some(q @ ('"' | '\'')) => {
+                self.bump();
+                q
+            }
+            _ => return Err(self.error("expected quoted attribute value")),
+        };
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == quote {
+                break;
+            }
+            if c == '<' {
+                return Err(self.error("`<` not allowed in attribute value"));
+            }
+            self.bump();
+        }
+        if self.at_end() {
+            return Err(self.error("unterminated attribute value"));
+        }
+        let raw = &self.input[start..self.pos];
+        self.bump(); // closing quote
+        let value = unescape(raw).map_err(|m| self.error(m))?;
+        Ok((key, value))
+    }
+
+    /// Skips a `<!DOCTYPE ...>` declaration (internal subsets in `[...]`
+    /// included); the content is not interpreted.
+    fn skip_doctype(&mut self) -> Result<(), ParseError> {
+        self.expect_str("<!DOCTYPE")?;
+        // The declaration ends at the first `>` outside the optional
+        // internal subset brackets.
+        let mut bracket = 0usize;
+        while let Some(c) = self.bump() {
+            match c {
+                '[' => bracket += 1,
+                ']' => bracket = bracket.saturating_sub(1),
+                '>' if bracket == 0 => return Ok(()),
+                _ => {}
+            }
+        }
+        Err(self.error("unterminated DOCTYPE"))
+    }
+
+    /// Skips a processing instruction (`<?target ...?>`).
+    fn skip_pi(&mut self) -> Result<(), ParseError> {
+        self.expect_str("<?")?;
+        match self.rest().find("?>") {
+            Some(end) => {
+                self.pos += end + 2;
+                Ok(())
+            }
+            None => Err(self.error("unterminated processing instruction")),
+        }
+    }
+
+    fn parse_comment(&mut self) -> Result<String, ParseError> {
+        self.expect_str("<!--")?;
+        match self.rest().find("-->") {
+            Some(end) => {
+                let body = self.rest()[..end].to_string();
+                self.pos += end + 3;
+                Ok(body)
+            }
+            None => Err(self.error("unterminated comment")),
+        }
+    }
+
+    fn parse_cdata(&mut self) -> Result<String, ParseError> {
+        self.expect_str("<![CDATA[")?;
+        match self.rest().find("]]>") {
+            Some(end) => {
+                let body = self.rest()[..end].to_string();
+                self.pos += end + 3;
+                Ok(body)
+            }
+            None => Err(self.error("unterminated CDATA section")),
+        }
+    }
+
+    fn parse_element(&mut self) -> Result<Element, ParseError> {
+        self.expect_str("<")?;
+        let name = self.parse_name()?;
+        let mut element = Element::new(&name);
+        loop {
+            self.skip_ws();
+            if self.peek_str("/>") {
+                self.pos += 2;
+                return Ok(element);
+            }
+            if self.peek_str(">") {
+                self.pos += 1;
+                break;
+            }
+            if self.at_end() {
+                return Err(self.error(format!("unterminated start tag `<{name}`")));
+            }
+            let (k, v) = self.parse_attribute()?;
+            if element.attr(&k).is_some() {
+                return Err(self.error(format!("duplicate attribute `{k}` on `<{name}>`")));
+            }
+            element.attrs.push((k, v));
+        }
+        // Content until the matching end tag.
+        loop {
+            if self.at_end() {
+                return Err(self.error(format!("missing end tag `</{name}>`")));
+            }
+            if self.peek_str("</") {
+                self.pos += 2;
+                let end_name = self.parse_name()?;
+                if end_name != name {
+                    return Err(
+                        self.error(format!("mismatched end tag: expected `</{name}>`, found `</{end_name}>`"))
+                    );
+                }
+                self.skip_ws();
+                self.expect_str(">")?;
+                return Ok(element);
+            }
+            if self.peek_str("<!--") {
+                let body = self.parse_comment()?;
+                element.children.push(Node::Comment(body));
+            } else if self.peek_str("<![CDATA[") {
+                let body = self.parse_cdata()?;
+                element.children.push(Node::CData(body));
+            } else if self.peek_str("<") {
+                let child = self.parse_element()?;
+                element.children.push(Node::Element(child));
+            } else {
+                let start = self.pos;
+                while let Some(c) = self.peek() {
+                    if c == '<' {
+                        break;
+                    }
+                    self.bump();
+                }
+                let raw = &self.input[start..self.pos];
+                let text = unescape(raw).map_err(|m| self.error(m))?;
+                if !text.trim().is_empty() {
+                    element.children.push(Node::Text(text));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal() {
+        let doc = parse("<a/>").unwrap();
+        assert_eq!(doc.root.name, "a");
+        assert!(doc.root.is_empty());
+    }
+
+    #[test]
+    fn parses_declaration() {
+        let doc = parse(r#"<?xml version="1.0" encoding="UTF-8"?><a/>"#).unwrap();
+        assert_eq!(doc.declaration[0], ("version".into(), "1.0".into()));
+        assert_eq!(doc.declaration[1], ("encoding".into(), "UTF-8".into()));
+    }
+
+    #[test]
+    fn parses_nested_with_attrs_and_text() {
+        let doc = parse(
+            r#"<component name="spmv">
+                 <source lang="cuda">spmv.cu</source>
+                 <requires/>
+               </component>"#,
+        )
+        .unwrap();
+        assert_eq!(doc.root.attr("name"), Some("spmv"));
+        assert_eq!(doc.root.child_text("source").as_deref(), Some("spmv.cu"));
+        assert_eq!(doc.root.child("source").unwrap().attr("lang"), Some("cuda"));
+        assert!(doc.root.child("requires").unwrap().is_empty());
+    }
+
+    #[test]
+    fn parses_comments_and_cdata() {
+        let doc = parse("<a><!-- note --><![CDATA[x < y && z]]></a>").unwrap();
+        assert_eq!(doc.root.text(), "x < y && z");
+        assert!(matches!(doc.root.children[0], Node::Comment(_)));
+    }
+
+    #[test]
+    fn resolves_entities() {
+        let doc = parse(r#"<a k="&lt;&amp;&gt;">1 &lt; 2</a>"#).unwrap();
+        assert_eq!(doc.root.attr("k"), Some("<&>"));
+        assert_eq!(doc.root.text(), "1 < 2");
+    }
+
+    #[test]
+    fn single_quoted_attrs() {
+        let doc = parse("<a k='v \"w\"'/>").unwrap();
+        assert_eq!(doc.root.attr("k"), Some("v \"w\""));
+    }
+
+    #[test]
+    fn error_mismatched_tags() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched end tag"), "{err}");
+    }
+
+    #[test]
+    fn error_duplicate_attribute() {
+        assert!(parse(r#"<a k="1" k="2"/>"#).is_err());
+    }
+
+    #[test]
+    fn error_trailing_content() {
+        assert!(parse("<a/><b/>").is_err());
+    }
+
+    #[test]
+    fn error_reports_line_and_col() {
+        let err = parse("<a>\n  <b>\n</a>").unwrap_err();
+        assert_eq!(err.line, 3);
+    }
+
+    #[test]
+    fn error_unterminated() {
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a").is_err());
+        assert!(parse("<!-- x").is_err());
+        assert!(parse("<a><![CDATA[x</a>").is_err());
+    }
+
+    #[test]
+    fn prolog_comments_allowed() {
+        let doc = parse("<!-- hdr -->\n<a/>\n<!-- ftr -->").unwrap();
+        assert_eq!(doc.root.name, "a");
+    }
+
+    #[test]
+    fn prolog_doctype_and_pi_skipped() {
+        let doc = parse(
+            "<?xml version=\"1.0\"?>\n\
+             <!DOCTYPE interface SYSTEM \"peppher.dtd\" [ <!ENTITY x \"y\"> ]>\n\
+             <?xml-stylesheet href=\"s.css\"?>\n\
+             <interface name=\"spmv\"/>",
+        )
+        .unwrap();
+        assert_eq!(doc.root.name, "interface");
+        assert!(parse("<!DOCTYPE broken").is_err());
+        assert!(parse("<?pi never ends").is_err());
+    }
+
+    #[test]
+    fn whitespace_only_text_dropped() {
+        let doc = parse("<a>\n   <b/>\n</a>").unwrap();
+        assert_eq!(doc.root.children.len(), 1);
+    }
+}

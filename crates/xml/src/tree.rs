@@ -1,0 +1,210 @@
+//! The XML element tree produced by the parser and consumed by the writer.
+
+use std::fmt;
+
+/// A parsed XML document: an optional declaration plus a single root element.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Document {
+    /// Attributes of the `<?xml ...?>` declaration (e.g. `version`,
+    /// `encoding`), empty when the document has no declaration.
+    pub declaration: Vec<(String, String)>,
+    /// The root element.
+    pub root: Element,
+}
+
+impl Document {
+    /// Wraps `root` in a document with the standard `version="1.0"`
+    /// declaration.
+    pub fn new(root: Element) -> Self {
+        Document {
+            declaration: vec![("version".to_string(), "1.0".to_string())],
+            root,
+        }
+    }
+}
+
+/// A node in the element tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A child element.
+    Element(Element),
+    /// Character data (entity references already resolved).
+    Text(String),
+    /// A comment (`<!-- ... -->`), preserved for round-tripping.
+    Comment(String),
+    /// A CDATA section; contents are kept verbatim.
+    CData(String),
+}
+
+/// An XML element: name, attributes in document order, and child nodes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Tag name.
+    pub name: String,
+    /// Attributes in the order they appeared (or were added).
+    pub attrs: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an empty element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attrs: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// Builder-style attribute addition.
+    pub fn with_attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set_attr(key, value);
+        self
+    }
+
+    /// Builder-style child-element addition.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Builder-style text-content addition.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Sets an attribute, replacing an existing one with the same key.
+    pub fn set_attr(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        let key = key.into();
+        let value = value.into();
+        if let Some(slot) = self.attrs.iter_mut().find(|(k, _)| *k == key) {
+            slot.1 = value;
+        } else {
+            self.attrs.push((key, value));
+        }
+    }
+
+    /// Returns the value of attribute `key`, if present.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Returns the first child element named `name`.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// Iterates over all child elements named `name`.
+    pub fn children_named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.child_elements().filter(move |e| e.name == name)
+    }
+
+    /// Iterates over all child elements regardless of name.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Concatenated text content of this element's direct `Text`/`CData`
+    /// children, trimmed.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for node in &self.children {
+            match node {
+                Node::Text(t) | Node::CData(t) => out.push_str(t),
+                _ => {}
+            }
+        }
+        out.trim().to_string()
+    }
+
+    /// Text content of the first child element named `name`, if any.
+    pub fn child_text(&self, name: &str) -> Option<String> {
+        self.child(name).map(|e| e.text())
+    }
+
+    /// Walks a `/`-separated path of child-element names, returning the first
+    /// match at each level.
+    ///
+    /// ```
+    /// # use peppher_xml::parse;
+    /// let doc = parse("<a><b><c>x</c></b></a>").unwrap();
+    /// assert_eq!(doc.root.path("b/c").unwrap().text(), "x");
+    /// ```
+    pub fn path(&self, path: &str) -> Option<&Element> {
+        let mut cur = self;
+        for seg in path.split('/').filter(|s| !s.is_empty()) {
+            cur = cur.child(seg)?;
+        }
+        Some(cur)
+    }
+
+    /// True when the element has neither attributes nor children.
+    pub fn is_empty(&self) -> bool {
+        self.attrs.is_empty() && self.children.is_empty()
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&crate::writer::write_element(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_roundtrip() {
+        let e = Element::new("component")
+            .with_attr("name", "spmv")
+            .with_child(Element::new("source").with_text("spmv.cu"));
+        assert_eq!(e.attr("name"), Some("spmv"));
+        assert_eq!(e.child_text("source").as_deref(), Some("spmv.cu"));
+    }
+
+    #[test]
+    fn set_attr_replaces() {
+        let mut e = Element::new("x");
+        e.set_attr("a", "1");
+        e.set_attr("a", "2");
+        assert_eq!(e.attrs.len(), 1);
+        assert_eq!(e.attr("a"), Some("2"));
+    }
+
+    #[test]
+    fn path_walks_children() {
+        let tree = Element::new("root").with_child(
+            Element::new("mid").with_child(Element::new("leaf").with_attr("k", "v")),
+        );
+        assert_eq!(tree.path("mid/leaf").unwrap().attr("k"), Some("v"));
+        assert!(tree.path("mid/nope").is_none());
+    }
+
+    #[test]
+    fn children_named_filters() {
+        let tree = Element::new("r")
+            .with_child(Element::new("p").with_attr("i", "0"))
+            .with_child(Element::new("q"))
+            .with_child(Element::new("p").with_attr("i", "1"));
+        let ps: Vec<_> = tree.children_named("p").collect();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[1].attr("i"), Some("1"));
+    }
+
+    #[test]
+    fn text_concatenates_and_trims() {
+        let mut e = Element::new("t");
+        e.children.push(Node::Text("  hello ".into()));
+        e.children.push(Node::CData("world".into()));
+        assert_eq!(e.text(), "hello world");
+    }
+}

@@ -1,0 +1,126 @@
+//! Pretty-printing writer producing canonical descriptor files.
+
+use crate::escape::{escape_attr, escape_text};
+use crate::tree::{Document, Element, Node};
+
+const INDENT: &str = "  ";
+
+/// Serializes a document with declaration and trailing newline.
+pub fn write_document(doc: &Document) -> String {
+    let mut out = String::new();
+    if !doc.declaration.is_empty() {
+        out.push_str("<?xml");
+        for (k, v) in &doc.declaration {
+            out.push_str(&format!(" {k}=\"{}\"", escape_attr(v)));
+        }
+        out.push_str("?>\n");
+    }
+    write_indented(&doc.root, 0, &mut out);
+    out.push('\n');
+    out
+}
+
+/// Serializes a single element (no declaration, no trailing newline).
+pub fn write_element(element: &Element) -> String {
+    let mut out = String::new();
+    write_indented(element, 0, &mut out);
+    out
+}
+
+fn write_indented(element: &Element, depth: usize, out: &mut String) {
+    let pad = INDENT.repeat(depth);
+    out.push_str(&pad);
+    out.push('<');
+    out.push_str(&element.name);
+    for (k, v) in &element.attrs {
+        out.push_str(&format!(" {k}=\"{}\"", escape_attr(v)));
+    }
+    if element.children.is_empty() {
+        out.push_str("/>");
+        return;
+    }
+    out.push('>');
+
+    // Elements whose children are text-only stay on one line; mixed or
+    // element content gets one child per line.
+    let text_only = element
+        .children
+        .iter()
+        .all(|n| matches!(n, Node::Text(_) | Node::CData(_)));
+    if text_only {
+        for node in &element.children {
+            match node {
+                Node::Text(t) => out.push_str(&escape_text(t)),
+                Node::CData(t) => out.push_str(&format!("<![CDATA[{t}]]>")),
+                _ => unreachable!(),
+            }
+        }
+    } else {
+        for node in &element.children {
+            out.push('\n');
+            match node {
+                Node::Element(e) => write_indented(e, depth + 1, out),
+                Node::Text(t) => {
+                    out.push_str(&INDENT.repeat(depth + 1));
+                    out.push_str(&escape_text(t.trim()));
+                }
+                Node::CData(t) => {
+                    out.push_str(&INDENT.repeat(depth + 1));
+                    out.push_str(&format!("<![CDATA[{t}]]>"));
+                }
+                Node::Comment(t) => {
+                    out.push_str(&INDENT.repeat(depth + 1));
+                    out.push_str(&format!("<!--{t}-->"));
+                }
+            }
+        }
+        out.push('\n');
+        out.push_str(&pad);
+    }
+    out.push_str(&format!("</{}>", element.name));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn writes_self_closing() {
+        assert_eq!(write_element(&Element::new("a").with_attr("k", "v")), r#"<a k="v"/>"#);
+    }
+
+    #[test]
+    fn writes_text_inline() {
+        let e = Element::new("source").with_text("spmv.cu");
+        assert_eq!(write_element(&e), "<source>spmv.cu</source>");
+    }
+
+    #[test]
+    fn writes_nested_indented() {
+        let e = Element::new("a").with_child(Element::new("b").with_text("t"));
+        assert_eq!(write_element(&e), "<a>\n  <b>t</b>\n</a>");
+    }
+
+    #[test]
+    fn escapes_on_write() {
+        let e = Element::new("a").with_attr("k", "<&\">").with_text("x < y");
+        let s = write_element(&e);
+        assert!(s.contains("&lt;&amp;&quot;&gt;"));
+        assert!(s.contains("x &lt; y"));
+    }
+
+    #[test]
+    fn document_roundtrip() {
+        let src = r#"<?xml version="1.0"?>
+<interface name="spmv">
+  <param access="read" name="values" type="float*"/>
+  <source>impl.cpp</source>
+</interface>
+"#;
+        let doc = parse(src).unwrap();
+        let written = write_document(&doc);
+        let reparsed = parse(&written).unwrap();
+        assert_eq!(doc.root, reparsed.root);
+    }
+}

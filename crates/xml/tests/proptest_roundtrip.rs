@@ -1,0 +1,77 @@
+//! Property tests: any generated element tree survives a write → parse
+//! round-trip unchanged.
+
+use peppher_xml::{parse, write_document, Document, Element, Node};
+use proptest::prelude::*;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z_][a-zA-Z0-9_.-]{0,11}"
+}
+
+/// Text content; leading/trailing whitespace excluded because the writer
+/// normalizes purely-structural whitespace.
+fn text_strategy() -> impl Strategy<Value = String> {
+    "[a-zA-Z0-9 <>&'\"/=?!#;]{1,30}".prop_map(|s| s.trim().to_string()).prop_filter(
+        "non-empty after trim",
+        |s| !s.is_empty(),
+    )
+}
+
+fn element_strategy() -> impl Strategy<Value = Element> {
+    let leaf = (
+        name_strategy(),
+        proptest::collection::vec((name_strategy(), text_strategy()), 0..4),
+        proptest::option::of(text_strategy()),
+    )
+        .prop_map(|(name, attrs, text)| {
+            let mut e = Element::new(name);
+            for (k, v) in attrs {
+                e.set_attr(k, v); // dedups keys
+            }
+            if let Some(t) = text {
+                e.children.push(Node::Text(t));
+            }
+            e
+        });
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        (
+            name_strategy(),
+            proptest::collection::vec((name_strategy(), text_strategy()), 0..3),
+            proptest::collection::vec(inner, 0..4),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                for (k, v) in attrs {
+                    e.set_attr(k, v);
+                }
+                for c in children {
+                    e.children.push(Node::Element(c));
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn write_parse_roundtrip(root in element_strategy()) {
+        let doc = Document::new(root);
+        let serialized = write_document(&doc);
+        let reparsed = parse(&serialized)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{serialized}"));
+        prop_assert_eq!(doc.root, reparsed.root);
+    }
+
+    #[test]
+    fn escape_unescape_roundtrip(s in "[\\PC]{0,64}") {
+        let esc = peppher_xml::escape_text(&s);
+        prop_assert_eq!(peppher_xml::unescape(&esc).unwrap(), s.clone());
+        let esc = peppher_xml::escape_attr(&s);
+        prop_assert_eq!(peppher_xml::unescape(&esc).unwrap(), s);
+    }
+
+    #[test]
+    fn parser_never_panics(s in "[\\PC]{0,80}") {
+        let _ = parse(&s);
+    }
+}

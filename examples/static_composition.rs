@@ -1,0 +1,72 @@
+//! Static composition end-to-end: train a dispatch table from context
+//! scenarios (the composition tool's off-line training runs), compact it
+//! into a decision tree, attach it to a live component — and emit the
+//! dispatch function as source code, exactly the "dispatch function that
+//! is evaluated at runtime for a context instance" the paper describes.
+//!
+//! Run with: `cargo run --example static_composition`
+
+use peppher::apps::spmv;
+use peppher::compose::codegen::dispatch::generate_table_dispatch;
+use peppher::compose::static_comp::{log_scenarios, train_dispatch_table};
+use peppher::compose::{IrNode, IrVariant};
+use peppher::core::CallContext;
+use peppher::descriptor::ComponentDescriptor;
+use peppher::sim::{DeviceProfile, LinkProfile};
+
+fn main() {
+    // The spmv interface with its CPU and CUDA variants, as the IR sees it.
+    let node = IrNode {
+        interface: spmv::interface(),
+        variants: vec![
+            IrVariant {
+                descriptor: ComponentDescriptor::new("spmv_cpu", "spmv", "cpp"),
+                enabled: true,
+                platform_ok: true,
+            },
+            IrVariant {
+                descriptor: ComponentDescriptor::new("spmv_cuda", "spmv", "cuda"),
+                enabled: true,
+                platform_ok: true,
+            },
+        ],
+    };
+
+    // Training oracle: predicted execution time per variant and context
+    // scenario — "running microbenchmarking code on the target platform".
+    let cpu = DeviceProfile::xeon_e5520_core();
+    let gpu = DeviceProfile::tesla_c2050();
+    let link = LinkProfile::pcie2_x16();
+    let measure = |variant: &str, nnz: f64| {
+        let cost = spmv::cost_model(nnz, nnz / 8.0, 0.4);
+        match variant {
+            "spmv_cpu" => cpu.exec_time(&cost),
+            "spmv_cuda" => gpu.exec_time(&cost) + link.transfer_time((nnz * 12.0) as u64),
+            other => panic!("unknown variant {other}"),
+        }
+    };
+
+    let scenarios = log_scenarios(100.0, 1e8, 25);
+    let (table, tree) = train_dispatch_table(&node, "nnz", &scenarios, &measure);
+    println!("trained dispatch table over {} scenarios:", scenarios.len());
+    for (bound, variant) in &table.entries {
+        if bound.is_finite() {
+            println!("  nnz <= {bound:>12.0}  ->  {variant}");
+        } else {
+            println!("  otherwise          ->  {variant}");
+        }
+    }
+    println!("decision tree: {} nodes (compacted)\n", tree.node_count());
+
+    // Attach to the live component: composition is now deterministic.
+    let comp = spmv::build_component();
+    comp.set_dispatch_table(table.clone());
+    for nnz in [1_000.0, 50_000.0, 5e6] {
+        let picked = comp.candidates(&CallContext::new().with("nnz", nnz));
+        println!("context nnz={nnz:>9}: dispatch -> {picked:?}");
+    }
+
+    // And emit the generated dispatch source (what `compose` writes).
+    println!("\n--- generated dispatch function ---");
+    print!("{}", generate_table_dispatch("spmv", &table));
+}

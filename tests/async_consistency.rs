@@ -1,0 +1,139 @@
+//! Property test: for *random programs* mixing asynchronous component
+//! calls with host reads and writes over several containers, the host's
+//! view is always identical to a sequential execution of the same program.
+//! This is the smart containers' central guarantee ("In the application
+//! program, the execution looks no different to the synchronous execution
+//! as data consistency is ensured by the smart containers").
+
+use peppher::containers::Vector;
+use peppher::core::{Component, VariantBuilder};
+use peppher::descriptor::{AccessType, InterfaceDescriptor, ParamDecl};
+use peppher::runtime::{Runtime, SchedulerKind};
+use peppher::sim::MachineConfig;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// One step of a random program over two vectors.
+#[derive(Debug, Clone)]
+enum Op {
+    /// a[i] += k for all i (component call, RW on a).
+    AddA(i64),
+    /// b[i] *= 2; (component call, RW on b).
+    DoubleB,
+    /// a[i] += b[i] (component call, RW a, R b).
+    AxpyAb,
+    /// Host read of a[idx] (forces coherence).
+    ReadA(usize),
+    /// Host write b[idx] = v.
+    WriteB(usize, i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (-5i64..5).prop_map(Op::AddA),
+        Just(Op::DoubleB),
+        Just(Op::AxpyAb),
+        (0usize..32).prop_map(Op::ReadA),
+        ((0usize..32), (-9i64..9)).prop_map(|(i, v)| Op::WriteB(i, v)),
+    ]
+}
+
+fn make_component(name: &str, params: &[(&str, AccessType)], body: fn(&mut peppher::runtime::KernelCtx<'_>)) -> Arc<Component> {
+    let mut iface = InterfaceDescriptor::new(name);
+    iface.params = params
+        .iter()
+        .map(|(n, a)| ParamDecl {
+            name: (*n).into(),
+            ctype: "long*".into(),
+            access: *a,
+        })
+        .collect();
+    Component::builder(iface)
+        .variant(VariantBuilder::new(format!("{name}_cpu"), "cpp").kernel(body).build())
+        .variant(VariantBuilder::new(format!("{name}_cuda"), "cuda").kernel(body).build())
+        .build()
+}
+
+/// Sequential ground truth.
+fn run_sequential(ops: &[Op]) -> (Vec<i64>, Vec<i64>, Vec<i64>) {
+    let mut a = vec![1i64; 32];
+    let mut b = vec![2i64; 32];
+    let mut reads = Vec::new();
+    for op in ops {
+        match op {
+            Op::AddA(k) => a.iter_mut().for_each(|x| *x += k),
+            Op::DoubleB => b.iter_mut().for_each(|x| *x *= 2),
+            Op::AxpyAb => {
+                for i in 0..32 {
+                    a[i] += b[i];
+                }
+            }
+            Op::ReadA(i) => reads.push(a[*i]),
+            Op::WriteB(i, v) => b[*i] = *v,
+        }
+    }
+    (a, b, reads)
+}
+
+/// The same program with async component calls through the framework.
+fn run_peppher(ops: &[Op], kind: SchedulerKind) -> (Vec<i64>, Vec<i64>, Vec<i64>) {
+    let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), kind);
+    let add_a = make_component("add_a", &[("a", AccessType::ReadWrite)], |ctx| {
+        let k = *ctx.arg::<i64>();
+        ctx.w::<Vec<i64>>(0).iter_mut().for_each(|x| *x += k);
+    });
+    let double_b = make_component("double_b", &[("b", AccessType::ReadWrite)], |ctx| {
+        ctx.w::<Vec<i64>>(0).iter_mut().for_each(|x| *x *= 2);
+    });
+    let axpy = make_component(
+        "axpy_ab",
+        &[("a", AccessType::ReadWrite), ("b", AccessType::Read)],
+        |ctx| {
+            let b = ctx.r::<Vec<i64>>(1).clone();
+            let a = ctx.w::<Vec<i64>>(0);
+            for i in 0..32 {
+                a[i] += b[i];
+            }
+        },
+    );
+
+    let a = Vector::register(&rt, vec![1i64; 32]);
+    let b = Vector::register(&rt, vec![2i64; 32]);
+    let mut reads = Vec::new();
+    for op in ops {
+        match op {
+            Op::AddA(k) => {
+                add_a.call().operand(a.handle()).arg(*k).submit(&rt);
+            }
+            Op::DoubleB => {
+                double_b.call().operand(b.handle()).submit(&rt);
+            }
+            Op::AxpyAb => {
+                axpy.call().operand(a.handle()).operand(b.handle()).submit(&rt);
+            }
+            Op::ReadA(i) => reads.push(a.get(*i)),
+            Op::WriteB(i, v) => b.set(*i, *v),
+        }
+    }
+    let out = (a.into_vec(), b.into_vec(), reads);
+    rt.shutdown();
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn async_execution_equals_sequential(ops in proptest::collection::vec(op_strategy(), 1..24)) {
+        let want = run_sequential(&ops);
+        let got = run_peppher(&ops, SchedulerKind::Dmda);
+        prop_assert_eq!(&got, &want, "dmda diverged for {:?}", ops);
+    }
+
+    #[test]
+    fn async_execution_equals_sequential_eager(ops in proptest::collection::vec(op_strategy(), 1..16)) {
+        let want = run_sequential(&ops);
+        let got = run_peppher(&ops, SchedulerKind::Eager);
+        prop_assert_eq!(&got, &want, "eager diverged for {:?}", ops);
+    }
+}

@@ -1,0 +1,132 @@
+//! The optimization goal: the main-module descriptor "states e.g. the
+//! target execution platform and the overall optimization goal". With
+//! `Objective::Energy`, the performance-aware scheduler minimizes modelled
+//! energy instead of completion time — and on this platform (Xeon core
+//! ~20 W vs Tesla C2050 ~238 W) that flips placements where the GPU's
+//! speedup is smaller than its power ratio.
+
+use peppher::apps::spmv;
+use peppher::core::{Component, VariantBuilder};
+use peppher::descriptor::{AccessType, InterfaceDescriptor, ParamDecl};
+use peppher::runtime::{Objective, Runtime, RuntimeConfig, SchedulerKind};
+use peppher::sim::{DeviceProfile, KernelCost, MachineConfig};
+use std::sync::Arc;
+
+fn config(objective: Objective) -> RuntimeConfig {
+    RuntimeConfig {
+        scheduler: SchedulerKind::Dmda,
+        objective,
+        calibration_min: 1,
+        ..RuntimeConfig::default()
+    }
+}
+
+/// A component whose kernels are *small and compute-bound*: the GPU's
+/// utilization ramp caps it at ~2.5x the CPU's speed, far below the
+/// ~12x power ratio (238 W vs 20 W) — the canonical case where the
+/// fastest device is not the most efficient one.
+fn small_compute_component() -> Arc<Component> {
+    let mut iface = InterfaceDescriptor::new("small_fir");
+    iface.params = vec![ParamDecl {
+        name: "y".into(),
+        ctype: "float*".into(),
+        access: AccessType::ReadWrite,
+    }];
+    let body = |ctx: &mut peppher::runtime::KernelCtx<'_>| {
+        for v in ctx.w::<Vec<f32>>(0).iter_mut() {
+            *v = v.mul_add(0.999, 0.001);
+        }
+    };
+    Component::builder(iface)
+        .variant(VariantBuilder::new("fir_cpu", "cpp").kernel(body).build())
+        .variant(VariantBuilder::new("fir_cuda", "cuda").kernel(body).build())
+        .cost(|_| {
+            KernelCost::new(2e4, 4096.0, 4096.0)
+                .with_arithmetic_efficiency(0.25)
+                .with_regularity(1.0)
+        })
+        .build()
+}
+
+fn run(objective: Objective) -> (peppher::runtime::RuntimeStats, Vec<f32>) {
+    let rt = Runtime::with_config(MachineConfig::c2050_platform(4).without_noise(), config(objective));
+    let comp = small_compute_component();
+    let y = rt.register_vec(vec![1.0f32; 512]);
+    for _ in 0..40 {
+        comp.call().operand(&y).context("n", 512.0).submit(&rt);
+    }
+    rt.wait_all();
+    let out = rt.unregister_vec::<f32>(y);
+    let stats = rt.stats();
+    rt.shutdown();
+    (stats, out)
+}
+
+#[test]
+fn energy_objective_prefers_low_power_devices() {
+    let (time_stats, y_time) = run(Objective::ExecTime);
+    let (energy_stats, y_energy) = run(Objective::Energy);
+
+    // Same numerics either way.
+    assert_eq!(y_time, y_energy);
+
+    // The energy run draws less modelled energy...
+    assert!(
+        energy_stats.total_energy_joules() < time_stats.total_energy_joules(),
+        "energy objective must reduce energy: {:.6} J vs {:.6} J",
+        energy_stats.total_energy_joules(),
+        time_stats.total_energy_joules()
+    );
+    // ...by steering the steady-state work away from the GPU.
+    let gpu_share = |s: &peppher::runtime::RuntimeStats| {
+        s.tasks_per_worker[4] as f64 / s.tasks_executed as f64
+    };
+    assert!(
+        gpu_share(&energy_stats) < gpu_share(&time_stats),
+        "GPU share should drop under the energy objective: {:?} vs {:?}",
+        energy_stats.tasks_per_worker,
+        time_stats.tasks_per_worker
+    );
+}
+
+#[test]
+fn energy_model_accounting_is_consistent() {
+    // Energy per worker = busy time × device power (for non-team tasks).
+    let rt = Runtime::with_config(
+        MachineConfig::c2050_platform(1).without_noise(),
+        config(Objective::ExecTime),
+    );
+    let m = spmv::scattered_matrix(5_000, 8, 3);
+    let x = vec![1.0f32; m.cols];
+    spmv::run_peppherized_ex(&rt, &m, &x, 3, Some("spmv_cuda"));
+    let stats = rt.stats();
+    rt.shutdown();
+
+    let gpu_watts = DeviceProfile::tesla_c2050().tdp_watts;
+    let expect = stats.busy[1].as_secs_f64() * gpu_watts;
+    let got = stats.energy_joules[1];
+    assert!(
+        (got - expect).abs() <= 1e-6 + expect * 1e-9,
+        "gpu energy {got} J vs busy*tdp {expect} J"
+    );
+    assert_eq!(stats.energy_joules[0], 0.0, "idle CPU draws no modelled task energy");
+}
+
+#[test]
+fn team_tasks_draw_team_energy() {
+    let rt = Runtime::with_config(MachineConfig::cpu_only(4), config(Objective::ExecTime));
+    let m = spmv::scattered_matrix(5_000, 8, 3);
+    let x = vec![1.0f32; m.cols];
+    spmv::run_peppherized_ex(&rt, &m, &x, 2, Some("spmv_omp"));
+    let stats = rt.stats();
+    rt.shutdown();
+    let leader_busy = stats.busy[0].as_secs_f64();
+    let total_energy = stats.total_energy_joules();
+    let core_watts = DeviceProfile::xeon_e5520_core().tdp_watts;
+    // The team task charges all 4 cores for its duration.
+    let expect = leader_busy * core_watts * 4.0;
+    assert!(
+        (total_energy - expect).abs() <= 1e-6 + expect * 1e-9,
+        "team energy {total_energy} J vs 4-core model {expect} J"
+    );
+}

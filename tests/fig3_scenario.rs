@@ -1,0 +1,139 @@
+//! The paper's Fig. 3 walkthrough, reproduced event by event: four
+//! component calls and two host accesses on one vector operand, all
+//! component calls executing on the GPU. The smart container performs
+//! exactly **2** copy operations "instead of 7 copy operations which are
+//! required if one considers each component call independently".
+
+use peppher::containers::Vector;
+use peppher::core::{Component, VariantBuilder};
+use peppher::descriptor::{AccessType, InterfaceDescriptor, ParamDecl};
+use peppher::runtime::{Runtime, RuntimeConfig, SchedulerKind, TraceEvent};
+use peppher::sim::MachineConfig;
+use std::sync::Arc;
+
+fn component(name: &str, access: AccessType, body: fn(&mut peppher::runtime::KernelCtx<'_>)) -> Arc<Component> {
+    let mut iface = InterfaceDescriptor::new(name);
+    iface.params = vec![ParamDecl {
+        name: "v".into(),
+        ctype: "float*".into(),
+        access,
+    }];
+    Component::builder(iface)
+        .variant(VariantBuilder::new(format!("{name}_cuda"), "cuda").kernel(body).build())
+        .build()
+}
+
+#[test]
+fn fig3_two_transfers_instead_of_seven() {
+    let mut machine = MachineConfig::c2050_platform(1).without_noise();
+    machine.cpu_workers = 1;
+    let rt = Runtime::with_config(
+        machine,
+        RuntimeConfig {
+            scheduler: SchedulerKind::Eager,
+            enable_trace: true,
+            ..RuntimeConfig::default()
+        },
+    );
+
+    // comp1 writes, comp2 reads+writes, comp3/comp4 only read.
+    let comp1 = component("comp1", AccessType::Write, |ctx| {
+        ctx.w::<Vec<f32>>(0).fill(1.0);
+    });
+    let comp2 = component("comp2", AccessType::ReadWrite, |ctx| {
+        for x in ctx.w::<Vec<f32>>(0).iter_mut() {
+            *x += 1.0;
+        }
+    });
+    let read_body: fn(&mut peppher::runtime::KernelCtx<'_>) = |ctx| {
+        let v = ctx.r::<Vec<f32>>(0);
+        assert!(v.iter().all(|&x| x == 2.0));
+    };
+    let comp3 = component("comp3", AccessType::Read, read_body);
+    let comp4 = component("comp4", AccessType::Read, read_body);
+
+    // line 2: vector v0 is created — payload placed in main memory.
+    let v0 = Vector::register(&rt, vec![0.0f32; 4096]);
+    assert_eq!(v0.handle().valid_nodes(), vec![0]);
+
+    // line 4: comp1(v0: write) on the GPU — allocation only, no copy;
+    // afterwards the master copy is outdated.
+    comp1.call().operand(v0.handle()).submit(&rt).wait();
+    assert_eq!(v0.handle().valid_nodes(), vec![1]);
+
+    // line 6: host read access — implicit device-to-host copy (copy #1);
+    // the device copy remains valid.
+    assert_eq!(v0.get(7), 1.0);
+    assert_eq!(v0.handle().valid_nodes(), vec![0, 1]);
+
+    // line 8: comp2(v0: readwrite) on the GPU — up-to-date device copy is
+    // used in place, master becomes outdated again. No copy.
+    comp2.call().operand(v0.handle()).submit(&rt);
+
+    // lines 10 & 12: two read-only component calls — no copies, and they
+    // are independent of each other (only ordered after comp2).
+    comp3.call().operand(v0.handle()).submit(&rt);
+    comp4.call().operand(v0.handle()).submit(&rt);
+
+    // line 14: host write access — data copied back implicitly (copy #2),
+    // then the device copy is marked outdated.
+    v0.set(0, 42.0);
+    assert_eq!(v0.handle().valid_nodes(), vec![0]);
+
+    let trace = rt.trace();
+    let transfers: Vec<&TraceEvent> = trace
+        .iter()
+        .filter(|e| matches!(e, TraceEvent::Transfer { .. }))
+        .collect();
+    assert_eq!(
+        transfers.len(),
+        2,
+        "the paper's scenario needs exactly 2 copies, got: {transfers:?}"
+    );
+    // Both copies are device-to-host; no host-to-device copy ever happens.
+    for t in &transfers {
+        if let TraceEvent::Transfer { from, to, .. } = t {
+            assert_eq!((*from, *to), (1, 0));
+        }
+    }
+    // comp1's write-only access allocated without copying.
+    assert!(trace
+        .iter()
+        .any(|e| matches!(e, TraceEvent::Allocate { node: 1, .. })));
+
+    let final_data = v0.into_vec();
+    assert_eq!(final_data[0], 42.0);
+    assert_eq!(final_data[1], 2.0);
+    rt.shutdown();
+}
+
+#[test]
+fn naive_per_call_consistency_needs_many_more_copies() {
+    // The §IV-D fallback for raw (non-container) parameters: "ensures data
+    // consistency by always copying data back to the main memory before
+    // returning control back from the component call" — model it by
+    // registering/unregistering around every call, as Kicherer et al. do.
+    let mut machine = MachineConfig::c2050_platform(1).without_noise();
+    machine.cpu_workers = 1;
+    let rt = Runtime::new(machine, SchedulerKind::Eager);
+
+    let comp2 = component("comp2", AccessType::ReadWrite, |ctx| {
+        for x in ctx.w::<Vec<f32>>(0).iter_mut() {
+            *x += 1.0;
+        }
+    });
+
+    let mut data = vec![0.0f32; 4096];
+    for _ in 0..4 {
+        // Fresh registration per call: the GPU must fetch and the host
+        // must copy back every time.
+        let v = Vector::register(&rt, std::mem::take(&mut data));
+        comp2.call().operand(v.handle()).submit(&rt);
+        data = v.into_vec();
+    }
+    let stats = rt.stats();
+    assert_eq!(stats.h2d_transfers, 4, "one upload per call");
+    assert_eq!(stats.d2h_transfers, 4, "one download per call");
+    assert!(data.iter().all(|&x| x == 4.0));
+    rt.shutdown();
+}

@@ -1,0 +1,73 @@
+//! User-guided static composition across the whole application suite:
+//! forcing the `omp` backend must execute on the CPU team (never the GPU)
+//! and forcing `cuda` must execute on the GPU — for every app and both
+//! platforms. This is the mechanism behind the Fig. 6 static series.
+
+use peppher::apps::fig6_apps;
+use peppher::runtime::{Runtime, SchedulerKind};
+use peppher::sim::MachineConfig;
+
+#[test]
+fn forced_cuda_runs_only_on_the_gpu() {
+    let machine = MachineConfig::c2050_platform(2).without_noise();
+    for entry in fig6_apps() {
+        let rt = Runtime::new(machine.clone(), SchedulerKind::Dmda);
+        (entry.run)(&rt, entry.sizes[0], Some("cuda"));
+        let stats = rt.stats();
+        let cpu_tasks: u64 = stats.tasks_per_worker[..2].iter().sum();
+        assert_eq!(
+            cpu_tasks, 0,
+            "{}: forced cuda must not touch CPU workers: {:?}",
+            entry.name, stats.tasks_per_worker
+        );
+        assert!(stats.tasks_per_worker[2] > 0, "{}: GPU idle", entry.name);
+        rt.shutdown();
+    }
+}
+
+#[test]
+fn forced_omp_runs_only_on_the_cpu_side() {
+    let machine = MachineConfig::c2050_platform(2).without_noise();
+    for entry in fig6_apps() {
+        let rt = Runtime::new(machine.clone(), SchedulerKind::Dmda);
+        (entry.run)(&rt, entry.sizes[0], Some("omp"));
+        let stats = rt.stats();
+        assert_eq!(
+            stats.tasks_per_worker[2], 0,
+            "{}: forced omp must not touch the GPU: {:?}",
+            entry.name, stats.tasks_per_worker
+        );
+        let cpu_tasks: u64 = stats.tasks_per_worker[..2].iter().sum();
+        assert!(cpu_tasks > 0, "{}: CPUs idle", entry.name);
+        // No PCIe traffic at all when everything stays on the host.
+        assert_eq!(
+            stats.total_transfers(),
+            0,
+            "{}: CPU-only run moved data over PCIe",
+            entry.name
+        );
+        rt.shutdown();
+    }
+}
+
+#[test]
+fn forced_backends_agree_numerically() {
+    // Where the app returns data through the same deterministic seeds,
+    // omp-forced and cuda-forced runs must agree (variants implement one
+    // functionality). Checked via the fig6 makespans being produced from
+    // identical traversals: use spmv directly for a value-level check.
+    use peppher::apps::spmv;
+    let machine = MachineConfig::c2050_platform(2).without_noise();
+    let m = spmv::scattered_matrix(4_000, 6, 77);
+    let x: Vec<f32> = (0..m.cols).map(|i| (i % 17) as f32 * 0.1).collect();
+    let rt = Runtime::new(machine.clone(), SchedulerKind::Dmda);
+    let omp = spmv::run_peppherized_ex(&rt, &m, &x, 1, Some("spmv_omp"));
+    rt.shutdown();
+    let rt = Runtime::new(machine, SchedulerKind::Dmda);
+    let cuda = spmv::run_peppherized_ex(&rt, &m, &x, 1, Some("spmv_cuda"));
+    rt.shutdown();
+    assert_eq!(omp.len(), cuda.len());
+    for (a, b) in omp.iter().zip(&cuda) {
+        assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+    }
+}

@@ -1,0 +1,132 @@
+//! Composes the *entire* application suite at once: all ten interfaces
+//! exported as XML descriptors, scanned back, explored into one IR, and
+//! run through code generation — the scale test for the composition tool
+//! ("the repositories ... can help keeping files manageable even for a
+//! large project").
+
+use peppher::apps::{bfs, cfd, hotspot, lud, nw, pathfinder, particlefilter, sgemm, spmv};
+use peppher::compose::codegen::generate_all;
+use peppher::compose::{build_ir, expand_tunables, Recipe};
+use peppher::descriptor::{
+    ComponentDescriptor, InterfaceDescriptor, MainDescriptor, Repository, TunableParam,
+};
+
+fn suite_repository() -> Repository {
+    let mut repo = Repository::new();
+    let interfaces: Vec<InterfaceDescriptor> = vec![
+        spmv::interface(),
+        sgemm::interface(),
+        bfs::interface(),
+        cfd::interface(),
+        hotspot::interface(),
+        lud::interface(),
+        nw::interface(),
+        particlefilter::interface(),
+        pathfinder::interface(),
+    ];
+    let mut main = MainDescriptor::new("rodinia_suite", "xeon_c2050");
+    for iface in interfaces {
+        let name = iface.name.clone();
+        main.components.push(name.clone());
+        for model in ["cpp", "openmp", "cuda"] {
+            let suffix = match model {
+                "cpp" => "cpu",
+                "openmp" => "omp",
+                other => other,
+            };
+            let mut c = ComponentDescriptor::new(format!("{name}_{suffix}"), &name, model);
+            c.sources.push(format!("{model}/{name}_{suffix}.rs"));
+            if model == "cuda" {
+                c.tunables.push(TunableParam {
+                    name: "block".into(),
+                    values: vec!["128".into(), "256".into()],
+                    default: Some("128".into()),
+                });
+            }
+            repo.add_component(c);
+        }
+        repo.add_interface(iface);
+    }
+    repo.add_main(main);
+    repo
+}
+
+#[test]
+fn whole_suite_survives_save_scan_compose_generate() {
+    let repo = suite_repository();
+    repo.validate().unwrap();
+
+    // Round-trip through disk (the paper's repository layout).
+    let dir = std::env::temp_dir().join(format!("peppher-suite-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    repo.save(&dir).unwrap();
+    let scanned = Repository::scan(&dir).unwrap();
+    assert_eq!(scanned.interfaces.len(), 9);
+    assert_eq!(scanned.components.len(), 27);
+
+    // Compose with tunable expansion: every CUDA variant doubles.
+    let mut ir = build_ir(&scanned, "rodinia_suite", Recipe::default()).unwrap();
+    expand_tunables(&mut ir);
+    assert_eq!(ir.nodes.len(), 9);
+    for node in &ir.nodes {
+        assert_eq!(
+            node.variants.len(),
+            4,
+            "{}: cpu + omp + 2 cuda tunable instantiations",
+            node.interface.name
+        );
+    }
+
+    // Generate everything: 9 wrappers + peppher.rs + Makefile.
+    let files = generate_all(&ir);
+    assert_eq!(files.len(), 11);
+    let header = &files.iter().find(|f| f.path == "peppher.rs").unwrap().content;
+    for iface in ["spmv", "sgemm", "bfs", "cfd", "hotspot", "lud", "nw", "particlefilter", "pathfinder"]
+    {
+        assert!(
+            header.contains(&format!("pub mod {iface}_wrapper;")),
+            "peppher.rs must include {iface}"
+        );
+        let wrapper = &files
+            .iter()
+            .find(|f| f.path == format!("{iface}_wrapper.rs"))
+            .unwrap()
+            .content;
+        assert!(wrapper.contains(&format!("registry.call(\"{iface}\")")));
+        // Tunable-expanded CUDA backends appear in the wrapper.
+        assert!(
+            wrapper.contains(&format!("{iface}_cuda_block_128_backend")),
+            "{iface}: tunable instantiation missing"
+        );
+    }
+    let makefile = &files.iter().find(|f| f.path == "Makefile").unwrap().content;
+    assert!(makefile.matches("_wrapper.o").count() >= 9);
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn disabling_whole_backend_across_suite() {
+    let repo = suite_repository();
+    let recipe = Recipe {
+        // Disable every CUDA variant suite-wide.
+        disable_impls: repo
+            .components
+            .keys()
+            .filter(|n| n.ends_with("_cuda"))
+            .cloned()
+            .collect(),
+        ..Recipe::default()
+    };
+    let ir = build_ir(&repo, "rodinia_suite", recipe).unwrap();
+    for node in &ir.nodes {
+        assert!(
+            node.selectable_variants()
+                .iter()
+                .all(|v| v.descriptor.platform.model != "cuda"),
+            "{}: cuda variant still selectable",
+            node.interface.name
+        );
+        assert_eq!(node.selectable_variants().len(), 2);
+    }
+}

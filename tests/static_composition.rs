@@ -1,0 +1,144 @@
+//! Static composition end-to-end: train a dispatch table with the
+//! composition tool's machinery, attach it to a live component, and verify
+//! the narrowing actually routes calls to the right device at runtime.
+
+use peppher::apps::spmv;
+use peppher::compose::static_comp::{log_scenarios, train_dispatch_table};
+use peppher::compose::{Ir, IrNode, IrVariant, Recipe};
+use peppher::core::{CallContext, DecisionTree, TrainingSample};
+use peppher::descriptor::{ComponentDescriptor, MainDescriptor};
+use peppher::runtime::{Runtime, SchedulerKind};
+use peppher::sim::{DeviceProfile, MachineConfig};
+
+fn spmv_ir_node() -> IrNode {
+    let mk = |name: &str, model: &str| IrVariant {
+        descriptor: ComponentDescriptor::new(name, "spmv", model),
+        enabled: true,
+        platform_ok: true,
+    };
+    IrNode {
+        interface: spmv::interface(),
+        variants: vec![mk("spmv_cpu", "cpp"), mk("spmv_cuda", "cuda")],
+    }
+}
+
+/// Measurement oracle backed by the device cost models — this is what the
+/// paper calls "running microbenchmarking code on the target platform".
+fn measure(variant: &str, nnz: f64) -> peppher::sim::VTime {
+    let cost = spmv::cost_model(nnz, nnz / 8.0, 0.4);
+    match variant {
+        "spmv_cpu" => DeviceProfile::xeon_e5520_core().exec_time(&cost),
+        // Include the PCIe transfer the GPU must pay for fresh data.
+        "spmv_cuda" => {
+            let link = peppher::sim::LinkProfile::pcie2_x16();
+            DeviceProfile::tesla_c2050().exec_time(&cost)
+                + link.transfer_time((nnz * 12.0) as u64)
+        }
+        other => panic!("unknown variant {other}"),
+    }
+}
+
+#[test]
+fn training_finds_the_cpu_gpu_crossover() {
+    let node = spmv_ir_node();
+    let scenarios = log_scenarios(100.0, 1e8, 30);
+    let (table, tree) = train_dispatch_table(&node, "nnz", &scenarios, &measure);
+
+    // Small problems → CPU (GPU pays launch + transfer); large → GPU.
+    assert_eq!(table.lookup(200.0), "spmv_cpu");
+    assert_eq!(table.lookup(5e7), "spmv_cuda");
+    // There is exactly one crossover in this cost structure.
+    assert_eq!(table.len(), 2, "{table:?}");
+    // The compacted tree agrees everywhere on the training grid.
+    for &s in &scenarios {
+        assert_eq!(tree.predict(&[s]), table.lookup(s));
+    }
+}
+
+#[test]
+fn dispatch_table_narrows_live_component_calls() {
+    let node = spmv_ir_node();
+    let scenarios = log_scenarios(100.0, 1e8, 25);
+    let (table, _) = train_dispatch_table(&node, "nnz", &scenarios, &measure);
+
+    let comp = spmv::build_component();
+    comp.set_dispatch_table(table);
+
+    // The static table makes composition deterministic: exactly one
+    // candidate per context instance.
+    let small = comp.candidates(&CallContext::new().with("nnz", 500.0));
+    assert_eq!(small, vec!["spmv_cpu"]);
+    let large = comp.candidates(&CallContext::new().with("nnz", 5e7));
+    assert_eq!(large, vec!["spmv_cuda"]);
+
+    // And the runtime honours it: a large call runs on the GPU worker.
+    let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Dmda);
+    let m = spmv::scattered_matrix(12_000, 10, 3);
+    let x = vec![1.0f32; m.cols];
+    let row_ptr = rt.register_vec(m.row_ptr.clone());
+    let col_idx = rt.register_vec(m.col_idx.clone());
+    let values = rt.register_vec(m.values.clone());
+    let xv = rt.register_vec(x);
+    let yv = rt.register_vec(vec![0.0f32; m.rows]);
+    comp.call()
+        .operand(&row_ptr)
+        .operand(&col_idx)
+        .operand(&values)
+        .operand(&xv)
+        .operand(&yv)
+        .arg(spmv::SpmvArgs { rows: m.rows })
+        .context("nnz", 5e7) // context says: huge → table forces CUDA
+        .context("rows", m.rows as f64)
+        .sync()
+        .submit(&rt);
+    assert_eq!(rt.stats().tasks_per_worker[2], 1, "{:?}", rt.stats().tasks_per_worker);
+    rt.shutdown();
+}
+
+#[test]
+fn decision_tree_compaction_is_equivalent_on_multi_param_contexts() {
+    // 2D context (nnz, regularity): GPU wins only for large AND regular.
+    let mut samples = Vec::new();
+    for &nnz in &[1e3, 1e4, 1e5, 1e6, 1e7] {
+        for &reg in &[0.1, 0.3, 0.7, 0.9] {
+            let best = if nnz >= 1e6 && reg >= 0.5 {
+                "spmv_cuda"
+            } else {
+                "spmv_cpu"
+            };
+            samples.push(TrainingSample {
+                features: vec![nnz, reg],
+                best: best.to_string(),
+            });
+        }
+    }
+    let tree = DecisionTree::fit(&samples, 6);
+    for s in &samples {
+        assert_eq!(tree.predict(&s.features), s.best, "at {:?}", s.features);
+    }
+    assert!(
+        tree.node_count() < samples.len(),
+        "tree ({} nodes) should compact the {}-entry table",
+        tree.node_count(),
+        samples.len()
+    );
+}
+
+#[test]
+fn ir_narrowing_composes_with_training() {
+    // An IR whose recipe disables the CPU variant: training then produces
+    // a single-interval (GPU-only) table.
+    let mut node = spmv_ir_node();
+    node.variants[0].enabled = false;
+    let ir = Ir {
+        main: MainDescriptor::new("app", "xeon_c2050"),
+        recipe: Recipe::default(),
+        nodes: vec![node],
+        use_history_models: true,
+    };
+    let node = ir.node("spmv").unwrap();
+    let (table, _) =
+        train_dispatch_table(node, "nnz", &log_scenarios(1e3, 1e7, 10), &measure);
+    assert_eq!(table.len(), 1);
+    assert_eq!(table.lookup(1e3), "spmv_cuda");
+}

@@ -1,0 +1,176 @@
+//! The full PEPPHER pipeline in one test: XML descriptors on disk →
+//! repository scan → component-tree IR (with user-guided narrowing) →
+//! kernel binding → context-aware execution on the heterogeneous runtime —
+//! i.e. everything the paper's `compose main.xml` + native build + run
+//! does, verified against the sequential reference.
+
+use peppher::apps::spmv;
+use peppher::compose::{build_ir, instantiate_registry, KernelBindings, Recipe};
+use peppher::containers::Vector;
+use peppher::descriptor::Repository;
+use peppher::runtime::{Runtime, SchedulerKind};
+use peppher::sim::MachineConfig;
+use std::path::PathBuf;
+
+fn write_repo(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("peppher-x2e-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(dir.join("spmv")).unwrap();
+    std::fs::write(
+        dir.join("spmv/spmv.xml"),
+        r#"<interface name="spmv">
+             <param name="rowPtr" type="size_t*" access="read"/>
+             <param name="colIdxs" type="size_t*" access="read"/>
+             <param name="values" type="float*" access="read"/>
+             <param name="x" type="const float*" access="read"/>
+             <param name="y" type="float*" access="write"/>
+             <param name="rows" type="int" access="read"/>
+             <contextParam name="nnz" min="0"/>
+           </interface>"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("spmv/spmv_cpu.xml"),
+        r#"<component name="spmv_cpu">
+             <provides interface="spmv"/>
+             <platform model="cpp"/>
+           </component>"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("spmv/spmv_omp.xml"),
+        r#"<component name="spmv_omp">
+             <provides interface="spmv"/>
+             <platform model="openmp"/>
+           </component>"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("spmv/spmv_cuda.xml"),
+        r#"<component name="spmv_cuda">
+             <provides interface="spmv"/>
+             <platform model="cuda"/>
+             <constraint param="nnz" min="1000"/>
+           </component>"#,
+    )
+    .unwrap();
+    std::fs::write(
+        dir.join("main.xml"),
+        r#"<main name="spmv_app" targetPlatform="xeon_c2050">
+             <uses component="spmv"/>
+           </main>"#,
+    )
+    .unwrap();
+    dir
+}
+
+fn bindings() -> KernelBindings {
+    let serial = |ctx: &mut peppher::runtime::KernelCtx<'_>| {
+        let rows = ctx.arg::<spmv::SpmvArgs>().rows;
+        let row_ptr = ctx.r::<Vec<u32>>(0).clone();
+        let col_idx = ctx.r::<Vec<u32>>(1).clone();
+        let values = ctx.r::<Vec<f32>>(2).clone();
+        let x = ctx.r::<Vec<f32>>(3).clone();
+        spmv::spmv_kernel(&row_ptr, &col_idx, &values, &x, ctx.w::<Vec<f32>>(4), rows);
+    };
+    let team = |ctx: &mut peppher::runtime::KernelCtx<'_>| {
+        let rows = ctx.arg::<spmv::SpmvArgs>().rows;
+        let threads = ctx.team_size;
+        let row_ptr = ctx.r::<Vec<u32>>(0).clone();
+        let col_idx = ctx.r::<Vec<u32>>(1).clone();
+        let values = ctx.r::<Vec<f32>>(2).clone();
+        let x = ctx.r::<Vec<f32>>(3).clone();
+        spmv::spmv_kernel_parallel(
+            &row_ptr,
+            &col_idx,
+            &values,
+            &x,
+            ctx.w::<Vec<f32>>(4),
+            rows,
+            threads,
+        );
+    };
+    KernelBindings::new()
+        .kernel("spmv_cpu", serial)
+        .kernel("spmv_omp", team)
+        .kernel("spmv_cuda", serial)
+        .cost(
+            "spmv",
+            |ctx| spmv::cost_model(ctx.get("nnz").unwrap_or(0.0), ctx.get("rows").unwrap_or(0.0), 0.3),
+        )
+}
+
+fn run_composed(dir: &PathBuf, recipe: Recipe) -> (Vec<f32>, peppher::runtime::RuntimeStats) {
+    let repo = Repository::scan(dir).unwrap();
+    let ir = build_ir(&repo, "spmv_app", recipe).unwrap();
+    let registry = instantiate_registry(&ir, &bindings()).unwrap();
+
+    let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Dmda);
+    let m = spmv::scattered_matrix(3_000, 7, 99);
+    let x: Vec<f32> = (0..m.cols).map(|i| (i % 11) as f32 * 0.3).collect();
+    let row_ptr = Vector::register(&rt, m.row_ptr.clone());
+    let col_idx = Vector::register(&rt, m.col_idx.clone());
+    let values = Vector::register(&rt, m.values.clone());
+    let xv = Vector::register(&rt, x.clone());
+    let yv = Vector::register(&rt, vec![0.0f32; m.rows]);
+    registry
+        .call("spmv")
+        .operand(row_ptr.handle())
+        .operand(col_idx.handle())
+        .operand(values.handle())
+        .operand(xv.handle())
+        .operand(yv.handle())
+        .arg(spmv::SpmvArgs { rows: m.rows })
+        .context("nnz", m.nnz() as f64)
+        .context("rows", m.rows as f64)
+        .sync()
+        .submit(&rt);
+    let y = yv.into_vec();
+    let stats = rt.stats();
+    rt.shutdown();
+    (y, stats)
+}
+
+#[test]
+fn descriptors_on_disk_compose_and_execute_correctly() {
+    let dir = write_repo("run");
+    let (y, stats) = run_composed(&dir, Recipe::default());
+    let m = spmv::scattered_matrix(3_000, 7, 99);
+    let x: Vec<f32> = (0..m.cols).map(|i| (i % 11) as f32 * 0.3).collect();
+    let want = spmv::reference(&m, &x);
+    for (g, w) in y.iter().zip(&want) {
+        assert!((g - w).abs() <= 1e-4 * (1.0 + w.abs()), "{g} vs {w}");
+    }
+    assert_eq!(stats.tasks_executed, 1);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn recipe_narrowing_survives_the_whole_pipeline() {
+    let dir = write_repo("narrow");
+    // Disable the CPU variants: execution must land on the GPU worker.
+    let recipe = Recipe {
+        disable_impls: vec!["spmv_cpu".into(), "spmv_omp".into()],
+        ..Recipe::default()
+    };
+    let (_, stats) = run_composed(&dir, recipe);
+    assert_eq!(stats.tasks_per_worker[0], 0);
+    assert_eq!(stats.tasks_per_worker[1], 0);
+    assert_eq!(stats.tasks_per_worker[2], 1, "{:?}", stats.tasks_per_worker);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn cpu_only_platform_drops_the_cuda_variant_end_to_end() {
+    let dir = write_repo("cpuonly");
+    let recipe = Recipe {
+        target_platform: Some("xeon_only".into()),
+        ..Recipe::default()
+    };
+    let repo = Repository::scan(&dir).unwrap();
+    let ir = build_ir(&repo, "spmv_app", recipe).unwrap();
+    let registry = instantiate_registry(&ir, &bindings()).unwrap();
+    let names = registry.get("spmv").unwrap().variant_names();
+    assert_eq!(names, vec!["spmv_cpu", "spmv_omp"]);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
