@@ -72,7 +72,10 @@ pub fn bfs_kernel(edge_ptr: &[u32], edge_dst: &[u32], depth: &mut [i32], args: B
         level += 1;
         let mut next = Vec::new();
         for &v in &frontier {
-            let (lo, hi) = (edge_ptr[v as usize] as usize, edge_ptr[v as usize + 1] as usize);
+            let (lo, hi) = (
+                edge_ptr[v as usize] as usize,
+                edge_ptr[v as usize + 1] as usize,
+            );
             for &w in &edge_dst[lo..hi] {
                 if depth[w as usize] < 0 {
                     depth[w as usize] = level;
@@ -111,8 +114,10 @@ pub fn bfs_kernel_parallel(
                     scope.spawn(move || {
                         let mut local = Vec::new();
                         for &v in part {
-                            let (lo, hi) =
-                                (edge_ptr[v as usize] as usize, edge_ptr[v as usize + 1] as usize);
+                            let (lo, hi) = (
+                                edge_ptr[v as usize] as usize,
+                                edge_ptr[v as usize + 1] as usize,
+                            );
                             for &w in &edge_dst[lo..hi] {
                                 if depth_ro[w as usize] < 0 {
                                     local.push(w);
@@ -142,7 +147,15 @@ pub fn bfs_kernel_parallel(
 /// Sequential reference.
 pub fn reference(g: &Graph, source: u32) -> Vec<i32> {
     let mut depth = vec![0i32; g.nodes];
-    bfs_kernel(&g.edge_ptr, &g.edge_dst, &mut depth, BfsArgs { nodes: g.nodes, source });
+    bfs_kernel(
+        &g.edge_ptr,
+        &g.edge_dst,
+        &mut depth,
+        BfsArgs {
+            nodes: g.nodes,
+            source,
+        },
+    );
     depth
 }
 
@@ -196,9 +209,22 @@ pub fn build_component() -> Arc<Component> {
     };
     Component::builder(interface())
         .variant(VariantBuilder::new("bfs_cpu", "cpp").kernel(serial).build())
-        .variant(VariantBuilder::new("bfs_omp", "openmp").kernel(team).build())
-        .variant(VariantBuilder::new("bfs_cuda", "cuda").kernel(serial).build())
-        .cost(|ctx| cost_model(ctx.get("nodes").unwrap_or(0.0), ctx.get("edges").unwrap_or(0.0)))
+        .variant(
+            VariantBuilder::new("bfs_omp", "openmp")
+                .kernel(team)
+                .build(),
+        )
+        .variant(
+            VariantBuilder::new("bfs_cuda", "cuda")
+                .kernel(serial)
+                .build(),
+        )
+        .cost(|ctx| {
+            cost_model(
+                ctx.get("nodes").unwrap_or(0.0),
+                ctx.get("edges").unwrap_or(0.0),
+            )
+        })
         .build()
 }
 
@@ -215,7 +241,10 @@ pub fn run_peppherized(rt: &Runtime, g: &Graph, iters: usize, force: Option<&str
             .operand(edge_ptr.handle())
             .operand(edge_dst.handle())
             .operand(depth.handle())
-            .arg(BfsArgs { nodes: g.nodes, source: (i % g.nodes) as u32 })
+            .arg(BfsArgs {
+                nodes: g.nodes,
+                source: (i % g.nodes) as u32,
+            })
             .context("nodes", g.nodes as f64)
             .context("edges", g.edges() as f64);
         if let Some(v) = force {
@@ -263,7 +292,10 @@ pub fn run_direct(rt: &Runtime, g: &Graph, iters: usize) -> Vec<i32> {
             .access(&edge_ptr, AccessMode::Read)
             .access(&edge_dst, AccessMode::Read)
             .access(&depth, AccessMode::Write)
-            .arg(BfsArgs { nodes: g.nodes, source: (i % g.nodes) as u32 })
+            .arg(BfsArgs {
+                nodes: g.nodes,
+                source: (i % g.nodes) as u32,
+            })
             .cost(cost)
             .submit(rt);
     }
@@ -299,7 +331,11 @@ mod tests {
             }
             edge_ptr.push(edge_dst.len() as u32);
         }
-        Graph { nodes: n, edge_ptr, edge_dst }
+        Graph {
+            nodes: n,
+            edge_ptr,
+            edge_dst,
+        }
     }
 
     #[test]
@@ -315,7 +351,10 @@ mod tests {
     fn generated_graph_fully_reachable() {
         let g = generate(500, 4, 11);
         let depth = reference(&g, 0);
-        assert!(depth.iter().all(|&d| d >= 0), "chain edges guarantee reachability");
+        assert!(
+            depth.iter().all(|&d| d >= 0),
+            "chain edges guarantee reachability"
+        );
     }
 
     #[test]
@@ -327,7 +366,10 @@ mod tests {
             &g.edge_ptr,
             &g.edge_dst,
             &mut got,
-            BfsArgs { nodes: g.nodes, source: 17 },
+            BfsArgs {
+                nodes: g.nodes,
+                source: 17,
+            },
             4,
         );
         assert_eq!(want, got);
@@ -336,9 +378,15 @@ mod tests {
     #[test]
     fn peppherized_and_direct_agree() {
         let g = generate(300, 4, 21);
-        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         let tool = run_peppherized(&rt, &g, 1, None);
-        let rt2 = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt2 = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         let direct = run_direct(&rt2, &g, 1);
         assert_eq!(tool, direct);
         assert_eq!(tool, reference(&g, 0));

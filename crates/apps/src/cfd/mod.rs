@@ -80,8 +80,8 @@ fn flux_step(neighbors: &[u32], vars: &[f32], out: &mut [f32], e0: usize, e1: us
         }
         // Pressure coupling keeps the update physical-ish (ideal gas).
         let density = vars[base].max(1e-6);
-        let ke = (vars[base + 1] * vars[base + 1] + vars[base + 2] * vars[base + 2])
-            / (2.0 * density);
+        let ke =
+            (vars[base + 1] * vars[base + 1] + vars[base + 2] * vars[base + 2]) / (2.0 * density);
         let pressure = 0.4 * (vars[base + 3] - ke);
         for (v, a) in acc.iter().enumerate() {
             out[base + v] = vars[base + v] + dt * (a * 0.25 - 0.01 * pressure * (v as f32 - 1.5));
@@ -200,8 +200,16 @@ pub fn build_component() -> Arc<Component> {
     };
     Component::builder(interface())
         .variant(VariantBuilder::new("cfd_cpu", "cpp").kernel(serial).build())
-        .variant(VariantBuilder::new("cfd_omp", "openmp").kernel(team).build())
-        .variant(VariantBuilder::new("cfd_cuda", "cuda").kernel(serial).build())
+        .variant(
+            VariantBuilder::new("cfd_omp", "openmp")
+                .kernel(team)
+                .build(),
+        )
+        .variant(
+            VariantBuilder::new("cfd_cuda", "cuda")
+                .kernel(serial)
+                .build(),
+        )
         .cost(|ctx| {
             cost_model(
                 ctx.get("elements").unwrap_or(0.0),
@@ -213,12 +221,21 @@ pub fn build_component() -> Arc<Component> {
 
 // LOC:TOOL:BEGIN
 /// CFD with the composition tool.
-pub fn run_peppherized(rt: &Runtime, elements: usize, calls: usize, force: Option<&str>) -> Vec<f32> {
+pub fn run_peppherized(
+    rt: &Runtime,
+    elements: usize,
+    calls: usize,
+    force: Option<&str>,
+) -> Vec<f32> {
     let mesh = generate(elements, 0xCFD);
     let comp = build_component();
     let nb = Vector::register(rt, mesh.neighbors.clone());
     let vars = Vector::register(rt, mesh.variables.clone());
-    let args = CfdArgs { elements, steps: 3, dt: 0.05 };
+    let args = CfdArgs {
+        elements,
+        steps: 3,
+        dt: 0.05,
+    };
     for _ in 0..calls {
         let mut call = comp
             .call()
@@ -263,7 +280,11 @@ pub fn run_direct(rt: &Runtime, elements: usize, calls: usize) -> Vec<f32> {
     let codelet = Arc::new(codelet);
     let nb = rt.register_vec(mesh.neighbors);
     let vars = rt.register_vec(mesh.variables);
-    let args = CfdArgs { elements, steps: 3, dt: 0.05 };
+    let args = CfdArgs {
+        elements,
+        steps: 3,
+        dt: 0.05,
+    };
     let cost = cost_model(elements as f64, args.steps as f64);
     for _ in 0..calls {
         TaskBuilder::new(&codelet)
@@ -301,13 +322,20 @@ mod tests {
         let mesh = Mesh {
             elements,
             neighbors: (0..elements)
-                .flat_map(|e| std::iter::repeat(e as u32).take(NNB))
+                .flat_map(|e| std::iter::repeat_n(e as u32, NNB))
                 .collect(),
             variables: (0..elements)
                 .flat_map(|_| [1.0f32, 0.0, 0.0, 2.5])
                 .collect(),
         };
-        let out = reference(&mesh, CfdArgs { elements, steps: 3, dt: 0.05 });
+        let out = reference(
+            &mesh,
+            CfdArgs {
+                elements,
+                steps: 3,
+                dt: 0.05,
+            },
+        );
         for e in 1..elements {
             for v in 0..NVAR {
                 assert!((out[e * NVAR + v] - out[v]).abs() < 1e-6);
@@ -318,7 +346,14 @@ mod tests {
     #[test]
     fn solution_stays_bounded() {
         let mesh = generate(2_000, 3);
-        let out = reference(&mesh, CfdArgs { elements: 2_000, steps: 10, dt: 0.05 });
+        let out = reference(
+            &mesh,
+            CfdArgs {
+                elements: 2_000,
+                steps: 10,
+                dt: 0.05,
+            },
+        );
         assert!(out.iter().all(|v| v.is_finite()));
         let max = out.iter().fold(0.0f32, |m, v| m.max(v.abs()));
         assert!(max < 100.0, "explicit step remained stable, max={max}");
@@ -327,7 +362,11 @@ mod tests {
     #[test]
     fn parallel_matches_serial() {
         let mesh = generate(500, 9);
-        let args = CfdArgs { elements: 500, steps: 2, dt: 0.05 };
+        let args = CfdArgs {
+            elements: 500,
+            steps: 2,
+            dt: 0.05,
+        };
         let want = reference(&mesh, args);
         let mut got = mesh.variables.clone();
         cfd_kernel_parallel(&mesh.neighbors, &mut got, args, 4);
@@ -338,9 +377,15 @@ mod tests {
 
     #[test]
     fn peppherized_and_direct_agree() {
-        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         let tool = run_peppherized(&rt, 256, 2, None);
-        let rt2 = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt2 = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         let direct = run_direct(&rt2, 256, 2);
         assert_eq!(tool, direct);
     }

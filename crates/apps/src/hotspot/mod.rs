@@ -121,9 +121,13 @@ pub fn interface() -> InterfaceDescriptor {
 /// Regular stencil cost model.
 pub fn cost_model(n: f64, steps: f64) -> KernelCost {
     let cells = n * n;
-    KernelCost::new(steps * cells * 8.0, steps * cells * 24.0, steps * cells * 4.0)
-        .with_regularity(0.9)
-        .with_arithmetic_efficiency(0.3)
+    KernelCost::new(
+        steps * cells * 8.0,
+        steps * cells * 24.0,
+        steps * cells * 4.0,
+    )
+    .with_regularity(0.9)
+    .with_arithmetic_efficiency(0.3)
 }
 
 /// The PEPPHER hotspot component.
@@ -142,9 +146,21 @@ pub fn build_component() -> Arc<Component> {
         hotspot_kernel_parallel(temp, &power, args, threads);
     };
     Component::builder(interface())
-        .variant(VariantBuilder::new("hotspot_cpu", "cpp").kernel(serial).build())
-        .variant(VariantBuilder::new("hotspot_omp", "openmp").kernel(team).build())
-        .variant(VariantBuilder::new("hotspot_cuda", "cuda").kernel(serial).build())
+        .variant(
+            VariantBuilder::new("hotspot_cpu", "cpp")
+                .kernel(serial)
+                .build(),
+        )
+        .variant(
+            VariantBuilder::new("hotspot_omp", "openmp")
+                .kernel(team)
+                .build(),
+        )
+        .variant(
+            VariantBuilder::new("hotspot_cuda", "cuda")
+                .kernel(serial)
+                .build(),
+        )
         .cost(|ctx| cost_model(ctx.get("n").unwrap_or(0.0), ctx.get("steps").unwrap_or(1.0)))
         .build()
 }
@@ -156,7 +172,11 @@ pub fn run_peppherized(rt: &Runtime, n: usize, calls: usize, force: Option<&str>
     let comp = build_component();
     let tm = Matrix::register(rt, n, n, temp);
     let pm = Matrix::register(rt, n, n, power);
-    let args = HotspotArgs { n, steps: 4, cap: 0.05 };
+    let args = HotspotArgs {
+        n,
+        steps: 4,
+        cap: 0.05,
+    };
     for _ in 0..calls {
         let mut call = comp
             .call()
@@ -201,7 +221,11 @@ pub fn run_direct(rt: &Runtime, n: usize, calls: usize) -> Vec<f32> {
     let codelet = Arc::new(codelet);
     let tm = rt.register_vec(temp);
     let pm = rt.register_vec(power);
-    let args = HotspotArgs { n, steps: 4, cap: 0.05 };
+    let args = HotspotArgs {
+        n,
+        steps: 4,
+        cap: 0.05,
+    };
     let cost = cost_model(n as f64, args.steps as f64);
     for _ in 0..calls {
         TaskBuilder::new(&codelet)
@@ -236,7 +260,15 @@ mod tests {
         let n = 8;
         let temp = vec![330.0f32; n * n];
         let power = vec![0.0f32; n * n];
-        let out = reference(&temp, &power, HotspotArgs { n, steps: 5, cap: 0.05 });
+        let out = reference(
+            &temp,
+            &power,
+            HotspotArgs {
+                n,
+                steps: 5,
+                cap: 0.05,
+            },
+        );
         assert!(out.iter().all(|&t| (t - 330.0).abs() < 1e-4));
     }
 
@@ -246,17 +278,36 @@ mod tests {
         let temp = vec![300.0f32; n * n];
         let mut power = vec![0.0f32; n * n];
         power[3 * n + 3] = 10.0;
-        let out = reference(&temp, &power, HotspotArgs { n, steps: 3, cap: 0.05 });
-        assert!(out[3 * n + 3] > 300.5, "powered cell heated: {}", out[3 * n + 3]);
+        let out = reference(
+            &temp,
+            &power,
+            HotspotArgs {
+                n,
+                steps: 3,
+                cap: 0.05,
+            },
+        );
+        assert!(
+            out[3 * n + 3] > 300.5,
+            "powered cell heated: {}",
+            out[3 * n + 3]
+        );
         assert!(out[3 * n + 4] > 300.0, "heat diffuses to neighbours");
-        assert!((out[0] - 300.0).abs() < 1e-3, "far corner unaffected after 3 steps");
+        assert!(
+            (out[0] - 300.0).abs() < 1e-3,
+            "far corner unaffected after 3 steps"
+        );
     }
 
     #[test]
     fn parallel_matches_serial() {
         let n = 33;
         let (temp, power) = generate(n, 9);
-        let args = HotspotArgs { n, steps: 3, cap: 0.04 };
+        let args = HotspotArgs {
+            n,
+            steps: 3,
+            cap: 0.04,
+        };
         let want = reference(&temp, &power, args);
         let mut got = temp.clone();
         hotspot_kernel_parallel(&mut got, &power, args, 4);
@@ -267,9 +318,15 @@ mod tests {
 
     #[test]
     fn peppherized_and_direct_agree() {
-        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         let tool = run_peppherized(&rt, 16, 2, None);
-        let rt2 = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt2 = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         let direct = run_direct(&rt2, 16, 2);
         assert_eq!(tool, direct);
     }

@@ -152,8 +152,16 @@ pub fn build_component() -> Arc<Component> {
     };
     Component::builder(interface())
         .variant(VariantBuilder::new("lud_cpu", "cpp").kernel(serial).build())
-        .variant(VariantBuilder::new("lud_omp", "openmp").kernel(team).build())
-        .variant(VariantBuilder::new("lud_cuda", "cuda").kernel(serial).build())
+        .variant(
+            VariantBuilder::new("lud_omp", "openmp")
+                .kernel(team)
+                .build(),
+        )
+        .variant(
+            VariantBuilder::new("lud_cuda", "cuda")
+                .kernel(serial)
+                .build(),
+        )
         .cost(|ctx| cost_model(ctx.get("n").unwrap_or(0.0)))
         .build()
 }
@@ -254,9 +262,15 @@ mod tests {
 
     #[test]
     fn peppherized_and_direct_agree() {
-        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         let tool = run_peppherized(&rt, 16, None);
-        let rt2 = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt2 = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         let direct = run_direct(&rt2, 16);
         assert_eq!(tool, direct);
     }

@@ -33,8 +33,8 @@ fn similarity(a: u8, b: u8) -> i32 {
 pub fn nw_kernel(seq1: &[u8], seq2: &[u8], score: &mut [i32], args: NwArgs) {
     let n = args.n;
     let w = n + 1;
-    for j in 0..=n {
-        score[j] = -(j as i32) * args.penalty;
+    for (j, s) in score[..=n].iter_mut().enumerate() {
+        *s = -(j as i32) * args.penalty;
     }
     for i in 1..=n {
         score[i * w] = -(i as i32) * args.penalty;
@@ -48,12 +48,18 @@ pub fn nw_kernel(seq1: &[u8], seq2: &[u8], score: &mut [i32], args: NwArgs) {
 }
 
 /// Wavefront-parallel DP fill: cells on one anti-diagonal are independent.
-pub fn nw_kernel_parallel(seq1: &[u8], seq2: &[u8], score: &mut [i32], args: NwArgs, threads: usize) {
+pub fn nw_kernel_parallel(
+    seq1: &[u8],
+    seq2: &[u8],
+    score: &mut [i32],
+    args: NwArgs,
+    threads: usize,
+) {
     let n = args.n;
     let w = n + 1;
     let threads = threads.max(1);
-    for j in 0..=n {
-        score[j] = -(j as i32) * args.penalty;
+    for (j, s) in score[..=n].iter_mut().enumerate() {
+        *s = -(j as i32) * args.penalty;
     }
     for i in 1..=n {
         score[i * w] = -(i as i32) * args.penalty;
@@ -87,7 +93,10 @@ pub fn nw_kernel_parallel(seq1: &[u8], seq2: &[u8], score: &mut [i32], args: NwA
                     })
                 })
                 .collect();
-            handles.into_iter().flat_map(|h| h.join().unwrap()).collect()
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
         });
         for (idx, v) in results {
             score[idx] = v;
@@ -98,7 +107,11 @@ pub fn nw_kernel_parallel(seq1: &[u8], seq2: &[u8], score: &mut [i32], args: NwA
 /// Seeded random DNA-like sequences.
 pub fn generate(n: usize, seed: u64) -> (Vec<u8>, Vec<u8>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut mk = || (0..n).map(|_| b"ACGT"[rng.gen_range(0..4)]).collect::<Vec<u8>>();
+    let mut mk = || {
+        (0..n)
+            .map(|_| b"ACGT"[rng.gen_range(0..4)])
+            .collect::<Vec<u8>>()
+    };
     (mk(), mk())
 }
 
@@ -163,7 +176,11 @@ pub fn build_component() -> Arc<Component> {
     Component::builder(interface())
         .variant(VariantBuilder::new("nw_cpu", "cpp").kernel(serial).build())
         .variant(VariantBuilder::new("nw_omp", "openmp").kernel(team).build())
-        .variant(VariantBuilder::new("nw_cuda", "cuda").kernel(serial).build())
+        .variant(
+            VariantBuilder::new("nw_cuda", "cuda")
+                .kernel(serial)
+                .build(),
+        )
         .cost(|ctx| cost_model(ctx.get("n").unwrap_or(0.0)))
         .build()
 }
@@ -282,9 +299,15 @@ mod tests {
 
     #[test]
     fn peppherized_and_direct_agree() {
-        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         let tool = run_peppherized(&rt, 32, None);
-        let rt2 = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt2 = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         let direct = run_direct(&rt2, 32);
         assert_eq!(tool, direct);
     }

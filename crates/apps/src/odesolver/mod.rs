@@ -54,9 +54,17 @@ pub fn feval_kernel(y: &[f32], k: &mut [f32], edge: usize) {
             let lap = |field: &[f32]| {
                 let center = field[c];
                 let north = if i > 0 { field[idx(i - 1, j)] } else { center };
-                let south = if i + 1 < edge { field[idx(i + 1, j)] } else { center };
+                let south = if i + 1 < edge {
+                    field[idx(i + 1, j)]
+                } else {
+                    center
+                };
                 let west = if j > 0 { field[idx(i, j - 1)] } else { center };
-                let east = if j + 1 < edge { field[idx(i, j + 1)] } else { center };
+                let east = if j + 1 < edge {
+                    field[idx(i, j + 1)]
+                } else {
+                    center
+                };
                 north + south + east + west - 4.0 * center
             };
             let uu = u[c];
@@ -135,7 +143,11 @@ pub fn reference(edge: usize, steps: usize, h: f32) -> Vec<f32> {
     y
 }
 
-fn vec_interface(name: &str, params: &[(&str, &str, AccessType)], ctx_param: &str) -> InterfaceDescriptor {
+fn vec_interface(
+    name: &str,
+    params: &[(&str, &str, AccessType)],
+    ctx_param: &str,
+) -> InterfaceDescriptor {
     let mut i = InterfaceDescriptor::new(name);
     i.params = params
         .iter()
@@ -169,8 +181,16 @@ fn both_archs(
     f: impl Fn(&mut KernelCtx<'_>) + Send + Sync + Clone + 'static,
 ) -> peppher_core::ComponentBuilder {
     let f2 = f.clone();
-    b.variant(VariantBuilder::new(format!("{name}_cpu"), "cpp").kernel(f).build())
-        .variant(VariantBuilder::new(format!("{name}_cuda"), "cuda").kernel(f2).build())
+    b.variant(
+        VariantBuilder::new(format!("{name}_cpu"), "cpp")
+            .kernel(f)
+            .build(),
+    )
+    .variant(
+        VariantBuilder::new(format!("{name}_cuda"), "cuda")
+            .kernel(f2)
+            .build(),
+    )
 }
 
 /// Builds all nine ODE components and registers them.
@@ -342,7 +362,10 @@ pub fn run_peppherized(
 
     let suffix = |name: &str| force.map(|f| format!("{name}_{f}"));
     let call = |name: &str, ops: &[&peppher_runtime::DataHandle], coeff: f32| {
-        let mut c = registry.call(name).arg(OdeArgs { n, coeff, edge }).context("n", n as f64);
+        let mut c = registry
+            .call(name)
+            .arg(OdeArgs { n, coeff, edge })
+            .context("n", n as f64);
         for h in ops {
             c = c.operand(h);
         }
@@ -356,13 +379,31 @@ pub fn run_peppherized(
     invocations += 1;
     for step in 0..steps {
         call("ode_feval", &[y.handle(), k1.handle()], 0.0);
-        call("ode_stage2", &[y.handle(), k1.handle(), yt.handle()], h / 2.0);
+        call(
+            "ode_stage2",
+            &[y.handle(), k1.handle(), yt.handle()],
+            h / 2.0,
+        );
         call("ode_feval", &[yt.handle(), k2.handle()], 0.0);
-        call("ode_stage3", &[y.handle(), k2.handle(), yt.handle()], h / 2.0);
+        call(
+            "ode_stage3",
+            &[y.handle(), k2.handle(), yt.handle()],
+            h / 2.0,
+        );
         call("ode_feval", &[yt.handle(), k3.handle()], 0.0);
         call("ode_stage4", &[y.handle(), k3.handle(), yt.handle()], h);
         call("ode_feval", &[yt.handle(), k4.handle()], 0.0);
-        call("ode_combine", &[y.handle(), k1.handle(), k2.handle(), k3.handle(), k4.handle()], h / 6.0);
+        call(
+            "ode_combine",
+            &[
+                y.handle(),
+                k1.handle(),
+                k2.handle(),
+                k3.handle(),
+                k4.handle(),
+            ],
+            h / 6.0,
+        );
         // Error control: alternate norm evaluation with error scaling.
         if step % 2 == 0 {
             call("ode_norm", &[k1.handle(), k4.handle(), err.handle()], 0.0);
@@ -569,7 +610,10 @@ mod tests {
 
     #[test]
     fn peppherized_matches_reference_and_counts_invocations() {
-        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Dmda);
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Dmda,
+        );
         let (got, invocations) = run_peppherized(&rt, 10, 6, None);
         let want = reference(10, 6, 1e-4);
         assert_eq!(invocations, 9 * 6 + 2);
@@ -580,7 +624,10 @@ mod tests {
 
     #[test]
     fn direct_matches_reference() {
-        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         let got = run_direct(&rt, 10, 6, false);
         let want = reference(10, 6, 1e-4);
         for (g, w) in got.iter().zip(&want) {
@@ -590,7 +637,10 @@ mod tests {
 
     #[test]
     fn gpu_only_direct_matches_too() {
-        let rt = Runtime::new(MachineConfig::c2050_platform(1).without_noise(), SchedulerKind::Eager);
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(1).without_noise(),
+            SchedulerKind::Eager,
+        );
         let got = run_direct(&rt, 8, 4, true);
         let want = reference(8, 4, 1e-4);
         for (g, w) in got.iter().zip(&want) {

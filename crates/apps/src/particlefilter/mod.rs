@@ -80,7 +80,8 @@ pub fn pf_kernel_parallel(
     let threads = threads.max(1).min(n.max(1));
     // Deterministic per-particle noise: hash of (seed, frame, particle).
     let noise = |frame: usize, p: usize, axis: u64| -> f32 {
-        let mut h = args.seed
+        let mut h = args
+            .seed
             .wrapping_mul(0x9E3779B97F4A7C15)
             .wrapping_add((frame as u64) << 32)
             .wrapping_add((p as u64) << 1)
@@ -189,9 +190,21 @@ pub fn build_component() -> Arc<Component> {
         pf_kernel_parallel(&obs, est, args, threads);
     };
     Component::builder(interface())
-        .variant(VariantBuilder::new("particlefilter_cpu", "cpp").kernel(serial).build())
-        .variant(VariantBuilder::new("particlefilter_omp", "openmp").kernel(team).build())
-        .variant(VariantBuilder::new("particlefilter_cuda", "cuda").kernel(serial).build())
+        .variant(
+            VariantBuilder::new("particlefilter_cpu", "cpp")
+                .kernel(serial)
+                .build(),
+        )
+        .variant(
+            VariantBuilder::new("particlefilter_omp", "openmp")
+                .kernel(team)
+                .build(),
+        )
+        .variant(
+            VariantBuilder::new("particlefilter_cuda", "cuda")
+                .kernel(serial)
+                .build(),
+        )
         .cost(|ctx| {
             cost_model(
                 ctx.get("particles").unwrap_or(0.0),
@@ -203,7 +216,12 @@ pub fn build_component() -> Arc<Component> {
 
 // LOC:TOOL:BEGIN
 /// ParticleFilter with the composition tool.
-pub fn run_peppherized(rt: &Runtime, particles: usize, frames: usize, force: Option<&str>) -> Vec<f32> {
+pub fn run_peppherized(
+    rt: &Runtime,
+    particles: usize,
+    frames: usize,
+    force: Option<&str>,
+) -> Vec<f32> {
     let obs = generate(frames, 0x9F);
     let comp = build_component();
     let ov = Vector::register(rt, obs);
@@ -212,7 +230,11 @@ pub fn run_peppherized(rt: &Runtime, particles: usize, frames: usize, force: Opt
         .call()
         .operand(ov.handle())
         .operand(ev.handle())
-        .arg(PfArgs { particles, frames, seed: 0x9F2 })
+        .arg(PfArgs {
+            particles,
+            frames,
+            seed: 0x9F2,
+        })
         .context("particles", particles as f64)
         .context("frames", frames as f64);
     if let Some(v) = force {
@@ -253,7 +275,11 @@ pub fn run_direct(rt: &Runtime, particles: usize, frames: usize) -> Vec<f32> {
     TaskBuilder::new(&codelet)
         .access(&ov, AccessMode::Read)
         .access(&ev, AccessMode::Write)
-        .arg(PfArgs { particles, frames, seed: 0x9F2 })
+        .arg(PfArgs {
+            particles,
+            frames,
+            seed: 0x9F2,
+        })
         .cost(cost_model(particles as f64, frames as f64))
         .submit(rt);
     rt.wait_all();
@@ -280,7 +306,14 @@ mod tests {
     fn filter_tracks_the_trajectory() {
         let frames = 20;
         let obs = generate(frames, 1);
-        let est = reference(&obs, PfArgs { particles: 2_000, frames, seed: 2 });
+        let est = reference(
+            &obs,
+            PfArgs {
+                particles: 2_000,
+                frames,
+                seed: 2,
+            },
+        );
         // After burn-in the estimate should stay near the observations.
         for f in 5..frames {
             let dx = est[f * 2] - obs[f * 2];
@@ -293,14 +326,22 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let obs = generate(8, 3);
-        let args = PfArgs { particles: 500, frames: 8, seed: 42 };
+        let args = PfArgs {
+            particles: 500,
+            frames: 8,
+            seed: 42,
+        };
         assert_eq!(reference(&obs, args), reference(&obs, args));
     }
 
     #[test]
     fn parallel_matches_serial() {
         let obs = generate(10, 5);
-        let args = PfArgs { particles: 777, frames: 10, seed: 9 };
+        let args = PfArgs {
+            particles: 777,
+            frames: 10,
+            seed: 9,
+        };
         let want = reference(&obs, args);
         let mut got = vec![0.0f32; 20];
         pf_kernel_parallel(&obs, &mut got, args, 4);
@@ -311,9 +352,15 @@ mod tests {
 
     #[test]
     fn peppherized_and_direct_agree() {
-        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         let tool = run_peppherized(&rt, 300, 6, None);
-        let rt2 = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt2 = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         let direct = run_direct(&rt2, 300, 6);
         assert_eq!(tool, direct);
     }

@@ -143,10 +143,27 @@ pub fn build_component() -> Arc<Component> {
         pathfinder_kernel_parallel(&wall, result, args, threads);
     };
     Component::builder(interface())
-        .variant(VariantBuilder::new("pathfinder_cpu", "cpp").kernel(serial).build())
-        .variant(VariantBuilder::new("pathfinder_omp", "openmp").kernel(team).build())
-        .variant(VariantBuilder::new("pathfinder_cuda", "cuda").kernel(serial).build())
-        .cost(|ctx| cost_model(ctx.get("rows").unwrap_or(0.0), ctx.get("cols").unwrap_or(0.0)))
+        .variant(
+            VariantBuilder::new("pathfinder_cpu", "cpp")
+                .kernel(serial)
+                .build(),
+        )
+        .variant(
+            VariantBuilder::new("pathfinder_omp", "openmp")
+                .kernel(team)
+                .build(),
+        )
+        .variant(
+            VariantBuilder::new("pathfinder_cuda", "cuda")
+                .kernel(serial)
+                .build(),
+        )
+        .cost(|ctx| {
+            cost_model(
+                ctx.get("rows").unwrap_or(0.0),
+                ctx.get("cols").unwrap_or(0.0),
+            )
+        })
         .build()
 }
 
@@ -260,9 +277,15 @@ mod tests {
 
     #[test]
     fn peppherized_and_direct_agree() {
-        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         let tool = run_peppherized(&rt, 20, 50, None);
-        let rt2 = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt2 = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         let direct = run_direct(&rt2, 20, 50);
         assert_eq!(tool, direct);
     }

@@ -29,7 +29,13 @@ pub struct SgemmArgs {
 
 /// Row-major serial kernel (ikj order for cache friendliness).
 pub fn sgemm_kernel(a: &[f32], b: &[f32], c: &mut [f32], args: SgemmArgs) {
-    let SgemmArgs { m, k, n, alpha, beta } = args;
+    let SgemmArgs {
+        m,
+        k,
+        n,
+        alpha,
+        beta,
+    } = args;
     for ci in c.iter_mut().take(m * n) {
         *ci *= beta;
     }
@@ -47,7 +53,13 @@ pub fn sgemm_kernel(a: &[f32], b: &[f32], c: &mut [f32], args: SgemmArgs) {
 
 /// Row-parallel kernel for the OpenMP-style team variant.
 pub fn sgemm_kernel_parallel(a: &[f32], b: &[f32], c: &mut [f32], args: SgemmArgs, threads: usize) {
-    let SgemmArgs { m, k, n, alpha, beta } = args;
+    let SgemmArgs {
+        m,
+        k,
+        n,
+        alpha,
+        beta,
+    } = args;
     let threads = threads.max(1).min(m.max(1));
     let chunk = m.div_ceil(threads);
     std::thread::scope(|scope| {
@@ -76,7 +88,11 @@ pub fn sgemm_kernel_parallel(a: &[f32], b: &[f32], c: &mut [f32], args: SgemmArg
 /// Seeded random square workload.
 pub fn generate(n: usize, seed: u64) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut mk = |len: usize| (0..len).map(|_| rng.gen_range(-1.0f32..1.0)).collect::<Vec<_>>();
+    let mut mk = |len: usize| {
+        (0..len)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect::<Vec<_>>()
+    };
     (mk(n * n), mk(n * n), mk(n * n))
 }
 
@@ -137,9 +153,21 @@ pub fn build_component() -> Arc<Component> {
         sgemm_kernel_parallel(&a, &b, c, args, threads);
     };
     Component::builder(interface())
-        .variant(VariantBuilder::new("sgemm_cpu", "cpp").kernel(serial).build())
-        .variant(VariantBuilder::new("sgemm_omp", "openmp").kernel(team).build())
-        .variant(VariantBuilder::new("sgemm_cuda", "cuda").kernel(serial).build())
+        .variant(
+            VariantBuilder::new("sgemm_cpu", "cpp")
+                .kernel(serial)
+                .build(),
+        )
+        .variant(
+            VariantBuilder::new("sgemm_omp", "openmp")
+                .kernel(team)
+                .build(),
+        )
+        .variant(
+            VariantBuilder::new("sgemm_cuda", "cuda")
+                .kernel(serial)
+                .build(),
+        )
         .cost(|ctx| {
             let n = ctx.get("n").unwrap_or(0.0);
             let m = ctx.get("m").unwrap_or(n);
@@ -158,7 +186,13 @@ pub fn run_peppherized(rt: &Runtime, n: usize, iters: usize, force: Option<&str>
     let am = Matrix::register(rt, n, n, a);
     let bm = Matrix::register(rt, n, n, b);
     let cm = Matrix::register(rt, n, n, c);
-    let args = SgemmArgs { m: n, k: n, n, alpha: 1.0, beta: 0.5 };
+    let args = SgemmArgs {
+        m: n,
+        k: n,
+        n,
+        alpha: 1.0,
+        beta: 0.5,
+    };
     for _ in 0..iters {
         let mut call = comp
             .call()
@@ -211,7 +245,13 @@ pub fn run_direct(rt: &Runtime, n: usize, iters: usize) -> Vec<f32> {
     let ah = rt.register_vec(a);
     let bh = rt.register_vec(b);
     let ch = rt.register_vec(c);
-    let args = SgemmArgs { m: n, k: n, n, alpha: 1.0, beta: 0.5 };
+    let args = SgemmArgs {
+        m: n,
+        k: n,
+        n,
+        alpha: 1.0,
+        beta: 0.5,
+    };
     let cost = cost_model(n as f64, n as f64, n as f64);
     for _ in 0..iters {
         TaskBuilder::new(&codelet)
@@ -251,7 +291,13 @@ pub fn run_hybrid(rt: &Runtime, n: usize, nblocks: usize) -> Vec<f32> {
             .operand(ab.handle())
             .operand(bm.handle())
             .operand(cb.handle())
-            .arg(SgemmArgs { m: rows, k: n, n, alpha: 1.0, beta: 0.5 })
+            .arg(SgemmArgs {
+                m: rows,
+                k: n,
+                n,
+                alpha: 1.0,
+                beta: 0.5,
+            })
             .context("m", rows as f64)
             .context("k", n as f64)
             .context("n", n as f64)
@@ -281,7 +327,18 @@ mod tests {
         let a = vec![1.0, 2.0, 3.0, 4.0];
         let b = vec![5.0, 6.0, 7.0, 8.0];
         let mut c = vec![0.0; 4];
-        sgemm_kernel(&a, &b, &mut c, SgemmArgs { m: 2, k: 2, n: 2, alpha: 1.0, beta: 0.0 });
+        sgemm_kernel(
+            &a,
+            &b,
+            &mut c,
+            SgemmArgs {
+                m: 2,
+                k: 2,
+                n: 2,
+                alpha: 1.0,
+                beta: 0.0,
+            },
+        );
         assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
     }
 
@@ -290,14 +347,31 @@ mod tests {
         let a = vec![1.0];
         let b = vec![1.0];
         let mut c = vec![10.0];
-        sgemm_kernel(&a, &b, &mut c, SgemmArgs { m: 1, k: 1, n: 1, alpha: 2.0, beta: 0.5 });
+        sgemm_kernel(
+            &a,
+            &b,
+            &mut c,
+            SgemmArgs {
+                m: 1,
+                k: 1,
+                n: 1,
+                alpha: 2.0,
+                beta: 0.5,
+            },
+        );
         assert_eq!(c, vec![7.0]); // 0.5*10 + 2*1*1
     }
 
     #[test]
     fn parallel_matches_serial() {
         let (a, b, c) = generate(33, 5);
-        let args = SgemmArgs { m: 33, k: 33, n: 33, alpha: 1.5, beta: 0.25 };
+        let args = SgemmArgs {
+            m: 33,
+            k: 33,
+            n: 33,
+            alpha: 1.5,
+            beta: 0.25,
+        };
         let want = reference(&a, &b, &c, args);
         let mut got = c.clone();
         sgemm_kernel_parallel(&a, &b, &mut got, args, 4);
@@ -308,9 +382,15 @@ mod tests {
 
     #[test]
     fn peppherized_and_direct_agree() {
-        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         let tool = run_peppherized(&rt, 24, 2, None);
-        let rt2 = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt2 = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         let direct = run_direct(&rt2, 24, 2);
         assert_eq!(tool.len(), direct.len());
         for (t, d) in tool.iter().zip(&direct) {
@@ -321,9 +401,15 @@ mod tests {
     #[test]
     fn hybrid_blocked_gemm_matches_whole_gemm() {
         let n = 32;
-        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Dmda);
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Dmda,
+        );
         let whole = run_peppherized(&rt, n, 1, None);
-        let rt2 = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Dmda);
+        let rt2 = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Dmda,
+        );
         let blocked = run_hybrid(&rt2, n, 5);
         assert_eq!(whole.len(), blocked.len());
         for (w, b) in whole.iter().zip(&blocked) {
@@ -337,7 +423,10 @@ mod tests {
 
     #[test]
     fn forced_cuda_runs_on_gpu() {
-        let rt = Runtime::new(MachineConfig::c2050_platform(1).without_noise(), SchedulerKind::Dmda);
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(1).without_noise(),
+            SchedulerKind::Dmda,
+        );
         run_peppherized(&rt, 16, 3, Some("sgemm_cuda"));
         let stats = rt.stats();
         assert_eq!(stats.tasks_per_worker[1], 3, "{stats:?}");

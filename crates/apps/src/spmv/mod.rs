@@ -5,7 +5,9 @@ mod direct;
 mod peppherized;
 
 pub use direct::run_direct;
-pub use peppherized::{run_hybrid, run_peppherized, run_peppherized_ex, run_peppherized_forced};
+pub use peppherized::{
+    run_hybrid, run_hybrid_ex, run_peppherized, run_peppherized_ex, run_peppherized_forced,
+};
 
 use peppher_core::{Component, VariantBuilder};
 use peppher_descriptor::{AccessType, ContextParam, InterfaceDescriptor, ParamDecl};
@@ -309,9 +311,21 @@ pub fn build_component() -> Arc<Component> {
         spmv_kernel_parallel(&row_ptr, &col_idx, &values, &x, y, rows, team);
     };
     Component::builder(interface())
-        .variant(VariantBuilder::new("spmv_cpu", "cpp").kernel(kernel).build())
-        .variant(VariantBuilder::new("spmv_omp", "openmp").kernel(omp_kernel).build())
-        .variant(VariantBuilder::new("spmv_cuda", "cuda").kernel(kernel).build())
+        .variant(
+            VariantBuilder::new("spmv_cpu", "cpp")
+                .kernel(kernel)
+                .build(),
+        )
+        .variant(
+            VariantBuilder::new("spmv_omp", "openmp")
+                .kernel(omp_kernel)
+                .build(),
+        )
+        .variant(
+            VariantBuilder::new("spmv_cuda", "cuda")
+                .kernel(kernel)
+                .build(),
+        )
         .cost(|ctx| {
             cost_model(
                 ctx.get("nnz").unwrap_or(0.0),

@@ -63,6 +63,20 @@ pub fn run_peppherized_ex(
 /// across all CPU workers and the GPU, and only GPU-assigned blocks cross
 /// the PCIe link.
 pub fn run_hybrid(rt: &Runtime, m: &CsrMatrix, x: &[f32], nblocks: usize) -> Vec<f32> {
+    run_hybrid_ex(rt, m, x, nblocks, None)
+}
+
+/// As [`run_hybrid`], optionally forcing every block onto one variant.
+/// Forcing `"spmv_cuda"` streams the entire working set through device
+/// memory — the out-of-core demonstration uses this to put a deterministic
+/// amount of pressure on the GPU node's capacity budget.
+pub fn run_hybrid_ex(
+    rt: &Runtime,
+    m: &CsrMatrix,
+    x: &[f32],
+    nblocks: usize,
+    force_variant: Option<&str>,
+) -> Vec<f32> {
     let comp = build_component();
     let nblocks = nblocks.max(1).min(m.rows.max(1));
     let xv = Vector::register(rt, x.to_vec());
@@ -81,7 +95,8 @@ pub fn run_hybrid(rt: &Runtime, m: &CsrMatrix, x: &[f32], nblocks: usize) -> Vec
         let col_idx = Vector::register(rt, blk.col_idx.clone());
         let values = Vector::register(rt, blk.values.clone());
         let yb = Vector::register(rt, vec![0.0f32; blk.rows]);
-        comp.call()
+        let mut call = comp
+            .call()
             .operand(row_ptr.handle())
             .operand(col_idx.handle())
             .operand(values.handle())
@@ -90,8 +105,11 @@ pub fn run_hybrid(rt: &Runtime, m: &CsrMatrix, x: &[f32], nblocks: usize) -> Vec
             .arg(SpmvArgs { rows: blk.rows })
             .context("nnz", blk.nnz() as f64)
             .context("rows", blk.rows as f64)
-            .context("regularity", blk.regularity)
-            .submit(rt);
+            .context("regularity", blk.regularity);
+        if let Some(v) = force_variant {
+            call = call.force_variant(v);
+        }
+        call.submit(rt);
         block_outputs.push(yb);
     }
     // "The final result can be produced by just simple concatenation of

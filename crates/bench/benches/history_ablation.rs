@@ -40,8 +40,16 @@ fn small_op_component() -> Arc<Component> {
         }
     };
     Component::builder(iface)
-        .variant(VariantBuilder::new("small_axpy_cpu", "cpp").kernel(body).build())
-        .variant(VariantBuilder::new("small_axpy_cuda", "cuda").kernel(body).build())
+        .variant(
+            VariantBuilder::new("small_axpy_cpu", "cpp")
+                .kernel(body)
+                .build(),
+        )
+        .variant(
+            VariantBuilder::new("small_axpy_cuda", "cuda")
+                .kernel(body)
+                .build(),
+        )
         .cost(|_| KernelCost::new(2.0 * N as f64, 8.0 * N as f64, 4.0 * N as f64))
         // The wrong prediction: "a CPU call takes 1 ms" (it really takes
         // a few microseconds; the GPU gets no prediction and falls back to

@@ -39,7 +39,10 @@ fn bench_prefetch(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(40));
     for flag in [true, false] {
         group.bench_with_input(
-            BenchmarkId::new("hybrid_spmv", if flag { "prefetch_on" } else { "prefetch_off" }),
+            BenchmarkId::new(
+                "hybrid_spmv",
+                if flag { "prefetch_on" } else { "prefetch_off" },
+            ),
             &flag,
             |b, &flag| b.iter_custom(|iters| (0..iters).map(|_| run(flag)).sum()),
         );

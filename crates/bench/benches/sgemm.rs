@@ -10,7 +10,10 @@ use peppher_sim::MachineConfig;
 use std::time::Duration;
 
 fn forced(variant: &str, n: usize) -> Duration {
-    let rt = Runtime::new(MachineConfig::c2050_platform(4).without_noise(), SchedulerKind::Dmda);
+    let rt = Runtime::new(
+        MachineConfig::c2050_platform(4).without_noise(),
+        SchedulerKind::Dmda,
+    );
     sgemm::run_peppherized(&rt, n, 1, Some(variant));
     let makespan = rt.stats().makespan;
     rt.shutdown();
@@ -28,11 +31,9 @@ fn bench_sgemm(c: &mut Criterion) {
     group.measurement_time(std::time::Duration::from_millis(40));
     for n in [32usize, 128, 512] {
         for variant in ["sgemm_cpu", "sgemm_omp", "sgemm_cuda"] {
-            group.bench_with_input(
-                BenchmarkId::new(variant, n),
-                &(variant, n),
-                |b, &(v, n)| b.iter_custom(|iters| (0..iters).map(|_| forced(v, n)).sum()),
-            );
+            group.bench_with_input(BenchmarkId::new(variant, n), &(variant, n), |b, &(v, n)| {
+                b.iter_custom(|iters| (0..iters).map(|_| forced(v, n)).sum())
+            });
         }
     }
     group.finish();

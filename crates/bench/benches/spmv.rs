@@ -12,7 +12,10 @@ use peppher_sim::MachineConfig;
 use std::time::Duration;
 
 fn forced(variant: &str, nnz_rows: usize) -> Duration {
-    let rt = Runtime::new(MachineConfig::c2050_platform(4).without_noise(), SchedulerKind::Dmda);
+    let rt = Runtime::new(
+        MachineConfig::c2050_platform(4).without_noise(),
+        SchedulerKind::Dmda,
+    );
     let m = spmv::scattered_matrix(nnz_rows, 8, 11);
     let x = vec![1.0f32; m.cols];
     spmv::run_peppherized_ex(&rt, &m, &x, 1, Some(variant));
@@ -22,7 +25,10 @@ fn forced(variant: &str, nnz_rows: usize) -> Duration {
 }
 
 fn hybrid(nnz_rows: usize) -> Duration {
-    let rt = Runtime::new(MachineConfig::c2050_platform(4).without_noise(), SchedulerKind::Dmda);
+    let rt = Runtime::new(
+        MachineConfig::c2050_platform(4).without_noise(),
+        SchedulerKind::Dmda,
+    );
     let m = spmv::scattered_matrix(nnz_rows, 8, 11);
     let x = vec![1.0f32; m.cols];
     spmv::run_hybrid(&rt, &m, &x, 16);

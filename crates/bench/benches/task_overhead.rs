@@ -11,7 +11,9 @@
 //! Run: `cargo bench -p peppher-bench --bench task_overhead`
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use peppher_runtime::{AccessMode, Arch, Codelet, Runtime, RuntimeConfig, SchedulerKind, TaskBuilder, TimingMode};
+use peppher_runtime::{
+    AccessMode, Arch, Codelet, Runtime, RuntimeConfig, SchedulerKind, TaskBuilder, TimingMode,
+};
 use peppher_sim::MachineConfig;
 use std::sync::Arc;
 

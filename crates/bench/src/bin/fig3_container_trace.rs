@@ -20,14 +20,26 @@ fn gpu_component(name: &str, access: AccessType, body: fn(&mut KernelCtx<'_>)) -
         access,
     }];
     Component::builder(iface)
-        .variant(VariantBuilder::new(format!("{name}_cuda"), "cuda").kernel(body).build())
+        .variant(
+            VariantBuilder::new(format!("{name}_cuda"), "cuda")
+                .kernel(body)
+                .build(),
+        )
         .build()
 }
 
 fn show_state(line: &str, v: &Vector<f32>) {
     let nodes = v.handle().valid_nodes();
-    let mm = if nodes.contains(&0) { "valid" } else { "OUTDATED" };
-    let dev = if nodes.contains(&1) { "valid" } else { "no copy/outdated" };
+    let mm = if nodes.contains(&0) {
+        "valid"
+    } else {
+        "OUTDATED"
+    };
+    let dev = if nodes.contains(&1) {
+        "valid"
+    } else {
+        "no copy/outdated"
+    };
     println!("{line:<44} | main memory: {mm:<9} device: {dev}");
 }
 
@@ -86,7 +98,11 @@ fn main() {
         match ev {
             TraceEvent::Transfer { from, bytes, .. } => {
                 copies += 1;
-                let dir = if from == 0 { "host -> device" } else { "device -> host" };
+                let dir = if from == 0 {
+                    "host -> device"
+                } else {
+                    "device -> host"
+                };
                 println!("  copy #{copies}: {dir} ({bytes} bytes)");
             }
             TraceEvent::Allocate { node, .. } => {

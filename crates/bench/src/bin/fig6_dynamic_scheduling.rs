@@ -96,15 +96,27 @@ fn main() {
         });
 
     match which.as_deref() {
-        Some("c2050") => run_platform("a (Xeon E5520 + Tesla C2050)", &MachineConfig::c2050_platform(4)),
-        Some("c1060") => run_platform("b (Xeon E5520 + Tesla C1060)", &MachineConfig::c1060_platform(4)),
+        Some("c2050") => run_platform(
+            "a (Xeon E5520 + Tesla C2050)",
+            &MachineConfig::c2050_platform(4),
+        ),
+        Some("c1060") => run_platform(
+            "b (Xeon E5520 + Tesla C1060)",
+            &MachineConfig::c1060_platform(4),
+        ),
         Some(other) => {
             eprintln!("unknown platform `{other}` (use c2050 or c1060)");
             std::process::exit(2);
         }
         None => {
-            run_platform("a (Xeon E5520 + Tesla C2050)", &MachineConfig::c2050_platform(4));
-            run_platform("b (Xeon E5520 + Tesla C1060)", &MachineConfig::c1060_platform(4));
+            run_platform(
+                "a (Xeon E5520 + Tesla C2050)",
+                &MachineConfig::c2050_platform(4),
+            );
+            run_platform(
+                "b (Xeon E5520 + Tesla C1060)",
+                &MachineConfig::c1060_platform(4),
+            );
         }
     }
 }

@@ -49,7 +49,9 @@ fn app_loc(file: &str) -> (usize, usize) {
 }
 
 fn main() {
-    println!("Table I — source LOC written by the programmer: composition tool vs direct runtime code\n");
+    println!(
+        "Table I — source LOC written by the programmer: composition tool vs direct runtime code\n"
+    );
     let mut table = TextTable::new(&[
         "Application",
         "Tool (LOC)",

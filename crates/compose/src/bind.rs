@@ -8,19 +8,22 @@
 //! running heterogeneous tasks, no hand-written glue.
 
 use crate::ir::Ir;
-use peppher_core::{CallContext, Component, ComponentRegistry, VariantBuilder};
 use peppher_core::variant::{arch_for_platform, VariantFn};
+use peppher_core::{CallContext, Component, ComponentRegistry, VariantBuilder};
 use peppher_runtime::KernelCtx;
 use peppher_sim::KernelCost;
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// An interface's cost model as supplied by the binding step.
+type CostFn = Arc<dyn Fn(&CallContext) -> KernelCost + Send + Sync>;
 
 /// Maps variant descriptor names to kernel bodies (and interfaces to cost
 /// models) — what the linker step supplies in the paper's flow.
 #[derive(Default)]
 pub struct KernelBindings {
     kernels: HashMap<String, VariantFn>,
-    costs: HashMap<String, Arc<dyn Fn(&CallContext) -> KernelCost + Send + Sync>>,
+    costs: HashMap<String, CostFn>,
 }
 
 impl KernelBindings {

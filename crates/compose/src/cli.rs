@@ -49,9 +49,11 @@ impl CliOptions {
             } else if let Some(v) = flag.strip_prefix("repo=") {
                 opts.repo_dir = Some(PathBuf::from(v));
             } else if let Some(v) = flag.strip_prefix("disableImpls=") {
-                opts.recipe
-                    .disable_impls
-                    .extend(v.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()));
+                opts.recipe.disable_impls.extend(
+                    v.split(',')
+                        .map(|s| s.trim().to_string())
+                        .filter(|s| !s.is_empty()),
+                );
             } else if let Some(v) = flag.strip_prefix("forceImpl=") {
                 opts.recipe.force_impl = Some(v.to_string());
             } else if let Some(v) = flag.strip_prefix("useHistoryModels=") {

@@ -84,10 +84,7 @@ mod tests {
     fn table_dispatch_compiles_shape() {
         let table = DispatchTable::from_samples(
             "nnz",
-            &[
-                (100.0, "spmv_cpu".into()),
-                (1e6, "spmv_cuda".into()),
-            ],
+            &[(100.0, "spmv_cpu".into()), (1e6, "spmv_cuda".into())],
         );
         let code = generate_table_dispatch("spmv", &table);
         assert!(code.contains("pub fn spmv_dispatch(nnz: f64) -> &'static str {"));
@@ -110,8 +107,11 @@ mod tests {
             })
             .collect();
         let tree = DecisionTree::fit(&samples, 4);
-        let code =
-            generate_tree_dispatch("spmv", &["nnz".to_string(), "regularity".to_string()], &tree);
+        let code = generate_tree_dispatch(
+            "spmv",
+            &["nnz".to_string(), "regularity".to_string()],
+            &tree,
+        );
         assert!(code.contains("pub fn spmv_dispatch(ctx: &[f64]) -> &'static str {"));
         assert!(code.contains("if ctx["));
         assert!(code.contains("\"gpu\""));

@@ -188,7 +188,10 @@ mod tests {
         assert_eq!(substitute_type("const T&", "T", "double"), "const double&");
         assert_eq!(substitute_type("Tuple*", "T", "float"), "Tuple*");
         assert_eq!(substitute_type("T", "T", "int"), "int");
-        assert_eq!(substitute_type("std::vector<T>", "T", "int"), "std::vector<int>");
+        assert_eq!(
+            substitute_type("std::vector<T>", "T", "int"),
+            "std::vector<int>"
+        );
     }
 
     #[test]
@@ -254,7 +257,10 @@ mod tests {
             ]
         );
         // Each instantiation pins its tunable to one value.
-        assert_eq!(ir.nodes[0].variants[0].descriptor.tunables[0].values, vec!["64"]);
+        assert_eq!(
+            ir.nodes[0].variants[0].descriptor.tunables[0].values,
+            vec!["64"]
+        );
     }
 
     #[test]

@@ -20,11 +20,7 @@ fn platform_available(target: &str, model: &str) -> bool {
 /// Builds the IR for the application described by `main_name`, exploring
 /// the repository from the main module's used components, recursively
 /// following required interfaces, and processing interfaces bottom-up.
-pub fn build_ir(
-    repo: &Repository,
-    main_name: &str,
-    recipe: Recipe,
-) -> Result<Ir, DescriptorError> {
+pub fn build_ir(repo: &Repository, main_name: &str, recipe: Recipe) -> Result<Ir, DescriptorError> {
     let main = repo
         .mains
         .get(main_name)
@@ -54,14 +50,15 @@ pub fn build_ir(
     // Effective switches: descriptor + recipe.
     let mut disable: Vec<String> = main.disable_impls.clone();
     disable.extend(recipe.disable_impls.iter().cloned());
-    let force = recipe.force_impl.clone().or_else(|| main.force_impl.clone());
+    let force = recipe
+        .force_impl
+        .clone()
+        .or_else(|| main.force_impl.clone());
     let target = recipe
         .target_platform
         .clone()
         .unwrap_or_else(|| main.target_platform.clone());
-    let use_history = recipe
-        .use_history_models
-        .unwrap_or(main.use_history_models);
+    let use_history = recipe.use_history_models.unwrap_or(main.use_history_models);
 
     // Bottom-up order restricted to reachable interfaces.
     let ordered = repo.interfaces_bottom_up()?;
@@ -102,8 +99,7 @@ pub fn build_ir(
         nodes,
         use_history_models: use_history,
     };
-    ir.check_composable()
-        .map_err(DescriptorError::Unresolved)?;
+    ir.check_composable().map_err(DescriptorError::Unresolved)?;
     Ok(ir)
 }
 
@@ -133,14 +129,20 @@ mod tests {
     fn explores_reachable_interfaces_bottom_up() {
         let ir = build_ir(&fixture(), "app", Recipe::default()).unwrap();
         let names: Vec<&str> = ir.nodes.iter().map(|n| n.interface.name.as_str()).collect();
-        assert_eq!(names, vec!["reduce", "spmv"], "required-first order, unused dropped");
+        assert_eq!(
+            names,
+            vec!["reduce", "spmv"],
+            "required-first order, unused dropped"
+        );
         assert!(ir.use_history_models);
     }
 
     #[test]
     fn platform_matching_disables_cuda_on_cpu_target() {
-        let mut recipe = Recipe::default();
-        recipe.target_platform = Some("xeon_only".into());
+        let recipe = Recipe {
+            target_platform: Some("xeon_only".into()),
+            ..Recipe::default()
+        };
         let ir = build_ir(&fixture(), "app", recipe).unwrap();
         let spmv = ir.node("spmv").unwrap();
         let selectable: Vec<&str> = spmv

@@ -61,10 +61,7 @@ pub fn train_dispatch_table(
     for &value in scenarios {
         let winner = variants
             .iter()
-            .filter(|v| {
-                v.descriptor
-                    .admits_context(&[(param.to_string(), value)])
-            })
+            .filter(|v| v.descriptor.admits_context(&[(param.to_string(), value)]))
             .min_by_key(|v| measure(&v.descriptor.name, value))
             .unwrap_or_else(|| {
                 panic!(

@@ -62,6 +62,12 @@ impl<T: Clone + Send + Sync + 'static> Matrix<T> {
         self.len() == 0
     }
 
+    /// Registered payload size in bytes — what one replica of this matrix
+    /// occupies on a memory node (capacity budgeting, transfer modelling).
+    pub fn bytes(&self) -> usize {
+        self.handle.bytes()
+    }
+
     /// The underlying data handle for task operands.
     pub fn handle(&self) -> &DataHandle {
         &self.handle
@@ -84,13 +90,19 @@ impl<T: Clone + Send + Sync + 'static> Matrix<T> {
 
     /// Reads element `(r, c)`.
     pub fn get(&self, r: usize, c: usize) -> T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.read()[r * self.cols + c].clone()
     }
 
     /// Writes element `(r, c)`.
     pub fn set(&self, r: usize, c: usize, value: T) {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of bounds");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of bounds"
+        );
         self.write()[r * self.cols + c] = value;
     }
 

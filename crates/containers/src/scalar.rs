@@ -28,6 +28,12 @@ impl<T: Clone + Send + Sync + 'static> Scalar<T> {
         &self.handle
     }
 
+    /// Registered payload size in bytes — what one replica of this scalar
+    /// occupies on a memory node (capacity budgeting, transfer modelling).
+    pub fn bytes(&self) -> usize {
+        self.handle.bytes()
+    }
+
     /// The runtime this container is bound to.
     pub fn runtime(&self) -> &Runtime {
         &self.rt

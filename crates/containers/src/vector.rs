@@ -1,7 +1,7 @@
 //! The 1D smart container.
 
-use peppher_runtime::{DataHandle, Runtime};
 use peppher_runtime::runtime::{HostReadGuard, HostWriteGuard};
+use peppher_runtime::{DataHandle, Runtime};
 use std::fmt;
 
 /// A 1D array whose payload is managed by the PEPPHER runtime: replicas may
@@ -58,6 +58,12 @@ impl<T: Clone + Send + Sync + 'static> Vector<T> {
     /// Whether the vector has no elements.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Registered payload size in bytes — what one replica of this vector
+    /// occupies on a memory node (capacity budgeting, transfer modelling).
+    pub fn bytes(&self) -> usize {
+        self.handle.bytes()
     }
 
     /// The underlying data handle — pass this to
@@ -119,7 +125,10 @@ impl<T: Clone + Send + Sync + 'static> Vector<T> {
         let mut offset = 0;
         for b in 0..nblocks {
             let size = base + usize::from(b < extra);
-            out.push(Vector::register(&self.rt, data[offset..offset + size].to_vec()));
+            out.push(Vector::register(
+                &self.rt,
+                data[offset..offset + size].to_vec(),
+            ));
             offset += size;
         }
         out
@@ -159,7 +168,18 @@ mod tests {
     use std::sync::Arc;
 
     fn rt() -> Runtime {
-        Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager)
+        Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        )
+    }
+
+    #[test]
+    fn bytes_reports_replica_footprint() {
+        let rt = rt();
+        let v = Vector::register(&rt, vec![0.0f64; 100]);
+        assert_eq!(v.bytes(), 800);
+        rt.shutdown();
     }
 
     #[test]
@@ -180,7 +200,9 @@ mod tests {
         let c = Arc::new(Codelet::new("fill").with_impl(Arch::Gpu, |ctx| {
             ctx.w::<Vec<f32>>(0).fill(4.0);
         }));
-        TaskBuilder::new(&c).access(v.handle(), AccessMode::Write).submit(&rt);
+        TaskBuilder::new(&c)
+            .access(v.handle(), AccessMode::Write)
+            .submit(&rt);
         // No explicit wait: the container access must block and fetch.
         assert_eq!(v.get(7), 4.0);
     }
@@ -190,7 +212,10 @@ mod tests {
         let rt = rt();
         let v = Vector::register(&rt, (0..10).collect::<Vec<i32>>());
         let parts = v.partition(3);
-        assert_eq!(parts.iter().map(|p| p.len()).collect::<Vec<_>>(), vec![4, 3, 3]);
+        assert_eq!(
+            parts.iter().map(|p| p.len()).collect::<Vec<_>>(),
+            vec![4, 3, 3]
+        );
         assert_eq!(parts[0].to_vec(), vec![0, 1, 2, 3]);
         assert_eq!(parts[2].to_vec(), vec![7, 8, 9]);
     }

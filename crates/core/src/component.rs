@@ -43,9 +43,7 @@ pub type CostFn = Arc<dyn Fn(&CallContext) -> KernelCost + Send + Sync>;
 /// structure"). Consulted by the scheduler for architectures whose history
 /// models are not calibrated yet.
 pub type ComponentPrediction = Arc<
-    dyn Fn(&peppher_runtime::ArchClass, &KernelCost) -> Option<peppher_sim::VTime>
-        + Send
-        + Sync,
+    dyn Fn(&peppher_runtime::ArchClass, &KernelCost) -> Option<peppher_sim::VTime> + Send + Sync,
 >;
 
 /// A component: one interface with its registered implementation variants
@@ -79,7 +77,11 @@ impl Component {
 
     /// Names of all registered variants (enabled or not).
     pub fn variant_names(&self) -> Vec<String> {
-        self.variants.read().iter().map(|v| v.name.clone()).collect()
+        self.variants
+            .read()
+            .iter()
+            .map(|v| v.name.clone())
+            .collect()
     }
 
     /// User-guided static composition: disables a variant by name without
@@ -131,9 +133,7 @@ impl Component {
         let admitted: Vec<&Variant> = vs.iter().filter(|v| v.admits(ctx)).collect();
         if let Some(artifact) = self.dispatch.read().as_ref() {
             let pick = match artifact {
-                DispatchArtifact::Table(t) => {
-                    ctx.get(&t.param).map(|v| t.lookup(v).to_string())
-                }
+                DispatchArtifact::Table(t) => ctx.get(&t.param).map(|v| t.lookup(v).to_string()),
                 DispatchArtifact::Tree { params, tree } => {
                     Some(tree.predict(&ctx.feature_vector(params)).to_string())
                 }
@@ -173,9 +173,7 @@ impl Component {
             codelet = codelet.with_impl(v.arch, move |ctx| kernel(ctx));
         }
         let codelet = Arc::new(codelet);
-        self.codelet_cache
-            .lock()
-            .insert(key, Arc::clone(&codelet));
+        self.codelet_cache.lock().insert(key, Arc::clone(&codelet));
         codelet
     }
 
@@ -489,7 +487,10 @@ mod tests {
 
     #[test]
     fn invocation_runs_and_uses_descriptor_access_modes() {
-        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         let comp = axpy_component();
         let x = rt.register_vec(vec![1.0f32; 64]);
         let y = rt.register_vec(vec![10.0f32; 64]);
@@ -519,7 +520,11 @@ mod tests {
         let c = comp.candidates(&CallContext::new().with("n", 10_000.0));
         assert_eq!(c, vec!["axpy_cpu"]);
         assert!(comp.enable_variant("axpy_cuda"));
-        assert_eq!(comp.candidates(&CallContext::new().with("n", 10_000.0)).len(), 2);
+        assert_eq!(
+            comp.candidates(&CallContext::new().with("n", 10_000.0))
+                .len(),
+            2
+        );
         assert!(!comp.disable_variant("nope"));
     }
 
@@ -528,7 +533,10 @@ mod tests {
         let comp = axpy_component();
         comp.set_dispatch_table(DispatchTable::from_samples(
             "n",
-            &[(100.0, "axpy_cpu".into()), (1_000_000.0, "axpy_cuda".into())],
+            &[
+                (100.0, "axpy_cpu".into()),
+                (1_000_000.0, "axpy_cuda".into()),
+            ],
         ));
         assert_eq!(
             comp.candidates(&CallContext::new().with("n", 2_000_000.0)),
@@ -544,12 +552,19 @@ mod tests {
             vec!["axpy_cpu"]
         );
         comp.clear_dispatch();
-        assert_eq!(comp.candidates(&CallContext::new().with("n", 10_000.0)).len(), 2);
+        assert_eq!(
+            comp.candidates(&CallContext::new().with("n", 10_000.0))
+                .len(),
+            2
+        );
     }
 
     #[test]
     fn force_variant_overrides_everything() {
-        let rt = Runtime::new(MachineConfig::c2050_platform(1).without_noise(), SchedulerKind::Eager);
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(1).without_noise(),
+            SchedulerKind::Eager,
+        );
         let comp = axpy_component();
         let x = rt.register_vec(vec![1.0f32; 8]);
         let y = rt.register_vec(vec![0.0f32; 8]);
@@ -564,7 +579,10 @@ mod tests {
             .submit(&rt);
         res.wait();
         let stats = rt.stats();
-        assert!(stats.tasks_per_worker[1] == 1, "ran on the GPU worker: {stats:?}");
+        assert!(
+            stats.tasks_per_worker[1] == 1,
+            "ran on the GPU worker: {stats:?}"
+        );
         rt.unregister_vec::<f32>(y);
         rt.unregister_vec::<f32>(x);
     }

@@ -41,9 +41,11 @@ impl DispatchTable {
     /// # Panics
     /// Panics on an empty sample set.
     pub fn from_samples(param: impl Into<String>, samples: &[(f64, String)]) -> Self {
-        assert!(!samples.is_empty(), "cannot build a dispatch table from no samples");
-        let mut sorted: Vec<(f64, &str)> =
-            samples.iter().map(|(v, w)| (*v, w.as_str())).collect();
+        assert!(
+            !samples.is_empty(),
+            "cannot build a dispatch table from no samples"
+        );
+        let mut sorted: Vec<(f64, &str)> = samples.iter().map(|(v, w)| (*v, w.as_str())).collect();
         sorted.sort_by(|a, b| a.0.total_cmp(&b.0));
 
         let mut entries: Vec<(f64, String)> = Vec::new();
@@ -111,7 +113,10 @@ impl DecisionTree {
     /// # Panics
     /// Panics on an empty sample set or inconsistent feature arity.
     pub fn fit(samples: &[TrainingSample], max_depth: usize) -> Self {
-        assert!(!samples.is_empty(), "cannot fit a decision tree to no samples");
+        assert!(
+            !samples.is_empty(),
+            "cannot fit a decision tree to no samples"
+        );
         let arity = samples[0].features.len();
         assert!(
             samples.iter().all(|s| s.features.len() == arity),
@@ -250,10 +255,7 @@ mod tests {
     #[test]
     fn table_alternating_winners() {
         // cpu gpu cpu: three intervals.
-        let t = DispatchTable::from_samples(
-            "n",
-            &[s(1.0, "cpu"), s(10.0, "gpu"), s(100.0, "cpu")],
-        );
+        let t = DispatchTable::from_samples("n", &[s(1.0, "cpu"), s(10.0, "gpu"), s(100.0, "cpu")]);
         assert_eq!(t.len(), 3);
         assert_eq!(t.lookup(2.0), "cpu");
         assert_eq!(t.lookup(20.0), "gpu");

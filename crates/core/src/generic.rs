@@ -13,12 +13,15 @@
 use crate::component::Component;
 use std::sync::Arc;
 
+/// The expansion factory: concrete type argument name -> built component.
+type ExpandFn = Arc<dyn Fn(&str) -> Arc<Component> + Send + Sync>;
+
 /// A generic component awaiting expansion.
 #[derive(Clone)]
 pub struct GenericComponent {
     /// The generic interface name (e.g. `sort`).
     pub name: String,
-    expand_fn: Arc<dyn Fn(&str) -> Arc<Component> + Send + Sync>,
+    expand_fn: ExpandFn,
 }
 
 impl GenericComponent {

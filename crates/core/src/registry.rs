@@ -36,7 +36,10 @@ impl ComponentRegistry {
     pub fn register_generic(&self, g: GenericComponent) {
         let name = g.name.clone();
         let prev = self.generics.write().insert(name.clone(), g);
-        assert!(prev.is_none(), "generic component `{name}` registered twice");
+        assert!(
+            prev.is_none(),
+            "generic component `{name}` registered twice"
+        );
     }
 
     /// Expands a generic component at a concrete type and registers the
@@ -126,8 +129,16 @@ mod tests {
 
     fn simple_component(name: &str) -> Arc<Component> {
         Component::builder(InterfaceDescriptor::new(name))
-            .variant(VariantBuilder::new(format!("{name}_cpu"), "cpp").kernel(|_| {}).build())
-            .variant(VariantBuilder::new(format!("{name}_cuda"), "cuda").kernel(|_| {}).build())
+            .variant(
+                VariantBuilder::new(format!("{name}_cpu"), "cpp")
+                    .kernel(|_| {})
+                    .build(),
+            )
+            .variant(
+                VariantBuilder::new(format!("{name}_cuda"), "cuda")
+                    .kernel(|_| {})
+                    .build(),
+            )
             .build()
     }
 
@@ -179,7 +190,11 @@ mod tests {
         let reg = ComponentRegistry::new();
         reg.register_generic(GenericComponent::new("sort", |t| {
             Component::builder(InterfaceDescriptor::new(instantiated_name("sort", t)))
-                .variant(VariantBuilder::new("sort_cpu", "cpp").kernel(|_| {}).build())
+                .variant(
+                    VariantBuilder::new("sort_cpu", "cpp")
+                        .kernel(|_| {})
+                        .build(),
+                )
                 .build()
         }));
         let a = reg.instantiate("sort", "f32");

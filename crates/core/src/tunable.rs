@@ -34,7 +34,10 @@ where
     F: Fn(f64) -> K,
     K: Fn(&mut KernelCtx<'_>) + Send + Sync + 'static,
 {
-    assert!(!values.is_empty(), "tunable `{param}` has no candidate values");
+    assert!(
+        !values.is_empty(),
+        "tunable `{param}` has no candidate values"
+    );
     values
         .iter()
         .map(|&v| {
@@ -55,7 +58,10 @@ pub fn expand_tunable_arc(
     values: &[f64],
     factory: impl Fn(f64) -> Arc<dyn Fn(&mut KernelCtx<'_>) + Send + Sync>,
 ) -> Vec<Variant> {
-    assert!(!values.is_empty(), "tunable `{param}` has no candidate values");
+    assert!(
+        !values.is_empty(),
+        "tunable `{param}` has no candidate values"
+    );
     values
         .iter()
         .map(|&v| {
@@ -146,7 +152,10 @@ mod tests {
             "n",
             &[
                 (100.0, tunable_variant_name("blocked_sum_cpu", "block", 8.0)),
-                (100_000.0, tunable_variant_name("blocked_sum_cpu", "block", 512.0)),
+                (
+                    100_000.0,
+                    tunable_variant_name("blocked_sum_cpu", "block", 512.0),
+                ),
             ],
         ));
         assert_eq!(

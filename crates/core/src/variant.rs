@@ -33,9 +33,10 @@ impl Variant {
     /// Whether this variant may serve a call with the given context.
     pub fn admits(&self, ctx: &CallContext) -> bool {
         self.enabled
-            && self.constraints.iter().all(|c| {
-                ctx.get(&c.param).is_none_or(|v| c.admits(v))
-            })
+            && self
+                .constraints
+                .iter()
+                .all(|c| ctx.get(&c.param).is_none_or(|v| c.admits(v)))
     }
 }
 
@@ -92,7 +93,12 @@ impl VariantBuilder {
     }
 
     /// Adds a selectability range constraint on a context parameter.
-    pub fn constrain(mut self, param: impl Into<String>, min: Option<f64>, max: Option<f64>) -> Self {
+    pub fn constrain(
+        mut self,
+        param: impl Into<String>,
+        min: Option<f64>,
+        max: Option<f64>,
+    ) -> Self {
         self.constraints.push(Constraint {
             param: param.into(),
             min,

@@ -93,7 +93,10 @@ impl CDeclaration {
         if !is_ident(&name) {
             return Err(err(format!("bad function name `{name}`")));
         }
-        let return_type = toks[..open - 1].join(" ").replace(" *", "*").replace(" &", "&");
+        let return_type = toks[..open - 1]
+            .join(" ")
+            .replace(" *", "*")
+            .replace(" &", "&");
 
         let close = toks
             .iter()
@@ -200,7 +203,9 @@ fn parse_param(toks: &[String], template_params: &[String]) -> Result<CParam, De
 
     // Template usage check (validates detection; the names themselves come
     // from the template<> prefix).
-    let _uses_template = base.iter().any(|b| template_params.contains(&b.to_string()));
+    let _uses_template = base
+        .iter()
+        .any(|b| template_params.contains(&b.to_string()));
 
     Ok(CParam {
         name,
@@ -258,9 +263,10 @@ mod tests {
 
     #[test]
     fn multiple_template_params() {
-        let d =
-            CDeclaration::parse("template <typename K, class V> void join(K* keys, V* vals, int n)")
-                .unwrap();
+        let d = CDeclaration::parse(
+            "template <typename K, class V> void join(K* keys, V* vals, int n)",
+        )
+        .unwrap();
         assert_eq!(d.template_params, vec!["K", "V"]);
     }
 
@@ -274,7 +280,10 @@ mod tests {
     #[test]
     fn empty_and_void_param_lists() {
         assert!(CDeclaration::parse("void f()").unwrap().params.is_empty());
-        assert!(CDeclaration::parse("void f(void)").unwrap().params.is_empty());
+        assert!(CDeclaration::parse("void f(void)")
+            .unwrap()
+            .params
+            .is_empty());
     }
 
     #[test]

@@ -147,7 +147,9 @@ impl ComponentDescriptor {
             .map(|e| e.text())
             .filter(|t| !t.is_empty())
             .collect();
-        let compile_cmd = root.child("deployment").and_then(|d| d.child_text("compile"));
+        let compile_cmd = root
+            .child("deployment")
+            .and_then(|d| d.child_text("compile"));
 
         let platform_el = root
             .child("platform")
@@ -165,11 +167,10 @@ impl ComponentDescriptor {
             let rname = r
                 .attr("name")
                 .ok_or_else(|| DescriptorError::schema("component", "resource needs `name`"))?;
-            let min = r
-                .attr("min")
-                .unwrap_or("0")
-                .parse::<f64>()
-                .map_err(|_| DescriptorError::schema("component", "resource min not numeric"))?;
+            let min =
+                r.attr("min").unwrap_or("0").parse::<f64>().map_err(|_| {
+                    DescriptorError::schema("component", "resource min not numeric")
+                })?;
             let max = r
                 .attr("max")
                 .map(|v| {
@@ -374,8 +375,7 @@ mod tests {
 
     #[test]
     fn missing_platform_is_error() {
-        let doc =
-            parse(r#"<component name="x"><provides interface="i"/></component>"#).unwrap();
+        let doc = parse(r#"<component name="x"><provides interface="i"/></component>"#).unwrap();
         assert!(ComponentDescriptor::from_xml(&doc.root).is_err());
     }
 }

@@ -118,9 +118,9 @@ impl InterfaceDescriptor {
         let template_params = root
             .children_named("templateParam")
             .map(|e| {
-                e.attr("name")
-                    .map(str::to_string)
-                    .ok_or_else(|| DescriptorError::schema("interface", "templateParam needs `name`"))
+                e.attr("name").map(str::to_string).ok_or_else(|| {
+                    DescriptorError::schema("interface", "templateParam needs `name`")
+                })
             })
             .collect::<Result<Vec<_>, _>>()?;
 
@@ -281,8 +281,9 @@ mod tests {
 
     #[test]
     fn rejects_bad_access() {
-        let doc = parse(r#"<interface name="x"><param name="p" type="int" access="rwx"/></interface>"#)
-            .unwrap();
+        let doc =
+            parse(r#"<interface name="x"><param name="p" type="int" access="rwx"/></interface>"#)
+                .unwrap();
         assert!(InterfaceDescriptor::from_xml(&doc.root).is_err());
     }
 

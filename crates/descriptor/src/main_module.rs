@@ -56,10 +56,7 @@ impl MainDescriptor {
             .attr("name")
             .ok_or_else(|| DescriptorError::schema("main", "missing `name` attribute"))?
             .to_string();
-        let target_platform = root
-            .attr("targetPlatform")
-            .unwrap_or("default")
-            .to_string();
+        let target_platform = root.attr("targetPlatform").unwrap_or("default").to_string();
         let optimization_goal = root
             .attr("optimizationGoal")
             .unwrap_or("exec_time")
@@ -72,7 +69,11 @@ impl MainDescriptor {
             .children_named("disableImpls")
             .flat_map(|e| {
                 e.attr("names")
-                    .map(|v| v.split(',').map(|s| s.trim().to_string()).collect::<Vec<_>>())
+                    .map(|v| {
+                        v.split(',')
+                            .map(|s| s.trim().to_string())
+                            .collect::<Vec<_>>()
+                    })
                     .unwrap_or_default()
             })
             .collect();
@@ -111,7 +112,11 @@ impl MainDescriptor {
             .with_attr("optimizationGoal", &self.optimization_goal)
             .with_attr(
                 "useHistoryModels",
-                if self.use_history_models { "true" } else { "false" },
+                if self.use_history_models {
+                    "true"
+                } else {
+                    "false"
+                },
             );
         for c in &self.components {
             root = root.with_child(Element::new("uses").with_attr("component", c));

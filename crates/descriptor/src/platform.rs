@@ -49,7 +49,10 @@ impl PlatformDescriptor {
             let pname = p
                 .attr("name")
                 .ok_or_else(|| DescriptorError::schema("platform", "property needs `name`"))?;
-            let value = p.attr("value").map(str::to_string).unwrap_or_else(|| p.text());
+            let value = p
+                .attr("value")
+                .map(str::to_string)
+                .unwrap_or_else(|| p.text());
             properties.push((pname.to_string(), value));
         }
         Ok(PlatformDescriptor { name, properties })
@@ -60,7 +63,9 @@ impl PlatformDescriptor {
         let mut root = Element::new("platform").with_attr("name", &self.name);
         for (n, v) in &self.properties {
             root = root.with_child(
-                Element::new("property").with_attr("name", n).with_attr("value", v),
+                Element::new("property")
+                    .with_attr("name", n)
+                    .with_attr("value", v),
             );
         }
         root
@@ -91,8 +96,8 @@ mod tests {
 
     #[test]
     fn property_text_fallback() {
-        let doc = parse(r#"<platform name="x"><property name="k">val</property></platform>"#)
-            .unwrap();
+        let doc =
+            parse(r#"<platform name="x"><property name="k">val</property></platform>"#).unwrap();
         let p = PlatformDescriptor::from_xml(&doc.root).unwrap();
         assert_eq!(p.property("k"), Some("val"));
     }

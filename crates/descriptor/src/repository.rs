@@ -131,7 +131,10 @@ impl Repository {
             }
             for constraint in &c.constraints {
                 let iface = &self.interfaces[&c.provides];
-                let known = iface.context_params.iter().any(|p| p.name == constraint.param)
+                let known = iface
+                    .context_params
+                    .iter()
+                    .any(|p| p.name == constraint.param)
                     || iface.params.iter().any(|p| p.name == constraint.param);
                 if !known {
                     return Err(DescriptorError::Unresolved(format!(
@@ -181,7 +184,10 @@ impl Repository {
             write(&dir.join(format!("{name}.xml")), comp.to_xml())?;
         }
         for (name, platform) in &self.platforms {
-            write(&root.join(format!("platform_{name}.xml")), platform.to_xml())?;
+            write(
+                &root.join(format!("platform_{name}.xml")),
+                platform.to_xml(),
+            )?;
         }
         for (name, main) in &self.mains {
             write(&root.join(format!("{name}_main.xml")), main.to_xml())?;
@@ -257,7 +263,8 @@ mod tests {
         )
         .unwrap();
         repo.ingest(r#"<platform name="cuda"/>"#).unwrap();
-        repo.ingest(r#"<main name="app"><uses component="spmv"/></main>"#).unwrap();
+        repo.ingest(r#"<main name="app"><uses component="spmv"/></main>"#)
+            .unwrap();
         assert_eq!(repo.interfaces.len(), 1);
         assert_eq!(repo.components.len(), 1);
         assert_eq!(repo.platforms.len(), 1);
@@ -272,7 +279,11 @@ mod tests {
         repo.add_component(comp("a_cpu", "a", &[]));
         repo.add_component(comp("a_cuda", "a", &[]));
         repo.add_component(comp("b_cpu", "b", &[]));
-        let names: Vec<&str> = repo.variants_of("a").iter().map(|c| c.name.as_str()).collect();
+        let names: Vec<&str> = repo
+            .variants_of("a")
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
         assert_eq!(names, vec!["a_cpu", "a_cuda"]);
     }
 

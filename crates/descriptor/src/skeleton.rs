@@ -194,7 +194,12 @@ mod tests {
         assert_eq!(sk.interface.params[0].access, AccessType::ReadWrite);
         assert_eq!(sk.interface.params[1].access, AccessType::Read);
         // Integer scalars become candidate context parameters.
-        let ctx: Vec<&str> = sk.interface.context_params.iter().map(|c| c.name.as_str()).collect();
+        let ctx: Vec<&str> = sk
+            .interface
+            .context_params
+            .iter()
+            .map(|c| c.name.as_str())
+            .collect();
         assert_eq!(ctx, vec!["nnz", "nrows", "ncols", "first"]);
     }
 
@@ -202,7 +207,11 @@ mod tests {
     fn component_descriptors_reference_sources_and_compilers() {
         let sk = generate_skeleton(SPMV_DECL).unwrap();
         assert_eq!(sk.components.len(), 3);
-        let cuda = sk.components.iter().find(|c| c.platform.model == "cuda").unwrap();
+        let cuda = sk
+            .components
+            .iter()
+            .find(|c| c.platform.model == "cuda")
+            .unwrap();
         assert_eq!(cuda.name, "spmv_cuda");
         assert_eq!(cuda.provides, "spmv");
         assert_eq!(cuda.sources, vec!["cuda/spmv_cuda.cu"]);
@@ -213,8 +222,7 @@ mod tests {
     fn generated_xml_reparses() {
         let sk = generate_skeleton(SPMV_DECL).unwrap();
         for f in sk.files.iter().filter(|f| f.path.ends_with(".xml")) {
-            let doc = peppher_xml::parse(&f.content)
-                .unwrap_or_else(|e| panic!("{}: {e}", f.path));
+            let doc = peppher_xml::parse(&f.content).unwrap_or_else(|e| panic!("{}: {e}", f.path));
             assert!(doc.root.name == "interface" || doc.root.name == "component");
         }
     }

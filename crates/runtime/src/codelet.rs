@@ -145,7 +145,10 @@ impl fmt::Debug for Codelet {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Codelet")
             .field("name", &self.name)
-            .field("archs", &self.impls.iter().map(|i| i.arch).collect::<Vec<_>>())
+            .field(
+                "archs",
+                &self.impls.iter().map(|i| i.arch).collect::<Vec<_>>(),
+            )
             .field("has_prediction", &self.prediction.is_some())
             .finish()
     }
@@ -214,7 +217,7 @@ impl KernelCtx<'_> {
         let (a, b) = self.buffers.split_at_mut(hi);
         let first = &mut a[lo];
         let second = &mut b[0];
-        fn as_mut<'g, V: 'static>(g: &'g mut BufferGuard, idx: usize) -> &'g mut V {
+        fn as_mut<V: 'static>(g: &mut BufferGuard, idx: usize) -> &mut V {
             match g {
                 BufferGuard::Write(g) => g
                     .downcast_mut::<V>()
@@ -268,6 +271,9 @@ mod tests {
     fn arch_class_display() {
         assert_eq!(ArchClass::Cpu.to_string(), "cpu");
         assert_eq!(ArchClass::CpuTeam(4).to_string(), "cpu-team4");
-        assert_eq!(ArchClass::Gpu("Tesla C2050".into()).to_string(), "gpu:Tesla C2050");
+        assert_eq!(
+            ArchClass::Gpu("Tesla C2050".into()).to_string(),
+            "gpu:Tesla C2050"
+        );
     }
 }

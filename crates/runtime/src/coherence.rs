@@ -8,6 +8,7 @@
 //! allocate without copying.
 
 use crate::handle::{AccessMode, DataHandle, ReplicaStatus};
+use crate::memory::MemoryManager;
 use crate::stats::{StatsCollector, TraceEvent};
 use parking_lot::Mutex;
 use peppher_sim::{LinkProfile, MachineConfig, VTime};
@@ -29,15 +30,33 @@ pub struct Topology {
 impl Topology {
     /// Builds the fabric described by a machine config.
     pub fn new(machine: &MachineConfig) -> Self {
-        let profiles: Vec<LinkProfile> =
-            machine.accelerators.iter().map(|a| a.link.clone()).collect();
-        let links = profiles.iter().map(|_| Mutex::new(LinkState::default())).collect();
+        let profiles: Vec<LinkProfile> = machine
+            .accelerators
+            .iter()
+            .map(|a| a.link.clone())
+            .collect();
+        let links = profiles
+            .iter()
+            .map(|_| Mutex::new(LinkState::default()))
+            .collect();
         Topology { profiles, links }
+    }
+
+    /// The link (profile + occupancy timeline) serving device node `node`.
+    /// Centralizes the node→link index mapping: accelerator `i` owns memory
+    /// node `i + 1`, so node 0 (main memory) has no link of its own.
+    fn link_for(&self, node: usize) -> (&LinkProfile, &Mutex<LinkState>) {
+        debug_assert!(
+            (1..=self.links.len()).contains(&node),
+            "node {node} is not a device memory node (valid: 1..={})",
+            self.links.len()
+        );
+        (&self.profiles[node - 1], &self.links[node - 1])
     }
 
     /// The link profile used when moving data to/from device node `node`.
     pub fn link_profile(&self, node: usize) -> &LinkProfile {
-        &self.profiles[node - 1]
+        self.link_for(node).0
     }
 
     /// Advances every link clock to at least `to` (used by the runtime's
@@ -61,7 +80,8 @@ impl Topology {
 
     /// Performs one hop `from → to` (exactly one side is node 0): charges
     /// the link, really copies the payload, and returns the arrival time.
-    fn hop(
+    /// Also used by the memory subsystem to time eviction writebacks.
+    pub(crate) fn hop(
         &self,
         handle: &DataHandle,
         from: usize,
@@ -71,11 +91,11 @@ impl Topology {
     ) -> VTime {
         debug_assert!(from != to && (from == 0 || to == 0));
         let device_node = if from == 0 { to } else { from };
-        let profile = self.link_profile(device_node);
+        let (profile, link) = self.link_for(device_node);
         let ttime = profile.transfer_time(handle.bytes() as u64);
 
         let arrive = {
-            let mut link = self.links[device_node - 1].lock();
+            let mut link = link.lock();
             let start = link.vnow.max(data_ready);
             let arrive = start + ttime;
             link.vnow = arrive;
@@ -98,13 +118,22 @@ impl Topology {
 /// the data is available at `node` (i.e. the earliest the access may begin
 /// consuming it). Coherence-status effects of *writes* are applied later by
 /// [`mark_written`], once the writing task's finish time is known.
+///
+/// Capacity is reserved through `memory` *before* the handle's state lock
+/// is taken (lock order is handle → node, and eviction surgery must be able
+/// to lock victim handles). Callers racing with eviction — workers and the
+/// prefetcher — must hold a [`MemoryManager::pin`] on `(node, handle)`
+/// across this call so the reservation cannot itself be evicted before the
+/// buffer materializes.
 pub(crate) fn make_valid(
     handle: &DataHandle,
     node: usize,
     mode: AccessMode,
     topo: &Topology,
     stats: &StatsCollector,
+    memory: &MemoryManager,
 ) -> VTime {
+    memory.prepare(handle, node, topo, stats);
     let inner = &handle.inner;
     let mut st = inner.state.lock();
     debug_assert!(node < st.replicas.len(), "node {node} out of range");
@@ -120,8 +149,7 @@ pub(crate) fn make_valid(
                 .and_then(|r| r.cell.clone())
                 .expect("handle has no valid replica anywhere");
             let payload = (inner.clone_fn)(&src_cell.read());
-            st.replicas[node].cell =
-                Some(std::sync::Arc::new(parking_lot::RwLock::new(payload)));
+            st.replicas[node].cell = Some(std::sync::Arc::new(parking_lot::RwLock::new(payload)));
             stats.record_event(TraceEvent::Allocate {
                 handle: handle.id(),
                 node,
@@ -154,13 +182,15 @@ pub(crate) fn make_valid(
     for (from, to) in route {
         arrive = topo.hop(handle, from, to, arrive, stats);
         // Really copy the payload.
-        let src_cell = st.replicas[from].cell.clone().expect("source replica has no buffer");
+        let src_cell = st.replicas[from]
+            .cell
+            .clone()
+            .expect("source replica has no buffer");
         let payload = (inner.clone_fn)(&src_cell.read());
         match st.replicas[to].cell.clone() {
             Some(cell) => *cell.write() = payload,
             None => {
-                st.replicas[to].cell =
-                    Some(std::sync::Arc::new(parking_lot::RwLock::new(payload)));
+                st.replicas[to].cell = Some(std::sync::Arc::new(parking_lot::RwLock::new(payload)));
             }
         }
         // Both endpoints now share valid data.
@@ -176,25 +206,39 @@ pub(crate) fn make_valid(
 /// Applies the coherence effect of a completed write at `node`: that
 /// replica becomes the unique Modified copy available at `vfinish`; every
 /// other valid replica is invalidated (the paper's "marked outdated").
+/// Invalidated *device* replicas also drop their buffers, returning the
+/// bytes to their node's capacity budget — main memory (node 0) keeps its
+/// buffer as the protocol's backing store.
 pub(crate) fn mark_written(
     handle: &DataHandle,
     node: usize,
     vfinish: VTime,
     stats: &StatsCollector,
+    memory: &MemoryManager,
 ) {
-    let mut st = handle.inner.state.lock();
-    let nreplicas = st.replicas.len();
-    for i in 0..nreplicas {
-        if i != node && st.replicas[i].is_valid() {
-            st.replicas[i].status = ReplicaStatus::Invalid;
-            stats.record_event(TraceEvent::Invalidate {
-                handle: handle.id(),
-                node: i,
-            });
+    let mut released = Vec::new();
+    {
+        let mut st = handle.inner.state.lock();
+        let nreplicas = st.replicas.len();
+        for i in 0..nreplicas {
+            if i != node && st.replicas[i].is_valid() {
+                st.replicas[i].status = ReplicaStatus::Invalid;
+                stats.record_event(TraceEvent::Invalidate {
+                    handle: handle.id(),
+                    node: i,
+                });
+            }
+            if i != node && i != 0 && !st.replicas[i].is_valid() && st.replicas[i].cell.is_some() {
+                st.replicas[i].cell = None;
+                released.push(i);
+            }
         }
+        st.replicas[node].status = ReplicaStatus::Modified;
+        st.replicas[node].vready = vfinish;
     }
-    st.replicas[node].status = ReplicaStatus::Modified;
-    st.replicas[node].vready = vfinish;
+    for i in released {
+        memory.release(i, handle.id());
+    }
 }
 
 /// The buffer cell for `node`, which must have been prepared by a prior
@@ -210,35 +254,37 @@ pub(crate) fn cell_for(handle: &DataHandle, node: usize) -> crate::handle::Paylo
 mod tests {
     use super::*;
     use crate::handle::DataHandle;
+    use crate::memory::EvictionPolicy;
     use peppher_sim::MachineConfig;
 
-    fn setup() -> (Topology, StatsCollector, DataHandle) {
+    fn setup() -> (Topology, StatsCollector, DataHandle, MemoryManager) {
         let machine = MachineConfig::c2050_platform(2);
         let topo = Topology::new(&machine);
         let stats = StatsCollector::new(machine.total_workers(), true);
-        // 1 MiB payload.
+        let memory = MemoryManager::new(&machine, EvictionPolicy::Lru);
+        // 1 MiB payload (the 3 GiB device budget is ample: no evictions).
         let h = DataHandle::new(7, vec![1.0f32; 262_144], 1 << 20, machine.memory_nodes());
-        (topo, stats, h)
+        (topo, stats, h, memory)
     }
 
     #[test]
     fn read_triggers_single_transfer_then_cached() {
-        let (topo, stats, h) = setup();
-        let t1 = make_valid(&h, 1, AccessMode::Read, &topo, &stats);
+        let (topo, stats, h, mm) = setup();
+        let t1 = make_valid(&h, 1, AccessMode::Read, &topo, &stats, &mm);
         assert!(t1 > VTime::ZERO, "first device read must pay a transfer");
         assert_eq!(stats.snapshot().h2d_transfers, 1);
         assert_eq!(h.valid_nodes(), vec![0, 1]);
 
         // Second read: already Shared on device, no new transfer.
-        let t2 = make_valid(&h, 1, AccessMode::Read, &topo, &stats);
+        let t2 = make_valid(&h, 1, AccessMode::Read, &topo, &stats, &mm);
         assert_eq!(t2, t1);
         assert_eq!(stats.snapshot().h2d_transfers, 1);
     }
 
     #[test]
     fn write_only_allocates_without_transfer() {
-        let (topo, stats, h) = setup();
-        let ready = make_valid(&h, 1, AccessMode::Write, &topo, &stats);
+        let (topo, stats, h, mm) = setup();
+        let ready = make_valid(&h, 1, AccessMode::Write, &topo, &stats, &mm);
         assert_eq!(ready, VTime::ZERO);
         let snap = stats.snapshot();
         assert_eq!(snap.total_transfers(), 0, "write-only must not copy");
@@ -249,13 +295,38 @@ mod tests {
             .any(|e| matches!(e, TraceEvent::Allocate { node: 1, .. })));
         // The device replica exists but is NOT valid until mark_written.
         assert_eq!(h.valid_nodes(), vec![0]);
+        // The allocation is charged against the device budget right away.
+        assert!(mm.is_resident(1, h.id()));
+    }
+
+    #[test]
+    fn write_only_on_invalidated_replica_moves_zero_bytes() {
+        // Paper §IV-E: for a write-only access "just a memory allocation is
+        // made in the device memory" — even when the node held a replica
+        // before and lost it to an invalidation.
+        let (topo, stats, h, mm) = setup();
+        make_valid(&h, 1, AccessMode::Read, &topo, &stats, &mm);
+        // Host write invalidates the device replica (and frees its buffer).
+        mark_written(&h, 0, VTime::from_micros(5), &stats, &mm);
+        assert!(!h.valid_on(1));
+        assert!(!mm.is_resident(1, h.id()), "invalidated buffer was freed");
+
+        let bytes_before = stats.snapshot().total_transfer_bytes();
+        let ready = make_valid(&h, 1, AccessMode::Write, &topo, &stats, &mm);
+        assert_eq!(ready, VTime::ZERO);
+        assert_eq!(
+            stats.snapshot().total_transfer_bytes(),
+            bytes_before,
+            "write-only re-allocation must transfer zero bytes"
+        );
+        assert!(mm.is_resident(1, h.id()), "fresh buffer is re-accounted");
     }
 
     #[test]
     fn mark_written_invalidates_others() {
-        let (topo, stats, h) = setup();
-        make_valid(&h, 1, AccessMode::Write, &topo, &stats);
-        mark_written(&h, 1, VTime::from_micros(100), &stats);
+        let (topo, stats, h, mm) = setup();
+        make_valid(&h, 1, AccessMode::Write, &topo, &stats, &mm);
+        mark_written(&h, 1, VTime::from_micros(100), &stats, &mm);
         assert_eq!(h.valid_nodes(), vec![1]);
         assert!(stats
             .trace
@@ -264,8 +335,11 @@ mod tests {
             .any(|e| matches!(e, TraceEvent::Invalidate { node: 0, .. })));
 
         // Host read now requires a d2h transfer (paper Fig. 3 line 6).
-        let ready = make_valid(&h, 0, AccessMode::Read, &topo, &stats);
-        assert!(ready >= VTime::from_micros(100), "transfer starts after data is produced");
+        let ready = make_valid(&h, 0, AccessMode::Read, &topo, &stats, &mm);
+        assert!(
+            ready >= VTime::from_micros(100),
+            "transfer starts after data is produced"
+        );
         assert_eq!(stats.snapshot().d2h_transfers, 1);
         // Device copy stays valid: "the copy in the device memory remains
         // valid as the master copy is only read".
@@ -273,27 +347,40 @@ mod tests {
     }
 
     #[test]
+    fn host_write_frees_device_buffer_and_accounting() {
+        let (topo, stats, h, mm) = setup();
+        make_valid(&h, 1, AccessMode::Read, &topo, &stats, &mm);
+        assert!(mm.is_resident(1, h.id()));
+        mark_written(&h, 0, VTime::from_micros(1), &stats, &mm);
+        assert!(!mm.is_resident(1, h.id()));
+        assert_eq!(mm.used_bytes()[1], 0);
+        assert!(h.inner.state.lock().replicas[1].cell.is_none());
+        // Node 0 keeps its buffer: it is the protocol's backing store.
+        assert!(h.inner.state.lock().replicas[0].cell.is_some());
+    }
+
+    #[test]
     fn transfer_waits_for_source_availability() {
-        let (topo, stats, h) = setup();
-        make_valid(&h, 1, AccessMode::Write, &topo, &stats);
+        let (topo, stats, h, mm) = setup();
+        make_valid(&h, 1, AccessMode::Write, &topo, &stats, &mm);
         let produce_time = VTime::from_millis(50);
-        mark_written(&h, 1, produce_time, &stats);
-        let ready = make_valid(&h, 0, AccessMode::Read, &topo, &stats);
+        mark_written(&h, 1, produce_time, &stats, &mm);
+        let ready = make_valid(&h, 0, AccessMode::Read, &topo, &stats, &mm);
         assert!(ready > produce_time);
     }
 
     #[test]
     fn readwrite_fetches_existing_data() {
-        let (topo, stats, h) = setup();
-        let ready = make_valid(&h, 1, AccessMode::ReadWrite, &topo, &stats);
+        let (topo, stats, h, mm) = setup();
+        let ready = make_valid(&h, 1, AccessMode::ReadWrite, &topo, &stats, &mm);
         assert!(ready > VTime::ZERO);
         assert_eq!(stats.snapshot().h2d_transfers, 1);
     }
 
     #[test]
     fn kernel_sees_transferred_contents() {
-        let (topo, stats, h) = setup();
-        make_valid(&h, 1, AccessMode::Read, &topo, &stats);
+        let (topo, stats, h, mm) = setup();
+        make_valid(&h, 1, AccessMode::Read, &topo, &stats, &mm);
         let cell = cell_for(&h, 1);
         let guard = cell.read();
         let v = guard.downcast_ref::<Vec<f32>>().unwrap();
@@ -308,12 +395,13 @@ mod tests {
         machine.accelerators.push(machine.accelerators[0].clone());
         let topo = Topology::new(&machine);
         let stats = StatsCollector::new(machine.total_workers(), true);
+        let mm = MemoryManager::new(&machine, EvictionPolicy::Lru);
         let h = DataHandle::new(9, vec![0u8; 4096], 4096, machine.memory_nodes());
 
         // Write on device 1, then read on device 2: d2h + h2d.
-        make_valid(&h, 1, AccessMode::Write, &topo, &stats);
-        mark_written(&h, 1, VTime::from_micros(5), &stats);
-        make_valid(&h, 2, AccessMode::Read, &topo, &stats);
+        make_valid(&h, 1, AccessMode::Write, &topo, &stats, &mm);
+        mark_written(&h, 1, VTime::from_micros(5), &stats, &mm);
+        make_valid(&h, 2, AccessMode::Read, &topo, &stats, &mm);
         let snap = stats.snapshot();
         assert_eq!(snap.d2h_transfers, 1);
         assert_eq!(snap.h2d_transfers, 1);
@@ -323,7 +411,7 @@ mod tests {
 
     #[test]
     fn estimate_transfer_zero_for_host() {
-        let (topo, _, _) = setup();
+        let (topo, _, _, _) = setup();
         assert_eq!(topo.estimate_transfer(0, 1 << 20), VTime::ZERO);
         assert!(topo.estimate_transfer(1, 1 << 20) > VTime::ZERO);
     }

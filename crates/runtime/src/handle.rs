@@ -177,7 +177,13 @@ impl DataHandle {
 
     /// Per-node replica statuses (diagnostics / invariant tests).
     pub fn replica_statuses(&self) -> Vec<ReplicaStatus> {
-        self.inner.state.lock().replicas.iter().map(|r| r.status).collect()
+        self.inner
+            .state
+            .lock()
+            .replicas
+            .iter()
+            .map(|r| r.status)
+            .collect()
     }
 
     /// The set of nodes holding valid replicas (diagnostics / tests).

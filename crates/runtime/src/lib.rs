@@ -12,6 +12,10 @@
 //! - **Data handles** ([`DataHandle`]): registered operand data, replicated
 //!   across memory nodes with MSI-style coherence ([`coherence`]); transfers
 //!   are performed lazily and charged to a virtual PCIe link.
+//! - **Memory-node capacity** ([`memory`]): device memory nodes carry byte
+//!   budgets; under pressure the LRU unpinned replica is evicted, with
+//!   Modified data written back to main memory first, enabling out-of-core
+//!   working sets.
 //! - **Implicit dependencies** (*sequential data consistency*): tasks
 //!   submitted in program order are ordered by their data accesses
 //!   (read-after-write, write-after-read, write-after-write), exactly as
@@ -66,6 +70,7 @@
 pub mod codelet;
 pub mod coherence;
 pub mod handle;
+pub mod memory;
 pub mod perfmodel;
 pub mod runtime;
 pub mod sched;
@@ -75,6 +80,7 @@ pub mod worker;
 
 pub use codelet::{Arch, ArchClass, Codelet, KernelCtx};
 pub use handle::{AccessMode, DataHandle, ReplicaStatus};
+pub use memory::{EvictionPolicy, MemoryManager};
 pub use perfmodel::{PerfKey, PerfRegistry};
 pub use runtime::{HostReadGuard, HostWriteGuard, Objective, Runtime, RuntimeConfig, TimingMode};
 pub use sched::SchedulerKind;

@@ -1,0 +1,611 @@
+//! Memory-node capacity management: budgets, LRU eviction, writeback.
+//!
+//! The paper's data-management story (§IV-E, Fig. 3) assumes a replica can
+//! always be allocated on any memory node. Real accelerators cannot — the
+//! C2050 the paper evaluates on has 3 GB — so this module gives every
+//! memory node a capacity budget (from [`peppher_sim::DeviceProfile::
+//! mem_bytes`]) and an allocator that accounts each replica's bytes. When
+//! an allocation would exceed a node's budget, the least-recently-used
+//! unpinned replica is evicted, StarPU-style: a `Shared` copy is simply
+//! dropped, while a `Modified` (sole-valid) copy is first written back to
+//! main memory over the device's PCIe link — a virtually-timed transfer —
+//! and only then invalidated. Operands of running or placed tasks are
+//! pinned and never victim candidates, so forward progress is guaranteed
+//! (a task whose operands alone exceed the budget overcommits rather than
+//! deadlocks).
+//!
+//! Accounting invariant: a device replica holds a buffer cell **iff** its
+//! bytes are accounted here. Every cell creation goes through
+//! [`MemoryManager::prepare`] and every cell drop through
+//! [`MemoryManager::release`] (invalidation), eviction, or
+//! [`MemoryManager::forget`] (unregistration).
+
+use crate::coherence::Topology;
+use crate::handle::{DataHandle, HandleInner, PayloadBox, ReplicaStatus};
+use crate::stats::{StatsCollector, TraceEvent};
+use parking_lot::{Mutex, RwLock};
+use peppher_sim::{MachineConfig, VTime};
+use std::collections::HashMap;
+use std::sync::{Arc, Weak};
+
+/// What happens when a device memory node runs out of capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict the least-recently-used unpinned replica, writing Modified
+    /// data back to main memory first (the default; enables out-of-core
+    /// execution).
+    #[default]
+    Lru,
+    /// Never evict: the `dmda` scheduler instead filters out placements
+    /// whose operands do not fit on the device, falling back to CPU
+    /// workers (the ablation baseline; forced placements overcommit).
+    FallbackCpu,
+}
+
+/// One resident (or pinned-pending) replica at a node.
+struct Resident {
+    /// Back-reference for eviction surgery; dead handles are lazily reaped.
+    weak: Weak<HandleInner>,
+    /// Accounted bytes; 0 marks a pin placeholder created before the
+    /// replica's buffer was allocated.
+    bytes: u64,
+    /// LRU clock stamp of the last touch.
+    last_use: u64,
+    /// Pin count — operands of running/placed tasks; never evicted.
+    pinned: u32,
+}
+
+/// Per-node allocator state.
+struct NodeMem {
+    /// Capacity in bytes; `None` is unbounded (main memory).
+    budget: Option<u64>,
+    /// Currently accounted bytes.
+    used: u64,
+    /// Largest `used` ever observed.
+    high_water: u64,
+    /// Monotonic LRU clock.
+    clock: u64,
+    /// Accounting entries keyed by handle id.
+    residents: HashMap<u64, Resident>,
+}
+
+impl NodeMem {
+    fn stamp(&mut self) -> u64 {
+        self.clock += 1;
+        self.clock
+    }
+
+    fn account(&mut self, bytes: u64) {
+        self.used += bytes;
+        self.high_water = self.high_water.max(self.used);
+    }
+}
+
+/// The runtime's memory subsystem: one allocator per memory node.
+pub struct MemoryManager {
+    nodes: Vec<Mutex<NodeMem>>,
+    policy: EvictionPolicy,
+}
+
+/// Outcome of one victim-selection pass under the node lock.
+enum Selection {
+    /// Space is accounted; the caller may allocate.
+    Done,
+    /// Evict this resident, then retry.
+    Victim(u64, Resident),
+    /// Nothing evictable: overcommit so pinned work still proceeds.
+    Overcommit,
+}
+
+impl MemoryManager {
+    /// Builds the per-node allocators with budgets from the machine config.
+    pub(crate) fn new(machine: &MachineConfig, policy: EvictionPolicy) -> Self {
+        let nodes = (0..machine.memory_nodes())
+            .map(|n| {
+                Mutex::new(NodeMem {
+                    budget: machine.node_budget(n),
+                    used: 0,
+                    high_water: 0,
+                    clock: 0,
+                    residents: HashMap::new(),
+                })
+            })
+            .collect();
+        MemoryManager { nodes, policy }
+    }
+
+    /// The configured out-of-capacity behavior.
+    pub fn policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    /// Free bytes at `node`; `None` is unbounded.
+    pub fn free_bytes(&self, node: usize) -> Option<u64> {
+        let nm = self.nodes[node].lock();
+        nm.budget.map(|b| b.saturating_sub(nm.used))
+    }
+
+    /// Whether `handle_id` has an allocated (accounted) replica at `node`.
+    pub fn is_resident(&self, node: usize, handle_id: u64) -> bool {
+        self.nodes[node]
+            .lock()
+            .residents
+            .get(&handle_id)
+            .is_some_and(|r| r.bytes > 0)
+    }
+
+    /// Whether `bytes` of *new* allocation would fit at `node` without
+    /// eviction (prefetch gating: skip, don't evict, under pressure).
+    pub fn would_fit(&self, node: usize, bytes: u64) -> bool {
+        let nm = self.nodes[node].lock();
+        match nm.budget {
+            Some(b) => nm.used + bytes <= b,
+            None => true,
+        }
+    }
+
+    /// Whether every non-resident operand of `accesses` fits at `node`
+    /// simultaneously — the `dmda` feasibility filter under
+    /// [`EvictionPolicy::FallbackCpu`].
+    pub fn fits_operands(
+        &self,
+        node: usize,
+        accesses: &[(DataHandle, crate::handle::AccessMode)],
+    ) -> bool {
+        let nm = self.nodes[node].lock();
+        let Some(budget) = nm.budget else { return true };
+        let needed: u64 = accesses
+            .iter()
+            .filter(|(h, _)| nm.residents.get(&h.id()).is_none_or(|r| r.bytes == 0))
+            .map(|(h, _)| h.bytes() as u64)
+            .sum();
+        nm.used + needed <= budget
+    }
+
+    /// Bytes of new allocation the operands of `accesses` need at `node`
+    /// beyond its free capacity (the `dmda` eviction-cost overflow; 0 when
+    /// everything fits or the node is unbounded).
+    pub fn pressure_overflow(
+        &self,
+        node: usize,
+        accesses: &[(DataHandle, crate::handle::AccessMode)],
+    ) -> u64 {
+        let nm = self.nodes[node].lock();
+        let Some(budget) = nm.budget else { return 0 };
+        let needed: u64 = accesses
+            .iter()
+            .filter(|(h, _)| nm.residents.get(&h.id()).is_none_or(|r| r.bytes == 0))
+            .map(|(h, _)| h.bytes() as u64)
+            .sum();
+        (nm.used + needed).saturating_sub(budget)
+    }
+
+    /// Per-node allocation high-water marks, in bytes.
+    pub fn high_waters(&self) -> Vec<u64> {
+        self.nodes.iter().map(|n| n.lock().high_water).collect()
+    }
+
+    /// Per-node currently accounted bytes.
+    pub fn used_bytes(&self) -> Vec<u64> {
+        self.nodes.iter().map(|n| n.lock().used).collect()
+    }
+
+    /// Accounts a freshly registered payload's master copy at node 0.
+    pub(crate) fn register_host(&self, handle: &DataHandle) {
+        let mut nm = self.nodes[0].lock();
+        let stamp = nm.stamp();
+        nm.account(handle.bytes() as u64);
+        nm.residents.insert(
+            handle.id(),
+            Resident {
+                weak: Arc::downgrade(&handle.inner),
+                bytes: handle.bytes() as u64,
+                last_use: stamp,
+                pinned: 0,
+            },
+        );
+    }
+
+    /// Pins `handle` at `node` so it cannot be selected as an eviction
+    /// victim (created as a placeholder when the replica is not yet
+    /// allocated). No-op for node 0, which never evicts.
+    pub(crate) fn pin(&self, node: usize, handle: &DataHandle) {
+        if node == 0 {
+            return;
+        }
+        let mut nm = self.nodes[node].lock();
+        let stamp = nm.stamp();
+        nm.residents
+            .entry(handle.id())
+            .or_insert_with(|| Resident {
+                weak: Arc::downgrade(&handle.inner),
+                bytes: 0,
+                last_use: stamp,
+                pinned: 0,
+            })
+            .pinned += 1;
+    }
+
+    /// Releases one pin; placeholder entries that never allocated are
+    /// removed.
+    pub(crate) fn unpin(&self, node: usize, handle_id: u64) {
+        if node == 0 {
+            return;
+        }
+        let mut nm = self.nodes[node].lock();
+        if let Some(r) = nm.residents.get_mut(&handle_id) {
+            r.pinned = r.pinned.saturating_sub(1);
+            if r.pinned == 0 && r.bytes == 0 {
+                nm.residents.remove(&handle_id);
+            }
+        }
+    }
+
+    /// Makes room for (and accounts) `handle`'s replica at `node`, evicting
+    /// LRU victims under pressure. Called by coherence *before* the
+    /// handle's state lock is taken (lock order is handle → node, and
+    /// eviction surgery needs victim handle locks). Touches the LRU stamp
+    /// when the replica is already resident.
+    pub(crate) fn prepare(
+        &self,
+        handle: &DataHandle,
+        node: usize,
+        topo: &Topology,
+        stats: &StatsCollector,
+    ) {
+        if node == 0 {
+            return;
+        }
+        let need = handle.bytes() as u64;
+        loop {
+            let selection = {
+                let mut nm = self.nodes[node].lock();
+                let stamp = nm.stamp();
+                if let Some(r) = nm.residents.get_mut(&handle.id()) {
+                    r.last_use = stamp;
+                    if r.bytes > 0 {
+                        return; // already allocated and accounted
+                    }
+                }
+                let over = matches!(nm.budget, Some(b) if nm.used + need > b);
+                if !over || self.policy == EvictionPolicy::FallbackCpu {
+                    // FallbackCpu never evicts: feasibility is the
+                    // scheduler's job; forced placements overcommit.
+                    Selection::Done
+                } else {
+                    match Self::select_victim(&mut nm, handle.id()) {
+                        Some((vid, r)) => Selection::Victim(vid, r),
+                        None => Selection::Overcommit,
+                    }
+                }
+            };
+            match selection {
+                Selection::Victim(vid, r) => self.evict(vid, r, node, topo, stats),
+                Selection::Done | Selection::Overcommit => break,
+            }
+        }
+        let mut nm = self.nodes[node].lock();
+        let stamp = nm.stamp();
+        nm.account(need);
+        let weak = Arc::downgrade(&handle.inner);
+        let entry = nm.residents.entry(handle.id()).or_insert_with(|| Resident {
+            weak,
+            bytes: 0,
+            last_use: stamp,
+            pinned: 0,
+        });
+        entry.bytes = need;
+        entry.last_use = stamp;
+    }
+
+    /// Picks and *removes* the LRU unpinned resident under the node lock
+    /// (so concurrent allocators cannot double-evict); its bytes are
+    /// un-accounted immediately.
+    fn select_victim(nm: &mut NodeMem, requester: u64) -> Option<(u64, Resident)> {
+        let vid = nm
+            .residents
+            .iter()
+            .filter(|(id, r)| **id != requester && r.pinned == 0 && r.bytes > 0)
+            .min_by_key(|(_, r)| r.last_use)
+            .map(|(id, _)| *id)?;
+        let r = nm.residents.remove(&vid).expect("victim just found");
+        nm.used = nm.used.saturating_sub(r.bytes);
+        Some((vid, r))
+    }
+
+    /// Eviction surgery on a victim already removed from the accounting:
+    /// writes a sole-valid (Modified) copy back to main memory over the
+    /// device link, then drops the buffer and invalidates the replica.
+    fn evict(
+        &self,
+        victim_id: u64,
+        resident: Resident,
+        node: usize,
+        topo: &Topology,
+        stats: &StatsCollector,
+    ) {
+        let Some(inner) = resident.weak.upgrade() else {
+            return; // handle already dropped; bytes were just released
+        };
+        let handle = DataHandle { inner };
+        let mut st = handle.inner.state.lock();
+        // A concurrent (pinned) make_valid may have re-registered the
+        // replica between selection and here; if so it owns the buffer now.
+        if self.nodes[node].lock().residents.contains_key(&victim_id) {
+            return;
+        }
+        let Some(cell) = st.replicas[node].cell.take() else {
+            return;
+        };
+        let sole_valid = st.replicas[node].is_valid()
+            && !st
+                .replicas
+                .iter()
+                .enumerate()
+                .any(|(i, r)| i != node && r.is_valid());
+        let mut writeback = false;
+        if sole_valid {
+            // Last valid copy (Modified, or Shared whose peers were already
+            // evicted): write back to node 0 before invalidating.
+            let arrive = topo.hop(&handle, node, 0, st.replicas[node].vready, stats);
+            let payload = (handle.inner.clone_fn)(&cell.read());
+            match &st.replicas[0].cell {
+                Some(c0) => *c0.write() = payload,
+                None => {
+                    st.replicas[0].cell = Some(Arc::new(RwLock::new(payload as PayloadBox)));
+                }
+            }
+            st.replicas[0].status = ReplicaStatus::Modified;
+            st.replicas[0].vready = arrive;
+            writeback = true;
+        }
+        st.replicas[node].status = ReplicaStatus::Invalid;
+        st.replicas[node].vready = VTime::ZERO;
+        drop(cell);
+        drop(st);
+        stats.record_eviction(resident.bytes, writeback);
+        stats.record_event(TraceEvent::Evict {
+            handle: victim_id,
+            node,
+            bytes: resident.bytes as usize,
+            writeback,
+        });
+    }
+
+    /// Releases the accounting for `handle_id`'s replica at `node` after
+    /// its buffer was dropped (invalidation path in `mark_written`).
+    pub(crate) fn release(&self, node: usize, handle_id: u64) {
+        let mut nm = self.nodes[node].lock();
+        if let Some(r) = nm.residents.get_mut(&handle_id) {
+            let freed = std::mem::take(&mut r.bytes);
+            let unpinned = r.pinned == 0;
+            nm.used = nm.used.saturating_sub(freed);
+            if unpinned {
+                nm.residents.remove(&handle_id);
+            }
+        }
+    }
+
+    /// Drops every node's accounting for a handle being unregistered.
+    pub(crate) fn forget(&self, handle_id: u64) {
+        for node in &self.nodes {
+            let mut nm = node.lock();
+            if let Some(r) = nm.residents.remove(&handle_id) {
+                nm.used = nm.used.saturating_sub(r.bytes);
+            }
+        }
+    }
+
+    /// Evicts every unpinned resident replica at `node` (diagnostics and
+    /// the eviction-injection property tests). Returns the number evicted.
+    pub(crate) fn reclaim_node(&self, node: usize, topo: &Topology, stats: &StatsCollector) -> u64 {
+        if node == 0 {
+            return 0;
+        }
+        let mut evicted = 0;
+        loop {
+            let victim = {
+                let mut nm = self.nodes[node].lock();
+                Self::select_victim(&mut nm, u64::MAX)
+            };
+            match victim {
+                Some((vid, r)) => {
+                    self.evict(vid, r, node, topo, stats);
+                    evicted += 1;
+                }
+                None => break,
+            }
+        }
+        evicted
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::coherence::{self, Topology};
+    use crate::handle::AccessMode;
+    use peppher_sim::MachineConfig;
+
+    fn tiny_machine(budget: u64) -> MachineConfig {
+        MachineConfig::c2050_platform(1).with_device_mem(budget)
+    }
+
+    fn handle(id: u64, kib: usize, nodes: usize) -> DataHandle {
+        DataHandle::new(id, vec![id as f32; kib * 256], kib * 1024, nodes)
+    }
+
+    fn fixture(budget: u64) -> (MachineConfig, Topology, StatsCollector, MemoryManager) {
+        let m = tiny_machine(budget);
+        let topo = Topology::new(&m);
+        let stats = StatsCollector::new(m.total_workers(), true);
+        let mm = MemoryManager::new(&m, EvictionPolicy::Lru);
+        (m, topo, stats, mm)
+    }
+
+    #[test]
+    fn accounts_and_reports_high_water() {
+        let (m, topo, stats, mm) = fixture(10 * 1024);
+        let a = handle(1, 4, m.memory_nodes());
+        let b = handle(2, 4, m.memory_nodes());
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        coherence::make_valid(&b, 1, AccessMode::Read, &topo, &stats, &mm);
+        assert_eq!(mm.used_bytes()[1], 8 * 1024);
+        assert_eq!(mm.high_waters()[1], 8 * 1024);
+        assert!(mm.is_resident(1, 1) && mm.is_resident(1, 2));
+        assert_eq!(mm.free_bytes(1), Some(2 * 1024));
+    }
+
+    #[test]
+    fn lru_evicts_oldest_shared_replica_without_writeback() {
+        let (m, topo, stats, mm) = fixture(10 * 1024);
+        let a = handle(1, 4, m.memory_nodes());
+        let b = handle(2, 4, m.memory_nodes());
+        let c = handle(3, 4, m.memory_nodes());
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        coherence::make_valid(&b, 1, AccessMode::Read, &topo, &stats, &mm);
+        // Touch a so b becomes the LRU victim.
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        let d2h_before = stats.snapshot().d2h_transfers;
+        coherence::make_valid(&c, 1, AccessMode::Read, &topo, &stats, &mm);
+        let snap = stats.snapshot();
+        assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.writeback_bytes, 0, "Shared victims are dropped");
+        assert_eq!(snap.d2h_transfers, d2h_before);
+        assert!(!b.valid_on(1), "victim invalidated on device");
+        assert!(b.valid_on(0), "host master copy untouched");
+        assert!(a.valid_on(1) && c.valid_on(1));
+        assert_eq!(mm.used_bytes()[1], 8 * 1024);
+    }
+
+    #[test]
+    fn modified_victim_written_back_before_invalidation() {
+        let (m, topo, stats, mm) = fixture(10 * 1024);
+        let a = handle(1, 4, m.memory_nodes());
+        let b = handle(2, 4, m.memory_nodes());
+        let c = handle(3, 4, m.memory_nodes());
+        coherence::make_valid(&a, 1, AccessMode::ReadWrite, &topo, &stats, &mm);
+        coherence::mark_written(&a, 1, VTime::from_micros(10), &stats, &mm);
+        coherence::make_valid(&b, 1, AccessMode::Read, &topo, &stats, &mm);
+        // a is Modified on device (sole valid) and the LRU entry.
+        coherence::make_valid(&c, 1, AccessMode::Read, &topo, &stats, &mm);
+        let snap = stats.snapshot();
+        assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.writeback_bytes, 4 * 1024);
+        assert!(snap.d2h_transfers >= 1, "writeback paid a d2h transfer");
+        assert!(!a.valid_on(1));
+        assert!(a.valid_on(0), "written-back copy is valid at node 0");
+        // The trace shows the writeback Transfer before the Evict.
+        let trace = stats.trace.lock();
+        let t = trace
+            .iter()
+            .position(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Transfer {
+                        handle: 1,
+                        from: 1,
+                        to: 0,
+                        ..
+                    }
+                )
+            })
+            .expect("writeback transfer recorded");
+        let e = trace
+            .iter()
+            .position(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Evict {
+                        handle: 1,
+                        writeback: true,
+                        ..
+                    }
+                )
+            })
+            .expect("evict event recorded");
+        assert!(t < e, "writeback must precede invalidation");
+    }
+
+    #[test]
+    fn pinned_replicas_are_never_victims() {
+        let (m, topo, stats, mm) = fixture(10 * 1024);
+        let a = handle(1, 4, m.memory_nodes());
+        let b = handle(2, 4, m.memory_nodes());
+        let c = handle(3, 4, m.memory_nodes());
+        mm.pin(1, &a);
+        mm.pin(1, &b);
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        coherence::make_valid(&b, 1, AccessMode::Read, &topo, &stats, &mm);
+        // Both residents pinned: allocation overcommits instead of evicting.
+        coherence::make_valid(&c, 1, AccessMode::Read, &topo, &stats, &mm);
+        assert_eq!(stats.snapshot().evictions, 0);
+        assert!(a.valid_on(1) && b.valid_on(1) && c.valid_on(1));
+        assert!(mm.used_bytes()[1] > 10 * 1024, "overcommitted");
+        mm.unpin(1, a.id());
+        mm.unpin(1, b.id());
+    }
+
+    #[test]
+    fn fallback_policy_overcommits_without_evicting() {
+        let m = tiny_machine(6 * 1024);
+        let topo = Topology::new(&m);
+        let stats = StatsCollector::new(m.total_workers(), false);
+        let mm = MemoryManager::new(&m, EvictionPolicy::FallbackCpu);
+        let a = handle(1, 4, m.memory_nodes());
+        let b = handle(2, 4, m.memory_nodes());
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        coherence::make_valid(&b, 1, AccessMode::Read, &topo, &stats, &mm);
+        assert_eq!(stats.snapshot().evictions, 0);
+        assert!(a.valid_on(1) && b.valid_on(1));
+    }
+
+    #[test]
+    fn fits_and_overflow_queries() {
+        let (m, topo, stats, mm) = fixture(10 * 1024);
+        let a = handle(1, 4, m.memory_nodes());
+        let b = handle(2, 8, m.memory_nodes());
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        let ops = vec![(b.clone(), AccessMode::Read)];
+        assert!(!mm.fits_operands(1, &ops));
+        assert_eq!(mm.pressure_overflow(1, &ops), 2 * 1024);
+        let resident = vec![(a.clone(), AccessMode::Read)];
+        assert!(mm.fits_operands(1, &resident));
+        assert_eq!(mm.pressure_overflow(1, &resident), 0);
+        assert!(mm.would_fit(1, 6 * 1024));
+        assert!(!mm.would_fit(1, 7 * 1024));
+        // Unbounded node 0 always fits.
+        assert!(mm.fits_operands(0, &ops));
+        assert_eq!(mm.pressure_overflow(0, &ops), 0);
+    }
+
+    #[test]
+    fn reclaim_empties_unpinned_node() {
+        let (m, topo, stats, mm) = fixture(64 * 1024);
+        let a = handle(1, 4, m.memory_nodes());
+        let b = handle(2, 4, m.memory_nodes());
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        coherence::make_valid(&b, 1, AccessMode::ReadWrite, &topo, &stats, &mm);
+        coherence::mark_written(&b, 1, VTime::from_micros(3), &stats, &mm);
+        assert_eq!(mm.reclaim_node(1, &topo, &stats), 2);
+        assert_eq!(mm.used_bytes()[1], 0);
+        assert!(!a.valid_on(1) && !b.valid_on(1));
+        assert!(b.valid_on(0), "Modified b written back to host");
+        assert_eq!(stats.snapshot().writeback_bytes, 4 * 1024);
+    }
+
+    #[test]
+    fn release_and_forget_drop_accounting() {
+        let (m, topo, stats, mm) = fixture(64 * 1024);
+        let a = handle(1, 4, m.memory_nodes());
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        mm.release(1, a.id());
+        assert_eq!(mm.used_bytes()[1], 0);
+        assert!(!mm.is_resident(1, a.id()));
+
+        mm.register_host(&a);
+        assert_eq!(mm.used_bytes()[0], 4 * 1024);
+        mm.forget(a.id());
+        assert_eq!(mm.used_bytes()[0], 0);
+    }
+}

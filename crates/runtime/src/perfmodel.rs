@@ -153,7 +153,8 @@ impl PerfRegistry {
             })
             .collect();
         lines.sort();
-        let mut out = String::from("# peppher perfmodel v1: codelet\tarch\tbucket\tn\tmean_ns\tm2\n");
+        let mut out =
+            String::from("# peppher perfmodel v1: codelet\tarch\tbucket\tn\tmean_ns\tm2\n");
         out.push_str(&lines.join("\n"));
         out.push('\n');
         out
@@ -264,8 +265,14 @@ mod tests {
     #[test]
     fn serialize_roundtrip() {
         let reg = PerfRegistry::new(2);
-        reg.record(PerfKey::new("spmv", ArchClass::Cpu, 4096), VTime::from_micros(100));
-        reg.record(PerfKey::new("spmv", ArchClass::Cpu, 4096), VTime::from_micros(120));
+        reg.record(
+            PerfKey::new("spmv", ArchClass::Cpu, 4096),
+            VTime::from_micros(100),
+        );
+        reg.record(
+            PerfKey::new("spmv", ArchClass::Cpu, 4096),
+            VTime::from_micros(120),
+        );
         reg.record(
             PerfKey::new("spmv", ArchClass::Gpu("Tesla C2050".into()), 4096),
             VTime::from_micros(9),
@@ -301,7 +308,10 @@ mod tests {
     fn save_load_file() {
         let path = std::env::temp_dir().join(format!("peppher-perf-{}.tsv", std::process::id()));
         let reg = PerfRegistry::new(1);
-        reg.record(PerfKey::new("k", ArchClass::Cpu, 100), VTime::from_micros(5));
+        reg.record(
+            PerfKey::new("k", ArchClass::Cpu, 100),
+            VTime::from_micros(5),
+        );
         reg.save(&path).unwrap();
         let other = PerfRegistry::new(1);
         assert_eq!(other.load(&path).unwrap(), 1);

@@ -2,6 +2,7 @@
 
 use crate::coherence::{self, Topology};
 use crate::handle::{vec_bytes, AccessMode, DataHandle, PayloadBox};
+use crate::memory::{EvictionPolicy, MemoryManager};
 use crate::perfmodel::PerfRegistry;
 use crate::sched::{make_scheduler, SchedCtx, Scheduler, SchedulerKind};
 use crate::stats::{RuntimeStats, StatsCollector, TraceEvent};
@@ -63,6 +64,10 @@ pub struct RuntimeConfig {
     pub enable_prefetch: bool,
     /// The overall optimization goal `dmda` scores options by.
     pub objective: Objective,
+    /// What happens when a device memory node runs out of capacity:
+    /// LRU eviction with MSI-aware writeback (default), or no eviction
+    /// with the scheduler falling back to CPU placements.
+    pub eviction: EvictionPolicy,
 }
 
 impl Default for RuntimeConfig {
@@ -75,6 +80,7 @@ impl Default for RuntimeConfig {
             calibration_min: 3,
             enable_prefetch: true,
             objective: Objective::ExecTime,
+            eviction: EvictionPolicy::Lru,
         }
     }
 }
@@ -83,6 +89,7 @@ pub(crate) struct RuntimeInner {
     pub machine: MachineConfig,
     pub config: RuntimeConfig,
     pub topo: Topology,
+    pub memory: MemoryManager,
     pub sched: Box<dyn Scheduler>,
     pub perf: Arc<PerfRegistry>,
     pub stats: StatsCollector,
@@ -108,6 +115,7 @@ impl RuntimeInner {
             perf: &self.perf,
             timelines: &self.timelines,
             topo: &self.topo,
+            memory: &self.memory,
             config: &self.config,
         }
     }
@@ -116,15 +124,30 @@ impl RuntimeInner {
         self.sched.push(Arc::clone(&task), &self.sched_ctx());
         // Prefetch: every dependency has completed (that is what made the
         // task ready), so its input data is final and can start moving to
-        // the placed worker's memory node right away.
+        // the placed worker's memory node right away. Capacity-aware: a
+        // prefetch is opportunistic, so under memory pressure it is
+        // skipped rather than allowed to evict replicas tasks still need.
         if self.config.enable_prefetch {
             let choice = *task.chosen.lock();
             if let Some(choice) = choice {
                 let node = self.machine.worker_memory_node(choice.worker);
                 if node != 0 {
                     for (h, mode) in &task.accesses {
-                        if mode.reads() && !h.valid_on(node) {
-                            coherence::make_valid(h, node, AccessMode::Read, &self.topo, &self.stats);
+                        if mode.reads()
+                            && !h.valid_on(node)
+                            && (self.memory.is_resident(node, h.id())
+                                || self.memory.would_fit(node, h.bytes() as u64))
+                        {
+                            self.memory.pin(node, h);
+                            coherence::make_valid(
+                                h,
+                                node,
+                                AccessMode::Read,
+                                &self.topo,
+                                &self.stats,
+                                &self.memory,
+                            );
+                            self.memory.unpin(node, h.id());
                         }
                     }
                 }
@@ -197,11 +220,15 @@ impl Runtime {
         let sched = make_scheduler(config.scheduler, &machine);
         let inner = Arc::new(RuntimeInner {
             topo: Topology::new(&machine),
+            memory: MemoryManager::new(&machine, config.eviction),
             sched,
             perf,
             stats: StatsCollector::new(workers, config.enable_trace),
             timelines: Mutex::new(vec![VTime::ZERO; workers]),
-            noise: Mutex::new(NoiseModel::new(machine.noise_seed, machine.noise_rel_stddev)),
+            noise: Mutex::new(NoiseModel::new(
+                machine.noise_seed,
+                machine.noise_rel_stddev,
+            )),
             pending: Mutex::new(0),
             all_done: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -306,7 +333,11 @@ impl Runtime {
         bytes: usize,
     ) -> DataHandle {
         let id = self.inner.next_handle.fetch_add(1, Ordering::Relaxed);
-        DataHandle::new(id, v, bytes, self.inner.machine.memory_nodes())
+        let h = DataHandle::new(id, v, bytes, self.inner.machine.memory_nodes());
+        // Account the master copy so node 0's high-water mark tracks the
+        // registered working set (node 0 has no budget and never evicts).
+        self.inner.memory.register_host(&h);
+        h
     }
 
     /// Waits for all tasks using the handle, ensures main memory holds the
@@ -320,11 +351,27 @@ impl Runtime {
         for t in h.tasks_to_wait_for(AccessMode::ReadWrite) {
             t.wait();
         }
-        coherence::make_valid(&h, 0, AccessMode::Read, &self.inner.topo, &self.inner.stats);
+        coherence::make_valid(
+            &h,
+            0,
+            AccessMode::Read,
+            &self.inner.topo,
+            &self.inner.stats,
+            &self.inner.memory,
+        );
         let cell = {
             let mut st = h.inner.state.lock();
-            st.replicas[0].cell.take().expect("main-memory replica missing")
+            // Free device replicas and return their bytes to the budgets.
+            for i in 1..st.replicas.len() {
+                st.replicas[i].cell = None;
+                st.replicas[i].status = crate::handle::ReplicaStatus::Invalid;
+            }
+            st.replicas[0]
+                .cell
+                .take()
+                .expect("main-memory replica missing")
         };
+        self.inner.memory.forget(h.id());
         match Arc::try_unwrap(cell) {
             Ok(lock) => *lock
                 .into_inner()
@@ -347,7 +394,14 @@ impl Runtime {
         for t in h.tasks_to_wait_for(AccessMode::Read) {
             t.wait();
         }
-        coherence::make_valid(&h.clone(), 0, AccessMode::Read, &self.inner.topo, &self.inner.stats);
+        coherence::make_valid(
+            h,
+            0,
+            AccessMode::Read,
+            &self.inner.topo,
+            &self.inner.stats,
+            &self.inner.memory,
+        );
         let cell = coherence::cell_for(h, 0);
         HostReadGuard {
             guard: cell.read_arc(),
@@ -362,9 +416,15 @@ impl Runtime {
         for t in h.tasks_to_wait_for(AccessMode::ReadWrite) {
             t.wait();
         }
-        let vready =
-            coherence::make_valid(h, 0, AccessMode::ReadWrite, &self.inner.topo, &self.inner.stats);
-        coherence::mark_written(h, 0, vready, &self.inner.stats);
+        let vready = coherence::make_valid(
+            h,
+            0,
+            AccessMode::ReadWrite,
+            &self.inner.topo,
+            &self.inner.stats,
+            &self.inner.memory,
+        );
+        coherence::mark_written(h, 0, vready, &self.inner.stats, &self.inner.memory);
         {
             // Every prior task has completed and the host now owns the data.
             let mut st = h.inner.state.lock();
@@ -380,7 +440,24 @@ impl Runtime {
 
     /// Statistics snapshot.
     pub fn stats(&self) -> RuntimeStats {
-        self.inner.stats.snapshot()
+        let mut snap = self.inner.stats.snapshot();
+        snap.mem_high_water = self.inner.memory.high_waters();
+        snap
+    }
+
+    /// The memory subsystem (budgets, residency, high-water marks).
+    pub fn memory(&self) -> &MemoryManager {
+        &self.inner.memory
+    }
+
+    /// Evicts every unpinned replica from device memory node `node`,
+    /// writing Modified data back to main memory first. Returns the number
+    /// of replicas evicted. Exposed for diagnostics and for stress tests
+    /// that inject eviction pressure at arbitrary points.
+    pub fn reclaim_node(&self, node: usize) -> u64 {
+        self.inner
+            .memory
+            .reclaim_node(node, &self.inner.topo, &self.inner.stats)
     }
 
     /// Copy of the event trace (empty unless `enable_trace`).

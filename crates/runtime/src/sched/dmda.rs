@@ -111,6 +111,15 @@ impl DmdaScheduler {
                 total += t.scale(0.5);
             }
         }
+        // Eviction pressure: if the node's free memory cannot hold the
+        // task's non-resident operands, making room will evict (and likely
+        // write back) that many overflow bytes over the same link.
+        if node != 0 {
+            let overflow = ctx.memory.pressure_overflow(node, &task.accesses);
+            if overflow > 0 {
+                total += ctx.topo.estimate_transfer(node, overflow);
+            }
+        }
         total
     }
 
@@ -129,7 +138,11 @@ impl DmdaScheduler {
     }
 
     fn enqueue(&self, task: Arc<Task>, worker: usize, arch: Arch, pred_delta: VTime) {
-        *task.chosen.lock() = Some(ExecChoice { worker, arch, pred_delta });
+        *task.chosen.lock() = Some(ExecChoice {
+            worker,
+            arch,
+            pred_delta,
+        });
         self.queued_pred.lock()[worker] += pred_delta;
         self.queues[worker].lock().push_back(task);
     }
@@ -137,12 +150,30 @@ impl DmdaScheduler {
 
 impl Scheduler for DmdaScheduler {
     fn push(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) {
-        let opts = options_for(&task, ctx.machine);
+        let mut opts = options_for(&task, ctx.machine);
         assert!(
             !opts.is_empty(),
             "task for codelet `{}` has no eligible worker",
             task.codelet.name
         );
+
+        // Under the no-eviction policy a device whose free memory cannot
+        // hold the task's operands is not a viable placement: fall back to
+        // the remaining (CPU) options. Forced/GPU-only tasks keep their
+        // options and overcommit instead.
+        if ctx.memory.policy() == crate::memory::EvictionPolicy::FallbackCpu {
+            let feasible: Vec<_> = opts
+                .iter()
+                .copied()
+                .filter(|&(w, _)| {
+                    let node = ctx.machine.worker_memory_node(w);
+                    node == 0 || ctx.memory.fits_operands(node, &task.accesses)
+                })
+                .collect();
+            if !feasible.is_empty() {
+                opts = feasible;
+            }
+        }
 
         // Evaluate every option.
         let mut evaluated: Vec<(usize, Arch, Option<VTime>, bool)> = opts
@@ -241,6 +272,7 @@ mod tests {
     use super::*;
     use crate::codelet::{ArchClass, Codelet};
     use crate::coherence::Topology;
+    use crate::memory::MemoryManager;
     use crate::perfmodel::{PerfKey, PerfRegistry};
     use crate::runtime::RuntimeConfig;
     use crate::task::TaskBuilder;
@@ -251,6 +283,7 @@ mod tests {
         perf: PerfRegistry,
         timelines: Mutex<Vec<VTime>>,
         topo: Topology,
+        memory: MemoryManager,
         config: RuntimeConfig,
     }
 
@@ -258,10 +291,12 @@ mod tests {
         fn new(machine: MachineConfig, config: RuntimeConfig) -> Self {
             let timelines = Mutex::new(vec![VTime::ZERO; machine.total_workers()]);
             let topo = Topology::new(&machine);
+            let memory = MemoryManager::new(&machine, config.eviction);
             Fixture {
                 perf: PerfRegistry::default(),
                 timelines,
                 topo,
+                memory,
                 config,
                 machine,
             }
@@ -272,6 +307,7 @@ mod tests {
                 perf: &self.perf,
                 timelines: &self.timelines,
                 topo: &self.topo,
+                memory: &self.memory,
                 config: &self.config,
             }
         }
@@ -306,7 +342,10 @@ mod tests {
         let counts: Vec<usize> = (0..3).map(|w| s.queues[w].lock().len()).collect();
         assert_eq!(counts[0] + counts[1], 3, "CPU class got half: {counts:?}");
         assert_eq!(counts[2], 3, "GPU class got half: {counts:?}");
-        assert!(counts[0] >= 1 && counts[1] >= 1, "both CPU workers sampled: {counts:?}");
+        assert!(
+            counts[0] >= 1 && counts[1] >= 1,
+            "both CPU workers sampled: {counts:?}"
+        );
     }
 
     #[test]
@@ -317,8 +356,10 @@ mod tests {
         let fp = probe.footprint();
         // GPU is 10x faster in recorded history.
         for _ in 0..3 {
-            f.perf
-                .record(PerfKey::new("k", ArchClass::Cpu, fp), VTime::from_micros(100));
+            f.perf.record(
+                PerfKey::new("k", ArchClass::Cpu, fp),
+                VTime::from_micros(100),
+            );
             f.perf.record(
                 PerfKey::new("k", ArchClass::Gpu("Tesla C2050".into()), fp),
                 VTime::from_micros(10),
@@ -326,7 +367,11 @@ mod tests {
         }
         let s = DmdaScheduler::new(f.machine.total_workers());
         s.push(probe, &f.ctx());
-        assert_eq!(s.queues[2].lock().len(), 1, "task should land on the GPU worker");
+        assert_eq!(
+            s.queues[2].lock().len(),
+            1,
+            "task should land on the GPU worker"
+        );
     }
 
     #[test]
@@ -336,8 +381,10 @@ mod tests {
         let probe = Arc::new(TaskBuilder::new(&c).into_task(99));
         let fp = probe.footprint();
         for _ in 0..3 {
-            f.perf
-                .record(PerfKey::new("k", ArchClass::Cpu, fp), VTime::from_micros(50));
+            f.perf.record(
+                PerfKey::new("k", ArchClass::Cpu, fp),
+                VTime::from_micros(50),
+            );
         }
         let s = DmdaScheduler::new(2);
         for i in 0..4 {
@@ -370,8 +417,8 @@ mod tests {
             s.push(task_of(&c, i), &f.ctx());
         }
         // Both classes received calibration tasks despite the prediction.
-        assert!(s.queues[0].lock().len() >= 1, "CPU sampled");
-        assert!(s.queues[1].lock().len() >= 1, "GPU sampled");
+        assert!(!s.queues[0].lock().is_empty(), "CPU sampled");
+        assert!(!s.queues[1].lock().is_empty(), "GPU sampled");
     }
 
     #[test]
@@ -394,7 +441,11 @@ mod tests {
         );
         let s = DmdaScheduler::new(f.machine.total_workers());
         s.push(task_of(&c, 0), &f.ctx());
-        assert_eq!(s.queues[1].lock().len(), 1, "wrong prediction steers to GPU");
+        assert_eq!(
+            s.queues[1].lock().len(),
+            1,
+            "wrong prediction steers to GPU"
+        );
     }
 
     #[test]
@@ -417,6 +468,64 @@ mod tests {
     }
 
     #[test]
+    fn memory_pressure_adds_eviction_cost() {
+        use crate::handle::{AccessMode, DataHandle};
+        use crate::stats::StatsCollector;
+
+        let machine = MachineConfig::c2050_platform(1).with_device_mem(8 * 1024);
+        let f = Fixture::new(machine, RuntimeConfig::default());
+        let stats = StatsCollector::new(f.machine.total_workers(), false);
+
+        // Fill most of the device node with an unrelated resident replica.
+        let resident = DataHandle::new(1, vec![0u8; 6 * 1024], 6 * 1024, 2);
+        crate::coherence::make_valid(&resident, 1, AccessMode::Read, &f.topo, &stats, &f.memory);
+
+        let c = dual_codelet();
+        let operand = DataHandle::new(2, vec![0u8; 4 * 1024], 4 * 1024, 2);
+        let t = Arc::new(
+            TaskBuilder::new(&c)
+                .access(&operand, AccessMode::Read)
+                .into_task(0),
+        );
+        let s = DmdaScheduler::new(f.machine.total_workers());
+        // 6 KiB used + 4 KiB needed > 8 KiB budget: 2 KiB of eviction
+        // overflow is charged on top of the operand's own transfer.
+        let est = s.transfer_estimate(&t, 1, &f.ctx());
+        let base = f.topo.estimate_transfer(1, 4 * 1024);
+        let overflow = f.topo.estimate_transfer(1, 2 * 1024);
+        assert_eq!(est, base + overflow);
+    }
+
+    #[test]
+    fn fallback_policy_steers_oversized_tasks_to_cpu() {
+        use crate::handle::{AccessMode, DataHandle};
+        use crate::memory::EvictionPolicy;
+
+        let config = RuntimeConfig {
+            use_history: false,
+            eviction: EvictionPolicy::FallbackCpu,
+            ..RuntimeConfig::default()
+        };
+        // 2 KiB device budget cannot hold the 4 KiB operand.
+        let machine = MachineConfig::c2050_platform(1).with_device_mem(2 * 1024);
+        let f = Fixture::new(machine, config);
+        let c = dual_codelet();
+        let operand = DataHandle::new(1, vec![0u8; 4 * 1024], 4 * 1024, 2);
+        // Large parallel work the static model would otherwise place on the
+        // GPU (see static_model_used_when_history_disabled).
+        let t = Arc::new(
+            TaskBuilder::new(&c)
+                .cost(KernelCost::new(5e9, 1e6, 1e6))
+                .access(&operand, AccessMode::Read)
+                .into_task(0),
+        );
+        let s = DmdaScheduler::new(f.machine.total_workers());
+        s.push(t, &f.ctx());
+        assert_eq!(s.queues[0].lock().len(), 1, "infeasible GPU filtered out");
+        assert_eq!(s.queues[1].lock().len(), 0);
+    }
+
+    #[test]
     fn queued_prediction_released_when_timed() {
         let f = Fixture::new(MachineConfig::cpu_only(1), RuntimeConfig::default());
         let c = Arc::new(Codelet::new("k").with_impl(Arch::Cpu, |_| {}));
@@ -431,7 +540,10 @@ mod tests {
         s.push(task_of_no_cost(&c, 0), &f.ctx());
         assert!(s.queued_pred.lock()[0] > VTime::ZERO);
         let t = s.pop(0, &f.ctx()).unwrap();
-        assert!(s.queued_pred.lock()[0] > VTime::ZERO, "still charged until timed");
+        assert!(
+            s.queued_pred.lock()[0] > VTime::ZERO,
+            "still charged until timed"
+        );
         s.task_timed(0, &t);
         assert_eq!(s.queued_pred.lock()[0], VTime::ZERO);
     }

@@ -54,18 +54,26 @@ mod tests {
     use super::*;
     use crate::codelet::{Arch, Codelet};
     use crate::coherence::Topology;
+    use crate::memory::{EvictionPolicy, MemoryManager};
     use crate::perfmodel::PerfRegistry;
     use crate::runtime::RuntimeConfig;
     use crate::task::TaskBuilder;
     use peppher_sim::MachineConfig;
 
-    fn ctx_fixture(
-        machine: &MachineConfig,
-    ) -> (PerfRegistry, parking_lot::Mutex<Vec<peppher_sim::VTime>>, Topology, RuntimeConfig) {
+    type CtxParts = (
+        PerfRegistry,
+        parking_lot::Mutex<Vec<peppher_sim::VTime>>,
+        Topology,
+        MemoryManager,
+        RuntimeConfig,
+    );
+
+    fn ctx_fixture(machine: &MachineConfig) -> CtxParts {
         (
             PerfRegistry::default(),
             parking_lot::Mutex::new(vec![peppher_sim::VTime::ZERO; machine.total_workers()]),
             Topology::new(machine),
+            MemoryManager::new(machine, EvictionPolicy::Lru),
             RuntimeConfig::default(),
         )
     }
@@ -75,18 +83,23 @@ mod tests {
         for &a in archs {
             c = c.with_impl(a, |_| {});
         }
-        Arc::new(TaskBuilder::new(&Arc::new(c)).priority(priority).into_task(0))
+        Arc::new(
+            TaskBuilder::new(&Arc::new(c))
+                .priority(priority)
+                .into_task(0),
+        )
     }
 
     #[test]
     fn pop_skips_incompatible_tasks() {
         let machine = MachineConfig::c2050_platform(1);
-        let (perf, timelines, topo, config) = ctx_fixture(&machine);
+        let (perf, timelines, topo, memory, config) = ctx_fixture(&machine);
         let ctx = SchedCtx {
             machine: &machine,
             perf: &perf,
             timelines: &timelines,
             topo: &topo,
+            memory: &memory,
             config: &config,
         };
         let s = EagerScheduler::new();
@@ -105,12 +118,13 @@ mod tests {
     #[test]
     fn pop_prefers_higher_priority() {
         let machine = MachineConfig::cpu_only(1);
-        let (perf, timelines, topo, config) = ctx_fixture(&machine);
+        let (perf, timelines, topo, memory, config) = ctx_fixture(&machine);
         let ctx = SchedCtx {
             machine: &machine,
             perf: &perf,
             timelines: &timelines,
             topo: &topo,
+            memory: &memory,
             config: &config,
         };
         let s = EagerScheduler::new();

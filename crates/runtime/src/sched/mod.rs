@@ -15,6 +15,7 @@ pub mod ws;
 
 use crate::codelet::{Arch, ArchClass};
 use crate::coherence::Topology;
+use crate::memory::MemoryManager;
 use crate::perfmodel::PerfRegistry;
 use crate::runtime::RuntimeConfig;
 use crate::task::Task;
@@ -44,7 +45,9 @@ impl std::str::FromStr for SchedulerKind {
             "random" => Ok(SchedulerKind::Random),
             "ws" => Ok(SchedulerKind::Ws),
             "dmda" => Ok(SchedulerKind::Dmda),
-            other => Err(format!("unknown scheduler `{other}` (try eager|random|ws|dmda)")),
+            other => Err(format!(
+                "unknown scheduler `{other}` (try eager|random|ws|dmda)"
+            )),
         }
     }
 }
@@ -59,6 +62,9 @@ pub struct SchedCtx<'a> {
     pub timelines: &'a Mutex<Vec<VTime>>,
     /// Transfer fabric (for cost estimates).
     pub topo: &'a Topology,
+    /// Memory-node occupancy (for eviction-pressure estimates and the
+    /// fallback-to-CPU capacity filter).
+    pub memory: &'a MemoryManager,
     /// Runtime configuration (history-model toggle etc.).
     pub config: &'a RuntimeConfig,
 }
@@ -162,7 +168,10 @@ mod tests {
 
     #[test]
     fn scheduler_kind_parses() {
-        assert_eq!("dmda".parse::<SchedulerKind>().unwrap(), SchedulerKind::Dmda);
+        assert_eq!(
+            "dmda".parse::<SchedulerKind>().unwrap(),
+            SchedulerKind::Dmda
+        );
         assert!("bogus".parse::<SchedulerKind>().is_err());
     }
 

@@ -53,6 +53,7 @@ mod tests {
     use super::*;
     use crate::codelet::{Arch, Codelet};
     use crate::coherence::Topology;
+    use crate::memory::{EvictionPolicy, MemoryManager};
     use crate::perfmodel::PerfRegistry;
     use crate::runtime::RuntimeConfig;
     use crate::task::TaskBuilder;
@@ -64,12 +65,14 @@ mod tests {
         let perf = PerfRegistry::default();
         let timelines = Mutex::new(vec![VTime::ZERO; machine.total_workers()]);
         let topo = Topology::new(&machine);
+        let memory = MemoryManager::new(&machine, EvictionPolicy::Lru);
         let config = RuntimeConfig::default();
         let ctx = SchedCtx {
             machine: &machine,
             perf: &perf,
             timelines: &timelines,
             topo: &topo,
+            memory: &memory,
             config: &config,
         };
 
@@ -101,12 +104,14 @@ mod tests {
         let perf = PerfRegistry::default();
         let timelines = Mutex::new(vec![VTime::ZERO; machine.total_workers()]);
         let topo = Topology::new(&machine);
+        let memory = MemoryManager::new(&machine, EvictionPolicy::Lru);
         let config = RuntimeConfig::default();
         let ctx = SchedCtx {
             machine: &machine,
             perf: &perf,
             timelines: &timelines,
             topo: &topo,
+            memory: &memory,
             config: &config,
         };
         let codelet = Arc::new(

@@ -63,6 +63,7 @@ mod tests {
     use super::*;
     use crate::codelet::{Arch, Codelet};
     use crate::coherence::Topology;
+    use crate::memory::{EvictionPolicy, MemoryManager};
     use crate::perfmodel::PerfRegistry;
     use crate::runtime::RuntimeConfig;
     use crate::task::TaskBuilder;
@@ -73,6 +74,7 @@ mod tests {
         perf: PerfRegistry,
         timelines: Mutex<Vec<peppher_sim::VTime>>,
         topo: Topology,
+        memory: MemoryManager,
         config: RuntimeConfig,
     }
 
@@ -80,10 +82,12 @@ mod tests {
         fn new(machine: MachineConfig) -> Self {
             let timelines = Mutex::new(vec![peppher_sim::VTime::ZERO; machine.total_workers()]);
             let topo = Topology::new(&machine);
+            let memory = MemoryManager::new(&machine, EvictionPolicy::Lru);
             Fixture {
                 perf: PerfRegistry::default(),
                 timelines,
                 topo,
+                memory,
                 config: RuntimeConfig::default(),
                 machine,
             }
@@ -94,6 +98,7 @@ mod tests {
                 perf: &self.perf,
                 timelines: &self.timelines,
                 topo: &self.topo,
+                memory: &self.memory,
                 config: &self.config,
             }
         }

@@ -56,6 +56,19 @@ pub enum TraceEvent {
         /// Memory node.
         node: usize,
     },
+    /// A replica was evicted from a full memory node. When `writeback` is
+    /// set the victim held the sole valid copy and a device→host
+    /// [`TraceEvent::Transfer`] for the same handle precedes this event.
+    Evict {
+        /// Data handle id.
+        handle: u64,
+        /// Memory node the replica was evicted from.
+        node: usize,
+        /// Size of the freed buffer.
+        bytes: usize,
+        /// Whether the contents were written back to main memory first.
+        writeback: bool,
+    },
 }
 
 /// Internal mutable collector shared by workers.
@@ -76,6 +89,10 @@ pub(crate) struct StatsCollector {
     pub trace_enabled: bool,
     /// Kernels that panicked (contained by the worker).
     pub kernel_failures: AtomicU64,
+    /// Replicas evicted from full memory nodes.
+    pub evictions: AtomicU64,
+    /// Bytes of Modified victims written back to main memory.
+    pub writeback_bytes: AtomicU64,
     /// Modelled energy per worker, in millijoules (integer for atomicity).
     pub energy_mj: Mutex<Vec<f64>>,
 }
@@ -111,9 +128,17 @@ impl StatsCollector {
         self.kernel_failures.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_eviction(&self, bytes: u64, writeback: bool) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+        if writeback {
+            self.writeback_bytes.fetch_add(bytes, Ordering::Relaxed);
+        }
+    }
+
     pub(crate) fn record_task(&self, worker: usize, busy: VTime, vfinish: VTime) {
         self.tasks_executed.fetch_add(1, Ordering::Relaxed);
-        self.makespan_ns.fetch_max(vfinish.as_nanos(), Ordering::Relaxed);
+        self.makespan_ns
+            .fetch_max(vfinish.as_nanos(), Ordering::Relaxed);
         self.busy_ns.lock()[worker] += busy.as_nanos();
         self.tasks_per_worker.lock()[worker] += 1;
     }
@@ -139,6 +164,10 @@ impl StatsCollector {
             tasks_per_worker: self.tasks_per_worker.lock().clone(),
             kernel_failures: self.kernel_failures.load(Ordering::Relaxed),
             energy_joules: self.energy_mj.lock().iter().map(|mj| mj / 1e3).collect(),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            writeback_bytes: self.writeback_bytes.load(Ordering::Relaxed),
+            // Filled in by `Runtime::stats`, which owns the MemoryManager.
+            mem_high_water: Vec::new(),
         }
     }
 }
@@ -167,6 +196,14 @@ pub struct RuntimeStats {
     pub kernel_failures: u64,
     /// Modelled energy drawn per worker, in joules.
     pub energy_joules: Vec<f64>,
+    /// Replicas evicted from full memory nodes (LRU capacity pressure).
+    pub evictions: u64,
+    /// Bytes of Modified victims written back to main memory before their
+    /// device replicas were invalidated.
+    pub writeback_bytes: u64,
+    /// Per-memory-node allocation high-water marks, in bytes
+    /// (index 0 = main memory).
+    pub mem_high_water: Vec<u64>,
 }
 
 impl RuntimeStats {
@@ -223,7 +260,9 @@ pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
             continue;
         }
         let c0 = (s.as_nanos() as f64 / scale) as usize;
-        let c1 = ((f.as_nanos() as f64 / scale) as usize).max(c0 + 1).min(width);
+        let c1 = ((f.as_nanos() as f64 / scale) as usize)
+            .max(c0 + 1)
+            .min(width);
         for cell in &mut rows[w][c0.min(width - 1)..c1] {
             // Overlapping marks (from rounding) keep the first writer.
             if *cell == '.' {
@@ -235,6 +274,26 @@ pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
     out.push_str(&format!("virtual schedule (horizon {horizon}):\n"));
     for (w, row) in rows.iter().enumerate() {
         out.push_str(&format!("  w{w:<2} |{}|\n", row.iter().collect::<String>()));
+    }
+    // Memory-pressure summary: eviction stalls lengthen transfer queues, so
+    // surface them next to the schedule they distorted.
+    let (mut evictions, mut writebacks, mut evicted_bytes) = (0u64, 0u64, 0u64);
+    for e in trace {
+        if let TraceEvent::Evict {
+            bytes, writeback, ..
+        } = e
+        {
+            evictions += 1;
+            evicted_bytes += *bytes as u64;
+            if *writeback {
+                writebacks += 1;
+            }
+        }
+    }
+    if evictions > 0 {
+        out.push_str(&format!(
+            "  evictions: {evictions} ({writebacks} with writeback, {evicted_bytes} bytes freed)\n"
+        ));
     }
     out
 }
@@ -297,6 +356,42 @@ mod tests {
         assert!(!lines[1].contains('b'));
         // Empty trace handled gracefully.
         assert!(gantt(&[], 2, 20).contains("no timed tasks"));
+    }
+
+    #[test]
+    fn eviction_counters_and_gantt_summary() {
+        let s = StatsCollector::new(1, true);
+        s.record_eviction(1024, false);
+        s.record_eviction(2048, true);
+        let snap = s.snapshot();
+        assert_eq!(snap.evictions, 2);
+        assert_eq!(snap.writeback_bytes, 2048, "only writeback victims counted");
+
+        let trace = vec![
+            TraceEvent::TaskEnd {
+                task: 1,
+                worker: 0,
+                codelet: "spmv".into(),
+                vstart: VTime::ZERO,
+                vfinish: VTime::from_micros(10),
+            },
+            TraceEvent::Evict {
+                handle: 7,
+                node: 1,
+                bytes: 1024,
+                writeback: false,
+            },
+            TraceEvent::Evict {
+                handle: 8,
+                node: 1,
+                bytes: 2048,
+                writeback: true,
+            },
+        ];
+        let chart = gantt(&trace, 1, 20);
+        assert!(chart.contains("evictions: 2 (1 with writeback, 3072 bytes freed)"));
+        // No summary line when nothing was evicted.
+        assert!(!gantt(&trace[..1], 1, 20).contains("evictions"));
     }
 
     #[test]

@@ -345,7 +345,7 @@ mod tests {
         let pred = raw_task(Arc::clone(&c));
         let succ = raw_task(c);
         assert!(Task::link(&pred, &succ)); // link counts the edge itself
-        // Remove submission guard; only the real dep remains.
+                                           // Remove submission guard; only the real dep remains.
         assert!(!succ.dep_satisfied());
         let ready = pred.complete(VTime::from_micros(7));
         assert_eq!(ready.len(), 1);

@@ -24,9 +24,7 @@ pub(crate) fn worker_loop(inner: Arc<RuntimeInner>, worker: usize) {
                 }
                 let mut guard = inner.work_mx.lock();
                 // Bounded wait: a push may have raced with our empty pop.
-                inner
-                    .work_cv
-                    .wait_for(&mut guard, Duration::from_millis(1));
+                inner.work_cv.wait_for(&mut guard, Duration::from_millis(1));
             }
         }
     }
@@ -72,11 +70,18 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: Arc<Task>) {
         worker,
     });
 
+    // Pin every operand at this node first: replicas of a running task must
+    // never be eviction victims, and later make_valid calls for large
+    // sibling operands could otherwise evict the ones brought in earlier.
+    for (h, _) in &task.accesses {
+        inner.memory.pin(node, h);
+    }
+
     // Bring operands to this worker's memory node (lazy coherence),
     // collecting the virtual time at which the data is available.
     let mut data_ready = VTime::ZERO;
     for (h, mode) in &task.accesses {
-        let r = coherence::make_valid(h, node, *mode, &inner.topo, &inner.stats);
+        let r = coherence::make_valid(h, node, *mode, &inner.topo, &inner.stats, &inner.memory);
         data_ready = data_ready.max(r);
     }
 
@@ -97,7 +102,10 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: Arc<Task>) {
     let run_kernel = |guards: &mut Vec<BufferGuard>| {
         let mut ctx = KernelCtx {
             buffers: guards.as_mut_slice(),
-            arg: task.arg.as_deref().map(|a| a as &(dyn std::any::Any + Send)),
+            arg: task
+                .arg
+                .as_deref()
+                .map(|a| a as &(dyn std::any::Any + Send)),
             worker,
             arch,
             team_size: team,
@@ -172,8 +180,13 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: Arc<Task>) {
     // Coherence effects of writes become visible before successors run.
     for (h, mode) in &task.accesses {
         if mode.writes() {
-            coherence::mark_written(h, node, vfinish, &inner.stats);
+            coherence::mark_written(h, node, vfinish, &inner.stats, &inner.memory);
         }
+    }
+
+    // Operands may become eviction victims again.
+    for (h, _) in &task.accesses {
+        inner.memory.unpin(node, h.id());
     }
 
     // Feed the execution-history models.

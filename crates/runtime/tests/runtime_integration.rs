@@ -23,7 +23,10 @@ fn incr_codelet(archs: &[Arch]) -> Arc<Codelet> {
 
 #[test]
 fn raw_chain_executes_in_order() {
-    let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Dmda);
+    let rt = Runtime::new(
+        MachineConfig::c2050_platform(2).without_noise(),
+        SchedulerKind::Dmda,
+    );
     let c = incr_codelet(&[Arch::Cpu, Arch::Gpu]);
     let h = rt.register_vec(vec![0.0f64; 1000]);
     for _ in 0..50 {
@@ -34,14 +37,19 @@ fn raw_chain_executes_in_order() {
     }
     rt.wait_all();
     let out = rt.unregister_vec::<f64>(h);
-    assert!(out.iter().all(|&x| x == 50.0), "all 50 increments applied in order");
+    assert!(
+        out.iter().all(|&x| x == 50.0),
+        "all 50 increments applied in order"
+    );
 }
 
 #[test]
 fn independent_tasks_spread_across_workers() {
     let rt = Runtime::new(MachineConfig::cpu_only(4), SchedulerKind::Eager);
     let c = incr_codelet(&[Arch::Cpu]);
-    let handles: Vec<_> = (0..32).map(|_| rt.register_vec(vec![0.0f64; 10_000])).collect();
+    let handles: Vec<_> = (0..32)
+        .map(|_| rt.register_vec(vec![0.0f64; 10_000]))
+        .collect();
     for h in &handles {
         TaskBuilder::new(&c)
             .access(h, AccessMode::ReadWrite)
@@ -52,7 +60,11 @@ fn independent_tasks_spread_across_workers() {
     let stats = rt.stats();
     assert_eq!(stats.tasks_executed, 32);
     let busy_workers = stats.tasks_per_worker.iter().filter(|&&n| n > 0).count();
-    assert!(busy_workers >= 2, "work should spread, got {:?}", stats.tasks_per_worker);
+    assert!(
+        busy_workers >= 2,
+        "work should spread, got {:?}",
+        stats.tasks_per_worker
+    );
     for h in handles {
         assert!(rt.unregister_vec::<f64>(h).iter().all(|&x| x == 1.0));
     }
@@ -78,7 +90,10 @@ fn virtual_makespan_reflects_parallelism() {
         makespan_ms < 3.0,
         "8x1ms tasks on 4 workers should take ~2ms virtual, got {makespan_ms:.2}ms"
     );
-    assert!(makespan_ms > 1.5, "two waves minimum, got {makespan_ms:.2}ms");
+    assert!(
+        makespan_ms > 1.5,
+        "two waves minimum, got {makespan_ms:.2}ms"
+    );
 }
 
 #[test]
@@ -200,10 +215,15 @@ fn repeated_gpu_use_exploits_locality() {
 fn dmda_learns_to_prefer_faster_device() {
     // Large regular kernels: after calibration, dmda should send most work
     // to the (much faster) GPU.
-    let rt = Runtime::new(MachineConfig::c2050_platform(4).without_noise(), SchedulerKind::Dmda);
+    let rt = Runtime::new(
+        MachineConfig::c2050_platform(4).without_noise(),
+        SchedulerKind::Dmda,
+    );
     let c = incr_codelet(&[Arch::Cpu, Arch::Gpu]);
     let cost = KernelCost::new(5e9, 4e6, 4e6); // heavily compute-bound
-    let handles: Vec<_> = (0..40).map(|_| rt.register_vec(vec![0.0f64; 1000])).collect();
+    let handles: Vec<_> = (0..40)
+        .map(|_| rt.register_vec(vec![0.0f64; 1000]))
+        .collect();
     for h in &handles {
         TaskBuilder::new(&c)
             .access(h, AccessMode::ReadWrite)
@@ -297,7 +317,10 @@ fn team_task_advances_all_cpu_timelines() {
     rt.wait_all();
     // 36 MFLOP on 4x9 GFLOPS cores ≈ 1 ms; a single core would need 4 ms.
     let ms = rt.makespan().as_millis_f64();
-    assert!(ms < 2.0, "team execution should use all 4 cores, got {ms:.2}ms");
+    assert!(
+        ms < 2.0,
+        "team execution should use all 4 cores, got {ms:.2}ms"
+    );
     assert!(rt.unregister_vec::<f64>(h).iter().all(|&x| x == 3.0));
 }
 
@@ -307,8 +330,12 @@ fn async_handles_wait_individually() {
     let c = incr_codelet(&[Arch::Cpu]);
     let h1 = rt.register_vec(vec![0.0f64; 8]);
     let h2 = rt.register_vec(vec![0.0f64; 8]);
-    let t1 = TaskBuilder::new(&c).access(&h1, AccessMode::ReadWrite).submit(&rt);
-    let t2 = TaskBuilder::new(&c).access(&h2, AccessMode::ReadWrite).submit(&rt);
+    let t1 = TaskBuilder::new(&c)
+        .access(&h1, AccessMode::ReadWrite)
+        .submit(&rt);
+    let t2 = TaskBuilder::new(&c)
+        .access(&h2, AccessMode::ReadWrite)
+        .submit(&rt);
     t1.wait();
     t2.wait();
     assert!(t1.vfinish().is_some());
@@ -322,10 +349,15 @@ fn host_read_guard_sees_latest_data() {
     let rt = Runtime::new(machine, SchedulerKind::Eager);
     let c = incr_codelet(&[Arch::Gpu]);
     let h = rt.register_vec(vec![5.0f64; 256]);
-    TaskBuilder::new(&c).access(&h, AccessMode::ReadWrite).submit(&rt);
+    TaskBuilder::new(&c)
+        .access(&h, AccessMode::ReadWrite)
+        .submit(&rt);
     {
         let guard = rt.acquire_read::<Vec<f64>>(&h);
-        assert!(guard.iter().all(|&x| x == 6.0), "read waits for the GPU task");
+        assert!(
+            guard.iter().all(|&x| x == 6.0),
+            "read waits for the GPU task"
+        );
     }
     // Device copy remains valid after a host read (Fig. 3: master only read).
     assert_eq!(h.valid_nodes(), vec![0, 1]);
@@ -339,14 +371,22 @@ fn host_write_invalidates_device_copies() {
     let rt = Runtime::new(machine, SchedulerKind::Eager);
     let c = incr_codelet(&[Arch::Gpu]);
     let h = rt.register_vec(vec![0.0f64; 256]);
-    TaskBuilder::new(&c).access(&h, AccessMode::ReadWrite).submit(&rt);
+    TaskBuilder::new(&c)
+        .access(&h, AccessMode::ReadWrite)
+        .submit(&rt);
     {
         let mut guard = rt.acquire_write::<Vec<f64>>(&h);
         guard.fill(100.0);
     }
-    assert_eq!(h.valid_nodes(), vec![0], "host write leaves only node 0 valid");
+    assert_eq!(
+        h.valid_nodes(),
+        vec![0],
+        "host write leaves only node 0 valid"
+    );
     // A new GPU task must re-fetch and see the host's values.
-    TaskBuilder::new(&c).access(&h, AccessMode::ReadWrite).submit(&rt);
+    TaskBuilder::new(&c)
+        .access(&h, AccessMode::ReadWrite)
+        .submit(&rt);
     rt.wait_all();
     assert!(rt.unregister_vec::<f64>(h).iter().all(|&x| x == 101.0));
 }
@@ -355,7 +395,10 @@ fn host_write_invalidates_device_copies() {
 fn concurrent_submitters_from_many_threads() {
     // The runtime is a shared handle: several application threads may
     // submit simultaneously (each on its own operand chain).
-    let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Dmda);
+    let rt = Runtime::new(
+        MachineConfig::c2050_platform(2).without_noise(),
+        SchedulerKind::Dmda,
+    );
     let c = incr_codelet(&[Arch::Cpu, Arch::Gpu]);
     let handles: Vec<_> = (0..8)
         .map(|t| {
@@ -439,10 +482,17 @@ fn kernel_panic_is_contained() {
 #[test]
 fn all_schedulers_produce_identical_results() {
     let gold: Vec<f64> = {
-        let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Eager);
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Eager,
+        );
         run_mixed_workload(&rt)
     };
-    for kind in [SchedulerKind::Random, SchedulerKind::Ws, SchedulerKind::Dmda] {
+    for kind in [
+        SchedulerKind::Random,
+        SchedulerKind::Ws,
+        SchedulerKind::Dmda,
+    ] {
         let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), kind);
         let got = run_mixed_workload(&rt);
         assert_eq!(got, gold, "scheduler {kind:?} changed results");

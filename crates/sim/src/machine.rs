@@ -98,6 +98,28 @@ impl MachineConfig {
         self
     }
 
+    /// Overrides the memory capacity of every accelerator (builder style):
+    /// the `--mem-budget` bench flags and the out-of-core tests use this to
+    /// shrink device memory without recompiling profiles.
+    pub fn with_device_mem(mut self, bytes: u64) -> Self {
+        for slot in &mut self.accelerators {
+            slot.profile.mem_bytes = Some(bytes);
+        }
+        self
+    }
+
+    /// Capacity budget of memory node `node` in bytes; `None` is unbounded.
+    /// Node 0 (main memory) is the coherence protocol's backing store and
+    /// is always unbounded; accelerator nodes report their profile's
+    /// [`DeviceProfile::mem_bytes`].
+    pub fn node_budget(&self, node: usize) -> Option<u64> {
+        if node == 0 {
+            None
+        } else {
+            self.accelerators[node - 1].profile.mem_bytes
+        }
+    }
+
     /// Total number of memory nodes: main memory + one per accelerator.
     pub fn memory_nodes(&self) -> usize {
         1 + self.accelerators.len()
@@ -159,6 +181,17 @@ mod tests {
     }
 
     #[test]
+    fn node_budgets_follow_profiles() {
+        let m = MachineConfig::c2050_platform(4);
+        assert_eq!(m.node_budget(0), None, "main memory is unbounded");
+        assert_eq!(m.node_budget(1), Some(3 * 1024 * 1024 * 1024));
+
+        let shrunk = m.with_device_mem(64 << 20);
+        assert_eq!(shrunk.node_budget(1), Some(64 << 20));
+        assert_eq!(shrunk.node_budget(0), None);
+    }
+
+    #[test]
     fn zero_workers_clamped() {
         assert_eq!(MachineConfig::cpu_only(0).cpu_workers, 1);
     }
@@ -171,7 +204,9 @@ mod tests {
             a.accelerators[0].profile.name,
             b.accelerators[0].profile.name
         );
-        assert!(a.accelerators[0].profile.cache_effectiveness
-            > b.accelerators[0].profile.cache_effectiveness);
+        assert!(
+            a.accelerators[0].profile.cache_effectiveness
+                > b.accelerators[0].profile.cache_effectiveness
+        );
     }
 }

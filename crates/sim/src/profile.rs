@@ -44,6 +44,13 @@ pub struct DeviceProfile {
     /// Board/core power draw under load, in watts (per core for CPUs,
     /// whole board for GPUs) — drives the energy optimization goal.
     pub tdp_watts: f64,
+    /// Capacity of the memory node this unit executes out of, in bytes.
+    /// `None` means unbounded: main memory is the backing store of the
+    /// coherence protocol, so CPU profiles leave this unset, while
+    /// accelerators carry their real board memory (3 GB on the C2050,
+    /// 4 GB on the C1060) and the runtime's memory subsystem evicts
+    /// replicas once a device node fills up.
+    pub mem_bytes: Option<u64>,
 }
 
 impl DeviceProfile {
@@ -58,6 +65,7 @@ impl DeviceProfile {
             cache_effectiveness: 0.85,
             saturation_parallelism: 4.0,
             tdp_watts: 20.0, // ~80 W socket / 4 cores
+            mem_bytes: None, // shares main memory: unbounded in the model
         }
     }
 
@@ -73,6 +81,7 @@ impl DeviceProfile {
             cache_effectiveness: 0.70,
             saturation_parallelism: 14_336.0,
             tdp_watts: 238.0,
+            mem_bytes: Some(3 * 1024 * 1024 * 1024), // 3 GB GDDR5
         }
     }
 
@@ -88,7 +97,15 @@ impl DeviceProfile {
             cache_effectiveness: 0.12,
             saturation_parallelism: 23_040.0,
             tdp_watts: 188.0,
+            mem_bytes: Some(4 * 1024 * 1024 * 1024), // 4 GB GDDR3
         }
+    }
+
+    /// Overrides the memory-node capacity (builder style) — bench binaries
+    /// use this to sweep device budgets without editing profiles.
+    pub fn with_mem_bytes(mut self, bytes: u64) -> Self {
+        self.mem_bytes = Some(bytes);
+        self
     }
 
     /// Effective memory bandwidth (GB/s) for a kernel with the given access
@@ -191,9 +208,12 @@ mod tests {
         assert!(speedup > 3.5 && speedup <= 4.05, "speedup {speedup:.2}");
 
         let half = big_streaming_kernel().with_parallel_fraction(0.5);
-        let s_half = cpu.exec_time_team(&half, 1).as_secs_f64()
-            / cpu.exec_time_team(&half, 4).as_secs_f64();
-        assert!(s_half < 1.7, "Amdahl caps 50%-parallel speedup, got {s_half:.2}");
+        let s_half =
+            cpu.exec_time_team(&half, 1).as_secs_f64() / cpu.exec_time_team(&half, 4).as_secs_f64();
+        assert!(
+            s_half < 1.7,
+            "Amdahl caps 50%-parallel speedup, got {s_half:.2}"
+        );
     }
 
     #[test]
@@ -202,6 +222,18 @@ mod tests {
         let small = KernelCost::new(1e6, 1e5, 1e5);
         let large = small.scaled(10.0);
         assert!(gpu.exec_time(&small) < gpu.exec_time(&large));
+    }
+
+    #[test]
+    fn device_memory_capacities() {
+        assert_eq!(DeviceProfile::xeon_e5520_core().mem_bytes, None);
+        assert_eq!(
+            DeviceProfile::tesla_c2050().mem_bytes,
+            Some(3 * 1024 * 1024 * 1024)
+        );
+        assert!(DeviceProfile::tesla_c1060().mem_bytes > DeviceProfile::tesla_c2050().mem_bytes);
+        let tiny = DeviceProfile::tesla_c2050().with_mem_bytes(1 << 20);
+        assert_eq!(tiny.mem_bytes, Some(1 << 20));
     }
 
     #[test]

@@ -29,7 +29,10 @@ fn cpu_gpu_crossover_exists_and_is_monotone() {
         let c = streaming(s);
         winners.push(c2050().exec_time(&c) < cpu().exec_time(&c));
     }
-    assert!(!winners[0], "CPU must win tiny kernels (GPU launch overhead)");
+    assert!(
+        !winners[0],
+        "CPU must win tiny kernels (GPU launch overhead)"
+    );
     assert!(*winners.last().unwrap(), "GPU must win huge kernels");
     let flips = winners.windows(2).filter(|w| w[0] != w[1]).count();
     assert_eq!(flips, 1, "exactly one crossover: {winners:?}");
@@ -112,5 +115,8 @@ fn amdahl_limits_serial_fraction_workloads() {
     let team = cpu().exec_time_team(&half_serial, 4).as_secs_f64();
     let speedup = single / team;
     assert!(speedup < 1.7, "Amdahl cap for f=0.5: got {speedup:.2}");
-    assert!(speedup > 1.3, "but the parallel half still helps: {speedup:.2}");
+    assert!(
+        speedup > 1.3,
+        "but the parallel half still helps: {speedup:.2}"
+    );
 }

@@ -17,7 +17,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "XML parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -289,9 +293,9 @@ impl<'a> Parser<'a> {
                 self.pos += 2;
                 let end_name = self.parse_name()?;
                 if end_name != name {
-                    return Err(
-                        self.error(format!("mismatched end tag: expected `</{name}>`, found `</{end_name}>`"))
-                    );
+                    return Err(self.error(format!(
+                        "mismatched end tag: expected `</{name}>`, found `</{end_name}>`"
+                    )));
                 }
                 self.skip_ws();
                 self.expect_str(">")?;

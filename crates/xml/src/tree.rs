@@ -182,9 +182,8 @@ mod tests {
 
     #[test]
     fn path_walks_children() {
-        let tree = Element::new("root").with_child(
-            Element::new("mid").with_child(Element::new("leaf").with_attr("k", "v")),
-        );
+        let tree = Element::new("root")
+            .with_child(Element::new("mid").with_child(Element::new("leaf").with_attr("k", "v")));
         assert_eq!(tree.path("mid/leaf").unwrap().attr("k"), Some("v"));
         assert!(tree.path("mid/nope").is_none());
     }

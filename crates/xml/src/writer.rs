@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn writes_self_closing() {
-        assert_eq!(write_element(&Element::new("a").with_attr("k", "v")), r#"<a k="v"/>"#);
+        assert_eq!(
+            write_element(&Element::new("a").with_attr("k", "v")),
+            r#"<a k="v"/>"#
+        );
     }
 
     #[test]

@@ -11,10 +11,9 @@ fn name_strategy() -> impl Strategy<Value = String> {
 /// Text content; leading/trailing whitespace excluded because the writer
 /// normalizes purely-structural whitespace.
 fn text_strategy() -> impl Strategy<Value = String> {
-    "[a-zA-Z0-9 <>&'\"/=?!#;]{1,30}".prop_map(|s| s.trim().to_string()).prop_filter(
-        "non-empty after trim",
-        |s| !s.is_empty(),
-    )
+    "[a-zA-Z0-9 <>&'\"/=?!#;]{1,30}"
+        .prop_map(|s| s.trim().to_string())
+        .prop_filter("non-empty after trim", |s| !s.is_empty())
 }
 
 fn element_strategy() -> impl Strategy<Value = Element> {

@@ -25,7 +25,10 @@ fn main() {
     );
     let (state, invocations) = odesolver::run_peppherized(&rt, edge, steps, None);
     let stats = rt.stats();
-    println!("components invoked: {invocations} times ({} tasks executed)", stats.tasks_executed);
+    println!(
+        "components invoked: {invocations} times ({} tasks executed)",
+        stats.tasks_executed
+    );
     println!("virtual makespan:   {}", stats.makespan);
     println!(
         "transfers:          {} h2d / {} d2h ({:.2} MB total)",
@@ -52,6 +55,9 @@ fn main() {
         .zip(&state_gpu)
         .map(|(a, b)| (a - b).abs())
         .fold(0.0f32, f32::max);
-    assert!(diff < 1e-4, "dynamic and forced runs must agree, diff={diff}");
+    assert!(
+        diff < 1e-4,
+        "dynamic and forced runs must agree, diff={diff}"
+    );
     println!("dynamic and forced-CUDA runs agree bitwise-ish (max diff {diff:.1e})");
 }

@@ -17,8 +17,16 @@ fn main() {
     // an XML descriptor; built programmatically here.
     let mut iface = InterfaceDescriptor::new("scale");
     iface.params = vec![
-        ParamDecl { name: "x".into(), ctype: "float*".into(), access: AccessType::ReadWrite },
-        ParamDecl { name: "n".into(), ctype: "int".into(), access: AccessType::Read },
+        ParamDecl {
+            name: "x".into(),
+            ctype: "float*".into(),
+            access: AccessType::ReadWrite,
+        },
+        ParamDecl {
+            name: "n".into(),
+            ctype: "int".into(),
+            access: AccessType::Read,
+        },
     ];
 
     // Two implementation variants for the same functionality.
@@ -71,7 +79,10 @@ fn main() {
     let stats = rt.stats();
     println!("tasks executed:     {}", stats.tasks_executed);
     println!("tasks per worker:   {:?}", stats.tasks_per_worker);
-    println!("h2d/d2h transfers:  {}/{}", stats.h2d_transfers, stats.d2h_transfers);
+    println!(
+        "h2d/d2h transfers:  {}/{}",
+        stats.h2d_transfers, stats.d2h_transfers
+    );
     println!("virtual makespan:   {}", stats.makespan);
     rt.shutdown();
 }

@@ -42,7 +42,10 @@ fn main() {
         hyb_stats.total_transfers(),
         hyb_stats.total_transfer_bytes() as f64 / 1e6
     );
-    println!("tasks per worker (4 CPU + 1 GPU): {:?}", hyb_stats.tasks_per_worker);
+    println!(
+        "tasks per worker (4 CPU + 1 GPU): {:?}",
+        hyb_stats.tasks_per_worker
+    );
     rt.shutdown();
 
     // Same answer either way.

@@ -49,8 +49,6 @@ pub mod prelude {
     pub use peppher_core::{
         CallContext, ComponentRegistry, ExecutionMode, InterfaceDecl, VariantBuilder,
     };
-    pub use peppher_runtime::{
-        AccessMode, Runtime, RuntimeConfig, SchedulerKind, TaskBuilder,
-    };
+    pub use peppher_runtime::{AccessMode, Runtime, RuntimeConfig, SchedulerKind, TaskBuilder};
     pub use peppher_sim::{DeviceProfile, MachineConfig};
 }

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/async_consistency-2cefc986808154d1.d: tests/async_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libasync_consistency-2cefc986808154d1.rmeta: tests/async_consistency.rs Cargo.toml
+
+tests/async_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/async_consistency-c4b8c03ac1abf2c7.d: tests/async_consistency.rs
+
+/root/repo/target/debug/deps/async_consistency-c4b8c03ac1abf2c7: tests/async_consistency.rs
+
+tests/async_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compose-9e7546126286b190.d: crates/compose/src/bin/compose.rs
+
+/root/repo/target/debug/deps/compose-9e7546126286b190: crates/compose/src/bin/compose.rs
+
+crates/compose/src/bin/compose.rs:

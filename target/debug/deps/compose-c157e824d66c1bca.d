@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compose-c157e824d66c1bca.d: crates/compose/src/bin/compose.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompose-c157e824d66c1bca.rmeta: crates/compose/src/bin/compose.rs Cargo.toml
+
+crates/compose/src/bin/compose.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

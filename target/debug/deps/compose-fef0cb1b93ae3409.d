@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compose-fef0cb1b93ae3409.d: crates/compose/src/bin/compose.rs
+
+/root/repo/target/debug/deps/compose-fef0cb1b93ae3409: crates/compose/src/bin/compose.rs
+
+crates/compose/src/bin/compose.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/compose_end_to_end-0cb652a9bbbc5d4c.d: crates/compose/tests/compose_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcompose_end_to_end-0cb652a9bbbc5d4c.rmeta: crates/compose/tests/compose_end_to_end.rs Cargo.toml
+
+crates/compose/tests/compose_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

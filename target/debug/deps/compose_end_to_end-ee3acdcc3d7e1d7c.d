@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/compose_end_to_end-ee3acdcc3d7e1d7c.d: crates/compose/tests/compose_end_to_end.rs
+
+/root/repo/target/debug/deps/compose_end_to_end-ee3acdcc3d7e1d7c: crates/compose/tests/compose_end_to_end.rs
+
+crates/compose/tests/compose_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/container_ablation-32fc06b0589fe019.d: crates/bench/benches/container_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcontainer_ablation-32fc06b0589fe019.rmeta: crates/bench/benches/container_ablation.rs Cargo.toml
+
+crates/bench/benches/container_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/container_ablation-bbeb2ab13d5f7dc3.d: crates/bench/benches/container_ablation.rs
+
+/root/repo/target/debug/deps/container_ablation-bbeb2ab13d5f7dc3: crates/bench/benches/container_ablation.rs
+
+crates/bench/benches/container_ablation.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-336a2c5f5ba6c300.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-336a2c5f5ba6c300.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-336a2c5f5ba6c300.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

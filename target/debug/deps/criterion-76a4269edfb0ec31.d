@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-76a4269edfb0ec31.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-76a4269edfb0ec31.rlib: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-76a4269edfb0ec31.rmeta: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

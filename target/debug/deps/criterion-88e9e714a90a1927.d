@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-88e9e714a90a1927.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/criterion-88e9e714a90a1927: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/crossovers-b5fad6b56fb7fb2c.d: crates/sim/tests/crossovers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcrossovers-b5fad6b56fb7fb2c.rmeta: crates/sim/tests/crossovers.rs Cargo.toml
+
+crates/sim/tests/crossovers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/crossovers-f6ce1b55aa473d12.d: crates/sim/tests/crossovers.rs
+
+/root/repo/target/debug/deps/crossovers-f6ce1b55aa473d12: crates/sim/tests/crossovers.rs
+
+crates/sim/tests/crossovers.rs:

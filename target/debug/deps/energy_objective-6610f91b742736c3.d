@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/energy_objective-6610f91b742736c3.d: tests/energy_objective.rs
+
+/root/repo/target/debug/deps/energy_objective-6610f91b742736c3: tests/energy_objective.rs
+
+tests/energy_objective.rs:

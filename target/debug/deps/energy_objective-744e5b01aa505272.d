@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/energy_objective-744e5b01aa505272.d: tests/energy_objective.rs Cargo.toml
+
+/root/repo/target/debug/deps/libenergy_objective-744e5b01aa505272.rmeta: tests/energy_objective.rs Cargo.toml
+
+tests/energy_objective.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_container_trace-5b0f329c99cc4649.d: crates/bench/src/bin/fig3_container_trace.rs
+
+/root/repo/target/debug/deps/fig3_container_trace-5b0f329c99cc4649: crates/bench/src/bin/fig3_container_trace.rs
+
+crates/bench/src/bin/fig3_container_trace.rs:

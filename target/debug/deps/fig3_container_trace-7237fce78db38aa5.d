@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_container_trace-7237fce78db38aa5.d: crates/bench/src/bin/fig3_container_trace.rs
+
+/root/repo/target/debug/deps/fig3_container_trace-7237fce78db38aa5: crates/bench/src/bin/fig3_container_trace.rs
+
+crates/bench/src/bin/fig3_container_trace.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_container_trace-daf3d6fc0aa0eab2.d: crates/bench/src/bin/fig3_container_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_container_trace-daf3d6fc0aa0eab2.rmeta: crates/bench/src/bin/fig3_container_trace.rs Cargo.toml
+
+crates/bench/src/bin/fig3_container_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_container_trace-f4fa8cba7e89b4b5.d: crates/bench/src/bin/fig3_container_trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_container_trace-f4fa8cba7e89b4b5.rmeta: crates/bench/src/bin/fig3_container_trace.rs Cargo.toml
+
+crates/bench/src/bin/fig3_container_trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_scenario-95c92248fe782c34.d: tests/fig3_scenario.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_scenario-95c92248fe782c34.rmeta: tests/fig3_scenario.rs Cargo.toml
+
+tests/fig3_scenario.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

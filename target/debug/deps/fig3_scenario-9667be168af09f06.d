@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_scenario-9667be168af09f06.d: tests/fig3_scenario.rs
+
+/root/repo/target/debug/deps/fig3_scenario-9667be168af09f06: tests/fig3_scenario.rs
+
+tests/fig3_scenario.rs:

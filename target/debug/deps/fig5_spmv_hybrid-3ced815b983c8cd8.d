@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_spmv_hybrid-3ced815b983c8cd8.d: crates/bench/src/bin/fig5_spmv_hybrid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_spmv_hybrid-3ced815b983c8cd8.rmeta: crates/bench/src/bin/fig5_spmv_hybrid.rs Cargo.toml
+
+crates/bench/src/bin/fig5_spmv_hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_spmv_hybrid-b73d509832708443.d: crates/bench/src/bin/fig5_spmv_hybrid.rs
+
+/root/repo/target/debug/deps/fig5_spmv_hybrid-b73d509832708443: crates/bench/src/bin/fig5_spmv_hybrid.rs
+
+crates/bench/src/bin/fig5_spmv_hybrid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_spmv_hybrid-e46453445534200d.d: crates/bench/src/bin/fig5_spmv_hybrid.rs
+
+/root/repo/target/debug/deps/fig5_spmv_hybrid-e46453445534200d: crates/bench/src/bin/fig5_spmv_hybrid.rs
+
+crates/bench/src/bin/fig5_spmv_hybrid.rs:

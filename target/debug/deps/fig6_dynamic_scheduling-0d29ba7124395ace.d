@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_dynamic_scheduling-0d29ba7124395ace.d: crates/bench/src/bin/fig6_dynamic_scheduling.rs
+
+/root/repo/target/debug/deps/fig6_dynamic_scheduling-0d29ba7124395ace: crates/bench/src/bin/fig6_dynamic_scheduling.rs
+
+crates/bench/src/bin/fig6_dynamic_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_dynamic_scheduling-45ba3fcb0b637134.d: crates/bench/src/bin/fig6_dynamic_scheduling.rs
+
+/root/repo/target/debug/deps/fig6_dynamic_scheduling-45ba3fcb0b637134: crates/bench/src/bin/fig6_dynamic_scheduling.rs
+
+crates/bench/src/bin/fig6_dynamic_scheduling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_dynamic_scheduling-e9efaeb24317a2e4.d: crates/bench/src/bin/fig6_dynamic_scheduling.rs
+
+/root/repo/target/debug/deps/fig6_dynamic_scheduling-e9efaeb24317a2e4: crates/bench/src/bin/fig6_dynamic_scheduling.rs
+
+crates/bench/src/bin/fig6_dynamic_scheduling.rs:

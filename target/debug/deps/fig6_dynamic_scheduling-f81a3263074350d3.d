@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_dynamic_scheduling-f81a3263074350d3.d: crates/bench/src/bin/fig6_dynamic_scheduling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_dynamic_scheduling-f81a3263074350d3.rmeta: crates/bench/src/bin/fig6_dynamic_scheduling.rs Cargo.toml
+
+crates/bench/src/bin/fig6_dynamic_scheduling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

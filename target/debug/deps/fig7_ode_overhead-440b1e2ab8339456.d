@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_ode_overhead-440b1e2ab8339456.d: crates/bench/src/bin/fig7_ode_overhead.rs
+
+/root/repo/target/debug/deps/fig7_ode_overhead-440b1e2ab8339456: crates/bench/src/bin/fig7_ode_overhead.rs
+
+crates/bench/src/bin/fig7_ode_overhead.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_ode_overhead-6439290cc80a516b.d: crates/bench/src/bin/fig7_ode_overhead.rs
+
+/root/repo/target/debug/deps/fig7_ode_overhead-6439290cc80a516b: crates/bench/src/bin/fig7_ode_overhead.rs
+
+crates/bench/src/bin/fig7_ode_overhead.rs:

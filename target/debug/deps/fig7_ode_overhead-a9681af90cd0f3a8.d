@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_ode_overhead-a9681af90cd0f3a8.d: crates/bench/src/bin/fig7_ode_overhead.rs
+
+/root/repo/target/debug/deps/fig7_ode_overhead-a9681af90cd0f3a8: crates/bench/src/bin/fig7_ode_overhead.rs
+
+crates/bench/src/bin/fig7_ode_overhead.rs:

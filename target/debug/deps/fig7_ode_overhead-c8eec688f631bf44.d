@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_ode_overhead-c8eec688f631bf44.d: crates/bench/src/bin/fig7_ode_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_ode_overhead-c8eec688f631bf44.rmeta: crates/bench/src/bin/fig7_ode_overhead.rs Cargo.toml
+
+crates/bench/src/bin/fig7_ode_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/forced_backends-3fee370bd37bb131.d: tests/forced_backends.rs Cargo.toml
+
+/root/repo/target/debug/deps/libforced_backends-3fee370bd37bb131.rmeta: tests/forced_backends.rs Cargo.toml
+
+tests/forced_backends.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

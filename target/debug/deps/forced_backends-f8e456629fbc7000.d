@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/forced_backends-f8e456629fbc7000.d: tests/forced_backends.rs
+
+/root/repo/target/debug/deps/forced_backends-f8e456629fbc7000: tests/forced_backends.rs
+
+tests/forced_backends.rs:

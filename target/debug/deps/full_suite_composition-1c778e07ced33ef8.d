@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_suite_composition-1c778e07ced33ef8.d: tests/full_suite_composition.rs
+
+/root/repo/target/debug/deps/full_suite_composition-1c778e07ced33ef8: tests/full_suite_composition.rs
+
+tests/full_suite_composition.rs:

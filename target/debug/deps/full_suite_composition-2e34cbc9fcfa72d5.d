@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/full_suite_composition-2e34cbc9fcfa72d5.d: tests/full_suite_composition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfull_suite_composition-2e34cbc9fcfa72d5.rmeta: tests/full_suite_composition.rs Cargo.toml
+
+tests/full_suite_composition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

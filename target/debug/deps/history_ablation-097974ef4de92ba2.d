@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/history_ablation-097974ef4de92ba2.d: crates/bench/benches/history_ablation.rs
+
+/root/repo/target/debug/deps/history_ablation-097974ef4de92ba2: crates/bench/benches/history_ablation.rs
+
+crates/bench/benches/history_ablation.rs:

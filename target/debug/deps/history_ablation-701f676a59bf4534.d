@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/history_ablation-701f676a59bf4534.d: crates/bench/benches/history_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhistory_ablation-701f676a59bf4534.rmeta: crates/bench/benches/history_ablation.rs Cargo.toml
+
+crates/bench/benches/history_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

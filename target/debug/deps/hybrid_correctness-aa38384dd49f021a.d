@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/hybrid_correctness-aa38384dd49f021a.d: tests/hybrid_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libhybrid_correctness-aa38384dd49f021a.rmeta: tests/hybrid_correctness.rs Cargo.toml
+
+tests/hybrid_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

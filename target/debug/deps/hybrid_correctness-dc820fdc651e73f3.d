@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/hybrid_correctness-dc820fdc651e73f3.d: tests/hybrid_correctness.rs
+
+/root/repo/target/debug/deps/hybrid_correctness-dc820fdc651e73f3: tests/hybrid_correctness.rs
+
+tests/hybrid_correctness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memory_ablation-6eec1519438eed3d.d: crates/bench/benches/memory_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemory_ablation-6eec1519438eed3d.rmeta: crates/bench/benches/memory_ablation.rs Cargo.toml
+
+crates/bench/benches/memory_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

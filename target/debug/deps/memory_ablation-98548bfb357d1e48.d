@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memory_ablation-98548bfb357d1e48.d: crates/bench/benches/memory_ablation.rs
+
+/root/repo/target/debug/deps/memory_ablation-98548bfb357d1e48: crates/bench/benches/memory_ablation.rs
+
+crates/bench/benches/memory_ablation.rs:

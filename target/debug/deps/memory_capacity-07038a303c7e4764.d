@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memory_capacity-07038a303c7e4764.d: tests/memory_capacity.rs
+
+/root/repo/target/debug/deps/memory_capacity-07038a303c7e4764: tests/memory_capacity.rs
+
+tests/memory_capacity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memory_capacity-b08783a9b9c389bc.d: tests/memory_capacity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemory_capacity-b08783a9b9c389bc.rmeta: tests/memory_capacity.rs Cargo.toml
+
+tests/memory_capacity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

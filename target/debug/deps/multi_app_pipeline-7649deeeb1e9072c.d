@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_app_pipeline-7649deeeb1e9072c.d: tests/multi_app_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_app_pipeline-7649deeeb1e9072c.rmeta: tests/multi_app_pipeline.rs Cargo.toml
+
+tests/multi_app_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

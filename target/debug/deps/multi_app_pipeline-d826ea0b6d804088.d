@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_app_pipeline-d826ea0b6d804088.d: tests/multi_app_pipeline.rs
+
+/root/repo/target/debug/deps/multi_app_pipeline-d826ea0b6d804088: tests/multi_app_pipeline.rs
+
+tests/multi_app_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/multi_gpu-7c2e32868f5bfc99.d: tests/multi_gpu.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmulti_gpu-7c2e32868f5bfc99.rmeta: tests/multi_gpu.rs Cargo.toml
+
+tests/multi_gpu.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/multi_gpu-f53e56b9ef4ccaca.d: tests/multi_gpu.rs
+
+/root/repo/target/debug/deps/multi_gpu-f53e56b9ef4ccaca: tests/multi_gpu.rs
+
+tests/multi_gpu.rs:

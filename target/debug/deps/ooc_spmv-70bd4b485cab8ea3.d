@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ooc_spmv-70bd4b485cab8ea3.d: crates/bench/src/bin/ooc_spmv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libooc_spmv-70bd4b485cab8ea3.rmeta: crates/bench/src/bin/ooc_spmv.rs Cargo.toml
+
+crates/bench/src/bin/ooc_spmv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

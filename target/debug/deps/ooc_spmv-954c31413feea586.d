@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ooc_spmv-954c31413feea586.d: crates/bench/src/bin/ooc_spmv.rs
+
+/root/repo/target/debug/deps/ooc_spmv-954c31413feea586: crates/bench/src/bin/ooc_spmv.rs
+
+crates/bench/src/bin/ooc_spmv.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ooc_spmv-a7a74f7e098cebec.d: crates/bench/src/bin/ooc_spmv.rs Cargo.toml
+
+/root/repo/target/debug/deps/libooc_spmv-a7a74f7e098cebec.rmeta: crates/bench/src/bin/ooc_spmv.rs Cargo.toml
+
+crates/bench/src/bin/ooc_spmv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

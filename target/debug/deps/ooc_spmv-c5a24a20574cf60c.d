@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ooc_spmv-c5a24a20574cf60c.d: crates/bench/src/bin/ooc_spmv.rs
+
+/root/repo/target/debug/deps/ooc_spmv-c5a24a20574cf60c: crates/bench/src/bin/ooc_spmv.rs
+
+crates/bench/src/bin/ooc_spmv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ooc_spmv-d8bbf4d76b169eee.d: crates/bench/src/bin/ooc_spmv.rs
+
+/root/repo/target/debug/deps/ooc_spmv-d8bbf4d76b169eee: crates/bench/src/bin/ooc_spmv.rs
+
+crates/bench/src/bin/ooc_spmv.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parking_lot-825879cdac323d21.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/parking_lot-825879cdac323d21: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

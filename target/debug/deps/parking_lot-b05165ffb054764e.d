@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/parking_lot-b05165ffb054764e.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-b05165ffb054764e.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/debug/deps/libparking_lot-b05165ffb054764e.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/peppher-d2583dea05458da5.d: src/lib.rs
+
+/root/repo/target/debug/deps/peppher-d2583dea05458da5: src/lib.rs
+
+src/lib.rs:

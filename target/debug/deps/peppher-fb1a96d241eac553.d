@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/peppher-fb1a96d241eac553.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpeppher-fb1a96d241eac553.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpeppher-fb1a96d241eac553.rmeta: src/lib.rs
+
+src/lib.rs:

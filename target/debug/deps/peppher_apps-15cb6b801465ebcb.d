@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/peppher_apps-15cb6b801465ebcb.d: crates/apps/src/lib.rs crates/apps/src/bfs/mod.rs crates/apps/src/cfd/mod.rs crates/apps/src/hotspot/mod.rs crates/apps/src/lud/mod.rs crates/apps/src/nw/mod.rs crates/apps/src/odesolver/mod.rs crates/apps/src/particlefilter/mod.rs crates/apps/src/pathfinder/mod.rs crates/apps/src/sgemm/mod.rs crates/apps/src/spmv/mod.rs crates/apps/src/spmv/direct.rs crates/apps/src/spmv/peppherized.rs
+
+/root/repo/target/debug/deps/peppher_apps-15cb6b801465ebcb: crates/apps/src/lib.rs crates/apps/src/bfs/mod.rs crates/apps/src/cfd/mod.rs crates/apps/src/hotspot/mod.rs crates/apps/src/lud/mod.rs crates/apps/src/nw/mod.rs crates/apps/src/odesolver/mod.rs crates/apps/src/particlefilter/mod.rs crates/apps/src/pathfinder/mod.rs crates/apps/src/sgemm/mod.rs crates/apps/src/spmv/mod.rs crates/apps/src/spmv/direct.rs crates/apps/src/spmv/peppherized.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/bfs/mod.rs:
+crates/apps/src/cfd/mod.rs:
+crates/apps/src/hotspot/mod.rs:
+crates/apps/src/lud/mod.rs:
+crates/apps/src/nw/mod.rs:
+crates/apps/src/odesolver/mod.rs:
+crates/apps/src/particlefilter/mod.rs:
+crates/apps/src/pathfinder/mod.rs:
+crates/apps/src/sgemm/mod.rs:
+crates/apps/src/spmv/mod.rs:
+crates/apps/src/spmv/direct.rs:
+crates/apps/src/spmv/peppherized.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/peppher_apps-85db853cd19a88a0.d: crates/apps/src/lib.rs crates/apps/src/bfs/mod.rs crates/apps/src/cfd/mod.rs crates/apps/src/hotspot/mod.rs crates/apps/src/lud/mod.rs crates/apps/src/nw/mod.rs crates/apps/src/odesolver/mod.rs crates/apps/src/particlefilter/mod.rs crates/apps/src/pathfinder/mod.rs crates/apps/src/sgemm/mod.rs crates/apps/src/spmv/mod.rs crates/apps/src/spmv/direct.rs crates/apps/src/spmv/peppherized.rs
+
+/root/repo/target/debug/deps/libpeppher_apps-85db853cd19a88a0.rlib: crates/apps/src/lib.rs crates/apps/src/bfs/mod.rs crates/apps/src/cfd/mod.rs crates/apps/src/hotspot/mod.rs crates/apps/src/lud/mod.rs crates/apps/src/nw/mod.rs crates/apps/src/odesolver/mod.rs crates/apps/src/particlefilter/mod.rs crates/apps/src/pathfinder/mod.rs crates/apps/src/sgemm/mod.rs crates/apps/src/spmv/mod.rs crates/apps/src/spmv/direct.rs crates/apps/src/spmv/peppherized.rs
+
+/root/repo/target/debug/deps/libpeppher_apps-85db853cd19a88a0.rmeta: crates/apps/src/lib.rs crates/apps/src/bfs/mod.rs crates/apps/src/cfd/mod.rs crates/apps/src/hotspot/mod.rs crates/apps/src/lud/mod.rs crates/apps/src/nw/mod.rs crates/apps/src/odesolver/mod.rs crates/apps/src/particlefilter/mod.rs crates/apps/src/pathfinder/mod.rs crates/apps/src/sgemm/mod.rs crates/apps/src/spmv/mod.rs crates/apps/src/spmv/direct.rs crates/apps/src/spmv/peppherized.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/bfs/mod.rs:
+crates/apps/src/cfd/mod.rs:
+crates/apps/src/hotspot/mod.rs:
+crates/apps/src/lud/mod.rs:
+crates/apps/src/nw/mod.rs:
+crates/apps/src/odesolver/mod.rs:
+crates/apps/src/particlefilter/mod.rs:
+crates/apps/src/pathfinder/mod.rs:
+crates/apps/src/sgemm/mod.rs:
+crates/apps/src/spmv/mod.rs:
+crates/apps/src/spmv/direct.rs:
+crates/apps/src/spmv/peppherized.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/peppher_apps-e10fdf7554441fa5.d: crates/apps/src/lib.rs crates/apps/src/bfs/mod.rs crates/apps/src/cfd/mod.rs crates/apps/src/hotspot/mod.rs crates/apps/src/lud/mod.rs crates/apps/src/nw/mod.rs crates/apps/src/odesolver/mod.rs crates/apps/src/particlefilter/mod.rs crates/apps/src/pathfinder/mod.rs crates/apps/src/sgemm/mod.rs crates/apps/src/spmv/mod.rs crates/apps/src/spmv/direct.rs crates/apps/src/spmv/peppherized.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpeppher_apps-e10fdf7554441fa5.rmeta: crates/apps/src/lib.rs crates/apps/src/bfs/mod.rs crates/apps/src/cfd/mod.rs crates/apps/src/hotspot/mod.rs crates/apps/src/lud/mod.rs crates/apps/src/nw/mod.rs crates/apps/src/odesolver/mod.rs crates/apps/src/particlefilter/mod.rs crates/apps/src/pathfinder/mod.rs crates/apps/src/sgemm/mod.rs crates/apps/src/spmv/mod.rs crates/apps/src/spmv/direct.rs crates/apps/src/spmv/peppherized.rs Cargo.toml
+
+crates/apps/src/lib.rs:
+crates/apps/src/bfs/mod.rs:
+crates/apps/src/cfd/mod.rs:
+crates/apps/src/hotspot/mod.rs:
+crates/apps/src/lud/mod.rs:
+crates/apps/src/nw/mod.rs:
+crates/apps/src/odesolver/mod.rs:
+crates/apps/src/particlefilter/mod.rs:
+crates/apps/src/pathfinder/mod.rs:
+crates/apps/src/sgemm/mod.rs:
+crates/apps/src/spmv/mod.rs:
+crates/apps/src/spmv/direct.rs:
+crates/apps/src/spmv/peppherized.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

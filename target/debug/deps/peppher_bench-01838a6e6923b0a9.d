@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/peppher_bench-01838a6e6923b0a9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpeppher_bench-01838a6e6923b0a9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libpeppher_bench-01838a6e6923b0a9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

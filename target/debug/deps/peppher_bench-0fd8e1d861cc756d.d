@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/peppher_bench-0fd8e1d861cc756d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpeppher_bench-0fd8e1d861cc756d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

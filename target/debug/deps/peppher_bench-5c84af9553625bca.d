@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/peppher_bench-5c84af9553625bca.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/peppher_bench-5c84af9553625bca: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

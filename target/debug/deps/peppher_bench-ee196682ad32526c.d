@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/peppher_bench-ee196682ad32526c.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/peppher_bench-ee196682ad32526c: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/peppher_compose-cbf7466acbe53eb1.d: crates/compose/src/lib.rs crates/compose/src/bind.rs crates/compose/src/cli.rs crates/compose/src/codegen/mod.rs crates/compose/src/codegen/dispatch.rs crates/compose/src/codegen/header.rs crates/compose/src/codegen/makefile.rs crates/compose/src/codegen/stubs.rs crates/compose/src/expand.rs crates/compose/src/explore.rs crates/compose/src/ir.rs crates/compose/src/static_comp.rs
+
+/root/repo/target/debug/deps/peppher_compose-cbf7466acbe53eb1: crates/compose/src/lib.rs crates/compose/src/bind.rs crates/compose/src/cli.rs crates/compose/src/codegen/mod.rs crates/compose/src/codegen/dispatch.rs crates/compose/src/codegen/header.rs crates/compose/src/codegen/makefile.rs crates/compose/src/codegen/stubs.rs crates/compose/src/expand.rs crates/compose/src/explore.rs crates/compose/src/ir.rs crates/compose/src/static_comp.rs
+
+crates/compose/src/lib.rs:
+crates/compose/src/bind.rs:
+crates/compose/src/cli.rs:
+crates/compose/src/codegen/mod.rs:
+crates/compose/src/codegen/dispatch.rs:
+crates/compose/src/codegen/header.rs:
+crates/compose/src/codegen/makefile.rs:
+crates/compose/src/codegen/stubs.rs:
+crates/compose/src/expand.rs:
+crates/compose/src/explore.rs:
+crates/compose/src/ir.rs:
+crates/compose/src/static_comp.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/peppher_compose-eb5aadca28a49518.d: crates/compose/src/lib.rs crates/compose/src/bind.rs crates/compose/src/cli.rs crates/compose/src/codegen/mod.rs crates/compose/src/codegen/dispatch.rs crates/compose/src/codegen/header.rs crates/compose/src/codegen/makefile.rs crates/compose/src/codegen/stubs.rs crates/compose/src/expand.rs crates/compose/src/explore.rs crates/compose/src/ir.rs crates/compose/src/static_comp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpeppher_compose-eb5aadca28a49518.rmeta: crates/compose/src/lib.rs crates/compose/src/bind.rs crates/compose/src/cli.rs crates/compose/src/codegen/mod.rs crates/compose/src/codegen/dispatch.rs crates/compose/src/codegen/header.rs crates/compose/src/codegen/makefile.rs crates/compose/src/codegen/stubs.rs crates/compose/src/expand.rs crates/compose/src/explore.rs crates/compose/src/ir.rs crates/compose/src/static_comp.rs Cargo.toml
+
+crates/compose/src/lib.rs:
+crates/compose/src/bind.rs:
+crates/compose/src/cli.rs:
+crates/compose/src/codegen/mod.rs:
+crates/compose/src/codegen/dispatch.rs:
+crates/compose/src/codegen/header.rs:
+crates/compose/src/codegen/makefile.rs:
+crates/compose/src/codegen/stubs.rs:
+crates/compose/src/expand.rs:
+crates/compose/src/explore.rs:
+crates/compose/src/ir.rs:
+crates/compose/src/static_comp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

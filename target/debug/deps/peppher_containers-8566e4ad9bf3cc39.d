@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/peppher_containers-8566e4ad9bf3cc39.d: crates/containers/src/lib.rs crates/containers/src/matrix.rs crates/containers/src/scalar.rs crates/containers/src/vector.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpeppher_containers-8566e4ad9bf3cc39.rmeta: crates/containers/src/lib.rs crates/containers/src/matrix.rs crates/containers/src/scalar.rs crates/containers/src/vector.rs Cargo.toml
+
+crates/containers/src/lib.rs:
+crates/containers/src/matrix.rs:
+crates/containers/src/scalar.rs:
+crates/containers/src/vector.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

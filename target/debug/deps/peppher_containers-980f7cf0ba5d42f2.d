@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/peppher_containers-980f7cf0ba5d42f2.d: crates/containers/src/lib.rs crates/containers/src/matrix.rs crates/containers/src/scalar.rs crates/containers/src/vector.rs
+
+/root/repo/target/debug/deps/libpeppher_containers-980f7cf0ba5d42f2.rlib: crates/containers/src/lib.rs crates/containers/src/matrix.rs crates/containers/src/scalar.rs crates/containers/src/vector.rs
+
+/root/repo/target/debug/deps/libpeppher_containers-980f7cf0ba5d42f2.rmeta: crates/containers/src/lib.rs crates/containers/src/matrix.rs crates/containers/src/scalar.rs crates/containers/src/vector.rs
+
+crates/containers/src/lib.rs:
+crates/containers/src/matrix.rs:
+crates/containers/src/scalar.rs:
+crates/containers/src/vector.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/peppher_containers-ee591a4b2a3426d6.d: crates/containers/src/lib.rs crates/containers/src/matrix.rs crates/containers/src/scalar.rs crates/containers/src/vector.rs
+
+/root/repo/target/debug/deps/peppher_containers-ee591a4b2a3426d6: crates/containers/src/lib.rs crates/containers/src/matrix.rs crates/containers/src/scalar.rs crates/containers/src/vector.rs
+
+crates/containers/src/lib.rs:
+crates/containers/src/matrix.rs:
+crates/containers/src/scalar.rs:
+crates/containers/src/vector.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/peppher_core-7da84c321a087ce0.d: crates/core/src/lib.rs crates/core/src/component.rs crates/core/src/context.rs crates/core/src/dispatch.rs crates/core/src/generic.rs crates/core/src/registry.rs crates/core/src/tunable.rs crates/core/src/variant.rs
+
+/root/repo/target/debug/deps/libpeppher_core-7da84c321a087ce0.rlib: crates/core/src/lib.rs crates/core/src/component.rs crates/core/src/context.rs crates/core/src/dispatch.rs crates/core/src/generic.rs crates/core/src/registry.rs crates/core/src/tunable.rs crates/core/src/variant.rs
+
+/root/repo/target/debug/deps/libpeppher_core-7da84c321a087ce0.rmeta: crates/core/src/lib.rs crates/core/src/component.rs crates/core/src/context.rs crates/core/src/dispatch.rs crates/core/src/generic.rs crates/core/src/registry.rs crates/core/src/tunable.rs crates/core/src/variant.rs
+
+crates/core/src/lib.rs:
+crates/core/src/component.rs:
+crates/core/src/context.rs:
+crates/core/src/dispatch.rs:
+crates/core/src/generic.rs:
+crates/core/src/registry.rs:
+crates/core/src/tunable.rs:
+crates/core/src/variant.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/peppher_core-aafbdac2a897af42.d: crates/core/src/lib.rs crates/core/src/component.rs crates/core/src/context.rs crates/core/src/dispatch.rs crates/core/src/generic.rs crates/core/src/registry.rs crates/core/src/tunable.rs crates/core/src/variant.rs
+
+/root/repo/target/debug/deps/peppher_core-aafbdac2a897af42: crates/core/src/lib.rs crates/core/src/component.rs crates/core/src/context.rs crates/core/src/dispatch.rs crates/core/src/generic.rs crates/core/src/registry.rs crates/core/src/tunable.rs crates/core/src/variant.rs
+
+crates/core/src/lib.rs:
+crates/core/src/component.rs:
+crates/core/src/context.rs:
+crates/core/src/dispatch.rs:
+crates/core/src/generic.rs:
+crates/core/src/registry.rs:
+crates/core/src/tunable.rs:
+crates/core/src/variant.rs:

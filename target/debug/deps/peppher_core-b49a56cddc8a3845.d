@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/peppher_core-b49a56cddc8a3845.d: crates/core/src/lib.rs crates/core/src/component.rs crates/core/src/context.rs crates/core/src/dispatch.rs crates/core/src/generic.rs crates/core/src/registry.rs crates/core/src/tunable.rs crates/core/src/variant.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpeppher_core-b49a56cddc8a3845.rmeta: crates/core/src/lib.rs crates/core/src/component.rs crates/core/src/context.rs crates/core/src/dispatch.rs crates/core/src/generic.rs crates/core/src/registry.rs crates/core/src/tunable.rs crates/core/src/variant.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/component.rs:
+crates/core/src/context.rs:
+crates/core/src/dispatch.rs:
+crates/core/src/generic.rs:
+crates/core/src/registry.rs:
+crates/core/src/tunable.rs:
+crates/core/src/variant.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

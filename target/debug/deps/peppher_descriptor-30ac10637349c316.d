@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/peppher_descriptor-30ac10637349c316.d: crates/descriptor/src/lib.rs crates/descriptor/src/cdecl.rs crates/descriptor/src/component.rs crates/descriptor/src/error.rs crates/descriptor/src/interface.rs crates/descriptor/src/main_module.rs crates/descriptor/src/platform.rs crates/descriptor/src/repository.rs crates/descriptor/src/skeleton.rs
+
+/root/repo/target/debug/deps/peppher_descriptor-30ac10637349c316: crates/descriptor/src/lib.rs crates/descriptor/src/cdecl.rs crates/descriptor/src/component.rs crates/descriptor/src/error.rs crates/descriptor/src/interface.rs crates/descriptor/src/main_module.rs crates/descriptor/src/platform.rs crates/descriptor/src/repository.rs crates/descriptor/src/skeleton.rs
+
+crates/descriptor/src/lib.rs:
+crates/descriptor/src/cdecl.rs:
+crates/descriptor/src/component.rs:
+crates/descriptor/src/error.rs:
+crates/descriptor/src/interface.rs:
+crates/descriptor/src/main_module.rs:
+crates/descriptor/src/platform.rs:
+crates/descriptor/src/repository.rs:
+crates/descriptor/src/skeleton.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/peppher_descriptor-93361bffa4070ed1.d: crates/descriptor/src/lib.rs crates/descriptor/src/cdecl.rs crates/descriptor/src/component.rs crates/descriptor/src/error.rs crates/descriptor/src/interface.rs crates/descriptor/src/main_module.rs crates/descriptor/src/platform.rs crates/descriptor/src/repository.rs crates/descriptor/src/skeleton.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpeppher_descriptor-93361bffa4070ed1.rmeta: crates/descriptor/src/lib.rs crates/descriptor/src/cdecl.rs crates/descriptor/src/component.rs crates/descriptor/src/error.rs crates/descriptor/src/interface.rs crates/descriptor/src/main_module.rs crates/descriptor/src/platform.rs crates/descriptor/src/repository.rs crates/descriptor/src/skeleton.rs Cargo.toml
+
+crates/descriptor/src/lib.rs:
+crates/descriptor/src/cdecl.rs:
+crates/descriptor/src/component.rs:
+crates/descriptor/src/error.rs:
+crates/descriptor/src/interface.rs:
+crates/descriptor/src/main_module.rs:
+crates/descriptor/src/platform.rs:
+crates/descriptor/src/repository.rs:
+crates/descriptor/src/skeleton.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

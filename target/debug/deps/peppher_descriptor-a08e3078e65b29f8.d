@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/peppher_descriptor-a08e3078e65b29f8.d: crates/descriptor/src/lib.rs crates/descriptor/src/cdecl.rs crates/descriptor/src/component.rs crates/descriptor/src/error.rs crates/descriptor/src/interface.rs crates/descriptor/src/main_module.rs crates/descriptor/src/platform.rs crates/descriptor/src/repository.rs crates/descriptor/src/skeleton.rs
+
+/root/repo/target/debug/deps/libpeppher_descriptor-a08e3078e65b29f8.rlib: crates/descriptor/src/lib.rs crates/descriptor/src/cdecl.rs crates/descriptor/src/component.rs crates/descriptor/src/error.rs crates/descriptor/src/interface.rs crates/descriptor/src/main_module.rs crates/descriptor/src/platform.rs crates/descriptor/src/repository.rs crates/descriptor/src/skeleton.rs
+
+/root/repo/target/debug/deps/libpeppher_descriptor-a08e3078e65b29f8.rmeta: crates/descriptor/src/lib.rs crates/descriptor/src/cdecl.rs crates/descriptor/src/component.rs crates/descriptor/src/error.rs crates/descriptor/src/interface.rs crates/descriptor/src/main_module.rs crates/descriptor/src/platform.rs crates/descriptor/src/repository.rs crates/descriptor/src/skeleton.rs
+
+crates/descriptor/src/lib.rs:
+crates/descriptor/src/cdecl.rs:
+crates/descriptor/src/component.rs:
+crates/descriptor/src/error.rs:
+crates/descriptor/src/interface.rs:
+crates/descriptor/src/main_module.rs:
+crates/descriptor/src/platform.rs:
+crates/descriptor/src/repository.rs:
+crates/descriptor/src/skeleton.rs:

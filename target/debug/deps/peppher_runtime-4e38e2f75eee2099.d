@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/peppher_runtime-4e38e2f75eee2099.d: crates/runtime/src/lib.rs crates/runtime/src/codelet.rs crates/runtime/src/coherence.rs crates/runtime/src/handle.rs crates/runtime/src/memory/mod.rs crates/runtime/src/perfmodel.rs crates/runtime/src/runtime.rs crates/runtime/src/sched/mod.rs crates/runtime/src/sched/dmda.rs crates/runtime/src/sched/eager.rs crates/runtime/src/sched/random.rs crates/runtime/src/sched/ws.rs crates/runtime/src/stats.rs crates/runtime/src/task.rs crates/runtime/src/worker.rs
+
+/root/repo/target/debug/deps/peppher_runtime-4e38e2f75eee2099: crates/runtime/src/lib.rs crates/runtime/src/codelet.rs crates/runtime/src/coherence.rs crates/runtime/src/handle.rs crates/runtime/src/memory/mod.rs crates/runtime/src/perfmodel.rs crates/runtime/src/runtime.rs crates/runtime/src/sched/mod.rs crates/runtime/src/sched/dmda.rs crates/runtime/src/sched/eager.rs crates/runtime/src/sched/random.rs crates/runtime/src/sched/ws.rs crates/runtime/src/stats.rs crates/runtime/src/task.rs crates/runtime/src/worker.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/codelet.rs:
+crates/runtime/src/coherence.rs:
+crates/runtime/src/handle.rs:
+crates/runtime/src/memory/mod.rs:
+crates/runtime/src/perfmodel.rs:
+crates/runtime/src/runtime.rs:
+crates/runtime/src/sched/mod.rs:
+crates/runtime/src/sched/dmda.rs:
+crates/runtime/src/sched/eager.rs:
+crates/runtime/src/sched/random.rs:
+crates/runtime/src/sched/ws.rs:
+crates/runtime/src/stats.rs:
+crates/runtime/src/task.rs:
+crates/runtime/src/worker.rs:

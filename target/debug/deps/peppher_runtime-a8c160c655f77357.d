@@ -1,0 +1,23 @@
+/root/repo/target/debug/deps/peppher_runtime-a8c160c655f77357.d: crates/runtime/src/lib.rs crates/runtime/src/codelet.rs crates/runtime/src/coherence.rs crates/runtime/src/handle.rs crates/runtime/src/memory/mod.rs crates/runtime/src/perfmodel.rs crates/runtime/src/runtime.rs crates/runtime/src/sched/mod.rs crates/runtime/src/sched/dmda.rs crates/runtime/src/sched/eager.rs crates/runtime/src/sched/random.rs crates/runtime/src/sched/ws.rs crates/runtime/src/stats.rs crates/runtime/src/task.rs crates/runtime/src/worker.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpeppher_runtime-a8c160c655f77357.rmeta: crates/runtime/src/lib.rs crates/runtime/src/codelet.rs crates/runtime/src/coherence.rs crates/runtime/src/handle.rs crates/runtime/src/memory/mod.rs crates/runtime/src/perfmodel.rs crates/runtime/src/runtime.rs crates/runtime/src/sched/mod.rs crates/runtime/src/sched/dmda.rs crates/runtime/src/sched/eager.rs crates/runtime/src/sched/random.rs crates/runtime/src/sched/ws.rs crates/runtime/src/stats.rs crates/runtime/src/task.rs crates/runtime/src/worker.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/codelet.rs:
+crates/runtime/src/coherence.rs:
+crates/runtime/src/handle.rs:
+crates/runtime/src/memory/mod.rs:
+crates/runtime/src/perfmodel.rs:
+crates/runtime/src/runtime.rs:
+crates/runtime/src/sched/mod.rs:
+crates/runtime/src/sched/dmda.rs:
+crates/runtime/src/sched/eager.rs:
+crates/runtime/src/sched/random.rs:
+crates/runtime/src/sched/ws.rs:
+crates/runtime/src/stats.rs:
+crates/runtime/src/task.rs:
+crates/runtime/src/worker.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/peppher_runtime-dd038434f04e3a48.d: crates/runtime/src/lib.rs crates/runtime/src/codelet.rs crates/runtime/src/coherence.rs crates/runtime/src/handle.rs crates/runtime/src/memory/mod.rs crates/runtime/src/perfmodel.rs crates/runtime/src/runtime.rs crates/runtime/src/sched/mod.rs crates/runtime/src/sched/dmda.rs crates/runtime/src/sched/eager.rs crates/runtime/src/sched/random.rs crates/runtime/src/sched/ws.rs crates/runtime/src/stats.rs crates/runtime/src/task.rs crates/runtime/src/worker.rs
+
+/root/repo/target/debug/deps/libpeppher_runtime-dd038434f04e3a48.rlib: crates/runtime/src/lib.rs crates/runtime/src/codelet.rs crates/runtime/src/coherence.rs crates/runtime/src/handle.rs crates/runtime/src/memory/mod.rs crates/runtime/src/perfmodel.rs crates/runtime/src/runtime.rs crates/runtime/src/sched/mod.rs crates/runtime/src/sched/dmda.rs crates/runtime/src/sched/eager.rs crates/runtime/src/sched/random.rs crates/runtime/src/sched/ws.rs crates/runtime/src/stats.rs crates/runtime/src/task.rs crates/runtime/src/worker.rs
+
+/root/repo/target/debug/deps/libpeppher_runtime-dd038434f04e3a48.rmeta: crates/runtime/src/lib.rs crates/runtime/src/codelet.rs crates/runtime/src/coherence.rs crates/runtime/src/handle.rs crates/runtime/src/memory/mod.rs crates/runtime/src/perfmodel.rs crates/runtime/src/runtime.rs crates/runtime/src/sched/mod.rs crates/runtime/src/sched/dmda.rs crates/runtime/src/sched/eager.rs crates/runtime/src/sched/random.rs crates/runtime/src/sched/ws.rs crates/runtime/src/stats.rs crates/runtime/src/task.rs crates/runtime/src/worker.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/codelet.rs:
+crates/runtime/src/coherence.rs:
+crates/runtime/src/handle.rs:
+crates/runtime/src/memory/mod.rs:
+crates/runtime/src/perfmodel.rs:
+crates/runtime/src/runtime.rs:
+crates/runtime/src/sched/mod.rs:
+crates/runtime/src/sched/dmda.rs:
+crates/runtime/src/sched/eager.rs:
+crates/runtime/src/sched/random.rs:
+crates/runtime/src/sched/ws.rs:
+crates/runtime/src/stats.rs:
+crates/runtime/src/task.rs:
+crates/runtime/src/worker.rs:

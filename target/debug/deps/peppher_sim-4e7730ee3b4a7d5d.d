@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/peppher_sim-4e7730ee3b4a7d5d.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/link.rs crates/sim/src/machine.rs crates/sim/src/noise.rs crates/sim/src/profile.rs crates/sim/src/vclock.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpeppher_sim-4e7730ee3b4a7d5d.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/link.rs crates/sim/src/machine.rs crates/sim/src/noise.rs crates/sim/src/profile.rs crates/sim/src/vclock.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/link.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/noise.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/vclock.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

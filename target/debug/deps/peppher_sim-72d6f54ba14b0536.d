@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/peppher_sim-72d6f54ba14b0536.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/link.rs crates/sim/src/machine.rs crates/sim/src/noise.rs crates/sim/src/profile.rs crates/sim/src/vclock.rs
+
+/root/repo/target/debug/deps/libpeppher_sim-72d6f54ba14b0536.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/link.rs crates/sim/src/machine.rs crates/sim/src/noise.rs crates/sim/src/profile.rs crates/sim/src/vclock.rs
+
+/root/repo/target/debug/deps/libpeppher_sim-72d6f54ba14b0536.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/link.rs crates/sim/src/machine.rs crates/sim/src/noise.rs crates/sim/src/profile.rs crates/sim/src/vclock.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/link.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/noise.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/vclock.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/peppher_sim-e49183f7f339d802.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/link.rs crates/sim/src/machine.rs crates/sim/src/noise.rs crates/sim/src/profile.rs crates/sim/src/vclock.rs
+
+/root/repo/target/debug/deps/peppher_sim-e49183f7f339d802: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/link.rs crates/sim/src/machine.rs crates/sim/src/noise.rs crates/sim/src/profile.rs crates/sim/src/vclock.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/link.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/noise.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/vclock.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/peppher_xml-470b6e3e670c9186.d: crates/xml/src/lib.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/tree.rs crates/xml/src/writer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpeppher_xml-470b6e3e670c9186.rmeta: crates/xml/src/lib.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/tree.rs crates/xml/src/writer.rs Cargo.toml
+
+crates/xml/src/lib.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/tree.rs:
+crates/xml/src/writer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

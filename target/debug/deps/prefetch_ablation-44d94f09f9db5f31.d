@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prefetch_ablation-44d94f09f9db5f31.d: crates/bench/benches/prefetch_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprefetch_ablation-44d94f09f9db5f31.rmeta: crates/bench/benches/prefetch_ablation.rs Cargo.toml
+
+crates/bench/benches/prefetch_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prefetch_ablation-c68c7420958eb7fb.d: crates/bench/benches/prefetch_ablation.rs
+
+/root/repo/target/debug/deps/prefetch_ablation-c68c7420958eb7fb: crates/bench/benches/prefetch_ablation.rs
+
+crates/bench/benches/prefetch_ablation.rs:

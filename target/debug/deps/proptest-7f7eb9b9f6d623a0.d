@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/proptest-7f7eb9b9f6d623a0.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/string.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest-7f7eb9b9f6d623a0.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/string.rs Cargo.toml
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/option.rs:
+vendor/proptest/src/string.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/proptest-a3fb8d18679c4954.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/string.rs
+
+/root/repo/target/debug/deps/proptest-a3fb8d18679c4954: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/string.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/option.rs:
+vendor/proptest/src/string.rs:

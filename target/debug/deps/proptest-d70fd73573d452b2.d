@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/proptest-d70fd73573d452b2.d: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/string.rs
+
+/root/repo/target/debug/deps/libproptest-d70fd73573d452b2.rlib: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/string.rs
+
+/root/repo/target/debug/deps/libproptest-d70fd73573d452b2.rmeta: vendor/proptest/src/lib.rs vendor/proptest/src/collection.rs vendor/proptest/src/option.rs vendor/proptest/src/string.rs
+
+vendor/proptest/src/lib.rs:
+vendor/proptest/src/collection.rs:
+vendor/proptest/src/option.rs:
+vendor/proptest/src/string.rs:

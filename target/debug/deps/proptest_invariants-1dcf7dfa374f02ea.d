@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-1dcf7dfa374f02ea.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-1dcf7dfa374f02ea: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_invariants-9ec118b099245fd5.d: tests/proptest_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_invariants-9ec118b099245fd5.rmeta: tests/proptest_invariants.rs Cargo.toml
+
+tests/proptest_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

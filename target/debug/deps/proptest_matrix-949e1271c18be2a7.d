@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_matrix-949e1271c18be2a7.d: crates/containers/tests/proptest_matrix.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_matrix-949e1271c18be2a7.rmeta: crates/containers/tests/proptest_matrix.rs Cargo.toml
+
+crates/containers/tests/proptest_matrix.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

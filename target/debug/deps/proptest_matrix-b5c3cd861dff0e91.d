@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_matrix-b5c3cd861dff0e91.d: crates/containers/tests/proptest_matrix.rs
+
+/root/repo/target/debug/deps/proptest_matrix-b5c3cd861dff0e91: crates/containers/tests/proptest_matrix.rs
+
+crates/containers/tests/proptest_matrix.rs:

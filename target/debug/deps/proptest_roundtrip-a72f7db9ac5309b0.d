@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_roundtrip-a72f7db9ac5309b0.d: crates/xml/tests/proptest_roundtrip.rs
+
+/root/repo/target/debug/deps/proptest_roundtrip-a72f7db9ac5309b0: crates/xml/tests/proptest_roundtrip.rs
+
+crates/xml/tests/proptest_roundtrip.rs:

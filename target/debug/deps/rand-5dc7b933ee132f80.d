@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-5dc7b933ee132f80.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-5dc7b933ee132f80: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

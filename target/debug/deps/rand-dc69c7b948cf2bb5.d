@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-dc69c7b948cf2bb5.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-dc69c7b948cf2bb5.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-dc69c7b948cf2bb5.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/runtime_integration-8f0a54c9344f5935.d: crates/runtime/tests/runtime_integration.rs
+
+/root/repo/target/debug/deps/runtime_integration-8f0a54c9344f5935: crates/runtime/tests/runtime_integration.rs
+
+crates/runtime/tests/runtime_integration.rs:

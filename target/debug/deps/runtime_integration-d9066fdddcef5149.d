@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/runtime_integration-d9066fdddcef5149.d: crates/runtime/tests/runtime_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libruntime_integration-d9066fdddcef5149.rmeta: crates/runtime/tests/runtime_integration.rs Cargo.toml
+
+crates/runtime/tests/runtime_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scheduler_ablation-127aa631a126e996.d: crates/bench/benches/scheduler_ablation.rs
+
+/root/repo/target/debug/deps/scheduler_ablation-127aa631a126e996: crates/bench/benches/scheduler_ablation.rs
+
+crates/bench/benches/scheduler_ablation.rs:

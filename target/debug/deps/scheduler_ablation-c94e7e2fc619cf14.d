@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scheduler_ablation-c94e7e2fc619cf14.d: crates/bench/benches/scheduler_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscheduler_ablation-c94e7e2fc619cf14.rmeta: crates/bench/benches/scheduler_ablation.rs Cargo.toml
+
+crates/bench/benches/scheduler_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sgemm-15be6c5f12535c1b.d: crates/bench/benches/sgemm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsgemm-15be6c5f12535c1b.rmeta: crates/bench/benches/sgemm.rs Cargo.toml
+
+crates/bench/benches/sgemm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sgemm-e03fd1ec6567cbba.d: crates/bench/benches/sgemm.rs
+
+/root/repo/target/debug/deps/sgemm-e03fd1ec6567cbba: crates/bench/benches/sgemm.rs
+
+crates/bench/benches/sgemm.rs:

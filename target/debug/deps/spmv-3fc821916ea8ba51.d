@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spmv-3fc821916ea8ba51.d: crates/bench/benches/spmv.rs
+
+/root/repo/target/debug/deps/spmv-3fc821916ea8ba51: crates/bench/benches/spmv.rs
+
+crates/bench/benches/spmv.rs:

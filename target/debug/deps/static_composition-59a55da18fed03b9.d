@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/static_composition-59a55da18fed03b9.d: tests/static_composition.rs
+
+/root/repo/target/debug/deps/static_composition-59a55da18fed03b9: tests/static_composition.rs
+
+tests/static_composition.rs:

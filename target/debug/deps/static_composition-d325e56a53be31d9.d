@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/static_composition-d325e56a53be31d9.d: tests/static_composition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstatic_composition-d325e56a53be31d9.rmeta: tests/static_composition.rs Cargo.toml
+
+tests/static_composition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

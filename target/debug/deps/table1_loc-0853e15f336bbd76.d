@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_loc-0853e15f336bbd76.d: crates/bench/src/bin/table1_loc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_loc-0853e15f336bbd76.rmeta: crates/bench/src/bin/table1_loc.rs Cargo.toml
+
+crates/bench/src/bin/table1_loc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

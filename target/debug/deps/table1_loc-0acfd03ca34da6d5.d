@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_loc-0acfd03ca34da6d5.d: crates/bench/src/bin/table1_loc.rs
+
+/root/repo/target/debug/deps/table1_loc-0acfd03ca34da6d5: crates/bench/src/bin/table1_loc.rs
+
+crates/bench/src/bin/table1_loc.rs:

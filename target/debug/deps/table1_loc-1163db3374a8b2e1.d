@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_loc-1163db3374a8b2e1.d: crates/bench/src/bin/table1_loc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_loc-1163db3374a8b2e1.rmeta: crates/bench/src/bin/table1_loc.rs Cargo.toml
+
+crates/bench/src/bin/table1_loc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_loc-73f872959d0a19e3.d: crates/bench/src/bin/table1_loc.rs
+
+/root/repo/target/debug/deps/table1_loc-73f872959d0a19e3: crates/bench/src/bin/table1_loc.rs
+
+crates/bench/src/bin/table1_loc.rs:

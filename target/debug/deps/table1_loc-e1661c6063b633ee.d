@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_loc-e1661c6063b633ee.d: crates/bench/src/bin/table1_loc.rs
+
+/root/repo/target/debug/deps/table1_loc-e1661c6063b633ee: crates/bench/src/bin/table1_loc.rs
+
+crates/bench/src/bin/table1_loc.rs:

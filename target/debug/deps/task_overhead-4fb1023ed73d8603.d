@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/task_overhead-4fb1023ed73d8603.d: crates/bench/benches/task_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtask_overhead-4fb1023ed73d8603.rmeta: crates/bench/benches/task_overhead.rs Cargo.toml
+
+crates/bench/benches/task_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

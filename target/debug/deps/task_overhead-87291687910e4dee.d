@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/task_overhead-87291687910e4dee.d: crates/bench/benches/task_overhead.rs
+
+/root/repo/target/debug/deps/task_overhead-87291687910e4dee: crates/bench/benches/task_overhead.rs
+
+crates/bench/benches/task_overhead.rs:

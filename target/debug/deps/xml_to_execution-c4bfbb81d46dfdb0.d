@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/xml_to_execution-c4bfbb81d46dfdb0.d: tests/xml_to_execution.rs Cargo.toml
+
+/root/repo/target/debug/deps/libxml_to_execution-c4bfbb81d46dfdb0.rmeta: tests/xml_to_execution.rs Cargo.toml
+
+tests/xml_to_execution.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/xml_to_execution-e9aee6fd63c4c9c3.d: tests/xml_to_execution.rs
+
+/root/repo/target/debug/deps/xml_to_execution-e9aee6fd63c4c9c3: tests/xml_to_execution.rs
+
+tests/xml_to_execution.rs:

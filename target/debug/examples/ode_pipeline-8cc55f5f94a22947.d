@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ode_pipeline-8cc55f5f94a22947.d: examples/ode_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libode_pipeline-8cc55f5f94a22947.rmeta: examples/ode_pipeline.rs Cargo.toml
+
+examples/ode_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ode_pipeline-f326821bfcc7300e.d: examples/ode_pipeline.rs
+
+/root/repo/target/debug/examples/ode_pipeline-f326821bfcc7300e: examples/ode_pipeline.rs
+
+examples/ode_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/peppherize-3b9414e1a9612060.d: examples/peppherize.rs
+
+/root/repo/target/debug/examples/peppherize-3b9414e1a9612060: examples/peppherize.rs
+
+examples/peppherize.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/peppherize-87bb09aab2d35ddf.d: examples/peppherize.rs Cargo.toml
+
+/root/repo/target/debug/examples/libpeppherize-87bb09aab2d35ddf.rmeta: examples/peppherize.rs Cargo.toml
+
+examples/peppherize.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

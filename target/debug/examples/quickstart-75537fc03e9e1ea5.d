@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-75537fc03e9e1ea5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-75537fc03e9e1ea5: examples/quickstart.rs
+
+examples/quickstart.rs:

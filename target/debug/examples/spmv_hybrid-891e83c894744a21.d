@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spmv_hybrid-891e83c894744a21.d: examples/spmv_hybrid.rs
+
+/root/repo/target/debug/examples/spmv_hybrid-891e83c894744a21: examples/spmv_hybrid.rs
+
+examples/spmv_hybrid.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spmv_hybrid-c4e3675a98a5cfe9.d: examples/spmv_hybrid.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspmv_hybrid-c4e3675a98a5cfe9.rmeta: examples/spmv_hybrid.rs Cargo.toml
+
+examples/spmv_hybrid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

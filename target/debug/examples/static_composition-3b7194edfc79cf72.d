@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/static_composition-3b7194edfc79cf72.d: examples/static_composition.rs
+
+/root/repo/target/debug/examples/static_composition-3b7194edfc79cf72: examples/static_composition.rs
+
+examples/static_composition.rs:

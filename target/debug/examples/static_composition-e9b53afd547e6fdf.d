@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/static_composition-e9b53afd547e6fdf.d: examples/static_composition.rs Cargo.toml
+
+/root/repo/target/debug/examples/libstatic_composition-e9b53afd547e6fdf.rmeta: examples/static_composition.rs Cargo.toml
+
+examples/static_composition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

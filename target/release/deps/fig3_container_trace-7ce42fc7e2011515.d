@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_container_trace-7ce42fc7e2011515.d: crates/bench/src/bin/fig3_container_trace.rs
+
+/root/repo/target/release/deps/fig3_container_trace-7ce42fc7e2011515: crates/bench/src/bin/fig3_container_trace.rs
+
+crates/bench/src/bin/fig3_container_trace.rs:

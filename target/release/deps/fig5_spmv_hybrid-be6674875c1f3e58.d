@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_spmv_hybrid-be6674875c1f3e58.d: crates/bench/src/bin/fig5_spmv_hybrid.rs
+
+/root/repo/target/release/deps/fig5_spmv_hybrid-be6674875c1f3e58: crates/bench/src/bin/fig5_spmv_hybrid.rs
+
+crates/bench/src/bin/fig5_spmv_hybrid.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ooc_spmv-5358097999145ea4.d: crates/bench/src/bin/ooc_spmv.rs
+
+/root/repo/target/release/deps/ooc_spmv-5358097999145ea4: crates/bench/src/bin/ooc_spmv.rs
+
+crates/bench/src/bin/ooc_spmv.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/parking_lot-e221f5adfc87062b.d: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e221f5adfc87062b.rlib: vendor/parking_lot/src/lib.rs
+
+/root/repo/target/release/deps/libparking_lot-e221f5adfc87062b.rmeta: vendor/parking_lot/src/lib.rs
+
+vendor/parking_lot/src/lib.rs:

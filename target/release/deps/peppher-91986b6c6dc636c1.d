@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/peppher-91986b6c6dc636c1.d: src/lib.rs
+
+/root/repo/target/release/deps/libpeppher-91986b6c6dc636c1.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpeppher-91986b6c6dc636c1.rmeta: src/lib.rs
+
+src/lib.rs:

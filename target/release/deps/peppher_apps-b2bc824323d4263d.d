@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/peppher_apps-b2bc824323d4263d.d: crates/apps/src/lib.rs crates/apps/src/bfs/mod.rs crates/apps/src/cfd/mod.rs crates/apps/src/hotspot/mod.rs crates/apps/src/lud/mod.rs crates/apps/src/nw/mod.rs crates/apps/src/odesolver/mod.rs crates/apps/src/particlefilter/mod.rs crates/apps/src/pathfinder/mod.rs crates/apps/src/sgemm/mod.rs crates/apps/src/spmv/mod.rs crates/apps/src/spmv/direct.rs crates/apps/src/spmv/peppherized.rs
+
+/root/repo/target/release/deps/libpeppher_apps-b2bc824323d4263d.rlib: crates/apps/src/lib.rs crates/apps/src/bfs/mod.rs crates/apps/src/cfd/mod.rs crates/apps/src/hotspot/mod.rs crates/apps/src/lud/mod.rs crates/apps/src/nw/mod.rs crates/apps/src/odesolver/mod.rs crates/apps/src/particlefilter/mod.rs crates/apps/src/pathfinder/mod.rs crates/apps/src/sgemm/mod.rs crates/apps/src/spmv/mod.rs crates/apps/src/spmv/direct.rs crates/apps/src/spmv/peppherized.rs
+
+/root/repo/target/release/deps/libpeppher_apps-b2bc824323d4263d.rmeta: crates/apps/src/lib.rs crates/apps/src/bfs/mod.rs crates/apps/src/cfd/mod.rs crates/apps/src/hotspot/mod.rs crates/apps/src/lud/mod.rs crates/apps/src/nw/mod.rs crates/apps/src/odesolver/mod.rs crates/apps/src/particlefilter/mod.rs crates/apps/src/pathfinder/mod.rs crates/apps/src/sgemm/mod.rs crates/apps/src/spmv/mod.rs crates/apps/src/spmv/direct.rs crates/apps/src/spmv/peppherized.rs
+
+crates/apps/src/lib.rs:
+crates/apps/src/bfs/mod.rs:
+crates/apps/src/cfd/mod.rs:
+crates/apps/src/hotspot/mod.rs:
+crates/apps/src/lud/mod.rs:
+crates/apps/src/nw/mod.rs:
+crates/apps/src/odesolver/mod.rs:
+crates/apps/src/particlefilter/mod.rs:
+crates/apps/src/pathfinder/mod.rs:
+crates/apps/src/sgemm/mod.rs:
+crates/apps/src/spmv/mod.rs:
+crates/apps/src/spmv/direct.rs:
+crates/apps/src/spmv/peppherized.rs:

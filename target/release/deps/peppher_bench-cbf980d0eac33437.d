@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/peppher_bench-cbf980d0eac33437.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpeppher_bench-cbf980d0eac33437.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libpeppher_bench-cbf980d0eac33437.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

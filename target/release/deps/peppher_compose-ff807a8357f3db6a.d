@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/peppher_compose-ff807a8357f3db6a.d: crates/compose/src/lib.rs crates/compose/src/bind.rs crates/compose/src/cli.rs crates/compose/src/codegen/mod.rs crates/compose/src/codegen/dispatch.rs crates/compose/src/codegen/header.rs crates/compose/src/codegen/makefile.rs crates/compose/src/codegen/stubs.rs crates/compose/src/expand.rs crates/compose/src/explore.rs crates/compose/src/ir.rs crates/compose/src/static_comp.rs
+
+/root/repo/target/release/deps/libpeppher_compose-ff807a8357f3db6a.rlib: crates/compose/src/lib.rs crates/compose/src/bind.rs crates/compose/src/cli.rs crates/compose/src/codegen/mod.rs crates/compose/src/codegen/dispatch.rs crates/compose/src/codegen/header.rs crates/compose/src/codegen/makefile.rs crates/compose/src/codegen/stubs.rs crates/compose/src/expand.rs crates/compose/src/explore.rs crates/compose/src/ir.rs crates/compose/src/static_comp.rs
+
+/root/repo/target/release/deps/libpeppher_compose-ff807a8357f3db6a.rmeta: crates/compose/src/lib.rs crates/compose/src/bind.rs crates/compose/src/cli.rs crates/compose/src/codegen/mod.rs crates/compose/src/codegen/dispatch.rs crates/compose/src/codegen/header.rs crates/compose/src/codegen/makefile.rs crates/compose/src/codegen/stubs.rs crates/compose/src/expand.rs crates/compose/src/explore.rs crates/compose/src/ir.rs crates/compose/src/static_comp.rs
+
+crates/compose/src/lib.rs:
+crates/compose/src/bind.rs:
+crates/compose/src/cli.rs:
+crates/compose/src/codegen/mod.rs:
+crates/compose/src/codegen/dispatch.rs:
+crates/compose/src/codegen/header.rs:
+crates/compose/src/codegen/makefile.rs:
+crates/compose/src/codegen/stubs.rs:
+crates/compose/src/expand.rs:
+crates/compose/src/explore.rs:
+crates/compose/src/ir.rs:
+crates/compose/src/static_comp.rs:

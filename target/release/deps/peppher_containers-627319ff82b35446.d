@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/peppher_containers-627319ff82b35446.d: crates/containers/src/lib.rs crates/containers/src/matrix.rs crates/containers/src/scalar.rs crates/containers/src/vector.rs
+
+/root/repo/target/release/deps/libpeppher_containers-627319ff82b35446.rlib: crates/containers/src/lib.rs crates/containers/src/matrix.rs crates/containers/src/scalar.rs crates/containers/src/vector.rs
+
+/root/repo/target/release/deps/libpeppher_containers-627319ff82b35446.rmeta: crates/containers/src/lib.rs crates/containers/src/matrix.rs crates/containers/src/scalar.rs crates/containers/src/vector.rs
+
+crates/containers/src/lib.rs:
+crates/containers/src/matrix.rs:
+crates/containers/src/scalar.rs:
+crates/containers/src/vector.rs:

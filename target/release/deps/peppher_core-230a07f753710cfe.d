@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/peppher_core-230a07f753710cfe.d: crates/core/src/lib.rs crates/core/src/component.rs crates/core/src/context.rs crates/core/src/dispatch.rs crates/core/src/generic.rs crates/core/src/registry.rs crates/core/src/tunable.rs crates/core/src/variant.rs
+
+/root/repo/target/release/deps/libpeppher_core-230a07f753710cfe.rlib: crates/core/src/lib.rs crates/core/src/component.rs crates/core/src/context.rs crates/core/src/dispatch.rs crates/core/src/generic.rs crates/core/src/registry.rs crates/core/src/tunable.rs crates/core/src/variant.rs
+
+/root/repo/target/release/deps/libpeppher_core-230a07f753710cfe.rmeta: crates/core/src/lib.rs crates/core/src/component.rs crates/core/src/context.rs crates/core/src/dispatch.rs crates/core/src/generic.rs crates/core/src/registry.rs crates/core/src/tunable.rs crates/core/src/variant.rs
+
+crates/core/src/lib.rs:
+crates/core/src/component.rs:
+crates/core/src/context.rs:
+crates/core/src/dispatch.rs:
+crates/core/src/generic.rs:
+crates/core/src/registry.rs:
+crates/core/src/tunable.rs:
+crates/core/src/variant.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/peppher_descriptor-c24d8a2927b1f2b0.d: crates/descriptor/src/lib.rs crates/descriptor/src/cdecl.rs crates/descriptor/src/component.rs crates/descriptor/src/error.rs crates/descriptor/src/interface.rs crates/descriptor/src/main_module.rs crates/descriptor/src/platform.rs crates/descriptor/src/repository.rs crates/descriptor/src/skeleton.rs
+
+/root/repo/target/release/deps/libpeppher_descriptor-c24d8a2927b1f2b0.rlib: crates/descriptor/src/lib.rs crates/descriptor/src/cdecl.rs crates/descriptor/src/component.rs crates/descriptor/src/error.rs crates/descriptor/src/interface.rs crates/descriptor/src/main_module.rs crates/descriptor/src/platform.rs crates/descriptor/src/repository.rs crates/descriptor/src/skeleton.rs
+
+/root/repo/target/release/deps/libpeppher_descriptor-c24d8a2927b1f2b0.rmeta: crates/descriptor/src/lib.rs crates/descriptor/src/cdecl.rs crates/descriptor/src/component.rs crates/descriptor/src/error.rs crates/descriptor/src/interface.rs crates/descriptor/src/main_module.rs crates/descriptor/src/platform.rs crates/descriptor/src/repository.rs crates/descriptor/src/skeleton.rs
+
+crates/descriptor/src/lib.rs:
+crates/descriptor/src/cdecl.rs:
+crates/descriptor/src/component.rs:
+crates/descriptor/src/error.rs:
+crates/descriptor/src/interface.rs:
+crates/descriptor/src/main_module.rs:
+crates/descriptor/src/platform.rs:
+crates/descriptor/src/repository.rs:
+crates/descriptor/src/skeleton.rs:

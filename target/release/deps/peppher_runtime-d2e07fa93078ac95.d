@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/peppher_runtime-d2e07fa93078ac95.d: crates/runtime/src/lib.rs crates/runtime/src/codelet.rs crates/runtime/src/coherence.rs crates/runtime/src/handle.rs crates/runtime/src/memory/mod.rs crates/runtime/src/perfmodel.rs crates/runtime/src/runtime.rs crates/runtime/src/sched/mod.rs crates/runtime/src/sched/dmda.rs crates/runtime/src/sched/eager.rs crates/runtime/src/sched/random.rs crates/runtime/src/sched/ws.rs crates/runtime/src/stats.rs crates/runtime/src/task.rs crates/runtime/src/worker.rs
+
+/root/repo/target/release/deps/libpeppher_runtime-d2e07fa93078ac95.rlib: crates/runtime/src/lib.rs crates/runtime/src/codelet.rs crates/runtime/src/coherence.rs crates/runtime/src/handle.rs crates/runtime/src/memory/mod.rs crates/runtime/src/perfmodel.rs crates/runtime/src/runtime.rs crates/runtime/src/sched/mod.rs crates/runtime/src/sched/dmda.rs crates/runtime/src/sched/eager.rs crates/runtime/src/sched/random.rs crates/runtime/src/sched/ws.rs crates/runtime/src/stats.rs crates/runtime/src/task.rs crates/runtime/src/worker.rs
+
+/root/repo/target/release/deps/libpeppher_runtime-d2e07fa93078ac95.rmeta: crates/runtime/src/lib.rs crates/runtime/src/codelet.rs crates/runtime/src/coherence.rs crates/runtime/src/handle.rs crates/runtime/src/memory/mod.rs crates/runtime/src/perfmodel.rs crates/runtime/src/runtime.rs crates/runtime/src/sched/mod.rs crates/runtime/src/sched/dmda.rs crates/runtime/src/sched/eager.rs crates/runtime/src/sched/random.rs crates/runtime/src/sched/ws.rs crates/runtime/src/stats.rs crates/runtime/src/task.rs crates/runtime/src/worker.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/codelet.rs:
+crates/runtime/src/coherence.rs:
+crates/runtime/src/handle.rs:
+crates/runtime/src/memory/mod.rs:
+crates/runtime/src/perfmodel.rs:
+crates/runtime/src/runtime.rs:
+crates/runtime/src/sched/mod.rs:
+crates/runtime/src/sched/dmda.rs:
+crates/runtime/src/sched/eager.rs:
+crates/runtime/src/sched/random.rs:
+crates/runtime/src/sched/ws.rs:
+crates/runtime/src/stats.rs:
+crates/runtime/src/task.rs:
+crates/runtime/src/worker.rs:

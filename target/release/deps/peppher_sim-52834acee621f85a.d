@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/peppher_sim-52834acee621f85a.d: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/link.rs crates/sim/src/machine.rs crates/sim/src/noise.rs crates/sim/src/profile.rs crates/sim/src/vclock.rs
+
+/root/repo/target/release/deps/libpeppher_sim-52834acee621f85a.rlib: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/link.rs crates/sim/src/machine.rs crates/sim/src/noise.rs crates/sim/src/profile.rs crates/sim/src/vclock.rs
+
+/root/repo/target/release/deps/libpeppher_sim-52834acee621f85a.rmeta: crates/sim/src/lib.rs crates/sim/src/cost.rs crates/sim/src/link.rs crates/sim/src/machine.rs crates/sim/src/noise.rs crates/sim/src/profile.rs crates/sim/src/vclock.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cost.rs:
+crates/sim/src/link.rs:
+crates/sim/src/machine.rs:
+crates/sim/src/noise.rs:
+crates/sim/src/profile.rs:
+crates/sim/src/vclock.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/peppher_xml-e5b402ed77bac474.d: crates/xml/src/lib.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/tree.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/libpeppher_xml-e5b402ed77bac474.rlib: crates/xml/src/lib.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/tree.rs crates/xml/src/writer.rs
+
+/root/repo/target/release/deps/libpeppher_xml-e5b402ed77bac474.rmeta: crates/xml/src/lib.rs crates/xml/src/escape.rs crates/xml/src/parser.rs crates/xml/src/tree.rs crates/xml/src/writer.rs
+
+crates/xml/src/lib.rs:
+crates/xml/src/escape.rs:
+crates/xml/src/parser.rs:
+crates/xml/src/tree.rs:
+crates/xml/src/writer.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-fd47d27c55934f40.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fd47d27c55934f40.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-fd47d27c55934f40.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

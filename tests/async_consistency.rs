@@ -38,7 +38,11 @@ fn op_strategy() -> impl Strategy<Value = Op> {
     ]
 }
 
-fn make_component(name: &str, params: &[(&str, AccessType)], body: fn(&mut peppher::runtime::KernelCtx<'_>)) -> Arc<Component> {
+fn make_component(
+    name: &str,
+    params: &[(&str, AccessType)],
+    body: fn(&mut peppher::runtime::KernelCtx<'_>),
+) -> Arc<Component> {
     let mut iface = InterfaceDescriptor::new(name);
     iface.params = params
         .iter()
@@ -49,8 +53,16 @@ fn make_component(name: &str, params: &[(&str, AccessType)], body: fn(&mut pepph
         })
         .collect();
     Component::builder(iface)
-        .variant(VariantBuilder::new(format!("{name}_cpu"), "cpp").kernel(body).build())
-        .variant(VariantBuilder::new(format!("{name}_cuda"), "cuda").kernel(body).build())
+        .variant(
+            VariantBuilder::new(format!("{name}_cpu"), "cpp")
+                .kernel(body)
+                .build(),
+        )
+        .variant(
+            VariantBuilder::new(format!("{name}_cuda"), "cuda")
+                .kernel(body)
+                .build(),
+        )
         .build()
 }
 
@@ -109,7 +121,10 @@ fn run_peppher(ops: &[Op], kind: SchedulerKind) -> (Vec<i64>, Vec<i64>, Vec<i64>
                 double_b.call().operand(b.handle()).submit(&rt);
             }
             Op::AxpyAb => {
-                axpy.call().operand(a.handle()).operand(b.handle()).submit(&rt);
+                axpy.call()
+                    .operand(a.handle())
+                    .operand(b.handle())
+                    .submit(&rt);
             }
             Op::ReadA(i) => reads.push(a.get(*i)),
             Op::WriteB(i, v) => b.set(*i, *v),

@@ -49,7 +49,10 @@ fn small_compute_component() -> Arc<Component> {
 }
 
 fn run(objective: Objective) -> (peppher::runtime::RuntimeStats, Vec<f32>) {
-    let rt = Runtime::with_config(MachineConfig::c2050_platform(4).without_noise(), config(objective));
+    let rt = Runtime::with_config(
+        MachineConfig::c2050_platform(4).without_noise(),
+        config(objective),
+    );
     let comp = small_compute_component();
     let y = rt.register_vec(vec![1.0f32; 512]);
     for _ in 0..40 {
@@ -78,9 +81,8 @@ fn energy_objective_prefers_low_power_devices() {
         time_stats.total_energy_joules()
     );
     // ...by steering the steady-state work away from the GPU.
-    let gpu_share = |s: &peppher::runtime::RuntimeStats| {
-        s.tasks_per_worker[4] as f64 / s.tasks_executed as f64
-    };
+    let gpu_share =
+        |s: &peppher::runtime::RuntimeStats| s.tasks_per_worker[4] as f64 / s.tasks_executed as f64;
     assert!(
         gpu_share(&energy_stats) < gpu_share(&time_stats),
         "GPU share should drop under the energy objective: {:?} vs {:?}",
@@ -109,7 +111,10 @@ fn energy_model_accounting_is_consistent() {
         (got - expect).abs() <= 1e-6 + expect * 1e-9,
         "gpu energy {got} J vs busy*tdp {expect} J"
     );
-    assert_eq!(stats.energy_joules[0], 0.0, "idle CPU draws no modelled task energy");
+    assert_eq!(
+        stats.energy_joules[0], 0.0,
+        "idle CPU draws no modelled task energy"
+    );
 }
 
 #[test]

@@ -11,7 +11,11 @@ use peppher::runtime::{Runtime, RuntimeConfig, SchedulerKind, TraceEvent};
 use peppher::sim::MachineConfig;
 use std::sync::Arc;
 
-fn component(name: &str, access: AccessType, body: fn(&mut peppher::runtime::KernelCtx<'_>)) -> Arc<Component> {
+fn component(
+    name: &str,
+    access: AccessType,
+    body: fn(&mut peppher::runtime::KernelCtx<'_>),
+) -> Arc<Component> {
     let mut iface = InterfaceDescriptor::new(name);
     iface.params = vec![ParamDecl {
         name: "v".into(),
@@ -19,7 +23,11 @@ fn component(name: &str, access: AccessType, body: fn(&mut peppher::runtime::Ker
         access,
     }];
     Component::builder(iface)
-        .variant(VariantBuilder::new(format!("{name}_cuda"), "cuda").kernel(body).build())
+        .variant(
+            VariantBuilder::new(format!("{name}_cuda"), "cuda")
+                .kernel(body)
+                .build(),
+        )
         .build()
 }
 

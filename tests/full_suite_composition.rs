@@ -4,7 +4,7 @@
 //! ("the repositories ... can help keeping files manageable even for a
 //! large project").
 
-use peppher::apps::{bfs, cfd, hotspot, lud, nw, pathfinder, particlefilter, sgemm, spmv};
+use peppher::apps::{bfs, cfd, hotspot, lud, nw, particlefilter, pathfinder, sgemm, spmv};
 use peppher::compose::codegen::generate_all;
 use peppher::compose::{build_ir, expand_tunables, Recipe};
 use peppher::descriptor::{
@@ -80,9 +80,22 @@ fn whole_suite_survives_save_scan_compose_generate() {
     // Generate everything: 9 wrappers + peppher.rs + Makefile.
     let files = generate_all(&ir);
     assert_eq!(files.len(), 11);
-    let header = &files.iter().find(|f| f.path == "peppher.rs").unwrap().content;
-    for iface in ["spmv", "sgemm", "bfs", "cfd", "hotspot", "lud", "nw", "particlefilter", "pathfinder"]
-    {
+    let header = &files
+        .iter()
+        .find(|f| f.path == "peppher.rs")
+        .unwrap()
+        .content;
+    for iface in [
+        "spmv",
+        "sgemm",
+        "bfs",
+        "cfd",
+        "hotspot",
+        "lud",
+        "nw",
+        "particlefilter",
+        "pathfinder",
+    ] {
         assert!(
             header.contains(&format!("pub mod {iface}_wrapper;")),
             "peppher.rs must include {iface}"

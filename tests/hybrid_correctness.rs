@@ -54,12 +54,18 @@ fn hybrid_reduces_pcie_traffic_vs_gpu_only() {
     let m = spmv::scattered_matrix(60_000, 10, 3);
     let x = vec![1.0f32; m.cols];
 
-    let rt = Runtime::new(MachineConfig::c2050_platform(4).without_noise(), SchedulerKind::Dmda);
+    let rt = Runtime::new(
+        MachineConfig::c2050_platform(4).without_noise(),
+        SchedulerKind::Dmda,
+    );
     spmv::run_peppherized_forced(&rt, &m, &x, "spmv_cuda");
     let gpu_bytes = rt.stats().total_transfer_bytes();
     rt.shutdown();
 
-    let rt = Runtime::new(MachineConfig::c2050_platform(4).without_noise(), SchedulerKind::Dmda);
+    let rt = Runtime::new(
+        MachineConfig::c2050_platform(4).without_noise(),
+        SchedulerKind::Dmda,
+    );
     spmv::run_hybrid(&rt, &m, &x, 16);
     let hybrid = rt.stats();
     rt.shutdown();
@@ -71,14 +77,21 @@ fn hybrid_reduces_pcie_traffic_vs_gpu_only() {
     );
     // CPU workers actually participated.
     let cpu_tasks: u64 = hybrid.tasks_per_worker[..4].iter().sum();
-    assert!(cpu_tasks > 0, "hybrid must use CPU workers: {:?}", hybrid.tasks_per_worker);
+    assert!(
+        cpu_tasks > 0,
+        "hybrid must use CPU workers: {:?}",
+        hybrid.tasks_per_worker
+    );
 }
 
 #[test]
 fn more_blocks_do_not_change_results() {
     let m = spmv::scattered_matrix(777, 5, 77);
     let x = vec![0.5f32; m.cols];
-    let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Dmda);
+    let rt = Runtime::new(
+        MachineConfig::c2050_platform(2).without_noise(),
+        SchedulerKind::Dmda,
+    );
     let a = spmv::run_hybrid(&rt, &m, &x, 2);
     let b = spmv::run_hybrid(&rt, &m, &x, 11);
     assert_close(&a, &b);

@@ -8,22 +8,38 @@ use peppher::sim::MachineConfig;
 use std::sync::Arc;
 
 fn close(a: &[f32], b: &[f32], tol: f32) -> bool {
-    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs()))
+    a.len() == b.len()
+        && a.iter()
+            .zip(b)
+            .all(|(x, y)| (x - y).abs() <= tol * (1.0 + x.abs()))
 }
 
 #[test]
 fn all_apps_correct_on_one_shared_runtime() {
-    let rt = Runtime::new(MachineConfig::c2050_platform(4).without_noise(), SchedulerKind::Dmda);
+    let rt = Runtime::new(
+        MachineConfig::c2050_platform(4).without_noise(),
+        SchedulerKind::Dmda,
+    );
 
     // spmv
     let m = spmv::scattered_matrix(2_000, 6, 1);
     let x = vec![1.0f32; m.cols];
-    assert!(close(&spmv::run_peppherized(&rt, &m, &x, 1), &spmv::reference(&m, &x), 1e-4));
+    assert!(close(
+        &spmv::run_peppherized(&rt, &m, &x, 1),
+        &spmv::reference(&m, &x),
+        1e-4
+    ));
 
     // sgemm (fresh generate inside both paths uses the same seed)
     let n = 20;
     let (a, b, c) = sgemm::generate(n, 0xA11CE);
-    let args = sgemm::SgemmArgs { m: n, k: n, n, alpha: 1.0, beta: 0.5 };
+    let args = sgemm::SgemmArgs {
+        m: n,
+        k: n,
+        n,
+        alpha: 1.0,
+        beta: 0.5,
+    };
     // run_peppherized applies the call twice (two iterations here).
     let got = sgemm::run_peppherized(&rt, n, 2, None);
     let once = sgemm::reference(&a, &b, &c, args);
@@ -32,11 +48,18 @@ fn all_apps_correct_on_one_shared_runtime() {
 
     // bfs
     let g = bfs::generate(400, 4, 2);
-    assert_eq!(bfs::run_peppherized(&rt, &g, 1, None), bfs::reference(&g, 0));
+    assert_eq!(
+        bfs::run_peppherized(&rt, &g, 1, None),
+        bfs::reference(&g, 0)
+    );
 
     // hotspot (2 calls x 4 steps)
     let (temp, power) = hotspot::generate(24, 0x407);
-    let h_args = hotspot::HotspotArgs { n: 24, steps: 8, cap: 0.05 };
+    let h_args = hotspot::HotspotArgs {
+        n: 24,
+        steps: 8,
+        cap: 0.05,
+    };
     assert!(close(
         &hotspot::run_peppherized(&rt, 24, 2, None),
         &hotspot::reference(&temp, &power, h_args),
@@ -66,11 +89,14 @@ fn all_apps_correct_on_one_shared_runtime() {
     let obs = particlefilter::generate(8, 0x9F);
     assert!(close(
         &particlefilter::run_peppherized(&rt, 400, 8, None),
-        &particlefilter::reference(&obs, particlefilter::PfArgs {
-            particles: 400,
-            frames: 8,
-            seed: 0x9F2
-        }),
+        &particlefilter::reference(
+            &obs,
+            particlefilter::PfArgs {
+                particles: 400,
+                frames: 8,
+                seed: 0x9F2
+            }
+        ),
         1e-3
     ));
 
@@ -78,7 +104,15 @@ fn all_apps_correct_on_one_shared_runtime() {
     let mesh = cfd::generate(300, 0xCFD);
     let mut want = mesh.variables.clone();
     for _ in 0..2 {
-        cfd::cfd_kernel(&mesh.neighbors, &mut want, cfd::CfdArgs { elements: 300, steps: 3, dt: 0.05 });
+        cfd::cfd_kernel(
+            &mesh.neighbors,
+            &mut want,
+            cfd::CfdArgs {
+                elements: 300,
+                steps: 3,
+                dt: 0.05,
+            },
+        );
     }
     assert!(close(&cfd::run_peppherized(&rt, 300, 2, None), &want, 1e-4));
 

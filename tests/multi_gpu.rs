@@ -24,7 +24,11 @@ fn hybrid_spmv_spreads_over_two_gpus() {
     }
     let stats = rt.stats();
     let gpu_tasks: u64 = stats.tasks_per_worker[4..].iter().sum();
-    assert!(gpu_tasks > 0, "GPUs participated: {:?}", stats.tasks_per_worker);
+    assert!(
+        gpu_tasks > 0,
+        "GPUs participated: {:?}",
+        stats.tasks_per_worker
+    );
     rt.shutdown();
 }
 

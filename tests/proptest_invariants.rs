@@ -21,6 +21,9 @@ enum Access {
     HostRead,
     /// Host write.
     HostWrite,
+    /// Capacity-manager eviction sweep of the GPU's memory node — injects
+    /// the same replica surgery an out-of-memory condition would.
+    Evict,
 }
 
 fn access_strategy() -> impl Strategy<Value = Access> {
@@ -29,6 +32,7 @@ fn access_strategy() -> impl Strategy<Value = Access> {
         (0u8..3).prop_map(Access::Cpu),
         Just(Access::HostRead),
         Just(Access::HostWrite),
+        Just(Access::Evict),
     ]
 }
 
@@ -60,8 +64,16 @@ fn mode_component(name: &str, mode: u8) -> Arc<Component> {
         }
     };
     Component::builder(iface)
-        .variant(VariantBuilder::new(format!("{name}_cpu"), "cpp").kernel(body).build())
-        .variant(VariantBuilder::new(format!("{name}_cuda"), "cuda").kernel(body).build())
+        .variant(
+            VariantBuilder::new(format!("{name}_cpu"), "cpp")
+                .kernel(body)
+                .build(),
+        )
+        .variant(
+            VariantBuilder::new(format!("{name}_cuda"), "cuda")
+                .kernel(body)
+                .build(),
+        )
         .build()
 }
 
@@ -69,11 +81,17 @@ fn mode_component(name: &str, mode: u8) -> Arc<Component> {
 /// 1. at least one replica is valid,
 /// 2. a Modified replica is unique and all others are Invalid.
 fn check_msi(statuses: &[ReplicaStatus]) -> Result<(), String> {
-    let valid = statuses.iter().filter(|s| **s != ReplicaStatus::Invalid).count();
+    let valid = statuses
+        .iter()
+        .filter(|s| **s != ReplicaStatus::Invalid)
+        .count();
     if valid == 0 {
         return Err(format!("no valid replica: {statuses:?}"));
     }
-    let modified = statuses.iter().filter(|s| **s == ReplicaStatus::Modified).count();
+    let modified = statuses
+        .iter()
+        .filter(|s| **s == ReplicaStatus::Modified)
+        .count();
     if modified > 1 {
         return Err(format!("{modified} Modified replicas: {statuses:?}"));
     }
@@ -125,6 +143,11 @@ proptest! {
                 Access::HostWrite => {
                     v.set(1, expected[1] + 1);
                     expected[1] += 1;
+                }
+                Access::Evict => {
+                    // Must preserve the data (writing Modified replicas
+                    // back) and every MSI invariant, at any program point.
+                    rt.reclaim_node(1);
                 }
             }
             prop_assert!(

@@ -31,8 +31,7 @@ fn measure(variant: &str, nnz: f64) -> peppher::sim::VTime {
         // Include the PCIe transfer the GPU must pay for fresh data.
         "spmv_cuda" => {
             let link = peppher::sim::LinkProfile::pcie2_x16();
-            DeviceProfile::tesla_c2050().exec_time(&cost)
-                + link.transfer_time((nnz * 12.0) as u64)
+            DeviceProfile::tesla_c2050().exec_time(&cost) + link.transfer_time((nnz * 12.0) as u64)
         }
         other => panic!("unknown variant {other}"),
     }
@@ -72,7 +71,10 @@ fn dispatch_table_narrows_live_component_calls() {
     assert_eq!(large, vec!["spmv_cuda"]);
 
     // And the runtime honours it: a large call runs on the GPU worker.
-    let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Dmda);
+    let rt = Runtime::new(
+        MachineConfig::c2050_platform(2).without_noise(),
+        SchedulerKind::Dmda,
+    );
     let m = spmv::scattered_matrix(12_000, 10, 3);
     let x = vec![1.0f32; m.cols];
     let row_ptr = rt.register_vec(m.row_ptr.clone());
@@ -91,7 +93,12 @@ fn dispatch_table_narrows_live_component_calls() {
         .context("rows", m.rows as f64)
         .sync()
         .submit(&rt);
-    assert_eq!(rt.stats().tasks_per_worker[2], 1, "{:?}", rt.stats().tasks_per_worker);
+    assert_eq!(
+        rt.stats().tasks_per_worker[2],
+        1,
+        "{:?}",
+        rt.stats().tasks_per_worker
+    );
     rt.shutdown();
 }
 
@@ -137,8 +144,7 @@ fn ir_narrowing_composes_with_training() {
         use_history_models: true,
     };
     let node = ir.node("spmv").unwrap();
-    let (table, _) =
-        train_dispatch_table(node, "nnz", &log_scenarios(1e3, 1e7, 10), &measure);
+    let (table, _) = train_dispatch_table(node, "nnz", &log_scenarios(1e3, 1e7, 10), &measure);
     assert_eq!(table.len(), 1);
     assert_eq!(table.lookup(1e3), "spmv_cuda");
 }

@@ -94,18 +94,27 @@ fn bindings() -> KernelBindings {
         .kernel("spmv_cpu", serial)
         .kernel("spmv_omp", team)
         .kernel("spmv_cuda", serial)
-        .cost(
-            "spmv",
-            |ctx| spmv::cost_model(ctx.get("nnz").unwrap_or(0.0), ctx.get("rows").unwrap_or(0.0), 0.3),
-        )
+        .cost("spmv", |ctx| {
+            spmv::cost_model(
+                ctx.get("nnz").unwrap_or(0.0),
+                ctx.get("rows").unwrap_or(0.0),
+                0.3,
+            )
+        })
 }
 
-fn run_composed(dir: &PathBuf, recipe: Recipe) -> (Vec<f32>, peppher::runtime::RuntimeStats) {
+fn run_composed(
+    dir: &std::path::Path,
+    recipe: Recipe,
+) -> (Vec<f32>, peppher::runtime::RuntimeStats) {
     let repo = Repository::scan(dir).unwrap();
     let ir = build_ir(&repo, "spmv_app", recipe).unwrap();
     let registry = instantiate_registry(&ir, &bindings()).unwrap();
 
-    let rt = Runtime::new(MachineConfig::c2050_platform(2).without_noise(), SchedulerKind::Dmda);
+    let rt = Runtime::new(
+        MachineConfig::c2050_platform(2).without_noise(),
+        SchedulerKind::Dmda,
+    );
     let m = spmv::scattered_matrix(3_000, 7, 99);
     let x: Vec<f32> = (0..m.cols).map(|i| (i % 11) as f32 * 0.3).collect();
     let row_ptr = Vector::register(&rt, m.row_ptr.clone());

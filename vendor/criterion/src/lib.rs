@@ -1,0 +1,282 @@
+//! Offline stand-in for `criterion`, implementing the subset this
+//! workspace's benches use: `Criterion::benchmark_group`,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` /
+//! `iter_custom`, `BenchmarkId`, and the `criterion_group!` /
+//! `criterion_main!` macros. It measures wall-clock medians over a
+//! configurable sample count and prints one line per benchmark —
+//! no statistics engine, no HTML reports, no regression detection.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(200),
+            warm_up_time: Duration::from_millis(20),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepts CLI args for API parity (filters are not implemented).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Default sample count for groups made from this harness.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            warm_up_time: self.warm_up_time,
+            _parent: std::marker::PhantomData,
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let cfg = (self.sample_size, self.measurement_time, self.warm_up_time);
+        run_benchmark(&id.into_benchmark_id().0, cfg, f);
+    }
+
+    /// No-op summary hook for API parity.
+    pub fn final_summary(&self) {}
+}
+
+/// A named set of benchmarks sharing sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    _parent: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measuring time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Benchmarks `f` under this group.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().0);
+        run_benchmark(
+            &label,
+            (self.sample_size, self.measurement_time, self.warm_up_time),
+            f,
+        );
+        self
+    }
+
+    /// Benchmarks `f` with a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Ends the group (printing happens per benchmark already).
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId(format!("{}/{}", function.into(), parameter))
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+/// Anything convertible into a benchmark identifier.
+pub trait IntoBenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self.to_string())
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId(self)
+    }
+}
+
+/// Per-benchmark measurement driver passed to the bench closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` back-to-back calls of `f`.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Lets the closure time `iters` iterations itself and report the
+    /// total duration (used when setup must be excluded).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut f: F) {
+        self.elapsed = f(self.iters);
+    }
+}
+
+fn run_benchmark<F>(label: &str, cfg: (usize, Duration, Duration), mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let (sample_size, measurement_time, warm_up_time) = cfg;
+    // Warm-up: run single iterations until the warm-up budget is spent.
+    let warm_start = Instant::now();
+    let mut warm_iters = 0u32;
+    while warm_start.elapsed() < warm_up_time && warm_iters < 1000 {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        warm_iters += 1;
+    }
+
+    let mut samples: Vec<Duration> = Vec::with_capacity(sample_size);
+    let measure_start = Instant::now();
+    for i in 0..sample_size {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        samples.push(b.elapsed);
+        // Honor the measurement-time cap, but keep at least one sample.
+        if i + 1 < sample_size && measure_start.elapsed() > measurement_time {
+            break;
+        }
+    }
+    samples.sort();
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+    println!(
+        "bench: {label:<50} median {median:>12?}  (min {lo:?}, max {hi:?}, n={})",
+        samples.len()
+    );
+}
+
+/// Bundles bench functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $cfg;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_respects_caps() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("t");
+        group.sample_size(3);
+        group.measurement_time(Duration::from_millis(5));
+        group.warm_up_time(Duration::from_millis(1));
+        let mut calls = 0u32;
+        group.bench_function(BenchmarkId::new("f", 1), |b| {
+            calls += 1;
+            b.iter(|| black_box(2 + 2));
+        });
+        group.bench_with_input("with_input", &41, |b, &x| {
+            b.iter_custom(|iters| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(x + 1);
+                }
+                t.elapsed()
+            });
+        });
+        group.finish();
+        assert!(calls >= 1);
+    }
+}

@@ -1,0 +1,392 @@
+//! Offline stand-in for `parking_lot`, implementing the API subset this
+//! workspace uses on top of `std::sync`. The build environment has no
+//! access to a crates.io mirror, so the workspace patches `parking_lot`
+//! to this crate (see `[workspace.dependencies]` in the root manifest).
+//!
+//! Differences from the real crate: poisoning is swallowed (parking_lot
+//! has no lock poisoning, so panicking while holding a guard must not
+//! wedge later lockers), and there is no fairness/eventual-fairness
+//! machinery. The `arc_lock` guards (`read_arc`/`write_arc`) are
+//! provided for `Arc<RwLock<T>>` exactly as lock_api spells them.
+
+use std::fmt;
+use std::mem::ManuallyDrop;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, PoisonError};
+use std::time::Duration;
+
+/// Marker type standing in for `lock_api`'s raw lock parameter in the
+/// `Arc*Guard` type names.
+pub struct RawRwLock {
+    _private: (),
+}
+
+/// Marker for the raw mutex parameter (unused, kept for name parity).
+pub struct RawMutex {
+    _private: (),
+}
+
+// ---------------------------------------------------------------------------
+// Mutex
+// ---------------------------------------------------------------------------
+
+/// A mutual exclusion primitive (std-backed, non-poisoning facade).
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard for [`Mutex`]. Holds the inner std guard in an `Option` so
+/// a [`Condvar`] can temporarily take it during `wait`.
+pub struct MutexGuard<'a, T: ?Sized>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the mutex, blocking until it is available.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
+    }
+
+    /// Attempts to acquire the mutex without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(Some(g))),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard(Some(p.into_inner()))),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0.try_lock() {
+            Ok(g) => f.debug_struct("Mutex").field("data", &*g).finish(),
+            Err(_) => f.debug_struct("Mutex").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard taken during condvar wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard taken during condvar wait")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Condvar
+// ---------------------------------------------------------------------------
+
+/// Result of a timed condition-variable wait.
+#[derive(Debug, Clone, Copy)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// Whether the wait ended because the timeout elapsed.
+    pub fn timed_out(&self) -> bool {
+        self.0
+    }
+}
+
+/// Condition variable usable with [`MutexGuard`] (parking_lot-style
+/// `wait(&mut guard)` signature).
+pub struct Condvar(std::sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    pub const fn new() -> Self {
+        Condvar(std::sync::Condvar::new())
+    }
+
+    /// Blocks until notified; the guard is released while waiting and
+    /// re-acquired before returning.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard already taken");
+        guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Blocks until notified or `timeout` elapses.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard already taken");
+        let (inner, res) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(inner);
+        WaitTimeoutResult(res.timed_out())
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
+    }
+}
+
+impl Default for Condvar {
+    fn default() -> Self {
+        Condvar::new()
+    }
+}
+
+impl fmt::Debug for Condvar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Condvar")
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RwLock
+// ---------------------------------------------------------------------------
+
+/// Reader-writer lock (std-backed, non-poisoning facade).
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// Shared read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+
+/// Exclusive write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock.
+    pub const fn new(value: T) -> Self {
+        RwLock(std::sync::RwLock::new(value))
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquires shared read access.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Acquires exclusive write access.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Mutable access without locking (requires exclusive borrow).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0.try_read() {
+            Ok(g) => f.debug_struct("RwLock").field("data", &*g).finish(),
+            Err(_) => f.debug_struct("RwLock").field("data", &"<locked>").finish(),
+        }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arc guards (the `arc_lock` feature of lock_api)
+// ---------------------------------------------------------------------------
+
+/// Owned read guard keeping its `Arc<RwLock<T>>` alive.
+///
+/// Safety: the std guard borrows the lock inside the `Arc`; the `Arc`
+/// is held alongside and the lock is heap-pinned, so extending the
+/// guard's lifetime to `'static` is sound as long as the guard drops
+/// before the `Arc` (enforced in `Drop`).
+pub struct ArcRwLockReadGuard<R, T: 'static> {
+    guard: ManuallyDrop<std::sync::RwLockReadGuard<'static, T>>,
+    lock: ManuallyDrop<Arc<RwLock<T>>>,
+    _raw: std::marker::PhantomData<R>,
+}
+
+/// Owned write guard keeping its `Arc<RwLock<T>>` alive.
+pub struct ArcRwLockWriteGuard<R, T: 'static> {
+    guard: ManuallyDrop<std::sync::RwLockWriteGuard<'static, T>>,
+    lock: ManuallyDrop<Arc<RwLock<T>>>,
+    _raw: std::marker::PhantomData<R>,
+}
+
+impl<T: 'static> RwLock<T> {
+    /// Acquires an owned read guard through an `Arc`.
+    pub fn read_arc(self: &Arc<Self>) -> ArcRwLockReadGuard<RawRwLock, T> {
+        let lock = Arc::clone(self);
+        let guard = lock.0.read().unwrap_or_else(PoisonError::into_inner);
+        // Extend the borrow to 'static; `lock` outlives `guard` by the
+        // drop order contract below.
+        let guard: std::sync::RwLockReadGuard<'static, T> = unsafe { std::mem::transmute(guard) };
+        ArcRwLockReadGuard {
+            guard: ManuallyDrop::new(guard),
+            lock: ManuallyDrop::new(lock),
+            _raw: std::marker::PhantomData,
+        }
+    }
+
+    /// Acquires an owned write guard through an `Arc`.
+    pub fn write_arc(self: &Arc<Self>) -> ArcRwLockWriteGuard<RawRwLock, T> {
+        let lock = Arc::clone(self);
+        let guard = lock.0.write().unwrap_or_else(PoisonError::into_inner);
+        let guard: std::sync::RwLockWriteGuard<'static, T> = unsafe { std::mem::transmute(guard) };
+        ArcRwLockWriteGuard {
+            guard: ManuallyDrop::new(guard),
+            lock: ManuallyDrop::new(lock),
+            _raw: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<R, T: 'static> Deref for ArcRwLockReadGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<R, T: 'static> Drop for ArcRwLockReadGuard<R, T> {
+    fn drop(&mut self) {
+        // Guard first, then the Arc that keeps the lock alive.
+        unsafe {
+            ManuallyDrop::drop(&mut self.guard);
+            ManuallyDrop::drop(&mut self.lock);
+        }
+    }
+}
+
+impl<R, T: 'static> Deref for ArcRwLockWriteGuard<R, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.guard
+    }
+}
+
+impl<R, T: 'static> DerefMut for ArcRwLockWriteGuard<R, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.guard
+    }
+}
+
+impl<R, T: 'static> Drop for ArcRwLockWriteGuard<R, T> {
+    fn drop(&mut self) {
+        unsafe {
+            ManuallyDrop::drop(&mut self.guard);
+            ManuallyDrop::drop(&mut self.lock);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_and_condvar_roundtrip() {
+        let m = Arc::new(Mutex::new(0));
+        let cv = Arc::new(Condvar::new());
+        let (m2, cv2) = (Arc::clone(&m), Arc::clone(&cv));
+        let t = std::thread::spawn(move || {
+            let mut g = m2.lock();
+            *g = 7;
+            cv2.notify_all();
+        });
+        let mut g = m.lock();
+        while *g != 7 {
+            cv.wait(&mut g);
+        }
+        drop(g);
+        t.join().unwrap();
+        assert_eq!(m.lock().deref(), &7);
+    }
+
+    #[test]
+    fn arc_guards_keep_lock_alive() {
+        let cell = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let r = cell.read_arc();
+        drop(cell); // guard alone keeps the lock alive
+        assert_eq!(*r, vec![1, 2, 3]);
+        drop(r);
+    }
+
+    #[test]
+    fn write_arc_is_exclusive() {
+        let cell = Arc::new(RwLock::new(5));
+        {
+            let mut w = cell.write_arc();
+            *w = 6;
+        }
+        assert_eq!(*cell.read(), 6);
+    }
+
+    #[test]
+    fn panicking_holder_does_not_wedge() {
+        let m = Arc::new(Mutex::new(1));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock();
+            panic!("poison attempt");
+        })
+        .join();
+        assert_eq!(*m.lock(), 1); // still lockable
+    }
+}

@@ -1,0 +1,547 @@
+//! Offline stand-in for `proptest`, implementing the subset of the API
+//! this workspace's property tests use: value strategies (ranges,
+//! tuples, `Just`, regex-character-class strings, `collection::vec`,
+//! `option::of`, `any`), the combinators `prop_map` / `prop_filter` /
+//! `prop_recursive` / `boxed`, union via `prop_oneof!`, and the
+//! `proptest!` test-harness macro with `prop_assert*` macros.
+//!
+//! Cases are generated from a deterministic seeded RNG (seed derived
+//! from the test name, overridable with `PROPTEST_SEED`), so failures
+//! reproduce across runs. There is **no shrinking**: a failing case is
+//! reported verbatim with its case index and seed.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+use std::sync::Arc;
+
+pub mod collection;
+pub mod option;
+pub mod string;
+
+/// Deterministic RNG threaded through strategy generation.
+pub struct TestRng(pub(crate) StdRng);
+
+impl TestRng {
+    /// Creates the RNG for one test case.
+    pub fn new(seed: u64) -> Self {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+
+    pub(crate) fn usize_in(&mut self, lo: usize, hi_inclusive: usize) -> usize {
+        self.0.gen_range(lo..=hi_inclusive)
+    }
+
+    pub(crate) fn f64(&mut self) -> f64 {
+        self.0.gen()
+    }
+}
+
+/// Error carried out of a failing property (the `prop_assert!` family
+/// returns early with one of these).
+pub type TestCaseError = String;
+
+/// Result type of one generated test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Discards generated values failing `pred` (bounded retries).
+    fn prop_filter<R, F>(self, reason: R, pred: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        R: Into<String>,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter {
+            inner: self,
+            reason: reason.into(),
+            pred,
+        }
+    }
+
+    /// Builds recursive values: `recurse` receives a strategy for the
+    /// nested level and returns the composite strategy. `depth` bounds
+    /// the recursion; the size/branch hints are accepted for API parity
+    /// but only lightly used.
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R + 'static,
+    {
+        let f: Arc<RecurseFn<Self::Value>> = Arc::new(move |inner| recurse(inner).boxed());
+        Recursive {
+            base: self.boxed(),
+            recurse: f,
+            depth,
+        }
+    }
+
+    /// Type-erases the strategy (cheaply clonable).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Arc::new(self))
+    }
+}
+
+/// Clonable type-erased strategy.
+pub struct BoxedStrategy<V>(Arc<dyn Strategy<Value = V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Arc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate(rng)
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Output of [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    reason: String,
+    pred: F,
+}
+
+impl<S, F> Strategy for Filter<S, F>
+where
+    S: Strategy,
+    F: Fn(&S::Value) -> bool,
+{
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.pred)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter '{}' rejected 1000 candidates in a row",
+            self.reason
+        );
+    }
+}
+
+type RecurseFn<V> = dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>;
+
+/// Output of [`Strategy::prop_recursive`].
+pub struct Recursive<V> {
+    base: BoxedStrategy<V>,
+    recurse: Arc<RecurseFn<V>>,
+    depth: u32,
+}
+
+impl<V: 'static> Strategy for Recursive<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        // At each level, flip between terminating with the base strategy
+        // and descending one level; always terminate at depth 0.
+        if self.depth == 0 || rng.f64() < 0.33 {
+            return self.base.generate(rng);
+        }
+        let inner = Recursive {
+            base: self.base.clone(),
+            recurse: Arc::clone(&self.recurse),
+            depth: self.depth - 1,
+        };
+        (self.recurse)(inner.boxed()).generate(rng)
+    }
+}
+
+/// Strategy yielding a constant value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice between strategies of one value type (built by
+/// [`prop_oneof!`]).
+pub struct Union<V>(Vec<BoxedStrategy<V>>);
+
+impl<V> Union<V> {
+    /// Creates a union; panics on an empty list.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union(options)
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.usize_in(0, self.0.len() - 1);
+        self.0[i].generate(rng)
+    }
+}
+
+// Ranges are strategies.
+impl<T: rand::SampleUniform + 'static> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+impl<T: rand::SampleUniform + 'static> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.0.gen_range(self.clone())
+    }
+}
+
+// String literals are regex-subset strategies (character classes with
+// counted repetition — see `string`).
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        string::generate_from_pattern(self, rng)
+    }
+}
+
+// Tuples of strategies generate tuples of values.
+macro_rules! impl_tuple_strategy {
+    ($($S:ident/$idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+// ---------------------------------------------------------------------------
+// any / Arbitrary
+// ---------------------------------------------------------------------------
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    fn arbitrary_value(rng: &mut TestRng) -> Self;
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary_value(rng)
+    }
+}
+
+/// The canonical strategy for `T` (full domain).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl Arbitrary for bool {
+    fn arbitrary_value(rng: &mut TestRng) -> bool {
+        rng.0.gen()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary_value(rng: &mut TestRng) -> $t {
+                // Mix edge values in: proptest biases toward boundaries.
+                match rng.usize_in(0, 9) {
+                    0 => <$t>::MIN,
+                    1 => <$t>::MAX,
+                    2 => 0 as $t,
+                    3 => 1 as $t,
+                    _ => rng.0.gen(),
+                }
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+// ---------------------------------------------------------------------------
+// Runner & config
+// ---------------------------------------------------------------------------
+
+/// Subset of proptest's run configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to generate per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config with an explicit case count.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// Executes `body` for `config.cases` deterministic cases; panics with
+/// the case number and seed on the first failure. Used by `proptest!`.
+pub fn run_cases<F>(test_name: &str, config: &ProptestConfig, mut body: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let base = std::env::var("PROPTEST_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or_else(|| fnv1a(test_name.as_bytes()));
+    for case in 0..config.cases {
+        let seed = base ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(case as u64 + 1));
+        let mut rng = TestRng::new(seed);
+        if let Err(msg) = body(&mut rng) {
+            panic!(
+                "proptest '{test_name}' failed at case {case} (seed {seed}): {msg}\n\
+                 (re-run with PROPTEST_SEED={base} to reproduce)"
+            );
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Everything a property test module usually imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+    };
+    /// Namespace alias matching `proptest::prelude::prop`.
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::option;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+/// Declares property tests: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    // Leading #![proptest_config(..)] applies to every test in the block.
+    (
+        #![proptest_config($cfg:expr)]
+        $( $(#[$meta:meta])* fn $name:ident( $($argpat:pat in $strat:expr),+ $(,)? ) $body:block )+
+    ) => {
+        $crate::proptest!(@impl ($cfg) $( $(#[$meta])* fn $name( $($argpat in $strat),+ ) $body )+ );
+    };
+    (
+        $( $(#[$meta:meta])* fn $name:ident( $($argpat:pat in $strat:expr),+ $(,)? ) $body:block )+
+    ) => {
+        $crate::proptest!(@impl (<$crate::ProptestConfig as ::std::default::Default>::default())
+            $( $(#[$meta])* fn $name( $($argpat in $strat),+ ) $body )+ );
+    };
+    (@impl ($cfg:expr)
+        $( $(#[$meta:meta])* fn $name:ident( $($argpat:pat in $strat:expr),+ ) $body:block )+
+    ) => {
+        $(
+            #[test]
+            fn $name() {
+                let __cfg: $crate::ProptestConfig = $cfg;
+                $crate::run_cases(stringify!($name), &__cfg, |__rng| {
+                    $( let $argpat = $crate::Strategy::generate(&($strat), __rng); )+
+                    $body
+                    Ok(())
+                });
+            }
+        )+
+    };
+}
+
+/// Uniformly picks one of several same-valued strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::Strategy::boxed($strat) ),+ ])
+    };
+}
+
+/// Asserts inside a property body; failure aborts only the current case.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err(format!($($fmt)*));
+        }
+    };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($lhs), stringify!($rhs), lhs, rhs
+        );
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)*) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs == *rhs,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)*), lhs, rhs
+        );
+    }};
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        $crate::prop_assert!(
+            *lhs != *rhs,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($lhs),
+            stringify!($rhs),
+            lhs
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn ranges_tuples_and_oneof_generate_in_domain() {
+        let mut rng = crate::TestRng::new(1);
+        let s = (0u8..3, -5i64..5);
+        for _ in 0..100 {
+            let (a, b) = s.generate(&mut rng);
+            assert!(a < 3);
+            assert!((-5..5).contains(&b));
+        }
+        let u = prop_oneof![Just(1u32), Just(2u32), 5u32..7];
+        for _ in 0..100 {
+            let v = u.generate(&mut rng);
+            assert!(v == 1 || v == 2 || v == 5 || v == 6);
+        }
+    }
+
+    #[test]
+    fn map_and_filter_compose() {
+        let mut rng = crate::TestRng::new(2);
+        let s = (0u32..100)
+            .prop_map(|x| x * 2)
+            .prop_filter("nonzero", |&x| x != 0);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!(v % 2 == 0 && v != 0);
+        }
+    }
+
+    #[test]
+    fn vec_and_option_strategies_respect_sizes() {
+        let mut rng = crate::TestRng::new(3);
+        let s = crate::collection::vec(0i32..10, 2..5);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        let exact = crate::collection::vec(any::<bool>(), 6);
+        assert_eq!(exact.generate(&mut rng).len(), 6);
+        let o = crate::option::of(Just(9));
+        let some = (0..100).filter(|_| o.generate(&mut rng).is_some()).count();
+        assert!(some > 10 && some < 90);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        fn self_test_addition_commutes(a in -1000i64..1000, mut b in -1000i64..1000) {
+            b += 1;
+            prop_assert_eq!(a + b, b + a);
+            prop_assert!(a - 1 < a, "ordering sanity for {}", a);
+        }
+
+        fn self_test_strings_match_class(s in "[a-c]{2,4}") {
+            prop_assert!((2..=4).contains(&s.len()));
+            prop_assert!(s.chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+}

@@ -1,0 +1,203 @@
+//! String generation from the regex subset the workspace's tests use:
+//! sequences of literal characters and character classes (`[a-z0-9_]`,
+//! `[\PC]`, …), each optionally followed by a counted repetition
+//! (`{n}` or `{m,n}`). This is not a regex engine — unsupported syntax
+//! panics loudly so a new pattern is noticed at test-writing time.
+
+use crate::TestRng;
+
+/// Inclusive character ranges a class can draw from.
+#[derive(Debug, Clone)]
+struct CharClass(Vec<(char, char)>);
+
+#[derive(Debug, Clone)]
+enum Item {
+    Literal(char),
+    Class(CharClass),
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate_from_pattern(pattern: &str, rng: &mut TestRng) -> String {
+    let items = parse(pattern);
+    let mut out = String::new();
+    for (item, min, max) in &items {
+        let count = rng.usize_in(*min, *max);
+        for _ in 0..count {
+            match item {
+                Item::Literal(c) => out.push(*c),
+                Item::Class(class) => out.push(sample_class(class, rng)),
+            }
+        }
+    }
+    out
+}
+
+fn sample_class(class: &CharClass, rng: &mut TestRng) -> char {
+    let (lo, hi) = class.0[rng.usize_in(0, class.0.len() - 1)];
+    char::from_u32(rng.usize_in(lo as usize, hi as usize) as u32).unwrap_or(lo)
+}
+
+/// The `\PC` (non-control) pool: printable ASCII plus a few non-ASCII
+/// printables so Unicode paths get exercised.
+fn non_control_pool() -> CharClass {
+    CharClass(vec![(' ', '~'), ('¡', 'ÿ'), ('Α', 'ω'), ('←', '↓')])
+}
+
+fn parse(pattern: &str) -> Vec<(Item, usize, usize)> {
+    let mut chars = pattern.chars().peekable();
+    let mut items: Vec<(Item, usize, usize)> = Vec::new();
+    while let Some(c) = chars.next() {
+        let item = match c {
+            '[' => Item::Class(parse_class(&mut chars, pattern)),
+            '\\' => Item::Class(parse_escape(&mut chars, pattern)),
+            '{' | '}' | '*' | '+' | '?' | '(' | ')' | '|' => {
+                panic!("unsupported regex syntax {c:?} in strategy pattern {pattern:?}")
+            }
+            lit => Item::Literal(lit),
+        };
+        // Optional counted repetition.
+        let (min, max) = if chars.peek() == Some(&'{') {
+            chars.next();
+            let mut spec = String::new();
+            for d in chars.by_ref() {
+                if d == '}' {
+                    break;
+                }
+                spec.push(d);
+            }
+            match spec.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("bad {m,n} in pattern"),
+                    n.trim().parse().expect("bad {m,n} in pattern"),
+                ),
+                None => {
+                    let n = spec.trim().parse().expect("bad {n} in pattern");
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted repetition in pattern {pattern:?}");
+        items.push((item, min, max));
+    }
+    items
+}
+
+fn parse_escape(chars: &mut std::iter::Peekable<std::str::Chars>, pattern: &str) -> CharClass {
+    match chars.next() {
+        Some('P') | Some('p') => {
+            let kind = chars
+                .next()
+                .unwrap_or_else(|| panic!("dangling \\P in strategy pattern {pattern:?}"));
+            match kind {
+                'C' => non_control_pool(),
+                other => panic!("unsupported \\P{other} class in pattern {pattern:?}"),
+            }
+        }
+        Some('d') => CharClass(vec![('0', '9')]),
+        Some('w') => CharClass(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+        Some(
+            lit @ ('\\' | '[' | ']' | '{' | '}' | '.' | '-' | '*' | '+' | '?' | '(' | ')' | '|'),
+        ) => CharClass(vec![(lit, lit)]),
+        other => panic!("unsupported escape \\{other:?} in strategy pattern {pattern:?}"),
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars>, pattern: &str) -> CharClass {
+    let mut ranges: Vec<(char, char)> = Vec::new();
+    let mut prev: Option<char> = None;
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in strategy pattern {pattern:?}"));
+        match c {
+            ']' => {
+                if let Some(p) = prev.take() {
+                    ranges.push((p, p));
+                }
+                break;
+            }
+            '\\' => {
+                if let Some(p) = prev.take() {
+                    ranges.push((p, p));
+                }
+                ranges.extend(parse_escape(chars, pattern).0);
+            }
+            '-' if prev.is_some() && chars.peek() != Some(&']') => {
+                let lo = prev.take().expect("checked above");
+                let hi = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("unterminated range in pattern {pattern:?}"));
+                assert!(lo <= hi, "inverted range {lo}-{hi} in pattern {pattern:?}");
+                ranges.push((lo, hi));
+            }
+            other => {
+                if let Some(p) = prev.replace(other) {
+                    ranges.push((p, p));
+                }
+            }
+        }
+    }
+    assert!(
+        !ranges.is_empty(),
+        "empty character class in pattern {pattern:?}"
+    );
+    CharClass(ranges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen100(pattern: &str) -> Vec<String> {
+        let mut rng = TestRng::new(11);
+        (0..100)
+            .map(|_| generate_from_pattern(pattern, &mut rng))
+            .collect()
+    }
+
+    #[test]
+    fn identifier_pattern() {
+        for s in gen100("[a-zA-Z_][a-zA-Z0-9_.-]{0,11}") {
+            assert!((1..=12).contains(&s.chars().count()), "{s:?}");
+            let first = s.chars().next().unwrap();
+            assert!(first.is_ascii_alphabetic() || first == '_', "{s:?}");
+            assert!(
+                s.chars()
+                    .skip(1)
+                    .all(|c| c.is_ascii_alphanumeric() || "_.-".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn non_control_pattern() {
+        for s in gen100("[\\PC]{0,64}") {
+            assert!(s.chars().count() <= 64);
+            assert!(s.chars().all(|c| !c.is_control()), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn punctuation_class_with_quote() {
+        for s in gen100("[a-zA-Z0-9 <>&'\"/=?!#;]{1,30}") {
+            assert!((1..=30).contains(&s.len()), "{s:?}");
+            assert!(
+                s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || " <>&'\"/=?!#;".contains(c)),
+                "{s:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_repetition_and_literals() {
+        for s in gen100("x[0-9]{3}") {
+            assert_eq!(s.len(), 4);
+            assert!(s.starts_with('x'));
+            assert!(s[1..].chars().all(|c| c.is_ascii_digit()));
+        }
+    }
+}

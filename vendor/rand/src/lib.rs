@@ -1,0 +1,265 @@
+//! Offline stand-in for `rand`, implementing the subset this workspace
+//! uses: `rngs::StdRng`, `SeedableRng::seed_from_u64`, `Rng::gen`,
+//! `Rng::gen_range` and `Rng::gen_bool`. The generator is xoshiro256++
+//! seeded via SplitMix64 — deterministic for a given seed, which is all
+//! the simulator's noise model and the test-data generators require
+//! (nothing in the workspace depends on the exact stream of the real
+//! `rand` crate).
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod rngs {
+    /// Deterministic xoshiro256++ generator standing in for rand's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+}
+
+use rngs::StdRng;
+
+impl StdRng {
+    fn next_raw(&mut self) -> u64 {
+        // xoshiro256++ (Blackman & Vigna, public domain reference impl).
+        let result = (self.s[0].wrapping_add(self.s[3]))
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Seedable construction (subset: `seed_from_u64` only).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed (SplitMix64 expansion).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut next = || {
+            state = state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Core random-number interface (subset of rand's `Rng`/`RngCore`).
+pub trait Rng {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    /// Samples a value of `T` from its standard distribution
+    /// (floats uniform in `[0, 1)`, integers over the full range).
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Samples uniformly from a half-open or inclusive range.
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+        T: SampleUniform,
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        f64::sample(self) < p
+    }
+}
+
+impl Rng for StdRng {
+    fn next_u64(&mut self) -> u64 {
+        self.next_raw()
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types with a "standard" distribution for [`Rng::gen`].
+pub trait Standard: Sized {
+    fn sample<R: Rng>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng>(rng: &mut R) -> f64 {
+        // 53 mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng>(rng: &mut R) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types uniformly sampleable over a range.
+pub trait SampleUniform: PartialOrd + Copy {
+    /// Uniform draw from `[low, high)`; caller guarantees `low < high`.
+    fn sample_half_open<R: Rng>(rng: &mut R, low: Self, high: Self) -> Self;
+    /// Uniform draw from `[low, high]`; caller guarantees `low <= high`.
+    fn sample_inclusive<R: Rng>(rng: &mut R, low: Self, high: Self) -> Self;
+}
+
+macro_rules! impl_uniform_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng>(rng: &mut R, low: $t, high: $t) -> $t {
+                let span = (high as $u).wrapping_sub(low as $u);
+                low.wrapping_add((modulo_unbiased(rng, span as u64) as $u) as $t)
+            }
+            fn sample_inclusive<R: Rng>(rng: &mut R, low: $t, high: $t) -> $t {
+                let span = (high as $u).wrapping_sub(low as $u);
+                if span as u64 == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                low.wrapping_add((modulo_unbiased(rng, span as u64 + 1) as $u) as $t)
+            }
+        }
+    )*};
+}
+impl_uniform_int!(u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+                  i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+/// Rejection-sampled `[0, n)` draw without modulo bias.
+fn modulo_unbiased<R: Rng>(rng: &mut R, n: u64) -> u64 {
+    debug_assert!(n > 0);
+    if n.is_power_of_two() {
+        return rng.next_u64() & (n - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % n) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % n;
+        }
+    }
+}
+
+macro_rules! impl_uniform_float {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng>(rng: &mut R, low: $t, high: $t) -> $t {
+                let u = <$t as Standard>::sample(rng);
+                let v = low + (high - low) * u;
+                // Guard against rounding up to `high`.
+                if v >= high { low } else { v }
+            }
+            fn sample_inclusive<R: Rng>(rng: &mut R, low: $t, high: $t) -> $t {
+                low + (high - low) * <$t as Standard>::sample(rng)
+            }
+        }
+    )*};
+}
+impl_uniform_float!(f32, f64);
+
+/// Range forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    fn sample_single<R: Rng>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: Rng>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: Rng>(self, rng: &mut R) -> T {
+        let (lo, hi) = self.into_inner();
+        assert!(lo <= hi, "gen_range called with empty range");
+        T::sample_inclusive(rng, lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(0..4);
+            assert!((0..4).contains(&v));
+            let f = rng.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&f));
+            let i = rng.gen_range(-64i64..=64);
+            assert!((-64..=64).contains(&i));
+            let u: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn unit_floats_cover_the_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let draws: Vec<f64> = (0..2000).map(|_| rng.gen::<f64>()).collect();
+        assert!(draws.iter().any(|&x| x < 0.1));
+        assert!(draws.iter().any(|&x| x > 0.9));
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        assert!((mean - 0.5).abs() < 0.05, "mean {mean}");
+    }
+}
