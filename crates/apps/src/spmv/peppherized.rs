@@ -84,6 +84,7 @@ pub fn run_hybrid_ex(
 
     let rows_per_block = m.rows.div_ceil(nblocks);
     let mut block_outputs = Vec::new();
+    let mut block_inputs = Vec::new();
     for b in 0..nblocks {
         let r0 = b * rows_per_block;
         let r1 = ((b + 1) * rows_per_block).min(m.rows);
@@ -102,6 +103,14 @@ pub fn run_hybrid_ex(
             .operand(values.handle())
             .operand(xv.handle())
             .operand(yb.handle())
+            // Each CSR block is consumed exactly once: as soon as its task
+            // finishes, demote the block's device replicas to eager-eviction
+            // candidates so their buffers recycle into later blocks'
+            // allocations instead of squatting on the capacity budget.
+            .wont_use(row_ptr.handle())
+            .wont_use(col_idx.handle())
+            .wont_use(values.handle())
+            .wont_use(yb.handle())
             .arg(SpmvArgs { rows: blk.rows })
             .context("nnz", blk.nnz() as f64)
             .context("rows", blk.rows as f64)
@@ -110,10 +119,22 @@ pub fn run_hybrid_ex(
             call = call.force_variant(v);
         }
         call.submit(rt);
+        block_inputs.push((row_ptr, col_idx, values));
         block_outputs.push(yb);
     }
     // "The final result can be produced by just simple concatenation of
     // intermediate output results produced by each sub-task."
     yv.gather(&block_outputs);
+    // Unregister the per-block operands (previously they stayed registered
+    // for the lifetime of the runtime): frees the host copies and hands any
+    // remaining device buffers to the allocation cache.
+    for (rp, ci, va) in block_inputs {
+        rp.into_vec();
+        ci.into_vec();
+        va.into_vec();
+    }
+    for yb in block_outputs {
+        yb.into_vec();
+    }
     yv.into_vec()
 }

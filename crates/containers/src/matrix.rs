@@ -78,6 +78,14 @@ impl<T: Clone + Send + Sync + 'static> Matrix<T> {
         &self.rt
     }
 
+    /// Hints that no future task will read this matrix's device replicas:
+    /// they become eager-eviction candidates, freeing budget ahead of the
+    /// LRU order (StarPU's `starpu_data_wont_use`). Purely advisory —
+    /// touching the data again simply clears the hint.
+    pub fn wont_use(&self) {
+        self.rt.wont_use(&self.handle);
+    }
+
     /// Scoped read access to the row-major payload.
     pub fn read(&self) -> HostReadGuard<Vec<T>> {
         self.rt.acquire_read::<Vec<T>>(&self.handle)

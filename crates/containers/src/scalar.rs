@@ -59,6 +59,14 @@ impl<T: Clone + Send + Sync + 'static> Scalar<T> {
         *self.write() = value;
     }
 
+    /// Hints that no future task will read this scalar's device replicas:
+    /// they become eager-eviction candidates, freeing budget ahead of the
+    /// LRU order (StarPU's `starpu_data_wont_use`). Purely advisory —
+    /// touching the data again simply clears the hint.
+    pub fn wont_use(&self) {
+        self.rt.wont_use(&self.handle);
+    }
+
     /// Consumes the container, returning the final value.
     pub fn into_inner(self) -> T {
         self.rt.clone().unregister_value::<T>(self.handle.clone())

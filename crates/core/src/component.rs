@@ -190,6 +190,7 @@ impl Component {
             force_variant: None,
             cost_override: None,
             worker_pin: None,
+            wont_use: Vec::new(),
         }
     }
 }
@@ -292,6 +293,7 @@ pub struct InvokeBuilder {
     force_variant: Option<String>,
     cost_override: Option<KernelCost>,
     worker_pin: Option<usize>,
+    wont_use: Vec<DataHandle>,
 }
 
 impl InvokeBuilder {
@@ -369,6 +371,16 @@ impl InvokeBuilder {
         self
     }
 
+    /// Declares that this call is the last use of `handle`: once the task
+    /// finishes, its device replicas of the data are demoted to
+    /// eager-eviction candidates (see
+    /// [`Runtime::wont_use`](peppher_runtime::Runtime::wont_use)). Typical
+    /// for streaming/blocked algorithms where each block is consumed once.
+    pub fn wont_use(mut self, handle: &DataHandle) -> Self {
+        self.wont_use.push(handle.clone());
+        self
+    }
+
     /// Performs composition and submits the task.
     ///
     /// # Panics
@@ -403,6 +415,9 @@ impl InvokeBuilder {
         }
         for (h, m) in &self.operands {
             tb = tb.access(h, *m);
+        }
+        for h in &self.wont_use {
+            tb = tb.wont_use(h);
         }
         if let Some(a) = self.arg {
             // Re-box through Any to preserve the payload.

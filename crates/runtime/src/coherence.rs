@@ -133,15 +133,32 @@ pub(crate) fn make_valid(
     stats: &StatsCollector,
     memory: &MemoryManager,
 ) -> VTime {
-    memory.prepare(handle, node, topo, stats);
+    let reuse = memory.prepare(handle, node, topo, stats);
     let inner = &handle.inner;
     let mut st = inner.state.lock();
     debug_assert!(node < st.replicas.len(), "node {node} out of range");
 
+    // Install a buffer recycled from the node's allocation cache. Its
+    // contents are stale garbage — every path below overwrites the payload
+    // before the replica is ever marked valid.
+    let mut installed_reuse = false;
+    if let Some(cell) = reuse {
+        if st.replicas[node].cell.is_none() {
+            st.replicas[node].cell = Some(cell);
+            installed_reuse = true;
+        } else {
+            // A racing make_valid installed a cell between prepare and the
+            // state lock: the spare buffer goes back to the cache.
+            memory.give_back(node, cell, handle.bytes() as u64);
+        }
+    }
+
     if !mode.reads() {
         // Write-only: ensure a buffer exists (clone any valid payload purely
-        // for allocation/type purposes) but charge no transfer.
-        if st.replicas[node].cell.is_none() {
+        // for allocation/type purposes) but charge no transfer. A reused
+        // buffer needs the same payload reset — its old contents may even
+        // be of a different type.
+        if st.replicas[node].cell.is_none() || installed_reuse {
             let src_cell = st
                 .replicas
                 .iter()
@@ -149,7 +166,13 @@ pub(crate) fn make_valid(
                 .and_then(|r| r.cell.clone())
                 .expect("handle has no valid replica anywhere");
             let payload = (inner.clone_fn)(&src_cell.read());
-            st.replicas[node].cell = Some(std::sync::Arc::new(parking_lot::RwLock::new(payload)));
+            match st.replicas[node].cell.clone() {
+                Some(cell) => *cell.write() = payload,
+                None => {
+                    st.replicas[node].cell =
+                        Some(std::sync::Arc::new(parking_lot::RwLock::new(payload)));
+                }
+            }
             stats.record_event(TraceEvent::Allocate {
                 handle: handle.id(),
                 node,
@@ -206,8 +229,9 @@ pub(crate) fn make_valid(
 /// Applies the coherence effect of a completed write at `node`: that
 /// replica becomes the unique Modified copy available at `vfinish`; every
 /// other valid replica is invalidated (the paper's "marked outdated").
-/// Invalidated *device* replicas also drop their buffers, returning the
-/// bytes to their node's capacity budget — main memory (node 0) keeps its
+/// Invalidated *device* replicas also give up their buffers, returning the
+/// bytes to their node's capacity budget (the buffer itself is retained in
+/// the node's allocation cache for reuse) — main memory (node 0) keeps its
 /// buffer as the protocol's backing store.
 pub(crate) fn mark_written(
     handle: &DataHandle,
@@ -216,7 +240,7 @@ pub(crate) fn mark_written(
     stats: &StatsCollector,
     memory: &MemoryManager,
 ) {
-    let mut released = Vec::new();
+    let mut released: Vec<(usize, Option<crate::handle::PayloadCell>)> = Vec::new();
     {
         let mut st = handle.inner.state.lock();
         let nreplicas = st.replicas.len();
@@ -229,15 +253,14 @@ pub(crate) fn mark_written(
                 });
             }
             if i != node && i != 0 && !st.replicas[i].is_valid() && st.replicas[i].cell.is_some() {
-                st.replicas[i].cell = None;
-                released.push(i);
+                released.push((i, st.replicas[i].cell.take()));
             }
         }
         st.replicas[node].status = ReplicaStatus::Modified;
         st.replicas[node].vready = vfinish;
     }
-    for i in released {
-        memory.release(i, handle.id());
+    for (i, cell) in released {
+        memory.recycle(i, handle.id(), cell, stats);
     }
 }
 
@@ -261,7 +284,7 @@ mod tests {
         let machine = MachineConfig::c2050_platform(2);
         let topo = Topology::new(&machine);
         let stats = StatsCollector::new(machine.total_workers(), true);
-        let memory = MemoryManager::new(&machine, EvictionPolicy::Lru);
+        let memory = MemoryManager::new(&machine, EvictionPolicy::Lru, true);
         // 1 MiB payload (the 3 GiB device budget is ample: no evictions).
         let h = DataHandle::new(7, vec![1.0f32; 262_144], 1 << 20, machine.memory_nodes());
         (topo, stats, h, memory)
@@ -395,7 +418,7 @@ mod tests {
         machine.accelerators.push(machine.accelerators[0].clone());
         let topo = Topology::new(&machine);
         let stats = StatsCollector::new(machine.total_workers(), true);
-        let mm = MemoryManager::new(&machine, EvictionPolicy::Lru);
+        let mm = MemoryManager::new(&machine, EvictionPolicy::Lru, true);
         let h = DataHandle::new(9, vec![0u8; 4096], 4096, machine.memory_nodes());
 
         // Write on device 1, then read on device 2: d2h + h2d.

@@ -15,7 +15,11 @@
 //! - **Memory-node capacity** ([`memory`]): device memory nodes carry byte
 //!   budgets; under pressure the LRU unpinned replica is evicted, with
 //!   Modified data written back to main memory first, enabling out-of-core
-//!   working sets.
+//!   working sets. Freed device buffers are retained in a per-node
+//!   allocation cache and recycled for later allocations of the same size
+//!   class; [`Runtime::wont_use`](runtime::Runtime::wont_use) hints demote
+//!   dead replicas to eager-eviction candidates, and prefetch consults the
+//!   eviction clock instead of skipping when a node is momentarily full.
 //! - **Implicit dependencies** (*sequential data consistency*): tasks
 //!   submitted in program order are ordered by their data accesses
 //!   (read-after-write, write-after-read, write-after-write), exactly as

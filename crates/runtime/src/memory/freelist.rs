@@ -1,0 +1,351 @@
+//! The allocation cache: a size-class-keyed free-list of retained device
+//! buffers.
+//!
+//! Freeing and re-allocating device memory is expensive on real
+//! accelerators (`cudaMalloc` synchronizes the device), so StarPU keeps
+//! evicted buffers around in an allocation cache and hands them back out
+//! when a later allocation of a compatible size arrives. This module is
+//! that cache for one memory node: buffers are binned by size class
+//! (the next power of two of their byte size), a hit returns a buffer at
+//! least as large as the request, and a byte cap bounds how much dead
+//! memory the cache may retain — the capacity manager trims the cache
+//! (oldest entry first) before it ever evicts a live replica.
+
+use crate::handle::PayloadCell;
+use std::collections::BTreeMap;
+
+/// One retained buffer.
+pub(crate) struct CachedBuf {
+    /// The buffer cell, ready for reuse (its contents are garbage).
+    pub cell: PayloadCell,
+    /// Actual byte size of the buffer (within `(class/2, class]`).
+    pub bytes: u64,
+    /// Insertion stamp; the trim order is oldest-first.
+    seq: u64,
+}
+
+/// Size-class-keyed free-list with an insertion-order trim policy.
+pub(crate) struct FreeList {
+    /// Buffers binned by size class (`2^k` bytes holds `(2^(k-1), 2^k]`).
+    classes: BTreeMap<u32, Vec<CachedBuf>>,
+    /// Sum of `bytes` over every retained buffer.
+    retained: u64,
+    /// Retention cap in bytes; 0 disables the cache entirely.
+    cap: u64,
+    /// Monotonic insertion counter.
+    seq: u64,
+}
+
+impl FreeList {
+    pub(crate) fn new(cap: u64) -> Self {
+        FreeList {
+            classes: BTreeMap::new(),
+            retained: 0,
+            cap,
+            seq: 0,
+        }
+    }
+
+    /// The size class of an allocation: the exponent of the next power of
+    /// two, so `class(bytes)` is the smallest `k` with `bytes <= 2^k`.
+    pub(crate) fn size_class(bytes: u64) -> u32 {
+        let b = bytes.max(1);
+        64 - (b - 1).leading_zeros()
+    }
+
+    /// Bytes currently retained by the cache.
+    pub(crate) fn retained(&self) -> u64 {
+        self.retained
+    }
+
+    /// The retention cap (0 = caching disabled for this node).
+    pub(crate) fn cap(&self) -> u64 {
+        self.cap
+    }
+
+    /// Inserts a freed buffer, then trims oldest-first back under the cap.
+    /// Returns the bytes trimmed (0 when the buffer fit).
+    pub(crate) fn insert(&mut self, cell: PayloadCell, bytes: u64) -> u64 {
+        if self.cap == 0 || bytes == 0 || bytes > self.cap {
+            return bytes; // cache disabled or buffer alone busts the cap
+        }
+        self.seq += 1;
+        let class = Self::size_class(bytes);
+        self.classes.entry(class).or_default().push(CachedBuf {
+            cell,
+            bytes,
+            seq: self.seq,
+        });
+        self.retained += bytes;
+        let mut trimmed = 0;
+        while self.retained > self.cap {
+            trimmed += self.trim_oldest().expect("retained > 0 implies entries");
+        }
+        trimmed
+    }
+
+    /// Takes a buffer able to hold `need` bytes: the smallest size class
+    /// that can satisfy the request, most-recently-inserted entry first.
+    /// Within the request's own class, only entries with `bytes >= need`
+    /// qualify (a class-`k` bin also holds buffers *smaller* than `need`).
+    pub(crate) fn take(&mut self, need: u64) -> Option<CachedBuf> {
+        let min_class = Self::size_class(need);
+        let mut found: Option<(u32, usize)> = None;
+        for (&class, bufs) in self.classes.range(min_class..) {
+            if let Some(idx) = bufs
+                .iter()
+                .enumerate()
+                .filter(|(_, b)| b.bytes >= need)
+                .max_by_key(|(_, b)| b.seq)
+                .map(|(i, _)| i)
+            {
+                found = Some((class, idx));
+                break;
+            }
+        }
+        let (class, idx) = found?;
+        let bufs = self.classes.get_mut(&class).expect("class just seen");
+        let buf = bufs.swap_remove(idx);
+        if bufs.is_empty() {
+            self.classes.remove(&class);
+        }
+        self.retained -= buf.bytes;
+        Some(buf)
+    }
+
+    /// Drops the oldest retained buffer, returning its size.
+    pub(crate) fn trim_oldest(&mut self) -> Option<u64> {
+        let (&class, _) = self
+            .classes
+            .iter()
+            .min_by_key(|(_, bufs)| bufs.iter().map(|b| b.seq).min().unwrap_or(u64::MAX))?;
+        let bufs = self.classes.get_mut(&class).expect("class just seen");
+        let idx = bufs
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, b)| b.seq)
+            .map(|(i, _)| i)
+            .expect("non-empty bin");
+        let buf = bufs.swap_remove(idx);
+        if bufs.is_empty() {
+            self.classes.remove(&class);
+        }
+        self.retained -= buf.bytes;
+        Some(buf.bytes)
+    }
+
+    /// Drops every retained buffer; returns the bytes freed.
+    pub(crate) fn drain(&mut self) -> u64 {
+        let freed = self.retained;
+        self.classes.clear();
+        self.retained = 0;
+        freed
+    }
+
+    /// Checks that the retained counter matches the per-entry sum and that
+    /// every entry sits in its correct size-class bin.
+    pub(crate) fn validate(&self) -> Result<(), String> {
+        let mut sum = 0;
+        for (&class, bufs) in &self.classes {
+            for b in bufs {
+                if Self::size_class(b.bytes) != class {
+                    return Err(format!("{}-byte buffer filed under class {class}", b.bytes));
+                }
+                sum += b.bytes;
+            }
+        }
+        if sum != self.retained {
+            return Err(format!(
+                "retained counter {} != entry sum {sum}",
+                self.retained
+            ));
+        }
+        if self.retained > self.cap {
+            return Err(format!(
+                "retained {} exceeds cap {}",
+                self.retained, self.cap
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::handle::PayloadBox;
+    use parking_lot::RwLock;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+    use std::sync::Arc;
+
+    fn buf(bytes: u64) -> PayloadCell {
+        Arc::new(RwLock::new(
+            Box::new(vec![0u8; bytes as usize]) as PayloadBox
+        ))
+    }
+
+    #[test]
+    fn size_class_is_next_power_of_two_exponent() {
+        assert_eq!(FreeList::size_class(1), 0);
+        assert_eq!(FreeList::size_class(2), 1);
+        assert_eq!(FreeList::size_class(3), 2);
+        assert_eq!(FreeList::size_class(4), 2);
+        assert_eq!(FreeList::size_class(5), 3);
+        assert_eq!(FreeList::size_class(1024), 10);
+        assert_eq!(FreeList::size_class(1025), 11);
+    }
+
+    #[test]
+    fn take_prefers_smallest_sufficient_class() {
+        let mut fl = FreeList::new(1 << 20);
+        fl.insert(buf(4096), 4096);
+        fl.insert(buf(16384), 16384);
+        let got = fl.take(3000).expect("4 KiB buffer fits a 3 KB request");
+        assert_eq!(got.bytes, 4096);
+        assert_eq!(fl.retained(), 16384);
+    }
+
+    #[test]
+    fn same_class_but_smaller_entry_is_skipped() {
+        let mut fl = FreeList::new(1 << 20);
+        // 3000 and 4000 share class 12, but only the 4000-byte buffer can
+        // hold a 3500-byte request.
+        fl.insert(buf(3000), 3000);
+        fl.insert(buf(4000), 4000);
+        let got = fl.take(3500).expect("the 4000-byte entry qualifies");
+        assert_eq!(got.bytes, 4000);
+        assert!(fl.take(3500).is_none(), "only the 3000-byte entry remains");
+        assert_eq!(fl.retained(), 3000);
+    }
+
+    #[test]
+    fn cap_trims_oldest_first() {
+        let mut fl = FreeList::new(10_000);
+        fl.insert(buf(4096), 4096);
+        fl.insert(buf(4096), 4096);
+        // Third insert busts the cap: the first buffer goes.
+        let trimmed = fl.insert(buf(4096), 4096);
+        assert_eq!(trimmed, 4096);
+        assert_eq!(fl.retained(), 8192);
+        fl.validate().unwrap();
+    }
+
+    #[test]
+    fn zero_cap_disables_retention() {
+        let mut fl = FreeList::new(0);
+        assert_eq!(fl.insert(buf(64), 64), 64);
+        assert_eq!(fl.retained(), 0);
+        assert!(fl.take(1).is_none());
+    }
+
+    #[test]
+    fn drain_empties_everything() {
+        let mut fl = FreeList::new(1 << 20);
+        fl.insert(buf(100), 100);
+        fl.insert(buf(200), 200);
+        assert_eq!(fl.drain(), 300);
+        assert_eq!(fl.retained(), 0);
+        fl.validate().unwrap();
+    }
+
+    /// Model operations for the property tests below.
+    #[derive(Debug, Clone)]
+    enum Op {
+        /// Allocate `bytes`: reuse from the cache or create fresh, evicting
+        /// live buffers (oldest first) into the cache while over budget.
+        Alloc(u64),
+        /// Free the live buffer at `index % live.len()` into the cache.
+        Free(usize),
+        /// Trim the oldest cache entry.
+        Trim,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        prop_oneof![
+            (1u64..6000).prop_map(Op::Alloc),
+            (0usize..64).prop_map(Op::Free),
+            Just(Op::Trim),
+        ]
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Drives a miniature allocator (mirroring what `NodeMem` does)
+        /// through random alloc/free/trim sequences and checks, after every
+        /// step, the three free-list invariants the capacity manager relies
+        /// on: `live + retained <= budget`, no buffer is ever handed out
+        /// twice (or while still live), and a hit always returns a buffer
+        /// large enough for the request.
+        #[test]
+        fn alloc_free_trim_keeps_invariants(ops in proptest::collection::vec(op_strategy(), 1..80)) {
+            const BUDGET: u64 = 16_384;
+            let mut fl = FreeList::new(BUDGET);
+            let mut live: Vec<(u64, PayloadCell)> = Vec::new();
+            // Identity of every buffer ever handed out by `take` — reuse of
+            // an id is fine only after the same cell was freed back.
+            let ptr = |c: &PayloadCell| Arc::as_ptr(c) as *const () as usize;
+
+            for op in ops {
+                match op {
+                    Op::Alloc(bytes) => {
+                        if bytes > BUDGET {
+                            continue;
+                        }
+                        // Make room: trim the cache first, then evict the
+                        // oldest live buffer into the cache.
+                        loop {
+                            let live_sum: u64 = live.iter().map(|(b, _)| b).sum();
+                            if live_sum + fl.retained() + bytes <= BUDGET {
+                                break;
+                            }
+                            if fl.trim_oldest().is_none() {
+                                let (b, cell) = live.remove(0);
+                                fl.insert(cell, b);
+                            }
+                        }
+                        match fl.take(bytes) {
+                            Some(got) => {
+                                // Hit: large enough, size class >= request's,
+                                // and not a double-hand-out of a live buffer.
+                                prop_assert!(got.bytes >= bytes);
+                                prop_assert!(
+                                    FreeList::size_class(got.bytes)
+                                        >= FreeList::size_class(bytes)
+                                );
+                                let id = ptr(&got.cell);
+                                prop_assert!(!live.iter().any(|(_, c)| ptr(c) == id));
+                                live.push((got.bytes, got.cell));
+                            }
+                            None => {
+                                live.push((bytes, buf(bytes)));
+                            }
+                        }
+                    }
+                    Op::Free(i) => {
+                        if live.is_empty() {
+                            continue;
+                        }
+                        let (b, cell) = live.remove(i % live.len());
+                        fl.insert(cell, b);
+                    }
+                    Op::Trim => {
+                        fl.trim_oldest();
+                    }
+                }
+                // Live buffers and cached buffers must be disjoint sets.
+                let ids: HashSet<usize> = live.iter().map(|(_, c)| ptr(c)).collect();
+                prop_assert_eq!(ids.len(), live.len(), "duplicate live buffer");
+                let live_sum: u64 = live.iter().map(|(b, _)| b).sum();
+                prop_assert!(
+                    live_sum + fl.retained() <= BUDGET,
+                    "live {} + retained {} exceeds budget",
+                    live_sum,
+                    fl.retained()
+                );
+                prop_assert!(fl.validate().is_ok());
+            }
+        }
+    }
+}

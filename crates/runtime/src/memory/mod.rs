@@ -1,4 +1,5 @@
-//! Memory-node capacity management: budgets, LRU eviction, writeback.
+//! Memory-node capacity management: budgets, LRU eviction, writeback, and
+//! the allocation-reuse cache.
 //!
 //! The paper's data-management story (§IV-E, Fig. 3) assumes a replica can
 //! always be allocated on any memory node. Real accelerators cannot — the
@@ -14,15 +15,39 @@
 //! (a task whose operands alone exceed the budget overcommits rather than
 //! deadlocks).
 //!
+//! Three refinements mirror StarPU's memory layer:
+//!
+//! * **Allocation cache** ([`freelist::FreeList`]): evicted and
+//!   invalidated device buffers are retained in a per-node, size-class-
+//!   keyed free-list instead of being freed, and later allocations of a
+//!   compatible size reuse them (`cudaMalloc` synchronizes the device, so
+//!   avoiding it is a real win). Retained bytes count against the node's
+//!   budget and the cache is trimmed (oldest first) *before* any live
+//!   replica is evicted.
+//! * **`wont_use` hints** ([`MemoryManager::wont_use`], StarPU's
+//!   `starpu_data_wont_use`): a replica flagged dead is demoted to an
+//!   eager-eviction candidate chosen ahead of LRU order; any later touch
+//!   resurrects it.
+//! * **Eviction-aware prefetch** ([`MemoryManager::prefetch_fits`]):
+//!   instead of skipping any prefetch that does not fit the free space,
+//!   the prefetcher counts every unpinned replica outside the prefetching
+//!   task's own operand set — plus the allocation cache — as space about
+//!   to free up.
+//!
 //! Accounting invariant: a device replica holds a buffer cell **iff** its
 //! bytes are accounted here. Every cell creation goes through
 //! [`MemoryManager::prepare`] and every cell drop through
-//! [`MemoryManager::release`] (invalidation), eviction, or
-//! [`MemoryManager::forget`] (unregistration).
+//! [`MemoryManager::recycle`] (invalidation), eviction, or
+//! [`MemoryManager::forget`] (unregistration) — and the dropped buffer is
+//! offered to the node's allocation cache on the way out.
+//! [`MemoryManager::validate`] checks the whole invariant on demand.
+
+mod freelist;
 
 use crate::coherence::Topology;
-use crate::handle::{DataHandle, HandleInner, PayloadBox, ReplicaStatus};
+use crate::handle::{DataHandle, HandleInner, PayloadBox, PayloadCell, ReplicaStatus};
 use crate::stats::{StatsCollector, TraceEvent};
+use freelist::FreeList;
 use parking_lot::{Mutex, RwLock};
 use peppher_sim::{MachineConfig, VTime};
 use std::collections::HashMap;
@@ -53,20 +78,29 @@ struct Resident {
     last_use: u64,
     /// Pin count — operands of running/placed tasks; never evicted.
     pinned: u32,
+    /// `wont_use` hint: the application declared this replica dead, making
+    /// it an eager-eviction candidate ahead of LRU order. Cleared by any
+    /// later touch.
+    dead: bool,
 }
 
 /// Per-node allocator state.
 struct NodeMem {
     /// Capacity in bytes; `None` is unbounded (main memory).
     budget: Option<u64>,
-    /// Currently accounted bytes.
+    /// Currently accounted bytes of *live* replicas (the allocation
+    /// cache's retained bytes are tracked separately in `cache`).
     used: u64,
-    /// Largest `used` ever observed.
+    /// Largest `used + cache.retained()` ever observed.
     high_water: u64,
     /// Monotonic LRU clock.
     clock: u64,
     /// Accounting entries keyed by handle id.
     residents: HashMap<u64, Resident>,
+    /// The allocation-reuse cache of retained (evicted/invalidated)
+    /// buffers. Capped at the node budget; zero-capped on node 0 and when
+    /// the cache is disabled.
+    cache: FreeList,
 }
 
 impl NodeMem {
@@ -77,7 +111,13 @@ impl NodeMem {
 
     fn account(&mut self, bytes: u64) {
         self.used += bytes;
-        self.high_water = self.high_water.max(self.used);
+        self.high_water = self.high_water.max(self.used + self.cache.retained());
+    }
+
+    /// Whether allocating `need` more bytes would exceed the budget,
+    /// counting both live and cache-retained bytes.
+    fn over_budget(&self, need: u64) -> bool {
+        matches!(self.budget, Some(b) if self.used + self.cache.retained() + need > b)
     }
 }
 
@@ -89,7 +129,7 @@ pub struct MemoryManager {
 
 /// Outcome of one victim-selection pass under the node lock.
 enum Selection {
-    /// Space is accounted; the caller may allocate.
+    /// Space is available; the caller may allocate.
     Done,
     /// Evict this resident, then retry.
     Victim(u64, Resident),
@@ -99,15 +139,25 @@ enum Selection {
 
 impl MemoryManager {
     /// Builds the per-node allocators with budgets from the machine config.
-    pub(crate) fn new(machine: &MachineConfig, policy: EvictionPolicy) -> Self {
+    /// `alloc_cache` enables buffer retention on budgeted device nodes
+    /// (node 0's host allocations are cheap and an unbounded cache would
+    /// never trim, so those nodes never cache).
+    pub(crate) fn new(machine: &MachineConfig, policy: EvictionPolicy, alloc_cache: bool) -> Self {
         let nodes = (0..machine.memory_nodes())
             .map(|n| {
+                let budget = machine.node_budget(n);
+                let cap = if n == 0 || !alloc_cache {
+                    0
+                } else {
+                    budget.unwrap_or(0)
+                };
                 Mutex::new(NodeMem {
-                    budget: machine.node_budget(n),
+                    budget,
                     used: 0,
                     high_water: 0,
                     clock: 0,
                     residents: HashMap::new(),
+                    cache: FreeList::new(cap),
                 })
             })
             .collect();
@@ -119,10 +169,13 @@ impl MemoryManager {
         self.policy
     }
 
-    /// Free bytes at `node`; `None` is unbounded.
+    /// Free bytes at `node` before any trimming or eviction; `None` is
+    /// unbounded. Cache-retained bytes count as occupied (they hold real
+    /// device memory) even though they are reclaimable on demand.
     pub fn free_bytes(&self, node: usize) -> Option<u64> {
         let nm = self.nodes[node].lock();
-        nm.budget.map(|b| b.saturating_sub(nm.used))
+        nm.budget
+            .map(|b| b.saturating_sub(nm.used + nm.cache.retained()))
     }
 
     /// Whether `handle_id` has an allocated (accounted) replica at `node`.
@@ -135,7 +188,8 @@ impl MemoryManager {
     }
 
     /// Whether `bytes` of *new* allocation would fit at `node` without
-    /// eviction (prefetch gating: skip, don't evict, under pressure).
+    /// evicting any live replica (trimming the allocation cache is free,
+    /// so retained bytes do not count against the request).
     pub fn would_fit(&self, node: usize, bytes: u64) -> bool {
         let nm = self.nodes[node].lock();
         match nm.budget {
@@ -144,9 +198,39 @@ impl MemoryManager {
         }
     }
 
-    /// Whether every non-resident operand of `accesses` fits at `node`
+    /// Whether a *prefetch* of `bytes` for a task whose operand handle ids
+    /// are `keep` can land at `node`. Unlike [`MemoryManager::would_fit`]
+    /// this is eviction-aware: under [`EvictionPolicy::Lru`] every
+    /// unpinned replica outside the task's own operand set is a victim
+    /// candidate about to free up, so only the unevictable bytes (pins and
+    /// sibling operands) gate the prefetch. Under
+    /// [`EvictionPolicy::FallbackCpu`] nothing can be evicted and only the
+    /// actually free space (after trimming the cache) qualifies.
+    pub fn prefetch_fits(&self, node: usize, bytes: u64, keep: &[u64]) -> bool {
+        if node == 0 {
+            return true;
+        }
+        let nm = self.nodes[node].lock();
+        let Some(budget) = nm.budget else { return true };
+        if self.policy == EvictionPolicy::FallbackCpu {
+            return nm.used + bytes <= budget;
+        }
+        let unevictable: u64 = nm
+            .residents
+            .iter()
+            .filter(|(id, r)| r.pinned > 0 || keep.contains(id))
+            .map(|(_, r)| r.bytes)
+            .sum();
+        unevictable + bytes <= budget
+    }
+
+    /// Whether every operand of `accesses` can be made resident at `node`
     /// simultaneously — the `dmda` feasibility filter under
-    /// [`EvictionPolicy::FallbackCpu`].
+    /// [`EvictionPolicy::FallbackCpu`]. A task allocating *nothing new*
+    /// (all operands already resident) is always feasible: steering it
+    /// away just because the node is transiently over budget would strand
+    /// its already-resident (possibly Modified) device copies on a node
+    /// that never evicts.
     pub fn fits_operands(
         &self,
         node: usize,
@@ -159,12 +243,20 @@ impl MemoryManager {
             .filter(|(h, _)| nm.residents.get(&h.id()).is_none_or(|r| r.bytes == 0))
             .map(|(h, _)| h.bytes() as u64)
             .sum();
+        if needed == 0 {
+            return true;
+        }
         nm.used + needed <= budget
     }
 
     /// Bytes of new allocation the operands of `accesses` need at `node`
-    /// beyond its free capacity (the `dmda` eviction-cost overflow; 0 when
-    /// everything fits or the node is unbounded).
+    /// beyond its reclaimable capacity (the `dmda` eviction-cost overflow;
+    /// 0 when everything fits or the node is unbounded). Dead
+    /// (`wont_use`-hinted) unpinned replicas outside the operand set are
+    /// subtracted from the occupancy: they vanish before any live replica
+    /// is evicted, as does the allocation cache (whose retained bytes are
+    /// excluded from `used` already) — this is the post-prefetch occupancy
+    /// the scheduler should price, not the instantaneous one.
     pub fn pressure_overflow(
         &self,
         node: usize,
@@ -177,17 +269,77 @@ impl MemoryManager {
             .filter(|(h, _)| nm.residents.get(&h.id()).is_none_or(|r| r.bytes == 0))
             .map(|(h, _)| h.bytes() as u64)
             .sum();
-        (nm.used + needed).saturating_sub(budget)
+        let reclaimable: u64 = nm
+            .residents
+            .iter()
+            .filter(|(id, r)| {
+                r.dead && r.pinned == 0 && !accesses.iter().any(|(h, _)| h.id() == **id)
+            })
+            .map(|(_, r)| r.bytes)
+            .sum();
+        (nm.used.saturating_sub(reclaimable) + needed).saturating_sub(budget)
     }
 
-    /// Per-node allocation high-water marks, in bytes.
+    /// Per-node allocation high-water marks (live + cache-retained), in
+    /// bytes.
     pub fn high_waters(&self) -> Vec<u64> {
         self.nodes.iter().map(|n| n.lock().high_water).collect()
     }
 
-    /// Per-node currently accounted bytes.
+    /// Per-node currently accounted bytes of live replicas.
     pub fn used_bytes(&self) -> Vec<u64> {
         self.nodes.iter().map(|n| n.lock().used).collect()
+    }
+
+    /// Per-node bytes retained by the allocation cache.
+    pub fn alloc_cache_retained(&self) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .map(|n| n.lock().cache.retained())
+            .collect()
+    }
+
+    /// Frees every buffer retained by every node's allocation cache.
+    /// Returns the total bytes released. After this, retained bytes are
+    /// zero everywhere — the shutdown-balance check of the stress harness.
+    pub fn drain_alloc_cache(&self) -> u64 {
+        self.nodes.iter().map(|n| n.lock().cache.drain()).sum()
+    }
+
+    /// Checks the accounting invariants on every node: `used` equals the
+    /// sum of resident bytes, the allocation cache's retained counter
+    /// matches its entries, and the cache respects its cap.
+    pub fn validate(&self) -> Result<(), String> {
+        for (i, node) in self.nodes.iter().enumerate() {
+            let nm = node.lock();
+            let sum: u64 = nm.residents.values().map(|r| r.bytes).sum();
+            if sum != nm.used {
+                return Err(format!(
+                    "node {i}: used counter {} != resident byte sum {sum}",
+                    nm.used
+                ));
+            }
+            nm.cache
+                .validate()
+                .map_err(|e| format!("node {i} allocation cache: {e}"))?;
+        }
+        Ok(())
+    }
+
+    /// Flags every allocated device replica of `handle_id` as dead — the
+    /// application will not touch it again, so eviction should take it
+    /// first (before any live LRU victim). No data is moved here: a
+    /// Modified replica still gets exactly one writeback when eviction
+    /// actually claims it. Any later touch clears the hint.
+    pub fn wont_use(&self, handle_id: u64) {
+        for node in self.nodes.iter().skip(1) {
+            let mut nm = node.lock();
+            if let Some(r) = nm.residents.get_mut(&handle_id) {
+                if r.bytes > 0 {
+                    r.dead = true;
+                }
+            }
+        }
     }
 
     /// Accounts a freshly registered payload's master copy at node 0.
@@ -202,6 +354,7 @@ impl MemoryManager {
                 bytes: handle.bytes() as u64,
                 last_use: stamp,
                 pinned: 0,
+                dead: false,
             },
         );
     }
@@ -222,6 +375,7 @@ impl MemoryManager {
                 bytes: 0,
                 last_use: stamp,
                 pinned: 0,
+                dead: false,
             })
             .pinned += 1;
     }
@@ -246,36 +400,91 @@ impl MemoryManager {
     /// handle's state lock is taken (lock order is handle → node, and
     /// eviction surgery needs victim handle locks). Touches the LRU stamp
     /// when the replica is already resident.
+    ///
+    /// Returns a buffer from the node's allocation cache when one of a
+    /// sufficient size class is retained (an allocation-cache *hit*); the
+    /// caller installs it as the replica's cell and overwrites its (stale)
+    /// contents. `None` means the caller allocates fresh.
     pub(crate) fn prepare(
         &self,
         handle: &DataHandle,
         node: usize,
         topo: &Topology,
         stats: &StatsCollector,
-    ) {
+    ) -> Option<PayloadCell> {
         if node == 0 {
-            return;
+            return None;
         }
         let need = handle.bytes() as u64;
+        let mut reused: Option<PayloadCell> = None;
+        let mut reused_bytes = 0u64;
         loop {
             let selection = {
                 let mut nm = self.nodes[node].lock();
                 let stamp = nm.stamp();
                 if let Some(r) = nm.residents.get_mut(&handle.id()) {
                     r.last_use = stamp;
+                    r.dead = false; // a new use resurrects the replica
                     if r.bytes > 0 {
-                        return; // already allocated and accounted
+                        // Already allocated and accounted. A cache buffer
+                        // grabbed on an earlier pass goes back (another
+                        // thread won the allocation race).
+                        if let Some(cell) = reused.take() {
+                            nm.cache.insert(cell, reused_bytes);
+                        }
+                        return None;
                     }
                 }
-                let over = matches!(nm.budget, Some(b) if nm.used + need > b);
-                if !over || self.policy == EvictionPolicy::FallbackCpu {
-                    // FallbackCpu never evicts: feasibility is the
-                    // scheduler's job; forced placements overcommit.
-                    Selection::Done
+                // Allocation cache first: a retained buffer of a
+                // sufficient size class is reused outright — this is also
+                // how an eviction victim's buffer becomes the allocation
+                // that displaced it.
+                if reused.is_none() {
+                    if let Some(buf) = nm.cache.take(need) {
+                        reused_bytes = buf.bytes;
+                        reused = Some(buf.cell);
+                    }
+                }
+                if !nm.over_budget(need) {
+                    // Under budget with no retained buffer to reuse: honor
+                    // `wont_use` hints eagerly. A dead replica whose buffer
+                    // can serve this allocation is evicted now (its
+                    // writeback was due at eviction anyway) so the new
+                    // replica recycles the buffer instead of widening the
+                    // footprint alongside semantically-garbage data. Only
+                    // worthwhile when pressure is plausible — the node at
+                    // least half full once this allocation lands — and the
+                    // cache can actually retain the donated buffer.
+                    let donate = reused.is_none()
+                        && self.policy == EvictionPolicy::Lru
+                        && nm.cache.cap() > 0
+                        && nm.budget.is_some_and(|b| (nm.used + need) * 2 >= b);
+                    match donate {
+                        true => match Self::select_dead_donor(&mut nm, handle.id(), need) {
+                            Some((vid, r)) => Selection::Victim(vid, r),
+                            None => Selection::Done,
+                        },
+                        false => Selection::Done,
+                    }
                 } else {
-                    match Self::select_victim(&mut nm, handle.id()) {
-                        Some((vid, r)) => Selection::Victim(vid, r),
-                        None => Selection::Overcommit,
+                    // Over budget: dead cache memory goes first — trim
+                    // retained buffers before touching any live replica.
+                    while nm.over_budget(need) {
+                        match nm.cache.trim_oldest() {
+                            Some(freed) => stats.record_cache_trim(freed),
+                            None => break,
+                        }
+                    }
+                    if !nm.over_budget(need) || self.policy == EvictionPolicy::FallbackCpu {
+                        // FallbackCpu never evicts live replicas:
+                        // feasibility is the scheduler's job; forced
+                        // placements overcommit.
+                        Selection::Done
+                    } else {
+                        match Self::select_victim(&mut nm, handle.id()) {
+                            Some((vid, r)) => Selection::Victim(vid, r),
+                            None => Selection::Overcommit,
+                        }
                     }
                 }
             };
@@ -293,29 +502,69 @@ impl MemoryManager {
             bytes: 0,
             last_use: stamp,
             pinned: 0,
+            dead: false,
         });
         entry.bytes = need;
         entry.last_use = stamp;
+        entry.dead = false;
+        drop(nm);
+        match reused {
+            Some(cell) => {
+                stats.record_cache_hit();
+                stats.record_event(TraceEvent::Reuse {
+                    handle: handle.id(),
+                    node,
+                    bytes: need as usize,
+                });
+                Some(cell)
+            }
+            None => {
+                stats.record_cache_miss();
+                None
+            }
+        }
     }
 
-    /// Picks and *removes* the LRU unpinned resident under the node lock
+    /// Picks and *removes* the best eviction victim under the node lock
     /// (so concurrent allocators cannot double-evict); its bytes are
-    /// un-accounted immediately.
+    /// un-accounted immediately. Dead (`wont_use`-hinted) replicas go
+    /// first, oldest first; live replicas follow in LRU order.
     fn select_victim(nm: &mut NodeMem, requester: u64) -> Option<(u64, Resident)> {
         let vid = nm
             .residents
             .iter()
             .filter(|(id, r)| **id != requester && r.pinned == 0 && r.bytes > 0)
-            .min_by_key(|(_, r)| r.last_use)
+            .min_by_key(|(_, r)| (!r.dead, r.last_use))
             .map(|(id, _)| *id)?;
         let r = nm.residents.remove(&vid).expect("victim just found");
         nm.used = nm.used.saturating_sub(r.bytes);
         Some((vid, r))
     }
 
+    /// Picks and removes a *dead* replica whose buffer can serve an
+    /// allocation of `need` bytes — the eager half of `wont_use`: instead
+    /// of letting hinted-dead data squat until capacity pressure, its
+    /// buffer is donated to the next compatible allocation. Prefers the
+    /// tightest size class, then the oldest stamp (a 32 KiB donor is not
+    /// burned on a 1 KiB request while a 1 KiB donor exists).
+    fn select_dead_donor(nm: &mut NodeMem, requester: u64, need: u64) -> Option<(u64, Resident)> {
+        let vid = nm
+            .residents
+            .iter()
+            .filter(|(id, r)| {
+                **id != requester && r.pinned == 0 && r.dead && r.bytes >= need.max(1)
+            })
+            .min_by_key(|(_, r)| (FreeList::size_class(r.bytes), r.last_use))
+            .map(|(id, _)| *id)?;
+        let r = nm.residents.remove(&vid).expect("donor just found");
+        nm.used = nm.used.saturating_sub(r.bytes);
+        Some((vid, r))
+    }
+
     /// Eviction surgery on a victim already removed from the accounting:
     /// writes a sole-valid (Modified) copy back to main memory over the
-    /// device link, then drops the buffer and invalidates the replica.
+    /// device link, invalidates the replica, and retains the freed buffer
+    /// in the node's allocation cache for reuse.
     fn evict(
         &self,
         victim_id: u64,
@@ -324,6 +573,7 @@ impl MemoryManager {
         topo: &Topology,
         stats: &StatsCollector,
     ) {
+        assert_eq!(resident.pinned, 0, "pinned replica selected for eviction");
         let Some(inner) = resident.weak.upgrade() else {
             return; // handle already dropped; bytes were just released
         };
@@ -361,8 +611,16 @@ impl MemoryManager {
         }
         st.replicas[node].status = ReplicaStatus::Invalid;
         st.replicas[node].vready = VTime::ZERO;
-        drop(cell);
         drop(st);
+        // Retain the freed buffer for reuse — unless a straggling guard
+        // still references the cell, in which case it just drops.
+        if Arc::strong_count(&cell) == 1 {
+            let mut nm = self.nodes[node].lock();
+            let trimmed = nm.cache.insert(cell, resident.bytes);
+            if trimmed > 0 {
+                stats.record_cache_trim(trimmed);
+            }
+        }
         stats.record_eviction(resident.bytes, writeback);
         stats.record_event(TraceEvent::Evict {
             handle: victim_id,
@@ -373,8 +631,16 @@ impl MemoryManager {
     }
 
     /// Releases the accounting for `handle_id`'s replica at `node` after
-    /// its buffer was dropped (invalidation path in `mark_written`).
-    pub(crate) fn release(&self, node: usize, handle_id: u64) {
+    /// its buffer left the replica array (invalidation in `mark_written`,
+    /// unregistration), retaining the buffer in the allocation cache when
+    /// the caller could take sole ownership of it.
+    pub(crate) fn recycle(
+        &self,
+        node: usize,
+        handle_id: u64,
+        cell: Option<PayloadCell>,
+        stats: &StatsCollector,
+    ) {
         let mut nm = self.nodes[node].lock();
         if let Some(r) = nm.residents.get_mut(&handle_id) {
             let freed = std::mem::take(&mut r.bytes);
@@ -383,7 +649,28 @@ impl MemoryManager {
             if unpinned {
                 nm.residents.remove(&handle_id);
             }
+            if freed > 0 {
+                if let Some(cell) = cell {
+                    if Arc::strong_count(&cell) == 1 {
+                        let trimmed = nm.cache.insert(cell, freed);
+                        if trimmed > 0 {
+                            stats.record_cache_trim(trimmed);
+                        }
+                    }
+                }
+            }
         }
+    }
+
+    /// Returns a cache buffer that lost an allocation race back to the
+    /// node's free-list (coherence grabbed it via [`MemoryManager::
+    /// prepare`] but another thread installed a cell first).
+    pub(crate) fn give_back(&self, node: usize, cell: PayloadCell, bytes: u64) {
+        if node == 0 {
+            return;
+        }
+        let mut nm = self.nodes[node].lock();
+        nm.cache.insert(cell, bytes);
     }
 
     /// Drops every node's accounting for a handle being unregistered.
@@ -439,7 +726,7 @@ mod tests {
         let m = tiny_machine(budget);
         let topo = Topology::new(&m);
         let stats = StatsCollector::new(m.total_workers(), true);
-        let mm = MemoryManager::new(&m, EvictionPolicy::Lru);
+        let mm = MemoryManager::new(&m, EvictionPolicy::Lru, true);
         (m, topo, stats, mm)
     }
 
@@ -454,6 +741,7 @@ mod tests {
         assert_eq!(mm.high_waters()[1], 8 * 1024);
         assert!(mm.is_resident(1, 1) && mm.is_resident(1, 2));
         assert_eq!(mm.free_bytes(1), Some(2 * 1024));
+        mm.validate().unwrap();
     }
 
     #[test]
@@ -476,6 +764,37 @@ mod tests {
         assert!(b.valid_on(0), "host master copy untouched");
         assert!(a.valid_on(1) && c.valid_on(1));
         assert_eq!(mm.used_bytes()[1], 8 * 1024);
+        mm.validate().unwrap();
+    }
+
+    #[test]
+    fn eviction_victim_buffer_is_reused_by_displacing_allocation() {
+        let (m, topo, stats, mm) = fixture(10 * 1024);
+        let a = handle(1, 4, m.memory_nodes());
+        let b = handle(2, 4, m.memory_nodes());
+        let c = handle(3, 4, m.memory_nodes());
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        coherence::make_valid(&b, 1, AccessMode::Read, &topo, &stats, &mm);
+        // c's allocation evicts a (LRU); a's freed 4 KiB buffer lands in
+        // the cache and is immediately reused for c itself.
+        coherence::make_valid(&c, 1, AccessMode::Read, &topo, &stats, &mm);
+        let snap = stats.snapshot();
+        assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.alloc_cache_hits, 1, "victim buffer reused");
+        assert!(c.valid_on(1));
+        // The trace orders the eviction before the reuse of its space.
+        let trace = stats.trace.lock();
+        let evict = trace
+            .iter()
+            .position(|e| matches!(e, TraceEvent::Evict { handle: 1, .. }))
+            .expect("evict recorded");
+        let reuse = trace
+            .iter()
+            .position(|e| matches!(e, TraceEvent::Reuse { handle: 3, .. }))
+            .expect("reuse recorded");
+        assert!(evict < reuse, "eviction frees the space reuse consumes");
+        drop(trace);
+        mm.validate().unwrap();
     }
 
     #[test]
@@ -528,6 +847,120 @@ mod tests {
     }
 
     #[test]
+    fn dead_replica_donates_buffer_without_pressure() {
+        // Eager wont_use: even with free space left, a hinted-dead replica
+        // is evicted so the next compatible allocation recycles its buffer
+        // instead of allocating fresh beside garbage. (Donation arms once
+        // the node would be at least half full.)
+        let (m, topo, stats, mm) = fixture(8 * 1024);
+        let a = handle(1, 4, m.memory_nodes());
+        let b = handle(2, 4, m.memory_nodes());
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        mm.wont_use(a.id());
+        coherence::make_valid(&b, 1, AccessMode::Read, &topo, &stats, &mm);
+        let snap = stats.snapshot();
+        assert_eq!(snap.evictions, 1, "dead donor evicted despite free space");
+        assert_eq!(snap.alloc_cache_hits, 1, "donor buffer recycled");
+        assert!(!a.valid_on(1) && b.valid_on(1));
+        assert_eq!(mm.used_bytes()[1], 4 * 1024, "footprint did not widen");
+        mm.validate().unwrap();
+    }
+
+    #[test]
+    fn dead_donor_prefers_tightest_size_class() {
+        // A 1 KiB request must take the 1 KiB dead donor, not burn the
+        // 8 KiB one.
+        let (m, topo, stats, mm) = fixture(16 * 1024);
+        let big = handle(1, 8, m.memory_nodes());
+        let small = handle(2, 1, m.memory_nodes());
+        let incoming = handle(3, 1, m.memory_nodes());
+        coherence::make_valid(&big, 1, AccessMode::Read, &topo, &stats, &mm);
+        coherence::make_valid(&small, 1, AccessMode::Read, &topo, &stats, &mm);
+        mm.wont_use(big.id());
+        mm.wont_use(small.id());
+        coherence::make_valid(&incoming, 1, AccessMode::Read, &topo, &stats, &mm);
+        assert!(big.valid_on(1), "big donor untouched");
+        assert!(!small.valid_on(1), "small donor consumed");
+        assert_eq!(stats.snapshot().alloc_cache_hits, 1);
+        mm.validate().unwrap();
+    }
+
+    #[test]
+    fn wont_use_demotes_replica_ahead_of_lru_order() {
+        let (m, topo, stats, mm) = fixture(9 * 1024);
+        let a = handle(1, 4, m.memory_nodes());
+        let b = handle(2, 4, m.memory_nodes());
+        let c = handle(3, 4, m.memory_nodes());
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        coherence::make_valid(&b, 1, AccessMode::ReadWrite, &topo, &stats, &mm);
+        coherence::mark_written(&b, 1, VTime::from_micros(5), &stats, &mm);
+        // a is older (the LRU victim), but b is hinted dead: eviction must
+        // take b first.
+        mm.wont_use(b.id());
+        coherence::make_valid(&c, 1, AccessMode::Read, &topo, &stats, &mm);
+        let snap = stats.snapshot();
+        assert_eq!(snap.evictions, 1);
+        assert!(a.valid_on(1), "live LRU replica survives");
+        assert!(!b.valid_on(1), "dead replica evicted first");
+        // b was Modified: the writeback happened exactly once, and the
+        // trace orders it before the reuse of the freed space by c.
+        assert_eq!(snap.writeback_bytes, 4 * 1024);
+        assert!(b.valid_on(0), "written-back copy valid at node 0");
+        let trace = stats.trace.lock();
+        let wb_count = trace
+            .iter()
+            .filter(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Transfer {
+                        handle: 2,
+                        from: 1,
+                        to: 0,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(wb_count, 1, "writeback happens exactly once");
+        let wb = trace
+            .iter()
+            .position(|e| {
+                matches!(
+                    e,
+                    TraceEvent::Transfer {
+                        handle: 2,
+                        from: 1,
+                        to: 0,
+                        ..
+                    }
+                )
+            })
+            .unwrap();
+        let reuse = trace
+            .iter()
+            .position(|e| matches!(e, TraceEvent::Reuse { handle: 3, .. }))
+            .expect("c reuses b's freed buffer");
+        assert!(wb < reuse, "writeback precedes reuse of the freed space");
+    }
+
+    #[test]
+    fn touch_resurrects_dead_replica() {
+        let (m, topo, stats, mm) = fixture(9 * 1024);
+        let a = handle(1, 4, m.memory_nodes());
+        let b = handle(2, 4, m.memory_nodes());
+        let c = handle(3, 4, m.memory_nodes());
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        coherence::make_valid(&b, 1, AccessMode::Read, &topo, &stats, &mm);
+        mm.wont_use(b.id());
+        // The hint is wrong: b is used again, clearing the dead flag, so
+        // plain LRU applies and a (older) is the victim.
+        coherence::make_valid(&b, 1, AccessMode::Read, &topo, &stats, &mm);
+        coherence::make_valid(&c, 1, AccessMode::Read, &topo, &stats, &mm);
+        assert!(!a.valid_on(1), "LRU victim");
+        assert!(b.valid_on(1), "resurrected replica survives");
+    }
+
+    #[test]
     fn pinned_replicas_are_never_victims() {
         let (m, topo, stats, mm) = fixture(10 * 1024);
         let a = handle(1, 4, m.memory_nodes());
@@ -551,7 +984,7 @@ mod tests {
         let m = tiny_machine(6 * 1024);
         let topo = Topology::new(&m);
         let stats = StatsCollector::new(m.total_workers(), false);
-        let mm = MemoryManager::new(&m, EvictionPolicy::FallbackCpu);
+        let mm = MemoryManager::new(&m, EvictionPolicy::FallbackCpu, true);
         let a = handle(1, 4, m.memory_nodes());
         let b = handle(2, 4, m.memory_nodes());
         coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
@@ -580,6 +1013,55 @@ mod tests {
     }
 
     #[test]
+    fn pressure_overflow_discounts_dead_replicas() {
+        let (m, topo, stats, mm) = fixture(10 * 1024);
+        let a = handle(1, 6, m.memory_nodes());
+        let b = handle(2, 8, m.memory_nodes());
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        let ops = vec![(b.clone(), AccessMode::Read)];
+        assert_eq!(mm.pressure_overflow(1, &ops), 4 * 1024);
+        // Hinting a dead removes its bytes from the occupancy estimate:
+        // the prefetcher will reclaim it before b arrives.
+        mm.wont_use(a.id());
+        assert_eq!(mm.pressure_overflow(1, &ops), 0);
+    }
+
+    #[test]
+    fn prefetch_fits_counts_unpinned_replicas_as_reclaimable() {
+        let (m, topo, stats, mm) = fixture(10 * 1024);
+        let a = handle(1, 6, m.memory_nodes());
+        let b = handle(2, 8, m.memory_nodes());
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        // A plain fit check refuses b (6 + 8 > 10 KiB)...
+        assert!(!mm.would_fit(1, b.bytes() as u64));
+        // ...but eviction-aware prefetch sees a as a victim about to free
+        // up and lets the prefetch proceed.
+        assert!(mm.prefetch_fits(1, b.bytes() as u64, &[b.id()]));
+        // With a pinned (a running task holds it) nothing is reclaimable.
+        mm.pin(1, &a);
+        assert!(!mm.prefetch_fits(1, b.bytes() as u64, &[b.id()]));
+        mm.unpin(1, a.id());
+        // A sibling operand of the same task is likewise untouchable.
+        assert!(!mm.prefetch_fits(1, b.bytes() as u64, &[a.id(), b.id()]));
+    }
+
+    #[test]
+    fn alloc_cache_balances_to_zero_on_drain() {
+        let (m, topo, stats, mm) = fixture(10 * 1024);
+        let a = handle(1, 4, m.memory_nodes());
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        // Host write invalidates the device replica; its buffer is
+        // recycled into the cache rather than freed.
+        coherence::mark_written(&a, 0, VTime::from_micros(1), &stats, &mm);
+        assert_eq!(mm.used_bytes()[1], 0);
+        assert_eq!(mm.alloc_cache_retained()[1], 4 * 1024);
+        mm.validate().unwrap();
+        assert_eq!(mm.drain_alloc_cache(), 4 * 1024);
+        assert_eq!(mm.alloc_cache_retained()[1], 0);
+        mm.validate().unwrap();
+    }
+
+    #[test]
     fn reclaim_empties_unpinned_node() {
         let (m, topo, stats, mm) = fixture(64 * 1024);
         let a = handle(1, 4, m.memory_nodes());
@@ -592,6 +1074,9 @@ mod tests {
         assert!(!a.valid_on(1) && !b.valid_on(1));
         assert!(b.valid_on(0), "Modified b written back to host");
         assert_eq!(stats.snapshot().writeback_bytes, 4 * 1024);
+        // The reclaimed buffers are retained for reuse, not freed.
+        assert_eq!(mm.alloc_cache_retained()[1], 8 * 1024);
+        mm.validate().unwrap();
     }
 
     #[test]
@@ -599,7 +1084,7 @@ mod tests {
         let (m, topo, stats, mm) = fixture(64 * 1024);
         let a = handle(1, 4, m.memory_nodes());
         coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
-        mm.release(1, a.id());
+        mm.recycle(1, a.id(), None, &stats);
         assert_eq!(mm.used_bytes()[1], 0);
         assert!(!mm.is_resident(1, a.id()));
 
@@ -607,5 +1092,22 @@ mod tests {
         assert_eq!(mm.used_bytes()[0], 4 * 1024);
         mm.forget(a.id());
         assert_eq!(mm.used_bytes()[0], 0);
+    }
+
+    #[test]
+    fn cache_disabled_frees_buffers_outright() {
+        let m = tiny_machine(10 * 1024);
+        let topo = Topology::new(&m);
+        let stats = StatsCollector::new(m.total_workers(), false);
+        let mm = MemoryManager::new(&m, EvictionPolicy::Lru, false);
+        let a = handle(1, 4, m.memory_nodes());
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        coherence::mark_written(&a, 0, VTime::from_micros(1), &stats, &mm);
+        assert_eq!(mm.alloc_cache_retained()[1], 0);
+        let b = handle(2, 4, m.memory_nodes());
+        coherence::make_valid(&b, 1, AccessMode::Read, &topo, &stats, &mm);
+        let snap = stats.snapshot();
+        assert_eq!(snap.alloc_cache_hits, 0);
+        assert!(snap.alloc_cache_misses >= 2);
     }
 }

@@ -68,6 +68,11 @@ pub struct RuntimeConfig {
     /// LRU eviction with MSI-aware writeback (default), or no eviction
     /// with the scheduler falling back to CPU placements.
     pub eviction: EvictionPolicy,
+    /// Retain evicted/invalidated device buffers in a per-node allocation
+    /// cache for reuse by later allocations of a compatible size class
+    /// (StarPU's allocation cache; on by default). Disable for ablation
+    /// runs that should pay every allocation fresh.
+    pub alloc_cache: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -81,6 +86,7 @@ impl Default for RuntimeConfig {
             enable_prefetch: true,
             objective: Objective::ExecTime,
             eviction: EvictionPolicy::Lru,
+            alloc_cache: true,
         }
     }
 }
@@ -124,21 +130,32 @@ impl RuntimeInner {
         self.sched.push(Arc::clone(&task), &self.sched_ctx());
         // Prefetch: every dependency has completed (that is what made the
         // task ready), so its input data is final and can start moving to
-        // the placed worker's memory node right away. Capacity-aware: a
-        // prefetch is opportunistic, so under memory pressure it is
-        // skipped rather than allowed to evict replicas tasks still need.
+        // the placed worker's memory node right away. Eviction-aware: a
+        // prefetch that does not fit the free space is not skipped — every
+        // unpinned replica outside this task's own operand set is a victim
+        // about to free up, so the prefetch proceeds and `prepare` performs
+        // the evictions (victim writebacks naturally precede the prefetch
+        // transfer in the trace). All read operands are pinned first so one
+        // prefetch cannot evict a sibling operand fetched a moment earlier.
         if self.config.enable_prefetch {
             let choice = *task.chosen.lock();
             if let Some(choice) = choice {
                 let node = self.machine.worker_memory_node(choice.worker);
                 if node != 0 {
-                    for (h, mode) in &task.accesses {
-                        if mode.reads()
-                            && !h.valid_on(node)
-                            && (self.memory.is_resident(node, h.id())
-                                || self.memory.would_fit(node, h.bytes() as u64))
+                    let keep: Vec<u64> = task.accesses.iter().map(|(h, _)| h.id()).collect();
+                    let wanted: Vec<&DataHandle> = task
+                        .accesses
+                        .iter()
+                        .filter(|(_, m)| m.reads())
+                        .map(|(h, _)| h)
+                        .collect();
+                    for h in &wanted {
+                        self.memory.pin(node, h);
+                    }
+                    for h in &wanted {
+                        if !h.valid_on(node)
+                            && self.memory.prefetch_fits(node, h.bytes() as u64, &keep)
                         {
-                            self.memory.pin(node, h);
                             coherence::make_valid(
                                 h,
                                 node,
@@ -147,8 +164,10 @@ impl RuntimeInner {
                                 &self.stats,
                                 &self.memory,
                             );
-                            self.memory.unpin(node, h.id());
                         }
+                    }
+                    for h in &wanted {
+                        self.memory.unpin(node, h.id());
                     }
                 }
             }
@@ -220,7 +239,7 @@ impl Runtime {
         let sched = make_scheduler(config.scheduler, &machine);
         let inner = Arc::new(RuntimeInner {
             topo: Topology::new(&machine),
-            memory: MemoryManager::new(&machine, config.eviction),
+            memory: MemoryManager::new(&machine, config.eviction, config.alloc_cache),
             sched,
             perf,
             stats: StatsCollector::new(workers, config.enable_trace),
@@ -359,18 +378,30 @@ impl Runtime {
             &self.inner.stats,
             &self.inner.memory,
         );
-        let cell = {
+        let (cell, freed) = {
             let mut st = h.inner.state.lock();
-            // Free device replicas and return their bytes to the budgets.
+            // Free device replicas: their bytes return to the budgets and
+            // their buffers to the nodes' allocation caches.
+            let mut freed = Vec::new();
             for i in 1..st.replicas.len() {
-                st.replicas[i].cell = None;
+                if let Some(cell) = st.replicas[i].cell.take() {
+                    freed.push((i, cell));
+                }
                 st.replicas[i].status = crate::handle::ReplicaStatus::Invalid;
             }
-            st.replicas[0]
-                .cell
-                .take()
-                .expect("main-memory replica missing")
+            (
+                st.replicas[0]
+                    .cell
+                    .take()
+                    .expect("main-memory replica missing"),
+                freed,
+            )
         };
+        for (i, cell) in freed {
+            self.inner
+                .memory
+                .recycle(i, h.id(), Some(cell), &self.inner.stats);
+        }
         self.inner.memory.forget(h.id());
         match Arc::try_unwrap(cell) {
             Ok(lock) => *lock
@@ -442,7 +473,18 @@ impl Runtime {
     pub fn stats(&self) -> RuntimeStats {
         let mut snap = self.inner.stats.snapshot();
         snap.mem_high_water = self.inner.memory.high_waters();
+        snap.alloc_cache_retained = self.inner.memory.alloc_cache_retained();
         snap
+    }
+
+    /// Declares that the application will not touch `h`'s device replicas
+    /// again (StarPU's `starpu_data_wont_use`): they become eager-eviction
+    /// candidates taken ahead of LRU order, and their bytes stop counting
+    /// toward the `dmda` eviction-cost estimate. Data is *not* moved here —
+    /// a Modified replica still gets exactly one writeback when eviction
+    /// claims it. Any later access clears the hint.
+    pub fn wont_use(&self, h: &DataHandle) {
+        self.inner.memory.wont_use(h.id());
     }
 
     /// The memory subsystem (budgets, residency, high-water marks).

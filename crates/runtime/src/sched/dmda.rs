@@ -291,7 +291,7 @@ mod tests {
         fn new(machine: MachineConfig, config: RuntimeConfig) -> Self {
             let timelines = Mutex::new(vec![VTime::ZERO; machine.total_workers()]);
             let topo = Topology::new(&machine);
-            let memory = MemoryManager::new(&machine, config.eviction);
+            let memory = MemoryManager::new(&machine, config.eviction, true);
             Fixture {
                 perf: PerfRegistry::default(),
                 timelines,
@@ -523,6 +523,56 @@ mod tests {
         s.push(t, &f.ctx());
         assert_eq!(s.queues[0].lock().len(), 1, "infeasible GPU filtered out");
         assert_eq!(s.queues[1].lock().len(), 0);
+    }
+
+    #[test]
+    fn fallback_keeps_gpu_when_operands_resident() {
+        // Regression: under FallbackCpu a device can end up overcommitted
+        // (forced tasks, shrunk budgets). A follow-up task whose operands
+        // are ALREADY resident on the device needs zero new bytes — it must
+        // not be steered to the CPU, which would read a stale host copy of
+        // the device-modified data (FallbackCpu never writes back).
+        use crate::handle::{AccessMode, DataHandle};
+        use crate::memory::EvictionPolicy;
+        use crate::stats::StatsCollector;
+
+        let config = RuntimeConfig {
+            use_history: false,
+            eviction: EvictionPolicy::FallbackCpu,
+            ..RuntimeConfig::default()
+        };
+        // 2 KiB budget; a forced 4 KiB operand overcommits the node.
+        let machine = MachineConfig::c2050_platform(1).with_device_mem(2 * 1024);
+        let f = Fixture::new(machine, config);
+        let stats = StatsCollector::new(f.machine.total_workers(), false);
+        let operand = DataHandle::new(1, vec![0u8; 4 * 1024], 4 * 1024, 2);
+        crate::coherence::make_valid(
+            &operand,
+            1,
+            AccessMode::ReadWrite,
+            &f.topo,
+            &stats,
+            &f.memory,
+        );
+        assert!(f.memory.used_bytes()[1] > 0, "operand resident on device");
+
+        // Big parallel work on the now-resident operand: the GPU option is
+        // feasible (needed == 0) and the static model prefers it.
+        let c = dual_codelet();
+        let t = Arc::new(
+            TaskBuilder::new(&c)
+                .cost(KernelCost::new(5e9, 1e6, 1e6))
+                .access(&operand, AccessMode::Read)
+                .into_task(0),
+        );
+        let s = DmdaScheduler::new(f.machine.total_workers());
+        s.push(t, &f.ctx());
+        assert_eq!(
+            s.queues[1].lock().len(),
+            1,
+            "resident operands keep the GPU placement"
+        );
+        assert_eq!(s.queues[0].lock().len(), 0);
     }
 
     #[test]

@@ -73,7 +73,7 @@ mod tests {
             PerfRegistry::default(),
             parking_lot::Mutex::new(vec![peppher_sim::VTime::ZERO; machine.total_workers()]),
             Topology::new(machine),
-            MemoryManager::new(machine, EvictionPolicy::Lru),
+            MemoryManager::new(machine, EvictionPolicy::Lru, true),
             RuntimeConfig::default(),
         )
     }

@@ -65,7 +65,7 @@ mod tests {
         let perf = PerfRegistry::default();
         let timelines = Mutex::new(vec![VTime::ZERO; machine.total_workers()]);
         let topo = Topology::new(&machine);
-        let memory = MemoryManager::new(&machine, EvictionPolicy::Lru);
+        let memory = MemoryManager::new(&machine, EvictionPolicy::Lru, true);
         let config = RuntimeConfig::default();
         let ctx = SchedCtx {
             machine: &machine,
@@ -104,7 +104,7 @@ mod tests {
         let perf = PerfRegistry::default();
         let timelines = Mutex::new(vec![VTime::ZERO; machine.total_workers()]);
         let topo = Topology::new(&machine);
-        let memory = MemoryManager::new(&machine, EvictionPolicy::Lru);
+        let memory = MemoryManager::new(&machine, EvictionPolicy::Lru, true);
         let config = RuntimeConfig::default();
         let ctx = SchedCtx {
             machine: &machine,

@@ -82,7 +82,7 @@ mod tests {
         fn new(machine: MachineConfig) -> Self {
             let timelines = Mutex::new(vec![peppher_sim::VTime::ZERO; machine.total_workers()]);
             let topo = Topology::new(&machine);
-            let memory = MemoryManager::new(&machine, EvictionPolicy::Lru);
+            let memory = MemoryManager::new(&machine, EvictionPolicy::Lru, true);
             Fixture {
                 perf: PerfRegistry::default(),
                 timelines,

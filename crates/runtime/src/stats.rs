@@ -69,6 +69,19 @@ pub enum TraceEvent {
         /// Whether the contents were written back to main memory first.
         writeback: bool,
     },
+    /// A device allocation was served from the node's allocation cache —
+    /// a retained buffer of a sufficient size class was reused instead of
+    /// allocating fresh. When the buffer came from an eviction, the
+    /// victim's [`TraceEvent::Evict`] (and its writeback
+    /// [`TraceEvent::Transfer`], if any) precede this event.
+    Reuse {
+        /// Data handle id of the allocation that reused the buffer.
+        handle: u64,
+        /// Memory node.
+        node: usize,
+        /// Requested (accounted) size of the allocation.
+        bytes: usize,
+    },
 }
 
 /// Internal mutable collector shared by workers.
@@ -93,6 +106,12 @@ pub(crate) struct StatsCollector {
     pub evictions: AtomicU64,
     /// Bytes of Modified victims written back to main memory.
     pub writeback_bytes: AtomicU64,
+    /// Device allocations served from the allocation cache.
+    pub alloc_cache_hits: AtomicU64,
+    /// Device allocations that had to create a fresh buffer.
+    pub alloc_cache_misses: AtomicU64,
+    /// Bytes of retained buffers dropped to make room (cap or budget).
+    pub alloc_cache_trim_bytes: AtomicU64,
     /// Modelled energy per worker, in millijoules (integer for atomicity).
     pub energy_mj: Mutex<Vec<f64>>,
 }
@@ -135,6 +154,19 @@ impl StatsCollector {
         }
     }
 
+    pub(crate) fn record_cache_hit(&self) {
+        self.alloc_cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cache_miss(&self) {
+        self.alloc_cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cache_trim(&self, bytes: u64) {
+        self.alloc_cache_trim_bytes
+            .fetch_add(bytes, Ordering::Relaxed);
+    }
+
     pub(crate) fn record_task(&self, worker: usize, busy: VTime, vfinish: VTime) {
         self.tasks_executed.fetch_add(1, Ordering::Relaxed);
         self.makespan_ns
@@ -166,8 +198,12 @@ impl StatsCollector {
             energy_joules: self.energy_mj.lock().iter().map(|mj| mj / 1e3).collect(),
             evictions: self.evictions.load(Ordering::Relaxed),
             writeback_bytes: self.writeback_bytes.load(Ordering::Relaxed),
+            alloc_cache_hits: self.alloc_cache_hits.load(Ordering::Relaxed),
+            alloc_cache_misses: self.alloc_cache_misses.load(Ordering::Relaxed),
+            alloc_cache_trim_bytes: self.alloc_cache_trim_bytes.load(Ordering::Relaxed),
             // Filled in by `Runtime::stats`, which owns the MemoryManager.
             mem_high_water: Vec::new(),
+            alloc_cache_retained: Vec::new(),
         }
     }
 }
@@ -201,9 +237,18 @@ pub struct RuntimeStats {
     /// Bytes of Modified victims written back to main memory before their
     /// device replicas were invalidated.
     pub writeback_bytes: u64,
+    /// Device allocations served from a node's allocation cache (a
+    /// retained buffer was reused instead of allocating fresh).
+    pub alloc_cache_hits: u64,
+    /// Device allocations that created a fresh buffer.
+    pub alloc_cache_misses: u64,
+    /// Bytes of retained buffers the caches dropped to stay within budget.
+    pub alloc_cache_trim_bytes: u64,
     /// Per-memory-node allocation high-water marks, in bytes
     /// (index 0 = main memory).
     pub mem_high_water: Vec<u64>,
+    /// Per-memory-node bytes currently retained by the allocation caches.
+    pub alloc_cache_retained: Vec<u64>,
 }
 
 impl RuntimeStats {
@@ -215,6 +260,17 @@ impl RuntimeStats {
     /// Total bytes moved in both directions.
     pub fn total_transfer_bytes(&self) -> u64 {
         self.h2d_bytes + self.d2h_bytes
+    }
+
+    /// Fraction of device allocations served by the allocation cache;
+    /// 0.0 when no device allocation happened.
+    pub fn alloc_cache_hit_rate(&self) -> f64 {
+        let total = self.alloc_cache_hits + self.alloc_cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.alloc_cache_hits as f64 / total as f64
+        }
     }
 
     /// Total modelled energy across all workers, in joules.
@@ -278,21 +334,30 @@ pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
     // Memory-pressure summary: eviction stalls lengthen transfer queues, so
     // surface them next to the schedule they distorted.
     let (mut evictions, mut writebacks, mut evicted_bytes) = (0u64, 0u64, 0u64);
+    let mut reuses = 0u64;
     for e in trace {
-        if let TraceEvent::Evict {
-            bytes, writeback, ..
-        } = e
-        {
-            evictions += 1;
-            evicted_bytes += *bytes as u64;
-            if *writeback {
-                writebacks += 1;
+        match e {
+            TraceEvent::Evict {
+                bytes, writeback, ..
+            } => {
+                evictions += 1;
+                evicted_bytes += *bytes as u64;
+                if *writeback {
+                    writebacks += 1;
+                }
             }
+            TraceEvent::Reuse { .. } => reuses += 1,
+            _ => {}
         }
     }
     if evictions > 0 {
         out.push_str(&format!(
             "  evictions: {evictions} ({writebacks} with writeback, {evicted_bytes} bytes freed)\n"
+        ));
+    }
+    if reuses > 0 {
+        out.push_str(&format!(
+            "  alloc-cache reuses: {reuses} (allocations served from retained buffers)\n"
         ));
     }
     out
@@ -392,6 +457,46 @@ mod tests {
         assert!(chart.contains("evictions: 2 (1 with writeback, 3072 bytes freed)"));
         // No summary line when nothing was evicted.
         assert!(!gantt(&trace[..1], 1, 20).contains("evictions"));
+    }
+
+    #[test]
+    fn alloc_cache_counters_and_hit_rate() {
+        let s = StatsCollector::new(1, true);
+        s.record_cache_hit();
+        s.record_cache_hit();
+        s.record_cache_hit();
+        s.record_cache_miss();
+        s.record_cache_trim(512);
+        let snap = s.snapshot();
+        assert_eq!(snap.alloc_cache_hits, 3);
+        assert_eq!(snap.alloc_cache_misses, 1);
+        assert_eq!(snap.alloc_cache_trim_bytes, 512);
+        assert!((snap.alloc_cache_hit_rate() - 0.75).abs() < 1e-12);
+        // No allocations at all: rate is defined as zero.
+        assert_eq!(
+            StatsCollector::new(1, false)
+                .snapshot()
+                .alloc_cache_hit_rate(),
+            0.0
+        );
+
+        let trace = vec![
+            TraceEvent::TaskEnd {
+                task: 1,
+                worker: 0,
+                codelet: "spmv".into(),
+                vstart: VTime::ZERO,
+                vfinish: VTime::from_micros(10),
+            },
+            TraceEvent::Reuse {
+                handle: 7,
+                node: 1,
+                bytes: 1024,
+            },
+        ];
+        let chart = gantt(&trace, 1, 20);
+        assert!(chart.contains("alloc-cache reuses: 1"));
+        assert!(!gantt(&trace[..1], 1, 20).contains("alloc-cache"));
     }
 
     #[test]

@@ -57,6 +57,10 @@ pub struct Task {
     /// the flag can be set per component interface); `None` inherits the
     /// runtime configuration.
     pub use_history: Option<bool>,
+    /// Handle ids hinted dead after this task completes (the task
+    /// epilogue's `wont_use`): the worker demotes their device replicas to
+    /// eager-eviction candidates once the operands are unpinned.
+    pub wont_use: Vec<u64>,
     /// Scheduler decision, if the scheduling policy makes one at push time.
     pub chosen: Mutex<Option<ExecChoice>>,
     /// Dependencies not yet satisfied, +1 submission guard.
@@ -197,6 +201,7 @@ pub struct TaskBuilder {
     priority: i32,
     force_worker: Option<usize>,
     use_history: Option<bool>,
+    wont_use: Vec<u64>,
 }
 
 impl TaskBuilder {
@@ -210,6 +215,7 @@ impl TaskBuilder {
             priority: 0,
             force_worker: None,
             use_history: None,
+            wont_use: Vec::new(),
         }
     }
 
@@ -257,6 +263,14 @@ impl TaskBuilder {
         self
     }
 
+    /// Hints that `handle` will not be used (on any device) after this
+    /// task completes: the task epilogue demotes its device replicas to
+    /// eager-eviction candidates (StarPU's `starpu_data_wont_use`).
+    pub fn wont_use(mut self, handle: &DataHandle) -> Self {
+        self.wont_use.push(handle.id());
+        self
+    }
+
     pub(crate) fn into_task(self, id: u64) -> Task {
         Task {
             id,
@@ -267,6 +281,7 @@ impl TaskBuilder {
             priority: self.priority,
             force_worker: self.force_worker,
             use_history: self.use_history,
+            wont_use: self.wont_use,
             chosen: Mutex::new(None),
             ndeps: AtomicUsize::new(1), // submission guard
             successors: Mutex::new(Vec::new()),

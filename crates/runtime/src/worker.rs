@@ -189,6 +189,12 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: Arc<Task>) {
         inner.memory.unpin(node, h.id());
     }
 
+    // Task-epilogue wont_use hints: operands declared dead are demoted to
+    // eager-eviction candidates now that they are unpinned.
+    for id in &task.wont_use {
+        inner.memory.wont_use(*id);
+    }
+
     // Feed the execution-history models.
     let class = arch_class(arch, &inner.machine, worker);
     inner.perf.record(

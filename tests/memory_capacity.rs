@@ -146,6 +146,90 @@ fn out_of_core_spmv_is_bitwise_correct_and_evicts() {
     }
 }
 
+/// Eviction-aware prefetch end to end: on a device holding a Modified
+/// replica A and with room for nothing else, bringing in B must not skip
+/// the transfer — it evicts A (writing it back first), recycles A's buffer
+/// through the allocation cache, and only then moves B in. The trace
+/// pins down the ordering; the capacity manager's dead-replica discount
+/// shows the scheduler the post-prefetch occupancy.
+#[test]
+fn prefetch_into_space_about_to_free_up() {
+    use peppher::runtime::AccessMode;
+
+    let mut machine = MachineConfig::c2050_platform(1).without_noise();
+    machine.cpu_workers = 1;
+    // Budget fits one 4 KiB vector (plus slack), never two.
+    let rt = Runtime::with_config(
+        machine.with_device_mem(5 * 1024),
+        RuntimeConfig {
+            scheduler: SchedulerKind::Dmda,
+            enable_trace: true,
+            ..RuntimeConfig::default()
+        },
+    );
+
+    let writer = component("writer", AccessType::Write, |ctx| {
+        ctx.w::<Vec<f32>>(0).fill(3.0);
+    });
+    let reader = component("reader", AccessType::Read, |ctx| {
+        let _ = ctx.r::<Vec<f32>>(0);
+    });
+
+    // A becomes Modified on the device (sole valid copy).
+    let a = Vector::register(&rt, vec![0.0f32; 1024]);
+    writer.call().operand(a.handle()).sync().submit(&rt);
+    assert!(rt.memory().is_resident(1, a.handle().id()));
+
+    // Reading B on the device needs A's space: the fetch must go ahead
+    // anyway, with A's writeback ordered before B's host-to-device copy.
+    let b = Vector::register(&rt, vec![2.0f32; 1024]);
+    reader.call().operand(b.handle()).sync().submit(&rt);
+
+    let stats = rt.stats();
+    let trace = rt.trace();
+    assert!(stats.evictions >= 1, "B displaces A");
+    assert!(
+        stats.writeback_bytes >= 4096,
+        "Modified A written back, got {}",
+        stats.writeback_bytes
+    );
+    let a_writeback = trace
+        .iter()
+        .position(|e| {
+            matches!(e, TraceEvent::Transfer { handle, from: 1, to: 0, .. }
+                if *handle == a.handle().id())
+        })
+        .expect("A written back to host");
+    let b_fetch = trace
+        .iter()
+        .position(|e| {
+            matches!(e, TraceEvent::Transfer { handle, from: 0, to: 1, .. }
+                if *handle == b.handle().id())
+        })
+        .expect("B transferred to device");
+    assert!(
+        a_writeback < b_fetch,
+        "victim writeback (event {a_writeback}) must precede the incoming \
+         transfer (event {b_fetch})"
+    );
+    // A's evicted buffer was recycled for B's allocation.
+    assert!(stats.alloc_cache_hits >= 1, "{stats:?}");
+    assert!(trace.iter().any(|e| {
+        matches!(e, TraceEvent::Reuse { handle, node: 1, .. } if *handle == b.handle().id())
+    }));
+    assert_eq!(a.get(5), 3.0, "writeback preserved A's values");
+
+    // The scheduler's eviction-cost term prices post-prefetch occupancy:
+    // a fresh 4 KiB operand overflows while B is live, but not once B is
+    // hinted dead.
+    let c = Vector::register(&rt, vec![0.0f32; 1024]);
+    let accesses = vec![(c.handle().clone(), AccessMode::Read)];
+    assert_eq!(rt.memory().pressure_overflow(1, &accesses), 3 * 1024);
+    b.wont_use();
+    assert_eq!(rt.memory().pressure_overflow(1, &accesses), 0);
+    rt.shutdown();
+}
+
 /// The `FallbackCpu` policy keeps the device under budget by steering
 /// oversized work to the CPUs instead of evicting — same numerics, zero
 /// evictions.
