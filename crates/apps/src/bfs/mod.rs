@@ -283,9 +283,9 @@ pub fn run_direct(rt: &Runtime, g: &Graph, iters: usize) -> Vec<i32> {
         bfs_kernel(&edge_ptr, &edge_dst, depth, args);
     });
     let codelet = Arc::new(codelet);
-    let edge_ptr = rt.register_vec(g.edge_ptr.clone());
-    let edge_dst = rt.register_vec(g.edge_dst.clone());
-    let depth = rt.register_vec(vec![0i32; g.nodes]);
+    let edge_ptr = rt.register(g.edge_ptr.clone());
+    let edge_dst = rt.register(g.edge_dst.clone());
+    let depth = rt.register(vec![0i32; g.nodes]);
     let cost = cost_model(g.nodes as f64, g.edges() as f64);
     for i in 0..iters {
         TaskBuilder::new(&codelet)
@@ -300,9 +300,9 @@ pub fn run_direct(rt: &Runtime, g: &Graph, iters: usize) -> Vec<i32> {
             .submit(rt);
     }
     rt.wait_all();
-    let out = rt.unregister_vec::<i32>(depth);
-    let _ = rt.unregister_vec::<u32>(edge_dst);
-    let _ = rt.unregister_vec::<u32>(edge_ptr);
+    let out = rt.unregister::<Vec<i32>>(depth);
+    let _ = rt.unregister::<Vec<u32>>(edge_dst);
+    let _ = rt.unregister::<Vec<u32>>(edge_ptr);
     out
 }
 // LOC:DIRECT:END

@@ -278,8 +278,8 @@ pub fn run_direct(rt: &Runtime, elements: usize, calls: usize) -> Vec<f32> {
         cfd_kernel(&neighbors, vars, args);
     });
     let codelet = Arc::new(codelet);
-    let nb = rt.register_vec(mesh.neighbors);
-    let vars = rt.register_vec(mesh.variables);
+    let nb = rt.register(mesh.neighbors);
+    let vars = rt.register(mesh.variables);
     let args = CfdArgs {
         elements,
         steps: 3,
@@ -295,8 +295,8 @@ pub fn run_direct(rt: &Runtime, elements: usize, calls: usize) -> Vec<f32> {
             .submit(rt);
     }
     rt.wait_all();
-    let out = rt.unregister_vec::<f32>(vars);
-    let _ = rt.unregister_vec::<u32>(nb);
+    let out = rt.unregister::<Vec<f32>>(vars);
+    let _ = rt.unregister::<Vec<u32>>(nb);
     out
 }
 // LOC:DIRECT:END

@@ -219,8 +219,8 @@ pub fn run_direct(rt: &Runtime, n: usize, calls: usize) -> Vec<f32> {
         hotspot_kernel(temp, &power, args);
     });
     let codelet = Arc::new(codelet);
-    let tm = rt.register_vec(temp);
-    let pm = rt.register_vec(power);
+    let tm = rt.register(temp);
+    let pm = rt.register(power);
     let args = HotspotArgs {
         n,
         steps: 4,
@@ -236,8 +236,8 @@ pub fn run_direct(rt: &Runtime, n: usize, calls: usize) -> Vec<f32> {
             .submit(rt);
     }
     rt.wait_all();
-    let out = rt.unregister_vec::<f32>(tm);
-    let _ = rt.unregister_vec::<f32>(pm);
+    let out = rt.unregister::<Vec<f32>>(tm);
+    let _ = rt.unregister::<Vec<f32>>(pm);
     out
 }
 // LOC:DIRECT:END

@@ -205,14 +205,14 @@ pub fn run_direct(rt: &Runtime, n: usize) -> Vec<f32> {
         lud_kernel(a, args);
     });
     let codelet = Arc::new(codelet);
-    let ah = rt.register_vec(generate(n, 0x11D));
+    let ah = rt.register(generate(n, 0x11D));
     TaskBuilder::new(&codelet)
         .access(&ah, AccessMode::ReadWrite)
         .arg(LudArgs { n })
         .cost(cost_model(n as f64))
         .submit(rt);
     rt.wait_all();
-    rt.unregister_vec::<f32>(ah)
+    rt.unregister::<Vec<f32>>(ah)
 }
 // LOC:DIRECT:END
 

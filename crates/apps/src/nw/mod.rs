@@ -236,9 +236,9 @@ pub fn run_direct(rt: &Runtime, n: usize) -> Vec<i32> {
         nw_kernel(&s1, &s2, score, args);
     });
     let codelet = Arc::new(codelet);
-    let v1 = rt.register_vec(s1);
-    let v2 = rt.register_vec(s2);
-    let score = rt.register_vec(vec![0i32; (n + 1) * (n + 1)]);
+    let v1 = rt.register(s1);
+    let v2 = rt.register(s2);
+    let score = rt.register(vec![0i32; (n + 1) * (n + 1)]);
     TaskBuilder::new(&codelet)
         .access(&v1, AccessMode::Read)
         .access(&v2, AccessMode::Read)
@@ -247,9 +247,9 @@ pub fn run_direct(rt: &Runtime, n: usize) -> Vec<i32> {
         .cost(cost_model(n as f64))
         .submit(rt);
     rt.wait_all();
-    let out = rt.unregister_vec::<i32>(score);
-    let _ = rt.unregister_vec::<u8>(v2);
-    let _ = rt.unregister_vec::<u8>(v1);
+    let out = rt.unregister::<Vec<i32>>(score);
+    let _ = rt.unregister::<Vec<u8>>(v2);
+    let _ = rt.unregister::<Vec<u8>>(v1);
     out
 }
 // LOC:DIRECT:END

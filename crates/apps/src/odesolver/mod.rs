@@ -469,13 +469,13 @@ pub fn run_direct(rt: &Runtime, edge: usize, steps: usize, gpu_only: bool) -> Ve
 
     let mut y0 = vec![0.0f32; n];
     init_kernel(&mut y0, edge);
-    let y = rt.register_vec(y0);
-    let k1 = rt.register_vec(vec![0.0f32; n]);
-    let k2 = rt.register_vec(vec![0.0f32; n]);
-    let k3 = rt.register_vec(vec![0.0f32; n]);
-    let k4 = rt.register_vec(vec![0.0f32; n]);
-    let yt = rt.register_vec(vec![0.0f32; n]);
-    let err = rt.register_value(0.0f32, 4);
+    let y = rt.register(y0);
+    let k1 = rt.register(vec![0.0f32; n]);
+    let k2 = rt.register(vec![0.0f32; n]);
+    let k3 = rt.register(vec![0.0f32; n]);
+    let k4 = rt.register(vec![0.0f32; n]);
+    let yt = rt.register(vec![0.0f32; n]);
+    let err = rt.register_sized(0.0f32, 4);
 
     let args = |coeff: f32| OdeArgs { n, coeff, edge };
     let fcost = feval_cost(n as f64);
@@ -552,10 +552,10 @@ pub fn run_direct(rt: &Runtime, edge: usize, steps: usize, gpu_only: bool) -> Ve
         }
     }
     rt.wait_all();
-    let result = rt.unregister_vec::<f32>(y);
-    let _ = rt.unregister_value::<f32>(err);
+    let result = rt.unregister::<Vec<f32>>(y);
+    let _ = rt.unregister::<f32>(err);
     for hdl in [k1, k2, k3, k4, yt] {
-        let _ = rt.unregister_vec::<f32>(hdl);
+        let _ = rt.unregister::<Vec<f32>>(hdl);
     }
     result
 }

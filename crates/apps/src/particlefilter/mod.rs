@@ -270,8 +270,8 @@ pub fn run_direct(rt: &Runtime, particles: usize, frames: usize) -> Vec<f32> {
         pf_kernel(&obs, est, args);
     });
     let codelet = Arc::new(codelet);
-    let ov = rt.register_vec(obs);
-    let ev = rt.register_vec(vec![0.0f32; frames * 2]);
+    let ov = rt.register(obs);
+    let ev = rt.register(vec![0.0f32; frames * 2]);
     TaskBuilder::new(&codelet)
         .access(&ov, AccessMode::Read)
         .access(&ev, AccessMode::Write)
@@ -283,8 +283,8 @@ pub fn run_direct(rt: &Runtime, particles: usize, frames: usize) -> Vec<f32> {
         .cost(cost_model(particles as f64, frames as f64))
         .submit(rt);
     rt.wait_all();
-    let out = rt.unregister_vec::<f32>(ev);
-    let _ = rt.unregister_vec::<f32>(ov);
+    let out = rt.unregister::<Vec<f32>>(ev);
+    let _ = rt.unregister::<Vec<f32>>(ov);
     out
 }
 // LOC:DIRECT:END

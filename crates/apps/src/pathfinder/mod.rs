@@ -214,8 +214,8 @@ pub fn run_direct(rt: &Runtime, rows: usize, cols: usize) -> Vec<i32> {
         pathfinder_kernel(&wall, result, args);
     });
     let codelet = Arc::new(codelet);
-    let wv = rt.register_vec(wall);
-    let rv = rt.register_vec(vec![0i32; cols]);
+    let wv = rt.register(wall);
+    let rv = rt.register(vec![0i32; cols]);
     TaskBuilder::new(&codelet)
         .access(&wv, AccessMode::Read)
         .access(&rv, AccessMode::Write)
@@ -223,8 +223,8 @@ pub fn run_direct(rt: &Runtime, rows: usize, cols: usize) -> Vec<i32> {
         .cost(cost_model(rows as f64, cols as f64))
         .submit(rt);
     rt.wait_all();
-    let out = rt.unregister_vec::<i32>(rv);
-    let _ = rt.unregister_vec::<i32>(wv);
+    let out = rt.unregister::<Vec<i32>>(rv);
+    let _ = rt.unregister::<Vec<i32>>(wv);
     out
 }
 // LOC:DIRECT:END

@@ -242,9 +242,9 @@ pub fn run_direct(rt: &Runtime, n: usize, iters: usize) -> Vec<f32> {
         sgemm_kernel(&a, &b, c, args);
     });
     let codelet = Arc::new(codelet);
-    let ah = rt.register_vec(a);
-    let bh = rt.register_vec(b);
-    let ch = rt.register_vec(c);
+    let ah = rt.register(a);
+    let bh = rt.register(b);
+    let ch = rt.register(c);
     let args = SgemmArgs {
         m: n,
         k: n,
@@ -263,9 +263,9 @@ pub fn run_direct(rt: &Runtime, n: usize, iters: usize) -> Vec<f32> {
             .submit(rt);
     }
     rt.wait_all();
-    let out = rt.unregister_vec::<f32>(ch);
-    let _ = rt.unregister_vec::<f32>(bh);
-    let _ = rt.unregister_vec::<f32>(ah);
+    let out = rt.unregister::<Vec<f32>>(ch);
+    let _ = rt.unregister::<Vec<f32>>(bh);
+    let _ = rt.unregister::<Vec<f32>>(ah);
     out
 }
 // LOC:DIRECT:END

@@ -58,11 +58,11 @@ struct Registered {
 
 fn register_all(rt: &Runtime, m: &super::CsrMatrix, x: &[f32]) -> Registered {
     Registered {
-        row_ptr: rt.register_vec(m.row_ptr.clone()),
-        col_idx: rt.register_vec(m.col_idx.clone()),
-        values: rt.register_vec(m.values.clone()),
-        x: rt.register_vec(x.to_vec()),
-        y: rt.register_vec(vec![0.0f32; m.rows]),
+        row_ptr: rt.register(m.row_ptr.clone()),
+        col_idx: rt.register(m.col_idx.clone()),
+        values: rt.register(m.values.clone()),
+        x: rt.register(x.to_vec()),
+        y: rt.register(vec![0.0f32; m.rows]),
     }
 }
 
@@ -90,11 +90,11 @@ pub fn run_direct(rt: &Runtime, m: &super::CsrMatrix, x: &[f32], iters: usize) -
     }
     rt.wait_all();
     // Explicit unregistration and copy-back of every buffer.
-    let y = rt.unregister_vec::<f32>(reg.y);
-    let _ = rt.unregister_vec::<f32>(reg.x);
-    let _ = rt.unregister_vec::<f32>(reg.values);
-    let _ = rt.unregister_vec::<u32>(reg.col_idx);
-    let _ = rt.unregister_vec::<u32>(reg.row_ptr);
+    let y = rt.unregister::<Vec<f32>>(reg.y);
+    let _ = rt.unregister::<Vec<f32>>(reg.x);
+    let _ = rt.unregister::<Vec<f32>>(reg.values);
+    let _ = rt.unregister::<Vec<u32>>(reg.col_idx);
+    let _ = rt.unregister::<Vec<u32>>(reg.row_ptr);
     y
 }
 // LOC:DIRECT:END

@@ -2,9 +2,11 @@
 //! application (§V-A) and the Fig. 5 hybrid-execution workload.
 
 mod direct;
+mod locality;
 mod peppherized;
 
 pub use direct::run_direct;
+pub use locality::{run_locality, LocalityScenario};
 pub use peppherized::{
     run_hybrid, run_hybrid_ex, run_peppherized, run_peppherized_ex, run_peppherized_forced,
 };

@@ -5,7 +5,7 @@
 
 use super::{build_component, CsrMatrix, SpmvArgs};
 use peppher_containers::Vector;
-use peppher_runtime::Runtime;
+use peppher_runtime::{Runtime, TaskHints};
 
 // LOC:TOOL:BEGIN
 /// Runs `iters` products `y = A x` through the PEPPHER component and

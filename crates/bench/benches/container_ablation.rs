@@ -46,14 +46,14 @@ fn cost() -> KernelCost {
 fn resident() -> Duration {
     let rt = gpu_runtime();
     let codelet = scale_codelet();
-    let h = rt.register_vec(vec![1.0f32; N]);
+    let h = rt.register(vec![1.0f32; N]);
     for _ in 0..CALLS {
         TaskBuilder::new(&codelet)
             .access(&h, AccessMode::ReadWrite)
             .cost(cost())
             .submit(&rt);
     }
-    let _ = rt.unregister_vec::<f32>(h);
+    let _ = rt.unregister::<Vec<f32>>(h);
     let makespan = rt.stats().makespan;
     assert_eq!(rt.stats().h2d_transfers, 1);
     rt.shutdown();
@@ -67,12 +67,12 @@ fn copy_back_always() -> Duration {
     let codelet = scale_codelet();
     let mut data = vec![1.0f32; N];
     for _ in 0..CALLS {
-        let h = rt.register_vec(std::mem::take(&mut data));
+        let h = rt.register(std::mem::take(&mut data));
         TaskBuilder::new(&codelet)
             .access(&h, AccessMode::ReadWrite)
             .cost(cost())
             .submit(&rt);
-        data = rt.unregister_vec::<f32>(h);
+        data = rt.unregister::<Vec<f32>>(h);
     }
     let makespan = rt.stats().makespan;
     assert_eq!(rt.stats().h2d_transfers as usize, CALLS);

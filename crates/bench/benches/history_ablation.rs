@@ -73,12 +73,12 @@ fn run(use_history: bool) -> Duration {
     );
     let comp = small_op_component();
     let run_once = |rt: &Runtime| {
-        let y = rt.register_vec(vec![0.0f32; N]);
+        let y = rt.register(vec![0.0f32; N]);
         for _ in 0..CALLS {
             comp.call().operand(&y).context("n", N as f64).submit(rt);
         }
         rt.wait_all();
-        let _ = rt.unregister_vec::<f32>(y);
+        let _ = rt.unregister::<Vec<f32>>(y);
     };
     // Warm-up run (calibrates histories when enabled).
     run_once(&rt);

@@ -40,6 +40,7 @@ fn bench_schedulers(c: &mut Criterion) {
         SchedulerKind::Random,
         SchedulerKind::Ws,
         SchedulerKind::Dmda,
+        SchedulerKind::Dmdar,
     ] {
         group.bench_with_input(
             BenchmarkId::new("hybrid_spmv_24_blocks", format!("{kind:?}")),

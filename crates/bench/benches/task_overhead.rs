@@ -66,13 +66,13 @@ fn bench_dependent_chain(c: &mut Criterion) {
             *ctx.w::<u64>(0) += 1;
         }));
         b.iter(|| {
-            let h = rt.register_value(0u64, 8);
+            let h = rt.register_sized(0u64, 8);
             for _ in 0..1000 {
                 TaskBuilder::new(&codelet)
                     .access(&h, AccessMode::ReadWrite)
                     .submit(&rt);
             }
-            assert_eq!(rt.unregister_value::<u64>(h), 1000);
+            assert_eq!(rt.unregister::<u64>(h), 1000);
         });
         rt.shutdown();
     });

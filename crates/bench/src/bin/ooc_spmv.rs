@@ -14,6 +14,7 @@
 //!
 //! Run: `cargo run --release -p peppher-bench --bin ooc_spmv`
 //!      `... --bin ooc_spmv -- --mem-budget 262144` (override device bytes)
+//!      `... --bin ooc_spmv -- --sched dmdar` (override scheduling policy)
 
 use peppher_apps::spmv;
 use peppher_bench::TextTable;
@@ -32,8 +33,10 @@ fn main() {
     // out-of-core regime the issue asks for. `--mem-budget` overrides.
     let override_budget = parse_mem_budget();
     let budget = override_budget.unwrap_or(working_set / 4);
+    let sched = parse_sched().unwrap_or(SchedulerKind::Dmda);
 
     println!("Out-of-core SpMV — working set vs. device budget\n");
+    println!("  scheduler   : {sched:?}");
     println!("  working set : {} bytes", working_set);
     println!(
         "  GPU budget  : {} bytes ({:.1}x oversubscribed)\n",
@@ -51,7 +54,7 @@ fn main() {
     let rt = Runtime::with_config(
         machine,
         RuntimeConfig {
-            scheduler: SchedulerKind::Dmda,
+            scheduler: sched,
             enable_trace: true,
             ..RuntimeConfig::default()
         },
@@ -66,7 +69,7 @@ fn main() {
     let rt = Runtime::with_config(
         MachineConfig::c2050_platform(4).without_noise(),
         RuntimeConfig {
-            scheduler: SchedulerKind::Dmda,
+            scheduler: sched,
             ..RuntimeConfig::default()
         },
     );
@@ -198,6 +201,22 @@ fn parse_mem_budget() -> Option<u64> {
         if a == "--mem-budget" {
             let v = args.get(i + 1).expect("--mem-budget expects a byte count");
             return Some(v.parse().expect("--mem-budget expects a byte count"));
+        }
+    }
+    None
+}
+
+/// Parses `--sched <policy>` (or `--sched=<policy>`) from argv; accepts
+/// eager|random|ws|dmda|dmdar.
+fn parse_sched() -> Option<SchedulerKind> {
+    let args: Vec<String> = std::env::args().collect();
+    for (i, a) in args.iter().enumerate() {
+        if let Some(v) = a.strip_prefix("--sched=") {
+            return Some(v.parse().unwrap_or_else(|e| panic!("{e}")));
+        }
+        if a == "--sched" {
+            let v = args.get(i + 1).expect("--sched expects a policy name");
+            return Some(v.parse().unwrap_or_else(|e| panic!("{e}")));
         }
     }
     None

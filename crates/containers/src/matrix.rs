@@ -27,7 +27,7 @@ impl<T: Clone + Send + Sync + 'static> Matrix<T> {
             "matrix payload is {} elements, expected {rows}x{cols}",
             data.len()
         );
-        let handle = rt.register_vec(data);
+        let handle = rt.register(data);
         Matrix {
             rt: rt.clone(),
             handle,
@@ -121,7 +121,7 @@ impl<T: Clone + Send + Sync + 'static> Matrix<T> {
 
     /// Consumes the container, returning the row-major payload.
     pub fn into_vec(self) -> Vec<T> {
-        self.rt.clone().unregister_vec::<T>(self.handle.clone())
+        self.rt.clone().unregister::<Vec<T>>(self.handle.clone())
     }
 
     /// Splits into `nblocks` row-band matrices (for blocked kernels such as

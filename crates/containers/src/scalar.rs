@@ -15,7 +15,7 @@ pub struct Scalar<T> {
 impl<T: Clone + Send + Sync + 'static> Scalar<T> {
     /// Registers the value with the runtime.
     pub fn register(rt: &Runtime, value: T) -> Self {
-        let handle = rt.register_value(value, std::mem::size_of::<T>());
+        let handle = rt.register_sized(value, std::mem::size_of::<T>());
         Scalar {
             rt: rt.clone(),
             handle,
@@ -69,7 +69,7 @@ impl<T: Clone + Send + Sync + 'static> Scalar<T> {
 
     /// Consumes the container, returning the final value.
     pub fn into_inner(self) -> T {
-        self.rt.clone().unregister_value::<T>(self.handle.clone())
+        self.rt.clone().unregister::<T>(self.handle.clone())
     }
 }
 

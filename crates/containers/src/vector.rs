@@ -35,7 +35,7 @@ impl<T: Clone + Send + Sync + 'static> Vector<T> {
     /// created".
     pub fn register(rt: &Runtime, data: Vec<T>) -> Self {
         let len = data.len();
-        let handle = rt.register_vec(data);
+        let handle = rt.register(data);
         Vector {
             rt: rt.clone(),
             handle,
@@ -117,7 +117,7 @@ impl<T: Clone + Send + Sync + 'static> Vector<T> {
     /// Waits for all uses, enforces coherence, and returns the payload,
     /// unregistering the container.
     pub fn into_vec(self) -> Vec<T> {
-        self.rt.clone().unregister_vec::<T>(self.handle.clone())
+        self.rt.clone().unregister::<Vec<T>>(self.handle.clone())
     }
 
     /// Splits the host contents into `nblocks` contiguous block containers

@@ -5,7 +5,9 @@ use crate::dispatch::{DecisionTree, DispatchTable};
 use crate::variant::Variant;
 use parking_lot::{Mutex, RwLock};
 use peppher_descriptor::{AccessType, InterfaceDescriptor};
-use peppher_runtime::{AccessMode, Codelet, DataHandle, Runtime, TaskBuilder, TaskHandle};
+use peppher_runtime::{
+    AccessMode, Codelet, DataHandle, Runtime, TaskBuilder, TaskHandle, TaskHint, TaskHints,
+};
 use peppher_sim::KernelCost;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -190,7 +192,7 @@ impl Component {
             force_variant: None,
             cost_override: None,
             worker_pin: None,
-            wont_use: Vec::new(),
+            hints: Vec::new(),
         }
     }
 }
@@ -293,7 +295,17 @@ pub struct InvokeBuilder {
     force_variant: Option<String>,
     cost_override: Option<KernelCost>,
     worker_pin: Option<usize>,
-    wont_use: Vec<DataHandle>,
+    hints: Vec<TaskHint>,
+}
+
+impl TaskHints for InvokeBuilder {
+    fn add_access(&mut self, handle: &DataHandle, mode: AccessMode) {
+        self.operands.push((handle.clone(), mode));
+    }
+
+    fn add_hint(&mut self, hint: TaskHint) {
+        self.hints.push(hint);
+    }
 }
 
 impl InvokeBuilder {
@@ -318,15 +330,14 @@ impl InvokeBuilder {
                     self.component.name()
                 )
             });
-        self.operands.push((handle.clone(), access));
+        self.add_access(handle, access);
         self
     }
 
     /// Appends an operand with an explicit access mode (overriding the
-    /// descriptor declaration).
-    pub fn operand_with_mode(mut self, handle: &DataHandle, mode: AccessMode) -> Self {
-        self.operands.push((handle.clone(), mode));
-        self
+    /// descriptor declaration). Alias of [`TaskHints::with_access`].
+    pub fn operand_with_mode(self, handle: &DataHandle, mode: AccessMode) -> Self {
+        self.with_access(handle, mode)
     }
 
     /// Sets the scalar argument pack passed to the kernel.
@@ -371,16 +382,6 @@ impl InvokeBuilder {
         self
     }
 
-    /// Declares that this call is the last use of `handle`: once the task
-    /// finishes, its device replicas of the data are demoted to
-    /// eager-eviction candidates (see
-    /// [`Runtime::wont_use`](peppher_runtime::Runtime::wont_use)). Typical
-    /// for streaming/blocked algorithms where each block is consumed once.
-    pub fn wont_use(mut self, handle: &DataHandle) -> Self {
-        self.wont_use.push(handle.clone());
-        self
-    }
-
     /// Performs composition and submits the task.
     ///
     /// # Panics
@@ -416,8 +417,8 @@ impl InvokeBuilder {
         for (h, m) in &self.operands {
             tb = tb.access(h, *m);
         }
-        for h in &self.wont_use {
-            tb = tb.wont_use(h);
+        for hint in self.hints {
+            tb.add_hint(hint);
         }
         if let Some(a) = self.arg {
             // Re-box through Any to preserve the payload.
@@ -507,8 +508,8 @@ mod tests {
             SchedulerKind::Eager,
         );
         let comp = axpy_component();
-        let x = rt.register_vec(vec![1.0f32; 64]);
-        let y = rt.register_vec(vec![10.0f32; 64]);
+        let x = rt.register(vec![1.0f32; 64]);
+        let y = rt.register(vec![10.0f32; 64]);
         comp.call()
             .operand(&x)
             .operand(&y)
@@ -516,7 +517,7 @@ mod tests {
             .context("n", 64.0)
             .sync()
             .submit(&rt);
-        assert_eq!(rt.unregister_vec::<f32>(y)[0], 12.0);
+        assert_eq!(rt.unregister::<Vec<f32>>(y)[0], 12.0);
     }
 
     #[test]
@@ -581,8 +582,8 @@ mod tests {
             SchedulerKind::Eager,
         );
         let comp = axpy_component();
-        let x = rt.register_vec(vec![1.0f32; 8]);
-        let y = rt.register_vec(vec![0.0f32; 8]);
+        let x = rt.register(vec![1.0f32; 8]);
+        let y = rt.register(vec![0.0f32; 8]);
         // Forced CUDA even though n < 1000 would normally exclude it.
         let res = comp
             .call()
@@ -598,8 +599,8 @@ mod tests {
             stats.tasks_per_worker[1] == 1,
             "ran on the GPU worker: {stats:?}"
         );
-        rt.unregister_vec::<f32>(y);
-        rt.unregister_vec::<f32>(x);
+        rt.unregister::<Vec<f32>>(y);
+        rt.unregister::<Vec<f32>>(x);
     }
 
     #[test]
@@ -609,8 +610,8 @@ mod tests {
         let comp = axpy_component();
         comp.disable_variant("axpy_cpu");
         comp.disable_variant("axpy_cuda");
-        let x = rt.register_vec(vec![0.0f32; 4]);
-        let y = rt.register_vec(vec![0.0f32; 4]);
+        let x = rt.register(vec![0.0f32; 4]);
+        let y = rt.register(vec![0.0f32; 4]);
         comp.call().operand(&x).operand(&y).arg(0.0f32).submit(&rt);
     }
 
@@ -618,8 +619,8 @@ mod tests {
     fn async_is_default_and_waitable() {
         let rt = Runtime::new(MachineConfig::cpu_only(2), SchedulerKind::Eager);
         let comp = axpy_component();
-        let x = rt.register_vec(vec![1.0f32; 16]);
-        let y = rt.register_vec(vec![0.0f32; 16]);
+        let x = rt.register(vec![1.0f32; 16]);
+        let y = rt.register(vec![0.0f32; 16]);
         let res = comp
             .call()
             .operand(&x)
@@ -628,6 +629,6 @@ mod tests {
             .context("n", 16.0)
             .submit(&rt);
         res.wait();
-        assert_eq!(rt.unregister_vec::<f32>(y)[5], 3.0);
+        assert_eq!(rt.unregister::<Vec<f32>>(y)[5], 3.0);
     }
 }

@@ -164,15 +164,15 @@ mod tests {
         );
 
         let rt = Runtime::new(MachineConfig::cpu_only(2), SchedulerKind::Eager);
-        let x = rt.register_vec(vec![1.0f32; 1000]);
-        let out = rt.register_vec(vec![0.0f32; 2]);
+        let x = rt.register(vec![1.0f32; 1000]);
+        let out = rt.register(vec![0.0f32; 2]);
         comp.call()
             .operand(&x)
             .operand(&out)
             .context("n", 1_000_000.0)
             .sync()
             .submit(&rt);
-        let result = rt.unregister_vec::<f32>(out);
+        let result = rt.unregister::<Vec<f32>>(out);
         assert_eq!(result[0], 1000.0);
         assert_eq!(result[1], 512.0, "the 512-block instantiation must run");
         rt.shutdown();

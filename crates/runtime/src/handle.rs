@@ -105,9 +105,9 @@ pub(crate) struct HandleInner {
 /// A reference-counted handle to registered data.
 ///
 /// Cloning the handle clones the reference, not the data. Handles are
-/// created by [`crate::Runtime::register_vec`] (or the generic
-/// [`crate::Runtime::register_value`]) and consumed by
-/// [`crate::Runtime::unregister_vec`] / dropped.
+/// created by [`crate::Runtime::register`] (or [`crate::Runtime::register_sized`]
+/// for payloads without a [`Data`] impl) and consumed by
+/// [`crate::Runtime::unregister`] / dropped.
 #[derive(Clone)]
 pub struct DataHandle {
     pub(crate) inner: Arc<HandleInner>,
@@ -241,6 +241,37 @@ impl DataHandle {
 pub(crate) fn vec_bytes<T>(v: &[T]) -> usize {
     std::mem::size_of_val(v)
 }
+
+/// Payload types [`crate::Runtime::register`] can size on its own.
+///
+/// The byte count feeds transfer-cost modelling, performance-model
+/// footprints, and memory-node capacity accounting, so it should reflect
+/// the payload's bulk data — for `Vec<T>` that is the heap storage, for
+/// scalars the value itself. Types whose size the runtime cannot infer
+/// (or where the default would be wrong) can skip this trait and go
+/// through [`crate::Runtime::register_sized`] with an explicit byte count.
+pub trait Data: Clone + Send + Sync + 'static {
+    /// Size in bytes of the payload's bulk data.
+    fn data_bytes(&self) -> usize;
+}
+
+impl<T: Clone + Send + Sync + 'static> Data for Vec<T> {
+    fn data_bytes(&self) -> usize {
+        vec_bytes(self)
+    }
+}
+
+macro_rules! scalar_data {
+    ($($t:ty),* $(,)?) => {
+        $(impl Data for $t {
+            fn data_bytes(&self) -> usize {
+                std::mem::size_of::<$t>()
+            }
+        })*
+    };
+}
+
+scalar_data!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
 
 #[cfg(test)]
 mod tests {

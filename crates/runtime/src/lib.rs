@@ -27,10 +27,15 @@
 //! - **Workers**: one OS thread per CPU worker and per accelerator. GPU
 //!   kernels *really execute* (on the device's host thread) so results are
 //!   correct; their *timing* is virtual, from `peppher-sim` cost models.
-//! - **Schedulers** ([`SchedulerKind`]): `eager` (central queue), `ws`
-//!   (work-stealing), `random`, and `dmda` — the performance-model-aware
-//!   policy (HEFT-style earliest-finish-time with transfer costs) that gives
-//!   the paper's "performance-aware dynamic scheduling".
+//! - **Schedulers** ([`SchedulerKind`]): a pull-based API — ready tasks are
+//!   pushed once into per-worker queues and idle workers pop against a
+//!   fresh [`MemoryView`] residency snapshot. Policies: `eager` (central
+//!   queue, late binding), `ws` (work-stealing), `random`, `dmda` — the
+//!   performance-model-aware policy (HEFT-style earliest-finish-time with
+//!   transfer costs) that gives the paper's "performance-aware dynamic
+//!   scheduling" — and `dmdar`, dmda placement plus memory-aware queue
+//!   reordering (StarPU's "dmda ready") that dispatches tasks whose read
+//!   operands are already resident on the worker's node first.
 //! - **Performance models** ([`perfmodel`]): per (codelet, architecture,
 //!   size-bucket) execution-history models with explicit calibration,
 //!   StarPU-style, toggled by `useHistoryModels`.
@@ -56,8 +61,8 @@
 //!         }),
 //! );
 //!
-//! let x = rt.register_vec(vec![1.0f32; 1024]);
-//! let y = rt.register_vec(vec![2.0f32; 1024]);
+//! let x = rt.register(vec![1.0f32; 1024]);
+//! let y = rt.register(vec![2.0f32; 1024]);
 //! TaskBuilder::new(&axpy)
 //!     .arg(3.0f32)
 //!     .access(&x, AccessMode::Read)
@@ -66,7 +71,7 @@
 //!     .submit(&rt);
 //! rt.wait_all();
 //!
-//! let out: Vec<f32> = rt.unregister_vec(y);
+//! let out: Vec<f32> = rt.unregister(y);
 //! assert_eq!(out[0], 5.0);
 //! rt.shutdown();
 //! ```
@@ -83,10 +88,10 @@ pub mod task;
 pub mod worker;
 
 pub use codelet::{Arch, ArchClass, Codelet, KernelCtx};
-pub use handle::{AccessMode, DataHandle, ReplicaStatus};
-pub use memory::{EvictionPolicy, MemoryManager};
+pub use handle::{AccessMode, Data, DataHandle, ReplicaStatus};
+pub use memory::{EvictionPolicy, MemoryManager, MemoryView};
 pub use perfmodel::{PerfKey, PerfRegistry};
 pub use runtime::{HostReadGuard, HostWriteGuard, Objective, Runtime, RuntimeConfig, TimingMode};
-pub use sched::SchedulerKind;
+pub use sched::{Scheduler, SchedulerKind};
 pub use stats::{gantt, RuntimeStats, TraceEvent};
-pub use task::{Task, TaskBuilder, TaskHandle};
+pub use task::{Task, TaskBuilder, TaskHandle, TaskHint, TaskHints};

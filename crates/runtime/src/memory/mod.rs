@@ -127,6 +127,75 @@ pub struct MemoryManager {
     policy: EvictionPolicy,
 }
 
+/// A read-only, point-in-time snapshot of replica residency, taken with
+/// [`MemoryManager::view`]. Schedulers consult it on the pop path (dmdar's
+/// readiness term) without re-locking the allocator per operand: the
+/// snapshot is built once per pop attempt, so a whole queue scan prices
+/// every queued task against the same consistent state.
+///
+/// Residency here means *allocated and accounted* bytes. Invalidation
+/// recycles a replica's buffer and drops its accounting in the same step,
+/// so an allocated replica is a valid (or about-to-be-overwritten) one —
+/// close enough for a scheduling heuristic, and strictly cheaper than
+/// locking every handle's coherence state.
+#[derive(Debug, Clone)]
+pub struct MemoryView {
+    /// Per-node map of handle id → accounted replica bytes.
+    resident: Vec<HashMap<u64, u64>>,
+}
+
+impl MemoryView {
+    /// Accounted bytes of `handle_id`'s replica at `node` (0 when absent).
+    pub fn resident_bytes(&self, node: usize, handle_id: u64) -> u64 {
+        self.resident
+            .get(node)
+            .and_then(|m| m.get(&handle_id))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Whether `handle_id` had an allocated replica at `node` when the
+    /// snapshot was taken.
+    pub fn is_resident(&self, node: usize, handle_id: u64) -> bool {
+        self.resident_bytes(node, handle_id) > 0
+    }
+
+    /// Sums, over the read-mode operands of `accesses`, the bytes already
+    /// resident at `node` — dmdar's readiness term. Write-only operands
+    /// are skipped: they allocate without a copy, so their residency saves
+    /// no transfer.
+    pub fn resident_read_bytes(
+        &self,
+        node: usize,
+        accesses: &[(DataHandle, crate::handle::AccessMode)],
+    ) -> u64 {
+        accesses
+            .iter()
+            .filter(|(_, m)| m.reads())
+            .map(|(h, _)| self.resident_bytes(node, h.id()).min(h.bytes() as u64))
+            .sum()
+    }
+
+    /// Sums the read-operand bytes *missing* at `node` — what a dispatch
+    /// there would have to transfer in.
+    pub fn missing_read_bytes(
+        &self,
+        node: usize,
+        accesses: &[(DataHandle, crate::handle::AccessMode)],
+    ) -> u64 {
+        accesses
+            .iter()
+            .filter(|(_, m)| m.reads())
+            .map(|(h, _)| (h.bytes() as u64).saturating_sub(self.resident_bytes(node, h.id())))
+            .sum()
+    }
+
+    /// Number of memory nodes covered by the snapshot.
+    pub fn nodes(&self) -> usize {
+        self.resident.len()
+    }
+}
+
 /// Outcome of one victim-selection pass under the node lock.
 enum Selection {
     /// Space is available; the caller may allocate.
@@ -176,6 +245,26 @@ impl MemoryManager {
         let nm = self.nodes[node].lock();
         nm.budget
             .map(|b| b.saturating_sub(nm.used + nm.cache.retained()))
+    }
+
+    /// Takes a read-only residency snapshot across every node (see
+    /// [`MemoryView`]). Each node's lock is held only long enough to copy
+    /// its id→bytes map; pin placeholders (0-byte entries) are skipped.
+    pub fn view(&self) -> MemoryView {
+        MemoryView {
+            resident: self
+                .nodes
+                .iter()
+                .map(|n| {
+                    n.lock()
+                        .residents
+                        .iter()
+                        .filter(|(_, r)| r.bytes > 0)
+                        .map(|(&id, r)| (id, r.bytes))
+                        .collect()
+                })
+                .collect(),
+        }
     }
 
     /// Whether `handle_id` has an allocated (accounted) replica at `node`.
@@ -685,6 +774,12 @@ impl MemoryManager {
 
     /// Evicts every unpinned resident replica at `node` (diagnostics and
     /// the eviction-injection property tests). Returns the number evicted.
+    ///
+    /// Eviction retains victim buffers in the allocation cache, and the
+    /// cache may also hold bytes from nodes that never allocated again
+    /// after their last trim — a *reclaim* means "give the memory back",
+    /// so the cache is drained after the eviction loop (the drained bytes
+    /// count as trims in the stats).
     pub(crate) fn reclaim_node(&self, node: usize, topo: &Topology, stats: &StatsCollector) -> u64 {
         if node == 0 {
             return 0;
@@ -702,6 +797,10 @@ impl MemoryManager {
                 }
                 None => break,
             }
+        }
+        let drained = self.nodes[node].lock().cache.drain();
+        if drained > 0 {
+            stats.record_cache_trim(drained);
         }
         evicted
     }
@@ -1073,10 +1172,78 @@ mod tests {
         assert_eq!(mm.used_bytes()[1], 0);
         assert!(!a.valid_on(1) && !b.valid_on(1));
         assert!(b.valid_on(0), "Modified b written back to host");
-        assert_eq!(stats.snapshot().writeback_bytes, 4 * 1024);
-        // The reclaimed buffers are retained for reuse, not freed.
-        assert_eq!(mm.alloc_cache_retained()[1], 8 * 1024);
+        let snap = stats.snapshot();
+        assert_eq!(snap.writeback_bytes, 4 * 1024);
+        // Reclaim means "give the memory back": the victims' buffers pass
+        // through the allocation cache but the cache is drained before
+        // reclaim returns, and the drained bytes show up as trims.
+        assert_eq!(mm.alloc_cache_retained()[1], 0);
+        assert_eq!(snap.alloc_cache_trim_bytes, 8 * 1024);
         mm.validate().unwrap();
+    }
+
+    #[test]
+    fn reclaim_drains_cache_bytes_left_by_earlier_invalidations() {
+        // The satellite-fix scenario: a node whose cache retains bytes
+        // from an invalidation but which never allocates again afterward.
+        // Reclaim must drain those retained bytes even with no live
+        // replica left to evict.
+        let (m, topo, stats, mm) = fixture(64 * 1024);
+        let a = handle(1, 4, m.memory_nodes());
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        // Host write invalidates the device replica; its buffer is
+        // recycled into the cache.
+        coherence::mark_written(&a, 0, VTime::from_micros(1), &stats, &mm);
+        assert_eq!(mm.used_bytes()[1], 0);
+        assert_eq!(mm.alloc_cache_retained()[1], 4 * 1024);
+        assert_eq!(mm.reclaim_node(1, &topo, &stats), 0, "nothing to evict");
+        assert_eq!(mm.alloc_cache_retained()[1], 0, "retained bytes drained");
+        assert_eq!(stats.snapshot().alloc_cache_trim_bytes, 4 * 1024);
+        mm.validate().unwrap();
+    }
+
+    #[test]
+    fn view_snapshots_residency_per_node() {
+        let (m, topo, stats, mm) = fixture(64 * 1024);
+        let a = handle(1, 4, m.memory_nodes());
+        let b = handle(2, 8, m.memory_nodes());
+        mm.register_host(&a);
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        let view = mm.view();
+        assert_eq!(view.nodes(), m.memory_nodes());
+        assert!(view.is_resident(1, a.id()));
+        assert!(!view.is_resident(1, b.id()));
+        assert_eq!(view.resident_bytes(1, a.id()), 4 * 1024);
+        assert_eq!(view.resident_bytes(0, a.id()), 4 * 1024, "host master");
+        // The snapshot is decoupled from later mutation.
+        coherence::make_valid(&b, 1, AccessMode::Read, &topo, &stats, &mm);
+        assert!(!view.is_resident(1, b.id()), "snapshot is point-in-time");
+        assert!(mm.view().is_resident(1, b.id()));
+        // Pin placeholders (0-byte entries) are not residency.
+        let c = handle(3, 4, m.memory_nodes());
+        mm.pin(1, &c);
+        assert!(!mm.view().is_resident(1, c.id()));
+        mm.unpin(1, c.id());
+    }
+
+    #[test]
+    fn view_read_byte_sums_skip_write_only_operands() {
+        let (m, topo, stats, mm) = fixture(64 * 1024);
+        let a = handle(1, 4, m.memory_nodes());
+        let b = handle(2, 8, m.memory_nodes());
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+        let view = mm.view();
+        let ops = vec![
+            (a.clone(), AccessMode::Read),
+            (b.clone(), AccessMode::ReadWrite),
+        ];
+        assert_eq!(view.resident_read_bytes(1, &ops), 4 * 1024);
+        assert_eq!(view.missing_read_bytes(1, &ops), 8 * 1024);
+        // A write-only operand neither counts as resident nor as missing:
+        // it allocates without a copy either way.
+        let wops = vec![(b.clone(), AccessMode::Write)];
+        assert_eq!(view.resident_read_bytes(1, &wops), 0);
+        assert_eq!(view.missing_read_bytes(1, &wops), 0);
     }
 
     #[test]

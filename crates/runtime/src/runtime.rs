@@ -1,7 +1,7 @@
 //! The runtime facade: submission, data registration, host access, lifecycle.
 
 use crate::coherence::{self, Topology};
-use crate::handle::{vec_bytes, AccessMode, DataHandle, PayloadBox};
+use crate::handle::{vec_bytes, AccessMode, Data, DataHandle, PayloadBox};
 use crate::memory::{EvictionPolicy, MemoryManager};
 use crate::perfmodel::PerfRegistry;
 use crate::sched::{make_scheduler, SchedCtx, Scheduler, SchedulerKind};
@@ -73,6 +73,12 @@ pub struct RuntimeConfig {
     /// (StarPU's allocation cache; on by default). Disable for ablation
     /// runs that should pay every allocation fresh.
     pub alloc_cache: bool,
+    /// `dmdar` anti-starvation bound: once the front entry of a worker's
+    /// ready queue has been passed over this many times by readiness
+    /// reordering, it is dispatched FIFO regardless of how many operand
+    /// bytes it would have to transfer. 0 disables aging (unbounded
+    /// reordering).
+    pub dmdar_age_limit: u32,
 }
 
 impl Default for RuntimeConfig {
@@ -87,6 +93,7 @@ impl Default for RuntimeConfig {
             objective: Objective::ExecTime,
             eviction: EvictionPolicy::Lru,
             alloc_cache: true,
+            dmdar_age_limit: 16,
         }
     }
 }
@@ -123,11 +130,12 @@ impl RuntimeInner {
             topo: &self.topo,
             memory: &self.memory,
             config: &self.config,
+            stats: &self.stats,
         }
     }
 
     pub(crate) fn push_ready(&self, task: Arc<Task>) {
-        self.sched.push(Arc::clone(&task), &self.sched_ctx());
+        self.sched.push_ready(Arc::clone(&task), &self.sched_ctx());
         // Prefetch: every dependency has completed (that is what made the
         // task ready), so its input data is final and can start moving to
         // the placed worker's memory node right away. Eviction-aware: a
@@ -338,15 +346,18 @@ impl Runtime {
         }
     }
 
-    /// Registers a vector; its master copy lives in main memory.
-    pub fn register_vec<T: Clone + Send + Sync + 'static>(&self, v: Vec<T>) -> DataHandle {
-        let bytes = vec_bytes(&v);
-        self.register_value(v, bytes)
+    /// Registers a payload; its master copy lives in main memory. The byte
+    /// size used for transfer modelling and capacity accounting comes from
+    /// the payload's [`Data`] impl.
+    pub fn register<T: Data>(&self, v: T) -> DataHandle {
+        let bytes = v.data_bytes();
+        self.register_sized(v, bytes)
     }
 
-    /// Registers an arbitrary payload with an explicit byte size (used for
-    /// transfer modelling).
-    pub fn register_value<T: Clone + Send + Sync + 'static>(
+    /// Registers an arbitrary payload with an explicit byte size, for types
+    /// without a [`Data`] impl or whose modelled size differs from the
+    /// payload's own.
+    pub fn register_sized<T: Clone + Send + Sync + 'static>(
         &self,
         v: T,
         bytes: usize,
@@ -359,14 +370,39 @@ impl Runtime {
         h
     }
 
-    /// Waits for all tasks using the handle, ensures main memory holds the
-    /// latest copy, and returns the payload.
-    pub fn unregister_vec<T: Clone + Send + Sync + 'static>(&self, h: DataHandle) -> Vec<T> {
-        self.unregister_value::<Vec<T>>(h)
+    /// Registers a vector; its master copy lives in main memory.
+    #[deprecated(since = "0.4.0", note = "use `Runtime::register` instead")]
+    pub fn register_vec<T: Clone + Send + Sync + 'static>(&self, v: Vec<T>) -> DataHandle {
+        let bytes = vec_bytes(&v);
+        self.register_sized(v, bytes)
     }
 
-    /// Generic form of [`Runtime::unregister_vec`].
+    /// Registers an arbitrary payload with an explicit byte size.
+    #[deprecated(since = "0.4.0", note = "use `Runtime::register_sized` instead")]
+    pub fn register_value<T: Clone + Send + Sync + 'static>(
+        &self,
+        v: T,
+        bytes: usize,
+    ) -> DataHandle {
+        self.register_sized(v, bytes)
+    }
+
+    /// Waits for all tasks using the handle, ensures main memory holds the
+    /// latest copy, and returns the payload.
+    #[deprecated(since = "0.4.0", note = "use `Runtime::unregister` instead")]
+    pub fn unregister_vec<T: Clone + Send + Sync + 'static>(&self, h: DataHandle) -> Vec<T> {
+        self.unregister::<Vec<T>>(h)
+    }
+
+    /// Alias of [`Runtime::unregister`].
+    #[deprecated(since = "0.4.0", note = "use `Runtime::unregister` instead")]
     pub fn unregister_value<T: Clone + Send + Sync + 'static>(&self, h: DataHandle) -> T {
+        self.unregister(h)
+    }
+
+    /// Waits for all tasks using the handle, ensures main memory holds the
+    /// latest copy, and returns the payload.
+    pub fn unregister<T: Clone + Send + Sync + 'static>(&self, h: DataHandle) -> T {
         for t in h.tasks_to_wait_for(AccessMode::ReadWrite) {
             t.wait();
         }
@@ -539,6 +575,10 @@ impl Runtime {
         for t in threads.drain(..) {
             let _ = t.join();
         }
+        // No worker will allocate again: free-list bytes retained by the
+        // allocation caches go back to the devices so shutdown accounting
+        // balances even for nodes that never allocated after a trim.
+        self.inner.memory.drain_alloc_cache();
     }
 }
 

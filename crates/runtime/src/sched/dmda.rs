@@ -15,9 +15,14 @@
 //! device cost model. While any option is still uncalibrated, the scheduler
 //! deliberately round-robins across uncalibrated architectures to gather
 //! samples, as StarPU's calibration mode does.
+//!
+//! The placement machinery lives in [`DmdaCore`] so [`super::dmdar`] can
+//! reuse it verbatim: dmdar is dmda's placement plus a readiness reorder on
+//! the pop path.
 
 use super::{arch_class, options_for, SchedCtx, Scheduler};
 use crate::codelet::Arch;
+use crate::memory::MemoryView;
 use crate::perfmodel::PerfKey;
 use crate::task::{ExecChoice, Task};
 use parking_lot::Mutex;
@@ -25,20 +30,21 @@ use peppher_sim::VTime;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-/// Performance-aware scheduler (see module docs).
-pub struct DmdaScheduler {
-    queues: Vec<Mutex<VecDeque<Arc<Task>>>>,
+/// The dmda cost model and placement logic, shared by [`DmdaScheduler`]
+/// and [`super::dmdar::DmdarScheduler`]. Owns the queued-work predictions
+/// and calibration counters; the per-worker ready queues belong to the
+/// wrapping policy (dmda keeps FIFO deques, dmdar keeps reorderable
+/// entries).
+pub(crate) struct DmdaCore {
     /// Predicted residual occupancy of each worker's queue.
-    queued_pred: Mutex<Vec<VTime>>,
+    pub(crate) queued_pred: Mutex<Vec<VTime>>,
     /// Round-robin counters for calibration, per codelet name.
     calib_rr: Mutex<HashMap<String, usize>>,
 }
 
-impl DmdaScheduler {
-    /// Creates the per-worker structures.
-    pub fn new(workers: usize) -> Self {
-        DmdaScheduler {
-            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+impl DmdaCore {
+    pub(crate) fn new(workers: usize) -> Self {
+        DmdaCore {
             queued_pred: Mutex::new(vec![VTime::ZERO; workers]),
             calib_rr: Mutex::new(HashMap::new()),
         }
@@ -86,7 +92,12 @@ impl DmdaScheduler {
     /// producing data away from where its current copy lives means a
     /// likely fetch-back later (tightly-dependent chains like the ODE
     /// solver thrash between devices without this).
-    fn transfer_estimate(&self, task: &Task, worker: usize, ctx: &SchedCtx<'_>) -> VTime {
+    pub(crate) fn transfer_estimate(
+        &self,
+        task: &Task,
+        worker: usize,
+        ctx: &SchedCtx<'_>,
+    ) -> VTime {
         let node = ctx.machine.worker_memory_node(worker);
         let mut total = VTime::ZERO;
         for (h, mode) in &task.accesses {
@@ -137,20 +148,12 @@ impl DmdaScheduler {
         }
     }
 
-    fn enqueue(&self, task: Arc<Task>, worker: usize, arch: Arch, pred_delta: VTime) {
-        *task.chosen.lock() = Some(ExecChoice {
-            worker,
-            arch,
-            pred_delta,
-        });
-        self.queued_pred.lock()[worker] += pred_delta;
-        self.queues[worker].lock().push_back(task);
-    }
-}
-
-impl Scheduler for DmdaScheduler {
-    fn push(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) {
-        let mut opts = options_for(&task, ctx.machine);
+    /// Chooses the (worker, arch) placement for a ready task, records the
+    /// decision in `task.chosen`, and charges the worker's queued-work
+    /// prediction. Returns the chosen worker; the caller enqueues the task
+    /// on that worker's ready queue.
+    pub(crate) fn place(&self, task: &Arc<Task>, ctx: &SchedCtx<'_>) -> usize {
+        let mut opts = options_for(task, ctx.machine);
         assert!(
             !opts.is_empty(),
             "task for codelet `{}` has no eligible worker",
@@ -179,7 +182,7 @@ impl Scheduler for DmdaScheduler {
         let mut evaluated: Vec<(usize, Arch, Option<VTime>, bool)> = opts
             .iter()
             .map(|&(w, a)| {
-                let (exec, uncal) = self.expected_exec(&task, w, a, ctx);
+                let (exec, uncal) = self.expected_exec(task, w, a, ctx);
                 (w, a, exec, uncal)
             })
             .collect();
@@ -211,8 +214,8 @@ impl Scheduler for DmdaScheduler {
                     .expect("class came from evaluated options")
             };
             // Charge a nominal occupancy so calibration tasks still spread.
-            self.enqueue(task, w, a, VTime::from_micros(1));
-            return;
+            self.charge(task, w, a, VTime::from_micros(1));
+            return w;
         }
 
         // All options predictable: score each by the configured objective.
@@ -223,7 +226,7 @@ impl Scheduler for DmdaScheduler {
         let mut best: Option<(usize, Arch, f64, VTime)> = None;
         for (w, a, exec, _) in evaluated.drain(..) {
             let exec = exec.expect("calibrated option must predict");
-            let transfer = self.transfer_estimate(&task, w, ctx);
+            let transfer = self.transfer_estimate(task, w, ctx);
             let avail = self.availability(w, a, ctx).max(vdeps);
             let finish = avail + transfer + exec;
             let score = match ctx.config.objective {
@@ -247,16 +250,24 @@ impl Scheduler for DmdaScheduler {
             }
         }
         let (w, a, _, delta) = best.expect("at least one option");
-        self.enqueue(task, w, a, delta);
+        self.charge(task, w, a, delta);
+        w
     }
 
-    fn pop(&self, worker: usize, _ctx: &SchedCtx<'_>) -> Option<Arc<Task>> {
-        self.queues[worker].lock().pop_front()
+    /// Records the placement on the task and charges the queued-work
+    /// prediction.
+    fn charge(&self, task: &Arc<Task>, worker: usize, arch: Arch, pred_delta: VTime) {
+        *task.chosen.lock() = Some(ExecChoice {
+            worker,
+            arch,
+            pred_delta,
+        });
+        self.queued_pred.lock()[worker] += pred_delta;
     }
 
-    fn task_timed(&self, worker: usize, task: &Task) {
-        // The task's duration is now part of the worker's actual timeline;
-        // release the prediction charged at push time.
+    /// Releases the prediction charged at placement time once the task's
+    /// duration is part of the worker's actual timeline.
+    pub(crate) fn release(&self, worker: usize, task: &Task) {
         let delta = task
             .chosen
             .lock()
@@ -267,41 +278,96 @@ impl Scheduler for DmdaScheduler {
     }
 }
 
+/// Performance-aware scheduler (see module docs).
+pub struct DmdaScheduler {
+    pub(crate) core: DmdaCore,
+    queues: Vec<Mutex<VecDeque<Arc<Task>>>>,
+}
+
+impl DmdaScheduler {
+    /// Creates the per-worker structures.
+    pub fn new(workers: usize) -> Self {
+        DmdaScheduler {
+            core: DmdaCore::new(workers),
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        }
+    }
+
+    #[cfg(test)]
+    fn queue_len(&self, worker: usize) -> usize {
+        self.queues[worker].lock().len()
+    }
+}
+
+impl Scheduler for DmdaScheduler {
+    fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) {
+        let w = self.core.place(&task, ctx);
+        self.queues[w].lock().push_back(task);
+    }
+
+    fn pop_for_worker(
+        &self,
+        worker: usize,
+        view: &MemoryView,
+        ctx: &SchedCtx<'_>,
+    ) -> Option<Arc<Task>> {
+        let (task, depth) = {
+            let mut q = self.queues[worker].lock();
+            let depth = q.len();
+            (q.pop_front()?, depth)
+        };
+        let node = ctx.machine.worker_memory_node(worker);
+        let resident = view.resident_read_bytes(node, &task.accesses);
+        ctx.stats.record_dispatch(depth, resident, false);
+        Some(task)
+    }
+
+    fn task_timed(&self, worker: usize, task: &Task) {
+        // The task's duration is now part of the worker's actual timeline;
+        // release the prediction charged at push time.
+        self.core.release(worker, task);
+    }
+}
+
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use crate::codelet::{ArchClass, Codelet};
     use crate::coherence::Topology;
     use crate::memory::MemoryManager;
     use crate::perfmodel::{PerfKey, PerfRegistry};
     use crate::runtime::RuntimeConfig;
+    use crate::stats::StatsCollector;
     use crate::task::TaskBuilder;
     use peppher_sim::{KernelCost, MachineConfig};
 
-    struct Fixture {
-        machine: MachineConfig,
-        perf: PerfRegistry,
-        timelines: Mutex<Vec<VTime>>,
-        topo: Topology,
-        memory: MemoryManager,
-        config: RuntimeConfig,
+    pub(in crate::sched) struct Fixture {
+        pub machine: MachineConfig,
+        pub perf: PerfRegistry,
+        pub timelines: Mutex<Vec<VTime>>,
+        pub topo: Topology,
+        pub memory: MemoryManager,
+        pub config: RuntimeConfig,
+        pub stats: StatsCollector,
     }
 
     impl Fixture {
-        fn new(machine: MachineConfig, config: RuntimeConfig) -> Self {
+        pub fn new(machine: MachineConfig, config: RuntimeConfig) -> Self {
             let timelines = Mutex::new(vec![VTime::ZERO; machine.total_workers()]);
             let topo = Topology::new(&machine);
             let memory = MemoryManager::new(&machine, config.eviction, true);
+            let stats = StatsCollector::new(machine.total_workers(), false);
             Fixture {
                 perf: PerfRegistry::default(),
                 timelines,
                 topo,
                 memory,
                 config,
+                stats,
                 machine,
             }
         }
-        fn ctx(&self) -> SchedCtx<'_> {
+        pub fn ctx(&self) -> SchedCtx<'_> {
             SchedCtx {
                 machine: &self.machine,
                 perf: &self.perf,
@@ -309,6 +375,7 @@ mod tests {
                 topo: &self.topo,
                 memory: &self.memory,
                 config: &self.config,
+                stats: &self.stats,
             }
         }
     }
@@ -335,11 +402,11 @@ mod tests {
         let s = DmdaScheduler::new(f.machine.total_workers());
         let c = dual_codelet();
         for i in 0..6 {
-            s.push(task_of(&c, i), &f.ctx());
+            s.push_ready(task_of(&c, i), &f.ctx());
         }
         // Classes alternate Cpu/Gpu: 3 CPU tasks (spread over cpu0/cpu1 by
         // load) and 3 GPU tasks.
-        let counts: Vec<usize> = (0..3).map(|w| s.queues[w].lock().len()).collect();
+        let counts: Vec<usize> = (0..3).map(|w| s.queue_len(w)).collect();
         assert_eq!(counts[0] + counts[1], 3, "CPU class got half: {counts:?}");
         assert_eq!(counts[2], 3, "GPU class got half: {counts:?}");
         assert!(
@@ -366,12 +433,8 @@ mod tests {
             );
         }
         let s = DmdaScheduler::new(f.machine.total_workers());
-        s.push(probe, &f.ctx());
-        assert_eq!(
-            s.queues[2].lock().len(),
-            1,
-            "task should land on the GPU worker"
-        );
+        s.push_ready(probe, &f.ctx());
+        assert_eq!(s.queue_len(2), 1, "task should land on the GPU worker");
     }
 
     #[test]
@@ -388,10 +451,10 @@ mod tests {
         }
         let s = DmdaScheduler::new(2);
         for i in 0..4 {
-            s.push(task_of_no_cost(&c, i), &f.ctx());
+            s.push_ready(task_of_no_cost(&c, i), &f.ctx());
         }
-        assert_eq!(s.queues[0].lock().len(), 2);
-        assert_eq!(s.queues[1].lock().len(), 2);
+        assert_eq!(s.queue_len(0), 2);
+        assert_eq!(s.queue_len(1), 2);
     }
 
     fn task_of_no_cost(codelet: &Arc<Codelet>, id: u64) -> Arc<Task> {
@@ -414,11 +477,11 @@ mod tests {
         );
         let s = DmdaScheduler::new(f.machine.total_workers());
         for i in 0..4 {
-            s.push(task_of(&c, i), &f.ctx());
+            s.push_ready(task_of(&c, i), &f.ctx());
         }
         // Both classes received calibration tasks despite the prediction.
-        assert!(!s.queues[0].lock().is_empty(), "CPU sampled");
-        assert!(!s.queues[1].lock().is_empty(), "GPU sampled");
+        assert!(s.queue_len(0) > 0, "CPU sampled");
+        assert!(s.queue_len(1) > 0, "GPU sampled");
     }
 
     #[test]
@@ -440,12 +503,8 @@ mod tests {
                 }),
         );
         let s = DmdaScheduler::new(f.machine.total_workers());
-        s.push(task_of(&c, 0), &f.ctx());
-        assert_eq!(
-            s.queues[1].lock().len(),
-            1,
-            "wrong prediction steers to GPU"
-        );
+        s.push_ready(task_of(&c, 0), &f.ctx());
+        assert_eq!(s.queue_len(1), 1, "wrong prediction steers to GPU");
     }
 
     #[test]
@@ -463,22 +522,20 @@ mod tests {
                 .cost(KernelCost::new(5e9, 1e6, 1e6))
                 .into_task(0),
         );
-        s.push(t, &f.ctx());
-        assert_eq!(s.queues[1].lock().len(), 1);
+        s.push_ready(t, &f.ctx());
+        assert_eq!(s.queue_len(1), 1);
     }
 
     #[test]
     fn memory_pressure_adds_eviction_cost() {
         use crate::handle::{AccessMode, DataHandle};
-        use crate::stats::StatsCollector;
 
         let machine = MachineConfig::c2050_platform(1).with_device_mem(8 * 1024);
         let f = Fixture::new(machine, RuntimeConfig::default());
-        let stats = StatsCollector::new(f.machine.total_workers(), false);
 
         // Fill most of the device node with an unrelated resident replica.
         let resident = DataHandle::new(1, vec![0u8; 6 * 1024], 6 * 1024, 2);
-        crate::coherence::make_valid(&resident, 1, AccessMode::Read, &f.topo, &stats, &f.memory);
+        crate::coherence::make_valid(&resident, 1, AccessMode::Read, &f.topo, &f.stats, &f.memory);
 
         let c = dual_codelet();
         let operand = DataHandle::new(2, vec![0u8; 4 * 1024], 4 * 1024, 2);
@@ -490,7 +547,7 @@ mod tests {
         let s = DmdaScheduler::new(f.machine.total_workers());
         // 6 KiB used + 4 KiB needed > 8 KiB budget: 2 KiB of eviction
         // overflow is charged on top of the operand's own transfer.
-        let est = s.transfer_estimate(&t, 1, &f.ctx());
+        let est = s.core.transfer_estimate(&t, 1, &f.ctx());
         let base = f.topo.estimate_transfer(1, 4 * 1024);
         let overflow = f.topo.estimate_transfer(1, 2 * 1024);
         assert_eq!(est, base + overflow);
@@ -520,9 +577,9 @@ mod tests {
                 .into_task(0),
         );
         let s = DmdaScheduler::new(f.machine.total_workers());
-        s.push(t, &f.ctx());
-        assert_eq!(s.queues[0].lock().len(), 1, "infeasible GPU filtered out");
-        assert_eq!(s.queues[1].lock().len(), 0);
+        s.push_ready(t, &f.ctx());
+        assert_eq!(s.queue_len(0), 1, "infeasible GPU filtered out");
+        assert_eq!(s.queue_len(1), 0);
     }
 
     #[test]
@@ -534,7 +591,6 @@ mod tests {
         // the device-modified data (FallbackCpu never writes back).
         use crate::handle::{AccessMode, DataHandle};
         use crate::memory::EvictionPolicy;
-        use crate::stats::StatsCollector;
 
         let config = RuntimeConfig {
             use_history: false,
@@ -544,14 +600,13 @@ mod tests {
         // 2 KiB budget; a forced 4 KiB operand overcommits the node.
         let machine = MachineConfig::c2050_platform(1).with_device_mem(2 * 1024);
         let f = Fixture::new(machine, config);
-        let stats = StatsCollector::new(f.machine.total_workers(), false);
         let operand = DataHandle::new(1, vec![0u8; 4 * 1024], 4 * 1024, 2);
         crate::coherence::make_valid(
             &operand,
             1,
             AccessMode::ReadWrite,
             &f.topo,
-            &stats,
+            &f.stats,
             &f.memory,
         );
         assert!(f.memory.used_bytes()[1] > 0, "operand resident on device");
@@ -566,13 +621,13 @@ mod tests {
                 .into_task(0),
         );
         let s = DmdaScheduler::new(f.machine.total_workers());
-        s.push(t, &f.ctx());
+        s.push_ready(t, &f.ctx());
         assert_eq!(
-            s.queues[1].lock().len(),
+            s.queue_len(1),
             1,
             "resident operands keep the GPU placement"
         );
-        assert_eq!(s.queues[0].lock().len(), 0);
+        assert_eq!(s.queue_len(0), 0);
     }
 
     #[test]
@@ -587,14 +642,48 @@ mod tests {
             );
         }
         let s = DmdaScheduler::new(1);
-        s.push(task_of_no_cost(&c, 0), &f.ctx());
-        assert!(s.queued_pred.lock()[0] > VTime::ZERO);
-        let t = s.pop(0, &f.ctx()).unwrap();
+        s.push_ready(task_of_no_cost(&c, 0), &f.ctx());
+        assert!(s.core.queued_pred.lock()[0] > VTime::ZERO);
+        let t = s.pop_for_worker(0, &f.memory.view(), &f.ctx()).unwrap();
         assert!(
-            s.queued_pred.lock()[0] > VTime::ZERO,
+            s.core.queued_pred.lock()[0] > VTime::ZERO,
             "still charged until timed"
         );
         s.task_timed(0, &t);
-        assert_eq!(s.queued_pred.lock()[0], VTime::ZERO);
+        assert_eq!(s.core.queued_pred.lock()[0], VTime::ZERO);
+    }
+
+    #[test]
+    fn pop_records_dispatch_depth_and_residency() {
+        use crate::handle::{AccessMode, DataHandle};
+        use std::sync::atomic::Ordering;
+
+        let f = Fixture::new(MachineConfig::c2050_platform(1), RuntimeConfig::default());
+        let operand = DataHandle::new(1, vec![0u8; 4 * 1024], 4 * 1024, 2);
+        crate::coherence::make_valid(&operand, 1, AccessMode::Read, &f.topo, &f.stats, &f.memory);
+
+        let c = Arc::new(Codelet::new("k").with_impl(Arch::Gpu, |_| {}));
+        let s = DmdaScheduler::new(f.machine.total_workers());
+        for i in 0..3 {
+            let t = Arc::new(
+                TaskBuilder::new(&c)
+                    .access(&operand, AccessMode::Read)
+                    .into_task(i),
+            );
+            s.push_ready(t, &f.ctx());
+        }
+        let view = f.memory.view();
+        // GPU worker is index 1 on the single-CPU platform.
+        assert!(s.pop_for_worker(1, &view, &f.ctx()).is_some());
+        assert_eq!(f.stats.max_queue_depth.load(Ordering::Relaxed), 3);
+        assert_eq!(
+            f.stats.dispatch_resident_bytes.load(Ordering::Relaxed),
+            4 * 1024
+        );
+        assert_eq!(
+            f.stats.sched_reorders.load(Ordering::Relaxed),
+            0,
+            "plain dmda pops FIFO"
+        );
     }
 }

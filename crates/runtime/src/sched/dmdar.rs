@@ -1,0 +1,230 @@
+//! `dmdar` — dmda placement plus memory-aware *ordering* (StarPU's
+//! "dmda ready" policy).
+//!
+//! Placement is exactly [`super::dmda`]'s: every ready task is assigned the
+//! (worker, implementation) pair with the smallest predicted finish time,
+//! using the same history models, calibration round-robin, and eviction-
+//! pressure costs via the shared [`DmdaCore`]. What changes is the *pop*
+//! path: instead of dispatching each worker's queue FIFO, dmdar scans the
+//! queue against a [`MemoryView`] residency snapshot and dispatches the
+//! task with the fewest read-operand bytes *missing* from the worker's
+//! memory node — the task that is most "ready" in StarPU's sense. Under
+//! capacity pressure this groups tasks that share resident operands
+//! together, so a block is fetched once and fully consumed instead of
+//! being evicted and re-fetched every round trip (the cyclic-LRU thrash a
+//! FIFO order produces when the working set exceeds the budget).
+//!
+//! Starvation of transfer-heavy tasks is bounded by an aging term: every
+//! time a queued task is passed over its skip count increments, and once
+//! the queue's front entry has been skipped
+//! [`crate::RuntimeConfig::dmdar_age_limit`] times it is dispatched FIFO
+//! regardless of readiness.
+
+use super::dmda::DmdaCore;
+use super::{SchedCtx, Scheduler};
+use crate::memory::MemoryView;
+use crate::stats::TraceEvent;
+use crate::task::Task;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// One queued task plus its pass-over count (the aging term).
+struct Entry {
+    task: Arc<Task>,
+    /// Times this entry was passed over by a readiness pop while at or
+    /// ahead of the dispatched position.
+    skipped: u32,
+}
+
+/// dmda placement + readiness reordering (see module docs).
+pub struct DmdarScheduler {
+    pub(crate) core: DmdaCore,
+    queues: Vec<Mutex<VecDeque<Entry>>>,
+}
+
+impl DmdarScheduler {
+    /// Creates the per-worker structures.
+    pub fn new(workers: usize) -> Self {
+        DmdarScheduler {
+            core: DmdaCore::new(workers),
+            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+        }
+    }
+
+    #[cfg(test)]
+    fn queue_len(&self, worker: usize) -> usize {
+        self.queues[worker].lock().len()
+    }
+}
+
+impl Scheduler for DmdarScheduler {
+    fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) {
+        let w = self.core.place(&task, ctx);
+        self.queues[w].lock().push_back(Entry { task, skipped: 0 });
+    }
+
+    fn pop_for_worker(
+        &self,
+        worker: usize,
+        view: &MemoryView,
+        ctx: &SchedCtx<'_>,
+    ) -> Option<Arc<Task>> {
+        let node = ctx.machine.worker_memory_node(worker);
+        let age_limit = ctx.config.dmdar_age_limit;
+        let (task, depth, jumped) = {
+            let mut q = self.queues[worker].lock();
+            let depth = q.len();
+            if depth == 0 {
+                return None;
+            }
+            // Anti-starvation: a front entry passed over `age_limit` times
+            // is dispatched FIFO no matter how transfer-heavy it is.
+            if age_limit > 0 && q[0].skipped >= age_limit {
+                let e = q.pop_front().expect("non-empty queue");
+                (e.task, depth, 0)
+            } else {
+                // Readiness pop: the task with the fewest read-operand
+                // bytes missing from this worker's node. `min_by_key` keeps
+                // the first minimum, so equal readiness stays FIFO.
+                let best = q
+                    .iter()
+                    .enumerate()
+                    .min_by_key(|(_, e)| view.missing_read_bytes(node, &e.task.accesses))
+                    .map(|(i, _)| i)
+                    .expect("non-empty queue");
+                for e in q.iter_mut().take(best) {
+                    e.skipped += 1;
+                }
+                let e = q.remove(best).expect("index from enumerate");
+                (e.task, depth, best)
+            }
+        };
+        let resident = view.resident_read_bytes(node, &task.accesses);
+        ctx.stats.record_dispatch(depth, resident, jumped > 0);
+        if jumped > 0 {
+            ctx.stats.record_event(TraceEvent::Reorder {
+                task: task.id,
+                worker,
+                resident_bytes: resident,
+                jumped,
+            });
+        }
+        Some(task)
+    }
+
+    fn task_timed(&self, worker: usize, task: &Task) {
+        self.core.release(worker, task);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::dmda::tests::Fixture;
+    use super::*;
+    use crate::codelet::{Arch, Codelet};
+    use crate::handle::{AccessMode, DataHandle};
+    use crate::runtime::RuntimeConfig;
+    use crate::task::TaskBuilder;
+    use peppher_sim::MachineConfig;
+    use std::sync::atomic::Ordering;
+
+    fn gpu_codelet() -> Arc<Codelet> {
+        Arc::new(Codelet::new("k").with_impl(Arch::Gpu, |_| {}))
+    }
+
+    fn task_on(codelet: &Arc<Codelet>, id: u64, h: &DataHandle) -> Arc<Task> {
+        Arc::new(
+            TaskBuilder::new(codelet)
+                .access(h, AccessMode::Read)
+                .into_task(id),
+        )
+    }
+
+    /// c2050_platform(1): worker 0 = CPU, worker 1 = GPU (memory node 1).
+    fn fixture(config: RuntimeConfig) -> Fixture {
+        Fixture::new(MachineConfig::c2050_platform(1), config)
+    }
+
+    #[test]
+    fn resident_operand_task_jumps_the_queue() {
+        let f = fixture(RuntimeConfig::default());
+        let cold = DataHandle::new(1, vec![0u8; 4 * 1024], 4 * 1024, 2);
+        let hot = DataHandle::new(2, vec![0u8; 4 * 1024], 4 * 1024, 2);
+        crate::coherence::make_valid(&hot, 1, AccessMode::Read, &f.topo, &f.stats, &f.memory);
+
+        let c = gpu_codelet();
+        let s = DmdarScheduler::new(f.machine.total_workers());
+        s.push_ready(task_on(&c, 0, &cold), &f.ctx());
+        s.push_ready(task_on(&c, 1, &hot), &f.ctx());
+
+        let view = f.memory.view();
+        let first = s.pop_for_worker(1, &view, &f.ctx()).expect("queued");
+        assert_eq!(first.id, 1, "resident-operand task dispatches first");
+        assert_eq!(f.stats.sched_reorders.load(Ordering::Relaxed), 1);
+        assert_eq!(
+            f.stats.dispatch_resident_bytes.load(Ordering::Relaxed),
+            4 * 1024
+        );
+        let second = s.pop_for_worker(1, &view, &f.ctx()).expect("queued");
+        assert_eq!(second.id, 0);
+        // The non-jump dispatch did not count as a reorder.
+        assert_eq!(f.stats.sched_reorders.load(Ordering::Relaxed), 1);
+        assert_eq!(s.queue_len(1), 0);
+    }
+
+    #[test]
+    fn equal_readiness_stays_fifo() {
+        let f = fixture(RuntimeConfig::default());
+        let a = DataHandle::new(1, vec![0u8; 4 * 1024], 4 * 1024, 2);
+        let b = DataHandle::new(2, vec![0u8; 4 * 1024], 4 * 1024, 2);
+        let c = gpu_codelet();
+        let s = DmdarScheduler::new(f.machine.total_workers());
+        s.push_ready(task_on(&c, 0, &a), &f.ctx());
+        s.push_ready(task_on(&c, 1, &b), &f.ctx());
+
+        let view = f.memory.view();
+        assert_eq!(s.pop_for_worker(1, &view, &f.ctx()).unwrap().id, 0);
+        assert_eq!(s.pop_for_worker(1, &view, &f.ctx()).unwrap().id, 1);
+        assert_eq!(
+            f.stats.sched_reorders.load(Ordering::Relaxed),
+            0,
+            "ties break FIFO, not as reorders"
+        );
+    }
+
+    #[test]
+    fn aging_forces_fifo_pop_after_limit() {
+        let config = RuntimeConfig {
+            dmdar_age_limit: 2,
+            ..RuntimeConfig::default()
+        };
+        let f = fixture(config);
+        let cold = DataHandle::new(1, vec![0u8; 4 * 1024], 4 * 1024, 2);
+        let hot = DataHandle::new(2, vec![0u8; 4 * 1024], 4 * 1024, 2);
+        crate::coherence::make_valid(&hot, 1, AccessMode::Read, &f.topo, &f.stats, &f.memory);
+
+        let c = gpu_codelet();
+        let s = DmdarScheduler::new(f.machine.total_workers());
+        // The cold task is pushed first, then a stream of hot tasks that
+        // would each out-ready it forever without aging.
+        s.push_ready(task_on(&c, 0, &cold), &f.ctx());
+        for i in 1..=3 {
+            s.push_ready(task_on(&c, i, &hot), &f.ctx());
+        }
+
+        let view = f.memory.view();
+        assert_eq!(s.pop_for_worker(1, &view, &f.ctx()).unwrap().id, 1);
+        assert_eq!(s.pop_for_worker(1, &view, &f.ctx()).unwrap().id, 2);
+        // Front entry now skipped twice == limit: dispatched FIFO even
+        // though task 3's operand is resident.
+        assert_eq!(
+            s.pop_for_worker(1, &view, &f.ctx()).unwrap().id,
+            0,
+            "aged-out task dispatches before a more-ready one"
+        );
+        assert_eq!(s.pop_for_worker(1, &view, &f.ctx()).unwrap().id, 3);
+        // The forced FIFO pop is not a reorder; the two jumps were.
+        assert_eq!(f.stats.sched_reorders.load(Ordering::Relaxed), 2);
+    }
+}

@@ -1,13 +1,16 @@
 //! Central-queue greedy scheduler.
 
 use super::{SchedCtx, Scheduler};
+use crate::memory::MemoryView;
 use crate::task::Task;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// One global FIFO; an idle worker takes the highest-priority task it is
-/// able to execute (StarPU's `eager` policy).
+/// able to execute (StarPU's `eager` policy). The pull API is per-worker,
+/// but eager deliberately keeps a single shared queue — late binding *is*
+/// the policy: no task commits to a worker before one asks for it.
 pub struct EagerScheduler {
     queue: Mutex<VecDeque<Arc<Task>>>,
 }
@@ -28,24 +31,36 @@ impl Default for EagerScheduler {
 }
 
 impl Scheduler for EagerScheduler {
-    fn push(&self, task: Arc<Task>, _ctx: &SchedCtx<'_>) {
+    fn push_ready(&self, task: Arc<Task>, _ctx: &SchedCtx<'_>) {
         self.queue.lock().push_back(task);
     }
 
-    fn pop(&self, worker: usize, ctx: &SchedCtx<'_>) -> Option<Arc<Task>> {
+    fn pop_for_worker(
+        &self,
+        worker: usize,
+        view: &MemoryView,
+        ctx: &SchedCtx<'_>,
+    ) -> Option<Arc<Task>> {
         let is_gpu = ctx.machine.worker_is_gpu(worker);
-        let mut q = self.queue.lock();
-        // Highest priority first; FIFO among equals.
-        let mut best: Option<(usize, i32)> = None;
-        for (i, t) in q.iter().enumerate() {
-            if t.runnable_on(worker, is_gpu) {
-                match best {
-                    Some((_, p)) if p >= t.priority => {}
-                    _ => best = Some((i, t.priority)),
+        let (task, depth) = {
+            let mut q = self.queue.lock();
+            let depth = q.len();
+            // Highest priority first; FIFO among equals.
+            let mut best: Option<(usize, i32)> = None;
+            for (i, t) in q.iter().enumerate() {
+                if t.runnable_on(worker, is_gpu) {
+                    match best {
+                        Some((_, p)) if p >= t.priority => {}
+                        _ => best = Some((i, t.priority)),
+                    }
                 }
             }
-        }
-        best.and_then(|(i, _)| q.remove(i))
+            (best.and_then(|(i, _)| q.remove(i))?, depth)
+        };
+        let node = ctx.machine.worker_memory_node(worker);
+        let resident = view.resident_read_bytes(node, &task.accesses);
+        ctx.stats.record_dispatch(depth, resident, false);
+        Some(task)
     }
 }
 
@@ -57,6 +72,7 @@ mod tests {
     use crate::memory::{EvictionPolicy, MemoryManager};
     use crate::perfmodel::PerfRegistry;
     use crate::runtime::RuntimeConfig;
+    use crate::stats::StatsCollector;
     use crate::task::TaskBuilder;
     use peppher_sim::MachineConfig;
 
@@ -66,6 +82,7 @@ mod tests {
         Topology,
         MemoryManager,
         RuntimeConfig,
+        StatsCollector,
     );
 
     fn ctx_fixture(machine: &MachineConfig) -> CtxParts {
@@ -75,6 +92,7 @@ mod tests {
             Topology::new(machine),
             MemoryManager::new(machine, EvictionPolicy::Lru, true),
             RuntimeConfig::default(),
+            StatsCollector::new(machine.total_workers(), false),
         )
     }
 
@@ -93,7 +111,7 @@ mod tests {
     #[test]
     fn pop_skips_incompatible_tasks() {
         let machine = MachineConfig::c2050_platform(1);
-        let (perf, timelines, topo, memory, config) = ctx_fixture(&machine);
+        let (perf, timelines, topo, memory, config, stats) = ctx_fixture(&machine);
         let ctx = SchedCtx {
             machine: &machine,
             perf: &perf,
@@ -101,24 +119,30 @@ mod tests {
             topo: &topo,
             memory: &memory,
             config: &config,
+            stats: &stats,
         };
+        let view = memory.view();
         let s = EagerScheduler::new();
-        s.push(task(&[Arch::Gpu], 0), &ctx);
-        s.push(task(&[Arch::Cpu], 0), &ctx);
+        s.push_ready(task(&[Arch::Gpu], 0), &ctx);
+        s.push_ready(task(&[Arch::Cpu], 0), &ctx);
 
         // CPU worker 0 must skip the GPU-only task and take the CPU one.
-        let got = s.pop(0, &ctx).expect("cpu task available");
+        let got = s
+            .pop_for_worker(0, &view, &ctx)
+            .expect("cpu task available");
         assert!(got.codelet.has_arch(Arch::Cpu));
         // GPU worker 1 gets the GPU task.
-        let got = s.pop(1, &ctx).expect("gpu task available");
+        let got = s
+            .pop_for_worker(1, &view, &ctx)
+            .expect("gpu task available");
         assert!(got.codelet.has_arch(Arch::Gpu));
-        assert!(s.pop(0, &ctx).is_none());
+        assert!(s.pop_for_worker(0, &view, &ctx).is_none());
     }
 
     #[test]
     fn pop_prefers_higher_priority() {
         let machine = MachineConfig::cpu_only(1);
-        let (perf, timelines, topo, memory, config) = ctx_fixture(&machine);
+        let (perf, timelines, topo, memory, config, stats) = ctx_fixture(&machine);
         let ctx = SchedCtx {
             machine: &machine,
             perf: &perf,
@@ -126,13 +150,15 @@ mod tests {
             topo: &topo,
             memory: &memory,
             config: &config,
+            stats: &stats,
         };
+        let view = memory.view();
         let s = EagerScheduler::new();
         let low = task(&[Arch::Cpu], 0);
         let high = task(&[Arch::Cpu], 5);
-        s.push(Arc::clone(&low), &ctx);
-        s.push(Arc::clone(&high), &ctx);
-        assert_eq!(s.pop(0, &ctx).unwrap().priority, 5);
-        assert_eq!(s.pop(0, &ctx).unwrap().priority, 0);
+        s.push_ready(Arc::clone(&low), &ctx);
+        s.push_ready(Arc::clone(&high), &ctx);
+        assert_eq!(s.pop_for_worker(0, &view, &ctx).unwrap().priority, 5);
+        assert_eq!(s.pop_for_worker(0, &view, &ctx).unwrap().priority, 0);
     }
 }

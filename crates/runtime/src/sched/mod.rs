@@ -4,20 +4,38 @@
 //! scheduling" — reproduced here by [`dmda`] (deque model data aware, the
 //! StarPU policy PEPPHER used): it places each ready task where its
 //! *predicted completion time* — queue availability + data-transfer cost +
-//! expected execution time from history models — is smallest. Three greedy
-//! baselines ([`eager`], [`random`], [`ws`]) are provided for the scheduler
-//! ablation benchmarks.
+//! expected execution time from history models — is smallest. [`dmdar`]
+//! ("dmda ready") adds memory-aware *ordering* on top: each worker's ready
+//! queue is reordered at pop time so tasks whose operands are already
+//! resident on the worker's memory node run first. Three greedy baselines
+//! ([`eager`], [`random`], [`ws`]) are provided for the scheduler ablation
+//! benchmarks.
+//!
+//! # The pull model
+//!
+//! Scheduling is split into two halves. [`Scheduler::push_ready`] is
+//! called once per task, when its dependencies are all satisfied; policies
+//! that *place* (dmda, dmdar, random) decide the worker there and enqueue
+//! onto that worker's ready queue. [`Scheduler::pop_for_worker`] is polled
+//! by each idle worker with a fresh [`MemoryView`] residency snapshot —
+//! the queue-aware half, where a policy may reorder or steal. Keeping the
+//! ordering decision on the pop path means it sees the *current* memory
+//! state, not the state at submission time: that is what lets dmdar run
+//! resident-operand tasks first and turn PR 1–2's eviction machinery into
+//! avoided transfers instead of survived ones.
 
 pub mod dmda;
+pub mod dmdar;
 pub mod eager;
 pub mod random;
 pub mod ws;
 
 use crate::codelet::{Arch, ArchClass};
 use crate::coherence::Topology;
-use crate::memory::MemoryManager;
+use crate::memory::{MemoryManager, MemoryView};
 use crate::perfmodel::PerfRegistry;
 use crate::runtime::RuntimeConfig;
+use crate::stats::StatsCollector;
 use crate::task::Task;
 use parking_lot::Mutex;
 use peppher_sim::{MachineConfig, VTime};
@@ -35,6 +53,10 @@ pub enum SchedulerKind {
     /// Performance-model-aware earliest-finish-time placement (the paper's
     /// default dynamic-composition mechanism).
     Dmda,
+    /// `dmda` placement plus readiness reordering: each worker's queue is
+    /// sorted at pop time so tasks whose operands are already resident on
+    /// the worker's memory node dispatch first (StarPU's "dmda ready").
+    Dmdar,
 }
 
 impl std::str::FromStr for SchedulerKind {
@@ -45,8 +67,9 @@ impl std::str::FromStr for SchedulerKind {
             "random" => Ok(SchedulerKind::Random),
             "ws" => Ok(SchedulerKind::Ws),
             "dmda" => Ok(SchedulerKind::Dmda),
+            "dmdar" => Ok(SchedulerKind::Dmdar),
             other => Err(format!(
-                "unknown scheduler `{other}` (try eager|random|ws|dmda)"
+                "unknown scheduler `{other}` (try eager|random|ws|dmda|dmdar)"
             )),
         }
     }
@@ -67,15 +90,24 @@ pub struct SchedCtx<'a> {
     pub memory: &'a MemoryManager,
     /// Runtime configuration (history-model toggle etc.).
     pub config: &'a RuntimeConfig,
+    /// Statistics sink for queue-depth / reorder instrumentation.
+    pub stats: &'a StatsCollector,
 }
 
-/// A scheduling policy. `push` is called when a task's dependencies are all
-/// satisfied; `pop` is polled by idle workers.
+/// A scheduling policy over per-worker ready queues.
 pub trait Scheduler: Send + Sync {
-    /// Accepts a ready task.
-    fn push(&self, task: Arc<Task>, ctx: &SchedCtx<'_>);
-    /// Hands worker `worker` its next task, if any.
-    fn pop(&self, worker: usize, ctx: &SchedCtx<'_>) -> Option<Arc<Task>>;
+    /// Accepts a task whose dependencies are all satisfied. Placing
+    /// policies decide the target worker here and enqueue on its queue.
+    fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>);
+    /// Hands worker `worker` its next task, if any. `view` is a residency
+    /// snapshot taken just before the call — one consistent picture of
+    /// device memory for the whole queue scan.
+    fn pop_for_worker(
+        &self,
+        worker: usize,
+        view: &MemoryView,
+        ctx: &SchedCtx<'_>,
+    ) -> Option<Arc<Task>>;
     /// Notifies the policy that `task`'s contribution is now reflected in
     /// worker `worker`'s virtual timeline (so load predictions charged at
     /// push time can be released without double counting).
@@ -90,6 +122,7 @@ pub fn make_scheduler(kind: SchedulerKind, machine: &MachineConfig) -> Box<dyn S
         SchedulerKind::Random => Box::new(random::RandomScheduler::new(workers, 0x5EED)),
         SchedulerKind::Ws => Box::new(ws::WsScheduler::new(workers)),
         SchedulerKind::Dmda => Box::new(dmda::DmdaScheduler::new(workers)),
+        SchedulerKind::Dmdar => Box::new(dmdar::DmdarScheduler::new(workers)),
     }
 }
 
@@ -172,7 +205,13 @@ mod tests {
             "dmda".parse::<SchedulerKind>().unwrap(),
             SchedulerKind::Dmda
         );
+        assert_eq!(
+            "dmdar".parse::<SchedulerKind>().unwrap(),
+            SchedulerKind::Dmdar
+        );
         assert!("bogus".parse::<SchedulerKind>().is_err());
+        let msg = "bogus".parse::<SchedulerKind>().unwrap_err();
+        assert!(msg.contains("dmdar"), "error message lists every policy");
     }
 
     #[test]

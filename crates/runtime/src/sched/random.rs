@@ -1,6 +1,7 @@
 //! Uniformly random placement (a weak baseline for ablations).
 
 use super::{options_for, SchedCtx, Scheduler};
+use crate::memory::MemoryView;
 use crate::task::{ExecChoice, Task};
 use parking_lot::Mutex;
 use peppher_sim::VTime;
@@ -26,7 +27,7 @@ impl RandomScheduler {
 }
 
 impl Scheduler for RandomScheduler {
-    fn push(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) {
+    fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) {
         let opts = options_for(&task, ctx.machine);
         assert!(
             !opts.is_empty(),
@@ -43,8 +44,21 @@ impl Scheduler for RandomScheduler {
         self.queues[worker].lock().push_back(task);
     }
 
-    fn pop(&self, worker: usize, _ctx: &SchedCtx<'_>) -> Option<Arc<Task>> {
-        self.queues[worker].lock().pop_front()
+    fn pop_for_worker(
+        &self,
+        worker: usize,
+        view: &MemoryView,
+        ctx: &SchedCtx<'_>,
+    ) -> Option<Arc<Task>> {
+        let (task, depth) = {
+            let mut q = self.queues[worker].lock();
+            let depth = q.len();
+            (q.pop_front()?, depth)
+        };
+        let node = ctx.machine.worker_memory_node(worker);
+        let resident = view.resident_read_bytes(node, &task.accesses);
+        ctx.stats.record_dispatch(depth, resident, false);
+        Some(task)
     }
 }
 
@@ -56,6 +70,7 @@ mod tests {
     use crate::memory::{EvictionPolicy, MemoryManager};
     use crate::perfmodel::PerfRegistry;
     use crate::runtime::RuntimeConfig;
+    use crate::stats::StatsCollector;
     use crate::task::TaskBuilder;
     use peppher_sim::MachineConfig;
 
@@ -67,6 +82,7 @@ mod tests {
         let topo = Topology::new(&machine);
         let memory = MemoryManager::new(&machine, EvictionPolicy::Lru, true);
         let config = RuntimeConfig::default();
+        let stats = StatsCollector::new(machine.total_workers(), false);
         let ctx = SchedCtx {
             machine: &machine,
             perf: &perf,
@@ -74,7 +90,9 @@ mod tests {
             topo: &topo,
             memory: &memory,
             config: &config,
+            stats: &stats,
         };
+        let view = memory.view();
 
         let codelet = Arc::new(
             Codelet::new("t")
@@ -83,11 +101,11 @@ mod tests {
         );
         let s = RandomScheduler::new(machine.total_workers(), 1);
         for i in 0..300 {
-            s.push(Arc::new(TaskBuilder::new(&codelet).into_task(i)), &ctx);
+            s.push_ready(Arc::new(TaskBuilder::new(&codelet).into_task(i)), &ctx);
         }
         let mut counts = vec![0usize; machine.total_workers()];
         for (w, count) in counts.iter_mut().enumerate() {
-            while s.pop(w, &ctx).is_some() {
+            while s.pop_for_worker(w, &view, &ctx).is_some() {
                 *count += 1;
             }
         }
@@ -106,6 +124,7 @@ mod tests {
         let topo = Topology::new(&machine);
         let memory = MemoryManager::new(&machine, EvictionPolicy::Lru, true);
         let config = RuntimeConfig::default();
+        let stats = StatsCollector::new(machine.total_workers(), false);
         let ctx = SchedCtx {
             machine: &machine,
             perf: &perf,
@@ -113,7 +132,9 @@ mod tests {
             topo: &topo,
             memory: &memory,
             config: &config,
+            stats: &stats,
         };
+        let view = memory.view();
         let codelet = Arc::new(
             Codelet::new("t")
                 .with_impl(Arch::Cpu, |_| {})
@@ -121,10 +142,10 @@ mod tests {
         );
         let s = RandomScheduler::new(machine.total_workers(), 7);
         for i in 0..50 {
-            s.push(Arc::new(TaskBuilder::new(&codelet).into_task(i)), &ctx);
+            s.push_ready(Arc::new(TaskBuilder::new(&codelet).into_task(i)), &ctx);
         }
         for w in 0..machine.total_workers() {
-            while let Some(t) = s.pop(w, &ctx) {
+            while let Some(t) = s.pop_for_worker(w, &view, &ctx) {
                 let arch = t.chosen.lock().unwrap().arch;
                 if machine.worker_is_gpu(w) {
                     assert_eq!(arch, Arch::Gpu);

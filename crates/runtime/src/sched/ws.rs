@@ -1,6 +1,7 @@
 //! Work-stealing scheduler.
 
 use super::{options_for, SchedCtx, Scheduler};
+use crate::memory::MemoryView;
 use crate::task::Task;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -20,10 +21,15 @@ impl WsScheduler {
             queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
         }
     }
+
+    #[cfg(test)]
+    fn seed(&self, worker: usize, task: Arc<Task>) {
+        self.queues[worker].lock().push_back(task);
+    }
 }
 
 impl Scheduler for WsScheduler {
-    fn push(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) {
+    fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) {
         let opts = options_for(&task, ctx.machine);
         assert!(
             !opts.is_empty(),
@@ -39,8 +45,21 @@ impl Scheduler for WsScheduler {
         self.queues[worker].lock().push_back(task);
     }
 
-    fn pop(&self, worker: usize, ctx: &SchedCtx<'_>) -> Option<Arc<Task>> {
-        if let Some(t) = self.queues[worker].lock().pop_front() {
+    fn pop_for_worker(
+        &self,
+        worker: usize,
+        view: &MemoryView,
+        ctx: &SchedCtx<'_>,
+    ) -> Option<Arc<Task>> {
+        let node = ctx.machine.worker_memory_node(worker);
+        let own = {
+            let mut q = self.queues[worker].lock();
+            let depth = q.len();
+            q.pop_front().map(|t| (t, depth))
+        };
+        if let Some((t, depth)) = own {
+            let resident = view.resident_read_bytes(node, &t.accesses);
+            ctx.stats.record_dispatch(depth, resident, false);
             return Some(t);
         }
         // Steal: scan victims, take the most recently pushed runnable task.
@@ -49,9 +68,18 @@ impl Scheduler for WsScheduler {
             if v == worker {
                 continue;
             }
-            let mut q = self.queues[v].lock();
-            if let Some(pos) = q.iter().rposition(|t| t.runnable_on(worker, is_gpu)) {
-                return q.remove(pos);
+            let stolen = {
+                let mut q = self.queues[v].lock();
+                let depth = q.len();
+                q.iter()
+                    .rposition(|t| t.runnable_on(worker, is_gpu))
+                    .and_then(|pos| q.remove(pos))
+                    .map(|t| (t, depth))
+            };
+            if let Some((t, depth)) = stolen {
+                let resident = view.resident_read_bytes(node, &t.accesses);
+                ctx.stats.record_dispatch(depth, resident, false);
+                return Some(t);
             }
         }
         None
@@ -66,6 +94,7 @@ mod tests {
     use crate::memory::{EvictionPolicy, MemoryManager};
     use crate::perfmodel::PerfRegistry;
     use crate::runtime::RuntimeConfig;
+    use crate::stats::StatsCollector;
     use crate::task::TaskBuilder;
     use peppher_sim::MachineConfig;
 
@@ -76,6 +105,7 @@ mod tests {
         topo: Topology,
         memory: MemoryManager,
         config: RuntimeConfig,
+        stats: StatsCollector,
     }
 
     impl Fixture {
@@ -83,12 +113,14 @@ mod tests {
             let timelines = Mutex::new(vec![peppher_sim::VTime::ZERO; machine.total_workers()]);
             let topo = Topology::new(&machine);
             let memory = MemoryManager::new(&machine, EvictionPolicy::Lru, true);
+            let stats = StatsCollector::new(machine.total_workers(), false);
             Fixture {
                 perf: PerfRegistry::default(),
                 timelines,
                 topo,
                 memory,
                 config: RuntimeConfig::default(),
+                stats,
                 machine,
             }
         }
@@ -100,6 +132,7 @@ mod tests {
                 topo: &self.topo,
                 memory: &self.memory,
                 config: &self.config,
+                stats: &self.stats,
             }
         }
     }
@@ -114,7 +147,7 @@ mod tests {
         let f = Fixture::new(MachineConfig::cpu_only(4));
         let s = WsScheduler::new(4);
         for i in 0..8 {
-            s.push(cpu_task(i), &f.ctx());
+            s.push_ready(cpu_task(i), &f.ctx());
         }
         for w in 0..4 {
             assert_eq!(s.queues[w].lock().len(), 2, "queue {w} unbalanced");
@@ -127,18 +160,25 @@ mod tests {
         let s = WsScheduler::new(2);
         // Load everything onto worker 0 artificially.
         for i in 0..4 {
-            s.queues[0].lock().push_back(cpu_task(i));
+            s.seed(0, cpu_task(i));
         }
-        let stolen = s.pop(1, &f.ctx()).expect("steal succeeds");
+        let view = f.memory.view();
+        let stolen = s
+            .pop_for_worker(1, &view, &f.ctx())
+            .expect("steal succeeds");
         assert_eq!(stolen.id, 3, "steals from the back");
-        assert_eq!(s.pop(0, &f.ctx()).unwrap().id, 0, "owner pops from front");
+        assert_eq!(
+            s.pop_for_worker(0, &view, &f.ctx()).unwrap().id,
+            0,
+            "owner pops from front"
+        );
     }
 
     #[test]
     fn gpu_worker_does_not_steal_cpu_only_tasks() {
         let f = Fixture::new(MachineConfig::c2050_platform(1));
         let s = WsScheduler::new(2);
-        s.queues[0].lock().push_back(cpu_task(0));
-        assert!(s.pop(1, &f.ctx()).is_none());
+        s.seed(0, cpu_task(0));
+        assert!(s.pop_for_worker(1, &f.memory.view(), &f.ctx()).is_none());
     }
 }

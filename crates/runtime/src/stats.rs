@@ -82,11 +82,27 @@ pub enum TraceEvent {
         /// Requested (accounted) size of the allocation.
         bytes: usize,
     },
+    /// The scheduler dispatched a task ahead of FIFO order because its
+    /// operands were already resident on the worker's memory node (the
+    /// `dmdar` readiness reordering, or a forced aging pop).
+    Reorder {
+        /// Task id dispatched out of order.
+        task: u64,
+        /// Worker whose ready queue was reordered.
+        worker: usize,
+        /// Bytes of the task's read operands already resident on the
+        /// worker's memory node at dispatch.
+        resident_bytes: u64,
+        /// Queue entries the task was dispatched ahead of.
+        jumped: usize,
+    },
 }
 
-/// Internal mutable collector shared by workers.
+/// Internal mutable collector shared by workers. Public only so scheduler
+/// implementations can reach it through [`crate::sched::SchedCtx`]; all
+/// recording methods stay crate-private.
 #[derive(Debug, Default)]
-pub(crate) struct StatsCollector {
+pub struct StatsCollector {
     pub tasks_executed: AtomicU64,
     pub h2d_transfers: AtomicU64,
     pub d2h_transfers: AtomicU64,
@@ -112,6 +128,14 @@ pub(crate) struct StatsCollector {
     pub alloc_cache_misses: AtomicU64,
     /// Bytes of retained buffers dropped to make room (cap or budget).
     pub alloc_cache_trim_bytes: AtomicU64,
+    /// Dispatches where the scheduler popped a task ahead of FIFO order
+    /// (dmdar's readiness reordering).
+    pub sched_reorders: AtomicU64,
+    /// Sum over all dispatches of read-operand bytes already resident on
+    /// the dispatching worker's memory node.
+    pub dispatch_resident_bytes: AtomicU64,
+    /// Deepest per-worker ready queue observed at any pop.
+    pub max_queue_depth: AtomicU64,
     /// Modelled energy per worker, in millijoules (integer for atomicity).
     pub energy_mj: Mutex<Vec<f64>>,
 }
@@ -167,6 +191,19 @@ impl StatsCollector {
             .fetch_add(bytes, Ordering::Relaxed);
     }
 
+    /// Records one queue-aware dispatch: the ready-queue depth it popped
+    /// from, the read-operand bytes already resident on the worker's node,
+    /// and whether the pop jumped ahead of FIFO order.
+    pub(crate) fn record_dispatch(&self, depth: usize, resident_bytes: u64, reordered: bool) {
+        self.max_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+        self.dispatch_resident_bytes
+            .fetch_add(resident_bytes, Ordering::Relaxed);
+        if reordered {
+            self.sched_reorders.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
     pub(crate) fn record_task(&self, worker: usize, busy: VTime, vfinish: VTime) {
         self.tasks_executed.fetch_add(1, Ordering::Relaxed);
         self.makespan_ns
@@ -201,6 +238,9 @@ impl StatsCollector {
             alloc_cache_hits: self.alloc_cache_hits.load(Ordering::Relaxed),
             alloc_cache_misses: self.alloc_cache_misses.load(Ordering::Relaxed),
             alloc_cache_trim_bytes: self.alloc_cache_trim_bytes.load(Ordering::Relaxed),
+            sched_reorders: self.sched_reorders.load(Ordering::Relaxed),
+            dispatch_resident_bytes: self.dispatch_resident_bytes.load(Ordering::Relaxed),
+            max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
             // Filled in by `Runtime::stats`, which owns the MemoryManager.
             mem_high_water: Vec::new(),
             alloc_cache_retained: Vec::new(),
@@ -244,6 +284,14 @@ pub struct RuntimeStats {
     pub alloc_cache_misses: u64,
     /// Bytes of retained buffers the caches dropped to stay within budget.
     pub alloc_cache_trim_bytes: u64,
+    /// Dispatches where the scheduler popped a task ahead of FIFO order
+    /// because its operands were already resident (dmdar).
+    pub sched_reorders: u64,
+    /// Sum over all queue-aware dispatches of read-operand bytes already
+    /// resident on the dispatching worker's memory node.
+    pub dispatch_resident_bytes: u64,
+    /// Deepest per-worker ready queue observed at any pop.
+    pub max_queue_depth: u64,
     /// Per-memory-node allocation high-water marks, in bytes
     /// (index 0 = main memory).
     pub mem_high_water: Vec<u64>,
@@ -335,6 +383,7 @@ pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
     // surface them next to the schedule they distorted.
     let (mut evictions, mut writebacks, mut evicted_bytes) = (0u64, 0u64, 0u64);
     let mut reuses = 0u64;
+    let (mut reorders, mut reorder_resident) = (0u64, 0u64);
     for e in trace {
         match e {
             TraceEvent::Evict {
@@ -347,6 +396,10 @@ pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
                 }
             }
             TraceEvent::Reuse { .. } => reuses += 1,
+            TraceEvent::Reorder { resident_bytes, .. } => {
+                reorders += 1;
+                reorder_resident += resident_bytes;
+            }
             _ => {}
         }
     }
@@ -358,6 +411,11 @@ pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
     if reuses > 0 {
         out.push_str(&format!(
             "  alloc-cache reuses: {reuses} (allocations served from retained buffers)\n"
+        ));
+    }
+    if reorders > 0 {
+        out.push_str(&format!(
+            "  scheduler reorders: {reorders} ({reorder_resident} resident bytes dispatched early)\n"
         ));
     }
     out
@@ -497,6 +555,38 @@ mod tests {
         let chart = gantt(&trace, 1, 20);
         assert!(chart.contains("alloc-cache reuses: 1"));
         assert!(!gantt(&trace[..1], 1, 20).contains("alloc-cache"));
+    }
+
+    #[test]
+    fn dispatch_counters_and_reorder_gantt_summary() {
+        let s = StatsCollector::new(1, true);
+        s.record_dispatch(3, 1024, false);
+        s.record_dispatch(7, 2048, true);
+        s.record_dispatch(2, 0, true);
+        let snap = s.snapshot();
+        assert_eq!(snap.sched_reorders, 2);
+        assert_eq!(snap.dispatch_resident_bytes, 3072);
+        assert_eq!(snap.max_queue_depth, 7, "depth is a high-water mark");
+
+        let trace = vec![
+            TraceEvent::TaskEnd {
+                task: 1,
+                worker: 0,
+                codelet: "spmv".into(),
+                vstart: VTime::ZERO,
+                vfinish: VTime::from_micros(10),
+            },
+            TraceEvent::Reorder {
+                task: 9,
+                worker: 0,
+                resident_bytes: 4096,
+                jumped: 3,
+            },
+        ];
+        let chart = gantt(&trace, 1, 20);
+        assert!(chart.contains("scheduler reorders: 1 (4096 resident bytes dispatched early)"));
+        // No summary line when nothing was reordered.
+        assert!(!gantt(&trace[..1], 1, 20).contains("scheduler reorders"));
     }
 
     #[test]

@@ -166,6 +166,47 @@ impl Task {
     }
 }
 
+/// One scheduling/epilogue hint attached to a task at build time.
+///
+/// Hints never change what a task computes — only how the runtime treats
+/// its data afterwards. Builders accept them through the shared
+/// [`TaskHints`] surface so the task layer ([`TaskBuilder`]) and the
+/// composition layer (`InvokeBuilder`) cannot drift apart.
+#[non_exhaustive]
+#[derive(Debug, Clone)]
+pub enum TaskHint {
+    /// The handle will not be used (on any device) after the task
+    /// completes: the task epilogue demotes its device replicas to
+    /// eager-eviction candidates (StarPU's `starpu_data_wont_use`).
+    WontUse(DataHandle),
+}
+
+/// Shared hint-and-operand surface for task-producing builders.
+///
+/// Both [`TaskBuilder`] and the composition layer's `InvokeBuilder`
+/// implement this, so epilogue hints like [`TaskHints::wont_use`] behave
+/// identically no matter which layer submits the task.
+pub trait TaskHints: Sized {
+    /// Appends an operand access (buffer order matches call order).
+    fn add_access(&mut self, handle: &DataHandle, mode: AccessMode);
+
+    /// Attaches one [`TaskHint`].
+    fn add_hint(&mut self, hint: TaskHint);
+
+    /// Chained form of [`TaskHints::add_access`].
+    fn with_access(mut self, handle: &DataHandle, mode: AccessMode) -> Self {
+        self.add_access(handle, mode);
+        self
+    }
+
+    /// Hints that `handle` will not be used after this task completes
+    /// (see [`TaskHint::WontUse`]).
+    fn wont_use(mut self, handle: &DataHandle) -> Self {
+        self.add_hint(TaskHint::WontUse(handle.clone()));
+        self
+    }
+}
+
 /// A waitable reference to a submitted task — what the paper's asynchronous
 /// entry-wrappers hand back so "control resumes on the calling thread
 /// without waiting for the task completion".
@@ -263,14 +304,6 @@ impl TaskBuilder {
         self
     }
 
-    /// Hints that `handle` will not be used (on any device) after this
-    /// task completes: the task epilogue demotes its device replicas to
-    /// eager-eviction candidates (StarPU's `starpu_data_wont_use`).
-    pub fn wont_use(mut self, handle: &DataHandle) -> Self {
-        self.wont_use.push(handle.id());
-        self
-    }
-
     pub(crate) fn into_task(self, id: u64) -> Task {
         Task {
             id,
@@ -303,6 +336,18 @@ impl TaskBuilder {
     pub fn submit_sync(self, rt: &Runtime) {
         let h = self.submit(rt);
         h.wait();
+    }
+}
+
+impl TaskHints for TaskBuilder {
+    fn add_access(&mut self, handle: &DataHandle, mode: AccessMode) {
+        self.accesses.push((handle.clone(), mode));
+    }
+
+    fn add_hint(&mut self, hint: TaskHint) {
+        match hint {
+            TaskHint::WontUse(h) => self.wont_use.push(h.id()),
+        }
     }
 }
 

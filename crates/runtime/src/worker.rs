@@ -15,7 +15,12 @@ use std::time::{Duration, Instant};
 /// Main loop of worker `worker`: pop tasks until shutdown.
 pub(crate) fn worker_loop(inner: Arc<RuntimeInner>, worker: usize) {
     loop {
-        let task = inner.sched.pop(worker, &inner.sched_ctx());
+        // Fresh residency snapshot per pop attempt: pull schedulers may
+        // reorder the worker's queue against what is on its node right now.
+        let view = inner.memory.view();
+        let task = inner
+            .sched
+            .pop_for_worker(worker, &view, &inner.sched_ctx());
         match task {
             Some(t) => execute_task(&inner, worker, t),
             None => {

@@ -28,7 +28,7 @@ fn raw_chain_executes_in_order() {
         SchedulerKind::Dmda,
     );
     let c = incr_codelet(&[Arch::Cpu, Arch::Gpu]);
-    let h = rt.register_vec(vec![0.0f64; 1000]);
+    let h = rt.register(vec![0.0f64; 1000]);
     for _ in 0..50 {
         TaskBuilder::new(&c)
             .access(&h, AccessMode::ReadWrite)
@@ -36,7 +36,7 @@ fn raw_chain_executes_in_order() {
             .submit(&rt);
     }
     rt.wait_all();
-    let out = rt.unregister_vec::<f64>(h);
+    let out = rt.unregister::<Vec<f64>>(h);
     assert!(
         out.iter().all(|&x| x == 50.0),
         "all 50 increments applied in order"
@@ -47,9 +47,7 @@ fn raw_chain_executes_in_order() {
 fn independent_tasks_spread_across_workers() {
     let rt = Runtime::new(MachineConfig::cpu_only(4), SchedulerKind::Eager);
     let c = incr_codelet(&[Arch::Cpu]);
-    let handles: Vec<_> = (0..32)
-        .map(|_| rt.register_vec(vec![0.0f64; 10_000]))
-        .collect();
+    let handles: Vec<_> = (0..32).map(|_| rt.register(vec![0.0f64; 10_000])).collect();
     for h in &handles {
         TaskBuilder::new(&c)
             .access(h, AccessMode::ReadWrite)
@@ -66,7 +64,7 @@ fn independent_tasks_spread_across_workers() {
         stats.tasks_per_worker
     );
     for h in handles {
-        assert!(rt.unregister_vec::<f64>(h).iter().all(|&x| x == 1.0));
+        assert!(rt.unregister::<Vec<f64>>(h).iter().all(|&x| x == 1.0));
     }
 }
 
@@ -77,7 +75,7 @@ fn virtual_makespan_reflects_parallelism() {
     let c = incr_codelet(&[Arch::Cpu]);
     let cost = KernelCost::new(9e6, 0.0, 0.0).with_arithmetic_efficiency(1.0);
     // With peak 9 GFLOPS and 100% efficiency: 1 ms per task.
-    let handles: Vec<_> = (0..8).map(|_| rt.register_vec(vec![0.0f64; 8])).collect();
+    let handles: Vec<_> = (0..8).map(|_| rt.register(vec![0.0f64; 8])).collect();
     for h in &handles {
         TaskBuilder::new(&c)
             .access(h, AccessMode::ReadWrite)
@@ -101,7 +99,7 @@ fn dependency_chain_serializes_virtual_time() {
     let rt = Runtime::new(MachineConfig::cpu_only(4), SchedulerKind::Dmda);
     let c = incr_codelet(&[Arch::Cpu]);
     let cost = KernelCost::new(9e6, 0.0, 0.0).with_arithmetic_efficiency(1.0); // ~1ms
-    let h = rt.register_vec(vec![0.0f64; 8]);
+    let h = rt.register(vec![0.0f64; 8]);
     for _ in 0..8 {
         TaskBuilder::new(&c)
             .access(&h, AccessMode::ReadWrite)
@@ -114,7 +112,7 @@ fn dependency_chain_serializes_virtual_time() {
         makespan_ms > 7.0,
         "8 chained 1ms tasks cannot run in parallel, got {makespan_ms:.2}ms"
     );
-    rt.unregister_vec::<f64>(h);
+    rt.unregister::<Vec<f64>>(h);
 }
 
 #[test]
@@ -132,8 +130,8 @@ fn concurrent_reads_do_not_serialize() {
         ctx.w::<Vec<f64>>(1).fill(dst_val);
     }));
     let cost = KernelCost::new(9e6, 0.0, 0.0).with_arithmetic_efficiency(1.0); // ~1ms
-    let src = rt.register_vec(vec![0.0f64; 64]);
-    let sinks: Vec<_> = (0..4).map(|_| rt.register_vec(vec![0.0f64; 64])).collect();
+    let src = rt.register(vec![0.0f64; 64]);
+    let sinks: Vec<_> = (0..4).map(|_| rt.register(vec![0.0f64; 64])).collect();
     TaskBuilder::new(&write)
         .access(&src, AccessMode::Write)
         .cost(cost)
@@ -153,9 +151,9 @@ fn concurrent_reads_do_not_serialize() {
         "readers should overlap after the writer, got {makespan_ms:.2}ms"
     );
     for s in sinks {
-        assert!(rt.unregister_vec::<f64>(s).iter().all(|&x| x == 8.0));
+        assert!(rt.unregister::<Vec<f64>>(s).iter().all(|&x| x == 8.0));
     }
-    rt.unregister_vec::<f64>(src);
+    rt.unregister::<Vec<f64>>(src);
 }
 
 #[test]
@@ -172,7 +170,7 @@ fn gpu_execution_produces_correct_results_and_transfers() {
     );
     // GPU-only codelet forces device execution.
     let c = incr_codelet(&[Arch::Gpu]);
-    let h = rt.register_vec(vec![1.0f64; 4096]);
+    let h = rt.register(vec![1.0f64; 4096]);
     TaskBuilder::new(&c)
         .access(&h, AccessMode::ReadWrite)
         .cost(KernelCost::new(4096.0, 32768.0, 32768.0))
@@ -181,7 +179,7 @@ fn gpu_execution_produces_correct_results_and_transfers() {
     let stats = rt.stats();
     assert_eq!(stats.h2d_transfers, 1, "RW access fetches data to device");
     assert_eq!(stats.d2h_transfers, 0, "no host access yet: no copy-back");
-    let out = rt.unregister_vec::<f64>(h);
+    let out = rt.unregister::<Vec<f64>>(h);
     assert!(out.iter().all(|&x| x == 2.0));
     // Unregister forced the lazy device-to-host copy.
     assert_eq!(rt.stats().d2h_transfers, 1);
@@ -199,7 +197,7 @@ fn repeated_gpu_use_exploits_locality() {
     machine.cpu_workers = 1;
     let rt = Runtime::new(machine, SchedulerKind::Eager);
     let c = incr_codelet(&[Arch::Gpu]);
-    let h = rt.register_vec(vec![0.0f64; 4096]);
+    let h = rt.register(vec![0.0f64; 4096]);
     for _ in 0..10 {
         TaskBuilder::new(&c)
             .access(&h, AccessMode::ReadWrite)
@@ -208,7 +206,7 @@ fn repeated_gpu_use_exploits_locality() {
     }
     rt.wait_all();
     assert_eq!(rt.stats().h2d_transfers, 1, "data stays resident on device");
-    assert_eq!(rt.unregister_vec::<f64>(h)[0], 10.0);
+    assert_eq!(rt.unregister::<Vec<f64>>(h)[0], 10.0);
 }
 
 #[test]
@@ -221,9 +219,7 @@ fn dmda_learns_to_prefer_faster_device() {
     );
     let c = incr_codelet(&[Arch::Cpu, Arch::Gpu]);
     let cost = KernelCost::new(5e9, 4e6, 4e6); // heavily compute-bound
-    let handles: Vec<_> = (0..40)
-        .map(|_| rt.register_vec(vec![0.0f64; 1000]))
-        .collect();
+    let handles: Vec<_> = (0..40).map(|_| rt.register(vec![0.0f64; 1000])).collect();
     for h in &handles {
         TaskBuilder::new(&c)
             .access(h, AccessMode::ReadWrite)
@@ -267,7 +263,7 @@ fn shared_perf_registry_survives_runtime_restart() {
     let rt1 = Runtime::new(machine.clone(), SchedulerKind::Dmda);
     let perf = Arc::clone(rt1.perf());
     let c = incr_codelet(&[Arch::Cpu, Arch::Gpu]);
-    let h = rt1.register_vec(vec![0.0f64; 1000]);
+    let h = rt1.register(vec![0.0f64; 1000]);
     for _ in 0..12 {
         TaskBuilder::new(&c)
             .access(&h, AccessMode::ReadWrite)
@@ -275,7 +271,7 @@ fn shared_perf_registry_survives_runtime_restart() {
             .submit(&rt1);
     }
     rt1.wait_all();
-    rt1.unregister_vec::<f64>(h);
+    rt1.unregister::<Vec<f64>>(h);
     let keys_before = perf.key_count();
     assert!(keys_before > 0);
     rt1.shutdown();
@@ -289,7 +285,7 @@ fn shared_perf_registry_survives_runtime_restart() {
 fn force_worker_pins_execution() {
     let rt = Runtime::new(MachineConfig::cpu_only(4), SchedulerKind::Dmda);
     let c = incr_codelet(&[Arch::Cpu]);
-    let h = rt.register_vec(vec![0.0f64; 16]);
+    let h = rt.register(vec![0.0f64; 16]);
     for _ in 0..5 {
         TaskBuilder::new(&c)
             .access(&h, AccessMode::ReadWrite)
@@ -309,7 +305,7 @@ fn team_task_advances_all_cpu_timelines() {
         assert_eq!(ctx.team_size, 4);
         ctx.w::<Vec<f64>>(0).fill(3.0);
     }));
-    let h = rt.register_vec(vec![0.0f64; 64]);
+    let h = rt.register(vec![0.0f64; 64]);
     TaskBuilder::new(&team)
         .access(&h, AccessMode::Write)
         .cost(KernelCost::new(3.6e7, 0.0, 0.0).with_arithmetic_efficiency(1.0))
@@ -321,15 +317,15 @@ fn team_task_advances_all_cpu_timelines() {
         ms < 2.0,
         "team execution should use all 4 cores, got {ms:.2}ms"
     );
-    assert!(rt.unregister_vec::<f64>(h).iter().all(|&x| x == 3.0));
+    assert!(rt.unregister::<Vec<f64>>(h).iter().all(|&x| x == 3.0));
 }
 
 #[test]
 fn async_handles_wait_individually() {
     let rt = Runtime::new(MachineConfig::cpu_only(2), SchedulerKind::Eager);
     let c = incr_codelet(&[Arch::Cpu]);
-    let h1 = rt.register_vec(vec![0.0f64; 8]);
-    let h2 = rt.register_vec(vec![0.0f64; 8]);
+    let h1 = rt.register(vec![0.0f64; 8]);
+    let h2 = rt.register(vec![0.0f64; 8]);
     let t1 = TaskBuilder::new(&c)
         .access(&h1, AccessMode::ReadWrite)
         .submit(&rt);
@@ -348,7 +344,7 @@ fn host_read_guard_sees_latest_data() {
     machine.cpu_workers = 1;
     let rt = Runtime::new(machine, SchedulerKind::Eager);
     let c = incr_codelet(&[Arch::Gpu]);
-    let h = rt.register_vec(vec![5.0f64; 256]);
+    let h = rt.register(vec![5.0f64; 256]);
     TaskBuilder::new(&c)
         .access(&h, AccessMode::ReadWrite)
         .submit(&rt);
@@ -361,7 +357,7 @@ fn host_read_guard_sees_latest_data() {
     }
     // Device copy remains valid after a host read (Fig. 3: master only read).
     assert_eq!(h.valid_nodes(), vec![0, 1]);
-    rt.unregister_vec::<f64>(h);
+    rt.unregister::<Vec<f64>>(h);
 }
 
 #[test]
@@ -370,7 +366,7 @@ fn host_write_invalidates_device_copies() {
     machine.cpu_workers = 1;
     let rt = Runtime::new(machine, SchedulerKind::Eager);
     let c = incr_codelet(&[Arch::Gpu]);
-    let h = rt.register_vec(vec![0.0f64; 256]);
+    let h = rt.register(vec![0.0f64; 256]);
     TaskBuilder::new(&c)
         .access(&h, AccessMode::ReadWrite)
         .submit(&rt);
@@ -388,7 +384,7 @@ fn host_write_invalidates_device_copies() {
         .access(&h, AccessMode::ReadWrite)
         .submit(&rt);
     rt.wait_all();
-    assert!(rt.unregister_vec::<f64>(h).iter().all(|&x| x == 101.0));
+    assert!(rt.unregister::<Vec<f64>>(h).iter().all(|&x| x == 101.0));
 }
 
 #[test]
@@ -405,14 +401,14 @@ fn concurrent_submitters_from_many_threads() {
             let rt = rt.clone();
             let c = Arc::clone(&c);
             std::thread::spawn(move || {
-                let h = rt.register_vec(vec![t as f64; 256]);
+                let h = rt.register(vec![t as f64; 256]);
                 for _ in 0..50 {
                     TaskBuilder::new(&c)
                         .access(&h, AccessMode::ReadWrite)
                         .cost(KernelCost::new(256.0, 2048.0, 2048.0))
                         .submit(&rt);
                 }
-                rt.unregister_vec::<f64>(h)
+                rt.unregister::<Vec<f64>>(h)
             })
         })
         .collect();
@@ -446,13 +442,13 @@ fn submission_race_stress_chain_counts_exactly() {
         *ctx.w::<u64>(0) += 1;
     }));
     for round in 0..60 {
-        let h = rt.register_value(0u64, 8);
+        let h = rt.register_sized(0u64, 8);
         for _ in 0..500 {
             TaskBuilder::new(&bump)
                 .access(&h, AccessMode::ReadWrite)
                 .submit(&rt);
         }
-        let got = rt.unregister_value::<u64>(h);
+        let got = rt.unregister::<u64>(h);
         assert_eq!(got, 500, "round {round}: chain updates lost or duplicated");
     }
 }
@@ -464,7 +460,7 @@ fn kernel_panic_is_contained() {
         panic!("kernel bug");
     }));
     let good = incr_codelet(&[Arch::Cpu]);
-    let h = rt.register_vec(vec![0.0f64; 8]);
+    let h = rt.register(vec![0.0f64; 8]);
     // The panicking task must not kill its worker or deadlock waiters...
     TaskBuilder::new(&bad).submit_sync(&rt);
     // ...and subsequent (even dependent) work still executes.
@@ -475,7 +471,7 @@ fn kernel_panic_is_contained() {
     let stats = rt.stats();
     assert_eq!(stats.kernel_failures, 1);
     assert_eq!(stats.tasks_executed, 2);
-    assert!(rt.unregister_vec::<f64>(h).iter().all(|&x| x == 1.0));
+    assert!(rt.unregister::<Vec<f64>>(h).iter().all(|&x| x == 1.0));
     rt.shutdown();
 }
 
@@ -532,8 +528,8 @@ fn run_mixed_workload(rt: &Runtime) -> Vec<f64> {
                 }
             }),
     );
-    let a = rt.register_vec((0..512).map(|i| i as f64).collect::<Vec<_>>());
-    let b = rt.register_vec(vec![1.0f64; 512]);
+    let a = rt.register((0..512).map(|i| i as f64).collect::<Vec<_>>());
+    let b = rt.register(vec![1.0f64; 512]);
     for i in 0..6 {
         TaskBuilder::new(&scale)
             .arg(1.5f64)
@@ -554,7 +550,24 @@ fn run_mixed_workload(rt: &Runtime) -> Vec<f64> {
         }
     }
     rt.wait_all();
-    let mut out = rt.unregister_vec::<f64>(a);
-    out.extend(rt.unregister_vec::<f64>(b));
+    let mut out = rt.unregister::<Vec<f64>>(a);
+    out.extend(rt.unregister::<Vec<f64>>(b));
     out
+}
+
+/// The pre-0.4 registration names still work as thin forwarders onto the
+/// generic `register`/`unregister` pair (kept one release for downstream
+/// callers; everything in-tree uses the new names).
+#[test]
+#[allow(deprecated)]
+fn deprecated_registration_forwarders_still_work() {
+    let rt = Runtime::new(MachineConfig::cpu_only(1), SchedulerKind::Eager);
+    let v = rt.register_vec(vec![3u64; 16]);
+    assert_eq!(v.bytes(), 16 * 8);
+    assert_eq!(rt.unregister_vec::<u64>(v), vec![3u64; 16]);
+
+    let s = rt.register_value(2.5f64, 8);
+    assert_eq!(s.bytes(), 8);
+    assert_eq!(rt.unregister_value::<f64>(s), 2.5);
+    rt.shutdown();
 }

@@ -49,6 +49,9 @@ pub mod prelude {
     pub use peppher_core::{
         CallContext, ComponentRegistry, ExecutionMode, InterfaceDecl, VariantBuilder,
     };
-    pub use peppher_runtime::{AccessMode, Runtime, RuntimeConfig, SchedulerKind, TaskBuilder};
+    pub use peppher_runtime::{
+        AccessMode, Data, MemoryView, Runtime, RuntimeConfig, SchedulerKind, TaskBuilder, TaskHint,
+        TaskHints,
+    };
     pub use peppher_sim::{DeviceProfile, MachineConfig};
 }

@@ -54,12 +54,12 @@ fn run(objective: Objective) -> (peppher::runtime::RuntimeStats, Vec<f32>) {
         config(objective),
     );
     let comp = small_compute_component();
-    let y = rt.register_vec(vec![1.0f32; 512]);
+    let y = rt.register(vec![1.0f32; 512]);
     for _ in 0..40 {
         comp.call().operand(&y).context("n", 512.0).submit(&rt);
     }
     rt.wait_all();
-    let out = rt.unregister_vec::<f32>(y);
+    let out = rt.unregister::<Vec<f32>>(y);
     let stats = rt.stats();
     rt.shutdown();
     (stats, out)

@@ -16,10 +16,25 @@ fn close(a: &[f32], b: &[f32], tol: f32) -> bool {
 
 #[test]
 fn all_apps_correct_on_one_shared_runtime() {
-    let rt = Runtime::new(
-        MachineConfig::c2050_platform(4).without_noise(),
-        SchedulerKind::Dmda,
-    );
+    all_apps_correct(SchedulerKind::Dmda);
+}
+
+/// Correctness is scheduler-invariant: the full application set must pass
+/// under every scheduling policy, including the queue-reordering `dmdar`.
+#[test]
+fn all_apps_correct_under_every_scheduler() {
+    for kind in [
+        SchedulerKind::Eager,
+        SchedulerKind::Random,
+        SchedulerKind::Ws,
+        SchedulerKind::Dmdar,
+    ] {
+        all_apps_correct(kind);
+    }
+}
+
+fn all_apps_correct(kind: SchedulerKind) {
+    let rt = Runtime::new(MachineConfig::c2050_platform(4).without_noise(), kind);
 
     // spmv
     let m = spmv::scattered_matrix(2_000, 6, 1);

@@ -43,7 +43,7 @@ fn data_migrates_between_devices_through_host() {
             *v += 1.0;
         }
     }));
-    let h = rt.register_vec(vec![0.0f32; 4096]);
+    let h = rt.register(vec![0.0f32; 4096]);
     // Alternate the two GPU workers (1 and 2): every switch must route the
     // data device → host → device.
     for i in 0..4 {
@@ -58,7 +58,7 @@ fn data_migrates_between_devices_through_host() {
     // First upload + 3 migrations (each d2h + h2d).
     assert_eq!(stats.h2d_transfers, 4, "{stats:?}");
     assert_eq!(stats.d2h_transfers, 3, "{stats:?}");
-    assert!(rt.unregister_vec::<f32>(h).iter().all(|&v| v == 4.0));
+    assert!(rt.unregister::<Vec<f32>>(h).iter().all(|&v| v == 4.0));
     rt.shutdown();
 }
 
@@ -74,7 +74,7 @@ fn dmda_prefers_the_gpu_already_holding_the_data() {
         }
     }));
     // 1 MiB operand: migration between GPUs would be expensive.
-    let h = rt.register_vec(vec![0.0f32; 262_144]);
+    let h = rt.register(vec![0.0f32; 262_144]);
     let cost = KernelCost::new(262_144.0, 1048576.0, 1048576.0);
     for _ in 0..12 {
         TaskBuilder::new(&bump)
@@ -90,6 +90,6 @@ fn dmda_prefers_the_gpu_already_holding_the_data() {
         stats.h2d_transfers <= 4,
         "data should stay resident on one GPU: {stats:?}"
     );
-    assert!(rt.unregister_vec::<f32>(h).iter().all(|&v| v == 12.0));
+    assert!(rt.unregister::<Vec<f32>>(h).iter().all(|&v| v == 12.0));
     rt.shutdown();
 }

@@ -1,0 +1,76 @@
+//! Scheduler parity: every policy must produce bitwise-identical results
+//! on the seeded memory-stress graphs (correctness is scheduler-invariant
+//! under sequential data consistency), and `dmdar` must beat `dmda` on the
+//! repeated-SpMV locality scenario it was built for.
+
+mod support;
+
+use peppher::apps::spmv;
+use peppher::runtime::{EvictionPolicy, Runtime, RuntimeConfig, SchedulerKind};
+use peppher::sim::MachineConfig;
+use support::{bitwise_eq, check, ALL_SCHEDULERS};
+
+/// Each run is verified bitwise against the same host shadow (same seed,
+/// same generator), so passing under every scheduler proves the results
+/// are bitwise identical across all five policies.
+#[test]
+fn stress_graphs_bitwise_identical_under_every_scheduler() {
+    for sched in ALL_SCHEDULERS {
+        check(7, 60, EvictionPolicy::Lru, sched);
+        check(11, 40, EvictionPolicy::FallbackCpu, sched);
+    }
+}
+
+/// Release-mode CI sweep with the long seeds.
+#[test]
+#[ignore]
+fn stress_release_parity_sweep() {
+    for sched in ALL_SCHEDULERS {
+        check(1001, 300, EvictionPolicy::Lru, sched);
+        check(2002, 300, EvictionPolicy::FallbackCpu, sched);
+    }
+}
+
+fn run_locality_with(sched: SchedulerKind) -> (Vec<Vec<f32>>, u64, peppher::sim::VTime) {
+    let sc = spmv::LocalityScenario::default_shape();
+    let rt = Runtime::with_config(
+        MachineConfig::c2050_platform(1)
+            .without_noise()
+            .with_device_mem(sc.suggested_budget()),
+        RuntimeConfig {
+            scheduler: sched,
+            // Prefetch-at-push would partially hide the FIFO order's
+            // transfer cost; disable it for both runs so the comparison
+            // isolates the pop-time reordering.
+            enable_prefetch: false,
+            ..RuntimeConfig::default()
+        },
+    );
+    let out = spmv::run_locality(&rt, &sc);
+    let stats = rt.stats();
+    rt.shutdown();
+    (out, stats.total_transfer_bytes(), stats.makespan)
+}
+
+/// `dmdar` groups the per-block chains together, so each block crosses the
+/// PCIe link roughly once instead of once per iteration: fewer transferred
+/// bytes AND a shorter makespan than `dmda`'s FIFO dispatch, with bitwise
+/// identical block products.
+#[test]
+fn dmdar_beats_dmda_on_repeated_spmv_locality() {
+    let (out_dmda, bytes_dmda, makespan_dmda) = run_locality_with(SchedulerKind::Dmda);
+    let (out_dmdar, bytes_dmdar, makespan_dmdar) = run_locality_with(SchedulerKind::Dmdar);
+
+    assert_eq!(out_dmda.len(), out_dmdar.len());
+    for (a, b) in out_dmda.iter().zip(&out_dmdar) {
+        assert!(bitwise_eq(a, b), "block products diverged across policies");
+    }
+    assert!(
+        bytes_dmdar as f64 <= 0.9 * bytes_dmda as f64,
+        "dmdar transferred {bytes_dmdar} bytes, expected <= 90% of dmda's {bytes_dmda}"
+    );
+    assert!(
+        makespan_dmdar <= makespan_dmda,
+        "dmdar makespan {makespan_dmdar:?} worse than dmda {makespan_dmda:?}"
+    );
+}

@@ -77,11 +77,11 @@ fn dispatch_table_narrows_live_component_calls() {
     );
     let m = spmv::scattered_matrix(12_000, 10, 3);
     let x = vec![1.0f32; m.cols];
-    let row_ptr = rt.register_vec(m.row_ptr.clone());
-    let col_idx = rt.register_vec(m.col_idx.clone());
-    let values = rt.register_vec(m.values.clone());
-    let xv = rt.register_vec(x);
-    let yv = rt.register_vec(vec![0.0f32; m.rows]);
+    let row_ptr = rt.register(m.row_ptr.clone());
+    let col_idx = rt.register(m.col_idx.clone());
+    let values = rt.register(m.values.clone());
+    let xv = rt.register(x);
+    let yv = rt.register(vec![0.0f32; m.rows]);
     comp.call()
         .operand(&row_ptr)
         .operand(&col_idx)
