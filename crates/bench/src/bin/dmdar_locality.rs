@@ -11,7 +11,7 @@
 //! Run: `cargo run --release -p peppher-bench --bin dmdar_locality`
 
 use peppher_apps::spmv::{run_locality, LocalityScenario};
-use peppher_bench::TextTable;
+use peppher_bench::{transfer_json_path, write_json_section, TextTable};
 use peppher_runtime::{Runtime, RuntimeConfig, RuntimeStats, SchedulerKind};
 use peppher_sim::MachineConfig;
 
@@ -106,10 +106,25 @@ fn main() {
         "the win must come from actual queue reordering"
     );
 
+    let fields: Vec<(&str, String)> = vec![
+        ("dmda_makespan_ns", dmda.makespan.as_nanos().to_string()),
+        ("dmda_h2d_bytes", dmda.h2d_bytes.to_string()),
+        ("dmda_d2h_bytes", dmda.d2h_bytes.to_string()),
+        ("dmda_d2d_bytes", dmda.d2d_bytes.to_string()),
+        ("dmdar_makespan_ns", dmdar.makespan.as_nanos().to_string()),
+        ("dmdar_h2d_bytes", dmdar.h2d_bytes.to_string()),
+        ("dmdar_d2h_bytes", dmdar.d2h_bytes.to_string()),
+        ("dmdar_d2d_bytes", dmdar.d2d_bytes.to_string()),
+        ("dmdar_reorders", dmdar.sched_reorders.to_string()),
+    ];
+    let path = transfer_json_path();
+    write_json_section(&path, "dmdar_locality", &fields).expect("write sidecar");
+
     println!(
-        "\ndmdar moved {:.1}% fewer bytes and was {:.1}% faster ({} queue reorders)",
+        "\ndmdar moved {:.1}% fewer bytes and was {:.1}% faster ({} queue reorders); wrote {}",
         100.0 * (1.0 - bytes_dmdar as f64 / bytes_dmda as f64),
         100.0 * (1.0 - dmdar.makespan.as_micros_f64() / dmda.makespan.as_micros_f64()),
-        dmdar.sched_reorders
+        dmdar.sched_reorders,
+        path.display()
     );
 }

@@ -15,6 +15,9 @@
 //! Run: `cargo run --release -p peppher-bench --bin ooc_spmv`
 //!      `... --bin ooc_spmv -- --mem-budget 262144` (override device bytes)
 //!      `... --bin ooc_spmv -- --sched dmdar` (override scheduling policy)
+//!      `... --bin ooc_spmv -- --p2p` (two peer-linked GPUs instead of one;
+//!      combine with `--sched dmda|dmdar` to see the route-aware placement
+//!      split blocks across both devices and migrate over the peer link)
 
 use peppher_apps::spmv;
 use peppher_bench::TextTable;
@@ -34,9 +37,21 @@ fn main() {
     let override_budget = parse_mem_budget();
     let budget = override_budget.unwrap_or(working_set / 4);
     let sched = parse_sched().unwrap_or(SchedulerKind::Dmda);
+    let p2p = parse_p2p();
+    // With `--p2p` the matrix streams through TWO budgeted GPUs that share
+    // a peer link, so inter-device block migrations bypass the host.
+    let base_machine = if p2p {
+        MachineConfig::c2050_platform_p2p(4, 2)
+    } else {
+        MachineConfig::c2050_platform(4)
+    };
 
     println!("Out-of-core SpMV — working set vs. device budget\n");
     println!("  scheduler   : {sched:?}");
+    println!(
+        "  platform    : {}",
+        if p2p { "2 GPUs + peer link" } else { "1 GPU" }
+    );
     println!("  working set : {} bytes", working_set);
     println!(
         "  GPU budget  : {} bytes ({:.1}x oversubscribed)\n",
@@ -46,10 +61,8 @@ fn main() {
 
     let reference = spmv::reference(&m, &x);
 
-    // Constrained run: every block forced through the GPU.
-    let machine = MachineConfig::c2050_platform(4)
-        .without_noise()
-        .with_device_mem(budget);
+    // Constrained run: every block forced through the GPU(s).
+    let machine = base_machine.clone().without_noise().with_device_mem(budget);
     let workers = machine.total_workers();
     let rt = Runtime::with_config(
         machine,
@@ -67,7 +80,7 @@ fn main() {
     // Uncapped control run: same forced placement, no budget, so any
     // difference in traffic below is pure capacity-management overhead.
     let rt = Runtime::with_config(
-        MachineConfig::c2050_platform(4).without_noise(),
+        base_machine.without_noise(),
         RuntimeConfig {
             scheduler: sched,
             ..RuntimeConfig::default()
@@ -84,12 +97,15 @@ fn main() {
         format!("{}", uncapped.makespan),
     ]);
     table.row(&[
-        "transfers (h2d/d2h)".into(),
+        "transfers (h2d/d2h/d2d)".into(),
         format!(
-            "{}/{}",
-            constrained.h2d_transfers, constrained.d2h_transfers
+            "{}/{}/{}",
+            constrained.h2d_transfers, constrained.d2h_transfers, constrained.d2d_transfers
         ),
-        format!("{}/{}", uncapped.h2d_transfers, uncapped.d2h_transfers),
+        format!(
+            "{}/{}/{}",
+            uncapped.h2d_transfers, uncapped.d2h_transfers, uncapped.d2d_transfers
+        ),
     ]);
     table.row(&[
         "transfer bytes".into(),
@@ -204,6 +220,11 @@ fn parse_mem_budget() -> Option<u64> {
         }
     }
     None
+}
+
+/// Parses the presence of the `--p2p` flag from argv.
+fn parse_p2p() -> bool {
+    std::env::args().any(|a| a == "--p2p")
 }
 
 /// Parses `--sched <policy>` (or `--sched=<policy>`) from argv; accepts

@@ -97,6 +97,133 @@ impl TextTable {
     }
 }
 
+/// Path of the machine-readable transfer-bench sidecar: the
+/// `BENCH_TRANSFER_JSON` env var when set, `target/BENCH_transfer.json`
+/// at the workspace root otherwise.
+pub fn transfer_json_path() -> PathBuf {
+    std::env::var_os("BENCH_TRANSFER_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/BENCH_transfer.json")
+        })
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars) —
+/// enough for link names and section labels; no external dependency.
+pub fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Inserts or replaces one named section in the flat JSON-object sidecar
+/// at `path`, preserving every other section. Each `fields` value must
+/// already be a rendered JSON value (use [`json_str`] for strings). The
+/// transfer benches each own one section, so CI can run them in any
+/// order and upload a single artifact.
+pub fn write_json_section(
+    path: &Path,
+    name: &str,
+    fields: &[(&str, String)],
+) -> std::io::Result<()> {
+    let existing = std::fs::read_to_string(path).unwrap_or_default();
+    let mut sections = parse_flat_object(&existing);
+    let body = fields
+        .iter()
+        .map(|(k, v)| format!("{}:{v}", json_str(k)))
+        .collect::<Vec<_>>()
+        .join(",");
+    sections.retain(|(k, _)| k != name);
+    sections.push((name.to_string(), format!("{{{body}}}")));
+    let rendered = format!(
+        "{{{}}}\n",
+        sections
+            .iter()
+            .map(|(k, v)| format!("{}:{v}", json_str(k)))
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    std::fs::write(path, rendered)
+}
+
+/// Splits a flat JSON object (`{"a":{...},"b":{...}}`) into
+/// `(key, raw value)` pairs. Tolerant of a missing or malformed file —
+/// anything unparseable yields an empty list and the sidecar is rebuilt
+/// from scratch. Handles nesting and quoted strings but not every JSON
+/// corner (it only ever reads files written by [`write_json_section`]).
+fn parse_flat_object(src: &str) -> Vec<(String, String)> {
+    let src = src.trim();
+    let inner = match src.strip_prefix('{').and_then(|s| s.strip_suffix('}')) {
+        Some(i) => i,
+        None => return Vec::new(),
+    };
+    let mut out = Vec::new();
+    let bytes: Vec<char> = inner.chars().collect();
+    let mut i = 0;
+    while i < bytes.len() {
+        while i < bytes.len() && (bytes[i].is_whitespace() || bytes[i] == ',') {
+            i += 1;
+        }
+        if i >= bytes.len() {
+            break;
+        }
+        if bytes[i] != '"' {
+            return Vec::new();
+        }
+        i += 1;
+        let mut key = String::new();
+        while i < bytes.len() && bytes[i] != '"' {
+            if bytes[i] == '\\' {
+                i += 1;
+            }
+            if i < bytes.len() {
+                key.push(bytes[i]);
+            }
+            i += 1;
+        }
+        i += 1; // closing quote
+        while i < bytes.len() && (bytes[i].is_whitespace() || bytes[i] == ':') {
+            i += 1;
+        }
+        let start = i;
+        let mut depth = 0i32;
+        let mut in_str = false;
+        while i < bytes.len() {
+            let c = bytes[i];
+            if in_str {
+                if c == '\\' {
+                    i += 1;
+                } else if c == '"' {
+                    in_str = false;
+                }
+            } else {
+                match c {
+                    '"' => in_str = true,
+                    '{' | '[' => depth += 1,
+                    '}' | ']' => depth -= 1,
+                    ',' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        out.push((key, bytes[start..i].iter().collect::<String>()));
+    }
+    out
+}
+
 /// A unicode bar for quick visual comparison in terminal output.
 pub fn bar(value: f64, max: f64, width: usize) -> String {
     if max <= 0.0 {
@@ -141,5 +268,39 @@ mod tests {
     fn bar_scales() {
         assert_eq!(bar(5.0, 10.0, 10), "█████");
         assert_eq!(bar(20.0, 10.0, 10).chars().count(), 10);
+    }
+
+    #[test]
+    fn json_sections_round_trip_and_replace() {
+        let dir = std::env::temp_dir().join("peppher_bench_json_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("BENCH_transfer.json");
+
+        write_json_section(&path, "alpha", &[("makespan_ns", "42".into())]).unwrap();
+        write_json_section(
+            &path,
+            "beta",
+            &[("bytes", "7".into()), ("link", json_str("h2d:1"))],
+        )
+        .unwrap();
+        // Re-writing a section replaces it without touching the others.
+        write_json_section(&path, "alpha", &[("makespan_ns", "43".into())]).unwrap();
+
+        let got = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(
+            got.trim(),
+            r#"{"beta":{"bytes":7,"link":"h2d:1"},"alpha":{"makespan_ns":43}}"#
+        );
+        let sections = parse_flat_object(got.trim());
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[1].0, "alpha");
+        assert_eq!(sections[1].1, r#"{"makespan_ns":43}"#);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str(r#"a"b\c"#), r#""a\"b\\c""#);
+        assert_eq!(json_str("x\ny"), "\"x\\u000ay\"");
     }
 }

@@ -88,6 +88,7 @@ pub mod task;
 pub mod worker;
 
 pub use codelet::{Arch, ArchClass, Codelet, KernelCtx};
+pub use coherence::{Channel, Topology};
 pub use handle::{AccessMode, Data, DataHandle, ReplicaStatus};
 pub use memory::{EvictionPolicy, MemoryManager, MemoryView};
 pub use perfmodel::{PerfKey, PerfRegistry};

@@ -584,7 +584,14 @@ impl MemoryManager {
         }
         let mut nm = self.nodes[node].lock();
         let stamp = nm.stamp();
-        nm.account(need);
+        // Re-check under the lock: a racing prepare for the same replica
+        // may have won between the selection loop and here — accounting
+        // twice would leak budget (a pin placeholder has `bytes == 0` and
+        // does not count as a win).
+        let already_accounted = nm.residents.get(&handle.id()).is_some_and(|r| r.bytes > 0);
+        if !already_accounted {
+            nm.account(need);
+        }
         let weak = Arc::downgrade(&handle.inner);
         let entry = nm.residents.entry(handle.id()).or_insert_with(|| Resident {
             weak,

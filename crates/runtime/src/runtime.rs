@@ -1,7 +1,7 @@
 //! The runtime facade: submission, data registration, host access, lifecycle.
 
 use crate::coherence::{self, Topology};
-use crate::handle::{vec_bytes, AccessMode, Data, DataHandle, PayloadBox};
+use crate::handle::{AccessMode, Data, DataHandle, PayloadBox};
 use crate::memory::{EvictionPolicy, MemoryManager};
 use crate::perfmodel::PerfRegistry;
 use crate::sched::{make_scheduler, SchedCtx, Scheduler, SchedulerKind};
@@ -79,6 +79,10 @@ pub struct RuntimeConfig {
     /// bytes it would have to transfer. 0 disables aging (unbounded
     /// reordering).
     pub dmdar_age_limit: u32,
+    /// Model each PCIe link as two independent channels (h2d and d2h DMA
+    /// engines, on by default) so eviction writebacks overlap incoming
+    /// prefetches. Disable for the half-duplex ablation baseline.
+    pub duplex_links: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -94,6 +98,7 @@ impl Default for RuntimeConfig {
             eviction: EvictionPolicy::Lru,
             alloc_cache: true,
             dmdar_age_limit: 16,
+            duplex_links: true,
         }
     }
 }
@@ -246,7 +251,7 @@ impl Runtime {
         let workers = machine.total_workers();
         let sched = make_scheduler(config.scheduler, &machine);
         let inner = Arc::new(RuntimeInner {
-            topo: Topology::new(&machine),
+            topo: Topology::with_duplex(&machine, config.duplex_links),
             memory: MemoryManager::new(&machine, config.eviction, config.alloc_cache),
             sched,
             perf,
@@ -370,36 +375,6 @@ impl Runtime {
         h
     }
 
-    /// Registers a vector; its master copy lives in main memory.
-    #[deprecated(since = "0.4.0", note = "use `Runtime::register` instead")]
-    pub fn register_vec<T: Clone + Send + Sync + 'static>(&self, v: Vec<T>) -> DataHandle {
-        let bytes = vec_bytes(&v);
-        self.register_sized(v, bytes)
-    }
-
-    /// Registers an arbitrary payload with an explicit byte size.
-    #[deprecated(since = "0.4.0", note = "use `Runtime::register_sized` instead")]
-    pub fn register_value<T: Clone + Send + Sync + 'static>(
-        &self,
-        v: T,
-        bytes: usize,
-    ) -> DataHandle {
-        self.register_sized(v, bytes)
-    }
-
-    /// Waits for all tasks using the handle, ensures main memory holds the
-    /// latest copy, and returns the payload.
-    #[deprecated(since = "0.4.0", note = "use `Runtime::unregister` instead")]
-    pub fn unregister_vec<T: Clone + Send + Sync + 'static>(&self, h: DataHandle) -> Vec<T> {
-        self.unregister::<Vec<T>>(h)
-    }
-
-    /// Alias of [`Runtime::unregister`].
-    #[deprecated(since = "0.4.0", note = "use `Runtime::unregister` instead")]
-    pub fn unregister_value<T: Clone + Send + Sync + 'static>(&self, h: DataHandle) -> T {
-        self.unregister(h)
-    }
-
     /// Waits for all tasks using the handle, ensures main memory holds the
     /// latest copy, and returns the payload.
     pub fn unregister<T: Clone + Send + Sync + 'static>(&self, h: DataHandle) -> T {
@@ -510,6 +485,7 @@ impl Runtime {
         let mut snap = self.inner.stats.snapshot();
         snap.mem_high_water = self.inner.memory.high_waters();
         snap.alloc_cache_retained = self.inner.memory.alloc_cache_retained();
+        snap.channel_busy = self.inner.topo.channel_busy();
         snap
     }
 

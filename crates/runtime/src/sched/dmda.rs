@@ -91,11 +91,16 @@ impl DmdaCore {
     /// worker's memory node, plus a locality term for written operands:
     /// producing data away from where its current copy lives means a
     /// likely fetch-back later (tightly-dependent chains like the ODE
-    /// solver thrash between devices without this).
+    /// solver thrash between devices without this). Each operand is priced
+    /// along its cheapest route from any valid source (direct P2P beats
+    /// two hops via the host when configured), occupancy-aware: channel
+    /// backlog beyond `now` (the candidate worker's availability) delays
+    /// the estimate, so a congested link steers placement elsewhere.
     pub(crate) fn transfer_estimate(
         &self,
         task: &Task,
         worker: usize,
+        now: VTime,
         ctx: &SchedCtx<'_>,
     ) -> VTime {
         let node = ctx.machine.worker_memory_node(worker);
@@ -104,16 +109,15 @@ impl DmdaCore {
             if h.valid_on(node) {
                 continue;
             }
-            let t = if node != 0 {
-                ctx.topo.estimate_transfer(node, h.bytes() as u64)
-            } else {
-                // Data currently on some device: a host placement pays the
-                // device-to-host fetch on the device's link.
-                h.valid_nodes()
-                    .first()
-                    .map(|&src| ctx.topo.estimate_transfer(src, h.bytes() as u64))
-                    .unwrap_or(VTime::ZERO)
-            };
+            let t = h
+                .valid_nodes()
+                .iter()
+                .map(|&src| {
+                    ctx.topo
+                        .estimate_transfer_after(src, node, h.bytes() as u64, now)
+                })
+                .min()
+                .unwrap_or(VTime::ZERO);
             if mode.reads() {
                 total += t;
             } else {
@@ -124,11 +128,11 @@ impl DmdaCore {
         }
         // Eviction pressure: if the node's free memory cannot hold the
         // task's non-resident operands, making room will evict (and likely
-        // write back) that many overflow bytes over the same link.
+        // write back) that many overflow bytes over the d2h channel.
         if node != 0 {
             let overflow = ctx.memory.pressure_overflow(node, &task.accesses);
             if overflow > 0 {
-                total += ctx.topo.estimate_transfer(node, overflow);
+                total += ctx.topo.estimate_transfer_after(node, 0, overflow, now);
             }
         }
         total
@@ -226,8 +230,8 @@ impl DmdaCore {
         let mut best: Option<(usize, Arch, f64, VTime)> = None;
         for (w, a, exec, _) in evaluated.drain(..) {
             let exec = exec.expect("calibrated option must predict");
-            let transfer = self.transfer_estimate(task, w, ctx);
             let avail = self.availability(w, a, ctx).max(vdeps);
+            let transfer = self.transfer_estimate(task, w, avail, ctx);
             let finish = avail + transfer + exec;
             let score = match ctx.config.objective {
                 crate::runtime::Objective::ExecTime => finish.as_secs_f64(),
@@ -534,8 +538,16 @@ pub(crate) mod tests {
         let f = Fixture::new(machine, RuntimeConfig::default());
 
         // Fill most of the device node with an unrelated resident replica.
+        // `now` absorbs the h2d backlog that fetch leaves on the channel.
         let resident = DataHandle::new(1, vec![0u8; 6 * 1024], 6 * 1024, 2);
-        crate::coherence::make_valid(&resident, 1, AccessMode::Read, &f.topo, &f.stats, &f.memory);
+        let now = crate::coherence::make_valid(
+            &resident,
+            1,
+            AccessMode::Read,
+            &f.topo,
+            &f.stats,
+            &f.memory,
+        );
 
         let c = dual_codelet();
         let operand = DataHandle::new(2, vec![0u8; 4 * 1024], 4 * 1024, 2);
@@ -546,10 +558,11 @@ pub(crate) mod tests {
         );
         let s = DmdaScheduler::new(f.machine.total_workers());
         // 6 KiB used + 4 KiB needed > 8 KiB budget: 2 KiB of eviction
-        // overflow is charged on top of the operand's own transfer.
-        let est = s.core.transfer_estimate(&t, 1, &f.ctx());
-        let base = f.topo.estimate_transfer(1, 4 * 1024);
-        let overflow = f.topo.estimate_transfer(1, 2 * 1024);
+        // writeback (d2h) is charged on top of the operand's own h2d fetch.
+        let est = s.core.transfer_estimate(&t, 1, now, &f.ctx());
+        let link = &f.machine.accelerators[0].link;
+        let base = link.transfer_time(4 * 1024);
+        let overflow = link.transfer_time(2 * 1024);
         assert_eq!(est, base + overflow);
     }
 

@@ -7,9 +7,15 @@
 //! pressure costs via the shared [`DmdaCore`]. What changes is the *pop*
 //! path: instead of dispatching each worker's queue FIFO, dmdar scans the
 //! queue against a [`MemoryView`] residency snapshot and dispatches the
-//! task with the fewest read-operand bytes *missing* from the worker's
-//! memory node — the task that is most "ready" in StarPU's sense. Under
-//! capacity pressure this groups tasks that share resident operands
+//! task whose missing read operands are *cheapest to fetch* into the
+//! worker's memory node — the task that is most "ready" in StarPU's
+//! sense. Each missing operand is priced along its cheapest route from
+//! any node the snapshot shows it resident on (a direct peer link beats
+//! two hops through the host when the platform has one) and includes the
+//! backlog already queued on the route's channels, so a task whose
+//! operands sit one cheap peer hop away outranks one that must wait on a
+//! congested host link for the same byte count. Under capacity pressure
+//! this groups tasks that share resident operands
 //! together, so a block is fetched once and fully consumed instead of
 //! being evicted and re-fetched every round trip (the cyclic-LRU thrash a
 //! FIFO order produces when the working set exceeds the budget).
@@ -26,8 +32,37 @@ use crate::memory::MemoryView;
 use crate::stats::TraceEvent;
 use crate::task::Task;
 use parking_lot::Mutex;
+use peppher_sim::VTime;
 use std::collections::VecDeque;
 use std::sync::Arc;
+
+/// Route-aware fetch cost of the read operands `task` is missing from
+/// `node`: each missing operand is priced along its cheapest route from
+/// any node the residency snapshot shows it on (main memory when no
+/// replica is recorded), occupancy-aware beyond `now` — channel backlog
+/// delays the estimate exactly as it would delay the real transfer.
+fn fetch_cost(
+    view: &MemoryView,
+    node: usize,
+    task: &Task,
+    now: VTime,
+    ctx: &SchedCtx<'_>,
+) -> VTime {
+    let nodes = ctx.machine.memory_nodes();
+    let mut total = VTime::ZERO;
+    for (h, mode) in &task.accesses {
+        if !mode.reads() || view.resident_bytes(node, h.id()) > 0 {
+            continue;
+        }
+        let bytes = h.bytes() as u64;
+        total += (0..nodes)
+            .filter(|&src| src != node && view.resident_bytes(src, h.id()) > 0)
+            .map(|src| ctx.topo.estimate_transfer_after(src, node, bytes, now))
+            .min()
+            .unwrap_or_else(|| ctx.topo.estimate_transfer_after(0, node, bytes, now));
+    }
+    total
+}
 
 /// One queued task plus its pass-over count (the aging term).
 struct Entry {
@@ -84,13 +119,15 @@ impl Scheduler for DmdarScheduler {
                 let e = q.pop_front().expect("non-empty queue");
                 (e.task, depth, 0)
             } else {
-                // Readiness pop: the task with the fewest read-operand
-                // bytes missing from this worker's node. `min_by_key` keeps
-                // the first minimum, so equal readiness stays FIFO.
+                // Readiness pop: the task whose missing read operands are
+                // cheapest to route to this worker's node, priced at the
+                // worker's current clock. `min_by_key` keeps the first
+                // minimum, so equal readiness stays FIFO.
+                let now = ctx.timelines.lock()[worker];
                 let best = q
                     .iter()
                     .enumerate()
-                    .min_by_key(|(_, e)| view.missing_read_bytes(node, &e.task.accesses))
+                    .min_by_key(|(_, e)| fetch_cost(view, node, &e.task, now, ctx))
                     .map(|(i, _)| i)
                     .expect("non-empty queue");
                 for e in q.iter_mut().take(best) {
@@ -190,6 +227,38 @@ mod tests {
             f.stats.sched_reorders.load(Ordering::Relaxed),
             0,
             "ties break FIFO, not as reorders"
+        );
+    }
+
+    #[test]
+    fn fetch_cost_prices_cheapest_route_per_operand() {
+        // Two GPUs behind a peer link: an operand resident on the *other*
+        // device is cheaper to fetch than an equal-sized one that must
+        // come over the (higher-latency) host link.
+        let f = Fixture::new(
+            MachineConfig::c2050_platform_p2p(1, 2),
+            RuntimeConfig::default(),
+        );
+        let peer_h = DataHandle::new(1, vec![0u8; 4 * 1024], 4 * 1024, 3);
+        crate::coherence::make_valid(&peer_h, 2, AccessMode::Read, &f.topo, &f.stats, &f.memory);
+        let host_h = DataHandle::new(2, vec![0u8; 4 * 1024], 4 * 1024, 3);
+
+        let c = gpu_codelet();
+        let t_peer = task_on(&c, 0, &peer_h);
+        let t_host = task_on(&c, 1, &host_h);
+        let view = f.memory.view();
+        let ctx = f.ctx();
+        let peer_cost = fetch_cost(&view, 1, &t_peer, VTime::ZERO, &ctx);
+        let host_cost = fetch_cost(&view, 1, &t_host, VTime::ZERO, &ctx);
+        assert!(peer_cost > VTime::ZERO);
+        assert!(
+            peer_cost < host_cost,
+            "peer hop ({peer_cost:?}) must undercut the host link ({host_cost:?})"
+        );
+        // Already resident at the target node: nothing to fetch.
+        assert_eq!(
+            fetch_cost(&view, 2, &t_peer, VTime::ZERO, &ctx),
+            VTime::ZERO
         );
     }
 

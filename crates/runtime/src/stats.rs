@@ -40,6 +40,9 @@ pub enum TraceEvent {
         to: usize,
         /// Payload size.
         bytes: usize,
+        /// The fabric channel the transfer occupied (route tag): h2d, d2h,
+        /// or a directed peer-to-peer channel.
+        channel: crate::coherence::Channel,
     },
     /// A device replica was allocated without a copy (write-only access —
     /// the paper: "just a memory allocation is made in the device memory").
@@ -106,8 +109,15 @@ pub struct StatsCollector {
     pub tasks_executed: AtomicU64,
     pub h2d_transfers: AtomicU64,
     pub d2h_transfers: AtomicU64,
+    /// Direct device→device transfers over peer-to-peer links.
+    pub d2d_transfers: AtomicU64,
     pub h2d_bytes: AtomicU64,
     pub d2h_bytes: AtomicU64,
+    /// Bytes moved directly device→device over peer-to-peer links.
+    pub d2d_bytes: AtomicU64,
+    /// `make_valid` calls that joined an in-flight transfer of the same
+    /// replica instead of starting a duplicate copy.
+    pub transfer_joins: AtomicU64,
     /// Maximum virtual finish time observed (the makespan), in ns.
     pub makespan_ns: AtomicU64,
     /// Busy virtual time per worker, in ns.
@@ -157,14 +167,21 @@ impl StatsCollector {
         }
     }
 
-    pub(crate) fn record_transfer(&self, from: usize, _to: usize, bytes: usize) {
+    pub(crate) fn record_transfer(&self, from: usize, to: usize, bytes: usize) {
         if from == 0 {
             self.h2d_transfers.fetch_add(1, Ordering::Relaxed);
             self.h2d_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
-        } else {
+        } else if to == 0 {
             self.d2h_transfers.fetch_add(1, Ordering::Relaxed);
             self.d2h_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
+        } else {
+            self.d2d_transfers.fetch_add(1, Ordering::Relaxed);
+            self.d2d_bytes.fetch_add(bytes as u64, Ordering::Relaxed);
         }
+    }
+
+    pub(crate) fn record_transfer_join(&self) {
+        self.transfer_joins.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_kernel_failure(&self) {
@@ -221,8 +238,11 @@ impl StatsCollector {
             tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
             h2d_transfers: self.h2d_transfers.load(Ordering::Relaxed),
             d2h_transfers: self.d2h_transfers.load(Ordering::Relaxed),
+            d2d_transfers: self.d2d_transfers.load(Ordering::Relaxed),
             h2d_bytes: self.h2d_bytes.load(Ordering::Relaxed),
             d2h_bytes: self.d2h_bytes.load(Ordering::Relaxed),
+            d2d_bytes: self.d2d_bytes.load(Ordering::Relaxed),
+            transfer_joins: self.transfer_joins.load(Ordering::Relaxed),
             makespan: VTime::from_nanos(self.makespan_ns.load(Ordering::Relaxed)),
             busy: self
                 .busy_ns
@@ -241,9 +261,11 @@ impl StatsCollector {
             sched_reorders: self.sched_reorders.load(Ordering::Relaxed),
             dispatch_resident_bytes: self.dispatch_resident_bytes.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
-            // Filled in by `Runtime::stats`, which owns the MemoryManager.
+            // Filled in by `Runtime::stats`, which owns the MemoryManager
+            // and the Topology.
             mem_high_water: Vec::new(),
             alloc_cache_retained: Vec::new(),
+            channel_busy: Vec::new(),
         }
     }
 }
@@ -257,10 +279,17 @@ pub struct RuntimeStats {
     pub h2d_transfers: u64,
     /// Device→host transfer count.
     pub d2h_transfers: u64,
+    /// Direct device→device transfer count (peer-to-peer links).
+    pub d2d_transfers: u64,
     /// Host→device bytes moved.
     pub h2d_bytes: u64,
     /// Device→host bytes moved.
     pub d2h_bytes: u64,
+    /// Bytes moved directly device→device over peer-to-peer links.
+    pub d2d_bytes: u64,
+    /// `make_valid` calls that joined an in-flight transfer of the same
+    /// replica instead of starting a duplicate copy.
+    pub transfer_joins: u64,
     /// Virtual makespan: latest task completion observed.
     pub makespan: VTime,
     /// Busy virtual time per worker.
@@ -297,16 +326,26 @@ pub struct RuntimeStats {
     pub mem_high_water: Vec<u64>,
     /// Per-memory-node bytes currently retained by the allocation caches.
     pub alloc_cache_retained: Vec<u64>,
+    /// Accumulated busy virtual time per fabric channel (label, busy span):
+    /// `h2d:n` / `d2h:n` for each device's host link directions, `p2p:a->b`
+    /// for peer channels that carried traffic.
+    pub channel_busy: Vec<(String, VTime)>,
 }
 
 impl RuntimeStats {
-    /// Total transfers in both directions.
+    /// Total transfers across all channels.
     pub fn total_transfers(&self) -> u64 {
-        self.h2d_transfers + self.d2h_transfers
+        self.h2d_transfers + self.d2h_transfers + self.d2d_transfers
     }
 
-    /// Total bytes moved in both directions.
+    /// Total bytes moved across all channels.
     pub fn total_transfer_bytes(&self) -> u64 {
+        self.h2d_bytes + self.d2h_bytes + self.d2d_bytes
+    }
+
+    /// Bytes moved over the host⇄device links only (both directions);
+    /// peer-to-peer traffic bypasses these links and is excluded.
+    pub fn host_link_bytes(&self) -> u64 {
         self.h2d_bytes + self.d2h_bytes
     }
 
@@ -384,6 +423,7 @@ pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
     let (mut evictions, mut writebacks, mut evicted_bytes) = (0u64, 0u64, 0u64);
     let mut reuses = 0u64;
     let (mut reorders, mut reorder_resident) = (0u64, 0u64);
+    let (mut d2d, mut d2d_bytes) = (0u64, 0u64);
     for e in trace {
         match e {
             TraceEvent::Evict {
@@ -399,6 +439,12 @@ pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
             TraceEvent::Reorder { resident_bytes, .. } => {
                 reorders += 1;
                 reorder_resident += resident_bytes;
+            }
+            TraceEvent::Transfer {
+                from, to, bytes, ..
+            } if *from != 0 && *to != 0 => {
+                d2d += 1;
+                d2d_bytes += *bytes as u64;
             }
             _ => {}
         }
@@ -418,6 +464,11 @@ pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
             "  scheduler reorders: {reorders} ({reorder_resident} resident bytes dispatched early)\n"
         ));
     }
+    if d2d > 0 {
+        out.push_str(&format!(
+            "  peer transfers: {d2d} ({d2d_bytes} bytes bypassed the host links)\n"
+        ));
+    }
     out
 }
 
@@ -431,13 +482,56 @@ mod tests {
         s.record_transfer(0, 1, 100);
         s.record_transfer(1, 0, 40);
         s.record_transfer(0, 1, 60);
+        s.record_transfer(1, 2, 25);
         let snap = s.snapshot();
         assert_eq!(snap.h2d_transfers, 2);
         assert_eq!(snap.d2h_transfers, 1);
+        assert_eq!(snap.d2d_transfers, 1);
         assert_eq!(snap.h2d_bytes, 160);
         assert_eq!(snap.d2h_bytes, 40);
-        assert_eq!(snap.total_transfers(), 3);
-        assert_eq!(snap.total_transfer_bytes(), 200);
+        assert_eq!(snap.d2d_bytes, 25);
+        assert_eq!(snap.total_transfers(), 4);
+        assert_eq!(snap.total_transfer_bytes(), 225);
+        assert_eq!(snap.host_link_bytes(), 200, "p2p bytes excluded");
+    }
+
+    #[test]
+    fn transfer_joins_counted() {
+        let s = StatsCollector::new(1, false);
+        s.record_transfer_join();
+        s.record_transfer_join();
+        assert_eq!(s.snapshot().transfer_joins, 2);
+    }
+
+    #[test]
+    fn peer_transfer_gantt_summary() {
+        let trace = vec![
+            TraceEvent::TaskEnd {
+                task: 1,
+                worker: 0,
+                codelet: "halo".into(),
+                vstart: VTime::ZERO,
+                vfinish: VTime::from_micros(10),
+            },
+            TraceEvent::Transfer {
+                handle: 7,
+                from: 1,
+                to: 2,
+                bytes: 4096,
+                channel: crate::coherence::Channel::Peer(1, 2),
+            },
+            TraceEvent::Transfer {
+                handle: 7,
+                from: 0,
+                to: 1,
+                bytes: 512,
+                channel: crate::coherence::Channel::HostToDevice(1),
+            },
+        ];
+        let chart = gantt(&trace, 1, 20);
+        assert!(chart.contains("peer transfers: 1 (4096 bytes bypassed the host links)"));
+        // Host-link traffic alone draws no peer summary line.
+        assert!(!gantt(&trace[..1], 1, 20).contains("peer transfers"));
     }
 
     #[test]

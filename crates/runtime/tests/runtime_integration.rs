@@ -555,19 +555,18 @@ fn run_mixed_workload(rt: &Runtime) -> Vec<f64> {
     out
 }
 
-/// The pre-0.4 registration names still work as thin forwarders onto the
-/// generic `register`/`unregister` pair (kept one release for downstream
-/// callers; everything in-tree uses the new names).
+/// The generic `register`/`unregister` pair covers both vectors and
+/// scalars (the pre-0.4 `register_vec`/`register_value` forwarders were
+/// removed after their one-release deprecation window).
 #[test]
-#[allow(deprecated)]
-fn deprecated_registration_forwarders_still_work() {
+fn generic_registration_round_trips_vectors_and_scalars() {
     let rt = Runtime::new(MachineConfig::cpu_only(1), SchedulerKind::Eager);
-    let v = rt.register_vec(vec![3u64; 16]);
+    let v = rt.register(vec![3u64; 16]);
     assert_eq!(v.bytes(), 16 * 8);
-    assert_eq!(rt.unregister_vec::<u64>(v), vec![3u64; 16]);
+    assert_eq!(rt.unregister::<Vec<u64>>(v), vec![3u64; 16]);
 
-    let s = rt.register_value(2.5f64, 8);
+    let s = rt.register_sized(2.5f64, 8);
     assert_eq!(s.bytes(), 8);
-    assert_eq!(rt.unregister_value::<f64>(s), 2.5);
+    assert_eq!(rt.unregister::<f64>(s), 2.5);
     rt.shutdown();
 }

@@ -26,6 +26,26 @@ impl LinkProfile {
         }
     }
 
+    /// Peer-to-peer DMA between two devices sharing a PCIe 2.0 switch
+    /// (GPUDirect-style): the payload crosses the switch once instead of
+    /// being staged through main memory, so the setup latency is lower
+    /// while sustained bandwidth matches the host links.
+    pub fn pcie2_p2p() -> Self {
+        LinkProfile {
+            latency: VTime::from_micros(8),
+            bandwidth_gbs: 6.0,
+        }
+    }
+
+    /// A custom link from bandwidth + latency (builder for
+    /// `MachineConfig::p2p`).
+    pub fn custom(bandwidth_gbs: f64, latency: VTime) -> Self {
+        LinkProfile {
+            latency,
+            bandwidth_gbs,
+        }
+    }
+
     /// Time to move `bytes` across the link.
     pub fn transfer_time(&self, bytes: u64) -> VTime {
         if bytes == 0 {
@@ -58,6 +78,16 @@ mod tests {
         // 600 MB at 6 GB/s = 100 ms >> 15 us latency.
         let t = link.transfer_time(600_000_000);
         assert!((t.as_millis_f64() - 100.0).abs() < 1.0, "{t}");
+    }
+
+    #[test]
+    fn p2p_beats_two_host_hops() {
+        // One P2P hop must be cheaper than staging through main memory
+        // (d2h + h2d), otherwise the route planner would never pick it.
+        let host = LinkProfile::pcie2_x16();
+        let p2p = LinkProfile::pcie2_p2p();
+        let bytes = 1 << 20;
+        assert!(p2p.transfer_time(bytes) < host.transfer_time(bytes) + host.transfer_time(bytes));
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub struct MachineConfig {
     /// Accelerators, in memory-node order (node 0 is always main memory;
     /// accelerator `i` owns node `i + 1`).
     pub accelerators: Vec<DeviceSlot>,
+    /// Optional peer-to-peer device↔device link shared by every accelerator
+    /// pair (e.g. GPUs behind one PCIe switch). `None` means device-to-device
+    /// traffic must be staged through main memory.
+    pub p2p: Option<LinkProfile>,
     /// Relative timing jitter applied to modelled execution times
     /// (`0.0` = deterministic).
     pub noise_rel_stddev: f64,
@@ -40,6 +44,7 @@ impl MachineConfig {
             cpu_workers: n.max(1),
             cpu_profile: DeviceProfile::xeon_e5520_core(),
             accelerators: Vec::new(),
+            p2p: None,
             noise_rel_stddev: 0.0,
             noise_seed: 0,
         }
@@ -55,6 +60,7 @@ impl MachineConfig {
                 profile: DeviceProfile::tesla_c2050(),
                 link: LinkProfile::pcie2_x16(),
             }],
+            p2p: None,
             noise_rel_stddev: 0.03,
             noise_seed: 0xC2050,
         }
@@ -69,6 +75,7 @@ impl MachineConfig {
                 profile: DeviceProfile::tesla_c1060(),
                 link: LinkProfile::pcie2_x16(),
             }],
+            p2p: None,
             noise_rel_stddev: 0.03,
             noise_seed: 0xC1060,
         }
@@ -87,9 +94,30 @@ impl MachineConfig {
                     link: LinkProfile::pcie2_x16(),
                 })
                 .collect(),
+            p2p: None,
             noise_rel_stddev: 0.0,
             noise_seed: 0x6E0,
         }
+    }
+
+    /// The multi-GPU platform with peer-to-peer links: every pair of C2050s
+    /// can DMA directly across the PCIe switch instead of staging through
+    /// main memory.
+    pub fn c2050_platform_p2p(cpus: usize, gpus: usize) -> Self {
+        MachineConfig::multi_gpu(cpus, gpus).with_p2p(LinkProfile::pcie2_p2p())
+    }
+
+    /// Enables peer-to-peer device↔device transfers with a custom link
+    /// (builder style).
+    pub fn p2p(self, bandwidth_gbs: f64, latency: crate::vclock::VTime) -> Self {
+        self.with_p2p(LinkProfile::custom(bandwidth_gbs, latency))
+    }
+
+    /// Enables peer-to-peer device↔device transfers over `link`
+    /// (builder style).
+    pub fn with_p2p(mut self, link: LinkProfile) -> Self {
+        self.p2p = Some(link);
+        self
     }
 
     /// Disables timing noise (builder style) for deterministic tests.
@@ -189,6 +217,26 @@ mod tests {
         let shrunk = m.with_device_mem(64 << 20);
         assert_eq!(shrunk.node_budget(1), Some(64 << 20));
         assert_eq!(shrunk.node_budget(0), None);
+    }
+
+    #[test]
+    fn p2p_presets_and_builders() {
+        use crate::vclock::VTime;
+        assert_eq!(MachineConfig::multi_gpu(2, 2).p2p, None);
+
+        let m = MachineConfig::c2050_platform_p2p(2, 2);
+        assert_eq!(m.total_workers(), 4);
+        assert_eq!(m.memory_nodes(), 3);
+        assert_eq!(m.p2p, Some(LinkProfile::pcie2_p2p()));
+        // Identical to multi_gpu apart from the peer links.
+        let base = MachineConfig::multi_gpu(2, 2);
+        assert_eq!(m.accelerators, base.accelerators);
+        assert_eq!(m.noise_seed, base.noise_seed);
+
+        let custom = MachineConfig::multi_gpu(1, 2).p2p(12.0, VTime::from_micros(4));
+        let link = custom.p2p.expect("builder sets the peer link");
+        assert_eq!(link.bandwidth_gbs, 12.0);
+        assert_eq!(link.latency, VTime::from_micros(4));
     }
 
     #[test]

@@ -8,10 +8,24 @@
 mod support;
 
 use peppher::runtime::{EvictionPolicy, SchedulerKind};
-use support::check;
+use peppher::sim::MachineConfig;
+use support::{check, check_on};
 
 fn check_dmda(seed: u64, ntasks: usize, policy: EvictionPolicy) {
     check(seed, ntasks, policy, SchedulerKind::Dmda);
+}
+
+/// Same graphs on a 3-GPU platform with a peer link: device-to-device
+/// migrations take the direct P2P route instead of staging through the
+/// host, under the same budget/eviction churn.
+fn check_dmda_p2p(seed: u64, ntasks: usize, policy: EvictionPolicy) {
+    check_on(
+        MachineConfig::c2050_platform_p2p(2, 3),
+        seed,
+        ntasks,
+        policy,
+        SchedulerKind::Dmda,
+    );
 }
 
 #[test]
@@ -35,6 +49,12 @@ fn stress_harness_is_deterministic() {
     check_dmda(7, 40, EvictionPolicy::Lru);
 }
 
+#[test]
+fn stress_seed_17_p2p_three_devices() {
+    check_dmda_p2p(17, 60, EvictionPolicy::Lru);
+    check_dmda_p2p(17, 60, EvictionPolicy::FallbackCpu);
+}
+
 // The release-mode CI seeds: `cargo test --release -- --ignored`.
 
 #[test]
@@ -56,4 +76,11 @@ fn stress_release_seed_2002() {
 fn stress_release_seed_3003() {
     check_dmda(3003, 300, EvictionPolicy::Lru);
     check_dmda(3003, 300, EvictionPolicy::FallbackCpu);
+}
+
+#[test]
+#[ignore]
+fn stress_release_seed_4004_p2p_three_devices() {
+    check_dmda_p2p(4004, 300, EvictionPolicy::Lru);
+    check_dmda_p2p(4004, 300, EvictionPolicy::FallbackCpu);
 }

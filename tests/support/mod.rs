@@ -78,9 +78,30 @@ pub fn bitwise_eq(a: &[f32], b: &[f32]) -> bool {
     a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
 }
 
-/// Runs one seeded graph under `sched`; returns human-readable failures
-/// (empty = pass).
+/// Runs one seeded graph under `sched` on the default single-GPU
+/// platform; returns human-readable failures (empty = pass).
 pub fn run_stress(
+    seed: u64,
+    ntasks: usize,
+    policy: EvictionPolicy,
+    sched: SchedulerKind,
+) -> Vec<String> {
+    run_stress_on(
+        MachineConfig::c2050_platform(2),
+        seed,
+        ntasks,
+        policy,
+        sched,
+    )
+}
+
+/// Runs one seeded graph under `sched` on `machine` (noise stripped and
+/// every device capped at [`BUDGET`]); returns human-readable failures
+/// (empty = pass). Multi-device machines exercise device-to-device
+/// routing — direct when the machine has a P2P link, staged through the
+/// host otherwise.
+pub fn run_stress_on(
+    machine: MachineConfig,
     seed: u64,
     ntasks: usize,
     policy: EvictionPolicy,
@@ -90,9 +111,7 @@ pub fn run_stress(
     let mut rng = StdRng::seed_from_u64(seed);
 
     let rt = Runtime::with_config(
-        MachineConfig::c2050_platform(2)
-            .without_noise()
-            .with_device_mem(BUDGET),
+        machine.without_noise().with_device_mem(BUDGET),
         RuntimeConfig {
             scheduler: sched,
             enable_trace: true,
@@ -211,12 +230,14 @@ pub fn run_stress(
     let stats = rt.stats();
     match policy {
         EvictionPolicy::Lru => {
-            // used + retained never exceeded the budget, at any point.
-            if stats.mem_high_water[1] > BUDGET {
-                failures.push(format!(
-                    "Lru budget exceeded: high water {} > {BUDGET}",
-                    stats.mem_high_water[1]
-                ));
+            // used + retained never exceeded the budget on ANY device
+            // node, at any point.
+            for (n, &hw) in stats.mem_high_water.iter().enumerate().skip(1) {
+                if hw > BUDGET {
+                    failures.push(format!(
+                        "Lru budget exceeded on node {n}: high water {hw} > {BUDGET}"
+                    ));
+                }
             }
         }
         EvictionPolicy::FallbackCpu => {
@@ -281,6 +302,22 @@ pub fn run_stress(
 /// Asserts a stress run passes.
 pub fn check(seed: u64, ntasks: usize, policy: EvictionPolicy, sched: SchedulerKind) {
     let failures = run_stress(seed, ntasks, policy, sched);
+    assert!(
+        failures.is_empty(),
+        "stress seed {seed} ({policy:?}, {sched:?}) failed:\n{}",
+        failures.join("\n")
+    );
+}
+
+/// Asserts a stress run passes on an explicit machine.
+pub fn check_on(
+    machine: MachineConfig,
+    seed: u64,
+    ntasks: usize,
+    policy: EvictionPolicy,
+    sched: SchedulerKind,
+) {
+    let failures = run_stress_on(machine, seed, ntasks, policy, sched);
     assert!(
         failures.is_empty(),
         "stress seed {seed} ({policy:?}, {sched:?}) failed:\n{}",
