@@ -1,0 +1,209 @@
+//! Task hot-path throughput: tasks/sec for the submit→schedule→dispatch→
+//! complete path, with empty kernels so the runtime's own overhead is the
+//! entire cost (the §V-E "less than two microseconds per task" claim this
+//! repo's composition argument leans on).
+//!
+//! Three graph shapes stress different parts of the path:
+//!
+//! * `independent` — 1000 dependency-free tasks: pure queue/wakeup/stats
+//!   throughput, all workers draining in parallel.
+//! * `chain` — 512 tasks serialized through one ReadWrite handle: the
+//!   completion→successor-push→wakeup latency, one task in flight.
+//! * `fanout` — one producer and 512 readers of its output: a ready-queue
+//!   burst landing at once after a single completion.
+//!
+//! Each shape runs under eager, dmda, and dmdar. Wall-clock time is
+//! measured from first submit to `wait_all` return (best of three runs).
+//!
+//! Run: `cargo run --release -p peppher-bench --bin task_throughput`
+//!
+//! Emits the `task_throughput` section of `target/BENCH_overhead.json`
+//! (override with `BENCH_OVERHEAD_JSON`): tasks/sec per scenario×policy
+//! cell plus the committed pre-overhaul baseline for the gated cell. The
+//! run fails if the gated cell (`independent` × eager, 2 CPU workers)
+//! drops below the committed floor (override: `BENCH_OVERHEAD_FLOOR`).
+
+use peppher_bench::{bar, overhead_json_path, write_json_section, TextTable};
+use peppher_runtime::{
+    AccessMode, Arch, Codelet, KernelCtx, Runtime, RuntimeConfig, SchedulerKind, TaskBuilder,
+};
+use peppher_sim::MachineConfig;
+use std::sync::Arc;
+use std::time::Instant;
+
+const INDEPENDENT_TASKS: usize = 1000;
+const CHAIN_TASKS: usize = 512;
+const FANOUT_READERS: usize = 512;
+const RUNS: usize = 3;
+
+/// Tasks/sec measured for the gated cell (`independent` × eager, 2 CPU
+/// workers) on the pre-overhaul runtime (commit bb13538), same machine
+/// class as CI. Recorded so the sidecar always carries the before/after
+/// pair the ≥2× acceptance criterion compares.
+const BASELINE_INDEPENDENT_EAGER: f64 = 428_379.0;
+
+/// Regression floor for the gated cell. The overhauled runtime measures
+/// ~1.31M tasks/sec on the reference machine (3.1× the committed
+/// baseline); 600k keeps a wide margin for slower CI runners while still
+/// catching any regression back toward the pre-overhaul hot path.
+/// `BENCH_OVERHEAD_FLOOR` overrides.
+const FLOOR_TASKS_PER_SEC: f64 = 600_000.0;
+
+fn empty_kernel(_ctx: &mut KernelCtx<'_>) {}
+
+fn empty_codelet(name: &str) -> Arc<Codelet> {
+    Arc::new(
+        Codelet::new(name)
+            .with_impl(Arch::Cpu, empty_kernel)
+            .with_impl(Arch::Gpu, empty_kernel),
+    )
+}
+
+fn runtime(kind: SchedulerKind) -> Runtime {
+    Runtime::with_config(
+        MachineConfig::cpu_only(2).without_noise(),
+        RuntimeConfig {
+            scheduler: kind,
+            ..RuntimeConfig::default()
+        },
+    )
+}
+
+/// Submits `n` dependency-free empty tasks and waits for them.
+fn run_independent(rt: &Runtime, cl: &Arc<Codelet>) -> usize {
+    for _ in 0..INDEPENDENT_TASKS {
+        TaskBuilder::new(cl).submit(rt);
+    }
+    rt.wait_all();
+    INDEPENDENT_TASKS
+}
+
+/// Serializes `n` tasks through one ReadWrite handle.
+fn run_chain(rt: &Runtime, cl: &Arc<Codelet>) -> usize {
+    let h = rt.register(vec![0u8; 64]);
+    for _ in 0..CHAIN_TASKS {
+        TaskBuilder::new(cl)
+            .access(&h, AccessMode::ReadWrite)
+            .submit(rt);
+    }
+    rt.wait_all();
+    let _: Vec<u8> = rt.unregister(h);
+    CHAIN_TASKS
+}
+
+/// One producer writes a handle; `FANOUT_READERS` tasks read it.
+fn run_fanout(rt: &Runtime, cl: &Arc<Codelet>) -> usize {
+    let h = rt.register(vec![0u8; 64]);
+    TaskBuilder::new(cl)
+        .access(&h, AccessMode::Write)
+        .submit(rt);
+    for _ in 0..FANOUT_READERS {
+        TaskBuilder::new(cl).access(&h, AccessMode::Read).submit(rt);
+    }
+    rt.wait_all();
+    let _: Vec<u8> = rt.unregister(h);
+    1 + FANOUT_READERS
+}
+
+/// Best-of-`RUNS` tasks/sec for one scenario under one policy. A fresh
+/// runtime per run so no warm queues or calibrated histories carry over.
+fn measure(kind: SchedulerKind, scenario: &str) -> f64 {
+    let mut best = 0.0f64;
+    for _ in 0..RUNS {
+        let rt = runtime(kind);
+        let cl = empty_codelet(scenario);
+        let t0 = Instant::now();
+        let n = match scenario {
+            "independent" => run_independent(&rt, &cl),
+            "chain" => run_chain(&rt, &cl),
+            "fanout" => run_fanout(&rt, &cl),
+            _ => unreachable!(),
+        };
+        let rate = n as f64 / t0.elapsed().as_secs_f64();
+        rt.shutdown();
+        best = best.max(rate);
+    }
+    best
+}
+
+fn main() {
+    let policies = [
+        ("eager", SchedulerKind::Eager),
+        ("dmda", SchedulerKind::Dmda),
+        ("dmdar", SchedulerKind::Dmdar),
+    ];
+    let scenarios = ["independent", "chain", "fanout"];
+
+    println!(
+        "task throughput (empty kernels, 2 CPU workers, best of {RUNS}):\n\
+         {INDEPENDENT_TASKS} independent / {CHAIN_TASKS} chained / 1+{FANOUT_READERS} fan-out\n"
+    );
+
+    let mut cells: Vec<(String, f64)> = Vec::new();
+    for scenario in scenarios {
+        for (pname, kind) in policies {
+            let rate = measure(kind, scenario);
+            cells.push((format!("{scenario}_{pname}"), rate));
+        }
+    }
+
+    let max_rate = cells.iter().map(|(_, r)| *r).fold(0.0f64, f64::max);
+    let mut table = TextTable::new(&["scenario", "policy", "tasks/sec", ""]);
+    for (name, rate) in &cells {
+        let (scenario, policy) = name.split_once('_').unwrap();
+        table.row(&[
+            scenario.into(),
+            policy.into(),
+            format!("{rate:.0}"),
+            bar(*rate, max_rate, 30),
+        ]);
+    }
+    print!("{}", table.render());
+
+    let gated = cells
+        .iter()
+        .find(|(n, _)| n == "independent_eager")
+        .map(|(_, r)| *r)
+        .unwrap();
+    let floor = std::env::var("BENCH_OVERHEAD_FLOOR")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(FLOOR_TASKS_PER_SEC);
+
+    let mut fields: Vec<(&str, String)> = vec![
+        ("tasks_independent", INDEPENDENT_TASKS.to_string()),
+        ("tasks_chain", CHAIN_TASKS.to_string()),
+        ("tasks_fanout", (1 + FANOUT_READERS).to_string()),
+        (
+            "baseline_independent_eager_tasks_per_sec",
+            format!("{BASELINE_INDEPENDENT_EAGER:.0}"),
+        ),
+        ("floor_tasks_per_sec", format!("{floor:.0}")),
+    ];
+    let rendered: Vec<(String, String)> = cells
+        .iter()
+        .map(|(n, r)| (format!("{n}_tasks_per_sec"), format!("{r:.0}")))
+        .collect();
+    for (k, v) in &rendered {
+        fields.push((k.as_str(), v.clone()));
+    }
+    let path = overhead_json_path();
+    write_json_section(&path, "task_throughput", &fields).expect("write sidecar");
+    println!(
+        "\ngated cell independent/eager: {gated:.0} tasks/sec \
+         (baseline {BASELINE_INDEPENDENT_EAGER:.0}, floor {floor:.0}); wrote {}",
+        path.display()
+    );
+
+    assert!(
+        gated >= floor,
+        "throughput regression: independent/eager {gated:.0} tasks/sec is below the floor {floor:.0}"
+    );
+    if std::env::var_os("BENCH_OVERHEAD_SKIP_2X").is_none() {
+        assert!(
+            gated >= 2.0 * BASELINE_INDEPENDENT_EAGER,
+            "independent/eager {gated:.0} tasks/sec has lost the >= 2x margin over the \
+             pre-overhaul baseline {BASELINE_INDEPENDENT_EAGER:.0} (set BENCH_OVERHEAD_SKIP_2X to waive)"
+        );
+    }
+}

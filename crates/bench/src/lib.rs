@@ -108,6 +108,17 @@ pub fn transfer_json_path() -> PathBuf {
         })
 }
 
+/// Path of the machine-readable overhead-bench sidecar: the
+/// `BENCH_OVERHEAD_JSON` env var when set, `target/BENCH_overhead.json`
+/// at the workspace root otherwise.
+pub fn overhead_json_path() -> PathBuf {
+    std::env::var_os("BENCH_OVERHEAD_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/BENCH_overhead.json")
+        })
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars) —
 /// enough for link names and section labels; no external dependency.
 pub fn json_str(s: &str) -> String {

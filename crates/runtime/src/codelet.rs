@@ -1,6 +1,7 @@
 //! Codelets: multi-architecture computations the runtime schedules.
 
 use crate::handle::PayloadBox;
+use crate::intern::CodeletId;
 use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, RawRwLock};
 use peppher_sim::KernelCost;
 use std::any::Any;
@@ -91,6 +92,10 @@ pub type PredictionFn =
 pub struct Codelet {
     /// Name; also the performance-model key prefix.
     pub name: String,
+    /// Interned identity of `name`, assigned at construction. The hot path
+    /// keys perf models and scheduler state on this `Copy` id instead of
+    /// cloning the name per task.
+    pub id: CodeletId,
     /// Available implementations, at most one per [`Arch`].
     pub impls: Vec<Implementation>,
     /// Optional programmer-provided prediction function.
@@ -100,8 +105,11 @@ pub struct Codelet {
 impl Codelet {
     /// Creates a codelet with no implementations yet.
     pub fn new(name: impl Into<String>) -> Self {
+        let name = name.into();
+        let id = CodeletId::intern(&name);
         Codelet {
-            name: name.into(),
+            name,
+            id,
             impls: Vec::new(),
             prediction: None,
         }
@@ -265,6 +273,15 @@ mod tests {
         assert_eq!(c.impls.len(), 1);
         assert!(c.has_arch(Arch::Cpu));
         assert!(!c.has_arch(Arch::Gpu));
+    }
+
+    #[test]
+    fn codelet_id_is_interned_name() {
+        let a = Codelet::new("codelet-id-test");
+        let b = Codelet::new("codelet-id-test");
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.id.as_str(), "codelet-id-test");
+        assert_ne!(Codelet::new("codelet-id-other").id, a.id);
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Global string interning for codelet names.
+//!
+//! Every [`Codelet`](crate::Codelet) interns its name once at construction;
+//! the hot path (perf-model keys, calibration round-robin state, scheduler
+//! bookkeeping) then carries a [`Sym`] — a `Copy` `u32` index — instead of
+//! cloning `String`s per task. Interned strings are leaked (`&'static str`):
+//! the set of distinct codelet names in a process is small and bounded by
+//! the program text, so this trades a few bytes per unique name for
+//! allocation-free lookups forever after.
+
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::OnceLock;
+
+/// A small `Copy` handle to an interned string.
+///
+/// Equality, hashing, and ordering are on the index, which is stable for
+/// the life of the process: interning the same string twice yields the
+/// same `Sym`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Sym(u32);
+
+/// The identity of a [`Codelet`](crate::Codelet): its interned name.
+pub type CodeletId = Sym;
+
+struct Interner {
+    by_name: HashMap<&'static str, u32>,
+    strings: Vec<&'static str>,
+}
+
+fn pool() -> &'static RwLock<Interner> {
+    static POOL: OnceLock<RwLock<Interner>> = OnceLock::new();
+    POOL.get_or_init(|| {
+        RwLock::new(Interner {
+            by_name: HashMap::new(),
+            strings: Vec::new(),
+        })
+    })
+}
+
+impl Sym {
+    /// Interns `name`, returning the existing symbol if it was seen before.
+    pub fn intern(name: &str) -> Sym {
+        {
+            let pool = pool().read();
+            if let Some(&i) = pool.by_name.get(name) {
+                return Sym(i);
+            }
+        }
+        let mut pool = pool().write();
+        if let Some(&i) = pool.by_name.get(name) {
+            return Sym(i);
+        }
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        let i = u32::try_from(pool.strings.len()).expect("interner overflow");
+        pool.strings.push(leaked);
+        pool.by_name.insert(leaked, i);
+        Sym(i)
+    }
+
+    /// The interned string. Allocation-free: returns the leaked `'static`
+    /// slice registered by [`Sym::intern`].
+    pub fn as_str(self) -> &'static str {
+        pool().read().strings[self.0 as usize]
+    }
+
+    /// The raw pool index (useful for dense side tables).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Sym({:?})", self.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_idempotent() {
+        let a = Sym::intern("intern-test-axpy");
+        let b = Sym::intern("intern-test-axpy");
+        assert_eq!(a, b);
+        assert_eq!(a.index(), b.index());
+        assert_eq!(a.as_str(), "intern-test-axpy");
+    }
+
+    #[test]
+    fn distinct_names_get_distinct_symbols() {
+        let a = Sym::intern("intern-test-a");
+        let b = Sym::intern("intern-test-b");
+        assert_ne!(a, b);
+        assert_ne!(a.index(), b.index());
+        assert_eq!(a.as_str(), "intern-test-a");
+        assert_eq!(b.as_str(), "intern-test-b");
+    }
+
+    #[test]
+    fn display_matches_source_string() {
+        let s = Sym::intern("intern-test-display");
+        assert_eq!(s.to_string(), "intern-test-display");
+        assert_eq!(format!("{s:?}"), "Sym(\"intern-test-display\")");
+    }
+
+    #[test]
+    fn concurrent_interning_converges() {
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                std::thread::spawn(move || {
+                    (0..64)
+                        .map(|i| Sym::intern(&format!("intern-race-{}", (i + t) % 16)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let all: Vec<Vec<Sym>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for syms in &all {
+            for s in syms {
+                assert!(s.as_str().starts_with("intern-race-"));
+            }
+        }
+        // Same name always resolved to the same symbol across threads.
+        let canon = Sym::intern("intern-race-0");
+        for syms in &all {
+            for s in syms {
+                if s.as_str() == "intern-race-0" {
+                    assert_eq!(*s, canon);
+                }
+            }
+        }
+    }
+}

@@ -79,6 +79,7 @@
 pub mod codelet;
 pub mod coherence;
 pub mod handle;
+pub mod intern;
 pub mod memory;
 pub mod perfmodel;
 pub mod runtime;
@@ -90,8 +91,9 @@ pub mod worker;
 pub use codelet::{Arch, ArchClass, Codelet, KernelCtx};
 pub use coherence::{Channel, Topology};
 pub use handle::{AccessMode, Data, DataHandle, ReplicaStatus};
+pub use intern::{CodeletId, Sym};
 pub use memory::{EvictionPolicy, MemoryManager, MemoryView};
-pub use perfmodel::{PerfKey, PerfRegistry};
+pub use perfmodel::{ArchClassId, PerfKey, PerfRegistry};
 pub use runtime::{HostReadGuard, HostWriteGuard, Objective, Runtime, RuntimeConfig, TimingMode};
 pub use sched::{Scheduler, SchedulerKind};
 pub use stats::{gantt, RuntimeStats, TraceEvent};

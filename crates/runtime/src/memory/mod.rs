@@ -51,6 +51,7 @@ use freelist::FreeList;
 use parking_lot::{Mutex, RwLock};
 use peppher_sim::{MachineConfig, VTime};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 /// What happens when a device memory node runs out of capacity.
@@ -125,6 +126,13 @@ impl NodeMem {
 pub struct MemoryManager {
     nodes: Vec<Mutex<NodeMem>>,
     policy: EvictionPolicy,
+    /// Bumped on every residency mutation (allocation accounting, eviction,
+    /// recycle, forget). [`MemoryManager::view`] rebuilds its cached
+    /// snapshot only when this moved — idle workers polling `view()` pay an
+    /// atomic load and an `Arc` clone instead of a full HashMap copy.
+    epoch: AtomicU64,
+    /// The epoch-tagged cached snapshot behind [`MemoryManager::view`].
+    cached_view: Mutex<Option<(u64, Arc<MemoryView>)>>,
 }
 
 /// A read-only, point-in-time snapshot of replica residency, taken with
@@ -230,7 +238,20 @@ impl MemoryManager {
                 })
             })
             .collect();
-        MemoryManager { nodes, policy }
+        MemoryManager {
+            nodes,
+            policy,
+            epoch: AtomicU64::new(0),
+            cached_view: Mutex::new(None),
+        }
+    }
+
+    /// Marks the residency state changed so the next [`MemoryManager::view`]
+    /// rebuilds its snapshot. Called by every mutation of accounted
+    /// replica bytes; pin placeholders (0-byte entries, invisible in
+    /// views) and `wont_use` flags do not count.
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
     }
 
     /// The configured out-of-capacity behavior.
@@ -248,10 +269,26 @@ impl MemoryManager {
     }
 
     /// Takes a read-only residency snapshot across every node (see
-    /// [`MemoryView`]). Each node's lock is held only long enough to copy
-    /// its id→bytes map; pin placeholders (0-byte entries) are skipped.
-    pub fn view(&self) -> MemoryView {
-        MemoryView {
+    /// [`MemoryView`]). The snapshot is epoch-cached: it is rebuilt only
+    /// when a residency mutation bumped the epoch since the last call, so
+    /// the per-pop cost on a quiescent runtime is an atomic load plus an
+    /// `Arc` clone. When rebuilding, each node's lock is held only long
+    /// enough to copy its id→bytes map; pin placeholders (0-byte entries)
+    /// are skipped.
+    pub fn view(&self) -> Arc<MemoryView> {
+        // Load the epoch BEFORE building: a mutation racing the rebuild
+        // tags the cache entry with the pre-mutation epoch, so the next
+        // call conservatively rebuilds again.
+        let epoch = self.epoch.load(Ordering::Acquire);
+        {
+            let cached = self.cached_view.lock();
+            if let Some((e, view)) = cached.as_ref() {
+                if *e == epoch {
+                    return Arc::clone(view);
+                }
+            }
+        }
+        let view = Arc::new(MemoryView {
             resident: self
                 .nodes
                 .iter()
@@ -264,6 +301,16 @@ impl MemoryManager {
                         .collect()
                 })
                 .collect(),
+        });
+        let mut cached = self.cached_view.lock();
+        // Another thread may have cached a fresher snapshot meanwhile;
+        // keep whichever carries the higher epoch.
+        match cached.as_ref() {
+            Some((e, v)) if *e > epoch => Arc::clone(v),
+            _ => {
+                *cached = Some((epoch, Arc::clone(&view)));
+                view
+            }
         }
     }
 
@@ -446,6 +493,8 @@ impl MemoryManager {
                 dead: false,
             },
         );
+        drop(nm);
+        self.bump_epoch();
     }
 
     /// Pins `handle` at `node` so it cannot be selected as an eviction
@@ -578,7 +627,11 @@ impl MemoryManager {
                 }
             };
             match selection {
-                Selection::Victim(vid, r) => self.evict(vid, r, node, topo, stats),
+                Selection::Victim(vid, r) => {
+                    // The victim already left the accounting under the lock.
+                    self.bump_epoch();
+                    self.evict(vid, r, node, topo, stats)
+                }
                 Selection::Done | Selection::Overcommit => break,
             }
         }
@@ -604,6 +657,9 @@ impl MemoryManager {
         entry.last_use = stamp;
         entry.dead = false;
         drop(nm);
+        if !already_accounted {
+            self.bump_epoch();
+        }
         match reused {
             Some(cell) => {
                 stats.record_cache_hit();
@@ -738,8 +794,9 @@ impl MemoryManager {
         stats: &StatsCollector,
     ) {
         let mut nm = self.nodes[node].lock();
+        let mut freed = 0;
         if let Some(r) = nm.residents.get_mut(&handle_id) {
-            let freed = std::mem::take(&mut r.bytes);
+            freed = std::mem::take(&mut r.bytes);
             let unpinned = r.pinned == 0;
             nm.used = nm.used.saturating_sub(freed);
             if unpinned {
@@ -756,6 +813,10 @@ impl MemoryManager {
                 }
             }
         }
+        drop(nm);
+        if freed > 0 {
+            self.bump_epoch();
+        }
     }
 
     /// Returns a cache buffer that lost an allocation race back to the
@@ -771,11 +832,16 @@ impl MemoryManager {
 
     /// Drops every node's accounting for a handle being unregistered.
     pub(crate) fn forget(&self, handle_id: u64) {
+        let mut changed = false;
         for node in &self.nodes {
             let mut nm = node.lock();
             if let Some(r) = nm.residents.remove(&handle_id) {
                 nm.used = nm.used.saturating_sub(r.bytes);
+                changed |= r.bytes > 0;
             }
+        }
+        if changed {
+            self.bump_epoch();
         }
     }
 
@@ -799,6 +865,7 @@ impl MemoryManager {
             };
             match victim {
                 Some((vid, r)) => {
+                    self.bump_epoch();
                     self.evict(vid, r, node, topo, stats);
                     evicted += 1;
                 }
@@ -1231,6 +1298,40 @@ mod tests {
         mm.pin(1, &c);
         assert!(!mm.view().is_resident(1, c.id()));
         mm.unpin(1, c.id());
+    }
+
+    #[test]
+    fn view_is_epoch_cached_until_residency_changes() {
+        let (m, topo, stats, mm) = fixture(64 * 1024);
+        let a = handle(1, 4, m.memory_nodes());
+        coherence::make_valid(&a, 1, AccessMode::Read, &topo, &stats, &mm);
+
+        // No mutation between calls: the same snapshot is shared.
+        let v1 = mm.view();
+        let v2 = mm.view();
+        assert!(Arc::ptr_eq(&v1, &v2), "quiescent views share one snapshot");
+
+        // Pinning is invisible to views and must not invalidate the cache.
+        let c = handle(3, 4, m.memory_nodes());
+        mm.pin(1, &c);
+        assert!(Arc::ptr_eq(&v1, &mm.view()));
+        mm.unpin(1, c.id());
+        assert!(Arc::ptr_eq(&v1, &mm.view()));
+
+        // A residency mutation forces a rebuild that sees the new state.
+        let b = handle(2, 8, m.memory_nodes());
+        coherence::make_valid(&b, 1, AccessMode::Read, &topo, &stats, &mm);
+        let v3 = mm.view();
+        assert!(!Arc::ptr_eq(&v1, &v3), "mutation invalidates the cache");
+        assert!(v3.is_resident(1, b.id()));
+        assert!(!v1.is_resident(1, b.id()), "old snapshot stays stale");
+
+        // Unregistration invalidates too.
+        let v4 = mm.view();
+        mm.forget(b.id());
+        let v5 = mm.view();
+        assert!(!Arc::ptr_eq(&v4, &v5));
+        assert!(!v5.is_resident(1, b.id()));
     }
 
     #[test]

@@ -9,26 +9,88 @@
 //! selection".
 
 use crate::codelet::ArchClass;
+use crate::intern::{CodeletId, Sym};
 use parking_lot::Mutex;
 use peppher_sim::VTime;
 use std::collections::HashMap;
+use std::fmt;
 
-/// Identifies one performance history.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+/// A `Copy` architecture class: the interned counterpart of [`ArchClass`],
+/// used in hot-path keys so no `String` travels with each task. GPU models
+/// are identified by their interned profile name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ArchClassId {
+    /// Single CPU core.
+    Cpu,
+    /// Whole CPU team of the given size.
+    CpuTeam(usize),
+    /// A GPU identified by its interned profile name.
+    Gpu(Sym),
+}
+
+impl ArchClassId {
+    /// Interns an [`ArchClass`] (allocation only on first sight of a GPU
+    /// model name).
+    pub fn from_class(class: &ArchClass) -> Self {
+        match class {
+            ArchClass::Cpu => ArchClassId::Cpu,
+            ArchClass::CpuTeam(n) => ArchClassId::CpuTeam(*n),
+            ArchClass::Gpu(name) => ArchClassId::Gpu(Sym::intern(name)),
+        }
+    }
+
+    /// The owned [`ArchClass`] equivalent (allocates for GPU names; only
+    /// used on rare paths such as programmer prediction functions).
+    pub fn to_class(self) -> ArchClass {
+        match self {
+            ArchClassId::Cpu => ArchClass::Cpu,
+            ArchClassId::CpuTeam(n) => ArchClass::CpuTeam(n),
+            ArchClassId::Gpu(name) => ArchClass::Gpu(name.as_str().to_string()),
+        }
+    }
+}
+
+impl fmt::Display for ArchClassId {
+    /// Same text as [`ArchClass`]'s `Display`, so the perf-model file
+    /// format is unchanged.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchClassId::Cpu => write!(f, "cpu"),
+            ArchClassId::CpuTeam(n) => write!(f, "cpu-team{n}"),
+            ArchClassId::Gpu(name) => write!(f, "gpu:{name}"),
+        }
+    }
+}
+
+/// Identifies one performance history. `Copy` — built per dispatch on the
+/// worker hot path without touching the heap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PerfKey {
-    /// Codelet name.
-    pub codelet: String,
+    /// Interned codelet name.
+    pub codelet: CodeletId,
     /// Architecture class (CPU core, CPU team, specific GPU model).
-    pub arch: ArchClass,
+    pub arch: ArchClassId,
     /// Data-size bucket (log₂ of the footprint in bytes).
     pub bucket: u32,
 }
 
 impl PerfKey {
-    /// Builds a key for a codelet execution over `footprint` bytes.
+    /// Builds a key for a codelet execution over `footprint` bytes,
+    /// interning the name and arch class. Convenient for tests and tools;
+    /// the dispatch path uses [`PerfKey::for_codelet`] with ids already in
+    /// hand.
     pub fn new(codelet: &str, arch: ArchClass, footprint: u64) -> Self {
+        PerfKey::for_codelet(
+            Sym::intern(codelet),
+            ArchClassId::from_class(&arch),
+            footprint,
+        )
+    }
+
+    /// Builds a key from pre-interned parts — the allocation-free hot path.
+    pub fn for_codelet(codelet: CodeletId, arch: ArchClassId, footprint: u64) -> Self {
         PerfKey {
-            codelet: codelet.to_string(),
+            codelet,
             arch,
             bucket: footprint_bucket(footprint),
         }
@@ -175,9 +237,10 @@ impl PerfRegistry {
                 return Err(format!("line {}: expected 6 fields", lineno + 1));
             }
             let err = |what: &str| format!("line {}: bad {what}", lineno + 1);
+            let arch: ArchClass = fields[1].parse().map_err(|_| err("arch class"))?;
             let key = PerfKey {
-                codelet: fields[0].to_string(),
-                arch: fields[1].parse().map_err(|_| err("arch class"))?,
+                codelet: Sym::intern(fields[0]),
+                arch: ArchClassId::from_class(&arch),
                 bucket: fields[2].parse().map_err(|_| err("bucket"))?,
             };
             let history = History {
@@ -255,8 +318,8 @@ mod tests {
         let reg = PerfRegistry::new(1);
         let cpu = PerfKey::new("k", ArchClass::Cpu, 1000);
         let gpu = PerfKey::new("k", ArchClass::Gpu("g".into()), 1000);
-        reg.record(cpu.clone(), VTime::from_micros(100));
-        reg.record(gpu.clone(), VTime::from_micros(5));
+        reg.record(cpu, VTime::from_micros(100));
+        reg.record(gpu, VTime::from_micros(5));
         assert_eq!(reg.expected(&cpu), Some(VTime::from_micros(100)));
         assert_eq!(reg.expected(&gpu), Some(VTime::from_micros(5)));
         assert_eq!(reg.key_count(), 2);
@@ -334,6 +397,33 @@ mod tests {
         }
         assert!("bogus".parse::<ArchClass>().is_err());
         assert!("cpu-teamX".parse::<ArchClass>().is_err());
+    }
+
+    #[test]
+    fn for_codelet_matches_interned_new() {
+        let by_str = PerfKey::new("k-fc", ArchClass::Gpu("Tesla C2050".into()), 4096);
+        let by_id = PerfKey::for_codelet(
+            Sym::intern("k-fc"),
+            ArchClassId::Gpu(Sym::intern("Tesla C2050")),
+            4096,
+        );
+        assert_eq!(by_str, by_id);
+        // PerfKey is Copy: both of these uses read the same value.
+        let copy = by_id;
+        assert_eq!(copy, by_id);
+    }
+
+    #[test]
+    fn arch_class_id_round_trips() {
+        for class in [
+            ArchClass::Cpu,
+            ArchClass::CpuTeam(8),
+            ArchClass::Gpu("Tesla C1060".into()),
+        ] {
+            let id = ArchClassId::from_class(&class);
+            assert_eq!(id.to_class(), class);
+            assert_eq!(id.to_string(), class.to_string());
+        }
     }
 
     #[test]

@@ -4,7 +4,7 @@ use crate::coherence::{self, Topology};
 use crate::handle::{AccessMode, Data, DataHandle, PayloadBox};
 use crate::memory::{EvictionPolicy, MemoryManager};
 use crate::perfmodel::PerfRegistry;
-use crate::sched::{make_scheduler, SchedCtx, Scheduler, SchedulerKind};
+use crate::sched::{make_scheduler, SchedCtx, Scheduler, SchedulerKind, WorkerClasses};
 use crate::stats::{RuntimeStats, StatsCollector, TraceEvent};
 use crate::task::{Task, TaskBuilder, TaskHandle};
 use crate::worker;
@@ -103,6 +103,15 @@ impl Default for RuntimeConfig {
     }
 }
 
+/// One worker's parking spot. The token (guarded by the mutex) makes
+/// wakeups lossless: a producer that sets it before the worker blocks is
+/// observed by the `while !*token` recheck inside the lock, so a notify
+/// can never slip between the worker's last pop attempt and its wait.
+pub(crate) struct Parker {
+    pub token: Mutex<bool>,
+    pub cv: Condvar,
+}
+
 pub(crate) struct RuntimeInner {
     pub machine: MachineConfig,
     pub config: RuntimeConfig,
@@ -111,14 +120,25 @@ pub(crate) struct RuntimeInner {
     pub sched: Box<dyn Scheduler>,
     pub perf: Arc<PerfRegistry>,
     pub stats: StatsCollector,
+    /// Interned arch-class lookup shared with schedulers and workers.
+    pub classes: WorkerClasses,
     /// Actual virtual clock per worker.
     pub timelines: Mutex<Vec<VTime>>,
     pub noise: Mutex<NoiseModel>,
-    pub pending: Mutex<u64>,
+    /// Submitted-but-unfinished task count. The condvar handshake only
+    /// happens on the transition to zero, so per-task bookkeeping is one
+    /// atomic op at submit and one at completion.
+    pub pending: AtomicU64,
+    pub done_mx: Mutex<()>,
     pub all_done: Condvar,
     pub shutdown: AtomicBool,
-    pub work_mx: Mutex<()>,
-    pub work_cv: Condvar,
+    /// Per-worker parking spots for targeted wakeups.
+    pub parkers: Vec<Parker>,
+    /// `idle[w]` is set by worker `w` just before it parks and cleared by
+    /// whoever wakes it. Producers only touch the parker of a worker whose
+    /// flag they successfully swapped from `true`, so a submit wakes at
+    /// most one thread instead of broadcasting to all of them.
+    pub idle: Vec<AtomicBool>,
     threads: Mutex<Vec<JoinHandle<()>>>,
     /// Number of live user-facing `Runtime` clones (workers excluded).
     user_handles: AtomicU64,
@@ -136,11 +156,12 @@ impl RuntimeInner {
             memory: &self.memory,
             config: &self.config,
             stats: &self.stats,
+            classes: &self.classes,
         }
     }
 
     pub(crate) fn push_ready(&self, task: Arc<Task>) {
-        self.sched.push_ready(Arc::clone(&task), &self.sched_ctx());
+        let target = self.sched.push_ready(Arc::clone(&task), &self.sched_ctx());
         // Prefetch: every dependency has completed (that is what made the
         // task ready), so its input data is final and can start moving to
         // the placed worker's memory node right away. Eviction-aware: a
@@ -185,13 +206,47 @@ impl RuntimeInner {
                 }
             }
         }
-        self.work_cv.notify_all();
+        match target {
+            Some(w) => self.wake_worker(w),
+            None => self.wake_any_for(&task),
+        }
+    }
+
+    /// Wakes worker `w` if it is parked (or about to park). The idle flag
+    /// is swap-claimed so concurrent producers pay one notify between them.
+    pub(crate) fn wake_worker(&self, w: usize) {
+        if self.idle[w].swap(false, Ordering::SeqCst) {
+            let mut token = self.parkers[w].token.lock();
+            *token = true;
+            self.parkers[w].cv.notify_one();
+        }
+    }
+
+    /// For centrally-queued tasks (scheduler returned no target): wake one
+    /// idle worker that can actually run the task. Workers that stay busy
+    /// discover the task themselves on their next pop.
+    fn wake_any_for(&self, task: &Task) {
+        for w in 0..self.idle.len() {
+            if !self.idle[w].load(Ordering::SeqCst) {
+                continue;
+            }
+            if !task.runnable_on(w, self.machine.worker_is_gpu(w)) {
+                continue;
+            }
+            if self.idle[w].swap(false, Ordering::SeqCst) {
+                let mut token = self.parkers[w].token.lock();
+                *token = true;
+                self.parkers[w].cv.notify_one();
+                return;
+            }
+        }
     }
 
     pub(crate) fn task_finished(&self) {
-        let mut p = self.pending.lock();
-        *p -= 1;
-        if *p == 0 {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            // Take the lock so the notify cannot race a `wait_all` that
+            // observed a non-zero count but has not blocked yet.
+            let _guard = self.done_mx.lock();
             self.all_done.notify_all();
         }
     }
@@ -261,11 +316,18 @@ impl Runtime {
                 machine.noise_seed,
                 machine.noise_rel_stddev,
             )),
-            pending: Mutex::new(0),
+            classes: WorkerClasses::new(&machine),
+            pending: AtomicU64::new(0),
+            done_mx: Mutex::new(()),
             all_done: Condvar::new(),
             shutdown: AtomicBool::new(false),
-            work_mx: Mutex::new(()),
-            work_cv: Condvar::new(),
+            parkers: (0..workers)
+                .map(|_| Parker {
+                    token: Mutex::new(false),
+                    cv: Condvar::new(),
+                })
+                .collect(),
+            idle: (0..workers).map(|_| AtomicBool::new(false)).collect(),
             threads: Mutex::new(Vec::new()),
             user_handles: AtomicU64::new(1),
             next_task: AtomicU64::new(1),
@@ -321,7 +383,7 @@ impl Runtime {
             }
         }
 
-        *self.inner.pending.lock() += 1;
+        self.inner.pending.fetch_add(1, Ordering::SeqCst);
 
         // Sequential data consistency: collect implicit dependencies.
         // `link` counts each created edge on the successor *before*
@@ -345,9 +407,14 @@ impl Runtime {
 
     /// Blocks until every submitted task has executed.
     pub fn wait_all(&self) {
-        let mut p = self.inner.pending.lock();
-        while *p > 0 {
-            self.inner.all_done.wait(&mut p);
+        if self.inner.pending.load(Ordering::SeqCst) == 0 {
+            return;
+        }
+        let mut guard = self.inner.done_mx.lock();
+        // Recheck under the lock: `task_finished` notifies while holding
+        // `done_mx`, so a zero observed here can no longer race the wait.
+        while self.inner.pending.load(Ordering::SeqCst) > 0 {
+            self.inner.all_done.wait(&mut guard);
         }
     }
 
@@ -546,7 +613,14 @@ impl Runtime {
     pub fn shutdown(&self) {
         self.wait_all();
         self.inner.shutdown.store(true, Ordering::SeqCst);
-        self.inner.work_cv.notify_all();
+        // Hand every worker a wake token so parked threads observe the
+        // shutdown flag; setting it under the parker lock pairs with the
+        // recheck in the worker's wait loop.
+        for p in &self.inner.parkers {
+            let mut token = p.token.lock();
+            *token = true;
+            p.cv.notify_one();
+        }
         let mut threads = self.inner.threads.lock();
         for t in threads.drain(..) {
             let _ = t.join();

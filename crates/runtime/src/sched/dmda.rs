@@ -20,8 +20,9 @@
 //! reuse it verbatim: dmdar is dmda's placement plus a readiness reorder on
 //! the pop path.
 
-use super::{arch_class, options_for, SchedCtx, Scheduler};
+use super::{options_for, SchedCtx, Scheduler};
 use crate::codelet::Arch;
+use crate::intern::CodeletId;
 use crate::memory::MemoryView;
 use crate::perfmodel::PerfKey;
 use crate::task::{ExecChoice, Task};
@@ -38,8 +39,8 @@ use std::sync::Arc;
 pub(crate) struct DmdaCore {
     /// Predicted residual occupancy of each worker's queue.
     pub(crate) queued_pred: Mutex<Vec<VTime>>,
-    /// Round-robin counters for calibration, per codelet name.
-    calib_rr: Mutex<HashMap<String, usize>>,
+    /// Round-robin counters for calibration, per codelet.
+    calib_rr: Mutex<HashMap<CodeletId, usize>>,
 }
 
 impl DmdaCore {
@@ -58,8 +59,8 @@ impl DmdaCore {
         arch: Arch,
         ctx: &SchedCtx<'_>,
     ) -> (Option<VTime>, bool) {
-        let class = arch_class(arch, ctx.machine, worker);
-        let key = PerfKey::new(&task.codelet.name, class.clone(), task.footprint());
+        let class = ctx.classes.class_id(arch, worker);
+        let key = PerfKey::for_codelet(task.codelet.id, class, task.footprint());
 
         if task.use_history.unwrap_or(ctx.config.use_history) {
             if let Some(t) = ctx.perf.expected(&key) {
@@ -72,9 +73,11 @@ impl DmdaCore {
         }
 
         // History disabled (`useHistoryModels=false`): prediction function,
-        // else the static device model.
+        // else the static device model. Predictions keep their public
+        // `&ArchClass` signature; the conversion allocates only on this
+        // rare path.
         if let Some(pred) = &task.codelet.prediction {
-            if let Some(t) = pred(&class, &task.cost) {
+            if let Some(t) = pred(&class.to_class(), &task.cost) {
                 return (Some(t), false);
             }
         }
@@ -202,7 +205,7 @@ impl DmdaCore {
         if !uncal_classes.is_empty() {
             let class = {
                 let mut rr = self.calib_rr.lock();
-                let counter = rr.entry(task.codelet.name.clone()).or_insert(0);
+                let counter = rr.entry(task.codelet.id).or_insert(0);
                 let class = uncal_classes[*counter % uncal_classes.len()];
                 *counter += 1;
                 class
@@ -304,9 +307,14 @@ impl DmdaScheduler {
 }
 
 impl Scheduler for DmdaScheduler {
-    fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) {
+    fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
         let w = self.core.place(&task, ctx);
         self.queues[w].lock().push_back(task);
+        Some(w)
+    }
+
+    fn has_ready(&self, worker: usize) -> bool {
+        !self.queues[worker].lock().is_empty()
     }
 
     fn pop_for_worker(
@@ -353,6 +361,7 @@ pub(crate) mod tests {
         pub memory: MemoryManager,
         pub config: RuntimeConfig,
         pub stats: StatsCollector,
+        pub classes: crate::sched::WorkerClasses,
     }
 
     impl Fixture {
@@ -361,6 +370,7 @@ pub(crate) mod tests {
             let topo = Topology::new(&machine);
             let memory = MemoryManager::new(&machine, config.eviction, true);
             let stats = StatsCollector::new(machine.total_workers(), false);
+            let classes = crate::sched::WorkerClasses::new(&machine);
             Fixture {
                 perf: PerfRegistry::default(),
                 timelines,
@@ -368,6 +378,7 @@ pub(crate) mod tests {
                 memory,
                 config,
                 stats,
+                classes,
                 machine,
             }
         }
@@ -380,6 +391,7 @@ pub(crate) mod tests {
                 memory: &self.memory,
                 config: &self.config,
                 stats: &self.stats,
+                classes: &self.classes,
             }
         }
     }

@@ -94,9 +94,14 @@ impl DmdarScheduler {
 }
 
 impl Scheduler for DmdarScheduler {
-    fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) {
+    fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
         let w = self.core.place(&task, ctx);
         self.queues[w].lock().push_back(Entry { task, skipped: 0 });
+        Some(w)
+    }
+
+    fn has_ready(&self, worker: usize) -> bool {
+        !self.queues[worker].lock().is_empty()
     }
 
     fn pop_for_worker(

@@ -5,21 +5,37 @@ use crate::memory::MemoryView;
 use crate::task::Task;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+
+struct EagerQueue {
+    q: VecDeque<Arc<Task>>,
+    /// Queued tasks with non-default (non-zero) priority. When this is 0
+    /// every queued task has priority 0 and the highest-priority scan
+    /// degenerates to "first runnable" — an O(1) pop on the common path.
+    prioritized: usize,
+}
 
 /// One global FIFO; an idle worker takes the highest-priority task it is
 /// able to execute (StarPU's `eager` policy). The pull API is per-worker,
 /// but eager deliberately keeps a single shared queue — late binding *is*
 /// the policy: no task commits to a worker before one asks for it.
 pub struct EagerScheduler {
-    queue: Mutex<VecDeque<Arc<Task>>>,
+    queue: Mutex<EagerQueue>,
+    /// Queue length mirror, maintained under the queue lock, so
+    /// [`Scheduler::has_ready`] is a lock-free load.
+    len: AtomicUsize,
 }
 
 impl EagerScheduler {
     /// Creates an empty scheduler.
     pub fn new() -> Self {
         EagerScheduler {
-            queue: Mutex::new(VecDeque::new()),
+            queue: Mutex::new(EagerQueue {
+                q: VecDeque::new(),
+                prioritized: 0,
+            }),
+            len: AtomicUsize::new(0),
         }
     }
 }
@@ -31,8 +47,18 @@ impl Default for EagerScheduler {
 }
 
 impl Scheduler for EagerScheduler {
-    fn push_ready(&self, task: Arc<Task>, _ctx: &SchedCtx<'_>) {
-        self.queue.lock().push_back(task);
+    fn push_ready(&self, task: Arc<Task>, _ctx: &SchedCtx<'_>) -> Option<usize> {
+        let mut inner = self.queue.lock();
+        if task.priority != 0 {
+            inner.prioritized += 1;
+        }
+        inner.q.push_back(task);
+        self.len.store(inner.q.len(), Ordering::Release);
+        None
+    }
+
+    fn has_ready(&self, _worker: usize) -> bool {
+        self.len.load(Ordering::Acquire) > 0
     }
 
     fn pop_for_worker(
@@ -43,19 +69,31 @@ impl Scheduler for EagerScheduler {
     ) -> Option<Arc<Task>> {
         let is_gpu = ctx.machine.worker_is_gpu(worker);
         let (task, depth) = {
-            let mut q = self.queue.lock();
-            let depth = q.len();
-            // Highest priority first; FIFO among equals.
-            let mut best: Option<(usize, i32)> = None;
-            for (i, t) in q.iter().enumerate() {
-                if t.runnable_on(worker, is_gpu) {
-                    match best {
-                        Some((_, p)) if p >= t.priority => {}
-                        _ => best = Some((i, t.priority)),
+            let mut inner = self.queue.lock();
+            let depth = inner.q.len();
+            let best = if inner.prioritized == 0 {
+                // All priorities equal: first runnable is the decision the
+                // full scan below would make.
+                inner.q.iter().position(|t| t.runnable_on(worker, is_gpu))
+            } else {
+                // Highest priority first; FIFO among equals.
+                let mut best: Option<(usize, i32)> = None;
+                for (i, t) in inner.q.iter().enumerate() {
+                    if t.runnable_on(worker, is_gpu) {
+                        match best {
+                            Some((_, p)) if p >= t.priority => {}
+                            _ => best = Some((i, t.priority)),
+                        }
                     }
                 }
+                best.map(|(i, _)| i)
+            };
+            let task = best.and_then(|i| inner.q.remove(i))?;
+            if task.priority != 0 {
+                inner.prioritized -= 1;
             }
-            (best.and_then(|(i, _)| q.remove(i))?, depth)
+            self.len.store(inner.q.len(), Ordering::Release);
+            (task, depth)
         };
         let node = ctx.machine.worker_memory_node(worker);
         let resident = view.resident_read_bytes(node, &task.accesses);
@@ -72,6 +110,7 @@ mod tests {
     use crate::memory::{EvictionPolicy, MemoryManager};
     use crate::perfmodel::PerfRegistry;
     use crate::runtime::RuntimeConfig;
+    use crate::sched::WorkerClasses;
     use crate::stats::StatsCollector;
     use crate::task::TaskBuilder;
     use peppher_sim::MachineConfig;
@@ -83,6 +122,7 @@ mod tests {
         MemoryManager,
         RuntimeConfig,
         StatsCollector,
+        WorkerClasses,
     );
 
     fn ctx_fixture(machine: &MachineConfig) -> CtxParts {
@@ -93,6 +133,7 @@ mod tests {
             MemoryManager::new(machine, EvictionPolicy::Lru, true),
             RuntimeConfig::default(),
             StatsCollector::new(machine.total_workers(), false),
+            WorkerClasses::new(machine),
         )
     }
 
@@ -111,7 +152,7 @@ mod tests {
     #[test]
     fn pop_skips_incompatible_tasks() {
         let machine = MachineConfig::c2050_platform(1);
-        let (perf, timelines, topo, memory, config, stats) = ctx_fixture(&machine);
+        let (perf, timelines, topo, memory, config, stats, classes) = ctx_fixture(&machine);
         let ctx = SchedCtx {
             machine: &machine,
             perf: &perf,
@@ -120,11 +161,14 @@ mod tests {
             memory: &memory,
             config: &config,
             stats: &stats,
+            classes: &classes,
         };
         let view = memory.view();
         let s = EagerScheduler::new();
+        assert!(!s.has_ready(0));
         s.push_ready(task(&[Arch::Gpu], 0), &ctx);
         s.push_ready(task(&[Arch::Cpu], 0), &ctx);
+        assert!(s.has_ready(0));
 
         // CPU worker 0 must skip the GPU-only task and take the CPU one.
         let got = s
@@ -137,12 +181,13 @@ mod tests {
             .expect("gpu task available");
         assert!(got.codelet.has_arch(Arch::Gpu));
         assert!(s.pop_for_worker(0, &view, &ctx).is_none());
+        assert!(!s.has_ready(0));
     }
 
     #[test]
     fn pop_prefers_higher_priority() {
         let machine = MachineConfig::cpu_only(1);
-        let (perf, timelines, topo, memory, config, stats) = ctx_fixture(&machine);
+        let (perf, timelines, topo, memory, config, stats, classes) = ctx_fixture(&machine);
         let ctx = SchedCtx {
             machine: &machine,
             perf: &perf,
@@ -151,6 +196,7 @@ mod tests {
             memory: &memory,
             config: &config,
             stats: &stats,
+            classes: &classes,
         };
         let view = memory.view();
         let s = EagerScheduler::new();

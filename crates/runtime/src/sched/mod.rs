@@ -32,8 +32,9 @@ pub mod ws;
 
 use crate::codelet::{Arch, ArchClass};
 use crate::coherence::Topology;
+use crate::intern::Sym;
 use crate::memory::{MemoryManager, MemoryView};
-use crate::perfmodel::PerfRegistry;
+use crate::perfmodel::{ArchClassId, PerfRegistry};
 use crate::runtime::RuntimeConfig;
 use crate::stats::StatsCollector;
 use crate::task::Task;
@@ -92,13 +93,62 @@ pub struct SchedCtx<'a> {
     pub config: &'a RuntimeConfig,
     /// Statistics sink for queue-depth / reorder instrumentation.
     pub stats: &'a StatsCollector,
+    /// Pre-interned per-worker architecture classes (no `String` clone per
+    /// placement decision).
+    pub classes: &'a WorkerClasses,
+}
+
+/// Pre-interned [`ArchClassId`]s for every worker of a machine, computed
+/// once at runtime construction so the dispatch path never re-interns or
+/// clones GPU model names.
+#[derive(Debug)]
+pub struct WorkerClasses {
+    team: ArchClassId,
+    per_worker: Vec<ArchClassId>,
+}
+
+impl WorkerClasses {
+    /// Builds the table for `machine`.
+    pub fn new(machine: &MachineConfig) -> Self {
+        let per_worker = (0..machine.total_workers())
+            .map(|w| {
+                if w >= machine.cpu_workers {
+                    ArchClassId::Gpu(Sym::intern(&machine.worker_profile(w).name))
+                } else {
+                    ArchClassId::Cpu
+                }
+            })
+            .collect();
+        WorkerClasses {
+            team: ArchClassId::CpuTeam(machine.cpu_workers),
+            per_worker,
+        }
+    }
+
+    /// The performance-model class of running `arch` on `worker` —
+    /// the `Copy` equivalent of [`arch_class`].
+    pub fn class_id(&self, arch: Arch, worker: usize) -> ArchClassId {
+        match arch {
+            Arch::Cpu => ArchClassId::Cpu,
+            Arch::CpuTeam => self.team,
+            Arch::Gpu => self.per_worker[worker],
+        }
+    }
 }
 
 /// A scheduling policy over per-worker ready queues.
 pub trait Scheduler: Send + Sync {
     /// Accepts a task whose dependencies are all satisfied. Placing
-    /// policies decide the target worker here and enqueue on its queue.
-    fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>);
+    /// policies decide the target worker here, enqueue on its queue, and
+    /// return the chosen worker so the runtime can wake exactly that
+    /// worker; `None` means any eligible worker may take it (central
+    /// queue).
+    fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize>;
+    /// Cheap check whether `pop_for_worker(worker, ..)` could possibly
+    /// return a task — idle workers consult this before paying for a
+    /// residency snapshot, so it may over-approximate (return `true` for a
+    /// task the worker cannot run) but must never under-approximate.
+    fn has_ready(&self, worker: usize) -> bool;
     /// Hands worker `worker` its next task, if any. `view` is a residency
     /// snapshot taken just before the call — one consistent picture of
     /// device memory for the whole queue scan.
@@ -222,5 +272,24 @@ mod tests {
             ArchClass::Gpu("Tesla C1060".into())
         );
         assert_eq!(arch_class(Arch::CpuTeam, &m, 0), ArchClass::CpuTeam(2));
+    }
+
+    #[test]
+    fn worker_classes_match_arch_class() {
+        let m = MachineConfig::c1060_platform(2);
+        let classes = WorkerClasses::new(&m);
+        for w in 0..m.total_workers() {
+            for arch in [Arch::Cpu, Arch::CpuTeam, Arch::Gpu] {
+                // GPU class is only meaningful for GPU workers.
+                if arch == Arch::Gpu && w < m.cpu_workers {
+                    continue;
+                }
+                assert_eq!(
+                    classes.class_id(arch, w).to_class(),
+                    arch_class(arch, &m, w),
+                    "worker {w} arch {arch:?}"
+                );
+            }
+        }
     }
 }

@@ -27,7 +27,7 @@ impl RandomScheduler {
 }
 
 impl Scheduler for RandomScheduler {
-    fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) {
+    fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
         let opts = options_for(&task, ctx.machine);
         assert!(
             !opts.is_empty(),
@@ -42,6 +42,11 @@ impl Scheduler for RandomScheduler {
             pred_delta: VTime::ZERO,
         });
         self.queues[worker].lock().push_back(task);
+        Some(worker)
+    }
+
+    fn has_ready(&self, worker: usize) -> bool {
+        !self.queues[worker].lock().is_empty()
     }
 
     fn pop_for_worker(
@@ -70,6 +75,7 @@ mod tests {
     use crate::memory::{EvictionPolicy, MemoryManager};
     use crate::perfmodel::PerfRegistry;
     use crate::runtime::RuntimeConfig;
+    use crate::sched::WorkerClasses;
     use crate::stats::StatsCollector;
     use crate::task::TaskBuilder;
     use peppher_sim::MachineConfig;
@@ -83,6 +89,7 @@ mod tests {
         let memory = MemoryManager::new(&machine, EvictionPolicy::Lru, true);
         let config = RuntimeConfig::default();
         let stats = StatsCollector::new(machine.total_workers(), false);
+        let classes = WorkerClasses::new(&machine);
         let ctx = SchedCtx {
             machine: &machine,
             perf: &perf,
@@ -91,6 +98,7 @@ mod tests {
             memory: &memory,
             config: &config,
             stats: &stats,
+            classes: &classes,
         };
         let view = memory.view();
 
@@ -125,6 +133,7 @@ mod tests {
         let memory = MemoryManager::new(&machine, EvictionPolicy::Lru, true);
         let config = RuntimeConfig::default();
         let stats = StatsCollector::new(machine.total_workers(), false);
+        let classes = WorkerClasses::new(&machine);
         let ctx = SchedCtx {
             machine: &machine,
             perf: &perf,
@@ -133,6 +142,7 @@ mod tests {
             memory: &memory,
             config: &config,
             stats: &stats,
+            classes: &classes,
         };
         let view = memory.view();
         let codelet = Arc::new(

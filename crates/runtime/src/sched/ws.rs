@@ -29,7 +29,7 @@ impl WsScheduler {
 }
 
 impl Scheduler for WsScheduler {
-    fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) {
+    fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
         let opts = options_for(&task, ctx.machine);
         assert!(
             !opts.is_empty(),
@@ -43,6 +43,12 @@ impl Scheduler for WsScheduler {
             .min_by_key(|&(w, _)| self.queues[w].lock().len())
             .expect("non-empty options");
         self.queues[worker].lock().push_back(task);
+        Some(worker)
+    }
+
+    fn has_ready(&self, _worker: usize) -> bool {
+        // Any queue may feed this worker via stealing.
+        self.queues.iter().any(|q| !q.lock().is_empty())
     }
 
     fn pop_for_worker(
@@ -94,6 +100,7 @@ mod tests {
     use crate::memory::{EvictionPolicy, MemoryManager};
     use crate::perfmodel::PerfRegistry;
     use crate::runtime::RuntimeConfig;
+    use crate::sched::WorkerClasses;
     use crate::stats::StatsCollector;
     use crate::task::TaskBuilder;
     use peppher_sim::MachineConfig;
@@ -106,6 +113,7 @@ mod tests {
         memory: MemoryManager,
         config: RuntimeConfig,
         stats: StatsCollector,
+        classes: WorkerClasses,
     }
 
     impl Fixture {
@@ -114,6 +122,7 @@ mod tests {
             let topo = Topology::new(&machine);
             let memory = MemoryManager::new(&machine, EvictionPolicy::Lru, true);
             let stats = StatsCollector::new(machine.total_workers(), false);
+            let classes = WorkerClasses::new(&machine);
             Fixture {
                 perf: PerfRegistry::default(),
                 timelines,
@@ -121,6 +130,7 @@ mod tests {
                 memory,
                 config: RuntimeConfig::default(),
                 stats,
+                classes,
                 machine,
             }
         }
@@ -133,6 +143,7 @@ mod tests {
                 memory: &self.memory,
                 config: &self.config,
                 stats: &self.stats,
+                classes: &self.classes,
             }
         }
     }

@@ -101,12 +101,43 @@ pub enum TraceEvent {
     },
 }
 
+/// Per-worker counters, padded to a cache line so workers hammering their
+/// own cell never false-share with a neighbour. Each cell has exactly one
+/// writer (its worker), so plain relaxed load-add-store is race-free;
+/// `snapshot` tolerates slight skew like the old locked counters did.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct WorkerCell {
+    tasks: AtomicU64,
+    busy_ns: AtomicU64,
+    /// Modelled energy in millijoules, stored as `f64::to_bits`.
+    energy_mj_bits: AtomicU64,
+}
+
+impl WorkerCell {
+    #[inline]
+    fn add_task(&self, busy_ns: u64) {
+        self.tasks
+            .store(self.tasks.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
+        self.busy_ns.store(
+            self.busy_ns.load(Ordering::Relaxed) + busy_ns,
+            Ordering::Relaxed,
+        );
+    }
+
+    #[inline]
+    fn add_energy_mj(&self, mj: f64) {
+        let cur = f64::from_bits(self.energy_mj_bits.load(Ordering::Relaxed));
+        self.energy_mj_bits
+            .store((cur + mj).to_bits(), Ordering::Relaxed);
+    }
+}
+
 /// Internal mutable collector shared by workers. Public only so scheduler
 /// implementations can reach it through [`crate::sched::SchedCtx`]; all
 /// recording methods stay crate-private.
 #[derive(Debug, Default)]
 pub struct StatsCollector {
-    pub tasks_executed: AtomicU64,
     pub h2d_transfers: AtomicU64,
     pub d2h_transfers: AtomicU64,
     /// Direct device→device transfers over peer-to-peer links.
@@ -120,10 +151,10 @@ pub struct StatsCollector {
     pub transfer_joins: AtomicU64,
     /// Maximum virtual finish time observed (the makespan), in ns.
     pub makespan_ns: AtomicU64,
-    /// Busy virtual time per worker, in ns.
-    pub busy_ns: Mutex<Vec<u64>>,
-    /// Tasks executed per worker.
-    pub tasks_per_worker: Mutex<Vec<u64>>,
+    /// One padded counter cell per worker (tasks, busy ns, energy).
+    /// Sharded so the per-task hot path touches only its own cache line;
+    /// totals are aggregated in [`StatsCollector::snapshot`].
+    cells: Vec<WorkerCell>,
     pub trace: Mutex<Vec<TraceEvent>>,
     pub trace_enabled: bool,
     /// Kernels that panicked (contained by the worker).
@@ -146,19 +177,23 @@ pub struct StatsCollector {
     pub dispatch_resident_bytes: AtomicU64,
     /// Deepest per-worker ready queue observed at any pop.
     pub max_queue_depth: AtomicU64,
-    /// Modelled energy per worker, in millijoules (integer for atomicity).
-    pub energy_mj: Mutex<Vec<f64>>,
 }
 
 impl StatsCollector {
     pub(crate) fn new(workers: usize, trace_enabled: bool) -> Self {
         StatsCollector {
-            busy_ns: Mutex::new(vec![0; workers]),
-            tasks_per_worker: Mutex::new(vec![0; workers]),
-            energy_mj: Mutex::new(vec![0.0; workers]),
+            cells: (0..workers).map(|_| WorkerCell::default()).collect(),
             trace_enabled,
             ..Default::default()
         }
+    }
+
+    /// Whether the event trace is being recorded. Inlined so hot paths can
+    /// skip building [`TraceEvent`]s (and their `String` clones) entirely
+    /// when tracing is off.
+    #[inline]
+    pub fn tracing_enabled(&self) -> bool {
+        self.trace_enabled
     }
 
     pub(crate) fn record_event(&self, ev: TraceEvent) {
@@ -222,20 +257,22 @@ impl StatsCollector {
     }
 
     pub(crate) fn record_task(&self, worker: usize, busy: VTime, vfinish: VTime) {
-        self.tasks_executed.fetch_add(1, Ordering::Relaxed);
         self.makespan_ns
             .fetch_max(vfinish.as_nanos(), Ordering::Relaxed);
-        self.busy_ns.lock()[worker] += busy.as_nanos();
-        self.tasks_per_worker.lock()[worker] += 1;
+        self.cells[worker].add_task(busy.as_nanos());
     }
 
     pub(crate) fn record_energy(&self, worker: usize, joules: f64) {
-        self.energy_mj.lock()[worker] += joules * 1e3;
+        self.cells[worker].add_energy_mj(joules * 1e3);
     }
 
     pub(crate) fn snapshot(&self) -> RuntimeStats {
         RuntimeStats {
-            tasks_executed: self.tasks_executed.load(Ordering::Relaxed),
+            tasks_executed: self
+                .cells
+                .iter()
+                .map(|c| c.tasks.load(Ordering::Relaxed))
+                .sum(),
             h2d_transfers: self.h2d_transfers.load(Ordering::Relaxed),
             d2h_transfers: self.d2h_transfers.load(Ordering::Relaxed),
             d2d_transfers: self.d2d_transfers.load(Ordering::Relaxed),
@@ -245,14 +282,21 @@ impl StatsCollector {
             transfer_joins: self.transfer_joins.load(Ordering::Relaxed),
             makespan: VTime::from_nanos(self.makespan_ns.load(Ordering::Relaxed)),
             busy: self
-                .busy_ns
-                .lock()
+                .cells
                 .iter()
-                .map(|&ns| VTime::from_nanos(ns))
+                .map(|c| VTime::from_nanos(c.busy_ns.load(Ordering::Relaxed)))
                 .collect(),
-            tasks_per_worker: self.tasks_per_worker.lock().clone(),
+            tasks_per_worker: self
+                .cells
+                .iter()
+                .map(|c| c.tasks.load(Ordering::Relaxed))
+                .collect(),
             kernel_failures: self.kernel_failures.load(Ordering::Relaxed),
-            energy_joules: self.energy_mj.lock().iter().map(|mj| mj / 1e3).collect(),
+            energy_joules: self
+                .cells
+                .iter()
+                .map(|c| f64::from_bits(c.energy_mj_bits.load(Ordering::Relaxed)) / 1e3)
+                .collect(),
             evictions: self.evictions.load(Ordering::Relaxed),
             writeback_bytes: self.writeback_bytes.load(Ordering::Relaxed),
             alloc_cache_hits: self.alloc_cache_hits.load(Ordering::Relaxed),

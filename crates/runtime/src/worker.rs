@@ -4,34 +4,60 @@ use crate::codelet::{Arch, BufferGuard, KernelCtx};
 use crate::coherence;
 use crate::perfmodel::PerfKey;
 use crate::runtime::{RuntimeInner, TimingMode};
-use crate::sched::arch_class;
 use crate::stats::TraceEvent;
 use crate::task::Task;
 use peppher_sim::VTime;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Instant;
 
-/// Main loop of worker `worker`: pop tasks until shutdown.
+/// One pop attempt. The `has_ready` pre-check is lock-light and skips the
+/// residency-snapshot fetch entirely when this worker has nothing to pop —
+/// the common case for an idle worker about to park.
+fn try_pop(inner: &RuntimeInner, worker: usize) -> Option<Arc<Task>> {
+    if !inner.sched.has_ready(worker) {
+        return None;
+    }
+    // Fresh residency snapshot per pop attempt: pull schedulers may
+    // reorder the worker's queue against what is on its node right now.
+    let view = inner.memory.view();
+    inner
+        .sched
+        .pop_for_worker(worker, &view, &inner.sched_ctx())
+}
+
+/// Main loop of worker `worker`: pop tasks until shutdown, parking on the
+/// worker's own condvar while idle. Producers wake exactly the workers
+/// that received work (`wake_worker`/`wake_any_for` in runtime.rs) instead
+/// of broadcasting, so an N-worker runtime no longer pays a thundering
+/// herd per submit.
 pub(crate) fn worker_loop(inner: Arc<RuntimeInner>, worker: usize) {
     loop {
-        // Fresh residency snapshot per pop attempt: pull schedulers may
-        // reorder the worker's queue against what is on its node right now.
-        let view = inner.memory.view();
-        let task = inner
-            .sched
-            .pop_for_worker(worker, &view, &inner.sched_ctx());
-        match task {
-            Some(t) => execute_task(&inner, worker, t),
-            None => {
-                if inner.shutdown.load(Ordering::SeqCst) {
-                    break;
-                }
-                let mut guard = inner.work_mx.lock();
-                // Bounded wait: a push may have raced with our empty pop.
-                inner.work_cv.wait_for(&mut guard, Duration::from_millis(1));
-            }
+        if let Some(t) = try_pop(&inner, worker) {
+            execute_task(&inner, worker, t);
+            continue;
         }
+        // Publish idleness, then recheck: a producer either sees the flag
+        // (and wakes us) or pushed before we set it (and the recheck finds
+        // the task). Either way no wakeup is lost.
+        inner.idle[worker].store(true, Ordering::SeqCst);
+        if let Some(t) = try_pop(&inner, worker) {
+            inner.idle[worker].store(false, Ordering::SeqCst);
+            execute_task(&inner, worker, t);
+            continue;
+        }
+        if inner.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        {
+            let parker = &inner.parkers[worker];
+            let mut token = parker.token.lock();
+            while !*token {
+                parker.cv.wait(&mut token);
+            }
+            *token = false;
+        }
+        inner.idle[worker].store(false, Ordering::SeqCst);
     }
 }
 
@@ -69,11 +95,15 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: Arc<Task>) {
     let node = inner.machine.worker_memory_node(worker);
     let vdeps = task.state.lock().vdeps;
 
-    inner.stats.record_event(TraceEvent::TaskStart {
-        task: task.id,
-        codelet: task.codelet.name.clone(),
-        worker,
-    });
+    // Gate on the flag before building the event: the `String` clone must
+    // not be paid when tracing is disabled.
+    if inner.stats.tracing_enabled() {
+        inner.stats.record_event(TraceEvent::TaskStart {
+            task: task.id,
+            codelet: task.codelet.name.clone(),
+            worker,
+        });
+    }
 
     // Pin every operand at this node first: replicas of a running task must
     // never be eviction victims, and later make_valid calls for large
@@ -140,7 +170,14 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: Arc<Task>) {
         TimingMode::Virtual => {
             // Timing is decided by the model before the real execution.
             let profile = inner.machine.worker_profile(worker);
-            let factor = inner.noise.lock().next_factor();
+            // Noiseless machines skip the shared RNG lock entirely;
+            // `next_factor` returns 1.0 before touching the RNG when the
+            // relative stddev is zero, so this changes no timing.
+            let factor = if inner.machine.noise_rel_stddev == 0.0 {
+                1.0
+            } else {
+                inner.noise.lock().next_factor()
+            };
             let vexec = profile.exec_time_team(&task.cost, team).scale(factor);
             let vfinish = {
                 let mut tl = inner.timelines.lock();
@@ -200,10 +237,14 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: Arc<Task>) {
         inner.memory.wont_use(*id);
     }
 
-    // Feed the execution-history models.
-    let class = arch_class(arch, &inner.machine, worker);
+    // Feed the execution-history models. The key is built from interned
+    // ids (`Copy` all the way down) — no per-task string allocation.
     inner.perf.record(
-        PerfKey::new(&task.codelet.name, class, task.footprint()),
+        PerfKey::for_codelet(
+            task.codelet.id,
+            inner.classes.class_id(arch, worker),
+            task.footprint(),
+        ),
         vexec,
     );
 
@@ -215,13 +256,15 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: Arc<Task>) {
             .worker_profile(worker)
             .energy_joules(vexec, team),
     );
-    inner.stats.record_event(TraceEvent::TaskEnd {
-        task: task.id,
-        worker,
-        codelet: task.codelet.name.clone(),
-        vstart: vfinish.saturating_sub(vexec),
-        vfinish,
-    });
+    if inner.stats.tracing_enabled() {
+        inner.stats.record_event(TraceEvent::TaskEnd {
+            task: task.id,
+            worker,
+            codelet: task.codelet.name.clone(),
+            vstart: vfinish.saturating_sub(vexec),
+            vfinish,
+        });
+    }
 
     for succ in task.complete(vfinish) {
         inner.push_ready(succ);

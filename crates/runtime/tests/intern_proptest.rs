@@ -1,0 +1,111 @@
+//! Property tests for the interned-identity layer: codelet names must
+//! round-trip through `CodeletId` without collisions, and the `Copy`
+//! `PerfKey` must bucket histories exactly like the string-keyed one did.
+
+use peppher_runtime::{ArchClass, ArchClassId, Codelet, CodeletId, PerfKey, PerfRegistry, Sym};
+use peppher_sim::VTime;
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+fn name_strategy() -> impl Strategy<Value = String> {
+    // Printable identifiers plus a few awkward shapes (unicode, spaces).
+    prop_oneof![
+        "[a-zA-Z][a-zA-Z0-9_]{0,24}",
+        "[a-z]{1,4} [a-z]{1,4}",
+        Just("gemm".to_string()),
+        Just("gémm-µ".to_string()),
+    ]
+}
+
+fn arch_strategy() -> impl Strategy<Value = ArchClass> {
+    prop_oneof![
+        Just(ArchClass::Cpu),
+        (1usize..16).prop_map(ArchClass::CpuTeam),
+        "[a-z][a-z0-9]{0,8}".prop_map(ArchClass::Gpu),
+    ]
+}
+
+proptest! {
+    /// Interning is a bijection on the set of names seen: equal names give
+    /// equal symbols, distinct names give distinct symbols, and every
+    /// symbol resolves back to its source string.
+    #[test]
+    fn codelet_ids_round_trip_to_unique_names(names in prop::collection::vec(name_strategy(), 1..40)) {
+        let mut by_name: HashMap<String, CodeletId> = HashMap::new();
+        for name in &names {
+            let id = Sym::intern(name);
+            prop_assert_eq!(id.as_str(), name.as_str());
+            if let Some(prev) = by_name.insert(name.clone(), id) {
+                prop_assert_eq!(prev, id, "same name re-interned to a different symbol");
+            }
+        }
+        // Pairwise distinct names ⇒ pairwise distinct symbols.
+        let entries: Vec<_> = by_name.iter().collect();
+        for (i, (n1, s1)) in entries.iter().enumerate() {
+            for (n2, s2) in entries.iter().skip(i + 1) {
+                prop_assert!(n1 != n2);
+                prop_assert!(s1 != s2, "distinct names {} / {} collided", n1, n2);
+            }
+        }
+    }
+
+    /// A codelet's interned id always matches interning its name directly,
+    /// no matter how the codelet was built.
+    #[test]
+    fn codelet_construction_interns_name(name in name_strategy()) {
+        let c = Codelet::new(name.clone());
+        prop_assert_eq!(c.id, Sym::intern(&name));
+        prop_assert_eq!(c.id.as_str(), name.as_str());
+    }
+
+    /// The `Copy` fast-path key (`for_codelet`) lands every history sample
+    /// in the same bucket as the legacy string-based constructor: same
+    /// codelet, same arch class, same footprint bucket.
+    #[test]
+    fn perf_keys_bucket_identically(
+        name in name_strategy(),
+        arch in arch_strategy(),
+        footprint in any::<u64>(),
+    ) {
+        let legacy = PerfKey::new(&name, arch.clone(), footprint);
+        let fast = PerfKey::for_codelet(
+            Sym::intern(&name),
+            ArchClassId::from_class(&arch),
+            footprint,
+        );
+        prop_assert_eq!(legacy, fast);
+        // The bucket is the position of the footprint's highest set bit
+        // (empty footprints share bucket 0 with footprint 1).
+        let expected_bucket = 64 - footprint.max(1).leading_zeros();
+        prop_assert_eq!(legacy.bucket, expected_bucket);
+        // Arch-class identity survives the trip through the interned form.
+        prop_assert_eq!(fast.arch.to_class(), arch);
+    }
+
+    /// The on-disk history format round-trips through the interned keys:
+    /// persisted models written by one registry land under identical keys
+    /// (and sample counts) when loaded into a fresh one.
+    #[test]
+    fn perf_registry_serialization_round_trips(
+        entries in prop::collection::vec(
+            ("[a-zA-Z][a-zA-Z0-9_]{0,24}", arch_strategy(), any::<u64>(), 1u64..5),
+            1..20,
+        ),
+    ) {
+        let reg = PerfRegistry::new(1);
+        for (name, arch, footprint, samples) in &entries {
+            let key = PerfKey::new(name, arch.clone(), *footprint);
+            for i in 0..*samples {
+                reg.record(key, VTime::from_nanos(1_000 + i));
+            }
+        }
+        let text = reg.serialize();
+        let loaded = PerfRegistry::new(1);
+        loaded.deserialize(&text).expect("round-trip parse");
+        prop_assert_eq!(loaded.key_count(), reg.key_count());
+        for (name, arch, footprint, _) in &entries {
+            let key = PerfKey::new(name, arch.clone(), *footprint);
+            prop_assert_eq!(loaded.samples(&key), reg.samples(&key));
+        }
+    }
+}
