@@ -1,0 +1,276 @@
+//! A camera-style streaming frame pipeline over the graph-replay runtime.
+//!
+//! PEPPHER's demonstrators include streaming image pipelines where frames
+//! flow through a fixed chain of processing kernels. This module builds
+//! that shape on the runtime's [`peppher_runtime::Pipeline`]:
+//!
+//! - a seeded **generator** produces synthetic frames;
+//! - a **process** stage owns a [`peppher_runtime::GraphInstance`] of the
+//!   per-frame kernel DAG (denoise → edge-detect → tonemap) and replays
+//!   it once per frame, rebinding the frame buffer between replays;
+//! - a **sink** stage (optionally slowed, to demonstrate backpressure)
+//!   reduces each processed frame to a checksum.
+//!
+//! The bounded inter-stage buffers keep memory use constant no matter how
+//! fast frames are generated: when the sink falls behind, `feed` blocks
+//! the producer (`blocked_sends` in the returned
+//! [`peppher_runtime::PipelineStats`] counts those stalls).
+
+use peppher_runtime::{
+    AccessMode, Arch, Codelet, GraphTask, PipelineBuilder, PipelineStats, RunId, Runtime, TaskGraph,
+};
+use peppher_sim::KernelCost;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One synthetic frame: a `width * height` grayscale intensity buffer.
+#[derive(Debug, Clone)]
+pub struct Frame {
+    /// Frame sequence number (generation order).
+    pub seq: u32,
+    /// Row-major pixel intensities.
+    pub pixels: Vec<f32>,
+}
+
+/// Deterministic frame generator (xorshift-seeded): frame `seq` of
+/// `width * height` pixels in `[0, 1)`.
+pub fn generate_frame(seq: u32, width: usize, height: usize) -> Frame {
+    let mut state = 0x9E37_79B9u64 ^ ((seq as u64 + 1) << 17);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 40) as f32 / (1u64 << 24) as f32
+    };
+    Frame {
+        seq,
+        pixels: (0..width * height).map(|_| next()).collect(),
+    }
+}
+
+/// 3-point horizontal box blur (the "denoise" kernel).
+pub fn denoise_kernel(src: &[f32], dst: &mut [f32], width: usize) {
+    for (i, d) in dst.iter_mut().enumerate() {
+        let col = i % width;
+        let left = if col > 0 { src[i - 1] } else { src[i] };
+        let right = if col + 1 < width { src[i + 1] } else { src[i] };
+        *d = (left + src[i] + right) / 3.0;
+    }
+}
+
+/// Horizontal gradient magnitude (the "edge detect" kernel).
+pub fn edge_kernel(src: &[f32], dst: &mut [f32], width: usize) {
+    for (i, d) in dst.iter_mut().enumerate() {
+        let col = i % width;
+        let left = if col > 0 { src[i - 1] } else { src[i] };
+        let right = if col + 1 < width { src[i + 1] } else { src[i] };
+        *d = (right - left).abs();
+    }
+}
+
+/// Reinhard-style tone map blending the denoised frame with edge weight.
+pub fn tonemap_kernel(base: &[f32], edges: &[f32], dst: &mut [f32]) {
+    for ((d, &b), &e) in dst.iter_mut().zip(base).zip(edges) {
+        let v = b + 0.5 * e;
+        *d = v / (1.0 + v);
+    }
+}
+
+/// Sequential reference for one frame — ground truth for the tests.
+pub fn reference_process(frame: &Frame, width: usize) -> Vec<f32> {
+    let n = frame.pixels.len();
+    let mut denoised = vec![0.0f32; n];
+    denoise_kernel(&frame.pixels, &mut denoised, width);
+    let mut edges = vec![0.0f32; n];
+    edge_kernel(&denoised, &mut edges, width);
+    let mut out = vec![0.0f32; n];
+    tonemap_kernel(&denoised, &edges, &mut out);
+    out
+}
+
+/// Order-independent checksum of a processed frame (sum of pixel bits,
+/// wrapping) — stable across f32 traversal orders since each pixel value
+/// is itself deterministic.
+pub fn frame_checksum(pixels: &[f32]) -> u64 {
+    pixels
+        .iter()
+        .fold(0u64, |acc, v| acc.wrapping_add(v.to_bits() as u64))
+}
+
+/// Records the per-frame kernel DAG: denoise → edge → tonemap over four
+/// slots (input, denoised, edges, output).
+fn record_frame_graph(width: usize, height: usize) -> (TaskGraph, [peppher_runtime::GraphSlot; 4]) {
+    let n = width * height;
+    let make = |name: &str, f: fn(&mut peppher_runtime::KernelCtx<'_>)| -> Arc<Codelet> {
+        Arc::new(
+            Codelet::new(name)
+                .with_impl(Arch::Cpu, f)
+                .with_impl(Arch::Gpu, f),
+        )
+    };
+    let denoise = make("frame_denoise", |ctx| {
+        let width = *ctx.arg::<usize>();
+        let src = ctx.r::<Vec<f32>>(0).clone();
+        denoise_kernel(&src, ctx.w::<Vec<f32>>(1), width);
+    });
+    let edge = make("frame_edge", |ctx| {
+        let width = *ctx.arg::<usize>();
+        let src = ctx.r::<Vec<f32>>(0).clone();
+        edge_kernel(&src, ctx.w::<Vec<f32>>(1), width);
+    });
+    let tonemap = make("frame_tonemap", |ctx| {
+        let base = ctx.r::<Vec<f32>>(0).clone();
+        let edges = ctx.r::<Vec<f32>>(1).clone();
+        tonemap_kernel(&base, &edges, ctx.w::<Vec<f32>>(2));
+    });
+
+    let mut g = TaskGraph::new();
+    let input = g.slot(vec![0.0f32; n]);
+    let denoised = g.slot(vec![0.0f32; n]);
+    let edges = g.slot(vec![0.0f32; n]);
+    let output = g.slot(vec![0.0f32; n]);
+    let cost = KernelCost::new(6.0 * n as f64, 8.0 * n as f64, 4.0 * n as f64);
+    g.add(
+        GraphTask::new(&denoise)
+            .access(input, AccessMode::Read)
+            .access(denoised, AccessMode::Write)
+            .arg(width)
+            .cost(cost),
+    );
+    g.add(
+        GraphTask::new(&edge)
+            .access(denoised, AccessMode::Read)
+            .access(edges, AccessMode::Write)
+            .arg(width)
+            .cost(cost),
+    );
+    g.add(
+        GraphTask::new(&tonemap)
+            .access(denoised, AccessMode::Read)
+            .access(edges, AccessMode::Read)
+            .access(output, AccessMode::Write)
+            .cost(cost),
+    );
+    (g, [input, denoised, edges, output])
+}
+
+/// Configuration for [`run_pipeline`].
+#[derive(Debug, Clone, Copy)]
+pub struct PipeConfig {
+    /// Frame width in pixels.
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// Number of frames to stream.
+    pub frames: u32,
+    /// Bounded-buffer capacity between stages.
+    pub capacity: usize,
+    /// Artificial per-frame delay in the sink stage (models a slow
+    /// consumer; `None` = full speed).
+    pub sink_delay: Option<Duration>,
+}
+
+impl Default for PipeConfig {
+    fn default() -> Self {
+        PipeConfig {
+            width: 32,
+            height: 24,
+            frames: 16,
+            capacity: 4,
+            sink_delay: None,
+        }
+    }
+}
+
+/// The result of streaming one pipeline run.
+#[derive(Debug)]
+pub struct PipeReport {
+    /// `(frame RunId, frame seq, checksum)` per frame, in completion order.
+    pub checksums: Vec<(RunId, u32, u64)>,
+    /// Channel/backpressure counters.
+    pub stats: PipelineStats,
+}
+
+/// Streams `cfg.frames` generated frames through generate → process →
+/// sink. The process stage replays one recorded [`TaskGraph`] per frame
+/// on `rt`, rebinding the input slot each time — the streaming analogue
+/// of the ODE solver's iteration replay.
+pub fn run_pipeline(rt: &Runtime, cfg: PipeConfig) -> PipeReport {
+    let (graph, [input, _, _, output]) = record_frame_graph(cfg.width, cfg.height);
+    let inst = graph.instantiate(rt);
+
+    let sink_delay = cfg.sink_delay;
+    let mut pipe = PipelineBuilder::<Frame>::new()
+        .capacity(cfg.capacity)
+        .stage("process", move |mut frame, _ctx| {
+            inst.bind(input, std::mem::take(&mut frame.pixels));
+            inst.execute();
+            frame.pixels = inst.read(output);
+            Some(frame)
+        })
+        .stage("sink", move |frame, _ctx| {
+            if let Some(d) = sink_delay {
+                std::thread::sleep(d);
+            }
+            Some(frame)
+        })
+        .start();
+
+    for seq in 0..cfg.frames {
+        pipe.feed(generate_frame(seq, cfg.width, cfg.height));
+    }
+    let (frames, stats) = pipe.close();
+    let checksums = frames
+        .iter()
+        .map(|(run, f)| (*run, f.seq, frame_checksum(&f.pixels)))
+        .collect();
+    PipeReport { checksums, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use peppher_runtime::SchedulerKind;
+    use peppher_sim::MachineConfig;
+
+    #[test]
+    fn pipeline_output_matches_reference() {
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Dmda,
+        );
+        let cfg = PipeConfig {
+            frames: 8,
+            ..PipeConfig::default()
+        };
+        let report = run_pipeline(&rt, cfg);
+        assert_eq!(report.checksums.len(), 8);
+        assert_eq!(report.stats.completed, 8);
+        for &(_, seq, sum) in &report.checksums {
+            let frame = generate_frame(seq, cfg.width, cfg.height);
+            let want = frame_checksum(&reference_process(&frame, cfg.width));
+            assert_eq!(sum, want, "frame {seq} checksum mismatch");
+        }
+    }
+
+    #[test]
+    fn run_ids_are_per_frame_and_ordered() {
+        let rt = Runtime::new(
+            MachineConfig::cpu_only(2).without_noise(),
+            SchedulerKind::Eager,
+        );
+        let report = run_pipeline(
+            &rt,
+            PipeConfig {
+                frames: 5,
+                ..PipeConfig::default()
+            },
+        );
+        // Single-consumer stages preserve order; iteration == seq.
+        for (i, &(run, seq, _)) in report.checksums.iter().enumerate() {
+            assert_eq!(seq, i as u32);
+            assert_eq!(run.iteration, seq);
+            assert_eq!(run.instance, report.checksums[0].0.instance);
+        }
+    }
+}

@@ -36,6 +36,7 @@
 
 pub mod bfs;
 pub mod cfd;
+pub mod framepipe;
 pub mod hotspot;
 pub mod lud;
 pub mod nw;

@@ -17,7 +17,9 @@
 use peppher_containers::{Scalar, Vector};
 use peppher_core::{Component, ComponentRegistry, VariantBuilder};
 use peppher_descriptor::{AccessType, ContextParam, InterfaceDescriptor, ParamDecl};
-use peppher_runtime::{AccessMode, Arch, Codelet, KernelCtx, Runtime, TaskBuilder};
+use peppher_runtime::{
+    AccessMode, Arch, Codelet, GraphSlot, GraphTask, KernelCtx, Runtime, TaskBuilder, TaskGraph,
+};
 use peppher_sim::{KernelCost, VTime};
 use std::sync::Arc;
 
@@ -561,6 +563,157 @@ pub fn run_direct(rt: &Runtime, edge: usize, steps: usize, gpu_only: bool) -> Ve
 }
 // LOC:DIRECT:END
 
+/// The recorded-graph port of [`run_direct`]: slots plus the DAG of one
+/// *double* RK4 step, for build-once/execute-many replay.
+pub struct OdeGraph {
+    /// The recorded double step (18 tasks over 7 slots).
+    pub graph: TaskGraph,
+    /// State-vector slot: bind the initial condition, read back the result.
+    pub y: GraphSlot,
+    /// Error-norm output slot.
+    pub err: GraphSlot,
+}
+
+/// Records the solver's repeating unit as a [`TaskGraph`]. The direct path
+/// alternates error control per step (norm on even steps, error-vector
+/// scaling on odd), so the repeating unit is a *double* step: even step
+/// ending in `ode_norm`, odd step ending in `ode_scale` — 18 nodes total.
+/// Codelet names carry a `_graph` suffix so performance histories stay
+/// separate from the direct path's.
+pub fn record_double_step(edge: usize, gpu_only: bool) -> OdeGraph {
+    let n = 2 * edge * edge;
+    let h = 1e-4f32;
+
+    let make = |name: &str, f: fn(&mut KernelCtx<'_>)| -> Arc<Codelet> {
+        let mut c = Codelet::new(name);
+        if !gpu_only {
+            c = c.with_impl(Arch::Cpu, f);
+        }
+        c = c.with_impl(Arch::Gpu, f);
+        Arc::new(c)
+    };
+    let feval = make("ode_feval_graph", |ctx| {
+        let edge = ctx.arg::<OdeArgs>().edge;
+        let y = ctx.r::<Vec<f32>>(0).clone();
+        feval_kernel(&y, ctx.w::<Vec<f32>>(1), edge);
+    });
+    let stage = make("ode_stage_graph", |ctx| {
+        let args = *ctx.arg::<OdeArgs>();
+        let y = ctx.r::<Vec<f32>>(0).clone();
+        let k = ctx.r::<Vec<f32>>(1).clone();
+        stage_kernel(&y, &k, ctx.w::<Vec<f32>>(2), args.coeff, args.n);
+    });
+    let combine = make("ode_combine_graph", |ctx| {
+        let args = *ctx.arg::<OdeArgs>();
+        let k1 = ctx.r::<Vec<f32>>(1).clone();
+        let k2 = ctx.r::<Vec<f32>>(2).clone();
+        let k3 = ctx.r::<Vec<f32>>(3).clone();
+        let k4 = ctx.r::<Vec<f32>>(4).clone();
+        combine_kernel(ctx.w::<Vec<f32>>(0), &k1, &k2, &k3, &k4, args.coeff, args.n);
+    });
+    let norm = make("ode_norm_graph", |ctx| {
+        let args = *ctx.arg::<OdeArgs>();
+        let k1 = ctx.r::<Vec<f32>>(0).clone();
+        let k4 = ctx.r::<Vec<f32>>(1).clone();
+        *ctx.w::<f32>(2) = norm_kernel(&k1, &k4, args.n);
+    });
+    let scale = make("ode_scale_graph", |ctx| {
+        let args = *ctx.arg::<OdeArgs>();
+        for x in ctx.w::<Vec<f32>>(0).iter_mut().take(args.n) {
+            *x *= args.coeff;
+        }
+    });
+
+    let mut g = TaskGraph::new();
+    let y = g.slot(vec![0.0f32; n]);
+    let k1 = g.slot(vec![0.0f32; n]);
+    let k2 = g.slot(vec![0.0f32; n]);
+    let k3 = g.slot(vec![0.0f32; n]);
+    let k4 = g.slot(vec![0.0f32; n]);
+    let yt = g.slot(vec![0.0f32; n]);
+    let err = g.slot_sized(0.0f32, 4);
+
+    let args = |coeff: f32| OdeArgs { n, coeff, edge };
+    let fcost = feval_cost(n as f64);
+    let acost = axpy_cost(n as f64);
+    for parity in 0..2usize {
+        // Derivative evaluations: k1 from y, k2..k4 from the stage buffer.
+        for (kout, stage_coeff) in [(k1, h / 2.0), (k2, h / 2.0), (k3, h)] {
+            let src = if kout == k1 { y } else { yt };
+            g.add(
+                GraphTask::new(&feval)
+                    .access(src, AccessMode::Read)
+                    .access(kout, AccessMode::Write)
+                    .arg(args(0.0))
+                    .cost(fcost),
+            );
+            g.add(
+                GraphTask::new(&stage)
+                    .access(y, AccessMode::Read)
+                    .access(kout, AccessMode::Read)
+                    .access(yt, AccessMode::Write)
+                    .arg(args(stage_coeff))
+                    .cost(acost),
+            );
+        }
+        g.add(
+            GraphTask::new(&feval)
+                .access(yt, AccessMode::Read)
+                .access(k4, AccessMode::Write)
+                .arg(args(0.0))
+                .cost(fcost),
+        );
+        g.add(
+            GraphTask::new(&combine)
+                .access(y, AccessMode::ReadWrite)
+                .access(k1, AccessMode::Read)
+                .access(k2, AccessMode::Read)
+                .access(k3, AccessMode::Read)
+                .access(k4, AccessMode::Read)
+                .arg(args(h / 6.0))
+                .cost(acost.scaled(2.5)),
+        );
+        if parity == 0 {
+            g.add(
+                GraphTask::new(&norm)
+                    .access(k1, AccessMode::Read)
+                    .access(k4, AccessMode::Read)
+                    .access(err, AccessMode::Write)
+                    .arg(args(0.0))
+                    .cost(acost),
+            );
+        } else {
+            g.add(
+                GraphTask::new(&scale)
+                    .access(k4, AccessMode::ReadWrite)
+                    .arg(args(1.0))
+                    .cost(acost),
+            );
+        }
+    }
+    OdeGraph { graph: g, y, err }
+}
+
+/// [`run_direct`]'s integration through graph replay: record the double
+/// step once, bind the initial condition, execute `steps / 2` iterations.
+/// `steps` must be even (the recorded unit covers two).
+pub fn run_replay(rt: &Runtime, edge: usize, steps: usize, gpu_only: bool) -> Vec<f32> {
+    assert!(
+        steps.is_multiple_of(2),
+        "run_replay records a double step; steps must be even"
+    );
+    let rec = record_double_step(edge, gpu_only);
+    let inst = rec.graph.instantiate(rt);
+    let n = 2 * edge * edge;
+    let mut y0 = vec![0.0f32; n];
+    init_kernel(&mut y0, edge);
+    inst.bind(rec.y, y0);
+    if steps > 0 {
+        inst.execute_many((steps / 2) as u32);
+    }
+    inst.read::<Vec<f32>>(rec.y)
+}
+
 /// Fig. 6 entry point (`size` = grid edge; short integration).
 pub fn run_for_fig6(rt: &Runtime, size: usize, backend: Option<&str>) -> VTime {
     // Fig. 6 calls this "libsolve"; the omp backend maps to cpu (the
@@ -632,6 +785,49 @@ mod tests {
         let want = reference(10, 6, 1e-4);
         for (g, w) in got.iter().zip(&want) {
             assert!((g - w).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn replay_matches_direct_bitwise() {
+        let machine = MachineConfig::c2050_platform(2).without_noise();
+        let rt = Runtime::new(machine.clone(), SchedulerKind::Dmda);
+        let got = run_replay(&rt, 10, 6, false);
+        let rt2 = Runtime::new(machine, SchedulerKind::Dmda);
+        let want = run_direct(&rt2, 10, 6, false);
+        let got_bits: Vec<u32> = got.iter().map(|v| v.to_bits()).collect();
+        let want_bits: Vec<u32> = want.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got_bits, want_bits, "replay diverged from direct path");
+    }
+
+    #[test]
+    fn replay_survives_many_iterations_and_rebinds() {
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(1).without_noise(),
+            SchedulerKind::Dmda,
+        );
+        let rec = record_double_step(8, false);
+        let inst = rec.graph.instantiate(&rt);
+        let n = 2 * 8 * 8;
+        let mut y0 = vec![0.0f32; n];
+        init_kernel(&mut y0, 8);
+        // Two rounds with a rebind between: each must match a fresh
+        // reference integration from the bound state.
+        inst.bind(rec.y, y0.clone());
+        inst.execute_many(3);
+        let first: Vec<f32> = inst.read(rec.y);
+        assert_eq!(inst.runs().len(), 3);
+        inst.bind(rec.y, y0);
+        inst.execute_many(3);
+        let second: Vec<f32> = inst.read(rec.y);
+        assert_eq!(
+            first.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            second.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "rebinding must fully reset the state"
+        );
+        let want = reference(8, 6, 1e-4);
+        for (g, w) in first.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-4, "{g} vs {w}");
         }
     }
 

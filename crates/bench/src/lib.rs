@@ -119,6 +119,17 @@ pub fn overhead_json_path() -> PathBuf {
         })
 }
 
+/// Path of the machine-readable replay-bench sidecar: the
+/// `BENCH_REPLAY_JSON` env var when set, `target/BENCH_replay.json`
+/// at the workspace root otherwise.
+pub fn replay_json_path() -> PathBuf {
+    std::env::var_os("BENCH_REPLAY_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/BENCH_replay.json")
+        })
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars) —
 /// enough for link names and section labels; no external dependency.
 pub fn json_str(s: &str) -> String {

@@ -1,0 +1,412 @@
+//! Replayable graph instances: recorded tasks + edge lists + seeding.
+
+use super::{wire, GraphLink, GraphSlot, TaskGraph};
+use crate::handle::DataHandle;
+use crate::perfmodel::PerfKey;
+use crate::runtime::{Runtime, RuntimeInner};
+use crate::sched::options_for;
+use crate::stats::RunId;
+use crate::task::{StaticPlacement, Task, TaskBuilder};
+use parking_lot::{Condvar, Mutex};
+use peppher_sim::VTime;
+use std::sync::atomic::{AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// Process-wide instance id source, shared with the streaming pipeline so
+/// every [`RunId::instance`] in a trace is unique regardless of which
+/// mechanism produced it.
+static NEXT_INSTANCE: AtomicU32 = AtomicU32::new(1);
+
+pub(crate) fn next_instance_id() -> u32 {
+    NEXT_INSTANCE.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One completed replay iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunRecord {
+    /// Which iteration this was.
+    pub run: RunId,
+    /// Latest virtual completion time over the iteration's tasks.
+    pub vfinish: VTime,
+}
+
+/// Shared core of a [`GraphInstance`]: the recorded tasks, the edge lists,
+/// and the per-iteration countdown state. Workers reach it through the
+/// [`GraphLink`] weak reference on each task.
+pub(crate) struct InstanceCore {
+    pub(crate) id: u32,
+    tasks: Vec<Arc<Task>>,
+    /// Successor node lists, fixed at instantiation.
+    succs: Vec<Vec<u32>>,
+    /// Predecessor counts, used to rewind each task's dependency counter.
+    preds: Vec<u32>,
+    /// Nodes with no predecessors — the seed frontier.
+    roots: Vec<u32>,
+    /// Tasks not yet completed in the current iteration.
+    remaining: AtomicUsize,
+    /// Additional iterations to chain after the current one completes
+    /// (set by `execute_many`, consumed worker-side).
+    iters_left: AtomicUsize,
+    /// Completed iterations since instantiation; the next iteration's
+    /// [`RunId::iteration`].
+    total_runs: AtomicU32,
+    /// Replay count after which placement is frozen (re-enqueue on the
+    /// previous iteration's worker instead of re-running placement).
+    freeze_after: AtomicU32,
+    /// Max task vfinish (nanoseconds) seen this iteration.
+    iter_max_ns: AtomicU64,
+    runs: Mutex<Vec<RunRecord>>,
+    /// `true` once the requested batch of iterations has fully completed.
+    done: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl InstanceCore {
+    /// Whether replays now reuse the previous iteration's placements.
+    fn is_frozen(&self) -> bool {
+        self.total_runs.load(Ordering::Relaxed) >= self.freeze_after.load(Ordering::Relaxed)
+    }
+
+    /// Whether a frozen `task` should be handed straight back to the
+    /// worker that just freed up instead of going through the scheduler
+    /// queues (self-continuation): its recorded placement is this worker.
+    fn continues_on(task: &Task, worker: Option<usize>) -> bool {
+        match worker {
+            Some(w) => matches!(*task.chosen.lock(), Some(c) if c.worker == w),
+            None => false,
+        }
+    }
+
+    /// Starts one iteration: rewind every task, account the batch in the
+    /// runtime's pending counter, and push the root frontier through the
+    /// scheduler's batch entry point. Only called with no iteration in
+    /// flight (from `try_execute_many` or `finish_iteration`), so no
+    /// worker observes the intermediate state.
+    ///
+    /// When the caller is a worker (`continue_on`) and the placement is
+    /// frozen, one root placed on that worker is held out of the batch
+    /// and returned for the worker to run directly — no queue round trip,
+    /// no wakeup.
+    pub(crate) fn seed(
+        &self,
+        inner: &RuntimeInner,
+        continue_on: Option<usize>,
+    ) -> Option<Arc<Task>> {
+        let run = RunId {
+            instance: self.id,
+            iteration: self.total_runs.load(Ordering::Relaxed),
+        };
+        self.iter_max_ns.store(0, Ordering::Relaxed);
+        self.remaining.store(self.tasks.len(), Ordering::Release);
+        for (i, t) in self.tasks.iter().enumerate() {
+            t.reset_for_replay(self.preds[i] as usize, run);
+        }
+        // Per-iteration accounting: this add happens before the previous
+        // iteration's last `task_finished` decrement (seed runs inside
+        // `on_complete`), so `pending` never transiently reaches zero
+        // between chained iterations and `wait_all` cannot wake early.
+        inner
+            .pending
+            .fetch_add(self.tasks.len() as u64, Ordering::SeqCst);
+        let frozen = self.is_frozen();
+        let mut continuation: Option<Arc<Task>> = None;
+        let mut roots: Vec<Arc<Task>> = Vec::with_capacity(self.roots.len());
+        for &r in &self.roots {
+            let t = Arc::clone(&self.tasks[r as usize]);
+            if frozen && continuation.is_none() && Self::continues_on(&t, continue_on) {
+                continuation = Some(t);
+            } else {
+                roots.push(t);
+            }
+        }
+        if !roots.is_empty() {
+            inner.push_ready_batch(&roots, frozen);
+        }
+        continuation
+    }
+
+    /// Worker-side completion hook for node `node`, running on `worker`:
+    /// release successors along the recorded edges and, when the
+    /// iteration's last task finishes, either chain the next iteration or
+    /// wake the waiter. Returns at most one ready successor whose frozen
+    /// placement is `worker` itself — the caller runs it directly,
+    /// skipping the queue push, the wakeup, and the pop (the dominant
+    /// per-task costs of replaying a near-sequential DAG).
+    pub(crate) fn on_complete(
+        &self,
+        node: u32,
+        vfinish: VTime,
+        inner: &RuntimeInner,
+        worker: usize,
+    ) -> Option<Arc<Task>> {
+        self.iter_max_ns
+            .fetch_max(vfinish.as_nanos(), Ordering::Relaxed);
+        let frozen = self.is_frozen();
+        let mut continuation: Option<Arc<Task>> = None;
+        for &s in &self.succs[node as usize] {
+            let succ = &self.tasks[s as usize];
+            succ.observe_dep(vfinish);
+            if succ.dep_satisfied() {
+                if frozen {
+                    if continuation.is_none() && Self::continues_on(succ, Some(worker)) {
+                        continuation = Some(Arc::clone(succ));
+                    } else {
+                        inner.push_ready_placed(Arc::clone(succ));
+                    }
+                } else {
+                    inner.push_ready(Arc::clone(succ));
+                }
+            }
+        }
+        if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // The iteration's last task has no ready successors, so no
+            // continuation was held out above.
+            return self.finish_iteration(inner, worker);
+        }
+        continuation
+    }
+
+    /// Runs on the worker that completed the iteration's last task —
+    /// single-threaded by construction (exactly one task wins the
+    /// `remaining` countdown). May return the next iteration's root as a
+    /// self-continuation for that worker.
+    fn finish_iteration(&self, inner: &RuntimeInner, worker: usize) -> Option<Arc<Task>> {
+        let run = RunId {
+            instance: self.id,
+            iteration: self.total_runs.load(Ordering::Relaxed),
+        };
+        let vfinish = VTime::from_nanos(self.iter_max_ns.load(Ordering::Relaxed));
+        self.runs.lock().push(RunRecord { run, vfinish });
+        self.total_runs.fetch_add(1, Ordering::Relaxed);
+        if self.iters_left.load(Ordering::Relaxed) > 0 {
+            self.iters_left.fetch_sub(1, Ordering::Relaxed);
+            self.seed(inner, Some(worker))
+        } else {
+            let mut done = self.done.lock();
+            *done = true;
+            self.cv.notify_all();
+            None
+        }
+    }
+}
+
+/// Builds the long-lived tasks and edge lists for `graph` on `rt`.
+pub(crate) fn instantiate(
+    graph: &TaskGraph,
+    handles: Vec<DataHandle>,
+    rt: &Runtime,
+) -> GraphInstance {
+    let (succs, preds, roots) = wire(&graph.nodes, handles.len());
+    let id = next_instance_id();
+    let inner = &rt.inner;
+    let core = Arc::new_cyclic(|weak| {
+        let tasks: Vec<Arc<Task>> = graph
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let mut b = TaskBuilder::new(&spec.codelet)
+                    .cost(spec.cost)
+                    .priority(spec.priority)
+                    .arg_shared(spec.arg.clone());
+                if let Some(flag) = spec.use_history {
+                    b = b.use_history(flag);
+                }
+                for &(slot, mode) in &spec.accesses {
+                    b = b.access(&handles[slot.0], mode);
+                }
+                let mut task = b.into_task(inner.alloc_task_id());
+                let options = options_for(&task, &inner.machine);
+                assert!(
+                    !options.is_empty(),
+                    "graph task for codelet `{}` has no eligible worker on this machine",
+                    task.codelet.name
+                );
+                let keys = options
+                    .iter()
+                    .map(|&(w, a)| {
+                        PerfKey::for_codelet(
+                            task.codelet.id,
+                            inner.classes.class_id(a, w),
+                            task.footprint(),
+                        )
+                    })
+                    .collect();
+                task.placement = Some(StaticPlacement { options, keys });
+                task.graph = Some(GraphLink {
+                    instance: weak.clone(),
+                    node: i as u32,
+                });
+                Arc::new(task)
+            })
+            .collect();
+        InstanceCore {
+            id,
+            tasks,
+            succs,
+            preds,
+            roots,
+            remaining: AtomicUsize::new(0),
+            iters_left: AtomicUsize::new(0),
+            total_runs: AtomicU32::new(0),
+            freeze_after: AtomicU32::new(DEFAULT_FREEZE_AFTER),
+            iter_max_ns: AtomicU64::new(0),
+            runs: Mutex::new(Vec::new()),
+            done: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    });
+    GraphInstance {
+        rt: rt.clone(),
+        core,
+        handles,
+        exec_mx: Mutex::new(()),
+    }
+}
+
+/// Replays past this count reuse the previous iteration's placements.
+/// Chosen just past the default scheduler calibration threshold
+/// ([`crate::RuntimeConfig::calibration_min`] = 3) so `dmda` places with
+/// calibrated history models before the decision is frozen.
+const DEFAULT_FREEZE_AFTER: u32 = 4;
+
+/// An instantiated [`TaskGraph`]: long-lived tasks over instance-private
+/// handles, executable any number of times.
+///
+/// # Rebinding rules
+///
+/// Slot handles are private to the instance — do not submit ordinary
+/// tasks against them. [`GraphInstance::bind`] replaces a slot's contents
+/// wholesale between executions; calling it while an execution is in
+/// flight is a usage error (it would race the replayed kernels, which do
+/// not register in the handles' access histories).
+pub struct GraphInstance {
+    rt: Runtime,
+    core: Arc<InstanceCore>,
+    handles: Vec<DataHandle>,
+    /// Serializes executions: one iteration batch in flight at a time.
+    exec_mx: Mutex<()>,
+}
+
+impl GraphInstance {
+    /// The instance id carried by this instance's [`RunId`]s.
+    pub fn instance_id(&self) -> u32 {
+        self.core.id
+    }
+
+    /// The handle backing `slot` (for inspection; see the rebinding rules).
+    pub fn handle(&self, slot: GraphSlot) -> &DataHandle {
+        &self.handles[slot.0]
+    }
+
+    /// Replaces `slot`'s contents with `value` — the replay rebinding
+    /// primitive. Device replicas of the old contents are dropped without
+    /// writeback ([`Runtime::write_discard`]). `T` must be the slot's
+    /// declared payload type. Must not be called mid-execution.
+    pub fn bind<T: Clone + Send + Sync + 'static>(&self, slot: GraphSlot, value: T) {
+        self.rt.write_discard(&self.handles[slot.0], value);
+    }
+
+    /// Reads back `slot`'s current contents (coherent main-memory copy).
+    pub fn read<T: Clone + Send + Sync + 'static>(&self, slot: GraphSlot) -> T {
+        self.rt.acquire_read::<T>(&self.handles[slot.0]).clone()
+    }
+
+    /// Executes the graph once; blocks until every task has completed.
+    /// Panics if a task body panicked outside its kernel (see
+    /// [`Runtime::wait_all`]).
+    pub fn execute(&self) -> RunId {
+        self.execute_many(1)
+    }
+
+    /// Non-panicking [`GraphInstance::execute`].
+    pub fn try_execute(&self) -> Result<RunId, String> {
+        self.try_execute_many(1)
+    }
+
+    /// Executes the graph `n` times back to back. Iterations are chained
+    /// worker-side: the worker completing iteration `k`'s last task seeds
+    /// iteration `k+1` directly, so the waiting thread is only woken once.
+    /// Returns the last iteration's [`RunId`].
+    pub fn execute_many(&self, n: u32) -> RunId {
+        self.try_execute_many(n)
+            .unwrap_or_else(|msg| panic!("{msg}"))
+    }
+
+    /// Non-panicking [`GraphInstance::execute_many`]: a task-body panic is
+    /// reported as `Err` after the iteration batch drains.
+    pub fn try_execute_many(&self, n: u32) -> Result<RunId, String> {
+        assert!(n > 0, "execute_many requires at least one iteration");
+        let _exec = self.exec_mx.lock();
+        *self.core.done.lock() = false;
+        self.core
+            .iters_left
+            .store(n as usize - 1, Ordering::Relaxed);
+        self.core.seed(&self.rt.inner, None);
+        {
+            let mut done = self.core.done.lock();
+            while !*done {
+                self.core.cv.wait(&mut done);
+            }
+        }
+        let last = RunId {
+            instance: self.core.id,
+            iteration: self.core.total_runs.load(Ordering::Relaxed) - 1,
+        };
+        match self.rt.inner.fault.lock().take() {
+            Some(msg) => Err(msg),
+            None => Ok(last),
+        }
+    }
+
+    /// Completed iterations, in order.
+    pub fn runs(&self) -> Vec<RunRecord> {
+        self.core.runs.lock().clone()
+    }
+
+    /// Overrides the replay count after which placements are frozen
+    /// (`u32::MAX` disables freezing entirely).
+    pub fn set_freeze_after(&self, n: u32) {
+        self.core.freeze_after.store(n, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::codelet::{Arch, Codelet};
+    use crate::graph::{GraphTask, TaskGraph};
+    use crate::handle::AccessMode;
+    use crate::runtime::Runtime;
+    use crate::sched::SchedulerKind;
+    use crate::task::ExecChoice;
+    use peppher_sim::{MachineConfig, VTime};
+    use std::sync::Arc;
+
+    /// A replayed task whose body panics outside its kernel (here: a
+    /// placement corrupted to an unimplemented architecture, the way only
+    /// an internal scheduler bug could) must drain the whole iteration
+    /// batch and surface as `Err` from `try_execute_many` — never hang
+    /// the waiting thread.
+    #[test]
+    fn try_execute_many_reports_task_fault_as_error() {
+        let rt = Runtime::new(MachineConfig::cpu_only(2), SchedulerKind::Eager);
+        let c = Arc::new(Codelet::new("graph_cpu_cl").with_impl(Arch::Cpu, |_| {}));
+        let mut g = TaskGraph::new();
+        let s = g.slot(vec![0.0f32; 4]);
+        g.add(GraphTask::new(&c).access(s, AccessMode::ReadWrite));
+        let inst = g.instantiate(&rt);
+        *inst.core.tasks[0].chosen.lock() = Some(ExecChoice {
+            worker: 0,
+            arch: Arch::Gpu,
+            pred_delta: VTime::ZERO,
+        });
+        let err = inst
+            .try_execute_many(2)
+            .expect_err("the dispatch fault must be reported");
+        assert!(
+            err.contains("graph_cpu_cl"),
+            "error should identify the codelet: {err:?}"
+        );
+        rt.shutdown();
+    }
+}

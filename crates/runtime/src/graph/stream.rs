@@ -1,0 +1,395 @@
+//! A streaming pipeline runner: stages over bounded channels with
+//! per-frame [`RunId`]s and backpressure.
+//!
+//! Models the camera-pipeline style of application from the PEPPHER
+//! demonstrators: a producer feeds frames, each stage transforms them (a
+//! stage typically replays a [`super::GraphInstance`] per frame), and a
+//! bounded buffer between stages blocks the producer when a slow stage
+//! falls behind — memory stays bounded no matter how fast frames arrive.
+//! Every frame carries a [`RunId`] (`instance` = pipeline id, `iteration`
+//! = frame sequence number) that stages thread into task submissions, so
+//! overlapping in-flight frames render as separate gantt lanes.
+
+use super::instance::next_instance_id;
+use crate::stats::RunId;
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Why a `send` returned.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SendOutcome {
+    /// Enqueued without waiting.
+    Sent,
+    /// Enqueued after blocking on a full buffer (backpressure).
+    SentAfterBlocking,
+    /// The queue was closed; the item was dropped.
+    Closed,
+}
+
+struct QueueState<T> {
+    q: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded MPSC channel built on a mutex + two condvars: `send` blocks
+/// while the buffer holds `cap` items, `recv` blocks while it is empty,
+/// `close` wakes everyone and lets the receiver drain what remains.
+struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    cap: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(cap: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                q: VecDeque::with_capacity(cap),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Blocking send; returns the outcome and the queue depth after the
+    /// push (0 when the item was dropped on a closed queue).
+    fn send(&self, item: T) -> (SendOutcome, usize) {
+        let mut st = self.state.lock();
+        let mut blocked = false;
+        loop {
+            if st.closed {
+                return (SendOutcome::Closed, 0);
+            }
+            if st.q.len() < self.cap {
+                st.q.push_back(item);
+                let depth = st.q.len();
+                self.not_empty.notify_one();
+                let outcome = if blocked {
+                    SendOutcome::SentAfterBlocking
+                } else {
+                    SendOutcome::Sent
+                };
+                return (outcome, depth);
+            }
+            blocked = true;
+            self.not_full.wait(&mut st);
+        }
+    }
+
+    /// Blocking receive; `None` once the queue is closed *and* drained.
+    fn recv(&self) -> Option<T> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(item) = st.q.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            self.not_empty.wait(&mut st);
+        }
+    }
+
+    fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        self.not_full.notify_all();
+        self.not_empty.notify_all();
+    }
+}
+
+/// Context handed to a stage function for each frame.
+pub struct StageCtx {
+    /// The frame's id — thread it into task submissions
+    /// ([`crate::TaskBuilder::run_id`]) so trace lanes stay per-frame.
+    pub run: RunId,
+    /// Index of the executing stage.
+    pub stage: usize,
+}
+
+/// Counters describing one pipeline's execution, returned by
+/// [`Pipeline::close`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Frames fed by the producer.
+    pub fed: u64,
+    /// Frames that left the pipeline (reached the sink or were dropped by
+    /// a stage returning `None`).
+    pub completed: u64,
+    /// Sends (producer or inter-stage) that blocked on a full buffer —
+    /// nonzero means backpressure actually engaged.
+    pub blocked_sends: u64,
+    /// High-water mark over every inter-stage buffer.
+    pub max_queue_depth: u64,
+    /// High-water mark of frames inside the pipeline at once.
+    pub max_in_flight: u64,
+    /// The per-buffer capacity the pipeline ran with.
+    pub capacity: usize,
+}
+
+struct SharedCounters {
+    completed: AtomicU64,
+    blocked_sends: AtomicU64,
+    max_queue_depth: AtomicU64,
+}
+
+impl SharedCounters {
+    fn note_send(&self, outcome: SendOutcome, depth: usize) {
+        if outcome == SendOutcome::SentAfterBlocking {
+            self.blocked_sends.fetch_add(1, Ordering::Relaxed);
+        }
+        self.max_queue_depth
+            .fetch_max(depth as u64, Ordering::Relaxed);
+    }
+}
+
+type StageFn<F> = Box<dyn FnMut(F, &StageCtx) -> Option<F> + Send>;
+
+/// Builder for a [`Pipeline`]: declare stages in flow order, then
+/// [`PipelineBuilder::start`].
+pub struct PipelineBuilder<F: Send + 'static> {
+    stages: Vec<(String, StageFn<F>)>,
+    capacity: usize,
+}
+
+impl<F: Send + 'static> Default for PipelineBuilder<F> {
+    fn default() -> Self {
+        PipelineBuilder::new()
+    }
+}
+
+impl<F: Send + 'static> PipelineBuilder<F> {
+    /// An empty pipeline with the default buffer capacity (4 frames).
+    pub fn new() -> Self {
+        PipelineBuilder {
+            stages: Vec::new(),
+            capacity: 4,
+        }
+    }
+
+    /// Appends a stage. The function transforms one frame; returning
+    /// `None` drops the frame (it still counts as completed).
+    pub fn stage(
+        mut self,
+        name: &str,
+        f: impl FnMut(F, &StageCtx) -> Option<F> + Send + 'static,
+    ) -> Self {
+        self.stages.push((name.to_string(), Box::new(f)));
+        self
+    }
+
+    /// Sets the bounded-buffer capacity between stages (and in front of
+    /// the first stage). Smaller = tighter memory bound, earlier
+    /// backpressure.
+    pub fn capacity(mut self, frames: usize) -> Self {
+        assert!(frames > 0, "pipeline buffers need capacity >= 1");
+        self.capacity = frames;
+        self
+    }
+
+    /// Spawns one thread per stage and returns the running pipeline.
+    pub fn start(self) -> Pipeline<F> {
+        assert!(!self.stages.is_empty(), "pipeline needs at least one stage");
+        let id = next_instance_id();
+        let nstages = self.stages.len();
+        let queues: Vec<Arc<BoundedQueue<(RunId, F)>>> = (0..nstages)
+            .map(|_| Arc::new(BoundedQueue::new(self.capacity)))
+            .collect();
+        let sink = Arc::new(Mutex::new(Vec::new()));
+        let counters = Arc::new(SharedCounters {
+            completed: AtomicU64::new(0),
+            blocked_sends: AtomicU64::new(0),
+            max_queue_depth: AtomicU64::new(0),
+        });
+        let threads = self
+            .stages
+            .into_iter()
+            .enumerate()
+            .map(|(i, (name, mut f))| {
+                let in_q = Arc::clone(&queues[i]);
+                let out_q = queues.get(i + 1).map(Arc::clone);
+                let sink = Arc::clone(&sink);
+                let counters = Arc::clone(&counters);
+                std::thread::Builder::new()
+                    .name(format!("peppher-stage-{i}-{name}"))
+                    .spawn(move || {
+                        while let Some((run, frame)) = in_q.recv() {
+                            let ctx = StageCtx { run, stage: i };
+                            match (f(frame, &ctx), &out_q) {
+                                (Some(out), Some(q)) => {
+                                    let (outcome, depth) = q.send((run, out));
+                                    counters.note_send(outcome, depth);
+                                }
+                                (Some(out), None) => {
+                                    sink.lock().push((run, out));
+                                    counters.completed.fetch_add(1, Ordering::Relaxed);
+                                }
+                                (None, _) => {
+                                    counters.completed.fetch_add(1, Ordering::Relaxed);
+                                }
+                            }
+                        }
+                        // Upstream closed and drained: cascade downstream.
+                        if let Some(q) = &out_q {
+                            q.close();
+                        }
+                    })
+                    .expect("failed to spawn pipeline stage thread")
+            })
+            .collect();
+        Pipeline {
+            id,
+            feed_q: Arc::clone(&queues[0]),
+            sink,
+            counters,
+            threads,
+            fed: 0,
+            max_in_flight: 0,
+            capacity: self.capacity,
+        }
+    }
+}
+
+/// A running streaming pipeline. Feed frames with [`Pipeline::feed`]
+/// (blocks when the first buffer is full — backpressure), then
+/// [`Pipeline::close`] to drain and collect the output.
+pub struct Pipeline<F: Send + 'static> {
+    id: u32,
+    feed_q: Arc<BoundedQueue<(RunId, F)>>,
+    sink: Arc<Mutex<Vec<(RunId, F)>>>,
+    counters: Arc<SharedCounters>,
+    threads: Vec<JoinHandle<()>>,
+    fed: u64,
+    max_in_flight: u64,
+    capacity: usize,
+}
+
+impl<F: Send + 'static> Pipeline<F> {
+    /// The pipeline id carried in every frame's [`RunId::instance`].
+    pub fn pipeline_id(&self) -> u32 {
+        self.id
+    }
+
+    /// Feeds one frame, blocking while the first stage's buffer is full.
+    /// Returns the frame's [`RunId`].
+    pub fn feed(&mut self, frame: F) -> RunId {
+        let run = RunId {
+            instance: self.id,
+            iteration: self.fed as u32,
+        };
+        self.fed += 1;
+        let (outcome, depth) = self.feed_q.send((run, frame));
+        self.counters.note_send(outcome, depth);
+        let in_flight = self.fed - self.counters.completed.load(Ordering::Relaxed);
+        self.max_in_flight = self.max_in_flight.max(in_flight);
+        run
+    }
+
+    /// Frames that have left the pipeline so far.
+    pub fn completed(&self) -> u64 {
+        self.counters.completed.load(Ordering::Relaxed)
+    }
+
+    /// Closes the intake, waits for every in-flight frame to drain, joins
+    /// the stage threads and returns the sink contents (in completion
+    /// order, tagged with each frame's [`RunId`]) plus counters.
+    pub fn close(mut self) -> (Vec<(RunId, F)>, PipelineStats) {
+        self.feed_q.close();
+        for t in self.threads.drain(..) {
+            let _ = t.join();
+        }
+        let frames = std::mem::take(&mut *self.sink.lock());
+        let stats = PipelineStats {
+            fed: self.fed,
+            completed: self.counters.completed.load(Ordering::Relaxed),
+            blocked_sends: self.counters.blocked_sends.load(Ordering::Relaxed),
+            max_queue_depth: self.counters.max_queue_depth.load(Ordering::Relaxed),
+            max_in_flight: self.max_in_flight,
+            capacity: self.capacity,
+        };
+        (frames, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn frames_flow_in_order_with_run_ids() {
+        let mut p = PipelineBuilder::<u64>::new()
+            .stage("double", |x, _| Some(x * 2))
+            .stage("inc", |x, _| Some(x + 1))
+            .start();
+        let ids: Vec<RunId> = (0..10).map(|i| p.feed(i)).collect();
+        let (out, stats) = p.close();
+        assert_eq!(stats.fed, 10);
+        assert_eq!(stats.completed, 10);
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.iteration, i as u32);
+        }
+        // Single-consumer stages preserve frame order.
+        let values: Vec<u64> = out.iter().map(|&(_, v)| v).collect();
+        assert_eq!(values, (0..10).map(|i| i * 2 + 1).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stage_ctx_reports_stage_and_run() {
+        let seen = Arc::new(Mutex::new(Vec::new()));
+        let seen2 = Arc::clone(&seen);
+        let mut p = PipelineBuilder::<u64>::new()
+            .stage("probe", move |x, ctx| {
+                seen2.lock().push((ctx.stage, ctx.run.iteration));
+                Some(x)
+            })
+            .start();
+        let pid = p.pipeline_id();
+        let run = p.feed(7);
+        assert_eq!(run.instance, pid);
+        let (_, _) = p.close();
+        assert_eq!(*seen.lock(), vec![(0, 0)]);
+    }
+
+    #[test]
+    fn dropped_frames_count_completed() {
+        let mut p = PipelineBuilder::<u64>::new()
+            .stage("filter-odd", |x, _| (x % 2 == 0).then_some(x))
+            .start();
+        for i in 0..6 {
+            p.feed(i);
+        }
+        let (out, stats) = p.close();
+        assert_eq!(out.len(), 3);
+        assert_eq!(stats.completed, 6);
+    }
+
+    #[test]
+    fn slow_consumer_engages_backpressure() {
+        let mut p = PipelineBuilder::<u64>::new()
+            .capacity(2)
+            .stage("slow", |x, _| {
+                std::thread::sleep(Duration::from_millis(2));
+                Some(x)
+            })
+            .start();
+        for i in 0..20 {
+            p.feed(i);
+        }
+        let (out, stats) = p.close();
+        assert_eq!(out.len(), 20);
+        assert!(stats.blocked_sends > 0, "producer never blocked: {stats:?}");
+        // One stage, buffer of 2, plus the frame being processed.
+        assert!(
+            stats.max_queue_depth <= 2,
+            "queue overflowed its bound: {stats:?}"
+        );
+    }
+}

@@ -78,6 +78,7 @@
 
 pub mod codelet;
 pub mod coherence;
+pub mod graph;
 pub mod handle;
 pub mod intern;
 pub mod memory;
@@ -90,11 +91,15 @@ pub mod worker;
 
 pub use codelet::{Arch, ArchClass, Codelet, KernelCtx};
 pub use coherence::{Channel, Topology};
+pub use graph::{
+    GraphInstance, GraphNodeId, GraphSlot, GraphTask, Pipeline, PipelineBuilder, PipelineStats,
+    RunRecord, StageCtx, TaskGraph,
+};
 pub use handle::{AccessMode, Data, DataHandle, ReplicaStatus};
 pub use intern::{CodeletId, Sym};
 pub use memory::{EvictionPolicy, MemoryManager, MemoryView};
 pub use perfmodel::{ArchClassId, PerfKey, PerfRegistry};
 pub use runtime::{HostReadGuard, HostWriteGuard, Objective, Runtime, RuntimeConfig, TimingMode};
 pub use sched::{Scheduler, SchedulerKind};
-pub use stats::{gantt, RuntimeStats, TraceEvent};
+pub use stats::{gantt, RunId, RuntimeStats, TraceEvent};
 pub use task::{Task, TaskBuilder, TaskHandle, TaskHint, TaskHints};

@@ -1,14 +1,16 @@
 //! The runtime facade: submission, data registration, host access, lifecycle.
 
 use crate::coherence::{self, Topology};
-use crate::handle::{AccessMode, Data, DataHandle, PayloadBox};
+use crate::handle::{AccessMode, Data, DataHandle, PayloadBox, ReplicaStatus};
 use crate::memory::{EvictionPolicy, MemoryManager};
 use crate::perfmodel::PerfRegistry;
-use crate::sched::{make_scheduler, SchedCtx, Scheduler, SchedulerKind, WorkerClasses};
+use crate::sched::{
+    make_scheduler, options_for, SchedCtx, Scheduler, SchedulerKind, WorkerClasses,
+};
 use crate::stats::{RuntimeStats, StatsCollector, TraceEvent};
 use crate::task::{Task, TaskBuilder, TaskHandle};
 use crate::worker;
-use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Condvar, Mutex, RawRwLock};
+use parking_lot::{ArcRwLockReadGuard, ArcRwLockWriteGuard, Condvar, Mutex, RawRwLock, RwLock};
 use peppher_sim::{MachineConfig, NoiseModel, VTime};
 use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
@@ -132,6 +134,12 @@ pub(crate) struct RuntimeInner {
     pub done_mx: Mutex<()>,
     pub all_done: Condvar,
     pub shutdown: AtomicBool,
+    /// First panic that escaped a task body outside its kernel (e.g. a
+    /// missing implementation for the chosen architecture). The worker
+    /// records it here and completes the task anyway so the pending
+    /// counter drains; [`Runtime::wait_all`] re-raises it on the waiting
+    /// thread instead of hanging the condvar handshake.
+    pub fault: Mutex<Option<String>>,
     /// Per-worker parking spots for targeted wakeups.
     pub parkers: Vec<Parker>,
     /// `idle[w]` is set by worker `w` just before it parks and cleared by
@@ -162,53 +170,90 @@ impl RuntimeInner {
 
     pub(crate) fn push_ready(&self, task: Arc<Task>) {
         let target = self.sched.push_ready(Arc::clone(&task), &self.sched_ctx());
-        // Prefetch: every dependency has completed (that is what made the
-        // task ready), so its input data is final and can start moving to
-        // the placed worker's memory node right away. Eviction-aware: a
-        // prefetch that does not fit the free space is not skipped — every
-        // unpinned replica outside this task's own operand set is a victim
-        // about to free up, so the prefetch proceeds and `prepare` performs
-        // the evictions (victim writebacks naturally precede the prefetch
-        // transfer in the trace). All read operands are pinned first so one
-        // prefetch cannot evict a sibling operand fetched a moment earlier.
-        if self.config.enable_prefetch {
-            let choice = *task.chosen.lock();
-            if let Some(choice) = choice {
-                let node = self.machine.worker_memory_node(choice.worker);
-                if node != 0 {
-                    let keep: Vec<u64> = task.accesses.iter().map(|(h, _)| h.id()).collect();
-                    let wanted: Vec<&DataHandle> = task
-                        .accesses
-                        .iter()
-                        .filter(|(_, m)| m.reads())
-                        .map(|(h, _)| h)
-                        .collect();
-                    for h in &wanted {
-                        self.memory.pin(node, h);
+        self.prefetch_for(&task);
+        self.wake_for(&task, target);
+    }
+
+    /// Re-enqueues a recorded graph task that carries a frozen placement
+    /// decision (see [`Scheduler::push_ready_placed`]). No prefetch: the
+    /// frozen placement repeats the previous iteration's worker, so read
+    /// operands are already resident there (a slot rebound between
+    /// executions is faulted in by `make_valid` at execution instead) —
+    /// the pin/probe round trips would be pure per-push overhead.
+    pub(crate) fn push_ready_placed(&self, task: Arc<Task>) {
+        let target = self
+            .sched
+            .push_ready_placed(Arc::clone(&task), &self.sched_ctx());
+        self.wake_for(&task, target);
+    }
+
+    /// Seeds a batch of simultaneously-ready tasks (a graph replay's root
+    /// frontier) through the scheduler's batch entry point — one queue
+    /// lock for central-queue policies — then prefetches and wakes per
+    /// task as usual.
+    pub(crate) fn push_ready_batch(&self, tasks: &[Arc<Task>], placed: bool) {
+        let targets = self
+            .sched
+            .push_ready_batch(tasks, placed, &self.sched_ctx());
+        for (task, target) in tasks.iter().zip(targets) {
+            if !placed {
+                self.prefetch_for(task);
+            }
+            self.wake_for(task, target);
+        }
+    }
+
+    /// Prefetch: every dependency has completed (that is what made the
+    /// task ready), so its input data is final and can start moving to
+    /// the placed worker's memory node right away. Eviction-aware: a
+    /// prefetch that does not fit the free space is not skipped — every
+    /// unpinned replica outside this task's own operand set is a victim
+    /// about to free up, so the prefetch proceeds and `prepare` performs
+    /// the evictions (victim writebacks naturally precede the prefetch
+    /// transfer in the trace). All read operands are pinned first so one
+    /// prefetch cannot evict a sibling operand fetched a moment earlier.
+    fn prefetch_for(&self, task: &Task) {
+        if !self.config.enable_prefetch {
+            return;
+        }
+        let choice = *task.chosen.lock();
+        if let Some(choice) = choice {
+            let node = self.machine.worker_memory_node(choice.worker);
+            if node != 0 {
+                let keep: Vec<u64> = task.accesses.iter().map(|(h, _)| h.id()).collect();
+                let wanted: Vec<&DataHandle> = task
+                    .accesses
+                    .iter()
+                    .filter(|(_, m)| m.reads())
+                    .map(|(h, _)| h)
+                    .collect();
+                for h in &wanted {
+                    self.memory.pin(node, h);
+                }
+                for h in &wanted {
+                    if !h.valid_on(node) && self.memory.prefetch_fits(node, h.bytes() as u64, &keep)
+                    {
+                        coherence::make_valid(
+                            h,
+                            node,
+                            AccessMode::Read,
+                            &self.topo,
+                            &self.stats,
+                            &self.memory,
+                        );
                     }
-                    for h in &wanted {
-                        if !h.valid_on(node)
-                            && self.memory.prefetch_fits(node, h.bytes() as u64, &keep)
-                        {
-                            coherence::make_valid(
-                                h,
-                                node,
-                                AccessMode::Read,
-                                &self.topo,
-                                &self.stats,
-                                &self.memory,
-                            );
-                        }
-                    }
-                    for h in &wanted {
-                        self.memory.unpin(node, h.id());
-                    }
+                }
+                for h in &wanted {
+                    self.memory.unpin(node, h.id());
                 }
             }
         }
+    }
+
+    fn wake_for(&self, task: &Task, target: Option<usize>) {
         match target {
             Some(w) => self.wake_worker(w),
-            None => self.wake_any_for(&task),
+            None => self.wake_any_for(task),
         }
     }
 
@@ -249,6 +294,21 @@ impl RuntimeInner {
             let _guard = self.done_mx.lock();
             self.all_done.notify_all();
         }
+    }
+
+    /// Records the first out-of-kernel task panic; later ones lose (the
+    /// first is what a sequential execution would have raised).
+    pub(crate) fn record_fault(&self, msg: String) {
+        let mut fault = self.fault.lock();
+        if fault.is_none() {
+            *fault = Some(msg);
+        }
+    }
+
+    /// Allocates the next task id (submission order; graph instantiation
+    /// draws from the same sequence so trace ids stay unique).
+    pub(crate) fn alloc_task_id(&self) -> u64 {
+        self.next_task.fetch_add(1, Ordering::Relaxed)
     }
 }
 
@@ -321,6 +381,7 @@ impl Runtime {
             done_mx: Mutex::new(()),
             all_done: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            fault: Mutex::new(None),
             parkers: (0..workers)
                 .map(|_| Parker {
                     token: Mutex::new(false),
@@ -383,6 +444,21 @@ impl Runtime {
             }
         }
 
+        // Reject tasks no worker could ever run (no implementation for any
+        // worker of this machine, or a force_worker/implementation
+        // mismatch) on the *submitting* thread. Detecting this later, on a
+        // worker, either killed the worker (the placing schedulers assert)
+        // or hung `wait_all` forever (eager silently never dispatches it).
+        assert!(
+            !options_for(&task, &self.inner.machine).is_empty(),
+            "task for codelet `{}` has no eligible worker on this machine{}",
+            task.codelet.name,
+            match task.force_worker {
+                Some(w) => format!(" (forced to worker {w})"),
+                None => String::new(),
+            }
+        );
+
         self.inner.pending.fetch_add(1, Ordering::SeqCst);
 
         // Sequential data consistency: collect implicit dependencies.
@@ -406,7 +482,32 @@ impl Runtime {
     }
 
     /// Blocks until every submitted task has executed.
+    ///
+    /// If a task body panicked outside its kernel (a kernel panic is
+    /// contained and counted in `kernel_failures` instead), the panic is
+    /// re-raised here on the waiting thread — the pending counter still
+    /// drains, so this reports the failure instead of deadlocking. Use
+    /// [`Runtime::try_wait_all`] for a non-panicking variant.
     pub fn wait_all(&self) {
+        self.wait_pending();
+        if let Some(msg) = self.inner.fault.lock().take() {
+            panic!("{msg}");
+        }
+    }
+
+    /// Like [`Runtime::wait_all`] but reports an escaped task-body panic
+    /// as an `Err` instead of re-raising it.
+    pub fn try_wait_all(&self) -> Result<(), String> {
+        self.wait_pending();
+        match self.inner.fault.lock().take() {
+            Some(msg) => Err(msg),
+            None => Ok(()),
+        }
+    }
+
+    /// The counter-drain half of `wait_all`, shared with the non-panicking
+    /// shutdown path (`Drop` must not panic).
+    fn wait_pending(&self) {
         if self.inner.pending.load(Ordering::SeqCst) == 0 {
             return;
         }
@@ -547,6 +648,62 @@ impl Runtime {
         }
     }
 
+    /// Replaces the handle's contents with `value` wholesale — the operand
+    /// *rebinding* primitive for graph replay ([`crate::graph`]).
+    ///
+    /// Unlike [`Runtime::acquire_write`], which first makes main memory
+    /// coherent (paying a device→host transfer when the latest copy lives
+    /// on a device), this declares the old contents dead: every device
+    /// replica is dropped straight into its node's allocation cache with
+    /// no writeback, the main-memory payload is overwritten in place, and
+    /// recorded access history is cleared. `T` must be the type the handle
+    /// was registered with.
+    ///
+    /// Waits for all tasks using the handle first, so it must not be
+    /// called while a graph execution using the handle is in flight
+    /// (replayed tasks do not register in the handle's access history —
+    /// see the rebinding rules in DESIGN.md).
+    pub fn write_discard<T: Clone + Send + Sync + 'static>(&self, h: &DataHandle, value: T) {
+        for t in h.tasks_to_wait_for(AccessMode::ReadWrite) {
+            t.wait();
+        }
+        let freed = {
+            let mut st = h.inner.state.lock();
+            let mut freed = Vec::new();
+            for i in 1..st.replicas.len() {
+                st.replicas[i].status = ReplicaStatus::Invalid;
+                if let Some(cell) = st.replicas[i].cell.take() {
+                    freed.push((i, cell));
+                }
+            }
+            match &st.replicas[0].cell {
+                Some(cell) => {
+                    let mut payload = cell.write();
+                    assert!(
+                        payload.is::<T>(),
+                        "write_discard: payload type mismatch for handle {}",
+                        h.id()
+                    );
+                    *payload = Box::new(value);
+                }
+                None => {
+                    st.replicas[0].cell =
+                        Some(Arc::new(RwLock::new(Box::new(value) as PayloadBox)));
+                }
+            }
+            st.replicas[0].status = ReplicaStatus::Modified;
+            // Every prior task has completed and the host owns the data.
+            st.last_writer = None;
+            st.readers.clear();
+            freed
+        };
+        for (i, cell) in freed {
+            self.inner
+                .memory
+                .recycle(i, h.id(), Some(cell), &self.inner.stats);
+        }
+    }
+
     /// Statistics snapshot.
     pub fn stats(&self) -> RuntimeStats {
         let mut snap = self.inner.stats.snapshot();
@@ -611,7 +768,10 @@ impl Runtime {
     /// Stops all workers (idempotent). Outstanding submitted tasks are
     /// still executed before workers exit.
     pub fn shutdown(&self) {
-        self.wait_all();
+        // Drain without re-raising a recorded fault: shutdown runs from
+        // `Drop`, and panicking there during an unwind would abort. The
+        // fault stays recorded for an explicit `try_wait_all` to pick up.
+        self.wait_pending();
         self.inner.shutdown.store(true, Ordering::SeqCst);
         // Hand every worker a wake token so parked threads observe the
         // shutdown flag; setting it under the parker lock pairs with the

@@ -60,7 +60,13 @@ impl DmdaCore {
         ctx: &SchedCtx<'_>,
     ) -> (Option<VTime>, bool) {
         let class = ctx.classes.class_id(arch, worker);
-        let key = PerfKey::for_codelet(task.codelet.id, class, task.footprint());
+        // Recorded graph tasks carry their keys precomputed at
+        // instantiation; everyone else hashes one up on the spot.
+        let key = task
+            .placement
+            .as_ref()
+            .and_then(|p| p.key_for(worker, arch))
+            .unwrap_or_else(|| PerfKey::for_codelet(task.codelet.id, class, task.footprint()));
 
         if task.use_history.unwrap_or(ctx.config.use_history) {
             if let Some(t) = ctx.perf.expected(&key) {
@@ -338,6 +344,21 @@ impl Scheduler for DmdaScheduler {
         // The task's duration is now part of the worker's actual timeline;
         // release the prediction charged at push time.
         self.core.release(worker, task);
+    }
+
+    fn push_ready_placed(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
+        let choice = *task.chosen.lock();
+        match choice {
+            Some(c) => {
+                // Reuse the previous iteration's placement: re-charge its
+                // prediction (task_timed releases it after execution, so
+                // the load estimate stays balanced) and enqueue directly.
+                self.core.queued_pred.lock()[c.worker] += c.pred_delta;
+                self.queues[c.worker].lock().push_back(task);
+                Some(c.worker)
+            }
+            None => self.push_ready(task, ctx),
+        }
     }
 }
 

@@ -158,6 +158,24 @@ impl Scheduler for DmdarScheduler {
     fn task_timed(&self, worker: usize, task: &Task) {
         self.core.release(worker, task);
     }
+
+    fn push_ready_placed(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
+        let choice = *task.chosen.lock();
+        match choice {
+            Some(c) => {
+                // Same contract as dmda's placed path: re-charge the
+                // recorded prediction (released by task_timed) and enqueue
+                // on the previously chosen worker; the readiness reorder
+                // still applies at pop time.
+                self.core.queued_pred.lock()[c.worker] += c.pred_delta;
+                self.queues[c.worker]
+                    .lock()
+                    .push_back(Entry { task, skipped: 0 });
+                Some(c.worker)
+            }
+            None => self.push_ready(task, ctx),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -61,6 +61,24 @@ impl Scheduler for EagerScheduler {
         self.len.load(Ordering::Acquire) > 0
     }
 
+    fn push_ready_batch(
+        &self,
+        tasks: &[Arc<Task>],
+        _placed: bool,
+        _ctx: &SchedCtx<'_>,
+    ) -> Vec<Option<usize>> {
+        // One queue-lock acquisition seeds the whole replay frontier.
+        let mut inner = self.queue.lock();
+        for task in tasks {
+            if task.priority != 0 {
+                inner.prioritized += 1;
+            }
+            inner.q.push_back(Arc::clone(task));
+        }
+        self.len.store(inner.q.len(), Ordering::Release);
+        vec![None; tasks.len()]
+    }
+
     fn pop_for_worker(
         &self,
         worker: usize,

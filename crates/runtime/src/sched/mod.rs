@@ -162,6 +162,38 @@ pub trait Scheduler: Send + Sync {
     /// worker `worker`'s virtual timeline (so load predictions charged at
     /// push time can be released without double counting).
     fn task_timed(&self, _worker: usize, _task: &Task) {}
+
+    /// Re-enqueues a task that already carries a placement decision in
+    /// `task.chosen` (a frozen graph replay reusing the previous
+    /// iteration's choice). The default re-places from scratch; placing
+    /// policies override it to enqueue directly on the recorded worker and
+    /// skip the placement search.
+    fn push_ready_placed(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
+        self.push_ready(task, ctx)
+    }
+
+    /// Accepts a batch of simultaneously-ready tasks (a graph replay's
+    /// seed frontier). Returns one wake target per task, in order; `placed`
+    /// selects the [`Scheduler::push_ready_placed`] path. The default loops
+    /// over the single-task entry points; central-queue policies override
+    /// it to take their queue lock once for the whole batch.
+    fn push_ready_batch(
+        &self,
+        tasks: &[Arc<Task>],
+        placed: bool,
+        ctx: &SchedCtx<'_>,
+    ) -> Vec<Option<usize>> {
+        tasks
+            .iter()
+            .map(|t| {
+                if placed {
+                    self.push_ready_placed(Arc::clone(t), ctx)
+                } else {
+                    self.push_ready(Arc::clone(t), ctx)
+                }
+            })
+            .collect()
+    }
 }
 
 /// Instantiates the policy for a machine.
@@ -178,7 +210,12 @@ pub fn make_scheduler(kind: SchedulerKind, machine: &MachineConfig) -> Box<dyn S
 
 /// The (worker, architecture) pairs that could execute `task` on `machine`.
 /// A `CpuTeam` implementation is represented by its leader, CPU worker 0.
+/// Recorded graph tasks return their placement table computed once at
+/// instantiation instead of re-enumerating.
 pub fn options_for(task: &Task, machine: &MachineConfig) -> Vec<(usize, Arch)> {
+    if let Some(p) = &task.placement {
+        return p.options.clone();
+    }
     let mut opts = Vec::new();
     let ncpu = machine.cpu_workers;
     if task.codelet.has_arch(Arch::Cpu) {

@@ -49,6 +49,19 @@ impl Scheduler for RandomScheduler {
         !self.queues[worker].lock().is_empty()
     }
 
+    fn push_ready_placed(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
+        // Keep the previous iteration's draw — re-rolling every replay
+        // would burn RNG state for no scheduling benefit.
+        let choice = *task.chosen.lock();
+        match choice {
+            Some(c) => {
+                self.queues[c.worker].lock().push_back(task);
+                Some(c.worker)
+            }
+            None => self.push_ready(task, ctx),
+        }
+    }
+
     fn pop_for_worker(
         &self,
         worker: usize,

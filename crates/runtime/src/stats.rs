@@ -2,7 +2,44 @@
 
 use parking_lot::Mutex;
 use peppher_sim::VTime;
+use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Identifies one execution of a recorded graph (or one in-flight pipeline
+/// frame): which [`crate::graph::GraphInstance`] / pipeline it belongs to
+/// and which replay iteration / frame number it is. Threaded through
+/// [`TraceEvent::TaskStart`]/[`TraceEvent::TaskEnd`] so overlapping
+/// iterations stay distinguishable in the trace and render as separate
+/// [`gantt`] lanes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RunId {
+    /// The graph instance / pipeline the run belongs to.
+    pub instance: u32,
+    /// Replay iteration (or frame sequence number) within the instance.
+    pub iteration: u32,
+}
+
+impl RunId {
+    /// Packs into one word for lock-free storage on tasks. The all-ones
+    /// word is reserved as the "no run" sentinel.
+    pub(crate) fn pack(self) -> u64 {
+        ((self.instance as u64) << 32) | self.iteration as u64
+    }
+
+    /// Inverse of [`RunId::pack`]; `u64::MAX` decodes to `None`.
+    pub(crate) fn unpack(tag: u64) -> Option<RunId> {
+        (tag != u64::MAX).then_some(RunId {
+            instance: (tag >> 32) as u32,
+            iteration: tag as u32,
+        })
+    }
+}
+
+impl fmt::Display for RunId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}.{}", self.instance, self.iteration)
+    }
+}
 
 /// One recorded event (enabled with [`crate::RuntimeConfig::enable_trace`]).
 /// The Fig. 3 harness and several tests assert on transfer events.
@@ -16,6 +53,8 @@ pub enum TraceEvent {
         codelet: String,
         /// Executing worker.
         worker: usize,
+        /// Replay iteration / pipeline frame, if the task belongs to one.
+        run: Option<RunId>,
     },
     /// A task finished.
     TaskEnd {
@@ -29,6 +68,8 @@ pub enum TraceEvent {
         vstart: VTime,
         /// Virtual completion time.
         vfinish: VTime,
+        /// Replay iteration / pipeline frame, if the task belongs to one.
+        run: Option<RunId>,
     },
     /// Data moved between memory nodes.
     Transfer {
@@ -413,11 +454,15 @@ impl RuntimeStats {
 /// Renders an ASCII Gantt chart of the virtual schedule from a trace
 /// (requires [`crate::RuntimeConfig::enable_trace`]): one row per worker,
 /// time flowing left to right across `width` columns, each task drawn with
-/// the first letter of its codelet name. Useful for eyeballing placement
-/// decisions and pipeline shapes in examples and debugging sessions.
+/// the first letter of its codelet name. Tasks carrying a [`RunId`] (graph
+/// replays, pipeline frames) get one lane per `(worker, run)` pair so
+/// overlapping iterations render separately instead of as one smeared row;
+/// traces without run tags keep the classic one-row-per-worker layout.
+/// Useful for eyeballing placement decisions and pipeline shapes in
+/// examples and debugging sessions.
 pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
     let width = width.max(10);
-    let spans: Vec<(usize, VTime, VTime, char)> = trace
+    let spans: Vec<(usize, Option<RunId>, VTime, VTime, char)> = trace
         .iter()
         .filter_map(|e| match e {
             TraceEvent::TaskEnd {
@@ -425,32 +470,62 @@ pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
                 codelet,
                 vstart,
                 vfinish,
+                run,
                 ..
             } => {
                 let tag = codelet.chars().next().unwrap_or('#');
-                Some((*worker, *vstart, *vfinish, tag))
+                Some((*worker, *run, *vstart, *vfinish, tag))
             }
             _ => None,
         })
         .collect();
     let horizon = spans
         .iter()
-        .map(|(_, _, f, _)| *f)
+        .map(|(_, _, _, f, _)| *f)
         .fold(VTime::ZERO, VTime::max);
     if horizon == VTime::ZERO {
         return String::from("(no timed tasks in trace)\n");
     }
+    // Lane layout: one lane per (worker, run) pair that actually appears.
+    // Workers with no tagged spans keep a single untagged lane so an
+    // all-untagged trace produces the historical output byte for byte.
+    let mut lanes: Vec<(usize, Option<RunId>)> = Vec::new();
+    for w in 0..workers {
+        let mut runs: Vec<Option<RunId>> = spans
+            .iter()
+            .filter(|(sw, ..)| *sw == w)
+            .map(|(_, r, ..)| *r)
+            .collect();
+        runs.sort();
+        runs.dedup();
+        if runs.is_empty() {
+            lanes.push((w, None));
+        } else {
+            lanes.extend(runs.into_iter().map(|r| (w, r)));
+        }
+    }
+    let labels: Vec<String> = lanes
+        .iter()
+        .map(|(w, r)| match r {
+            Some(run) => format!("w{w}{run}"),
+            None => format!("w{w}"),
+        })
+        .collect();
+    let label_w = labels.iter().map(String::len).max().unwrap_or(3).max(3);
     let scale = horizon.as_nanos() as f64 / width as f64;
-    let mut rows = vec![vec!['.'; width]; workers];
-    for (w, s, f, tag) in spans {
+    let mut rows = vec![vec!['.'; width]; lanes.len()];
+    for (w, run, s, f, tag) in spans {
         if w >= workers {
             continue;
         }
+        let Some(lane) = lanes.iter().position(|&l| l == (w, run)) else {
+            continue;
+        };
         let c0 = (s.as_nanos() as f64 / scale) as usize;
         let c1 = ((f.as_nanos() as f64 / scale) as usize)
             .max(c0 + 1)
             .min(width);
-        for cell in &mut rows[w][c0.min(width - 1)..c1] {
+        for cell in &mut rows[lane][c0.min(width - 1)..c1] {
             // Overlapping marks (from rounding) keep the first writer.
             if *cell == '.' {
                 *cell = tag;
@@ -459,8 +534,11 @@ pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
     }
     let mut out = String::new();
     out.push_str(&format!("virtual schedule (horizon {horizon}):\n"));
-    for (w, row) in rows.iter().enumerate() {
-        out.push_str(&format!("  w{w:<2} |{}|\n", row.iter().collect::<String>()));
+    for (label, row) in labels.iter().zip(&rows) {
+        out.push_str(&format!(
+            "  {label:<label_w$} |{}|\n",
+            row.iter().collect::<String>()
+        ));
     }
     // Memory-pressure summary: eviction stalls lengthen transfer queues, so
     // surface them next to the schedule they distorted.
@@ -556,6 +634,7 @@ mod tests {
                 codelet: "halo".into(),
                 vstart: VTime::ZERO,
                 vfinish: VTime::from_micros(10),
+                run: None,
             },
             TraceEvent::Transfer {
                 handle: 7,
@@ -598,6 +677,7 @@ mod tests {
                 codelet: "alpha".into(),
                 vstart: VTime::ZERO,
                 vfinish: VTime::from_micros(50),
+                run: None,
             },
             TraceEvent::TaskEnd {
                 task: 2,
@@ -605,6 +685,7 @@ mod tests {
                 codelet: "beta".into(),
                 vstart: VTime::from_micros(50),
                 vfinish: VTime::from_micros(100),
+                run: None,
             },
         ];
         let chart = gantt(&trace, 2, 20);
@@ -617,6 +698,37 @@ mod tests {
         assert!(!lines[1].contains('b'));
         // Empty trace handled gracefully.
         assert!(gantt(&[], 2, 20).contains("no timed tasks"));
+    }
+
+    #[test]
+    fn gantt_splits_lanes_per_run() {
+        let run = |i| {
+            Some(RunId {
+                instance: 3,
+                iteration: i,
+            })
+        };
+        let end = |task, worker, codelet: &str, us0, us1, run| TraceEvent::TaskEnd {
+            task,
+            worker,
+            codelet: codelet.into(),
+            vstart: VTime::from_micros(us0),
+            vfinish: VTime::from_micros(us1),
+            run,
+        };
+        let trace = vec![
+            end(1, 0, "alpha", 0, 50, run(0)),
+            end(2, 0, "beta", 50, 100, run(1)),
+            end(3, 1, "gamma", 0, 100, None),
+        ];
+        let chart = gantt(&trace, 2, 20);
+        let lines: Vec<&str> = chart.lines().collect();
+        // Worker 0 splits into one lane per replay iteration; worker 1's
+        // untagged span keeps a plain lane.
+        assert!(lines[1].contains("w0#3.0") && lines[1].contains("aaaa"));
+        assert!(lines[2].contains("w0#3.1") && lines[2].contains("bbbb"));
+        assert!(!lines[1].contains('b'), "iterations must not smear");
+        assert!(lines[3].contains("w1") && lines[3].contains("gggg"));
     }
 
     #[test]
@@ -635,6 +747,7 @@ mod tests {
                 codelet: "spmv".into(),
                 vstart: VTime::ZERO,
                 vfinish: VTime::from_micros(10),
+                run: None,
             },
             TraceEvent::Evict {
                 handle: 7,
@@ -683,6 +796,7 @@ mod tests {
                 codelet: "spmv".into(),
                 vstart: VTime::ZERO,
                 vfinish: VTime::from_micros(10),
+                run: None,
             },
             TraceEvent::Reuse {
                 handle: 7,
@@ -713,6 +827,7 @@ mod tests {
                 codelet: "spmv".into(),
                 vstart: VTime::ZERO,
                 vfinish: VTime::from_micros(10),
+                run: None,
             },
             TraceEvent::Reorder {
                 task: 9,

@@ -1,12 +1,15 @@
 //! Tasks, the submission API, and sequential-consistency dependencies.
 
 use crate::codelet::{Arch, Codelet};
+use crate::graph::GraphLink;
 use crate::handle::{AccessMode, DataHandle};
+use crate::perfmodel::PerfKey;
 use crate::runtime::Runtime;
+use crate::stats::RunId;
 use parking_lot::{Condvar, Mutex};
 use peppher_sim::{KernelCost, VTime};
 use std::any::Any;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// The scheduler's placement decision for a task (filled in by `dmda`;
@@ -30,6 +33,30 @@ pub(crate) struct TaskRunState {
     pub vfinish: VTime,
 }
 
+/// Placement table precomputed when a task is recorded into a
+/// [`crate::graph::TaskGraph`]: the eligible `(worker, arch)` options and,
+/// parallel to them, the performance-model keys (codelet id × worker class
+/// × footprint). Replays hand these to the scheduler so per-iteration
+/// placement skips `options_for` recomputation and `PerfKey` hashing.
+#[derive(Debug, Clone)]
+pub struct StaticPlacement {
+    /// Eligible `(worker, arch)` execution options.
+    pub options: Vec<(usize, Arch)>,
+    /// Performance-model key per option (same order as `options`).
+    pub keys: Vec<PerfKey>,
+}
+
+impl StaticPlacement {
+    /// The precomputed perf key for one `(worker, arch)` option, if that
+    /// option was recorded.
+    pub fn key_for(&self, worker: usize, arch: Arch) -> Option<PerfKey> {
+        self.options
+            .iter()
+            .position(|&o| o == (worker, arch))
+            .map(|i| self.keys[i])
+    }
+}
+
 /// A runtime task: one codelet invocation bound to data accesses.
 ///
 /// Tasks are non-preemptive and stateless (the paper: "PEPPHER components
@@ -46,8 +73,9 @@ pub struct Task {
     /// prediction functions — *not* consulted by history models).
     pub cost: KernelCost,
     /// Scalar argument pack exposed to the kernel via
-    /// [`crate::KernelCtx::arg`].
-    pub arg: Option<Box<dyn Any + Send + Sync>>,
+    /// [`crate::KernelCtx::arg`]. Shared (`Arc`, not `Box`) so recorded
+    /// graph tasks can reuse one pack across every replay iteration.
+    pub arg: Option<Arc<dyn Any + Send + Sync>>,
     /// Larger = more urgent (schedulers may use it for tie-breaking).
     pub priority: i32,
     /// Pin execution to one worker (user-guided static composition and
@@ -62,7 +90,22 @@ pub struct Task {
     /// eager-eviction candidates once the operands are unpinned.
     pub wont_use: Vec<u64>,
     /// Scheduler decision, if the scheduling policy makes one at push time.
+    /// Deliberately *not* cleared by [`Task::reset_for_replay`]: a frozen
+    /// graph instance re-enqueues with the previous iteration's placement.
     pub chosen: Mutex<Option<ExecChoice>>,
+    /// Placement table recorded at graph-instantiation time; `None` for
+    /// ordinary submitted tasks (computed on the fly instead).
+    pub(crate) placement: Option<StaticPlacement>,
+    /// Back-link to the owning graph instance for recorded tasks: the
+    /// worker routes completion through the instance's edge lists instead
+    /// of the (empty) per-task successor list.
+    pub(crate) graph: Option<GraphLink>,
+    /// Packed [`RunId`] of the replay iteration / pipeline frame currently
+    /// executing this task (`u64::MAX` = none); threaded into trace events.
+    pub(crate) run_tag: AtomicU64,
+    /// Cached operand footprint (sum of operand bytes); operands are fixed
+    /// at build time so this never changes.
+    footprint: u64,
     /// Dependencies not yet satisfied, +1 submission guard.
     ndeps: AtomicUsize,
     successors: Mutex<Vec<Arc<Task>>>,
@@ -74,7 +117,29 @@ impl Task {
     /// Sum of operand sizes — the performance-model footprint (StarPU
     /// buckets histories by data size the same way).
     pub fn footprint(&self) -> u64 {
-        self.accesses.iter().map(|(h, _)| h.bytes() as u64).sum()
+        self.footprint
+    }
+
+    /// The replay iteration / pipeline frame currently executing this task.
+    pub fn run(&self) -> Option<RunId> {
+        RunId::unpack(self.run_tag.load(Ordering::Relaxed))
+    }
+
+    /// Rewinds a recorded graph task for the next replay iteration: not
+    /// completed, `preds` unsatisfied dependencies (roots get 0 — the seed
+    /// pushes them directly, so no submission guard is needed), virtual
+    /// times cleared, and the new run tag for trace events. Only called
+    /// when no iteration is in flight, so no worker can observe the
+    /// intermediate state.
+    pub(crate) fn reset_for_replay(&self, preds: usize, run: RunId) {
+        {
+            let mut st = self.state.lock();
+            st.completed = false;
+            st.vdeps = VTime::ZERO;
+            st.vfinish = VTime::ZERO;
+        }
+        self.ndeps.store(preds, Ordering::Release);
+        self.run_tag.store(run.pack(), Ordering::Relaxed);
     }
 
     /// Whether `worker` (CPU if `is_gpu` is false) could execute this task
@@ -238,11 +303,12 @@ pub struct TaskBuilder {
     codelet: Arc<Codelet>,
     accesses: Vec<(DataHandle, AccessMode)>,
     cost: KernelCost,
-    arg: Option<Box<dyn Any + Send + Sync>>,
+    arg: Option<Arc<dyn Any + Send + Sync>>,
     priority: i32,
     force_worker: Option<usize>,
     use_history: Option<bool>,
     wont_use: Vec<u64>,
+    run_tag: u64,
 }
 
 impl TaskBuilder {
@@ -257,6 +323,7 @@ impl TaskBuilder {
             force_worker: None,
             use_history: None,
             wont_use: Vec::new(),
+            run_tag: u64::MAX,
         }
     }
 
@@ -268,7 +335,7 @@ impl TaskBuilder {
 
     /// Attaches the scalar argument pack.
     pub fn arg<T: Any + Send + Sync>(mut self, arg: T) -> Self {
-        self.arg = Some(Box::new(arg));
+        self.arg = Some(Arc::new(arg));
         self
     }
 
@@ -276,7 +343,21 @@ impl TaskBuilder {
     /// composition layer, which receives packed arguments from the entry
     /// wrapper).
     pub fn arg_boxed(mut self, arg: Box<dyn Any + Send + Sync>) -> Self {
-        self.arg = Some(arg);
+        self.arg = Some(Arc::from(arg));
+        self
+    }
+
+    /// Attaches a shared argument pack without re-wrapping (used by the
+    /// graph layer, which reuses one pack across replay iterations).
+    pub(crate) fn arg_shared(mut self, arg: Option<Arc<dyn Any + Send + Sync>>) -> Self {
+        self.arg = arg;
+        self
+    }
+
+    /// Tags the task with the pipeline frame / replay iteration it belongs
+    /// to, threaded through [`crate::TraceEvent`] for per-frame lanes.
+    pub fn run_id(mut self, run: RunId) -> Self {
+        self.run_tag = run.pack();
         self
     }
 
@@ -305,6 +386,7 @@ impl TaskBuilder {
     }
 
     pub(crate) fn into_task(self, id: u64) -> Task {
+        let footprint = self.accesses.iter().map(|(h, _)| h.bytes() as u64).sum();
         Task {
             id,
             codelet: self.codelet,
@@ -316,6 +398,10 @@ impl TaskBuilder {
             use_history: self.use_history,
             wont_use: self.wont_use,
             chosen: Mutex::new(None),
+            placement: None,
+            graph: None,
+            run_tag: AtomicU64::new(self.run_tag),
+            footprint,
             ndeps: AtomicUsize::new(1), // submission guard
             successors: Mutex::new(Vec::new()),
             state: Mutex::new(TaskRunState {

@@ -32,9 +32,18 @@ fn try_pop(inner: &RuntimeInner, worker: usize) -> Option<Arc<Task>> {
 /// of broadcasting, so an N-worker runtime no longer pays a thundering
 /// herd per submit.
 pub(crate) fn worker_loop(inner: Arc<RuntimeInner>, worker: usize) {
+    // Frozen graph replays chain task-to-task: `run_one` hands back the
+    // ready successor placed on this very worker, which runs without ever
+    // touching the scheduler queues.
+    let run_chain = |t: Arc<Task>| {
+        let mut next = run_one(&inner, worker, t, false);
+        while let Some(t) = next.take() {
+            next = run_one(&inner, worker, t, true);
+        }
+    };
     loop {
         if let Some(t) = try_pop(&inner, worker) {
-            execute_task(&inner, worker, t);
+            run_chain(t);
             continue;
         }
         // Publish idleness, then recheck: a producer either sees the flag
@@ -43,7 +52,7 @@ pub(crate) fn worker_loop(inner: Arc<RuntimeInner>, worker: usize) {
         inner.idle[worker].store(true, Ordering::SeqCst);
         if let Some(t) = try_pop(&inner, worker) {
             inner.idle[worker].store(false, Ordering::SeqCst);
-            execute_task(&inner, worker, t);
+            run_chain(t);
             continue;
         }
         if inner.shutdown.load(Ordering::SeqCst) {
@@ -75,8 +84,73 @@ fn pick_arch(inner: &RuntimeInner, worker: usize, task: &Task) -> Arch {
     }
 }
 
-fn execute_task(inner: &RuntimeInner, worker: usize, task: Arc<Task>) {
-    let arch = pick_arch(inner, worker, &task);
+/// Extracts a human-readable message from a panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    payload
+        .downcast_ref::<&str>()
+        .map(|s| s.to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "<non-string panic>".to_string())
+}
+
+/// Executes one task end to end, containing panics that escape
+/// `execute_task` *outside* the kernel (kernel panics are already caught
+/// and counted inside `run_kernel`; what reaches here is runtime-level
+/// misuse, e.g. a codelet scheduled on an architecture it has no
+/// implementation for). The panic is recorded as a runtime fault and the
+/// task still completes — successors run, the pending counter drains, and
+/// `wait_all` re-raises the fault on the waiting thread instead of the
+/// whole process hanging on a dead worker.
+///
+/// Returns a self-continuation, if any: a ready successor of a frozen
+/// graph task whose recorded placement is this worker (see
+/// [`crate::graph`]) — the caller runs it immediately, queue-free,
+/// passing `direct = true`. Direct tasks bypass the scheduler entirely:
+/// they were never pushed, so no load prediction was charged and
+/// `task_timed` must not release one, and by the freeze point the
+/// execution-history model has converged, so re-recording the same
+/// stationary sample every iteration is skipped too.
+fn run_one(
+    inner: &RuntimeInner,
+    worker: usize,
+    task: Arc<Task>,
+    direct: bool,
+) -> Option<Arc<Task>> {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        execute_task(inner, worker, &task, direct)
+    }));
+    let vfinish = match result {
+        Ok(vfinish) => vfinish,
+        Err(payload) => {
+            let msg = panic_message(payload.as_ref());
+            inner.record_fault(format!(
+                "task {} (codelet `{}`) panicked on worker {worker}: {msg}",
+                task.id, task.codelet.name
+            ));
+            // Complete at the dependency horizon so successors still get a
+            // monotone virtual time. Pins/accounting from the unwound
+            // execution may be leaked — acceptable in fault mode, the
+            // runtime is headed for an error report.
+            task.state.lock().vdeps
+        }
+    };
+    for succ in task.complete(vfinish) {
+        inner.push_ready(succ);
+    }
+    // Recorded graph tasks route completion through the instance's edge
+    // lists (their per-task successor list above is empty).
+    let mut next = None;
+    if let Some(link) = &task.graph {
+        if let Some(core) = link.instance.upgrade() {
+            next = core.on_complete(link.node, vfinish, inner, worker);
+        }
+    }
+    inner.task_finished();
+    next
+}
+
+fn execute_task(inner: &RuntimeInner, worker: usize, task: &Arc<Task>, direct: bool) -> VTime {
+    let arch = pick_arch(inner, worker, task);
     let implementation = task
         .codelet
         .impl_for(arch)
@@ -94,6 +168,7 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: Arc<Task>) {
     };
     let node = inner.machine.worker_memory_node(worker);
     let vdeps = task.state.lock().vdeps;
+    let run = task.run();
 
     // Gate on the flag before building the event: the `String` clone must
     // not be paid when tracing is disabled.
@@ -102,6 +177,7 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: Arc<Task>) {
             task: task.id,
             codelet: task.codelet.name.clone(),
             worker,
+            run,
         });
     }
 
@@ -153,11 +229,7 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: Arc<Task>) {
             (implementation.func)(&mut ctx);
         }));
         if let Err(payload) = result {
-            let msg = payload
-                .downcast_ref::<&str>()
-                .map(|s| s.to_string())
-                .or_else(|| payload.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "<non-string panic>".to_string());
+            let msg = panic_message(payload.as_ref());
             eprintln!(
                 "peppher-runtime: kernel `{}` panicked on worker {worker}: {msg}",
                 task.codelet.name
@@ -216,8 +288,12 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: Arc<Task>) {
     };
     drop(guards);
 
-    // The worker's virtual timeline now includes this task.
-    inner.sched.task_timed(worker, &task);
+    // The worker's virtual timeline now includes this task. Direct
+    // (self-continued) tasks never entered the scheduler, so there is no
+    // push-time load prediction to release.
+    if !direct {
+        inner.sched.task_timed(worker, task);
+    }
 
     // Coherence effects of writes become visible before successors run.
     for (h, mode) in &task.accesses {
@@ -239,14 +315,19 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: Arc<Task>) {
 
     // Feed the execution-history models. The key is built from interned
     // ids (`Copy` all the way down) — no per-task string allocation.
-    inner.perf.record(
-        PerfKey::for_codelet(
-            task.codelet.id,
-            inner.classes.class_id(arch, worker),
-            task.footprint(),
-        ),
-        vexec,
-    );
+    // Direct tasks skip this: a graph freezes placement only after the
+    // calibration threshold, so their model has converged and every
+    // further replay would re-record the same stationary sample.
+    if !direct {
+        inner.perf.record(
+            PerfKey::for_codelet(
+                task.codelet.id,
+                inner.classes.class_id(arch, worker),
+                task.footprint(),
+            ),
+            vexec,
+        );
+    }
 
     inner.stats.record_task(worker, vexec, vfinish);
     inner.stats.record_energy(
@@ -263,11 +344,71 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: Arc<Task>) {
             codelet: task.codelet.name.clone(),
             vstart: vfinish.saturating_sub(vexec),
             vfinish,
+            run,
         });
     }
 
-    for succ in task.complete(vfinish) {
-        inner.push_ready(succ);
+    vfinish
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::codelet::{Arch, Codelet};
+    use crate::runtime::Runtime;
+    use crate::sched::SchedulerKind;
+    use crate::task::{ExecChoice, TaskBuilder};
+    use peppher_sim::{MachineConfig, VTime};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+
+    /// Pushes a CPU-only task mislabelled with a GPU placement past the
+    /// submission guard, the way only an internal scheduler bug could.
+    /// The dispatch panic it provokes happens outside the kernel, so it
+    /// exercises the worker's fault backstop rather than the kernel
+    /// containment path.
+    fn push_mismatched(rt: &Runtime) {
+        let c = Arc::new(Codelet::new("cpu_only_cl").with_impl(Arch::Cpu, |_| {}));
+        let task = Arc::new(TaskBuilder::new(&c).into_task(u64::MAX));
+        *task.chosen.lock() = Some(ExecChoice {
+            worker: 0,
+            arch: Arch::Gpu,
+            pred_delta: VTime::ZERO,
+        });
+        assert!(task.dep_satisfied(), "fresh task has only the guard dep");
+        rt.inner.pending.fetch_add(1, Ordering::SeqCst);
+        rt.inner.push_ready(task);
     }
-    inner.task_finished();
+
+    #[test]
+    fn escaped_task_body_panic_is_reported_not_hung() {
+        let rt = Runtime::new(MachineConfig::cpu_only(2), SchedulerKind::Eager);
+        push_mismatched(&rt);
+        let err = rt.try_wait_all().expect_err("fault must surface");
+        assert!(
+            err.contains("cpu_only_cl") && err.contains("without an implementation"),
+            "fault should carry the dispatch panic: {err:?}"
+        );
+        // The fault is consumed once and the pool keeps working.
+        assert_eq!(rt.try_wait_all(), Ok(()));
+        let ok = Arc::new(Codelet::new("ok").with_impl(Arch::Cpu, |_| {}));
+        TaskBuilder::new(&ok).submit_sync(&rt);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn wait_all_reraises_the_fault_on_the_waiting_thread() {
+        let rt = Runtime::new(MachineConfig::cpu_only(2), SchedulerKind::Eager);
+        push_mismatched(&rt);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| rt.wait_all()));
+        let msg = caught
+            .expect_err("wait_all must re-raise the task-body panic")
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(
+            msg.contains("cpu_only_cl") && msg.contains("panicked on worker"),
+            "re-raised panic should identify codelet and worker: {msg:?}"
+        );
+        rt.shutdown();
+    }
 }

@@ -93,6 +93,7 @@ fn disabled_trace_gate_does_not_allocate() {
                     task,
                     codelet: codelet_name.clone(),
                     worker: 0,
+                    run: None,
                 };
                 unreachable!("tracing is disabled");
             }

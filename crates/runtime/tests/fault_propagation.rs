@@ -1,0 +1,78 @@
+//! Undispatchable tasks must never reach a worker and hang the runtime:
+//! both submission paths reject a codelet with no eligible worker *on the
+//! calling thread*, eagerly, with a diagnosable message. The companion
+//! backstop — a task body that panics anyway (internal scheduler bug) is
+//! recorded as a fault and re-raised by `wait_all` instead of hanging —
+//! lives in the crate's unit tests (`worker.rs`, `graph/instance.rs`),
+//! which can push tasks past the guards.
+
+use peppher_runtime::{
+    AccessMode, Arch, Codelet, GraphTask, Runtime, SchedulerKind, TaskBuilder, TaskGraph,
+};
+use peppher_sim::MachineConfig;
+use std::sync::Arc;
+
+/// A codelet with only a GPU implementation — undispatchable on a
+/// CPU-only machine.
+fn gpu_only() -> Arc<Codelet> {
+    Arc::new(Codelet::new("gpu_only").with_impl(Arch::Gpu, |ctx| {
+        for x in ctx.w::<Vec<f64>>(0).iter_mut() {
+            *x += 1.0;
+        }
+    }))
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default()
+}
+
+#[test]
+fn undispatchable_submit_is_rejected_on_the_calling_thread() {
+    let rt = Runtime::new(MachineConfig::cpu_only(2), SchedulerKind::Eager);
+    let h = rt.register(vec![0.0f64; 8]);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        TaskBuilder::new(&gpu_only())
+            .access(&h, AccessMode::ReadWrite)
+            .submit(&rt);
+    }));
+    let msg = panic_message(caught.expect_err("submit must reject the task"));
+    assert!(
+        msg.contains("gpu_only") && msg.contains("no eligible worker"),
+        "rejection should identify the codelet: {msg:?}"
+    );
+    // The rejection left no half-submitted task behind: waits return and
+    // the runtime still executes ordinary work.
+    rt.wait_all();
+    let ok = Arc::new(Codelet::new("ok").with_impl(Arch::Cpu, |ctx| {
+        for x in ctx.w::<Vec<f64>>(0).iter_mut() {
+            *x += 1.0;
+        }
+    }));
+    TaskBuilder::new(&ok)
+        .access(&h, AccessMode::ReadWrite)
+        .submit(&rt);
+    rt.wait_all();
+    assert!(rt.unregister::<Vec<f64>>(h).iter().all(|&x| x == 1.0));
+    rt.shutdown();
+}
+
+#[test]
+fn undispatchable_graph_is_rejected_at_instantiation() {
+    let rt = Runtime::new(MachineConfig::cpu_only(2), SchedulerKind::Eager);
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut g = TaskGraph::new();
+        let s = g.slot(vec![0.0f64; 8]);
+        g.add(GraphTask::new(&gpu_only()).access(s, AccessMode::ReadWrite));
+        g.instantiate(&rt);
+    }));
+    let msg = panic_message(caught.expect_err("instantiate must reject the graph"));
+    assert!(
+        msg.contains("gpu_only") && msg.contains("no eligible worker"),
+        "rejection should identify the codelet: {msg:?}"
+    );
+    rt.shutdown();
+}
