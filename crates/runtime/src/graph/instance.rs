@@ -4,7 +4,6 @@ use super::{wire, GraphLink, GraphSlot, TaskGraph};
 use crate::handle::DataHandle;
 use crate::perfmodel::PerfKey;
 use crate::runtime::{Runtime, RuntimeInner};
-use crate::sched::options_for;
 use crate::stats::RunId;
 use crate::task::{StaticPlacement, Task, TaskBuilder};
 use parking_lot::{Condvar, Mutex};
@@ -216,12 +215,10 @@ pub(crate) fn instantiate(
                     b = b.access(&handles[slot.0], mode);
                 }
                 let mut task = b.into_task(inner.alloc_task_id());
-                let options = options_for(&task, &inner.machine);
-                assert!(
-                    !options.is_empty(),
-                    "graph task for codelet `{}` has no eligible worker on this machine",
-                    task.codelet.name
-                );
+                // Shared submission-time validation (aliased writable
+                // operands, undispatchable codelets) — same checks as
+                // `Runtime::submit` / `Runtime::submit_batch`.
+                let options = crate::runtime::validate_task(&task, &inner.machine);
                 let keys = options
                     .iter()
                     .map(|&(w, a)| {

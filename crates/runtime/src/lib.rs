@@ -80,6 +80,7 @@ pub mod codelet;
 pub mod coherence;
 pub mod graph;
 pub mod handle;
+pub mod hash;
 pub mod intern;
 pub mod memory;
 pub mod perfmodel;

@@ -43,6 +43,9 @@
 //! [`MemoryManager::validate`] checks the whole invariant on demand.
 
 mod freelist;
+mod locality;
+
+pub use locality::{LocalityIndex, ResidentLookup};
 
 use crate::coherence::Topology;
 use crate::handle::{DataHandle, HandleInner, PayloadBox, PayloadCell, ReplicaStatus};
@@ -51,7 +54,7 @@ use freelist::FreeList;
 use parking_lot::{Mutex, RwLock};
 use peppher_sim::{MachineConfig, VTime};
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Weak};
 
 /// What happens when a device memory node runs out of capacity.
@@ -133,6 +136,27 @@ pub struct MemoryManager {
     epoch: AtomicU64,
     /// The epoch-tagged cached snapshot behind [`MemoryManager::view`].
     cached_view: Mutex<Option<(u64, Arc<MemoryView>)>>,
+    /// When set, every residency mutation appends a [`ResidencyDelta`] to
+    /// `residency_log` (under the mutated node's lock, so per-replica log
+    /// order matches mutation order). Off by default — only consumers like
+    /// [`LocalityIndex`] pay for the log.
+    log_residency: AtomicBool,
+    /// The pending delta log drained by [`MemoryManager::take_residency_deltas`].
+    residency_log: Mutex<Vec<ResidencyDelta>>,
+}
+
+/// One residency mutation, as observed by [`MemoryManager::take_residency_deltas`].
+/// `bytes` is the *absolute* accounted byte count after the mutation (0 =
+/// replica gone), not an increment — applying deltas is therefore idempotent
+/// and tolerant of a redundant replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResidencyDelta {
+    /// Memory node whose residency changed.
+    pub node: usize,
+    /// Handle id of the replica.
+    pub handle: u64,
+    /// Accounted bytes after the mutation; 0 removes the replica.
+    pub bytes: u64,
 }
 
 /// A read-only, point-in-time snapshot of replica residency, taken with
@@ -243,6 +267,45 @@ impl MemoryManager {
             policy,
             epoch: AtomicU64::new(0),
             cached_view: Mutex::new(None),
+            log_residency: AtomicBool::new(false),
+            residency_log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Current residency epoch (see [`MemoryManager::view`]). A consumer
+    /// whose cached state is tagged with this value is up to date.
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Acquire)
+    }
+
+    /// Turns on residency-delta logging (see [`ResidencyDelta`]). Must be
+    /// called *before* snapshotting the state the deltas are applied to:
+    /// enable-then-snapshot may replay a mutation already visible in the
+    /// snapshot, which absolute deltas absorb harmlessly.
+    pub fn enable_residency_log(&self) {
+        self.log_residency.store(true, Ordering::Release);
+    }
+
+    /// Drains and returns the pending residency deltas, in per-replica
+    /// mutation order. Empty when logging is off or nothing changed.
+    pub fn take_residency_deltas(&self) -> Vec<ResidencyDelta> {
+        let mut log = self.residency_log.lock();
+        if log.is_empty() {
+            return Vec::new();
+        }
+        std::mem::take(&mut *log)
+    }
+
+    /// Appends a delta when logging is enabled. Call while still holding
+    /// the mutated node's lock so log order matches mutation order (the
+    /// log mutex never takes a node lock, so node → log nesting is safe).
+    fn log_delta(&self, node: usize, handle: u64, bytes: u64) {
+        if self.log_residency.load(Ordering::Relaxed) {
+            self.residency_log.lock().push(ResidencyDelta {
+                node,
+                handle,
+                bytes,
+            });
         }
     }
 
@@ -493,6 +556,7 @@ impl MemoryManager {
                 dead: false,
             },
         );
+        self.log_delta(0, handle.id(), handle.bytes() as u64);
         drop(nm);
         self.bump_epoch();
     }
@@ -599,7 +663,10 @@ impl MemoryManager {
                         && nm.budget.is_some_and(|b| (nm.used + need) * 2 >= b);
                     match donate {
                         true => match Self::select_dead_donor(&mut nm, handle.id(), need) {
-                            Some((vid, r)) => Selection::Victim(vid, r),
+                            Some((vid, r)) => {
+                                self.log_delta(node, vid, 0);
+                                Selection::Victim(vid, r)
+                            }
                             None => Selection::Done,
                         },
                         false => Selection::Done,
@@ -620,7 +687,10 @@ impl MemoryManager {
                         Selection::Done
                     } else {
                         match Self::select_victim(&mut nm, handle.id()) {
-                            Some((vid, r)) => Selection::Victim(vid, r),
+                            Some((vid, r)) => {
+                                self.log_delta(node, vid, 0);
+                                Selection::Victim(vid, r)
+                            }
                             None => Selection::Overcommit,
                         }
                     }
@@ -656,6 +726,9 @@ impl MemoryManager {
         entry.bytes = need;
         entry.last_use = stamp;
         entry.dead = false;
+        if !already_accounted {
+            self.log_delta(node, handle.id(), need);
+        }
         drop(nm);
         if !already_accounted {
             self.bump_epoch();
@@ -813,6 +886,9 @@ impl MemoryManager {
                 }
             }
         }
+        if freed > 0 {
+            self.log_delta(node, handle_id, 0);
+        }
         drop(nm);
         if freed > 0 {
             self.bump_epoch();
@@ -833,11 +909,14 @@ impl MemoryManager {
     /// Drops every node's accounting for a handle being unregistered.
     pub(crate) fn forget(&self, handle_id: u64) {
         let mut changed = false;
-        for node in &self.nodes {
+        for (i, node) in self.nodes.iter().enumerate() {
             let mut nm = node.lock();
             if let Some(r) = nm.residents.remove(&handle_id) {
                 nm.used = nm.used.saturating_sub(r.bytes);
-                changed |= r.bytes > 0;
+                if r.bytes > 0 {
+                    self.log_delta(i, handle_id, 0);
+                    changed = true;
+                }
             }
         }
         if changed {
@@ -861,7 +940,11 @@ impl MemoryManager {
         loop {
             let victim = {
                 let mut nm = self.nodes[node].lock();
-                Self::select_victim(&mut nm, u64::MAX)
+                let v = Self::select_victim(&mut nm, u64::MAX);
+                if let Some((vid, _)) = &v {
+                    self.log_delta(node, *vid, 0);
+                }
+                v
             };
             match victim {
                 Some((vid, r)) => {

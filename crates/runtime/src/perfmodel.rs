@@ -9,11 +9,12 @@
 //! selection".
 
 use crate::codelet::ArchClass;
+use crate::hash::{FastBuildHasher, FastMap};
 use crate::intern::{CodeletId, Sym};
 use parking_lot::Mutex;
 use peppher_sim::VTime;
-use std::collections::HashMap;
 use std::fmt;
+use std::hash::BuildHasher;
 
 /// A `Copy` architecture class: the interned counterpart of [`ArchClass`],
 /// used in hot-path keys so no `String` travels with each task. GPU models
@@ -139,9 +140,21 @@ impl History {
 /// performance-model persistence across runs.
 #[derive(Debug)]
 pub struct PerfRegistry {
-    histories: Mutex<HashMap<PerfKey, History>>,
+    /// Histories sharded by key hash: every task completion records a
+    /// sample, so one global map would serialize all workers against each
+    /// other (and against the submitter's calibration queries) on a
+    /// single lock.
+    shards: [Mutex<FastMap<PerfKey, History>>; SHARDS],
     /// Samples required before a key counts as calibrated.
     pub calibration_min: u64,
+}
+
+/// Shard count; a power of two so the hash folds with a mask.
+const SHARDS: usize = 8;
+
+/// The shard holding `key`'s history.
+fn shard_of(key: &PerfKey) -> usize {
+    FastBuildHasher::default().hash_one(key) as usize & (SHARDS - 1)
 }
 
 impl Default for PerfRegistry {
@@ -154,14 +167,14 @@ impl PerfRegistry {
     /// Creates a registry requiring `calibration_min` samples per key.
     pub fn new(calibration_min: u64) -> Self {
         PerfRegistry {
-            histories: Mutex::new(HashMap::new()),
+            shards: std::array::from_fn(|_| Mutex::new(FastMap::default())),
             calibration_min: calibration_min.max(1),
         }
     }
 
     /// Records an observed execution time.
     pub fn record(&self, key: PerfKey, t: VTime) {
-        self.histories
+        self.shards[shard_of(&key)]
             .lock()
             .entry(key)
             .or_default()
@@ -170,14 +183,17 @@ impl PerfRegistry {
 
     /// Expected execution time, or `None` when the key is not calibrated.
     pub fn expected(&self, key: &PerfKey) -> Option<VTime> {
-        let map = self.histories.lock();
+        let map = self.shards[shard_of(key)].lock();
         let h = map.get(key)?;
         (h.n >= self.calibration_min).then(|| VTime::from_nanos(h.mean_ns.max(0.0) as u64))
     }
 
     /// Number of samples recorded for `key`.
     pub fn samples(&self, key: &PerfKey) -> u64 {
-        self.histories.lock().get(key).map_or(0, |h| h.n)
+        self.shards[shard_of(key)]
+            .lock()
+            .get(key)
+            .map_or(0, |h| h.n)
     }
 
     /// Whether `key` has reached calibration.
@@ -187,31 +203,38 @@ impl PerfRegistry {
 
     /// Mean/stddev snapshot for diagnostics.
     pub fn history(&self, key: &PerfKey) -> Option<History> {
-        self.histories.lock().get(key).cloned()
+        self.shards[shard_of(key)].lock().get(key).cloned()
     }
 
     /// Number of distinct keys with at least one sample.
     pub fn key_count(&self) -> usize {
-        self.histories.lock().len()
+        self.shards.iter().map(|s| s.lock().len()).sum()
     }
 
     /// Clears all recorded histories.
     pub fn clear(&self) {
-        self.histories.lock().clear();
+        for s in &self.shards {
+            s.lock().clear();
+        }
     }
 
     /// Serializes every history to a line-oriented text format (StarPU
     /// persists its calibrated models under `~/.starpu/sampling`; this is
     /// the equivalent "performance data repository" format).
     pub fn serialize(&self) -> String {
-        let map = self.histories.lock();
-        let mut lines: Vec<String> = map
+        let mut lines: Vec<String> = self
+            .shards
             .iter()
-            .map(|(k, h)| {
-                format!(
-                    "{}\t{}\t{}\t{}\t{}\t{}",
-                    k.codelet, k.arch, k.bucket, h.n, h.mean_ns, h.m2
-                )
+            .flat_map(|s| {
+                s.lock()
+                    .iter()
+                    .map(|(k, h)| {
+                        format!(
+                            "{}\t{}\t{}\t{}\t{}\t{}",
+                            k.codelet, k.arch, k.bucket, h.n, h.mean_ns, h.m2
+                        )
+                    })
+                    .collect::<Vec<_>>()
             })
             .collect();
         lines.sort();
@@ -225,7 +248,6 @@ impl PerfRegistry {
     /// Restores histories from [`PerfRegistry::serialize`] output, merging
     /// into the current state (existing keys are replaced).
     pub fn deserialize(&self, text: &str) -> Result<usize, String> {
-        let mut map = self.histories.lock();
         let mut loaded = 0usize;
         for (lineno, line) in text.lines().enumerate() {
             let line = line.trim();
@@ -248,7 +270,7 @@ impl PerfRegistry {
                 mean_ns: fields[4].parse().map_err(|_| err("mean"))?,
                 m2: fields[5].parse().map_err(|_| err("m2"))?,
             };
-            map.insert(key, history);
+            self.shards[shard_of(&key)].lock().insert(key, history);
             loaded += 1;
         }
         Ok(loaded)

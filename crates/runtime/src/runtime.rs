@@ -1,11 +1,12 @@
 //! The runtime facade: submission, data registration, host access, lifecycle.
 
+use crate::codelet::Arch;
 use crate::coherence::{self, Topology};
 use crate::handle::{AccessMode, Data, DataHandle, PayloadBox, ReplicaStatus};
 use crate::memory::{EvictionPolicy, MemoryManager};
 use crate::perfmodel::PerfRegistry;
 use crate::sched::{
-    make_scheduler, options_for, SchedCtx, Scheduler, SchedulerKind, WorkerClasses,
+    make_scheduler, options_for, SchedCtx, Scheduler, SchedulerKind, Timelines, WorkerClasses,
 };
 use crate::stats::{RuntimeStats, StatsCollector, TraceEvent};
 use crate::task::{Task, TaskBuilder, TaskHandle};
@@ -124,8 +125,8 @@ pub(crate) struct RuntimeInner {
     pub stats: StatsCollector,
     /// Interned arch-class lookup shared with schedulers and workers.
     pub classes: WorkerClasses,
-    /// Actual virtual clock per worker.
-    pub timelines: Mutex<Vec<VTime>>,
+    /// Actual virtual clock per worker (lock-free monotone slots).
+    pub timelines: Timelines,
     pub noise: Mutex<NoiseModel>,
     /// Submitted-but-unfinished task count. The condvar handshake only
     /// happens on the transition to zero, so per-task bookkeeping is one
@@ -189,17 +190,42 @@ impl RuntimeInner {
 
     /// Seeds a batch of simultaneously-ready tasks (a graph replay's root
     /// frontier) through the scheduler's batch entry point — one queue
-    /// lock for central-queue policies — then prefetches and wakes per
-    /// task as usual.
+    /// lock for central-queue policies — then prefetches per task and
+    /// wakes once per distinct target. The whole batch is enqueued before
+    /// any wakeup, so a single notify per worker is lossless: a woken (or
+    /// still-busy) worker drains its queue in a loop and finds every task
+    /// of the batch on its own, while per-task wakes would pay one SeqCst
+    /// swap on an idle flag the workers are spinning on for each of the
+    /// potentially tens of thousands of tasks seeded here.
     pub(crate) fn push_ready_batch(&self, tasks: &[Arc<Task>], placed: bool) {
         let targets = self
             .sched
             .push_ready_batch(tasks, placed, &self.sched_ctx());
-        for (task, target) in tasks.iter().zip(targets) {
-            if !placed {
+        if !placed {
+            for task in tasks {
                 self.prefetch_for(task);
             }
-            self.wake_for(task, target);
+        }
+        // Centrally-queued tasks (no target) are discoverable by any
+        // worker, so they degrade to waking every parked worker once; a
+        // worker woken for a task it cannot run just parks again.
+        let mut wake_all = false;
+        let mut distinct: Vec<usize> = Vec::new();
+        for target in targets {
+            match target {
+                Some(w) if !distinct.contains(&w) => distinct.push(w),
+                Some(_) => {}
+                None => wake_all = true,
+            }
+        }
+        if wake_all {
+            for w in 0..self.idle.len() {
+                self.wake_worker(w);
+            }
+        } else {
+            for w in distinct {
+                self.wake_worker(w);
+            }
         }
     }
 
@@ -312,6 +338,45 @@ impl RuntimeInner {
     }
 }
 
+/// Submission-time validation shared by [`Runtime::submit`],
+/// [`Runtime::submit_batch`], and graph instantiation. Panics on the two
+/// task shapes no scheduler can handle, and returns the eligible
+/// (worker, arch) options so callers that need them (graph placement
+/// tables) do not enumerate twice.
+///
+/// Rejected here, on the *submitting* thread: aliased writable operands
+/// (two write accesses to one handle would need two exclusive guards on
+/// one buffer) and tasks no worker could ever run (no implementation for
+/// any worker of this machine, or a force_worker/implementation
+/// mismatch). Detecting the latter later, on a worker, either killed the
+/// worker (the placing schedulers assert) or hung `wait_all` forever
+/// (eager silently never dispatches it).
+pub(crate) fn validate_task(task: &Task, machine: &MachineConfig) -> Vec<(usize, Arch)> {
+    for (i, (h, m)) in task.accesses.iter().enumerate() {
+        if m.writes() {
+            for (h2, _) in task.accesses.iter().skip(i + 1) {
+                assert!(
+                    h2.id() != h.id(),
+                    "task `{}` passes handle {} twice with a writable access",
+                    task.codelet.name,
+                    h.id()
+                );
+            }
+        }
+    }
+    let opts = options_for(task, machine);
+    assert!(
+        !opts.is_empty(),
+        "task for codelet `{}` has no eligible worker on this machine{}",
+        task.codelet.name,
+        match task.force_worker {
+            Some(w) => format!(" (forced to worker {w})"),
+            None => String::new(),
+        }
+    );
+    opts
+}
+
 /// A running PEPPHER runtime instance: worker threads for every CPU core
 /// and accelerator of the configured [`MachineConfig`].
 ///
@@ -371,7 +436,7 @@ impl Runtime {
             sched,
             perf,
             stats: StatsCollector::new(workers, config.enable_trace),
-            timelines: Mutex::new(vec![VTime::ZERO; workers]),
+            timelines: Timelines::new(workers),
             noise: Mutex::new(NoiseModel::new(
                 machine.noise_seed,
                 machine.noise_rel_stddev,
@@ -428,36 +493,7 @@ impl Runtime {
     pub fn submit(&self, builder: TaskBuilder) -> TaskHandle {
         let id = self.inner.next_task.fetch_add(1, Ordering::Relaxed);
         let task = Arc::new(builder.into_task(id));
-
-        // Reject aliased writable operands: two write accesses to one handle
-        // in a single task would require two exclusive guards on one buffer.
-        for (i, (h, m)) in task.accesses.iter().enumerate() {
-            if m.writes() {
-                for (h2, _) in task.accesses.iter().skip(i + 1) {
-                    assert!(
-                        h2.id() != h.id(),
-                        "task `{}` passes handle {} twice with a writable access",
-                        task.codelet.name,
-                        h.id()
-                    );
-                }
-            }
-        }
-
-        // Reject tasks no worker could ever run (no implementation for any
-        // worker of this machine, or a force_worker/implementation
-        // mismatch) on the *submitting* thread. Detecting this later, on a
-        // worker, either killed the worker (the placing schedulers assert)
-        // or hung `wait_all` forever (eager silently never dispatches it).
-        assert!(
-            !options_for(&task, &self.inner.machine).is_empty(),
-            "task for codelet `{}` has no eligible worker on this machine{}",
-            task.codelet.name,
-            match task.force_worker {
-                Some(w) => format!(" (forced to worker {w})"),
-                None => String::new(),
-            }
-        );
+        validate_task(&task, &self.inner.machine);
 
         self.inner.pending.fetch_add(1, Ordering::SeqCst);
 
@@ -479,6 +515,59 @@ impl Runtime {
             self.inner.push_ready(Arc::clone(&task));
         }
         TaskHandle(task)
+    }
+
+    /// Submits a whole sub-graph of tasks as one unit. Observably
+    /// equivalent to calling [`Runtime::submit`] on each builder in order
+    /// — the same implicit data dependencies are recorded, including
+    /// intra-batch edges — but the simultaneously-ready frontier is seeded
+    /// through the scheduler's batch entry point: one queue-lock
+    /// acquisition (and one locality-index sync) covers the whole batch
+    /// instead of one per task. [`crate::graph::TaskGraph`] replay seeding
+    /// and high-rate stress harnesses use the same path internally.
+    ///
+    /// Validation is all-or-nothing: every task is checked *before* any
+    /// side effect, so a batch containing an undispatchable codelet (or an
+    /// aliased writable operand) panics without enqueuing a prefix,
+    /// counting pending work, or recording any dependency edge.
+    pub fn submit_batch(&self, builders: Vec<TaskBuilder>) -> Vec<TaskHandle> {
+        let tasks: Vec<Arc<Task>> = builders
+            .into_iter()
+            .map(|b| Arc::new(b.into_task(self.inner.alloc_task_id())))
+            .collect();
+        for task in &tasks {
+            validate_task(task, &self.inner.machine);
+        }
+
+        self.inner
+            .pending
+            .fetch_add(tasks.len() as u64, Ordering::SeqCst);
+
+        // Record dependencies in submission order so intra-batch edges
+        // resolve exactly as sequential submits would. Later batch members
+        // that depend on earlier ones cannot be raced ready here — nothing
+        // from the batch executes before the frontier push below — and an
+        // *external* predecessor completing mid-loop publishes the task
+        // through its own completion path instead of our frontier (the
+        // 1→0 dependency-counter transition happens exactly once).
+        let mut ready: Vec<Arc<Task>> = Vec::new();
+        for task in &tasks {
+            let deps: Vec<Arc<Task>> = task
+                .accesses
+                .iter()
+                .flat_map(|(h, mode)| h.record_access(task, *mode))
+                .collect();
+            for dep in deps {
+                Task::link(&dep, task);
+            }
+            if task.dep_satisfied() {
+                ready.push(Arc::clone(task));
+            }
+        }
+        if !ready.is_empty() {
+            self.inner.push_ready_batch(&ready, false);
+        }
+        tasks.into_iter().map(TaskHandle).collect()
     }
 
     /// Blocks until every submitted task has executed.
@@ -756,11 +845,9 @@ impl Runtime {
     pub fn sync_virtual_clocks(&self) -> VTime {
         self.wait_all();
         let m = self.stats().makespan;
-        let mut tl = self.inner.timelines.lock();
-        for t in tl.iter_mut() {
-            *t = (*t).max(m);
+        for w in 0..self.inner.timelines.len() {
+            self.inner.timelines.advance(w, m);
         }
-        drop(tl);
         self.inner.topo.advance_links(m);
         m
     }

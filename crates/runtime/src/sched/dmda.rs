@@ -20,7 +20,8 @@
 //! reuse it verbatim: dmdar is dmda's placement plus a readiness reorder on
 //! the pop path.
 
-use super::{options_for, SchedCtx, Scheduler};
+use super::pq::PrioQueue;
+use super::{options_into, SchedCtx, Scheduler};
 use crate::codelet::Arch;
 use crate::intern::CodeletId;
 use crate::memory::MemoryView;
@@ -28,7 +29,8 @@ use crate::perfmodel::PerfKey;
 use crate::task::{ExecChoice, Task};
 use parking_lot::Mutex;
 use peppher_sim::VTime;
-use std::collections::{HashMap, VecDeque};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// The dmda cost model and placement logic, shared by [`DmdaScheduler`]
@@ -37,37 +39,58 @@ use std::sync::Arc;
 /// wrapping policy (dmda keeps FIFO deques, dmdar keeps reorderable
 /// entries).
 pub(crate) struct DmdaCore {
-    /// Predicted residual occupancy of each worker's queue.
-    pub(crate) queued_pred: Mutex<Vec<VTime>>,
+    /// Predicted residual occupancy of each worker's queue, in virtual
+    /// nanoseconds. Per-worker atomics instead of one mutex: the
+    /// submit-side placement loop reads every worker's charge per task
+    /// while the workers release charges on every completion, and that
+    /// pair must not serialize on a lock.
+    queued_pred: Vec<AtomicU64>,
     /// Round-robin counters for calibration, per codelet.
     calib_rr: Mutex<HashMap<CodeletId, usize>>,
+}
+
+/// Reusable buffers for [`DmdaCore::place_with_scratch`]: the prediction
+/// memo (persists across tasks — one registry lookup per distinct history
+/// key per batch) plus the option and evaluation buffers (cleared per
+/// task, so a batch of n tasks performs O(1) allocations, not O(n)).
+#[derive(Default)]
+pub(crate) struct PlaceScratch {
+    memo: Vec<(PerfKey, Option<VTime>, bool)>,
+    opts: Vec<(usize, Arch)>,
+    evaluated: Vec<(usize, Arch, Option<VTime>, bool)>,
 }
 
 impl DmdaCore {
     pub(crate) fn new(workers: usize) -> Self {
         DmdaCore {
-            queued_pred: Mutex::new(vec![VTime::ZERO; workers]),
+            queued_pred: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             calib_rr: Mutex::new(HashMap::new()),
         }
     }
 
-    /// Expected execution time for an option, with its information source.
+    /// The queued-work prediction currently charged to `worker`.
+    pub(crate) fn queued(&self, worker: usize) -> VTime {
+        VTime::from_nanos(self.queued_pred[worker].load(Ordering::Relaxed))
+    }
+
+    /// Charges `delta` of predicted work to `worker` (placement or replay
+    /// re-push).
+    pub(crate) fn charge_pred(&self, worker: usize, delta: VTime) {
+        self.queued_pred[worker].fetch_add(delta.as_nanos(), Ordering::Relaxed);
+    }
+
+    /// Expected execution time for an option whose history key is already
+    /// in hand, with its information source. Worker-independent for a
+    /// given key: every worker sharing an architecture class shares a
+    /// profile, so [`DmdaCore::place`] evaluates each distinct key once.
     fn expected_exec(
         &self,
         task: &Task,
+        key: PerfKey,
         worker: usize,
         arch: Arch,
         ctx: &SchedCtx<'_>,
     ) -> (Option<VTime>, bool) {
-        let class = ctx.classes.class_id(arch, worker);
-        // Recorded graph tasks carry their keys precomputed at
-        // instantiation; everyone else hashes one up on the spot.
-        let key = task
-            .placement
-            .as_ref()
-            .and_then(|p| p.key_for(worker, arch))
-            .unwrap_or_else(|| PerfKey::for_codelet(task.codelet.id, class, task.footprint()));
-
         if task.use_history.unwrap_or(ctx.config.use_history) {
             if let Some(t) = ctx.perf.expected(&key) {
                 return (Some(t), false);
@@ -83,7 +106,7 @@ impl DmdaCore {
         // `&ArchClass` signature; the conversion allocates only on this
         // rare path.
         if let Some(pred) = &task.codelet.prediction {
-            if let Some(t) = pred(&class.to_class(), &task.cost) {
+            if let Some(t) = pred(&key.arch.to_class(), &task.cost) {
                 return (Some(t), false);
             }
         }
@@ -137,8 +160,10 @@ impl DmdaCore {
         }
         // Eviction pressure: if the node's free memory cannot hold the
         // task's non-resident operands, making room will evict (and likely
-        // write back) that many overflow bytes over the d2h channel.
-        if node != 0 {
+        // write back) that many overflow bytes over the d2h channel. A
+        // task without operands exerts no pressure — skip the node-lock
+        // probe entirely.
+        if node != 0 && !task.accesses.is_empty() {
             let overflow = ctx.memory.pressure_overflow(node, &task.accesses);
             if overflow > 0 {
                 total += ctx.topo.estimate_transfer_after(node, 0, overflow, now);
@@ -147,26 +172,36 @@ impl DmdaCore {
         total
     }
 
-    /// Worker availability: actual clock + predicted queued work. For a
-    /// team option this is the latest availability across the whole team.
-    fn availability(&self, worker: usize, arch: Arch, ctx: &SchedCtx<'_>) -> VTime {
-        let timelines = ctx.timelines.lock();
-        let queued = self.queued_pred.lock();
-        if arch == Arch::CpuTeam {
-            (0..ctx.machine.cpu_workers)
-                .map(|w| timelines[w] + queued[w])
-                .fold(VTime::ZERO, VTime::max)
-        } else {
-            timelines[worker] + queued[worker]
-        }
-    }
-
     /// Chooses the (worker, arch) placement for a ready task, records the
     /// decision in `task.chosen`, and charges the worker's queued-work
     /// prediction. Returns the chosen worker; the caller enqueues the task
     /// on that worker's ready queue.
     pub(crate) fn place(&self, task: &Arc<Task>, ctx: &SchedCtx<'_>) -> usize {
-        let mut opts = options_for(task, ctx.machine);
+        self.place_with_scratch(task, ctx, &mut PlaceScratch::default())
+    }
+
+    /// [`DmdaCore::place`] with caller-owned scratch buffers. Batch
+    /// submitters keep one scratch across a whole batch: the prediction
+    /// memo then pays one registry lookup per distinct (codelet, class,
+    /// footprint) key instead of one per task, and the option/evaluation
+    /// buffers stop allocating per task. A memoized prediction can lag a
+    /// sample recorded mid-batch by a worker — acceptable, since placement
+    /// is already interleaving-dependent (calibration round-robin) and
+    /// results never depend on it.
+    pub(crate) fn place_with_scratch(
+        &self,
+        task: &Arc<Task>,
+        ctx: &SchedCtx<'_>,
+        scratch: &mut PlaceScratch,
+    ) -> usize {
+        let PlaceScratch {
+            memo,
+            opts,
+            evaluated,
+        } = scratch;
+        opts.clear();
+        evaluated.clear();
+        options_into(task, ctx.machine, opts);
         assert!(
             !opts.is_empty(),
             "task for codelet `{}` has no eligible worker",
@@ -178,32 +213,47 @@ impl DmdaCore {
         // the remaining (CPU) options. Forced/GPU-only tasks keep their
         // options and overcommit instead.
         if ctx.memory.policy() == crate::memory::EvictionPolicy::FallbackCpu {
-            let feasible: Vec<_> = opts
-                .iter()
-                .copied()
-                .filter(|&(w, _)| {
-                    let node = ctx.machine.worker_memory_node(w);
-                    node == 0 || ctx.memory.fits_operands(node, &task.accesses)
-                })
-                .collect();
-            if !feasible.is_empty() {
-                opts = feasible;
+            let feasible = |o: &(usize, Arch)| {
+                let node = ctx.machine.worker_memory_node(o.0);
+                node == 0 || ctx.memory.fits_operands(node, &task.accesses)
+            };
+            if opts.iter().any(&feasible) {
+                opts.retain(&feasible);
             }
         }
 
-        // Evaluate every option.
-        let mut evaluated: Vec<(usize, Arch, Option<VTime>, bool)> = opts
-            .iter()
-            .map(|&(w, a)| {
-                let (exec, uncal) = self.expected_exec(task, w, a, ctx);
-                (w, a, exec, uncal)
-            })
-            .collect();
+        // Evaluate every option, looking each distinct history key up
+        // once — all same-class workers (e.g. the CPU cores) share a key,
+        // so an n-core machine pays one registry lock, not n.
+        evaluated.extend(opts.iter().map(|&(w, a)| {
+            // Recorded graph tasks carry their keys precomputed at
+            // instantiation; everyone else hashes one up on the spot.
+            let key = task
+                .placement
+                .as_ref()
+                .and_then(|p| p.key_for(w, a))
+                .unwrap_or_else(|| {
+                    PerfKey::for_codelet(
+                        task.codelet.id,
+                        ctx.classes.class_id(a, w),
+                        task.footprint(),
+                    )
+                });
+            let (exec, uncal) = match memo.iter().find(|(k, _, _)| *k == key) {
+                Some(&(_, e, u)) => (e, u),
+                None => {
+                    let (e, u) = self.expected_exec(task, key, w, a, ctx);
+                    memo.push((key, e, u));
+                    (e, u)
+                }
+            };
+            (w, a, exec, uncal)
+        }));
 
         // Calibration: spread executions across uncalibrated architecture
         // classes (round-robin over classes; least-loaded worker within).
         let mut uncal_classes: Vec<Arch> = Vec::new();
-        for (_, a, _, u) in &evaluated {
+        for (_, a, _, u) in evaluated.iter() {
             if *u && !uncal_classes.contains(a) {
                 uncal_classes.push(*a);
             }
@@ -216,16 +266,12 @@ impl DmdaCore {
                 *counter += 1;
                 class
             };
-            let (w, a) = {
-                let timelines = ctx.timelines.lock();
-                let queued = self.queued_pred.lock();
-                evaluated
-                    .iter()
-                    .filter(|(_, a, _, u)| *u && *a == class)
-                    .map(|&(w, a, _, _)| (w, a))
-                    .min_by_key(|&(w, _)| timelines[w] + queued[w])
-                    .expect("class came from evaluated options")
-            };
+            let (w, a) = evaluated
+                .iter()
+                .filter(|(_, a, _, u)| *u && *a == class)
+                .map(|&(w, a, _, _)| (w, a))
+                .min_by_key(|&(w, _)| ctx.timelines.get(w) + self.queued(w))
+                .expect("class came from evaluated options");
             // Charge a nominal occupancy so calibration tasks still spread.
             self.charge(task, w, a, VTime::from_micros(1));
             return w;
@@ -236,10 +282,22 @@ impl DmdaCore {
         // so an idle worker is no earlier than `vdeps` (without this,
         // dependent chains look artificially cheap on idle devices).
         let vdeps = task.state.lock().vdeps;
+        // Worker availability: actual clock + predicted queued work (the
+        // latest across the whole team for a team option), both lock-free
+        // reads.
+        let avail_of = |w: usize, a: Arch| {
+            if a == Arch::CpuTeam {
+                (0..ctx.machine.cpu_workers)
+                    .map(|x| ctx.timelines.get(x) + self.queued(x))
+                    .fold(VTime::ZERO, VTime::max)
+            } else {
+                ctx.timelines.get(w) + self.queued(w)
+            }
+        };
         let mut best: Option<(usize, Arch, f64, VTime)> = None;
         for (w, a, exec, _) in evaluated.drain(..) {
             let exec = exec.expect("calibrated option must predict");
-            let avail = self.availability(w, a, ctx).max(vdeps);
+            let avail = avail_of(w, a).max(vdeps);
             let transfer = self.transfer_estimate(task, w, avail, ctx);
             let finish = avail + transfer + exec;
             let score = match ctx.config.objective {
@@ -275,26 +333,28 @@ impl DmdaCore {
             arch,
             pred_delta,
         });
-        self.queued_pred.lock()[worker] += pred_delta;
+        self.charge_pred(worker, pred_delta);
     }
 
     /// Releases the prediction charged at placement time once the task's
-    /// duration is part of the worker's actual timeline.
-    pub(crate) fn release(&self, worker: usize, task: &Task) {
-        let delta = task
-            .chosen
-            .lock()
-            .map(|c| c.pred_delta)
-            .unwrap_or(VTime::ZERO);
-        let mut queued = self.queued_pred.lock();
-        queued[worker] = queued[worker].saturating_sub(delta);
+    /// duration is part of the worker's actual timeline. Takes the delta
+    /// from the placement decision the worker already holds — re-locking
+    /// `task.chosen` here would be the second lock of it per task.
+    pub(crate) fn release(&self, worker: usize, delta: VTime) {
+        // Saturating: a replay re-push can re-charge a different delta
+        // than an in-flight release expects, and the floor is zero.
+        let _ = self.queued_pred[worker].fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+            Some(v.saturating_sub(delta.as_nanos()))
+        });
     }
 }
 
 /// Performance-aware scheduler (see module docs).
 pub struct DmdaScheduler {
     pub(crate) core: DmdaCore,
-    queues: Vec<Mutex<VecDeque<Arc<Task>>>>,
+    /// Per-worker heap queues ordered `(priority desc, push seq asc)` —
+    /// FIFO for the default all-zero-priority case, O(log n) otherwise.
+    queues: Vec<Mutex<PrioQueue>>,
 }
 
 impl DmdaScheduler {
@@ -302,7 +362,7 @@ impl DmdaScheduler {
     pub fn new(workers: usize) -> Self {
         DmdaScheduler {
             core: DmdaCore::new(workers),
-            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queues: (0..workers).map(|_| Mutex::new(PrioQueue::new())).collect(),
         }
     }
 
@@ -315,7 +375,7 @@ impl DmdaScheduler {
 impl Scheduler for DmdaScheduler {
     fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
         let w = self.core.place(&task, ctx);
-        self.queues[w].lock().push_back(task);
+        self.queues[w].lock().push(task);
         Some(w)
     }
 
@@ -332,7 +392,7 @@ impl Scheduler for DmdaScheduler {
         let (task, depth) = {
             let mut q = self.queues[worker].lock();
             let depth = q.len();
-            (q.pop_front()?, depth)
+            (q.pop()?, depth)
         };
         let node = ctx.machine.worker_memory_node(worker);
         let resident = view.resident_read_bytes(node, &task.accesses);
@@ -340,10 +400,11 @@ impl Scheduler for DmdaScheduler {
         Some(task)
     }
 
-    fn task_timed(&self, worker: usize, task: &Task) {
+    fn task_timed(&self, worker: usize, _task: &Task, choice: Option<ExecChoice>) {
         // The task's duration is now part of the worker's actual timeline;
         // release the prediction charged at push time.
-        self.core.release(worker, task);
+        self.core
+            .release(worker, choice.map(|c| c.pred_delta).unwrap_or(VTime::ZERO));
     }
 
     fn push_ready_placed(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
@@ -353,12 +414,47 @@ impl Scheduler for DmdaScheduler {
                 // Reuse the previous iteration's placement: re-charge its
                 // prediction (task_timed releases it after execution, so
                 // the load estimate stays balanced) and enqueue directly.
-                self.core.queued_pred.lock()[c.worker] += c.pred_delta;
-                self.queues[c.worker].lock().push_back(task);
+                self.core.charge_pred(c.worker, c.pred_delta);
+                self.queues[c.worker].lock().push(task);
                 Some(c.worker)
             }
             None => self.push_ready(task, ctx),
         }
+    }
+
+    fn push_ready_batch(
+        &self,
+        tasks: &[Arc<Task>],
+        placed: bool,
+        ctx: &SchedCtx<'_>,
+    ) -> Vec<Option<usize>> {
+        // Place every task first (sharing one prediction memo across the
+        // batch), then enqueue per-worker groups under one queue-lock
+        // acquisition each instead of one per task.
+        let mut targets = Vec::with_capacity(tasks.len());
+        let mut groups: Vec<(usize, Vec<Arc<Task>>)> = Vec::new();
+        let mut scratch = PlaceScratch::default();
+        for task in tasks {
+            let w = match placed.then(|| *task.chosen.lock()).flatten() {
+                Some(c) => {
+                    self.core.charge_pred(c.worker, c.pred_delta);
+                    c.worker
+                }
+                None => self.core.place_with_scratch(task, ctx, &mut scratch),
+            };
+            targets.push(Some(w));
+            match groups.iter_mut().find(|(gw, _)| *gw == w) {
+                Some((_, g)) => g.push(Arc::clone(task)),
+                None => groups.push((w, vec![Arc::clone(task)])),
+            }
+        }
+        for (w, group) in groups {
+            let mut q = self.queues[w].lock();
+            for task in group {
+                q.push(task);
+            }
+        }
+        targets
     }
 }
 
@@ -377,7 +473,7 @@ pub(crate) mod tests {
     pub(in crate::sched) struct Fixture {
         pub machine: MachineConfig,
         pub perf: PerfRegistry,
-        pub timelines: Mutex<Vec<VTime>>,
+        pub timelines: crate::sched::Timelines,
         pub topo: Topology,
         pub memory: MemoryManager,
         pub config: RuntimeConfig,
@@ -387,7 +483,7 @@ pub(crate) mod tests {
 
     impl Fixture {
         pub fn new(machine: MachineConfig, config: RuntimeConfig) -> Self {
-            let timelines = Mutex::new(vec![VTime::ZERO; machine.total_workers()]);
+            let timelines = crate::sched::Timelines::new(machine.total_workers());
             let topo = Topology::new(&machine);
             let memory = MemoryManager::new(&machine, config.eviction, true);
             let stats = StatsCollector::new(machine.total_workers(), false);
@@ -689,14 +785,11 @@ pub(crate) mod tests {
         }
         let s = DmdaScheduler::new(1);
         s.push_ready(task_of_no_cost(&c, 0), &f.ctx());
-        assert!(s.core.queued_pred.lock()[0] > VTime::ZERO);
+        assert!(s.core.queued(0) > VTime::ZERO);
         let t = s.pop_for_worker(0, &f.memory.view(), &f.ctx()).unwrap();
-        assert!(
-            s.core.queued_pred.lock()[0] > VTime::ZERO,
-            "still charged until timed"
-        );
-        s.task_timed(0, &t);
-        assert_eq!(s.core.queued_pred.lock()[0], VTime::ZERO);
+        assert!(s.core.queued(0) > VTime::ZERO, "still charged until timed");
+        s.task_timed(0, &t, *t.chosen.lock());
+        assert_eq!(s.core.queued(0), VTime::ZERO);
     }
 
     #[test]

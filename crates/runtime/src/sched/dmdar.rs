@@ -5,77 +5,260 @@
 //! (worker, implementation) pair with the smallest predicted finish time,
 //! using the same history models, calibration round-robin, and eviction-
 //! pressure costs via the shared [`DmdaCore`]. What changes is the *pop*
-//! path: instead of dispatching each worker's queue FIFO, dmdar scans the
-//! queue against a [`MemoryView`] residency snapshot and dispatches the
-//! task whose missing read operands are *cheapest to fetch* into the
+//! path: instead of dispatching each worker's queue FIFO, dmdar dispatches
+//! the task whose missing read operands are *cheapest to fetch* into the
 //! worker's memory node — the task that is most "ready" in StarPU's
 //! sense. Each missing operand is priced along its cheapest route from
-//! any node the snapshot shows it resident on (a direct peer link beats
-//! two hops through the host when the platform has one) and includes the
-//! backlog already queued on the route's channels, so a task whose
-//! operands sit one cheap peer hop away outranks one that must wait on a
-//! congested host link for the same byte count. Under capacity pressure
-//! this groups tasks that share resident operands
-//! together, so a block is fetched once and fully consumed instead of
-//! being evicted and re-fetched every round trip (the cyclic-LRU thrash a
-//! FIFO order produces when the working set exceeds the budget).
+//! any node holding a replica (a direct peer link beats two hops through
+//! the host when the platform has one) and includes the backlog already
+//! queued on the route's channels, so a task whose operands sit one cheap
+//! peer hop away outranks one that must wait on a congested host link for
+//! the same byte count. Under capacity pressure this groups tasks that
+//! share resident operands together, so a block is fetched once and fully
+//! consumed instead of being evicted and re-fetched every round trip (the
+//! cyclic-LRU thrash a FIFO order produces when the working set exceeds
+//! the budget).
+//!
+//! # Decision cost
+//!
+//! Early versions rescanned the whole per-worker queue against a
+//! [`MemoryView`] snapshot on every pop — O(depth × operands) per
+//! dispatch, which made dmdar *slower* than a dumb FIFO exactly when load
+//! was highest. The queue is now heap-ordered by a **cached** fetch-cost
+//! score: scores are computed once at push time against the incremental
+//! [`LocalityIndex`] and re-computed only for queue entries whose operands
+//! the index reports as moved since the last pop (replica added, evicted,
+//! or written back — see the residency-delta log in `memory`). A pop is
+//! then O(log depth) plus O(changed entries), not O(depth).
 //!
 //! Starvation of transfer-heavy tasks is bounded by an aging term: every
-//! time a queued task is passed over its skip count increments, and once
-//! the queue's front entry has been skipped
-//! [`crate::RuntimeConfig::dmdar_age_limit`] times it is dispatched FIFO
-//! regardless of readiness.
+//! time the queue's *front* (oldest) entry is passed over by a reordered
+//! dispatch its skip count increments, and once it reaches
+//! [`crate::RuntimeConfig::dmdar_age_limit`] the front entry is dispatched
+//! FIFO regardless of readiness.
 
-use super::dmda::DmdaCore;
+use super::dmda::{DmdaCore, PlaceScratch};
 use super::{SchedCtx, Scheduler};
-use crate::memory::MemoryView;
+use crate::hash::{FastMap, FastSet};
+use crate::memory::{LocalityIndex, MemoryView, ResidentLookup};
 use crate::stats::TraceEvent;
 use crate::task::Task;
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use peppher_sim::VTime;
-use std::collections::VecDeque;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Route-aware fetch cost of the read operands `task` is missing from
 /// `node`: each missing operand is priced along its cheapest route from
-/// any node the residency snapshot shows it on (main memory when no
-/// replica is recorded), occupancy-aware beyond `now` — channel backlog
-/// delays the estimate exactly as it would delay the real transfer.
-fn fetch_cost(
-    view: &MemoryView,
+/// any node holding a replica (main memory when none is recorded),
+/// occupancy-aware beyond `now` — channel backlog delays the estimate
+/// exactly as it would delay the real transfer. Generic over the residency
+/// source so it can run against a point-in-time [`MemoryView`] snapshot
+/// (tests, one-off queries) or the incrementally-maintained
+/// [`LocalityIndex`] (the hot pop path).
+fn fetch_cost<L: ResidentLookup + ?Sized>(
+    lookup: &L,
     node: usize,
     task: &Task,
     now: VTime,
     ctx: &SchedCtx<'_>,
 ) -> VTime {
-    let nodes = ctx.machine.memory_nodes();
     let mut total = VTime::ZERO;
     for (h, mode) in &task.accesses {
-        if !mode.reads() || view.resident_bytes(node, h.id()) > 0 {
+        if !mode.reads() || lookup.resident_bytes_at(node, h.id()) > 0 {
             continue;
         }
         let bytes = h.bytes() as u64;
-        total += (0..nodes)
-            .filter(|&src| src != node && view.resident_bytes(src, h.id()) > 0)
-            .map(|src| ctx.topo.estimate_transfer_after(src, node, bytes, now))
-            .min()
-            .unwrap_or_else(|| ctx.topo.estimate_transfer_after(0, node, bytes, now));
+        let mut best: Option<VTime> = None;
+        lookup.for_each_source(h.id(), &mut |src, _| {
+            if src != node {
+                let t = ctx.topo.estimate_transfer_after(src, node, bytes, now);
+                best = Some(match best {
+                    Some(b) if b <= t => b,
+                    _ => t,
+                });
+            }
+        });
+        total += best.unwrap_or_else(|| ctx.topo.estimate_transfer_after(0, node, bytes, now));
     }
     total
 }
 
-/// One queued task plus its pass-over count (the aging term).
-struct Entry {
+/// One queued task plus its cached locality score and pass-over count.
+struct QEntry {
     task: Arc<Task>,
-    /// Times this entry was passed over by a readiness pop while at or
-    /// ahead of the dispatched position.
+    /// Fetch cost cached at push (or last rescore) time; the heap key.
+    score: VTime,
+    /// Times this entry, while at the queue front, was passed over by a
+    /// readiness reorder (the aging term).
     skipped: u32,
+}
+
+/// A worker's heap-ordered ready queue. Sequence numbers are monotonic,
+/// so entries live in a dense slab (`slots[i]` holds sequence `base + i`)
+/// instead of a map: lookup is pointer arithmetic, insert/remove are O(1)
+/// amortized, and the slab's front compacts away as entries leave — the
+/// front slot is always live while the queue is non-empty, which makes the
+/// FIFO-oldest entry (the aging candidate) an O(1) read. `heap` holds
+/// `(score, seq)` keys for O(log n) best-entry pops. Rescoring pushes a
+/// fresh key and leaves the old one behind — a popped key is *stale*
+/// (skipped) unless it matches the entry's current score. `by_handle`
+/// inverts read-operand handles to sequence numbers so a residency delta
+/// rescores only the entries that reference the moved handle.
+struct ReadyQueue {
+    slots: VecDeque<Option<QEntry>>,
+    /// Sequence number of `slots[0]`; `base + slots.len()` is the next
+    /// sequence to assign.
+    base: u64,
+    /// Live entries (slots not yet removed).
+    live: usize,
+    /// Live entries whose cached score is nonzero. When zero, every
+    /// queued task is equally (fully) ready, the heap minimum is provably
+    /// the FIFO front (zero score, smallest sequence), and pops take an
+    /// O(1) front-removal fast path instead of churning the heap; the
+    /// front's heap key retires lazily via the staleness check.
+    nonzero: usize,
+    heap: BinaryHeap<Reverse<(VTime, u64)>>,
+    by_handle: FastMap<u64, Vec<u64>>,
+    /// Handles that moved (per the residency-delta log) since this queue
+    /// last reconciled its cached scores. Fanned out by the index sync
+    /// under this queue's own lock; drained by the owning worker's pop.
+    dirty: FastSet<u64>,
+}
+
+impl ReadyQueue {
+    fn new() -> Self {
+        ReadyQueue {
+            slots: VecDeque::new(),
+            base: 0,
+            live: 0,
+            nonzero: 0,
+            heap: BinaryHeap::new(),
+            by_handle: FastMap::default(),
+            dirty: FastSet::default(),
+        }
+    }
+
+    fn get(&self, seq: u64) -> Option<&QEntry> {
+        self.slots
+            .get(seq.checked_sub(self.base)? as usize)?
+            .as_ref()
+    }
+
+    fn get_mut(&mut self, seq: u64) -> Option<&mut QEntry> {
+        let idx = seq.checked_sub(self.base)? as usize;
+        self.slots.get_mut(idx)?.as_mut()
+    }
+
+    fn insert(&mut self, task: Arc<Task>, score: VTime) {
+        let seq = self.base + self.slots.len() as u64;
+        for (h, mode) in &task.accesses {
+            if mode.reads() {
+                self.by_handle.entry(h.id()).or_default().push(seq);
+            }
+        }
+        self.heap.push(Reverse((score, seq)));
+        self.slots.push_back(Some(QEntry {
+            task,
+            score,
+            skipped: 0,
+        }));
+        self.live += 1;
+        if score != VTime::ZERO {
+            self.nonzero += 1;
+        }
+    }
+
+    fn remove(&mut self, seq: u64) -> QEntry {
+        let idx = (seq - self.base) as usize;
+        let e = self.slots[idx].take().expect("sequence number queued");
+        self.live -= 1;
+        if e.score != VTime::ZERO {
+            self.nonzero -= 1;
+        }
+        // Compact dead front slots so `base` stays the live FIFO front.
+        while let Some(None) = self.slots.front() {
+            self.slots.pop_front();
+            self.base += 1;
+        }
+        for (h, mode) in &e.task.accesses {
+            if mode.reads() {
+                if let Some(seqs) = self.by_handle.get_mut(&h.id()) {
+                    seqs.retain(|&s| s != seq);
+                    if seqs.is_empty() {
+                        self.by_handle.remove(&h.id());
+                    }
+                }
+            }
+        }
+        e
+    }
+
+    /// Removes and returns the next entry to dispatch: `(task, queue depth
+    /// before removal, live entries jumped over, was a reorder)`. Scores
+    /// must already be reconciled (dirty rescores applied) — selection
+    /// itself never consults the locality index. Caller checks `live > 0`.
+    fn select(&mut self, age_limit: u32) -> (Arc<Task>, usize, usize, bool) {
+        let depth = self.live;
+        // The slab front compacts on removal, so `base` is the live
+        // FIFO-oldest entry while the queue is non-empty.
+        let front_seq = self.base;
+        // Anti-starvation: a front entry passed over `age_limit` times
+        // is dispatched FIFO no matter how transfer-heavy it is.
+        if self.nonzero == 0
+            || (age_limit > 0 && self.get(front_seq).expect("front live").skipped >= age_limit)
+        {
+            // Either every queued task is equally ready (uniform zero
+            // score — the heap minimum is the front, so skip the heap
+            // and its lazy-key churn entirely) or the front aged out:
+            // both dispatch FIFO, and neither counts as a reorder.
+            (self.remove(front_seq).task, depth, 0, false)
+        } else {
+            // Readiness pop: the min-(score, seq) heap key that still
+            // matches a live entry. Sequence as tiebreaker keeps equal
+            // readiness FIFO.
+            let seq = loop {
+                let Reverse((score, seq)) = self.heap.pop().expect("heap covers every live entry");
+                match self.get(seq) {
+                    Some(e) if e.score == score => break seq,
+                    _ => {} // stale key: entry dispatched or rescored
+                }
+            };
+            let reordered = seq != front_seq;
+            let jumped = if reordered {
+                self.get_mut(front_seq).expect("front live").skipped += 1;
+                // Live entries older than the dispatched one (reorder
+                // events only — never on the FIFO fast path).
+                self.slots
+                    .iter()
+                    .take((seq - self.base) as usize)
+                    .filter(|s| s.is_some())
+                    .count()
+            } else {
+                0
+            };
+            (self.remove(seq).task, depth, jumped, reordered)
+        }
+    }
 }
 
 /// dmda placement + readiness reordering (see module docs).
 pub struct DmdarScheduler {
     pub(crate) core: DmdaCore,
-    queues: Vec<Mutex<VecDeque<Entry>>>,
+    /// The incremental locality index, created lazily on the first push
+    /// or pop (one instance per memory manager — it drains a shared
+    /// delta log). Write-locked only to create it or apply residency
+    /// deltas; the hot scoring paths share read access.
+    index: RwLock<Option<LocalityIndex>>,
+    /// Residency epoch the index was last reconciled against, mirrored
+    /// outside the lock so the unchanged-epoch fast path is one atomic
+    /// load against [`crate::memory::MemoryManager::epoch`]. `u64::MAX`
+    /// until the index exists, which funnels the first caller into the
+    /// slow path that creates it.
+    synced_epoch: AtomicU64,
+    queues: Vec<Mutex<ReadyQueue>>,
 }
 
 impl DmdarScheduler {
@@ -83,25 +266,69 @@ impl DmdarScheduler {
     pub fn new(workers: usize) -> Self {
         DmdarScheduler {
             core: DmdaCore::new(workers),
-            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            index: RwLock::new(None),
+            synced_epoch: AtomicU64::new(u64::MAX),
+            queues: (0..workers)
+                .map(|_| Mutex::new(ReadyQueue::new()))
+                .collect(),
         }
+    }
+
+    /// Brings the index up to the memory manager's residency epoch and
+    /// fans the moved handles out to every queue's dirty set. The
+    /// unchanged-epoch fast path is one atomic load and takes no lock;
+    /// only a stale epoch (or a missing index) pays for the write lock.
+    ///
+    /// Lock order here and everywhere else in this scheduler: index
+    /// before queue. The epoch stored is the one read *before* draining
+    /// the delta log — deltas that land mid-drain bump the epoch again,
+    /// so the next call re-syncs (a replayed absolute delta is harmless).
+    fn sync_if_stale(&self, ctx: &SchedCtx<'_>) {
+        if self.synced_epoch.load(Ordering::Acquire) == ctx.memory.epoch() {
+            return;
+        }
+        let mut guard = self.index.write();
+        // Reload under the lock: a racing caller may have synced already.
+        let epoch = ctx.memory.epoch();
+        if self.synced_epoch.load(Ordering::Acquire) == epoch {
+            return;
+        }
+        let index = guard.get_or_insert_with(|| LocalityIndex::new(ctx.memory));
+        let touched = index.sync(ctx.memory);
+        if !touched.is_empty() {
+            for q in &self.queues {
+                q.lock().dirty.extend(touched.iter().copied());
+            }
+        }
+        self.synced_epoch.store(epoch, Ordering::Release);
+    }
+
+    /// Scores and enqueues a placed task on worker `w`.
+    fn enqueue(&self, w: usize, task: Arc<Task>, ctx: &SchedCtx<'_>) {
+        self.sync_if_stale(ctx);
+        let guard = self.index.read();
+        let index = guard.as_ref().expect("index created by sync");
+        let node = ctx.machine.worker_memory_node(w);
+        let now = ctx.timelines.get(w);
+        let score = fetch_cost(index, node, &task, now, ctx);
+        self.queues[w].lock().insert(task, score);
     }
 
     #[cfg(test)]
     fn queue_len(&self, worker: usize) -> usize {
-        self.queues[worker].lock().len()
+        self.queues[worker].lock().live
     }
 }
 
 impl Scheduler for DmdarScheduler {
     fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
         let w = self.core.place(&task, ctx);
-        self.queues[w].lock().push_back(Entry { task, skipped: 0 });
+        self.enqueue(w, task, ctx);
         Some(w)
     }
 
     fn has_ready(&self, worker: usize) -> bool {
-        !self.queues[worker].lock().is_empty()
+        self.queues[worker].lock().live > 0
     }
 
     fn pop_for_worker(
@@ -112,39 +339,64 @@ impl Scheduler for DmdarScheduler {
     ) -> Option<Arc<Task>> {
         let node = ctx.machine.worker_memory_node(worker);
         let age_limit = ctx.config.dmdar_age_limit;
-        let (task, depth, jumped) = {
+        let (task, depth, jumped, reordered) = {
+            self.sync_if_stale(ctx);
             let mut q = self.queues[worker].lock();
-            let depth = q.len();
-            if depth == 0 {
+            if q.live == 0 {
                 return None;
             }
-            // Anti-starvation: a front entry passed over `age_limit` times
-            // is dispatched FIFO no matter how transfer-heavy it is.
-            if age_limit > 0 && q[0].skipped >= age_limit {
-                let e = q.pop_front().expect("non-empty queue");
-                (e.task, depth, 0)
-            } else {
-                // Readiness pop: the task whose missing read operands are
-                // cheapest to route to this worker's node, priced at the
-                // worker's current clock. `min_by_key` keeps the first
-                // minimum, so equal readiness stays FIFO.
-                let now = ctx.timelines.lock()[worker];
-                let best = q
-                    .iter()
-                    .enumerate()
-                    .min_by_key(|(_, e)| fetch_cost(view, node, &e.task, now, ctx))
-                    .map(|(i, _)| i)
-                    .expect("non-empty queue");
-                for e in q.iter_mut().take(best) {
-                    e.skipped += 1;
+            if !q.dirty.is_empty() {
+                // Rescoring consults the index, and the lock order is
+                // index before queue (the sync fan-out relies on it): give
+                // the queue lock back, take the index read guard, and
+                // re-acquire. The clean-queue path — every pop on a
+                // residency-quiescent runtime — never touches the index
+                // lock at all.
+                drop(q);
+                let iguard = self.index.read();
+                q = self.queues[worker].lock();
+                if q.live == 0 {
+                    return None;
                 }
-                let e = q.remove(best).expect("index from enumerate");
-                (e.task, depth, best)
+                let dirty = std::mem::take(&mut q.dirty);
+                // Rescore only the entries whose operands moved since this
+                // worker's last pop; each rescore pushes a fresh heap key
+                // (the stale one is skipped by `select`'s score-match
+                // check).
+                let mut to_rescore: Vec<u64> = dirty
+                    .iter()
+                    .filter_map(|h| q.by_handle.get(h))
+                    .flatten()
+                    .copied()
+                    .collect();
+                to_rescore.sort_unstable();
+                to_rescore.dedup();
+                if !to_rescore.is_empty() {
+                    let index = iguard.as_ref().expect("index created by sync");
+                    let now = ctx.timelines.get(worker);
+                    for seq in to_rescore {
+                        let Some(e) = q.get(seq) else { continue };
+                        let score = fetch_cost(index, node, &e.task, now, ctx);
+                        let old = e.score;
+                        if score != old {
+                            q.get_mut(seq).expect("present").score = score;
+                            q.heap.push(Reverse((score, seq)));
+                            match (old == VTime::ZERO, score == VTime::ZERO) {
+                                (true, false) => q.nonzero += 1,
+                                (false, true) => q.nonzero -= 1,
+                                _ => {}
+                            }
+                        }
+                    }
+                }
+                q.select(age_limit)
+            } else {
+                q.select(age_limit)
             }
         };
         let resident = view.resident_read_bytes(node, &task.accesses);
-        ctx.stats.record_dispatch(depth, resident, jumped > 0);
-        if jumped > 0 {
+        ctx.stats.record_dispatch(depth, resident, reordered);
+        if reordered {
             ctx.stats.record_event(TraceEvent::Reorder {
                 task: task.id,
                 worker,
@@ -155,8 +407,9 @@ impl Scheduler for DmdarScheduler {
         Some(task)
     }
 
-    fn task_timed(&self, worker: usize, task: &Task) {
-        self.core.release(worker, task);
+    fn task_timed(&self, worker: usize, _task: &Task, choice: Option<crate::task::ExecChoice>) {
+        self.core
+            .release(worker, choice.map(|c| c.pred_delta).unwrap_or(VTime::ZERO));
     }
 
     fn push_ready_placed(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
@@ -167,14 +420,54 @@ impl Scheduler for DmdarScheduler {
                 // recorded prediction (released by task_timed) and enqueue
                 // on the previously chosen worker; the readiness reorder
                 // still applies at pop time.
-                self.core.queued_pred.lock()[c.worker] += c.pred_delta;
-                self.queues[c.worker]
-                    .lock()
-                    .push_back(Entry { task, skipped: 0 });
+                self.core.charge_pred(c.worker, c.pred_delta);
+                self.enqueue(c.worker, task, ctx);
                 Some(c.worker)
             }
             None => self.push_ready(task, ctx),
         }
+    }
+
+    fn push_ready_batch(
+        &self,
+        tasks: &[Arc<Task>],
+        placed: bool,
+        ctx: &SchedCtx<'_>,
+    ) -> Vec<Option<usize>> {
+        // Place every task first (placement takes its own short locks),
+        // then score and enqueue the whole batch under one index sync,
+        // one read-guard acquisition, and one queue lock per distinct
+        // worker.
+        let mut targets = Vec::with_capacity(tasks.len());
+        let mut groups: Vec<(usize, Vec<Arc<Task>>)> = Vec::new();
+        let mut scratch = PlaceScratch::default();
+        for task in tasks {
+            let w = match placed.then(|| *task.chosen.lock()).flatten() {
+                Some(c) => {
+                    self.core.charge_pred(c.worker, c.pred_delta);
+                    c.worker
+                }
+                None => self.core.place_with_scratch(task, ctx, &mut scratch),
+            };
+            targets.push(Some(w));
+            match groups.iter_mut().find(|(gw, _)| *gw == w) {
+                Some((_, g)) => g.push(Arc::clone(task)),
+                None => groups.push((w, vec![Arc::clone(task)])),
+            }
+        }
+        self.sync_if_stale(ctx);
+        let guard = self.index.read();
+        let index = guard.as_ref().expect("index created by sync");
+        for (w, group) in groups {
+            let node = ctx.machine.worker_memory_node(w);
+            let now = ctx.timelines.get(w);
+            let mut q = self.queues[w].lock();
+            for task in group {
+                let score = fetch_cost(index, node, &task, now, ctx);
+                q.insert(task, score);
+            }
+        }
+        targets
     }
 }
 
@@ -271,8 +564,8 @@ mod tests {
         let t_host = task_on(&c, 1, &host_h);
         let view = f.memory.view();
         let ctx = f.ctx();
-        let peer_cost = fetch_cost(&view, 1, &t_peer, VTime::ZERO, &ctx);
-        let host_cost = fetch_cost(&view, 1, &t_host, VTime::ZERO, &ctx);
+        let peer_cost = fetch_cost(&*view, 1, &t_peer, VTime::ZERO, &ctx);
+        let host_cost = fetch_cost(&*view, 1, &t_host, VTime::ZERO, &ctx);
         assert!(peer_cost > VTime::ZERO);
         assert!(
             peer_cost < host_cost,
@@ -280,7 +573,7 @@ mod tests {
         );
         // Already resident at the target node: nothing to fetch.
         assert_eq!(
-            fetch_cost(&view, 2, &t_peer, VTime::ZERO, &ctx),
+            fetch_cost(&*view, 2, &t_peer, VTime::ZERO, &ctx),
             VTime::ZERO
         );
     }
@@ -318,5 +611,55 @@ mod tests {
         assert_eq!(s.pop_for_worker(1, &view, &f.ctx()).unwrap().id, 3);
         // The forced FIFO pop is not a reorder; the two jumps were.
         assert_eq!(f.stats.sched_reorders.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn residency_change_after_push_rescores_queue() {
+        // Regression for the cached-score design: scores are computed at
+        // push time, so a replica that lands *after* the push must flow
+        // through the delta log and rescore the affected entries before
+        // the next pop — otherwise the hot task would stay priced cold.
+        let f = fixture(RuntimeConfig::default());
+        let cold = DataHandle::new(1, vec![0u8; 4 * 1024], 4 * 1024, 2);
+        let hot = DataHandle::new(2, vec![0u8; 4 * 1024], 4 * 1024, 2);
+
+        let c = gpu_codelet();
+        let s = DmdarScheduler::new(f.machine.total_workers());
+        // Both tasks are cold at push time: equal scores, FIFO order.
+        s.push_ready(task_on(&c, 0, &cold), &f.ctx());
+        s.push_ready(task_on(&c, 1, &hot), &f.ctx());
+        // Now the second task's operand becomes resident on the GPU node.
+        crate::coherence::make_valid(&hot, 1, AccessMode::Read, &f.topo, &f.stats, &f.memory);
+
+        let view = f.memory.view();
+        let first = s.pop_for_worker(1, &view, &f.ctx()).expect("queued");
+        assert_eq!(first.id, 1, "rescored hot task jumps the cold one");
+        assert_eq!(f.stats.sched_reorders.load(Ordering::Relaxed), 1);
+        assert_eq!(s.pop_for_worker(1, &view, &f.ctx()).unwrap().id, 0);
+    }
+
+    #[test]
+    fn batch_push_places_scores_and_preserves_fifo() {
+        let f = fixture(RuntimeConfig::default());
+        let cold = DataHandle::new(1, vec![0u8; 4 * 1024], 4 * 1024, 2);
+        let hot = DataHandle::new(2, vec![0u8; 4 * 1024], 4 * 1024, 2);
+        crate::coherence::make_valid(&hot, 1, AccessMode::Read, &f.topo, &f.stats, &f.memory);
+
+        let c = gpu_codelet();
+        let s = DmdarScheduler::new(f.machine.total_workers());
+        let batch = vec![
+            task_on(&c, 0, &cold),
+            task_on(&c, 1, &cold),
+            task_on(&c, 2, &hot),
+        ];
+        let targets = s.push_ready_batch(&batch, false, &f.ctx());
+        assert_eq!(targets, vec![Some(1); 3], "GPU-only tasks target worker 1");
+        assert_eq!(s.queue_len(1), 3);
+
+        let view = f.memory.view();
+        // Hot entry jumps; the two equal cold entries then drain FIFO.
+        assert_eq!(s.pop_for_worker(1, &view, &f.ctx()).unwrap().id, 2);
+        assert_eq!(s.pop_for_worker(1, &view, &f.ctx()).unwrap().id, 0);
+        assert_eq!(s.pop_for_worker(1, &view, &f.ctx()).unwrap().id, 1);
     }
 }

@@ -1,27 +1,24 @@
 //! Central-queue greedy scheduler.
 
+use super::pq::PrioQueue;
 use super::{SchedCtx, Scheduler};
 use crate::memory::MemoryView;
 use crate::task::Task;
 use parking_lot::Mutex;
-use std::collections::VecDeque;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-struct EagerQueue {
-    q: VecDeque<Arc<Task>>,
-    /// Queued tasks with non-default (non-zero) priority. When this is 0
-    /// every queued task has priority 0 and the highest-priority scan
-    /// degenerates to "first runnable" — an O(1) pop on the common path.
-    prioritized: usize,
-}
-
-/// One global FIFO; an idle worker takes the highest-priority task it is
+/// One global queue; an idle worker takes the highest-priority task it is
 /// able to execute (StarPU's `eager` policy). The pull API is per-worker,
 /// but eager deliberately keeps a single shared queue — late binding *is*
 /// the policy: no task commits to a worker before one asks for it.
+///
+/// The queue is a [`PrioQueue`] heap ordered `(priority desc, push seq
+/// asc)`, so the highest-priority-FIFO-among-equals pop is O(log n)
+/// instead of the linear scan the old deque needed; entries the popping
+/// worker cannot run are skipped (and kept) by [`PrioQueue::pop_where`].
 pub struct EagerScheduler {
-    queue: Mutex<EagerQueue>,
+    queue: Mutex<PrioQueue>,
     /// Queue length mirror, maintained under the queue lock, so
     /// [`Scheduler::has_ready`] is a lock-free load.
     len: AtomicUsize,
@@ -31,10 +28,7 @@ impl EagerScheduler {
     /// Creates an empty scheduler.
     pub fn new() -> Self {
         EagerScheduler {
-            queue: Mutex::new(EagerQueue {
-                q: VecDeque::new(),
-                prioritized: 0,
-            }),
+            queue: Mutex::new(PrioQueue::new()),
             len: AtomicUsize::new(0),
         }
     }
@@ -48,12 +42,9 @@ impl Default for EagerScheduler {
 
 impl Scheduler for EagerScheduler {
     fn push_ready(&self, task: Arc<Task>, _ctx: &SchedCtx<'_>) -> Option<usize> {
-        let mut inner = self.queue.lock();
-        if task.priority != 0 {
-            inner.prioritized += 1;
-        }
-        inner.q.push_back(task);
-        self.len.store(inner.q.len(), Ordering::Release);
+        let mut q = self.queue.lock();
+        q.push(task);
+        self.len.store(q.len(), Ordering::Release);
         None
     }
 
@@ -67,15 +58,12 @@ impl Scheduler for EagerScheduler {
         _placed: bool,
         _ctx: &SchedCtx<'_>,
     ) -> Vec<Option<usize>> {
-        // One queue-lock acquisition seeds the whole replay frontier.
-        let mut inner = self.queue.lock();
+        // One queue-lock acquisition seeds the whole batch.
+        let mut q = self.queue.lock();
         for task in tasks {
-            if task.priority != 0 {
-                inner.prioritized += 1;
-            }
-            inner.q.push_back(Arc::clone(task));
+            q.push(Arc::clone(task));
         }
-        self.len.store(inner.q.len(), Ordering::Release);
+        self.len.store(q.len(), Ordering::Release);
         vec![None; tasks.len()]
     }
 
@@ -87,30 +75,10 @@ impl Scheduler for EagerScheduler {
     ) -> Option<Arc<Task>> {
         let is_gpu = ctx.machine.worker_is_gpu(worker);
         let (task, depth) = {
-            let mut inner = self.queue.lock();
-            let depth = inner.q.len();
-            let best = if inner.prioritized == 0 {
-                // All priorities equal: first runnable is the decision the
-                // full scan below would make.
-                inner.q.iter().position(|t| t.runnable_on(worker, is_gpu))
-            } else {
-                // Highest priority first; FIFO among equals.
-                let mut best: Option<(usize, i32)> = None;
-                for (i, t) in inner.q.iter().enumerate() {
-                    if t.runnable_on(worker, is_gpu) {
-                        match best {
-                            Some((_, p)) if p >= t.priority => {}
-                            _ => best = Some((i, t.priority)),
-                        }
-                    }
-                }
-                best.map(|(i, _)| i)
-            };
-            let task = best.and_then(|i| inner.q.remove(i))?;
-            if task.priority != 0 {
-                inner.prioritized -= 1;
-            }
-            self.len.store(inner.q.len(), Ordering::Release);
+            let mut q = self.queue.lock();
+            let depth = q.len();
+            let task = q.pop_where(|t| t.runnable_on(worker, is_gpu))?;
+            self.len.store(q.len(), Ordering::Release);
             (task, depth)
         };
         let node = ctx.machine.worker_memory_node(worker);
@@ -135,7 +103,7 @@ mod tests {
 
     type CtxParts = (
         PerfRegistry,
-        parking_lot::Mutex<Vec<peppher_sim::VTime>>,
+        crate::sched::Timelines,
         Topology,
         MemoryManager,
         RuntimeConfig,
@@ -146,7 +114,7 @@ mod tests {
     fn ctx_fixture(machine: &MachineConfig) -> CtxParts {
         (
             PerfRegistry::default(),
-            parking_lot::Mutex::new(vec![peppher_sim::VTime::ZERO; machine.total_workers()]),
+            crate::sched::Timelines::new(machine.total_workers()),
             Topology::new(machine),
             MemoryManager::new(machine, EvictionPolicy::Lru, true),
             RuntimeConfig::default(),

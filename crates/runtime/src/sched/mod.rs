@@ -27,6 +27,7 @@
 pub mod dmda;
 pub mod dmdar;
 pub mod eager;
+mod pq;
 pub mod random;
 pub mod ws;
 
@@ -37,10 +38,48 @@ use crate::memory::{MemoryManager, MemoryView};
 use crate::perfmodel::{ArchClassId, PerfRegistry};
 use crate::runtime::RuntimeConfig;
 use crate::stats::StatsCollector;
-use crate::task::Task;
-use parking_lot::Mutex;
+use crate::task::{ExecChoice, Task};
 use peppher_sim::{MachineConfig, VTime};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// Per-worker virtual clocks, readable without a lock.
+///
+/// Each slot is monotonically non-decreasing; writers advance it with a
+/// `fetch_max`, so a concurrent reader sees a monotone (possibly a hair
+/// stale) value. This keeps the placement loop — which reads every
+/// candidate worker's clock for every ready task — from serializing
+/// against the workers' post-task timeline updates, as the mutex that
+/// used to guard the vector did.
+#[derive(Debug)]
+pub struct Timelines(Vec<AtomicU64>);
+
+impl Timelines {
+    /// All clocks at zero.
+    pub fn new(workers: usize) -> Self {
+        Timelines((0..workers).map(|_| AtomicU64::new(0)).collect())
+    }
+
+    /// Worker `w`'s current virtual clock.
+    pub fn get(&self, w: usize) -> VTime {
+        VTime::from_nanos(self.0[w].load(Ordering::Acquire))
+    }
+
+    /// Advances worker `w`'s clock to at least `to`; clocks never rewind.
+    pub fn advance(&self, w: usize, to: VTime) {
+        self.0[w].fetch_max(to.as_nanos(), Ordering::AcqRel);
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the machine has no workers (never, in practice).
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
 
 /// Which scheduling policy a runtime uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -83,7 +122,7 @@ pub struct SchedCtx<'a> {
     /// Execution-history models.
     pub perf: &'a PerfRegistry,
     /// Actual per-worker virtual clocks.
-    pub timelines: &'a Mutex<Vec<VTime>>,
+    pub timelines: &'a Timelines,
     /// Transfer fabric (for cost estimates).
     pub topo: &'a Topology,
     /// Memory-node occupancy (for eviction-pressure estimates and the
@@ -160,8 +199,11 @@ pub trait Scheduler: Send + Sync {
     ) -> Option<Arc<Task>>;
     /// Notifies the policy that `task`'s contribution is now reflected in
     /// worker `worker`'s virtual timeline (so load predictions charged at
-    /// push time can be released without double counting).
-    fn task_timed(&self, _worker: usize, _task: &Task) {}
+    /// push time can be released without double counting). `choice` is the
+    /// task's placement decision, already read from `task.chosen` by the
+    /// caller — the worker reads it once per task to pick the architecture
+    /// and threads it here so the policy need not re-lock it.
+    fn task_timed(&self, _worker: usize, _task: &Task, _choice: Option<ExecChoice>) {}
 
     /// Re-enqueues a task that already carries a placement decision in
     /// `task.chosen` (a frozen graph replay reusing the previous
@@ -213,10 +255,18 @@ pub fn make_scheduler(kind: SchedulerKind, machine: &MachineConfig) -> Box<dyn S
 /// Recorded graph tasks return their placement table computed once at
 /// instantiation instead of re-enumerating.
 pub fn options_for(task: &Task, machine: &MachineConfig) -> Vec<(usize, Arch)> {
-    if let Some(p) = &task.placement {
-        return p.options.clone();
-    }
     let mut opts = Vec::new();
+    options_into(task, machine, &mut opts);
+    opts
+}
+
+/// [`options_for`] writing into a caller-owned buffer, for hot paths that
+/// enumerate options per task and do not want an allocation each time.
+pub(crate) fn options_into(task: &Task, machine: &MachineConfig, opts: &mut Vec<(usize, Arch)>) {
+    if let Some(p) = &task.placement {
+        opts.extend_from_slice(&p.options);
+        return;
+    }
     let ncpu = machine.cpu_workers;
     if task.codelet.has_arch(Arch::Cpu) {
         for w in 0..ncpu {
@@ -234,7 +284,6 @@ pub fn options_for(task: &Task, machine: &MachineConfig) -> Vec<(usize, Arch)> {
     if let Some(fw) = task.force_worker {
         opts.retain(|&(w, _)| w == fw);
     }
-    opts
 }
 
 /// The performance-model architecture class of an option.

@@ -1,0 +1,149 @@
+//! Priority-ordered ready queue shared by the FIFO-dispatch policies.
+//!
+//! A binary heap keyed `(priority desc, push sequence asc)`: pop returns
+//! the highest-priority entry, FIFO among equals, in O(log n) — the
+//! behaviour eager's linear highest-priority scan produced in O(n). The
+//! all-default-priority case (every entry priority 0) degenerates to a
+//! plain FIFO ordered by sequence, so dmda's and random's per-worker
+//! deques can use the same structure without changing dispatch order.
+
+use crate::task::Task;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+struct PrioEntry {
+    priority: i32,
+    seq: u64,
+    task: Arc<Task>,
+}
+
+impl PartialEq for PrioEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+impl Eq for PrioEntry {}
+
+impl Ord for PrioEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Max-heap: higher priority wins; lower sequence (earlier push)
+        // wins among equals.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+impl PartialOrd for PrioEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Heap-ordered ready queue (see module docs). Not internally locked —
+/// callers wrap it in their own per-worker or central mutex.
+pub(super) struct PrioQueue {
+    heap: BinaryHeap<PrioEntry>,
+    next_seq: u64,
+}
+
+impl PrioQueue {
+    pub fn new() -> Self {
+        PrioQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    pub fn push(&mut self, task: Arc<Task>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(PrioEntry {
+            priority: task.priority,
+            seq,
+            task,
+        });
+    }
+
+    /// Pops the highest-priority (FIFO among equals) entry.
+    pub fn pop(&mut self) -> Option<Arc<Task>> {
+        self.heap.pop().map(|e| e.task)
+    }
+
+    /// Pops the highest-priority entry satisfying `pred`, skipping (and
+    /// keeping, with their original sequence numbers) entries that do not.
+    /// Used by the central-queue policy whose tasks bind to a worker only
+    /// at pop time: the popping worker may be unable to run the front
+    /// entries.
+    pub fn pop_where(&mut self, pred: impl Fn(&Task) -> bool) -> Option<Arc<Task>> {
+        let mut stash: Vec<PrioEntry> = Vec::new();
+        let mut found = None;
+        while let Some(e) = self.heap.pop() {
+            if pred(&e.task) {
+                found = Some(e.task);
+                break;
+            }
+            stash.push(e);
+        }
+        for e in stash {
+            self.heap.push(e);
+        }
+        found
+    }
+
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codelet::{Arch, Codelet};
+    use crate::task::TaskBuilder;
+
+    fn task(id: u64, priority: i32) -> Arc<Task> {
+        let c = Arc::new(Codelet::new("t").with_impl(Arch::Cpu, |_| {}));
+        Arc::new(TaskBuilder::new(&c).priority(priority).into_task(id))
+    }
+
+    #[test]
+    fn equal_priority_pops_fifo() {
+        let mut q = PrioQueue::new();
+        for id in 0..5 {
+            q.push(task(id, 0));
+        }
+        for id in 0..5 {
+            assert_eq!(q.pop().unwrap().id, id);
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn higher_priority_pops_first_fifo_among_equals() {
+        let mut q = PrioQueue::new();
+        q.push(task(0, 0));
+        q.push(task(1, 5));
+        q.push(task(2, 5));
+        q.push(task(3, -1));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|t| t.id).collect();
+        assert_eq!(order, vec![1, 2, 0, 3]);
+    }
+
+    #[test]
+    fn pop_where_skips_and_preserves_order() {
+        let mut q = PrioQueue::new();
+        q.push(task(0, 0));
+        q.push(task(1, 0));
+        q.push(task(2, 0));
+        // Skip the front entry; it must stay queued in its original slot.
+        assert_eq!(q.pop_where(|t| t.id != 0).unwrap().id, 1);
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().id, 0);
+        assert_eq!(q.pop().unwrap().id, 2);
+    }
+}

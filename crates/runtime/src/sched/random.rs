@@ -1,5 +1,6 @@
 //! Uniformly random placement (a weak baseline for ablations).
 
+use super::pq::PrioQueue;
 use super::{options_for, SchedCtx, Scheduler};
 use crate::memory::MemoryView;
 use crate::task::{ExecChoice, Task};
@@ -7,12 +8,11 @@ use parking_lot::Mutex;
 use peppher_sim::VTime;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::VecDeque;
 use std::sync::Arc;
 
 /// Assigns each ready task to a uniformly random eligible worker.
 pub struct RandomScheduler {
-    queues: Vec<Mutex<VecDeque<Arc<Task>>>>,
+    queues: Vec<Mutex<PrioQueue>>,
     rng: Mutex<StdRng>,
 }
 
@@ -20,15 +20,14 @@ impl RandomScheduler {
     /// Creates queues for `workers` workers with a deterministic seed.
     pub fn new(workers: usize, seed: u64) -> Self {
         RandomScheduler {
-            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queues: (0..workers).map(|_| Mutex::new(PrioQueue::new())).collect(),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
         }
     }
-}
 
-impl Scheduler for RandomScheduler {
-    fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
-        let opts = options_for(&task, ctx.machine);
+    /// Draws a uniformly random placement and records it on the task.
+    fn draw(&self, task: &Arc<Task>, ctx: &SchedCtx<'_>) -> usize {
+        let opts = options_for(task, ctx.machine);
         assert!(
             !opts.is_empty(),
             "task for codelet `{}` has no eligible worker",
@@ -41,7 +40,14 @@ impl Scheduler for RandomScheduler {
             arch,
             pred_delta: VTime::ZERO,
         });
-        self.queues[worker].lock().push_back(task);
+        worker
+    }
+}
+
+impl Scheduler for RandomScheduler {
+    fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
+        let worker = self.draw(&task, ctx);
+        self.queues[worker].lock().push(task);
         Some(worker)
     }
 
@@ -55,11 +61,41 @@ impl Scheduler for RandomScheduler {
         let choice = *task.chosen.lock();
         match choice {
             Some(c) => {
-                self.queues[c.worker].lock().push_back(task);
+                self.queues[c.worker].lock().push(task);
                 Some(c.worker)
             }
             None => self.push_ready(task, ctx),
         }
+    }
+
+    fn push_ready_batch(
+        &self,
+        tasks: &[Arc<Task>],
+        placed: bool,
+        ctx: &SchedCtx<'_>,
+    ) -> Vec<Option<usize>> {
+        // Draw every placement first, then enqueue per-worker groups under
+        // one queue-lock acquisition each instead of one per task.
+        let mut targets = Vec::with_capacity(tasks.len());
+        let mut groups: Vec<(usize, Vec<Arc<Task>>)> = Vec::new();
+        for task in tasks {
+            let w = match placed.then(|| *task.chosen.lock()).flatten() {
+                Some(c) => c.worker,
+                None => self.draw(task, ctx),
+            };
+            targets.push(Some(w));
+            match groups.iter_mut().find(|(gw, _)| *gw == w) {
+                Some((_, g)) => g.push(Arc::clone(task)),
+                None => groups.push((w, vec![Arc::clone(task)])),
+            }
+        }
+        for (w, group) in groups {
+            let mut q = self.queues[w].lock();
+            for task in group {
+                q.push(task);
+            }
+        }
+        targets
     }
 
     fn pop_for_worker(
@@ -71,7 +107,7 @@ impl Scheduler for RandomScheduler {
         let (task, depth) = {
             let mut q = self.queues[worker].lock();
             let depth = q.len();
-            (q.pop_front()?, depth)
+            (q.pop()?, depth)
         };
         let node = ctx.machine.worker_memory_node(worker);
         let resident = view.resident_read_bytes(node, &task.accesses);
@@ -97,7 +133,7 @@ mod tests {
     fn spreads_across_eligible_workers() {
         let machine = MachineConfig::c2050_platform(2);
         let perf = PerfRegistry::default();
-        let timelines = Mutex::new(vec![VTime::ZERO; machine.total_workers()]);
+        let timelines = crate::sched::Timelines::new(machine.total_workers());
         let topo = Topology::new(&machine);
         let memory = MemoryManager::new(&machine, EvictionPolicy::Lru, true);
         let config = RuntimeConfig::default();
@@ -141,7 +177,7 @@ mod tests {
     fn chosen_arch_matches_worker_kind() {
         let machine = MachineConfig::c2050_platform(1);
         let perf = PerfRegistry::default();
-        let timelines = Mutex::new(vec![VTime::ZERO; machine.total_workers()]);
+        let timelines = crate::sched::Timelines::new(machine.total_workers());
         let topo = Topology::new(&machine);
         let memory = MemoryManager::new(&machine, EvictionPolicy::Lru, true);
         let config = RuntimeConfig::default();

@@ -108,7 +108,7 @@ mod tests {
     struct Fixture {
         machine: MachineConfig,
         perf: PerfRegistry,
-        timelines: Mutex<Vec<peppher_sim::VTime>>,
+        timelines: crate::sched::Timelines,
         topo: Topology,
         memory: MemoryManager,
         config: RuntimeConfig,
@@ -118,7 +118,7 @@ mod tests {
 
     impl Fixture {
         fn new(machine: MachineConfig) -> Self {
-            let timelines = Mutex::new(vec![peppher_sim::VTime::ZERO; machine.total_workers()]);
+            let timelines = crate::sched::Timelines::new(machine.total_workers());
             let topo = Topology::new(&machine);
             let memory = MemoryManager::new(&machine, EvictionPolicy::Lru, true);
             let stats = StatsCollector::new(machine.total_workers(), false);

@@ -153,6 +153,12 @@ struct WorkerCell {
     busy_ns: AtomicU64,
     /// Modelled energy in millijoules, stored as `f64::to_bits`.
     energy_mj_bits: AtomicU64,
+    /// Wall-clock nanoseconds this worker spent inside successful
+    /// `pop_for_worker` calls (residency snapshot + queue decision) — the
+    /// scheduler's real decision cost, not virtual time.
+    pop_ns: AtomicU64,
+    /// Successful pops, the divisor for `pop_ns`.
+    pops: AtomicU64,
 }
 
 impl WorkerCell {
@@ -171,6 +177,14 @@ impl WorkerCell {
         let cur = f64::from_bits(self.energy_mj_bits.load(Ordering::Relaxed));
         self.energy_mj_bits
             .store((cur + mj).to_bits(), Ordering::Relaxed);
+    }
+
+    #[inline]
+    fn add_pop(&self, ns: u64) {
+        self.pop_ns
+            .store(self.pop_ns.load(Ordering::Relaxed) + ns, Ordering::Relaxed);
+        self.pops
+            .store(self.pops.load(Ordering::Relaxed) + 1, Ordering::Relaxed);
     }
 }
 
@@ -297,6 +311,12 @@ impl StatsCollector {
         }
     }
 
+    /// Records the wall-clock cost of one successful pop (snapshot +
+    /// scheduling decision) on `worker`'s cell.
+    pub(crate) fn record_pop(&self, worker: usize, ns: u64) {
+        self.cells[worker].add_pop(ns);
+    }
+
     pub(crate) fn record_task(&self, worker: usize, busy: VTime, vfinish: VTime) {
         self.makespan_ns
             .fetch_max(vfinish.as_nanos(), Ordering::Relaxed);
@@ -346,6 +366,16 @@ impl StatsCollector {
             sched_reorders: self.sched_reorders.load(Ordering::Relaxed),
             dispatch_resident_bytes: self.dispatch_resident_bytes.load(Ordering::Relaxed),
             max_queue_depth: self.max_queue_depth.load(Ordering::Relaxed),
+            sched_pop_ns: self
+                .cells
+                .iter()
+                .map(|c| c.pop_ns.load(Ordering::Relaxed))
+                .sum(),
+            sched_pops: self
+                .cells
+                .iter()
+                .map(|c| c.pops.load(Ordering::Relaxed))
+                .sum(),
             // Filled in by `Runtime::stats`, which owns the MemoryManager
             // and the Topology.
             mem_high_water: Vec::new(),
@@ -406,6 +436,12 @@ pub struct RuntimeStats {
     pub dispatch_resident_bytes: u64,
     /// Deepest per-worker ready queue observed at any pop.
     pub max_queue_depth: u64,
+    /// Total wall-clock nanoseconds workers spent inside successful
+    /// `pop_for_worker` calls (residency snapshot + scheduling decision).
+    /// Real time, not virtual — the scheduler's measured decision cost.
+    pub sched_pop_ns: u64,
+    /// Successful pops, the divisor for [`RuntimeStats::sched_pop_ns`].
+    pub sched_pops: u64,
     /// Per-memory-node allocation high-water marks, in bytes
     /// (index 0 = main memory).
     pub mem_high_water: Vec<u64>,
@@ -448,6 +484,16 @@ impl RuntimeStats {
     /// Total modelled energy across all workers, in joules.
     pub fn total_energy_joules(&self) -> f64 {
         self.energy_joules.iter().sum()
+    }
+
+    /// Mean wall-clock nanoseconds per successful pop — the scheduler's
+    /// measured per-dispatch decision cost. 0.0 when nothing was popped.
+    pub fn avg_pop_ns(&self) -> f64 {
+        if self.sched_pops == 0 {
+            0.0
+        } else {
+            self.sched_pop_ns as f64 / self.sched_pops as f64
+        }
     }
 }
 

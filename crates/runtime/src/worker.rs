@@ -5,25 +5,44 @@ use crate::coherence;
 use crate::perfmodel::PerfKey;
 use crate::runtime::{RuntimeInner, TimingMode};
 use crate::stats::TraceEvent;
-use crate::task::Task;
+use crate::task::{ExecChoice, Task};
 use peppher_sim::VTime;
 use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::Instant;
 
-/// One pop attempt. The `has_ready` pre-check is lock-light and skips the
-/// residency-snapshot fetch entirely when this worker has nothing to pop —
-/// the common case for an idle worker about to park.
-fn try_pop(inner: &RuntimeInner, worker: usize) -> Option<Arc<Task>> {
-    if !inner.sched.has_ready(worker) {
-        return None;
+/// One pop attempt. The scheduler's `pop_for_worker` detects the empty
+/// queue itself — a separate `has_ready` pre-check would acquire the same
+/// queue lock twice per successful pop. Successful pops are wall-clock
+/// timed (snapshot + scheduling decision) into the worker's stats cell so
+/// benchmarks can report the scheduler's real per-dispatch decision cost.
+///
+/// `view_cache` is the worker's private `(epoch, snapshot)` pair: the
+/// residency snapshot is refreshed only when the residency epoch moved, so
+/// a quiescent runtime pops against the cached `Arc` without touching the
+/// memory manager's shared snapshot mutex at all.
+fn try_pop(
+    inner: &RuntimeInner,
+    worker: usize,
+    view_cache: &mut Option<(u64, Arc<crate::memory::MemoryView>)>,
+) -> Option<Arc<Task>> {
+    let t0 = Instant::now();
+    // Residency snapshot per pop attempt: pull schedulers may reorder the
+    // worker's queue against what is on its node right now. The epoch is
+    // loaded before the snapshot is taken, so a mutation racing the
+    // refresh is caught by the next pop's staleness check.
+    let epoch = inner.memory.epoch();
+    if !matches!(view_cache, Some((e, _)) if *e == epoch) {
+        *view_cache = Some((epoch, inner.memory.view()));
     }
-    // Fresh residency snapshot per pop attempt: pull schedulers may
-    // reorder the worker's queue against what is on its node right now.
-    let view = inner.memory.view();
-    inner
+    let view = &view_cache.as_ref().expect("cache just filled").1;
+    let task = inner
         .sched
-        .pop_for_worker(worker, &view, &inner.sched_ctx())
+        .pop_for_worker(worker, view, &inner.sched_ctx())?;
+    inner
+        .stats
+        .record_pop(worker, t0.elapsed().as_nanos() as u64);
+    Some(task)
 }
 
 /// Main loop of worker `worker`: pop tasks until shutdown, parking on the
@@ -41,8 +60,9 @@ pub(crate) fn worker_loop(inner: Arc<RuntimeInner>, worker: usize) {
             next = run_one(&inner, worker, t, true);
         }
     };
+    let mut view_cache = None;
     loop {
-        if let Some(t) = try_pop(&inner, worker) {
+        if let Some(t) = try_pop(&inner, worker, &mut view_cache) {
             run_chain(t);
             continue;
         }
@@ -50,7 +70,7 @@ pub(crate) fn worker_loop(inner: Arc<RuntimeInner>, worker: usize) {
         // (and wakes us) or pushed before we set it (and the recheck finds
         // the task). Either way no wakeup is lost.
         inner.idle[worker].store(true, Ordering::SeqCst);
-        if let Some(t) = try_pop(&inner, worker) {
+        if let Some(t) = try_pop(&inner, worker, &mut view_cache) {
             inner.idle[worker].store(false, Ordering::SeqCst);
             run_chain(t);
             continue;
@@ -70,9 +90,10 @@ pub(crate) fn worker_loop(inner: Arc<RuntimeInner>, worker: usize) {
     }
 }
 
-/// The implementation architecture worker `worker` runs `task` with.
-fn pick_arch(inner: &RuntimeInner, worker: usize, task: &Task) -> Arch {
-    if let Some(choice) = *task.chosen.lock() {
+/// The implementation architecture worker `worker` runs `task` with,
+/// given the placement decision (if any) already read from `task.chosen`.
+fn pick_arch(inner: &RuntimeInner, worker: usize, task: &Task, choice: Option<ExecChoice>) -> Arch {
+    if let Some(choice) = choice {
         return choice.arch;
     }
     if inner.machine.worker_is_gpu(worker) {
@@ -150,7 +171,10 @@ fn run_one(
 }
 
 fn execute_task(inner: &RuntimeInner, worker: usize, task: &Arc<Task>, direct: bool) -> VTime {
-    let arch = pick_arch(inner, worker, task);
+    // One read of the placement decision serves the arch pick here and the
+    // prediction release in `task_timed` below.
+    let choice = *task.chosen.lock();
+    let arch = pick_arch(inner, worker, task, choice);
     let implementation = task
         .codelet
         .impl_for(arch)
@@ -252,22 +276,22 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: &Arc<Task>, direct: b
             };
             let vexec = profile.exec_time_team(&task.cost, team).scale(factor);
             let vfinish = {
-                let mut tl = inner.timelines.lock();
+                let tl = &inner.timelines;
                 let avail = if team > 1 {
                     (0..inner.machine.cpu_workers)
-                        .map(|w| tl[w])
+                        .map(|w| tl.get(w))
                         .fold(VTime::ZERO, VTime::max)
                 } else {
-                    tl[worker]
+                    tl.get(worker)
                 };
                 let vstart = avail.max(vdeps).max(data_ready);
                 let vfinish = vstart + vexec;
                 if team > 1 {
                     for w in 0..inner.machine.cpu_workers {
-                        tl[w] = vfinish;
+                        tl.advance(w, vfinish);
                     }
                 } else {
-                    tl[worker] = vfinish;
+                    tl.advance(worker, vfinish);
                 }
                 vfinish
             };
@@ -279,10 +303,10 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: &Arc<Task>, direct: b
             run_kernel(&mut guards);
             let wall = t0.elapsed();
             let vexec = VTime::from_nanos(wall.as_nanos() as u64);
-            let mut tl = inner.timelines.lock();
-            let vstart = tl[worker].max(vdeps).max(data_ready);
+            let tl = &inner.timelines;
+            let vstart = tl.get(worker).max(vdeps).max(data_ready);
             let vfinish = vstart + vexec;
-            tl[worker] = vfinish;
+            tl.advance(worker, vfinish);
             (vexec, vfinish)
         }
     };
@@ -292,7 +316,7 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: &Arc<Task>, direct: b
     // (self-continued) tasks never entered the scheduler, so there is no
     // push-time load prediction to release.
     if !direct {
-        inner.sched.task_timed(worker, task);
+        inner.sched.task_timed(worker, task, choice);
     }
 
     // Coherence effects of writes become visible before successors run.

@@ -1,0 +1,183 @@
+//! `Runtime::submit_batch` semantics: a batch is observably equivalent to
+//! submitting each builder in order, and validation is all-or-nothing —
+//! a batch containing an undispatchable task is rejected *before* any
+//! side effect, leaving the runtime clean.
+
+use peppher_runtime::{
+    AccessMode, Arch, Codelet, Runtime, RuntimeConfig, SchedulerKind, TaskBuilder,
+};
+use peppher_sim::MachineConfig;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+fn add_codelet(archs: &[Arch]) -> Arc<Codelet> {
+    let mut c = Codelet::new("batch_add");
+    for &a in archs {
+        c = c.with_impl(a, |ctx| {
+            let k: f64 = *ctx.arg::<f64>();
+            let v = ctx.w::<Vec<f64>>(0);
+            for x in v.iter_mut() {
+                *x += k;
+            }
+        });
+    }
+    Arc::new(c)
+}
+
+fn runtime(sched: SchedulerKind) -> Runtime {
+    Runtime::with_config(
+        MachineConfig::c2050_platform(2).without_noise(),
+        RuntimeConfig {
+            scheduler: sched,
+            ..RuntimeConfig::default()
+        },
+    )
+}
+
+/// One batch with intra-batch dependency chains must produce exactly what
+/// the same builders submitted one by one produce — same final data, same
+/// executed-task count — under every queue implementation that has a
+/// batch entry point.
+#[test]
+fn batch_matches_sequential_submits() {
+    for sched in [
+        SchedulerKind::Eager,
+        SchedulerKind::Dmda,
+        SchedulerKind::Dmdar,
+    ] {
+        let run = |batched: bool| -> (Vec<f64>, u64) {
+            let rt = runtime(sched);
+            let c = add_codelet(&[Arch::Cpu, Arch::Gpu]);
+            let h = rt.register(vec![0.0f64; 128]);
+            let g = rt.register(vec![0.0f64; 128]);
+            // Two interleaved chains: even tasks bump h, odd tasks bump g;
+            // within the batch each chain is serialized by ReadWrite.
+            let builders: Vec<TaskBuilder> = (0..20)
+                .map(|i| {
+                    TaskBuilder::new(&c)
+                        .arg((i + 1) as f64)
+                        .access(if i % 2 == 0 { &h } else { &g }, AccessMode::ReadWrite)
+                })
+                .collect();
+            if batched {
+                let handles = rt.submit_batch(builders);
+                assert_eq!(handles.len(), 20, "one task handle per builder");
+            } else {
+                for b in builders {
+                    b.submit(&rt);
+                }
+            }
+            rt.wait_all();
+            let mut out = rt.unregister::<Vec<f64>>(h);
+            out.extend(rt.unregister::<Vec<f64>>(g));
+            let n = rt.stats().tasks_executed;
+            rt.shutdown();
+            (out, n)
+        };
+        let (batch_out, batch_n) = run(true);
+        let (seq_out, seq_n) = run(false);
+        assert_eq!(batch_n, seq_n, "{sched:?}: executed-task counts differ");
+        assert_eq!(
+            batch_out, seq_out,
+            "{sched:?}: batch result diverged from sequential submits"
+        );
+    }
+}
+
+/// A batch whose frontier depends on a task submitted *before* the batch
+/// still resolves the external edge: nothing in the batch runs early, and
+/// the chain total is exact.
+#[test]
+fn batch_links_to_external_predecessor() {
+    let rt = runtime(SchedulerKind::Dmdar);
+    let c = add_codelet(&[Arch::Cpu, Arch::Gpu]);
+    let h = rt.register(vec![0.0f64; 64]);
+    TaskBuilder::new(&c)
+        .arg(1.0)
+        .access(&h, AccessMode::ReadWrite)
+        .submit(&rt);
+    rt.submit_batch(
+        (0..5)
+            .map(|_| {
+                TaskBuilder::new(&c)
+                    .arg(10.0)
+                    .access(&h, AccessMode::ReadWrite)
+            })
+            .collect(),
+    );
+    rt.wait_all();
+    let out = rt.unregister::<Vec<f64>>(h);
+    assert!(out.iter().all(|&x| x == 51.0), "1 + 5*10 applied in order");
+    rt.shutdown();
+}
+
+/// The empty batch is a no-op.
+#[test]
+fn empty_batch_is_noop() {
+    let rt = runtime(SchedulerKind::Eager);
+    assert!(rt.submit_batch(Vec::new()).is_empty());
+    rt.wait_all();
+    assert_eq!(rt.stats().tasks_executed, 0);
+    rt.shutdown();
+}
+
+/// All-or-nothing validation: a batch whose *last* member has no eligible
+/// worker panics without enqueuing the valid prefix — no task runs, no
+/// pending count leaks (wait_all returns immediately), and the runtime
+/// stays usable for subsequent submissions.
+#[test]
+fn undispatchable_batch_rejected_without_prefix() {
+    let rt = Runtime::with_config(
+        MachineConfig::cpu_only(2).without_noise(),
+        RuntimeConfig {
+            scheduler: SchedulerKind::Dmda,
+            ..RuntimeConfig::default()
+        },
+    );
+    let cpu = add_codelet(&[Arch::Cpu]);
+    let gpu_only = add_codelet(&[Arch::Gpu]);
+    let h = rt.register(vec![0.0f64; 64]);
+
+    let builders = vec![
+        TaskBuilder::new(&cpu)
+            .arg(1.0)
+            .access(&h, AccessMode::ReadWrite),
+        TaskBuilder::new(&cpu)
+            .arg(2.0)
+            .access(&h, AccessMode::ReadWrite),
+        // No GPU on a cpu_only machine: validation must reject the whole
+        // batch before the two valid tasks above touch any queue.
+        TaskBuilder::new(&gpu_only)
+            .arg(3.0)
+            .access(&h, AccessMode::ReadWrite),
+    ];
+    let err = match catch_unwind(AssertUnwindSafe(|| rt.submit_batch(builders))) {
+        Ok(_) => panic!("batch with an undispatchable codelet must panic"),
+        Err(e) => e,
+    };
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .unwrap_or_else(|| "<non-string panic>".into());
+    assert!(
+        msg.contains("no eligible worker"),
+        "unexpected panic message: {msg}"
+    );
+
+    // No prefix ran and no pending count leaked.
+    rt.wait_all();
+    assert_eq!(rt.stats().tasks_executed, 0, "no batch prefix may execute");
+
+    // The runtime is still healthy: a fresh valid submission completes.
+    TaskBuilder::new(&cpu)
+        .arg(5.0)
+        .access(&h, AccessMode::ReadWrite)
+        .submit(&rt);
+    rt.wait_all();
+    let out = rt.unregister::<Vec<f64>>(h);
+    assert!(
+        out.iter().all(|&x| x == 5.0),
+        "rejected batch left no trace"
+    );
+    rt.shutdown();
+}
