@@ -17,7 +17,8 @@
 //! [`peppher_runtime::PipelineStats`] counts those stalls).
 
 use peppher_runtime::{
-    AccessMode, Arch, Codelet, GraphTask, PipelineBuilder, PipelineStats, RunId, Runtime, TaskGraph,
+    AccessMode, Arch, Codelet, GraphInstance, GraphTask, JobHandle, PipelineBuilder, PipelineStats,
+    RunId, Runtime, TaskGraph,
 };
 use peppher_sim::KernelCost;
 use std::sync::Arc;
@@ -196,9 +197,27 @@ pub struct PipeReport {
 /// on `rt`, rebinding the input slot each time — the streaming analogue
 /// of the ODE solver's iteration replay.
 pub fn run_pipeline(rt: &Runtime, cfg: PipeConfig) -> PipeReport {
-    let (graph, [input, _, _, output]) = record_frame_graph(cfg.width, cfg.height);
+    let (graph, slots) = record_frame_graph(cfg.width, cfg.height);
     let inst = graph.instantiate(rt);
+    stream_frames(inst, slots, cfg)
+}
 
+/// [`run_pipeline`] scoped to a job context: the per-frame replays count
+/// toward the job's wait and fair-share account, the instance's frame
+/// buffers are charged to its memory quota, and cancelling the job drains
+/// any in-flight replay. This is how several tenants stream pipelines
+/// through one shared runtime without starving each other.
+pub fn run_pipeline_for(job: &JobHandle, cfg: PipeConfig) -> PipeReport {
+    let (graph, slots) = record_frame_graph(cfg.width, cfg.height);
+    let inst = job.instantiate(&graph);
+    stream_frames(inst, slots, cfg)
+}
+
+fn stream_frames(
+    inst: GraphInstance,
+    [input, _, _, output]: [peppher_runtime::GraphSlot; 4],
+    cfg: PipeConfig,
+) -> PipeReport {
     let sink_delay = cfg.sink_delay;
     let mut pipe = PipelineBuilder::<Frame>::new()
         .capacity(cfg.capacity)

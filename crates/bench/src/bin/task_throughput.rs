@@ -3,10 +3,13 @@
 //! entire cost (the §V-E "less than two microseconds per task" claim this
 //! repo's composition argument leans on).
 //!
-//! Three graph shapes stress different parts of the path:
+//! Four graph shapes stress different parts of the path:
 //!
 //! * `independent` — 1000 dependency-free tasks: pure queue/wakeup/stats
 //!   throughput, all workers draining in parallel.
+//! * `job_independent` — the same frontier through one explicit job
+//!   context, so the per-job lane and fair-share machinery is engaged
+//!   with a single tenant; gated within 5% of the pre-job baseline.
 //! * `chain` — 512 tasks serialized through one ReadWrite handle: the
 //!   completion→successor-push→wakeup latency, one task in flight.
 //! * `fanout` — one producer and 512 readers of its output: a ready-queue
@@ -38,7 +41,8 @@
 
 use peppher_bench::{bar, overhead_json_path, write_json_section, TextTable};
 use peppher_runtime::{
-    AccessMode, Arch, Codelet, KernelCtx, Runtime, RuntimeConfig, SchedulerKind, TaskBuilder,
+    AccessMode, Arch, Codelet, JobConfig, KernelCtx, Runtime, RuntimeConfig, SchedulerKind,
+    TaskBuilder,
 };
 use peppher_sim::MachineConfig;
 use std::sync::Arc;
@@ -64,6 +68,16 @@ const SCALE_HANDLES: usize = 64;
 /// class as CI. Recorded so the sidecar always carries the before/after
 /// pair the ≥2× acceptance criterion compares.
 const BASELINE_INDEPENDENT_EAGER: f64 = 428_379.0;
+
+/// Tasks/sec for `independent` x eager measured at the PR that introduced
+/// job contexts, *before* the fair-share layer went in (same machine
+/// class as CI). The `job_independent` cell — the identical workload
+/// submitted through a single explicit job, so the per-job lane and
+/// account machinery is engaged — must stay within 5% of it: one tenant
+/// must not pay for multi-tenancy. `BENCH_OVERHEAD_SKIP_FAIRSHARE`
+/// waives the gate on machines unlike the reference box.
+const BASELINE_PR7_INDEPENDENT: f64 = 1_201_651.0;
+const FAIRSHARE_MAX_OVERHEAD: f64 = 0.05;
 
 /// Regression floor for the three `independent` cells. The heap-ordered
 /// queues and the incremental locality index put eager, dmda, and dmdar
@@ -101,6 +115,10 @@ fn runtime(kind: SchedulerKind) -> Runtime {
 /// frontier lands through the scheduler's batch entry point (one queue
 /// lock and one wakeup pass), the path graph replay and the scale
 /// harness use — and waits for them.
+// Deliberately measures the implicit-default-job forwarder: it *is* the
+// single-tenant hot path the floor gates, and it must not regress just
+// because a job-scoped entry point exists.
+#[allow(deprecated)]
 fn run_independent(rt: &Runtime, cl: &Arc<Codelet>) -> usize {
     rt.submit_batch(
         (0..INDEPENDENT_TASKS)
@@ -108,6 +126,21 @@ fn run_independent(rt: &Runtime, cl: &Arc<Codelet>) -> usize {
             .collect(),
     );
     rt.wait_all();
+    INDEPENDENT_TASKS
+}
+
+/// The `independent` frontier submitted through one explicit job context:
+/// the runtime flips multi-tenant, so every pop runs the per-job lane
+/// selection and fair-share debit — with exactly one lane. Gated within
+/// [`FAIRSHARE_MAX_OVERHEAD`] of [`BASELINE_PR7_INDEPENDENT`].
+fn run_job_independent(rt: &Runtime, cl: &Arc<Codelet>) -> usize {
+    let job = rt.job(JobConfig::default());
+    job.submit_batch(
+        (0..INDEPENDENT_TASKS)
+            .map(|_| TaskBuilder::new(cl))
+            .collect(),
+    );
+    job.wait();
     INDEPENDENT_TASKS
 }
 
@@ -150,6 +183,7 @@ fn measure(kind: SchedulerKind, scenario: &str) -> (f64, f64) {
         let t0 = Instant::now();
         let n = match scenario {
             "independent" => run_independent(&rt, &cl),
+            "job_independent" => run_job_independent(&rt, &cl),
             "chain" => run_chain(&rt, &cl),
             "fanout" => run_fanout(&rt, &cl),
             _ => unreachable!(),
@@ -170,6 +204,8 @@ fn measure(kind: SchedulerKind, scenario: &str) -> (f64, f64) {
 /// frontier is seeded through one `submit_batch` call — the same path
 /// graph replay uses — so push-side cost is batched exactly as in the
 /// scale test harness.
+// Same deliberate use of the default-job forwarder as `run_independent`.
+#[allow(deprecated)]
 fn measure_scale_pop(gpus: usize) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..RUNS {
@@ -208,7 +244,7 @@ fn main() {
         ("dmda", SchedulerKind::Dmda),
         ("dmdar", SchedulerKind::Dmdar),
     ];
-    let scenarios = ["independent", "chain", "fanout"];
+    let scenarios = ["independent", "job_independent", "chain", "fanout"];
 
     println!(
         "task throughput (empty kernels, 2 CPU workers, best of {RUNS}):\n\
@@ -226,7 +262,7 @@ fn main() {
     let max_rate = cells.iter().map(|(_, r, _)| *r).fold(0.0f64, f64::max);
     let mut table = TextTable::new(&["scenario", "policy", "tasks/sec", "pop ns", ""]);
     for (name, rate, pop_ns) in &cells {
-        let (scenario, policy) = name.split_once('_').unwrap();
+        let (scenario, policy) = name.rsplit_once('_').unwrap();
         table.row(&[
             scenario.into(),
             policy.into(),
@@ -258,6 +294,10 @@ fn main() {
         (
             "baseline_independent_eager_tasks_per_sec",
             format!("{BASELINE_INDEPENDENT_EAGER:.0}"),
+        ),
+        (
+            "baseline_pr7_independent_tasks_per_sec",
+            format!("{BASELINE_PR7_INDEPENDENT:.0}"),
         ),
         ("floor_tasks_per_sec", format!("{floor:.0}")),
         ("scale_tasks", SCALE_TASKS.to_string()),
@@ -308,6 +348,28 @@ fn main() {
             gated >= 2.0 * BASELINE_INDEPENDENT_EAGER,
             "independent/eager {gated:.0} tasks/sec has lost the >= 2x margin over the \
              pre-overhaul baseline {BASELINE_INDEPENDENT_EAGER:.0} (set BENCH_OVERHEAD_SKIP_2X to waive)"
+        );
+    }
+    // One tenant must not pay for multi-tenancy: the job-scoped cell,
+    // which runs the full lane + fair-share machinery with a single job,
+    // stays within 5% of the pre-job-layer throughput.
+    let job_rate = cells
+        .iter()
+        .find(|(n, _, _)| n == "job_independent_eager")
+        .map(|(_, r, _)| *r)
+        .unwrap();
+    println!(
+        "single-job fair-share cell: {job_rate:.0} tasks/sec \
+         (pre-job baseline {BASELINE_PR7_INDEPENDENT:.0}, max overhead {:.0}%)",
+        FAIRSHARE_MAX_OVERHEAD * 100.0
+    );
+    if std::env::var_os("BENCH_OVERHEAD_SKIP_FAIRSHARE").is_none() {
+        assert!(
+            job_rate >= (1.0 - FAIRSHARE_MAX_OVERHEAD) * BASELINE_PR7_INDEPENDENT,
+            "fair-share overhead: job_independent/eager {job_rate:.0} tasks/sec is more than \
+             {:.0}% below the pre-job baseline {BASELINE_PR7_INDEPENDENT:.0} \
+             (set BENCH_OVERHEAD_SKIP_FAIRSHARE to waive)",
+            FAIRSHARE_MAX_OVERHEAD * 100.0
         );
     }
     assert!(

@@ -2,6 +2,7 @@
 
 use super::{wire, GraphLink, GraphSlot, TaskGraph};
 use crate::handle::DataHandle;
+use crate::job::JobCore;
 use crate::perfmodel::PerfKey;
 use crate::runtime::{Runtime, RuntimeInner};
 use crate::stats::RunId;
@@ -34,6 +35,9 @@ pub struct RunRecord {
 /// [`GraphLink`] weak reference on each task.
 pub(crate) struct InstanceCore {
     pub(crate) id: u32,
+    /// Owning job: every iteration's tasks count toward its scoped wait,
+    /// fair-share account, and cancellation drain.
+    job: Arc<JobCore>,
     tasks: Vec<Arc<Task>>,
     /// Successor node lists, fixed at instantiation.
     succs: Vec<Vec<u32>>,
@@ -107,6 +111,9 @@ impl InstanceCore {
         inner
             .pending
             .fetch_add(self.tasks.len() as u64, Ordering::SeqCst);
+        if self.job.add_pending(self.tasks.len() as u64) {
+            self.job.catch_up(inner.jobs.vclock());
+        }
         let frozen = self.is_frozen();
         let mut continuation: Option<Arc<Task>> = None;
         let mut roots: Vec<Arc<Task>> = Vec::with_capacity(self.roots.len());
@@ -194,6 +201,7 @@ pub(crate) fn instantiate(
     graph: &TaskGraph,
     handles: Vec<DataHandle>,
     rt: &Runtime,
+    job: &Arc<JobCore>,
 ) -> GraphInstance {
     let (succs, preds, roots) = wire(&graph.nodes, handles.len());
     let id = next_instance_id();
@@ -205,6 +213,7 @@ pub(crate) fn instantiate(
             .enumerate()
             .map(|(i, spec)| {
                 let mut b = TaskBuilder::new(&spec.codelet)
+                    .for_job(job)
                     .cost(spec.cost)
                     .priority(spec.priority)
                     .arg_shared(spec.arg.clone());
@@ -239,6 +248,7 @@ pub(crate) fn instantiate(
             .collect();
         InstanceCore {
             id,
+            job: Arc::clone(job),
             tasks,
             succs,
             preds,

@@ -44,6 +44,7 @@ pub use stream::{Pipeline, PipelineBuilder, PipelineStats, StageCtx};
 
 use crate::codelet::Codelet;
 use crate::handle::{AccessMode, Data, DataHandle};
+use crate::job::JobCore;
 use crate::runtime::Runtime;
 use instance::InstanceCore;
 use peppher_sim::KernelCost;
@@ -69,9 +70,15 @@ pub(crate) struct GraphLink {
     pub(crate) node: u32,
 }
 
-/// How a slot's initial payload is registered at instantiation time.
+/// Registers a slot's initial payload at instantiation time, owned by the
+/// given job id.
+type SlotMake = Box<dyn Fn(&Runtime, u64) -> DataHandle + Send + Sync>;
+
+/// How a slot's initial payload is registered at instantiation time. The
+/// job id makes the instance's handles job-owned, so replays count
+/// against the instantiating job's memory quota.
 struct SlotSpec {
-    make: Box<dyn Fn(&Runtime) -> DataHandle + Send + Sync>,
+    make: SlotMake,
 }
 
 /// One recorded node: a codelet invocation over graph slots. Built with
@@ -149,7 +156,10 @@ impl TaskGraph {
     pub fn slot<T: Data>(&mut self, init: T) -> GraphSlot {
         let id = GraphSlot(self.slots.len());
         self.slots.push(SlotSpec {
-            make: Box::new(move |rt| rt.register(init.clone())),
+            make: Box::new(move |rt, job| {
+                let bytes = init.data_bytes();
+                rt.register_owned(init.clone(), bytes, job)
+            }),
         });
         id
     }
@@ -163,7 +173,7 @@ impl TaskGraph {
     ) -> GraphSlot {
         let id = GraphSlot(self.slots.len());
         self.slots.push(SlotSpec {
-            make: Box::new(move |rt| rt.register_sized(init.clone(), bytes)),
+            make: Box::new(move |rt, job| rt.register_owned(init.clone(), bytes, job)),
         });
         id
     }
@@ -205,10 +215,19 @@ impl TaskGraph {
     }
 
     /// Creates a replayable instance: registers one handle per slot and one
-    /// long-lived task per node, all placement tables precomputed.
+    /// long-lived task per node, all placement tables precomputed. The
+    /// instance belongs to the runtime's implicit default job; multi-tenant
+    /// callers use [`crate::JobHandle::instantiate`].
     pub fn instantiate(&self, rt: &Runtime) -> GraphInstance {
-        let handles: Vec<DataHandle> = self.slots.iter().map(|s| (s.make)(rt)).collect();
-        instance::instantiate(self, handles, rt)
+        self.instantiate_for(rt, &Arc::clone(&rt.inner.jobs.default))
+    }
+
+    /// Job-scoped instantiation: slot handles are owned by `job` (quota
+    /// accounting, reclaim on cancel) and every replay iteration counts
+    /// toward the job's `wait` and fair-share account.
+    pub(crate) fn instantiate_for(&self, rt: &Runtime, job: &Arc<JobCore>) -> GraphInstance {
+        let handles: Vec<DataHandle> = self.slots.iter().map(|s| (s.make)(rt, job.id)).collect();
+        instance::instantiate(self, handles, rt, job)
     }
 }
 

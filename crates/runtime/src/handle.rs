@@ -97,6 +97,10 @@ pub(crate) struct HandleInner {
     /// Payload size in bytes (fixed at registration; used for transfer
     /// modelling and performance-model footprints).
     pub bytes: usize,
+    /// Owning job id (0 = the implicit default job). Device replicas are
+    /// charged to this job's memory quota, and a job cancellation reclaims
+    /// exactly the replicas carrying its id.
+    pub job: u64,
     /// Deep-copies a payload (drives replica allocation and transfer).
     pub clone_fn: Arc<dyn Fn(&PayloadBox) -> PayloadBox + Send + Sync>,
     pub state: Mutex<HandleState>,
@@ -124,12 +128,26 @@ impl fmt::Debug for DataHandle {
 
 impl DataHandle {
     /// Creates a handle whose initial valid copy is `payload` in main
-    /// memory (node 0) of a machine with `nodes` memory nodes.
+    /// memory (node 0) of a machine with `nodes` memory nodes. Test-only
+    /// shorthand; the runtime registers through [`DataHandle::new_owned`].
+    #[cfg(test)]
     pub(crate) fn new<T: Clone + Send + Sync + 'static>(
         id: u64,
         payload: T,
         bytes: usize,
         nodes: usize,
+    ) -> Self {
+        Self::new_owned(id, payload, bytes, nodes, 0)
+    }
+
+    /// [`DataHandle::new`] with an explicit owning job id (see
+    /// [`HandleInner::job`]).
+    pub(crate) fn new_owned<T: Clone + Send + Sync + 'static>(
+        id: u64,
+        payload: T,
+        bytes: usize,
+        nodes: usize,
+        job: u64,
     ) -> Self {
         let mut replicas: Vec<Replica> = (0..nodes).map(|_| Replica::empty()).collect();
         replicas[0] = Replica {
@@ -148,6 +166,7 @@ impl DataHandle {
             inner: Arc::new(HandleInner {
                 id,
                 bytes,
+                job,
                 clone_fn,
                 state: Mutex::new(HandleState {
                     replicas,
@@ -161,6 +180,11 @@ impl DataHandle {
     /// Stable identifier of this handle.
     pub fn id(&self) -> u64 {
         self.inner.id
+    }
+
+    /// Owning job id (0 = the implicit default job).
+    pub fn job(&self) -> u64 {
+        self.inner.job
     }
 
     /// Registered payload size in bytes.

@@ -82,6 +82,7 @@ pub mod graph;
 pub mod handle;
 pub mod hash;
 pub mod intern;
+pub mod job;
 pub mod memory;
 pub mod perfmodel;
 pub mod runtime;
@@ -98,6 +99,7 @@ pub use graph::{
 };
 pub use handle::{AccessMode, Data, DataHandle, ReplicaStatus};
 pub use intern::{CodeletId, Sym};
+pub use job::{Batch, JobConfig, JobHandle, JobStats};
 pub use memory::{EvictionPolicy, MemoryManager, MemoryView};
 pub use perfmodel::{ArchClassId, PerfKey, PerfRegistry};
 pub use runtime::{HostReadGuard, HostWriteGuard, Objective, Runtime, RuntimeConfig, TimingMode};

@@ -86,6 +86,10 @@ struct Resident {
     /// it an eager-eviction candidate ahead of LRU order. Cleared by any
     /// later touch.
     dead: bool,
+    /// Owning job id (0 = the implicit default job), from the handle at
+    /// accounting time. Drives per-job quota charging and
+    /// [`MemoryManager::reclaim_job`].
+    job: u64,
 }
 
 /// Per-node allocator state.
@@ -101,6 +105,9 @@ struct NodeMem {
     clock: u64,
     /// Accounting entries keyed by handle id.
     residents: HashMap<u64, Resident>,
+    /// Accounted bytes per owning job (entries removed at zero, so the map
+    /// is bounded by the number of jobs with live replicas here).
+    job_used: HashMap<u64, u64>,
     /// The allocation-reuse cache of retained (evicted/invalidated)
     /// buffers. Capped at the node budget; zero-capped on node 0 and when
     /// the cache is disabled.
@@ -113,9 +120,20 @@ impl NodeMem {
         self.clock
     }
 
-    fn account(&mut self, bytes: u64) {
+    fn account(&mut self, job: u64, bytes: u64) {
         self.used += bytes;
+        *self.job_used.entry(job).or_insert(0) += bytes;
         self.high_water = self.high_water.max(self.used + self.cache.retained());
+    }
+
+    fn unaccount(&mut self, job: u64, bytes: u64) {
+        self.used = self.used.saturating_sub(bytes);
+        if let Some(ju) = self.job_used.get_mut(&job) {
+            *ju = ju.saturating_sub(bytes);
+            if *ju == 0 {
+                self.job_used.remove(&job);
+            }
+        }
     }
 
     /// Whether allocating `need` more bytes would exceed the budget,
@@ -143,6 +161,12 @@ pub struct MemoryManager {
     log_residency: AtomicBool,
     /// The pending delta log drained by [`MemoryManager::take_residency_deltas`].
     residency_log: Mutex<Vec<ResidencyDelta>>,
+    /// Per-job device-memory quotas (bytes per device node), set at job
+    /// creation via [`MemoryManager::set_quota`].
+    quotas: RwLock<HashMap<u64, u64>>,
+    /// Fast flag mirroring `!quotas.is_empty()`, so the quota-free hot
+    /// path pays one relaxed load instead of an `RwLock` read per prepare.
+    has_quotas: AtomicBool,
 }
 
 /// One residency mutation, as observed by [`MemoryManager::take_residency_deltas`].
@@ -258,6 +282,7 @@ impl MemoryManager {
                     high_water: 0,
                     clock: 0,
                     residents: HashMap::new(),
+                    job_used: HashMap::new(),
                     cache: FreeList::new(cap),
                 })
             })
@@ -269,7 +294,35 @@ impl MemoryManager {
             cached_view: Mutex::new(None),
             log_residency: AtomicBool::new(false),
             residency_log: Mutex::new(Vec::new()),
+            quotas: RwLock::new(HashMap::new()),
+            has_quotas: AtomicBool::new(false),
         }
+    }
+
+    /// Caps `job`'s accounted replica bytes at `bytes` per device node.
+    /// An allocation that would push the job past its quota evicts the
+    /// job's *own* replicas first (see [`MemoryManager::prepare`]); only
+    /// when none are evictable does the job overcommit its quota.
+    pub(crate) fn set_quota(&self, job: u64, bytes: u64) {
+        self.quotas.write().insert(job, bytes);
+        self.has_quotas.store(true, Ordering::Release);
+    }
+
+    /// The quota configured for `job`, if any.
+    fn quota_for(&self, job: u64) -> Option<u64> {
+        if !self.has_quotas.load(Ordering::Acquire) {
+            return None;
+        }
+        self.quotas.read().get(&job).copied()
+    }
+
+    /// Per-node accounted bytes owned by `job` (the leak probe for the
+    /// cancellation tests).
+    pub fn job_used_bytes(&self, job: u64) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .map(|n| n.lock().job_used.get(&job).copied().unwrap_or(0))
+            .collect()
     }
 
     /// Current residency epoch (see [`MemoryManager::view`]). A consumer
@@ -518,6 +571,26 @@ impl MemoryManager {
                     nm.used
                 ));
             }
+            let job_sum: u64 = nm.job_used.values().sum();
+            if job_sum != nm.used {
+                return Err(format!(
+                    "node {i}: per-job byte sum {job_sum} != used counter {}",
+                    nm.used
+                ));
+            }
+            for (job, ju) in &nm.job_used {
+                let owned: u64 = nm
+                    .residents
+                    .values()
+                    .filter(|r| r.job == *job)
+                    .map(|r| r.bytes)
+                    .sum();
+                if owned != *ju {
+                    return Err(format!(
+                        "node {i}: job {job} accounted {ju} but owns {owned} resident bytes"
+                    ));
+                }
+            }
             nm.cache
                 .validate()
                 .map_err(|e| format!("node {i} allocation cache: {e}"))?;
@@ -545,7 +618,7 @@ impl MemoryManager {
     pub(crate) fn register_host(&self, handle: &DataHandle) {
         let mut nm = self.nodes[0].lock();
         let stamp = nm.stamp();
-        nm.account(handle.bytes() as u64);
+        nm.account(handle.job(), handle.bytes() as u64);
         nm.residents.insert(
             handle.id(),
             Resident {
@@ -554,6 +627,7 @@ impl MemoryManager {
                 last_use: stamp,
                 pinned: 0,
                 dead: false,
+                job: handle.job(),
             },
         );
         self.log_delta(0, handle.id(), handle.bytes() as u64);
@@ -578,6 +652,7 @@ impl MemoryManager {
                 last_use: stamp,
                 pinned: 0,
                 dead: false,
+                job: handle.job(),
             })
             .pinned += 1;
     }
@@ -618,6 +693,8 @@ impl MemoryManager {
             return None;
         }
         let need = handle.bytes() as u64;
+        let job = handle.job();
+        let quota = self.quota_for(job);
         let mut reused: Option<PayloadCell> = None;
         let mut reused_bytes = 0u64;
         loop {
@@ -637,6 +714,15 @@ impl MemoryManager {
                         return None;
                     }
                 }
+                // Per-job quota pre-pass: an allocation pushing the job
+                // past its per-node quota evicts the job's *own* replicas
+                // (its LRU first) before touching anyone else's. When the
+                // job has nothing evictable left here, it overcommits its
+                // quota softly — pinned working sets keep making progress
+                // — and the node-budget logic below still applies.
+                let quota_victim = quota
+                    .filter(|&q| nm.job_used.get(&job).copied().unwrap_or(0) + need > q)
+                    .and_then(|_| Self::select_victim_of_job(&mut nm, handle.id(), job));
                 // Allocation cache first: a retained buffer of a
                 // sufficient size class is reused outright — this is also
                 // how an eviction victim's buffer becomes the allocation
@@ -647,7 +733,10 @@ impl MemoryManager {
                         reused = Some(buf.cell);
                     }
                 }
-                if !nm.over_budget(need) {
+                if let Some((vid, r)) = quota_victim {
+                    self.log_delta(node, vid, 0);
+                    Selection::Victim(vid, r)
+                } else if !nm.over_budget(need) {
                     // Under budget with no retained buffer to reuse: honor
                     // `wont_use` hints eagerly. A dead replica whose buffer
                     // can serve this allocation is evicted now (its
@@ -713,7 +802,7 @@ impl MemoryManager {
         // does not count as a win).
         let already_accounted = nm.residents.get(&handle.id()).is_some_and(|r| r.bytes > 0);
         if !already_accounted {
-            nm.account(need);
+            nm.account(job, need);
         }
         let weak = Arc::downgrade(&handle.inner);
         let entry = nm.residents.entry(handle.id()).or_insert_with(|| Resident {
@@ -722,6 +811,7 @@ impl MemoryManager {
             last_use: stamp,
             pinned: 0,
             dead: false,
+            job,
         });
         entry.bytes = need;
         entry.last_use = stamp;
@@ -762,7 +852,21 @@ impl MemoryManager {
             .min_by_key(|(_, r)| (!r.dead, r.last_use))
             .map(|(id, _)| *id)?;
         let r = nm.residents.remove(&vid).expect("victim just found");
-        nm.used = nm.used.saturating_sub(r.bytes);
+        nm.unaccount(r.job, r.bytes);
+        Some((vid, r))
+    }
+
+    /// [`MemoryManager::select_victim`] restricted to replicas owned by
+    /// `job` — quota overflow evicts the offending job's own data first.
+    fn select_victim_of_job(nm: &mut NodeMem, requester: u64, job: u64) -> Option<(u64, Resident)> {
+        let vid = nm
+            .residents
+            .iter()
+            .filter(|(id, r)| **id != requester && r.pinned == 0 && r.bytes > 0 && r.job == job)
+            .min_by_key(|(_, r)| (!r.dead, r.last_use))
+            .map(|(id, _)| *id)?;
+        let r = nm.residents.remove(&vid).expect("victim just found");
+        nm.unaccount(r.job, r.bytes);
         Some((vid, r))
     }
 
@@ -782,7 +886,7 @@ impl MemoryManager {
             .min_by_key(|(_, r)| (FreeList::size_class(r.bytes), r.last_use))
             .map(|(id, _)| *id)?;
         let r = nm.residents.remove(&vid).expect("donor just found");
-        nm.used = nm.used.saturating_sub(r.bytes);
+        nm.unaccount(r.job, r.bytes);
         Some((vid, r))
     }
 
@@ -871,7 +975,8 @@ impl MemoryManager {
         if let Some(r) = nm.residents.get_mut(&handle_id) {
             freed = std::mem::take(&mut r.bytes);
             let unpinned = r.pinned == 0;
-            nm.used = nm.used.saturating_sub(freed);
+            let job = r.job;
+            nm.unaccount(job, freed);
             if unpinned {
                 nm.residents.remove(&handle_id);
             }
@@ -912,7 +1017,7 @@ impl MemoryManager {
         for (i, node) in self.nodes.iter().enumerate() {
             let mut nm = node.lock();
             if let Some(r) = nm.residents.remove(&handle_id) {
-                nm.used = nm.used.saturating_sub(r.bytes);
+                nm.unaccount(r.job, r.bytes);
                 if r.bytes > 0 {
                     self.log_delta(i, handle_id, 0);
                     changed = true;
@@ -960,6 +1065,37 @@ impl MemoryManager {
             stats.record_cache_trim(drained);
         }
         evicted
+    }
+
+    /// Evicts every unpinned device replica owned by `job` (job
+    /// cancellation / teardown): Modified replicas get their one writeback
+    /// so node 0 keeps a valid master copy, then the job's quota
+    /// accounting on every device node returns to zero. Returns the total
+    /// bytes released. Pinned replicas (a task still executing) are left
+    /// for their unpin + recycle path.
+    pub(crate) fn reclaim_job(&self, job: u64, topo: &Topology, stats: &StatsCollector) -> u64 {
+        let mut freed = 0;
+        for node in 1..self.nodes.len() {
+            loop {
+                let victim = {
+                    let mut nm = self.nodes[node].lock();
+                    let v = Self::select_victim_of_job(&mut nm, u64::MAX, job);
+                    if let Some((vid, _)) = &v {
+                        self.log_delta(node, *vid, 0);
+                    }
+                    v
+                };
+                match victim {
+                    Some((vid, r)) => {
+                        freed += r.bytes;
+                        self.bump_epoch();
+                        self.evict(vid, r, node, topo, stats);
+                    }
+                    None => break,
+                }
+            }
+        }
+        freed
     }
 }
 

@@ -3,6 +3,7 @@
 use crate::codelet::Arch;
 use crate::coherence::{self, Topology};
 use crate::handle::{AccessMode, Data, DataHandle, PayloadBox, ReplicaStatus};
+use crate::job::{Batch, JobConfig, JobCore, JobHandle, JobSet};
 use crate::memory::{EvictionPolicy, MemoryManager};
 use crate::perfmodel::PerfRegistry;
 use crate::sched::{
@@ -128,9 +129,13 @@ pub(crate) struct RuntimeInner {
     /// Actual virtual clock per worker (lock-free monotone slots).
     pub timelines: Timelines,
     pub noise: Mutex<NoiseModel>,
-    /// Submitted-but-unfinished task count. The condvar handshake only
-    /// happens on the transition to zero, so per-task bookkeeping is one
-    /// atomic op at submit and one at completion.
+    /// Job registry: the implicit default job, id allocation, the
+    /// multi-tenant fast flag, and the fair-share virtual clock.
+    pub jobs: JobSet,
+    /// Submitted-but-unfinished task count across *all* jobs (shutdown
+    /// drains on this). The condvar handshake only happens on the
+    /// transition to zero, so per-task bookkeeping is one atomic op at
+    /// submit and one at completion.
     pub pending: AtomicU64,
     pub done_mx: Mutex<()>,
     pub all_done: Condvar,
@@ -219,13 +224,19 @@ impl RuntimeInner {
             }
         }
         if wake_all {
-            for w in 0..self.idle.len() {
-                self.wake_worker(w);
-            }
+            self.wake_all_workers();
         } else {
             for w in distinct {
                 self.wake_worker(w);
             }
+        }
+    }
+
+    /// Wakes every parked worker (cancellation must drain queued tasks of
+    /// lanes that were inadmissible when the workers parked).
+    pub(crate) fn wake_all_workers(&self) {
+        for w in 0..self.idle.len() {
+            self.wake_worker(w);
         }
     }
 
@@ -313,9 +324,20 @@ impl RuntimeInner {
         }
     }
 
-    pub(crate) fn task_finished(&self) {
+    /// Per-task completion accounting: the owning job's counters first
+    /// (its scoped `wait` may unblock), then the global counter (shutdown
+    /// and `sync_virtual_clocks` drain on it). `executed` is false for
+    /// tasks drained by job cancellation; `popped` is false for
+    /// self-continued graph tasks that never crossed the pop boundary.
+    pub(crate) fn task_finished(&self, task: &Task, executed: bool, popped: bool) {
+        task.job.task_finished(executed, popped);
+        if popped && task.job.capped() {
+            // A freed admission slot must reach workers that parked after
+            // finding only at-cap lanes; a targeted wakeup could miss them.
+            self.wake_all_workers();
+        }
         if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
-            // Take the lock so the notify cannot race a `wait_all` that
+            // Take the lock so the notify cannot race a waiter that
             // observed a non-zero count but has not blocked yet.
             let _guard = self.done_mx.lock();
             self.all_done.notify_all();
@@ -442,6 +464,7 @@ impl Runtime {
                 machine.noise_rel_stddev,
             )),
             classes: WorkerClasses::new(&machine),
+            jobs: JobSet::new(),
             pending: AtomicU64::new(0),
             done_mx: Mutex::new(()),
             all_done: Condvar::new(),
@@ -489,13 +512,45 @@ impl Runtime {
         &self.inner.perf
     }
 
-    /// Submits a task (used by [`TaskBuilder::submit`]).
+    /// Opens a job context: the scoped entry point for multi-tenant
+    /// submission. Tasks submitted through the returned [`JobHandle`] are
+    /// dispatched under weighted fair-share against other jobs, count
+    /// toward the job's own `wait`, honor its memory quota, and can be
+    /// cancelled as a unit. See the `job` module docs.
+    pub fn job(&self, cfg: JobConfig) -> JobHandle {
+        let core = self.inner.jobs.create(&cfg);
+        // A job born mid-run starts at the current virtual clock, not at
+        // zero, so it cannot starve incumbents by "repaying" history.
+        core.catch_up(self.inner.jobs.vclock());
+        if let Some(quota) = core.quota {
+            self.inner.memory.set_quota(core.id, quota);
+        }
+        JobHandle {
+            rt: self.clone(),
+            core,
+        }
+    }
+
+    /// Submits a task to the implicit default job (used by
+    /// [`TaskBuilder::submit`]; multi-tenant callers use
+    /// [`crate::JobHandle::submit`]).
+    #[deprecated(note = "use Runtime::job")]
     pub fn submit(&self, builder: TaskBuilder) -> TaskHandle {
-        let id = self.inner.next_task.fetch_add(1, Ordering::Relaxed);
-        let task = Arc::new(builder.into_task(id));
+        let job = Arc::clone(&self.inner.jobs.default);
+        self.submit_for(&job, builder)
+    }
+
+    /// Job-scoped single-task submission (the implementation behind both
+    /// [`crate::JobHandle::submit`] and the default-job forwarder).
+    pub(crate) fn submit_for(&self, job: &Arc<JobCore>, builder: TaskBuilder) -> TaskHandle {
+        let id = self.inner.alloc_task_id();
+        let task = Arc::new(builder.for_job(job).into_task(id));
         validate_task(&task, &self.inner.machine);
 
         self.inner.pending.fetch_add(1, Ordering::SeqCst);
+        if job.add_pending(1) {
+            job.catch_up(self.inner.jobs.vclock());
+        }
 
         // Sequential data consistency: collect implicit dependencies.
         // `link` counts each created edge on the successor *before*
@@ -530,10 +585,19 @@ impl Runtime {
     /// side effect, so a batch containing an undispatchable codelet (or an
     /// aliased writable operand) panics without enqueuing a prefix,
     /// counting pending work, or recording any dependency edge.
-    pub fn submit_batch(&self, builders: Vec<TaskBuilder>) -> Vec<TaskHandle> {
+    #[deprecated(note = "use Runtime::job")]
+    pub fn submit_batch(&self, builders: Vec<TaskBuilder>) -> Batch {
+        let job = Arc::clone(&self.inner.jobs.default);
+        self.submit_batch_for(&job, builders)
+    }
+
+    /// Job-scoped batch submission (see [`Runtime::submit_batch`] for the
+    /// batch semantics; this is the implementation behind it and
+    /// [`crate::JobHandle::submit_batch`]).
+    pub(crate) fn submit_batch_for(&self, job: &Arc<JobCore>, builders: Vec<TaskBuilder>) -> Batch {
         let tasks: Vec<Arc<Task>> = builders
             .into_iter()
-            .map(|b| Arc::new(b.into_task(self.inner.alloc_task_id())))
+            .map(|b| Arc::new(b.for_job(job).into_task(self.inner.alloc_task_id())))
             .collect();
         for task in &tasks {
             validate_task(task, &self.inner.machine);
@@ -542,6 +606,9 @@ impl Runtime {
         self.inner
             .pending
             .fetch_add(tasks.len() as u64, Ordering::SeqCst);
+        if job.add_pending(tasks.len() as u64) {
+            job.catch_up(self.inner.jobs.vclock());
+        }
 
         // Record dependencies in submission order so intra-batch edges
         // resolve exactly as sequential submits would. Later batch members
@@ -567,18 +634,22 @@ impl Runtime {
         if !ready.is_empty() {
             self.inner.push_ready_batch(&ready, false);
         }
-        tasks.into_iter().map(TaskHandle).collect()
+        Batch::new(tasks.into_iter().map(TaskHandle).collect())
     }
 
-    /// Blocks until every submitted task has executed.
+    /// Blocks until every task of the *implicit default job* has executed
+    /// — the single-tenant barrier. Tasks submitted through an explicit
+    /// [`JobHandle`] are that job's business ([`JobHandle::wait`]): one
+    /// tenant's barrier no longer blocks on another tenant's backlog
+    /// (runtime-wide draining still happens in [`Runtime::shutdown`]).
     ///
-    /// If a task body panicked outside its kernel (a kernel panic is
-    /// contained and counted in `kernel_failures` instead), the panic is
-    /// re-raised here on the waiting thread — the pending counter still
-    /// drains, so this reports the failure instead of deadlocking. Use
-    /// [`Runtime::try_wait_all`] for a non-panicking variant.
+    /// If a default-job task body panicked outside its kernel (a kernel
+    /// panic is contained and counted in `kernel_failures` instead), the
+    /// panic is re-raised here on the waiting thread — the pending counter
+    /// still drains, so this reports the failure instead of deadlocking.
+    /// Use [`Runtime::try_wait_all`] for a non-panicking variant.
     pub fn wait_all(&self) {
-        self.wait_pending();
+        self.inner.jobs.default.wait_idle();
         if let Some(msg) = self.inner.fault.lock().take() {
             panic!("{msg}");
         }
@@ -587,15 +658,16 @@ impl Runtime {
     /// Like [`Runtime::wait_all`] but reports an escaped task-body panic
     /// as an `Err` instead of re-raising it.
     pub fn try_wait_all(&self) -> Result<(), String> {
-        self.wait_pending();
+        self.inner.jobs.default.wait_idle();
         match self.inner.fault.lock().take() {
             Some(msg) => Err(msg),
             None => Ok(()),
         }
     }
 
-    /// The counter-drain half of `wait_all`, shared with the non-panicking
-    /// shutdown path (`Drop` must not panic).
+    /// Runtime-wide counter drain across all jobs, used by the
+    /// non-panicking shutdown path (`Drop` must not panic) and the
+    /// virtual-clock barrier.
     fn wait_pending(&self) {
         if self.inner.pending.load(Ordering::SeqCst) == 0 {
             return;
@@ -624,8 +696,20 @@ impl Runtime {
         v: T,
         bytes: usize,
     ) -> DataHandle {
+        self.register_owned(v, bytes, 0)
+    }
+
+    /// Registration with an owning job id (0 = untracked/default):
+    /// job-owned handles count against the job's device-memory quota and
+    /// are reclaimed by [`JobHandle::cancel`].
+    pub(crate) fn register_owned<T: Clone + Send + Sync + 'static>(
+        &self,
+        v: T,
+        bytes: usize,
+        job: u64,
+    ) -> DataHandle {
         let id = self.inner.next_handle.fetch_add(1, Ordering::Relaxed);
-        let h = DataHandle::new(id, v, bytes, self.inner.machine.memory_nodes());
+        let h = DataHandle::new_owned(id, v, bytes, self.inner.machine.memory_nodes(), job);
         // Account the master copy so node 0's high-water mark tracks the
         // registered working set (node 0 has no budget and never evicts).
         self.inner.memory.register_host(&h);
@@ -843,7 +927,11 @@ impl Runtime {
     /// that work's true duration — benchmark harnesses use it to measure
     /// per-phase times on a long-lived runtime.
     pub fn sync_virtual_clocks(&self) -> VTime {
-        self.wait_all();
+        // Runtime-wide: every job's clocks advance together.
+        self.wait_pending();
+        if let Some(msg) = self.inner.fault.lock().take() {
+            panic!("{msg}");
+        }
         let m = self.stats().makespan;
         for w in 0..self.inner.timelines.len() {
             self.inner.timelines.advance(w, m);

@@ -20,6 +20,7 @@
 //! reuse it verbatim: dmdar is dmda's placement plus a readiness reorder on
 //! the pop path.
 
+use super::fair::JobLanes;
 use super::pq::PrioQueue;
 use super::{options_into, SchedCtx, Scheduler};
 use crate::codelet::Arch;
@@ -354,7 +355,8 @@ pub struct DmdaScheduler {
     pub(crate) core: DmdaCore,
     /// Per-worker heap queues ordered `(priority desc, push seq asc)` —
     /// FIFO for the default all-zero-priority case, O(log n) otherwise.
-    queues: Vec<Mutex<PrioQueue>>,
+    /// Laned per job for fair-share dispatch (see [`super::fair`]).
+    queues: Vec<Mutex<JobLanes<PrioQueue>>>,
 }
 
 impl DmdaScheduler {
@@ -362,25 +364,26 @@ impl DmdaScheduler {
     pub fn new(workers: usize) -> Self {
         DmdaScheduler {
             core: DmdaCore::new(workers),
-            queues: (0..workers).map(|_| Mutex::new(PrioQueue::new())).collect(),
+            queues: (0..workers).map(|_| Mutex::new(JobLanes::new())).collect(),
         }
     }
 
     #[cfg(test)]
     fn queue_len(&self, worker: usize) -> usize {
-        self.queues[worker].lock().len()
+        self.queues[worker].lock().total_len()
     }
 }
 
 impl Scheduler for DmdaScheduler {
     fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
         let w = self.core.place(&task, ctx);
-        self.queues[w].lock().push(task);
+        let job = Arc::clone(&task.job);
+        self.queues[w].lock().queue_for(&job).push(task);
         Some(w)
     }
 
     fn has_ready(&self, worker: usize) -> bool {
-        !self.queues[worker].lock().is_empty()
+        self.queues[worker].lock().total_len() > 0
     }
 
     fn pop_for_worker(
@@ -391,8 +394,8 @@ impl Scheduler for DmdaScheduler {
     ) -> Option<Arc<Task>> {
         let (task, depth) = {
             let mut q = self.queues[worker].lock();
-            let depth = q.len();
-            (q.pop()?, depth)
+            let depth = q.total_len();
+            (q.pop_with(|lane| lane.pop())?, depth)
         };
         let node = ctx.machine.worker_memory_node(worker);
         let resident = view.resident_read_bytes(node, &task.accesses);
@@ -415,7 +418,8 @@ impl Scheduler for DmdaScheduler {
                 // prediction (task_timed releases it after execution, so
                 // the load estimate stays balanced) and enqueue directly.
                 self.core.charge_pred(c.worker, c.pred_delta);
-                self.queues[c.worker].lock().push(task);
+                let job = Arc::clone(&task.job);
+                self.queues[c.worker].lock().queue_for(&job).push(task);
                 Some(c.worker)
             }
             None => self.push_ready(task, ctx),
@@ -451,7 +455,8 @@ impl Scheduler for DmdaScheduler {
         for (w, group) in groups {
             let mut q = self.queues[w].lock();
             for task in group {
-                q.push(task);
+                let job = Arc::clone(&task.job);
+                q.queue_for(&job).push(task);
             }
         }
         targets

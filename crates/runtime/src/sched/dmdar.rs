@@ -38,6 +38,7 @@
 //! FIFO regardless of readiness.
 
 use super::dmda::{DmdaCore, PlaceScratch};
+use super::fair::{JobLanes, LaneQueue};
 use super::{SchedCtx, Scheduler};
 use crate::hash::{FastMap, FastSet};
 use crate::memory::{LocalityIndex, MemoryView, ResidentLookup};
@@ -128,6 +129,18 @@ struct ReadyQueue {
     dirty: FastSet<u64>,
 }
 
+impl Default for ReadyQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LaneQueue for ReadyQueue {
+    fn lane_len(&self) -> usize {
+        self.live
+    }
+}
+
 impl ReadyQueue {
     fn new() -> Self {
         ReadyQueue {
@@ -196,6 +209,45 @@ impl ReadyQueue {
         e
     }
 
+    /// Reconciles cached scores against the residency moves recorded in
+    /// this queue's dirty set: each affected entry is rescored against
+    /// the locality index, pushing a fresh heap key (the stale one is
+    /// skipped by `select`'s score-match check). No-op when clean.
+    fn rescore_dirty(
+        &mut self,
+        index: &LocalityIndex,
+        node: usize,
+        now: VTime,
+        ctx: &SchedCtx<'_>,
+    ) {
+        if self.dirty.is_empty() {
+            return;
+        }
+        let dirty = std::mem::take(&mut self.dirty);
+        let mut to_rescore: Vec<u64> = dirty
+            .iter()
+            .filter_map(|h| self.by_handle.get(h))
+            .flatten()
+            .copied()
+            .collect();
+        to_rescore.sort_unstable();
+        to_rescore.dedup();
+        for seq in to_rescore {
+            let Some(e) = self.get(seq) else { continue };
+            let score = fetch_cost(index, node, &e.task, now, ctx);
+            let old = e.score;
+            if score != old {
+                self.get_mut(seq).expect("present").score = score;
+                self.heap.push(Reverse((score, seq)));
+                match (old == VTime::ZERO, score == VTime::ZERO) {
+                    (true, false) => self.nonzero += 1,
+                    (false, true) => self.nonzero -= 1,
+                    _ => {}
+                }
+            }
+        }
+    }
+
     /// Removes and returns the next entry to dispatch: `(task, queue depth
     /// before removal, live entries jumped over, was a reorder)`. Scores
     /// must already be reconciled (dirty rescores applied) — selection
@@ -258,7 +310,8 @@ pub struct DmdarScheduler {
     /// until the index exists, which funnels the first caller into the
     /// slow path that creates it.
     synced_epoch: AtomicU64,
-    queues: Vec<Mutex<ReadyQueue>>,
+    /// Per-worker ready queues, laned per job (see [`super::fair`]).
+    queues: Vec<Mutex<JobLanes<ReadyQueue>>>,
 }
 
 impl DmdarScheduler {
@@ -268,9 +321,7 @@ impl DmdarScheduler {
             core: DmdaCore::new(workers),
             index: RwLock::new(None),
             synced_epoch: AtomicU64::new(u64::MAX),
-            queues: (0..workers)
-                .map(|_| Mutex::new(ReadyQueue::new()))
-                .collect(),
+            queues: (0..workers).map(|_| Mutex::new(JobLanes::new())).collect(),
         }
     }
 
@@ -297,7 +348,9 @@ impl DmdarScheduler {
         let touched = index.sync(ctx.memory);
         if !touched.is_empty() {
             for q in &self.queues {
-                q.lock().dirty.extend(touched.iter().copied());
+                for lane in q.lock().queues_mut() {
+                    lane.dirty.extend(touched.iter().copied());
+                }
             }
         }
         self.synced_epoch.store(epoch, Ordering::Release);
@@ -311,12 +364,13 @@ impl DmdarScheduler {
         let node = ctx.machine.worker_memory_node(w);
         let now = ctx.timelines.get(w);
         let score = fetch_cost(index, node, &task, now, ctx);
-        self.queues[w].lock().insert(task, score);
+        let job = Arc::clone(&task.job);
+        self.queues[w].lock().queue_for(&job).insert(task, score);
     }
 
     #[cfg(test)]
     fn queue_len(&self, worker: usize) -> usize {
-        self.queues[worker].lock().live
+        self.queues[worker].lock().total_len()
     }
 }
 
@@ -328,7 +382,7 @@ impl Scheduler for DmdarScheduler {
     }
 
     fn has_ready(&self, worker: usize) -> bool {
-        self.queues[worker].lock().live > 0
+        self.queues[worker].lock().total_len() > 0
     }
 
     fn pop_for_worker(
@@ -342,10 +396,10 @@ impl Scheduler for DmdarScheduler {
         let (task, depth, jumped, reordered) = {
             self.sync_if_stale(ctx);
             let mut q = self.queues[worker].lock();
-            if q.live == 0 {
+            if q.total_len() == 0 {
                 return None;
             }
-            if !q.dirty.is_empty() {
+            if q.queues().any(|lane| !lane.dirty.is_empty()) {
                 // Rescoring consults the index, and the lock order is
                 // index before queue (the sync fan-out relies on it): give
                 // the queue lock back, take the index read guard, and
@@ -355,43 +409,25 @@ impl Scheduler for DmdarScheduler {
                 drop(q);
                 let iguard = self.index.read();
                 q = self.queues[worker].lock();
-                if q.live == 0 {
+                if q.total_len() == 0 {
                     return None;
                 }
-                let dirty = std::mem::take(&mut q.dirty);
                 // Rescore only the entries whose operands moved since this
-                // worker's last pop; each rescore pushes a fresh heap key
-                // (the stale one is skipped by `select`'s score-match
-                // check).
-                let mut to_rescore: Vec<u64> = dirty
-                    .iter()
-                    .filter_map(|h| q.by_handle.get(h))
-                    .flatten()
-                    .copied()
-                    .collect();
-                to_rescore.sort_unstable();
-                to_rescore.dedup();
-                if !to_rescore.is_empty() {
-                    let index = iguard.as_ref().expect("index created by sync");
-                    let now = ctx.timelines.get(worker);
-                    for seq in to_rescore {
-                        let Some(e) = q.get(seq) else { continue };
-                        let score = fetch_cost(index, node, &e.task, now, ctx);
-                        let old = e.score;
-                        if score != old {
-                            q.get_mut(seq).expect("present").score = score;
-                            q.heap.push(Reverse((score, seq)));
-                            match (old == VTime::ZERO, score == VTime::ZERO) {
-                                (true, false) => q.nonzero += 1,
-                                (false, true) => q.nonzero -= 1,
-                                _ => {}
-                            }
-                        }
-                    }
+                // worker's last pop, in every lane that saw a delta.
+                let index = iguard.as_ref().expect("index created by sync");
+                let now = ctx.timelines.get(worker);
+                for lane in q.queues_mut() {
+                    lane.rescore_dirty(index, node, now, ctx);
                 }
-                q.select(age_limit)
+                let depth = q.total_len();
+                let (task, _, jumped, reordered) =
+                    q.pop_with(|lane| Some(lane.select(age_limit)))?;
+                (task, depth, jumped, reordered)
             } else {
-                q.select(age_limit)
+                let depth = q.total_len();
+                let (task, _, jumped, reordered) =
+                    q.pop_with(|lane| Some(lane.select(age_limit)))?;
+                (task, depth, jumped, reordered)
             }
         };
         let resident = view.resident_read_bytes(node, &task.accesses);
@@ -464,7 +500,8 @@ impl Scheduler for DmdarScheduler {
             let mut q = self.queues[w].lock();
             for task in group {
                 let score = fetch_cost(index, node, &task, now, ctx);
-                q.insert(task, score);
+                let job = Arc::clone(&task.job);
+                q.queue_for(&job).insert(task, score);
             }
         }
         targets

@@ -1,5 +1,6 @@
 //! Central-queue greedy scheduler.
 
+use super::fair::JobLanes;
 use super::pq::PrioQueue;
 use super::{SchedCtx, Scheduler};
 use crate::memory::MemoryView;
@@ -13,12 +14,14 @@ use std::sync::Arc;
 /// but eager deliberately keeps a single shared queue — late binding *is*
 /// the policy: no task commits to a worker before one asks for it.
 ///
-/// The queue is a [`PrioQueue`] heap ordered `(priority desc, push seq
-/// asc)`, so the highest-priority-FIFO-among-equals pop is O(log n)
-/// instead of the linear scan the old deque needed; entries the popping
-/// worker cannot run are skipped (and kept) by [`PrioQueue::pop_where`].
+/// Each job's tasks live in a [`PrioQueue`] heap ordered `(priority desc,
+/// push seq asc)`, so the highest-priority-FIFO-among-equals pop is
+/// O(log n); entries the popping worker cannot run are skipped (and kept)
+/// by [`PrioQueue::pop_where`]. With multiple tenants the lanes are
+/// walked in fair-share order (see [`super::fair`]); with one job the
+/// lane layer is a single bounds check.
 pub struct EagerScheduler {
-    queue: Mutex<PrioQueue>,
+    queue: Mutex<JobLanes<PrioQueue>>,
     /// Queue length mirror, maintained under the queue lock, so
     /// [`Scheduler::has_ready`] is a lock-free load.
     len: AtomicUsize,
@@ -28,7 +31,7 @@ impl EagerScheduler {
     /// Creates an empty scheduler.
     pub fn new() -> Self {
         EagerScheduler {
-            queue: Mutex::new(PrioQueue::new()),
+            queue: Mutex::new(JobLanes::new()),
             len: AtomicUsize::new(0),
         }
     }
@@ -43,8 +46,9 @@ impl Default for EagerScheduler {
 impl Scheduler for EagerScheduler {
     fn push_ready(&self, task: Arc<Task>, _ctx: &SchedCtx<'_>) -> Option<usize> {
         let mut q = self.queue.lock();
-        q.push(task);
-        self.len.store(q.len(), Ordering::Release);
+        let job = Arc::clone(&task.job);
+        q.queue_for(&job).push(task);
+        self.len.store(q.total_len(), Ordering::Release);
         None
     }
 
@@ -61,9 +65,9 @@ impl Scheduler for EagerScheduler {
         // One queue-lock acquisition seeds the whole batch.
         let mut q = self.queue.lock();
         for task in tasks {
-            q.push(Arc::clone(task));
+            q.queue_for(&task.job).push(Arc::clone(task));
         }
-        self.len.store(q.len(), Ordering::Release);
+        self.len.store(q.total_len(), Ordering::Release);
         vec![None; tasks.len()]
     }
 
@@ -76,9 +80,9 @@ impl Scheduler for EagerScheduler {
         let is_gpu = ctx.machine.worker_is_gpu(worker);
         let (task, depth) = {
             let mut q = self.queue.lock();
-            let depth = q.len();
-            let task = q.pop_where(|t| t.runnable_on(worker, is_gpu))?;
-            self.len.store(q.len(), Ordering::Release);
+            let depth = q.total_len();
+            let task = q.pop_with(|lane| lane.pop_where(|t| t.runnable_on(worker, is_gpu)))?;
+            self.len.store(q.total_len(), Ordering::Release);
             (task, depth)
         };
         let node = ctx.machine.worker_memory_node(worker);

@@ -27,6 +27,7 @@
 pub mod dmda;
 pub mod dmdar;
 pub mod eager;
+mod fair;
 mod pq;
 pub mod random;
 pub mod ws;

@@ -47,6 +47,12 @@ pub(super) struct PrioQueue {
     next_seq: u64,
 }
 
+impl Default for PrioQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl PrioQueue {
     pub fn new() -> Self {
         PrioQueue {
@@ -95,6 +101,7 @@ impl PrioQueue {
         self.heap.len()
     }
 
+    #[cfg(test)]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }

@@ -1,5 +1,6 @@
 //! Uniformly random placement (a weak baseline for ablations).
 
+use super::fair::JobLanes;
 use super::pq::PrioQueue;
 use super::{options_for, SchedCtx, Scheduler};
 use crate::memory::MemoryView;
@@ -12,7 +13,7 @@ use std::sync::Arc;
 
 /// Assigns each ready task to a uniformly random eligible worker.
 pub struct RandomScheduler {
-    queues: Vec<Mutex<PrioQueue>>,
+    queues: Vec<Mutex<JobLanes<PrioQueue>>>,
     rng: Mutex<StdRng>,
 }
 
@@ -20,7 +21,7 @@ impl RandomScheduler {
     /// Creates queues for `workers` workers with a deterministic seed.
     pub fn new(workers: usize, seed: u64) -> Self {
         RandomScheduler {
-            queues: (0..workers).map(|_| Mutex::new(PrioQueue::new())).collect(),
+            queues: (0..workers).map(|_| Mutex::new(JobLanes::new())).collect(),
             rng: Mutex::new(StdRng::seed_from_u64(seed)),
         }
     }
@@ -47,12 +48,13 @@ impl RandomScheduler {
 impl Scheduler for RandomScheduler {
     fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
         let worker = self.draw(&task, ctx);
-        self.queues[worker].lock().push(task);
+        let job = Arc::clone(&task.job);
+        self.queues[worker].lock().queue_for(&job).push(task);
         Some(worker)
     }
 
     fn has_ready(&self, worker: usize) -> bool {
-        !self.queues[worker].lock().is_empty()
+        self.queues[worker].lock().total_len() > 0
     }
 
     fn push_ready_placed(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
@@ -61,7 +63,8 @@ impl Scheduler for RandomScheduler {
         let choice = *task.chosen.lock();
         match choice {
             Some(c) => {
-                self.queues[c.worker].lock().push(task);
+                let job = Arc::clone(&task.job);
+                self.queues[c.worker].lock().queue_for(&job).push(task);
                 Some(c.worker)
             }
             None => self.push_ready(task, ctx),
@@ -92,7 +95,7 @@ impl Scheduler for RandomScheduler {
         for (w, group) in groups {
             let mut q = self.queues[w].lock();
             for task in group {
-                q.push(task);
+                q.queue_for(&task.job).push(Arc::clone(&task));
             }
         }
         targets
@@ -106,8 +109,8 @@ impl Scheduler for RandomScheduler {
     ) -> Option<Arc<Task>> {
         let (task, depth) = {
             let mut q = self.queues[worker].lock();
-            let depth = q.len();
-            (q.pop()?, depth)
+            let depth = q.total_len();
+            (q.pop_with(|lane| lane.pop())?, depth)
         };
         let node = ctx.machine.worker_memory_node(worker);
         let resident = view.resident_read_bytes(node, &task.accesses);

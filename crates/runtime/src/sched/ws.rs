@@ -1,5 +1,6 @@
 //! Work-stealing scheduler.
 
+use super::fair::JobLanes;
 use super::{options_for, SchedCtx, Scheduler};
 use crate::memory::MemoryView;
 use crate::task::Task;
@@ -9,22 +10,30 @@ use std::sync::Arc;
 
 /// Per-worker deques: pushes go to the shortest eligible queue, pops come
 /// from the front of the worker's own queue, and idle workers steal from
-/// the back of victims' queues (classic Cilk/StarPU `ws` shape).
+/// the back of victims' queues (classic Cilk/StarPU `ws` shape). Each
+/// worker's deque is laned per job (see [`super::fair`]): pops and steals
+/// walk the victim's lanes in fair-share order.
 pub struct WsScheduler {
-    queues: Vec<Mutex<VecDeque<Arc<Task>>>>,
+    queues: Vec<Mutex<JobLanes<VecDeque<Arc<Task>>>>>,
 }
 
 impl WsScheduler {
     /// Creates deques for `workers` workers.
     pub fn new(workers: usize) -> Self {
         WsScheduler {
-            queues: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            queues: (0..workers).map(|_| Mutex::new(JobLanes::new())).collect(),
         }
     }
 
     #[cfg(test)]
     fn seed(&self, worker: usize, task: Arc<Task>) {
-        self.queues[worker].lock().push_back(task);
+        let job = Arc::clone(&task.job);
+        self.queues[worker].lock().queue_for(&job).push_back(task);
+    }
+
+    #[cfg(test)]
+    fn queue_len(&self, worker: usize) -> usize {
+        self.queues[worker].lock().total_len()
     }
 }
 
@@ -40,15 +49,16 @@ impl Scheduler for WsScheduler {
         let (worker, _) = opts
             .iter()
             .copied()
-            .min_by_key(|&(w, _)| self.queues[w].lock().len())
+            .min_by_key(|&(w, _)| self.queues[w].lock().total_len())
             .expect("non-empty options");
-        self.queues[worker].lock().push_back(task);
+        let job = Arc::clone(&task.job);
+        self.queues[worker].lock().queue_for(&job).push_back(task);
         Some(worker)
     }
 
     fn has_ready(&self, _worker: usize) -> bool {
         // Any queue may feed this worker via stealing.
-        self.queues.iter().any(|q| !q.lock().is_empty())
+        self.queues.iter().any(|q| q.lock().total_len() > 0)
     }
 
     fn pop_for_worker(
@@ -60,15 +70,16 @@ impl Scheduler for WsScheduler {
         let node = ctx.machine.worker_memory_node(worker);
         let own = {
             let mut q = self.queues[worker].lock();
-            let depth = q.len();
-            q.pop_front().map(|t| (t, depth))
+            let depth = q.total_len();
+            q.pop_with(|lane| lane.pop_front()).map(|t| (t, depth))
         };
         if let Some((t, depth)) = own {
             let resident = view.resident_read_bytes(node, &t.accesses);
             ctx.stats.record_dispatch(depth, resident, false);
             return Some(t);
         }
-        // Steal: scan victims, take the most recently pushed runnable task.
+        // Steal: scan victims, take the most recently pushed runnable task
+        // from the victim's fairest-first lane.
         let is_gpu = ctx.machine.worker_is_gpu(worker);
         for v in 0..self.queues.len() {
             if v == worker {
@@ -76,11 +87,13 @@ impl Scheduler for WsScheduler {
             }
             let stolen = {
                 let mut q = self.queues[v].lock();
-                let depth = q.len();
-                q.iter()
-                    .rposition(|t| t.runnable_on(worker, is_gpu))
-                    .and_then(|pos| q.remove(pos))
-                    .map(|t| (t, depth))
+                let depth = q.total_len();
+                q.pop_with(|lane| {
+                    lane.iter()
+                        .rposition(|t| t.runnable_on(worker, is_gpu))
+                        .and_then(|pos| lane.remove(pos))
+                })
+                .map(|t| (t, depth))
             };
             if let Some((t, depth)) = stolen {
                 let resident = view.resident_read_bytes(node, &t.accesses);
@@ -161,7 +174,7 @@ mod tests {
             s.push_ready(cpu_task(i), &f.ctx());
         }
         for w in 0..4 {
-            assert_eq!(s.queues[w].lock().len(), 2, "queue {w} unbalanced");
+            assert_eq!(s.queue_len(w), 2, "queue {w} unbalanced");
         }
     }
 

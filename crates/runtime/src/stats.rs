@@ -55,6 +55,8 @@ pub enum TraceEvent {
         worker: usize,
         /// Replay iteration / pipeline frame, if the task belongs to one.
         run: Option<RunId>,
+        /// Owning job id (0 = the implicit default job).
+        job: u64,
     },
     /// A task finished.
     TaskEnd {
@@ -70,6 +72,8 @@ pub enum TraceEvent {
         vfinish: VTime,
         /// Replay iteration / pipeline frame, if the task belongs to one.
         run: Option<RunId>,
+        /// Owning job id (0 = the implicit default job).
+        job: u64,
     },
     /// Data moved between memory nodes.
     Transfer {
@@ -497,6 +501,22 @@ impl RuntimeStats {
     }
 }
 
+/// The task events of one job, extracted from a full trace: the per-tenant
+/// view behind [`crate::JobHandle::trace`]. Non-task events (transfers,
+/// evictions) are runtime-global and not attributable to one job, so they
+/// are omitted.
+pub(crate) fn trace_for_job(trace: &[TraceEvent], job: u64) -> Vec<TraceEvent> {
+    trace
+        .iter()
+        .filter(|e| {
+            matches!(e,
+                TraceEvent::TaskStart { job: j, .. } | TraceEvent::TaskEnd { job: j, .. }
+                    if *j == job)
+        })
+        .cloned()
+        .collect()
+}
+
 /// Renders an ASCII Gantt chart of the virtual schedule from a trace
 /// (requires [`crate::RuntimeConfig::enable_trace`]): one row per worker,
 /// time flowing left to right across `width` columns, each task drawn with
@@ -681,6 +701,7 @@ mod tests {
                 vstart: VTime::ZERO,
                 vfinish: VTime::from_micros(10),
                 run: None,
+                job: 0,
             },
             TraceEvent::Transfer {
                 handle: 7,
@@ -724,6 +745,7 @@ mod tests {
                 vstart: VTime::ZERO,
                 vfinish: VTime::from_micros(50),
                 run: None,
+                job: 0,
             },
             TraceEvent::TaskEnd {
                 task: 2,
@@ -732,6 +754,7 @@ mod tests {
                 vstart: VTime::from_micros(50),
                 vfinish: VTime::from_micros(100),
                 run: None,
+                job: 0,
             },
         ];
         let chart = gantt(&trace, 2, 20);
@@ -761,6 +784,7 @@ mod tests {
             vstart: VTime::from_micros(us0),
             vfinish: VTime::from_micros(us1),
             run,
+            job: 0,
         };
         let trace = vec![
             end(1, 0, "alpha", 0, 50, run(0)),
@@ -794,6 +818,7 @@ mod tests {
                 vstart: VTime::ZERO,
                 vfinish: VTime::from_micros(10),
                 run: None,
+                job: 0,
             },
             TraceEvent::Evict {
                 handle: 7,
@@ -843,6 +868,7 @@ mod tests {
                 vstart: VTime::ZERO,
                 vfinish: VTime::from_micros(10),
                 run: None,
+                job: 0,
             },
             TraceEvent::Reuse {
                 handle: 7,
@@ -874,6 +900,7 @@ mod tests {
                 vstart: VTime::ZERO,
                 vfinish: VTime::from_micros(10),
                 run: None,
+                job: 0,
             },
             TraceEvent::Reorder {
                 task: 9,

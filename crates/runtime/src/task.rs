@@ -3,6 +3,7 @@
 use crate::codelet::{Arch, Codelet};
 use crate::graph::GraphLink;
 use crate::handle::{AccessMode, DataHandle};
+use crate::job::JobCore;
 use crate::perfmodel::PerfKey;
 use crate::runtime::Runtime;
 use crate::stats::RunId;
@@ -103,6 +104,10 @@ pub struct Task {
     /// Packed [`RunId`] of the replay iteration / pipeline frame currently
     /// executing this task (`u64::MAX` = none); threaded into trace events.
     pub(crate) run_tag: AtomicU64,
+    /// Owning job context — per-job completion counting, fair-share
+    /// debiting, cancellation draining. Tasks built outside a runtime get
+    /// the process-wide detached core (all accounting skipped).
+    pub(crate) job: Arc<JobCore>,
     /// Cached operand footprint (sum of operand bytes); operands are fixed
     /// at build time so this never changes.
     footprint: u64,
@@ -309,6 +314,7 @@ pub struct TaskBuilder {
     use_history: Option<bool>,
     wont_use: Vec<u64>,
     run_tag: u64,
+    job: Option<Arc<JobCore>>,
 }
 
 impl TaskBuilder {
@@ -324,6 +330,7 @@ impl TaskBuilder {
             use_history: None,
             wont_use: Vec::new(),
             run_tag: u64::MAX,
+            job: None,
         }
     }
 
@@ -385,15 +392,24 @@ impl TaskBuilder {
         self
     }
 
+    /// Tags the task with its owning job context (the submission paths of
+    /// [`crate::JobHandle`] and the implicit default job set this).
+    pub(crate) fn for_job(mut self, job: &Arc<JobCore>) -> Self {
+        self.job = Some(Arc::clone(job));
+        self
+    }
+
     pub(crate) fn into_task(self, id: u64) -> Task {
         let footprint = self.accesses.iter().map(|(h, _)| h.bytes() as u64).sum();
+        let job = self.job.unwrap_or_else(JobCore::detached);
+        let priority = self.priority + job.priority;
         Task {
             id,
             codelet: self.codelet,
             accesses: self.accesses,
             cost: self.cost,
             arg: self.arg,
-            priority: self.priority,
+            priority,
             force_worker: self.force_worker,
             use_history: self.use_history,
             wont_use: self.wont_use,
@@ -401,6 +417,7 @@ impl TaskBuilder {
             placement: None,
             graph: None,
             run_tag: AtomicU64::new(self.run_tag),
+            job,
             footprint,
             ndeps: AtomicUsize::new(1), // submission guard
             successors: Mutex::new(Vec::new()),
@@ -413,9 +430,12 @@ impl TaskBuilder {
         }
     }
 
-    /// Submits asynchronously; returns a waitable handle.
+    /// Submits asynchronously to the runtime's implicit default job;
+    /// returns a waitable handle. Multi-tenant callers submit through
+    /// [`crate::JobHandle::submit`] instead.
     pub fn submit(self, rt: &Runtime) -> TaskHandle {
-        rt.submit(self)
+        let job = Arc::clone(&rt.inner.jobs.default);
+        rt.submit_for(&job, self)
     }
 
     /// Submits and blocks until completion (a synchronous component call).

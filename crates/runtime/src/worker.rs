@@ -39,6 +39,15 @@ fn try_pop(
     let task = inner
         .sched
         .pop_for_worker(worker, view, &inner.sched_ctx())?;
+    // Fair-share accounting at the pop boundary: debit the owning job one
+    // weight-scaled quantum and count the dispatch against its admission
+    // cap. Single-tenant runtimes (no `Runtime::job` call ever) skip this
+    // entirely — one relaxed flag load on the hot path.
+    if inner.jobs.multi() {
+        let account = task.job.debit();
+        inner.jobs.advance_vclock(account);
+        task.job.admit();
+    }
     inner
         .stats
         .record_pop(worker, t0.elapsed().as_nanos() as u64);
@@ -137,22 +146,44 @@ fn run_one(
     task: Arc<Task>,
     direct: bool,
 ) -> Option<Arc<Task>> {
-    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-        execute_task(inner, worker, &task, direct)
-    }));
-    let vfinish = match result {
-        Ok(vfinish) => vfinish,
-        Err(payload) => {
-            let msg = panic_message(payload.as_ref());
-            inner.record_fault(format!(
-                "task {} (codelet `{}`) panicked on worker {worker}: {msg}",
-                task.id, task.codelet.name
-            ));
-            // Complete at the dependency horizon so successors still get a
-            // monotone virtual time. Pins/accounting from the unwound
-            // execution may be leaked — acceptable in fault mode, the
-            // runtime is headed for an error report.
-            task.state.lock().vdeps
+    // Cancellation drain: a cancelled job's tasks complete without
+    // executing, so dependents unwind and the job's `cancel()` unblocks,
+    // but nothing touches operand data or device memory.
+    let cancelled = task.job.is_cancelled();
+    let vfinish = if cancelled {
+        // Placement-at-push schedulers charged a load prediction when the
+        // task was enqueued; release it exactly as a timed execution would.
+        if !direct {
+            let choice = *task.chosen.lock();
+            inner.sched.task_timed(worker, &task, choice);
+        }
+        task.state.lock().vdeps
+    } else {
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            execute_task(inner, worker, &task, direct)
+        }));
+        match result {
+            Ok(vfinish) => vfinish,
+            Err(payload) => {
+                let msg = panic_message(payload.as_ref());
+                let msg = format!(
+                    "task {} (codelet `{}`) panicked on worker {worker}: {msg}",
+                    task.id, task.codelet.name
+                );
+                // Default-job (and detached) faults surface through the
+                // legacy `wait_all`; a tenant job's fault is its own —
+                // re-raised by that job's `wait`, invisible to others.
+                if task.job.id == 0 || task.job.detached {
+                    inner.record_fault(msg);
+                } else {
+                    task.job.record_fault(msg);
+                }
+                // Complete at the dependency horizon so successors still
+                // get a monotone virtual time. Pins/accounting from the
+                // unwound execution may be leaked — acceptable in fault
+                // mode, the runtime is headed for an error report.
+                task.state.lock().vdeps
+            }
         }
     };
     for succ in task.complete(vfinish) {
@@ -166,7 +197,7 @@ fn run_one(
             next = core.on_complete(link.node, vfinish, inner, worker);
         }
     }
-    inner.task_finished();
+    inner.task_finished(&task, !cancelled, !direct);
     next
 }
 
@@ -202,6 +233,7 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: &Arc<Task>, direct: b
             codelet: task.codelet.name.clone(),
             worker,
             run,
+            job: task.job.id,
         });
     }
 
@@ -369,6 +401,7 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: &Arc<Task>, direct: b
             vstart: vfinish.saturating_sub(vexec),
             vfinish,
             run,
+            job: task.job.id,
         });
     }
 
@@ -392,7 +425,11 @@ mod tests {
     /// containment path.
     fn push_mismatched(rt: &Runtime) {
         let c = Arc::new(Codelet::new("cpu_only_cl").with_impl(Arch::Cpu, |_| {}));
-        let task = Arc::new(TaskBuilder::new(&c).into_task(u64::MAX));
+        let task = Arc::new(
+            TaskBuilder::new(&c)
+                .for_job(&rt.inner.jobs.default)
+                .into_task(u64::MAX),
+        );
         *task.chosen.lock() = Some(ExecChoice {
             worker: 0,
             arch: Arch::Gpu,
@@ -400,6 +437,7 @@ mod tests {
         });
         assert!(task.dep_satisfied(), "fresh task has only the guard dep");
         rt.inner.pending.fetch_add(1, Ordering::SeqCst);
+        rt.inner.jobs.default.add_pending(1);
         rt.inner.push_ready(task);
     }
 

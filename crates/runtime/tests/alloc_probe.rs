@@ -94,6 +94,7 @@ fn disabled_trace_gate_does_not_allocate() {
                     codelet: codelet_name.clone(),
                     worker: 0,
                     run: None,
+                    job: 0,
                 };
                 unreachable!("tracing is disabled");
             }

@@ -1,0 +1,316 @@
+//! Multi-tenant job behavior: scoped waits, weighted fair-share at the
+//! dispatch boundary, and leak-free cancellation.
+//!
+//! The fairness cells run on a single CPU worker so dispatch order *is*
+//! completion order: a gate task parks the worker while every tenant's
+//! backlog lands in the per-job lanes, then the drain interleaves pops by
+//! the deficit-round-robin accounts and the per-task kernels record the
+//! interleaving through shared counters. No timing is measured — the
+//! assertions are on dispatch positions, which the virtual-time machine
+//! makes deterministic up to lane tie-breaks.
+
+use peppher_runtime::{
+    AccessMode, Arch, Codelet, JobConfig, Runtime, RuntimeConfig, SchedulerKind, TaskBuilder,
+};
+use peppher_sim::MachineConfig;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+fn single_worker(sched: SchedulerKind) -> Runtime {
+    Runtime::with_config(
+        MachineConfig::cpu_only(1).without_noise(),
+        RuntimeConfig {
+            scheduler: sched,
+            ..RuntimeConfig::default()
+        },
+    )
+}
+
+/// A codelet whose kernel spin-waits until `gate` is raised — parks the
+/// single worker so submissions pile up behind it.
+fn gate_codelet(gate: &Arc<AtomicBool>) -> Arc<Codelet> {
+    let gate = Arc::clone(gate);
+    Arc::new(Codelet::new("job_gate").with_impl(Arch::Cpu, move |_| {
+        while !gate.load(Ordering::Acquire) {
+            std::hint::spin_loop();
+        }
+    }))
+}
+
+/// `JobHandle::wait` counts only that job's tasks: it must return while
+/// another tenant still has a task in flight (the pre-job `wait_all`
+/// would have blocked on the runtime-wide counter).
+#[test]
+fn wait_scopes_to_the_job() {
+    // Eager's shared queue lets the free worker take every quick task; a
+    // placing scheduler could pin them behind the spin-blocked worker
+    // (virtual timelines cannot see real blocking).
+    let rt = Runtime::with_config(
+        MachineConfig::cpu_only(2).without_noise(),
+        RuntimeConfig {
+            scheduler: SchedulerKind::Eager,
+            ..RuntimeConfig::default()
+        },
+    );
+    let blocker_gate = Arc::new(AtomicBool::new(false));
+    let blocked = rt.job(JobConfig::default());
+    let quick = rt.job(JobConfig::default());
+
+    blocked.submit(TaskBuilder::new(&gate_codelet(&blocker_gate)));
+    let fast_cl = Arc::new(Codelet::new("job_quick").with_impl(Arch::Cpu, |_| {}));
+    for _ in 0..16 {
+        quick.submit(TaskBuilder::new(&fast_cl));
+    }
+
+    // Must return with the other tenant's blocker still spinning.
+    quick.wait();
+    assert_eq!(quick.stats().pending, 0);
+    assert_eq!(
+        blocked.stats().pending,
+        1,
+        "the blocked tenant's task is still in flight"
+    );
+
+    blocker_gate.store(true, Ordering::Release);
+    blocked.wait();
+    rt.shutdown();
+}
+
+/// Equal-weight tenants drain together: with K jobs of N tasks each
+/// interleaved 1:1:...:1 by the lane accounts, every job's last task
+/// lands in the tail of the drain, not after some other tenant's entire
+/// backlog.
+#[test]
+fn equal_weight_jobs_finish_together() {
+    const JOBS: usize = 3;
+    const TASKS: usize = 200;
+    for sched in [
+        SchedulerKind::Eager,
+        SchedulerKind::Dmda,
+        SchedulerKind::Dmdar,
+    ] {
+        let rt = single_worker(sched);
+        let gate = Arc::new(AtomicBool::new(false));
+        rt.job(JobConfig::default())
+            .submit(TaskBuilder::new(&gate_codelet(&gate)));
+
+        let drained = Arc::new(AtomicUsize::new(0));
+        let finish_pos: Vec<Arc<AtomicUsize>> =
+            (0..JOBS).map(|_| Arc::new(AtomicUsize::new(0))).collect();
+        let jobs: Vec<_> = (0..JOBS)
+            .map(|j| {
+                let job = rt.job(JobConfig::default());
+                let done = Arc::new(AtomicUsize::new(0));
+                let (drained, pos) = (Arc::clone(&drained), Arc::clone(&finish_pos[j]));
+                let cl = Arc::new(
+                    Codelet::new("job_fair_cell").with_impl(Arch::Cpu, move |_| {
+                        let overall = drained.fetch_add(1, Ordering::SeqCst) + 1;
+                        if done.fetch_add(1, Ordering::SeqCst) + 1 == TASKS {
+                            pos.store(overall, Ordering::SeqCst);
+                        }
+                    }),
+                );
+                job.submit_batch((0..TASKS).map(|_| TaskBuilder::new(&cl)).collect());
+                job
+            })
+            .collect();
+
+        gate.store(true, Ordering::Release);
+        for job in &jobs {
+            job.wait();
+        }
+        let total = JOBS * TASKS;
+        for (j, pos) in finish_pos.iter().enumerate() {
+            let p = pos.load(Ordering::SeqCst);
+            assert!(
+                p as f64 >= total as f64 * 0.9,
+                "{sched:?}: job {j} finished at drain position {p}/{total} — \
+                 equal-weight tenants must drain together, not serially"
+            );
+        }
+        rt.shutdown();
+    }
+}
+
+/// A weight-4 tenant is dispatched ~4 tasks for every one of a weight-1
+/// tenant's while both have ready work: when the heavy job's backlog
+/// drains, the light job has completed about a quarter as much.
+#[test]
+fn weights_scale_dispatch_throughput() {
+    const TASKS: usize = 800;
+    let rt = single_worker(SchedulerKind::Eager);
+    let gate = Arc::new(AtomicBool::new(false));
+    rt.job(JobConfig::default())
+        .submit(TaskBuilder::new(&gate_codelet(&gate)));
+
+    let light_done = Arc::new(AtomicUsize::new(0));
+    let light_at_heavy_finish = Arc::new(AtomicUsize::new(0));
+
+    let heavy = rt.job(JobConfig {
+        weight: 4,
+        ..JobConfig::default()
+    });
+    let light = rt.job(JobConfig::default());
+
+    let light_cl = {
+        let done = Arc::clone(&light_done);
+        Arc::new(Codelet::new("job_light").with_impl(Arch::Cpu, move |_| {
+            done.fetch_add(1, Ordering::SeqCst);
+        }))
+    };
+    let heavy_cl = {
+        let heavy_done = Arc::new(AtomicUsize::new(0));
+        let (light_done, snapshot) = (Arc::clone(&light_done), Arc::clone(&light_at_heavy_finish));
+        Arc::new(Codelet::new("job_heavy").with_impl(Arch::Cpu, move |_| {
+            if heavy_done.fetch_add(1, Ordering::SeqCst) + 1 == TASKS {
+                snapshot.store(light_done.load(Ordering::SeqCst), Ordering::SeqCst);
+            }
+        }))
+    };
+
+    heavy.submit_batch((0..TASKS).map(|_| TaskBuilder::new(&heavy_cl)).collect());
+    light.submit_batch((0..TASKS).map(|_| TaskBuilder::new(&light_cl)).collect());
+
+    gate.store(true, Ordering::Release);
+    heavy.wait();
+    light.wait();
+
+    let at_finish = light_at_heavy_finish.load(Ordering::SeqCst);
+    assert!(at_finish > 0, "the light job must not be starved outright");
+    let ratio = TASKS as f64 / at_finish as f64;
+    assert!(
+        (2.5..=6.0).contains(&ratio),
+        "4:1 weights should yield ~4:1 dispatch throughput; heavy finished {TASKS} \
+         with light at {at_finish} (ratio {ratio:.2}, expected 2.5..=6)"
+    );
+    rt.shutdown();
+}
+
+/// Cancellation mid-stream leaks nothing: queued tasks drain without
+/// executing, dependents unwind, the job's device replicas are all
+/// reclaimed (per-job accounting returns to zero on every device node),
+/// the memory manager's invariants hold, and a surviving tenant's data
+/// comes out bitwise exact.
+#[test]
+fn cancel_mid_graph_leaks_nothing() {
+    const CHAIN: usize = 300;
+    const SURVIVOR_CHAIN: usize = 64;
+    let rt = Runtime::with_config(
+        MachineConfig::c2050_platform(1).without_noise(),
+        RuntimeConfig::default(),
+    );
+
+    // The doomed tenant: a GPU-only write chain, so device replicas (and
+    // quota accounting) definitely exist when the axe falls.
+    let doomed = rt.job(JobConfig {
+        mem_quota: Some(1 << 20),
+        ..JobConfig::default()
+    });
+    let gpu_cl = Arc::new(Codelet::new("doomed_gpu").with_impl(Arch::Gpu, |ctx| {
+        let v = ctx.w::<Vec<f32>>(0);
+        for x in v.iter_mut() {
+            *x += 1.0;
+        }
+    }));
+    // The chain's head spins until the axe is visibly falling, so the tail
+    // is still queued when `cancel` lands — `drained > 0` is deterministic,
+    // not a race against a fast worker. (If the cancel flag beats the pop,
+    // the head itself drains instead of executing; either way nothing runs
+    // past it.)
+    let head_cl = {
+        let doomed = doomed.clone();
+        Arc::new(
+            Codelet::new("doomed_head").with_impl(Arch::Gpu, move |ctx| {
+                while !doomed.is_cancelled() {
+                    std::hint::spin_loop();
+                }
+                let v = ctx.w::<Vec<f32>>(0);
+                for x in v.iter_mut() {
+                    *x += 1.0;
+                }
+            }),
+        )
+    };
+    let doomed_data = doomed.register(vec![0.0f32; 1024]);
+    doomed.submit_batch(
+        std::iter::once(TaskBuilder::new(&head_cl).access(&doomed_data, AccessMode::ReadWrite))
+            .chain(
+                (1..CHAIN)
+                    .map(|_| TaskBuilder::new(&gpu_cl).access(&doomed_data, AccessMode::ReadWrite)),
+            )
+            .collect(),
+    );
+
+    // The survivor runs concurrently on its own handle.
+    let survivor = rt.job(JobConfig::default());
+    let add_cl = Arc::new(
+        Codelet::new("survivor_add")
+            .with_impl(Arch::Cpu, |ctx| {
+                let v = ctx.w::<Vec<f32>>(0);
+                for x in v.iter_mut() {
+                    *x += 1.0;
+                }
+            })
+            .with_impl(Arch::Gpu, |ctx| {
+                let v = ctx.w::<Vec<f32>>(0);
+                for x in v.iter_mut() {
+                    *x += 1.0;
+                }
+            }),
+    );
+    let survivor_data = survivor.register(vec![0.0f32; 512]);
+    survivor.submit_batch(
+        (0..SURVIVOR_CHAIN)
+            .map(|_| TaskBuilder::new(&add_cl).access(&survivor_data, AccessMode::ReadWrite))
+            .collect(),
+    );
+
+    let drained = doomed.cancel();
+    let stats = doomed.stats();
+    assert_eq!(
+        stats.completed + stats.drained,
+        stats.submitted,
+        "every task is accounted for after cancel"
+    );
+    assert_eq!(drained, stats.drained);
+    assert!(
+        stats.drained > 0,
+        "cancelling a {CHAIN}-deep serialized chain must catch queued tasks \
+         (completed {}, drained {})",
+        stats.completed,
+        stats.drained
+    );
+    assert_eq!(doomed.stats().pending, 0);
+
+    // No replica bytes of the cancelled job survive on any device node
+    // (node 0's master copy stays until unregistration).
+    let device_bytes = rt.memory().job_used_bytes(doomed.id());
+    assert!(
+        device_bytes.iter().skip(1).all(|&b| b == 0),
+        "cancelled job still owns device bytes: {device_bytes:?}"
+    );
+    rt.memory()
+        .validate()
+        .expect("memory accounting is consistent");
+
+    // The survivor is untouched: bitwise-exact against the host shadow.
+    survivor.wait();
+    let shadow = vec![SURVIVOR_CHAIN as f32; 512];
+    let out: Vec<f32> = rt.unregister(survivor_data);
+    assert_eq!(out, shadow, "surviving tenant's data corrupted by cancel");
+
+    // The cancelled job's handle is still unregistrable (master copy is
+    // coherent after the reclaim's writebacks) and drops its accounting.
+    let _: Vec<f32> = rt.unregister(doomed_data);
+    assert!(
+        rt.memory()
+            .job_used_bytes(doomed.id())
+            .iter()
+            .all(|&b| b == 0),
+        "unregistration must clear the last of the job's accounting"
+    );
+    rt.memory()
+        .validate()
+        .expect("memory accounting after unregister");
+    rt.shutdown();
+}

@@ -15,7 +15,7 @@
 
 use peppher::apps::odesolver;
 use peppher::prelude::*;
-use peppher::runtime::{gantt, Runtime, RuntimeConfig};
+use peppher::runtime::{gantt, JobConfig, Runtime, RuntimeConfig};
 
 fn main() {
     let no_replay = std::env::args().any(|a| a == "--no-replay");
@@ -79,8 +79,11 @@ fn run_replayed() {
             ..RuntimeConfig::default()
         },
     );
+    // Instantiate through a job context: the replays are charged to this
+    // tenant's account and its scoped wait/cancel apply to every iteration.
+    let job = rt.job(JobConfig::default());
     let g = odesolver::record_double_step(10, false);
-    let inst = g.graph.instantiate(&rt);
+    let inst = job.instantiate(&g.graph);
     inst.execute_many(3);
     println!("\n3 traced replay iterations (one lane per worker x iteration):");
     print!("{}", gantt(&rt.trace(), rt.machine().total_workers(), 72));

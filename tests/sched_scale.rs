@@ -1,5 +1,5 @@
 //! Scale-cell scheduler harness: wide graphs on many-device machines,
-//! submitted through [`Runtime::submit_batch`], verified bitwise against
+//! submitted through a job context (`JobHandle::submit_batch`), verified bitwise against
 //! the eager policy.
 //!
 //! The per-policy throughput bench (`task_throughput`) gates decision
@@ -26,7 +26,7 @@
 mod support;
 
 use peppher::runtime::{
-    AccessMode, Codelet, KernelCtx, Runtime, RuntimeConfig, RuntimeStats, SchedulerKind,
+    AccessMode, Codelet, JobConfig, KernelCtx, Runtime, RuntimeConfig, RuntimeStats, SchedulerKind,
     TaskBuilder,
 };
 use peppher::sim::MachineConfig;
@@ -125,8 +125,9 @@ fn run_cell(
         }
     }
     let expected = builders.len() as u64;
-    rt.submit_batch(builders);
-    rt.wait_all();
+    let job = rt.job(JobConfig::default());
+    job.submit_batch(builders);
+    job.wait();
 
     let out: Vec<Vec<f32>> = handles
         .iter()

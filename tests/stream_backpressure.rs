@@ -4,9 +4,9 @@
 //! reference results.
 
 use peppher::apps::framepipe::{
-    frame_checksum, generate_frame, reference_process, run_pipeline, PipeConfig,
+    frame_checksum, generate_frame, reference_process, run_pipeline, run_pipeline_for, PipeConfig,
 };
-use peppher::runtime::{Runtime, SchedulerKind};
+use peppher::runtime::{JobConfig, Runtime, SchedulerKind};
 use peppher::sim::MachineConfig;
 use std::time::Duration;
 
@@ -66,8 +66,11 @@ fn fast_consumer_needs_no_blocking_at_large_capacity() {
         MachineConfig::cpu_only(2).without_noise(),
         SchedulerKind::Eager,
     );
-    let report = run_pipeline(
-        &rt,
+    // The job-scoped entry point: the streamed frames run under a tenant
+    // context, so the report must come out identical to the default-job path.
+    let job = rt.job(JobConfig::default());
+    let report = run_pipeline_for(
+        &job,
         PipeConfig {
             frames: 8,
             capacity: 16,
