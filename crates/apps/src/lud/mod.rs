@@ -216,6 +216,252 @@ pub fn run_direct(rt: &Runtime, n: usize) -> Vec<f32> {
 }
 // LOC:DIRECT:END
 
+// --- Blocked (tiled) LUD over a partition grid -------------------------
+//
+// Right-looking block LU: for each diagonal step k, factor the diagonal
+// tile, triangular-solve the tiles right of it (U panel) and below it
+// (L panel), then rank-b update the trailing tiles. Every operation is
+// one task over tile handles from a two-level partition tree, so the
+// trailing updates of a step fan out across all devices and the tiles'
+// sibling families keep eviction/prefetch block-granular.
+
+/// `A_kj := L_kk⁻¹ · A_kj` — forward substitution with the unit lower
+/// triangle of the factored diagonal tile.
+pub fn lud_row_solve(diag: &[f32], t: &mut [f32], bs: usize, cols: usize) {
+    for r in 1..bs {
+        for p in 0..r {
+            let l = diag[r * bs + p];
+            let (head, tail) = t.split_at_mut(r * cols);
+            let src = &head[p * cols..(p + 1) * cols];
+            for (d, s) in tail[..cols].iter_mut().zip(src) {
+                *d -= l * *s;
+            }
+        }
+    }
+}
+
+/// `A_ik := A_ik · U_kk⁻¹` — back substitution with the upper triangle
+/// (including diagonal) of the factored diagonal tile.
+pub fn lud_col_solve(diag: &[f32], t: &mut [f32], bs: usize, rows: usize) {
+    for r in 0..rows {
+        let row = &mut t[r * bs..(r + 1) * bs];
+        for p in 0..bs {
+            let mut acc = row[p];
+            for q in 0..p {
+                acc -= row[q] * diag[q * bs + p];
+            }
+            row[p] = acc / diag[p * bs + p];
+        }
+    }
+}
+
+/// `A_ij -= A_ik · A_kj` — the trailing rank-`bs` update
+/// (`l`: `m × bs`, `u`: `bs × n`).
+pub fn lud_gemm_update(l: &[f32], u: &[f32], t: &mut [f32], m: usize, bs: usize, n: usize) {
+    for i in 0..m {
+        for p in 0..bs {
+            let lv = l[i * bs + p];
+            let urow = &u[p * n..(p + 1) * n];
+            for (tv, uv) in t[i * n..(i + 1) * n].iter_mut().zip(urow) {
+                *tv -= lv * uv;
+            }
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SolveArgs {
+    bs: usize,
+    len: usize,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct UpdateArgs {
+    m: usize,
+    bs: usize,
+    n: usize,
+}
+
+/// Triangular-solve cost: `bs² · len` MACs over two tiles.
+fn solve_cost(bs: f64, len: f64) -> KernelCost {
+    KernelCost::new(
+        bs * bs * len,
+        (bs * bs + 2.0 * bs * len) * 4.0,
+        bs * len * 4.0,
+    )
+    .with_regularity(0.9)
+    .with_arithmetic_efficiency(0.3)
+}
+
+/// Trailing-update cost: a plain GEMM tile.
+fn update_cost(m: f64, bs: f64, n: f64) -> KernelCost {
+    KernelCost::new(
+        2.0 * m * bs * n,
+        (m * bs + bs * n + m * n) * 4.0,
+        m * n * 4.0,
+    )
+    .with_regularity(1.0)
+    .with_arithmetic_efficiency(0.35)
+}
+
+struct TileCodelets {
+    diag: Arc<Codelet>,
+    row: Arc<Codelet>,
+    col: Arc<Codelet>,
+    update: Arc<Codelet>,
+}
+
+fn tile_codelets() -> TileCodelets {
+    let diag_k = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        let args = *ctx.arg::<LudArgs>();
+        lud_kernel(ctx.w::<Vec<f32>>(0), args);
+    };
+    let row_k = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        let args = *ctx.arg::<SolveArgs>();
+        let diag = ctx.r::<Vec<f32>>(0).clone();
+        lud_row_solve(&diag, ctx.w::<Vec<f32>>(1), args.bs, args.len);
+    };
+    let col_k = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        let args = *ctx.arg::<SolveArgs>();
+        let diag = ctx.r::<Vec<f32>>(0).clone();
+        lud_col_solve(&diag, ctx.w::<Vec<f32>>(1), args.bs, args.len);
+    };
+    let update_k = |ctx: &mut peppher_runtime::KernelCtx<'_>| {
+        let args = *ctx.arg::<UpdateArgs>();
+        let l = ctx.r::<Vec<f32>>(0).clone();
+        let u = ctx.r::<Vec<f32>>(1).clone();
+        lud_gemm_update(&l, &u, ctx.w::<Vec<f32>>(2), args.m, args.bs, args.n);
+    };
+    // GPU-only on purpose: the tiles are sized for the accelerators, and
+    // a CPU core is ~100x slower on the trailing update — letting the
+    // CPU workers take tile tasks caps the 1→2-GPU speedup at
+    // (2G+C)/(G+C) and makes it placement-noise dependent. The CPU
+    // workers still run all scatter/gather staging copies.
+    let gpu = |name: &str, k: fn(&mut peppher_runtime::KernelCtx<'_>)| {
+        Arc::new(Codelet::new(name).with_impl(Arch::Gpu, k))
+    };
+    TileCodelets {
+        diag: gpu("lud_diag", diag_k),
+        row: gpu("lud_row_solve", row_k),
+        col: gpu("lud_col_solve", col_k),
+        update: gpu("lud_update", update_k),
+    }
+}
+
+/// Multi-device blocked LUD (`--nblocks` mode of the `partition_scaling`
+/// harness): the matrix is tiled `nb × nb` through a flat partition
+/// grid (tiles copy root↔tile directly, one family per row band) and
+/// factored tile-by-tile with the trailing updates fanned out as
+/// independent tasks. The critical path — diagonal factorizations and
+/// panel solves — runs at raised task priority so trailing updates
+/// never starve the next step, and the gather tasks are submitted in
+/// finalization order (tile (i,j) is final after step `min(i,j)`) so
+/// the serial gather chain on the parent handle overlaps the remaining
+/// factorization instead of trailing it.
+///
+/// Tile work is distributed row-cyclically across the GPUs
+/// (ScaLAPACK-style owner-computes: row `i`'s tasks are pinned to GPU
+/// `i % g`): every tile then stays resident on its owner for the whole
+/// factorization, inter-device traffic shrinks to the per-step row-panel
+/// and diagonal broadcasts, and the schedule — hence the measured 1→g
+/// scaling — is free of placement noise. Staging copies stay unpinned
+/// for the scheduler to spread over the CPU workers.
+pub fn run_blocked(rt: &Runtime, n: usize, nb: usize) -> Vec<f32> {
+    let am = Matrix::register(rt, n, n, generate(n, 0x11D));
+    submit_blocked(rt, &am, nb);
+    am.into_vec()
+}
+
+/// Factors `count` independent matrices concurrently and returns them in
+/// submission order. Throughput mode for the scaling benchmarks: a single
+/// factorization ends in its gather chain — an O(n²) serial tail that is
+/// device-count-independent and Amdahl-caps the measurable multi-GPU
+/// speedup — but with a batch in flight one matrix's gather overlaps the
+/// others' compute, so the steady-state rate reflects the factorization
+/// itself.
+pub fn run_blocked_batch(rt: &Runtime, n: usize, nb: usize, count: usize) -> Vec<Vec<f32>> {
+    let mats: Vec<_> = (0..count.max(1))
+        .map(|i| Matrix::register(rt, n, n, generate(n, 0x11D + i as u64)))
+        .collect();
+    for am in &mats {
+        submit_blocked(rt, am, nb);
+    }
+    mats.into_iter().map(|am| am.into_vec()).collect()
+}
+
+/// Submits one blocked factorization (scatter, tile tasks, ordered
+/// gather) without waiting — see [`run_blocked`].
+fn submit_blocked(rt: &Runtime, am: &Matrix<f32>, nb: usize) {
+    let n = am.rows();
+    let nb = nb.max(1).min(n.max(1));
+    let grid = am.partition_tiles(nb, nb);
+    grid.scatter();
+    let cl = tile_codelets();
+    let machine = rt.machine();
+    let gpus = machine.accelerators.len();
+    let owner = |row: usize| machine.cpu_workers + row % gpus.max(1);
+    for k in 0..nb {
+        let dk = grid.tile(k, k);
+        let bs = dk.rows();
+        TaskBuilder::new(&cl.diag)
+            .access(dk.handle(), AccessMode::ReadWrite)
+            .arg(LudArgs { n: bs })
+            .cost(cost_model(bs as f64))
+            .priority(2)
+            .on_worker(owner(k))
+            .submit(rt);
+        for j in (k + 1)..nb {
+            let t = grid.tile(k, j);
+            TaskBuilder::new(&cl.row)
+                .access(dk.handle(), AccessMode::Read)
+                .access(t.handle(), AccessMode::ReadWrite)
+                .arg(SolveArgs { bs, len: t.cols() })
+                .cost(solve_cost(bs as f64, t.cols() as f64))
+                .priority(1)
+                .on_worker(owner(k))
+                .submit(rt);
+        }
+        for i in (k + 1)..nb {
+            let t = grid.tile(i, k);
+            TaskBuilder::new(&cl.col)
+                .access(dk.handle(), AccessMode::Read)
+                .access(t.handle(), AccessMode::ReadWrite)
+                .arg(SolveArgs { bs, len: t.rows() })
+                .cost(solve_cost(bs as f64, t.rows() as f64))
+                .priority(1)
+                .on_worker(owner(i))
+                .submit(rt);
+        }
+        for i in (k + 1)..nb {
+            let l = grid.tile(i, k);
+            for j in (k + 1)..nb {
+                let u = grid.tile(k, j);
+                let t = grid.tile(i, j);
+                TaskBuilder::new(&cl.update)
+                    .access(l.handle(), AccessMode::Read)
+                    .access(u.handle(), AccessMode::Read)
+                    .access(t.handle(), AccessMode::ReadWrite)
+                    .arg(UpdateArgs {
+                        m: l.rows(),
+                        bs,
+                        n: u.cols(),
+                    })
+                    .cost(update_cost(l.rows() as f64, bs as f64, u.cols() as f64))
+                    .on_worker(owner(i))
+                    .submit(rt);
+            }
+        }
+    }
+    // Gather in finalization order: after step k the diagonal tile, its
+    // row panel and its column panel never change again.
+    let order = (0..nb).flat_map(|k| {
+        std::iter::once(k * nb + k)
+            .chain(((k + 1)..nb).map(move |j| k * nb + j))
+            .chain(((k + 1)..nb).map(move |i| i * nb + k))
+    });
+    grid.gather_nodes(order);
+}
+
 /// Fig. 6 entry point.
 pub fn run_for_fig6(rt: &Runtime, size: usize, backend: Option<&str>) -> VTime {
     let force = backend.map(|b| format!("lud_{b}"));
@@ -258,6 +504,59 @@ mod tests {
         for (g, w) in got.iter().zip(&want) {
             assert!((g - w).abs() < 1e-3);
         }
+    }
+
+    #[test]
+    fn blocked_kernels_match_unblocked_reference() {
+        // Host-side check of the three tile kernels on a 2x2-tile split.
+        let n = 8;
+        let bs = 4;
+        let a = generate(n, 9);
+        let want = reference(&a, LudArgs { n });
+        let tile = |r0: usize, c0: usize, src: &[f32]| {
+            let mut t = vec![0.0f32; bs * bs];
+            for r in 0..bs {
+                t[r * bs..(r + 1) * bs].copy_from_slice(&src[(r0 + r) * n + c0..][..bs]);
+            }
+            t
+        };
+        let mut a00 = tile(0, 0, &a);
+        let mut a01 = tile(0, bs, &a);
+        let mut a10 = tile(bs, 0, &a);
+        let mut a11 = tile(bs, bs, &a);
+        lud_kernel(&mut a00, LudArgs { n: bs });
+        lud_row_solve(&a00, &mut a01, bs, bs);
+        lud_col_solve(&a00, &mut a10, bs, bs);
+        lud_gemm_update(&a10, &a01, &mut a11, bs, bs, bs);
+        lud_kernel(&mut a11, LudArgs { n: bs });
+        for (got, r0, c0) in [(&a00, 0, 0), (&a01, 0, bs), (&a10, bs, 0), (&a11, bs, bs)] {
+            for r in 0..bs {
+                for c in 0..bs {
+                    let w = want[(r0 + r) * n + (c0 + c)];
+                    let g = got[r * bs + c];
+                    assert!((g - w).abs() < 1e-3, "tile({r0},{c0})[{r},{c}]: {g} vs {w}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_lud_matches_reference_on_two_devices() {
+        let n = 32;
+        let a = generate(n, 0x11D);
+        let want = reference(&a, LudArgs { n });
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform_p2p(2, 2).without_noise(),
+            SchedulerKind::Dmda,
+        );
+        let got = run_blocked(&rt, n, 4);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-2, "{g} vs {w}");
+        }
+        // The tile tasks really spread over several workers.
+        let stats = rt.stats();
+        let busy = stats.tasks_per_worker.iter().filter(|&&t| t > 0).count();
+        assert!(busy >= 2, "{:?}", stats.tasks_per_worker);
     }
 
     #[test]

@@ -308,6 +308,101 @@ pub fn run_hybrid(rt: &Runtime, n: usize, nblocks: usize) -> Vec<f32> {
     cm.into_vec()
 }
 
+/// Multi-device blocked GEMM over a partition tree (`--nblocks` mode of
+/// the `partition_scaling` harness): A's and C's row bands are scattered
+/// by tasks, each band-GEMM reads its band of A plus the whole of B, and
+/// the result is gathered back by tasks — no host-side copy sits between
+/// the kernels. The bands form eviction/prefetch families, so a
+/// capacity-constrained device moves a sibling set as one unit.
+///
+/// The partition is built once and the band kernel applied `sweeps`
+/// times before gathering (`C := alpha*A*B + beta*C` per sweep) — the
+/// scatter/gather copies amortize over the sweeps exactly as they do in
+/// iterated solvers, and each band's sweep chain stays resident on the
+/// device that computes it.
+pub fn run_partitioned(rt: &Runtime, n: usize, nblocks: usize, sweeps: usize) -> Vec<f32> {
+    let (a, b, c) = generate(n, 0xA11CE);
+    let comp = build_component();
+    let am = Matrix::register(rt, n, n, a);
+    let bm = Matrix::register(rt, n, n, b);
+    let cm = Matrix::register(rt, n, n, c);
+    let ap = am.partition_tree(nblocks);
+    let cp = cm.partition_tree(nblocks);
+    ap.scatter();
+    cp.scatter();
+    for _ in 0..sweeps.max(1) {
+        for i in 0..ap.len() {
+            let (ab, cb) = (ap.block(i), cp.block(i));
+            let rows = ab.rows();
+            comp.call()
+                .operand(ab.handle())
+                .operand(bm.handle())
+                .operand(cb.handle())
+                .arg(SgemmArgs {
+                    m: rows,
+                    k: n,
+                    n,
+                    alpha: 1.0,
+                    beta: 0.5,
+                })
+                .context("m", rows as f64)
+                .context("k", n as f64)
+                .context("n", n as f64)
+                .submit(rt);
+        }
+    }
+    cp.gather();
+    cm.into_vec()
+}
+
+/// Fully tiled GEMM over `nblocks × nblocks` grids of A, B and C:
+/// `C_ij = beta*C_ij + Σ_k A_ik * B_kj`. Unlike [`run_partitioned`], no
+/// operand is ever needed whole on a device, so the working set per task
+/// is three tiles — the out-of-core shape the family eviction policy is
+/// built for (A/B tiles stay clean, C tiles go dirty; clean-first
+/// family eviction avoids their writebacks).
+pub fn run_tiled(rt: &Runtime, n: usize, nblocks: usize) -> Vec<f32> {
+    let (a, b, c) = generate(n, 0xA11CE);
+    let comp = build_component();
+    let am = Matrix::register(rt, n, n, a);
+    let bm = Matrix::register(rt, n, n, b);
+    let cm = Matrix::register(rt, n, n, c);
+    let nblocks = nblocks.max(1).min(n.max(1));
+    let ag = am.partition_grid(nblocks, nblocks);
+    let bg = bm.partition_grid(nblocks, nblocks);
+    let cg = cm.partition_grid(nblocks, nblocks);
+    ag.scatter();
+    bg.scatter();
+    cg.scatter();
+    for i in 0..nblocks {
+        for j in 0..nblocks {
+            let ct = cg.tile(i, j);
+            for k in 0..nblocks {
+                let (at, bt) = (ag.tile(i, k), bg.tile(k, j));
+                comp.call()
+                    .operand(at.handle())
+                    .operand(bt.handle())
+                    .operand(ct.handle())
+                    .arg(SgemmArgs {
+                        m: at.rows(),
+                        k: at.cols(),
+                        n: bt.cols(),
+                        alpha: 1.0,
+                        // The first k-step applies C's scale, the rest
+                        // accumulate.
+                        beta: if k == 0 { 0.5 } else { 1.0 },
+                    })
+                    .context("m", at.rows() as f64)
+                    .context("k", at.cols() as f64)
+                    .context("n", bt.cols() as f64)
+                    .submit(rt);
+            }
+        }
+    }
+    cg.gather();
+    cm.into_vec()
+}
+
 /// Fig. 6 entry point.
 pub fn run_for_fig6(rt: &Runtime, size: usize, backend: Option<&str>) -> VTime {
     let force = backend.map(|b| format!("sgemm_{b}"));
@@ -419,6 +514,54 @@ mod tests {
         let stats = rt2.stats();
         let busy = stats.tasks_per_worker.iter().filter(|&&t| t > 0).count();
         assert!(busy >= 2, "{:?}", stats.tasks_per_worker);
+    }
+
+    #[test]
+    fn partitioned_gemm_matches_whole_gemm_on_two_devices() {
+        let n = 32;
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform(2).without_noise(),
+            SchedulerKind::Dmda,
+        );
+        let whole = run_peppherized(&rt, n, 1, None);
+        let rt2 = Runtime::new(
+            MachineConfig::c2050_platform_p2p(2, 2).without_noise(),
+            SchedulerKind::Dmda,
+        );
+        let banded = run_partitioned(&rt2, n, 4, 1);
+        for (w, b) in whole.iter().zip(&banded) {
+            assert!((w - b).abs() < 1e-3, "{w} vs {b}");
+        }
+        let rt3 = Runtime::new(
+            MachineConfig::c2050_platform_p2p(2, 2).without_noise(),
+            SchedulerKind::Dmda,
+        );
+        let tiled = run_tiled(&rt3, n, 4);
+        for (w, t) in whole.iter().zip(&tiled) {
+            assert!((w - t).abs() < 1e-3, "{w} vs {t}");
+        }
+    }
+
+    #[test]
+    fn partitioned_sweeps_match_iterated_reference() {
+        let n = 24;
+        let (a, b, c) = generate(n, 0xA11CE);
+        let args = SgemmArgs {
+            m: n,
+            k: n,
+            n,
+            alpha: 1.0,
+            beta: 0.5,
+        };
+        let want = reference(&a, &b, &reference(&a, &b, &c, args), args);
+        let rt = Runtime::new(
+            MachineConfig::c2050_platform_p2p(2, 2).without_noise(),
+            SchedulerKind::Dmda,
+        );
+        let got = run_partitioned(&rt, n, 3, 2);
+        for (w, g) in want.iter().zip(&got) {
+            assert!((w - g).abs() < 1e-3, "{w} vs {g}");
+        }
     }
 
     #[test]

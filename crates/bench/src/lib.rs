@@ -130,6 +130,17 @@ pub fn replay_json_path() -> PathBuf {
         })
 }
 
+/// Path of the machine-readable partition-bench sidecar: the
+/// `BENCH_PARTITION_JSON` env var when set, `target/BENCH_partition.json`
+/// at the workspace root otherwise.
+pub fn partition_json_path() -> PathBuf {
+    std::env::var_os("BENCH_PARTITION_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/BENCH_partition.json")
+        })
+}
+
 /// Minimal JSON string escaping (quotes, backslashes, control chars) —
 /// enough for link names and section labels; no external dependency.
 pub fn json_str(s: &str) -> String {

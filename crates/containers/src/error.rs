@@ -1,0 +1,64 @@
+//! Shape errors raised by container gather operations.
+
+use std::fmt;
+
+/// Why a set of blocks cannot be gathered back into its parent container.
+///
+/// Returned by the fallible gathers ([`Matrix::try_gather_rows`],
+/// [`Vector::try_gather`]); the panicking wrappers format this error into
+/// their panic message.
+///
+/// [`Matrix::try_gather_rows`]: crate::Matrix::try_gather_rows
+/// [`Vector::try_gather`]: crate::Vector::try_gather
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShapeError {
+    /// The blocks' rows do not add up to the parent's row count.
+    RowCount {
+        /// Parent row count.
+        expected: usize,
+        /// Sum of the blocks' row counts.
+        got: usize,
+    },
+    /// One block's column count differs from the parent's.
+    ColumnCount {
+        /// Index of the offending block.
+        block: usize,
+        /// Parent column count.
+        expected: usize,
+        /// The block's column count.
+        got: usize,
+    },
+    /// The blocks' lengths do not add up to the parent's length.
+    Length {
+        /// Parent element count.
+        expected: usize,
+        /// Sum of the blocks' element counts.
+        got: usize,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ShapeError::RowCount { expected, got } => {
+                write!(
+                    f,
+                    "row count mismatch: blocks hold {got} rows but parent holds {expected}"
+                )
+            }
+            ShapeError::ColumnCount {
+                block,
+                expected,
+                got,
+            } => write!(
+                f,
+                "column count mismatch: block {block} has {got} columns but parent has {expected}"
+            ),
+            ShapeError::Length { expected, got } => {
+                write!(f, "blocks hold {got} elements but parent holds {expected}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}

@@ -23,10 +23,20 @@
 //! "efficient repetitive execution" (§IV-H) and inter-component
 //! parallelism (§IV-E) work.
 
+//!
+//! [`Matrix::partition_tree`] / [`Vector::partition_tree`] additionally
+//! build *hierarchical partitions* (row bands → tiles) whose blocks form
+//! eviction/prefetch families and whose scatter/gather are runtime tasks
+//! — see the [`partition`] module.
+
+pub mod error;
 pub mod matrix;
+pub mod partition;
 pub mod scalar;
 pub mod vector;
 
+pub use error::ShapeError;
 pub use matrix::Matrix;
+pub use partition::{MatrixPartition, VectorPartition};
 pub use scalar::Scalar;
 pub use vector::Vector;

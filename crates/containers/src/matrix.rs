@@ -1,5 +1,6 @@
 //! The 2D smart container.
 
+use crate::error::ShapeError;
 use peppher_runtime::runtime::{HostReadGuard, HostWriteGuard};
 use peppher_runtime::{DataHandle, Runtime};
 use std::fmt;
@@ -144,11 +145,33 @@ impl<T: Clone + Send + Sync + 'static> Matrix<T> {
     }
 
     /// Reassembles row bands produced by [`Matrix::partition_rows`].
+    ///
+    /// # Panics
+    /// Panics when the blocks do not tile this matrix; use
+    /// [`Matrix::try_gather_rows`] to handle the mismatch instead.
     pub fn gather_rows(&self, blocks: &[Matrix<T>]) {
+        if let Err(e) = self.try_gather_rows(blocks) {
+            panic!("gather_rows: {e}");
+        }
+    }
+
+    /// Fallible [`Matrix::gather_rows`]: returns a [`ShapeError`] instead
+    /// of panicking when the blocks' rows do not add up to this matrix's
+    /// rows or a block's column count differs.
+    pub fn try_gather_rows(&self, blocks: &[Matrix<T>]) -> Result<(), ShapeError> {
         let total: usize = blocks.iter().map(|b| b.rows).sum();
-        assert_eq!(total, self.rows, "gather_rows: row count mismatch");
-        for b in blocks {
-            assert_eq!(b.cols, self.cols, "gather_rows: column count mismatch");
+        if total != self.rows {
+            return Err(ShapeError::RowCount {
+                expected: self.rows,
+                got: total,
+            });
+        }
+        if let Some((i, b)) = blocks.iter().enumerate().find(|(_, b)| b.cols != self.cols) {
+            return Err(ShapeError::ColumnCount {
+                block: i,
+                expected: self.cols,
+                got: b.cols,
+            });
         }
         let mut dst = self.write();
         let mut row = 0;
@@ -157,6 +180,7 @@ impl<T: Clone + Send + Sync + 'static> Matrix<T> {
             dst[row * self.cols..(row + b.rows) * self.cols].clone_from_slice(&src);
             row += b.rows;
         }
+        Ok(())
     }
 }
 
@@ -221,5 +245,41 @@ mod tests {
         bands[1].set(0, 0, 60);
         m.gather_rows(&bands);
         assert_eq!(m.get(3, 0), 60);
+    }
+
+    #[test]
+    fn try_gather_rows_reports_shape_errors() {
+        let rt = rt();
+        let m = Matrix::register(&rt, 4, 2, vec![0; 8]);
+        let short = vec![Matrix::register(&rt, 3, 2, vec![1; 6])];
+        assert_eq!(
+            m.try_gather_rows(&short),
+            Err(crate::ShapeError::RowCount {
+                expected: 4,
+                got: 3
+            })
+        );
+        let wide = vec![
+            Matrix::register(&rt, 2, 2, vec![1; 4]),
+            Matrix::register(&rt, 2, 3, vec![1; 6]),
+        ];
+        assert_eq!(
+            m.try_gather_rows(&wide),
+            Err(crate::ShapeError::ColumnCount {
+                block: 1,
+                expected: 2,
+                got: 3
+            })
+        );
+        // Parent untouched by either failed attempt.
+        assert_eq!(m.to_vec(), vec![0; 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "row count mismatch")]
+    fn gather_rows_still_panics_on_mismatch() {
+        let rt = rt();
+        let m = Matrix::register(&rt, 4, 2, vec![0; 8]);
+        m.gather_rows(&[Matrix::register(&rt, 3, 2, vec![1; 6])]);
     }
 }

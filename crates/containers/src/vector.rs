@@ -1,5 +1,6 @@
 //! The 1D smart container.
 
+use crate::error::ShapeError;
 use peppher_runtime::runtime::{HostReadGuard, HostWriteGuard};
 use peppher_runtime::{DataHandle, Runtime};
 use std::fmt;
@@ -145,13 +146,26 @@ impl<T: Clone + Send + Sync + 'static> Vector<T> {
     /// Concatenates block containers back into the parent ("the final
     /// result can be produced by just simple concatenation of intermediate
     /// output results", §IV-F). Blocks' total length must equal `self.len`.
+    ///
+    /// # Panics
+    /// Panics when the blocks' total length differs from `self.len()`;
+    /// use [`Vector::try_gather`] to handle the mismatch instead.
     pub fn gather(&self, blocks: &[Vector<T>]) {
+        if let Err(e) = self.try_gather(blocks) {
+            panic!("gather: {e}");
+        }
+    }
+
+    /// Fallible [`Vector::gather`]: returns a [`ShapeError`] instead of
+    /// panicking when the blocks do not tile this vector.
+    pub fn try_gather(&self, blocks: &[Vector<T>]) -> Result<(), ShapeError> {
         let total: usize = blocks.iter().map(|b| b.len()).sum();
-        assert_eq!(
-            total, self.len,
-            "gather: blocks hold {total} elements but parent holds {}",
-            self.len
-        );
+        if total != self.len {
+            return Err(ShapeError::Length {
+                expected: self.len,
+                got: total,
+            });
+        }
         let mut dst = self.write();
         let mut offset = 0;
         for b in blocks {
@@ -159,6 +173,7 @@ impl<T: Clone + Send + Sync + 'static> Vector<T> {
             dst[offset..offset + b.len()].clone_from_slice(&src);
             offset += b.len();
         }
+        Ok(())
     }
 }
 
@@ -248,6 +263,21 @@ mod tests {
         let v = Vector::register(&rt, vec![0i32; 5]);
         let parts = vec![Vector::register(&rt, vec![1, 2])];
         v.gather(&parts);
+    }
+
+    #[test]
+    fn try_gather_reports_length_error() {
+        let rt = rt();
+        let v = Vector::register(&rt, vec![0i32; 5]);
+        let parts = vec![Vector::register(&rt, vec![1, 2])];
+        assert_eq!(
+            v.try_gather(&parts),
+            Err(crate::ShapeError::Length {
+                expected: 5,
+                got: 2
+            })
+        );
+        assert_eq!(v.to_vec(), vec![0; 5], "parent untouched on error");
     }
 
     #[test]

@@ -103,7 +103,14 @@ pub struct Topology {
     /// When `false`, the d2h direction shares the h2d channel (the pre-PR-4
     /// half-duplex model, kept as an ablation baseline).
     duplex: bool,
-    peer_profile: Option<LinkProfile>,
+    /// Per-*directed*-pair peer link profiles, indexed
+    /// `(src_dev * ndev) + dst_dev` over 0-based device indices; `None`
+    /// means that direction has no direct channel and stages through the
+    /// host. Empty when the machine has no P2P links at all. Asymmetric
+    /// meshes (fast intra-switch pairs, slow or absent cross-switch
+    /// directions) are expressed here, resolved once at construction from
+    /// [`MachineConfig::peer_link`].
+    peer_profiles: Vec<Option<LinkProfile>>,
     /// Directed peer channels, indexed `(src_dev * ndev) + dst_dev`.
     peer: Vec<Mutex<LinkState>>,
     inflight: Mutex<HashMap<(u64, usize), Arc<PendingTransfer>>>,
@@ -126,16 +133,19 @@ impl Topology {
             .collect();
         let ndev = host_profiles.len();
         let mk = |n: usize| (0..n).map(|_| Mutex::new(LinkState::default())).collect();
-        let peer_chans = if machine.p2p.is_some() {
-            ndev * ndev
+        let peer_profiles: Vec<Option<LinkProfile>> = if machine.has_p2p() {
+            (0..ndev * ndev)
+                .map(|i| machine.peer_link(i / ndev.max(1), i % ndev.max(1)).cloned())
+                .collect()
         } else {
-            0
+            Vec::new()
         };
+        let peer_chans = peer_profiles.len();
         Topology {
             h2d: mk(ndev),
             d2h: mk(ndev),
             duplex,
-            peer_profile: machine.p2p.clone(),
+            peer_profiles,
             peer: mk(peer_chans),
             host_profiles,
             inflight: Mutex::new(HashMap::new()),
@@ -145,6 +155,15 @@ impl Topology {
     /// Number of device nodes the fabric serves.
     fn ndev(&self) -> usize {
         self.host_profiles.len()
+    }
+
+    /// The peer link of the directed device-*node* pair `src → dst`
+    /// (1-based memory nodes), if that direction has a direct channel.
+    pub fn peer_profile(&self, src: usize, dst: usize) -> Option<&LinkProfile> {
+        debug_assert!(src >= 1 && dst >= 1);
+        self.peer_profiles
+            .get((src - 1) * self.ndev() + (dst - 1))
+            .and_then(|p| p.as_ref())
     }
 
     /// The channel a one-hop transfer `from → to` occupies.
@@ -173,8 +192,8 @@ impl Topology {
             }
             Channel::Peer(a, b) => {
                 debug_assert!(
-                    self.peer_profile.is_some(),
-                    "peer transfer {a}->{b} without P2P links configured"
+                    self.peer_profile(a, b).is_some(),
+                    "peer transfer {a}->{b} without a direct link configured"
                 );
                 &self.peer[(a - 1) * self.ndev() + (b - 1)]
             }
@@ -185,10 +204,9 @@ impl Topology {
     fn chan_profile(&self, channel: Channel) -> &LinkProfile {
         match channel {
             Channel::HostToDevice(n) | Channel::DeviceToHost(n) => &self.host_profiles[n - 1],
-            Channel::Peer(_, _) => self
-                .peer_profile
-                .as_ref()
-                .expect("peer transfer without P2P links configured"),
+            Channel::Peer(a, b) => self
+                .peer_profile(a, b)
+                .expect("peer transfer without a direct link configured"),
         }
     }
 
@@ -210,8 +228,10 @@ impl Topology {
     /// Plans the cheapest valid route for moving `bytes` from node `src` to
     /// node `dst` as a list of one-hop legs. Transfers touching main memory
     /// are a single hop; device-to-device traffic takes the direct peer
-    /// channel when P2P links are configured and no more expensive than
-    /// staging through the host, else two hops via node 0.
+    /// channel when the *directed* pair has one configured and it is no
+    /// more expensive than staging through the host, else two hops via
+    /// node 0. Pair profiles are directional, so the `src → dst` decision
+    /// may differ from `dst → src` on asymmetric meshes.
     pub fn plan_route(&self, src: usize, dst: usize, bytes: u64) -> Vec<(usize, usize)> {
         if src == dst {
             return Vec::new();
@@ -219,7 +239,7 @@ impl Topology {
         if src == 0 || dst == 0 {
             return vec![(src, dst)];
         }
-        if let Some(p) = &self.peer_profile {
+        if let Some(p) = self.peer_profile(src, dst) {
             let direct = p.transfer_time(bytes);
             let staged = self.host_profiles[src - 1].transfer_time(bytes)
                 + self.host_profiles[dst - 1].transfer_time(bytes);
@@ -533,6 +553,11 @@ pub(crate) fn mark_written(
         st.replicas[node].status = ReplicaStatus::Modified;
         st.replicas[node].vready = vfinish;
     }
+    // The replica now holds the sole valid (Modified) copy — flag its
+    // capacity-manager entry dirty so family-aware eviction can prefer
+    // clean sibling sets. Heuristic only: eviction correctness still
+    // re-derives writeback necessity from the replica states.
+    memory.mark_dirty(node, handle.id());
     for (i, cell) in released {
         memory.recycle(i, handle.id(), cell, stats);
     }
@@ -744,6 +769,154 @@ mod tests {
         let slow_peer = MachineConfig::multi_gpu(1, 2).p2p(0.1, VTime::from_millis(10));
         let topo = Topology::new(&slow_peer);
         assert_eq!(topo.plan_route(1, 2, 1 << 20), vec![(1, 0), (0, 2)]);
+    }
+
+    #[test]
+    fn asymmetric_pair_flips_direct_vs_staged_per_direction() {
+        // A → B has a fast direct link; B → A's link is slower than two
+        // host hops. The planner must take the direct route one way and
+        // stage through the host the other way — same pair, same bytes.
+        let bytes = 1 << 20;
+        let m = MachineConfig::multi_gpu(1, 2)
+            .with_p2p_pair(0, 1, Some(LinkProfile::pcie2_p2p()))
+            .with_p2p_pair(1, 0, Some(LinkProfile::custom(0.1, VTime::from_millis(10))));
+        let topo = Topology::new(&m);
+        assert_eq!(topo.plan_route(1, 2, bytes), vec![(1, 2)]);
+        assert_eq!(topo.plan_route(2, 1, bytes), vec![(2, 0), (0, 1)]);
+
+        // Flipping the directed profiles flips the decisions with them.
+        let flipped = MachineConfig::multi_gpu(1, 2)
+            .with_p2p_pair(1, 0, Some(LinkProfile::pcie2_p2p()))
+            .with_p2p_pair(0, 1, Some(LinkProfile::custom(0.1, VTime::from_millis(10))));
+        let topo = Topology::new(&flipped);
+        assert_eq!(topo.plan_route(1, 2, bytes), vec![(1, 0), (0, 2)]);
+        assert_eq!(topo.plan_route(2, 1, bytes), vec![(2, 1)]);
+
+        // Estimates price the per-direction routes, not a shared profile.
+        let est_fwd = topo.estimate_transfer_from(2, 1, bytes);
+        let est_rev = topo.estimate_transfer_from(1, 2, bytes);
+        assert_eq!(est_fwd, LinkProfile::pcie2_p2p().transfer_time(bytes));
+        assert_eq!(
+            est_rev,
+            topo.link_profile(1).transfer_time(bytes) + topo.link_profile(2).transfer_time(bytes)
+        );
+    }
+
+    #[test]
+    fn mesh_preset_routes_follow_the_directed_table() {
+        // The c2050_platform_mesh preset: fast intra-switch, slow
+        // cross-switch, and one host-staged direction (0 → 3, i.e. nodes
+        // 1 → 4).
+        let m = MachineConfig::c2050_platform_mesh(1);
+        let topo = Topology::new(&m);
+        let bytes = 1 << 20;
+        assert_eq!(topo.plan_route(1, 2, bytes), vec![(1, 2)], "intra-switch");
+        assert_eq!(topo.plan_route(3, 4, bytes), vec![(3, 4)], "intra-switch");
+        assert_eq!(
+            topo.plan_route(2, 3, bytes),
+            vec![(2, 3)],
+            "slow but direct"
+        );
+        assert_eq!(
+            topo.plan_route(1, 4, bytes),
+            vec![(1, 0), (0, 4)],
+            "0→3 has no direct path"
+        );
+        assert_eq!(
+            topo.plan_route(4, 1, bytes),
+            vec![(4, 1)],
+            "3→0 stays direct"
+        );
+        // The slow cross-switch link really is priced slower than the fast
+        // intra-switch one.
+        assert!(
+            topo.estimate_transfer_from(2, 3, bytes) > topo.estimate_transfer_from(1, 2, bytes)
+        );
+    }
+
+    #[test]
+    fn actual_transfers_follow_asymmetric_routes() {
+        // End-to-end on the mesh: a 0→3 (nodes 1→4) migration stages
+        // through the host while 3→0 rides the peer channel.
+        let m = MachineConfig::c2050_platform_mesh(1);
+        let topo = Topology::new(&m);
+        let stats = StatsCollector::new(m.total_workers(), true);
+        let mm = MemoryManager::new(&m, EvictionPolicy::Lru, true);
+        let h = DataHandle::new(5, vec![9u8; 4096], 4096, m.memory_nodes());
+
+        make_valid(&h, 1, AccessMode::Write, &topo, &stats, &mm);
+        mark_written(&h, 1, VTime::from_micros(3), &stats, &mm);
+        make_valid(&h, 4, AccessMode::Read, &topo, &stats, &mm);
+        let snap = stats.snapshot();
+        assert_eq!(snap.d2d_transfers, 0, "1→4 must stage through the host");
+        assert_eq!(snap.d2h_transfers, 1);
+        assert_eq!(snap.h2d_transfers, 1);
+
+        mark_written(&h, 4, VTime::from_micros(9), &stats, &mm);
+        make_valid(&h, 1, AccessMode::Read, &topo, &stats, &mm);
+        let snap = stats.snapshot();
+        assert_eq!(snap.d2d_transfers, 1, "4→1 takes the direct peer channel");
+    }
+
+    mod route_pricing_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        fn link_strategy() -> impl Strategy<Value = Option<LinkProfile>> {
+            prop_oneof![
+                (0.5f64..16.0, 1u64..100)
+                    .prop_map(|(bw, lat)| Some(LinkProfile::custom(bw, VTime::from_micros(lat)))),
+                (0.5f64..16.0, 1u64..100)
+                    .prop_map(|(bw, lat)| Some(LinkProfile::custom(bw, VTime::from_micros(lat)))),
+                Just(None),
+            ]
+        }
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Whatever the directed pair table looks like, a planned
+            /// route is never priced below the best single link that could
+            /// carry the transfer: the direct route costs its peer link's
+            /// time, and a staged route costs at least each of its host
+            /// legs. A planner bug that priced a staged route as one free
+            /// hop (or ignored a leg) would fall below this floor.
+            #[test]
+            fn plan_route_never_prices_below_best_single_link(
+                fwd in link_strategy(),
+                rev in link_strategy(),
+                bytes in 1u64..(8 << 20),
+            ) {
+                let mut m = MachineConfig::multi_gpu(1, 2);
+                m.p2p_overrides.push((0, 1, fwd));
+                m.p2p_overrides.push((1, 0, rev));
+                let topo = Topology::new(&m);
+                for (src, dst) in [(1usize, 2usize), (2, 1)] {
+                    let est = topo.estimate_transfer_from(src, dst, bytes);
+                    let mut floor = topo
+                        .link_profile(src)
+                        .transfer_time(bytes)
+                        .min(topo.link_profile(dst).transfer_time(bytes));
+                    if let Some(p) = topo.peer_profile(src, dst) {
+                        floor = floor.min(p.transfer_time(bytes));
+                    }
+                    prop_assert!(
+                        est >= floor,
+                        "{src}->{dst}: estimate {est} below single-link floor {floor}"
+                    );
+                    // And the route itself is sane: 1 or 2 hops, endpoints
+                    // matching, staged routes passing through node 0.
+                    let route = topo.plan_route(src, dst, bytes);
+                    prop_assert!(route.len() == 1 || route.len() == 2);
+                    prop_assert_eq!(route[0].0, src);
+                    prop_assert_eq!(route[route.len() - 1].1, dst);
+                    if route.len() == 2 {
+                        prop_assert_eq!(route[0].1, 0);
+                        prop_assert_eq!(route[1].0, 0);
+                    }
+                }
+            }
+        }
     }
 
     #[test]

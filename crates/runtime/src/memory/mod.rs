@@ -69,6 +69,14 @@ pub enum EvictionPolicy {
     /// whose operands do not fit on the device, falling back to CPU
     /// workers (the ablation baseline; forced placements overcommit).
     FallbackCpu,
+    /// Partition-aware eviction: victims are chosen *family-at-a-time*.
+    /// When pressure hits, the whole sibling set of the best candidate
+    /// family is evicted together — clean (never-written) families before
+    /// dirty ones, oldest family first — instead of LRU shredding a
+    /// partition's blocks interleaved with hot data. Handles without a
+    /// family degrade to per-replica LRU, so this is a strict superset of
+    /// [`EvictionPolicy::Lru`] behavior on unpartitioned workloads.
+    Family,
 }
 
 /// One resident (or pinned-pending) replica at a node.
@@ -90,6 +98,17 @@ struct Resident {
     /// accounting time. Drives per-job quota charging and
     /// [`MemoryManager::reclaim_job`].
     job: u64,
+    /// Block-family id (0 = no family), resolved from the family registry
+    /// at accounting time. Under [`EvictionPolicy::Family`], eviction
+    /// takes whole sibling sets keyed by this id.
+    family: u64,
+    /// Heuristic dirty flag: set when a completed write made this replica
+    /// the Modified copy, cleared when a fresh (transferred-in) buffer is
+    /// accounted. Family victim ranking prefers clean families — evicting
+    /// them costs no writeback. Correctness never depends on this bit; the
+    /// authoritative writeback decision stays with eviction's sole-valid
+    /// check.
+    dirty: bool,
 }
 
 /// Per-node allocator state.
@@ -167,6 +186,18 @@ pub struct MemoryManager {
     /// Fast flag mirroring `!quotas.is_empty()`, so the quota-free hot
     /// path pays one relaxed load instead of an `RwLock` read per prepare.
     has_quotas: AtomicBool,
+    /// Block-family registry: handle id → family id (0 / absent = no
+    /// family). Written by [`MemoryManager::set_family`] when a container
+    /// partitions; read at replica-accounting time.
+    families: RwLock<HashMap<u64, u64>>,
+    /// Family id → member handles (weak, pruned on read). Lets the
+    /// prefetcher pull a whole sibling set in one planned burst.
+    family_members: RwLock<HashMap<u64, Vec<Weak<HandleInner>>>>,
+    /// Monotonic family-id source (ids start at 1; 0 = no family).
+    next_family: AtomicU64,
+    /// Fast flag mirroring `!families.is_empty()` — the family-free hot
+    /// path pays one relaxed load per prepare, like `has_quotas`.
+    has_families: AtomicBool,
 }
 
 /// One residency mutation, as observed by [`MemoryManager::take_residency_deltas`].
@@ -256,8 +287,9 @@ impl MemoryView {
 enum Selection {
     /// Space is available; the caller may allocate.
     Done,
-    /// Evict this resident, then retry.
-    Victim(u64, Resident),
+    /// Evict these residents (a whole block family under
+    /// [`EvictionPolicy::Family`], a single replica otherwise), then retry.
+    Victim(Vec<(u64, Resident)>),
     /// Nothing evictable: overcommit so pinned work still proceeds.
     Overcommit,
 }
@@ -296,6 +328,81 @@ impl MemoryManager {
             residency_log: Mutex::new(Vec::new()),
             quotas: RwLock::new(HashMap::new()),
             has_quotas: AtomicBool::new(false),
+            families: RwLock::new(HashMap::new()),
+            family_members: RwLock::new(HashMap::new()),
+            next_family: AtomicU64::new(1),
+            has_families: AtomicBool::new(false),
+        }
+    }
+
+    /// Mints a fresh block-family id (container partitioning calls this
+    /// once per partition level).
+    pub fn new_family(&self) -> u64 {
+        self.next_family.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Links `handle` into block family `family`: future replica
+    /// accounting carries the id (family-at-a-time eviction), the
+    /// prefetcher can enumerate siblings, and any replica already resident
+    /// is retagged in place.
+    pub fn set_family(&self, handle: &DataHandle, family: u64) {
+        self.families.write().insert(handle.id(), family);
+        self.family_members
+            .write()
+            .entry(family)
+            .or_default()
+            .push(Arc::downgrade(&handle.inner));
+        self.has_families.store(true, Ordering::Release);
+        for node in &self.nodes {
+            let mut nm = node.lock();
+            if let Some(r) = nm.residents.get_mut(&handle.id()) {
+                r.family = family;
+            }
+        }
+    }
+
+    /// Whether any handle has been linked into a block family — the
+    /// family-free fast path for prefetch and eviction.
+    pub fn any_families(&self) -> bool {
+        self.has_families.load(Ordering::Acquire)
+    }
+
+    /// The family `handle_id` belongs to (0 = none).
+    pub fn family_of(&self, handle_id: u64) -> u64 {
+        if !self.has_families.load(Ordering::Acquire) {
+            return 0;
+        }
+        self.families.read().get(&handle_id).copied().unwrap_or(0)
+    }
+
+    /// The live member handles of `family`, pruning members whose handles
+    /// were dropped. Sibling order is registration order.
+    pub fn family_handles(&self, family: u64) -> Vec<DataHandle> {
+        if !self.has_families.load(Ordering::Acquire) {
+            return Vec::new();
+        }
+        let members = self.family_members.read();
+        members
+            .get(&family)
+            .map(|v| {
+                v.iter()
+                    .filter_map(|w| w.upgrade())
+                    .map(|inner| DataHandle { inner })
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Flags `handle_id`'s replica at `node` as dirty (a completed write
+    /// made it the Modified copy). Called by coherence after
+    /// `mark_written`; see [`Resident::dirty`].
+    pub(crate) fn mark_dirty(&self, node: usize, handle_id: u64) {
+        if node == 0 {
+            return;
+        }
+        let mut nm = self.nodes[node].lock();
+        if let Some(r) = nm.residents.get_mut(&handle_id) {
+            r.dirty = true;
         }
     }
 
@@ -616,6 +723,7 @@ impl MemoryManager {
 
     /// Accounts a freshly registered payload's master copy at node 0.
     pub(crate) fn register_host(&self, handle: &DataHandle) {
+        let family = self.family_of(handle.id());
         let mut nm = self.nodes[0].lock();
         let stamp = nm.stamp();
         nm.account(handle.job(), handle.bytes() as u64);
@@ -628,6 +736,8 @@ impl MemoryManager {
                 pinned: 0,
                 dead: false,
                 job: handle.job(),
+                family,
+                dirty: false,
             },
         );
         self.log_delta(0, handle.id(), handle.bytes() as u64);
@@ -642,6 +752,7 @@ impl MemoryManager {
         if node == 0 {
             return;
         }
+        let family = self.family_of(handle.id());
         let mut nm = self.nodes[node].lock();
         let stamp = nm.stamp();
         nm.residents
@@ -653,6 +764,8 @@ impl MemoryManager {
                 pinned: 0,
                 dead: false,
                 job: handle.job(),
+                family,
+                dirty: false,
             })
             .pinned += 1;
     }
@@ -695,6 +808,9 @@ impl MemoryManager {
         let need = handle.bytes() as u64;
         let job = handle.job();
         let quota = self.quota_for(job);
+        // Resolved once, outside the node lock, so the selection pass under
+        // the lock never touches the family registry.
+        let req_family = self.family_of(handle.id());
         let mut reused: Option<PayloadCell> = None;
         let mut reused_bytes = 0u64;
         loop {
@@ -735,7 +851,7 @@ impl MemoryManager {
                 }
                 if let Some((vid, r)) = quota_victim {
                     self.log_delta(node, vid, 0);
-                    Selection::Victim(vid, r)
+                    Selection::Victim(vec![(vid, r)])
                 } else if !nm.over_budget(need) {
                     // Under budget with no retained buffer to reuse: honor
                     // `wont_use` hints eagerly. A dead replica whose buffer
@@ -747,14 +863,14 @@ impl MemoryManager {
                     // least half full once this allocation lands — and the
                     // cache can actually retain the donated buffer.
                     let donate = reused.is_none()
-                        && self.policy == EvictionPolicy::Lru
+                        && self.policy != EvictionPolicy::FallbackCpu
                         && nm.cache.cap() > 0
                         && nm.budget.is_some_and(|b| (nm.used + need) * 2 >= b);
                     match donate {
                         true => match Self::select_dead_donor(&mut nm, handle.id(), need) {
                             Some((vid, r)) => {
                                 self.log_delta(node, vid, 0);
-                                Selection::Victim(vid, r)
+                                Selection::Victim(vec![(vid, r)])
                             }
                             None => Selection::Done,
                         },
@@ -775,10 +891,21 @@ impl MemoryManager {
                         // placements overcommit.
                         Selection::Done
                     } else {
-                        match Self::select_victim(&mut nm, handle.id()) {
-                            Some((vid, r)) => {
-                                self.log_delta(node, vid, 0);
-                                Selection::Victim(vid, r)
+                        let victims = match self.policy {
+                            EvictionPolicy::Family => {
+                                Self::select_victim_family(&mut nm, handle.id(), req_family)
+                                    .or_else(|| {
+                                        Self::select_victim(&mut nm, handle.id()).map(|v| vec![v])
+                                    })
+                            }
+                            _ => Self::select_victim(&mut nm, handle.id()).map(|v| vec![v]),
+                        };
+                        match victims {
+                            Some(vs) => {
+                                for (vid, _) in &vs {
+                                    self.log_delta(node, *vid, 0);
+                                }
+                                Selection::Victim(vs)
                             }
                             None => Selection::Overcommit,
                         }
@@ -786,10 +913,15 @@ impl MemoryManager {
                 }
             };
             match selection {
-                Selection::Victim(vid, r) => {
-                    // The victim already left the accounting under the lock.
+                Selection::Victim(victims) => {
+                    // The victims already left the accounting under the lock.
                     self.bump_epoch();
-                    self.evict(vid, r, node, topo, stats)
+                    if victims.len() > 1 {
+                        stats.record_family_eviction(victims.len() as u64);
+                    }
+                    for (vid, r) in victims {
+                        self.evict(vid, r, node, topo, stats);
+                    }
                 }
                 Selection::Done | Selection::Overcommit => break,
             }
@@ -812,10 +944,16 @@ impl MemoryManager {
             pinned: 0,
             dead: false,
             job,
+            family: req_family,
+            dirty: false,
         });
         entry.bytes = need;
         entry.last_use = stamp;
         entry.dead = false;
+        entry.family = req_family;
+        // The buffer is (about to be) filled from a valid source copy; any
+        // write that dirties it again goes through `mark_dirty`.
+        entry.dirty = false;
         if !already_accounted {
             self.log_delta(node, handle.id(), need);
         }
@@ -854,6 +992,90 @@ impl MemoryManager {
         let r = nm.residents.remove(&vid).expect("victim just found");
         nm.unaccount(r.job, r.bytes);
         Some((vid, r))
+    }
+
+    /// Family-at-a-time victim selection ([`EvictionPolicy::Family`]):
+    /// residents are grouped by block family and a whole sibling set leaves
+    /// the node together, so a partition tree is never LRU-shredded
+    /// replica-by-replica interleaved with hot blocks. Groups are ranked
+    /// dead-first, then *clean*-first (no writeback due anywhere in the
+    /// set), then by the family's most recent use — dropping a clean family
+    /// costs zero writeback bytes, which is where this policy beats plain
+    /// LRU on out-of-core working sets. Family-less replicas compete as
+    /// singleton groups under the same key; families with a pinned member
+    /// are skipped whole (they are mid-use — evicting their siblings would
+    /// only thrash). Returns `None` when nothing groupable is evictable;
+    /// the caller falls back to plain LRU for liveness.
+    fn select_victim_family(
+        nm: &mut NodeMem,
+        requester: u64,
+        requester_family: u64,
+    ) -> Option<Vec<(u64, Resident)>> {
+        struct Group {
+            ids: Vec<u64>,
+            all_dead: bool,
+            any_dirty: bool,
+            pinned: bool,
+            last_use: u64,
+        }
+        let mut groups: HashMap<u64, Group> = HashMap::new();
+        let mut best_single: Option<(u64, (bool, bool, u64))> = None;
+        for (id, r) in nm.residents.iter() {
+            if *id == requester || r.bytes == 0 {
+                continue;
+            }
+            if r.family != 0 && r.family == requester_family {
+                // The requester's own siblings are about to be used with it;
+                // evicting them to make room for one of them thrashes.
+                continue;
+            }
+            if r.family == 0 {
+                if r.pinned > 0 {
+                    continue;
+                }
+                let key = (!r.dead, r.dirty, r.last_use);
+                if best_single.as_ref().is_none_or(|(_, k)| key < *k) {
+                    best_single = Some((*id, key));
+                }
+                continue;
+            }
+            let g = groups.entry(r.family).or_insert(Group {
+                ids: Vec::new(),
+                all_dead: true,
+                any_dirty: false,
+                pinned: false,
+                last_use: 0,
+            });
+            g.ids.push(*id);
+            g.all_dead &= r.dead;
+            g.any_dirty |= r.dirty;
+            g.pinned |= r.pinned > 0;
+            g.last_use = g.last_use.max(r.last_use);
+        }
+        let best_family = groups
+            .into_values()
+            .filter(|g| !g.pinned)
+            .min_by_key(|g| (!g.all_dead, g.any_dirty, g.last_use));
+        let ids = match (best_family, best_single) {
+            (Some(g), Some((sid, skey))) => {
+                let gkey = (!g.all_dead, g.any_dirty, g.last_use);
+                if gkey <= skey {
+                    g.ids
+                } else {
+                    vec![sid]
+                }
+            }
+            (Some(g), None) => g.ids,
+            (None, Some((sid, _))) => vec![sid],
+            (None, None) => return None,
+        };
+        let mut victims = Vec::with_capacity(ids.len());
+        for vid in ids {
+            let r = nm.residents.remove(&vid).expect("victim just found");
+            nm.unaccount(r.job, r.bytes);
+            victims.push((vid, r));
+        }
+        Some(victims)
     }
 
     /// [`MemoryManager::select_victim`] restricted to replicas owned by
@@ -1120,6 +1342,95 @@ mod tests {
         let stats = StatsCollector::new(m.total_workers(), true);
         let mm = MemoryManager::new(&m, EvictionPolicy::Lru, true);
         (m, topo, stats, mm)
+    }
+
+    fn family_fixture(budget: u64) -> (MachineConfig, Topology, StatsCollector, MemoryManager) {
+        let m = tiny_machine(budget);
+        let topo = Topology::new(&m);
+        let stats = StatsCollector::new(m.total_workers(), true);
+        let mm = MemoryManager::new(&m, EvictionPolicy::Family, true);
+        (m, topo, stats, mm)
+    }
+
+    #[test]
+    fn family_eviction_takes_the_whole_sibling_set() {
+        let (m, topo, stats, mm) = family_fixture(10 * 1024);
+        let a1 = handle(1, 2, m.memory_nodes());
+        let a2 = handle(2, 2, m.memory_nodes());
+        let b = handle(3, 4, m.memory_nodes());
+        let c = handle(4, 4, m.memory_nodes());
+        let fam = mm.new_family();
+        mm.set_family(&a1, fam);
+        mm.set_family(&a2, fam);
+        assert_eq!(mm.family_of(a1.id()), fam);
+        assert_eq!(mm.family_handles(fam).len(), 2);
+        coherence::make_valid(&a1, 1, AccessMode::Read, &topo, &stats, &mm);
+        coherence::make_valid(&a2, 1, AccessMode::Read, &topo, &stats, &mm);
+        coherence::make_valid(&b, 1, AccessMode::Read, &topo, &stats, &mm);
+        // c (4 KiB) over-budgets the node. Plain LRU would shred the
+        // family by evicting a1 alone; the family policy takes both
+        // siblings together even though a2 is younger than nothing else.
+        coherence::make_valid(&c, 1, AccessMode::Read, &topo, &stats, &mm);
+        let snap = stats.snapshot();
+        assert!(!a1.valid_on(1) && !a2.valid_on(1), "whole family evicted");
+        assert!(b.valid_on(1), "the singleton survived");
+        assert!(c.valid_on(1));
+        assert_eq!(snap.evictions, 2, "each sibling still counts");
+        assert_eq!(snap.family_evictions, 1, "one group decision");
+        assert_eq!(snap.family_eviction_members, 2);
+        mm.validate().unwrap();
+    }
+
+    #[test]
+    fn clean_family_evicted_before_dirty_family() {
+        let (m, topo, stats, mm) = family_fixture(8 * 1024);
+        let d1 = handle(1, 2, m.memory_nodes());
+        let d2 = handle(2, 2, m.memory_nodes());
+        let c1 = handle(3, 2, m.memory_nodes());
+        let c2 = handle(4, 2, m.memory_nodes());
+        let dirty_fam = mm.new_family();
+        let clean_fam = mm.new_family();
+        mm.set_family(&d1, dirty_fam);
+        mm.set_family(&d2, dirty_fam);
+        mm.set_family(&c1, clean_fam);
+        mm.set_family(&c2, clean_fam);
+        // The dirty family is written on device (sole valid copies, a
+        // writeback due at eviction); the clean family is read-shared.
+        for h in [&d1, &d2] {
+            coherence::make_valid(h, 1, AccessMode::ReadWrite, &topo, &stats, &mm);
+            coherence::mark_written(h, 1, VTime::from_micros(1), &stats, &mm);
+        }
+        coherence::make_valid(&c1, 1, AccessMode::Read, &topo, &stats, &mm);
+        coherence::make_valid(&c2, 1, AccessMode::Read, &topo, &stats, &mm);
+        // Pressure: the clean family goes even though the dirty one is
+        // older — dropping it costs zero writeback bytes.
+        let g = handle(5, 2, m.memory_nodes());
+        coherence::make_valid(&g, 1, AccessMode::Read, &topo, &stats, &mm);
+        let snap = stats.snapshot();
+        assert!(!c1.valid_on(1) && !c2.valid_on(1), "clean family evicted");
+        assert!(d1.valid_on(1) && d2.valid_on(1), "dirty family retained");
+        assert_eq!(snap.writeback_bytes, 0, "no writeback was paid");
+        assert_eq!(snap.family_evictions, 1);
+        mm.validate().unwrap();
+    }
+
+    #[test]
+    fn family_eviction_spares_the_requesters_own_siblings() {
+        let (m, topo, stats, mm) = family_fixture(7 * 1024);
+        let a1 = handle(1, 2, m.memory_nodes());
+        let a2 = handle(2, 2, m.memory_nodes());
+        let old = handle(3, 4, m.memory_nodes());
+        let fam = mm.new_family();
+        mm.set_family(&a1, fam);
+        mm.set_family(&a2, fam);
+        coherence::make_valid(&a1, 1, AccessMode::Read, &topo, &stats, &mm);
+        coherence::make_valid(&old, 1, AccessMode::Read, &topo, &stats, &mm);
+        // a2 arrives: its sibling a1 is off-limits even though the
+        // singleton `old` was used more recently than a1.
+        coherence::make_valid(&a2, 1, AccessMode::Read, &topo, &stats, &mm);
+        assert!(a1.valid_on(1) && a2.valid_on(1), "family kept together");
+        assert!(!old.valid_on(1), "the non-family replica paid the room");
+        mm.validate().unwrap();
     }
 
     #[test]

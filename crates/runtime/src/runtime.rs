@@ -283,6 +283,50 @@ impl RuntimeInner {
                 for h in &wanted {
                     self.memory.unpin(node, h.id());
                 }
+                // Family burst: when a read operand is one block of a
+                // partition family, its sibling blocks are pulled to the
+                // same node in one planned burst — siblings are used
+                // together (tiles of the same band, blocks of the same
+                // gather), so fetching them now overlaps compute instead
+                // of faulting them in one task at a time later. Capacity
+                // honest: each sibling is pinned, checked against the free
+                // space, and skipped when it does not fit.
+                if self.memory.any_families() {
+                    let mut burst: Vec<DataHandle> = Vec::new();
+                    for h in &wanted {
+                        let fam = self.memory.family_of(h.id());
+                        if fam == 0 {
+                            continue;
+                        }
+                        for sib in self.memory.family_handles(fam) {
+                            if keep.contains(&sib.id()) || burst.iter().any(|b| b.id() == sib.id())
+                            {
+                                continue;
+                            }
+                            burst.push(sib);
+                        }
+                    }
+                    for sib in &burst {
+                        self.memory.pin(node, sib);
+                    }
+                    for sib in &burst {
+                        if !sib.valid_on(node)
+                            && self.memory.prefetch_fits(node, sib.bytes() as u64, &keep)
+                        {
+                            coherence::make_valid(
+                                sib,
+                                node,
+                                AccessMode::Read,
+                                &self.topo,
+                                &self.stats,
+                                &self.memory,
+                            );
+                        }
+                    }
+                    for sib in &burst {
+                        self.memory.unpin(node, sib.id());
+                    }
+                }
             }
         }
     }
@@ -884,6 +928,27 @@ impl Runtime {
         snap.alloc_cache_retained = self.inner.memory.alloc_cache_retained();
         snap.channel_busy = self.inner.topo.channel_busy();
         snap
+    }
+
+    /// Allocates a fresh block-family id. Handles tagged with the same
+    /// family ([`Runtime::set_family`]) are treated as one unit by the
+    /// partition-aware memory policy: [`EvictionPolicy::Family`] evicts a
+    /// whole sibling set together and prefetch pulls a family in one
+    /// planned burst. The partition containers allocate one family per
+    /// partitioning level.
+    pub fn new_family(&self) -> u64 {
+        self.inner.memory.new_family()
+    }
+
+    /// Tags `h` as a member of block family `family` (see
+    /// [`Runtime::new_family`]). Existing device replicas are retagged.
+    pub fn set_family(&self, h: &DataHandle, family: u64) {
+        self.inner.memory.set_family(h, family)
+    }
+
+    /// The block family `h` belongs to, or 0 when it was never tagged.
+    pub fn family_of(&self, h: &DataHandle) -> u64 {
+        self.inner.memory.family_of(h.id())
     }
 
     /// Declares that the application will not touch `h`'s device replicas

@@ -19,6 +19,17 @@
 //! The placement machinery lives in [`DmdaCore`] so [`super::dmdar`] can
 //! reuse it verbatim: dmdar is dmda's placement plus a readiness reorder on
 //! the pop path.
+//!
+//! Placement predictions are estimates, so queues drain unevenly: a worker
+//! whose queue runs dry while a same-class sibling still holds a backlog
+//! would otherwise idle until new submissions rebalance. The pop path
+//! therefore falls back to *steal-from-richest* (the [`super::ws`] victim
+//! order): an empty-handed worker takes the highest-priority stealable task
+//! from the same-class victim whose stealable work has the most bytes
+//! already resident on the thief's memory node, transferring the victim's
+//! queued-work charge to itself. Recorded graph tasks are never stolen —
+//! replay re-pushes reuse the recorded placement, and moving one instance
+//! would invalidate the charge bookkeeping the next iteration re-applies.
 
 use super::fair::JobLanes;
 use super::pq::PrioQueue;
@@ -27,6 +38,7 @@ use crate::codelet::Arch;
 use crate::intern::CodeletId;
 use crate::memory::MemoryView;
 use crate::perfmodel::PerfKey;
+use crate::stats::TraceEvent;
 use crate::task::{ExecChoice, Task};
 use parking_lot::Mutex;
 use peppher_sim::VTime;
@@ -372,6 +384,145 @@ impl DmdaScheduler {
     fn queue_len(&self, worker: usize) -> usize {
         self.queues[worker].lock().total_len()
     }
+
+    /// Steal fallback for a worker whose own queue is empty (see module
+    /// docs). A task is stealable when it is not a recorded graph task, the
+    /// thief can run it, and the thief belongs to the same architecture
+    /// class as the placement — the placement's predicted execution time
+    /// (and therefore the charge transfer below) is only valid within the
+    /// class the history profile was built for.
+    fn steal(
+        &self,
+        worker: usize,
+        node: usize,
+        view: &MemoryView,
+        ctx: &SchedCtx<'_>,
+    ) -> Option<Arc<Task>> {
+        let is_gpu = ctx.machine.worker_is_gpu(worker);
+        let stealable = |t: &Task| {
+            t.graph.is_none()
+                && t.runnable_on(worker, is_gpu)
+                && t.chosen.lock().is_some_and(|c| {
+                    ctx.classes.class_id(c.arch, c.worker) == ctx.classes.class_id(c.arch, worker)
+                })
+        };
+        // Virtual-time gate: a worker's real thread can run far ahead of
+        // its virtual clock, so an ungated steal lets one fast thread
+        // drain the whole mesh and serialize work that the simulated
+        // machine would have run in parallel. A steal is only justified
+        // when the thief's virtual ready time beats the victim's predicted
+        // finish — i.e. the simulated victim genuinely cannot get to the
+        // task before the simulated thief could start it.
+        let thief_ready = ctx.timelines.get(worker) + self.core.queued(worker);
+        let victim_behind = |v: usize| ctx.timelines.get(v) + self.core.queued(v) > thief_ready;
+        // Same two-pass richest-first order as [`super::ws`]: score every
+        // victim's stealable work by thief-side resident read bytes (depth
+        // breaks ties), then attempt the steals best-first. A scored task
+        // can be taken by its owner between the passes; the steal pass
+        // re-resolves, so a stale score costs at most a suboptimal order.
+        // The scan is capped: scoring holds the victim's queue lock and
+        // touches each task's `chosen` mutex, so walking a deep queue
+        // (tens of thousands of independent tasks) would stall the victim's
+        // own pops for longer than the steal saves.
+        const SCAN_CAP: usize = 64;
+        let mut ranked: Vec<(usize, u64, usize)> = Vec::new();
+        for v in 0..self.queues.len() {
+            if v == worker || !victim_behind(v) {
+                continue;
+            }
+            let mut q = self.queues[v].lock();
+            let depth = q.total_len();
+            if depth == 0 {
+                continue;
+            }
+            let score = q.pop_with(|lane| {
+                lane.iter()
+                    .take(SCAN_CAP)
+                    .filter(|t| stealable(t))
+                    .map(|t| view.resident_read_bytes(node, &t.accesses))
+                    .max()
+            });
+            if let Some(bytes) = score {
+                ranked.push((v, bytes, depth));
+            }
+        }
+        ranked
+            .sort_by_key(|&(_, bytes, depth)| (std::cmp::Reverse(bytes), std::cmp::Reverse(depth)));
+        for (v, _, _) in ranked {
+            if !victim_behind(v) {
+                continue;
+            }
+            // Bulk steal: taking one task per idle pop would leave the
+            // thief re-acquiring the victim's queue lock once per task —
+            // on a drained worker facing a deep victim queue that
+            // serializes both workers on one lock. Instead take enough
+            // work to equalize the two predicted ready times (each stolen
+            // task moves its charge across), capped at half the victim's
+            // queue (the classic steal-half split, which also bounds
+            // zero-cost tasks with no model yet) and at [`STEAL_CHUNK`]
+            // tasks — the whole transfer happens under the victim's queue
+            // lock, so an unbounded chunk would stall the victim's own
+            // pops for the duration of a thousands-deep transfer.
+            const STEAL_CHUNK: usize = 64;
+            let mut victim_ready = ctx.timelines.get(v) + self.core.queued(v);
+            let mut thief_acc = thief_ready;
+            let (taken, depth) = {
+                let mut q = self.queues[v].lock();
+                let depth = q.total_len();
+                let cap = depth.div_ceil(2).min(STEAL_CHUNK);
+                let mut taken = Vec::new();
+                while taken.len() < cap && (taken.is_empty() || thief_acc < victim_ready) {
+                    let Some(t) = q.pop_with(|lane| lane.pop_where(stealable)) else {
+                        break;
+                    };
+                    // Move the queued-work charge from the victim to the
+                    // thief and rebind the recorded placement: the thief
+                    // executes the task, so `task_timed` releases the
+                    // charge against it.
+                    let old = {
+                        let mut c = t.chosen.lock();
+                        let old = c.expect("dmda tasks are placed at push time");
+                        *c = Some(ExecChoice { worker, ..old });
+                        old
+                    };
+                    self.core.release(old.worker, old.pred_delta);
+                    self.core.charge_pred(worker, old.pred_delta);
+                    thief_acc += old.pred_delta;
+                    victim_ready = victim_ready.saturating_sub(old.pred_delta);
+                    taken.push(t);
+                }
+                (taken, depth)
+            };
+            if taken.is_empty() {
+                continue;
+            }
+            for t in &taken {
+                let resident = view.resident_read_bytes(node, &t.accesses);
+                ctx.stats.record_steal(resident);
+                ctx.stats.record_event(TraceEvent::Steal {
+                    task: t.id,
+                    thief: worker,
+                    victim: v,
+                    resident_bytes: resident,
+                });
+            }
+            // Run the victim's next-in-line task now; park the surplus on
+            // the thief's own queue for its following pops.
+            let mut taken = taken.into_iter();
+            let first = taken.next().expect("non-empty");
+            {
+                let mut q = self.queues[worker].lock();
+                for t in taken {
+                    let job = Arc::clone(&t.job);
+                    q.queue_for(&job).push(t);
+                }
+            }
+            let resident = view.resident_read_bytes(node, &first.accesses);
+            ctx.stats.record_dispatch(depth, resident, false);
+            return Some(first);
+        }
+        None
+    }
 }
 
 impl Scheduler for DmdaScheduler {
@@ -392,15 +543,18 @@ impl Scheduler for DmdaScheduler {
         view: &MemoryView,
         ctx: &SchedCtx<'_>,
     ) -> Option<Arc<Task>> {
-        let (task, depth) = {
+        let node = ctx.machine.worker_memory_node(worker);
+        let popped = {
             let mut q = self.queues[worker].lock();
             let depth = q.total_len();
-            (q.pop_with(|lane| lane.pop())?, depth)
+            q.pop_with(|lane| lane.pop()).map(|t| (t, depth))
         };
-        let node = ctx.machine.worker_memory_node(worker);
-        let resident = view.resident_read_bytes(node, &task.accesses);
-        ctx.stats.record_dispatch(depth, resident, false);
-        Some(task)
+        if let Some((task, depth)) = popped {
+            let resident = view.resident_read_bytes(node, &task.accesses);
+            ctx.stats.record_dispatch(depth, resident, false);
+            return Some(task);
+        }
+        self.steal(worker, node, view, ctx)
     }
 
     fn task_timed(&self, worker: usize, _task: &Task, choice: Option<ExecChoice>) {
@@ -829,5 +983,115 @@ pub(crate) mod tests {
             0,
             "plain dmda pops FIFO"
         );
+    }
+
+    /// Pushes `task` and asserts it was placed on `worker` (the tests
+    /// below need to know which queue the steal must raid).
+    fn push_on(s: &DmdaScheduler, f: &Fixture, task: Arc<Task>, worker: usize) {
+        let placed = s.push_ready(task, &f.ctx());
+        assert_eq!(placed, Some(worker), "test premise: placement target");
+    }
+
+    #[test]
+    fn idle_worker_steals_and_charge_follows() {
+        let mut f = Fixture::new(MachineConfig::cpu_only(2), RuntimeConfig::default());
+        f.stats = StatsCollector::new(2, true);
+        let c = Arc::new(Codelet::new("k").with_impl(Arch::Cpu, |_| {}));
+        let probe = Arc::new(TaskBuilder::new(&c).into_task(9));
+        for _ in 0..3 {
+            f.perf.record(
+                PerfKey::new("k", ArchClass::Cpu, probe.footprint()),
+                VTime::from_micros(50),
+            );
+        }
+        let s = DmdaScheduler::new(2);
+        // A single calibrated task lands on worker 0 (equal scores keep the
+        // first option).
+        push_on(&s, &f, task_of_no_cost(&c, 7), 0);
+        assert!(s.core.queued(0) > VTime::ZERO);
+        assert_eq!(s.core.queued(1), VTime::ZERO);
+
+        // Worker 1's own queue is empty: it steals the task, and the
+        // queued-work charge and recorded placement move with it.
+        let view = f.memory.view();
+        let t = s.pop_for_worker(1, &view, &f.ctx()).expect("steals");
+        assert_eq!(t.id, 7);
+        assert_eq!(s.core.queued(0), VTime::ZERO, "victim charge released");
+        assert!(s.core.queued(1) > VTime::ZERO, "thief charged");
+        assert_eq!(t.chosen.lock().unwrap().worker, 1, "placement rebound");
+        assert_eq!(s.queue_len(0), 0);
+        assert_eq!(f.stats.snapshot().steals, 1);
+        assert!(f.stats.trace.lock().iter().any(|e| matches!(
+            e,
+            TraceEvent::Steal {
+                task: 7,
+                thief: 1,
+                victim: 0,
+                ..
+            }
+        )));
+
+        // task_timed releases against the thief, balancing the books.
+        s.task_timed(1, &t, *t.chosen.lock());
+        assert_eq!(s.core.queued(1), VTime::ZERO);
+    }
+
+    #[test]
+    fn steal_stays_within_architecture_class() {
+        // A CPU worker must not steal a task placed on the GPU even though
+        // the codelet has a CPU implementation: the charge was predicted
+        // from the GPU profile.
+        let f = Fixture::new(MachineConfig::c2050_platform(2), RuntimeConfig::default());
+        let c = dual_codelet();
+        let probe = task_of(&c, 9);
+        let fp = probe.footprint();
+        for _ in 0..3 {
+            f.perf.record(
+                PerfKey::new("k", ArchClass::Cpu, fp),
+                VTime::from_micros(100),
+            );
+            f.perf.record(
+                PerfKey::new("k", ArchClass::Gpu("Tesla C2050".into()), fp),
+                VTime::from_micros(10),
+            );
+        }
+        let s = DmdaScheduler::new(f.machine.total_workers());
+        push_on(&s, &f, task_of(&c, 3), 2);
+        let view = f.memory.view();
+        assert!(
+            s.pop_for_worker(0, &view, &f.ctx()).is_none(),
+            "CPU worker leaves the GPU-placed task alone"
+        );
+        assert_eq!(s.queue_len(2), 1);
+        assert_eq!(f.stats.snapshot().steals, 0);
+    }
+
+    #[test]
+    fn recorded_graph_tasks_are_not_stolen() {
+        use crate::graph::GraphLink;
+        use std::sync::Weak;
+
+        let f = Fixture::new(MachineConfig::cpu_only(2), RuntimeConfig::default());
+        let c = Arc::new(Codelet::new("k").with_impl(Arch::Cpu, |_| {}));
+        let probe = Arc::new(TaskBuilder::new(&c).into_task(9));
+        for _ in 0..3 {
+            f.perf.record(
+                PerfKey::new("k", ArchClass::Cpu, probe.footprint()),
+                VTime::from_micros(50),
+            );
+        }
+        let mut t = TaskBuilder::new(&c).into_task(4);
+        t.graph = Some(GraphLink {
+            instance: Weak::new(),
+            node: 0,
+        });
+        let s = DmdaScheduler::new(2);
+        push_on(&s, &f, Arc::new(t), 0);
+        let view = f.memory.view();
+        assert!(
+            s.pop_for_worker(1, &view, &f.ctx()).is_none(),
+            "replay placement must stay pinned to its recorded worker"
+        );
+        assert_eq!(s.queue_len(0), 1);
     }
 }

@@ -101,6 +101,13 @@ impl PrioQueue {
         self.heap.len()
     }
 
+    /// Immutable walk over the queued tasks, in unspecified (heap) order.
+    /// Used by stealing policies to score a victim's queue without
+    /// disturbing it.
+    pub fn iter(&self) -> impl Iterator<Item = &Arc<Task>> {
+        self.heap.iter().map(|e| &e.task)
+    }
+
     #[cfg(test)]
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()

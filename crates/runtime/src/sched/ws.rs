@@ -3,6 +3,7 @@
 use super::fair::JobLanes;
 use super::{options_for, SchedCtx, Scheduler};
 use crate::memory::MemoryView;
+use crate::stats::TraceEvent;
 use crate::task::Task;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
@@ -13,6 +14,14 @@ use std::sync::Arc;
 /// the back of victims' queues (classic Cilk/StarPU `ws` shape). Each
 /// worker's deque is laned per job (see [`super::fair`]): pops and steals
 /// walk the victim's lanes in fair-share order.
+///
+/// Victim selection is *steal-from-richest*: candidates are ranked by how
+/// many of their stealable task's read-operand bytes are already resident
+/// on the thief's memory node (the locality-index residency data behind
+/// [`MemoryView`]), so a steal moves work toward its data instead of
+/// paying blind transfer costs. All-cold candidates fall back to the
+/// classic deepest-queue order, and every steal is recorded as a
+/// [`TraceEvent::Steal`] with its thief-side resident bytes.
 pub struct WsScheduler {
     queues: Vec<Mutex<JobLanes<VecDeque<Arc<Task>>>>>,
 }
@@ -78,13 +87,38 @@ impl Scheduler for WsScheduler {
             ctx.stats.record_dispatch(depth, resident, false);
             return Some(t);
         }
-        // Steal: scan victims, take the most recently pushed runnable task
-        // from the victim's fairest-first lane.
+        // Steal-from-richest: score every victim by the thief-side
+        // resident read bytes of its stealable back task (peeked under
+        // the victim's lock without removing anything), then attempt the
+        // actual steals richest-first. Depth breaks ties, so a mesh with
+        // no resident data anywhere keeps the classic deepest-queue
+        // behavior. The scored task can be taken by its owner between the
+        // two passes — the steal pass re-resolves the back-most runnable
+        // task, so a stale score costs at most a suboptimal victim order.
         let is_gpu = ctx.machine.worker_is_gpu(worker);
+        let mut ranked: Vec<(usize, u64, usize)> = Vec::new();
         for v in 0..self.queues.len() {
             if v == worker {
                 continue;
             }
+            let mut q = self.queues[v].lock();
+            let depth = q.total_len();
+            if depth == 0 {
+                continue;
+            }
+            let score = q.pop_with(|lane| {
+                lane.iter()
+                    .rev()
+                    .find(|t| t.runnable_on(worker, is_gpu))
+                    .map(|t| view.resident_read_bytes(node, &t.accesses))
+            });
+            if let Some(bytes) = score {
+                ranked.push((v, bytes, depth));
+            }
+        }
+        ranked
+            .sort_by_key(|&(_, bytes, depth)| (std::cmp::Reverse(bytes), std::cmp::Reverse(depth)));
+        for (v, _, _) in ranked {
             let stolen = {
                 let mut q = self.queues[v].lock();
                 let depth = q.total_len();
@@ -98,6 +132,13 @@ impl Scheduler for WsScheduler {
             if let Some((t, depth)) = stolen {
                 let resident = view.resident_read_bytes(node, &t.accesses);
                 ctx.stats.record_dispatch(depth, resident, false);
+                ctx.stats.record_steal(resident);
+                ctx.stats.record_event(TraceEvent::Steal {
+                    task: t.id,
+                    thief: worker,
+                    victim: v,
+                    resident_bytes: resident,
+                });
                 return Some(t);
             }
         }
@@ -110,6 +151,7 @@ mod tests {
     use super::*;
     use crate::codelet::{Arch, Codelet};
     use crate::coherence::Topology;
+    use crate::handle::DataHandle;
     use crate::memory::{EvictionPolicy, MemoryManager};
     use crate::perfmodel::PerfRegistry;
     use crate::runtime::RuntimeConfig;
@@ -204,5 +246,58 @@ mod tests {
         let s = WsScheduler::new(2);
         s.seed(0, cpu_task(0));
         assert!(s.pop_for_worker(1, &f.memory.view(), &f.ctx()).is_none());
+    }
+
+    #[test]
+    fn steal_prefers_victim_with_resident_operands() {
+        use crate::coherence;
+        use crate::handle::AccessMode;
+
+        // 1 CPU + 2 GPUs: the thief is GPU worker 1 (memory node 1).
+        let mut f = Fixture::new(MachineConfig::multi_gpu(1, 2));
+        f.stats = StatsCollector::new(f.machine.total_workers(), true);
+        let s = WsScheduler::new(f.machine.total_workers());
+        let c = Arc::new(
+            Codelet::new("t")
+                .with_impl(Arch::Cpu, |_| {})
+                .with_impl(Arch::Gpu, |_| {}),
+        );
+        let cold = DataHandle::new(1, vec![0f32; 256], 1024, f.machine.memory_nodes());
+        let hot = DataHandle::new(2, vec![0f32; 256], 1024, f.machine.memory_nodes());
+        // `hot` is resident on the thief's node before the steal.
+        coherence::make_valid(&hot, 1, AccessMode::Read, &f.topo, &f.stats, &f.memory);
+        let task_reading = |id, h: &DataHandle| {
+            Arc::new(
+                TaskBuilder::new(&c)
+                    .access(h, AccessMode::Read)
+                    .into_task(id),
+            )
+        };
+        // Fixed-order stealing would hit worker 0 (the cold task) first.
+        s.seed(0, task_reading(10, &cold));
+        s.seed(2, task_reading(11, &hot));
+        let view = f.memory.view();
+        let stolen = s
+            .pop_for_worker(1, &view, &f.ctx())
+            .expect("steal succeeds");
+        assert_eq!(stolen.id, 11, "steals the task whose operand is resident");
+        let snap = f.stats.snapshot();
+        assert_eq!(snap.steals, 1);
+        assert_eq!(snap.steal_resident_bytes, 1024);
+        assert!(f.stats.trace.lock().iter().any(|e| matches!(
+            e,
+            TraceEvent::Steal {
+                task: 11,
+                thief: 1,
+                victim: 2,
+                resident_bytes: 1024,
+            }
+        )));
+        // Next steal has only the cold victim left: classic order.
+        let stolen = s
+            .pop_for_worker(1, &view, &f.ctx())
+            .expect("cold steal still succeeds");
+        assert_eq!(stolen.id, 10);
+        assert_eq!(f.stats.snapshot().steals, 2);
     }
 }

@@ -130,6 +130,21 @@ pub enum TraceEvent {
         /// Requested (accounted) size of the allocation.
         bytes: usize,
     },
+    /// A work-stealing worker took a task from another worker's queue.
+    /// Records how many of the stolen task's read-operand bytes were
+    /// already resident on the *thief's* memory node, so steal quality
+    /// (affinity-aware vs. blind) is observable in traces.
+    Steal {
+        /// Stolen task id.
+        task: u64,
+        /// Worker that stole the task.
+        thief: usize,
+        /// Worker whose queue lost the task.
+        victim: usize,
+        /// Read-operand bytes of the stolen task already resident on the
+        /// thief's memory node at steal time.
+        resident_bytes: u64,
+    },
     /// The scheduler dispatched a task ahead of FIFO order because its
     /// operands were already resident on the worker's memory node (the
     /// `dmdar` readiness reordering, or a forced aging pop).
@@ -222,6 +237,15 @@ pub struct StatsCollector {
     pub evictions: AtomicU64,
     /// Bytes of Modified victims written back to main memory.
     pub writeback_bytes: AtomicU64,
+    /// Whole block families evicted together (partition-aware policy).
+    pub family_evictions: AtomicU64,
+    /// Sibling replicas evicted as members of those family groups.
+    pub family_eviction_members: AtomicU64,
+    /// Tasks taken from another worker's ready queue.
+    pub steals: AtomicU64,
+    /// Sum over all steals of the stolen task's read-operand bytes already
+    /// resident on the thief's memory node.
+    pub steal_resident_bytes: AtomicU64,
     /// Device allocations served from the allocation cache.
     pub alloc_cache_hits: AtomicU64,
     /// Device allocations that had to create a fresh buffer.
@@ -287,6 +311,23 @@ impl StatsCollector {
         if writeback {
             self.writeback_bytes.fetch_add(bytes, Ordering::Relaxed);
         }
+    }
+
+    /// Records one family-at-a-time eviction of `members` sibling replicas.
+    /// The per-replica [`StatsCollector::record_eviction`] calls still
+    /// happen for each member; this counts the *group* decisions.
+    pub(crate) fn record_family_eviction(&self, members: u64) {
+        self.family_evictions.fetch_add(1, Ordering::Relaxed);
+        self.family_eviction_members
+            .fetch_add(members, Ordering::Relaxed);
+    }
+
+    /// Records one work steal and the thief-side resident bytes of the
+    /// stolen task's read operands (steal quality).
+    pub(crate) fn record_steal(&self, resident_bytes: u64) {
+        self.steals.fetch_add(1, Ordering::Relaxed);
+        self.steal_resident_bytes
+            .fetch_add(resident_bytes, Ordering::Relaxed);
     }
 
     pub(crate) fn record_cache_hit(&self) {
@@ -364,6 +405,10 @@ impl StatsCollector {
                 .collect(),
             evictions: self.evictions.load(Ordering::Relaxed),
             writeback_bytes: self.writeback_bytes.load(Ordering::Relaxed),
+            family_evictions: self.family_evictions.load(Ordering::Relaxed),
+            family_eviction_members: self.family_eviction_members.load(Ordering::Relaxed),
+            steals: self.steals.load(Ordering::Relaxed),
+            steal_resident_bytes: self.steal_resident_bytes.load(Ordering::Relaxed),
             alloc_cache_hits: self.alloc_cache_hits.load(Ordering::Relaxed),
             alloc_cache_misses: self.alloc_cache_misses.load(Ordering::Relaxed),
             alloc_cache_trim_bytes: self.alloc_cache_trim_bytes.load(Ordering::Relaxed),
@@ -425,6 +470,18 @@ pub struct RuntimeStats {
     /// Bytes of Modified victims written back to main memory before their
     /// device replicas were invalidated.
     pub writeback_bytes: u64,
+    /// Whole block families evicted together under
+    /// [`crate::EvictionPolicy::Family`] (group decisions, not replicas).
+    pub family_evictions: u64,
+    /// Sibling replicas evicted as members of those family groups
+    /// (each also counts toward [`RuntimeStats::evictions`]).
+    pub family_eviction_members: u64,
+    /// Tasks taken from another worker's ready queue (`ws` scheduler).
+    pub steals: u64,
+    /// Sum over all steals of the stolen task's read-operand bytes already
+    /// resident on the thief's memory node — high values mean the
+    /// steal-from-richest heuristic found affine victims.
+    pub steal_resident_bytes: u64,
     /// Device allocations served from a node's allocation cache (a
     /// retained buffer was reused instead of allocating fresh).
     pub alloc_cache_hits: u64,
@@ -611,6 +668,7 @@ pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
     let (mut evictions, mut writebacks, mut evicted_bytes) = (0u64, 0u64, 0u64);
     let mut reuses = 0u64;
     let (mut reorders, mut reorder_resident) = (0u64, 0u64);
+    let (mut steals, mut steal_resident) = (0u64, 0u64);
     let (mut d2d, mut d2d_bytes) = (0u64, 0u64);
     for e in trace {
         match e {
@@ -627,6 +685,10 @@ pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
             TraceEvent::Reorder { resident_bytes, .. } => {
                 reorders += 1;
                 reorder_resident += resident_bytes;
+            }
+            TraceEvent::Steal { resident_bytes, .. } => {
+                steals += 1;
+                steal_resident += resident_bytes;
             }
             TraceEvent::Transfer {
                 from, to, bytes, ..
@@ -650,6 +712,11 @@ pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
     if reorders > 0 {
         out.push_str(&format!(
             "  scheduler reorders: {reorders} ({reorder_resident} resident bytes dispatched early)\n"
+        ));
+    }
+    if steals > 0 {
+        out.push_str(&format!(
+            "  steals: {steals} ({steal_resident} resident bytes already on the thief's node)\n"
         ));
     }
     if d2d > 0 {

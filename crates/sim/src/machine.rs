@@ -29,6 +29,14 @@ pub struct MachineConfig {
     /// pair (e.g. GPUs behind one PCIe switch). `None` means device-to-device
     /// traffic must be staged through main memory.
     pub p2p: Option<LinkProfile>,
+    /// Per-directed-pair overrides of the uniform [`MachineConfig::p2p`]
+    /// link, as `(src_device, dst_device, link)` over 0-based accelerator
+    /// indices. A `Some(profile)` entry gives that ordered pair its own
+    /// link (NUMA-style meshes where two GPUs share a PCIe switch while a
+    /// third sits across the host bridge); a `None` entry *removes* the
+    /// direct link for that direction, forcing host staging even when a
+    /// uniform `p2p` link exists. The last matching entry wins.
+    pub p2p_overrides: Vec<(usize, usize, Option<LinkProfile>)>,
     /// Relative timing jitter applied to modelled execution times
     /// (`0.0` = deterministic).
     pub noise_rel_stddev: f64,
@@ -45,6 +53,7 @@ impl MachineConfig {
             cpu_profile: DeviceProfile::xeon_e5520_core(),
             accelerators: Vec::new(),
             p2p: None,
+            p2p_overrides: Vec::new(),
             noise_rel_stddev: 0.0,
             noise_seed: 0,
         }
@@ -61,6 +70,7 @@ impl MachineConfig {
                 link: LinkProfile::pcie2_x16(),
             }],
             p2p: None,
+            p2p_overrides: Vec::new(),
             noise_rel_stddev: 0.03,
             noise_seed: 0xC2050,
         }
@@ -76,6 +86,7 @@ impl MachineConfig {
                 link: LinkProfile::pcie2_x16(),
             }],
             p2p: None,
+            p2p_overrides: Vec::new(),
             noise_rel_stddev: 0.03,
             noise_seed: 0xC1060,
         }
@@ -95,6 +106,7 @@ impl MachineConfig {
                 })
                 .collect(),
             p2p: None,
+            p2p_overrides: Vec::new(),
             noise_rel_stddev: 0.0,
             noise_seed: 0x6E0,
         }
@@ -118,6 +130,54 @@ impl MachineConfig {
     pub fn with_p2p(mut self, link: LinkProfile) -> Self {
         self.p2p = Some(link);
         self
+    }
+
+    /// Overrides the peer link of the *directed* pair `src → dst` (0-based
+    /// accelerator indices, builder style). `Some(link)` installs a
+    /// per-direction link; `None` removes the direct path, forcing that
+    /// direction to stage through main memory regardless of
+    /// [`MachineConfig::p2p`].
+    pub fn with_p2p_pair(mut self, src: usize, dst: usize, link: Option<LinkProfile>) -> Self {
+        self.p2p_overrides.push((src, dst, link));
+        self
+    }
+
+    /// The effective peer link of the directed accelerator pair
+    /// `src → dst` (0-based device indices): the last matching override,
+    /// else the uniform [`MachineConfig::p2p`] link. `None` means the pair
+    /// has no direct channel and must stage through main memory.
+    pub fn peer_link(&self, src: usize, dst: usize) -> Option<&LinkProfile> {
+        for (s, d, link) in self.p2p_overrides.iter().rev() {
+            if *s == src && *d == dst {
+                return link.as_ref();
+            }
+        }
+        self.p2p.as_ref()
+    }
+
+    /// Whether any ordered device pair has a direct peer link.
+    pub fn has_p2p(&self) -> bool {
+        self.p2p.is_some() || self.p2p_overrides.iter().any(|(_, _, l)| l.is_some())
+    }
+
+    /// An asymmetric 4-GPU mesh modelled after dual-switch PCIe platforms
+    /// (two C2050 pairs, each sharing a switch): intra-switch pairs 0↔1 and
+    /// 2↔3 get the fast [`LinkProfile::pcie2_p2p`] link, cross-switch
+    /// traffic crawls over the host bridge at half bandwidth, and the
+    /// 0 → 3 direction has no direct path at all (its DMA engine cannot
+    /// post writes across the bridge), so the planner must stage it through
+    /// main memory while 3 → 0 still runs direct — a per-*directed*-pair
+    /// asymmetry.
+    pub fn c2050_platform_mesh(cpus: usize) -> Self {
+        let fast = LinkProfile::pcie2_p2p();
+        let slow = LinkProfile::custom(3.0, crate::vclock::VTime::from_micros(12));
+        MachineConfig::multi_gpu(cpus, 4)
+            .with_p2p(slow)
+            .with_p2p_pair(0, 1, Some(fast.clone()))
+            .with_p2p_pair(1, 0, Some(fast.clone()))
+            .with_p2p_pair(2, 3, Some(fast.clone()))
+            .with_p2p_pair(3, 2, Some(fast))
+            .with_p2p_pair(0, 3, None)
     }
 
     /// Disables timing noise (builder style) for deterministic tests.
@@ -237,6 +297,52 @@ mod tests {
         let link = custom.p2p.expect("builder sets the peer link");
         assert_eq!(link.bandwidth_gbs, 12.0);
         assert_eq!(link.latency, VTime::from_micros(4));
+    }
+
+    #[test]
+    fn peer_link_resolves_overrides_over_uniform() {
+        use crate::vclock::VTime;
+        let fast = LinkProfile::pcie2_p2p();
+        let slow = LinkProfile::custom(1.0, VTime::from_micros(40));
+        let m = MachineConfig::multi_gpu(1, 3)
+            .with_p2p(slow.clone())
+            .with_p2p_pair(0, 1, Some(fast.clone()))
+            .with_p2p_pair(1, 2, None);
+        // Override wins over the uniform link, per direction.
+        assert_eq!(m.peer_link(0, 1), Some(&fast));
+        assert_eq!(
+            m.peer_link(1, 0),
+            Some(&slow),
+            "reverse direction untouched"
+        );
+        // A None override removes the direct path entirely.
+        assert_eq!(m.peer_link(1, 2), None);
+        assert_eq!(m.peer_link(2, 1), Some(&slow));
+        assert!(m.has_p2p());
+        // Overrides alone (no uniform link) still count as P2P.
+        let only_pair = MachineConfig::multi_gpu(1, 2).with_p2p_pair(0, 1, Some(fast.clone()));
+        assert!(only_pair.has_p2p());
+        assert_eq!(only_pair.peer_link(0, 1), Some(&fast));
+        assert_eq!(only_pair.peer_link(1, 0), None);
+        assert!(!MachineConfig::multi_gpu(1, 2).has_p2p());
+    }
+
+    #[test]
+    fn mesh_preset_is_asymmetric() {
+        let m = MachineConfig::c2050_platform_mesh(2);
+        assert_eq!(m.accelerators.len(), 4);
+        let fast = LinkProfile::pcie2_p2p();
+        // Intra-switch pairs are fast in both directions.
+        assert_eq!(m.peer_link(0, 1), Some(&fast));
+        assert_eq!(m.peer_link(1, 0), Some(&fast));
+        assert_eq!(m.peer_link(2, 3), Some(&fast));
+        assert_eq!(m.peer_link(3, 2), Some(&fast));
+        // Cross-switch traffic exists but is slower than intra-switch.
+        let cross = m.peer_link(1, 2).expect("cross-switch link exists");
+        assert!(cross.bandwidth_gbs < fast.bandwidth_gbs);
+        // The 0→3 direction stages through the host; 3→0 stays direct.
+        assert_eq!(m.peer_link(0, 3), None);
+        assert!(m.peer_link(3, 0).is_some());
     }
 
     #[test]

@@ -40,6 +40,21 @@ fn stress_seed_11_both_policies() {
     check_dmda(11, 60, EvictionPolicy::FallbackCpu);
 }
 
+/// Partition-aware (family) eviction under the same budget churn: handles
+/// are grouped into block families, victims leave family-at-a-time, and
+/// the burst prefetcher pulls siblings together — bitwise results and the
+/// budget high-water must hold exactly as under plain LRU.
+#[test]
+fn stress_seed_7_and_11_family_policy() {
+    check_dmda(7, 60, EvictionPolicy::Family);
+    check_dmda(11, 60, EvictionPolicy::Family);
+}
+
+#[test]
+fn stress_seed_17_p2p_family_policy() {
+    check_dmda_p2p(17, 60, EvictionPolicy::Family);
+}
+
 /// Determinism of the harness itself: the same seed must build the same
 /// shadow and pass twice (guards against accidental nondeterminism in the
 /// generator, which would make CI failures unreproducible).
@@ -83,4 +98,12 @@ fn stress_release_seed_3003() {
 fn stress_release_seed_4004_p2p_three_devices() {
     check_dmda_p2p(4004, 300, EvictionPolicy::Lru);
     check_dmda_p2p(4004, 300, EvictionPolicy::FallbackCpu);
+}
+
+#[test]
+#[ignore]
+fn stress_release_family_policy_seeds() {
+    check_dmda(1001, 300, EvictionPolicy::Family);
+    check_dmda(2002, 300, EvictionPolicy::Family);
+    check_dmda_p2p(4004, 300, EvictionPolicy::Family);
 }

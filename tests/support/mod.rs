@@ -7,8 +7,8 @@
 //!
 //! - results are bitwise identical to a host shadow evaluated in
 //!   submission order (sequential data consistency),
-//! - the Lru budget is never exceeded (high-water includes the allocation
-//!   cache's retained bytes) and FallbackCpu never evicts,
+//! - the Lru and Family budgets are never exceeded (high-water includes
+//!   the allocation cache's retained bytes) and FallbackCpu never evicts,
 //! - no pinned replica is ever selected for eviction (a hard assert inside
 //!   the capacity manager — the run aborts if it trips),
 //! - allocation-cache accounting balances to zero at shutdown: after
@@ -133,6 +133,18 @@ pub fn run_stress_on(
         shadow.push(init.clone());
         handles.push(rt.register(init));
     }
+    // Partition-style block families for the Family policy: handles in
+    // threes share a family, giving eviction real sibling sets to group
+    // and the prefetcher bursts to plan. Other policies skip the tagging
+    // so their seeds replay byte-identically to earlier revisions.
+    if policy == EvictionPolicy::Family {
+        for chunk in handles.chunks(3) {
+            let fam = rt.new_family();
+            for h in chunk {
+                rt.set_family(h, fam);
+            }
+        }
+    }
 
     for t in 0..ntasks {
         let kind = rng.gen_range(0..3u32);
@@ -203,7 +215,7 @@ pub fn run_stress_on(
         // Explicit reclaim evicts by design, so only exercise it where the
         // zero-eviction FallbackCpu assertion is not in force. The draw is
         // unconditional to keep the rng stream identical across policies.
-        if rng.gen_bool(0.05) && policy == EvictionPolicy::Lru {
+        if rng.gen_bool(0.05) && policy != EvictionPolicy::FallbackCpu {
             rt.reclaim_node(1);
         }
         if rng.gen_bool(0.10) {
@@ -229,13 +241,13 @@ pub fn run_stress_on(
 
     let stats = rt.stats();
     match policy {
-        EvictionPolicy::Lru => {
+        EvictionPolicy::Lru | EvictionPolicy::Family => {
             // used + retained never exceeded the budget on ANY device
             // node, at any point.
             for (n, &hw) in stats.mem_high_water.iter().enumerate().skip(1) {
                 if hw > BUDGET {
                     failures.push(format!(
-                        "Lru budget exceeded on node {n}: high water {hw} > {BUDGET}"
+                        "{policy:?} budget exceeded on node {n}: high water {hw} > {BUDGET}"
                     ));
                 }
             }
