@@ -5,11 +5,13 @@
 //!
 //! Four graph shapes stress different parts of the path:
 //!
-//! * `independent` — 1000 dependency-free tasks: pure queue/wakeup/stats
-//!   throughput, all workers draining in parallel.
+//! * `independent` — dependency-free tasks batch-submitted in one call:
+//!   pure queue/wakeup/stats throughput, all workers draining in
+//!   parallel.
 //! * `job_independent` — the same frontier through one explicit job
-//!   context, so the per-job lane and fair-share machinery is engaged
-//!   with a single tenant; gated within 5% of the pre-job baseline.
+//!   context whose completion is awaited via `JobHandle::wait`, so the
+//!   per-job lane and fair-share machinery is engaged with a single
+//!   tenant; gated within 5% of the pre-job baseline.
 //! * `chain` — 512 tasks serialized through one ReadWrite handle: the
 //!   completion→successor-push→wakeup latency, one task in flight.
 //! * `fanout` — one producer and 512 readers of its output: a ready-queue
@@ -117,13 +119,13 @@ fn runtime(kind: SchedulerKind) -> Runtime {
 /// Submits `n` dependency-free empty tasks as one batch — the whole
 /// frontier lands through the scheduler's batch entry point (one queue
 /// lock and one wakeup pass), the path graph replay and the scale
-/// harness use — and waits for them.
-// Deliberately measures the implicit-default-job forwarder: it *is* the
-// single-tenant hot path the floor gates, and it must not regress just
-// because a job-scoped entry point exists.
-#[allow(deprecated)]
+/// harness use — and waits for them. The deprecated `Runtime`
+/// forwarders are gone, so the batch goes through a default-config job
+/// handle but completion is awaited runtime-wide, exactly as the old
+/// implicit-default-job path did.
 fn run_independent(rt: &Runtime, cl: &Arc<Codelet>) -> usize {
-    rt.submit_batch(
+    let job = rt.job(JobConfig::default());
+    job.submit_batch(
         (0..INDEPENDENT_TASKS)
             .map(|_| TaskBuilder::new(cl))
             .collect(),
@@ -207,8 +209,6 @@ fn measure(kind: SchedulerKind, scenario: &str) -> (f64, f64) {
 /// frontier is seeded through one `submit_batch` call — the same path
 /// graph replay uses — so push-side cost is batched exactly as in the
 /// scale test harness.
-// Same deliberate use of the default-job forwarder as `run_independent`.
-#[allow(deprecated)]
 fn measure_scale_pop(gpus: usize) -> f64 {
     let mut best = f64::INFINITY;
     for _ in 0..RUNS {
@@ -223,7 +223,8 @@ fn measure_scale_pop(gpus: usize) -> f64 {
         let handles: Vec<_> = (0..SCALE_HANDLES)
             .map(|_| rt.register(vec![0u8; 256]))
             .collect();
-        rt.submit_batch(
+        let job = rt.job(JobConfig::default());
+        job.submit_batch(
             (0..SCALE_TASKS)
                 .map(|i| {
                     TaskBuilder::new(&cl).access(&handles[i % SCALE_HANDLES], AccessMode::Read)

@@ -130,6 +130,17 @@ pub fn replay_json_path() -> PathBuf {
         })
 }
 
+/// Path of the machine-readable adaptation-bench sidecar: the
+/// `BENCH_ADAPT_JSON` env var when set, `target/BENCH_adapt.json`
+/// at the workspace root otherwise.
+pub fn adapt_json_path() -> PathBuf {
+    std::env::var_os("BENCH_ADAPT_JSON")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| {
+            Path::new(env!("CARGO_MANIFEST_DIR")).join("../../target/BENCH_adapt.json")
+        })
+}
+
 /// Path of the machine-readable partition-bench sidecar: the
 /// `BENCH_PARTITION_JSON` env var when set, `target/BENCH_partition.json`
 /// at the workspace root otherwise.

@@ -56,6 +56,11 @@ pub(crate) struct InstanceCore {
     /// Replay count after which placement is frozen (re-enqueue on the
     /// previous iteration's worker instead of re-running placement).
     freeze_after: AtomicU32,
+    /// The perf registry's drift epoch observed at the last unfrozen
+    /// seed. A frozen seed that finds the global epoch moved concludes
+    /// its recorded schedule may be priced on pre-drift models and thaws
+    /// (see [`InstanceCore::seed`]).
+    frozen_epoch: AtomicU64,
     /// Max task vfinish (nanoseconds) seen this iteration.
     iter_max_ns: AtomicU64,
     runs: Mutex<Vec<RunRecord>>,
@@ -90,6 +95,14 @@ impl InstanceCore {
     /// frozen, one root placed on that worker is held out of the batch
     /// and returned for the worker to run directly — no queue round trip,
     /// no wakeup.
+    ///
+    /// Drift-aware thaw: every unfrozen seed notes the perf registry's
+    /// drift epoch. A frozen seed that finds the epoch moved since then
+    /// is replaying a schedule placed on models that have since been
+    /// declared stale — it pushes `freeze_after` out past the current run
+    /// count so this and the next [`DEFAULT_FREEZE_AFTER`] iterations
+    /// re-place (and re-calibrate against the decayed histories) before
+    /// freezing again.
     pub(crate) fn seed(
         &self,
         inner: &RuntimeInner,
@@ -114,7 +127,25 @@ impl InstanceCore {
         if self.job.add_pending(self.tasks.len() as u64) {
             self.job.catch_up(inner.jobs.vclock());
         }
-        let frozen = self.is_frozen();
+        let frozen = if self.is_frozen() {
+            let epoch = inner.perf.drift_epoch();
+            if self.frozen_epoch.load(Ordering::Relaxed) == epoch {
+                true
+            } else {
+                // Thaw: models drifted under the frozen schedule. The
+                // `u32::MAX` sentinel (freezing disabled) never reaches
+                // here — with it, `is_frozen` is false.
+                let runs = self.total_runs.load(Ordering::Relaxed);
+                self.freeze_after
+                    .store(runs.saturating_add(DEFAULT_FREEZE_AFTER), Ordering::Relaxed);
+                self.frozen_epoch.store(epoch, Ordering::Relaxed);
+                false
+            }
+        } else {
+            self.frozen_epoch
+                .store(inner.perf.drift_epoch(), Ordering::Relaxed);
+            false
+        };
         let mut continuation: Option<Arc<Task>> = None;
         let mut roots: Vec<Arc<Task>> = Vec::with_capacity(self.roots.len());
         for &r in &self.roots {
@@ -226,7 +257,7 @@ pub(crate) fn instantiate(
                 let mut task = b.into_task(inner.alloc_task_id());
                 // Shared submission-time validation (aliased writable
                 // operands, undispatchable codelets) — same checks as
-                // `Runtime::submit` / `Runtime::submit_batch`.
+                // `JobHandle::submit` / `JobHandle::submit_batch`.
                 let options = crate::runtime::validate_task(&task, &inner.machine);
                 let keys = options
                     .iter()
@@ -257,6 +288,7 @@ pub(crate) fn instantiate(
             iters_left: AtomicUsize::new(0),
             total_runs: AtomicU32::new(0),
             freeze_after: AtomicU32::new(DEFAULT_FREEZE_AFTER),
+            frozen_epoch: AtomicU64::new(0),
             iter_max_ns: AtomicU64::new(0),
             runs: Mutex::new(Vec::new()),
             done: Mutex::new(false),
@@ -380,14 +412,71 @@ impl GraphInstance {
 
 #[cfg(test)]
 mod tests {
-    use crate::codelet::{Arch, Codelet};
+    use super::DEFAULT_FREEZE_AFTER;
+    use crate::codelet::{Arch, ArchClass, Codelet};
     use crate::graph::{GraphTask, TaskGraph};
     use crate::handle::AccessMode;
+    use crate::perfmodel::PerfKey;
     use crate::runtime::Runtime;
     use crate::sched::SchedulerKind;
     use crate::task::ExecChoice;
     use peppher_sim::{MachineConfig, VTime};
+    use std::sync::atomic::Ordering;
     use std::sync::Arc;
+
+    #[test]
+    fn drift_thaws_frozen_replay() {
+        let rt = Runtime::new(MachineConfig::cpu_only(2), SchedulerKind::Dmda);
+        let c = Arc::new(Codelet::new("thaw_cl").with_impl(Arch::Cpu, |_| {}));
+        let mut g = TaskGraph::new();
+        let s = g.slot(vec![0.0f32; 4]);
+        g.add(GraphTask::new(&c).access(s, AccessMode::ReadWrite));
+        let inst = g.instantiate(&rt);
+        inst.execute_many(6);
+        assert!(inst.core.is_frozen(), "premise: replay froze after 4 runs");
+        let frozen_at = inst.core.freeze_after.load(Ordering::Relaxed);
+
+        // Inject a drift on an unrelated key: the registry's drift epoch
+        // is global, and any detection means some schedule may be priced
+        // on stale models.
+        let key = PerfKey::new("unrelated_cl", ArchClass::Cpu, 0);
+        for _ in 0..20 {
+            rt.inner.perf.record(key, VTime::from_micros(10));
+        }
+        let fired = (0..6).any(|_| rt.inner.perf.record(key, VTime::from_micros(40)).is_some());
+        assert!(fired, "premise: sustained 4x slowdown must trigger drift");
+
+        inst.execute();
+        assert!(
+            !inst.core.is_frozen(),
+            "drift must thaw the frozen schedule"
+        );
+        assert!(
+            inst.core.freeze_after.load(Ordering::Relaxed) > frozen_at,
+            "freeze point pushed past the current run count"
+        );
+
+        // With no further drift the schedule re-freezes after another
+        // calibration window.
+        inst.execute_many(DEFAULT_FREEZE_AFTER + 1);
+        assert!(inst.core.is_frozen(), "re-frozen after re-calibration");
+        rt.shutdown();
+    }
+
+    #[test]
+    fn freeze_disabled_sentinel_survives_drift() {
+        let rt = Runtime::new(MachineConfig::cpu_only(2), SchedulerKind::Dmda);
+        let c = Arc::new(Codelet::new("nofreeze_cl").with_impl(Arch::Cpu, |_| {}));
+        let mut g = TaskGraph::new();
+        let s = g.slot(vec![0.0f32; 4]);
+        g.add(GraphTask::new(&c).access(s, AccessMode::ReadWrite));
+        let inst = g.instantiate(&rt);
+        inst.set_freeze_after(u32::MAX);
+        inst.execute_many(6);
+        assert!(!inst.core.is_frozen());
+        assert_eq!(inst.core.freeze_after.load(Ordering::Relaxed), u32::MAX);
+        rt.shutdown();
+    }
 
     /// A replayed task whose body panics outside its kernel (here: a
     /// placement corrupted to an unimplemented architecture, the way only

@@ -1,7 +1,7 @@
 //! Persistent task graphs: build-once / execute-many replay.
 //!
 //! Iterative applications (the paper's ODE solver, §V-C) resubmit the same
-//! small DAG thousands of times. Going through [`crate::Runtime::submit`]
+//! small DAG thousands of times. Going through [`crate::TaskBuilder::submit`]
 //! every iteration pays, per task, an allocation, codelet bookkeeping,
 //! sequential-consistency dependency discovery against the handles' access
 //! histories, eligible-worker enumeration and `PerfKey` construction —

@@ -291,11 +291,11 @@ impl JobCore {
     }
 }
 
-/// The per-runtime job registry: the implicit default job every legacy
-/// entry point forwards to, the id allocator, the "more than one job
+/// The per-runtime job registry: the implicit default job
+/// [`crate::TaskBuilder::submit`] lands in, the id allocator, the "more than one job
 /// exists" fast flag, and the global fair-share virtual clock.
 pub(crate) struct JobSet {
-    /// Job 0: what [`crate::Runtime::submit`]-style entry points submit to.
+    /// Job 0: what [`crate::TaskBuilder::submit`] submits to.
     pub(crate) default: Arc<JobCore>,
     next_id: AtomicU64,
     /// Latched true by the first [`crate::Runtime::job`] call. While
@@ -388,8 +388,9 @@ impl JobHandle {
         self.rt.submit_for(&self.core, builder)
     }
 
-    /// Submits a whole sub-graph of tasks as one unit under this job (see
-    /// the batch-semantics notes on [`crate::Runtime::submit_batch`]).
+    /// Submits a whole sub-graph of tasks as one unit under this job:
+    /// all-or-nothing validation, then the frontier seeds through the
+    /// scheduler's batch entry point (see DESIGN.md §5f).
     pub fn submit_batch(&self, builders: Vec<crate::TaskBuilder>) -> Batch {
         self.rt.submit_batch_for(&self.core, builders)
     }
@@ -478,10 +479,9 @@ impl JobHandle {
     }
 }
 
-/// The handles of one [`crate::Runtime::submit_batch`] /
-/// [`JobHandle::submit_batch`] call, with batch-level joins. Dereferences
-/// to `[TaskHandle]`, so indexing and iteration work like the bare `Vec`
-/// the API used to return.
+/// The handles of one [`JobHandle::submit_batch`] call, with
+/// batch-level joins. Dereferences to `[TaskHandle]`, so indexing and
+/// iteration work like a bare `Vec`.
 pub struct Batch {
     handles: Vec<TaskHandle>,
 }

@@ -101,8 +101,10 @@ pub use handle::{AccessMode, Data, DataHandle, ReplicaStatus};
 pub use intern::{CodeletId, Sym};
 pub use job::{Batch, JobConfig, JobHandle, JobStats};
 pub use memory::{EvictionPolicy, MemoryManager, MemoryView};
-pub use perfmodel::{ArchClassId, PerfKey, PerfRegistry};
-pub use runtime::{HostReadGuard, HostWriteGuard, Objective, Runtime, RuntimeConfig, TimingMode};
+pub use perfmodel::{ArchClassId, DriftEvent, Estimate, ModelStats, PerfKey, PerfRegistry};
+pub use runtime::{
+    ExplorationMode, HostReadGuard, HostWriteGuard, Objective, Runtime, RuntimeConfig, TimingMode,
+};
 pub use sched::{Scheduler, SchedulerKind};
 pub use stats::{gantt, RunId, RuntimeStats, TraceEvent};
 pub use task::{Task, TaskBuilder, TaskHandle, TaskHint, TaskHints};

@@ -34,6 +34,36 @@ pub enum Objective {
     Energy,
 }
 
+/// How placement handles cold or low-confidence performance models (see
+/// `perfmodel`): the bandit side of online adaptation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExplorationMode {
+    /// Never explore: always exploit the current model mean (plus the
+    /// calibration round-robin for keys with no model at all).
+    Off,
+    /// With probability `explore_epsilon`, place on an explorable
+    /// (cold/stale) option instead of the predicted-best one (the
+    /// default).
+    #[default]
+    EpsilonGreedy,
+    /// Score explorable options by their optimistic estimate (mean shrunk
+    /// toward zero as confidence drops) — upper-confidence-bound style
+    /// exploration without the random jump.
+    Ucb,
+}
+
+impl std::str::FromStr for ExplorationMode {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(ExplorationMode::Off),
+            "epsilon" | "epsilon-greedy" => Ok(ExplorationMode::EpsilonGreedy),
+            "ucb" => Ok(ExplorationMode::Ucb),
+            other => Err(format!("unknown exploration mode `{other}`")),
+        }
+    }
+}
+
 /// How execution times are obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TimingMode {
@@ -87,6 +117,17 @@ pub struct RuntimeConfig {
     /// engines, on by default) so eviction writebacks overlap incoming
     /// prefetches. Disable for the half-duplex ablation baseline.
     pub duplex_links: bool,
+    /// How `dmda`/`dmdar` placement treats cold or low-confidence model
+    /// keys (epsilon-greedy by default; see [`ExplorationMode`]).
+    pub exploration: ExplorationMode,
+    /// Exploration rate for [`ExplorationMode::EpsilonGreedy`]: the
+    /// fraction of eligible placements diverted to an explorable option.
+    pub explore_epsilon: f64,
+    /// Detect model drift (recent samples diverging from the model mean)
+    /// and recover by decaying the affected (codelet, arch) family and
+    /// thawing frozen replay schedules. On by default; turning it off
+    /// restores the learned-then-frozen pre-adaptation behavior.
+    pub drift_detection: bool,
 }
 
 impl Default for RuntimeConfig {
@@ -103,6 +144,9 @@ impl Default for RuntimeConfig {
             alloc_cache: true,
             dmdar_age_limit: 16,
             duplex_links: true,
+            exploration: ExplorationMode::EpsilonGreedy,
+            explore_epsilon: 0.05,
+            drift_detection: true,
         }
     }
 }
@@ -404,8 +448,9 @@ impl RuntimeInner {
     }
 }
 
-/// Submission-time validation shared by [`Runtime::submit`],
-/// [`Runtime::submit_batch`], and graph instantiation. Panics on the two
+/// Submission-time validation shared by [`crate::JobHandle::submit`],
+/// [`crate::JobHandle::submit_batch`], and graph instantiation. Panics on
+/// the two
 /// task shapes no scheduler can handle, and returns the eligible
 /// (worker, arch) options so callers that need them (graph placement
 /// tables) do not enumerate twice.
@@ -482,7 +527,10 @@ impl Runtime {
         Runtime::with_shared_perf(
             machine,
             config.clone(),
-            Arc::new(PerfRegistry::new(config.calibration_min)),
+            Arc::new(
+                PerfRegistry::new(config.calibration_min)
+                    .with_drift_detection(config.drift_detection),
+            ),
         )
     }
 
@@ -575,17 +623,9 @@ impl Runtime {
         }
     }
 
-    /// Submits a task to the implicit default job (used by
-    /// [`TaskBuilder::submit`]; multi-tenant callers use
-    /// [`crate::JobHandle::submit`]).
-    #[deprecated(note = "use Runtime::job")]
-    pub fn submit(&self, builder: TaskBuilder) -> TaskHandle {
-        let job = Arc::clone(&self.inner.jobs.default);
-        self.submit_for(&job, builder)
-    }
-
     /// Job-scoped single-task submission (the implementation behind both
-    /// [`crate::JobHandle::submit`] and the default-job forwarder).
+    /// [`crate::JobHandle::submit`] and [`TaskBuilder::submit`], which
+    /// targets the implicit default job).
     pub(crate) fn submit_for(&self, job: &Arc<JobCore>, builder: TaskBuilder) -> TaskHandle {
         let id = self.inner.alloc_task_id();
         let task = Arc::new(builder.for_job(job).into_task(id));
@@ -616,28 +656,20 @@ impl Runtime {
         TaskHandle(task)
     }
 
-    /// Submits a whole sub-graph of tasks as one unit. Observably
-    /// equivalent to calling [`Runtime::submit`] on each builder in order
-    /// — the same implicit data dependencies are recorded, including
-    /// intra-batch edges — but the simultaneously-ready frontier is seeded
-    /// through the scheduler's batch entry point: one queue-lock
-    /// acquisition (and one locality-index sync) covers the whole batch
-    /// instead of one per task. [`crate::graph::TaskGraph`] replay seeding
-    /// and high-rate stress harnesses use the same path internally.
+    /// Job-scoped batch submission: a whole sub-graph of tasks as one unit
+    /// (the implementation behind [`crate::JobHandle::submit_batch`]).
+    /// Observably equivalent to submitting each builder in order — the
+    /// same implicit data dependencies are recorded, including intra-batch
+    /// edges — but the simultaneously-ready frontier is seeded through the
+    /// scheduler's batch entry point: one queue-lock acquisition (and one
+    /// locality-index sync) covers the whole batch instead of one per
+    /// task. [`crate::graph::TaskGraph`] replay seeding and high-rate
+    /// stress harnesses use the same path internally.
     ///
     /// Validation is all-or-nothing: every task is checked *before* any
     /// side effect, so a batch containing an undispatchable codelet (or an
     /// aliased writable operand) panics without enqueuing a prefix,
     /// counting pending work, or recording any dependency edge.
-    #[deprecated(note = "use Runtime::job")]
-    pub fn submit_batch(&self, builders: Vec<TaskBuilder>) -> Batch {
-        let job = Arc::clone(&self.inner.jobs.default);
-        self.submit_batch_for(&job, builders)
-    }
-
-    /// Job-scoped batch submission (see [`Runtime::submit_batch`] for the
-    /// batch semantics; this is the implementation behind it and
-    /// [`crate::JobHandle::submit_batch`]).
     pub(crate) fn submit_batch_for(&self, job: &Arc<JobCore>, builders: Vec<TaskBuilder>) -> Batch {
         let tasks: Vec<Arc<Task>> = builders
             .into_iter()
@@ -927,6 +959,11 @@ impl Runtime {
         snap.mem_high_water = self.inner.memory.high_waters();
         snap.alloc_cache_retained = self.inner.memory.alloc_cache_retained();
         snap.channel_busy = self.inner.topo.channel_busy();
+        let models = self.inner.perf.model_stats();
+        snap.perf_keys = models.keys;
+        snap.perf_keys_calibrated = models.calibrated;
+        snap.perf_keys_exploring = models.exploring;
+        snap.model_drifts = models.drift_events;
         snap
     }
 

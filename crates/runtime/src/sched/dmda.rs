@@ -16,6 +16,17 @@
 //! deliberately round-robins across uncalibrated architectures to gather
 //! samples, as StarPU's calibration mode does.
 //!
+//! Calibration never really ends: histories carry a confidence score that
+//! decays as a key goes unsampled (see [`crate::perfmodel`]), and a
+//! calibrated-but-stale option is flagged for *exploration*. Under the
+//! default epsilon-greedy mode every Nth placement that sees a stale
+//! losing option diverts the task there to refresh its model; under UCB
+//! mode stale options are scored by an optimistic (confidence-shrunk)
+//! time instead, so uncertainty itself makes them attractive. Warm
+//! steady-state placement pays only a per-option boolean check — the
+//! epsilon counter is touched only when an explorable option actually
+//! lost the score race.
+//!
 //! The placement machinery lives in [`DmdaCore`] so [`super::dmdar`] can
 //! reuse it verbatim: dmdar is dmda's placement plus a readiness reorder on
 //! the pop path.
@@ -36,8 +47,9 @@ use super::pq::PrioQueue;
 use super::{options_into, SchedCtx, Scheduler};
 use crate::codelet::Arch;
 use crate::intern::CodeletId;
-use crate::memory::MemoryView;
-use crate::perfmodel::PerfKey;
+use crate::memory::{MemoryView, ResidentLookup};
+use crate::perfmodel::{Estimate, PerfKey};
+use crate::runtime::ExplorationMode;
 use crate::stats::TraceEvent;
 use crate::task::{ExecChoice, Task};
 use parking_lot::Mutex;
@@ -60,6 +72,11 @@ pub(crate) struct DmdaCore {
     queued_pred: Vec<AtomicU64>,
     /// Round-robin counters for calibration, per codelet.
     calib_rr: Mutex<HashMap<CodeletId, usize>>,
+    /// Epsilon-greedy opportunity counter: bumped only when a placement
+    /// sees an explorable option lose the score race, so the warm path
+    /// (nothing stale) never touches it. Every `1/epsilon`-th opportunity
+    /// diverts the task to the stale option.
+    explore_seq: AtomicU64,
 }
 
 /// Reusable buffers for [`DmdaCore::place_with_scratch`]: the prediction
@@ -68,9 +85,9 @@ pub(crate) struct DmdaCore {
 /// task, so a batch of n tasks performs O(1) allocations, not O(n)).
 #[derive(Default)]
 pub(crate) struct PlaceScratch {
-    memo: Vec<(PerfKey, Option<VTime>, bool)>,
+    memo: Vec<(PerfKey, Estimate)>,
     opts: Vec<(usize, Arch)>,
-    evaluated: Vec<(usize, Arch, Option<VTime>, bool)>,
+    evaluated: Vec<(usize, Arch, Estimate)>,
 }
 
 impl DmdaCore {
@@ -78,6 +95,7 @@ impl DmdaCore {
         DmdaCore {
             queued_pred: (0..workers).map(|_| AtomicU64::new(0)).collect(),
             calib_rr: Mutex::new(HashMap::new()),
+            explore_seq: AtomicU64::new(0),
         }
     }
 
@@ -93,9 +111,9 @@ impl DmdaCore {
     }
 
     /// Expected execution time for an option whose history key is already
-    /// in hand, with its information source. Worker-independent for a
-    /// given key: every worker sharing an architecture class shares a
-    /// profile, so [`DmdaCore::place`] evaluates each distinct key once.
+    /// in hand, with the model's adaptation signals. Worker-independent
+    /// for a given key: every worker sharing an architecture class shares
+    /// a profile, so [`DmdaCore::place`] evaluates each distinct key once.
     fn expected_exec(
         &self,
         task: &Task,
@@ -103,33 +121,40 @@ impl DmdaCore {
         worker: usize,
         arch: Arch,
         ctx: &SchedCtx<'_>,
-    ) -> (Option<VTime>, bool) {
+    ) -> Estimate {
         if task.use_history.unwrap_or(ctx.config.use_history) {
-            if let Some(t) = ctx.perf.expected(&key) {
-                return (Some(t), false);
-            }
-            // Uncalibrated: needs exploration. A prediction function does
-            // not preempt calibration — history models are built from real
+            // One shard-lock acquisition returns mean, confidence, and the
+            // explore flag together. Uncalibrated keys come back with
+            // `expected: None` — a prediction function does not preempt
+            // calibration, since history models are built from real
             // executions precisely because predictions can be wrong.
-            return (None, true);
+            return ctx.perf.estimate(&key);
         }
 
         // History disabled (`useHistoryModels=false`): prediction function,
-        // else the static device model. Predictions keep their public
-        // `&ArchClass` signature; the conversion allocates only on this
-        // rare path.
-        if let Some(pred) = &task.codelet.prediction {
-            if let Some(t) = pred(&key.arch.to_class(), &task.cost) {
-                return (Some(t), false);
-            }
+        // else the static device model — both fully trusted, never
+        // explored. Predictions keep their public `&ArchClass` signature;
+        // the conversion allocates only on this rare path.
+        let t = task
+            .codelet
+            .prediction
+            .as_ref()
+            .and_then(|pred| pred(&key.arch.to_class(), &task.cost))
+            .unwrap_or_else(|| {
+                let profile = ctx.machine.worker_profile(worker);
+                let team = if arch == Arch::CpuTeam {
+                    ctx.machine.cpu_workers
+                } else {
+                    1
+                };
+                profile.exec_time_team(&task.cost, team)
+            });
+        Estimate {
+            expected: Some(t),
+            confidence: 1.0,
+            explore: false,
+            optimistic: Some(t),
         }
-        let profile = ctx.machine.worker_profile(worker);
-        let team = if arch == Arch::CpuTeam {
-            ctx.machine.cpu_workers
-        } else {
-            1
-        };
-        (Some(profile.exec_time_team(&task.cost, team)), false)
     }
 
     /// Estimated transfer delay to bring the task's read operands to the
@@ -141,28 +166,57 @@ impl DmdaCore {
     /// two hops via the host when configured), occupancy-aware: channel
     /// backlog beyond `now` (the candidate worker's availability) delays
     /// the estimate, so a congested link steers placement elsewhere.
+    ///
+    /// With a `lookup`, residency and sources come from the caller's
+    /// [`ResidentLookup`] — dmdar passes its incremental `LocalityIndex`
+    /// so placement prices exactly the resident bytes its pop-side
+    /// readiness reorder prices, instead of the handles' valid-mask view.
     pub(crate) fn transfer_estimate(
         &self,
         task: &Task,
         worker: usize,
         now: VTime,
+        lookup: Option<&dyn ResidentLookup>,
         ctx: &SchedCtx<'_>,
     ) -> VTime {
         let node = ctx.machine.worker_memory_node(worker);
         let mut total = VTime::ZERO;
         for (h, mode) in &task.accesses {
-            if h.valid_on(node) {
-                continue;
-            }
-            let t = h
-                .valid_nodes()
-                .iter()
-                .map(|&src| {
-                    ctx.topo
-                        .estimate_transfer_after(src, node, h.bytes() as u64, now)
-                })
-                .min()
-                .unwrap_or(VTime::ZERO);
+            let t = match lookup {
+                Some(l) => {
+                    if l.resident_bytes_at(node, h.id()) > 0 {
+                        continue;
+                    }
+                    // Cheapest route from any indexed replica; main memory
+                    // when none is recorded (same rule as dmdar's
+                    // `fetch_cost`, so the two stay in agreement).
+                    let bytes = h.bytes() as u64;
+                    let mut best: Option<VTime> = None;
+                    l.for_each_source(h.id(), &mut |src, _| {
+                        if src != node {
+                            let t = ctx.topo.estimate_transfer_after(src, node, bytes, now);
+                            best = Some(match best {
+                                Some(b) if b <= t => b,
+                                _ => t,
+                            });
+                        }
+                    });
+                    best.unwrap_or_else(|| ctx.topo.estimate_transfer_after(0, node, bytes, now))
+                }
+                None => {
+                    if h.valid_on(node) {
+                        continue;
+                    }
+                    h.valid_nodes()
+                        .iter()
+                        .map(|&src| {
+                            ctx.topo
+                                .estimate_transfer_after(src, node, h.bytes() as u64, now)
+                        })
+                        .min()
+                        .unwrap_or(VTime::ZERO)
+                }
+            };
             if mode.reads() {
                 total += t;
             } else {
@@ -188,9 +242,16 @@ impl DmdaCore {
     /// Chooses the (worker, arch) placement for a ready task, records the
     /// decision in `task.chosen`, and charges the worker's queued-work
     /// prediction. Returns the chosen worker; the caller enqueues the task
-    /// on that worker's ready queue.
-    pub(crate) fn place(&self, task: &Arc<Task>, ctx: &SchedCtx<'_>) -> usize {
-        self.place_with_scratch(task, ctx, &mut PlaceScratch::default())
+    /// on that worker's ready queue. `lookup` optionally overrides the
+    /// residency source for transfer pricing (see
+    /// [`DmdaCore::transfer_estimate`]).
+    pub(crate) fn place(
+        &self,
+        task: &Arc<Task>,
+        ctx: &SchedCtx<'_>,
+        lookup: Option<&dyn ResidentLookup>,
+    ) -> usize {
+        self.place_with_scratch(task, ctx, &mut PlaceScratch::default(), lookup)
     }
 
     /// [`DmdaCore::place`] with caller-owned scratch buffers. Batch
@@ -206,6 +267,7 @@ impl DmdaCore {
         task: &Arc<Task>,
         ctx: &SchedCtx<'_>,
         scratch: &mut PlaceScratch,
+        lookup: Option<&dyn ResidentLookup>,
     ) -> usize {
         let PlaceScratch {
             memo,
@@ -252,22 +314,22 @@ impl DmdaCore {
                         task.footprint(),
                     )
                 });
-            let (exec, uncal) = match memo.iter().find(|(k, _, _)| *k == key) {
-                Some(&(_, e, u)) => (e, u),
+            let est = match memo.iter().find(|(k, _)| *k == key) {
+                Some(&(_, e)) => e,
                 None => {
-                    let (e, u) = self.expected_exec(task, key, w, a, ctx);
-                    memo.push((key, e, u));
-                    (e, u)
+                    let e = self.expected_exec(task, key, w, a, ctx);
+                    memo.push((key, e));
+                    e
                 }
             };
-            (w, a, exec, uncal)
+            (w, a, est)
         }));
 
         // Calibration: spread executions across uncalibrated architecture
         // classes (round-robin over classes; least-loaded worker within).
         let mut uncal_classes: Vec<Arch> = Vec::new();
-        for (_, a, _, u) in evaluated.iter() {
-            if *u && !uncal_classes.contains(a) {
+        for (_, a, est) in evaluated.iter() {
+            if est.expected.is_none() && !uncal_classes.contains(a) {
                 uncal_classes.push(*a);
             }
         }
@@ -281,8 +343,8 @@ impl DmdaCore {
             };
             let (w, a) = evaluated
                 .iter()
-                .filter(|(_, a, _, u)| *u && *a == class)
-                .map(|&(w, a, _, _)| (w, a))
+                .filter(|(_, a, est)| est.expected.is_none() && *a == class)
+                .map(|&(w, a, _)| (w, a))
                 .min_by_key(|&(w, _)| ctx.timelines.get(w) + self.queued(w))
                 .expect("class came from evaluated options");
             // Charge a nominal occupancy so calibration tasks still spread.
@@ -307,12 +369,28 @@ impl DmdaCore {
                 ctx.timelines.get(w) + self.queued(w)
             }
         };
+        let explore_mode = ctx.config.exploration;
         let mut best: Option<(usize, Arch, f64, VTime)> = None;
-        for (w, a, exec, _) in evaluated.drain(..) {
-            let exec = exec.expect("calibrated option must predict");
+        let mut best_is_explore = false;
+        // Best-scored among the explore-flagged options (stale histories),
+        // tracked for the epsilon-greedy divert below. Stays `None` on the
+        // warm path, where this whole mechanism costs one boolean per
+        // option.
+        let mut best_explore: Option<(usize, Arch, VTime)> = None;
+        let mut best_explore_score = f64::INFINITY;
+        for (w, a, est) in evaluated.drain(..) {
+            let exec = est.expected.expect("calibrated option must predict");
+            // UCB mode prices a stale option by its optimistic
+            // (confidence-shrunk) time, so uncertainty itself competes;
+            // the queued-work charge below still uses the honest mean.
+            let exec_scored = if explore_mode == ExplorationMode::Ucb && est.explore {
+                est.optimistic.unwrap_or(exec)
+            } else {
+                exec
+            };
             let avail = avail_of(w, a).max(vdeps);
-            let transfer = self.transfer_estimate(task, w, avail, ctx);
-            let finish = avail + transfer + exec;
+            let transfer = self.transfer_estimate(task, w, avail, lookup, ctx);
+            let finish = avail + transfer + exec_scored;
             let score = match ctx.config.objective {
                 crate::runtime::Objective::ExecTime => finish.as_secs_f64(),
                 crate::runtime::Objective::Energy => {
@@ -323,17 +401,45 @@ impl DmdaCore {
                     } else {
                         1
                     };
-                    ctx.machine.worker_profile(w).energy_joules(exec, team)
+                    ctx.machine
+                        .worker_profile(w)
+                        .energy_joules(exec_scored, team)
                         + transfer.as_secs_f64() * 10.0
                 }
             };
             let delta = transfer + exec;
             match &best {
                 Some((_, _, sc, _)) if *sc <= score => {}
-                _ => best = Some((w, a, score, delta)),
+                _ => {
+                    best = Some((w, a, score, delta));
+                    best_is_explore = est.explore;
+                }
+            }
+            if est.explore && score < best_explore_score {
+                best_explore = Some((w, a, delta));
+                best_explore_score = score;
             }
         }
-        let (w, a, _, delta) = best.expect("at least one option");
+        let (mut w, mut a, _, mut delta) = best.expect("at least one option");
+        // Epsilon-greedy: a stale option that lost the score race gets
+        // every `1/epsilon`-th such opportunity anyway, refreshing its
+        // model before confidence rots completely. The counter moves only
+        // when an opportunity exists, so the warm path never touches it.
+        if explore_mode == ExplorationMode::EpsilonGreedy && !best_is_explore {
+            if let Some((ew, ea, edelta)) = best_explore {
+                let eps = ctx.config.explore_epsilon;
+                if eps > 0.0 {
+                    let period = (1.0 / eps.min(1.0)).round() as u64;
+                    if self
+                        .explore_seq
+                        .fetch_add(1, Ordering::Relaxed)
+                        .is_multiple_of(period)
+                    {
+                        (w, a, delta) = (ew, ea, edelta);
+                    }
+                }
+            }
+        }
         self.charge(task, w, a, delta);
         w
     }
@@ -527,7 +633,7 @@ impl DmdaScheduler {
 
 impl Scheduler for DmdaScheduler {
     fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
-        let w = self.core.place(&task, ctx);
+        let w = self.core.place(&task, ctx, None);
         let job = Arc::clone(&task.job);
         self.queues[w].lock().queue_for(&job).push(task);
         Some(w)
@@ -598,7 +704,7 @@ impl Scheduler for DmdaScheduler {
                     self.core.charge_pred(c.worker, c.pred_delta);
                     c.worker
                 }
-                None => self.core.place_with_scratch(task, ctx, &mut scratch),
+                None => self.core.place_with_scratch(task, ctx, &mut scratch, None),
             };
             targets.push(Some(w));
             match groups.iter_mut().find(|(gw, _)| *gw == w) {
@@ -847,7 +953,7 @@ pub(crate) mod tests {
         let s = DmdaScheduler::new(f.machine.total_workers());
         // 6 KiB used + 4 KiB needed > 8 KiB budget: 2 KiB of eviction
         // writeback (d2h) is charged on top of the operand's own h2d fetch.
-        let est = s.core.transfer_estimate(&t, 1, now, &f.ctx());
+        let est = s.core.transfer_estimate(&t, 1, now, None, &f.ctx());
         let link = &f.machine.accelerators[0].link;
         let base = link.transfer_time(4 * 1024);
         let overflow = link.transfer_time(2 * 1024);
@@ -1064,6 +1170,108 @@ pub(crate) mod tests {
         );
         assert_eq!(s.queue_len(2), 1);
         assert_eq!(f.stats.snapshot().steals, 0);
+    }
+
+    /// Calibrates both classes, then ages the CPU key far past the
+    /// freshness half-life by recording `aging` GPU samples (each record
+    /// advances the registry's logical tick). GPU mean is `gpu_us`.
+    fn stale_cpu_fixture(config: RuntimeConfig, cpu_us: u64, gpu_us: u64, aging: usize) -> Fixture {
+        let f = Fixture::new(MachineConfig::c2050_platform(1), config);
+        let c = dual_codelet();
+        let fp = task_of(&c, 0).footprint();
+        for _ in 0..3 {
+            f.perf.record(
+                PerfKey::new("k", ArchClass::Cpu, fp),
+                VTime::from_micros(cpu_us),
+            );
+        }
+        let gpu_key = PerfKey::new("k", ArchClass::Gpu("Tesla C2050".into()), fp);
+        for _ in 0..aging {
+            f.perf.record(gpu_key, VTime::from_micros(gpu_us));
+        }
+        f
+    }
+
+    #[test]
+    fn epsilon_greedy_diverts_to_stale_loser() {
+        // CPU is slow (loses the score race) and stale (explore-flagged);
+        // with epsilon = 1.0 every opportunity diverts the task there to
+        // refresh the model.
+        let config = RuntimeConfig {
+            explore_epsilon: 1.0,
+            ..RuntimeConfig::default()
+        };
+        let f = stale_cpu_fixture(config, 100, 10, 16 * 1024);
+        let est = f.perf.estimate(&PerfKey::new(
+            "k",
+            ArchClass::Cpu,
+            task_of(&dual_codelet(), 0).footprint(),
+        ));
+        assert!(est.explore, "premise: CPU key must be stale");
+        assert!(est.expected.is_some(), "premise: still calibrated");
+        let s = DmdaScheduler::new(f.machine.total_workers());
+        s.push_ready(task_of(&dual_codelet(), 0), &f.ctx());
+        assert_eq!(s.queue_len(0), 1, "stale CPU explored");
+        assert_eq!(s.queue_len(1), 0);
+    }
+
+    #[test]
+    fn exploration_off_keeps_stale_placement() {
+        let config = RuntimeConfig {
+            exploration: crate::runtime::ExplorationMode::Off,
+            ..RuntimeConfig::default()
+        };
+        let f = stale_cpu_fixture(config, 100, 10, 16 * 1024);
+        let s = DmdaScheduler::new(f.machine.total_workers());
+        s.push_ready(task_of(&dual_codelet(), 0), &f.ctx());
+        assert_eq!(s.queue_len(1), 1, "no exploration: best score wins");
+        assert_eq!(s.queue_len(0), 0);
+    }
+
+    #[test]
+    fn ucb_mode_prices_stale_options_optimistically() {
+        // CPU mean 12µs, aged to confidence ~0.25: optimistic time is
+        // 12 · (0.25 + 0.75·0.5) = 7.5µs, undercutting the GPU's 10µs —
+        // UCB places on the CPU where greedy scoring would not.
+        let config = RuntimeConfig {
+            exploration: crate::runtime::ExplorationMode::Ucb,
+            ..RuntimeConfig::default()
+        };
+        let f = stale_cpu_fixture(config, 12, 10, 16 * 1024);
+        let s = DmdaScheduler::new(f.machine.total_workers());
+        s.push_ready(task_of(&dual_codelet(), 0), &f.ctx());
+        assert_eq!(s.queue_len(0), 1, "optimistic stale option wins");
+
+        // Same histories, exploration off: the honest means favor the GPU.
+        let f2 = stale_cpu_fixture(
+            RuntimeConfig {
+                exploration: crate::runtime::ExplorationMode::Off,
+                ..RuntimeConfig::default()
+            },
+            12,
+            10,
+            16 * 1024,
+        );
+        let s2 = DmdaScheduler::new(f2.machine.total_workers());
+        s2.push_ready(task_of(&dual_codelet(), 0), &f2.ctx());
+        assert_eq!(s2.queue_len(1), 1);
+    }
+
+    #[test]
+    fn warm_confident_keys_never_touch_the_explore_counter() {
+        // Both classes fresh and confident: placement must not consume an
+        // epsilon opportunity (the warm hot path stays divert-free).
+        let config = RuntimeConfig {
+            explore_epsilon: 1.0,
+            ..RuntimeConfig::default()
+        };
+        let f = stale_cpu_fixture(config, 100, 10, 8);
+        let s = DmdaScheduler::new(f.machine.total_workers());
+        for i in 0..4 {
+            s.push_ready(task_of(&dual_codelet(), i), &f.ctx());
+        }
+        assert_eq!(s.queue_len(1), 4, "all tasks stay on the better GPU");
+        assert_eq!(s.core.explore_seq.load(Ordering::Relaxed), 0);
     }
 
     #[test]

@@ -1,11 +1,15 @@
 //! `dmdar` — dmda placement plus memory-aware *ordering* (StarPU's
 //! "dmda ready" policy).
 //!
-//! Placement is exactly [`super::dmda`]'s: every ready task is assigned the
+//! Placement is [`super::dmda`]'s: every ready task is assigned the
 //! (worker, implementation) pair with the smallest predicted finish time,
 //! using the same history models, calibration round-robin, and eviction-
-//! pressure costs via the shared [`DmdaCore`]. What changes is the *pop*
-//! path: instead of dispatching each worker's queue FIFO, dmdar dispatches
+//! pressure costs via the shared [`DmdaCore`] — with one refinement:
+//! dmdar hands the core its incremental [`LocalityIndex`], so placement's
+//! transfer pricing and the pop-side readiness reorder below price the
+//! *same* resident bytes from the same source instead of placement
+//! consulting the handles' valid-masks separately. What changes beyond
+//! that is the *pop* path: instead of dispatching each worker's queue FIFO, dmdar dispatches
 //! the task whose missing read operands are *cheapest to fetch* into the
 //! worker's memory node — the task that is most "ready" in StarPU's
 //! sense. Each missing operand is priced along its cheapest route from
@@ -361,6 +365,12 @@ impl DmdarScheduler {
         self.sync_if_stale(ctx);
         let guard = self.index.read();
         let index = guard.as_ref().expect("index created by sync");
+        self.enqueue_under(index, w, task, ctx);
+    }
+
+    /// [`DmdarScheduler::enqueue`] with the index guard already in hand
+    /// (lock order: index before queue).
+    fn enqueue_under(&self, index: &LocalityIndex, w: usize, task: Arc<Task>, ctx: &SchedCtx<'_>) {
         let node = ctx.machine.worker_memory_node(w);
         let now = ctx.timelines.get(w);
         let score = fetch_cost(index, node, &task, now, ctx);
@@ -376,8 +386,14 @@ impl DmdarScheduler {
 
 impl Scheduler for DmdarScheduler {
     fn push_ready(&self, task: Arc<Task>, ctx: &SchedCtx<'_>) -> Option<usize> {
-        let w = self.core.place(&task, ctx);
-        self.enqueue(w, task, ctx);
+        // Placement prices transfers against the same locality index the
+        // pop-side readiness reorder scores with, so the two halves of the
+        // policy agree on which bytes are resident.
+        self.sync_if_stale(ctx);
+        let guard = self.index.read();
+        let index = guard.as_ref().expect("index created by sync");
+        let w = self.core.place(&task, ctx, Some(index));
+        self.enqueue_under(index, w, task, ctx);
         Some(w)
     }
 
@@ -470,10 +486,13 @@ impl Scheduler for DmdarScheduler {
         placed: bool,
         ctx: &SchedCtx<'_>,
     ) -> Vec<Option<usize>> {
-        // Place every task first (placement takes its own short locks),
-        // then score and enqueue the whole batch under one index sync,
-        // one read-guard acquisition, and one queue lock per distinct
-        // worker.
+        // One index sync and one read-guard acquisition cover the whole
+        // batch: placement prices every task's transfers against the
+        // index (sharing one prediction memo), then enqueueing scores
+        // per-worker groups under one queue lock per distinct worker.
+        self.sync_if_stale(ctx);
+        let guard = self.index.read();
+        let index = guard.as_ref().expect("index created by sync");
         let mut targets = Vec::with_capacity(tasks.len());
         let mut groups: Vec<(usize, Vec<Arc<Task>>)> = Vec::new();
         let mut scratch = PlaceScratch::default();
@@ -483,7 +502,9 @@ impl Scheduler for DmdarScheduler {
                     self.core.charge_pred(c.worker, c.pred_delta);
                     c.worker
                 }
-                None => self.core.place_with_scratch(task, ctx, &mut scratch),
+                None => self
+                    .core
+                    .place_with_scratch(task, ctx, &mut scratch, Some(index)),
             };
             targets.push(Some(w));
             match groups.iter_mut().find(|(gw, _)| *gw == w) {
@@ -491,9 +512,6 @@ impl Scheduler for DmdarScheduler {
                 None => groups.push((w, vec![Arc::clone(task)])),
             }
         }
-        self.sync_if_stale(ctx);
-        let guard = self.index.read();
-        let index = guard.as_ref().expect("index created by sync");
         for (w, group) in groups {
             let node = ctx.machine.worker_memory_node(w);
             let now = ctx.timelines.get(w);

@@ -23,6 +23,19 @@
 //! state, not the state at submission time: that is what lets dmdar run
 //! resident-operand tasks first and turn PR 1–2's eviction machinery into
 //! avoided transfers instead of survived ones.
+//!
+//! # Online adaptation
+//!
+//! The placing policies consult confidence-tracked history models
+//! ([`crate::perfmodel`]): a key whose confidence has decayed (never
+//! calibrated, freshly drift-decayed, or stale past its freshness
+//! half-life) is flagged for *exploration*, and dmda/dmdar periodically
+//! divert one flagged candidate that lost the score race onto its
+//! would-be worker (ε-greedy, or optimistic-bound scoring under UCB —
+//! see [`crate::runtime::ExplorationMode`]). The diversion counter only
+//! advances when a flagged option actually loses, so fully-calibrated
+//! steady state pays nothing — the §5e hot-path floors still hold with
+//! adaptation enabled.
 
 pub mod dmda;
 pub mod dmdar;

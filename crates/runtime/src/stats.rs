@@ -159,6 +159,22 @@ pub enum TraceEvent {
         /// Queue entries the task was dispatched ahead of.
         jumped: usize,
     },
+    /// A performance-model drift detection: the recent execution times of
+    /// a (codelet, arch) family diverged from its model, its histories
+    /// were decayed below calibration, and frozen replay schedules were
+    /// told to thaw. Makes drift episodes visible in dumped gantts.
+    ModelDrift {
+        /// Codelet whose model drifted.
+        codelet: String,
+        /// Architecture class of the drifted history (display form).
+        arch: String,
+        /// Worker whose sample triggered the detection.
+        worker: usize,
+        /// Recent-window (EWMA) execution time at detection.
+        observed: VTime,
+        /// Model mean the recent window diverged from.
+        model: VTime,
+    },
 }
 
 /// Per-worker counters, padded to a cache line so workers hammering their
@@ -425,11 +441,15 @@ impl StatsCollector {
                 .iter()
                 .map(|c| c.pops.load(Ordering::Relaxed))
                 .sum(),
-            // Filled in by `Runtime::stats`, which owns the MemoryManager
-            // and the Topology.
+            // Filled in by `Runtime::stats`, which owns the MemoryManager,
+            // the Topology, and the PerfRegistry.
             mem_high_water: Vec::new(),
             alloc_cache_retained: Vec::new(),
             channel_busy: Vec::new(),
+            perf_keys: 0,
+            perf_keys_calibrated: 0,
+            perf_keys_exploring: 0,
+            model_drifts: 0,
         }
     }
 }
@@ -512,6 +532,16 @@ pub struct RuntimeStats {
     /// `h2d:n` / `d2h:n` for each device's host link directions, `p2p:a->b`
     /// for peer channels that carried traffic.
     pub channel_busy: Vec<(String, VTime)>,
+    /// Distinct performance-model keys with at least one sample.
+    pub perf_keys: usize,
+    /// Perf-model keys whose effective sample weight has reached
+    /// calibration.
+    pub perf_keys_calibrated: usize,
+    /// Perf-model keys currently flagged for exploration (cold, or
+    /// calibrated but with decayed confidence).
+    pub perf_keys_exploring: usize,
+    /// Lifetime model-drift detections (family decays + replay thaws).
+    pub model_drifts: u64,
 }
 
 impl RuntimeStats {
@@ -670,6 +700,7 @@ pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
     let (mut reorders, mut reorder_resident) = (0u64, 0u64);
     let (mut steals, mut steal_resident) = (0u64, 0u64);
     let (mut d2d, mut d2d_bytes) = (0u64, 0u64);
+    let mut drifts = 0u64;
     for e in trace {
         match e {
             TraceEvent::Evict {
@@ -696,6 +727,7 @@ pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
                 d2d += 1;
                 d2d_bytes += *bytes as u64;
             }
+            TraceEvent::ModelDrift { .. } => drifts += 1,
             _ => {}
         }
     }
@@ -722,6 +754,11 @@ pub fn gantt(trace: &[TraceEvent], workers: usize, width: usize) -> String {
     if d2d > 0 {
         out.push_str(&format!(
             "  peer transfers: {d2d} ({d2d_bytes} bytes bypassed the host links)\n"
+        ));
+    }
+    if drifts > 0 {
+        out.push_str(&format!(
+            "  model drifts: {drifts} (histories decayed, frozen schedules thawed)\n"
         ));
     }
     out
@@ -980,6 +1017,31 @@ mod tests {
         assert!(chart.contains("scheduler reorders: 1 (4096 resident bytes dispatched early)"));
         // No summary line when nothing was reordered.
         assert!(!gantt(&trace[..1], 1, 20).contains("scheduler reorders"));
+    }
+
+    #[test]
+    fn model_drift_gantt_summary() {
+        let trace = vec![
+            TraceEvent::TaskEnd {
+                task: 1,
+                worker: 0,
+                codelet: "spmv".into(),
+                vstart: VTime::ZERO,
+                vfinish: VTime::from_micros(10),
+                run: None,
+                job: 0,
+            },
+            TraceEvent::ModelDrift {
+                codelet: "spmv".into(),
+                arch: "gpu:Tesla C2050".into(),
+                worker: 4,
+                observed: VTime::from_micros(40),
+                model: VTime::from_micros(10),
+            },
+        ];
+        let chart = gantt(&trace, 1, 20);
+        assert!(chart.contains("model drifts: 1"));
+        assert!(!gantt(&trace[..1], 1, 20).contains("model drifts"));
     }
 
     #[test]

@@ -306,8 +306,8 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: &Arc<Task>, direct: b
             } else {
                 inner.noise.lock().next_factor()
             };
-            let vexec = profile.exec_time_team(&task.cost, team).scale(factor);
-            let vfinish = {
+            let base_exec = profile.exec_time_team(&task.cost, team).scale(factor);
+            let (vexec, vfinish) = {
                 let tl = &inner.timelines;
                 let avail = if team > 1 {
                     (0..inner.machine.cpu_workers)
@@ -317,6 +317,16 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: &Arc<Task>, direct: b
                     tl.get(worker)
                 };
                 let vstart = avail.max(vdeps).max(data_ready);
+                // Scheduled device throttle: the factor in effect at the
+                // task's virtual *start* scales the modelled execution
+                // (thermal slowdowns hit whole kernels, not fractions).
+                // Guarded so untouched machines keep bit-identical timing.
+                let throttle = inner.machine.worker_throttle_factor(worker, vstart);
+                let vexec = if throttle != 1.0 {
+                    base_exec.scale(throttle)
+                } else {
+                    base_exec
+                };
                 let vfinish = vstart + vexec;
                 if team > 1 {
                     for w in 0..inner.machine.cpu_workers {
@@ -325,7 +335,7 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: &Arc<Task>, direct: b
                 } else {
                     tl.advance(worker, vfinish);
                 }
-                vfinish
+                (vexec, vfinish)
             };
             run_kernel(&mut guards);
             (vexec, vfinish)
@@ -375,7 +385,7 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: &Arc<Task>, direct: b
     // calibration threshold, so their model has converged and every
     // further replay would re-record the same stationary sample.
     if !direct {
-        inner.perf.record(
+        let drift = inner.perf.record(
             PerfKey::for_codelet(
                 task.codelet.id,
                 inner.classes.class_id(arch, worker),
@@ -383,6 +393,20 @@ fn execute_task(inner: &RuntimeInner, worker: usize, task: &Arc<Task>, direct: b
             ),
             vexec,
         );
+        // Drift already decayed the family and bumped the epoch inside
+        // `record`; here it only becomes visible in the trace. Strings are
+        // built only when tracing is on.
+        if let Some(d) = drift {
+            if inner.stats.tracing_enabled() {
+                inner.stats.record_event(TraceEvent::ModelDrift {
+                    codelet: task.codelet.name.clone(),
+                    arch: d.key.arch.to_string(),
+                    worker,
+                    observed: VTime::from_nanos(d.observed_ns as u64),
+                    model: VTime::from_nanos(d.model_ns as u64),
+                });
+            }
+        }
     }
 
     inner.stats.record_task(worker, vexec, vfinish);

@@ -1,4 +1,4 @@
-//! `Runtime::submit_batch` semantics: a batch is observably equivalent to
+//! Batch-submission semantics: a batch is observably equivalent to
 //! submitting each builder in order, and validation is all-or-nothing —
 //! a batch containing an undispatchable task is rejected *before* any
 //! side effect, leaving the runtime clean.
@@ -159,10 +159,8 @@ fn undispatchable_batch_rejected_without_prefix() {
             .arg(3.0)
             .access(&h, AccessMode::ReadWrite),
     ];
-    // Deliberately exercises the deprecated default-job forwarder so its
-    // validation path keeps coverage alongside the job-scoped entry point.
-    #[allow(deprecated)]
-    let err = match catch_unwind(AssertUnwindSafe(|| rt.submit_batch(builders))) {
+    let job = rt.job(JobConfig::default());
+    let err = match catch_unwind(AssertUnwindSafe(|| job.submit_batch(builders))) {
         Ok(_) => panic!("batch with an undispatchable codelet must panic"),
         Err(e) => e,
     };

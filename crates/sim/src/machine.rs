@@ -2,6 +2,24 @@
 
 use crate::link::LinkProfile;
 use crate::profile::{DeviceKind, DeviceProfile};
+use crate::vclock::VTime;
+
+/// A scheduled mid-run change to a device's effective speed: from virtual
+/// time [`ThrottleEvent::at`] onward, accelerator [`ThrottleEvent::device`]
+/// runs [`ThrottleEvent::factor`]× slower than its profile. Models a
+/// thermally-throttled GPU (or a co-tenant stealing SMs) deterministically;
+/// a later event with `factor: 1.0` models recovery. Plain data so
+/// [`MachineConfig`] stays `Clone + PartialEq`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ThrottleEvent {
+    /// 0-based accelerator index (not worker index).
+    pub device: usize,
+    /// Virtual time the factor takes effect.
+    pub at: VTime,
+    /// Execution-time multiplier (`2.0` = twice as slow). Clamped to a
+    /// small positive floor so a zero factor cannot freeze virtual time.
+    pub factor: f64,
+}
 
 /// One accelerator slot in a machine: its profile plus the link connecting
 /// its memory to main memory.
@@ -42,6 +60,10 @@ pub struct MachineConfig {
     pub noise_rel_stddev: f64,
     /// Seed for the deterministic noise source.
     pub noise_seed: u64,
+    /// Scheduled mid-run device slowdowns, applied by virtual start time
+    /// (see [`ThrottleEvent`]; the latest event at or before a task's
+    /// start wins). Empty for every preset.
+    pub throttles: Vec<ThrottleEvent>,
 }
 
 impl MachineConfig {
@@ -56,6 +78,7 @@ impl MachineConfig {
             p2p_overrides: Vec::new(),
             noise_rel_stddev: 0.0,
             noise_seed: 0,
+            throttles: Vec::new(),
         }
     }
 
@@ -73,6 +96,7 @@ impl MachineConfig {
             p2p_overrides: Vec::new(),
             noise_rel_stddev: 0.03,
             noise_seed: 0xC2050,
+            throttles: Vec::new(),
         }
     }
 
@@ -89,6 +113,7 @@ impl MachineConfig {
             p2p_overrides: Vec::new(),
             noise_rel_stddev: 0.03,
             noise_seed: 0xC1060,
+            throttles: Vec::new(),
         }
     }
 
@@ -109,6 +134,7 @@ impl MachineConfig {
             p2p_overrides: Vec::new(),
             noise_rel_stddev: 0.0,
             noise_seed: 0x6E0,
+            throttles: Vec::new(),
         }
     }
 
@@ -184,6 +210,37 @@ impl MachineConfig {
     pub fn without_noise(mut self) -> Self {
         self.noise_rel_stddev = 0.0;
         self
+    }
+
+    /// Schedules a mid-run slowdown of accelerator `device` (0-based
+    /// device index, builder style): from virtual time `at` onward its
+    /// executions run `factor`× slower. Append a `factor` of `1.0` at a
+    /// later time to model recovery.
+    pub fn throttle_device(mut self, device: usize, at: VTime, factor: f64) -> Self {
+        self.throttles.push(ThrottleEvent {
+            device,
+            at,
+            factor: factor.max(0.01),
+        });
+        self
+    }
+
+    /// The execution-time multiplier in effect for `worker` at virtual
+    /// time `now`: the latest scheduled [`ThrottleEvent`] for the worker's
+    /// device at or before `now`, else `1.0`. CPU workers are never
+    /// throttled. O(events) over a list that is empty in every preset, so
+    /// the common case is one `is_empty` branch.
+    pub fn worker_throttle_factor(&self, worker: usize, now: VTime) -> f64 {
+        if self.throttles.is_empty() || worker < self.cpu_workers {
+            return 1.0;
+        }
+        let device = worker - self.cpu_workers;
+        self.throttles
+            .iter()
+            .filter(|t| t.device == device && t.at <= now)
+            .max_by_key(|t| t.at)
+            .map(|t| t.factor)
+            .unwrap_or(1.0)
     }
 
     /// Overrides the memory capacity of every accelerator (builder style):
@@ -348,6 +405,34 @@ mod tests {
     #[test]
     fn zero_workers_clamped() {
         assert_eq!(MachineConfig::cpu_only(0).cpu_workers, 1);
+    }
+
+    #[test]
+    fn throttle_schedule_latest_event_wins() {
+        let m = MachineConfig::c2050_platform(2)
+            .throttle_device(0, VTime::from_millis(10), 4.0)
+            .throttle_device(0, VTime::from_millis(50), 1.0);
+        // Worker 2 drives device 0 on this platform.
+        assert_eq!(m.worker_throttle_factor(2, VTime::ZERO), 1.0);
+        assert_eq!(m.worker_throttle_factor(2, VTime::from_millis(10)), 4.0);
+        assert_eq!(m.worker_throttle_factor(2, VTime::from_millis(30)), 4.0);
+        assert_eq!(
+            m.worker_throttle_factor(2, VTime::from_millis(60)),
+            1.0,
+            "recovery event supersedes the throttle"
+        );
+        // CPU workers are never throttled.
+        assert_eq!(m.worker_throttle_factor(0, VTime::from_millis(30)), 1.0);
+        // Other devices are unaffected.
+        let mg = MachineConfig::multi_gpu(1, 2).throttle_device(1, VTime::ZERO, 2.0);
+        assert_eq!(mg.worker_throttle_factor(1, VTime::from_millis(1)), 1.0);
+        assert_eq!(mg.worker_throttle_factor(2, VTime::from_millis(1)), 2.0);
+    }
+
+    #[test]
+    fn throttle_factor_clamped_above_zero() {
+        let m = MachineConfig::c2050_platform(1).throttle_device(0, VTime::ZERO, 0.0);
+        assert!(m.worker_throttle_factor(1, VTime::ZERO) > 0.0);
     }
 
     #[test]
